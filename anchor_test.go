@@ -1,0 +1,126 @@
+package bvap
+
+import (
+	"testing"
+
+	"bvap/internal/swmatch"
+)
+
+// TestAnchoredPatterns exercises the ^ start anchor end to end: parser →
+// compiler → JSON config → cycle simulator, against the reference matcher.
+func TestAnchoredPatterns(t *testing.T) {
+	e := MustCompile([]string{"^abc", "abc", "^a{3}b"})
+
+	// Unanchored "abc" matches twice; anchored "^abc" only at the start.
+	input := []byte("abcxabc")
+	got := map[int]int{}
+	for _, m := range e.FindAll(input) {
+		got[m.Pattern]++
+	}
+	if got[0] != 1 {
+		t.Fatalf("^abc matched %d times, want 1", got[0])
+	}
+	if got[1] != 2 {
+		t.Fatalf("abc matched %d times, want 2", got[1])
+	}
+
+	// Anchored counting: only a stream-initial run counts.
+	e2 := MustCompile([]string{"^a{3}b"})
+	if e2.Count([]byte("aaab")) != 1 {
+		t.Fatal("^a{3}b missed the stream-initial match")
+	}
+	if e2.Count([]byte("xaaab")) != 0 {
+		t.Fatal("^a{3}b matched mid-stream")
+	}
+}
+
+func TestAnchoredAgainstReference(t *testing.T) {
+	patterns := []string{"^ab{3}c", "^x.{5}y", "^(?i)get /", "(?i)^post /"}
+	inputs := []string{
+		"abbbc", "xabbbc", "x12345y", "zx12345y",
+		"GET /index", "xGET /index", "POST /x", "zPOST /x",
+		"abbbcabbbc", "",
+	}
+	e := MustCompile(patterns)
+	for _, in := range inputs {
+		got := map[int][]int{}
+		for _, m := range e.FindAll([]byte(in)) {
+			got[m.Pattern] = append(got[m.Pattern], m.End)
+		}
+		for i, pat := range patterns {
+			ref, err := swmatch.New(pat)
+			if err != nil {
+				t.Fatalf("%q: %v", pat, err)
+			}
+			want := ref.MatchEnds([]byte(in))
+			if len(got[i]) != len(want) {
+				t.Fatalf("%q on %q: engine %v, reference %v", pat, in, got[i], want)
+			}
+			for j := range want {
+				if got[i][j] != want[j] {
+					t.Fatalf("%q on %q: engine %v, reference %v", pat, in, got[i], want)
+				}
+			}
+		}
+	}
+}
+
+func TestAnchoredSimulatorAndBaseline(t *testing.T) {
+	patterns := []string{"^header.{20}x"}
+	input := append([]byte("header12345678901234567890x"), []byte(" header12345678901234567890x")...)
+	want := swmatch.MustNew(patterns[0]).Count(input)
+	if want != 1 {
+		t.Fatalf("reference count = %d, want 1", want)
+	}
+
+	e := MustCompile(patterns)
+	sim, err := e.NewSimulator(ArchBVAP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim.Run(input)
+	if got := sim.Result().Matches; got != uint64(want) {
+		t.Fatalf("BVAP simulator matches = %d, want %d", got, want)
+	}
+
+	base, err := NewBaselineSimulator(ArchCAMA, patterns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base.Run(input)
+	if got := base.Result().Matches; got != uint64(want) {
+		t.Fatalf("CAMA simulator matches = %d, want %d", got, want)
+	}
+}
+
+func TestAnchorRestrictionsRejected(t *testing.T) {
+	for _, pat := range []string{"a^b", "a$", "^a$", "(^a)"} {
+		if err := ParsePattern(pat); err == nil {
+			t.Errorf("%q accepted", pat)
+		}
+	}
+	// ParsePattern on a leading anchor is fine.
+	if err := ParsePattern("^abc"); err != nil {
+		t.Fatalf("^abc rejected: %v", err)
+	}
+}
+
+func TestStreamResetReArmsAnchor(t *testing.T) {
+	e := MustCompile([]string{"^ab"})
+	s := e.NewStream()
+	s.Step('a')
+	if hits := s.Step('b'); len(hits) != 1 {
+		t.Fatal("missed anchored match at start")
+	}
+	// Later in the same stream: no re-arm.
+	s.Step('a')
+	if hits := s.Step('b'); len(hits) != 0 {
+		t.Fatal("anchored pattern re-armed mid-stream")
+	}
+	// After Reset the anchor arms again.
+	s.Reset()
+	s.Step('a')
+	if hits := s.Step('b'); len(hits) != 1 {
+		t.Fatal("anchored pattern did not re-arm after Reset")
+	}
+}

@@ -1,0 +1,248 @@
+// Package bvap is a software implementation and cycle-accurate hardware
+// model of BVAP, the Bit Vector Automata Processor for regular expressions
+// with bounded repetitions (Wen, Kong, Le Glaunec, Mamouras, Yang —
+// ASPLOS 2024).
+//
+// The package offers three layers:
+//
+//   - a regex engine (Compile / Engine) that executes patterns with
+//     streaming partial-match semantics using Action-Homogeneous
+//     Nondeterministic Bit Vector Automata, the paper's theoretical model:
+//     bounded repetitions like a{1000} cost a handful of states instead of
+//     thousands;
+//   - a compiler to the BVAP hardware configuration format (WriteConfig),
+//     including the §7 rewriting pipeline, Table 3 instruction selection and
+//     tile mapping;
+//   - a cycle-accurate simulator (NewSimulator, NewBaselineSimulator) that
+//     replays workloads on the modeled BVAP hardware and on the baseline
+//     automata processors CAMA, CA, eAP and CNT, reporting energy, area,
+//     throughput and the paper's derived metrics.
+package bvap
+
+import (
+	"io"
+
+	"bvap/internal/compiler"
+	"bvap/internal/nbva"
+	"bvap/internal/regex"
+)
+
+// Option configures compilation.
+type Option func(*compiler.Options)
+
+// WithBVSize sets the virtual bit-vector size K (a power of two in [8, 64]).
+// Larger values compress large repetitions better; smaller values cut the
+// word-serial processing latency (§8's design space exploration).
+func WithBVSize(bits int) Option {
+	return func(o *compiler.Options) { o.BVSizeBits = bits }
+}
+
+// WithUnfoldThreshold sets the largest repetition bound that is unfolded
+// into plain states instead of counted (unfold_th; Table 5 reports best
+// values between 4 and 12).
+func WithUnfoldThreshold(th int) Option {
+	return func(o *compiler.Options) { o.UnfoldThreshold = th }
+}
+
+// Match reports that pattern Pattern (index into the compiled set) matched
+// some substring of the input ending at byte offset End.
+type Match struct {
+	Pattern int
+	End     int
+}
+
+// PatternReport summarizes how one pattern compiled.
+type PatternReport struct {
+	Pattern string
+	// Supported is false when the pattern cannot be mapped onto BVAP
+	// hardware; Reason explains why. Unsupported patterns never match.
+	Supported bool
+	Reason    string
+	// STEs and BVSTEs are the hardware resources the pattern occupies.
+	STEs   int
+	BVSTEs int
+	// UnfoldedSTEs is the state count a conventional (unfolding)
+	// automata processor would need — the paper's headline saving.
+	UnfoldedSTEs int
+}
+
+// Report summarizes a compilation.
+type Report struct {
+	Patterns    []PatternReport
+	TotalSTEs   int
+	TotalBVSTEs int
+	Tiles       int
+	Unsupported int
+}
+
+// Engine is a compiled set of patterns. It is safe for concurrent use once
+// built, except for streams created from it, which are independently
+// stateful.
+type Engine struct {
+	res      *compiler.Result
+	patterns []string
+}
+
+// Compile compiles patterns into an Engine using the §7 pipeline. Patterns
+// use PCRE-subset syntax (see internal/regex): literals, escapes, classes,
+// alternation, grouping, the (?i) case-folding modifier, a leading ^ start
+// anchor, * + ? and the bounded repetitions {n}, {m,n}, {n,}. Individual
+// patterns that fail to compile are reported in Report and skipped rather
+// than failing the whole set, matching how rule sets are deployed in
+// practice.
+func Compile(patterns []string, opts ...Option) (*Engine, error) {
+	copt := compiler.DefaultOptions()
+	for _, o := range opts {
+		o(&copt)
+	}
+	res, err := compiler.Compile(patterns, copt)
+	if err != nil {
+		return nil, err
+	}
+	return &Engine{res: res, patterns: append([]string(nil), patterns...)}, nil
+}
+
+// MustCompile is Compile for known-good inputs; it panics on error.
+func MustCompile(patterns []string, opts ...Option) *Engine {
+	e, err := Compile(patterns, opts...)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+// Patterns returns the source patterns.
+func (e *Engine) Patterns() []string { return e.patterns }
+
+// Report returns the compilation summary.
+func (e *Engine) Report() Report {
+	r := Report{
+		TotalSTEs:   e.res.Report.TotalSTEs,
+		TotalBVSTEs: e.res.Report.TotalBVSTEs,
+		Tiles:       e.res.Report.Tiles,
+		Unsupported: e.res.Report.Unsupported,
+	}
+	for _, pr := range e.res.Report.PerRegex {
+		r.Patterns = append(r.Patterns, PatternReport{
+			Pattern:      pr.Pattern,
+			Supported:    pr.Supported,
+			Reason:       pr.Reason,
+			STEs:         pr.STEs,
+			BVSTEs:       pr.BVSTEs,
+			UnfoldedSTEs: pr.UnfoldedSTEs,
+		})
+	}
+	return r
+}
+
+// WriteConfig writes the JSON hardware configuration (the compiler's §7
+// output) to w.
+func (e *Engine) WriteConfig(w io.Writer) error { return e.res.Config.Write(w) }
+
+// FindAll scans input and returns every match of every pattern, ordered by
+// end position (and by pattern index within a position).
+func (e *Engine) FindAll(input []byte) []Match {
+	s := e.NewStream()
+	var out []Match
+	for i, b := range input {
+		for _, p := range s.Step(b) {
+			out = append(out, Match{Pattern: p, End: i})
+		}
+	}
+	return out
+}
+
+// Count returns the total number of matches in input across all patterns.
+func (e *Engine) Count(input []byte) int {
+	s := e.NewStream()
+	n := 0
+	for _, b := range input {
+		n += len(s.Step(b))
+	}
+	return n
+}
+
+// Stream matches incrementally over a byte stream. Streams are not safe for
+// concurrent use.
+type Stream struct {
+	engine  *Engine
+	runners []*nbva.AHRunner
+	hits    []int
+}
+
+// NewStream creates an independent matching stream.
+func (e *Engine) NewStream() *Stream {
+	s := &Stream{engine: e}
+	for _, m := range e.res.Machines {
+		if m == nil {
+			s.runners = append(s.runners, nil)
+			continue
+		}
+		s.runners = append(s.runners, nbva.NewAHRunner(m))
+	}
+	return s
+}
+
+// Step consumes one byte and returns the indices of the patterns for which
+// a match ends at it. The returned slice is reused across calls.
+func (s *Stream) Step(b byte) []int {
+	s.hits = s.hits[:0]
+	for i, r := range s.runners {
+		if r != nil && r.Step(b) {
+			s.hits = append(s.hits, i)
+		}
+	}
+	return s.hits
+}
+
+// Reset returns the stream to its start-of-input state.
+func (s *Stream) Reset() {
+	for _, r := range s.runners {
+		if r != nil {
+			r.Reset()
+		}
+	}
+}
+
+// ParsePattern validates a single pattern, returning a descriptive error
+// for invalid syntax.
+func ParsePattern(pattern string) error {
+	_, err := regex.Parse(pattern)
+	return err
+}
+
+// AnalyzePattern returns structural statistics of a pattern: whether it
+// uses bounded repetition, its largest bound, and the unfolded NFA size a
+// conventional automata processor would need.
+func AnalyzePattern(pattern string) (hasCounting bool, maxBound, unfoldedStates int, err error) {
+	ast, err := regex.Parse(pattern)
+	if err != nil {
+		return false, 0, 0, err
+	}
+	st := regex.Analyze(ast)
+	return st.HasCounting(), st.MaxUpperBound, st.UnfoldedLiterals, nil
+}
+
+// MappingStats describes how the compiled machines pack into hardware
+// tiles; whole tiles are provisioned, so low utilization is paid silicon.
+type MappingStats struct {
+	Tiles          int
+	STEUtilization float64
+	BVUtilization  float64
+	WastedBVMFrac  float64
+	MaxSTEs        int
+	MaxBVs         int
+}
+
+// MappingStats returns tile-utilization statistics for the compiled set.
+func (e *Engine) MappingStats() MappingStats {
+	s := compiler.ComputeMappingStats(e.res.Config)
+	return MappingStats{
+		Tiles:          s.Tiles,
+		STEUtilization: s.STEUtilization,
+		BVUtilization:  s.BVUtilization,
+		WastedBVMFrac:  s.WastedBVMFrac,
+		MaxSTEs:        s.MaxSTEs,
+		MaxBVs:         s.MaxBVs,
+	}
+}

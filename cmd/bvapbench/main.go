@@ -1,0 +1,178 @@
+// Command bvapbench regenerates the tables and figures of the paper's
+// evaluation (§8): the Fig. 11 and Fig. 12 micro-benchmarks, the Fig. 13
+// design space exploration, Table 5's best-FoM parameters, the Fig. 14
+// real-world comparison, and the headline summary.
+//
+// Usage:
+//
+//	bvapbench -exp fig11|fig12|fig13|table5|fig14|summary|ablation|stride2|all [flags]
+//
+// Flags:
+//
+//	-sample N    regexes sampled per dataset (default 80; paper uses >300)
+//	-inputlen N  corpus length per run (default 4096)
+//	-datasets    comma-separated dataset subset (default all seven)
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"bvap/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment: fig11, fig12, fig13, table5, fig14, summary, ablation, stride2, all")
+	ablationDataset := flag.String("ablation-dataset", "Snort", "dataset for the -exp ablation run")
+	sample := flag.Int("sample", 80, "regexes sampled per dataset")
+	inputLen := flag.Int("inputlen", 4096, "input corpus length")
+	datasetList := flag.String("datasets", "", "comma-separated dataset subset")
+	jsonPath := flag.String("json", "", "also write the structured results as JSON to this file")
+	flag.Parse()
+
+	var dump jsonResults
+	var dsets []string
+	if *datasetList != "" {
+		for _, d := range strings.Split(*datasetList, ",") {
+			dsets = append(dsets, strings.TrimSpace(d))
+		}
+	}
+
+	want := map[string]bool{}
+	for _, e := range strings.Split(*exp, ",") {
+		want[strings.TrimSpace(strings.ToLower(e))] = true
+	}
+	all := want["all"]
+
+	if all || want["fig11"] {
+		points, err := experiments.Fig11(experiments.Fig11Options{InputLen: *inputLen * 4})
+		if err != nil {
+			fatal(err)
+		}
+		dump.Fig11 = points
+		experiments.RenderFig11(os.Stdout, points)
+		fmt.Println()
+	}
+	if all || want["fig12"] {
+		points, err := experiments.Fig12(experiments.Fig12Options{InputLen: *inputLen * 4})
+		if err != nil {
+			fatal(err)
+		}
+		dump.Fig12 = points
+		experiments.RenderFig12(os.Stdout, points)
+		fmt.Println()
+	}
+
+	var dse []experiments.DSEPoint
+	needDSE := all || want["fig13"] || want["table5"] || want["fig14"] || want["summary"]
+	if needDSE {
+		var err error
+		dse, err = experiments.Fig13(experiments.DSEOptions{
+			Sample:   *sample,
+			InputLen: *inputLen / 2,
+			Datasets: dsets,
+		})
+		if err != nil {
+			fatal(err)
+		}
+	}
+	if all || want["fig13"] {
+		dump.Fig13 = dse
+		experiments.RenderFig13(os.Stdout, dse)
+		fmt.Println()
+	}
+	best := experiments.Table5(dse)
+	dump.Table5 = best
+	if all || want["table5"] {
+		experiments.RenderTable5(os.Stdout, best)
+		fmt.Println()
+	}
+	if all || want["fig14"] || want["summary"] {
+		params := map[string]experiments.BestParams{}
+		for _, b := range best {
+			params[b.Dataset] = b
+		}
+		rows, err := experiments.Fig14(experiments.Fig14Options{
+			Sample:   *sample,
+			InputLen: *inputLen,
+			Datasets: dsets,
+			Params:   params,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		if all || want["fig14"] {
+			dump.Fig14 = rows
+			experiments.RenderFig14(os.Stdout, rows)
+			fmt.Println()
+		}
+		if all || want["summary"] {
+			s := experiments.Summarize(rows)
+			dump.Summary = &s
+			experiments.RenderSummary(os.Stdout, s)
+			fmt.Println()
+		}
+	}
+	if all || want["ablation"] {
+		rows, err := experiments.Ablation(experiments.AblationOptions{
+			Dataset:  *ablationDataset,
+			Sample:   *sample,
+			InputLen: *inputLen,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		dump.Ablation = rows
+		experiments.RenderAblation(os.Stdout, *ablationDataset, rows)
+	}
+
+	if all || want["stride2"] {
+		rows, err := experiments.Stride2(experiments.Stride2Options{
+			Sample:   *sample,
+			InputLen: *inputLen,
+			Datasets: dsets,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		dump.Stride2 = rows
+		fmt.Println()
+		experiments.RenderStride2(os.Stdout, rows)
+	}
+
+	if *jsonPath != "" {
+		f, err := os.Create(*jsonPath)
+		if err != nil {
+			fatal(err)
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(dump); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+// jsonResults is the machine-readable form of a bvapbench run, for plotting
+// the figures outside this repository.
+type jsonResults struct {
+	Fig11    []experiments.Fig11Point  `json:"fig11,omitempty"`
+	Fig12    []experiments.Fig12Point  `json:"fig12,omitempty"`
+	Fig13    []experiments.DSEPoint    `json:"fig13,omitempty"`
+	Table5   []experiments.BestParams  `json:"table5,omitempty"`
+	Fig14    []experiments.Fig14Row    `json:"fig14,omitempty"`
+	Summary  *experiments.Summary      `json:"summary,omitempty"`
+	Ablation []experiments.AblationRow `json:"ablation,omitempty"`
+	Stride2  []experiments.Stride2Row  `json:"stride2,omitempty"`
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "bvapbench:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,195 @@
+// Command bvapc is the BVAP regex-to-hardware compiler (§7 of the paper):
+// it translates a set of regexes into the JSON configuration that programs
+// the (simulated) hardware.
+//
+// Usage:
+//
+//	bvapc [flags] pattern...
+//	bvapc [flags] -f rules.txt
+//
+// Flags:
+//
+//	-bv N       virtual bit-vector size K (power of two in [8,64]; default 64)
+//	-unfold N   unfolding threshold (default 8)
+//	-o FILE     write the configuration to FILE (default stdout)
+//	-f FILE     read patterns from FILE, one per line ('#' comments)
+//	-q          suppress the per-pattern report
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strings"
+
+	"bvap"
+	"bvap/internal/nbva"
+	"bvap/internal/regex"
+	"bvap/internal/swmatch"
+	"bvap/internal/workload"
+)
+
+func main() {
+	bv := flag.Int("bv", 64, "virtual bit-vector size K")
+	unfold := flag.Int("unfold", 8, "unfolding threshold")
+	out := flag.String("o", "", "output file (default stdout)")
+	file := flag.String("f", "", "pattern file, one regex per line")
+	quiet := flag.Bool("q", false, "suppress the report")
+	verify := flag.Bool("verify", false, "differentially verify the compiled machines against the reference software matcher on random inputs (the paper's §8 consistency check)")
+	dot := flag.Bool("dot", false, "emit Graphviz DOT of each pattern's AH-NBVA instead of the JSON configuration")
+	flag.Parse()
+
+	patterns := flag.Args()
+	if *file != "" {
+		fromFile, err := readPatterns(*file)
+		if err != nil {
+			fatal(err)
+		}
+		patterns = append(fromFile, patterns...)
+	}
+	if len(patterns) == 0 {
+		fmt.Fprintln(os.Stderr, "bvapc: no patterns; pass them as arguments or with -f")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	engine, err := bvap.Compile(patterns, bvap.WithBVSize(*bv), bvap.WithUnfoldThreshold(*unfold))
+	if err != nil {
+		fatal(err)
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if *dot {
+		if err := writeDOT(w, patterns); err != nil {
+			fatal(err)
+		}
+	} else if err := engine.WriteConfig(w); err != nil {
+		fatal(err)
+	}
+
+	if *verify {
+		if err := verifyEngine(engine); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintln(os.Stderr, "bvapc: consistency check passed (compiled machines agree with the reference matcher)")
+	}
+
+	if !*quiet {
+		rep := engine.Report()
+		fmt.Fprintf(os.Stderr, "compiled %d patterns: %d STEs (%d BV-STEs) across %d tiles, %d unsupported\n",
+			len(rep.Patterns), rep.TotalSTEs, rep.TotalBVSTEs, rep.Tiles, rep.Unsupported)
+		ms := engine.MappingStats()
+		fmt.Fprintf(os.Stderr, "mapping: %.0f%% STE utilization, %.0f%% BV utilization (%.0f%% BVM capacity idle), busiest tile %d STEs / %d BVs\n",
+			ms.STEUtilization*100, ms.BVUtilization*100, ms.WastedBVMFrac*100, ms.MaxSTEs, ms.MaxBVs)
+		for _, p := range rep.Patterns {
+			if !p.Supported {
+				fmt.Fprintf(os.Stderr, "  UNSUPPORTED %q: %s\n", p.Pattern, p.Reason)
+				continue
+			}
+			fmt.Fprintf(os.Stderr, "  %q: %d STEs (%d BV), %d unfolded (%.1fx saving)\n",
+				p.Pattern, p.STEs, p.BVSTEs, p.UnfoldedSTEs,
+				float64(p.UnfoldedSTEs)/float64(p.STEs))
+		}
+	}
+}
+
+// verifyEngine replays random inputs (seeded, plus planted witnesses)
+// through the compiled machines and the independent reference matcher and
+// compares every match position.
+func verifyEngine(engine *bvap.Engine) error {
+	patterns := engine.Patterns()
+	refs := make([]*swmatch.Matcher, len(patterns))
+	rep := engine.Report()
+	for i, pat := range patterns {
+		if !rep.Patterns[i].Supported {
+			continue
+		}
+		m, err := swmatch.New(pat)
+		if err != nil {
+			return fmt.Errorf("reference matcher for %q: %v", pat, err)
+		}
+		refs[i] = m
+	}
+	for trial := 0; trial < 8; trial++ {
+		seed := rand.New(rand.NewSource(int64(trial))).Int63()
+		input := workload.Corpus(seed, 4096, "", patterns, 0.05)
+		got := map[int][]int{}
+		for _, m := range engine.FindAll(input) {
+			got[m.Pattern] = append(got[m.Pattern], m.End)
+		}
+		for i, ref := range refs {
+			if ref == nil {
+				continue
+			}
+			want := ref.MatchEnds(input)
+			if len(got[i]) != len(want) {
+				return fmt.Errorf("pattern %q: %d matches vs reference %d (trial %d)",
+					patterns[i], len(got[i]), len(want), trial)
+			}
+			for j := range want {
+				if got[i][j] != want[j] {
+					return fmt.Errorf("pattern %q: match %d at %d vs reference %d",
+						patterns[i], j, got[i][j], want[j])
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// writeDOT renders each pattern's AH-NBVA as a Graphviz digraph (one graph
+// per pattern), in the style of the paper's Fig. 2(g).
+func writeDOT(w *os.File, patterns []string) error {
+	for i, pat := range patterns {
+		ast, err := regex.Parse(pat)
+		if err != nil {
+			return fmt.Errorf("%q: %v", pat, err)
+		}
+		machine, err := nbva.Build(regex.Rewrite(ast, regex.DefaultOptions()))
+		if err != nil {
+			return fmt.Errorf("%q: %v", pat, err)
+		}
+		ah, err := nbva.Transform(machine)
+		if err != nil {
+			return fmt.Errorf("%q: %v", pat, err)
+		}
+		if _, err := fmt.Fprint(w, ah.DOT(fmt.Sprintf("pattern%d", i))); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func readPatterns(path string) ([]string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var out []string
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		out = append(out, line)
+	}
+	return out, sc.Err()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "bvapc:", err)
+	os.Exit(1)
+}

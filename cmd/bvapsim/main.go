@@ -1,0 +1,283 @@
+// Command bvapsim runs the cycle-accurate BVAP simulator over an input
+// stream, reporting matches and the paper's evaluation metrics.
+//
+// Usage:
+//
+//	bvapsim -config cfg.json -input data.bin [-arch bvap|bvap-s] [-matches]
+//	bvapsim -patterns rules.txt -dataset Snort -len 65536 -arch cama
+//
+// The first form executes a compiled configuration (from bvapc) on BVAP or
+// BVAP-S. The second compiles patterns on the fly and can also target the
+// baseline architectures (cama, ca, eap, cnt) for comparison; -dataset
+// generates a synthetic corpus when no -input file is given.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"bvap"
+	"bvap/internal/hwconf"
+	"bvap/internal/hwsim"
+	"bvap/internal/metrics"
+	"bvap/internal/nbva"
+	"bvap/internal/regex"
+)
+
+func main() {
+	configPath := flag.String("config", "", "compiled configuration (from bvapc)")
+	patternsPath := flag.String("patterns", "", "pattern file (compiled on the fly)")
+	inputPath := flag.String("input", "", "input stream file")
+	dataset := flag.String("dataset", "", "generate input from a synthetic dataset profile")
+	length := flag.Int("len", 65536, "generated input length")
+	archName := flag.String("arch", "bvap", "architecture: bvap, bvap-s, cama, ca, eap, cnt")
+	showMatches := flag.Bool("matches", false, "print match end offsets")
+	trace := flag.Bool("trace", false, "print the Table 2 style execution trace (single pattern, short input)")
+	breakdown := flag.Bool("breakdown", false, "print the per-component energy breakdown")
+	compare := flag.Bool("compare", false, "run BVAP, BVAP-S, CAMA, eAP and CA over the same patterns and input, printing a comparison table")
+	flag.Parse()
+
+	arch, err := parseArch(*archName)
+	if err != nil {
+		fatal(err)
+	}
+
+	var patterns []string
+	if *patternsPath != "" {
+		patterns, err = readPatterns(*patternsPath)
+		if err != nil {
+			fatal(err)
+		}
+	}
+
+	input, err := loadInput(*inputPath, *dataset, *length, patterns)
+	if err != nil {
+		fatal(err)
+	}
+
+	if *trace {
+		if err := printTrace(patterns, input); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	if *compare {
+		if len(patterns) == 0 {
+			fatal(fmt.Errorf("-compare needs -patterns"))
+		}
+		if err := runComparison(patterns, input); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	switch arch {
+	case bvap.ArchBVAP, bvap.ArchBVAPStreaming:
+		if *configPath != "" {
+			runConfig(*configPath, arch == bvap.ArchBVAPStreaming, input, *showMatches, *breakdown)
+			return
+		}
+		if len(patterns) == 0 {
+			fatal(fmt.Errorf("need -config or -patterns"))
+		}
+		engine, err := bvap.Compile(patterns)
+		if err != nil {
+			fatal(err)
+		}
+		sim, err := engine.NewSimulator(arch)
+		if err != nil {
+			fatal(err)
+		}
+		sim.Run(input)
+		printResult(sim.Result())
+		if *breakdown {
+			fmt.Print(sim.Breakdown())
+		}
+		if *showMatches {
+			for _, m := range engine.FindAll(input) {
+				fmt.Printf("match pattern=%d end=%d\n", m.Pattern, m.End)
+			}
+		}
+	default:
+		if len(patterns) == 0 {
+			fatal(fmt.Errorf("baseline architectures need -patterns"))
+		}
+		sim, err := bvap.NewBaselineSimulator(arch, patterns)
+		if err != nil {
+			fatal(err)
+		}
+		sim.Run(input)
+		printResult(sim.Result())
+		if *breakdown {
+			fmt.Print(sim.Breakdown())
+		}
+	}
+}
+
+func runConfig(path string, streaming bool, input []byte, showMatches, breakdown bool) {
+	f, err := os.Open(path)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	cfg, err := hwconf.Read(f)
+	if err != nil {
+		fatal(err)
+	}
+	sys, err := hwsim.NewBVAPSystem(cfg, streaming)
+	if err != nil {
+		fatal(err)
+	}
+	sys.RecordMatchEnds(showMatches)
+	sys.Run(input)
+	stats := sys.Finish()
+	fmt.Println(metrics.FromStats(stats.Arch.String(), stats).String())
+	fmt.Printf("symbols=%d cycles=%d stalls=%d matches=%d tiles=%d\n",
+		stats.Symbols, stats.Cycles, stats.StallCycles, stats.Matches, stats.Tiles)
+	if breakdown {
+		fmt.Print(stats.Breakdown())
+	}
+	if showMatches {
+		for i := range cfg.Machines {
+			for _, end := range sys.MatchEnds(i) {
+				fmt.Printf("match pattern=%d end=%d\n", i, end)
+			}
+		}
+	}
+}
+
+// runComparison replays the same workload on every modeled architecture and
+// prints one row per design (the shape of a Fig. 14 group).
+func runComparison(patterns []string, input []byte) error {
+	fmt.Printf("%-8s %12s %10s %10s %14s %10s %10s\n",
+		"arch", "nJ/byte", "mm²", "Gbps", "Gbps/mm²", "matches", "FoM")
+	row := func(r bvap.Result) {
+		fmt.Printf("%-8s %12.4f %10.3f %10.2f %14.2f %10d %10.5f\n",
+			r.Architecture, r.EnergyPerSymbolNJ, r.AreaMm2, r.ThroughputGbps,
+			r.ComputeDensityGbpsPerMm2, r.Matches, r.FoM)
+	}
+	engine, err := bvap.Compile(patterns)
+	if err != nil {
+		return err
+	}
+	for _, arch := range []bvap.Architecture{bvap.ArchBVAP, bvap.ArchBVAPStreaming} {
+		sim, err := engine.NewSimulator(arch)
+		if err != nil {
+			return err
+		}
+		sim.Run(input)
+		row(sim.Result())
+	}
+	for _, arch := range []bvap.Architecture{bvap.ArchCAMA, bvap.ArchEAP, bvap.ArchCA, bvap.ArchCNT} {
+		sim, err := bvap.NewBaselineSimulator(arch, patterns)
+		if err != nil {
+			return err
+		}
+		sim.Run(input)
+		row(sim.Result())
+	}
+	return nil
+}
+
+// printTrace renders the paper's Table 1/Table 2 style execution traces for
+// one pattern over a short input: the naïve per-transition NBVA next to the
+// action-homogeneous BVAP execution.
+func printTrace(patterns []string, input []byte) error {
+	if len(patterns) != 1 {
+		return fmt.Errorf("-trace needs exactly one pattern (got %d)", len(patterns))
+	}
+	if len(input) > 64 {
+		input = input[:64]
+	}
+	ast, err := regex.Parse(patterns[0])
+	if err != nil {
+		return err
+	}
+	machine, err := nbva.Build(ast)
+	if err != nil {
+		return err
+	}
+	ah, err := nbva.Transform(machine)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("naïve NBVA execution of %q (Table 1 style):\n%s\n", patterns[0], nbva.TraceNaive(machine, input))
+	fmt.Printf("AH-NBVA (BVAP) execution (Table 2 style):\n%s", nbva.TraceAH(ah, input))
+	return nil
+}
+
+func printResult(r bvap.Result) {
+	fmt.Println(r)
+	fmt.Printf("symbols=%d cycles=%d stalls=%d power=%.4fW FoM=%.6f\n",
+		r.Symbols, r.Cycles, r.StallCycles, r.PowerW, r.FoM)
+}
+
+func parseArch(name string) (bvap.Architecture, error) {
+	switch strings.ToLower(name) {
+	case "bvap":
+		return bvap.ArchBVAP, nil
+	case "bvap-s", "bvaps", "streaming":
+		return bvap.ArchBVAPStreaming, nil
+	case "cama":
+		return bvap.ArchCAMA, nil
+	case "ca":
+		return bvap.ArchCA, nil
+	case "eap":
+		return bvap.ArchEAP, nil
+	case "cnt":
+		return bvap.ArchCNT, nil
+	}
+	return 0, fmt.Errorf("unknown architecture %q", name)
+}
+
+func loadInput(path, dataset string, length int, patterns []string) ([]byte, error) {
+	if path != "" {
+		return os.ReadFile(path)
+	}
+	if dataset != "" {
+		d, err := bvap.DatasetByName(dataset)
+		if err != nil {
+			return nil, err
+		}
+		pats := patterns
+		if len(pats) == 0 {
+			pats = d.Patterns(100)
+		}
+		return d.Input(length, pats), nil
+	}
+	// Default: read stdin if piped.
+	info, err := os.Stdin.Stat()
+	if err == nil && info.Mode()&os.ModeCharDevice == 0 {
+		return io.ReadAll(os.Stdin)
+	}
+	return nil, fmt.Errorf("no input: pass -input, -dataset, or pipe data on stdin")
+}
+
+func readPatterns(path string) ([]string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var out []string
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		out = append(out, line)
+	}
+	return out, sc.Err()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "bvapsim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,73 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"bvap"
+)
+
+func TestParseArch(t *testing.T) {
+	cases := map[string]bvap.Architecture{
+		"bvap":      bvap.ArchBVAP,
+		"BVAP":      bvap.ArchBVAP,
+		"bvap-s":    bvap.ArchBVAPStreaming,
+		"streaming": bvap.ArchBVAPStreaming,
+		"cama":      bvap.ArchCAMA,
+		"CA":        bvap.ArchCA,
+		"eap":       bvap.ArchEAP,
+		"cnt":       bvap.ArchCNT,
+	}
+	for in, want := range cases {
+		got, err := parseArch(in)
+		if err != nil || got != want {
+			t.Errorf("parseArch(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := parseArch("gpu"); err == nil {
+		t.Fatal("unknown arch accepted")
+	}
+}
+
+func TestReadPatterns(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "rules.txt")
+	content := "# comment\nab{3}c\n\n  x.{10}y  \n#trailing\n"
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	pats, err := readPatterns(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pats) != 2 || pats[0] != "ab{3}c" || pats[1] != "x.{10}y" {
+		t.Fatalf("patterns = %q", pats)
+	}
+	if _, err := readPatterns(filepath.Join(t.TempDir(), "missing")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestLoadInputDataset(t *testing.T) {
+	in, err := loadInput("", "Snort", 2048, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(in) != 2048 {
+		t.Fatalf("length = %d", len(in))
+	}
+	if _, err := loadInput("", "unknown-set", 10, nil); err == nil {
+		t.Fatal("unknown dataset accepted")
+	}
+}
+
+func TestLoadInputFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "data.bin")
+	if err := os.WriteFile(path, []byte("hello"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	in, err := loadInput(path, "", 0, nil)
+	if err != nil || string(in) != "hello" {
+		t.Fatalf("loadInput file = %q, %v", in, err)
+	}
+}

@@ -1,0 +1,68 @@
+// Command bvapstats reports the dataset statistics that motivate BVAP (§1
+// of the paper): how many regexes use bounded repetition, what share of the
+// unfolded NFA states counting contributes, the largest bounds, and the
+// hardware resource compression BVAP achieves over unfolding designs.
+//
+// Usage:
+//
+//	bvapstats [-sample N] [dataset...]
+//
+// With no arguments it analyzes all seven synthetic datasets and the
+// combined collection.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"bvap"
+)
+
+func main() {
+	sample := flag.Int("sample", 300, "regexes sampled per dataset")
+	flag.Parse()
+
+	var sets []bvap.Dataset
+	if flag.NArg() == 0 {
+		sets = bvap.Datasets()
+	} else {
+		for _, name := range flag.Args() {
+			d, err := bvap.DatasetByName(name)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "bvapstats:", err)
+				os.Exit(1)
+			}
+			sets = append(sets, d)
+		}
+	}
+
+	fmt.Printf("%-14s %8s %10s %12s %12s %10s %12s %10s\n",
+		"dataset", "regexes", "counting", "unfolded", "count-states", "max-bound", "bvap-STEs", "saving")
+	var all []string
+	for _, d := range sets {
+		patterns := d.Patterns(*sample)
+		all = append(all, patterns...)
+		st := bvap.AnalyzePatterns(patterns)
+		engine, err := bvap.Compile(patterns)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bvapstats:", err)
+			os.Exit(1)
+		}
+		rep := engine.Report()
+		saving := 0.0
+		if rep.TotalSTEs > 0 {
+			saving = float64(st.UnfoldedStates) / float64(rep.TotalSTEs)
+		}
+		fmt.Printf("%-14s %8d %9.1f%% %12d %11.1f%% %10d %12d %9.1fx\n",
+			d.Name(), st.Regexes, st.CountingRegexFraction()*100,
+			st.UnfoldedStates, st.CountingStateFraction()*100,
+			st.MaxBound, rep.TotalSTEs, saving)
+	}
+
+	st := bvap.AnalyzePatterns(all)
+	fmt.Printf("\ncombined: %.1f%% of regexes use bounded repetition (paper: 37%%); "+
+		"counting accounts for %.1f%% of unfolded NFA states (paper: 85%%); "+
+		"largest bound %d (paper: >10,000 across collections)\n",
+		st.CountingRegexFraction()*100, st.CountingStateFraction()*100, st.MaxBound)
+}

@@ -1,0 +1,86 @@
+package bvap
+
+import (
+	"bvap/internal/datasets"
+)
+
+// Dataset is a synthetic stand-in for one of the paper's seven benchmark
+// rule collections, generated deterministically from its published
+// statistical profile (see internal/datasets for the calibration anchors).
+type Dataset struct {
+	profile datasets.Profile
+}
+
+// Datasets lists the seven benchmark datasets of the paper's evaluation:
+// ClamAV, Prosite, RegexLib, Snort, SpamAssassin, Suricata, YARA.
+func Datasets() []Dataset {
+	ps := datasets.Profiles()
+	out := make([]Dataset, len(ps))
+	for i, p := range ps {
+		out[i] = Dataset{profile: p}
+	}
+	return out
+}
+
+// DatasetByName looks a dataset up by (case-insensitive) name.
+func DatasetByName(name string) (Dataset, error) {
+	p, err := datasets.ByName(name)
+	if err != nil {
+		return Dataset{}, err
+	}
+	return Dataset{profile: p}, nil
+}
+
+// Name returns the dataset's name.
+func (d Dataset) Name() string { return d.profile.Name }
+
+// Patterns generates n regexes from the dataset's profile (n ≤ 0 yields the
+// full nominal collection). Generation is deterministic.
+func (d Dataset) Patterns(n int) []string { return d.profile.Generate(n) }
+
+// Input generates a corpus of length n with the dataset's symbol
+// distribution and realistic (<10%) planted match rate for the given
+// patterns.
+func (d Dataset) Input(n int, patterns []string) []byte {
+	return d.profile.Input(n, patterns)
+}
+
+// DatasetStats summarizes the counting structure of a pattern collection —
+// the §1 motivation numbers.
+type DatasetStats struct {
+	Regexes        int
+	WithCounting   int
+	UnfoldedStates int
+	CountingStates int
+	MaxBound       int
+}
+
+// CountingRegexFraction is the share of regexes with bounded repetition
+// (≈37% across the paper's combined collections).
+func (s DatasetStats) CountingRegexFraction() float64 {
+	if s.Regexes == 0 {
+		return 0
+	}
+	return float64(s.WithCounting) / float64(s.Regexes)
+}
+
+// CountingStateFraction is the share of unfolded NFA states contributed by
+// bounded repetitions (≈85% in the paper).
+func (s DatasetStats) CountingStateFraction() float64 {
+	if s.UnfoldedStates == 0 {
+		return 0
+	}
+	return float64(s.CountingStates) / float64(s.UnfoldedStates)
+}
+
+// AnalyzePatterns computes DatasetStats over any pattern collection.
+func AnalyzePatterns(patterns []string) DatasetStats {
+	st := datasets.Analyze(patterns)
+	return DatasetStats{
+		Regexes:        st.Regexes,
+		WithCounting:   st.WithCounting,
+		UnfoldedStates: st.UnfoldedStates,
+		CountingStates: st.CountingStates,
+		MaxBound:       st.MaxBound,
+	}
+}

@@ -1,0 +1,80 @@
+package bvap_test
+
+import (
+	"fmt"
+
+	"bvap"
+)
+
+// Compiling a rule set and scanning a buffer.
+func ExampleCompile() {
+	engine, err := bvap.Compile([]string{"ab{3}c", "x.{5}y"})
+	if err != nil {
+		panic(err)
+	}
+	for _, m := range engine.FindAll([]byte("..abbbc..x12345y..")) {
+		fmt.Printf("pattern %d matched ending at %d\n", m.Pattern, m.End)
+	}
+	// Output:
+	// pattern 0 matched ending at 6
+	// pattern 1 matched ending at 15
+}
+
+// Bounded repetitions compile to a handful of states instead of thousands.
+func ExampleEngine_Report() {
+	engine := bvap.MustCompile([]string{"url=.{8000}"})
+	p := engine.Report().Patterns[0]
+	fmt.Printf("BVAP: %d states; unfolding baseline: %d states\n", p.STEs, p.UnfoldedSTEs)
+	// Output:
+	// BVAP: 254 states; unfolding baseline: 8004 states
+}
+
+// Incremental matching over a stream, one byte at a time.
+func ExampleEngine_NewStream() {
+	engine := bvap.MustCompile([]string{"end"})
+	stream := engine.NewStream()
+	for i, b := range []byte("the end") {
+		for range stream.Step(b) {
+			fmt.Printf("match ends at byte %d\n", i)
+		}
+	}
+	// Output:
+	// match ends at byte 6
+}
+
+// Cycle-accurate hardware simulation with the paper's metrics.
+func ExampleEngine_NewSimulator() {
+	engine := bvap.MustCompile([]string{"attack.{100}end"})
+	sim, err := engine.NewSimulator(bvap.ArchBVAP)
+	if err != nil {
+		panic(err)
+	}
+	sim.Run(make([]byte, 100000))
+	res := sim.Result()
+	fmt.Printf("simulated %d symbols on %s\n", res.Symbols, res.Architecture)
+	// Output:
+	// simulated 100000 symbols on BVAP
+}
+
+// Structural analysis of a pattern without compiling it.
+func ExampleAnalyzePattern() {
+	counting, bound, unfolded, _ := bvap.AnalyzePattern(".*a.{100}")
+	fmt.Printf("counting=%v bound=%d unfolded=%d\n", counting, bound, unfolded)
+	// Output:
+	// counting=true bound=100 unfolded=102
+}
+
+// The synthetic benchmark datasets of the paper's evaluation.
+func ExampleDatasets() {
+	for _, d := range bvap.Datasets() {
+		fmt.Println(d.Name())
+	}
+	// Output:
+	// ClamAV
+	// Prosite
+	// RegexLib
+	// Snort
+	// SpamAssassin
+	// Suricata
+	// YARA
+}

@@ -1,0 +1,54 @@
+// dse shows how to run a design space exploration (§8, Fig. 13) with the
+// public API: sweep the virtual bit-vector size and the unfolding threshold
+// for a workload, measure energy/area/throughput on the cycle model, and
+// pick the figure-of-merit-optimal configuration the way the compiler's
+// Table 5 defaults were derived.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"bvap"
+)
+
+func main() {
+	ds, err := bvap.DatasetByName("YARA")
+	if err != nil {
+		log.Fatal(err)
+	}
+	rules := ds.Patterns(60)
+	input := ds.Input(8<<10, rules)
+
+	type point struct {
+		bv, th int
+		res    bvap.Result
+	}
+	var best *point
+	fmt.Printf("%8s %10s %12s %10s %14s %12s\n",
+		"bv_size", "unfold_th", "nJ/byte", "mm²", "Gbps/mm²", "FoM")
+	for _, bv := range []int{16, 32, 64} {
+		for _, th := range []int{4, 8, 12} {
+			engine, err := bvap.Compile(rules,
+				bvap.WithBVSize(bv), bvap.WithUnfoldThreshold(th))
+			if err != nil {
+				log.Fatal(err)
+			}
+			sim, err := engine.NewSimulator(bvap.ArchBVAP)
+			if err != nil {
+				log.Fatal(err)
+			}
+			sim.Run(input)
+			p := point{bv: bv, th: th, res: sim.Result()}
+			fmt.Printf("%8d %10d %12.4f %10.3f %14.2f %12.6f\n",
+				bv, th, p.res.EnergyPerSymbolNJ, p.res.AreaMm2,
+				p.res.ComputeDensityGbpsPerMm2, p.res.FoM)
+			if best == nil || p.res.FoM < best.res.FoM {
+				q := p
+				best = &q
+			}
+		}
+	}
+	fmt.Printf("\nbest FoM: bv_size=%d unfold_th=%d (Table 5 reports 64/8 for YARA)\n",
+		best.bv, best.th)
+}

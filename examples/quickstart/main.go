@@ -1,0 +1,50 @@
+// Quickstart: compile a few regexes with bounded repetitions, match a byte
+// stream, and inspect the hardware resources the patterns would occupy on
+// BVAP versus a conventional unfolding automata processor.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"bvap"
+)
+
+func main() {
+	patterns := []string{
+		"ab{3}c",        // exact counting
+		"x.{100}y",      // a ClamAV-style gap
+		`\d{3}-\d{4}`,   // a RegexLib-style phone number
+		"GET /[a-z]{8}", // an HTTP-ish token
+	}
+	engine, err := bvap.Compile(patterns)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	input := []byte("abbbc 555-0199 GET /download x")
+	for _, m := range engine.FindAll(input) {
+		fmt.Printf("pattern %q matched ending at offset %d\n",
+			patterns[m.Pattern], m.End)
+	}
+
+	fmt.Println("\nhardware resources (BVAP vs unfolding baseline):")
+	for _, p := range engine.Report().Patterns {
+		if !p.Supported {
+			fmt.Printf("  %-16q unsupported: %s\n", p.Pattern, p.Reason)
+			continue
+		}
+		fmt.Printf("  %-16q %4d STEs (%d with bit vectors) vs %5d unfolded → %.1fx smaller\n",
+			p.Pattern, p.STEs, p.BVSTEs, p.UnfoldedSTEs,
+			float64(p.UnfoldedSTEs)/float64(p.STEs))
+	}
+
+	// Streaming use: feed bytes one at a time.
+	stream := engine.NewStream()
+	fmt.Println("\nstreaming:")
+	for i, b := range []byte("abbbcabbbc") {
+		for _, p := range stream.Step(b) {
+			fmt.Printf("  byte %d completed a match of %q\n", i, patterns[p])
+		}
+	}
+}

@@ -1,0 +1,89 @@
+// streaming demonstrates BVAP-S (§6), the constant-throughput mode for
+// direct sensor connection: the Bit Vector Module runs on every symbol, the
+// system clock drops, and the matching/transition circuits run at a lower
+// supply voltage. The example compares BVAP and BVAP-S on the same
+// edge-monitoring workload and prints the energy/throughput trade.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"bvap"
+)
+
+func main() {
+	// Edge telemetry patterns: watch for a sensor escape sequence, a
+	// stuck-at run, and a framed packet with a bounded payload.
+	patterns := []string{
+		`\x1b\x5b[0-9]{1,8}m`, // ANSI-style escape with a counted field
+		"U{64}",               // 64 identical readings = stuck sensor
+		`\x02.{16,64}\x03`,    // STX ... ETX frame, 16–64 payload bytes
+	}
+	engine, err := bvap.Compile(patterns)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	stream := sensorStream(512<<10, 3)
+
+	run := func(arch bvap.Architecture) bvap.Result {
+		sim, err := engine.NewSimulator(arch)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sim.Run(stream)
+		return sim.Result()
+	}
+	normal := run(bvap.ArchBVAP)
+	streaming := run(bvap.ArchBVAPStreaming)
+
+	fmt.Printf("processed %d KiB of sensor data, %d events detected\n\n",
+		len(stream)>>10, normal.Matches)
+	fmt.Printf("%-8s %12s %10s %12s %10s\n", "mode", "nJ/byte", "Gbps", "power (W)", "stalls")
+	for _, r := range []bvap.Result{normal, streaming} {
+		fmt.Printf("%-8s %12.4f %10.2f %12.4f %10d\n",
+			r.Architecture, r.EnergyPerSymbolNJ, r.ThroughputGbps, r.PowerW, r.StallCycles)
+	}
+	fmt.Printf("\nBVAP-S trades %.0f%% of throughput for %.0f%% less energy and %.0f%% less power\n"+
+		"(paper: 67%% / 39%% / 79%%) — the constant cycle needs no input buffering,\n"+
+		"which is what a direct sensor connection requires.\n",
+		(1-streaming.ThroughputGbps/normal.ThroughputGbps)*100,
+		(1-streaming.EnergyPerSymbolNJ/normal.EnergyPerSymbolNJ)*100,
+		(1-streaming.PowerW/normal.PowerW)*100)
+}
+
+// sensorStream mixes idle readings with occasional frames, escapes, and a
+// stuck-sensor episode.
+func sensorStream(n int, seed int64) []byte {
+	r := rand.New(rand.NewSource(seed))
+	out := make([]byte, 0, n)
+	for len(out) < n {
+		switch r.Intn(20) {
+		case 0: // framed packet
+			out = append(out, 0x02)
+			payload := 20 + r.Intn(40)
+			for i := 0; i < payload; i++ {
+				out = append(out, byte('A'+r.Intn(26)))
+			}
+			out = append(out, 0x03)
+		case 1: // escape sequence
+			out = append(out, 0x1b, 0x5b)
+			digits := 1 + r.Intn(4)
+			for i := 0; i < digits; i++ {
+				out = append(out, byte('0'+r.Intn(10)))
+			}
+			out = append(out, 'm')
+		case 2: // stuck sensor episode
+			for i := 0; i < 70; i++ {
+				out = append(out, 'U')
+			}
+		default: // idle telemetry
+			for i := 0; i < 32; i++ {
+				out = append(out, byte(' '+r.Intn(64)))
+			}
+		}
+	}
+	return out[:n]
+}

@@ -1,0 +1,3 @@
+module bvap
+
+go 1.22

@@ -1,0 +1,112 @@
+package bvap
+
+import (
+	"testing"
+
+	"bvap/internal/swmatch"
+)
+
+// TestIntegrationAllDatasets drives the full stack — dataset generation,
+// compilation, JSON round trip inside the simulator, cycle simulation on
+// BVAP and CAMA — for every benchmark profile, and differentially verifies
+// the match results against the independent reference matcher. This is the
+// repository-level version of the paper's §8 consistency methodology.
+func TestIntegrationAllDatasets(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration sweep skipped in -short mode")
+	}
+	for _, ds := range Datasets() {
+		ds := ds
+		t.Run(ds.Name(), func(t *testing.T) {
+			patterns := ds.Patterns(40)
+			input := ds.Input(3000, patterns)
+
+			engine, err := Compile(patterns)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rep := engine.Report()
+			supported := 0
+			for _, p := range rep.Patterns {
+				if p.Supported {
+					supported++
+				}
+			}
+			if supported < len(patterns)*9/10 {
+				t.Fatalf("only %d/%d patterns compiled", supported, len(patterns))
+			}
+
+			// Functional match results vs the reference matcher.
+			got := map[int][]int{}
+			for _, m := range engine.FindAll(input) {
+				got[m.Pattern] = append(got[m.Pattern], m.End)
+			}
+			totalMatches := 0
+			for i, p := range rep.Patterns {
+				if !p.Supported {
+					continue
+				}
+				ref, err := swmatch.New(patterns[i])
+				if err != nil {
+					t.Fatalf("reference for %q: %v", patterns[i], err)
+				}
+				want := ref.MatchEnds(input)
+				if len(got[i]) != len(want) {
+					t.Fatalf("%q: engine %d matches, reference %d",
+						patterns[i], len(got[i]), len(want))
+				}
+				for j := range want {
+					if got[i][j] != want[j] {
+						t.Fatalf("%q: match %d at %d vs %d",
+							patterns[i], j, got[i][j], want[j])
+					}
+				}
+				totalMatches += len(want)
+			}
+
+			// Cycle simulation sanity on both BVAP modes and CAMA.
+			for _, arch := range []Architecture{ArchBVAP, ArchBVAPStreaming} {
+				sim, err := engine.NewSimulator(arch)
+				if err != nil {
+					t.Fatal(err)
+				}
+				sim.Run(input)
+				res := sim.Result()
+				if res.Matches != uint64(totalMatches) {
+					t.Fatalf("%v: %d matches, expected %d", arch, res.Matches, totalMatches)
+				}
+				if res.EnergyPerSymbolNJ <= 0 || res.ThroughputGbps <= 0 || res.AreaMm2 <= 0 {
+					t.Fatalf("%v: degenerate metrics %+v", arch, res)
+				}
+			}
+			cama, err := NewBaselineSimulator(ArchCAMA, patterns)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cama.Run(input)
+			if cama.Result().Symbols != uint64(len(input)) {
+				t.Fatal("CAMA did not consume the stream")
+			}
+		})
+	}
+}
+
+// TestIntegrationMatchRateSanity checks the generated corpora stay in the
+// paper's regime ("the match rate is typically lower than 10%").
+func TestIntegrationMatchRateSanity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration sweep skipped in -short mode")
+	}
+	for _, ds := range Datasets() {
+		patterns := ds.Patterns(30)
+		input := ds.Input(4000, patterns)
+		engine, err := Compile(patterns)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rate := float64(engine.Count(input)) / float64(len(input))
+		if rate > 0.30 {
+			t.Errorf("%s: match rate %.2f implausibly high", ds.Name(), rate)
+		}
+	}
+}

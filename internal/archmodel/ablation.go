@@ -1,0 +1,125 @@
+package archmodel
+
+// This file models the design alternatives the paper argues against, so the
+// benchmark harness can quantify each choice as an ablation:
+//
+//   - the naïve per-transition PE array of §3 (Fig. 3(b)), where every
+//     crossing point of the BV routing switch carries its own processing
+//     element — resources grow quadratically with the BVs per tile;
+//   - the §5 routing-strategy trade: fully parallel routing (n FCBs, one
+//     cycle, large area), fully serial routing (1-bit, n× latency), and the
+//     adopted semi-parallel word-serial scheme;
+//   - always-on versus event-driven BVM clocking (§6).
+
+// Routing selects the Swap-step routing implementation (§5).
+type Routing int
+
+const (
+	// RoutingSemiParallel is the adopted design: 8-bit words through the
+	// MFCB, one word per BV cycle.
+	RoutingSemiParallel Routing = iota
+	// RoutingSerial moves one bit per cycle: minimal area, 8× latency.
+	RoutingSerial
+	// RoutingParallel routes the whole 64-bit vector in one cycle using
+	// eight bit-slice crossbars: minimal latency, 8× area.
+	RoutingParallel
+)
+
+func (r Routing) String() string {
+	switch r {
+	case RoutingSemiParallel:
+		return "semi-parallel"
+	case RoutingSerial:
+		return "serial"
+	case RoutingParallel:
+		return "parallel"
+	}
+	return "Routing(?)"
+}
+
+// PhaseCycles returns the bit-vector-processing phase length in BV-clock
+// cycles under the routing strategy.
+func (r Routing) PhaseCycles(words int) int {
+	if words < 1 {
+		words = 1
+	}
+	switch r {
+	case RoutingSerial:
+		return 1 + words*WordBitsPerCycle + BVMPipelineDepth
+	case RoutingParallel:
+		return 1 + 1 + BVMPipelineDepth
+	default:
+		return 1 + words + BVMPipelineDepth
+	}
+}
+
+// WordBitsPerCycle is the MFCB word width (8 bits); serial routing needs
+// this many cycles per word.
+const WordBitsPerCycle = 8
+
+// StallCycles is StallCycles generalized over the routing strategy.
+func (r Routing) StallCycles(words int) int {
+	bvPerSystem := BVClockGHz / SystemClockGHz
+	cycles := float64(r.PhaseCycles(words)) / bvPerSystem
+	extra := int(ceil(cycles)) - 2
+	if extra < 0 {
+		extra = 0
+	}
+	return extra
+}
+
+// MFCBAreaUm2 returns the routing-switch area per BVM under the strategy:
+// the adopted design uses two 48×48 4-port arrays; serial needs a quarter
+// of one (1 output bit per port pair); parallel needs eight word slices.
+func (r Routing) MFCBAreaUm2() float64 {
+	base := 2 * FourPortSwitch.AreaUm2
+	switch r {
+	case RoutingSerial:
+		return base / 4
+	case RoutingParallel:
+		return base * 8
+	default:
+		return base
+	}
+}
+
+// MFCBEnergyScale scales the Swap-step crossbar energy: parallel switches
+// all slices at once (same total charge, so ≈1), serial adds per-bit
+// control overhead.
+func (r Routing) MFCBEnergyScale() float64 {
+	switch r {
+	case RoutingSerial:
+		return 1.3
+	case RoutingParallel:
+		return 1.1
+	default:
+		return 1
+	}
+}
+
+// NaivePEAreaUm2 is the area of the §3 naïve design's PE array for one
+// tile: one processing element (a BV-wide datapath with its instruction
+// latch, ≈2× the BV macro) at each of the BVsPerTile² crossing points,
+// "because each node in the routing switch needs one PE".
+func NaivePEAreaUm2() float64 {
+	perPE := 2 * BitVector.AreaUm2
+	return float64(BVsPerTile*BVsPerTile) * perPE
+}
+
+// NaivePESwapEnergyPJ is the naïve design's Swap energy: every enabled
+// transition's PE transforms a full vector before aggregation, so the
+// energy scales with the OR fan-in (deliveries), not with the BVs.
+func NaivePESwapEnergyPJ(deliveries, words int) float64 {
+	if deliveries == 0 {
+		return 0
+	}
+	perDelivery := 2*BitVector.EnergyPJ(1) + float64(words)/float64(PhysicalBVWords)*FourPortSwitch.EnergyPJ(0.5)
+	return float64(deliveries) * perDelivery * 1.5 // PE compute on top of the move
+}
+
+// BVMIdlePhasePJ is the energy an always-on (non-event-driven) BVM burns
+// on a symbol with no active BV-STEs: clocking the controller and
+// precharging the MFCB for the full phase.
+func BVMIdlePhasePJ(words int) float64 {
+	return FourPortSwitch.EnergyPJ(0) * float64(words) / float64(PhysicalBVWords)
+}

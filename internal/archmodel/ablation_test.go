@@ -1,0 +1,89 @@
+package archmodel
+
+import "testing"
+
+func TestRoutingPhaseCycles(t *testing.T) {
+	// Semi-parallel: 1 read + words + 3 pipeline.
+	if got := RoutingSemiParallel.PhaseCycles(8); got != 12 {
+		t.Fatalf("semi(8) = %d", got)
+	}
+	// Serial: one bit per cycle.
+	if got := RoutingSerial.PhaseCycles(8); got != 1+64+3 {
+		t.Fatalf("serial(8) = %d", got)
+	}
+	// Parallel: single swap cycle.
+	if got := RoutingParallel.PhaseCycles(8); got != 5 {
+		t.Fatalf("parallel(8) = %d", got)
+	}
+	// Words clamp at 1.
+	if RoutingSemiParallel.PhaseCycles(0) != RoutingSemiParallel.PhaseCycles(1) {
+		t.Fatal("words not clamped")
+	}
+}
+
+func TestRoutingStallOrdering(t *testing.T) {
+	for _, words := range []int{1, 4, 8} {
+		ser := RoutingSerial.StallCycles(words)
+		semi := RoutingSemiParallel.StallCycles(words)
+		par := RoutingParallel.StallCycles(words)
+		if !(ser >= semi && semi >= par) {
+			t.Fatalf("words %d: stalls serial=%d semi=%d parallel=%d", words, ser, semi, par)
+		}
+	}
+	// The adopted StallCycles is the semi-parallel strategy.
+	if StallCycles(8) != RoutingSemiParallel.StallCycles(8) {
+		t.Fatal("StallCycles diverged from semi-parallel")
+	}
+	// Parallel routing never stalls: 5 BV cycles = 2 system cycles.
+	if RoutingParallel.StallCycles(8) != 0 {
+		t.Fatalf("parallel stall = %d", RoutingParallel.StallCycles(8))
+	}
+}
+
+func TestRoutingAreaOrdering(t *testing.T) {
+	ser := RoutingSerial.MFCBAreaUm2()
+	semi := RoutingSemiParallel.MFCBAreaUm2()
+	par := RoutingParallel.MFCBAreaUm2()
+	if !(ser < semi && semi < par) {
+		t.Fatalf("areas: serial=%g semi=%g parallel=%g", ser, semi, par)
+	}
+	if semi != 2*FourPortSwitch.AreaUm2 {
+		t.Fatalf("semi area = %g", semi)
+	}
+}
+
+func TestNaivePEQuadratic(t *testing.T) {
+	// The §3 argument: one PE per crossing point ⇒ area ∝ BVs².
+	area := NaivePEAreaUm2()
+	if area < 10*float64(BVMAreaUm2) {
+		t.Fatalf("naive PE array (%g µm²) should dwarf the BVM (%d µm²)", area, BVMAreaUm2)
+	}
+	// Naive swap energy scales with OR fan-in.
+	if NaivePESwapEnergyPJ(4, 8) <= NaivePESwapEnergyPJ(2, 8) {
+		t.Fatal("naive PE energy must grow with deliveries")
+	}
+	if NaivePESwapEnergyPJ(0, 8) != 0 {
+		t.Fatal("idle naive PE must cost nothing")
+	}
+}
+
+func TestBVMIdlePhase(t *testing.T) {
+	if BVMIdlePhasePJ(8) <= 0 {
+		t.Fatal("idle phase should cost energy when always-on")
+	}
+	if BVMIdlePhasePJ(2) >= BVMIdlePhasePJ(8) {
+		t.Fatal("idle phase energy should scale with words")
+	}
+}
+
+func TestRoutingStrings(t *testing.T) {
+	for r, want := range map[Routing]string{
+		RoutingSemiParallel: "semi-parallel",
+		RoutingSerial:       "serial",
+		RoutingParallel:     "parallel",
+	} {
+		if r.String() != want {
+			t.Errorf("%d = %q", r, r.String())
+		}
+	}
+}

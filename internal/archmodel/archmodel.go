@@ -1,0 +1,396 @@
+// Package archmodel encodes the 28nm circuit models of Table 4 of the paper
+// and composes them into per-architecture area, energy, leakage and timing
+// models for BVAP, BVAP-S, CAMA, CA, eAP and CNT (CAMA extended with counter
+// elements, the §8 micro-benchmark baseline).
+//
+// The paper derives these numbers from SPICE simulation of custom arrays in
+// TSMC 28nm; we take the published Table 4 values as ground truth and
+// document every composition rule here. Energy values that Table 4 gives as
+// a range (e.g. 2–55 pJ for the 256×256 routing switch) scale linearly with
+// the switching activity, as the paper states: "The energy of routing
+// switches scales up with both the number of activated wordlines and the
+// number of '1' on OBLs."
+package archmodel
+
+import "fmt"
+
+// CircuitModel is one row of Table 4.
+type CircuitModel struct {
+	// EnergyMinPJ and EnergyMaxPJ bound the per-access energy; the
+	// instantaneous energy interpolates with switching activity.
+	EnergyMinPJ float64
+	EnergyMaxPJ float64
+	DelayPs     float64
+	AreaUm2     float64
+	LeakageUA   float64
+}
+
+// EnergyPJ interpolates the access energy at a given activity in [0, 1].
+func (m CircuitModel) EnergyPJ(activity float64) float64 {
+	if activity < 0 {
+		activity = 0
+	}
+	if activity > 1 {
+		activity = 1
+	}
+	return m.EnergyMinPJ + activity*(m.EnergyMaxPJ-m.EnergyMinPJ)
+}
+
+// Table 4 rows (28nm CMOS, SPICE-derived; global wire values from CA).
+var (
+	// SRAM8T is a 128×128 8T SRAM array (match memory of CA/eAP).
+	SRAM8T = CircuitModel{EnergyMinPJ: 1, EnergyMaxPJ: 14.2, DelayPs: 298, AreaUm2: 5655, LeakageUA: 57}
+	// RoutingSwitch is a 256×256 full crossbar (CA's FCB).
+	RoutingSwitch = CircuitModel{EnergyMinPJ: 2, EnergyMaxPJ: 55, DelayPs: 410, AreaUm2: 18153, LeakageUA: 228}
+	// CAM8T is a 32×256 8T CAM (CAMA's match structure).
+	CAM8T = CircuitModel{EnergyMinPJ: 33.56, EnergyMaxPJ: 33.56, DelayPs: 336, AreaUm2: 7838, LeakageUA: 28.5}
+	// FourPortSwitch is the 48×48 4-port SRAM routing switch (the MFCB
+	// building block; each BVM contains two).
+	FourPortSwitch = CircuitModel{EnergyMinPJ: 0.76, EnergyMaxPJ: 3.25, DelayPs: 173, AreaUm2: 1818, LeakageUA: 25}
+	// BitVector is one 64-bit 8T-SRAM bit vector with latches and control.
+	BitVector = CircuitModel{EnergyMinPJ: 1.37, EnergyMaxPJ: 1.37, DelayPs: 178, AreaUm2: 17.7, LeakageUA: 0.56}
+	// GlobalWire is 1 mm of global wire.
+	GlobalWire = CircuitModel{EnergyMinPJ: 0.07, EnergyMaxPJ: 0.07, DelayPs: 66, AreaUm2: 50, LeakageUA: 0}
+)
+
+// Architectural constants (§5, §6, §8).
+const (
+	// STEsPerTile is the tile capacity shared by all modeled designs.
+	STEsPerTile = 256
+	// BVsPerTile is the number of 64-bit BVs in a BVAP tile's BVM.
+	BVsPerTile = 48
+	// FCBModeSTEs is the capacity of a tile pair reconfigured to the
+	// fully connected crossbar mode (§6): the two 128×128 crossbars fuse
+	// into one 128×128 FCB, one CAM subarray and one BVM power-gated.
+	FCBModeSTEs = 128
+	// TilesPerArray and ArraysPerBank give a bank 16,384 STEs.
+	TilesPerArray = 16
+	ArraysPerBank = 4
+	// CountersPerTile is the CNT baseline's counter-element budget.
+	CountersPerTile = 8
+
+	// SystemClockGHz is BVAP's (and CA's/eAP's) symbol clock: the largest
+	// pipeline stage delay is 449.1 ps including a 10% margin → 2 GHz.
+	SystemClockGHz = 2.0
+	// CAMAClockGHz reflects CAMA's shorter global wires (26.1 ps vs
+	// 39.1 ps): the paper reports BVAP 11.2% slower than CAMA.
+	CAMAClockGHz = 2.25
+	// BVClockGHz is the Bit Vector Module clock (§8).
+	BVClockGHz = 5.0
+
+	// NominalVDD and StreamingVDD: BVAP-S lowers the supply of the
+	// state-matching and state-transition circuits from 0.9 V to 0.65 V.
+	NominalVDD   = 0.90
+	StreamingVDD = 0.65
+
+	// StreamingThroughputFactor: BVAP-S runs the system clock at the
+	// constant bit-vector-processing rate; the paper reports 67% lower
+	// throughput than BVAP.
+	StreamingThroughputFactor = 0.33
+
+	// BVMAreaUm2 is the synthesized BVM area (§8): 48 BVs, two 4-port
+	// 48×48 crossbars, instruction latches and the local controller.
+	BVMAreaUm2 = 4490
+
+	// BVMPipelineDepth is the Swap-step pipeline latency in BV-clock
+	// cycles (§5: "a 3-cycle latency").
+	BVMPipelineDepth = 3
+
+	// PhysicalBVWords is the word count of a full 64-bit BV at the
+	// MFCB's 8-bit routing width.
+	PhysicalBVWords = 8
+)
+
+// voltageScale is the dynamic-energy scaling (V/V0)² applied to the SM/ST
+// stages in BVAP-S mode.
+func voltageScale() float64 {
+	r := StreamingVDD / NominalVDD
+	return r * r
+}
+
+// Arch identifies a modeled architecture.
+type Arch int
+
+const (
+	BVAP Arch = iota
+	BVAPS
+	CAMA
+	CA
+	EAP
+	CNT
+)
+
+var archNames = [...]string{"BVAP", "BVAP-S", "CAMA", "CA", "eAP", "CNT"}
+
+func (a Arch) String() string {
+	if int(a) < len(archNames) {
+		return archNames[a]
+	}
+	return fmt.Sprintf("Arch(%d)", int(a))
+}
+
+// All lists the architectures compared in Fig. 14.
+func All() []Arch { return []Arch{BVAP, BVAPS, CAMA, EAP, CA} }
+
+// UsesBVM reports whether the architecture contains Bit Vector Modules.
+func (a Arch) UsesBVM() bool { return a == BVAP || a == BVAPS }
+
+// UsesCounters reports whether the architecture has counter elements.
+func (a Arch) UsesCounters() bool { return a == CNT }
+
+// Unfolds reports whether the architecture must unfold bounded repetitions
+// into plain NFA states. CNT unfolds only counter-ambiguous repetitions,
+// which the compiler decides per-regex.
+func (a Arch) Unfolds() bool { return a == CAMA || a == CA || a == EAP }
+
+// TileCost is the silicon cost of one tile.
+type TileCost struct {
+	AreaUm2   float64
+	LeakageUA float64
+}
+
+// counterElementArea is the area of one CNT counter element (a small
+// saturating counter with comparator; our estimate in the same 28nm node).
+const counterElementArea = 95.0
+
+// Tile returns the per-tile silicon cost of an architecture:
+//
+//	CA    — 4× 128×128 8T SRAM match arrays (256 STEs × 256-entry
+//	        predicate columns) + one 256×256 FCB;
+//	eAP   — same match arrays + a Reduced CrossBar at half the FCB cost;
+//	CAMA  — one 256×32 8T CAM + the RRCB (the paper says the BVM is 20%
+//	        smaller than the RRCB, fixing the RRCB at 5612 µm²);
+//	BVAP  — the CAMA tile plus one BVM (48 BVs + MFCB) plus control,
+//	        matching the paper's "a BVAP tile is 1.5× larger than a CAMA
+//	        tile";
+//	CNT   — the CAMA tile plus CountersPerTile counter elements.
+func (a Arch) Tile() TileCost {
+	rrcbArea := BVMAreaUm2 / 0.8 // BVM is 20% smaller than RRCB (§8)
+	camaTile := TileCost{
+		AreaUm2:   CAM8T.AreaUm2 + rrcbArea,
+		LeakageUA: CAM8T.LeakageUA + RoutingSwitch.LeakageUA/4,
+	}
+	switch a {
+	case CA:
+		return TileCost{
+			AreaUm2:   4*SRAM8T.AreaUm2 + RoutingSwitch.AreaUm2,
+			LeakageUA: 4*SRAM8T.LeakageUA + RoutingSwitch.LeakageUA,
+		}
+	case EAP:
+		return TileCost{
+			AreaUm2:   4*SRAM8T.AreaUm2 + RoutingSwitch.AreaUm2/2,
+			LeakageUA: 4*SRAM8T.LeakageUA + RoutingSwitch.LeakageUA/2,
+		}
+	case CAMA:
+		return camaTile
+	case BVAP, BVAPS:
+		t := camaTile
+		t.AreaUm2 = camaTile.AreaUm2 * 1.5 // includes BVM + extra control/buffers
+		t.LeakageUA += 2*FourPortSwitch.LeakageUA + BVsPerTile*BitVector.LeakageUA
+		return t
+	case CNT:
+		t := camaTile
+		t.AreaUm2 += CountersPerTile * counterElementArea
+		t.LeakageUA += 1.5
+		return t
+	}
+	panic("archmodel: unknown architecture")
+}
+
+// BVAPCustomTileAreaUm2 is the area of a BVAP tile sized to a single regex
+// (the §8 micro-benchmarks): the CAMA portion scales with the STEs used and
+// the BVM portion with the BVs used.
+func BVAPCustomTileAreaUm2(steFrac, bvFrac float64) float64 {
+	camaArea := CAMA.Tile().AreaUm2
+	bvmPortion := BVAP.Tile().AreaUm2 - camaArea
+	return camaArea*clamp01(steFrac) + bvmPortion*clamp01(bvFrac)
+}
+
+// MatchEnergyPJ returns the state-matching energy of one tile for one input
+// symbol.
+//
+// CA and eAP read a full 256-bit predicate row out of the 8T SRAM match
+// arrays every symbol, so their match energy is a high, nearly constant
+// cost. CAMA (and BVAP, which adopts CAMA's matcher) search the 8T CAM; the
+// CAM's matchline energy is dominated by the entries that are currently
+// available, which is CAMA's headline energy saving. availFrac is the
+// fraction of the tile's STEs that are available this cycle.
+func (a Arch) MatchEnergyPJ(availFrac float64) float64 {
+	switch a {
+	case CA, EAP:
+		// Two 128-bit row reads per array pair; activity is the row
+		// occupancy, conservatively full.
+		return 2 * SRAM8T.EnergyPJ(1.0)
+	case CAMA, CNT, BVAP:
+		// Matchline energy scales with available entries; a floor
+		// covers precharge of the search bus.
+		return CAM8T.EnergyPJ(1.0) * (0.08 + 0.92*clamp01(availFrac))
+	case BVAPS:
+		return CAM8T.EnergyPJ(1.0) * (0.08 + 0.92*clamp01(availFrac)) * voltageScale()
+	}
+	panic("archmodel: unknown architecture")
+}
+
+// TransitionEnergyPJ returns the state-transition (crossbar) energy of one
+// tile for one symbol, given the fraction of STEs active this cycle.
+//
+// CA drives the full 256×256 FCB; eAP's RCB exploits sparsity for roughly
+// half the switched capacitance; CAMA's RRCB quarter (a 128×128 structure
+// per tile pair).
+func (a Arch) TransitionEnergyPJ(activeFrac float64) float64 {
+	base := RoutingSwitch.EnergyPJ(clamp01(activeFrac))
+	switch a {
+	case CA:
+		return base
+	case EAP:
+		return base * 0.5
+	case CAMA, CNT, BVAP:
+		return base * 0.25
+	case BVAPS:
+		return base * 0.25 * voltageScale()
+	}
+	panic("archmodel: unknown architecture")
+}
+
+// WireEnergyPJ returns the broadcast/global-wire energy per tile per symbol.
+// A tile edge is on the order of 0.15 mm; the input symbol and the active
+// vector traverse a few tile pitches per cycle.
+func (a Arch) WireEnergyPJ() float64 {
+	mm := 0.5
+	if a == BVAP || a == BVAPS {
+		mm = 0.75 // BVAP tiles are 1.5× larger → longer wires (§8)
+	}
+	return GlobalWire.EnergyPJ(1) * mm
+}
+
+// FCBTransitionEnergyPJ is the state-transition energy of a tile pair in
+// FCB mode: a 128×128 full crossbar switches about half the capacitance of
+// the 256×256 reference switch, but with none of the RCB's sparsity
+// savings.
+func FCBTransitionEnergyPJ(activeFrac float64) float64 {
+	return RoutingSwitch.EnergyPJ(clamp01(activeFrac)) * 0.5
+}
+
+// clamp01 clamps x into [0, 1].
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}
+
+// BVMReadEnergyPJ is the energy of the BVM Read step: each active BV with a
+// read instruction performs one access of its tiny 8T-SRAM macro (the
+// r(1,n) reads OR multiple bitlines within that single access; Table 4
+// prices the whole 64-bit macro access at 1.37 pJ), and the 1-bit results
+// route through the MFCB at its minimum switching energy.
+func BVMReadEnergyPJ(readOps int) float64 {
+	if readOps == 0 {
+		return 0
+	}
+	return float64(readOps)*BitVector.EnergyPJ(1) + FourPortSwitch.EnergyPJ(0)
+}
+
+// set1ConstantPJ is the energy of a power-gated set1 BV emitting its stored
+// constant ("it is power-gated except for a simple logic that sends the
+// stored constant to the MFCB", §5) — a small fraction of a macro access.
+const set1ConstantPJ = 0.25
+
+// BVMSwapEnergyPJ is the energy of the BVM Swap step. Aggregation is free:
+// multiple sources OR onto shared output bitlines within the same MFCB
+// access (the 8T-SRAM wired-OR that motivates the design), so the cost
+// scales with the *BVs* involved, not with the OR fan-in:
+//
+//   - each active storage BV performs one macro read and one macro write
+//     over the phase (the 8T array reads and writes two words per cycle);
+//   - each active set1 BV only emits its constant (power-gated, §5);
+//   - the MFCB runs for `words` word-cycles; Table 4's 0.76–3.25 pJ prices
+//     the full 8-word phase, so shorter virtual BVs cost proportionally
+//     less (§5's virtual-BV saving).
+func BVMSwapEnergyPJ(storageActive, set1Active, words int, activeBVFrac float64) float64 {
+	if storageActive == 0 && set1Active == 0 {
+		return 0
+	}
+	crossbar := FourPortSwitch.EnergyPJ(clamp01(activeBVFrac)) *
+		float64(words) / float64(PhysicalBVWords)
+	return float64(storageActive)*2*BitVector.EnergyPJ(1) +
+		float64(set1Active)*set1ConstantPJ + crossbar
+}
+
+// BVMResetEnergyPJ is the energy to reset the BVs of freshly deactivated
+// states ("all inactive BVs are reset by raising all RWLs and writing '0'
+// to all cells in one cycle") — one macro write per deactivation.
+func BVMResetEnergyPJ(resets int) float64 {
+	if resets < 0 {
+		resets = 0
+	}
+	return float64(resets) * BitVector.EnergyPJ(1)
+}
+
+// CounterEnergyPJ is the CNT baseline's counter-element energy: one
+// increment-and-compare per active counter per symbol.
+const counterEnergyPJ = 0.9
+
+// CounterEnergyPJFor returns the counter energy for n active counters.
+func CounterEnergyPJFor(n int) float64 { return float64(n) * counterEnergyPJ }
+
+// BVMPhaseCycles returns the bit-vector-processing phase length in BV-clock
+// cycles for a virtual BV of the given word count: one Read cycle, one
+// word-serial Swap pass, and the pipeline drain.
+func BVMPhaseCycles(words int) int {
+	if words < 1 {
+		words = 1
+	}
+	return 1 + words + BVMPipelineDepth
+}
+
+// StallCycles returns how many extra system-clock cycles an array loses when
+// a BVM with the given virtual word count activates (§6's dynamic stall
+// scheme). The bit-vector-processing phase runs at the BV clock and overlaps
+// the state-matching and state-transition of the current and the next symbol
+// (Fig. 10(a)), so two system cycles of the phase are hidden; only the
+// excess stalls the array's input broadcast.
+func StallCycles(words int) int {
+	bvPerSystem := BVClockGHz / SystemClockGHz
+	cycles := float64(BVMPhaseCycles(words)) / bvPerSystem
+	extra := int(ceil(cycles)) - 2
+	if extra < 0 {
+		extra = 0
+	}
+	return extra
+}
+
+func ceil(x float64) float64 {
+	i := float64(int(x))
+	if x > i {
+		return i + 1
+	}
+	return i
+}
+
+// SymbolClockGHz returns the nominal symbol rate of the architecture,
+// before BVM stalls.
+func (a Arch) SymbolClockGHz() float64 {
+	switch a {
+	case CAMA, CNT:
+		return CAMAClockGHz
+	case BVAPS:
+		return SystemClockGHz * StreamingThroughputFactor
+	default:
+		return SystemClockGHz
+	}
+}
+
+// LeakageEnergyPJ returns the leakage energy of one tile over one symbol
+// period at the given symbol rate.
+func (a Arch) LeakageEnergyPJ(symbolRateGHz float64) float64 {
+	t := a.Tile()
+	vdd := NominalVDD
+	// P = I·V in µW; E per symbol = P / f. µA·V/GHz = pW·s·1e-3 = ... :
+	// µA × V = µW; µW / GHz = femtojoule×1000 = pJ·1e-3. So:
+	powerUW := t.LeakageUA * vdd
+	return powerUW / symbolRateGHz * 1e-3
+}

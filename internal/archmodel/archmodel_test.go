@@ -1,0 +1,194 @@
+package archmodel
+
+import (
+	"math"
+	"testing"
+)
+
+func TestTable4CircuitModels(t *testing.T) {
+	// Pin the published Table 4 values.
+	cases := []struct {
+		name  string
+		m     CircuitModel
+		eMin  float64
+		eMax  float64
+		delay float64
+		area  float64
+		leak  float64
+	}{
+		{"8T SRAM 128x128", SRAM8T, 1, 14.2, 298, 5655, 57},
+		{"routing switch 256x256", RoutingSwitch, 2, 55, 410, 18153, 228},
+		{"8T CAM 32x256", CAM8T, 33.56, 33.56, 336, 7838, 28.5},
+		{"4-port switch 48x48", FourPortSwitch, 0.76, 3.25, 173, 1818, 25},
+		{"bit vector 64", BitVector, 1.37, 1.37, 178, 17.7, 0.56},
+		{"global wire 1mm", GlobalWire, 0.07, 0.07, 66, 50, 0},
+	}
+	for _, tc := range cases {
+		if tc.m.EnergyMinPJ != tc.eMin || tc.m.EnergyMaxPJ != tc.eMax ||
+			tc.m.DelayPs != tc.delay || tc.m.AreaUm2 != tc.area || tc.m.LeakageUA != tc.leak {
+			t.Errorf("%s = %+v, want {%g %g %g %g %g}", tc.name, tc.m, tc.eMin, tc.eMax, tc.delay, tc.area, tc.leak)
+		}
+	}
+}
+
+func TestEnergyInterpolation(t *testing.T) {
+	if got := RoutingSwitch.EnergyPJ(0); got != 2 {
+		t.Fatalf("E(0) = %g", got)
+	}
+	if got := RoutingSwitch.EnergyPJ(1); got != 55 {
+		t.Fatalf("E(1) = %g", got)
+	}
+	mid := RoutingSwitch.EnergyPJ(0.5)
+	if math.Abs(mid-28.5) > 1e-9 {
+		t.Fatalf("E(0.5) = %g, want 28.5", mid)
+	}
+	// Clamping.
+	if RoutingSwitch.EnergyPJ(-1) != 2 || RoutingSwitch.EnergyPJ(2) != 55 {
+		t.Fatal("activity not clamped")
+	}
+}
+
+func TestTileAreas(t *testing.T) {
+	// Structural relations from §8: the BVAP tile is 1.5× the CAMA tile;
+	// the BVM is 20% smaller than the RRCB; CA is the largest tile.
+	bvap := BVAP.Tile().AreaUm2
+	cama := CAMA.Tile().AreaUm2
+	ca := CA.Tile().AreaUm2
+	eap := EAP.Tile().AreaUm2
+	if math.Abs(bvap/cama-1.5) > 1e-9 {
+		t.Fatalf("BVAP/CAMA tile ratio = %g, want 1.5", bvap/cama)
+	}
+	if !(ca > eap && eap > bvap && bvap > cama) {
+		t.Fatalf("tile area ordering violated: CA=%g eAP=%g BVAP=%g CAMA=%g", ca, eap, bvap, cama)
+	}
+	if cnt := CNT.Tile().AreaUm2; cnt <= cama {
+		t.Fatalf("CNT tile (%g) not larger than CAMA (%g)", cnt, cama)
+	}
+}
+
+func TestPerSTEMatchEnergyOrdering(t *testing.T) {
+	// At realistic availability (≤ 20%), CAM matching is far cheaper than
+	// full-row SRAM matching — the CAMA energy advantage.
+	for _, avail := range []float64{0.02, 0.05, 0.1, 0.2} {
+		cam := CAMA.MatchEnergyPJ(avail)
+		sram := CA.MatchEnergyPJ(avail)
+		if cam >= sram {
+			t.Fatalf("avail %.2f: CAM %.2f ≥ SRAM %.2f", avail, cam, sram)
+		}
+	}
+	// BVAP adopts CAMA's matcher exactly.
+	if BVAP.MatchEnergyPJ(0.1) != CAMA.MatchEnergyPJ(0.1) {
+		t.Fatal("BVAP and CAMA matchers differ")
+	}
+	// BVAP-S scales by (0.65/0.9)².
+	scale := BVAPS.MatchEnergyPJ(0.1) / BVAP.MatchEnergyPJ(0.1)
+	want := (0.65 / 0.9) * (0.65 / 0.9)
+	if math.Abs(scale-want) > 1e-9 {
+		t.Fatalf("voltage scale = %g, want %g", scale, want)
+	}
+}
+
+func TestTransitionEnergyOrdering(t *testing.T) {
+	for _, act := range []float64{0.01, 0.1, 0.5} {
+		ca := CA.TransitionEnergyPJ(act)
+		eap := EAP.TransitionEnergyPJ(act)
+		cama := CAMA.TransitionEnergyPJ(act)
+		if !(ca > eap && eap > cama) {
+			t.Fatalf("act %.2f: CA %.2f, eAP %.2f, CAMA %.2f", act, ca, eap, cama)
+		}
+	}
+}
+
+func TestBVMEnergiesZeroWhenIdle(t *testing.T) {
+	// Event-driven BVM: no activity, no energy.
+	if BVMReadEnergyPJ(0) != 0 {
+		t.Fatal("read energy nonzero when idle")
+	}
+	if BVMSwapEnergyPJ(0, 0, 8, 0) != 0 {
+		t.Fatal("swap energy nonzero when idle")
+	}
+	if BVMReadEnergyPJ(3) <= 0 || BVMSwapEnergyPJ(2, 1, 4, 0.5) <= 0 {
+		t.Fatal("nonzero activity must cost energy")
+	}
+}
+
+func TestVirtualBVSavesSwapEnergy(t *testing.T) {
+	// §5: shorter virtual BVs reduce cycles and energy.
+	full := BVMSwapEnergyPJ(4, 1, 8, 0.2)
+	short := BVMSwapEnergyPJ(4, 1, 2, 0.2)
+	if short >= full {
+		t.Fatalf("virtual BV did not save energy: %g vs %g", short, full)
+	}
+}
+
+func TestSet1CheaperThanStorage(t *testing.T) {
+	// A power-gated set1 constant generator costs far less than a
+	// storage BV's read-modify-write (§5).
+	set1 := BVMSwapEnergyPJ(0, 1, 8, 0.1)
+	storage := BVMSwapEnergyPJ(1, 0, 8, 0.1)
+	if set1 >= storage {
+		t.Fatalf("set1 %g ≥ storage %g", set1, storage)
+	}
+}
+
+func TestStallCycles(t *testing.T) {
+	// BV clk = 2.5× system clk: a full 64-bit swap (8 words + read +
+	// 3-cycle pipeline = 12 BV cycles = 4.8 system cycles) overlaps two
+	// system cycles of SM/ST (Fig. 10(a)) and stalls the remaining 3; a
+	// 1-word virtual BV (5 BV cycles = 2 system cycles) is fully hidden.
+	if got := StallCycles(8); got != 3 {
+		t.Fatalf("StallCycles(8) = %d, want 3", got)
+	}
+	if got := StallCycles(1); got != 0 {
+		t.Fatalf("StallCycles(1) = %d, want 0", got)
+	}
+	if StallCycles(2) > StallCycles(8) {
+		t.Fatal("stalls must grow with words")
+	}
+	if StallCycles(4) < 1 {
+		t.Fatal("a 32-bit virtual BV should still stall")
+	}
+}
+
+func TestSymbolClocks(t *testing.T) {
+	if BVAP.SymbolClockGHz() != 2.0 {
+		t.Fatalf("BVAP clock = %g", BVAP.SymbolClockGHz())
+	}
+	if CAMA.SymbolClockGHz() <= BVAP.SymbolClockGHz() {
+		t.Fatal("CAMA should clock faster than BVAP (shorter wires)")
+	}
+	s := BVAPS.SymbolClockGHz()
+	if math.Abs(s-2.0*0.33) > 1e-9 {
+		t.Fatalf("BVAP-S clock = %g, want %g", s, 2.0*0.33)
+	}
+}
+
+func TestLeakagePositiveAndSmall(t *testing.T) {
+	for _, a := range All() {
+		e := a.LeakageEnergyPJ(a.SymbolClockGHz())
+		if e <= 0 {
+			t.Fatalf("%v leakage energy = %g", a, e)
+		}
+		// Leakage per symbol should be far below dynamic energy.
+		if e > 5 {
+			t.Fatalf("%v leakage energy = %g pJ, implausibly high", a, e)
+		}
+	}
+}
+
+func TestArchPredicates(t *testing.T) {
+	if !BVAP.UsesBVM() || !BVAPS.UsesBVM() || CAMA.UsesBVM() {
+		t.Fatal("UsesBVM wrong")
+	}
+	if !CNT.UsesCounters() || BVAP.UsesCounters() {
+		t.Fatal("UsesCounters wrong")
+	}
+	if !CA.Unfolds() || !EAP.Unfolds() || !CAMA.Unfolds() || BVAP.Unfolds() {
+		t.Fatal("Unfolds wrong")
+	}
+	for i, a := range []Arch{BVAP, BVAPS, CAMA, CA, EAP, CNT} {
+		if a.String() == "" || a.String()[0] == 'A' && i < 5 {
+			t.Fatalf("bad name for arch %d: %q", i, a.String())
+		}
+	}
+}

@@ -1,0 +1,222 @@
+package charclass
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmptyAndAny(t *testing.T) {
+	e := Empty()
+	if !e.IsEmpty() || e.Count() != 0 {
+		t.Fatalf("Empty() not empty: count=%d", e.Count())
+	}
+	a := Any()
+	if a.Count() != AlphabetSize {
+		t.Fatalf("Any() count = %d, want %d", a.Count(), AlphabetSize)
+	}
+	for b := 0; b < AlphabetSize; b++ {
+		if e.Contains(byte(b)) {
+			t.Fatalf("Empty contains %d", b)
+		}
+		if !a.Contains(byte(b)) {
+			t.Fatalf("Any missing %d", b)
+		}
+	}
+}
+
+func TestSingle(t *testing.T) {
+	for b := 0; b < AlphabetSize; b++ {
+		c := Single(byte(b))
+		if c.Count() != 1 || !c.Contains(byte(b)) {
+			t.Fatalf("Single(%d) wrong: count=%d", b, c.Count())
+		}
+		if min, ok := c.Min(); !ok || min != byte(b) {
+			t.Fatalf("Single(%d).Min() = %d, %v", b, min, ok)
+		}
+	}
+}
+
+func TestRange(t *testing.T) {
+	c := Range('a', 'f')
+	if c.Count() != 6 {
+		t.Fatalf("Range count = %d, want 6", c.Count())
+	}
+	for b := byte('a'); b <= 'f'; b++ {
+		if !c.Contains(b) {
+			t.Fatalf("Range missing %q", b)
+		}
+	}
+	if c.Contains('g') || c.Contains('`') {
+		t.Fatal("Range has out-of-range members")
+	}
+	// Cross-word range.
+	c = Range(60, 70)
+	if c.Count() != 11 {
+		t.Fatalf("cross-word range count = %d", c.Count())
+	}
+}
+
+func TestRangePanicsOnInverted(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Range(5,1) did not panic")
+		}
+	}()
+	Range(5, 1)
+}
+
+func TestOfAndFromString(t *testing.T) {
+	c := Of('x', 'y', 'z')
+	d := FromString("zyx")
+	if !c.Equal(d) {
+		t.Fatalf("Of != FromString: %v vs %v", c, d)
+	}
+	if c.Count() != 3 {
+		t.Fatalf("count = %d", c.Count())
+	}
+}
+
+func TestSetAlgebra(t *testing.T) {
+	a := Range('a', 'm')
+	b := Range('h', 'z')
+	u := a.Union(b)
+	if u.Count() != 26 {
+		t.Fatalf("union count = %d, want 26", u.Count())
+	}
+	i := a.Intersect(b)
+	if i.Count() != 6 { // h..m
+		t.Fatalf("intersect count = %d, want 6", i.Count())
+	}
+	m := a.Minus(b)
+	if m.Count() != 7 { // a..g
+		t.Fatalf("minus count = %d, want 7", m.Count())
+	}
+	n := a.Negate()
+	if n.Count() != AlphabetSize-13 {
+		t.Fatalf("negate count = %d", n.Count())
+	}
+	if !a.Overlaps(b) {
+		t.Fatal("a should overlap b")
+	}
+	if a.Overlaps(Range('n', 'z')) {
+		t.Fatal("disjoint classes reported overlapping")
+	}
+}
+
+func TestSymbols(t *testing.T) {
+	c := Of(3, 200, 64, 127, 128)
+	got := c.Symbols()
+	want := []byte{3, 64, 127, 128, 200}
+	if len(got) != len(want) {
+		t.Fatalf("symbols = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("symbols[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestPerlClasses(t *testing.T) {
+	if Digit().Count() != 10 {
+		t.Fatalf("\\d count = %d", Digit().Count())
+	}
+	if Word().Count() != 63 { // 26+26+10+1
+		t.Fatalf("\\w count = %d", Word().Count())
+	}
+	if Space().Count() != 6 {
+		t.Fatalf("\\s count = %d", Space().Count())
+	}
+	if !Digit().Union(NotDigit()).Equal(Any()) {
+		t.Fatal("\\d ∪ \\D != Σ")
+	}
+	if !Word().Union(NotWord()).Equal(Any()) {
+		t.Fatal("\\w ∪ \\W != Σ")
+	}
+	if !Space().Union(NotSpace()).Equal(Any()) {
+		t.Fatal("\\s ∪ \\S != Σ")
+	}
+}
+
+func TestString(t *testing.T) {
+	cases := []struct {
+		c    Class
+		want string
+	}{
+		{Any(), "."},
+		{Empty(), "[]"},
+		{Single('a'), "a"},
+		{Single('\n'), `\n`},
+		{Single(0x01), `\x01`},
+		{Range('a', 'c'), "[a-c]"},
+		{Of('a', 'b'), "[ab]"},
+	}
+	for _, tc := range cases {
+		if got := tc.c.String(); got != tc.want {
+			t.Errorf("String(%v bits) = %q, want %q", tc.c.Symbols(), got, tc.want)
+		}
+	}
+}
+
+// randomClass builds a class from a random 256-bit membership mask.
+func randomClass(r *rand.Rand) Class {
+	var c Class
+	for b := 0; b < AlphabetSize; b++ {
+		if r.Intn(2) == 1 {
+			c = c.Union(Single(byte(b)))
+		}
+	}
+	return c
+}
+
+func TestQuickDeMorgan(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := randomClass(r), randomClass(r)
+		// ¬(a ∪ b) == ¬a ∩ ¬b
+		return a.Union(b).Negate().Equal(a.Negate().Intersect(b.Negate()))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickUnionCommutesAndCountConsistent(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := randomClass(r), randomClass(r)
+		u := a.Union(b)
+		if !u.Equal(b.Union(a)) {
+			return false
+		}
+		// |a ∪ b| = |a| + |b| - |a ∩ b|
+		return u.Count() == a.Count()+b.Count()-a.Intersect(b).Count()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickNegateInvolution(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a := randomClass(r)
+		return a.Negate().Negate().Equal(a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickHashEqualClasses(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a := randomClass(r)
+		b := a.Union(Empty()) // structural copy
+		return a.Hash() == b.Hash()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

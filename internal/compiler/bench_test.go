@@ -1,0 +1,27 @@
+package compiler
+
+import "testing"
+
+func BenchmarkCompilePipeline(b *testing.B) {
+	patterns := []string{
+		"(?i)attack[0-9a-f]{32}end",
+		"url=.{8000}",
+		"ab{2,114}c",
+		`\d{3}-\d{4}`,
+		"x(ab|cd){6}y",
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Compile(patterns, DefaultOptions()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCompileBaselineUnfolded(b *testing.B) {
+	patterns := []string{"a.{2000}b", "x.{1000}y"}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		CompileBaseline(patterns)
+	}
+}

@@ -1,0 +1,775 @@
+// Package compiler implements the BVAP regex-to-hardware compiler (§7):
+// parsing, legalization, rewriting (unfold threshold + bounded-repetition
+// splitting), NBVA construction, the AH transformation, instruction
+// selection against the Table 3 ISA, greedy tile mapping, and emission of
+// the JSON configuration consumed by the cycle simulator.
+//
+// The package also compiles the baseline images (CA/eAP/CAMA and CNT) used
+// by the evaluation: baselines unfold every bounded repetition; CNT keeps a
+// hardware counter for counter-unambiguous repetitions and unfolds the
+// ambiguous ones.
+package compiler
+
+import (
+	"fmt"
+
+	"bvap/internal/archmodel"
+	"bvap/internal/charclass"
+	"bvap/internal/encoding"
+	"bvap/internal/glushkov"
+	"bvap/internal/hwconf"
+	"bvap/internal/isa"
+	"bvap/internal/nbva"
+	"bvap/internal/regex"
+)
+
+// Options are the user-controlled compilation parameters (§7 and the §8
+// design space exploration).
+type Options struct {
+	// BVSizeBits is the virtual bit-vector size K (8–64, power of two).
+	BVSizeBits int
+	// UnfoldThreshold is the largest upper bound unfolded instead of
+	// counted.
+	UnfoldThreshold int
+}
+
+// DefaultOptions mirrors regex.DefaultOptions: K = 64, threshold 8.
+func DefaultOptions() Options { return Options{BVSizeBits: 64, UnfoldThreshold: 8} }
+
+func (o Options) validate() error {
+	k := o.BVSizeBits
+	if k < 8 || k > isa.PhysicalBVBits || k&(k-1) != 0 {
+		return fmt.Errorf("compiler: bv size %d must be a power of two in [8, %d]", k, isa.PhysicalBVBits)
+	}
+	if o.UnfoldThreshold < 0 {
+		return fmt.Errorf("compiler: negative unfold threshold")
+	}
+	return nil
+}
+
+// RegexReport summarizes one compiled regex.
+type RegexReport struct {
+	Pattern string
+	// Supported is false when the regex cannot be mapped to BVAP.
+	Supported bool
+	Reason    string
+	// STEs and BVSTEs are the AH-NBVA resource counts.
+	STEs   int
+	BVSTEs int
+	// UnfoldedSTEs is the state count a baseline needs for this regex.
+	UnfoldedSTEs int
+	// MaxBound is the largest repetition bound in the source.
+	MaxBound int
+	// Words is the largest virtual BV word count used.
+	Words int
+	// CAMEntries is the number of CAM rows the pattern's character
+	// classes occupy under the CAMA-style symbol encoding (§7 step 2);
+	// complex classes cost more than one row per STE.
+	CAMEntries int
+}
+
+// Report aggregates compilation results.
+type Report struct {
+	PerRegex     []RegexReport
+	TotalSTEs    int
+	TotalBVSTEs  int
+	TotalCAM     int
+	Tiles        int
+	Unsupported  int
+	UnfoldedSTEs int
+}
+
+// Result bundles everything a Compile call produces.
+type Result struct {
+	Config *hwconf.Config
+	// Machines holds the executable AH automata in machine order (nil
+	// entries for unsupported regexes); the functional simulator and the
+	// consistency checks run these directly.
+	Machines []*nbva.AHNBVA
+	Report   Report
+}
+
+// Compile compiles a set of regexes into a BVAP configuration.
+func Compile(patterns []string, opt Options) (*Result, error) {
+	if err := opt.validate(); err != nil {
+		return nil, err
+	}
+	cfg := &hwconf.Config{
+		Version: hwconf.FormatVersion,
+		Params: hwconf.Params{
+			BVSizeBits:      opt.BVSizeBits,
+			UnfoldThreshold: opt.UnfoldThreshold,
+		},
+	}
+	res := &Result{Config: cfg}
+	for _, pat := range patterns {
+		machine, ah, rep := compileOne(pat, opt)
+		cfg.Machines = append(cfg.Machines, machine)
+		res.Machines = append(res.Machines, ah)
+		res.Report.PerRegex = append(res.Report.PerRegex, rep)
+		if rep.Supported {
+			res.Report.TotalSTEs += rep.STEs
+			res.Report.TotalBVSTEs += rep.BVSTEs
+			res.Report.TotalCAM += rep.CAMEntries
+			res.Report.UnfoldedSTEs += rep.UnfoldedSTEs
+		} else {
+			res.Report.Unsupported++
+		}
+	}
+	cfg.Tiles = mapToTiles(cfg)
+	res.Report.Tiles = len(cfg.Tiles)
+	return res, nil
+}
+
+// compileOne runs the per-regex pipeline, returning the serialized machine,
+// the executable AH automaton, and the report entry.
+func compileOne(pat string, opt Options) (hwconf.Machine, *nbva.AHNBVA, RegexReport) {
+	rep := RegexReport{Pattern: pat}
+	fail := func(reason string) (hwconf.Machine, *nbva.AHNBVA, RegexReport) {
+		rep.Supported = false
+		rep.Reason = reason
+		return hwconf.Machine{Regex: pat, Unsupported: reason}, nil, rep
+	}
+	ast, anchored, err := regex.ParseAnchored(pat)
+	if err != nil {
+		return fail(err.Error())
+	}
+	st := regex.Analyze(ast)
+	rep.MaxBound = st.MaxUpperBound
+	rep.UnfoldedSTEs = st.UnfoldedLiterals
+
+	ast = LegalizeNesting(regex.Normalize(ast))
+	ast = regex.Rewrite(ast, regex.Options{
+		UnfoldThreshold: opt.UnfoldThreshold,
+		BVSize:          opt.BVSizeBits,
+	})
+	machine, err := nbva.Build(ast)
+	if err != nil {
+		return fail(err.Error())
+	}
+	machine.Anchored = anchored
+	ah, err := nbva.Transform(machine)
+	if err != nil {
+		return fail(err.Error())
+	}
+	// A machine may span tiles (read-gated transitions travel over the
+	// ordinary state-transition network), but each vector-connected
+	// cluster must fit one tile: the MFCB cannot route vectors across
+	// tiles (§6). set1 states are power-gated constant generators (§5)
+	// and need no BV storage, which is what makes a tile's maximum
+	// repetition bound 48 × 64 = 3072.
+	if ah.Size() > archmodel.STEsPerTile*archmodel.TilesPerArray {
+		return fail(fmt.Sprintf("needs %d STEs, array capacity is %d",
+			ah.Size(), archmodel.STEsPerTile*archmodel.TilesPerArray))
+	}
+	for _, cl := range bvClusters(ah) {
+		if cl.storageBVs > archmodel.BVsPerTile {
+			return fail(fmt.Sprintf("counting cluster needs %d BVs, tile capacity is %d",
+				cl.storageBVs, archmodel.BVsPerTile))
+		}
+		if cl.stes > archmodel.STEsPerTile {
+			return fail(fmt.Sprintf("counting cluster needs %d STEs, tile capacity is %d",
+				cl.stes, archmodel.STEsPerTile))
+		}
+	}
+	m, maxWords, err := serializeMachine(pat, ah)
+	if err != nil {
+		return fail(err.Error())
+	}
+	// §7 step 2: generate (and self-check) the symbol encoding schema.
+	classes := make([]charclass.Class, 0, ah.Size())
+	for _, s := range ah.States {
+		classes = append(classes, s.Class)
+		if err := encoding.Verify(s.Class, encoding.Encode(s.Class)); err != nil {
+			return fail(err.Error())
+		}
+	}
+	rep.Supported = true
+	rep.STEs = ah.Size()
+	rep.BVSTEs = ah.BVStateCount()
+	rep.Words = maxWords
+	rep.CAMEntries = encoding.Analyze(classes).Entries
+	return m, ah, rep
+}
+
+// serializeMachine lowers an AH-NBVA into the configuration schema,
+// selecting a Table 3 instruction for every BV-STE.
+func serializeMachine(pat string, ah *nbva.AHNBVA) (hwconf.Machine, int, error) {
+	m := hwconf.Machine{Regex: pat, Anchored: ah.Anchored}
+	maxWords := 0
+	for id, s := range ah.States {
+		ste := hwconf.STE{ID: id, Class: hwconf.EncodeClass(s.Class)}
+		if s.Width > 0 {
+			in, err := SelectInstruction(s)
+			if err != nil {
+				return hwconf.Machine{}, 0, fmt.Errorf("state %d: %v", id, err)
+			}
+			ste.IsBV = true
+			ste.WidthBits = s.Width
+			ste.Instruction = in.Encode()
+			ste.Action = in.Swap.String()
+			if in.Words > maxWords {
+				maxWords = in.Words
+			}
+		}
+		m.STEs = append(m.STEs, ste)
+	}
+	for _, e := range ah.Edges {
+		m.Edges = append(m.Edges, hwconf.Edge{From: e.From, To: e.To, Gated: e.Gated})
+	}
+	m.Initial = append(m.Initial, ah.Initial...)
+	m.Finals = append(m.Finals, ah.Finals...)
+	return m, maxWords, nil
+}
+
+// SelectInstruction maps an AH state's action and read onto a Table 3
+// instruction. The virtual size is the smallest word count that both holds
+// the vector and makes the range read expressible as rAll, rHalf or
+// rQuarter.
+func SelectInstruction(s nbva.AHState) (isa.Instruction, error) {
+	words := (s.Width + isa.WordBits - 1) / isa.WordBits
+	if words > isa.MaxWords {
+		return isa.Instruction{}, fmt.Errorf("width %d exceeds the physical BV", s.Width)
+	}
+	in := isa.Instruction{Words: words}
+	switch s.Action {
+	case nbva.ActSet1:
+		in.Swap = isa.SwapSet1
+	case nbva.ActCopy:
+		in.Swap = isa.SwapCopy
+	case nbva.ActShift:
+		in.Swap = isa.SwapShift
+	default:
+		return isa.Instruction{}, fmt.Errorf("bv state with action %v", s.Action)
+	}
+	r := s.Read
+	switch {
+	case r.None:
+		in.Read = isa.NoRead
+	case r.Lo == r.Hi:
+		in.Read = isa.ReadN
+		in.Pointer = r.Lo
+	case r.Lo == 1:
+		// Grow the virtual size until the span is a supported
+		// fraction of it.
+		for w := words; w <= isa.MaxWords; w++ {
+			bits := w * isa.WordBits
+			switch r.Hi {
+			case bits:
+				in.Read, in.Words = isa.ReadAll, w
+				return in, validated(in)
+			case bits / 2:
+				in.Read, in.Words = isa.ReadHalf, w
+				return in, validated(in)
+			case bits / 4:
+				in.Read, in.Words = isa.ReadQuarter, w
+				return in, validated(in)
+			}
+		}
+		return isa.Instruction{}, fmt.Errorf("range read r(1,%d) not realizable", r.Hi)
+	default:
+		return isa.Instruction{}, fmt.Errorf("read %v must be rewritten (lo must be 1 or lo==hi)", r)
+	}
+	return in, validated(in)
+}
+
+func validated(in isa.Instruction) error {
+	if err := in.Validate(); err != nil {
+		return fmt.Errorf("compiler: selected invalid instruction: %v", err)
+	}
+	return nil
+}
+
+// fcbFanInThreshold is the per-state fan-in above which a machine's graph
+// exceeds the Reduced CrossBar's row connectivity and must be placed on a
+// tile pair reconfigured to FCB mode (§6). The RCB exploits the sparsity of
+// real automata; a state fed by dozens of predecessors (dense starred
+// alternations) needs the full crossbar. AH splitting multiplies edges
+// mechanically, so fan-in — not average density — is the routability proxy.
+const fcbFanInThreshold = 32
+
+// needsFCB reports whether a serialized machine's transition graph is too
+// dense for RCB routing.
+func needsFCB(m *hwconf.Machine) bool {
+	if len(m.STEs) == 0 {
+		return false
+	}
+	fanIn := make([]int, len(m.STEs))
+	for _, e := range m.Edges {
+		fanIn[e.To]++
+	}
+	for _, f := range fanIn {
+		if f > fcbFanInThreshold {
+			return true
+		}
+	}
+	return false
+}
+
+// cluster is a vector-connected group of BV states: states joined by edges
+// that deliver vectors through the MFCB (destination action copy or shift).
+// A cluster must map into a single tile.
+type cluster struct {
+	stes       int // states in the cluster
+	storageBVs int // BVs with SRAM storage (copy/shift actions)
+}
+
+// bvClusters computes the vector-connected clusters of an AH automaton.
+func bvClusters(ah *nbva.AHNBVA) []cluster {
+	n := ah.Size()
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int) { parent[find(a)] = find(b) }
+	for _, e := range ah.Edges {
+		from, to := ah.States[e.From], ah.States[e.To]
+		if from.Width > 0 && to.Width > 0 &&
+			(to.Action == nbva.ActCopy || to.Action == nbva.ActShift) {
+			union(e.From, e.To)
+		}
+	}
+	groups := map[int]*cluster{}
+	for q, s := range ah.States {
+		if s.Width == 0 {
+			continue
+		}
+		root := find(q)
+		g := groups[root]
+		if g == nil {
+			g = &cluster{}
+			groups[root] = g
+		}
+		g.stes++
+		if s.Action != nbva.ActSet1 {
+			g.storageBVs++
+		}
+	}
+	out := make([]cluster, 0, len(groups))
+	for _, g := range groups {
+		out = append(out, *g)
+	}
+	return out
+}
+
+// machineClusters recomputes clusters from a serialized machine (the
+// configuration is authoritative for mapping).
+func machineClusters(m *hwconf.Machine) []cluster {
+	n := len(m.STEs)
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	isBV := func(i int) bool { return m.STEs[i].IsBV }
+	carriesVector := func(i int) bool {
+		return isBV(i) && (m.STEs[i].Action == "copy" || m.STEs[i].Action == "shift")
+	}
+	for _, e := range m.Edges {
+		if isBV(e.From) && carriesVector(e.To) {
+			parent[find(e.From)] = find(e.To)
+		}
+	}
+	groups := map[int]*cluster{}
+	for q := range m.STEs {
+		if !isBV(q) {
+			continue
+		}
+		root := find(q)
+		g := groups[root]
+		if g == nil {
+			g = &cluster{}
+			groups[root] = g
+		}
+		g.stes++
+		if m.STEs[q].Action != "set1" {
+			g.storageBVs++
+		}
+	}
+	out := make([]cluster, 0, len(groups))
+	for _, g := range groups {
+		out = append(out, *g)
+	}
+	return out
+}
+
+// mapToTiles performs the greedy mapping of machines onto 256-STE / 48-BV
+// tiles (first-fit decreasing, the strategy §8 adopts from CAMA). Clusters
+// are atomic; plain (non-BV) states of a machine may spill into any tile
+// with spare STE capacity, since ordinary state transitions cross tiles
+// through the array's global switch.
+func mapToTiles(cfg *hwconf.Config) []hwconf.TilePlacement {
+	type item struct {
+		machine int
+		stes    int
+		bvs     int
+		fcb     bool
+	}
+	var items []item
+	for i := range cfg.Machines {
+		m := &cfg.Machines[i]
+		if m.Unsupported != "" {
+			continue
+		}
+		fcb := needsFCB(m)
+		clustered := 0
+		for _, cl := range machineClusters(m) {
+			items = append(items, item{machine: i, stes: cl.stes, bvs: cl.storageBVs, fcb: fcb})
+			clustered += cl.stes
+		}
+		if plain := len(m.STEs) - clustered; plain > 0 {
+			items = append(items, item{machine: i, stes: plain, fcb: fcb})
+		}
+	}
+	// First-fit decreasing by BV demand then STE demand.
+	for i := 1; i < len(items); i++ {
+		for j := i; j > 0; j-- {
+			a, b := items[j], items[j-1]
+			if a.bvs > b.bvs || (a.bvs == b.bvs && a.stes > b.stes) {
+				items[j], items[j-1] = b, a
+			} else {
+				break
+			}
+		}
+	}
+	var tiles []hwconf.TilePlacement
+	place := func(it item) {
+		capacity := archmodel.STEsPerTile
+		if it.fcb {
+			capacity = archmodel.FCBModeSTEs
+		}
+		for ti := range tiles {
+			t := &tiles[ti]
+			if t.FCBMode != it.fcb {
+				continue
+			}
+			if t.STEs+it.stes <= capacity && t.BVSTEs+it.bvs <= archmodel.BVsPerTile {
+				t.STEs += it.stes
+				t.BVSTEs += it.bvs
+				addMachine(t, it.machine)
+				return
+			}
+		}
+		t := hwconf.TilePlacement{Tile: len(tiles), STEs: it.stes, BVSTEs: it.bvs, FCBMode: it.fcb}
+		addMachine(&t, it.machine)
+		tiles = append(tiles, t)
+	}
+	for _, it := range items {
+		capacity := archmodel.STEsPerTile
+		if it.fcb {
+			capacity = archmodel.FCBModeSTEs
+		}
+		// Plain-state items larger than a placement split freely.
+		for it.stes > capacity {
+			place(item{machine: it.machine, stes: capacity, fcb: it.fcb})
+			it.stes -= capacity
+		}
+		place(it)
+	}
+	return tiles
+}
+
+func addMachine(t *hwconf.TilePlacement, m int) {
+	for _, existing := range t.Machines {
+		if existing == m {
+			return
+		}
+	}
+	t.Machines = append(t.Machines, m)
+}
+
+// LegalizeNesting removes nested counting, which the single-BV-per-state
+// hardware cannot represent: when a bounded repetition contains another
+// counting repetition in its body, the cheaper of the two (estimated as
+// bound × body positions) is unfolded. The pass repeats until no nesting
+// remains.
+func LegalizeNesting(n regex.Node) regex.Node {
+	for {
+		changed := false
+		n = legalizeOnce(n, &changed)
+		if !changed {
+			return n
+		}
+	}
+}
+
+func legalizeOnce(n regex.Node, changed *bool) regex.Node {
+	switch n := n.(type) {
+	case regex.Empty, regex.Lit:
+		return n
+	case *regex.Concat:
+		factors := make([]regex.Node, len(n.Factors))
+		for i, f := range n.Factors {
+			factors[i] = legalizeOnce(f, changed)
+		}
+		return regex.NewConcat(factors...)
+	case *regex.Alt:
+		alts := make([]regex.Node, len(n.Alternatives))
+		for i, a := range n.Alternatives {
+			alts[i] = legalizeOnce(a, changed)
+		}
+		return regex.NewAlt(alts...)
+	case *regex.Star:
+		return &regex.Star{Sub: legalizeOnce(n.Sub, changed)}
+	case *regex.Repeat:
+		sub := legalizeOnce(n.Sub, changed)
+		if isCounting(n) && containsCounting(sub) {
+			*changed = true
+			outerCost := boundOf(n) * positions(sub)
+			if innerCost := innerCountingCost(sub); innerCost <= outerCost {
+				// Unfold the inner repetitions.
+				return regex.NewRepeat(regex.Unfold(sub, regex.MaxBound), n.Min, n.Max)
+			}
+			// Unfold the outer repetition.
+			return unfoldOuter(sub, n.Min, n.Max)
+		}
+		return regex.NewRepeat(sub, n.Min, n.Max)
+	default:
+		return n
+	}
+}
+
+func isCounting(r *regex.Repeat) bool { return !(r.Min == 0 && r.Max == 1) }
+
+func containsCounting(n regex.Node) bool {
+	found := false
+	regex.Walk(n, func(m regex.Node) {
+		if r, ok := m.(*regex.Repeat); ok && isCounting(r) {
+			found = true
+		}
+	})
+	return found
+}
+
+func boundOf(r *regex.Repeat) int {
+	if r.Max == regex.Unbounded {
+		if r.Min == 0 {
+			return 1
+		}
+		return r.Min
+	}
+	return r.Max
+}
+
+func positions(n regex.Node) int {
+	c := 0
+	regex.Walk(n, func(m regex.Node) {
+		if _, ok := m.(regex.Lit); ok {
+			c++
+		}
+	})
+	return c
+}
+
+// innerCountingCost estimates the unfolding cost of the counting
+// repetitions inside n.
+func innerCountingCost(n regex.Node) int {
+	cost := 0
+	regex.Walk(n, func(m regex.Node) {
+		if r, ok := m.(*regex.Repeat); ok && isCounting(r) {
+			cost += boundOf(r) * positions(r.Sub)
+		}
+	})
+	return cost
+}
+
+func unfoldOuter(sub regex.Node, min, max int) regex.Node {
+	if max == regex.Unbounded {
+		var factors []regex.Node
+		for i := 0; i < min; i++ {
+			factors = append(factors, sub)
+		}
+		factors = append(factors, &regex.Star{Sub: sub})
+		return regex.NewConcat(factors...)
+	}
+	var factors []regex.Node
+	for i := 0; i < min; i++ {
+		factors = append(factors, sub)
+	}
+	for i := min; i < max; i++ {
+		factors = append(factors, regex.NewRepeat(sub, 0, 1))
+	}
+	return regex.NewConcat(factors...)
+}
+
+// BaselineMachine is one regex compiled for an unfolding architecture.
+type BaselineMachine struct {
+	Pattern     string
+	NFA         *glushkov.NFA
+	Supported   bool
+	Reason      string
+	STEs        int
+	Tiles       int
+	CounterSTEs int // CNT only: STEs saved by counters, kept for reporting
+	Counters    int // CNT only: counter elements used
+}
+
+// MaxSTEsPerRegex is the AP-style per-regex limit (§3: "Previous AP-style
+// hardware is limited to at most 4096 STEs per regex").
+const MaxSTEsPerRegex = 4096
+
+// CompileBaseline compiles regexes for CA, eAP or CAMA by full unfolding. A
+// machine may span multiple tiles within an array (cross-tile transitions
+// use the array's global switch), up to the 4096-STE AP limit.
+func CompileBaseline(patterns []string) []BaselineMachine {
+	out := make([]BaselineMachine, 0, len(patterns))
+	for _, pat := range patterns {
+		out = append(out, compileBaselineOne(pat, false))
+	}
+	return out
+}
+
+// CompileCNT compiles regexes for the CNT baseline: CAMA plus counter
+// elements. Counter-unambiguous repetitions use one counter element each;
+// counter-ambiguous ones are unfolded (§8's micro-benchmark discussion).
+func CompileCNT(patterns []string) []BaselineMachine {
+	out := make([]BaselineMachine, 0, len(patterns))
+	for _, pat := range patterns {
+		out = append(out, compileBaselineOne(pat, true))
+	}
+	return out
+}
+
+func compileBaselineOne(pat string, counters bool) BaselineMachine {
+	m := BaselineMachine{Pattern: pat}
+	ast, anchored, err := regex.ParseAnchored(pat)
+	if err != nil {
+		m.Reason = err.Error()
+		return m
+	}
+	ast = regex.Normalize(ast)
+	var stes int
+	if counters {
+		// The counter image determines STE and counter cost; the
+		// functional NFA below still uses the fully unfolded automaton
+		// so CNT match results are exact (a counter element enforces
+		// the same bound the unfolded chain does).
+		lowered, nCounters, saved := LowerUnambiguousCounting(ast)
+		m.Counters = nCounters
+		m.CounterSTEs = saved
+		stes = positions(regex.FullyUnfold(lowered)) + nCounters
+	} else {
+		stes = positions(regex.FullyUnfold(ast))
+	}
+	if stes > MaxSTEsPerRegex {
+		m.Reason = fmt.Sprintf("needs %d STEs, AP-style limit is %d", stes, MaxSTEsPerRegex)
+		return m
+	}
+	nfa, err := glushkov.Build(regex.FullyUnfold(ast))
+	if err != nil {
+		m.Reason = err.Error()
+		return m
+	}
+	nfa.Anchored = anchored
+	m.NFA = nfa
+	m.Supported = true
+	m.STEs = stes
+	m.Tiles = (stes + archmodel.STEsPerTile - 1) / archmodel.STEsPerTile
+	return m
+}
+
+// LowerUnambiguousCounting rewrites counter-unambiguous bounded repetitions
+// into a single-position placeholder (they are handled by a counter element
+// at runtime) and returns the rewritten AST, the number of counters used,
+// and the unfolded STEs those counters saved.
+//
+// A repetition is counter-unambiguous when its counter can never hold two
+// values at once: we use the conservative single-class criterion of [17] —
+// the body is one character class, the bound is exact ({n}), and no
+// predecessor of the repetition can re-enter it while it counts (the body
+// class is disjoint from the classes that can immediately precede the
+// repetition). CNT executes such repetitions with one STE plus one counter.
+func LowerUnambiguousCounting(n regex.Node) (out regex.Node, counters, savedSTEs int) {
+	switch n := n.(type) {
+	case regex.Empty, regex.Lit:
+		return n, 0, 0
+	case *regex.Concat:
+		factors := make([]regex.Node, len(n.Factors))
+		prevClass := charclass.Empty()
+		first := true
+		for i, f := range n.Factors {
+			if rep, ok := f.(*regex.Repeat); ok && isCounting(rep) && !first {
+				if lit, ok := rep.Sub.(regex.Lit); ok && rep.Min == rep.Max &&
+					!lit.Class.Overlaps(prevClass) {
+					// Counter-unambiguous: keep one position; the
+					// counter tracks the bound.
+					factors[i] = lit
+					counters++
+					savedSTEs += rep.Max - 1
+					prevClass = lit.Class
+					continue
+				}
+			}
+			sub, c, s := LowerUnambiguousCounting(f)
+			factors[i] = sub
+			counters += c
+			savedSTEs += s
+			prevClass = lastClassOf(f)
+			first = false
+		}
+		return regex.NewConcat(factors...), counters, savedSTEs
+	case *regex.Alt:
+		alts := make([]regex.Node, len(n.Alternatives))
+		for i, a := range n.Alternatives {
+			sub, c, s := LowerUnambiguousCounting(a)
+			alts[i] = sub
+			counters += c
+			savedSTEs += s
+		}
+		return regex.NewAlt(alts...), counters, savedSTEs
+	case *regex.Star:
+		sub, c, s := LowerUnambiguousCounting(n.Sub)
+		return &regex.Star{Sub: sub}, c, s
+	case *regex.Repeat:
+		sub, c, s := LowerUnambiguousCounting(n.Sub)
+		return regex.NewRepeat(sub, n.Min, n.Max), c, s
+	default:
+		return n, 0, 0
+	}
+}
+
+// lastClassOf approximates the set of symbols a node can end with.
+func lastClassOf(n regex.Node) charclass.Class {
+	switch n := n.(type) {
+	case regex.Lit:
+		return n.Class
+	case *regex.Concat:
+		if len(n.Factors) == 0 {
+			return charclass.Empty()
+		}
+		c := lastClassOf(n.Factors[len(n.Factors)-1])
+		// If the tail is nullable the previous factor can also end the
+		// match; be conservative and union backwards.
+		for i := len(n.Factors) - 1; i > 0 && regex.Nullable(n.Factors[i]); i-- {
+			c = c.Union(lastClassOf(n.Factors[i-1]))
+		}
+		return c
+	case *regex.Alt:
+		c := charclass.Empty()
+		for _, a := range n.Alternatives {
+			c = c.Union(lastClassOf(a))
+		}
+		return c
+	case *regex.Star:
+		return lastClassOf(n.Sub)
+	case *regex.Repeat:
+		return lastClassOf(n.Sub)
+	default:
+		return charclass.Empty()
+	}
+}

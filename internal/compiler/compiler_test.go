@@ -1,0 +1,341 @@
+package compiler
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"bvap/internal/archmodel"
+	"bvap/internal/hwconf"
+	"bvap/internal/isa"
+	"bvap/internal/nbva"
+	"bvap/internal/regex"
+)
+
+func compile(t *testing.T, patterns []string, opt Options) *Result {
+	t.Helper()
+	res, err := Compile(patterns, opt)
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	return res
+}
+
+func TestCompileSnortURLExample(t *testing.T) {
+	// §3: url=.{8000} needs 8004 STEs unfolded and only ~270 in BVAP.
+	res := compile(t, []string{"url=.{8000}"}, DefaultOptions())
+	rep := res.Report.PerRegex[0]
+	if !rep.Supported {
+		t.Fatalf("unsupported: %s", rep.Reason)
+	}
+	if rep.UnfoldedSTEs != 8004 {
+		t.Fatalf("unfolded = %d, want 8004", rep.UnfoldedSTEs)
+	}
+	// 8000/64 = 125 counting chunks; with AH copies the paper reports
+	// ~270 STEs. Ours must be in that ballpark and far below unfolding.
+	if rep.STEs < 126 || rep.STEs > 300 {
+		t.Fatalf("BVAP STEs = %d, want ≈270 (well below 8004)", rep.STEs)
+	}
+	// 8000/64 = 125 chunks, each one set1 constant generator plus one
+	// storage BV (shift) after the AH split.
+	if rep.BVSTEs != 250 {
+		t.Fatalf("BV-STEs = %d, want 250", rep.BVSTEs)
+	}
+	// Storage demand is 125 BVs → three 48-BV tiles.
+	if got := len(res.Config.Tiles); got != 3 {
+		t.Fatalf("tiles = %d, want 3", got)
+	}
+}
+
+func TestCompileProducesValidConfig(t *testing.T) {
+	patterns := []string{
+		"ab{3}c",
+		"a(.a){3}b",
+		"ab{2,114}c",
+		`\d{5}-\d{4}`,
+		"x(ab|cd){6}y",
+		"hello",
+	}
+	res := compile(t, patterns, DefaultOptions())
+	if err := res.Config.Validate(); err != nil {
+		t.Fatalf("invalid config: %v", err)
+	}
+	if res.Report.Unsupported != 0 {
+		for _, r := range res.Report.PerRegex {
+			if !r.Supported {
+				t.Errorf("unsupported %q: %s", r.Pattern, r.Reason)
+			}
+		}
+	}
+	// JSON round trip.
+	var buf bytes.Buffer
+	if err := res.Config.Write(&buf); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	back, err := hwconf.Read(&buf)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if len(back.Machines) != len(patterns) {
+		t.Fatalf("machines = %d", len(back.Machines))
+	}
+	// Every BV-STE's instruction must decode.
+	for mi, m := range back.Machines {
+		for _, s := range m.STEs {
+			if !s.IsBV {
+				continue
+			}
+			if _, err := isa.Decode(s.Instruction); err != nil {
+				t.Errorf("machine %d STE %d: %v", mi, s.ID, err)
+			}
+		}
+	}
+}
+
+func TestInstructionSelection(t *testing.T) {
+	cases := []struct {
+		state nbva.AHState
+		want  string
+	}{
+		{nbva.AHState{Width: 64, Action: nbva.ActShift, Read: nbva.NoRead()}, "shift/64b"},
+		{nbva.AHState{Width: 64, Action: nbva.ActCopy, Read: nbva.ReadBit(64)}, "r(64)·copy/64b"},
+		{nbva.AHState{Width: 64, Action: nbva.ActShift, Read: nbva.ReadRange(1, 64)}, "rAll·shift/64b"},
+		{nbva.AHState{Width: 32, Action: nbva.ActSet1, Read: nbva.ReadRange(1, 32)}, "rAll·set1/32b"},
+		{nbva.AHState{Width: 16, Action: nbva.ActShift, Read: nbva.ReadRange(1, 16)}, "rAll·shift/16b"},
+		{nbva.AHState{Width: 4, Action: nbva.ActShift, Read: nbva.ReadRange(1, 4)}, "rHalf·shift/8b"},
+		{nbva.AHState{Width: 2, Action: nbva.ActShift, Read: nbva.ReadRange(1, 2)}, "rQuarter·shift/8b"},
+		{nbva.AHState{Width: 19, Action: nbva.ActCopy, Read: nbva.ReadBit(19)}, "r(19)·copy/24b"},
+	}
+	for _, tc := range cases {
+		in, err := SelectInstruction(tc.state)
+		if err != nil {
+			t.Errorf("SelectInstruction(%+v): %v", tc.state, err)
+			continue
+		}
+		if in.String() != tc.want {
+			t.Errorf("SelectInstruction(%+v) = %s, want %s", tc.state, in, tc.want)
+		}
+	}
+}
+
+func TestInstructionSelectionRejects(t *testing.T) {
+	// r(1,5) is not K, K/2 or K/4 of any word count.
+	if _, err := SelectInstruction(nbva.AHState{Width: 5, Action: nbva.ActShift, Read: nbva.ReadRange(1, 5)}); err == nil {
+		t.Fatal("accepted unrealizable range read")
+	}
+	if _, err := SelectInstruction(nbva.AHState{Width: 200, Action: nbva.ActCopy, Read: nbva.NoRead()}); err == nil {
+		t.Fatal("accepted width beyond physical BV")
+	}
+	if _, err := SelectInstruction(nbva.AHState{Width: 8, Action: nbva.ActShift, Read: nbva.ReadRange(2, 5)}); err == nil {
+		t.Fatal("accepted un-rewritten range read")
+	}
+}
+
+func TestTileMappingRespectsCapacity(t *testing.T) {
+	// 40 small machines with counting: each needs a few BVs; tiles must
+	// respect both limits.
+	var patterns []string
+	for i := 0; i < 40; i++ {
+		patterns = append(patterns, "ab{9}c{2,30}d")
+	}
+	res := compile(t, patterns, DefaultOptions())
+	for _, tp := range res.Config.Tiles {
+		if tp.STEs > archmodel.STEsPerTile {
+			t.Fatalf("tile %d overflows STEs: %d", tp.Tile, tp.STEs)
+		}
+		if tp.BVSTEs > archmodel.BVsPerTile {
+			t.Fatalf("tile %d overflows BVs: %d", tp.Tile, tp.BVSTEs)
+		}
+	}
+	if len(res.Config.Tiles) < 2 {
+		t.Fatalf("tiles = %d, expected the BV limit to force multiple tiles", len(res.Config.Tiles))
+	}
+}
+
+func TestOversizedRegexUnsupported(t *testing.T) {
+	// A counting body with more positions than a tile has BVs cannot be
+	// placed: the cluster's vectors would have to cross tiles.
+	body := ""
+	for i := 0; i < 50; i++ {
+		body += string(rune('a' + i%26))
+	}
+	res := compile(t, []string{"(" + body + "){30}x"}, DefaultOptions())
+	if res.Report.PerRegex[0].Supported {
+		t.Fatal("50-position counting cluster should exceed the 48-BV tile")
+	}
+	// An enormous repetition exceeds the per-array STE budget even after
+	// splitting.
+	res = compile(t, []string{"a.{300000}b"}, DefaultOptions())
+	if res.Report.PerRegex[0].Supported {
+		t.Fatal("300000-bound repetition should exceed the array")
+	}
+	// The §6 per-tile bound 3072 = 48 BVs × 64 bits fits exactly.
+	res = compile(t, []string{"a.{3072}b"}, DefaultOptions())
+	if !res.Report.PerRegex[0].Supported {
+		t.Fatalf("bound 3072 should fit: %s", res.Report.PerRegex[0].Reason)
+	}
+}
+
+func TestLegalizeNesting(t *testing.T) {
+	n := LegalizeNesting(regex.Normalize(regex.MustParse("(a{3}b){20}")))
+	// The inner a{3} is cheaper to unfold than the outer ×20.
+	if _, err := nbva.Build(n); err != nil {
+		t.Fatalf("legalized AST still rejected: %v", err)
+	}
+	// Outer cheaper case: (a{100}b){2}.
+	n = LegalizeNesting(regex.Normalize(regex.MustParse("(a{100}b){2}")))
+	if _, err := nbva.Build(n); err != nil {
+		t.Fatalf("legalized AST still rejected: %v", err)
+	}
+	st := regex.Analyze(n)
+	if st.MaxUpperBound != 100 {
+		t.Fatalf("outer unfolding should keep a{100}: %+v", st)
+	}
+}
+
+func TestCompiledMachinesMatchSemantics(t *testing.T) {
+	// Differential test: the compiled AH machine must agree with the
+	// uncompiled NBVA built from the original pattern (the compiler's
+	// rewriting must preserve the language).
+	patterns := []string{
+		"ab{3}c", "a(.a){3}b", "ab{2,30}c", "a{17}", "ab{147}c",
+		"a{1,100}", "(ab){9}", "a(b|c){5}d",
+	}
+	r := rand.New(rand.NewSource(7))
+	for _, pat := range patterns {
+		res := compile(t, []string{pat}, Options{BVSizeBits: 16, UnfoldThreshold: 4})
+		if res.Machines[0] == nil {
+			t.Fatalf("%q unsupported: %s", pat, res.Report.PerRegex[0].Reason)
+		}
+		ref := nbva.MustBuild(regex.Normalize(regex.MustParse(pat)))
+		for trial := 0; trial < 20; trial++ {
+			input := make([]byte, 200)
+			for i := range input {
+				input[i] = byte('a' + r.Intn(4))
+			}
+			got := res.Machines[0].MatchEnds(input)
+			want := ref.MatchEnds(input)
+			if !equalInts(got, want) {
+				t.Fatalf("%q: compiled %v, reference %v", pat, got, want)
+			}
+		}
+	}
+}
+
+func TestCompileBaseline(t *testing.T) {
+	ms := CompileBaseline([]string{"ab{100}c", "a.{5000}b", "xyz"})
+	if !ms[0].Supported || ms[0].STEs != 102 {
+		t.Fatalf("machine 0: %+v", ms[0])
+	}
+	if ms[1].Supported {
+		t.Fatal("5002 STEs exceeds the AP 4096 limit")
+	}
+	if !ms[2].Supported || ms[2].STEs != 3 || ms[2].Tiles != 1 {
+		t.Fatalf("machine 2: %+v", ms[2])
+	}
+	if ms[0].Tiles != 1 {
+		t.Fatalf("machine 0 tiles = %d", ms[0].Tiles)
+	}
+}
+
+func TestCompileCNT(t *testing.T) {
+	// ra{64}b{m} (§8, Fig. 12): a{64} is counter-ambiguous (preceded by
+	// 'a'), b{64} is not.
+	r16 := "aaaaaaaaaaaaaaaa"
+	ms := CompileCNT([]string{r16 + "a{64}b{64}"})
+	m := ms[0]
+	if !m.Supported {
+		t.Fatalf("unsupported: %s", m.Reason)
+	}
+	if m.Counters != 1 {
+		t.Fatalf("counters = %d, want 1 (only b{64})", m.Counters)
+	}
+	// a{64} unfolds (64 STEs), b{64} uses 1 STE + 1 counter.
+	want := 16 + 64 + 1 + 1
+	if m.STEs != want {
+		t.Fatalf("STEs = %d, want %d", m.STEs, want)
+	}
+	// CNT still matches correctly.
+	input := append(bytes.Repeat([]byte{'a'}, 80), bytes.Repeat([]byte{'b'}, 64)...)
+	ends := m.NFA.MatchEnds(input)
+	if len(ends) == 0 {
+		t.Fatal("CNT NFA missed the match")
+	}
+}
+
+func TestCNTLoweringSemanticsPreserved(t *testing.T) {
+	// Lowering replaces b{n} by b for the STE image; the *full* automaton
+	// with counters must match the original language. We validate the
+	// structural accounting instead: savings = Σ (n-1).
+	ast := regex.Normalize(regex.MustParse("xa{10}yb{20}"))
+	_, counters, saved := LowerUnambiguousCounting(ast)
+	if counters != 2 || saved != 9+19 {
+		t.Fatalf("counters=%d saved=%d", counters, saved)
+	}
+	// Overlapping predecessor blocks the counter.
+	ast = regex.Normalize(regex.MustParse("aa{10}"))
+	_, counters, _ = LowerUnambiguousCounting(ast)
+	if counters != 0 {
+		t.Fatalf("ambiguous repetition got a counter")
+	}
+}
+
+func TestOptionsValidation(t *testing.T) {
+	for _, bad := range []Options{
+		{BVSizeBits: 0, UnfoldThreshold: 4},
+		{BVSizeBits: 12, UnfoldThreshold: 4},
+		{BVSizeBits: 128, UnfoldThreshold: 4},
+		{BVSizeBits: 64, UnfoldThreshold: -1},
+	} {
+		if _, err := Compile([]string{"a"}, bad); err == nil {
+			t.Errorf("Options %+v accepted", bad)
+		}
+	}
+}
+
+func TestParseErrorReported(t *testing.T) {
+	res := compile(t, []string{"a(b"}, DefaultOptions())
+	if res.Report.PerRegex[0].Supported {
+		t.Fatal("parse error not reported")
+	}
+	if res.Report.Unsupported != 1 {
+		t.Fatal("unsupported count wrong")
+	}
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestComputeMappingStats(t *testing.T) {
+	res := compile(t, []string{"ab{300}c", "xy", "p.{600}q"}, DefaultOptions())
+	s := ComputeMappingStats(res.Config)
+	if s.Tiles != len(res.Config.Tiles) {
+		t.Fatalf("tiles = %d", s.Tiles)
+	}
+	if s.STEUtilization <= 0 || s.STEUtilization > 1 {
+		t.Fatalf("STE utilization = %f", s.STEUtilization)
+	}
+	if s.BVUtilization <= 0 || s.BVUtilization > 1 {
+		t.Fatalf("BV utilization = %f", s.BVUtilization)
+	}
+	if s.WastedBVMFrac < 0 || s.WastedBVMFrac >= 1 {
+		t.Fatalf("wasted BVM = %f", s.WastedBVMFrac)
+	}
+	if s.MaxSTEs > archmodel.STEsPerTile || s.MaxBVs > archmodel.BVsPerTile {
+		t.Fatalf("max occupancy exceeds capacity: %+v", s)
+	}
+	// Empty config.
+	empty := ComputeMappingStats(&hwconf.Config{Version: hwconf.FormatVersion})
+	if empty.Tiles != 0 || empty.STEUtilization != 0 {
+		t.Fatalf("empty stats = %+v", empty)
+	}
+}

@@ -1,0 +1,68 @@
+package compiler
+
+import (
+	"strings"
+	"testing"
+
+	"bvap/internal/archmodel"
+)
+
+// densePattern builds a regex whose Glushkov graph is dense: a starred
+// alternation of k two-symbol branches has complete last×first bipartite
+// wiring, so the edge count grows with k² while states grow with k.
+func densePattern(k int) string {
+	branches := make([]string, k)
+	for i := range branches {
+		branches[i] = string(rune('a'+i%26)) + string(rune('b'+i%25))
+	}
+	return "(" + strings.Join(branches, "|") + ")*z"
+}
+
+func TestDenseMachineRoutedToFCB(t *testing.T) {
+	res := compile(t, []string{densePattern(40)}, DefaultOptions())
+	if !res.Report.PerRegex[0].Supported {
+		t.Fatalf("unsupported: %s", res.Report.PerRegex[0].Reason)
+	}
+	m := &res.Config.Machines[0]
+	if !needsFCB(m) {
+		t.Skip("generated fan-in below threshold; widen the pattern")
+	}
+	fcbTiles := 0
+	for _, tp := range res.Config.Tiles {
+		if tp.FCBMode {
+			fcbTiles++
+			if tp.STEs > archmodel.FCBModeSTEs {
+				t.Fatalf("FCB placement holds %d STEs, capacity %d", tp.STEs, archmodel.FCBModeSTEs)
+			}
+		}
+	}
+	if fcbTiles == 0 {
+		t.Fatal("dense machine not placed in FCB mode")
+	}
+}
+
+func TestSparseMachineStaysRCB(t *testing.T) {
+	res := compile(t, []string{"abcdef", "ab{40}c"}, DefaultOptions())
+	for _, tp := range res.Config.Tiles {
+		if tp.FCBMode {
+			t.Fatalf("sparse machines placed in FCB mode: %+v", tp)
+		}
+	}
+}
+
+func TestFCBAndRCBDoNotShareTiles(t *testing.T) {
+	res := compile(t, []string{densePattern(40), "plainword"}, DefaultOptions())
+	for _, tp := range res.Config.Tiles {
+		hasDense, hasSparse := false, false
+		for _, mi := range tp.Machines {
+			if mi == 0 {
+				hasDense = true
+			} else {
+				hasSparse = true
+			}
+		}
+		if hasDense && hasSparse && needsFCB(&res.Config.Machines[0]) {
+			t.Fatalf("FCB and RCB machines share tile %d", tp.Tile)
+		}
+	}
+}

@@ -1,0 +1,49 @@
+package compiler
+
+import (
+	"bvap/internal/archmodel"
+	"bvap/internal/hwconf"
+)
+
+// MappingStats summarizes how well a configuration's machines pack into
+// tiles. The evaluation accounts whole tiles ("The wasted BVM area due to
+// the partial use of BVs was considered", §8), so utilization directly
+// drives the area results.
+type MappingStats struct {
+	Tiles int
+	// STEUtilization is occupied STEs over provisioned STEs (tiles×256).
+	STEUtilization float64
+	// BVUtilization is occupied storage BVs over provisioned BVs
+	// (tiles×48).
+	BVUtilization float64
+	// WastedBVMFrac is the fraction of provisioned BVM capacity that
+	// carries no bit vector — silicon paid for but idle.
+	WastedBVMFrac float64
+	// MaxSTEs and MaxBVs are the most loaded tile's occupancies.
+	MaxSTEs int
+	MaxBVs  int
+}
+
+// ComputeMappingStats derives MappingStats from a configuration's placement.
+func ComputeMappingStats(cfg *hwconf.Config) MappingStats {
+	var s MappingStats
+	s.Tiles = len(cfg.Tiles)
+	if s.Tiles == 0 {
+		return s
+	}
+	stes, bvs := 0, 0
+	for _, tp := range cfg.Tiles {
+		stes += tp.STEs
+		bvs += tp.BVSTEs
+		if tp.STEs > s.MaxSTEs {
+			s.MaxSTEs = tp.STEs
+		}
+		if tp.BVSTEs > s.MaxBVs {
+			s.MaxBVs = tp.BVSTEs
+		}
+	}
+	s.STEUtilization = float64(stes) / float64(s.Tiles*archmodel.STEsPerTile)
+	s.BVUtilization = float64(bvs) / float64(s.Tiles*archmodel.BVsPerTile)
+	s.WastedBVMFrac = 1 - s.BVUtilization
+	return s
+}

@@ -1,0 +1,119 @@
+package compiler
+
+import (
+	"testing"
+
+	"bvap/internal/isa"
+	"bvap/internal/nbva"
+	"bvap/internal/regex"
+	"bvap/internal/swmatch"
+)
+
+// TestSection4WorkedExample pins the paper's §4 walkthrough: with K = 8 the
+// regex ab{2,5}(cd){6}e is rewritten to abb{1,4}(cd){6}e and compiled to an
+// AH-NBVA whose b-chunk uses the rHalf read (r(1,4) on an 8-bit virtual BV)
+// combined with set1 on the split entry copy, and whose (cd){6} group exits
+// through r(6).
+func TestSection4WorkedExample(t *testing.T) {
+	res, err := Compile([]string{"ab{2,5}(cd){6}e"}, Options{BVSizeBits: 8, UnfoldThreshold: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := res.Report.PerRegex[0]
+	if !rep.Supported {
+		t.Fatalf("unsupported: %s", rep.Reason)
+	}
+	m := res.Config.Machines[0]
+	instrs := map[string]int{}
+	for _, s := range m.STEs {
+		if !s.IsBV {
+			continue
+		}
+		in, err := isa.Decode(s.Instruction)
+		if err != nil {
+			t.Fatal(err)
+		}
+		instrs[in.String()]++
+	}
+	t.Logf("instruction histogram: %v", instrs)
+	// The b{1,4} chunk: a shift loop with the rHalf exit read, and a
+	// set1 entry copy carrying the same read (the paper's rHalf·set1).
+	if instrs["rHalf·shift/8b"] == 0 {
+		t.Errorf("missing rHalf·shift/8b: %v", instrs)
+	}
+	if instrs["rHalf·set1/8b"] == 0 {
+		t.Errorf("missing rHalf·set1/8b (the paper's combination form): %v", instrs)
+	}
+	// The (cd){6} group: d carries the exact exit read r(6); c and the
+	// split copies move the vector with copy/shift.
+	rdSeen := false
+	for name := range instrs {
+		if name == "r(6)·copy/8b" || name == "r(6)·shift/8b" {
+			rdSeen = true
+		}
+	}
+	if !rdSeen {
+		t.Errorf("missing the r(6) exit read: %v", instrs)
+	}
+
+	// Functional equivalence of the compiled machine.
+	ref := swmatch.MustNew("ab{2,5}(cd){6}e")
+	inputs := []string{
+		"abbcdcdcdcdcdcde",      // 2 b's, 6 cd's → match
+		"abbbbbcdcdcdcdcdcde",   // 5 b's → match
+		"abcdcdcdcdcdcde",       // 1 b → no match
+		"abbcdcdcdcdcde",        // 5 cd's → no match
+		"abbbbbbcdcdcdcdcdcde",  // 6 b's → no match
+		"xxabbcdcdcdcdcdcdexxx", // embedded match
+	}
+	for _, in := range inputs {
+		got := res.Machines[0].MatchEnds([]byte(in))
+		want := ref.MatchEnds([]byte(in))
+		if !equalInts(got, want) {
+			t.Errorf("input %q: compiled %v, reference %v", in, got, want)
+		}
+	}
+}
+
+// TestVirtualSizesSelected verifies that the compiler exploits virtual BV
+// sizing: a 19-bit exact chunk uses 3 words, not the full 8.
+func TestVirtualSizesSelected(t *testing.T) {
+	res, err := Compile([]string{"ab{147}c"}, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	words := map[int]int{}
+	for _, s := range res.Config.Machines[0].STEs {
+		if !s.IsBV {
+			continue
+		}
+		in, err := isa.Decode(s.Instruction)
+		if err != nil {
+			t.Fatal(err)
+		}
+		words[in.Words]++
+	}
+	// b{147} → b{64}b{64}b{19}: two 8-word chunks and one 3-word chunk
+	// (each with a set1 entry copy after the AH split).
+	if words[8] == 0 || words[3] == 0 {
+		t.Fatalf("virtual word histogram = %v, want both 8- and 3-word BVs", words)
+	}
+}
+
+// TestAHReadHomogeneity checks the invariant the hardware relies on: after
+// the AH transformation each BV state has exactly one read instruction,
+// shared by all its gated out-edges and its finalization.
+func TestAHReadHomogeneity(t *testing.T) {
+	patterns := []string{"ab{2,5}(cd){6}e", "a(bc){3}d{4,12}e", "x.{200}y|z{9}"}
+	for _, pat := range patterns {
+		ast := LegalizeNesting(regex.Normalize(regex.MustParse(pat)))
+		ast = regex.Rewrite(ast, regex.Options{UnfoldThreshold: 4, BVSize: 16})
+		machine, err := nbva.Build(ast)
+		if err != nil {
+			t.Fatalf("%q: %v", pat, err)
+		}
+		if _, err := nbva.Transform(machine); err != nil {
+			t.Fatalf("%q: read homogeneity violated: %v", pat, err)
+		}
+	}
+}

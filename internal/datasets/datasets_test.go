@@ -1,0 +1,145 @@
+package datasets
+
+import (
+	"math"
+	"testing"
+
+	"bvap/internal/compiler"
+	"bvap/internal/regex"
+)
+
+func TestProfilesComplete(t *testing.T) {
+	ps := Profiles()
+	if len(ps) != 7 {
+		t.Fatalf("profiles = %d, want 7", len(ps))
+	}
+	want := []string{"ClamAV", "Prosite", "RegexLib", "Snort", "SpamAssassin", "Suricata", "YARA"}
+	for i, name := range want {
+		if ps[i].Name != name {
+			t.Fatalf("profile %d = %s, want %s", i, ps[i].Name, name)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	p, err := ByName("snort")
+	if err != nil || p.Name != "Snort" {
+		t.Fatalf("ByName(snort) = %v, %v", p.Name, err)
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Fatal("unknown dataset accepted")
+	}
+}
+
+func TestGenerateDeterministicAndParsable(t *testing.T) {
+	for _, p := range Profiles() {
+		a := p.Generate(50)
+		b := p.Generate(50)
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%s: generation not deterministic", p.Name)
+			}
+			if _, err := regex.Parse(a[i]); err != nil {
+				t.Fatalf("%s: unparsable %q: %v", p.Name, a[i], err)
+			}
+		}
+	}
+}
+
+func TestProfileShapes(t *testing.T) {
+	// Each dataset's generated counting fraction must track its profile.
+	for _, p := range Profiles() {
+		st := Analyze(p.Generate(400))
+		got := st.CountingRegexFrac()
+		if math.Abs(got-p.CountingFrac) > 0.12 {
+			t.Errorf("%s: counting frac %.2f, profile %.2f", p.Name, got, p.CountingFrac)
+		}
+		if st.MaxBound > p.BoundHi {
+			t.Errorf("%s: bound %d exceeds profile max %d", p.Name, st.MaxBound, p.BoundHi)
+		}
+	}
+}
+
+func TestPaperMotivationNumbers(t *testing.T) {
+	// §1: across the combined collections, bounded repetition appears in
+	// ≈37% of regexes and accounts for ≈85% of unfolded NFA states. The
+	// synthetic profiles must land near those anchors.
+	var all []string
+	for _, p := range Profiles() {
+		all = append(all, p.Generate(300)...)
+	}
+	st := Analyze(all)
+	frac := st.CountingRegexFrac()
+	if frac < 0.30 || frac > 0.50 {
+		t.Errorf("counting regex fraction = %.2f, want ≈0.37", frac)
+	}
+	statesFrac := st.CountingStateFrac()
+	if statesFrac < 0.70 || statesFrac > 0.97 {
+		t.Errorf("counting state fraction = %.2f, want ≈0.85", statesFrac)
+	}
+	if st.MaxBound < 4000 {
+		t.Errorf("max bound = %d, want > 4000 (ClamAV-style gaps)", st.MaxBound)
+	}
+}
+
+func TestBVSTERatios(t *testing.T) {
+	// §6: the BV-STE ratio is typically below 18%; SpamAssassin ≈5%.
+	for _, p := range Profiles() {
+		res, err := compiler.Compile(p.Sample(120), compiler.DefaultOptions())
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name, err)
+		}
+		storage := 0
+		for _, tp := range res.Config.Tiles {
+			storage += tp.BVSTEs
+		}
+		total := res.Report.TotalSTEs
+		if total == 0 {
+			t.Fatalf("%s: nothing compiled", p.Name)
+		}
+		ratio := float64(storage) / float64(total)
+		if ratio > 0.45 {
+			t.Errorf("%s: BV ratio %.2f implausibly high", p.Name, ratio)
+		}
+		if p.Name == "SpamAssassin" && ratio > 0.15 {
+			t.Errorf("SpamAssassin BV ratio %.2f, want ≈0.05", ratio)
+		}
+	}
+}
+
+func TestInputCorpus(t *testing.T) {
+	p, _ := ByName("Snort")
+	pats := p.Sample(20)
+	in := p.Input(5000, pats)
+	if len(in) != 5000 {
+		t.Fatalf("input length = %d", len(in))
+	}
+	// Deterministic.
+	in2 := p.Input(5000, pats)
+	for i := range in {
+		if in[i] != in2[i] {
+			t.Fatal("input not deterministic")
+		}
+	}
+}
+
+func TestMostRegexesCompile(t *testing.T) {
+	// §6: 48 BVs per tile "covers over 99% of regexes in our datasets".
+	// Synthetic profiles include huge ClamAV-style bounds that exercise
+	// splitting; nearly everything must still compile.
+	for _, p := range Profiles() {
+		res, err := compiler.Compile(p.Sample(150), compiler.DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		frac := float64(res.Report.Unsupported) / 150
+		if frac > 0.05 {
+			for _, r := range res.Report.PerRegex {
+				if !r.Supported {
+					t.Logf("%s unsupported: %q: %s", p.Name, r.Pattern, r.Reason)
+				}
+			}
+			t.Errorf("%s: %.1f%% unsupported", p.Name, frac*100)
+		}
+	}
+}

@@ -1,0 +1,189 @@
+// Package dfa implements subset-construction determinization of Glushkov
+// NFAs with streaming partial-match semantics. It exists for two reasons
+// rooted in §2 of the paper:
+//
+//   - it demonstrates the blowup that motivates NFA-based hardware: a
+//     counting pattern like .*a.{n} determinizes to Θ(2ⁿ) states, because
+//     the DFA must remember which of the last n positions held an 'a'
+//     (tests in this package measure the claim directly);
+//   - it is a third, independently constructed matching oracle for the
+//     repository's differential tests (AH-NBVA vs NCA vs swmatch vs DFA).
+//
+// Construction is lazy with an explicit state cap, so callers can both use
+// small DFAs for matching and observe when a pattern explodes.
+package dfa
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"bvap/internal/glushkov"
+)
+
+// ErrTooLarge is reported when determinization exceeds the state cap.
+var ErrTooLarge = errors.New("dfa: state cap exceeded")
+
+// DFA is a determinized automaton with partial-match semantics baked in:
+// the initial NFA states are re-armed on every symbol, so the subset
+// transition function already encodes `.*` prefixing, and a subset is
+// accepting if it contains an NFA final state.
+type DFA struct {
+	nfa *glushkov.NFA
+	// trans[s][b] is the successor of state s on symbol b.
+	trans [][256]int
+	// accept[s] reports whether a match ends when state s is entered.
+	accept []bool
+	cap    int
+
+	// subsets keyed by their canonical signature → DFA state id.
+	ids     map[string]int
+	subsets [][]int
+}
+
+// Build determinizes the NFA eagerly up to maxStates subsets. Use Lazy for
+// on-demand construction.
+func Build(nfa *glushkov.NFA, maxStates int) (*DFA, error) {
+	d := Lazy(nfa, maxStates)
+	// Force full construction with a worklist.
+	work := []int{0}
+	seen := map[int]bool{0: true}
+	for len(work) > 0 {
+		s := work[len(work)-1]
+		work = work[:len(work)-1]
+		for b := 0; b < 256; b++ {
+			succ, err := d.step(s, byte(b))
+			if err != nil {
+				return nil, err
+			}
+			if !seen[succ] {
+				seen[succ] = true
+				work = append(work, succ)
+			}
+		}
+	}
+	return d, nil
+}
+
+// Lazy prepares a DFA whose subsets materialize on demand during matching.
+func Lazy(nfa *glushkov.NFA, maxStates int) *DFA {
+	if maxStates < 1 {
+		maxStates = 1
+	}
+	d := &DFA{nfa: nfa, cap: maxStates, ids: map[string]int{}}
+	d.intern(nil) // state 0: the empty subset (only initial re-arming live)
+	return d
+}
+
+// Size returns the number of materialized DFA states.
+func (d *DFA) Size() int { return len(d.subsets) }
+
+// intern returns the id of a subset, materializing it if new.
+func (d *DFA) intern(subset []int) int {
+	key := signature(subset)
+	if id, ok := d.ids[key]; ok {
+		return id
+	}
+	id := len(d.subsets)
+	d.ids[key] = id
+	d.subsets = append(d.subsets, append([]int(nil), subset...))
+	var row [256]int
+	for i := range row {
+		row[i] = -1
+	}
+	d.trans = append(d.trans, row)
+	acc := false
+	for _, q := range subset {
+		if d.nfa.States[q].Final {
+			acc = true
+			break
+		}
+	}
+	d.accept = append(d.accept, acc)
+	return id
+}
+
+func signature(subset []int) string {
+	var sb strings.Builder
+	for _, q := range subset {
+		fmt.Fprintf(&sb, "%x,", q)
+	}
+	return sb.String()
+}
+
+// step returns the successor state of s on b, materializing it if needed.
+func (d *DFA) step(s int, b byte) (int, error) {
+	if next := d.trans[s][b]; next >= 0 {
+		return next, nil
+	}
+	nfa := d.nfa
+	set := map[int]bool{}
+	// Successors of the subset's members.
+	for _, q := range d.subsets[s] {
+		for _, succ := range nfa.Follow[q] {
+			if nfa.States[succ].Class.Contains(b) {
+				set[succ] = true
+			}
+		}
+	}
+	// Partial-match semantics: initial states re-arm every symbol.
+	for _, q := range nfa.Initial {
+		if nfa.States[q].Class.Contains(b) {
+			set[q] = true
+		}
+	}
+	subset := make([]int, 0, len(set))
+	for q := range set {
+		subset = append(subset, q)
+	}
+	sort.Ints(subset)
+	if _, exists := d.ids[signature(subset)]; !exists && len(d.subsets) >= d.cap {
+		return 0, fmt.Errorf("%w (cap %d)", ErrTooLarge, d.cap)
+	}
+	next := d.intern(subset)
+	d.trans[s][b] = next
+	return next, nil
+}
+
+// MatchEnds runs the DFA over input, returning every index where a match
+// ends. Construction happens lazily; ErrTooLarge is returned if the subset
+// space exceeds the cap.
+func (d *DFA) MatchEnds(input []byte) ([]int, error) {
+	s := 0
+	var ends []int
+	for i, b := range input {
+		next, err := d.step(s, b)
+		if err != nil {
+			return ends, err
+		}
+		s = next
+		if d.accept[s] {
+			ends = append(ends, i)
+		}
+	}
+	return ends, nil
+}
+
+// Runner is a streaming matcher over a lazily built DFA.
+type Runner struct {
+	d   *DFA
+	cur int
+}
+
+// NewRunner returns a streaming runner at the start state.
+func (d *DFA) NewRunner() *Runner { return &Runner{d: d} }
+
+// Step consumes one byte; it reports whether a match ends at it, and an
+// error when determinization exceeds the cap.
+func (r *Runner) Step(b byte) (bool, error) {
+	next, err := r.d.step(r.cur, b)
+	if err != nil {
+		return false, err
+	}
+	r.cur = next
+	return r.d.accept[next], nil
+}
+
+// Reset returns the runner to the start state.
+func (r *Runner) Reset() { r.cur = 0 }

@@ -1,0 +1,135 @@
+package dfa
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"bvap/internal/glushkov"
+	"bvap/internal/nbva"
+	"bvap/internal/regex"
+	"bvap/internal/swmatch"
+)
+
+func nfaFor(t *testing.T, pattern string) *glushkov.NFA {
+	t.Helper()
+	return glushkov.MustBuild(regex.FullyUnfold(regex.MustParse(pattern)))
+}
+
+func TestBasicMatching(t *testing.T) {
+	d := Lazy(nfaFor(t, "ab{3}c"), 1<<16)
+	ends, err := d.MatchEnds([]byte("xxabbbcyy abbbc"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ends) != 2 || ends[0] != 6 || ends[1] != 14 {
+		t.Fatalf("ends = %v", ends)
+	}
+}
+
+func TestAgainstReferenceMatchers(t *testing.T) {
+	patterns := []string{
+		"ab{3}c", "a(.a){3}b", "a{2,6}", "x(ab|c){3}y", "a+b{3}c*",
+		"(?i)get.{4}http",
+	}
+	r := rand.New(rand.NewSource(23))
+	for _, pat := range patterns {
+		d := Lazy(nfaFor(t, pat), 1<<18)
+		ref := swmatch.MustNew(pat)
+		bva := nbva.MustBuild(regex.MustParse(pat))
+		for trial := 0; trial < 15; trial++ {
+			input := make([]byte, 60)
+			for i := range input {
+				input[i] = "abcxyGETHp"[r.Intn(10)]
+			}
+			got, err := d.MatchEnds(input)
+			if err != nil {
+				t.Fatalf("%q: %v", pat, err)
+			}
+			want := ref.MatchEnds(input)
+			alt := bva.MatchEnds(input)
+			if !equalInts(got, want) || !equalInts(got, alt) {
+				t.Fatalf("%q input %q: dfa %v, swmatch %v, nbva %v", pat, input, got, want, alt)
+			}
+		}
+	}
+}
+
+// TestExponentialBlowup measures the §2 claim: determinizing .*a.{n}
+// requires Θ(2ⁿ) states because the DFA must remember which of the last n
+// symbols were 'a'.
+func TestExponentialBlowup(t *testing.T) {
+	sizes := map[int]int{}
+	for _, n := range []int{2, 4, 6, 8, 10} {
+		d, err := Build(nfaFor(t, fmt.Sprintf("a.{%d}", n)), 1<<16)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		sizes[n] = d.Size()
+	}
+	// Each +2 on the bound must multiply the DFA size by ≈4.
+	for _, n := range []int{4, 6, 8, 10} {
+		ratio := float64(sizes[n]) / float64(sizes[n-2])
+		if ratio < 3 {
+			t.Fatalf("blowup missing: size(%d)=%d size(%d)=%d", n-2, sizes[n-2], n, sizes[n])
+		}
+	}
+	t.Logf("DFA sizes for a.{n}: %v (NBVA needs 2 states regardless)", sizes)
+}
+
+func TestStateCapEnforced(t *testing.T) {
+	d := Lazy(nfaFor(t, "a.{14}"), 64)
+	input := make([]byte, 4096)
+	r := rand.New(rand.NewSource(2))
+	for i := range input {
+		input[i] = "ab"[r.Intn(2)]
+	}
+	_, err := d.MatchEnds(input)
+	if !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("err = %v, want ErrTooLarge", err)
+	}
+}
+
+func TestRunnerStreaming(t *testing.T) {
+	d := Lazy(nfaFor(t, "ab"), 128)
+	r := d.NewRunner()
+	m, err := r.Step('a')
+	if err != nil || m {
+		t.Fatal("premature match")
+	}
+	m, err = r.Step('b')
+	if err != nil || !m {
+		t.Fatal("missed match")
+	}
+	r.Reset()
+	if m, _ := r.Step('b'); m {
+		t.Fatal("stale state after reset")
+	}
+}
+
+func TestEagerBuildSmall(t *testing.T) {
+	d, err := Build(nfaFor(t, "abc"), 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Size() < 3 || d.Size() > 16 {
+		t.Fatalf("size = %d", d.Size())
+	}
+	// Transition table fully materialized: no errors during matching.
+	if _, err := d.MatchEnds([]byte("zzabczz")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

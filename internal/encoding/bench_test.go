@@ -1,0 +1,23 @@
+package encoding
+
+import (
+	"testing"
+
+	"bvap/internal/charclass"
+)
+
+func BenchmarkEncodeSingleton(b *testing.B) {
+	c := charclass.Single('a')
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Encode(c)
+	}
+}
+
+func BenchmarkEncodeComplexClass(b *testing.B) {
+	c := charclass.Word().Union(charclass.Range(0x80, 0x9b))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Encode(c)
+	}
+}

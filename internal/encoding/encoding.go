@@ -1,0 +1,169 @@
+// Package encoding implements the symbol-encoding schema of the compiler's
+// step 2 (§7): "The compiler analyzes input symbols that occur in regexes
+// and generates an encoding schema for every input symbol. We use a similar
+// encoding algorithm as presented in [CAMA]."
+//
+// CAMA stores STE predicates in a CAM searched by an *encoded* symbol
+// rather than by a 256-bit one-hot row: the 8-bit input is split into two
+// 4-bit halves, each decoded to a 16-bit one-hot, giving a 32-bit search
+// key. An STE predicate is CAM-compatible when it factors into a product
+// σ = H × L of a set of high nibbles and a set of low nibbles, in which
+// case it is stored as a 32-bit ternary pattern (16 high-nibble bits and 16
+// low-nibble bits, with "don't care" available per half). Predicates that
+// do not factor are covered by a union of factorable patterns, each
+// occupying one CAM entry — this multiplicity is CAMA's (and therefore
+// BVAP's) memory-cost model for complex character classes.
+package encoding
+
+import (
+	"fmt"
+	"math/bits"
+
+	"bvap/internal/charclass"
+)
+
+// KeyBits is the encoded search-key width: two 16-bit one-hot halves.
+const KeyBits = 32
+
+// Pattern is one CAM entry: a ternary match over the 32-bit encoded key.
+// High and Low are bitmasks of accepted nibble values; a symbol b matches
+// when High has bit b>>4 set and Low has bit b&15 set.
+type Pattern struct {
+	High uint16
+	Low  uint16
+}
+
+// Matches reports whether symbol b satisfies the pattern.
+func (p Pattern) Matches(b byte) bool {
+	return p.High&(1<<(b>>4)) != 0 && p.Low&(1<<(b&0x0f)) != 0
+}
+
+// Class returns the set of symbols the pattern accepts (the product set
+// High × Low).
+func (p Pattern) Class() charclass.Class {
+	c := charclass.Empty()
+	for hi := 0; hi < 16; hi++ {
+		if p.High&(1<<hi) == 0 {
+			continue
+		}
+		for lo := 0; lo < 16; lo++ {
+			if p.Low&(1<<lo) == 0 {
+				continue
+			}
+			c = c.Union(charclass.Single(byte(hi<<4 | lo)))
+		}
+	}
+	return c
+}
+
+func (p Pattern) String() string {
+	return fmt.Sprintf("hi=%016b lo=%016b", p.High, p.Low)
+}
+
+// EncodeSymbol produces the 32-bit one-hot search key for an input symbol:
+// the high half in bits 16..31, the low half in bits 0..15.
+func EncodeSymbol(b byte) uint32 {
+	return 1<<uint(16+(b>>4)) | 1<<uint(b&0x0f)
+}
+
+// Encode decomposes a character class into CAM patterns whose union is
+// exactly the class. The decomposition is the row-factoring CAMA uses:
+// group the class's symbols by high nibble, then merge high nibbles that
+// share an identical low-nibble set into a single product pattern.
+//
+// Factorable classes (singletons, ranges aligned to nibbles, Σ, many
+// real-world classes) need one pattern; the worst case needs one pattern
+// per distinct low-set (≤ 16).
+func Encode(c charclass.Class) []Pattern {
+	if c.IsEmpty() {
+		return nil
+	}
+	// lowSet[hi] is the bitmask of low nibbles present for high nibble hi.
+	var lowSet [16]uint16
+	for _, b := range c.Symbols() {
+		lowSet[b>>4] |= 1 << (b & 0x0f)
+	}
+	// Merge high nibbles with identical low sets.
+	byLow := map[uint16]uint16{} // low mask → high mask
+	order := []uint16{}
+	for hi := 0; hi < 16; hi++ {
+		if lowSet[hi] == 0 {
+			continue
+		}
+		if _, seen := byLow[lowSet[hi]]; !seen {
+			order = append(order, lowSet[hi])
+		}
+		byLow[lowSet[hi]] |= 1 << hi
+	}
+	out := make([]Pattern, 0, len(order))
+	for _, low := range order {
+		out = append(out, Pattern{High: byLow[low], Low: low})
+	}
+	return out
+}
+
+// Cost returns the number of CAM entries a class occupies under the
+// encoding — the per-STE memory multiplier in the CAMA/BVAP cost model.
+func Cost(c charclass.Class) int { return len(Encode(c)) }
+
+// Schema is the encoding plan for a compiled pattern set: per-class CAM
+// entry counts and the aggregate statistics the mapper uses.
+type Schema struct {
+	// Entries is the total CAM entries across all analyzed classes.
+	Entries int
+	// Classes is the number of distinct classes analyzed.
+	Classes int
+	// Worst is the largest per-class entry count encountered.
+	Worst int
+}
+
+// Analyze builds a Schema over a set of classes, deduplicating identical
+// classes (they share CAM rows across STEs in CAMA's design).
+func Analyze(classes []charclass.Class) Schema {
+	var s Schema
+	seen := map[uint64][]charclass.Class{}
+	for _, c := range classes {
+		h := c.Hash()
+		dup := false
+		for _, prev := range seen[h] {
+			if prev.Equal(c) {
+				dup = true
+				break
+			}
+		}
+		if dup {
+			continue
+		}
+		seen[h] = append(seen[h], c)
+		s.Classes++
+		n := Cost(c)
+		s.Entries += n
+		if n > s.Worst {
+			s.Worst = n
+		}
+	}
+	return s
+}
+
+// Verify checks that the union of the patterns reproduces the class
+// exactly; it returns an error describing the first mismatching symbol.
+// The compiler runs this as a self-check when emitting configurations.
+func Verify(c charclass.Class, patterns []Pattern) error {
+	got := charclass.Empty()
+	for _, p := range patterns {
+		got = got.Union(p.Class())
+	}
+	if !got.Equal(c) {
+		for b := 0; b < charclass.AlphabetSize; b++ {
+			if got.Contains(byte(b)) != c.Contains(byte(b)) {
+				return fmt.Errorf("encoding: symbol %#02x mismatch (class %v, encoded %v)",
+					b, c.Contains(byte(b)), got.Contains(byte(b)))
+			}
+		}
+	}
+	return nil
+}
+
+// PopcountKey counts the set bits of an encoded key; always 2 by
+// construction (one per half), kept for fuzzing the invariant.
+func PopcountKey(k uint32) int { return bits.OnesCount32(k) }

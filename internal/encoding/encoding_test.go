@@ -1,0 +1,147 @@
+package encoding
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"bvap/internal/charclass"
+)
+
+func TestEncodeSingleton(t *testing.T) {
+	for _, b := range []byte{0, 15, 16, 0x41, 0xff} {
+		ps := Encode(charclass.Single(b))
+		if len(ps) != 1 {
+			t.Fatalf("singleton %#02x: %d patterns", b, len(ps))
+		}
+		if !ps[0].Matches(b) {
+			t.Fatalf("pattern does not match its symbol")
+		}
+		if ps[0].Class().Count() != 1 {
+			t.Fatalf("singleton pattern covers %d symbols", ps[0].Class().Count())
+		}
+	}
+}
+
+func TestEncodeSigma(t *testing.T) {
+	ps := Encode(charclass.Any())
+	if len(ps) != 1 {
+		t.Fatalf("Σ needs %d patterns, want 1 (all-don't-care)", len(ps))
+	}
+	if ps[0].High != 0xffff || ps[0].Low != 0xffff {
+		t.Fatalf("Σ pattern = %v", ps[0])
+	}
+}
+
+func TestEncodeAlignedRange(t *testing.T) {
+	// 0x40..0x4f is a single high nibble with all lows: one pattern.
+	ps := Encode(charclass.Range(0x40, 0x4f))
+	if len(ps) != 1 {
+		t.Fatalf("aligned range: %d patterns", len(ps))
+	}
+	// 0x40..0x5f spans two high nibbles with identical low sets: still
+	// one pattern (high-nibble merging).
+	ps = Encode(charclass.Range(0x40, 0x5f))
+	if len(ps) != 1 {
+		t.Fatalf("two-nibble range: %d patterns", len(ps))
+	}
+	// A misaligned range needs more.
+	ps = Encode(charclass.Range(0x3a, 0x45))
+	if len(ps) != 2 {
+		t.Fatalf("misaligned range: %d patterns", len(ps))
+	}
+}
+
+func TestEncodeEmpty(t *testing.T) {
+	if ps := Encode(charclass.Empty()); ps != nil {
+		t.Fatalf("empty class: %v", ps)
+	}
+}
+
+func TestWorstCaseBounded(t *testing.T) {
+	// The staircase class {0x00, 0x11, 0x22, …} has 16 distinct low
+	// sets — the worst case — and must still verify.
+	c := charclass.Empty()
+	for i := 0; i < 16; i++ {
+		c = c.Union(charclass.Single(byte(i<<4 | i)))
+	}
+	ps := Encode(c)
+	if len(ps) != 16 {
+		t.Fatalf("staircase: %d patterns, want 16", len(ps))
+	}
+	if err := Verify(c, ps); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickEncodeExact(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		c := charclass.Empty()
+		n := 1 + r.Intn(80)
+		for i := 0; i < n; i++ {
+			c = c.Union(charclass.Single(byte(r.Intn(256))))
+		}
+		ps := Encode(c)
+		if err := Verify(c, ps); err != nil {
+			return false
+		}
+		// Patterns must be disjoint contributions... not required;
+		// but every symbol of the class must match ≥1 pattern and no
+		// outside symbol any.
+		for b := 0; b < 256; b++ {
+			m := false
+			for _, p := range ps {
+				if p.Matches(byte(b)) {
+					m = true
+					break
+				}
+			}
+			if m != c.Contains(byte(b)) {
+				return false
+			}
+		}
+		return len(ps) <= 16
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEncodeSymbolOneHot(t *testing.T) {
+	for b := 0; b < 256; b++ {
+		k := EncodeSymbol(byte(b))
+		if PopcountKey(k) != 2 {
+			t.Fatalf("key of %#02x has %d bits set", b, PopcountKey(k))
+		}
+		// The key must match exactly the patterns that contain b.
+		p := Encode(charclass.Single(byte(b)))[0]
+		if !p.Matches(byte(b)) {
+			t.Fatal("key does not select its own pattern")
+		}
+	}
+}
+
+func TestAnalyzeDedup(t *testing.T) {
+	classes := []charclass.Class{
+		charclass.Single('a'),
+		charclass.Single('a'), // duplicate
+		charclass.Digit(),
+		charclass.Any(),
+	}
+	s := Analyze(classes)
+	if s.Classes != 3 {
+		t.Fatalf("classes = %d, want 3 (dedup)", s.Classes)
+	}
+	if s.Entries < 3 || s.Worst < 1 {
+		t.Fatalf("schema = %+v", s)
+	}
+}
+
+func TestVerifyCatchesBadEncoding(t *testing.T) {
+	c := charclass.Single('a')
+	bad := []Pattern{{High: 0xffff, Low: 0xffff}}
+	if err := Verify(c, bad); err == nil {
+		t.Fatal("Verify accepted an over-covering encoding")
+	}
+}

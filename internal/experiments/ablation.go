@@ -1,0 +1,126 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"bvap/internal/archmodel"
+	"bvap/internal/compiler"
+	"bvap/internal/datasets"
+	"bvap/internal/hwsim"
+	"bvap/internal/metrics"
+)
+
+// AblationRow is one design variant's metrics normalized to the adopted
+// BVAP design point (semi-parallel routing, event-driven BVM, virtual BV
+// sizing, shared-crossbar BVM instead of a per-transition PE array).
+type AblationRow struct {
+	Name           string
+	EnergyNorm     float64 // lower is better
+	AreaNorm       float64 // lower is better
+	ThroughputNorm float64 // higher is better
+	FoMNorm        float64 // lower is better
+}
+
+// AblationOptions parameterizes the ablation run.
+type AblationOptions struct {
+	Dataset  string
+	Sample   int
+	InputLen int
+}
+
+func (o *AblationOptions) fill() {
+	if o.Dataset == "" {
+		o.Dataset = "Snort"
+	}
+	if o.Sample == 0 {
+		o.Sample = 60
+	}
+	if o.InputLen == 0 {
+		o.InputLen = 4096
+	}
+}
+
+// Ablation quantifies each BVAP design decision by disabling it in
+// isolation and re-running the cycle simulation on a counting-heavy
+// dataset. The variants mirror the alternatives §3, §5 and §6 argue
+// against.
+func Ablation(opt AblationOptions) ([]AblationRow, error) {
+	opt.fill()
+	prof, err := datasets.ByName(opt.Dataset)
+	if err != nil {
+		return nil, err
+	}
+	patterns := prof.Sample(opt.Sample)
+	input := prof.Input(opt.InputLen, patterns)
+	res, err := compiler.Compile(patterns, compiler.DefaultOptions())
+	if err != nil {
+		return nil, err
+	}
+
+	variants := []struct {
+		name string
+		v    hwsim.Variant
+	}{
+		{"BVAP (adopted)", hwsim.DefaultVariant()},
+		{"naive PE array (§3)", func() hwsim.Variant {
+			v := hwsim.DefaultVariant()
+			v.NaivePE = true
+			return v
+		}()},
+		{"serial routing (§5)", func() hwsim.Variant {
+			v := hwsim.DefaultVariant()
+			v.Routing = archmodel.RoutingSerial
+			return v
+		}()},
+		{"parallel routing (§5)", func() hwsim.Variant {
+			v := hwsim.DefaultVariant()
+			v.Routing = archmodel.RoutingParallel
+			return v
+		}()},
+		{"always-on BVM (§6)", func() hwsim.Variant {
+			v := hwsim.DefaultVariant()
+			v.EventDriven = false
+			return v
+		}()},
+		{"no virtual BV sizing (§5)", func() hwsim.Variant {
+			v := hwsim.DefaultVariant()
+			v.VirtualSizing = false
+			return v
+		}()},
+	}
+
+	var base metrics.Point
+	var rows []AblationRow
+	for i, variant := range variants {
+		sys, err := hwsim.NewBVAPSystem(res.Config, false)
+		if err != nil {
+			return nil, err
+		}
+		sys.SetVariant(variant.v)
+		sys.Run(input)
+		p := metrics.FromStats(variant.name, sys.Finish())
+		if i == 0 {
+			base = p
+		}
+		n := p.Normalized(base)
+		rows = append(rows, AblationRow{
+			Name:           variant.name,
+			EnergyNorm:     n.EnergyPerSymbolNJ,
+			AreaNorm:       n.AreaMm2,
+			ThroughputNorm: n.ThroughputGbps,
+			FoMNorm:        n.FoM,
+		})
+	}
+	return rows, nil
+}
+
+// RenderAblation prints the ablation table.
+func RenderAblation(w io.Writer, dataset string, rows []AblationRow) {
+	fmt.Fprintf(w, "Ablation — design choices on %s, normalized to the adopted BVAP\n", dataset)
+	fmt.Fprintf(w, "%-28s %10s %10s %12s %10s\n", "variant", "energy", "area", "throughput", "FoM")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-28s %10.3f %10.3f %12.3f %10.3f\n",
+			r.Name, r.EnergyNorm, r.AreaNorm, r.ThroughputNorm, r.FoMNorm)
+	}
+}

@@ -1,0 +1,77 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestAblationShape(t *testing.T) {
+	rows, err := Ablation(AblationOptions{Sample: 50, InputLen: 6000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	byName := map[string]AblationRow{}
+	for _, r := range rows {
+		byName[r.Name] = r
+	}
+	base := byName["BVAP (adopted)"]
+	if base.EnergyNorm != 1 || base.AreaNorm != 1 || base.FoMNorm != 1 {
+		t.Fatalf("baseline not normalized to 1: %+v", base)
+	}
+	// The §3 argument: the naïve PE array costs far more area (the PE
+	// count grows quadratically with the BVs per tile).
+	if naive := byName["naive PE array (§3)"]; naive.AreaNorm < 2 {
+		t.Errorf("naive PE area = %.2fx, expected a large penalty", naive.AreaNorm)
+	}
+	// The §5 routing trade: serial saves area but loses throughput;
+	// parallel gains (some) throughput at a large area cost; the adopted
+	// semi-parallel point has the best FoM of the three.
+	serial := byName["serial routing (§5)"]
+	parallel := byName["parallel routing (§5)"]
+	if serial.AreaNorm >= 1 {
+		t.Errorf("serial routing should save area: %.3f", serial.AreaNorm)
+	}
+	if serial.ThroughputNorm >= 1 {
+		t.Errorf("serial routing should lose throughput: %.3f", serial.ThroughputNorm)
+	}
+	if parallel.AreaNorm <= 1 {
+		t.Errorf("parallel routing should cost area: %.3f", parallel.AreaNorm)
+	}
+	if parallel.ThroughputNorm < 1 {
+		t.Errorf("parallel routing should not lose throughput: %.3f", parallel.ThroughputNorm)
+	}
+	// The §6 argument: always-on BVM destroys throughput and wastes
+	// energy on idle phases.
+	always := byName["always-on BVM (§6)"]
+	if always.ThroughputNorm >= 0.9 {
+		t.Errorf("always-on BVM throughput = %.3f, expected a big loss", always.ThroughputNorm)
+	}
+	if always.EnergyNorm <= 1 {
+		t.Errorf("always-on BVM energy = %.3f, expected a penalty", always.EnergyNorm)
+	}
+	// No variant should beat the adopted design's FoM decisively (ties
+	// are possible when the knob doesn't bind on this dataset).
+	for _, r := range rows {
+		if r.FoMNorm < 0.85 {
+			t.Errorf("%s beats the adopted FoM by %.3f — model inconsistency", r.Name, r.FoMNorm)
+		}
+	}
+}
+
+func TestAblationUnknownDataset(t *testing.T) {
+	if _, err := Ablation(AblationOptions{Dataset: "nope"}); err == nil {
+		t.Fatal("unknown dataset accepted")
+	}
+}
+
+func TestRenderAblation(t *testing.T) {
+	var buf bytes.Buffer
+	RenderAblation(&buf, "Snort", []AblationRow{{Name: "x", EnergyNorm: 1, AreaNorm: 2, ThroughputNorm: 0.5, FoMNorm: 4}})
+	if !strings.Contains(buf.String(), "Ablation") || !strings.Contains(buf.String(), "Snort") {
+		t.Fatal("render output wrong")
+	}
+}

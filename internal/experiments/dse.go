@@ -1,0 +1,321 @@
+package experiments
+
+import (
+	"fmt"
+
+	"bvap/internal/archmodel"
+	"bvap/internal/compiler"
+	"bvap/internal/datasets"
+	"bvap/internal/hwsim"
+	"bvap/internal/metrics"
+)
+
+// DSEPoint is one cell of Fig. 13: BVAP at a (bv_size, unfold_th)
+// combination on one dataset, normalized to CAMA on the same dataset.
+type DSEPoint struct {
+	Dataset     string
+	BVSize      int
+	UnfoldTh    int
+	DensityNorm float64 // higher is better
+	EDPNorm     float64 // lower is better
+	FoMNorm     float64 // lower is better
+	Unsupported int
+}
+
+// DSEOptions parameterizes the exploration; zero values select the paper's
+// sweep at a sample size that completes quickly (use cmd/bvapbench for the
+// full-size run).
+type DSEOptions struct {
+	BVSizes   []int
+	UnfoldThs []int
+	Sample    int
+	InputLen  int
+	Datasets  []string
+}
+
+func (o *DSEOptions) fill() {
+	if len(o.BVSizes) == 0 {
+		o.BVSizes = []int{16, 32, 64}
+	}
+	if len(o.UnfoldThs) == 0 {
+		o.UnfoldThs = []int{4, 8, 12}
+	}
+	if o.Sample == 0 {
+		o.Sample = 80
+	}
+	if o.InputLen == 0 {
+		o.InputLen = 2048
+	}
+	if len(o.Datasets) == 0 {
+		for _, p := range datasets.Profiles() {
+			o.Datasets = append(o.Datasets, p.Name)
+		}
+	}
+}
+
+// Fig13 runs the design space exploration of §8 across the seven datasets.
+func Fig13(opt DSEOptions) ([]DSEPoint, error) {
+	opt.fill()
+	var out []DSEPoint
+	for _, name := range opt.Datasets {
+		prof, err := datasets.ByName(name)
+		if err != nil {
+			return nil, err
+		}
+		patterns := prof.Sample(opt.Sample)
+		input := prof.Input(opt.InputLen, patterns)
+
+		camaStats, err := runBaseline(archmodel.CAMA, patterns, input, false)
+		if err != nil {
+			return nil, fmt.Errorf("fig13 %s cama: %v", name, err)
+		}
+		cama := metrics.FromStats("CAMA", camaStats)
+
+		for _, k := range opt.BVSizes {
+			for _, th := range opt.UnfoldThs {
+				stats, unsupported, err := runBVAPCounted(patterns,
+					compiler.Options{BVSizeBits: k, UnfoldThreshold: th}, input)
+				if err != nil {
+					return nil, fmt.Errorf("fig13 %s k=%d th=%d: %v", name, k, th, err)
+				}
+				p := metrics.FromStats("BVAP", stats)
+				out = append(out, DSEPoint{
+					Dataset:     name,
+					BVSize:      k,
+					UnfoldTh:    th,
+					DensityNorm: safeDiv(p.ComputeDensity, cama.ComputeDensity),
+					EDPNorm:     safeDiv(p.EDP, cama.EDP),
+					FoMNorm:     safeDiv(p.FoM, cama.FoM),
+					Unsupported: unsupported,
+				})
+			}
+		}
+	}
+	return out, nil
+}
+
+func runBVAPCounted(patterns []string, opt compiler.Options, input []byte) (*hwsim.Stats, int, error) {
+	res, err := compiler.Compile(patterns, opt)
+	if err != nil {
+		return nil, 0, err
+	}
+	sys, err := hwsim.NewBVAPSystem(res.Config, false)
+	if err != nil {
+		return nil, 0, err
+	}
+	sys.Run(input)
+	return sys.Finish(), res.Report.Unsupported, nil
+}
+
+// BestParams is one row of Table 5: the (bv_size, unfold_th) pair with the
+// best (lowest) FoM for a dataset.
+type BestParams struct {
+	Dataset  string
+	BVSize   int
+	UnfoldTh int
+	FoMNorm  float64
+}
+
+// Table5 selects the best-FoM parameters per dataset from DSE results.
+func Table5(points []DSEPoint) []BestParams {
+	best := map[string]*BestParams{}
+	var order []string
+	for _, p := range points {
+		b, ok := best[p.Dataset]
+		if !ok {
+			order = append(order, p.Dataset)
+			best[p.Dataset] = &BestParams{Dataset: p.Dataset, BVSize: p.BVSize, UnfoldTh: p.UnfoldTh, FoMNorm: p.FoMNorm}
+			continue
+		}
+		if p.FoMNorm < b.FoMNorm {
+			b.BVSize, b.UnfoldTh, b.FoMNorm = p.BVSize, p.UnfoldTh, p.FoMNorm
+		}
+	}
+	out := make([]BestParams, 0, len(order))
+	for _, name := range order {
+		out = append(out, *best[name])
+	}
+	return out
+}
+
+// Fig14Row is one dataset's bar group in Fig. 14: every architecture's
+// metrics normalized to CA.
+type Fig14Row struct {
+	Dataset string
+	// Points holds absolute metrics keyed by architecture name; Norm
+	// holds the same normalized to CA.
+	Points map[string]metrics.Point
+	Norm   map[string]metrics.Point
+}
+
+// Fig14Options parameterizes the real-world benchmark run.
+type Fig14Options struct {
+	Sample   int
+	InputLen int
+	Datasets []string
+	// Params overrides the per-dataset compiler parameters; when nil the
+	// experiment first runs the DSE and uses its Table 5 selections.
+	Params map[string]BestParams
+	// IncludeUnsupported keeps regexes the AP-style baselines cannot run
+	// (unfolded size beyond 4096 STEs) in the comparison. The default
+	// (false) restricts all architectures to the commonly supported
+	// subset, which is the paper's fair-comparison methodology; BVAP
+	// additionally running the monsters is reported by cmd/bvapstats.
+	IncludeUnsupported bool
+}
+
+func (o *Fig14Options) fill() {
+	if o.Sample == 0 {
+		o.Sample = 80
+	}
+	if o.InputLen == 0 {
+		o.InputLen = 4096
+	}
+	if len(o.Datasets) == 0 {
+		for _, p := range datasets.Profiles() {
+			o.Datasets = append(o.Datasets, p.Name)
+		}
+	}
+}
+
+// Fig14 runs the real-world comparison of BVAP, BVAP-S, CAMA, eAP and CA.
+func Fig14(opt Fig14Options) ([]Fig14Row, error) {
+	opt.fill()
+	if opt.Params == nil {
+		dse, err := Fig13(DSEOptions{Sample: opt.Sample, Datasets: opt.Datasets})
+		if err != nil {
+			return nil, err
+		}
+		opt.Params = map[string]BestParams{}
+		for _, b := range Table5(dse) {
+			opt.Params[b.Dataset] = b
+		}
+	}
+	var rows []Fig14Row
+	for _, name := range opt.Datasets {
+		prof, err := datasets.ByName(name)
+		if err != nil {
+			return nil, err
+		}
+		patterns := prof.Sample(opt.Sample)
+		if !opt.IncludeUnsupported {
+			patterns = commonSubset(patterns)
+		}
+		input := prof.Input(opt.InputLen, patterns)
+		params, ok := opt.Params[name]
+		if !ok {
+			params = BestParams{BVSize: 64, UnfoldTh: 8}
+		}
+		copt := compiler.Options{BVSizeBits: params.BVSize, UnfoldThreshold: params.UnfoldTh}
+
+		row := Fig14Row{Dataset: name, Points: map[string]metrics.Point{}, Norm: map[string]metrics.Point{}}
+		bvap, err := runBVAP(patterns, copt, input, false, false)
+		if err != nil {
+			return nil, fmt.Errorf("fig14 %s bvap: %v", name, err)
+		}
+		row.Points["BVAP"] = metrics.FromStats("BVAP", bvap)
+		bvaps, err := runBVAP(patterns, copt, input, true, false)
+		if err != nil {
+			return nil, fmt.Errorf("fig14 %s bvap-s: %v", name, err)
+		}
+		row.Points["BVAP-S"] = metrics.FromStats("BVAP-S", bvaps)
+		for _, arch := range []archmodel.Arch{archmodel.CAMA, archmodel.EAP, archmodel.CA} {
+			s, err := runBaseline(arch, patterns, input, false)
+			if err != nil {
+				return nil, fmt.Errorf("fig14 %s %v: %v", name, arch, err)
+			}
+			row.Points[arch.String()] = metrics.FromStats(arch.String(), s)
+		}
+		ca := row.Points["CA"]
+		for name, p := range row.Points {
+			row.Norm[name] = p.Normalized(ca)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// Summary holds the paper's headline aggregate claims computed from Fig. 14
+// rows (geometric means across datasets).
+type Summary struct {
+	EnergyReductionVsCAMA float64 // paper: 67%
+	EnergyReductionVsCA   float64 // paper: 95%
+	EnergyReductionVsEAP  float64 // paper: 94%
+	AreaReductionVsCAMA   float64
+	AreaReductionVsCA     float64
+	AreaReductionVsEAP    float64
+	FoMGainVsCAMA         float64 // paper: 4.3×
+	FoMGainVsCA           float64 // paper: 50×
+	FoMGainVsEAP          float64 // paper: 33×
+	DensityVsCA           float64 // paper: +134%
+	DensityVsEAP          float64 // paper: +62%
+	ThroughputVsCAMA      float64 // paper: −11.2%
+	SEnergySaving         float64 // BVAP-S vs BVAP energy; paper: 39%
+	SPowerSaving          float64 // paper: 79%
+	SThroughputLoss       float64 // paper: 67%
+}
+
+// Summarize computes the aggregate comparison from Fig. 14 rows.
+func Summarize(rows []Fig14Row) Summary {
+	ratio := func(num, den string, metric func(metrics.Point) float64) float64 {
+		var ps []metrics.Point
+		for _, r := range rows {
+			n, d := r.Points[num], r.Points[den]
+			nv, dv := metric(n), metric(d)
+			if dv > 0 {
+				ps = append(ps, metrics.Point{FoM: nv / dv})
+			}
+		}
+		return metrics.GeoMean(ps, func(p metrics.Point) float64 { return p.FoM })
+	}
+	energy := func(p metrics.Point) float64 { return p.EnergyPerSymbolNJ }
+	area := func(p metrics.Point) float64 { return p.AreaMm2 }
+	fom := func(p metrics.Point) float64 { return p.FoM }
+	density := func(p metrics.Point) float64 { return p.ComputeDensity }
+	thpt := func(p metrics.Point) float64 { return p.ThroughputGbps }
+	power := func(p metrics.Point) float64 { return p.PowerW }
+
+	var s Summary
+	s.EnergyReductionVsCAMA = 1 - ratio("BVAP", "CAMA", energy)
+	s.EnergyReductionVsCA = 1 - ratio("BVAP", "CA", energy)
+	s.EnergyReductionVsEAP = 1 - ratio("BVAP", "eAP", energy)
+	s.AreaReductionVsCAMA = 1 - ratio("BVAP", "CAMA", area)
+	s.AreaReductionVsCA = 1 - ratio("BVAP", "CA", area)
+	s.AreaReductionVsEAP = 1 - ratio("BVAP", "eAP", area)
+	s.FoMGainVsCAMA = invOrZero(ratio("BVAP", "CAMA", fom))
+	s.FoMGainVsCA = invOrZero(ratio("BVAP", "CA", fom))
+	s.FoMGainVsEAP = invOrZero(ratio("BVAP", "eAP", fom))
+	s.DensityVsCA = ratio("BVAP", "CA", density) - 1
+	s.DensityVsEAP = ratio("BVAP", "eAP", density) - 1
+	s.ThroughputVsCAMA = 1 - ratio("BVAP", "CAMA", thpt)
+	s.SEnergySaving = 1 - ratio("BVAP-S", "BVAP", energy)
+	s.SPowerSaving = 1 - ratio("BVAP-S", "BVAP", power)
+	s.SThroughputLoss = 1 - ratio("BVAP-S", "BVAP", thpt)
+	return s
+}
+
+// commonSubset filters out patterns any compared architecture cannot run:
+// baselines reject unfolded sizes beyond the AP-style 4096-STE limit, BVAP
+// rejects counting clusters beyond a tile's BV capacity.
+func commonSubset(patterns []string) []string {
+	base := compiler.CompileBaseline(patterns)
+	res, err := compiler.Compile(patterns, compiler.DefaultOptions())
+	var out []string
+	for i, pat := range patterns {
+		if !base[i].Supported {
+			continue
+		}
+		if err == nil && !res.Report.PerRegex[i].Supported {
+			continue
+		}
+		out = append(out, pat)
+	}
+	return out
+}
+
+func invOrZero(x float64) float64 {
+	if x == 0 {
+		return 0
+	}
+	return 1 / x
+}

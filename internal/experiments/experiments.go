@@ -1,0 +1,256 @@
+// Package experiments reproduces the paper's evaluation (§8): the Fig. 11
+// and Fig. 12 micro-benchmarks, the Fig. 13 design space exploration, the
+// Table 5 best-FoM parameter selection, the Fig. 14 real-world comparison,
+// and the headline summary numbers. Each experiment returns structured
+// rows; the renderers in this package print them in the shape the paper
+// reports, and cmd/bvapbench / the top-level benchmarks drive them.
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"bvap/internal/archmodel"
+	"bvap/internal/compiler"
+	"bvap/internal/hwsim"
+	"bvap/internal/metrics"
+)
+
+// microPrefix is the 16-fold concatenation of 'a' used as r in the §8
+// micro-benchmarks ("the average number of normal STEs [in RegexLib] is
+// 16").
+const microPrefixLen = 16
+
+func microPrefix() string { return strings.Repeat("a", microPrefixLen) }
+
+// runBVAP compiles patterns and runs the BVAP simulator over input,
+// returning finished stats. customSize selects the micro-benchmark sizing.
+func runBVAP(patterns []string, opt compiler.Options, input []byte, streaming, customSize bool) (*hwsim.Stats, error) {
+	res, err := compiler.Compile(patterns, opt)
+	if err != nil {
+		return nil, err
+	}
+	sys, err := hwsim.NewBVAPSystem(res.Config, streaming)
+	if err != nil {
+		return nil, err
+	}
+	if customSize {
+		sys.SetCustomSizing()
+	}
+	sys.Run(input)
+	return sys.Finish(), nil
+}
+
+// runBaseline runs one of CAMA/CA/eAP/CNT over input.
+func runBaseline(arch archmodel.Arch, patterns []string, input []byte, customSize bool) (*hwsim.Stats, error) {
+	var ms []compiler.BaselineMachine
+	if arch == archmodel.CNT {
+		ms = compiler.CompileCNT(patterns)
+	} else {
+		ms = compiler.CompileBaseline(patterns)
+	}
+	sys, err := hwsim.NewBaselineSystem(arch, ms)
+	if err != nil {
+		return nil, err
+	}
+	if customSize {
+		sys.SetCustomSizing()
+	}
+	sys.Run(input)
+	return sys.Finish(), nil
+}
+
+// microInput builds the micro-benchmark stream: filler symbols with planted
+// runs of 'a' long enough to arm the 16-symbol prefix and then drive the
+// counting STE, so that the fraction of BV-activating positions is close to
+// alpha. tailLen controls the run length past the arming prefix.
+func microInput(seed int64, n int, alpha float64, tailLen int, tail byte) []byte {
+	r := rand.New(rand.NewSource(seed))
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = 'z'
+	}
+	runLen := microPrefixLen + tailLen
+	if runLen > n {
+		runLen = n
+	}
+	runs := int(alpha * float64(n) / float64(tailLen))
+	if runs < 1 {
+		runs = 1
+	}
+	for k := 0; k < runs; k++ {
+		pos := r.Intn(n - runLen + 1)
+		for j := 0; j < runLen; j++ {
+			if j < microPrefixLen {
+				out[pos+j] = 'a'
+			} else {
+				out[pos+j] = tail
+			}
+		}
+	}
+	return out
+}
+
+// Fig11Point is one bar of Fig. 11: BVAP's energy per symbol and compute
+// density normalized to CAMA at a given repetition bound n and activation
+// ratio α.
+type Fig11Point struct {
+	N           int
+	Alpha       float64
+	EnergyNorm  float64 // BVAP / CAMA, lower is better
+	DensityNorm float64 // BVAP / CAMA, higher is better
+}
+
+// Fig11Options parameterizes the sweep; zero values select the paper's
+// configuration.
+type Fig11Options struct {
+	Ns       []int
+	Alphas   []float64
+	InputLen int
+	Seed     int64
+}
+
+func (o *Fig11Options) fill() {
+	if len(o.Ns) == 0 {
+		o.Ns = []int{8, 16, 32, 64, 128, 256, 512}
+	}
+	if len(o.Alphas) == 0 {
+		o.Alphas = []float64{0.05, 0.10, 0.15, 0.20}
+	}
+	if o.InputLen == 0 {
+		o.InputLen = 20000
+	}
+	if o.Seed == 0 {
+		o.Seed = 11
+	}
+}
+
+// Fig11 sweeps the regex r·a{n} across bounds and activation ratios.
+func Fig11(opt Fig11Options) ([]Fig11Point, error) {
+	opt.fill()
+	var out []Fig11Point
+	for _, n := range opt.Ns {
+		pat := fmt.Sprintf("%sa{%d}", microPrefix(), n)
+		for _, alpha := range opt.Alphas {
+			input := microInput(opt.Seed, opt.InputLen, alpha, n, 'a')
+			bvap, err := runBVAP([]string{pat}, compiler.DefaultOptions(), input, false, true)
+			if err != nil {
+				return nil, fmt.Errorf("fig11 n=%d: %v", n, err)
+			}
+			cama, err := runBaseline(archmodel.CAMA, []string{pat}, input, true)
+			if err != nil {
+				return nil, fmt.Errorf("fig11 n=%d cama: %v", n, err)
+			}
+			b := metrics.FromStats("BVAP", bvap)
+			c := metrics.FromStats("CAMA", cama)
+			out = append(out, Fig11Point{
+				N:           n,
+				Alpha:       alpha,
+				EnergyNorm:  safeDiv(b.EnergyPerSymbolNJ, c.EnergyPerSymbolNJ),
+				DensityNorm: safeDiv(b.ComputeDensity, c.ComputeDensity),
+			})
+		}
+	}
+	return out, nil
+}
+
+// Fig12Point is one x-position of Fig. 12: BVAP and CNT normalized to CAMA
+// for the regex r·a{64}·b{m}.
+type Fig12Point struct {
+	M               int
+	BVAPEnergyNorm  float64
+	CNTEnergyNorm   float64
+	BVAPDensityNorm float64
+	CNTDensityNorm  float64
+}
+
+// Fig12Options parameterizes the sweep.
+type Fig12Options struct {
+	Ms       []int
+	InputLen int
+	Seed     int64
+}
+
+func (o *Fig12Options) fill() {
+	if len(o.Ms) == 0 {
+		o.Ms = []int{16, 32, 64, 128, 256, 512, 1024}
+	}
+	if o.InputLen == 0 {
+		o.InputLen = 20000
+	}
+	if o.Seed == 0 {
+		o.Seed = 12
+	}
+}
+
+// Fig12 compares BVAP against CNT (CAMA plus counter elements) and CAMA.
+func Fig12(opt Fig12Options) ([]Fig12Point, error) {
+	opt.fill()
+	var out []Fig12Point
+	for _, m := range opt.Ms {
+		pat := fmt.Sprintf("%sa{64}b{%d}", microPrefix(), m)
+		// The stream plants a^(16+64) b^m runs at α ≈ 10%.
+		input := fig12Input(opt.Seed, opt.InputLen, 0.10, m)
+		stats := map[string]*hwsim.Stats{}
+		b, err := runBVAP([]string{pat}, compiler.DefaultOptions(), input, false, true)
+		if err != nil {
+			return nil, fmt.Errorf("fig12 m=%d: %v", m, err)
+		}
+		stats["BVAP"] = b
+		for _, arch := range []archmodel.Arch{archmodel.CNT, archmodel.CAMA} {
+			s, err := runBaseline(arch, []string{pat}, input, true)
+			if err != nil {
+				return nil, fmt.Errorf("fig12 m=%d %v: %v", m, arch, err)
+			}
+			stats[arch.String()] = s
+		}
+		pb := metrics.FromStats("BVAP", stats["BVAP"])
+		pc := metrics.FromStats("CNT", stats["CNT"])
+		pm := metrics.FromStats("CAMA", stats["CAMA"])
+		out = append(out, Fig12Point{
+			M:               m,
+			BVAPEnergyNorm:  safeDiv(pb.EnergyPerSymbolNJ, pm.EnergyPerSymbolNJ),
+			CNTEnergyNorm:   safeDiv(pc.EnergyPerSymbolNJ, pm.EnergyPerSymbolNJ),
+			BVAPDensityNorm: safeDiv(pb.ComputeDensity, pm.ComputeDensity),
+			CNTDensityNorm:  safeDiv(pc.ComputeDensity, pm.ComputeDensity),
+		})
+	}
+	return out, nil
+}
+
+func fig12Input(seed int64, n int, alpha float64, m int) []byte {
+	r := rand.New(rand.NewSource(seed))
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = 'z'
+	}
+	runLen := microPrefixLen + 64 + m
+	if runLen > n/2 {
+		runLen = n / 2
+	}
+	active := microPrefixLen + 64 + m
+	runs := int(alpha * float64(n) / float64(active))
+	if runs < 1 {
+		runs = 1
+	}
+	for k := 0; k < runs; k++ {
+		pos := r.Intn(n - runLen + 1)
+		for j := 0; j < runLen; j++ {
+			switch {
+			case j < microPrefixLen+64:
+				out[pos+j] = 'a'
+			default:
+				out[pos+j] = 'b'
+			}
+		}
+	}
+	return out
+}
+
+func safeDiv(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}

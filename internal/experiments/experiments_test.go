@@ -1,0 +1,229 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestFig11Shape(t *testing.T) {
+	points, err := Fig11(Fig11Options{
+		Ns:       []int{16, 64, 256},
+		Alphas:   []float64{0.05, 0.20},
+		InputLen: 8000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 6 {
+		t.Fatalf("points = %d", len(points))
+	}
+	get := func(n int, a float64) Fig11Point {
+		for _, p := range points {
+			if p.N == n && p.Alpha == a {
+				return p
+			}
+		}
+		t.Fatalf("missing point n=%d a=%f", n, a)
+		return Fig11Point{}
+	}
+	// Paper shape: for large n BVAP is better on both metrics; both
+	// metrics improve as n grows; higher α worsens both.
+	for _, a := range []float64{0.05, 0.20} {
+		if !(get(256, a).EnergyNorm < get(64, a).EnergyNorm) {
+			t.Errorf("alpha %.2f: energy did not improve with n", a)
+		}
+		if !(get(256, a).DensityNorm > get(64, a).DensityNorm && get(64, a).DensityNorm > get(16, a).DensityNorm) {
+			t.Errorf("alpha %.2f: density did not grow with n", a)
+		}
+	}
+	if get(256, 0.05).EnergyNorm >= 1 {
+		t.Error("BVAP should beat CAMA on energy at n=256, alpha=5%")
+	}
+	if get(64, 0.05).EnergyNorm >= 1 {
+		t.Error("BVAP should beat CAMA on energy at n=64, alpha=5%")
+	}
+	if get(64, 0.05).DensityNorm <= 1 {
+		t.Error("BVAP should beat CAMA on density at n=64")
+	}
+	// Higher α hurts both metrics.
+	if get(64, 0.20).EnergyNorm <= get(64, 0.05).EnergyNorm {
+		t.Error("energy should worsen with α")
+	}
+	if get(64, 0.20).DensityNorm >= get(64, 0.05).DensityNorm {
+		t.Error("density should worsen with α")
+	}
+}
+
+func TestFig12Shape(t *testing.T) {
+	points, err := Fig12(Fig12Options{Ms: []int{64, 512}, InputLen: 8000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range points {
+		// Paper: BVAP consistently consumes less energy than CNT, and
+		// both beat CAMA on this workload; BVAP has higher compute
+		// density than CNT for m ≤ 512.
+		if p.BVAPEnergyNorm >= p.CNTEnergyNorm {
+			t.Errorf("m=%d: BVAP energy %.3f ≥ CNT %.3f", p.M, p.BVAPEnergyNorm, p.CNTEnergyNorm)
+		}
+		if p.BVAPEnergyNorm >= 1 {
+			t.Errorf("m=%d: BVAP energy ≥ CAMA", p.M)
+		}
+		if p.BVAPDensityNorm <= p.CNTDensityNorm {
+			t.Errorf("m=%d: BVAP density %.3f ≤ CNT %.3f", p.M, p.BVAPDensityNorm, p.CNTDensityNorm)
+		}
+	}
+}
+
+func TestFig13AndTable5(t *testing.T) {
+	points, err := Fig13(DSEOptions{
+		BVSizes:   []int{16, 64},
+		UnfoldThs: []int{4, 12},
+		Sample:    30,
+		InputLen:  800,
+		Datasets:  []string{"Prosite", "Snort"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 2*2*2 {
+		t.Fatalf("points = %d, want 8", len(points))
+	}
+	best := Table5(points)
+	if len(best) != 2 {
+		t.Fatalf("best = %d datasets", len(best))
+	}
+	for _, b := range best {
+		// The selected FoM must be the minimum of its dataset's cells.
+		for _, p := range points {
+			if p.Dataset == b.Dataset && p.FoMNorm < b.FoMNorm {
+				t.Errorf("%s: Table5 picked %.3f but %.3f exists", b.Dataset, b.FoMNorm, p.FoMNorm)
+			}
+		}
+	}
+}
+
+func TestFig14AndSummary(t *testing.T) {
+	rows, err := Fig14(Fig14Options{
+		Sample:   30,
+		InputLen: 1200,
+		Datasets: []string{"Snort", "SpamAssassin"},
+		Params: map[string]BestParams{
+			"Snort":        {BVSize: 64, UnfoldTh: 12},
+			"SpamAssassin": {BVSize: 16, UnfoldTh: 12},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, row := range rows {
+		for _, arch := range []string{"BVAP", "BVAP-S", "CAMA", "eAP", "CA"} {
+			if _, ok := row.Points[arch]; !ok {
+				t.Fatalf("%s: missing %s", row.Dataset, arch)
+			}
+		}
+		// CA normalizes to 1.0 everywhere.
+		ca := row.Norm["CA"]
+		if ca.EnergyPerSymbolNJ != 1 || ca.AreaMm2 != 1 || ca.FoM != 1 {
+			t.Fatalf("%s: CA normalization wrong: %+v", row.Dataset, ca)
+		}
+		// On the counting-heavy Snort profile, BVAP must beat every
+		// baseline on energy and FoM.
+		if row.Dataset == "Snort" {
+			b := row.Norm["BVAP"]
+			if b.EnergyPerSymbolNJ >= row.Norm["CAMA"].EnergyPerSymbolNJ {
+				t.Error("Snort: BVAP energy ≥ CAMA")
+			}
+			if b.FoM >= row.Norm["CAMA"].FoM {
+				t.Error("Snort: BVAP FoM ≥ CAMA")
+			}
+			if b.AreaMm2 >= row.Norm["CAMA"].AreaMm2 {
+				t.Error("Snort: BVAP area ≥ CAMA")
+			}
+		}
+	}
+	s := Summarize(rows)
+	if s.EnergyReductionVsCA < 0.5 {
+		t.Errorf("energy reduction vs CA = %.2f, expected large", s.EnergyReductionVsCA)
+	}
+	if s.SEnergySaving <= 0 || s.SThroughputLoss <= 0 {
+		t.Errorf("BVAP-S tradeoff wrong: %+v", s)
+	}
+}
+
+func TestRenderers(t *testing.T) {
+	var buf bytes.Buffer
+	RenderFig11(&buf, []Fig11Point{{N: 16, Alpha: 0.05, EnergyNorm: 0.5, DensityNorm: 2}})
+	RenderFig12(&buf, []Fig12Point{{M: 64, BVAPEnergyNorm: 0.4, CNTEnergyNorm: 0.8, BVAPDensityNorm: 3, CNTDensityNorm: 1.5}})
+	RenderFig13(&buf, []DSEPoint{{Dataset: "Snort", BVSize: 64, UnfoldTh: 8, DensityNorm: 1.2, EDPNorm: 0.4, FoMNorm: 0.1}})
+	RenderTable5(&buf, []BestParams{{Dataset: "Snort", BVSize: 64, UnfoldTh: 12, FoMNorm: 0.1}})
+	RenderSummary(&buf, Summary{EnergyReductionVsCAMA: 0.67})
+	out := buf.String()
+	for _, want := range []string{"Figure 11", "Figure 12", "Figure 13", "Table 5", "Summary", "Snort"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render output missing %q", want)
+		}
+	}
+}
+
+func TestMicroInputAlpha(t *testing.T) {
+	in := microInput(3, 50000, 0.10, 64, 'a')
+	aCount := 0
+	for _, b := range in {
+		if b == 'a' {
+			aCount++
+		}
+	}
+	frac := float64(aCount) / float64(len(in))
+	// Runs of 16+64 a's at density ~α(1+16/64).
+	if frac < 0.05 || frac > 0.25 {
+		t.Fatalf("a-fraction = %.3f, not near 0.125", frac)
+	}
+}
+
+func TestCommonSubsetFilters(t *testing.T) {
+	patterns := []string{"abc", "a.{8000}b", "x{3}y"}
+	out := commonSubset(patterns)
+	if len(out) != 2 {
+		t.Fatalf("common subset = %v", out)
+	}
+	for _, p := range out {
+		if p == "a.{8000}b" {
+			t.Fatal("baseline-unsupported pattern survived")
+		}
+	}
+}
+
+func TestStride2Experiment(t *testing.T) {
+	rows, err := Stride2(Stride2Options{
+		Sample:   15,
+		InputLen: 600,
+		Datasets: []string{"RegexLib", "Prosite"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.States1 == 0 || r.States2 <= r.States1 {
+			t.Fatalf("%s: states %d -> %d", r.Dataset, r.States1, r.States2)
+		}
+		if r.Expansion <= 1 {
+			t.Fatalf("%s: expansion %.2f", r.Dataset, r.Expansion)
+		}
+		if r.ThroughputGain != 2 {
+			t.Fatalf("%s: throughput gain %.1f", r.Dataset, r.ThroughputGain)
+		}
+	}
+	var buf bytes.Buffer
+	RenderStride2(&buf, rows)
+	if !strings.Contains(buf.String(), "2-stride") {
+		t.Fatal("render output wrong")
+	}
+}

@@ -1,0 +1,156 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// RenderFig11 prints the micro-benchmark sweep as the two panels of
+// Fig. 11 (energy per symbol and compute density, normalized to CAMA).
+func RenderFig11(w io.Writer, points []Fig11Point) {
+	fmt.Fprintln(w, "Figure 11 — r·a{n} micro-benchmark, BVAP normalized to CAMA")
+	fmt.Fprintln(w, "(energy: lower is better; density: higher is better)")
+	alphas := map[float64]bool{}
+	ns := map[int]bool{}
+	for _, p := range points {
+		alphas[p.Alpha] = true
+		ns[p.N] = true
+	}
+	alphaList := sortedFloats(alphas)
+	nList := sortedInts(ns)
+	byKey := map[[2]int]Fig11Point{}
+	for _, p := range points {
+		byKey[[2]int{p.N, int(p.Alpha * 1000)}] = p
+	}
+	for _, panel := range []string{"energy/symbol", "compute density"} {
+		fmt.Fprintf(w, "\n%-18s", panel+" n=")
+		for _, n := range nList {
+			fmt.Fprintf(w, "%8d", n)
+		}
+		fmt.Fprintln(w)
+		for _, a := range alphaList {
+			fmt.Fprintf(w, "  alpha=%-9.0f%%", a*100)
+			for _, n := range nList {
+				p := byKey[[2]int{n, int(a * 1000)}]
+				v := p.EnergyNorm
+				if panel == "compute density" {
+					v = p.DensityNorm
+				}
+				fmt.Fprintf(w, "%8.3f", v)
+			}
+			fmt.Fprintln(w)
+		}
+	}
+}
+
+// RenderFig12 prints the CNT comparison of Fig. 12.
+func RenderFig12(w io.Writer, points []Fig12Point) {
+	fmt.Fprintln(w, "Figure 12 — r·a{64}·b{m}, normalized to CAMA")
+	fmt.Fprintf(w, "%6s  %14s %14s  %16s %16s\n", "m",
+		"BVAP energy", "CNT energy", "BVAP density", "CNT density")
+	for _, p := range points {
+		fmt.Fprintf(w, "%6d  %14.3f %14.3f  %16.3f %16.3f\n",
+			p.M, p.BVAPEnergyNorm, p.CNTEnergyNorm, p.BVAPDensityNorm, p.CNTDensityNorm)
+	}
+}
+
+// RenderFig13 prints the DSE grid of Fig. 13 per dataset.
+func RenderFig13(w io.Writer, points []DSEPoint) {
+	fmt.Fprintln(w, "Figure 13 — design space exploration, normalized to CAMA")
+	byDataset := map[string][]DSEPoint{}
+	var names []string
+	for _, p := range points {
+		if _, ok := byDataset[p.Dataset]; !ok {
+			names = append(names, p.Dataset)
+		}
+		byDataset[p.Dataset] = append(byDataset[p.Dataset], p)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Fprintf(w, "\n%s:\n", name)
+		fmt.Fprintf(w, "  %8s %10s  %10s %10s %10s\n", "bv_size", "unfold_th", "density", "EDP", "FoM")
+		for _, p := range byDataset[name] {
+			fmt.Fprintf(w, "  %8d %10d  %10.3f %10.3f %10.3f\n",
+				p.BVSize, p.UnfoldTh, p.DensityNorm, p.EDPNorm, p.FoMNorm)
+		}
+	}
+}
+
+// RenderTable5 prints the best-FoM parameter table.
+func RenderTable5(w io.Writer, best []BestParams) {
+	fmt.Fprintln(w, "Table 5 — parameters with the best FoM per dataset")
+	fmt.Fprintf(w, "%-14s %8s %10s %12s\n", "dataset", "bv_size", "unfold_th", "FoM vs CAMA")
+	sorted := append([]BestParams(nil), best...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Dataset < sorted[j].Dataset })
+	for _, b := range sorted {
+		fmt.Fprintf(w, "%-14s %8d %10d %12.3f\n", b.Dataset, b.BVSize, b.UnfoldTh, b.FoMNorm)
+	}
+}
+
+// RenderFig14 prints the real-world benchmark comparison normalized to CA.
+func RenderFig14(w io.Writer, rows []Fig14Row) {
+	fmt.Fprintln(w, "Figure 14 — real-world benchmarks, normalized to CA")
+	archOrder := []string{"BVAP", "BVAP-S", "CAMA", "eAP", "CA"}
+	for _, row := range rows {
+		fmt.Fprintf(w, "\n%s (CA absolute: %.3f nJ/B, %.2f mm², %.2f Gbps):\n",
+			row.Dataset,
+			row.Points["CA"].EnergyPerSymbolNJ,
+			row.Points["CA"].AreaMm2,
+			row.Points["CA"].ThroughputGbps)
+		fmt.Fprintf(w, "  %-8s %10s %10s %10s %10s %10s %10s\n",
+			"arch", "area", "energy/B", "power", "density", "thpt", "FoM")
+		for _, a := range archOrder {
+			n, ok := row.Norm[a]
+			if !ok {
+				continue
+			}
+			fmt.Fprintf(w, "  %-8s %10.3f %10.3f %10.3f %10.3f %10.3f %10.4f\n",
+				a, n.AreaMm2, n.EnergyPerSymbolNJ, n.PowerW, n.ComputeDensity,
+				n.ThroughputGbps, n.FoM)
+		}
+	}
+}
+
+// RenderSummary prints the headline aggregate claims next to the paper's
+// published numbers.
+func RenderSummary(w io.Writer, s Summary) {
+	fmt.Fprintln(w, "Summary — BVAP vs baselines (geometric mean across datasets)")
+	fmt.Fprintf(w, "  %-38s %10s %10s\n", "claim", "measured", "paper")
+	row := func(name string, got float64, paper string) {
+		fmt.Fprintf(w, "  %-38s %9.1f%% %10s\n", name, got*100, paper)
+	}
+	row("energy reduction vs CAMA", s.EnergyReductionVsCAMA, "67%")
+	row("energy reduction vs CA", s.EnergyReductionVsCA, "95%")
+	row("energy reduction vs eAP", s.EnergyReductionVsEAP, "94%")
+	row("area reduction vs CAMA", s.AreaReductionVsCAMA, "42-68%")
+	row("area reduction vs CA", s.AreaReductionVsCA, "42-68%")
+	row("area reduction vs eAP", s.AreaReductionVsEAP, "42-68%")
+	fmt.Fprintf(w, "  %-38s %9.1fx %10s\n", "FoM gain vs CAMA", s.FoMGainVsCAMA, "4.3x")
+	fmt.Fprintf(w, "  %-38s %9.1fx %10s\n", "FoM gain vs CA", s.FoMGainVsCA, "50x")
+	fmt.Fprintf(w, "  %-38s %9.1fx %10s\n", "FoM gain vs eAP", s.FoMGainVsEAP, "33x")
+	row("compute density gain vs CA", s.DensityVsCA, "+134%")
+	row("compute density gain vs eAP", s.DensityVsEAP, "+62%")
+	row("throughput loss vs CAMA", s.ThroughputVsCAMA, "11.2%")
+	row("BVAP-S energy saving vs BVAP", s.SEnergySaving, "39%")
+	row("BVAP-S power saving vs BVAP", s.SPowerSaving, "79%")
+	row("BVAP-S throughput loss vs BVAP", s.SThroughputLoss, "67%")
+}
+
+func sortedInts(set map[int]bool) []int {
+	out := make([]int, 0, len(set))
+	for v := range set {
+		out = append(out, v)
+	}
+	sort.Ints(out)
+	return out
+}
+
+func sortedFloats(set map[float64]bool) []float64 {
+	out := make([]float64, 0, len(set))
+	for v := range set {
+		out = append(out, v)
+	}
+	sort.Float64s(out)
+	return out
+}

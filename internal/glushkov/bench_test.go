@@ -1,0 +1,38 @@
+package glushkov
+
+import (
+	"math/rand"
+	"testing"
+
+	"bvap/internal/regex"
+)
+
+// BenchmarkSparseRunnerStep measures the per-symbol cost of a large
+// unfolded automaton (the baseline simulators' hot loop): sparse stepping
+// keeps it proportional to the active set, not to the 1000+ states.
+func BenchmarkSparseRunnerStep(b *testing.B) {
+	nfa := MustBuild(regex.FullyUnfold(regex.MustParse("attack.{1000}end")))
+	r := NewRunner(nfa)
+	rnd := rand.New(rand.NewSource(3))
+	input := make([]byte, 4096)
+	alphabet := "atckend."
+	for i := range input {
+		input[i] = alphabet[rnd.Intn(len(alphabet))]
+	}
+	b.SetBytes(1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Step(input[i%len(input)])
+	}
+}
+
+func BenchmarkBuild(b *testing.B) {
+	ast := regex.FullyUnfold(regex.MustParse("a.{200}b"))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Build(ast); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,310 @@
+// Package glushkov implements the Glushkov position-automaton construction
+// (§2 of the paper) for classical regexes, and an NFA execution engine.
+//
+// The Glushkov construction produces ε-free automata that are homogeneous:
+// every transition entering a state is labeled with the same character class.
+// Homogeneity is what lets AP-style hardware push predicates from edges onto
+// states (STEs), and it is the property the AH transformation generalizes to
+// bit-vector actions.
+//
+// Build accepts only classical operators (ε, σ, concatenation, alternation,
+// *, +, ?). Bounded repetitions must be removed first, either by unfolding
+// (regex.FullyUnfold — the baseline architectures' approach) or by the
+// counting-aware NBVA construction in package nbva.
+package glushkov
+
+import (
+	"fmt"
+
+	"bvap/internal/charclass"
+	"bvap/internal/regex"
+)
+
+// State is one position state of a Glushkov NFA. Because the automaton is
+// homogeneous, the character class lives on the state, exactly like an STE's
+// predicate in AP-style hardware.
+type State struct {
+	Class charclass.Class
+	Final bool
+}
+
+// NFA is a homogeneous ε-free position automaton. The implicit initial state
+// q0 is not materialized: Initial lists the states reachable from it, and
+// AcceptsEmpty records whether q0 itself is final (the regex is nullable).
+type NFA struct {
+	States       []State
+	Initial      []int   // first(r): states enterable at a match start
+	Follow       [][]int // Follow[p]: states enterable after p
+	AcceptsEmpty bool
+	// Anchored restricts matches to begin at the first input symbol (the
+	// AP hardware's "start of data" STE mode, the regex ^ anchor).
+	Anchored bool
+}
+
+// Size returns the number of position states (the STE count for hardware).
+func (a *NFA) Size() int { return len(a.States) }
+
+// Build constructs the Glushkov NFA of a classical regex. It returns an
+// error if the regex still contains bounded repetitions other than ? and +.
+func Build(n regex.Node) (*NFA, error) {
+	b := &builder{}
+	info, err := b.build(n)
+	if err != nil {
+		return nil, err
+	}
+	a := &NFA{
+		States:       b.states,
+		Initial:      info.first,
+		Follow:       b.follow,
+		AcceptsEmpty: info.nullable,
+	}
+	for _, p := range info.last {
+		a.States[p].Final = true
+	}
+	return a, nil
+}
+
+// MustBuild is Build for known-good inputs; it panics on error.
+func MustBuild(n regex.Node) *NFA {
+	a, err := Build(n)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+type info struct {
+	nullable bool
+	first    []int
+	last     []int
+}
+
+type builder struct {
+	states []State
+	follow [][]int
+	// followSeen mirrors follow as per-source bitsets for O(1) duplicate
+	// checks: wide unfolded ranges like .{8,4000} produce Θ(n²) follow
+	// edges, and a linear duplicate scan per insertion would make
+	// construction cubic.
+	followSeen [][]uint64
+}
+
+func (b *builder) newPos(c charclass.Class) int {
+	b.states = append(b.states, State{Class: c})
+	b.follow = append(b.follow, nil)
+	b.followSeen = append(b.followSeen, nil)
+	return len(b.states) - 1
+}
+
+func (b *builder) link(from []int, to []int) {
+	for _, p := range from {
+		seen := b.followSeen[p]
+		for _, q := range to {
+			w := q >> 6
+			if w >= len(seen) {
+				grown := make([]uint64, w+1)
+				copy(grown, seen)
+				seen = grown
+				b.followSeen[p] = seen
+			}
+			bit := uint64(1) << (uint(q) & 63)
+			if seen[w]&bit != 0 {
+				continue
+			}
+			seen[w] |= bit
+			b.follow[p] = append(b.follow[p], q)
+		}
+	}
+}
+
+func appendUnique(dst []int, src []int) []int {
+	for _, s := range src {
+		found := false
+		for _, d := range dst {
+			if d == s {
+				found = true
+				break
+			}
+		}
+		if !found {
+			dst = append(dst, s)
+		}
+	}
+	return dst
+}
+
+func (b *builder) build(n regex.Node) (info, error) {
+	switch n := n.(type) {
+	case regex.Empty:
+		return info{nullable: true}, nil
+	case regex.Lit:
+		p := b.newPos(n.Class)
+		return info{first: []int{p}, last: []int{p}}, nil
+	case *regex.Concat:
+		cur := info{nullable: true}
+		for _, f := range n.Factors {
+			fi, err := b.build(f)
+			if err != nil {
+				return info{}, err
+			}
+			b.link(cur.last, fi.first)
+			next := info{nullable: cur.nullable && fi.nullable}
+			// Positions of cur and fi are disjoint: plain appends.
+			next.first = append(next.first, cur.first...)
+			if cur.nullable {
+				next.first = append(next.first, fi.first...)
+			}
+			next.last = append(next.last, fi.last...)
+			if fi.nullable {
+				next.last = append(next.last, cur.last...)
+			}
+			cur = next
+		}
+		return cur, nil
+	case *regex.Alt:
+		var out info
+		for _, alt := range n.Alternatives {
+			ai, err := b.build(alt)
+			if err != nil {
+				return info{}, err
+			}
+			out.nullable = out.nullable || ai.nullable
+			out.first = append(out.first, ai.first...)
+			out.last = append(out.last, ai.last...)
+		}
+		return out, nil
+	case *regex.Star:
+		si, err := b.build(n.Sub)
+		if err != nil {
+			return info{}, err
+		}
+		b.link(si.last, si.first)
+		return info{nullable: true, first: si.first, last: si.last}, nil
+	case *regex.Repeat:
+		switch {
+		case n.Min == 0 && n.Max == 1: // r?
+			ri, err := b.build(n.Sub)
+			if err != nil {
+				return info{}, err
+			}
+			ri.nullable = true
+			return ri, nil
+		case n.Min == 1 && n.Max == regex.Unbounded: // r+
+			ri, err := b.build(n.Sub)
+			if err != nil {
+				return info{}, err
+			}
+			b.link(ri.last, ri.first)
+			return ri, nil
+		default:
+			return info{}, fmt.Errorf("glushkov: bounded repetition %s must be unfolded or compiled via nbva", n)
+		}
+	default:
+		return info{}, fmt.Errorf("glushkov: unknown node type %T", n)
+	}
+}
+
+// Runner executes an NFA over a byte stream with AP-style partial-match
+// semantics: the initial states are made available on every cycle, so a match
+// may begin at any input position; a match is reported at each position where
+// a final state is active.
+//
+// The runner is sparse: each step costs time proportional to the number of
+// available and active states, not to the automaton size. Unfolded baseline
+// automata reach thousands of states with only a handful active, so this is
+// what makes the benchmark harness tractable.
+type Runner struct {
+	nfa *NFA
+	// availStamp[q] == epoch marks q available this cycle;
+	// activeStamp[q] == epoch marks q fired this cycle.
+	availStamp  []uint64
+	activeStamp []uint64
+	epoch       uint64
+	availList   []int
+	activeList  []int
+	started     bool
+}
+
+// NewRunner creates a Runner in its initial configuration.
+func NewRunner(a *NFA) *Runner {
+	return &Runner{
+		nfa:         a,
+		availStamp:  make([]uint64, a.Size()),
+		activeStamp: make([]uint64, a.Size()),
+		epoch:       1,
+	}
+}
+
+// Reset returns the runner to the start-of-stream configuration.
+func (r *Runner) Reset() {
+	r.epoch++
+	r.availList = r.availList[:0]
+	r.activeList = r.activeList[:0]
+	r.started = false
+}
+
+// ActiveCount returns how many states fired on the most recent step; the
+// hardware simulator uses this to model switching energy.
+func (r *Runner) ActiveCount() int { return len(r.activeList) }
+
+// Step consumes one input symbol and reports whether a match ends at it.
+func (r *Runner) Step(b byte) bool {
+	a := r.nfa
+	// State-matching phase: active = (available ∨ initial) ∧ class match.
+	epoch := r.epoch
+	r.epoch++
+	next := r.epoch
+	match := false
+	r.activeList = r.activeList[:0]
+	fire := func(q int) {
+		if r.activeStamp[q] == next {
+			return
+		}
+		r.activeStamp[q] = next
+		r.activeList = append(r.activeList, q)
+	}
+	if !a.Anchored || !r.started {
+		for _, q := range a.Initial {
+			if a.States[q].Class.Contains(b) {
+				fire(q)
+			}
+		}
+	}
+	r.started = true
+	for _, q := range r.availList {
+		if r.availStamp[q] == epoch && a.States[q].Class.Contains(b) {
+			fire(q)
+		}
+	}
+	// State-transition phase: availability for the next cycle.
+	r.availList = r.availList[:0]
+	for _, q := range r.activeList {
+		if a.States[q].Final {
+			match = true
+		}
+		for _, succ := range a.Follow[q] {
+			if r.availStamp[succ] != next {
+				r.availStamp[succ] = next
+				r.availList = append(r.availList, succ)
+			}
+		}
+	}
+	return match
+}
+
+// AvailableCount returns how many states are available for the next step.
+func (r *Runner) AvailableCount() int { return len(r.availList) }
+
+// MatchEnds runs the NFA over input and returns every index i such that a
+// match ends at input[i] (0-based). A nullable regex also matches the empty
+// string at every position; callers that care can consult AcceptsEmpty.
+func (a *NFA) MatchEnds(input []byte) []int {
+	r := NewRunner(a)
+	var ends []int
+	for i, b := range input {
+		if r.Step(b) {
+			ends = append(ends, i)
+		}
+	}
+	return ends
+}

@@ -1,0 +1,254 @@
+package glushkov
+
+import (
+	"math/rand"
+	"regexp"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"bvap/internal/regex"
+)
+
+func build(t *testing.T, pattern string) *NFA {
+	t.Helper()
+	n, err := regex.Parse(pattern)
+	if err != nil {
+		t.Fatalf("parse %q: %v", pattern, err)
+	}
+	a, err := Build(regex.FullyUnfold(n))
+	if err != nil {
+		t.Fatalf("build %q: %v", pattern, err)
+	}
+	return a
+}
+
+func TestExample21Structure(t *testing.T) {
+	// §2 Example 2.1: Σ*σ1(σ2σ3|σ4)*σ5 has six control states counting
+	// the initial one. Under partial-match semantics the leading Σ* is
+	// the implicit always-available initial state q0, which we do not
+	// materialize, leaving the five positions σ1..σ5.
+	a := build(t, "a(bc|d)*e")
+	if a.Size() != 5 {
+		t.Fatalf("size = %d, want 5", a.Size())
+	}
+	if a.AcceptsEmpty {
+		t.Fatal("regex is not nullable")
+	}
+	finals := 0
+	for _, s := range a.States {
+		if s.Final {
+			finals++
+		}
+	}
+	if finals != 1 {
+		t.Fatalf("finals = %d, want 1", finals)
+	}
+}
+
+func TestHomogeneityInvariant(t *testing.T) {
+	// Glushkov automata are homogeneous by construction: the class lives
+	// on the state, so the invariant is structural. Verify follow targets
+	// are valid states and the initial set is nonempty for non-nullable
+	// non-empty regexes.
+	for _, pat := range []string{"abc", "a|b", "a*bc+", "(ab|cd)*e", ".*x.?y"} {
+		a := build(t, pat)
+		if len(a.Initial) == 0 {
+			t.Errorf("%q: empty initial set", pat)
+		}
+		for p, succs := range a.Follow {
+			for _, s := range succs {
+				if s < 0 || s >= a.Size() {
+					t.Errorf("%q: follow[%d] contains invalid %d", pat, p, s)
+				}
+			}
+		}
+	}
+}
+
+func TestMatchEndsSimple(t *testing.T) {
+	a := build(t, "ab")
+	ends := a.MatchEnds([]byte("xxabyabz"))
+	want := []int{3, 6}
+	if len(ends) != len(want) {
+		t.Fatalf("ends = %v, want %v", ends, want)
+	}
+	for i := range want {
+		if ends[i] != want[i] {
+			t.Fatalf("ends = %v, want %v", ends, want)
+		}
+	}
+}
+
+func TestMatchUnfoldedCounting(t *testing.T) {
+	// Σ*aΣ{3} from Fig. 1: matches end where an 'a' occurred 3 symbols
+	// earlier. Input "bbabaaabaa" (from the figure: outputs 1 at indices
+	// 5, 7, 8 using 0-based positions of the figure's rows).
+	a := build(t, ".*a.{3}")
+	input := []byte("babaabaa")
+	// 'a' at positions 1, 3, 4, 6, 7 → matches at 4(a@1)... compute:
+	// match at i iff input[i-3] == 'a'.
+	var want []int
+	for i := 3; i < len(input); i++ {
+		if input[i-3] == 'a' {
+			want = append(want, i)
+		}
+	}
+	got := a.MatchEnds(input)
+	if len(got) != len(want) {
+		t.Fatalf("ends = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ends = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestBoundedRepetitionRejected(t *testing.T) {
+	n := regex.MustParse("a{30}")
+	if _, err := Build(n); err == nil {
+		t.Fatal("Build accepted a bounded repetition")
+	}
+	if !strings.Contains(buildErr(n), "unfolded") {
+		t.Fatalf("unhelpful error: %s", buildErr(n))
+	}
+}
+
+func buildErr(n regex.Node) string {
+	_, err := Build(n)
+	if err == nil {
+		return ""
+	}
+	return err.Error()
+}
+
+func TestAcceptsEmpty(t *testing.T) {
+	if !build(t, "a*").AcceptsEmpty {
+		t.Fatal("a* should accept empty")
+	}
+	if build(t, "a+").AcceptsEmpty {
+		t.Fatal("a+ should not accept empty")
+	}
+}
+
+// matchEndsRef computes match-end positions using the standard library
+// regexp as the oracle: a match ends at i iff some substring input[j..i]
+// (j ≤ i) is in the language.
+func matchEndsRef(t *testing.T, pattern string, input []byte) []int {
+	t.Helper()
+	re, err := regexp.Compile("^(?s:" + pattern + ")$")
+	if err != nil {
+		t.Fatalf("stdlib compile %q: %v", pattern, err)
+	}
+	var ends []int
+	for i := 0; i < len(input); i++ {
+		for j := 0; j <= i; j++ {
+			if re.Match(input[j : i+1]) {
+				ends = append(ends, i)
+				break
+			}
+		}
+	}
+	return ends
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestAgainstStdlib(t *testing.T) {
+	patterns := []string{
+		"abc", "a|bc", "a*b", "(ab)+", "a?b?c", "[ab]c[^d]",
+		"a(bc|d)*e", "ab|ba", "(a|b)(c|d)", "a+b+",
+	}
+	inputs := []string{"", "a", "abc", "abcabc", "aabbccdd", "edcbaabcde", "bacbdbce"}
+	for _, pat := range patterns {
+		a := build(t, pat)
+		for _, in := range inputs {
+			got := a.MatchEnds([]byte(in))
+			want := matchEndsRef(t, pat, []byte(in))
+			if !equalInts(got, want) {
+				t.Errorf("pattern %q input %q: got %v want %v", pat, in, got, want)
+			}
+		}
+	}
+}
+
+// randPattern generates a random classical regex over {a,b,c} together with
+// its stdlib-compatible string.
+func randPattern(r *rand.Rand, depth int) string {
+	if depth == 0 {
+		return string(rune('a' + r.Intn(3)))
+	}
+	switch r.Intn(6) {
+	case 0:
+		return randPattern(r, depth-1) + randPattern(r, depth-1)
+	case 1:
+		return "(" + randPattern(r, depth-1) + "|" + randPattern(r, depth-1) + ")"
+	case 2:
+		return "(" + randPattern(r, depth-1) + ")*"
+	case 3:
+		return "(" + randPattern(r, depth-1) + ")?"
+	case 4:
+		return "(" + randPattern(r, depth-1) + ")+"
+	default:
+		return string(rune('a' + r.Intn(3)))
+	}
+}
+
+func TestQuickAgainstStdlib(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		pat := randPattern(r, 3)
+		n, err := regex.Parse(pat)
+		if err != nil {
+			return false
+		}
+		a, err := Build(regex.FullyUnfold(n))
+		if err != nil {
+			return false
+		}
+		input := make([]byte, 12)
+		for i := range input {
+			input[i] = byte('a' + r.Intn(3))
+		}
+		got := a.MatchEnds(input)
+		want := matchEndsRef(t, pat, input)
+		return equalInts(got, want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunnerReset(t *testing.T) {
+	a := build(t, "ab")
+	r := NewRunner(a)
+	r.Step('a')
+	r.Reset()
+	if r.Step('b') {
+		t.Fatal("match after reset: stale availability")
+	}
+}
+
+func TestActiveCount(t *testing.T) {
+	a := build(t, ".*a")
+	r := NewRunner(a)
+	r.Step('a')
+	if r.ActiveCount() != 2 { // the .* state and the final a state
+		t.Fatalf("active = %d, want 2", r.ActiveCount())
+	}
+	r.Step('b')
+	if r.ActiveCount() != 1 { // only the .* state
+		t.Fatalf("active = %d, want 1", r.ActiveCount())
+	}
+}

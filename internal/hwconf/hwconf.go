@@ -1,0 +1,205 @@
+// Package hwconf defines the JSON configuration format produced by the BVAP
+// compiler (§7, compilation step 5) and consumed by the cycle-accurate
+// simulator: the machines (one AH-NBVA per regex), per-STE predicates and BV
+// instructions, routing, and the tile/array/bank placement.
+package hwconf
+
+import (
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"bvap/internal/charclass"
+)
+
+// FormatVersion identifies the configuration schema revision.
+const FormatVersion = 1
+
+// Config is a complete hardware programming image.
+type Config struct {
+	Version int    `json:"version"`
+	Params  Params `json:"params"`
+	// Machines holds one compiled automaton per source regex, in input
+	// order. Regexes the target cannot support are still listed, with
+	// Unsupported set and no states.
+	Machines []Machine `json:"machines"`
+	// Tiles is the placement: which machines each tile hosts and its
+	// resulting occupancy.
+	Tiles []TilePlacement `json:"tiles"`
+}
+
+// Params records the compiler parameters that shaped the image.
+type Params struct {
+	// BVSizeBits is the virtual bit-vector size K used for splitting.
+	BVSizeBits int `json:"bv_size_bits"`
+	// UnfoldThreshold is the unfolding threshold (unfold_th).
+	UnfoldThreshold int `json:"unfold_threshold"`
+}
+
+// Machine is one compiled AH-NBVA.
+type Machine struct {
+	Regex string `json:"regex"`
+	// Unsupported is set when the regex cannot be mapped (e.g. its
+	// repetition bound exceeds the per-tile BV capacity even after
+	// splitting) and explains why.
+	Unsupported string `json:"unsupported,omitempty"`
+	// Anchored marks a ^-anchored pattern: its initial STEs use the
+	// hardware's start-of-data mode instead of arming on every symbol.
+	Anchored bool `json:"anchored,omitempty"`
+
+	STEs    []STE  `json:"stes,omitempty"`
+	Edges   []Edge `json:"edges,omitempty"`
+	Initial []int  `json:"initial,omitempty"`
+	Finals  []int  `json:"finals,omitempty"`
+}
+
+// STE is one State Transition Element. BV-STEs additionally carry a bit
+// vector width, an action and an encoded instruction word.
+type STE struct {
+	ID int `json:"id"`
+	// Class is the 256-bit predicate, hex encoded (64 hex digits, byte 0
+	// first; bit i of byte j covers symbol j*8+i).
+	Class string `json:"class"`
+	// IsBV marks a BV-STE; the remaining fields apply only to BV-STEs.
+	IsBV bool `json:"is_bv,omitempty"`
+	// WidthBits is the bit vector's logical width (≤ the virtual size
+	// rounded up to whole words).
+	WidthBits int `json:"width_bits,omitempty"`
+	// Instruction is the encoded Table 3 instruction word.
+	Instruction uint16 `json:"instruction,omitempty"`
+	// Action is the Swap-step action name (for human inspection; the
+	// instruction word is authoritative).
+	Action string `json:"action,omitempty"`
+}
+
+// Edge is one transition of the AH-NBVA. Gated edges require the source
+// STE's BV-read to pass.
+type Edge struct {
+	From  int  `json:"from"`
+	To    int  `json:"to"`
+	Gated bool `json:"gated,omitempty"`
+}
+
+// TilePlacement records which machines a tile hosts. FCBMode marks a tile
+// *pair* reconfigured as one fully connected 128-STE unit (§6): machines
+// whose transition graphs are too dense for the Reduced CrossBar route
+// there, at twice the silicon per placement and half the capacity.
+type TilePlacement struct {
+	Tile     int   `json:"tile"`
+	Machines []int `json:"machines"`
+	STEs     int   `json:"stes"`
+	BVSTEs   int   `json:"bv_stes"`
+	FCBMode  bool  `json:"fcb_mode,omitempty"`
+}
+
+// EncodeClass serializes a character class as 64 hex digits.
+func EncodeClass(c charclass.Class) string {
+	var buf [32]byte
+	for b := 0; b < charclass.AlphabetSize; b++ {
+		if c.Contains(byte(b)) {
+			buf[b>>3] |= 1 << (uint(b) & 7)
+		}
+	}
+	return hex.EncodeToString(buf[:])
+}
+
+// DecodeClass parses the hex form produced by EncodeClass.
+func DecodeClass(s string) (charclass.Class, error) {
+	raw, err := hex.DecodeString(s)
+	if err != nil {
+		return charclass.Class{}, fmt.Errorf("hwconf: bad class encoding: %v", err)
+	}
+	if len(raw) != 32 {
+		return charclass.Class{}, fmt.Errorf("hwconf: class encoding has %d bytes, want 32", len(raw))
+	}
+	c := charclass.Empty()
+	for b := 0; b < charclass.AlphabetSize; b++ {
+		if raw[b>>3]&(1<<(uint(b)&7)) != 0 {
+			c = c.Union(charclass.Single(byte(b)))
+		}
+	}
+	return c, nil
+}
+
+// Write serializes the configuration as indented JSON.
+func (c *Config) Write(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(c)
+}
+
+// Read parses a configuration and validates its structure.
+func Read(r io.Reader) (*Config, error) {
+	var c Config
+	if err := json.NewDecoder(r).Decode(&c); err != nil {
+		return nil, fmt.Errorf("hwconf: %v", err)
+	}
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	return &c, nil
+}
+
+// Validate checks referential integrity of the configuration.
+func (c *Config) Validate() error {
+	if c.Version != FormatVersion {
+		return fmt.Errorf("hwconf: unsupported version %d", c.Version)
+	}
+	if c.Params.BVSizeBits < 0 || c.Params.BVSizeBits > 0 && c.Params.BVSizeBits < 8 {
+		return fmt.Errorf("hwconf: invalid bv size %d", c.Params.BVSizeBits)
+	}
+	for mi := range c.Machines {
+		m := &c.Machines[mi]
+		if m.Unsupported != "" {
+			continue
+		}
+		n := len(m.STEs)
+		for i, s := range m.STEs {
+			if s.ID != i {
+				return fmt.Errorf("hwconf: machine %d STE %d has id %d", mi, i, s.ID)
+			}
+			if len(s.Class) != 64 {
+				return fmt.Errorf("hwconf: machine %d STE %d class length %d", mi, i, len(s.Class))
+			}
+			if s.IsBV && s.WidthBits < 1 {
+				return fmt.Errorf("hwconf: machine %d BV-STE %d has width %d", mi, i, s.WidthBits)
+			}
+		}
+		for _, e := range m.Edges {
+			if e.From < 0 || e.From >= n || e.To < 0 || e.To >= n {
+				return fmt.Errorf("hwconf: machine %d edge %+v out of range", mi, e)
+			}
+		}
+		for _, q := range m.Initial {
+			if q < 0 || q >= n {
+				return fmt.Errorf("hwconf: machine %d initial %d out of range", mi, q)
+			}
+		}
+		for _, q := range m.Finals {
+			if q < 0 || q >= n {
+				return fmt.Errorf("hwconf: machine %d final %d out of range", mi, q)
+			}
+		}
+	}
+	for _, tp := range c.Tiles {
+		for _, m := range tp.Machines {
+			if m < 0 || m >= len(c.Machines) {
+				return fmt.Errorf("hwconf: tile %d references machine %d", tp.Tile, m)
+			}
+		}
+	}
+	return nil
+}
+
+// SupportedMachines returns the indices of machines that compiled and were
+// placed.
+func (c *Config) SupportedMachines() []int {
+	var out []int
+	for i := range c.Machines {
+		if c.Machines[i].Unsupported == "" {
+			out = append(out, i)
+		}
+	}
+	return out
+}

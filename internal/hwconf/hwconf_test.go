@@ -1,0 +1,139 @@
+package hwconf
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"bvap/internal/charclass"
+)
+
+func TestClassCodecRoundTrip(t *testing.T) {
+	cases := []charclass.Class{
+		charclass.Empty(),
+		charclass.Any(),
+		charclass.Single(0),
+		charclass.Single(255),
+		charclass.Range('a', 'z'),
+		charclass.Digit(),
+		charclass.Word().Negate(),
+	}
+	for _, c := range cases {
+		enc := EncodeClass(c)
+		if len(enc) != 64 {
+			t.Fatalf("encoding length %d", len(enc))
+		}
+		dec, err := DecodeClass(enc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !dec.Equal(c) {
+			t.Fatalf("round trip failed for %v", c)
+		}
+	}
+}
+
+func TestQuickClassCodec(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		c := charclass.Empty()
+		for i := 0; i < 64; i++ {
+			c = c.Union(charclass.Single(byte(r.Intn(256))))
+		}
+		dec, err := DecodeClass(EncodeClass(c))
+		return err == nil && dec.Equal(c)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeClassErrors(t *testing.T) {
+	for _, bad := range []string{"", "zz", strings.Repeat("0", 63), strings.Repeat("0", 66), strings.Repeat("g", 64)} {
+		if _, err := DecodeClass(bad); err == nil {
+			t.Errorf("DecodeClass(%q) accepted", bad)
+		}
+	}
+}
+
+func validConfig() *Config {
+	return &Config{
+		Version: FormatVersion,
+		Params:  Params{BVSizeBits: 64, UnfoldThreshold: 8},
+		Machines: []Machine{
+			{
+				Regex: "ab{3}c",
+				STEs: []STE{
+					{ID: 0, Class: EncodeClass(charclass.Single('a'))},
+					{ID: 1, Class: EncodeClass(charclass.Single('b')), IsBV: true, WidthBits: 3, Instruction: 0x0800, Action: "shift"},
+					{ID: 2, Class: EncodeClass(charclass.Single('c'))},
+				},
+				Edges:   []Edge{{From: 0, To: 1}, {From: 1, To: 1}, {From: 1, To: 2, Gated: true}},
+				Initial: []int{0},
+				Finals:  []int{2},
+			},
+			{Regex: "bad(", Unsupported: "syntax error"},
+		},
+		Tiles: []TilePlacement{{Tile: 0, Machines: []int{0}, STEs: 3, BVSTEs: 1}},
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	cfg := validConfig()
+	var buf bytes.Buffer
+	if err := cfg.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Machines) != 2 || back.Machines[0].Regex != "ab{3}c" {
+		t.Fatalf("round trip lost machines: %+v", back.Machines)
+	}
+	if back.Machines[1].Unsupported == "" {
+		t.Fatal("unsupported flag lost")
+	}
+	if got := back.SupportedMachines(); len(got) != 1 || got[0] != 0 {
+		t.Fatalf("SupportedMachines = %v", got)
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	mutations := []struct {
+		name string
+		mut  func(*Config)
+	}{
+		{"bad version", func(c *Config) { c.Version = 99 }},
+		{"bad bv size", func(c *Config) { c.Params.BVSizeBits = 5 }},
+		{"ste id mismatch", func(c *Config) { c.Machines[0].STEs[1].ID = 7 }},
+		{"bad class length", func(c *Config) { c.Machines[0].STEs[0].Class = "abcd" }},
+		{"bv without width", func(c *Config) { c.Machines[0].STEs[1].WidthBits = 0 }},
+		{"edge out of range", func(c *Config) { c.Machines[0].Edges[0].To = 9 }},
+		{"negative edge", func(c *Config) { c.Machines[0].Edges[0].From = -1 }},
+		{"initial out of range", func(c *Config) { c.Machines[0].Initial[0] = 5 }},
+		{"final out of range", func(c *Config) { c.Machines[0].Finals[0] = -2 }},
+		{"tile bad machine", func(c *Config) { c.Tiles[0].Machines[0] = 4 }},
+	}
+	for _, m := range mutations {
+		cfg := validConfig()
+		m.mut(cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("%s: accepted", m.name)
+		}
+	}
+	if err := validConfig().Validate(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	if _, err := Read(strings.NewReader("{not json")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := Read(strings.NewReader(`{"version": 3}`)); err == nil {
+		t.Fatal("wrong version accepted")
+	}
+}

@@ -1,0 +1,187 @@
+package hwsim
+
+import (
+	"fmt"
+
+	"bvap/internal/archmodel"
+	"bvap/internal/compiler"
+	"bvap/internal/glushkov"
+)
+
+// BaselineSystem simulates the unfolding architectures the paper compares
+// against: CAMA, CA, eAP, and CNT (CAMA with counter elements). All share
+// the two-phase state-matching / state-transition pipeline; they differ in
+// match structure (CAM vs SRAM), crossbar (FCB vs RCB), clock, and whether
+// counter elements absorb counter-unambiguous repetitions.
+type BaselineSystem struct {
+	stats    Stats
+	machines []*baselineMachine
+	tiles    int
+	tilesF   float64
+	capacity float64 // STE capacity used as the activity denominator
+
+	recordEnds bool
+	ends       [][]int
+	pos        int
+}
+
+type baselineMachine struct {
+	index    int
+	runner   *glushkov.Runner
+	states   int
+	counters int
+}
+
+// NewBaselineSystem builds a simulator for arch over the given compiled
+// baseline machines (from compiler.CompileBaseline or compiler.CompileCNT).
+// Unsupported machines are skipped (they are reported by the compiler).
+func NewBaselineSystem(arch archmodel.Arch, machines []compiler.BaselineMachine) (*BaselineSystem, error) {
+	if arch != archmodel.CAMA && arch != archmodel.CA && arch != archmodel.EAP && arch != archmodel.CNT {
+		return nil, fmt.Errorf("hwsim: %v is not a baseline architecture", arch)
+	}
+	sys := &BaselineSystem{}
+	sys.stats.Arch = arch
+	var sizes []int
+	for i := range machines {
+		m := &machines[i]
+		if !m.Supported {
+			sys.machines = append(sys.machines, nil)
+			continue
+		}
+		sys.machines = append(sys.machines, &baselineMachine{
+			index:    i,
+			runner:   glushkov.NewRunner(m.NFA),
+			states:   m.STEs,
+			counters: m.Counters,
+		})
+		sizes = append(sizes, m.STEs)
+	}
+	sys.tiles = packTiles(sizes, archmodel.STEsPerTile)
+	sys.tilesF = float64(sys.tiles)
+	sys.capacity = float64(sys.tiles * archmodel.STEsPerTile)
+	sys.stats.finalizeArea(sys.tiles)
+	sys.ends = make([][]int, len(machines))
+	return sys, nil
+}
+
+// SetCustomSizing sizes the hardware to exactly the STEs in use instead of
+// whole 256-STE tiles — the single-regex "customized memory size" of the §8
+// micro-benchmarks. Call before Run.
+func (s *BaselineSystem) SetCustomSizing() {
+	total := 0
+	for _, m := range s.machines {
+		if m != nil {
+			total += m.states
+		}
+	}
+	if total == 0 {
+		total = 1
+	}
+	s.tilesF = float64(total) / archmodel.STEsPerTile
+	s.capacity = float64(total)
+	s.stats.finalizeAreaF(s.tilesF)
+}
+
+// packTiles first-fit-decreasing bin packs machine STE counts into tiles;
+// machines larger than one tile span several (cross-tile transitions use
+// the array's global switch).
+func packTiles(sizes []int, capacity int) int {
+	for i := 1; i < len(sizes); i++ {
+		for j := i; j > 0 && sizes[j] > sizes[j-1]; j-- {
+			sizes[j], sizes[j-1] = sizes[j-1], sizes[j]
+		}
+	}
+	var free []int
+	tiles := 0
+	for _, s := range sizes {
+		for s >= capacity {
+			tiles++
+			s -= capacity
+		}
+		if s == 0 {
+			continue
+		}
+		placed := false
+		for i := range free {
+			if free[i] >= s {
+				free[i] -= s
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			tiles++
+			free = append(free, capacity-s)
+		}
+	}
+	if tiles == 0 {
+		tiles = 1
+	}
+	return tiles
+}
+
+// RecordMatchEnds enables per-machine match recording.
+func (s *BaselineSystem) RecordMatchEnds(on bool) { s.recordEnds = on }
+
+// MatchEnds returns the recorded match end positions of machine i.
+func (s *BaselineSystem) MatchEnds(i int) []int { return s.ends[i] }
+
+// Stats returns the accumulated statistics.
+func (s *BaselineSystem) Stats() *Stats { return &s.stats }
+
+// Reset clears machine state but keeps statistics.
+func (s *BaselineSystem) Reset() {
+	for _, m := range s.machines {
+		if m != nil {
+			m.runner.Reset()
+		}
+	}
+	s.pos = 0
+}
+
+// Run processes a byte stream.
+func (s *BaselineSystem) Run(input []byte) {
+	for _, b := range input {
+		s.Step(b)
+	}
+}
+
+// Step processes one input symbol.
+func (s *BaselineSystem) Step(b byte) {
+	st := &s.stats
+	st.Symbols++
+	totalActive := 0
+	totalAvail := 0
+	for _, m := range s.machines {
+		if m == nil {
+			continue
+		}
+		if m.runner.Step(b) {
+			st.Matches++
+			if s.recordEnds {
+				s.ends[m.index] = append(s.ends[m.index], s.pos)
+			}
+		}
+		totalActive += m.runner.ActiveCount()
+		totalAvail += m.runner.AvailableCount()
+		if st.Arch == archmodel.CNT && m.counters > 0 && m.runner.ActiveCount() > 0 {
+			st.CounterEnergyPJ += archmodel.CounterEnergyPJFor(m.counters)
+		}
+	}
+	// Per-tile energy at the fleet-average activity (the per-tile cost
+	// functions are affine in activity, so the sum over tiles is exact).
+	availFrac := float64(totalAvail) / s.capacity
+	activeFrac := float64(totalActive) / s.capacity
+	arch := st.Arch
+	st.MatchEnergyPJ += s.tilesF * arch.MatchEnergyPJ(availFrac)
+	st.TransitionEnergyPJ += s.tilesF * arch.TransitionEnergyPJ(activeFrac)
+	st.WireEnergyPJ += s.tilesF * arch.WireEnergyPJ()
+	st.Cycles++
+	s.pos++
+}
+
+// Finish closes the run, charging leakage.
+func (s *BaselineSystem) Finish() *Stats {
+	s.stats.addLeakage()
+	return &s.stats
+}

@@ -1,0 +1,365 @@
+package hwsim
+
+import (
+	"fmt"
+
+	"bvap/internal/archmodel"
+	"bvap/internal/hwconf"
+	"bvap/internal/nbva"
+)
+
+// BVAPSystem simulates a BVAP bank executing a compiled configuration.
+// Construct one with NewBVAPSystem, feed it input with Run or Step, and read
+// the accumulated Stats.
+type BVAPSystem struct {
+	stats    Stats
+	machines []*bvapMachine
+	// tiles mirrors the config placement; activity is attributed to
+	// tiles in proportion to the STEs each tile hosts of a machine.
+	tiles []bvapTile
+	// arrayStall[i] accumulates stall cycles of array i this step.
+	arrayStall []int
+	arrays     int
+	streaming  bool
+	// maxWordsAll is the largest virtual word count across machines; in
+	// streaming mode (BVAP-S) the system clock is set by this.
+	maxWordsAll int
+	// matchEnds, when enabled, records match end positions per machine.
+	recordEnds bool
+	ends       [][]int
+	pos        int
+	io         *ioModel
+	ioPending  []bool
+	ioReports  []int
+	tileActive []float64 // per-step scratch
+	// tileScale scales each tile's per-symbol SM/ST cost; 1 for whole
+	// tiles, the occupancy fraction under custom sizing.
+	tileScale []float64
+	variant   Variant
+}
+
+// Variant selects design-ablation knobs on the BVAP simulator, modeling the
+// alternatives the paper argues against (§3 naïve PE array, §5 routing
+// strategies, §6 event-driven clocking, §5 virtual BV sizing).
+type Variant struct {
+	// Routing selects the Swap-step routing implementation.
+	Routing archmodel.Routing
+	// EventDriven gates the BVM on BV-STE activity (the adopted design);
+	// when false the BVM phase runs on every symbol at full clock.
+	EventDriven bool
+	// VirtualSizing uses per-instruction virtual word counts; when false
+	// every BV processes all 8 physical words.
+	VirtualSizing bool
+	// NaivePE replaces the BVM with the §3 per-transition PE array:
+	// every enabled transition transforms a full vector before
+	// aggregation, and the array area grows quadratically with the BVs
+	// per tile.
+	NaivePE bool
+}
+
+// DefaultVariant is the paper's BVAP design point.
+func DefaultVariant() Variant {
+	return Variant{Routing: archmodel.RoutingSemiParallel, EventDriven: true, VirtualSizing: true}
+}
+
+// SetVariant reconfigures the simulator's design point. Call before Run;
+// it adjusts the area accounting for the variant's BVM implementation.
+func (s *BVAPSystem) SetVariant(v Variant) {
+	s.variant = v
+	delta := v.Routing.MFCBAreaUm2() - archmodel.RoutingSemiParallel.MFCBAreaUm2()
+	if v.NaivePE {
+		delta += archmodel.NaivePEAreaUm2() - archmodel.BVMAreaUm2
+	}
+	s.stats.SetAreaUm2(s.stats.AreaUm2 + delta*1.05*float64(len(s.tiles)))
+}
+
+type bvapMachine struct {
+	index    int
+	ah       *nbva.AHNBVA
+	runner   *nbva.AHRunner
+	words    int
+	tiles    []int     // tiles hosting parts of this machine
+	share    []float64 // fraction of the machine's STEs on each tile
+	bvStates int
+	// prevBVActive tracks the previous cycle's active BV count so BV
+	// resets are charged once per deactivation.
+	prevBVActive int
+}
+
+type bvapTile struct {
+	stes   int
+	bvstes int
+	array  int
+	fcb    bool // tile pair in FCB mode (§6): 2× silicon, full crossbar
+}
+
+// NewBVAPSystem builds a simulator from a configuration. streaming selects
+// the BVAP-S mode (§6): the BVM runs every symbol at a constant, lower
+// system clock, and the SM/ST circuits run at reduced supply voltage.
+func NewBVAPSystem(cfg *hwconf.Config, streaming bool) (*BVAPSystem, error) {
+	arch := archmodel.BVAP
+	if streaming {
+		arch = archmodel.BVAPS
+	}
+	sys := &BVAPSystem{streaming: streaming}
+	sys.stats.Arch = arch
+
+	machineTiles := map[int][]int{}
+	tileUnits := 0.0
+	for _, tp := range cfg.Tiles {
+		sys.tiles = append(sys.tiles, bvapTile{
+			stes:   tp.STEs,
+			bvstes: tp.BVSTEs,
+			array:  tp.Tile / archmodel.TilesPerArray,
+			fcb:    tp.FCBMode,
+		})
+		if tp.FCBMode {
+			tileUnits += 2 // an FCB placement occupies a physical tile pair
+		} else {
+			tileUnits++
+		}
+		for _, m := range tp.Machines {
+			machineTiles[m] = append(machineTiles[m], tp.Tile)
+		}
+	}
+	sys.arrays = (len(sys.tiles) + archmodel.TilesPerArray - 1) / archmodel.TilesPerArray
+	if sys.arrays == 0 {
+		sys.arrays = 1
+	}
+	sys.arrayStall = make([]int, sys.arrays)
+
+	for i := range cfg.Machines {
+		m := &cfg.Machines[i]
+		if m.Unsupported != "" {
+			sys.machines = append(sys.machines, nil)
+			continue
+		}
+		ah, err := MachineFromConfig(m)
+		if err != nil {
+			return nil, err
+		}
+		bm := &bvapMachine{
+			index:    i,
+			ah:       ah,
+			runner:   nbva.NewAHRunner(ah),
+			words:    MaxWords(m),
+			tiles:    machineTiles[i],
+			bvStates: ah.BVStateCount(),
+		}
+		if len(bm.tiles) == 0 {
+			return nil, fmt.Errorf("hwsim: machine %d (%q) is not placed on any tile", i, m.Regex)
+		}
+		for range bm.tiles {
+			bm.share = append(bm.share, 1/float64(len(bm.tiles)))
+		}
+		sys.machines = append(sys.machines, bm)
+	}
+	sys.stats.finalizeAreaF(tileUnits)
+	sys.ends = make([][]int, len(cfg.Machines))
+	sys.tileActive = make([]float64, len(sys.tiles))
+	sys.tileScale = make([]float64, len(sys.tiles))
+	for i := range sys.tileScale {
+		sys.tileScale[i] = 1
+	}
+	sys.variant = DefaultVariant()
+	if !streaming {
+		// BVAP-S connects directly to the sensor and needs no input
+		// buffering (§6); standard BVAP streams through the bank I/O
+		// hierarchy.
+		sys.io = newIOModel(sys.arrays)
+		sys.ioPending = make([]bool, sys.arrays)
+		sys.ioReports = make([]int, sys.arrays)
+	}
+	return sys, nil
+}
+
+// SetCustomSizing sizes the hardware to the STEs and BVs actually used (§8
+// micro-benchmarks: "we customize the memory size for a single regex").
+// Call before Run.
+func (s *BVAPSystem) SetCustomSizing() {
+	tilesF := 0.0
+	area := 0.0
+	for i, t := range s.tiles {
+		steFrac := float64(t.stes) / archmodel.STEsPerTile
+		bvFrac := float64(t.bvstes) / archmodel.BVsPerTile
+		s.tileScale[i] = steFrac
+		tilesF += steFrac
+		area += archmodel.BVAPCustomTileAreaUm2(steFrac, bvFrac)
+	}
+	s.stats.finalizeAreaF(tilesF)
+	s.stats.SetAreaUm2(area * 1.05)
+}
+
+// RecordMatchEnds enables per-machine match-position recording (used by the
+// consistency checks; costs memory proportional to the match count).
+func (s *BVAPSystem) RecordMatchEnds(on bool) { s.recordEnds = on }
+
+// MatchEnds returns the recorded match end positions of machine i.
+func (s *BVAPSystem) MatchEnds(i int) []int { return s.ends[i] }
+
+// Stats returns the accumulated statistics.
+func (s *BVAPSystem) Stats() *Stats { return &s.stats }
+
+// Reset clears the machine states and the position counter but keeps the
+// accumulated statistics.
+func (s *BVAPSystem) Reset() {
+	for _, m := range s.machines {
+		if m != nil {
+			m.runner.Reset()
+		}
+	}
+	s.pos = 0
+}
+
+// Run processes a byte stream.
+func (s *BVAPSystem) Run(input []byte) {
+	for _, b := range input {
+		s.Step(b)
+	}
+}
+
+// Step processes one input symbol: one full SM → bit-vector-processing → ST
+// round across all tiles, with per-event energy and stall accounting.
+func (s *BVAPSystem) Step(b byte) {
+	st := &s.stats
+	st.Symbols++
+	for i := range s.arrayStall {
+		s.arrayStall[i] = 0
+	}
+
+	tileActive := s.tileActive
+	for i := range tileActive {
+		tileActive[i] = 0
+	}
+	for _, m := range s.machines {
+		if m == nil {
+			continue
+		}
+		matched := m.runner.Step(b)
+		if matched {
+			st.Matches++
+			if s.recordEnds {
+				s.ends[m.index] = append(s.ends[m.index], s.pos)
+			}
+			if s.io != nil {
+				s.ioReports[s.tiles[m.tiles[0]].array]++
+			}
+		}
+		active := float64(m.runner.ActiveStates())
+		for ti, tile := range m.tiles {
+			tileActive[tile] += active * m.share[ti]
+		}
+		// Bit-vector-processing phase: event-driven in BVAP mode,
+		// every cycle in BVAP-S mode or with event-driven clocking
+		// ablated.
+		bvActive := m.runner.ActiveBVStates()
+		words := m.words
+		if !s.variant.VirtualSizing && m.bvStates > 0 {
+			words = archmodel.PhysicalBVWords
+		}
+		alwaysOn := s.streaming || (!s.variant.EventDriven && m.bvStates > 0)
+		if bvActive > 0 || alwaysOn {
+			reads := m.runner.ReadOps()
+			bvFrac := 0.0
+			if m.bvStates > 0 {
+				bvFrac = float64(bvActive) / float64(m.bvStates)
+			}
+			st.BVMEnergyPJ += archmodel.BVMReadEnergyPJ(reads)
+			if s.variant.NaivePE {
+				st.BVMEnergyPJ += archmodel.NaivePESwapEnergyPJ(m.runner.SwapOps(), words)
+			} else {
+				st.BVMEnergyPJ += archmodel.BVMSwapEnergyPJ(
+					m.runner.ActiveStorageBVs(), m.runner.ActiveSet1BVs(),
+					words, bvFrac) * s.variant.Routing.MFCBEnergyScale()
+			}
+			st.BVMEnergyPJ += archmodel.BVMResetEnergyPJ(m.prevBVActive - bvActive)
+			if (bvActive > 0 || alwaysOn) && !s.streaming {
+				// The Global Controller stalls the machine's
+				// array for the BVM phase (§6).
+				stall := s.variant.Routing.StallCycles(words)
+				for _, tile := range m.tiles {
+					a := s.tiles[tile].array
+					if stall > s.arrayStall[a] {
+						s.arrayStall[a] = stall
+					}
+				}
+			}
+		}
+		m.prevBVActive = bvActive
+	}
+
+	// Per-tile SM/ST/wire energy: every placed tile sees every symbol.
+	// In always-on modes (BVAP-S, or event-driven clocking ablated) each
+	// tile's BVM additionally clocks an idle phase when none of its
+	// BV-STEs activated.
+	alwaysOnBVM := s.streaming || !s.variant.EventDriven
+	arch := st.Arch
+	for ti := range s.tiles {
+		scale := s.tileScale[ti]
+		if alwaysOnBVM && s.tiles[ti].bvstes > 0 {
+			st.BVMEnergyPJ += archmodel.BVMIdlePhasePJ(archmodel.PhysicalBVWords) * scale
+		}
+		capacity := float64(archmodel.STEsPerTile)
+		if s.tiles[ti].fcb {
+			capacity = float64(archmodel.FCBModeSTEs)
+		}
+		frac := 0.0
+		if s.tiles[ti].stes > 0 {
+			frac = tileActive[ti] / (capacity * scale)
+		}
+		st.MatchEnergyPJ += arch.MatchEnergyPJ(frac) * scale
+		if s.tiles[ti].fcb {
+			st.TransitionEnergyPJ += archmodel.FCBTransitionEnergyPJ(frac) * scale
+		} else {
+			st.TransitionEnergyPJ += arch.TransitionEnergyPJ(frac) * scale
+		}
+		st.WireEnergyPJ += arch.WireEnergyPJ() * scale
+	}
+
+	// Timing: in BVAP mode the slowest array sets the symbol's cycle
+	// cost (all arrays broadcast the same stream); BVAP-S has a constant
+	// longer cycle already reflected in its lower symbol clock.
+	maxStall := 0
+	if !s.streaming {
+		for _, stall := range s.arrayStall {
+			if stall > maxStall {
+				maxStall = stall
+			}
+		}
+	}
+	ioExtra := 0
+	if s.io != nil {
+		// BVM stall cycles let the FIFOs refill before the symbol is
+		// consumed (§6's latency hiding).
+		if maxStall > 0 {
+			s.io.idle(maxStall, s.ioPending)
+		}
+		for a := range s.ioPending {
+			s.ioPending[a] = true
+		}
+		for s.io.tick(s.ioPending, s.ioReports) > 0 {
+			ioExtra++
+			if ioExtra > 256 {
+				break // pathological congestion; avoid livelock
+			}
+		}
+		for a := range s.ioReports {
+			s.ioReports[a] = 0
+		}
+	}
+	st.Cycles += uint64(1 + maxStall + ioExtra)
+	st.StallCycles += uint64(maxStall + ioExtra)
+	s.pos++
+}
+
+// Finish closes the run: I/O observables are folded in and leakage is
+// charged over the final cycle count. Call it once after the last Step/Run.
+func (s *BVAPSystem) Finish() *Stats {
+	if s.io != nil {
+		s.stats.IOEnergyPJ = s.io.bufferPJ
+		s.stats.InputStallCycles = s.io.inputStalls
+		s.stats.OutputStallCycles = s.io.outputStalls
+	}
+	s.stats.addLeakage()
+	return &s.stats
+}

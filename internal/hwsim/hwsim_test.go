@@ -1,0 +1,384 @@
+package hwsim
+
+import (
+	"math/rand"
+	"testing"
+
+	"bvap/internal/archmodel"
+	"bvap/internal/compiler"
+	"bvap/internal/nbva"
+	"bvap/internal/regex"
+	"bvap/internal/swmatch"
+)
+
+func compileFor(t *testing.T, patterns []string) *compiler.Result {
+	t.Helper()
+	res, err := compiler.Compile(patterns, compiler.DefaultOptions())
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	return res
+}
+
+func randomInput(seed int64, n int, alphabet string) []byte {
+	r := rand.New(rand.NewSource(seed))
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = alphabet[r.Intn(len(alphabet))]
+	}
+	return out
+}
+
+func TestMachineFromConfigRoundTrip(t *testing.T) {
+	// The machine reconstructed from the JSON config must behave exactly
+	// like the compiler's in-memory AH automaton.
+	patterns := []string{"ab{3}c", "a(.a){3}b", "ab{2,114}c", "x(ab|cd){6}y"}
+	res := compileFor(t, patterns)
+	input := randomInput(1, 2000, "abcdxy")
+	for i := range patterns {
+		m, err := MachineFromConfig(&res.Config.Machines[i])
+		if err != nil {
+			t.Fatalf("machine %d: %v", i, err)
+		}
+		got := m.MatchEnds(input)
+		want := res.Machines[i].MatchEnds(input)
+		if !equalInts(got, want) {
+			t.Fatalf("machine %d (%q): config %v, memory %v", i, patterns[i], got, want)
+		}
+	}
+}
+
+func TestBVAPConsistencyWithSoftwareMatcher(t *testing.T) {
+	// The paper's §8 consistency check: the hardware simulator's match
+	// results must agree with the reliable software matcher.
+	patterns := []string{
+		"ab{3}c",
+		"a(.a){3}b",
+		"ab{2,30}c",
+		`\d{5}`,
+		"x(ab|cd){6}y",
+		"ab{64}c",
+		"a{1,100}b",
+	}
+	res := compileFor(t, patterns)
+	sys, err := NewBVAPSystem(res.Config, false)
+	if err != nil {
+		t.Fatalf("system: %v", err)
+	}
+	sys.RecordMatchEnds(true)
+	input := randomInput(2, 4000, "abcdxy0123456789")
+	sys.Run(input)
+	sys.Finish()
+	for i, pat := range patterns {
+		ref := swmatch.MustNew(pat)
+		want := ref.MatchEnds(input)
+		got := sys.MatchEnds(i)
+		if !equalInts(got, want) {
+			t.Errorf("%q: hw %d ends, sw %d ends", pat, len(got), len(want))
+		}
+	}
+}
+
+func TestBaselineConsistencyWithSoftwareMatcher(t *testing.T) {
+	patterns := []string{"ab{3}c", "a(.a){3}b", "ab{2,30}c", "xy*z"}
+	input := randomInput(3, 3000, "abcxyz")
+	for _, arch := range []archmodel.Arch{archmodel.CAMA, archmodel.CA, archmodel.EAP} {
+		ms := compiler.CompileBaseline(patterns)
+		sys, err := NewBaselineSystem(arch, ms)
+		if err != nil {
+			t.Fatalf("%v: %v", arch, err)
+		}
+		sys.RecordMatchEnds(true)
+		sys.Run(input)
+		sys.Finish()
+		for i, pat := range patterns {
+			want := swmatch.MustNew(pat).MatchEnds(input)
+			if !equalInts(sys.MatchEnds(i), want) {
+				t.Errorf("%v %q: mismatch", arch, pat)
+			}
+		}
+	}
+}
+
+func TestCNTConsistency(t *testing.T) {
+	patterns := []string{"aaaaaaaaaaaaaaaaa{64}b{64}"}
+	ms := compiler.CompileCNT(patterns)
+	sys, err := NewBaselineSystem(archmodel.CNT, ms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.RecordMatchEnds(true)
+	input := randomInput(4, 3000, "ab")
+	sys.Run(input)
+	sys.Finish()
+	want := swmatch.MustNew(patterns[0]).MatchEnds(input)
+	if !equalInts(sys.MatchEnds(0), want) {
+		t.Fatal("CNT match mismatch")
+	}
+}
+
+func TestBVAPEnergyAdvantageOnCounting(t *testing.T) {
+	// The headline result, in miniature: on a counting-heavy workload,
+	// BVAP must use less energy per symbol than CAMA, which must use less
+	// than eAP and CA; area must be smaller too.
+	patterns := []string{
+		"abcdefgh.{200}x", "ijklmnop.{150}y", "qrstuvwx.{300}z",
+		"header.{128}end", "body.{256}tail",
+	}
+	input := randomInput(5, 8000, "abcdefghijklmnopqrstuvwxyz.")
+
+	res := compileFor(t, patterns)
+	bvap, err := NewBVAPSystem(res.Config, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bvap.Run(input)
+	bvapStats := bvap.Finish()
+
+	baselines := map[archmodel.Arch]*Stats{}
+	for _, arch := range []archmodel.Arch{archmodel.CAMA, archmodel.CA, archmodel.EAP} {
+		sys, err := NewBaselineSystem(arch, compiler.CompileBaseline(patterns))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sys.Run(input)
+		baselines[arch] = sys.Finish()
+	}
+
+	eBVAP := bvapStats.EnergyPerSymbolPJ()
+	eCAMA := baselines[archmodel.CAMA].EnergyPerSymbolPJ()
+	eCA := baselines[archmodel.CA].EnergyPerSymbolPJ()
+	eEAP := baselines[archmodel.EAP].EnergyPerSymbolPJ()
+	if !(eBVAP < eCAMA && eCAMA < eEAP && eEAP < eCA) {
+		t.Fatalf("energy ordering violated: BVAP=%.1f CAMA=%.1f eAP=%.1f CA=%.1f",
+			eBVAP, eCAMA, eEAP, eCA)
+	}
+	if bvapStats.AreaUm2 >= baselines[archmodel.CAMA].AreaUm2 {
+		t.Fatalf("BVAP area %.0f ≥ CAMA area %.0f on counting workload",
+			bvapStats.AreaUm2, baselines[archmodel.CAMA].AreaUm2)
+	}
+}
+
+func TestBVAPSStreamingMode(t *testing.T) {
+	patterns := []string{"abcd.{100}x"}
+	input := randomInput(6, 5000, "abcdx.")
+	res := compileFor(t, patterns)
+
+	normal, err := NewBVAPSystem(res.Config, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	normal.Run(input)
+	ns := normal.Finish()
+
+	res2 := compileFor(t, patterns)
+	streaming, err := NewBVAPSystem(res2.Config, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	streaming.Run(input)
+	ss := streaming.Finish()
+
+	// BVAP-S: lower throughput, lower energy (voltage-scaled SM/ST), and
+	// no dynamic stalls (constant cycle).
+	if ss.ThroughputGbps() >= ns.ThroughputGbps() {
+		t.Fatalf("BVAP-S throughput %.2f ≥ BVAP %.2f", ss.ThroughputGbps(), ns.ThroughputGbps())
+	}
+	if ss.MatchEnergyPJ >= ns.MatchEnergyPJ {
+		t.Fatalf("BVAP-S match energy not reduced: %.1f vs %.1f", ss.MatchEnergyPJ, ns.MatchEnergyPJ)
+	}
+	if ss.StallCycles != 0 {
+		t.Fatalf("BVAP-S has stalls: %d", ss.StallCycles)
+	}
+	// Both modes must find the same matches.
+	if ss.Matches != ns.Matches {
+		t.Fatalf("matches differ: %d vs %d", ss.Matches, ns.Matches)
+	}
+}
+
+func TestStallsOnlyWhenBVMActive(t *testing.T) {
+	// A regex without counting never activates the BVM: no stalls, no BVM
+	// energy (event-driven scheme, §6).
+	res := compileFor(t, []string{"abcxyz"})
+	sys, err := NewBVAPSystem(res.Config, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	input := randomInput(7, 2000, "abcxyz")
+	sys.Run(input)
+	st := sys.Finish()
+	if st.StallCycles != 0 {
+		t.Fatalf("stalls without BVM: %d", st.StallCycles)
+	}
+	if st.BVMEnergyPJ != 0 {
+		t.Fatalf("BVM energy without BV-STEs: %.2f", st.BVMEnergyPJ)
+	}
+	if st.Cycles != st.Symbols {
+		t.Fatalf("cycles %d ≠ symbols %d", st.Cycles, st.Symbols)
+	}
+}
+
+func TestStallsGrowWithActivation(t *testing.T) {
+	// Higher BV activation ratio α → more stall cycles → lower throughput
+	// (Fig. 11's compute-density trend).
+	mk := func(alpha float64) *Stats {
+		// a{64}b: the counting scope is entered from the initial
+		// state, so the BVM activates on every 'a' — α is directly
+		// the fraction of a's in the input.
+		res := compileFor(t, []string{"a{64}b"})
+		sys, err := NewBVAPSystem(res.Config, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := rand.New(rand.NewSource(8))
+		input := make([]byte, 6000)
+		for i := range input {
+			if r.Float64() < alpha {
+				input[i] = 'a'
+			} else {
+				input[i] = 'b'
+			}
+		}
+		sys.Run(input)
+		return sys.Finish()
+	}
+	low := mk(0.05)
+	high := mk(0.50)
+	if high.StallCycles <= low.StallCycles {
+		t.Fatalf("stalls did not grow with α: %d vs %d", low.StallCycles, high.StallCycles)
+	}
+	if high.ThroughputGbps() >= low.ThroughputGbps() {
+		t.Fatalf("throughput did not drop with α")
+	}
+}
+
+func TestPackTiles(t *testing.T) {
+	cases := []struct {
+		sizes []int
+		want  int
+	}{
+		{nil, 1},
+		{[]int{10}, 1},
+		{[]int{256}, 1},
+		{[]int{257}, 2},
+		{[]int{4096}, 16},
+		{[]int{200, 200, 200}, 3},
+		{[]int{128, 128, 128, 128}, 2},
+		{[]int{250, 6, 250, 6}, 2},
+	}
+	for _, tc := range cases {
+		sizes := append([]int(nil), tc.sizes...)
+		if got := packTiles(sizes, 256); got != tc.want {
+			t.Errorf("packTiles(%v) = %d, want %d", tc.sizes, got, tc.want)
+		}
+	}
+}
+
+func TestQuickBVAPAgainstNBVA(t *testing.T) {
+	// Property: for random counting regexes and inputs, the full pipeline
+	// (compile → JSON → reconstruct → cycle-simulate) matches the plain
+	// NBVA semantics.
+	r := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 40; trial++ {
+		bound := 2 + r.Intn(90)
+		lo := 1 + r.Intn(bound)
+		pat := ""
+		switch trial % 3 {
+		case 0:
+			pat = "ab{" + itoa(bound) + "}c"
+		case 1:
+			pat = "a(bc){" + itoa(lo) + "," + itoa(bound+lo) + "}d"
+		default:
+			pat = "xa{" + itoa(bound) + "}y|z"
+		}
+		res, err := compiler.Compile([]string{pat}, compiler.Options{BVSizeBits: 32, UnfoldThreshold: 4})
+		if err != nil || res.Machines[0] == nil {
+			t.Fatalf("compile %q failed", pat)
+		}
+		sys, err := NewBVAPSystem(res.Config, trial%2 == 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sys.RecordMatchEnds(true)
+		input := randomInput(int64(trial), 1500, "abcdxyz")
+		sys.Run(input)
+		want := nbva.MustBuild(regex.MustParse(pat)).MatchEnds(input)
+		if !equalInts(sys.MatchEnds(0), want) {
+			t.Fatalf("trial %d %q: hw %v ends, nbva %v ends", trial, pat, len(sys.MatchEnds(0)), len(want))
+		}
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// densePattern mirrors the compiler's FCB test: a starred alternation whose
+// Glushkov graph has quadratic edge density.
+func densePattern(k int) string {
+	out := "("
+	for i := 0; i < k; i++ {
+		if i > 0 {
+			out += "|"
+		}
+		out += string(rune('a'+i%26)) + string(rune('b'+i%25))
+	}
+	return out + ")*z"
+}
+
+func TestFCBSimulationCosts(t *testing.T) {
+	// An FCB placement is a physical tile pair: the simulator must count
+	// two tiles of area for it.
+	resDense := compileFor(t, []string{densePattern(40)})
+	fcb := false
+	for _, tp := range resDense.Config.Tiles {
+		if tp.FCBMode {
+			fcb = true
+		}
+	}
+	if !fcb {
+		t.Skip("pattern not dense enough to trigger FCB mode")
+	}
+	resSparse := compileFor(t, []string{"abcdefgh"})
+	mk := func(res *compiler.Result) *Stats {
+		sys, err := NewBVAPSystem(res.Config, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sys.Run([]byte("abcdefghzzabz"))
+		return sys.Finish()
+	}
+	dense := mk(resDense)
+	sparse := mk(resSparse)
+	if dense.TilesF != 2 {
+		t.Fatalf("FCB tile units = %v, want 2", dense.TilesF)
+	}
+	if sparse.TilesF != 1 {
+		t.Fatalf("RCB tile units = %v, want 1", sparse.TilesF)
+	}
+	if dense.AreaUm2 <= sparse.AreaUm2 {
+		t.Fatal("FCB placement should cost more area")
+	}
+}

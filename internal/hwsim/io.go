@@ -1,0 +1,176 @@
+package hwsim
+
+// ioModel implements the §6 input/output hierarchy of the BVAP bank level:
+//
+//   - per bank, a 128-entry ping-pong Bank Input Buffer refilled over DMA;
+//   - per-array 8-entry input FIFOs that request four symbols from their
+//     bank buffer whenever they hold fewer than four, served by a polling
+//     arbiter (one grant of four symbols per bank per cycle — the paper
+//     sizes banks at four arrays precisely so this bandwidth matches the
+//     arrays' aggregate demand);
+//   - per-array 2-entry report FIFOs draining into a 64-entry Bank Output
+//     FIFO over a shared bus (one report per bank per cycle); a full
+//     report path stalls the array.
+//
+// The model advances in system-clock cycles alongside the compute
+// pipeline: BVM stall cycles give the FIFOs time to refill (the "two
+// levels of buffering [that] partially hide the latency"), and input
+// starvation or output congestion surface as extra stall cycles.
+type ioModel struct {
+	arrays int
+	banks  int
+
+	bankIn    []int // per-bank input buffer occupancy
+	bankOut   []int // per-bank output buffer occupancy
+	arrayIn   []int // per-array input FIFO occupancy
+	arrayOut  []int // per-array report FIFO occupancy
+	arbiterRR []int // per-bank polling arbiter position
+
+	// Accumulated observables.
+	inputStalls  uint64
+	outputStalls uint64
+	bufferPJ     float64
+}
+
+const (
+	ioArraysPerBank  = 4
+	bankInCapacity   = 128
+	arrayInCapacity  = 8
+	arrayInThreshold = 4
+	refillBurst      = 4
+	arrayOutCapacity = 2
+	bankOutCapacity  = 64
+	// dmaSymbolsPerCycle is the DMA refill bandwidth into each bank
+	// buffer; the ping-pong organization sustains one 4-symbol beat per
+	// cycle.
+	dmaSymbolsPerCycle = 4
+	// bufferAccessPJ is the energy of moving one symbol through one
+	// buffer level (small latch-based FIFOs).
+	bufferAccessPJ = 0.02
+)
+
+func newIOModel(arrays int) *ioModel {
+	if arrays < 1 {
+		arrays = 1
+	}
+	banks := (arrays + ioArraysPerBank - 1) / ioArraysPerBank
+	io := &ioModel{
+		arrays:    arrays,
+		banks:     banks,
+		bankIn:    make([]int, banks),
+		bankOut:   make([]int, banks),
+		arrayIn:   make([]int, arrays),
+		arrayOut:  make([]int, arrays),
+		arbiterRR: make([]int, banks),
+	}
+	for b := range io.bankIn {
+		io.bankIn[b] = bankInCapacity
+	}
+	for i := range io.arrayIn {
+		io.arrayIn[i] = arrayInCapacity
+	}
+	return io
+}
+
+// bankArrays returns the [lo, hi) array range of bank b.
+func (io *ioModel) bankArrays(b int) (lo, hi int) {
+	lo = b * ioArraysPerBank
+	hi = lo + ioArraysPerBank
+	if hi > io.arrays {
+		hi = io.arrays
+	}
+	return lo, hi
+}
+
+// tick advances the I/O hierarchy by one system cycle. pending[i] reports
+// whether array i still needs to consume a symbol this cycle; tick clears
+// the flag on success and leaves it set when the array stalls (input
+// starvation or report congestion). reports[i] is the number of match
+// reports array i emits along with its symbol (nil for idle cycles). tick
+// returns how many arrays remain pending.
+func (io *ioModel) tick(pending []bool, reports []int) int {
+	for b := 0; b < io.banks; b++ {
+		lo, hi := io.bankArrays(b)
+		n := hi - lo
+		// DMA refills the bank buffer.
+		io.bankIn[b] += dmaSymbolsPerCycle
+		if io.bankIn[b] > bankInCapacity {
+			io.bankIn[b] = bankInCapacity
+		}
+		// The polling arbiter grants one refill per bank per cycle.
+		for i := 0; i < n; i++ {
+			a := lo + (io.arbiterRR[b]+i)%n
+			if io.arrayIn[a] <= arrayInThreshold && io.bankIn[b] > 0 {
+				burst := refillBurst
+				if burst > io.bankIn[b] {
+					burst = io.bankIn[b]
+				}
+				if io.arrayIn[a]+burst > arrayInCapacity {
+					burst = arrayInCapacity - io.arrayIn[a]
+				}
+				io.arrayIn[a] += burst
+				io.bankIn[b] -= burst
+				io.bufferPJ += float64(burst) * bufferAccessPJ
+				io.arbiterRR[b] = (a - lo + 1) % n
+				break
+			}
+		}
+		// Output bus: one report per bank per cycle moves from an
+		// array FIFO to the bank FIFO; DMA drains the bank FIFO.
+		for i := 0; i < n; i++ {
+			a := lo + (io.arbiterRR[b]+i)%n
+			if io.arrayOut[a] > 0 && io.bankOut[b] < bankOutCapacity {
+				io.arrayOut[a]--
+				io.bankOut[b]++
+				io.bufferPJ += bufferAccessPJ
+				break
+			}
+		}
+		if io.bankOut[b] > 0 {
+			io.bankOut[b]--
+		}
+	}
+
+	remaining := 0
+	for a := 0; a < io.arrays; a++ {
+		if !pending[a] {
+			continue
+		}
+		// Input starvation.
+		if io.arrayIn[a] == 0 {
+			remaining++
+			io.inputStalls++
+			continue
+		}
+		// Output congestion: a full report FIFO stalls the array (§6:
+		// "a full alert is sent to the Global Controller to stall the
+		// array").
+		if reports != nil && reports[a] > 0 && io.arrayOut[a] >= arrayOutCapacity {
+			remaining++
+			io.outputStalls++
+			continue
+		}
+		io.arrayIn[a]--
+		io.bufferPJ += bufferAccessPJ
+		if reports != nil && reports[a] > 0 {
+			io.arrayOut[a] += reports[a]
+			if io.arrayOut[a] > arrayOutCapacity {
+				io.arrayOut[a] = arrayOutCapacity
+			}
+			io.bufferPJ += float64(reports[a]) * bufferAccessPJ
+		}
+		pending[a] = false
+	}
+	return remaining
+}
+
+// idle ticks the hierarchy for cycles in which no array consumes input
+// (BVM stall cycles): buffers refill, reports drain.
+func (io *ioModel) idle(cycles int, scratch []bool) {
+	for i := range scratch {
+		scratch[i] = false
+	}
+	for c := 0; c < cycles; c++ {
+		io.tick(scratch, nil)
+	}
+}

@@ -1,0 +1,87 @@
+package hwsim
+
+import (
+	"fmt"
+
+	"bvap/internal/hwconf"
+	"bvap/internal/isa"
+	"bvap/internal/nbva"
+)
+
+// MachineFromConfig reconstructs an executable AH-NBVA from its serialized
+// form. The configuration is the authoritative hardware image: simulating
+// the reconstructed machine (rather than the compiler's in-memory one)
+// means the JSON round trip is on the tested path.
+func MachineFromConfig(m *hwconf.Machine) (*nbva.AHNBVA, error) {
+	if m.Unsupported != "" {
+		return nil, fmt.Errorf("hwsim: machine %q is unsupported: %s", m.Regex, m.Unsupported)
+	}
+	ah := &nbva.AHNBVA{Anchored: m.Anchored}
+	for i, s := range m.STEs {
+		cls, err := hwconf.DecodeClass(s.Class)
+		if err != nil {
+			return nil, fmt.Errorf("hwsim: machine %q STE %d: %v", m.Regex, i, err)
+		}
+		st := nbva.AHState{Class: cls}
+		if s.IsBV {
+			in, err := isa.Decode(s.Instruction)
+			if err != nil {
+				return nil, fmt.Errorf("hwsim: machine %q STE %d: %v", m.Regex, i, err)
+			}
+			st.Width = s.WidthBits
+			switch in.Swap {
+			case isa.SwapSet1:
+				st.Action = nbva.ActSet1
+			case isa.SwapCopy:
+				st.Action = nbva.ActCopy
+			case isa.SwapShift:
+				st.Action = nbva.ActShift
+			default:
+				return nil, fmt.Errorf("hwsim: machine %q STE %d: BV without swap action", m.Regex, i)
+			}
+			if lo, hi, ok := in.ReadSpan(); ok {
+				if hi > st.Width {
+					hi = st.Width // virtual words round widths up
+				}
+				if lo == hi {
+					st.Read = nbva.ReadBit(lo)
+				} else {
+					st.Read = nbva.ReadRange(lo, hi)
+				}
+			} else {
+				st.Read = nbva.NoRead()
+			}
+		} else {
+			st.Read = nbva.NoRead()
+		}
+		ah.States = append(ah.States, st)
+		ah.Origin = append(ah.Origin, i)
+	}
+	for _, e := range m.Edges {
+		ah.Edges = append(ah.Edges, nbva.AHEdge{From: e.From, To: e.To, Gated: e.Gated})
+	}
+	ah.Initial = append(ah.Initial, m.Initial...)
+	ah.Finals = append(ah.Finals, m.Finals...)
+	ah.Finalize()
+	return ah, nil
+}
+
+// MaxWords returns the largest virtual word count among a machine's BV-STEs
+// (this sets the machine's Swap-step latency and therefore its stall
+// contribution).
+func MaxWords(m *hwconf.Machine) int {
+	max := 0
+	for _, s := range m.STEs {
+		if !s.IsBV {
+			continue
+		}
+		in, err := isa.Decode(s.Instruction)
+		if err != nil {
+			continue
+		}
+		if in.Words > max {
+			max = in.Words
+		}
+	}
+	return max
+}

@@ -1,0 +1,100 @@
+package hwsim
+
+import (
+	"strings"
+	"testing"
+
+	"bvap/internal/charclass"
+	"bvap/internal/hwconf"
+)
+
+func TestMachineFromConfigRejectsUnsupported(t *testing.T) {
+	m := hwconf.Machine{Regex: "x", Unsupported: "because"}
+	if _, err := MachineFromConfig(&m); err == nil {
+		t.Fatal("unsupported machine accepted")
+	}
+}
+
+func TestMachineFromConfigRejectsBadClass(t *testing.T) {
+	m := hwconf.Machine{
+		Regex: "x",
+		STEs:  []hwconf.STE{{ID: 0, Class: "zz"}},
+	}
+	if _, err := MachineFromConfig(&m); err == nil {
+		t.Fatal("bad class accepted")
+	}
+}
+
+func TestMachineFromConfigRejectsBadInstruction(t *testing.T) {
+	m := hwconf.Machine{
+		Regex: "x",
+		STEs: []hwconf.STE{{
+			ID:          0,
+			Class:       hwconf.EncodeClass(charclass.Single('a')),
+			IsBV:        true,
+			WidthBits:   8,
+			Instruction: 0xffff, // reserved bits set
+		}},
+	}
+	if _, err := MachineFromConfig(&m); err == nil {
+		t.Fatal("bad instruction accepted")
+	}
+}
+
+func TestMachineFromConfigRejectsBVWithoutSwap(t *testing.T) {
+	// A BV-STE whose instruction has no swap action cannot express an
+	// AH action.
+	m := hwconf.Machine{
+		Regex: "x",
+		STEs: []hwconf.STE{{
+			ID:          0,
+			Class:       hwconf.EncodeClass(charclass.Single('a')),
+			IsBV:        true,
+			WidthBits:   8,
+			Instruction: 0, // NoRead + SwapNone + 1 word
+		}},
+	}
+	if _, err := MachineFromConfig(&m); err == nil {
+		t.Fatal("BV without swap action accepted")
+	}
+	if _, err := MachineFromConfig(&m); err != nil && !strings.Contains(err.Error(), "swap") {
+		t.Fatalf("unhelpful error: %v", MachineFromConfigErr(&m))
+	}
+}
+
+func MachineFromConfigErr(m *hwconf.Machine) error {
+	_, err := MachineFromConfig(m)
+	return err
+}
+
+func TestNewBVAPSystemRejectsUnplacedMachine(t *testing.T) {
+	// A supported machine missing from every tile is a mapping bug the
+	// simulator must refuse to hide.
+	cfg := &hwconf.Config{
+		Version: hwconf.FormatVersion,
+		Params:  hwconf.Params{BVSizeBits: 64, UnfoldThreshold: 8},
+		Machines: []hwconf.Machine{{
+			Regex:   "a",
+			STEs:    []hwconf.STE{{ID: 0, Class: hwconf.EncodeClass(charclass.Single('a'))}},
+			Initial: []int{0},
+			Finals:  []int{0},
+		}},
+		// No tiles reference machine 0.
+		Tiles: []hwconf.TilePlacement{{Tile: 0, STEs: 1}},
+	}
+	if _, err := NewBVAPSystem(cfg, false); err == nil {
+		t.Fatal("unplaced machine accepted")
+	}
+}
+
+func TestMaxWordsIgnoresPlainSTEs(t *testing.T) {
+	res := compileFor(t, []string{"ab{300}c"})
+	words := MaxWords(&res.Config.Machines[0])
+	if words != 8 {
+		t.Fatalf("MaxWords = %d, want 8 (64-bit chunks)", words)
+	}
+	res = compileFor(t, []string{"abc"})
+	if got := MaxWords(&res.Config.Machines[0]); got != 0 {
+		t.Fatalf("MaxWords without BVs = %d", got)
+	}
+}

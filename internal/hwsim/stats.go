@@ -1,0 +1,146 @@
+// Package hwsim is the cycle-accurate simulator of the BVAP evaluation (§8):
+// it executes compiled configurations on a model of the BVAP hardware
+// (tiles, arrays, BVM Read/Swap timing, dynamic stall control, event-driven
+// BVM clocking, the BVAP-S streaming mode) and on the baseline architectures
+// CAMA, CA, eAP and CNT, accumulating per-event energy from the Table 4
+// circuit models and cycle counts from the clock model.
+//
+// "The simulator emulates hardware behavior cycle by cycle with the actual
+// dataflow" — the dataflow here is the real AH-NBVA execution; energy and
+// time are attributed per event as the run proceeds.
+package hwsim
+
+import (
+	"fmt"
+
+	"bvap/internal/archmodel"
+)
+
+// Stats accumulates the raw observables of one simulation run.
+type Stats struct {
+	Arch    archmodel.Arch
+	Symbols uint64
+	// Cycles is the system-clock cycle count including BVM stalls (the
+	// maximum over arrays, which all broadcast the same stream).
+	Cycles      uint64
+	StallCycles uint64
+	Matches     uint64
+
+	// Energy breakdown in picojoules.
+	MatchEnergyPJ      float64
+	TransitionEnergyPJ float64
+	BVMEnergyPJ        float64
+	CounterEnergyPJ    float64
+	WireEnergyPJ       float64
+	IOEnergyPJ         float64
+	LeakageEnergyPJ    float64
+
+	// I/O hierarchy stall breakdown (§6): input starvation and report
+	// congestion cycles, included in Cycles.
+	InputStallCycles  uint64
+	OutputStallCycles uint64
+
+	Tiles int
+	// TilesF is the (possibly fractional) tile count: the §8
+	// micro-benchmarks size the memory to a single regex instead of
+	// whole 256-STE tiles.
+	TilesF  float64
+	AreaUm2 float64
+}
+
+// TotalEnergyPJ sums the breakdown.
+func (s *Stats) TotalEnergyPJ() float64 {
+	return s.MatchEnergyPJ + s.TransitionEnergyPJ + s.BVMEnergyPJ +
+		s.CounterEnergyPJ + s.WireEnergyPJ + s.IOEnergyPJ + s.LeakageEnergyPJ
+}
+
+// EnergyPerSymbolPJ is the paper's primary efficiency metric (pJ/byte; the
+// figures report nJ/byte = this / 1000).
+func (s *Stats) EnergyPerSymbolPJ() float64 {
+	if s.Symbols == 0 {
+		return 0
+	}
+	return s.TotalEnergyPJ() / float64(s.Symbols)
+}
+
+// ThroughputGbps is symbols × 8 bits over wall-clock time at the
+// architecture's symbol clock.
+func (s *Stats) ThroughputGbps() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	perCycleSymbols := float64(s.Symbols) / float64(s.Cycles)
+	return s.Arch.SymbolClockGHz() * perCycleSymbols * 8
+}
+
+// AreaMm2 converts the accumulated area to mm².
+func (s *Stats) AreaMm2() float64 { return s.AreaUm2 / 1e6 }
+
+// PowerW is average power: energy over wall-clock time.
+func (s *Stats) PowerW() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	seconds := float64(s.Cycles) / (s.Arch.SymbolClockGHz() * 1e9)
+	return s.TotalEnergyPJ() * 1e-12 / seconds
+}
+
+func (s *Stats) String() string {
+	return fmt.Sprintf("%s: %d symbols, %d cycles, %d matches, %.2f pJ/sym, %.3f mm², %.2f Gbps",
+		s.Arch, s.Symbols, s.Cycles, s.Matches, s.EnergyPerSymbolPJ(), s.AreaMm2(), s.ThroughputGbps())
+}
+
+// finalizeArea fills the area fields from the tile count: tiles at the
+// architecture's tile cost plus a 5% hierarchy overhead for the array and
+// bank I/O buffers, controllers and wiring (§6).
+func (s *Stats) finalizeArea(tiles int) { s.finalizeAreaF(float64(tiles)) }
+
+// finalizeAreaF is finalizeArea for fractional (custom-sized) tiles.
+func (s *Stats) finalizeAreaF(tilesF float64) {
+	s.TilesF = tilesF
+	s.Tiles = int(tilesF)
+	if float64(s.Tiles) < tilesF {
+		s.Tiles++
+	}
+	s.AreaUm2 = tilesF * s.Arch.Tile().AreaUm2 * 1.05
+}
+
+// SetAreaUm2 overrides the computed area (the micro-benchmarks size the
+// BVAP tile's BVM portion by the BVs actually used).
+func (s *Stats) SetAreaUm2(area float64) { s.AreaUm2 = area }
+
+// Breakdown renders the per-component energy split as an aligned table —
+// the view a hardware evaluation section reports alongside the totals.
+func (s *Stats) Breakdown() string {
+	total := s.TotalEnergyPJ()
+	if total == 0 {
+		return "no energy recorded\n"
+	}
+	rows := []struct {
+		name string
+		pj   float64
+	}{
+		{"state matching", s.MatchEnergyPJ},
+		{"state transition", s.TransitionEnergyPJ},
+		{"bit-vector module", s.BVMEnergyPJ},
+		{"counter elements", s.CounterEnergyPJ},
+		{"global wires", s.WireEnergyPJ},
+		{"I/O buffers", s.IOEnergyPJ},
+		{"leakage", s.LeakageEnergyPJ},
+	}
+	out := fmt.Sprintf("%-18s %14s %7s\n", "component", "energy (pJ)", "share")
+	for _, r := range rows {
+		if r.pj == 0 {
+			continue
+		}
+		out += fmt.Sprintf("%-18s %14.1f %6.1f%%\n", r.name, r.pj, r.pj/total*100)
+	}
+	out += fmt.Sprintf("%-18s %14.1f %6.1f%%\n", "total", total, 100.0)
+	return out
+}
+
+// addLeakage charges tile leakage for the whole run.
+func (s *Stats) addLeakage() {
+	perTilePerCycle := s.Arch.LeakageEnergyPJ(s.Arch.SymbolClockGHz())
+	s.LeakageEnergyPJ += perTilePerCycle * s.TilesF * float64(s.Cycles)
+}

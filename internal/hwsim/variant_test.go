@@ -1,0 +1,109 @@
+package hwsim
+
+import (
+	"testing"
+
+	"bvap/internal/archmodel"
+)
+
+func runVariant(t *testing.T, v Variant, input []byte) *Stats {
+	t.Helper()
+	res := compileFor(t, []string{"attack.{200}end", "x{64}y"})
+	sys, err := NewBVAPSystem(res.Config, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.SetVariant(v)
+	sys.Run(input)
+	return sys.Finish()
+}
+
+func TestVariantDefaultsMatchPlainSystem(t *testing.T) {
+	input := randomInput(41, 4000, "atckendxy.")
+	base := runVariant(t, DefaultVariant(), input)
+
+	res := compileFor(t, []string{"attack.{200}end", "x{64}y"})
+	plain, err := NewBVAPSystem(res.Config, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain.Run(input)
+	ps := plain.Finish()
+	if base.TotalEnergyPJ() != ps.TotalEnergyPJ() || base.Cycles != ps.Cycles {
+		t.Fatalf("default variant diverges from plain system: %v vs %v",
+			base.TotalEnergyPJ(), ps.TotalEnergyPJ())
+	}
+}
+
+func TestVariantNaivePEArea(t *testing.T) {
+	input := randomInput(42, 2000, "atckendxy.")
+	base := runVariant(t, DefaultVariant(), input)
+	naive := DefaultVariant()
+	naive.NaivePE = true
+	ns := runVariant(t, naive, input)
+	wantDelta := (archmodel.NaivePEAreaUm2() - archmodel.BVMAreaUm2) * 1.05
+	got := ns.AreaUm2 - base.AreaUm2
+	if got < wantDelta*0.9 || got > wantDelta*1.1*2 {
+		t.Fatalf("naive PE area delta = %.0f, want ≈%.0f per tile", got, wantDelta)
+	}
+	// Matches are semantics-independent of the variant.
+	if ns.Matches != base.Matches {
+		t.Fatal("variant changed match results")
+	}
+}
+
+func TestVariantSerialRoutingStalls(t *testing.T) {
+	input := randomInput(43, 6000, "xy")
+	serial := DefaultVariant()
+	serial.Routing = archmodel.RoutingSerial
+	ss := runVariant(t, serial, input)
+	base := runVariant(t, DefaultVariant(), input)
+	if ss.StallCycles <= base.StallCycles {
+		t.Fatalf("serial stalls %d ≤ semi-parallel %d", ss.StallCycles, base.StallCycles)
+	}
+	parallel := DefaultVariant()
+	parallel.Routing = archmodel.RoutingParallel
+	pps := runVariant(t, parallel, input)
+	if pps.StallCycles >= base.StallCycles {
+		t.Fatalf("parallel stalls %d ≥ semi-parallel %d", pps.StallCycles, base.StallCycles)
+	}
+}
+
+func TestVariantAlwaysOnBVM(t *testing.T) {
+	// A workload that rarely activates the BVM: always-on clocking must
+	// burn idle-phase energy and stall every symbol.
+	input := randomInput(44, 3000, "zzzzzzzq")
+	always := DefaultVariant()
+	always.EventDriven = false
+	as := runVariant(t, always, input)
+	base := runVariant(t, DefaultVariant(), input)
+	if as.BVMEnergyPJ <= base.BVMEnergyPJ {
+		t.Fatalf("always-on BVM energy %.1f ≤ event-driven %.1f", as.BVMEnergyPJ, base.BVMEnergyPJ)
+	}
+	if as.Cycles <= base.Cycles {
+		t.Fatalf("always-on cycles %d ≤ event-driven %d", as.Cycles, base.Cycles)
+	}
+}
+
+func TestVariantFullWordsSlower(t *testing.T) {
+	// A small-bound pattern (2-word virtual BV) loses its latency edge
+	// when virtual sizing is disabled.
+	res := compileFor(t, []string{"a{16}b"})
+	input := randomInput(45, 6000, "ab")
+	run := func(v Variant) *Stats {
+		sys, err := NewBVAPSystem(res.Config, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sys.SetVariant(v)
+		sys.Run(input)
+		return sys.Finish()
+	}
+	base := run(DefaultVariant())
+	full := DefaultVariant()
+	full.VirtualSizing = false
+	fs := run(full)
+	if fs.StallCycles <= base.StallCycles {
+		t.Fatalf("full-words stalls %d ≤ virtual-sized %d", fs.StallCycles, base.StallCycles)
+	}
+}

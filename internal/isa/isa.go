@@ -1,0 +1,238 @@
+// Package isa defines the BVAP Bit Vector Module instruction set (Table 3 of
+// the paper). Each BV in a BVM holds one instruction in its instruction
+// buffer; the instruction programs
+//
+//   - the Read-step behaviour: no-read (BV-read defaults to '1'), the exact
+//     read r(n) with a 6-bit bit pointer, or one of the three range reads
+//     rAll = r(1,K), rHalf = r(1,K/2), rQuarter = r(1,K/4) implemented by
+//     OR-ing 8, 4 or 2 bitlines of the 8×8 SRAM array;
+//   - the Swap-step action: copy, shift, or set1 (the paper's combination
+//     forms r(n)·set1 etc. are a read paired with the set1 swap action);
+//   - the virtual BV size, expressed in 8-bit words (1–8), which sets how
+//     many Swap cycles the semi-parallel word-serial routing needs.
+//
+// Instructions encode into a 16-bit word for the configuration format.
+package isa
+
+import "fmt"
+
+// PhysicalBVBits is the hardware bit vector width: a 64-bit BV built from an
+// 8×8 8T-SRAM array (§5).
+const PhysicalBVBits = 64
+
+// WordBits is the MFCB routing width: 8 bits per cycle (two 4-port
+// cross-points, §5).
+const WordBits = 8
+
+// MaxWords is the number of words in a physical BV.
+const MaxWords = PhysicalBVBits / WordBits
+
+// ReadKind selects the Read-step behaviour.
+type ReadKind uint8
+
+const (
+	// NoRead: the BV performs no read; its BV-read output defaults to 1.
+	NoRead ReadKind = iota
+	// ReadN is the exact read r(n): BV-read = v[n].
+	ReadN
+	// ReadAll is rAll = r(1, K): OR of all K bits of the virtual BV.
+	ReadAll
+	// ReadHalf is rHalf = r(1, K/2).
+	ReadHalf
+	// ReadQuarter is rQuarter = r(1, K/4).
+	ReadQuarter
+)
+
+func (k ReadKind) String() string {
+	switch k {
+	case NoRead:
+		return "no-read"
+	case ReadN:
+		return "r(n)"
+	case ReadAll:
+		return "rAll"
+	case ReadHalf:
+		return "rHalf"
+	case ReadQuarter:
+		return "rQuarter"
+	}
+	return fmt.Sprintf("ReadKind(%d)", uint8(k))
+}
+
+// SwapKind selects the Swap-step action.
+type SwapKind uint8
+
+const (
+	// SwapNone: the BV does not update in the Swap step (pure readers).
+	SwapNone SwapKind = iota
+	// SwapCopy: write words back at the read address (v := v_in).
+	SwapCopy
+	// SwapShift: write words back at address+1 with the last word
+	// right-fed by zero (v := shft(v_in)).
+	SwapShift
+	// SwapSet1: power-gate the array and emit the stored constant
+	// [1, 0, …, 0].
+	SwapSet1
+)
+
+func (k SwapKind) String() string {
+	switch k {
+	case SwapNone:
+		return "none"
+	case SwapCopy:
+		return "copy"
+	case SwapShift:
+		return "shift"
+	case SwapSet1:
+		return "set1"
+	}
+	return fmt.Sprintf("SwapKind(%d)", uint8(k))
+}
+
+// Instruction is one BV instruction (one row of Table 3, with the pointer
+// and virtual size fields explicit).
+type Instruction struct {
+	Read ReadKind
+	// Pointer is the 1-based bit position for ReadN (1..64); 0 otherwise.
+	Pointer int
+	Swap    SwapKind
+	// Words is the virtual BV size in 8-bit words (1..8). Smaller virtual
+	// BVs cut Swap-step cycles and energy (§5).
+	Words int
+}
+
+// Validate reports whether the instruction is well formed.
+func (in Instruction) Validate() error {
+	if in.Words < 1 || in.Words > MaxWords {
+		return fmt.Errorf("isa: virtual size %d words out of range [1,%d]", in.Words, MaxWords)
+	}
+	switch in.Read {
+	case ReadN:
+		if in.Pointer < 1 || in.Pointer > in.Words*WordBits {
+			return fmt.Errorf("isa: r(n) pointer %d out of range [1,%d]", in.Pointer, in.Words*WordBits)
+		}
+	case NoRead, ReadAll, ReadHalf, ReadQuarter:
+		if in.Pointer != 0 {
+			return fmt.Errorf("isa: pointer %d set for %v", in.Pointer, in.Read)
+		}
+	default:
+		return fmt.Errorf("isa: unknown read kind %d", in.Read)
+	}
+	if in.Swap > SwapSet1 {
+		return fmt.Errorf("isa: unknown swap kind %d", in.Swap)
+	}
+	return nil
+}
+
+// VirtualBits returns the virtual BV width in bits.
+func (in Instruction) VirtualBits() int { return in.Words * WordBits }
+
+// ReadSpan returns the [lo, hi] bit range the Read step inspects, and
+// ok=false for NoRead.
+func (in Instruction) ReadSpan() (lo, hi int, ok bool) {
+	switch in.Read {
+	case ReadN:
+		return in.Pointer, in.Pointer, true
+	case ReadAll:
+		return 1, in.VirtualBits(), true
+	case ReadHalf:
+		return 1, in.VirtualBits() / 2, true
+	case ReadQuarter:
+		return 1, in.VirtualBits() / 4, true
+	default:
+		return 0, 0, false
+	}
+}
+
+// String renders the instruction in the paper's notation, e.g.
+// "rHalf·set1/16b" or "r(19)/24b".
+func (in Instruction) String() string {
+	var s string
+	switch {
+	case in.Read == NoRead && in.Swap == SwapNone:
+		s = "nop"
+	case in.Read == NoRead:
+		s = in.Swap.String()
+	case in.Read == ReadN && in.Swap == SwapNone:
+		s = fmt.Sprintf("r(%d)", in.Pointer)
+	case in.Read == ReadN:
+		s = fmt.Sprintf("r(%d)·%s", in.Pointer, in.Swap)
+	case in.Swap == SwapNone:
+		s = in.Read.String()
+	default:
+		s = fmt.Sprintf("%s·%s", in.Read, in.Swap)
+	}
+	return fmt.Sprintf("%s/%db", s, in.VirtualBits())
+}
+
+// Encoding layout of the 16-bit instruction word:
+//
+//	bits 0..2   read kind
+//	bits 3..8   pointer - 1 (6 bits; Fig. 4's "actual 6 bits")
+//	bits 9..10  swap kind
+//	bits 11..13 words - 1 (3 bits)
+//	bits 14..15 reserved, zero
+const (
+	readShift    = 0
+	pointerShift = 3
+	swapShift    = 9
+	wordsShift   = 11
+)
+
+// Encode packs the instruction into its 16-bit configuration word. It
+// panics on invalid instructions; validate first when handling user input.
+func (in Instruction) Encode() uint16 {
+	if err := in.Validate(); err != nil {
+		panic(err)
+	}
+	ptr := 0
+	if in.Read == ReadN {
+		ptr = in.Pointer - 1
+	}
+	return uint16(in.Read)<<readShift |
+		uint16(ptr)<<pointerShift |
+		uint16(in.Swap)<<swapShift |
+		uint16(in.Words-1)<<wordsShift
+}
+
+// Decode unpacks a 16-bit configuration word.
+func Decode(w uint16) (Instruction, error) {
+	in := Instruction{
+		Read:  ReadKind(w >> readShift & 0x7),
+		Swap:  SwapKind(w >> swapShift & 0x3),
+		Words: int(w>>wordsShift&0x7) + 1,
+	}
+	if in.Read == ReadN {
+		in.Pointer = int(w>>pointerShift&0x3f) + 1
+	}
+	if w>>14 != 0 {
+		return Instruction{}, fmt.Errorf("isa: reserved bits set in %#04x", w)
+	}
+	if err := in.Validate(); err != nil {
+		return Instruction{}, err
+	}
+	return in, nil
+}
+
+// Table3 returns the instruction set as published: every legal combination
+// of a read with a swap action, for a given virtual size. It is used by the
+// documentation generator and by tests that pin the ISA.
+func Table3(words int) []Instruction {
+	reads := []struct {
+		kind ReadKind
+		ptr  int
+	}{
+		{NoRead, 0}, {ReadN, words * WordBits}, {ReadAll, 0}, {ReadHalf, 0}, {ReadQuarter, 0},
+	}
+	swaps := []SwapKind{SwapNone, SwapCopy, SwapShift, SwapSet1}
+	var out []Instruction
+	for _, r := range reads {
+		for _, s := range swaps {
+			in := Instruction{Read: r.kind, Pointer: r.ptr, Swap: s, Words: words}
+			if in.Validate() == nil {
+				out = append(out, in)
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,117 @@
+package isa
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	cases := []Instruction{
+		{Read: NoRead, Swap: SwapNone, Words: 1},
+		{Read: NoRead, Swap: SwapCopy, Words: 8},
+		{Read: NoRead, Swap: SwapShift, Words: 4},
+		{Read: NoRead, Swap: SwapSet1, Words: 1},
+		{Read: ReadN, Pointer: 1, Swap: SwapNone, Words: 1},
+		{Read: ReadN, Pointer: 64, Swap: SwapSet1, Words: 8},
+		{Read: ReadN, Pointer: 19, Swap: SwapCopy, Words: 3},
+		{Read: ReadAll, Swap: SwapSet1, Words: 8},
+		{Read: ReadHalf, Swap: SwapShift, Words: 4},
+		{Read: ReadQuarter, Swap: SwapNone, Words: 2},
+	}
+	for _, in := range cases {
+		w := in.Encode()
+		out, err := Decode(w)
+		if err != nil {
+			t.Fatalf("decode(%v encoded %#04x): %v", in, w, err)
+		}
+		if out != in {
+			t.Fatalf("round trip %v -> %#04x -> %v", in, w, out)
+		}
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	bad := []Instruction{
+		{Read: NoRead, Swap: SwapNone, Words: 0},
+		{Read: NoRead, Swap: SwapNone, Words: 9},
+		{Read: ReadN, Pointer: 0, Swap: SwapNone, Words: 1},
+		{Read: ReadN, Pointer: 9, Swap: SwapNone, Words: 1}, // past virtual size
+		{Read: ReadN, Pointer: 65, Swap: SwapNone, Words: 8},
+		{Read: ReadAll, Pointer: 3, Swap: SwapNone, Words: 8},
+		{Read: ReadKind(7), Swap: SwapNone, Words: 1},
+	}
+	for _, in := range bad {
+		if err := in.Validate(); err == nil {
+			t.Errorf("Validate(%+v) accepted", in)
+		}
+	}
+}
+
+func TestReadSpan(t *testing.T) {
+	cases := []struct {
+		in     Instruction
+		lo, hi int
+		ok     bool
+	}{
+		{Instruction{Read: NoRead, Words: 8}, 0, 0, false},
+		{Instruction{Read: ReadN, Pointer: 13, Words: 8}, 13, 13, true},
+		{Instruction{Read: ReadAll, Words: 8}, 1, 64, true},
+		{Instruction{Read: ReadHalf, Words: 8}, 1, 32, true},
+		{Instruction{Read: ReadQuarter, Words: 8}, 1, 16, true},
+		{Instruction{Read: ReadAll, Words: 2}, 1, 16, true},
+		{Instruction{Read: ReadHalf, Words: 4}, 1, 16, true},
+	}
+	for _, tc := range cases {
+		lo, hi, ok := tc.in.ReadSpan()
+		if lo != tc.lo || hi != tc.hi || ok != tc.ok {
+			t.Errorf("ReadSpan(%v) = %d,%d,%v; want %d,%d,%v", tc.in, lo, hi, ok, tc.lo, tc.hi, tc.ok)
+		}
+	}
+}
+
+func TestString(t *testing.T) {
+	cases := map[string]Instruction{
+		"nop/8b":        {Read: NoRead, Swap: SwapNone, Words: 1},
+		"shift/64b":     {Read: NoRead, Swap: SwapShift, Words: 8},
+		"r(3)/8b":       {Read: ReadN, Pointer: 3, Swap: SwapNone, Words: 1},
+		"r(6)·set1/8b":  {Read: ReadN, Pointer: 6, Swap: SwapSet1, Words: 1},
+		"rAll·set1/64b": {Read: ReadAll, Swap: SwapSet1, Words: 8},
+		"rHalf/32b":     {Read: ReadHalf, Swap: SwapNone, Words: 4},
+	}
+	for want, in := range cases {
+		if got := in.String(); got != want {
+			t.Errorf("String(%+v) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestTable3Complete(t *testing.T) {
+	// 5 reads × 4 swaps = 20 legal combinations per virtual size.
+	set := Table3(8)
+	if len(set) != 20 {
+		t.Fatalf("Table3 size = %d, want 20", len(set))
+	}
+	seen := map[uint16]bool{}
+	for _, in := range set {
+		w := in.Encode()
+		if seen[w] {
+			t.Fatalf("duplicate encoding %#04x for %v", w, in)
+		}
+		seen[w] = true
+	}
+}
+
+func TestQuickDecodeNeverPanics(t *testing.T) {
+	f := func(w uint16) bool {
+		in, err := Decode(w)
+		if err != nil {
+			return true
+		}
+		// Valid decodes must re-encode to a word that decodes equal.
+		out, err := Decode(in.Encode())
+		return err == nil && out == in
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,116 @@
+// Package metrics derives the evaluation metrics of §8 from raw simulation
+// statistics: energy per symbol, compute density, power, energy-delay
+// product, and the paper's figure of merit FoM = energy × area / throughput.
+// It also provides the normalization helpers the figures use (Fig. 11/12
+// normalize to CAMA, Fig. 13 to CAMA, Fig. 14 to CA).
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"bvap/internal/hwsim"
+)
+
+// Point is the full metric set for one (architecture, workload) pair.
+type Point struct {
+	Label string
+	// EnergyPerSymbolNJ is nJ/byte, as reported in Fig. 14.
+	EnergyPerSymbolNJ float64
+	// AreaMm2 is the silicon area.
+	AreaMm2 float64
+	// ThroughputGbps is the sustained input rate.
+	ThroughputGbps float64
+	// PowerW is average power.
+	PowerW float64
+	// ComputeDensity is throughput per area (Gbps/mm²).
+	ComputeDensity float64
+	// EDP is the energy-delay product per symbol (pJ·ns).
+	EDP float64
+	// FoM is total energy × area / throughput (mJ·mm²/Gbps); lower is
+	// better.
+	FoM float64
+	// Matches is carried through for sanity checking.
+	Matches uint64
+}
+
+// FromStats derives a Point from finished simulation statistics.
+func FromStats(label string, s *hwsim.Stats) Point {
+	p := Point{Label: label, Matches: s.Matches}
+	p.EnergyPerSymbolNJ = s.EnergyPerSymbolPJ() / 1000
+	p.AreaMm2 = s.AreaMm2()
+	p.ThroughputGbps = s.ThroughputGbps()
+	p.PowerW = s.PowerW()
+	if p.AreaMm2 > 0 {
+		p.ComputeDensity = p.ThroughputGbps / p.AreaMm2
+	}
+	// Delay per symbol in ns.
+	if s.Symbols > 0 && p.ThroughputGbps > 0 {
+		delayNs := 8 / p.ThroughputGbps
+		p.EDP = s.EnergyPerSymbolPJ() * delayNs
+	}
+	if p.ThroughputGbps > 0 {
+		totalEnergyMJ := s.TotalEnergyPJ() * 1e-9 // pJ → mJ
+		p.FoM = totalEnergyMJ * p.AreaMm2 / p.ThroughputGbps
+	}
+	return p
+}
+
+// Normalized returns p with every metric divided by the corresponding
+// metric of base (the figures' "normalized to CAMA/CA" presentation).
+func (p Point) Normalized(base Point) Point {
+	out := p
+	div := func(a, b float64) float64 {
+		if b == 0 {
+			return 0
+		}
+		return a / b
+	}
+	out.EnergyPerSymbolNJ = div(p.EnergyPerSymbolNJ, base.EnergyPerSymbolNJ)
+	out.AreaMm2 = div(p.AreaMm2, base.AreaMm2)
+	out.ThroughputGbps = div(p.ThroughputGbps, base.ThroughputGbps)
+	out.PowerW = div(p.PowerW, base.PowerW)
+	out.ComputeDensity = div(p.ComputeDensity, base.ComputeDensity)
+	out.EDP = div(p.EDP, base.EDP)
+	out.FoM = div(p.FoM, base.FoM)
+	return out
+}
+
+func (p Point) String() string {
+	return fmt.Sprintf("%-8s energy=%.4f nJ/B  area=%.3f mm²  thpt=%.2f Gbps  density=%.2f Gbps/mm²  power=%.3f W  EDP=%.3f  FoM=%.5f",
+		p.Label, p.EnergyPerSymbolNJ, p.AreaMm2, p.ThroughputGbps, p.ComputeDensity, p.PowerW, p.EDP, p.FoM)
+}
+
+// GeoMean returns the geometric mean of the selected metric over points —
+// how the paper averages "across all benchmarks".
+func GeoMean(points []Point, metric func(Point) float64) float64 {
+	if len(points) == 0 {
+		return 0
+	}
+	prod := 1.0
+	n := 0
+	for _, p := range points {
+		v := metric(p)
+		if v > 0 {
+			prod *= v
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return math.Pow(prod, 1/float64(n))
+}
+
+// Table renders points as an aligned text table, sorted by label for
+// stable output.
+func Table(points []Point) string {
+	sorted := append([]Point(nil), points...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Label < sorted[j].Label })
+	out := ""
+	for _, p := range sorted {
+		out += p.String() + "\n"
+	}
+	return out
+}

@@ -1,0 +1,110 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"bvap/internal/archmodel"
+	"bvap/internal/hwsim"
+)
+
+func sampleStats() *hwsim.Stats {
+	s := &hwsim.Stats{
+		Arch:               archmodel.BVAP,
+		Symbols:            10000,
+		Cycles:             11000,
+		Matches:            42,
+		MatchEnergyPJ:      5000,
+		TransitionEnergyPJ: 3000,
+		BVMEnergyPJ:        2000,
+		WireEnergyPJ:       500,
+		LeakageEnergyPJ:    100,
+		Tiles:              2,
+		AreaUm2:            2 * 20000,
+	}
+	return s
+}
+
+func TestFromStats(t *testing.T) {
+	p := FromStats("BVAP", sampleStats())
+	if p.Label != "BVAP" || p.Matches != 42 {
+		t.Fatalf("point = %+v", p)
+	}
+	// 10600 pJ over 10000 symbols = 1.06 pJ/sym = 0.00106 nJ/B.
+	if math.Abs(p.EnergyPerSymbolNJ-0.00106) > 1e-9 {
+		t.Fatalf("energy = %g", p.EnergyPerSymbolNJ)
+	}
+	if math.Abs(p.AreaMm2-0.04) > 1e-12 {
+		t.Fatalf("area = %g", p.AreaMm2)
+	}
+	// Throughput: 2 GHz × (10000/11000) × 8 bits.
+	wantThpt := 2.0 * 10000 / 11000 * 8
+	if math.Abs(p.ThroughputGbps-wantThpt) > 1e-9 {
+		t.Fatalf("throughput = %g, want %g", p.ThroughputGbps, wantThpt)
+	}
+	if math.Abs(p.ComputeDensity-wantThpt/0.04) > 1e-6 {
+		t.Fatalf("density = %g", p.ComputeDensity)
+	}
+	if p.FoM <= 0 || p.EDP <= 0 || p.PowerW <= 0 {
+		t.Fatalf("derived metrics nonpositive: %+v", p)
+	}
+}
+
+func TestFoMDefinition(t *testing.T) {
+	// FoM = total energy (mJ) × area (mm²) / throughput (Gbps).
+	s := sampleStats()
+	p := FromStats("x", s)
+	want := s.TotalEnergyPJ() * 1e-9 * p.AreaMm2 / p.ThroughputGbps
+	if math.Abs(p.FoM-want) > 1e-15 {
+		t.Fatalf("FoM = %g, want %g", p.FoM, want)
+	}
+}
+
+func TestNormalized(t *testing.T) {
+	a := FromStats("a", sampleStats())
+	n := a.Normalized(a)
+	for name, v := range map[string]float64{
+		"energy": n.EnergyPerSymbolNJ, "area": n.AreaMm2, "thpt": n.ThroughputGbps,
+		"density": n.ComputeDensity, "edp": n.EDP, "fom": n.FoM, "power": n.PowerW,
+	} {
+		if math.Abs(v-1) > 1e-12 {
+			t.Errorf("self-normalized %s = %g, want 1", name, v)
+		}
+	}
+	// Division by a zero-base metric yields 0, not Inf.
+	z := a.Normalized(Point{})
+	if !(z.EnergyPerSymbolNJ == 0 && z.FoM == 0) {
+		t.Fatalf("zero base: %+v", z)
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	ps := []Point{{FoM: 1}, {FoM: 4}, {FoM: 16}}
+	got := GeoMean(ps, func(p Point) float64 { return p.FoM })
+	if math.Abs(got-4) > 1e-9 {
+		t.Fatalf("geomean = %g, want 4", got)
+	}
+	// Zero entries are skipped, empty input yields 0.
+	if GeoMean(nil, func(p Point) float64 { return 1 }) != 0 {
+		t.Fatal("empty geomean")
+	}
+	mixed := []Point{{FoM: 0}, {FoM: 9}}
+	if got := GeoMean(mixed, func(p Point) float64 { return p.FoM }); got != 9 {
+		t.Fatalf("geomean with zero = %g", got)
+	}
+}
+
+func TestTableSorted(t *testing.T) {
+	out := Table([]Point{{Label: "zzz"}, {Label: "aaa"}})
+	if strings.Index(out, "aaa") > strings.Index(out, "zzz") {
+		t.Fatal("table not sorted by label")
+	}
+}
+
+func TestZeroStatsSafe(t *testing.T) {
+	p := FromStats("empty", &hwsim.Stats{Arch: archmodel.CA})
+	if p.EnergyPerSymbolNJ != 0 || p.ThroughputGbps != 0 || p.FoM != 0 {
+		t.Fatalf("zero stats produced nonzero metrics: %+v", p)
+	}
+}

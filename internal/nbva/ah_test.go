@@ -1,0 +1,252 @@
+package nbva
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"bvap/internal/nca"
+	"bvap/internal/regex"
+)
+
+func TestAHSplitRunningExample(t *testing.T) {
+	// §3/§4: for a(Σa){3}b the Σ state has two incoming actions (set1
+	// from a, shift from the inner a), so it splits into STE2a and STE2b;
+	// total 5 STEs (Fig. 2(f)/(g), Fig. 3(c)).
+	src := MustBuild(regex.MustParse("a(.a){3}b"))
+	ah := MustTransform(src)
+	if ah.Size() != 5 {
+		t.Fatalf("AH size = %d, want 5", ah.Size())
+	}
+	if ah.BVStateCount() != 3 {
+		t.Fatalf("BV states = %d, want 3 (2a, 2b, 3)", ah.BVStateCount())
+	}
+	// Action kinds among BV states: set1 (2a), shift (2b), copy (the
+	// inner a).
+	counts := map[Action]int{}
+	for _, s := range ah.States {
+		if s.Width > 0 {
+			counts[s.Action]++
+		}
+	}
+	if counts[ActSet1] != 1 || counts[ActShift] != 1 || counts[ActCopy] != 1 {
+		t.Fatalf("action histogram = %v", counts)
+	}
+}
+
+func TestAHIsActionHomogeneous(t *testing.T) {
+	// The defining property: in the transformed automaton every state has
+	// a unique action, and every NBVA edge maps to an AH edge whose
+	// destination's action equals the original edge action.
+	patterns := []string{
+		"a(.a){3}b", "ab{2,5}(cd){6}e", "a(b+c){2}d", "x(ab|c){3}y",
+		"ab{3}c{4}d", "a{2,6}", "a+b{3}",
+	}
+	for _, pat := range patterns {
+		src := MustBuild(regex.MustParse(pat))
+		ah := MustTransform(src)
+		for _, e := range ah.Edges {
+			if e.From < 0 || e.From >= ah.Size() || e.To < 0 || e.To >= ah.Size() {
+				t.Fatalf("%q: invalid edge %+v", pat, e)
+			}
+		}
+		// Each AH state's incoming edges must be consistent with its
+		// action: a ActNone state has width 0, others width > 0.
+		for q, s := range ah.States {
+			if (s.Action == ActNone) != (s.Width == 0) {
+				t.Fatalf("%q: state %d action %v width %d", pat, q, s.Action, s.Width)
+			}
+		}
+	}
+}
+
+func TestTable2AHExecution(t *testing.T) {
+	// Table 2: BVAP (AH) execution of a(Σa){3}b over "abaaabab".
+	// States after transform: a, Σ/set1 (2a), Σ/shift (2b), a/copy (3),
+	// b (4, gated by r(3)). The report fires only at the final b, and the
+	// combined count-set of the two Σ copies must equal the unsplit Σ
+	// vector of the naïve execution at every step (language equivalence
+	// made observable).
+	src := MustBuild(regex.MustParse("a(.a){3}b"))
+	ah := MustTransform(src)
+
+	// Identify the split Σ states and the inner-a state.
+	var sigmaStates, innerA []int
+	for q, s := range ah.States {
+		if s.Width > 0 {
+			if s.Action == ActCopy {
+				innerA = append(innerA, q)
+			} else {
+				sigmaStates = append(sigmaStates, q)
+			}
+		}
+	}
+	if len(sigmaStates) != 2 || len(innerA) != 1 {
+		t.Fatalf("split shape wrong: sigma=%v inner=%v", sigmaStates, innerA)
+	}
+
+	naive := NewRunner(src)
+	ahr := NewAHRunner(ah)
+	input := []byte("abaaabab")
+	for i, b := range input {
+		nOut := naive.Step(b)
+		aOut := ahr.Step(b)
+		if nOut != aOut {
+			t.Fatalf("step %d (%q): naive out %v, AH out %v", i, b, nOut, aOut)
+		}
+		// OR of the split copies equals the unsplit vector.
+		or := NewBitVector(3)
+		for _, q := range sigmaStates {
+			if ahr.Active(q) {
+				or.OrFrom(ahr.Vector(q))
+			}
+		}
+		if !or.Equal(naive.Vector(1)) {
+			t.Fatalf("step %d (%q): Σ split OR = %s, naive = %s", i, b, or, naive.Vector(1))
+		}
+		orA := NewBitVector(3)
+		for _, q := range innerA {
+			if ahr.Active(q) {
+				orA.OrFrom(ahr.Vector(q))
+			}
+		}
+		if !orA.Equal(naive.Vector(2)) {
+			t.Fatalf("step %d (%q): inner-a split OR = %s, naive = %s", i, b, orA, naive.Vector(2))
+		}
+	}
+}
+
+func TestAHMatchesNaive(t *testing.T) {
+	patterns := []string{
+		"ab{3}c", "a(bc){2,4}d", "a.{5}b", "x(ab|c){3}y", "a{2,6}",
+		"ab{1,3}c{2}", "a(b+c){2}d", "xa{0,2}y", "a(.a){3}b",
+		"ab{2,5}(cd){6}e", "a+b{3}c*",
+	}
+	inputs := []string{
+		"abbbc", "abcbcd", "axxxxxb", "xababcaby", "aaaa", "xy", "xaay",
+		"abbbcabcc", "abcbccd", "aaaaaaaa", "xcababy", "abcc", "",
+		"abbcc", "abbccabcc", "abaaabab", "abbcdcdcdcdcdcde",
+		"abbbbbcdcdcdcdcdcde", "aabbbccc",
+	}
+	for _, pat := range patterns {
+		src := MustBuild(regex.MustParse(pat))
+		ah := MustTransform(src)
+		for _, in := range inputs {
+			got := ah.MatchEnds([]byte(in))
+			want := src.MatchEnds([]byte(in))
+			if !equalInts(got, want) {
+				t.Errorf("pattern %q input %q: AH %v, naive %v", pat, in, got, want)
+			}
+		}
+	}
+}
+
+// randCountingPattern builds a random pattern mixing classical operators and
+// one or two bounded repetitions with small bounds.
+func randCountingPattern(r *rand.Rand) string {
+	letter := func() string { return string(rune('a' + r.Intn(3))) }
+	atom := func() string {
+		switch r.Intn(4) {
+		case 0:
+			return letter() + "{" + string(rune('2'+r.Intn(4))) + "}"
+		case 1:
+			lo := 1 + r.Intn(2)
+			hi := lo + 1 + r.Intn(3)
+			return letter() + "{" + string(rune('0'+lo)) + "," + string(rune('0'+hi)) + "}"
+		case 2:
+			return "(" + letter() + letter() + "){" + string(rune('2'+r.Intn(3))) + "}"
+		default:
+			return letter()
+		}
+	}
+	s := letter()
+	for i := 0; i < 2+r.Intn(3); i++ {
+		s += atom()
+	}
+	return s
+}
+
+func TestQuickAHEquivalence(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		pat := randCountingPattern(r)
+		n, err := regex.Parse(pat)
+		if err != nil {
+			return false
+		}
+		src, err := Build(n)
+		if err != nil {
+			return true // nested counting etc.: nothing to compare
+		}
+		ah, err := Transform(src)
+		if err != nil {
+			return false
+		}
+		input := make([]byte, 24)
+		for i := range input {
+			input[i] = byte('a' + r.Intn(3))
+		}
+		return equalInts(src.MatchEnds(input), ah.MatchEnds(input))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 250}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickAHAgainstNCA(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		pat := randCountingPattern(r)
+		n, err := regex.Parse(pat)
+		if err != nil {
+			return false
+		}
+		src, err := Build(n)
+		if err != nil {
+			return true
+		}
+		ah := MustTransform(src)
+		input := make([]byte, 20)
+		for i := range input {
+			input[i] = byte('a' + r.Intn(3))
+		}
+		want := mustNCAEnds(pat, input)
+		return equalInts(ah.MatchEnds(input), want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAHConstantOverhead(t *testing.T) {
+	// §3: "BVAP needs O(1) STEs for a(Σa){n}b since the AH transformation
+	// only adds a constant number of STEs" — the AH size must not depend
+	// on the bound.
+	n5 := MustTransform(MustBuild(regex.MustParse("a(.a){5}b"))).Size()
+	n500 := MustTransform(MustBuild(regex.MustParse("a(.a){500}b"))).Size()
+	if n5 != n500 {
+		t.Fatalf("AH size depends on bound: %d vs %d", n5, n500)
+	}
+}
+
+func mustNCAEnds(pat string, input []byte) []int {
+	return nca.MustBuild(regex.MustParse(pat)).MatchEnds(input)
+}
+
+func TestAHRunnerCounters(t *testing.T) {
+	src := MustBuild(regex.MustParse("ab{3}c"))
+	ah := MustTransform(src)
+	r := NewAHRunner(ah)
+	r.Step('a')
+	r.Step('b')
+	if r.ActiveBVStates() != 1 {
+		t.Fatalf("active BV states = %d, want 1", r.ActiveBVStates())
+	}
+	if r.ActiveStates() < 1 {
+		t.Fatal("no active states")
+	}
+	r.Step('b')
+	if r.ReadOps() < 0 || r.SwapOps() < 1 {
+		t.Fatalf("ops: reads=%d swaps=%d", r.ReadOps(), r.SwapOps())
+	}
+}

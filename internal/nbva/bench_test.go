@@ -1,0 +1,97 @@
+package nbva
+
+import (
+	"math/rand"
+	"testing"
+
+	"bvap/internal/regex"
+)
+
+func BenchmarkBitVectorShift(b *testing.B) {
+	src := NewBitVector(64)
+	src.Set(1)
+	src.Set(33)
+	dst := NewBitVector(64)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		dst.ShiftFrom(src)
+	}
+}
+
+func BenchmarkBitVectorOr(b *testing.B) {
+	x := NewBitVector(64)
+	y := NewBitVector(64)
+	y.Set(17)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		x.OrFrom(y)
+	}
+}
+
+func BenchmarkAnyInRange(b *testing.B) {
+	v := NewBitVector(3072)
+	v.Set(3000)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		v.AnyInRange(1, 3072)
+	}
+}
+
+func benchInput(n int) []byte {
+	r := rand.New(rand.NewSource(5))
+	out := make([]byte, n)
+	alphabet := "abcx"
+	for i := range out {
+		out[i] = alphabet[r.Intn(len(alphabet))]
+	}
+	return out
+}
+
+func BenchmarkNaiveRunnerStep(b *testing.B) {
+	a := MustBuild(regex.MustParse("ab{64}c|x(ab){12}"))
+	r := NewRunner(a)
+	input := benchInput(4096)
+	b.SetBytes(1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Step(input[i%len(input)])
+	}
+}
+
+func BenchmarkAHRunnerStep(b *testing.B) {
+	ah := MustTransform(MustBuild(regex.MustParse("ab{64}c|x(ab){12}")))
+	r := NewAHRunner(ah)
+	input := benchInput(4096)
+	b.SetBytes(1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Step(input[i%len(input)])
+	}
+}
+
+func BenchmarkAHRunnerStepLargeMachine(b *testing.B) {
+	// A .{3000}-style gap machine: ~47 chunk clusters.
+	ah := MustTransform(MustBuild(regex.Rewrite(
+		regex.MustParse("attack.{3000}end"),
+		regex.Options{UnfoldThreshold: 8, BVSize: 64})))
+	r := NewAHRunner(ah)
+	input := benchInput(4096)
+	b.SetBytes(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Step(input[i%len(input)])
+	}
+}
+
+func BenchmarkTransform(b *testing.B) {
+	src := MustBuild(regex.Rewrite(regex.MustParse("ab{2,114}c(de){6}f"),
+		regex.Options{UnfoldThreshold: 4, BVSize: 64}))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Transform(src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,205 @@
+// Package nbva implements Nondeterministic Bit Vector Automata (NBVAs) and
+// the Action-Homogeneous transformation (AH-NBVA) that is the theoretical
+// core of the BVAP paper (§2–§4).
+//
+// An NBVA state carries a bit vector that is the characteristic function of
+// the set of live counter values of the corresponding NCA state: v[i] = 1
+// iff i completed iterations of the enclosing bounded repetition are
+// possible. All bit-vector operations used are linear with respect to
+// bitwise OR — f(v1|v2) = f(v1)|f(v2) — which is what allows incoming
+// vectors to be aggregated with OR before (AH form) or after (naïve form)
+// applying the operation, and is what the MFCB hardware exploits.
+package nbva
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+// BitVector is a fixed-width bit vector with 1-based indexing, matching the
+// paper's v[1..n] notation. Bit 1 is the least significant bit of word 0.
+// The zero value of width 0 is not usable; create vectors with NewBitVector.
+type BitVector struct {
+	width int
+	words []uint64
+}
+
+// NewBitVector returns an all-zero bit vector of the given width ≥ 1.
+func NewBitVector(width int) BitVector {
+	if width < 1 {
+		panic(fmt.Sprintf("nbva: invalid bit vector width %d", width))
+	}
+	return BitVector{width: width, words: make([]uint64, (width+63)/64)}
+}
+
+// Width returns the vector's width n.
+func (v BitVector) Width() int { return v.width }
+
+// Get returns bit i (1-based). It panics if i is out of [1, width].
+func (v BitVector) Get(i int) bool {
+	v.check(i)
+	return v.words[(i-1)>>6]&(1<<(uint(i-1)&63)) != 0
+}
+
+// Set sets bit i (1-based) in place.
+func (v BitVector) Set(i int) {
+	v.check(i)
+	v.words[(i-1)>>6] |= 1 << (uint(i-1) & 63)
+}
+
+func (v BitVector) check(i int) {
+	if i < 1 || i > v.width {
+		panic(fmt.Sprintf("nbva: bit index %d out of range [1,%d]", i, v.width))
+	}
+}
+
+// IsZero reports whether every bit is 0. A counting state whose vector is
+// zero is dead: no live counter value remains.
+func (v BitVector) IsZero() bool {
+	for _, w := range v.words {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// PopCount returns the number of set bits (live counter values).
+func (v BitVector) PopCount() int {
+	n := 0
+	for _, w := range v.words {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// Clear zeroes the vector in place.
+func (v BitVector) Clear() {
+	for i := range v.words {
+		v.words[i] = 0
+	}
+}
+
+// CopyFrom overwrites v with src. Both must have the same width.
+func (v BitVector) CopyFrom(src BitVector) {
+	if v.width != src.width {
+		panic(fmt.Sprintf("nbva: width mismatch %d vs %d", v.width, src.width))
+	}
+	copy(v.words, src.words)
+}
+
+// Clone returns an independent copy of v.
+func (v BitVector) Clone() BitVector {
+	c := NewBitVector(v.width)
+	copy(c.words, v.words)
+	return c
+}
+
+// OrFrom ORs src into v in place (the MFCB aggregation step). Both vectors
+// must have the same width.
+func (v BitVector) OrFrom(src BitVector) {
+	if v.width != src.width {
+		panic(fmt.Sprintf("nbva: width mismatch %d vs %d", v.width, src.width))
+	}
+	for i := range v.words {
+		v.words[i] |= src.words[i]
+	}
+}
+
+// SetOnly1 makes v the vector [1, 0, …, 0] (the set1 action) in place.
+func (v BitVector) SetOnly1() {
+	v.Clear()
+	v.words[0] = 1
+}
+
+// ShiftFrom writes shft(src) into v in place: shft(v)[1] = 0 and
+// shft(v)[i] = v[i-1]. A bit shifted past the width is dropped, which is
+// what bounds the repetition count without an explicit guard.
+func (v BitVector) ShiftFrom(src BitVector) {
+	if v.width != src.width {
+		panic(fmt.Sprintf("nbva: width mismatch %d vs %d", v.width, src.width))
+	}
+	carry := uint64(0)
+	for i := range src.words {
+		w := src.words[i]
+		v.words[i] = w<<1 | carry
+		carry = w >> 63
+	}
+	v.maskTop()
+}
+
+// maskTop clears bits beyond the width in the last word.
+func (v BitVector) maskTop() {
+	rem := uint(v.width & 63)
+	if rem != 0 {
+		v.words[len(v.words)-1] &= (1 << rem) - 1
+	}
+}
+
+// AnyInRange reports whether any of v[lo..hi] is 1 (the paper's r(m,n) read;
+// r(1,n) is the hardware's rAll/rHalf/rQuarter family and r(n,n) is r(n)).
+func (v BitVector) AnyInRange(lo, hi int) bool {
+	v.check(lo)
+	v.check(hi)
+	if lo > hi {
+		return false
+	}
+	loW, loB := (lo-1)>>6, uint(lo-1)&63
+	hiW, hiB := (hi-1)>>6, uint(hi-1)&63
+	if loW == hiW {
+		mask := (^uint64(0) << loB) & (^uint64(0) >> (63 - hiB))
+		return v.words[loW]&mask != 0
+	}
+	if v.words[loW]&(^uint64(0)<<loB) != 0 {
+		return true
+	}
+	for w := loW + 1; w < hiW; w++ {
+		if v.words[w] != 0 {
+			return true
+		}
+	}
+	return v.words[hiW]&(^uint64(0)>>(63-hiB)) != 0
+}
+
+// Equal reports whether v and u have identical width and contents.
+func (v BitVector) Equal(u BitVector) bool {
+	if v.width != u.width {
+		return false
+	}
+	for i := range v.words {
+		if v.words[i] != u.words[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the vector in the paper's [b1, b2, …, bn] notation.
+func (v BitVector) String() string {
+	var sb strings.Builder
+	sb.WriteByte('[')
+	for i := 1; i <= v.width; i++ {
+		if i > 1 {
+			sb.WriteByte(',')
+		}
+		if v.Get(i) {
+			sb.WriteByte('1')
+		} else {
+			sb.WriteByte('0')
+		}
+	}
+	sb.WriteByte(']')
+	return sb.String()
+}
+
+// FromBits builds a vector from explicit bit values, index 1 first.
+func FromBits(bits ...int) BitVector {
+	v := NewBitVector(len(bits))
+	for i, b := range bits {
+		if b != 0 {
+			v.Set(i + 1)
+		}
+	}
+	return v
+}

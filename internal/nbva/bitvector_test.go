@@ -1,0 +1,212 @@
+package nbva
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBitVectorBasics(t *testing.T) {
+	v := NewBitVector(100)
+	if v.Width() != 100 || !v.IsZero() {
+		t.Fatalf("new vector wrong: width=%d zero=%v", v.Width(), v.IsZero())
+	}
+	v.Set(1)
+	v.Set(64)
+	v.Set(65)
+	v.Set(100)
+	for _, i := range []int{1, 64, 65, 100} {
+		if !v.Get(i) {
+			t.Fatalf("bit %d not set", i)
+		}
+	}
+	if v.Get(2) || v.Get(63) || v.Get(99) {
+		t.Fatal("unexpected bits set")
+	}
+	if v.PopCount() != 4 {
+		t.Fatalf("popcount = %d, want 4", v.PopCount())
+	}
+	v.Clear()
+	if !v.IsZero() {
+		t.Fatal("clear failed")
+	}
+}
+
+func TestBitVectorBoundsPanic(t *testing.T) {
+	v := NewBitVector(8)
+	for _, i := range []int{0, 9, -1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Get(%d) did not panic", i)
+				}
+			}()
+			v.Get(i)
+		}()
+	}
+}
+
+func TestShiftSemantics(t *testing.T) {
+	// shft(v)[1] = 0 and shft(v)[i] = v[i-1]; overflow past the width is
+	// dropped (this is what bounds the repetition).
+	v := FromBits(1, 0, 1)
+	out := NewBitVector(3)
+	out.ShiftFrom(v)
+	if out.String() != "[0,1,0]" {
+		t.Fatalf("shift([1,0,1]) = %s, want [0,1,0]", out)
+	}
+	// Overflow at the top.
+	v = FromBits(0, 0, 1)
+	out.ShiftFrom(v)
+	if !out.IsZero() {
+		t.Fatalf("shift([0,0,1]) = %s, want zero", out)
+	}
+}
+
+func TestShiftAcrossWords(t *testing.T) {
+	v := NewBitVector(130)
+	v.Set(64)
+	v.Set(128)
+	out := NewBitVector(130)
+	out.ShiftFrom(v)
+	if !out.Get(65) || !out.Get(129) || out.PopCount() != 2 {
+		t.Fatalf("cross-word shift wrong: %v", out)
+	}
+}
+
+func TestShiftInPlace(t *testing.T) {
+	v := FromBits(1, 1, 0, 0)
+	v.ShiftFrom(v)
+	if v.String() != "[0,1,1,0]" {
+		t.Fatalf("in-place shift = %s", v)
+	}
+}
+
+func TestSetOnly1(t *testing.T) {
+	v := FromBits(0, 1, 1)
+	v.SetOnly1()
+	if v.String() != "[1,0,0]" {
+		t.Fatalf("set1 = %s", v)
+	}
+}
+
+func TestAnyInRange(t *testing.T) {
+	v := NewBitVector(200)
+	v.Set(70)
+	cases := []struct {
+		lo, hi int
+		want   bool
+	}{
+		{1, 69, false},
+		{1, 70, true},
+		{70, 70, true},
+		{71, 200, false},
+		{70, 200, true},
+		{1, 200, true},
+		{69, 71, true},
+	}
+	for _, tc := range cases {
+		if got := v.AnyInRange(tc.lo, tc.hi); got != tc.want {
+			t.Errorf("AnyInRange(%d,%d) = %v, want %v", tc.lo, tc.hi, got, tc.want)
+		}
+	}
+}
+
+func TestOrFromAndEqual(t *testing.T) {
+	a := FromBits(1, 0, 1, 0)
+	b := FromBits(0, 1, 1, 0)
+	a.OrFrom(b)
+	if a.String() != "[1,1,1,0]" {
+		t.Fatalf("or = %s", a)
+	}
+	if !a.Equal(FromBits(1, 1, 1, 0)) {
+		t.Fatal("equal failed")
+	}
+	if a.Equal(FromBits(1, 1, 1)) {
+		t.Fatal("width mismatch reported equal")
+	}
+}
+
+func randVector(r *rand.Rand, width int) BitVector {
+	v := NewBitVector(width)
+	for i := 1; i <= width; i++ {
+		if r.Intn(2) == 1 {
+			v.Set(i)
+		}
+	}
+	return v
+}
+
+// TestQuickActionLinearity is the central algebraic property of the paper:
+// every BVAP action f satisfies f(v1|v2) = f(v1)|f(v2), which is what makes
+// aggregate-then-act (AH hardware) equal to act-then-aggregate (naïve NBVA).
+func TestQuickActionLinearity(t *testing.T) {
+	actions := []Action{ActSet1, ActCopy, ActShift}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		width := 1 + r.Intn(150)
+		v1, v2 := randVector(r, width), randVector(r, width)
+		for _, act := range actions {
+			// f(v1 | v2)
+			u := v1.Clone()
+			u.OrFrom(v2)
+			left := NewBitVector(width)
+			act.Apply(left, u)
+			// f(v1) | f(v2)
+			r1, r2 := NewBitVector(width), NewBitVector(width)
+			act.Apply(r1, v1)
+			act.Apply(r2, v2)
+			r1.OrFrom(r2)
+			if !left.Equal(r1) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Shift corresponds to increment on sets of counters: bit i of shft(v) is
+// bit i-1 of v, i.e. the set {c+1 : c ∈ S, c+1 ≤ n}.
+func TestQuickShiftMatchesSetIncrement(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		width := 1 + r.Intn(100)
+		v := randVector(r, width)
+		out := NewBitVector(width)
+		out.ShiftFrom(v)
+		for i := 1; i <= width; i++ {
+			want := i > 1 && v.Get(i-1)
+			if out.Get(i) != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickAnyInRangeMatchesScan(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		width := 1 + r.Intn(200)
+		v := randVector(r, width)
+		lo := 1 + r.Intn(width)
+		hi := lo + r.Intn(width-lo+1)
+		want := false
+		for i := lo; i <= hi; i++ {
+			if v.Get(i) {
+				want = true
+				break
+			}
+		}
+		return v.AnyInRange(lo, hi) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,134 @@
+package nbva
+
+import (
+	"fmt"
+	"strings"
+)
+
+// This file renders automata as Graphviz DOT, reproducing the diagram
+// conventions of the paper's figures: double circles for reporting states,
+// dashed edges for read-gated transitions, state labels of the form
+// "class / action" for BV-STEs (Fig. 2(g)'s simplified AH diagrams), and an
+// implicit start arrow into each initial state.
+
+// DOT renders the NBVA (per-edge actions, Fig. 2(e) style).
+func (a *NBVA) DOT(name string) string {
+	var sb strings.Builder
+	header(&sb, name)
+	finals := map[int]Read{}
+	for _, f := range a.Finals {
+		finals[f.State] = f.Read
+	}
+	for q, st := range a.States {
+		label := st.Class.String()
+		if st.Width > 0 {
+			label += fmt.Sprintf(" : %d", st.Width)
+		}
+		writeNode(&sb, q, label, isFinalState(finals, q))
+	}
+	for i, q := range a.Initial {
+		fmt.Fprintf(&sb, "  start%d [shape=point];\n  start%d -> n%d;\n", i, i, q)
+	}
+	for _, e := range a.Edges {
+		attrs := []string{}
+		parts := []string{}
+		if !e.Read.None {
+			parts = append(parts, e.Read.String())
+			attrs = append(attrs, "style=dashed")
+		}
+		if e.Action != ActNone {
+			parts = append(parts, e.Action.String())
+		}
+		if len(parts) > 0 {
+			attrs = append(attrs, fmt.Sprintf("label=%q", strings.Join(parts, " / ")))
+		}
+		writeEdge(&sb, e.From, e.To, attrs)
+	}
+	writeFinalReads(&sb, finals)
+	sb.WriteString("}\n")
+	return sb.String()
+}
+
+// DOT renders the AH-NBVA (state-held actions, Fig. 2(g) style).
+func (a *AHNBVA) DOT(name string) string {
+	var sb strings.Builder
+	header(&sb, name)
+	finals := map[int]Read{}
+	for _, f := range a.Finals {
+		finals[f] = a.States[f].Read
+	}
+	labels := ahLabels(a)
+	for q, st := range a.States {
+		label := st.Class.String()
+		if st.Width > 0 {
+			label += " / " + st.Action.String()
+			if !st.Read.None {
+				label += " · " + st.Read.String()
+			}
+			label += fmt.Sprintf(" : %d", st.Width)
+		}
+		label = labels[q] + "\x00" + label
+		writeNode(&sb, q, label, isFinalState(finals, q))
+	}
+	for i, q := range a.Initial {
+		fmt.Fprintf(&sb, "  start%d [shape=point];\n  start%d -> n%d;\n", i, i, q)
+	}
+	for _, e := range a.Edges {
+		var attrs []string
+		if e.Gated {
+			attrs = append(attrs, "style=dashed")
+		}
+		writeEdge(&sb, e.From, e.To, attrs)
+	}
+	writeFinalReads(&sb, finals)
+	sb.WriteString("}\n")
+	return sb.String()
+}
+
+func header(sb *strings.Builder, name string) {
+	fmt.Fprintf(sb, "digraph %q {\n  rankdir=LR;\n  node [shape=circle, fontsize=10];\n", name)
+}
+
+func isFinalState(finals map[int]Read, q int) bool {
+	_, ok := finals[q]
+	return ok
+}
+
+func writeNode(sb *strings.Builder, id int, label string, final bool) {
+	shape := "circle"
+	if final {
+		shape = "doublecircle"
+	}
+	fmt.Fprintf(sb, "  n%d [label=\"%s\", shape=%s];\n", id, escapeDOT(label), shape)
+}
+
+// escapeDOT escapes a label for a double-quoted DOT string; the NUL byte is
+// the internal marker for an intended Graphviz line break.
+func escapeDOT(label string) string {
+	label = strings.ReplaceAll(label, `\`, `\\`)
+	label = strings.ReplaceAll(label, `"`, `\"`)
+	label = strings.ReplaceAll(label, "\x00", `\n`)
+	return label
+}
+
+func writeEdge(sb *strings.Builder, from, to int, attrs []string) {
+	if len(attrs) == 0 {
+		fmt.Fprintf(sb, "  n%d -> n%d;\n", from, to)
+		return
+	}
+	fmt.Fprintf(sb, "  n%d -> n%d [%s];\n", from, to, strings.Join(attrs, ", "))
+}
+
+// writeFinalReads annotates reporting states whose acceptance is guarded by
+// a read predicate, mirroring the paper's arrows out of final states.
+func writeFinalReads(sb *strings.Builder, finals map[int]Read) {
+	i := 0
+	for q, r := range finals {
+		if r.None {
+			continue
+		}
+		fmt.Fprintf(sb, "  accept%d [shape=plaintext, label=%q];\n  n%d -> accept%d [style=dotted];\n",
+			i, r.String(), q, i)
+		i++
+	}
+}

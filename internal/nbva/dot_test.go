@@ -1,0 +1,49 @@
+package nbva
+
+import (
+	"strings"
+	"testing"
+
+	"bvap/internal/regex"
+)
+
+func TestDOTNBVA(t *testing.T) {
+	a := MustBuild(regex.MustParse("ab{3}c"))
+	out := a.DOT("nbva")
+	for _, want := range []string{
+		"digraph \"nbva\"", "rankdir=LR", "doublecircle", "shift",
+		"set1", "r(3)", "style=dashed", "start0",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("NBVA DOT missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestDOTAH(t *testing.T) {
+	ah := MustTransform(MustBuild(regex.MustParse("a(.a){3}b")))
+	out := ah.DOT("ah")
+	for _, want := range []string{"STE2a\\n", "STE2b\\n", "/ shift", "/ set1", "doublecircle"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("AH DOT missing %q:\n%s", want, out)
+		}
+	}
+	// Every state appears as a node.
+	for q := range ah.States {
+		if !strings.Contains(out, nodeName(q)) {
+			t.Errorf("missing node n%d", q)
+		}
+	}
+}
+
+func nodeName(q int) string { return "n" + string(rune('0'+q%10)) }
+
+func TestDOTFinalReadAnnotation(t *testing.T) {
+	// The exact-count final read r(3) must appear as a dotted acceptance
+	// annotation.
+	a := MustBuild(regex.MustParse("ab{3}"))
+	out := a.DOT("g")
+	if !strings.Contains(out, "accept0") || !strings.Contains(out, "style=dotted") {
+		t.Fatalf("final read annotation missing:\n%s", out)
+	}
+}

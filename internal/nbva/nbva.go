@@ -1,0 +1,528 @@
+package nbva
+
+import (
+	"fmt"
+
+	"bvap/internal/charclass"
+	"bvap/internal/regex"
+)
+
+// Action is a linear bit-vector operation applied when a transition delivers
+// a vector to its destination (§4's operation set, minus the reads, which
+// are modeled separately because they gate activation rather than transform
+// vectors).
+type Action uint8
+
+const (
+	// ActNone: the destination has no bit vector; only activity moves.
+	ActNone Action = iota
+	// ActSet1: v · [1, 0, …, 0] — enter a counting scope with count 1.
+	ActSet1
+	// ActCopy: v := v — move within an iteration of the scope.
+	ActCopy
+	// ActShift: shft(v) — the scope's back edge; counts one more
+	// completed iteration and drops counts past the bound.
+	ActShift
+)
+
+func (a Action) String() string {
+	switch a {
+	case ActNone:
+		return "-"
+	case ActSet1:
+		return "set1"
+	case ActCopy:
+		return "copy"
+	case ActShift:
+		return "shift"
+	}
+	return fmt.Sprintf("Action(%d)", uint8(a))
+}
+
+// Apply computes dst = a(src) for vector-valued actions. dst and src must
+// have equal widths for copy/shift; set1 ignores src entirely (src may be
+// the zero BitVector).
+func (a Action) Apply(dst, src BitVector) {
+	switch a {
+	case ActSet1:
+		dst.SetOnly1()
+	case ActCopy:
+		dst.CopyFrom(src)
+	case ActShift:
+		dst.ShiftFrom(src)
+	default:
+		panic(fmt.Sprintf("nbva: Apply on %v", a))
+	}
+}
+
+// Read is a readout predicate over a source state's bit vector: the paper's
+// r(n) (Lo == Hi) and r(m, n) (any of v[m..n]). The zero value (None true)
+// is the trivial always-pass read used on edges that carry no guard.
+type Read struct {
+	None   bool
+	Lo, Hi int
+}
+
+// NoRead is the trivial read that always passes.
+func NoRead() Read { return Read{None: true} }
+
+// ReadBit is the exact read r(n).
+func ReadBit(n int) Read { return Read{Lo: n, Hi: n} }
+
+// ReadRange is the range read r(lo, hi).
+func ReadRange(lo, hi int) Read { return Read{Lo: lo, Hi: hi} }
+
+// Eval evaluates the read on vector v. The trivial read passes on any state,
+// including ones without a vector (callers pass a zero-width placeholder by
+// convention of not calling Eval; Eval requires a real vector otherwise).
+func (r Read) Eval(v BitVector) bool {
+	if r.None {
+		return true
+	}
+	return v.AnyInRange(r.Lo, r.Hi)
+}
+
+func (r Read) String() string {
+	switch {
+	case r.None:
+		return "no-read"
+	case r.Lo == r.Hi:
+		return fmt.Sprintf("r(%d)", r.Lo)
+	default:
+		return fmt.Sprintf("r(%d,%d)", r.Lo, r.Hi)
+	}
+}
+
+// State is an NBVA control state. Width 0 means the state carries no bit
+// vector (a plain NFA state). As in the Glushkov construction, the character
+// class lives on the state (homogeneity of classes); actions, in the plain
+// NBVA, still live on edges — making them state properties is exactly the AH
+// transformation.
+type State struct {
+	Class charclass.Class
+	Width int
+}
+
+// Edge is a transition (p, σ, q, ϑ): σ is the destination's class
+// (homogeneous), Read gates the transition on the source vector, and Action
+// transforms the source vector into a contribution to the destination
+// vector.
+type Edge struct {
+	From   int
+	To     int
+	Read   Read
+	Action Action
+}
+
+// Final marks an accepting state; Read is the finalization function F(q)
+// (e.g. v[n] = 1), trivial for plain states.
+type Final struct {
+	State int
+	Read  Read
+}
+
+// NBVA is a nondeterministic bit vector automaton with streaming
+// partial-match semantics: initial states are available at every input
+// position.
+type NBVA struct {
+	States       []State
+	Initial      []int
+	Edges        []Edge
+	Finals       []Final
+	AcceptsEmpty bool
+	// Anchored restricts matches to begin at the first input symbol.
+	Anchored bool
+
+	byDest [][]int
+}
+
+// Size returns the number of control states.
+func (a *NBVA) Size() int { return len(a.States) }
+
+func (a *NBVA) finalize() {
+	a.byDest = make([][]int, len(a.States))
+	for i, e := range a.Edges {
+		a.byDest[e.To] = append(a.byDest[e.To], i)
+	}
+}
+
+// Build constructs an NBVA from a regex using the counting Glushkov
+// construction (§3–§4): positions of a bounded repetition's body become
+// bit-vector states of width equal to the upper bound; entry edges carry
+// set1, intra-iteration edges copy, back edges shift, and exits are gated by
+// the range read of completed iterations.
+//
+// The regex is normalized first. Nested bounded repetitions are rejected —
+// the compiler legalizes them by unfolding before this construction.
+func Build(n regex.Node) (*NBVA, error) {
+	n = regex.Normalize(n)
+	b := &builder{}
+	info, err := b.build(n, -1)
+	if err != nil {
+		return nil, err
+	}
+	a := &NBVA{
+		States:       b.states,
+		Initial:      info.first,
+		AcceptsEmpty: info.nullable,
+	}
+	for _, e := range b.edges {
+		a.Edges = append(a.Edges, b.edgeOf(e))
+	}
+	for _, p := range info.last {
+		a.Finals = append(a.Finals, Final{State: p, Read: b.exitRead(p)})
+	}
+	a.finalize()
+	return a, nil
+}
+
+// MustBuild is Build for known-good inputs; it panics on error.
+func MustBuild(n regex.Node) *NBVA {
+	a, err := Build(n)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+type scope struct{ min, max int }
+
+type rawEdge struct {
+	from, to int
+	back     bool
+}
+
+type buildInfo struct {
+	nullable bool
+	first    []int
+	last     []int
+}
+
+type builder struct {
+	states  []State
+	scopes  []scope
+	scopeOf []int
+	edges   []rawEdge
+}
+
+func (b *builder) newPos(c charclass.Class, scopeIdx int) int {
+	b.states = append(b.states, State{Class: c})
+	b.scopeOf = append(b.scopeOf, scopeIdx)
+	return len(b.states) - 1
+}
+
+func (b *builder) link(from, to []int, back bool) {
+	for _, p := range from {
+		for _, q := range to {
+			b.edges = append(b.edges, rawEdge{from: p, to: q, back: back})
+		}
+	}
+}
+
+// exitRead is the read gating any transition (or acceptance) leaving state
+// p: "some count in [max(1,min), max] is live".
+func (b *builder) exitRead(p int) Read {
+	si := b.scopeOf[p]
+	if si < 0 {
+		return NoRead()
+	}
+	s := b.scopes[si]
+	lo := s.min
+	if lo < 1 {
+		lo = 1
+	}
+	if lo == s.max {
+		return ReadBit(s.max)
+	}
+	return ReadRange(lo, s.max)
+}
+
+func (b *builder) edgeOf(e rawEdge) Edge {
+	sp, sq := b.scopeOf[e.from], b.scopeOf[e.to]
+	out := Edge{From: e.from, To: e.to}
+	switch {
+	case sp == sq && sp >= 0 && e.back:
+		out.Read = NoRead() // shift drops overflow; no guard needed
+		out.Action = ActShift
+	case sp == sq && sp >= 0:
+		out.Read = NoRead()
+		out.Action = ActCopy
+	case sq >= 0:
+		out.Read = b.exitRead(e.from)
+		out.Action = ActSet1
+	default:
+		out.Read = b.exitRead(e.from)
+		out.Action = ActNone
+	}
+	return out
+}
+
+func (b *builder) build(n regex.Node, scopeIdx int) (buildInfo, error) {
+	switch n := n.(type) {
+	case regex.Empty:
+		return buildInfo{nullable: true}, nil
+	case regex.Lit:
+		p := b.newPos(n.Class, scopeIdx)
+		return buildInfo{first: []int{p}, last: []int{p}}, nil
+	case *regex.Concat:
+		cur := buildInfo{nullable: true}
+		for _, f := range n.Factors {
+			fi, err := b.build(f, scopeIdx)
+			if err != nil {
+				return buildInfo{}, err
+			}
+			b.link(cur.last, fi.first, false)
+			next := buildInfo{nullable: cur.nullable && fi.nullable}
+			// Positions of cur and fi are disjoint: plain appends.
+			next.first = append(next.first, cur.first...)
+			if cur.nullable {
+				next.first = append(next.first, fi.first...)
+			}
+			next.last = append(next.last, fi.last...)
+			if fi.nullable {
+				next.last = append(next.last, cur.last...)
+			}
+			cur = next
+		}
+		return cur, nil
+	case *regex.Alt:
+		var out buildInfo
+		for _, alt := range n.Alternatives {
+			ai, err := b.build(alt, scopeIdx)
+			if err != nil {
+				return buildInfo{}, err
+			}
+			out.nullable = out.nullable || ai.nullable
+			out.first = append(out.first, ai.first...)
+			out.last = append(out.last, ai.last...)
+		}
+		return out, nil
+	case *regex.Star:
+		si, err := b.build(n.Sub, scopeIdx)
+		if err != nil {
+			return buildInfo{}, err
+		}
+		b.link(si.last, si.first, false)
+		return buildInfo{nullable: true, first: si.first, last: si.last}, nil
+	case *regex.Repeat:
+		if n.Min == 0 && n.Max == 1 {
+			ri, err := b.build(n.Sub, scopeIdx)
+			if err != nil {
+				return buildInfo{}, err
+			}
+			ri.nullable = true
+			return ri, nil
+		}
+		if n.Max == regex.Unbounded {
+			return buildInfo{}, fmt.Errorf("nbva: unbounded repetition %s survived normalization", n)
+		}
+		if scopeIdx >= 0 || hasCounting(n.Sub) {
+			return buildInfo{}, fmt.Errorf("nbva: nested bounded repetition %s must be legalized by unfolding", n)
+		}
+		if regex.Nullable(n.Sub) {
+			return buildInfo{}, fmt.Errorf("nbva: counting over nullable body %s survived normalization", n)
+		}
+		b.scopes = append(b.scopes, scope{min: n.Min, max: n.Max})
+		idx := len(b.scopes) - 1
+		ri, err := b.build(n.Sub, idx)
+		if err != nil {
+			return buildInfo{}, err
+		}
+		b.link(ri.last, ri.first, true)
+		for i := range b.states {
+			if b.scopeOf[i] == idx {
+				b.states[i].Width = n.Max
+			}
+		}
+		ri.nullable = n.Min == 0
+		return ri, nil
+	default:
+		return buildInfo{}, fmt.Errorf("nbva: unknown node type %T", n)
+	}
+}
+
+func hasCounting(n regex.Node) bool {
+	found := false
+	regex.Walk(n, func(m regex.Node) {
+		if r, ok := m.(*regex.Repeat); ok && !(r.Min == 0 && r.Max == 1) {
+			found = true
+		}
+	})
+	return found
+}
+
+func appendUnique(dst []int, src []int) []int {
+	for _, s := range src {
+		dup := false
+		for _, d := range dst {
+			if d == s {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			dst = append(dst, s)
+		}
+	}
+	return dst
+}
+
+// Runner simulates a plain (per-edge action) NBVA — the "naïve solution with
+// bit vectors" of §3, where each transition applies its own action before
+// the per-destination OR aggregation.
+type Runner struct {
+	nbva          *NBVA
+	started       bool
+	active        []bool
+	vecs          []BitVector // current vectors (BV states only)
+	nextActive    []bool
+	nextVecs      []BitVector
+	scratch       []BitVector // per-state scratch for action application
+	lastBVActive  int
+	lastNFAActive int
+}
+
+// NewRunner returns a Runner in the start-of-stream configuration.
+func NewRunner(a *NBVA) *Runner {
+	r := &Runner{
+		nbva:       a,
+		active:     make([]bool, a.Size()),
+		nextActive: make([]bool, a.Size()),
+		vecs:       make([]BitVector, a.Size()),
+		nextVecs:   make([]BitVector, a.Size()),
+		scratch:    make([]BitVector, a.Size()),
+	}
+	for q, st := range a.States {
+		if st.Width > 0 {
+			r.vecs[q] = NewBitVector(st.Width)
+			r.nextVecs[q] = NewBitVector(st.Width)
+			r.scratch[q] = NewBitVector(st.Width)
+		}
+	}
+	return r
+}
+
+// Reset returns the runner to the start-of-stream configuration.
+func (r *Runner) Reset() {
+	r.started = false
+	for q := range r.active {
+		r.active[q] = false
+		if r.nbva.States[q].Width > 0 {
+			r.vecs[q].Clear()
+		}
+	}
+}
+
+// Active reports whether state q is active in the current configuration.
+func (r *Runner) Active(q int) bool { return r.active[q] }
+
+// Vector returns state q's current bit vector (zero BitVector for plain
+// states). The returned vector aliases internal storage; callers must not
+// mutate it.
+func (r *Runner) Vector(q int) BitVector { return r.vecs[q] }
+
+// ActiveBVStates returns how many bit-vector states were active after the
+// most recent step; the cycle simulator uses this for the event-driven BVM
+// activation and energy accounting.
+func (r *Runner) ActiveBVStates() int { return r.lastBVActive }
+
+// ActiveStates returns the total number of active states after the most
+// recent step.
+func (r *Runner) ActiveStates() int { return r.lastNFAActive }
+
+// Step consumes one input symbol and reports whether a match ends at it.
+func (r *Runner) Step(b byte) bool {
+	a := r.nbva
+	for q := range a.States {
+		r.nextActive[q] = false
+		if a.States[q].Width > 0 {
+			r.nextVecs[q].Clear()
+		}
+	}
+	for q := range a.States {
+		st := &a.States[q]
+		if !st.Class.Contains(b) {
+			continue
+		}
+		for _, ei := range a.byDest[q] {
+			e := a.Edges[ei]
+			if !r.active[e.From] {
+				continue
+			}
+			// Evaluate the read on the source vector.
+			if !e.Read.None && !e.Read.Eval(r.vecs[e.From]) {
+				continue
+			}
+			switch e.Action {
+			case ActNone:
+				r.nextActive[q] = true
+			case ActSet1:
+				r.nextActive[q] = true
+				r.scratch[q].SetOnly1()
+				r.nextVecs[q].OrFrom(r.scratch[q])
+			case ActCopy:
+				r.nextActive[q] = true
+				r.nextVecs[q].OrFrom(r.vecs[e.From])
+			case ActShift:
+				r.nextActive[q] = true
+				r.scratch[q].ShiftFrom(r.vecs[e.From])
+				r.nextVecs[q].OrFrom(r.scratch[q])
+			}
+		}
+	}
+	// Initial availability on every cycle (partial matching), or on the
+	// first cycle only for anchored machines.
+	if !a.Anchored || !r.started {
+		for _, q := range a.Initial {
+			st := &a.States[q]
+			if !st.Class.Contains(b) {
+				continue
+			}
+			r.nextActive[q] = true
+			if st.Width > 0 {
+				r.scratch[q].SetOnly1()
+				r.nextVecs[q].OrFrom(r.scratch[q])
+			}
+		}
+	}
+	r.started = true
+	// A BV state with a zero vector is dead.
+	r.lastBVActive, r.lastNFAActive = 0, 0
+	for q := range a.States {
+		if a.States[q].Width > 0 {
+			if r.nextVecs[q].IsZero() {
+				r.nextActive[q] = false
+			} else if r.nextActive[q] {
+				r.lastBVActive++
+			}
+		}
+		if r.nextActive[q] {
+			r.lastNFAActive++
+		}
+	}
+	r.active, r.nextActive = r.nextActive, r.active
+	r.vecs, r.nextVecs = r.nextVecs, r.vecs
+	// Output phase.
+	for _, f := range a.Finals {
+		if !r.active[f.State] {
+			continue
+		}
+		if f.Read.None || f.Read.Eval(r.vecs[f.State]) {
+			return true
+		}
+	}
+	return false
+}
+
+// MatchEnds runs the NBVA over input and returns every index where a match
+// ends.
+func (a *NBVA) MatchEnds(input []byte) []int {
+	r := NewRunner(a)
+	var ends []int
+	for i, b := range input {
+		if r.Step(b) {
+			ends = append(ends, i)
+		}
+	}
+	return ends
+}

@@ -1,0 +1,214 @@
+package nbva
+
+import (
+	"testing"
+
+	"bvap/internal/glushkov"
+	"bvap/internal/nca"
+	"bvap/internal/regex"
+)
+
+func TestFigure1NBVAExecution(t *testing.T) {
+	// Fig. 1: NBVA for Σ*aΣ{3}; the leading Σ* is the implicit initial
+	// availability. State 1 carries the width-3 bit vector; the figure's
+	// configurations for q2 are checked step by step.
+	a := MustBuild(regex.MustParse("a.{3}"))
+	if a.Size() != 2 {
+		t.Fatalf("size = %d, want 2", a.Size())
+	}
+	if a.States[0].Width != 0 || a.States[1].Width != 3 {
+		t.Fatalf("widths = %d,%d; want 0,3", a.States[0].Width, a.States[1].Width)
+	}
+	r := NewRunner(a)
+	steps := []struct {
+		in  byte
+		q2  string // bit vector of the counting state
+		out bool
+	}{
+		{'b', "[0,0,0]", false},
+		{'a', "[0,0,0]", false},
+		{'b', "[1,0,0]", false},
+		{'a', "[0,1,0]", false},
+		{'a', "[1,0,1]", true},
+		{'b', "[1,1,0]", false},
+		{'a', "[0,1,1]", true},
+		{'a', "[1,0,1]", true},
+		{'a', "[1,1,0]", false},
+	}
+	for i, st := range steps {
+		got := r.Step(st.in)
+		if got != st.out {
+			t.Fatalf("step %d (%q): output %v, want %v", i, st.in, got, st.out)
+		}
+		if vec := r.Vector(1).String(); vec != st.q2 {
+			t.Fatalf("step %d (%q): q2 = %s, want %s", i, st.in, vec, st.q2)
+		}
+	}
+}
+
+func TestSection4ExampleStructure(t *testing.T) {
+	// §4: the NBVA for ab{2,5}(cd){6}e has states a, b, c, d, e with
+	// widths 0, 5, 6, 6, 0; b's exit read is r(2,5) and d's is r(6).
+	a := MustBuild(regex.MustParse("ab{2,5}(cd){6}e"))
+	if a.Size() != 5 {
+		t.Fatalf("size = %d, want 5", a.Size())
+	}
+	wantWidths := []int{0, 5, 6, 6, 0}
+	for q, w := range wantWidths {
+		if a.States[q].Width != w {
+			t.Fatalf("state %d width = %d, want %d", q, a.States[q].Width, w)
+		}
+	}
+	// Find the edge b→c: it should be gated by r(2,5) and carry set1.
+	found := false
+	for _, e := range a.Edges {
+		if e.From == 1 && e.To == 2 {
+			found = true
+			if e.Read != ReadRange(2, 5) || e.Action != ActSet1 {
+				t.Fatalf("b→c edge = %+v", e)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no b→c edge")
+	}
+	// The final e is reached from d gated by r(6).
+	for _, e := range a.Edges {
+		if e.From == 3 && e.To == 4 {
+			if e.Read != ReadBit(6) {
+				t.Fatalf("d→e read = %v, want r(6)", e.Read)
+			}
+		}
+	}
+}
+
+func TestNaiveMatchesRunningExample(t *testing.T) {
+	// §3's running example: a(Σa){3}b over "abaaabab" matches exactly at
+	// the last symbol (Tables 1 and 2 report at the 8th input).
+	a := MustBuild(regex.MustParse("a(.a){3}b"))
+	ends := a.MatchEnds([]byte("abaaabab"))
+	if len(ends) != 1 || ends[0] != 7 {
+		t.Fatalf("ends = %v, want [7]", ends)
+	}
+}
+
+func TestTable1NaiveBVExecution(t *testing.T) {
+	// Table 1 exercises the naïve (per-edge action) design on
+	// a(Σa){3}b over "abaaabab". We verify the bit-vector evolution of
+	// the Σ state (STE2, our state 1) and the inner-a state (STE3, our
+	// state 2), and that the report fires only at the final b.
+	a := MustBuild(regex.MustParse("a(.a){3}b"))
+	if a.Size() != 4 {
+		t.Fatalf("size = %d, want 4", a.Size())
+	}
+	r := NewRunner(a)
+	input := []byte("abaaabab")
+	type row struct {
+		sigma string // vector of the Σ state after the step
+		inner string // vector of the inner a state after the step
+		out   bool
+	}
+	want := []row{
+		{"[0,0,0]", "[0,0,0]", false}, // a: STE1 active only
+		{"[1,0,0]", "[0,0,0]", false}, // b: Σ enters with set1
+		{"[0,0,0]", "[1,0,0]", false}, // a: inner a copies
+		{"[1,1,0]", "[0,0,0]", false}, // a: set1 (restart) | shift(back)
+		{"[1,0,0]", "[1,1,0]", false}, // a
+		{"[1,1,1]", "[0,0,0]", false}, // b: Σ gets set1|shift of [1,1,0]
+		{"[0,0,0]", "[1,1,1]", false}, // a: inner a now holds count 3
+		{"", "", true},                // b: report via r(3)
+	}
+	for i, b := range input {
+		got := r.Step(b)
+		if got != want[i].out {
+			t.Fatalf("step %d (%q): out = %v, want %v", i, b, got, want[i].out)
+		}
+		if want[i].sigma != "" {
+			if s := r.Vector(1).String(); s != want[i].sigma {
+				t.Fatalf("step %d (%q): Σ vec = %s, want %s", i, b, s, want[i].sigma)
+			}
+			if s := r.Vector(2).String(); s != want[i].inner {
+				t.Fatalf("step %d (%q): inner vec = %s, want %s", i, b, s, want[i].inner)
+			}
+		}
+	}
+}
+
+func TestNBVAEquivalentToNCA(t *testing.T) {
+	patterns := []string{
+		"ab{3}c",
+		"a(bc){2,4}d",
+		"a.{5}b",
+		"x(ab|c){3}y",
+		"a{2,6}",
+		"ab{1,3}c{2}",
+		"a(b+c){2}d",
+		"xa{0,2}y",
+		"a(.a){3}b",
+	}
+	inputs := []string{
+		"abbbc", "abcbcd", "axxxxxb", "xababcaby", "aaaa", "xy", "xaay",
+		"abbbcabcc", "abcbccd", "aaaaaaaa", "xcababy", "abcc", "",
+		"abbcc", "abbccabcc", "abaaabab", "aabbccaabbcc",
+	}
+	for _, pat := range patterns {
+		n := regex.MustParse(pat)
+		bva := MustBuild(n)
+		ca := nca.MustBuild(n)
+		for _, in := range inputs {
+			got := bva.MatchEnds([]byte(in))
+			want := ca.MatchEnds([]byte(in))
+			if !equalInts(got, want) {
+				t.Errorf("pattern %q input %q: nbva %v, nca %v", pat, in, got, want)
+			}
+		}
+	}
+}
+
+func TestNBVAEquivalentToUnfoldedNFA(t *testing.T) {
+	patterns := []string{"ab{4}c", "a(bc){3}", "a{1,5}b", "a.{6}b"}
+	inputs := []string{"abbbbc", "abcbcbc", "ab", "aab", "aaaab", "aXXXXXXb", "abbbbcabbbbc"}
+	for _, pat := range patterns {
+		n := regex.MustParse(pat)
+		bva := MustBuild(n)
+		nfa := glushkov.MustBuild(regex.FullyUnfold(n))
+		for _, in := range inputs {
+			got := bva.MatchEnds([]byte(in))
+			want := nfa.MatchEnds([]byte(in))
+			if !equalInts(got, want) {
+				t.Errorf("pattern %q input %q: nbva %v, nfa %v", pat, in, got, want)
+			}
+		}
+	}
+}
+
+func TestNestedCountingRejectedNBVA(t *testing.T) {
+	if _, err := Build(regex.MustParse("(a{3}b){4}")); err == nil {
+		t.Fatal("nested counting accepted")
+	}
+}
+
+func TestStateSpaceLinearInRegexSize(t *testing.T) {
+	// §1: the NBVA state space is linear in the regex size (one state per
+	// character class), independent of the bounds.
+	small := MustBuild(regex.MustParse("ab{10}c"))
+	large := MustBuild(regex.MustParse("ab{10000}c"))
+	if small.Size() != large.Size() {
+		t.Fatalf("state count depends on bound: %d vs %d", small.Size(), large.Size())
+	}
+	if large.States[1].Width != 10000 {
+		t.Fatalf("width = %d, want 10000", large.States[1].Width)
+	}
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

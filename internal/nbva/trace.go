@@ -1,0 +1,152 @@
+package nbva
+
+import (
+	"fmt"
+	"strings"
+)
+
+// This file renders step-by-step execution traces in the style of the
+// paper's Table 1 (naïve per-transition design) and Table 2 (BVAP/AH
+// design): one row per input symbol showing each STE's activity and each
+// bit vector's value after the cycle. The traces regenerate the paper's
+// sample-execution tables and double as a debugging aid.
+
+// TraceNaive executes the plain NBVA over input and renders the Table 1
+// style trace.
+func TraceNaive(a *NBVA, input []byte) string {
+	r := NewRunner(a)
+	var sb strings.Builder
+	header := []string{"input"}
+	for q := range a.States {
+		header = append(header, fmt.Sprintf("STE%d", q+1))
+	}
+	for q, st := range a.States {
+		if st.Width > 0 {
+			header = append(header, fmt.Sprintf("bv%d", q+1))
+		}
+	}
+	header = append(header, "out")
+	rows := [][]string{header}
+	for _, b := range input {
+		out := r.Step(b)
+		row := []string{printable(b)}
+		for q := range a.States {
+			row = append(row, bit(r.Active(q)))
+		}
+		for q, st := range a.States {
+			if st.Width > 0 {
+				row = append(row, r.Vector(q).String())
+			}
+		}
+		row = append(row, bit(out))
+		rows = append(rows, row)
+	}
+	renderRows(&sb, rows)
+	return sb.String()
+}
+
+// TraceAH executes the AH-NBVA over input and renders the Table 2 style
+// trace. Split states are labeled STE<origin><letter> (e.g. STE2a, STE2b),
+// mirroring the paper's naming.
+func TraceAH(a *AHNBVA, input []byte) string {
+	r := NewAHRunner(a)
+	labels := ahLabels(a)
+	var sb strings.Builder
+	header := []string{"input"}
+	for q := range a.States {
+		header = append(header, labels[q])
+	}
+	for q, st := range a.States {
+		if st.Width > 0 {
+			header = append(header, "bv"+strings.TrimPrefix(labels[q], "STE"))
+		}
+	}
+	header = append(header, "out")
+	rows := [][]string{header}
+	for _, b := range input {
+		out := r.Step(b)
+		row := []string{printable(b)}
+		for q := range a.States {
+			row = append(row, bit(r.Active(q)))
+		}
+		for q, st := range a.States {
+			if st.Width > 0 {
+				if r.Active(q) {
+					row = append(row, r.Vector(q).String())
+				} else {
+					row = append(row, zeroVector(st.Width))
+				}
+			}
+		}
+		row = append(row, bit(out))
+		rows = append(rows, row)
+	}
+	renderRows(&sb, rows)
+	return sb.String()
+}
+
+// ahLabels names AH states after their NBVA origin, appending a/b/c…
+// when the origin was split.
+func ahLabels(a *AHNBVA) []string {
+	copies := map[int]int{}
+	for _, o := range a.Origin {
+		copies[o]++
+	}
+	seen := map[int]int{}
+	labels := make([]string, a.Size())
+	for q, o := range a.Origin {
+		if copies[o] > 1 {
+			labels[q] = fmt.Sprintf("STE%d%c", o+1, 'a'+seen[o])
+			seen[o]++
+		} else {
+			labels[q] = fmt.Sprintf("STE%d", o+1)
+		}
+	}
+	return labels
+}
+
+func zeroVector(width int) string {
+	parts := make([]string, width)
+	for i := range parts {
+		parts[i] = "0"
+	}
+	return "[" + strings.Join(parts, ",") + "]"
+}
+
+func bit(b bool) string {
+	if b {
+		return "1"
+	}
+	return "0"
+}
+
+func printable(b byte) string {
+	if b >= 0x21 && b < 0x7f {
+		return string(b)
+	}
+	return fmt.Sprintf("%02x", b)
+}
+
+// renderRows prints rows with per-column alignment.
+func renderRows(sb *strings.Builder, rows [][]string) {
+	if len(rows) == 0 {
+		return
+	}
+	widths := make([]int, len(rows[0]))
+	for _, row := range rows {
+		for i, cell := range row {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(sb, "%-*s", widths[i], cell)
+		}
+		sb.WriteByte('\n')
+	}
+}

@@ -1,0 +1,509 @@
+// Package nca implements nondeterministic counter automata (NCAs), the
+// classical counting model (§2 of the paper) that NBVAs encode in hardware
+// form. States may carry a counter register; transitions carry a guard over
+// the source counter and an assignment for the destination counter.
+//
+// NCA simulation maintains a *set* of counter values per counting state,
+// because regexes can be counter-ambiguous (Fig. 1): the same control state
+// may be reached with several distinct counts simultaneously. This set-based
+// simulation is exactly what the bit vectors of package nbva implement in
+// hardware, and the two packages are implemented independently so that the
+// cross-model equivalence tests are meaningful.
+package nca
+
+import (
+	"fmt"
+	"sort"
+
+	"bvap/internal/charclass"
+	"bvap/internal/regex"
+)
+
+// State is a control state. Homogeneity (inherited from the Glushkov
+// construction) lets the character class live on the state: every transition
+// entering the state is labeled with it.
+type State struct {
+	Class charclass.Class
+	// Counter reports whether the state carries a counter register.
+	Counter bool
+	// Bound is the largest value the counter may take (the repetition's
+	// upper bound n). Zero when Counter is false.
+	Bound int
+}
+
+// Guard restricts a transition based on the source state's counter value.
+type Guard struct {
+	// Lo ≤ x ≤ Hi must hold for the transition to fire. A guard over a
+	// counterless source is the trivial guard {0, 0} with Trivial true.
+	Lo, Hi  int
+	Trivial bool
+}
+
+// True is the always-true guard used for counterless sources.
+func True() Guard { return Guard{Trivial: true} }
+
+// RangeGuard is the guard lo ≤ x ≤ hi.
+func RangeGuard(lo, hi int) Guard { return Guard{Lo: lo, Hi: hi} }
+
+// Holds reports whether value x satisfies the guard.
+func (g Guard) Holds(x int) bool { return g.Trivial || (g.Lo <= x && x <= g.Hi) }
+
+// Assign describes how the destination counter value is produced.
+type Assign uint8
+
+const (
+	// AssignNone: the destination has no counter.
+	AssignNone Assign = iota
+	// AssignSet1: x := 1 (entering a counting scope).
+	AssignSet1
+	// AssignKeep: x := x (moving within an iteration of the scope).
+	AssignKeep
+	// AssignIncr: x := x + 1 (the scope's back edge, starting the next
+	// iteration).
+	AssignIncr
+)
+
+func (a Assign) String() string {
+	switch a {
+	case AssignNone:
+		return "-"
+	case AssignSet1:
+		return "x:=1"
+	case AssignKeep:
+		return "x:=x"
+	case AssignIncr:
+		return "x++"
+	}
+	return fmt.Sprintf("Assign(%d)", uint8(a))
+}
+
+// Transition is an edge (p, σ, φ, q, ϑ). The class σ is the destination
+// state's class (homogeneity), so it is not stored on the edge.
+type Transition struct {
+	From   int
+	To     int
+	Guard  Guard
+	Assign Assign
+}
+
+// Final marks an accepting state together with the predicate its counter
+// must satisfy for a match to be reported.
+type Final struct {
+	State int
+	Guard Guard
+}
+
+// NCA is a nondeterministic counter automaton specialized to the shape the
+// regex construction produces: at most one counter per state and partial
+// (streaming) match semantics, where the initial states are available at
+// every input position.
+type NCA struct {
+	States       []State
+	Initial      []int
+	Trans        []Transition
+	Finals       []Final
+	AcceptsEmpty bool
+
+	// byDest indexes Trans by destination for the simulation loop.
+	byDest [][]int
+}
+
+// Size returns the number of control states.
+func (a *NCA) Size() int { return len(a.States) }
+
+// finalize builds the destination index; construction calls it once.
+func (a *NCA) finalize() {
+	a.byDest = make([][]int, len(a.States))
+	for i, t := range a.Trans {
+		a.byDest[t.To] = append(a.byDest[t.To], i)
+	}
+}
+
+// Config is a simulation configuration: per-state activity and, for counting
+// states, the set of live counter values.
+type Config struct {
+	active []bool
+	// values[q] is the sorted set of counter values at q (nil for
+	// counterless states).
+	values [][]int
+}
+
+// Runner simulates an NCA over a byte stream.
+type Runner struct {
+	nca  *NCA
+	cur  Config
+	next Config
+}
+
+// NewRunner returns a Runner in the start-of-stream configuration.
+func NewRunner(a *NCA) *Runner {
+	mk := func() Config {
+		return Config{
+			active: make([]bool, a.Size()),
+			values: make([][]int, a.Size()),
+		}
+	}
+	return &Runner{nca: a, cur: mk(), next: mk()}
+}
+
+// Reset returns the runner to the start-of-stream configuration.
+func (r *Runner) Reset() {
+	for q := range r.cur.active {
+		r.cur.active[q] = false
+		r.cur.values[q] = r.cur.values[q][:0]
+	}
+}
+
+// Active reports whether state q is active in the current configuration.
+func (r *Runner) Active(q int) bool { return r.cur.active[q] }
+
+// Values returns the live counter values of state q (sorted, read-only).
+func (r *Runner) Values(q int) []int { return r.cur.values[q] }
+
+// insertValue adds v to a sorted set.
+func insertValue(set []int, v int) []int {
+	i := sort.SearchInts(set, v)
+	if i < len(set) && set[i] == v {
+		return set
+	}
+	set = append(set, 0)
+	copy(set[i+1:], set[i:])
+	set[i] = v
+	return set
+}
+
+// Step consumes one input symbol and reports whether a match ends at it.
+func (r *Runner) Step(b byte) bool {
+	a := r.nca
+	for q := range r.next.active {
+		r.next.active[q] = false
+		r.next.values[q] = r.next.values[q][:0]
+	}
+	for q := range a.States {
+		st := &a.States[q]
+		if !st.Class.Contains(b) {
+			continue
+		}
+		for _, ti := range a.byDest[q] {
+			t := a.Trans[ti]
+			if !r.cur.active[t.From] {
+				continue
+			}
+			switch t.Assign {
+			case AssignNone:
+				if a.States[t.From].Counter {
+					for _, v := range r.cur.values[t.From] {
+						if t.Guard.Holds(v) {
+							r.next.active[q] = true
+							break
+						}
+					}
+				} else if t.Guard.Holds(0) {
+					r.next.active[q] = true
+				}
+			case AssignSet1:
+				fire := false
+				if a.States[t.From].Counter {
+					for _, v := range r.cur.values[t.From] {
+						if t.Guard.Holds(v) {
+							fire = true
+							break
+						}
+					}
+				} else {
+					fire = t.Guard.Holds(0)
+				}
+				if fire {
+					r.next.active[q] = true
+					r.next.values[q] = insertValue(r.next.values[q], 1)
+				}
+			case AssignKeep:
+				for _, v := range r.cur.values[t.From] {
+					if t.Guard.Holds(v) {
+						r.next.active[q] = true
+						r.next.values[q] = insertValue(r.next.values[q], v)
+					}
+				}
+			case AssignIncr:
+				for _, v := range r.cur.values[t.From] {
+					if t.Guard.Holds(v) && v+1 <= st.Bound {
+						r.next.active[q] = true
+						r.next.values[q] = insertValue(r.next.values[q], v+1)
+					}
+				}
+			}
+		}
+	}
+	// Initial states are available on every cycle (partial matching).
+	for _, q := range a.Initial {
+		st := &a.States[q]
+		if !st.Class.Contains(b) {
+			continue
+		}
+		r.next.active[q] = true
+		if st.Counter {
+			r.next.values[q] = insertValue(r.next.values[q], 1)
+		}
+	}
+	// A counting state with no live values is dead.
+	for q := range a.States {
+		if a.States[q].Counter && len(r.next.values[q]) == 0 {
+			r.next.active[q] = false
+		}
+	}
+	r.cur, r.next = r.next, r.cur
+	// Output phase.
+	for _, f := range a.Finals {
+		if !r.cur.active[f.State] {
+			continue
+		}
+		if !a.States[f.State].Counter {
+			return true
+		}
+		for _, v := range r.cur.values[f.State] {
+			if f.Guard.Holds(v) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// MatchEnds runs the NCA over input and returns every index where a match
+// ends.
+func (a *NCA) MatchEnds(input []byte) []int {
+	r := NewRunner(a)
+	var ends []int
+	for i, b := range input {
+		if r.Step(b) {
+			ends = append(ends, i)
+		}
+	}
+	return ends
+}
+
+// Build constructs an NCA from a regex. The regex must be normalized (no
+// {n,} forms, no counting over nullable bodies — see regex.Normalize) and
+// must not nest bounded repetitions inside bounded repetitions; the compiler
+// legalizes such patterns by unfolding before reaching this construction.
+func Build(n regex.Node) (*NCA, error) {
+	n = regex.Normalize(n)
+	b := &ncaBuilder{}
+	info, err := b.build(n, -1)
+	if err != nil {
+		return nil, err
+	}
+	a := &NCA{
+		States:       b.states,
+		Initial:      info.first,
+		AcceptsEmpty: info.nullable,
+	}
+	for _, e := range b.edges {
+		a.Trans = append(a.Trans, b.edgeTransition(e))
+	}
+	for _, p := range info.last {
+		a.Finals = append(a.Finals, Final{State: p, Guard: b.exitGuard(p)})
+	}
+	a.finalize()
+	return a, nil
+}
+
+// MustBuild is Build for known-good inputs; it panics on error.
+func MustBuild(n regex.Node) *NCA {
+	a, err := Build(n)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+type scope struct {
+	min, max int
+}
+
+type edge struct {
+	from, to int
+	back     bool // the counting scope's back edge (increment)
+}
+
+type buildInfo struct {
+	nullable bool
+	first    []int
+	last     []int
+}
+
+type ncaBuilder struct {
+	states  []State
+	scopes  []scope
+	scopeOf []int // scope index per state, -1 if none
+	edges   []edge
+}
+
+func (b *ncaBuilder) newPos(c charclass.Class, scopeIdx int) int {
+	b.states = append(b.states, State{Class: c})
+	b.scopeOf = append(b.scopeOf, scopeIdx)
+	return len(b.states) - 1
+}
+
+func (b *ncaBuilder) link(from, to []int, back bool) {
+	for _, p := range from {
+		for _, q := range to {
+			b.edges = append(b.edges, edge{from: p, to: q, back: back})
+		}
+	}
+}
+
+// exitGuard is the guard a transition (or acceptance) leaving state p must
+// satisfy: the scope's completed-iterations range, or trivially true.
+func (b *ncaBuilder) exitGuard(p int) Guard {
+	si := b.scopeOf[p]
+	if si < 0 {
+		return True()
+	}
+	s := b.scopes[si]
+	lo := s.min
+	if lo < 1 {
+		lo = 1 // entering the loop at all completes one iteration
+	}
+	return RangeGuard(lo, s.max)
+}
+
+// edgeTransition derives the guard and assignment of an edge from the scope
+// membership of its endpoints.
+func (b *ncaBuilder) edgeTransition(e edge) Transition {
+	sp, sq := b.scopeOf[e.from], b.scopeOf[e.to]
+	t := Transition{From: e.from, To: e.to}
+	switch {
+	case sp == sq && sp >= 0 && e.back:
+		// Back edge of the scope: x < max / x++.
+		t.Guard = RangeGuard(1, b.scopes[sp].max-1)
+		t.Assign = AssignIncr
+	case sp == sq && sp >= 0:
+		// Intra-iteration edge: x := x.
+		t.Guard = True()
+		t.Assign = AssignKeep
+	case sq >= 0:
+		// Entering scope sq (from outside, or from a different scope,
+		// which requires the source scope's exit guard).
+		t.Guard = b.exitGuard(e.from)
+		t.Assign = AssignSet1
+	default:
+		// Leaving a scope, or plain NFA edge.
+		t.Guard = b.exitGuard(e.from)
+		t.Assign = AssignNone
+	}
+	return t
+}
+
+func (b *ncaBuilder) build(n regex.Node, scopeIdx int) (buildInfo, error) {
+	switch n := n.(type) {
+	case regex.Empty:
+		return buildInfo{nullable: true}, nil
+	case regex.Lit:
+		p := b.newPos(n.Class, scopeIdx)
+		return buildInfo{first: []int{p}, last: []int{p}}, nil
+	case *regex.Concat:
+		cur := buildInfo{nullable: true}
+		for _, f := range n.Factors {
+			fi, err := b.build(f, scopeIdx)
+			if err != nil {
+				return buildInfo{}, err
+			}
+			b.link(cur.last, fi.first, false)
+			next := buildInfo{nullable: cur.nullable && fi.nullable}
+			// Positions of cur and fi are disjoint: plain appends.
+			next.first = append(next.first, cur.first...)
+			if cur.nullable {
+				next.first = append(next.first, fi.first...)
+			}
+			next.last = append(next.last, fi.last...)
+			if fi.nullable {
+				next.last = append(next.last, cur.last...)
+			}
+			cur = next
+		}
+		return cur, nil
+	case *regex.Alt:
+		var out buildInfo
+		for _, alt := range n.Alternatives {
+			ai, err := b.build(alt, scopeIdx)
+			if err != nil {
+				return buildInfo{}, err
+			}
+			out.nullable = out.nullable || ai.nullable
+			out.first = append(out.first, ai.first...)
+			out.last = append(out.last, ai.last...)
+		}
+		return out, nil
+	case *regex.Star:
+		si, err := b.build(n.Sub, scopeIdx)
+		if err != nil {
+			return buildInfo{}, err
+		}
+		b.link(si.last, si.first, false)
+		return buildInfo{nullable: true, first: si.first, last: si.last}, nil
+	case *regex.Repeat:
+		if n.Min == 0 && n.Max == 1 { // r? is classical
+			ri, err := b.build(n.Sub, scopeIdx)
+			if err != nil {
+				return buildInfo{}, err
+			}
+			ri.nullable = true
+			return ri, nil
+		}
+		if n.Max == regex.Unbounded {
+			return buildInfo{}, fmt.Errorf("nca: unbounded repetition %s survived normalization", n)
+		}
+		if scopeIdx >= 0 || hasCounting(n.Sub) {
+			return buildInfo{}, fmt.Errorf("nca: nested bounded repetition %s must be legalized by unfolding", n)
+		}
+		if regex.Nullable(n.Sub) {
+			return buildInfo{}, fmt.Errorf("nca: counting over nullable body %s survived normalization", n)
+		}
+		b.scopes = append(b.scopes, scope{min: n.Min, max: n.Max})
+		idx := len(b.scopes) - 1
+		ri, err := b.build(n.Sub, idx)
+		if err != nil {
+			return buildInfo{}, err
+		}
+		b.link(ri.last, ri.first, true)
+		for i := range b.states {
+			if b.scopeOf[i] == idx {
+				b.states[i].Counter = true
+				b.states[i].Bound = n.Max
+			}
+		}
+		ri.nullable = n.Min == 0
+		return ri, nil
+	default:
+		return buildInfo{}, fmt.Errorf("nca: unknown node type %T", n)
+	}
+}
+
+// hasCounting reports whether n contains a counting repetition (anything but
+// r?).
+func hasCounting(n regex.Node) bool {
+	found := false
+	regex.Walk(n, func(m regex.Node) {
+		if r, ok := m.(*regex.Repeat); ok && !(r.Min == 0 && r.Max == 1) {
+			found = true
+		}
+	})
+	return found
+}
+
+func appendUnique(dst []int, src []int) []int {
+	for _, s := range src {
+		dup := false
+		for _, d := range dst {
+			if d == s {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			dst = append(dst, s)
+		}
+	}
+	return dst
+}

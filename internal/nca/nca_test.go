@@ -1,0 +1,200 @@
+package nca
+
+import (
+	"testing"
+
+	"bvap/internal/glushkov"
+	"bvap/internal/regex"
+)
+
+func TestFigure1NCAExecution(t *testing.T) {
+	// Fig. 1: the NCA for Σ*aΣ{3}. Under partial-match semantics the
+	// leading Σ* is the implicit initial availability, so we build aΣ{3}.
+	// The figure's input is b,a,b,a,a,b,a,a,a after the initial row; we
+	// replay it and check the configuration of the counting state and
+	// the outputs.
+	a := MustBuild(regex.MustParse("a.{3}"))
+	if a.Size() != 2 {
+		t.Fatalf("size = %d, want 2 (a and the counting Σ)", a.Size())
+	}
+	// State 0 = 'a' (no counter), state 1 = Σ with counter bound 3.
+	if a.States[0].Counter || !a.States[1].Counter || a.States[1].Bound != 3 {
+		t.Fatalf("states = %+v", a.States)
+	}
+
+	r := NewRunner(a)
+	steps := []struct {
+		in       byte
+		q1Vals   []int // live counter values at the counting state
+		expected bool  // output
+	}{
+		{'b', nil, false},
+		{'a', nil, false},         // q1 (the 'a' state) becomes active
+		{'b', []int{1}, false},    // counting starts
+		{'a', []int{2}, false},    // also restarts the 'a' state
+		{'a', []int{1, 3}, true},  // count 3 reached → match
+		{'b', []int{1, 2}, false}, // Fig. 1 row "b": {(q2,1),(q2,2)}
+		{'a', []int{2, 3}, true},  // Fig. 1 row "a": {(q2,2),(q2,3)} → 1
+		{'a', []int{1, 3}, true},  // Fig. 1 row "a": {(q2,1),(q2,3)} → 1
+		{'a', []int{1, 2}, false}, // Fig. 1 last row: {(q2,1),(q2,2)} → 0
+	}
+	for i, st := range steps {
+		got := r.Step(st.in)
+		if got != st.expected {
+			t.Fatalf("step %d (%q): output = %v, want %v", i, st.in, got, st.expected)
+		}
+		vals := r.Values(1)
+		if len(vals) != len(st.q1Vals) {
+			t.Fatalf("step %d (%q): counter values = %v, want %v", i, st.in, vals, st.q1Vals)
+		}
+		for j := range vals {
+			if vals[j] != st.q1Vals[j] {
+				t.Fatalf("step %d (%q): counter values = %v, want %v", i, st.in, vals, st.q1Vals)
+			}
+		}
+	}
+}
+
+func TestExample22Structure(t *testing.T) {
+	// Example 2.2: Σ*σ1σ2{n} has three NCA states (q0 implicit here).
+	a := MustBuild(regex.MustParse("ab{5}"))
+	if a.Size() != 2 {
+		t.Fatalf("size = %d, want 2", a.Size())
+	}
+	if a.States[1].Bound != 5 {
+		t.Fatalf("bound = %d, want 5", a.States[1].Bound)
+	}
+	// Match requires exactly 5 b's.
+	ends := a.MatchEnds([]byte("abbbbbb"))
+	if len(ends) != 1 || ends[0] != 5 {
+		t.Fatalf("ends = %v, want [5]", ends)
+	}
+}
+
+func TestGroupRepetition(t *testing.T) {
+	// a(Σa){3}b from §3 — the paper's running example, over "abaaabab":
+	// the match ends at the final input (index 7).
+	a := MustBuild(regex.MustParse("a(.a){3}b"))
+	ends := a.MatchEnds([]byte("abaaabab"))
+	if len(ends) != 1 || ends[0] != 7 {
+		t.Fatalf("ends = %v, want [7]", ends)
+	}
+}
+
+func TestRangeRepetition(t *testing.T) {
+	a := MustBuild(regex.MustParse("xa{2,4}y"))
+	match := func(s string) bool {
+		return len(a.MatchEnds([]byte(s))) > 0
+	}
+	if match("xay") {
+		t.Error("xa{2,4}y matched 1 repetition")
+	}
+	for _, s := range []string{"xaay", "xaaay", "xaaaay"} {
+		if !match(s) {
+			t.Errorf("xa{2,4}y failed to match %q", s)
+		}
+	}
+	if match("xaaaaay") {
+		t.Error("xa{2,4}y matched 5 repetitions")
+	}
+}
+
+func TestZeroMinRepetition(t *testing.T) {
+	// x a{0,2} y: the counting scope is bypassable.
+	a := MustBuild(regex.MustParse("xa{0,2}y"))
+	match := func(s string) bool { return len(a.MatchEnds([]byte(s))) > 0 }
+	for _, s := range []string{"xy", "xay", "xaay"} {
+		if !match(s) {
+			t.Errorf("xa{0,2}y failed to match %q", s)
+		}
+	}
+	if match("xaaay") {
+		t.Error("xa{0,2}y matched 3 repetitions")
+	}
+}
+
+// equivalence with unfolded Glushkov NFAs on counting patterns.
+func TestAgainstUnfoldedNFA(t *testing.T) {
+	patterns := []string{
+		"ab{3}c",
+		"a(bc){2,4}d",
+		"a.{5}b",
+		"x(ab|c){3}y",
+		"a{2,6}",
+		"ab{1,3}c{2}",
+		"a(b+c){2}d",
+	}
+	inputs := []string{
+		"abbbc", "abcbcd", "axxxxxb", "xababcaby", "aaaa",
+		"abbbcabcc", "abcbccd", "abbbcabbbc", "aaaaaaaa",
+		"xcababy", "abcc", "",
+		"abbcc", "abbccabcc",
+	}
+	for _, pat := range patterns {
+		n := regex.MustParse(pat)
+		nca := MustBuild(n)
+		nfa := glushkov.MustBuild(regex.FullyUnfold(n))
+		for _, in := range inputs {
+			got := nca.MatchEnds([]byte(in))
+			want := nfa.MatchEnds([]byte(in))
+			if !equalInts(got, want) {
+				t.Errorf("pattern %q input %q: nca %v, nfa %v", pat, in, got, want)
+			}
+		}
+	}
+}
+
+func TestNestedCountingRejected(t *testing.T) {
+	if _, err := Build(regex.MustParse("(a{3}b){4}")); err == nil {
+		t.Fatal("nested counting accepted")
+	}
+}
+
+func TestUnboundedNormalized(t *testing.T) {
+	// Build runs Normalize itself: a{3,} becomes a{3}a*.
+	a := MustBuild(regex.MustParse("xa{3,}y"))
+	match := func(s string) bool { return len(a.MatchEnds([]byte(s))) > 0 }
+	if match("xaay") {
+		t.Error("matched 2 reps")
+	}
+	for _, s := range []string{"xaaay", "xaaaaaay"} {
+		if !match(s) {
+			t.Errorf("failed to match %q", s)
+		}
+	}
+}
+
+func TestGuardHolds(t *testing.T) {
+	g := RangeGuard(2, 5)
+	for v, want := range map[int]bool{1: false, 2: true, 5: true, 6: false} {
+		if g.Holds(v) != want {
+			t.Errorf("RangeGuard(2,5).Holds(%d) = %v", v, g.Holds(v))
+		}
+	}
+	if !True().Holds(42) {
+		t.Error("True guard failed")
+	}
+}
+
+func TestRunnerResetNCA(t *testing.T) {
+	a := MustBuild(regex.MustParse("ab{2}"))
+	r := NewRunner(a)
+	r.Step('a')
+	r.Step('b')
+	r.Reset()
+	if r.Step('b') {
+		t.Fatal("stale state after reset")
+	}
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

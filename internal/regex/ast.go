@@ -1,0 +1,286 @@
+// Package regex implements the PCRE-subset regular expression front end of
+// the BVAP compiler: an AST, a parser, a printer, the rewriting passes of §7
+// of the paper (unfolding below a threshold and splitting large bounded
+// repetitions so they fit a fixed bit-vector size), and structural statistics
+// used by the evaluation (counting density, unfolded NFA size).
+//
+// The grammar is the one given in §2 of the paper,
+//
+//	r ::= ε | σ | (r|r) | r·r | r* | r+ | r? | r{n} | r{m,n} | r{n,}
+//
+// where σ ranges over character classes.
+package regex
+
+import (
+	"fmt"
+	"strings"
+
+	"bvap/internal/charclass"
+)
+
+// Unbounded marks the missing upper bound of r{n,} in Repeat.Max.
+const Unbounded = -1
+
+// Node is a node of the regex AST. Nodes are immutable after construction;
+// rewriting passes build new trees.
+type Node interface {
+	// String renders the node in (parenthesized where needed) PCRE syntax.
+	String() string
+	// precedence returns the binding strength used by String to decide
+	// where parentheses are required.
+	precedence() int
+}
+
+// Empty matches the empty string ε.
+type Empty struct{}
+
+// Lit matches any single symbol in its character class.
+type Lit struct {
+	Class charclass.Class
+}
+
+// Concat matches the concatenation of its factors, in order.
+type Concat struct {
+	Factors []Node
+}
+
+// Alt matches any one of its alternatives.
+type Alt struct {
+	Alternatives []Node
+}
+
+// Star matches zero or more repetitions of Sub (r*).
+type Star struct {
+	Sub Node
+}
+
+// Repeat is the bounded repetition r{Min,Max}. Max == Unbounded encodes
+// r{Min,}. The parser normalizes r+ to r{1,} and r? to r{0,1}; r{n} is
+// Min == Max == n.
+type Repeat struct {
+	Sub Node
+	Min int
+	Max int
+}
+
+const (
+	precAlt = iota
+	precConcat
+	precRepeat
+	precAtom
+)
+
+func (Empty) precedence() int   { return precAtom }
+func (Lit) precedence() int     { return precAtom }
+func (*Concat) precedence() int { return precConcat }
+func (*Alt) precedence() int    { return precAlt }
+func (*Star) precedence() int   { return precRepeat }
+func (*Repeat) precedence() int { return precRepeat }
+
+func wrap(n Node, min int) string {
+	s := n.String()
+	if n.precedence() < min {
+		return "(" + s + ")"
+	}
+	return s
+}
+
+func (Empty) String() string { return "()" }
+
+func (l Lit) String() string { return l.Class.String() }
+
+func (c *Concat) String() string {
+	var sb strings.Builder
+	for _, f := range c.Factors {
+		sb.WriteString(wrap(f, precConcat))
+	}
+	return sb.String()
+}
+
+func (a *Alt) String() string {
+	parts := make([]string, len(a.Alternatives))
+	for i, alt := range a.Alternatives {
+		parts[i] = wrap(alt, precConcat)
+	}
+	return strings.Join(parts, "|")
+}
+
+func (s *Star) String() string { return wrap(s.Sub, precAtom) + "*" }
+
+func (r *Repeat) String() string {
+	base := wrap(r.Sub, precAtom)
+	switch {
+	case r.Min == 0 && r.Max == 1:
+		return base + "?"
+	case r.Min == 1 && r.Max == Unbounded:
+		return base + "+"
+	case r.Max == Unbounded:
+		return fmt.Sprintf("%s{%d,}", base, r.Min)
+	case r.Min == r.Max:
+		return fmt.Sprintf("%s{%d}", base, r.Min)
+	default:
+		return fmt.Sprintf("%s{%d,%d}", base, r.Min, r.Max)
+	}
+}
+
+// NewConcat builds a concatenation, flattening nested concatenations and
+// dropping ε factors. It returns Empty for zero factors and the factor itself
+// for one.
+func NewConcat(factors ...Node) Node {
+	flat := make([]Node, 0, len(factors))
+	for _, f := range factors {
+		switch f := f.(type) {
+		case Empty:
+			// ε is the unit of concatenation.
+		case *Concat:
+			flat = append(flat, f.Factors...)
+		default:
+			flat = append(flat, f)
+		}
+	}
+	switch len(flat) {
+	case 0:
+		return Empty{}
+	case 1:
+		return flat[0]
+	}
+	return &Concat{Factors: flat}
+}
+
+// NewAlt builds an alternation, flattening nested alternations. It returns
+// the alternative itself when there is exactly one.
+func NewAlt(alts ...Node) Node {
+	flat := make([]Node, 0, len(alts))
+	for _, a := range alts {
+		if aa, ok := a.(*Alt); ok {
+			flat = append(flat, aa.Alternatives...)
+		} else {
+			flat = append(flat, a)
+		}
+	}
+	if len(flat) == 1 {
+		return flat[0]
+	}
+	return &Alt{Alternatives: flat}
+}
+
+// NewRepeat builds a bounded (or {n,}-style unbounded) repetition, applying
+// the standard simplifications r{0,0} = ε, r{1,1} = r, ε{m,n} = ε and
+// r{0,} = r*.
+func NewRepeat(sub Node, min, max int) Node {
+	if _, ok := sub.(Empty); ok {
+		return Empty{}
+	}
+	switch {
+	case min == 0 && max == 0:
+		return Empty{}
+	case min == 1 && max == 1:
+		return sub
+	case min == 0 && max == Unbounded:
+		return &Star{Sub: sub}
+	}
+	return &Repeat{Sub: sub, Min: min, Max: max}
+}
+
+// Literal builds the concatenation of singleton classes matching s exactly.
+func Literal(s string) Node {
+	if s == "" {
+		return Empty{}
+	}
+	factors := make([]Node, len(s))
+	for i := 0; i < len(s); i++ {
+		factors[i] = Lit{Class: charclass.Single(s[i])}
+	}
+	return NewConcat(factors...)
+}
+
+// Nullable reports whether the language of n contains the empty string.
+func Nullable(n Node) bool {
+	switch n := n.(type) {
+	case Empty:
+		return true
+	case Lit:
+		return false
+	case *Concat:
+		for _, f := range n.Factors {
+			if !Nullable(f) {
+				return false
+			}
+		}
+		return true
+	case *Alt:
+		for _, a := range n.Alternatives {
+			if Nullable(a) {
+				return true
+			}
+		}
+		return false
+	case *Star:
+		return true
+	case *Repeat:
+		return n.Min == 0 || Nullable(n.Sub)
+	default:
+		panic(fmt.Sprintf("regex: unknown node type %T", n))
+	}
+}
+
+// Walk calls fn for n and every descendant of n in preorder.
+func Walk(n Node, fn func(Node)) {
+	fn(n)
+	switch n := n.(type) {
+	case *Concat:
+		for _, f := range n.Factors {
+			Walk(f, fn)
+		}
+	case *Alt:
+		for _, a := range n.Alternatives {
+			Walk(a, fn)
+		}
+	case *Star:
+		Walk(n.Sub, fn)
+	case *Repeat:
+		Walk(n.Sub, fn)
+	}
+}
+
+// Equal reports structural equality of two ASTs.
+func Equal(a, b Node) bool {
+	switch a := a.(type) {
+	case Empty:
+		_, ok := b.(Empty)
+		return ok
+	case Lit:
+		bl, ok := b.(Lit)
+		return ok && a.Class.Equal(bl.Class)
+	case *Concat:
+		bc, ok := b.(*Concat)
+		if !ok || len(a.Factors) != len(bc.Factors) {
+			return false
+		}
+		for i := range a.Factors {
+			if !Equal(a.Factors[i], bc.Factors[i]) {
+				return false
+			}
+		}
+		return true
+	case *Alt:
+		ba, ok := b.(*Alt)
+		if !ok || len(a.Alternatives) != len(ba.Alternatives) {
+			return false
+		}
+		for i := range a.Alternatives {
+			if !Equal(a.Alternatives[i], ba.Alternatives[i]) {
+				return false
+			}
+		}
+		return true
+	case *Star:
+		bs, ok := b.(*Star)
+		return ok && Equal(a.Sub, bs.Sub)
+	case *Repeat:
+		br, ok := b.(*Repeat)
+		return ok && a.Min == br.Min && a.Max == br.Max && Equal(a.Sub, br.Sub)
+	default:
+		panic(fmt.Sprintf("regex: unknown node type %T", a))
+	}
+}

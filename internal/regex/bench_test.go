@@ -1,0 +1,38 @@
+package regex
+
+import "testing"
+
+func BenchmarkParse(b *testing.B) {
+	pattern := `(?i)header[0-9a-f]{32}\x00.{100}(trailer|end){2,8}`
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Parse(pattern); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRewrite(b *testing.B) {
+	ast := MustParse("ab{2,514}c{1000}d{3,}e")
+	opt := Options{UnfoldThreshold: 8, BVSize: 64}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Rewrite(ast, opt)
+	}
+}
+
+func BenchmarkFullyUnfoldLarge(b *testing.B) {
+	ast := MustParse("a.{1000}b")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		FullyUnfold(ast)
+	}
+}
+
+func BenchmarkAnalyze(b *testing.B) {
+	ast := MustParse("ab{2,514}c{1000}(de|fg){3,}h")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Analyze(ast)
+	}
+}

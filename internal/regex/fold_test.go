@@ -1,0 +1,140 @@
+package regex_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"bvap/internal/charclass"
+	"bvap/internal/glushkov"
+	"bvap/internal/regex"
+)
+
+func matchAny(t *testing.T, pattern, input string) bool {
+	t.Helper()
+	nfa, err := glushkov.Build(regex.FullyUnfold(regex.MustParse(pattern)))
+	if err != nil {
+		t.Fatalf("%q: %v", pattern, err)
+	}
+	return len(nfa.MatchEnds([]byte(input))) > 0
+}
+
+func TestFoldCaseGlobal(t *testing.T) {
+	for _, in := range []string{"attack", "ATTACK", "AtTaCk"} {
+		if !matchAny(t, "(?i)attack", in) {
+			t.Errorf("(?i)attack missed %q", in)
+		}
+	}
+	if matchAny(t, "attack", "ATTACK") {
+		t.Error("case-sensitive pattern matched upper case")
+	}
+}
+
+func TestFoldCaseGroup(t *testing.T) {
+	// (?i:...) folds only inside the group.
+	if !matchAny(t, "(?i:get) /path", "GET /path") {
+		t.Error("(?i:get) missed GET")
+	}
+	if matchAny(t, "(?i:get) /path", "GET /PATH") {
+		t.Error("folding leaked past the group")
+	}
+}
+
+func TestFoldCaseClass(t *testing.T) {
+	lit, ok := regex.MustParse("(?i)[a-c]").(regex.Lit)
+	if !ok {
+		t.Fatal("not a literal")
+	}
+	want := charclass.Range('a', 'c').Union(charclass.Range('A', 'C'))
+	if !lit.Class.Equal(want) {
+		t.Fatalf("(?i)[a-c] = %v", lit.Class)
+	}
+	// Negation happens after folding: (?i)[^a] excludes both cases.
+	neg := regex.MustParse("(?i)[^a]").(regex.Lit)
+	if neg.Class.Contains('a') || neg.Class.Contains('A') {
+		t.Fatal("(?i)[^a] contains a case of 'a'")
+	}
+	if !neg.Class.Contains('b') {
+		t.Fatal("(?i)[^a] lost 'b'")
+	}
+}
+
+func TestFoldCaseWithCounting(t *testing.T) {
+	if !matchAny(t, "(?i)ab{3}c", "ABBBC") {
+		t.Error("folded counting pattern missed")
+	}
+	if matchAny(t, "(?i)ab{3}c", "ABBC") {
+		t.Error("folded counting pattern over-matched")
+	}
+}
+
+func TestFoldCaseNonLetters(t *testing.T) {
+	// Digits and punctuation are unaffected.
+	lit := regex.MustParse("(?i)5").(regex.Lit)
+	if lit.Class.Count() != 1 {
+		t.Fatalf("(?i)5 widened: %v", lit.Class)
+	}
+}
+
+func TestFoldCaseClassFunction(t *testing.T) {
+	c := charclass.Single('x').FoldCase()
+	if !c.Contains('x') || !c.Contains('X') || c.Count() != 2 {
+		t.Fatalf("FoldCase(x) = %v", c)
+	}
+	// Idempotent.
+	if !c.FoldCase().Equal(c) {
+		t.Fatal("FoldCase not idempotent")
+	}
+	// Σ stays Σ.
+	if !charclass.Any().FoldCase().Equal(charclass.Any()) {
+		t.Fatal("FoldCase(Σ) changed")
+	}
+}
+
+func TestUnsupportedModifierRejected(t *testing.T) {
+	for _, pat := range []string{"(?m)a", "(?<name>a)", "(?=a)"} {
+		if _, err := regex.Parse(pat); err == nil {
+			t.Errorf("%q accepted", pat)
+		}
+	}
+}
+
+// TestQuickRewritePreservesLanguage checks the compiler's rewriting pipeline
+// end to end: the rewritten pattern (split to the hardware's read set and
+// partially unfolded) must recognize exactly the language of the original,
+// observed through unfolded Glushkov NFAs on random inputs.
+func TestQuickRewritePreservesLanguage(t *testing.T) {
+	r := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 120; trial++ {
+		lo := r.Intn(4)
+		hi := lo + 1 + r.Intn(120)
+		var pat string
+		switch trial % 3 {
+		case 0:
+			pat = fmt.Sprintf("xa{%d}y", hi)
+		case 1:
+			pat = fmt.Sprintf("xa{%d,%d}y", lo, hi)
+		default:
+			pat = fmt.Sprintf("x(ab){%d,%d}y", lo, hi)
+		}
+		k := []int{8, 16, 32, 64}[r.Intn(4)]
+		th := []int{2, 4, 8}[r.Intn(3)]
+		orig := regex.MustParse(pat)
+		rewritten := regex.Rewrite(orig, regex.Options{UnfoldThreshold: th, BVSize: k})
+		a := glushkov.MustBuild(regex.FullyUnfold(orig))
+		b := glushkov.MustBuild(regex.FullyUnfold(rewritten))
+		input := make([]byte, 3*hi+20)
+		for i := range input {
+			input[i] = "aabxy"[r.Intn(5)]
+		}
+		ea, eb := a.MatchEnds(input), b.MatchEnds(input)
+		if len(ea) != len(eb) {
+			t.Fatalf("%q K=%d th=%d: %d vs %d match ends", pat, k, th, len(ea), len(eb))
+		}
+		for i := range ea {
+			if ea[i] != eb[i] {
+				t.Fatalf("%q K=%d th=%d: end %d differs", pat, k, th, i)
+			}
+		}
+	}
+}

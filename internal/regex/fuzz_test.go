@@ -1,0 +1,40 @@
+package regex
+
+import "testing"
+
+// FuzzParse checks that the parser never panics and that every accepted
+// pattern survives a print/re-parse round trip. Run with
+// `go test -fuzz FuzzParse ./internal/regex` to explore beyond the seeds.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"", "a", "ab{3}c", "a{2,5}", "(ab|cd)*e", "[a-z]{10}", "[^a]",
+		`\d{3}-\d{4}`, `\x41\x42`, "a(bc){2}d{1,3}ef{2,}g{7}",
+		"(?i)Attack", "(?i:get) x", ".*a.{100}", "a{", "a{}", "a{3,", "a{,3}",
+		"(((", ")))", "[", "]", `\`, "a**", "a|{3}", "{3}", "(?i)(?i)a",
+		"a{9999999999}", "[\\d-\\w]", "[]a]", "[a-]", "a|", "|a", "||",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, pattern string) {
+		n, err := Parse(pattern)
+		if err != nil {
+			return
+		}
+		// Accepted patterns must print and re-parse to an equal AST.
+		printed := n.String()
+		n2, err := Parse(printed)
+		if err != nil {
+			t.Fatalf("re-parse of %q (from %q) failed: %v", printed, pattern, err)
+		}
+		if !Equal(n, n2) {
+			t.Fatalf("round trip changed the AST: %q -> %q", pattern, printed)
+		}
+		// The rewriting pipeline must accept any parsed pattern without
+		// panicking, and its output must stay realizable.
+		out := Rewrite(n, Options{UnfoldThreshold: 4, BVSize: 16})
+		if out == nil {
+			t.Fatal("Rewrite returned nil")
+		}
+	})
+}

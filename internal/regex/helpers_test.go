@@ -1,0 +1,6 @@
+package regex
+
+import "bvap/internal/charclass"
+
+// singleOf returns the singleton class {b}; shorthand for tests.
+func singleOf(b byte) charclass.Class { return charclass.Single(b) }

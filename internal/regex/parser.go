@@ -1,0 +1,437 @@
+package regex
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"bvap/internal/charclass"
+)
+
+// ParseError describes a syntax error in a regex, with the byte offset where
+// it was detected.
+type ParseError struct {
+	Pattern string
+	Pos     int
+	Msg     string
+}
+
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("regex: parse error at offset %d in %q: %s", e.Pos, e.Pattern, e.Msg)
+}
+
+// MaxBound is the largest repetition bound the parser accepts. The largest
+// bound observed in the paper's datasets exceeds 10,000 (e.g. the ClamAV
+// pattern with {9139}); we allow a comfortable margin above that.
+const MaxBound = 1 << 20
+
+// MaxGroupDepth bounds group nesting so adversarial patterns cannot
+// overflow the recursive-descent parser's stack.
+const MaxGroupDepth = 500
+
+// Parse parses a PCRE-subset pattern into an AST. Supported syntax: literals;
+// `.`; escapes \n \r \t \f \v \0 \xHH \d \D \w \W \s \S and escaped
+// metacharacters; bracket classes with ranges and negation; grouping with
+// (...), (?:...) and (?i:...); alternation; and the postfix operators
+// * + ? {n} {m,n} {n,}. A leading ^ anchors the match to the start of the
+// stream (AP hardware's "start of data" STE mode) — use ParseAnchored to
+// observe it; $ and backreferences are not supported.
+func Parse(pattern string) (Node, error) {
+	n, _, err := ParseAnchored(pattern)
+	return n, err
+}
+
+// ParseAnchored is Parse plus the start-anchor flag: a leading ^ (optionally
+// after a (?i) modifier) restricts matches to begin at the first input
+// symbol instead of at every position.
+func ParseAnchored(pattern string) (Node, bool, error) {
+	p := &parser{src: pattern}
+	anchored := false
+	// Allow (?i)^... as well as ^(?i)... — rule sets write both.
+	if strings.HasPrefix(p.src[p.pos:], "(?i)") {
+		p.foldCase = true
+		p.pos += 4
+	}
+	if !p.eof() && p.peek() == '^' {
+		anchored = true
+		p.pos++
+	}
+	n, err := p.parseAlt()
+	if err != nil {
+		return nil, false, err
+	}
+	if p.pos != len(p.src) {
+		return nil, false, p.errorf("unexpected %q", p.src[p.pos])
+	}
+	return n, anchored, nil
+}
+
+// MustParse is like Parse but panics on error. It is intended for tests and
+// for compiled-in example patterns.
+func MustParse(pattern string) Node {
+	n, err := Parse(pattern)
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
+type parser struct {
+	src   string
+	pos   int
+	depth int
+	// foldCase applies ASCII case folding to every class parsed while
+	// set (the PCRE (?i) modifier).
+	foldCase bool
+}
+
+// fold applies the active case-folding mode to a class.
+func (p *parser) fold(c charclass.Class) charclass.Class {
+	if p.foldCase {
+		return c.FoldCase()
+	}
+	return c
+}
+
+func (p *parser) errorf(format string, args ...interface{}) error {
+	return &ParseError{Pattern: p.src, Pos: p.pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *parser) eof() bool { return p.pos >= len(p.src) }
+
+func (p *parser) peek() byte { return p.src[p.pos] }
+
+// parseAlt parses alternation, the lowest-precedence operator.
+func (p *parser) parseAlt() (Node, error) {
+	first, err := p.parseConcat()
+	if err != nil {
+		return nil, err
+	}
+	alts := []Node{first}
+	for !p.eof() && p.peek() == '|' {
+		p.pos++
+		next, err := p.parseConcat()
+		if err != nil {
+			return nil, err
+		}
+		alts = append(alts, next)
+	}
+	return NewAlt(alts...), nil
+}
+
+// parseConcat parses a (possibly empty) sequence of repeated atoms.
+func (p *parser) parseConcat() (Node, error) {
+	var factors []Node
+	for !p.eof() && p.peek() != '|' && p.peek() != ')' {
+		f, err := p.parseRepeat()
+		if err != nil {
+			return nil, err
+		}
+		factors = append(factors, f)
+	}
+	return NewConcat(factors...), nil
+}
+
+// parseRepeat parses an atom followed by any number of postfix operators.
+func (p *parser) parseRepeat() (Node, error) {
+	atom, err := p.parseAtom()
+	if err != nil {
+		return nil, err
+	}
+	for !p.eof() {
+		switch p.peek() {
+		case '*':
+			p.pos++
+			atom = NewRepeat(atom, 0, Unbounded)
+		case '+':
+			p.pos++
+			atom = NewRepeat(atom, 1, Unbounded)
+		case '?':
+			p.pos++
+			atom = NewRepeat(atom, 0, 1)
+		case '{':
+			min, max, ok, err := p.parseBounds()
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				// Not a valid bound expression; PCRE treats a lone
+				// '{' as a literal. We follow suit.
+				return atom, nil
+			}
+			atom = NewRepeat(atom, min, max)
+		default:
+			return atom, nil
+		}
+	}
+	return atom, nil
+}
+
+// parseBounds parses {n}, {m,n} or {n,} starting at '{'. It returns ok=false
+// without consuming input when the braces do not form a bound expression.
+func (p *parser) parseBounds() (min, max int, ok bool, err error) {
+	start := p.pos
+	p.pos++ // consume '{'
+	min, okMin := p.parseInt()
+	if !okMin {
+		p.pos = start
+		return 0, 0, false, nil
+	}
+	max = min
+	if !p.eof() && p.peek() == ',' {
+		p.pos++
+		if !p.eof() && p.peek() == '}' {
+			max = Unbounded
+		} else {
+			var okMax bool
+			max, okMax = p.parseInt()
+			if !okMax {
+				p.pos = start
+				return 0, 0, false, nil
+			}
+		}
+	}
+	if p.eof() || p.peek() != '}' {
+		p.pos = start
+		return 0, 0, false, nil
+	}
+	p.pos++ // consume '}'
+	if max != Unbounded && max < min {
+		return 0, 0, false, p.errorf("invalid bound {%d,%d}: max < min", min, max)
+	}
+	if min > MaxBound || max > MaxBound {
+		return 0, 0, false, p.errorf("repetition bound exceeds %d", MaxBound)
+	}
+	return min, max, true, nil
+}
+
+func (p *parser) parseInt() (int, bool) {
+	start := p.pos
+	for !p.eof() && p.peek() >= '0' && p.peek() <= '9' {
+		p.pos++
+	}
+	if p.pos == start {
+		return 0, false
+	}
+	v, err := strconv.Atoi(p.src[start:p.pos])
+	if err != nil {
+		return 0, false
+	}
+	return v, true
+}
+
+// parseAtom parses a group, a bracket class, `.`, an escape, or a literal.
+func (p *parser) parseAtom() (Node, error) {
+	if p.eof() {
+		return Empty{}, nil
+	}
+	switch c := p.peek(); c {
+	case '(':
+		p.pos++
+		p.depth++
+		if p.depth > MaxGroupDepth {
+			return nil, p.errorf("group nesting exceeds %d", MaxGroupDepth)
+		}
+		defer func() { p.depth-- }()
+		restoreFold := p.foldCase
+		restore := false
+		// Group modifiers. (?: is a non-capturing group (the hardware
+		// has no capture semantics, so all groups behave alike);
+		// (?i) enables ASCII case folding for the rest of the pattern
+		// and (?i:...) for the group only.
+		if !p.eof() && p.peek() == '?' {
+			switch {
+			case p.pos+1 < len(p.src) && p.src[p.pos+1] == ':':
+				p.pos += 2
+			case p.pos+2 < len(p.src) && p.src[p.pos+1] == 'i' && p.src[p.pos+2] == ')':
+				p.pos += 3
+				p.foldCase = true
+				return p.parseAtomOrEmpty()
+			case p.pos+2 < len(p.src) && p.src[p.pos+1] == 'i' && p.src[p.pos+2] == ':':
+				p.pos += 3
+				p.foldCase = true
+				restore = true
+			default:
+				return nil, p.errorf("unsupported group modifier")
+			}
+		}
+		inner, err := p.parseAlt()
+		if restore {
+			p.foldCase = restoreFold
+		}
+		if err != nil {
+			return nil, err
+		}
+		if p.eof() || p.peek() != ')' {
+			return nil, p.errorf("missing closing parenthesis")
+		}
+		p.pos++
+		return inner, nil
+	case '[':
+		return p.parseClass()
+	case '.':
+		p.pos++
+		return Lit{Class: charclass.Any()}, nil
+	case '\\':
+		cls, err := p.parseEscape()
+		if err != nil {
+			return nil, err
+		}
+		return Lit{Class: p.fold(cls)}, nil
+	case '*', '+', '?':
+		return nil, p.errorf("repetition operator %q with nothing to repeat", c)
+	case '^':
+		return nil, p.errorf("^ is only supported as a start anchor at the beginning of the pattern")
+	case '$':
+		return nil, p.errorf("the end anchor $ is not supported (streaming partial-match semantics)")
+	case ')':
+		return nil, p.errorf("unmatched closing parenthesis")
+	default:
+		p.pos++
+		return Lit{Class: p.fold(charclass.Single(c))}, nil
+	}
+}
+
+// parseAtomOrEmpty parses the next atom, or ε when the pattern ends or an
+// alternation/group boundary follows (used after a bare (?i) modifier).
+func (p *parser) parseAtomOrEmpty() (Node, error) {
+	if p.eof() || p.peek() == '|' || p.peek() == ')' {
+		return Empty{}, nil
+	}
+	return p.parseAtom()
+}
+
+// parseEscape parses a backslash escape and returns its character class.
+func (p *parser) parseEscape() (charclass.Class, error) {
+	p.pos++ // consume backslash
+	if p.eof() {
+		return charclass.Class{}, p.errorf("trailing backslash")
+	}
+	c := p.src[p.pos]
+	p.pos++
+	switch c {
+	case 'n':
+		return charclass.Single('\n'), nil
+	case 'r':
+		return charclass.Single('\r'), nil
+	case 't':
+		return charclass.Single('\t'), nil
+	case 'f':
+		return charclass.Single('\f'), nil
+	case 'v':
+		return charclass.Single('\v'), nil
+	case '0':
+		return charclass.Single(0), nil
+	case 'a':
+		return charclass.Single(7), nil
+	case 'e':
+		return charclass.Single(27), nil
+	case 'd':
+		return charclass.Digit(), nil
+	case 'D':
+		return charclass.NotDigit(), nil
+	case 'w':
+		return charclass.Word(), nil
+	case 'W':
+		return charclass.NotWord(), nil
+	case 's':
+		return charclass.Space(), nil
+	case 'S':
+		return charclass.NotSpace(), nil
+	case 'x':
+		if p.pos+2 > len(p.src) {
+			return charclass.Class{}, p.errorf(`\x needs two hex digits`)
+		}
+		v, err := strconv.ParseUint(p.src[p.pos:p.pos+2], 16, 8)
+		if err != nil {
+			return charclass.Class{}, p.errorf(`bad \x escape %q`, p.src[p.pos:p.pos+2])
+		}
+		p.pos += 2
+		return charclass.Single(byte(v)), nil
+	default:
+		// Escaped metacharacter or punctuation stands for itself.
+		if (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') {
+			return charclass.Class{}, p.errorf(`unsupported escape \%c`, c)
+		}
+		return charclass.Single(c), nil
+	}
+}
+
+// parseClass parses a bracket expression [...] or [^...].
+func (p *parser) parseClass() (Node, error) {
+	p.pos++ // consume '['
+	negate := false
+	if !p.eof() && p.peek() == '^' {
+		negate = true
+		p.pos++
+	}
+	cls := charclass.Empty()
+	first := true
+	for {
+		if p.eof() {
+			return nil, p.errorf("missing closing bracket")
+		}
+		if p.peek() == ']' && !first {
+			p.pos++
+			break
+		}
+		first = false
+		lo, loIsClass, loCls, err := p.classAtom()
+		if err != nil {
+			return nil, err
+		}
+		if loIsClass {
+			cls = cls.Union(loCls)
+			continue
+		}
+		// Possible range lo-hi.
+		if p.pos+1 < len(p.src) && p.peek() == '-' && p.src[p.pos+1] != ']' {
+			p.pos++ // consume '-'
+			hi, hiIsClass, _, err := p.classAtom()
+			if err != nil {
+				return nil, err
+			}
+			if hiIsClass {
+				return nil, p.errorf("invalid range endpoint (shorthand class)")
+			}
+			if hi < lo {
+				return nil, p.errorf("invalid range %q-%q", lo, hi)
+			}
+			cls = cls.Union(charclass.Range(lo, hi))
+		} else {
+			cls = cls.Union(charclass.Single(lo))
+		}
+	}
+	// Case folding applies to the positive members before negation:
+	// (?i)[^a] excludes both cases of 'a'.
+	cls = p.fold(cls)
+	if negate {
+		cls = cls.Negate()
+	}
+	if cls.IsEmpty() {
+		return nil, p.errorf("empty character class")
+	}
+	return Lit{Class: cls}, nil
+}
+
+// classAtom parses a single element inside a bracket expression: either a
+// byte (possibly escaped) or a shorthand class like \d.
+func (p *parser) classAtom() (b byte, isClass bool, cls charclass.Class, err error) {
+	if p.eof() {
+		return 0, false, charclass.Class{}, p.errorf("missing closing bracket")
+	}
+	c := p.peek()
+	if c != '\\' {
+		p.pos++
+		return c, false, charclass.Class{}, nil
+	}
+	cl, err := p.parseEscape()
+	if err != nil {
+		return 0, false, charclass.Class{}, err
+	}
+	if cl.Count() == 1 {
+		m, _ := cl.Min()
+		return m, false, charclass.Class{}, nil
+	}
+	return 0, true, cl, nil
+}

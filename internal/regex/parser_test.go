@@ -1,0 +1,233 @@
+package regex
+
+import (
+	"strings"
+	"testing"
+
+	"bvap/internal/charclass"
+)
+
+func TestParseRoundTrip(t *testing.T) {
+	// Patterns whose String() form should parse back to an equal AST.
+	patterns := []string{
+		"abc",
+		"a|b|c",
+		"a*b+c?",
+		"a{3}",
+		"a{2,5}",
+		"a{4,}",
+		"(ab|cd)*e",
+		"[a-z]{10}",
+		"[^a-z]",
+		`\d{3}-\d{4}`,
+		`\x41\x42`,
+		"a(bc){2}d{1,3}ef{2,}g{7}",
+		".*a.{100}",
+		"url=.{80}",
+	}
+	for _, pat := range patterns {
+		n1, err := Parse(pat)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", pat, err)
+		}
+		n2, err := Parse(n1.String())
+		if err != nil {
+			t.Fatalf("Parse(String(%q)=%q): %v", pat, n1.String(), err)
+		}
+		if !Equal(n1, n2) {
+			t.Errorf("round trip failed for %q: %q vs %q", pat, n1, n2)
+		}
+	}
+}
+
+func TestParseStructure(t *testing.T) {
+	n := MustParse("a(bc){2}d")
+	c, ok := n.(*Concat)
+	if !ok || len(c.Factors) != 3 {
+		t.Fatalf("expected 3-factor concat, got %T %v", n, n)
+	}
+	rep, ok := c.Factors[1].(*Repeat)
+	if !ok || rep.Min != 2 || rep.Max != 2 {
+		t.Fatalf("expected (bc){2}, got %v", c.Factors[1])
+	}
+	body, ok := rep.Sub.(*Concat)
+	if !ok || len(body.Factors) != 2 {
+		t.Fatalf("expected bc body, got %v", rep.Sub)
+	}
+}
+
+func TestParsePostfixForms(t *testing.T) {
+	if r, ok := MustParse("a+").(*Repeat); !ok || r.Min != 1 || r.Max != Unbounded {
+		t.Fatalf("a+ parsed wrong: %v", MustParse("a+"))
+	}
+	if r, ok := MustParse("a?").(*Repeat); !ok || r.Min != 0 || r.Max != 1 {
+		t.Fatalf("a? parsed wrong")
+	}
+	if _, ok := MustParse("a*").(*Star); !ok {
+		t.Fatalf("a* parsed wrong")
+	}
+	if r, ok := MustParse("a{5,}").(*Repeat); !ok || r.Min != 5 || r.Max != Unbounded {
+		t.Fatalf("a{5,} parsed wrong")
+	}
+	// a{0,} normalizes to a*.
+	if _, ok := MustParse("a{0,}").(*Star); !ok {
+		t.Fatalf("a{0,} should normalize to star")
+	}
+	// a{1} collapses to a.
+	if _, ok := MustParse("a{1}").(Lit); !ok {
+		t.Fatalf("a{1} should collapse to literal")
+	}
+}
+
+func TestParseClasses(t *testing.T) {
+	n := MustParse("[a-cx]")
+	lit, ok := n.(Lit)
+	if !ok {
+		t.Fatalf("class parsed to %T", n)
+	}
+	want := charclass.Range('a', 'c').Union(charclass.Single('x'))
+	if !lit.Class.Equal(want) {
+		t.Fatalf("[a-cx] = %v", lit.Class)
+	}
+	neg := MustParse("[^a]").(Lit)
+	if neg.Class.Contains('a') || !neg.Class.Contains('b') || neg.Class.Count() != 255 {
+		t.Fatalf("[^a] wrong: %v", neg.Class)
+	}
+	// ']' allowed as first member; '-' literal at end.
+	bracket := MustParse("[]a]").(Lit)
+	if !bracket.Class.Contains(']') || !bracket.Class.Contains('a') {
+		t.Fatalf("[]a] wrong")
+	}
+	dash := MustParse("[a-]").(Lit)
+	if !dash.Class.Contains('-') || !dash.Class.Contains('a') || dash.Class.Count() != 2 {
+		t.Fatalf("[a-] wrong: %v", dash.Class)
+	}
+	// Shorthand inside class.
+	dw := MustParse(`[\d_]`).(Lit)
+	if !dw.Class.Contains('5') || !dw.Class.Contains('_') {
+		t.Fatalf(`[\d_] wrong`)
+	}
+}
+
+func TestParseEscapes(t *testing.T) {
+	cases := map[string]byte{
+		`\n`:   '\n',
+		`\t`:   '\t',
+		`\r`:   '\r',
+		`\x41`: 'A',
+		`\x00`: 0,
+		`\xff`: 0xff,
+		`\.`:   '.',
+		`\\`:   '\\',
+		`\{`:   '{',
+		`\[`:   '[',
+	}
+	for pat, want := range cases {
+		lit, ok := MustParse(pat).(Lit)
+		if !ok || !lit.Class.Equal(charclass.Single(want)) {
+			t.Errorf("Parse(%q) = %v, want single %q", pat, MustParse(pat), want)
+		}
+	}
+}
+
+func TestParseClamAVStyle(t *testing.T) {
+	// The ClamAV example from §3: two character sequences interleaved by
+	// 9139 arbitrary characters.
+	pat := `\x43\x30\x30\x30.{9139}\x65\x6e\x75\x00`
+	n := MustParse(pat)
+	st := Analyze(n)
+	if st.MaxUpperBound != 9139 {
+		t.Fatalf("max bound = %d, want 9139", st.MaxUpperBound)
+	}
+	if st.UnfoldedLiterals != 4+9139+4 {
+		t.Fatalf("unfolded literals = %d, want %d", st.UnfoldedLiterals, 4+9139+4)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"(",
+		")",
+		"a)",
+		"(a",
+		"*a",
+		"+",
+		"?",
+		"[",
+		"[]",
+		"[z-a]",
+		`\`,
+		`\q`,
+		`\xzz`,
+		"a{5,3}",
+	}
+	for _, pat := range bad {
+		if _, err := Parse(pat); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", pat)
+		}
+	}
+}
+
+func TestParseErrorMessage(t *testing.T) {
+	_, err := Parse("ab(c")
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if !strings.Contains(err.Error(), "parenthesis") {
+		t.Fatalf("unhelpful error: %v", err)
+	}
+	var pe *ParseError
+	if !asParseError(err, &pe) {
+		t.Fatalf("error is not *ParseError: %T", err)
+	}
+}
+
+func asParseError(err error, target **ParseError) bool {
+	pe, ok := err.(*ParseError)
+	if ok {
+		*target = pe
+	}
+	return ok
+}
+
+func TestLoneBraceIsLiteral(t *testing.T) {
+	// PCRE treats '{' not followed by a valid bound as a literal.
+	n := MustParse("a{b}")
+	want := Literal("a{b}")
+	if !Equal(n, want) {
+		t.Fatalf("a{b} = %v, want literal", n)
+	}
+}
+
+func TestNullable(t *testing.T) {
+	cases := []struct {
+		pat  string
+		want bool
+	}{
+		{"a", false},
+		{"a*", true},
+		{"a?", true},
+		{"a|b*", true},
+		{"ab*", false},
+		{"a{0,3}", true},
+		{"a{1,3}", false},
+		{"(a?b?){3}", true},
+		{"()", true},
+	}
+	for _, tc := range cases {
+		if got := Nullable(MustParse(tc.pat)); got != tc.want {
+			t.Errorf("Nullable(%q) = %v, want %v", tc.pat, got, tc.want)
+		}
+	}
+}
+
+func TestDeepNestingRejected(t *testing.T) {
+	deep := strings.Repeat("(", MaxGroupDepth+1) + "a" + strings.Repeat(")", MaxGroupDepth+1)
+	if _, err := Parse(deep); err == nil {
+		t.Fatal("pathological nesting accepted")
+	}
+	ok := strings.Repeat("(", 50) + "a" + strings.Repeat(")", 50)
+	if _, err := Parse(ok); err != nil {
+		t.Fatalf("reasonable nesting rejected: %v", err)
+	}
+}

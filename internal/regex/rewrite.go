@@ -1,0 +1,316 @@
+package regex
+
+// This file implements the compiler rewriting passes of §7 of the paper:
+//
+//   1. normalization: r{n,} → r{n}·r*, and repetitions with nullable bodies
+//      are lowered so that the NBVA counting construction never has to count
+//      iterations that can match ε;
+//   2. splitting: bounded repetitions that do not fit the virtual bit-vector
+//      size K, or whose range read is not one of the three hardware-supported
+//      reads rAll = r(1,K), rHalf = r(1,K/2), rQuarter = r(1,K/4), are split
+//      into smaller equivalent pieces (Example 7.2);
+//   3. unfolding: repetitions whose upper bound is at or below the unfolding
+//      threshold are unfolded into concatenations of optional copies
+//      (Example 7.1).
+//
+// The passes are exposed individually for testing and combined by Rewrite.
+
+// Options configures the rewriting pipeline.
+type Options struct {
+	// UnfoldThreshold is the largest finite upper bound that is unfolded
+	// rather than counted (unfold_th in the paper's design space
+	// exploration; Table 5 reports best values between 4 and 12). Values
+	// below 2 are treated as 2, because the compiler always unfolds
+	// bounds ≤ 2 (§7, compilation step 1).
+	UnfoldThreshold int
+
+	// BVSize is the virtual bit vector size K. It must be a power of two
+	// and at least 8, or zero to disable splitting (splitting disabled is
+	// used by the theoretical-model tests, which allow arbitrary reads).
+	BVSize int
+}
+
+// DefaultOptions returns the configuration used when the caller does not run
+// a design space exploration: K = 64 (the physical BV size, optimal or tied
+// for four of the paper's seven datasets) and unfold threshold 8.
+func DefaultOptions() Options {
+	return Options{UnfoldThreshold: 8, BVSize: 64}
+}
+
+func (o Options) effectiveThreshold() int {
+	if o.UnfoldThreshold < 2 {
+		return 2
+	}
+	return o.UnfoldThreshold
+}
+
+// Rewrite applies the full §7 pipeline: normalize, split to fit the bit
+// vector size, and unfold small bounds. The result contains only repetitions
+// of the forms r{n,n} with n ≤ K, r{1,c} and r{0,c} with c ∈ {K, K/2, K/4},
+// plus * over arbitrary sub-expressions.
+func Rewrite(n Node, opt Options) Node {
+	n = Normalize(n)
+	if opt.BVSize > 0 {
+		n = SplitBounds(n, opt.BVSize, opt.effectiveThreshold())
+	}
+	n = Unfold(n, opt.effectiveThreshold())
+	return n
+}
+
+// Normalize removes the repetition forms the later passes do not handle:
+// r{n,} becomes r{n}·r*, and a bounded repetition whose body is nullable has
+// its lower bound dropped to zero (matching i < Min nonempty iterations is
+// already possible by letting the remaining iterations match ε). A bounded
+// repetition whose body is nullable is then unfolded outright, because
+// counting iterations that can match the empty string is not supported by
+// the shift-based NBVA encoding.
+func Normalize(n Node) Node {
+	switch n := n.(type) {
+	case Empty, Lit:
+		return n
+	case *Concat:
+		factors := make([]Node, len(n.Factors))
+		for i, f := range n.Factors {
+			factors[i] = Normalize(f)
+		}
+		return NewConcat(factors...)
+	case *Alt:
+		alts := make([]Node, len(n.Alternatives))
+		for i, a := range n.Alternatives {
+			alts[i] = Normalize(a)
+		}
+		return NewAlt(alts...)
+	case *Star:
+		return &Star{Sub: Normalize(n.Sub)}
+	case *Repeat:
+		sub := Normalize(n.Sub)
+		if n.Max == Unbounded {
+			if Nullable(sub) {
+				// r nullable ⇒ r{n,} ≡ r*.
+				return &Star{Sub: sub}
+			}
+			// r{n,} = r{n}·r*.
+			return NewConcat(NewRepeat(sub, n.Min, n.Min), &Star{Sub: sub})
+		}
+		if Nullable(sub) {
+			// r nullable ⇒ r{m,n} ≡ r{0,n} = (r?)^n; unfold now.
+			return unfoldRepeat(sub, 0, n.Max)
+		}
+		return NewRepeat(sub, n.Min, n.Max)
+	default:
+		return n
+	}
+}
+
+// Unfold unfolds every bounded repetition whose (finite) upper bound is at
+// most threshold, per Example 7.1: r{m,n} becomes r^m · (r?)^(n-m).
+// Repetitions with larger bounds are kept (their bodies are still processed).
+func Unfold(n Node, threshold int) Node {
+	switch n := n.(type) {
+	case Empty, Lit:
+		return n
+	case *Concat:
+		factors := make([]Node, len(n.Factors))
+		for i, f := range n.Factors {
+			factors[i] = Unfold(f, threshold)
+		}
+		return NewConcat(factors...)
+	case *Alt:
+		alts := make([]Node, len(n.Alternatives))
+		for i, a := range n.Alternatives {
+			alts[i] = Unfold(a, threshold)
+		}
+		return NewAlt(alts...)
+	case *Star:
+		return &Star{Sub: Unfold(n.Sub, threshold)}
+	case *Repeat:
+		sub := Unfold(n.Sub, threshold)
+		if n.Max == Unbounded {
+			// Normalize has removed these, but be robust when Unfold
+			// is called directly: unfold the mandatory prefix.
+			if n.Min <= threshold {
+				return NewConcat(unfoldRepeat(sub, n.Min, n.Min), &Star{Sub: sub})
+			}
+			return NewConcat(NewRepeat(sub, n.Min, n.Min), &Star{Sub: sub})
+		}
+		if n.Max <= threshold {
+			return unfoldRepeat(sub, n.Min, n.Max)
+		}
+		return NewRepeat(sub, n.Min, n.Max)
+	default:
+		return n
+	}
+}
+
+// unfoldRepeat expands r{min,max} (finite max) into r^min · (r?)^(max-min).
+func unfoldRepeat(sub Node, min, max int) Node {
+	factors := make([]Node, 0, max)
+	for i := 0; i < min; i++ {
+		factors = append(factors, sub)
+	}
+	for i := min; i < max; i++ {
+		factors = append(factors, NewRepeat(sub, 0, 1))
+	}
+	return NewConcat(factors...)
+}
+
+// FullyUnfold removes every bounded repetition regardless of size; this is
+// the "existing solution with unfolding" of §3, used to build the NFAs that
+// the baseline architectures (CA, eAP, CAMA) execute. Unbounded {n,} forms
+// become r^n·r*.
+func FullyUnfold(n Node) Node {
+	return Unfold(Normalize(n), MaxBound)
+}
+
+// SplitBounds rewrites bounded repetitions so every surviving counted form
+// is realizable with a bit vector of size ≤ K and the hardware's restricted
+// read set (Example 7.2):
+//
+//   - exact r{n} with n > K splits into r{K}·…·r{K}·r{rem};
+//   - r{m,n} with m ≥ 2 first becomes r{m-1}·r{1,n-m+1} (§4);
+//   - a range r{1,h} (or r{0,h}) is decomposed into chunks whose maxima are
+//     taken greedily from {K, K/2, K/4}, with only the first chunk keeping
+//     the nonzero lower bound; a remainder smaller than K/4 is kept as a
+//     small repetition if it is at or below the unfold threshold (the Unfold
+//     pass will expand it) and otherwise emitted as an exact-plus-optionals
+//     form that needs no range read.
+func SplitBounds(n Node, k, threshold int) Node {
+	if k < 8 || k&(k-1) != 0 {
+		panic("regex: BVSize must be a power of two ≥ 8")
+	}
+	switch n := n.(type) {
+	case Empty, Lit:
+		return n
+	case *Concat:
+		factors := make([]Node, len(n.Factors))
+		for i, f := range n.Factors {
+			factors[i] = SplitBounds(f, k, threshold)
+		}
+		return NewConcat(factors...)
+	case *Alt:
+		alts := make([]Node, len(n.Alternatives))
+		for i, a := range n.Alternatives {
+			alts[i] = SplitBounds(a, k, threshold)
+		}
+		return NewAlt(alts...)
+	case *Star:
+		return &Star{Sub: SplitBounds(n.Sub, k, threshold)}
+	case *Repeat:
+		sub := SplitBounds(n.Sub, k, threshold)
+		if n.Max == Unbounded {
+			return NewConcat(splitExact(sub, n.Min, k), &Star{Sub: sub})
+		}
+		if n.Min == n.Max {
+			return splitExact(sub, n.Min, k)
+		}
+		if n.Max <= threshold {
+			// Small enough to unfold later; no need to split.
+			return NewRepeat(sub, n.Min, n.Max)
+		}
+		// r{m,n} → r{m-1} · r{1, n-m+1} (§4 rewriting).
+		lo := 1
+		min, max := n.Min, n.Max
+		if min == 0 {
+			lo = 0
+			min = 1 // the range part is {0, max}
+		}
+		prefix := splitExact(sub, min-1, k)
+		return NewConcat(prefix, splitRange(sub, lo, max-min+1, k, threshold))
+	default:
+		return n
+	}
+}
+
+// splitExact splits r{n} into chunks of at most K (Example 7.2's
+// ab{147}c → ab{64}b{64}b{19}c).
+func splitExact(sub Node, n, k int) Node {
+	if n == 0 {
+		return Empty{}
+	}
+	var factors []Node
+	for n > k {
+		factors = append(factors, NewRepeat(sub, k, k))
+		n -= k
+	}
+	factors = append(factors, NewRepeat(sub, n, n))
+	return NewConcat(factors...)
+}
+
+// splitRange decomposes r{lo,h} with lo ∈ {0,1} into hardware-readable
+// chunks. The chunk maxima are drawn greedily from {K, K/2, K/4}; the
+// nonzero lower bound is carried by the first chunk only, so the minima sum
+// to lo and the maxima sum to h.
+func splitRange(sub Node, lo, h, k, threshold int) Node {
+	var factors []Node
+	remaining := h
+	first := true
+	chunkMin := func() int {
+		if first && lo > 0 {
+			first = false
+			return 1
+		}
+		first = false
+		return 0
+	}
+	for _, c := range []int{k, k / 2, k / 4} {
+		for remaining >= c {
+			factors = append(factors, NewRepeat(sub, chunkMin(), c))
+			remaining -= c
+			if remaining == 0 {
+				break
+			}
+		}
+	}
+	if remaining > 0 {
+		min := chunkMin()
+		if remaining <= threshold || remaining == 1 {
+			// Small residue: keep as a repetition; Unfold expands it.
+			factors = append(factors, NewRepeat(sub, min, remaining))
+		} else {
+			// Residue above the unfold threshold but below K/4: there
+			// is no hardware range read of this width, so expand into
+			// the read-free exact-plus-optionals form r^min·(r?)^rest.
+			factors = append(factors, unfoldRepeat(sub, min, remaining))
+		}
+	}
+	return NewConcat(factors...)
+}
+
+// RealizableReads reports the range-read widths supported for virtual BV
+// size k: rAll, rHalf and rQuarter.
+func RealizableReads(k int) [3]int { return [3]int{k, k / 2, k / 4} }
+
+// CheckRealizable reports whether every repetition remaining in n can be
+// mapped onto the hardware with virtual BV size k and the restricted read
+// set. It is used by tests and by the compiler as a post-rewrite assertion.
+func CheckRealizable(n Node, k int) bool {
+	ok := true
+	Walk(n, func(m Node) {
+		r, isRep := m.(*Repeat)
+		if !isRep {
+			return
+		}
+		if r.Max == Unbounded {
+			ok = false
+			return
+		}
+		if r.Min == r.Max {
+			if r.Max > k {
+				ok = false
+			}
+			return
+		}
+		if r.Min == 0 && r.Max == 1 {
+			return // r? needs no counting
+		}
+		if r.Min > 1 {
+			ok = false
+			return
+		}
+		reads := RealizableReads(k)
+		if r.Max != reads[0] && r.Max != reads[1] && r.Max != reads[2] {
+			ok = false
+		}
+	})
+	return ok
+}

@@ -1,0 +1,207 @@
+package regex
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestExample71Unfold(t *testing.T) {
+	// §7 Example 7.1: with threshold 4,
+	// a(bc){2}d{1,3}ef{2,}g{7} → abcbcdd?d?efff*g{7}.
+	in := MustParse("a(bc){2}d{1,3}ef{2,}g{7}")
+	got := Unfold(Normalize(in), 4)
+	want := MustParse("abcbcdd?d?efff*g{7}")
+	if !Equal(got, want) {
+		t.Fatalf("unfold = %q, want %q", got, want)
+	}
+}
+
+func TestExample72SplitExact(t *testing.T) {
+	// §7 Example 7.2: ab{147}c → ab{64}b{64}b{19}c with K=64.
+	in := MustParse("ab{147}c")
+	got := SplitBounds(Normalize(in), 64, 4)
+	want := MustParse("ab{64}b{64}b{19}c")
+	if !Equal(got, want) {
+		t.Fatalf("split = %q, want %q", got, want)
+	}
+}
+
+func TestExample72SplitRange(t *testing.T) {
+	// §7 Example 7.2: ab{2,114}c splits into chunks with min-sum 2 and
+	// max-sum 114 realizable by rAll/rHalf/rQuarter. The paper writes
+	// b{1,64}b{1,32}b{0,16}b{0,2}; our splitter first peels the exact
+	// prefix (§4's r{m-1}·r{1,n-m+1} rule), producing the equivalent
+	// b{1}b{1,64}b{0,32}b{0,16}b{0,1} — same minimum (2) and maximum
+	// (114) totals, all range reads in {64,32,16}.
+	in := MustParse("ab{2,114}c")
+	got := SplitBounds(Normalize(in), 64, 4)
+	min, max := repetitionSpan(got, 'b')
+	if min != 2 || max != 114 {
+		t.Fatalf("split span = {%d,%d}, want {2,114}; got %q", min, max, got)
+	}
+	if !CheckRealizable(got, 64) {
+		t.Fatalf("split result not realizable: %q", got)
+	}
+}
+
+func TestExample72SplitRange100(t *testing.T) {
+	// a{1,100} → a{1,64}a{0,32}a?a?a?a? after split+unfold with
+	// threshold 4 (the paper's third Example 7.2 rewrite).
+	in := MustParse("xa{1,100}y")
+	got := Rewrite(in, Options{UnfoldThreshold: 4, BVSize: 64})
+	want := MustParse("xa{1,64}a{0,32}a?a?a?a?y")
+	if !Equal(got, want) {
+		t.Fatalf("rewrite = %q, want %q", got, want)
+	}
+}
+
+// repetitionSpan sums the min/max contributions of every factor whose body
+// matches the single symbol c, counting plain literals as {1,1}.
+func repetitionSpan(n Node, c byte) (min, max int) {
+	var walk func(Node)
+	walk = func(m Node) {
+		switch m := m.(type) {
+		case Lit:
+			if m.Class.Count() == 1 {
+				if b, _ := m.Class.Min(); b == c {
+					min++
+					max++
+				}
+			}
+		case *Concat:
+			for _, f := range m.Factors {
+				walk(f)
+			}
+		case *Repeat:
+			if lit, ok := m.Sub.(Lit); ok && lit.Class.Count() == 1 {
+				if b, _ := lit.Class.Min(); b == c {
+					min += m.Min
+					max += m.Max
+				}
+			}
+		}
+	}
+	walk(n)
+	return min, max
+}
+
+func TestNormalizeUnboundedToStar(t *testing.T) {
+	got := Normalize(MustParse("a{3,}"))
+	want := MustParse("a{3}a*")
+	if !Equal(got, want) {
+		t.Fatalf("normalize a{3,} = %q, want %q", got, want)
+	}
+}
+
+func TestNormalizeNullableBody(t *testing.T) {
+	// (a?){3} has a nullable body: it must be lowered to an unfolded
+	// optional form because counting nullable iterations is unsupported.
+	got := Normalize(MustParse("(a?){3}"))
+	if !CheckRealizable(got, 64) {
+		t.Fatalf("nullable-body repetition survived: %q", got)
+	}
+	// (a?){2,} ≡ a*.
+	got = Normalize(MustParse("(a?){2,}"))
+	if _, ok := got.(*Star); !ok {
+		t.Fatalf("(a?){2,} = %q, want a*", got)
+	}
+}
+
+func TestRewriteRealizable(t *testing.T) {
+	patterns := []string{
+		"ab{147}c",
+		"ab{2,114}c",
+		"a{1,100}",
+		".{9139}",
+		"x{5}",
+		"(ab){33}",
+		"a{63}|b{65}",
+		"a{7,}b",
+		"url=.{8000}",
+		"a{16}b{16,64}c{0,200}",
+	}
+	for _, k := range []int{16, 32, 64, 128} {
+		for _, pat := range patterns {
+			got := Rewrite(MustParse(pat), Options{UnfoldThreshold: 4, BVSize: k})
+			if !CheckRealizable(got, k) {
+				t.Errorf("Rewrite(%q, K=%d) not realizable: %q", pat, k, got)
+			}
+		}
+	}
+}
+
+func TestFullyUnfoldRemovesAllCounting(t *testing.T) {
+	for _, pat := range []string{"a{17}", "a{3,90}b{4,}", "(ab){9}c{2,5}"} {
+		got := FullyUnfold(MustParse(pat))
+		Walk(got, func(m Node) {
+			if r, ok := m.(*Repeat); ok && !(r.Min == 0 && r.Max == 1) {
+				t.Errorf("FullyUnfold(%q) kept repetition %v", pat, r)
+			}
+		})
+	}
+}
+
+// genBoundedPattern builds a random pattern with bounded repetitions for the
+// property test.
+func genBoundedPattern(r *rand.Rand) Node {
+	letters := "ab"
+	body := Lit{Class: singleOf(letters[r.Intn(len(letters))])}
+	min := 1 + r.Intn(5)
+	max := min + 1 + r.Intn(200) // max > min so NewRepeat never collapses
+	return NewConcat(Literal("x"), NewRepeat(body, min, max), Literal("y"))
+}
+
+func TestQuickSplitPreservesSpan(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := genBoundedPattern(r)
+		rep := n.(*Concat).Factors[1].(*Repeat)
+		body, _ := rep.Sub.(Lit)
+		b, _ := body.Class.Min()
+		split := SplitBounds(n, 64, 4)
+		min, max := repetitionSpan(split, b)
+		return min == rep.Min && max == rep.Max
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickRewriteRealizable(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := genBoundedPattern(r)
+		k := []int{16, 32, 64, 128}[r.Intn(4)]
+		return CheckRealizable(Rewrite(n, Options{UnfoldThreshold: 4, BVSize: k}), k)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAnalyzeStats(t *testing.T) {
+	st := Analyze(MustParse(".*a.{100}"))
+	if !st.HasCounting() || st.MaxUpperBound != 100 {
+		t.Fatalf("stats = %+v", st)
+	}
+	// 102 positions when unfolded (a + 100 dots + leading .*), per §1.
+	if st.UnfoldedLiterals != 102 {
+		t.Fatalf("unfolded = %d, want 102", st.UnfoldedLiterals)
+	}
+	if st.CountingLiterals != 99 {
+		t.Fatalf("counting literals = %d, want 99", st.CountingLiterals)
+	}
+	st = Analyze(MustParse("abc"))
+	if st.HasCounting() || st.NontrivialCounting || st.UnfoldedLiterals != 3 {
+		t.Fatalf("plain stats = %+v", st)
+	}
+	st = Analyze(MustParse("a{4}"))
+	if st.NontrivialCounting {
+		t.Fatal("bound 4 should be trivial")
+	}
+	st = Analyze(MustParse("a{5}"))
+	if !st.NontrivialCounting {
+		t.Fatal("bound 5 should be non-trivial")
+	}
+}

@@ -1,0 +1,149 @@
+package regex
+
+// Stats summarizes the structural properties of a regex that drive the
+// paper's motivation numbers (§1: bounded repetition appears in 37% of
+// regexes and accounts for 85% of all NFA states after unfolding) and the
+// hardware resource estimates.
+type Stats struct {
+	// Literals is the number of character-class occurrences (Glushkov
+	// positions) in the regex as written, without unfolding.
+	Literals int
+
+	// BoundedRepetitions is the number of bounded-repetition operators
+	// {n}, {m,n} or {n,} in the regex.
+	BoundedRepetitions int
+
+	// MaxUpperBound is the largest finite upper bound, or the largest
+	// lower bound of an {n,} form, appearing anywhere in the regex.
+	MaxUpperBound int
+
+	// NontrivialCounting reports whether any bounded repetition has an
+	// upper (or {n,} lower) bound greater than 4, the paper's threshold
+	// for "non-trivial" counting.
+	NontrivialCounting bool
+
+	// UnfoldedLiterals is the number of Glushkov positions after all
+	// bounded repetitions are unfolded: the NFA state count a baseline
+	// automata processor needs.
+	UnfoldedLiterals int
+
+	// CountingLiterals is the number of unfolded positions contributed by
+	// bounded repetitions (UnfoldedLiterals minus the positions the regex
+	// would have if every {m,n} were replaced by a single copy of its
+	// body).
+	CountingLiterals int
+}
+
+// HasCounting reports whether the regex contains any bounded repetition.
+func (s Stats) HasCounting() bool { return s.BoundedRepetitions > 0 }
+
+// Analyze computes Stats for a regex.
+func Analyze(n Node) Stats {
+	var s Stats
+	s.Literals = countLiterals(n)
+	Walk(n, func(m Node) {
+		r, ok := m.(*Repeat)
+		if !ok {
+			return
+		}
+		// r? is an operator of classical regexes, not counting.
+		if r.Min == 0 && r.Max == 1 {
+			return
+		}
+		s.BoundedRepetitions++
+		bound := r.Max
+		if bound == Unbounded {
+			bound = r.Min
+		}
+		if bound > s.MaxUpperBound {
+			s.MaxUpperBound = bound
+		}
+		if bound > 4 {
+			s.NontrivialCounting = true
+		}
+	})
+	s.UnfoldedLiterals = unfoldedLiterals(n)
+	s.CountingLiterals = s.UnfoldedLiterals - collapsedLiterals(n)
+	return s
+}
+
+// countLiterals counts character-class occurrences without unfolding.
+func countLiterals(n Node) int {
+	c := 0
+	Walk(n, func(m Node) {
+		if _, ok := m.(Lit); ok {
+			c++
+		}
+	})
+	return c
+}
+
+// unfoldedLiterals counts Glushkov positions after unfolding every bounded
+// repetition: each r{m,n} multiplies its body's positions by n (by m for
+// {m,}).
+func unfoldedLiterals(n Node) int {
+	switch n := n.(type) {
+	case Empty:
+		return 0
+	case Lit:
+		return 1
+	case *Concat:
+		total := 0
+		for _, f := range n.Factors {
+			total += unfoldedLiterals(f)
+		}
+		return total
+	case *Alt:
+		total := 0
+		for _, a := range n.Alternatives {
+			total += unfoldedLiterals(a)
+		}
+		return total
+	case *Star:
+		return unfoldedLiterals(n.Sub)
+	case *Repeat:
+		copies := n.Max
+		if copies == Unbounded {
+			copies = n.Min
+			if copies == 0 {
+				copies = 1
+			}
+		}
+		if copies == 0 {
+			copies = 1
+		}
+		return copies * unfoldedLiterals(n.Sub)
+	default:
+		return 0
+	}
+}
+
+// collapsedLiterals counts positions with every bounded repetition collapsed
+// to a single copy of its body: the state count a counting-aware automaton
+// (NCA/NBVA) needs.
+func collapsedLiterals(n Node) int {
+	switch n := n.(type) {
+	case Empty:
+		return 0
+	case Lit:
+		return 1
+	case *Concat:
+		total := 0
+		for _, f := range n.Factors {
+			total += collapsedLiterals(f)
+		}
+		return total
+	case *Alt:
+		total := 0
+		for _, a := range n.Alternatives {
+			total += collapsedLiterals(a)
+		}
+		return total
+	case *Star:
+		return collapsedLiterals(n.Sub)
+	case *Repeat:
+		return collapsedLiterals(n.Sub)
+	default:
+		return 0
+	}
+}

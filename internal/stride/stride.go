@@ -1,0 +1,342 @@
+// Package stride implements two-symbol-per-cycle (2-stride) automata
+// processing, the throughput-scaling direction of Impala [30], which the
+// paper cites as complementary related work. It exists as an extension
+// experiment: BVAP accelerates *counting*; multi-stride accelerates *symbol
+// rate*, paying for it with state expansion.
+//
+// The 2-stride transformation squares a homogeneous Glushkov NFA: each pair
+// state corresponds to an edge (q1, q2) of the original automaton and
+// matches the symbol pair (class(q1), class(q2)). Matches that end on an
+// odd stream offset surface through the pair state's mid-final flag; a
+// match starting at the second symbol of a pair enters through a
+// half-anchored pair state whose first symbol is unconstrained.
+//
+// The expansion factor |pairs| / |states| is exactly the transition density
+// of the automaton — the quantity Impala's encoding works to contain — and
+// Expansion reports it for the cost model.
+package stride
+
+import (
+	"errors"
+
+	"bvap/internal/charclass"
+	"bvap/internal/glushkov"
+)
+
+// ErrTooDense is returned when squaring would exceed the pair budget:
+// unfolded {m,n} ranges have Θ((n-m)²) follow edges, and the pair automaton
+// squares that again — exactly the expansion Impala's encoding exists to
+// contain, and the regime where 2-stride stops paying off.
+var ErrTooDense = errors.New("stride: automaton too dense to square")
+
+// EdgeCount returns the follow-edge count of an NFA (the 2-stride state
+// demand before half/mid additions).
+func EdgeCount(a *glushkov.NFA) int {
+	n := 0
+	for p := range a.States {
+		n += len(a.Follow[p])
+	}
+	return n
+}
+
+// PairState is one state of the 2-stride automaton: it fires when the
+// current symbol pair (b1, b2) satisfies First and Second. A half pair
+// (First == Σ with Half set) models a match starting mid-pair.
+type PairState struct {
+	First  charclass.Class
+	Second charclass.Class
+	// Q1 and Q2 are the original positions; Q1 == -1 for half pairs.
+	Q1, Q2 int
+	// MidFinal marks pairs whose first position is final in the original
+	// automaton: a match ends on the pair's first symbol.
+	MidFinal bool
+	// EndFinal marks pairs whose second position is final: a match ends
+	// on the pair's second symbol.
+	EndFinal bool
+	// Half marks a start-of-match pair whose first symbol predates the
+	// match (unconstrained).
+	Half bool
+}
+
+// NFA2 is the squared automaton.
+type NFA2 struct {
+	base   *glushkov.NFA
+	States []PairState
+	// Follow[i] lists the pair states reachable from pair i: (q1,q2) →
+	// (q3,q4) iff q3 ∈ follow(q2) in the original automaton.
+	Follow [][]int
+	// Initial lists the pair states a match may begin in (full pairs
+	// starting at the pair boundary, and half pairs starting mid-pair).
+	Initial []int
+	// TailFinal marks original states that are final: used when the
+	// stream has an odd trailing symbol.
+	base1Final []bool
+}
+
+// MaxPairs bounds the squared automaton's state count; Transform returns
+// ErrTooDense beyond it.
+const MaxPairs = 1 << 17
+
+// Transform squares a Glushkov NFA. The result's state count is
+// |edges| + |initial| half pairs + final mid-terminals — the multi-stride
+// memory expansion. It returns ErrTooDense when the pair budget is
+// exceeded.
+func Transform(a *glushkov.NFA) (*NFA2, error) {
+	if EdgeCount(a) > MaxPairs {
+		return nil, ErrTooDense
+	}
+	t := &NFA2{base: a}
+	// Pair id for each original edge.
+	pairID := map[[2]int]int{}
+	for p := range a.States {
+		for _, q := range a.Follow[p] {
+			key := [2]int{p, q}
+			if _, ok := pairID[key]; ok {
+				continue
+			}
+			pairID[key] = len(t.States)
+			t.States = append(t.States, PairState{
+				First:    a.States[p].Class,
+				Second:   a.States[q].Class,
+				Q1:       p,
+				Q2:       q,
+				MidFinal: a.States[p].Final,
+				EndFinal: a.States[q].Final,
+			})
+		}
+	}
+	// Mid-terminal pairs: a match ending on a pair's *first* symbol must
+	// be reported even when the second symbol continues no pattern, so
+	// every final state gets a (q, Σ) pair with MidFinal set.
+	midID := make([]int, a.Size())
+	for i := range midID {
+		midID[i] = -1
+	}
+	for q, st := range a.States {
+		if !st.Final {
+			continue
+		}
+		midID[q] = len(t.States)
+		t.States = append(t.States, PairState{
+			First:    st.Class,
+			Second:   charclass.Any(),
+			Q1:       q,
+			Q2:       -1,
+			MidFinal: true,
+		})
+	}
+	// Half pairs: a match starting on the second symbol of a pair.
+	halfID := make([]int, a.Size())
+	for i := range halfID {
+		halfID[i] = -1
+	}
+	for _, q := range a.Initial {
+		halfID[q] = len(t.States)
+		t.States = append(t.States, PairState{
+			First:    charclass.Any(),
+			Second:   a.States[q].Class,
+			Q1:       -1,
+			Q2:       q,
+			EndFinal: a.States[q].Final,
+			Half:     true,
+		})
+	}
+	// Follow edges between pairs. Mid-terminal pairs (Q2 < 0) are dead
+	// ends: the match already ended on their first symbol. Stamp-based
+	// dedup keeps this loop linear in the produced edges.
+	t.Follow = make([][]int, len(t.States))
+	stamp := make([]int, len(t.States))
+	for i := range stamp {
+		stamp[i] = -1
+	}
+	for i, ps := range t.States {
+		if ps.Q2 < 0 {
+			continue
+		}
+		add := func(id int) {
+			if stamp[id] != i {
+				stamp[id] = i
+				t.Follow[i] = append(t.Follow[i], id)
+			}
+		}
+		for _, q3 := range a.Follow[ps.Q2] {
+			if midID[q3] >= 0 {
+				add(midID[q3])
+			}
+			for _, q4 := range a.Follow[q3] {
+				if id, ok := pairID[[2]int{q3, q4}]; ok {
+					add(id)
+				}
+			}
+		}
+	}
+	// Initial full pairs: q1 initial, q2 ∈ follow(q1); plus the half
+	// pairs (always armed under partial matching).
+	for _, q1 := range a.Initial {
+		if midID[q1] >= 0 {
+			t.Initial = appendUnique(t.Initial, midID[q1])
+		}
+		for _, q2 := range a.Follow[q1] {
+			if id, ok := pairID[[2]int{q1, q2}]; ok {
+				t.Initial = appendUnique(t.Initial, id)
+			}
+		}
+	}
+	for _, id := range halfID {
+		if id >= 0 {
+			t.Initial = appendUnique(t.Initial, id)
+		}
+	}
+	// Single-symbol matches need the final flags of the original states.
+	t.base1Final = make([]bool, a.Size())
+	for q, st := range a.States {
+		t.base1Final[q] = st.Final
+	}
+	return t, nil
+}
+
+func appendUnique(dst []int, v ...int) []int {
+	for _, s := range v {
+		dup := false
+		for _, d := range dst {
+			if d == s {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			dst = append(dst, s)
+		}
+	}
+	return dst
+}
+
+// Size returns the pair-state count (the 2-stride STE demand).
+func (t *NFA2) Size() int { return len(t.States) }
+
+// Expansion returns the state expansion factor over the 1-stride automaton.
+func (t *NFA2) Expansion() float64 {
+	if t.base.Size() == 0 {
+		return 0
+	}
+	return float64(t.Size()) / float64(t.base.Size())
+}
+
+// Runner executes the 2-stride automaton, consuming two symbols per step.
+type Runner struct {
+	t           *NFA2
+	activeStamp []uint64
+	epoch       uint64
+	activeList  []int
+}
+
+// NewRunner returns a runner at the start of the stream.
+func NewRunner(t *NFA2) *Runner {
+	return &Runner{
+		t:           t,
+		activeStamp: make([]uint64, t.Size()),
+		epoch:       1,
+	}
+}
+
+// Reset returns the runner to the start of the stream.
+func (r *Runner) Reset() {
+	r.epoch++
+	r.activeList = r.activeList[:0]
+}
+
+// Step2 consumes a symbol pair and reports whether a match ends at the
+// first and/or at the second symbol of the pair.
+func (r *Runner) Step2(b1, b2 byte) (matchMid, matchEnd bool) {
+	t := r.t
+	cur := r.epoch
+	r.epoch++
+	next := r.epoch
+	var newList []int
+	fire := func(id int) {
+		if r.activeStamp[id] == next {
+			return
+		}
+		ps := &t.States[id]
+		if !ps.First.Contains(b1) || !ps.Second.Contains(b2) {
+			return
+		}
+		r.activeStamp[id] = next
+		newList = append(newList, id)
+		if ps.MidFinal {
+			matchMid = true
+		}
+		if ps.EndFinal {
+			matchEnd = true
+		}
+	}
+	for _, p := range r.activeList {
+		if r.activeStamp[p] != cur {
+			continue
+		}
+		for _, succ := range t.Follow[p] {
+			fire(succ)
+		}
+	}
+	// Partial matching: initial pairs arm on every pair boundary; a
+	// match may also start on this pair's first symbol via a full
+	// initial pair, or on its second via a half pair.
+	for _, id := range t.Initial {
+		fire(id)
+	}
+	// A single-symbol match contained entirely in the first symbol: the
+	// full pairs above only see matches that *continue* into b2;
+	// MidFinal on fired pairs covers this, and half-pair EndFinal covers
+	// a single-symbol match on b2.
+	r.activeList = newList
+	return matchMid, matchEnd
+}
+
+// ActiveCount returns how many pair states fired on the latest step.
+func (r *Runner) ActiveCount() int { return len(r.activeList) }
+
+// MatchEnds runs the 2-stride automaton over input (processing ⌊n/2⌋ pairs
+// plus a final 1-stride step for an odd trailing symbol, as multi-stride
+// hardware does) and returns every index where a match ends.
+func (t *NFA2) MatchEnds(input []byte) []int {
+	r := NewRunner(t)
+	var ends []int
+	i := 0
+	for ; i+1 < len(input); i += 2 {
+		mid, end := r.Step2(input[i], input[i+1])
+		if mid {
+			ends = append(ends, i)
+		}
+		if end {
+			ends = append(ends, i+1)
+		}
+	}
+	if i < len(input) {
+		// Odd tail: finish with the 1-stride base automaton state
+		// recovered from the active pairs.
+		b := input[i]
+		matched := false
+		seen := map[int]bool{}
+		for _, id := range r.activeList {
+			q2 := t.States[id].Q2
+			if q2 < 0 || seen[q2] {
+				continue
+			}
+			seen[q2] = true
+			for _, succ := range t.base.Follow[q2] {
+				if t.base.States[succ].Class.Contains(b) && t.base1Final[succ] {
+					matched = true
+				}
+			}
+		}
+		for _, q := range t.base.Initial {
+			if t.base.States[q].Class.Contains(b) && t.base1Final[q] {
+				matched = true
+			}
+		}
+		if matched {
+			ends = append(ends, i)
+		}
+	}
+	return ends
+}

@@ -1,0 +1,157 @@
+package stride
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"bvap/internal/glushkov"
+	"bvap/internal/regex"
+)
+
+func mustTransform(t *testing.T, a *glushkov.NFA) *NFA2 {
+	t.Helper()
+	t2, err := Transform(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return t2
+}
+
+func nfaFor(t *testing.T, pattern string) *glushkov.NFA {
+	t.Helper()
+	return glushkov.MustBuild(regex.FullyUnfold(regex.MustParse(pattern)))
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestStride2Basic(t *testing.T) {
+	base := nfaFor(t, "abc")
+	t2 := mustTransform(t, base)
+	cases := map[string][]int{
+		"abc":     {2},
+		"zabc":    {3},
+		"abcz":    {2},
+		"zzabc":   {4},
+		"abcabc":  {2, 5},
+		"ab":      nil,
+		"":        nil,
+		"abcabcz": {2, 5},
+	}
+	for in, want := range cases {
+		got := t2.MatchEnds([]byte(in))
+		if !equalInts(got, want) {
+			t.Errorf("input %q: 2-stride %v, want %v", in, got, want)
+		}
+	}
+}
+
+func TestStride2SingleSymbolPattern(t *testing.T) {
+	t2 := mustTransform(t, nfaFor(t, "a"))
+	got := t2.MatchEnds([]byte("aazaz"))
+	want := []int{0, 1, 3}
+	if !equalInts(got, want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+}
+
+func TestStride2AgainstOneStride(t *testing.T) {
+	patterns := []string{
+		"abc", "a|bc", "a*b", "(ab)+c", "a?b?c", "[ab]c[^d]",
+		"ab{4}c", "a.{5}b", "x(ab|c){3}y", "a",
+	}
+	r := rand.New(rand.NewSource(31))
+	for _, pat := range patterns {
+		base := nfaFor(t, pat)
+		t2 := mustTransform(t, base)
+		for trial := 0; trial < 25; trial++ {
+			n := r.Intn(50) // even and odd lengths
+			input := make([]byte, n)
+			for i := range input {
+				input[i] = "abcxyd"[r.Intn(6)]
+			}
+			got := t2.MatchEnds(input)
+			want := base.MatchEnds(input)
+			if !equalInts(got, want) {
+				t.Fatalf("%q input %q: 2-stride %v, 1-stride %v", pat, input, got, want)
+			}
+		}
+	}
+}
+
+func TestQuickStride2Equivalence(t *testing.T) {
+	r := rand.New(rand.NewSource(37))
+	for trial := 0; trial < 150; trial++ {
+		// Random small classical pattern.
+		pat := ""
+		for i := 0; i < 2+r.Intn(4); i++ {
+			c := string(rune('a' + r.Intn(3)))
+			switch r.Intn(4) {
+			case 0:
+				pat += c + "*"
+			case 1:
+				pat += "(" + c + "|" + string(rune('a'+r.Intn(3))) + ")"
+			case 2:
+				pat += c + fmt.Sprintf("{%d}", 2+r.Intn(4))
+			default:
+				pat += c
+			}
+		}
+		ast, err := regex.Parse(pat)
+		if err != nil {
+			continue
+		}
+		base, err := glushkov.Build(regex.FullyUnfold(ast))
+		if err != nil || base.Size() == 0 {
+			continue
+		}
+		t2 := mustTransform(t, base)
+		input := make([]byte, 1+r.Intn(40))
+		for i := range input {
+			input[i] = byte('a' + r.Intn(3))
+		}
+		if !equalInts(t2.MatchEnds(input), base.MatchEnds(input)) {
+			t.Fatalf("trial %d %q input %q: mismatch", trial, pat, input)
+		}
+	}
+}
+
+func TestExpansionFactor(t *testing.T) {
+	// A linear chain has ~1 edge per state: expansion ≈ 1 (plus the
+	// anchors). A dense starred alternation expands quadratically —
+	// Impala's memory cost.
+	chain := mustTransform(t, nfaFor(t, "abcdefgh"))
+	if chain.Expansion() > 1.5 {
+		t.Fatalf("chain expansion = %.2f", chain.Expansion())
+	}
+	dense := mustTransform(t, nfaFor(t, "(ab|cd|ef|gh|ij|kl)*z"))
+	if dense.Expansion() < 2 {
+		t.Fatalf("dense expansion = %.2f, expected growth", dense.Expansion())
+	}
+	if dense.Size() <= dense.base.Size() {
+		t.Fatal("dense 2-stride should need more states")
+	}
+}
+
+func TestRunnerResetStride(t *testing.T) {
+	t2 := mustTransform(t, nfaFor(t, "abcd"))
+	r := NewRunner(t2)
+	r.Step2('a', 'b')
+	r.Reset()
+	if _, end := r.Step2('c', 'd'); end {
+		t.Fatal("stale pair state after reset")
+	}
+	if r.ActiveCount() != 0 {
+		t.Fatal("active after non-matching pair")
+	}
+}

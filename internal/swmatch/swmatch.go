@@ -1,0 +1,280 @@
+// Package swmatch is the "reliable software matcher" the paper's evaluation
+// uses for consistency checks (§8): an implementation of streaming
+// partial-match semantics that shares no simulation code with the automata
+// packages or the hardware simulator, so agreement between the two is
+// meaningful evidence of functional correctness.
+//
+// The matcher fully unfolds bounded repetitions and runs a Thompson-style
+// breadth-first simulation over the position automaton, recomputing the
+// follow relation with its own (deliberately simple) quadratic construction.
+package swmatch
+
+import (
+	"fmt"
+
+	"bvap/internal/charclass"
+	"bvap/internal/regex"
+)
+
+// Matcher reports, for a byte stream, every position where some substring
+// ending there belongs to the regex's language.
+type Matcher struct {
+	anchored bool
+	started  bool
+	classes  []charclass.Class
+	first    []bool
+	last     []bool
+	// follow[p][q] reports whether position q may follow position p.
+	follow  [][]bool
+	current []bool
+	scratch []bool
+	empty   bool
+}
+
+// New compiles a pattern into a Matcher. A leading ^ anchors matches to
+// the start of the stream.
+func New(pattern string) (*Matcher, error) {
+	ast, anchored, err := regex.ParseAnchored(pattern)
+	if err != nil {
+		return nil, err
+	}
+	m, err := FromAST(ast)
+	if err != nil {
+		return nil, err
+	}
+	m.anchored = anchored
+	return m, nil
+}
+
+// MustNew is New for known-good patterns.
+func MustNew(pattern string) *Matcher {
+	m, err := New(pattern)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// FromAST compiles a parsed regex into a Matcher.
+func FromAST(ast regex.Node) (*Matcher, error) {
+	ast = regex.FullyUnfold(ast)
+	m := &Matcher{empty: nullable(ast)}
+	// Collect positions.
+	var collect func(n regex.Node)
+	collect = func(n regex.Node) {
+		switch n := n.(type) {
+		case regex.Lit:
+			m.classes = append(m.classes, n.Class)
+		case *regex.Concat:
+			for _, f := range n.Factors {
+				collect(f)
+			}
+		case *regex.Alt:
+			for _, a := range n.Alternatives {
+				collect(a)
+			}
+		case *regex.Star:
+			collect(n.Sub)
+		case *regex.Repeat:
+			collect(n.Sub)
+		}
+	}
+	collect(ast)
+	n := len(m.classes)
+	m.first = make([]bool, n)
+	m.last = make([]bool, n)
+	m.follow = make([][]bool, n)
+	for i := range m.follow {
+		m.follow[i] = make([]bool, n)
+	}
+	m.current = make([]bool, n)
+	m.scratch = make([]bool, n)
+	if _, err := m.analyze(ast, 0, true); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+func nullable(n regex.Node) bool { return regex.Nullable(n) }
+
+// span is the contiguous position range of a subexpression together with
+// its boundary sets.
+type span struct {
+	firsts []int
+	lasts  []int
+	null   bool
+	next   int // position counter after the subexpression
+}
+
+// analyze walks the AST assigning position indices in order and filling
+// first/last/follow. markTop marks the whole expression's firsts/lasts into
+// the matcher.
+func (m *Matcher) analyze(n regex.Node, pos int, top bool) (span, error) {
+	s, err := m.walk(n, pos)
+	if err != nil {
+		return span{}, err
+	}
+	if top {
+		for _, p := range s.firsts {
+			m.first[p] = true
+		}
+		for _, p := range s.lasts {
+			m.last[p] = true
+		}
+	}
+	return s, nil
+}
+
+func (m *Matcher) walk(n regex.Node, pos int) (span, error) {
+	switch n := n.(type) {
+	case regex.Empty:
+		return span{null: true, next: pos}, nil
+	case regex.Lit:
+		return span{firsts: []int{pos}, lasts: []int{pos}, next: pos + 1}, nil
+	case *regex.Concat:
+		cur := span{null: true, next: pos}
+		for _, f := range n.Factors {
+			fs, err := m.walk(f, cur.next)
+			if err != nil {
+				return span{}, err
+			}
+			for _, p := range cur.lasts {
+				for _, q := range fs.firsts {
+					m.follow[p][q] = true
+				}
+			}
+			merged := span{null: cur.null && fs.null, next: fs.next}
+			merged.firsts = append(merged.firsts, cur.firsts...)
+			if cur.null {
+				merged.firsts = append(merged.firsts, fs.firsts...)
+			}
+			merged.lasts = append(merged.lasts, fs.lasts...)
+			if fs.null {
+				merged.lasts = append(merged.lasts, cur.lasts...)
+			}
+			cur = merged
+		}
+		return cur, nil
+	case *regex.Alt:
+		out := span{next: pos}
+		for _, a := range n.Alternatives {
+			as, err := m.walk(a, out.next)
+			if err != nil {
+				return span{}, err
+			}
+			out.null = out.null || as.null
+			out.firsts = append(out.firsts, as.firsts...)
+			out.lasts = append(out.lasts, as.lasts...)
+			out.next = as.next
+		}
+		return out, nil
+	case *regex.Star:
+		ss, err := m.walk(n.Sub, pos)
+		if err != nil {
+			return span{}, err
+		}
+		for _, p := range ss.lasts {
+			for _, q := range ss.firsts {
+				m.follow[p][q] = true
+			}
+		}
+		ss.null = true
+		return ss, nil
+	case *regex.Repeat:
+		switch {
+		case n.Min == 0 && n.Max == 1:
+			rs, err := m.walk(n.Sub, pos)
+			if err != nil {
+				return span{}, err
+			}
+			rs.null = true
+			return rs, nil
+		case n.Min == 1 && n.Max == regex.Unbounded:
+			rs, err := m.walk(n.Sub, pos)
+			if err != nil {
+				return span{}, err
+			}
+			for _, p := range rs.lasts {
+				for _, q := range rs.firsts {
+					m.follow[p][q] = true
+				}
+			}
+			return rs, nil
+		default:
+			return span{}, fmt.Errorf("swmatch: unexpected bounded repetition %s after unfolding", n)
+		}
+	default:
+		return span{}, fmt.Errorf("swmatch: unknown node %T", n)
+	}
+}
+
+// Size returns the number of positions (unfolded NFA states).
+func (m *Matcher) Size() int { return len(m.classes) }
+
+// MatchesEmpty reports whether the pattern accepts the empty string.
+func (m *Matcher) MatchesEmpty() bool { return m.empty }
+
+// Reset clears streaming state.
+func (m *Matcher) Reset() {
+	m.started = false
+	for i := range m.current {
+		m.current[i] = false
+	}
+}
+
+// Step consumes one byte and reports whether a match ends at it.
+func (m *Matcher) Step(b byte) bool {
+	next := m.scratch
+	for i := range next {
+		next[i] = false
+	}
+	for p, on := range m.current {
+		if !on {
+			continue
+		}
+		for q, f := range m.follow[p] {
+			if f && m.classes[q].Contains(b) {
+				next[q] = true
+			}
+		}
+	}
+	if !m.anchored || !m.started {
+		for q := range m.first {
+			if m.first[q] && m.classes[q].Contains(b) {
+				next[q] = true
+			}
+		}
+	}
+	m.started = true
+	m.current, m.scratch = next, m.current
+	for q, on := range m.current {
+		if on && m.last[q] {
+			return true
+		}
+	}
+	return false
+}
+
+// MatchEnds returns every input index at which a match ends.
+func (m *Matcher) MatchEnds(input []byte) []int {
+	m.Reset()
+	var ends []int
+	for i, b := range input {
+		if m.Step(b) {
+			ends = append(ends, i)
+		}
+	}
+	return ends
+}
+
+// Count returns the number of match-end positions in input.
+func (m *Matcher) Count(input []byte) int {
+	m.Reset()
+	n := 0
+	for _, b := range input {
+		if m.Step(b) {
+			n++
+		}
+	}
+	return n
+}

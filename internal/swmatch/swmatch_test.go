@@ -1,0 +1,142 @@
+package swmatch
+
+import (
+	"math/rand"
+	"strconv"
+	"testing"
+	"testing/quick"
+
+	"bvap/internal/nbva"
+	"bvap/internal/regex"
+)
+
+func TestBasics(t *testing.T) {
+	m := MustNew("ab")
+	ends := m.MatchEnds([]byte("xxabyab"))
+	if len(ends) != 2 || ends[0] != 3 || ends[1] != 6 {
+		t.Fatalf("ends = %v", ends)
+	}
+	if m.Count([]byte("ababab")) != 3 {
+		t.Fatalf("count = %d", m.Count([]byte("ababab")))
+	}
+}
+
+func TestCounting(t *testing.T) {
+	m := MustNew("ab{3}c")
+	if len(m.MatchEnds([]byte("abbbc"))) != 1 {
+		t.Fatal("missed abbbc")
+	}
+	if len(m.MatchEnds([]byte("abbc"))) != 0 {
+		t.Fatal("false match abbc")
+	}
+	if m.Size() != 5 {
+		t.Fatalf("size = %d, want 5 (unfolded)", m.Size())
+	}
+}
+
+func TestMatchesEmpty(t *testing.T) {
+	if !MustNew("a*").MatchesEmpty() {
+		t.Fatal("a* empty")
+	}
+	if MustNew("a+").MatchesEmpty() {
+		t.Fatal("a+ empty")
+	}
+}
+
+func TestResetBetweenRuns(t *testing.T) {
+	m := MustNew("ab")
+	m.Step('a')
+	m.Reset()
+	if m.Step('b') {
+		t.Fatal("stale state")
+	}
+	// MatchEnds resets implicitly.
+	m.Step('a')
+	if got := m.MatchEnds([]byte("b")); len(got) != 0 {
+		t.Fatalf("MatchEnds did not reset: %v", got)
+	}
+}
+
+func TestAgainstNBVA(t *testing.T) {
+	patterns := []string{
+		"ab{3}c", "a(bc){2,4}d", "a.{5}b", "x(ab|c){3}y", "a{2,6}",
+		"a(.a){3}b", "ab{2,5}(cd){6}e", "a+b{3}c*", "xa{0,2}y",
+	}
+	r := rand.New(rand.NewSource(99))
+	for _, pat := range patterns {
+		ref := nbva.MustBuild(regex.MustParse(pat))
+		m := MustNew(pat)
+		for trial := 0; trial < 30; trial++ {
+			input := make([]byte, 40)
+			for i := range input {
+				input[i] = byte('a' + r.Intn(5))
+			}
+			got := m.MatchEnds(input)
+			want := ref.MatchEnds(input)
+			if !equalInts(got, want) {
+				t.Fatalf("%q input %q: swmatch %v, nbva %v", pat, input, got, want)
+			}
+		}
+	}
+}
+
+func TestQuickAgainstNBVA(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		// Random pattern with a bounded repetition.
+		pat := "a"
+		for i := 0; i < 3; i++ {
+			c := string(rune('a' + r.Intn(3)))
+			switch r.Intn(3) {
+			case 0:
+				pat += c + "{" + strconv.Itoa(2+r.Intn(5)) + "}"
+			case 1:
+				pat += c + "*"
+			default:
+				pat += c
+			}
+		}
+		ref, err := nbva.Build(regex.MustParse(pat))
+		if err != nil {
+			return true
+		}
+		m, err := New(pat)
+		if err != nil {
+			return false
+		}
+		input := make([]byte, 30)
+		for i := range input {
+			input[i] = byte('a' + r.Intn(3))
+		}
+		return equalInts(m.MatchEnds(input), ref.MatchEnds(input))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLargeBound(t *testing.T) {
+	m := MustNew("a.{100}b")
+	input := make([]byte, 102)
+	input[0] = 'a'
+	for i := 1; i <= 100; i++ {
+		input[i] = 'x'
+	}
+	input[101] = 'b'
+	ends := m.MatchEnds(input)
+	if len(ends) != 1 || ends[0] != 101 {
+		t.Fatalf("ends = %v", ends)
+	}
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

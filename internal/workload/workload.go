@@ -1,0 +1,165 @@
+// Package workload generates the input streams the evaluation runs over.
+// The paper's real traces (network captures, protein sequences, email
+// corpora) are not redistributable; what the experiments actually depend on
+// is the *activation profile* of the stream — the bit-vector activation
+// ratio α swept in Fig. 11, the match rate (<10% in the paper's real-world
+// benchmarks), and the symbol distribution. These generators produce
+// deterministic, seeded streams with those properties controlled.
+package workload
+
+import (
+	"math/rand"
+
+	"bvap/internal/regex"
+)
+
+// AlphaStream builds the Fig. 11 micro-benchmark input: each symbol is the
+// trigger with probability alpha and the filler otherwise. For the regex
+// r·a{n} with r = a^16, alpha directly controls how often the BV-STEs
+// activate.
+func AlphaStream(seed int64, n int, alpha float64, trigger, filler byte) []byte {
+	r := rand.New(rand.NewSource(seed))
+	out := make([]byte, n)
+	for i := range out {
+		if r.Float64() < alpha {
+			out[i] = trigger
+		} else {
+			out[i] = filler
+		}
+	}
+	return out
+}
+
+// Text builds a random stream over the given alphabet.
+func Text(seed int64, n int, alphabet string) []byte {
+	if alphabet == "" {
+		alphabet = "abcdefghijklmnopqrstuvwxyz "
+	}
+	r := rand.New(rand.NewSource(seed))
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = alphabet[r.Intn(len(alphabet))]
+	}
+	return out
+}
+
+// Witness produces one string in the language of the regex: the shortest
+// choices for repetitions plus a seeded random pick among alternatives.
+// It is used to plant genuine matches into generated corpora.
+func Witness(n regex.Node, r *rand.Rand) []byte {
+	switch n := n.(type) {
+	case regex.Empty:
+		return nil
+	case regex.Lit:
+		syms := n.Class.Symbols()
+		if len(syms) == 0 {
+			return nil
+		}
+		// Prefer printable members for realism.
+		for tries := 0; tries < 4; tries++ {
+			s := syms[r.Intn(len(syms))]
+			if s >= 0x20 && s < 0x7f {
+				return []byte{s}
+			}
+		}
+		return []byte{syms[r.Intn(len(syms))]}
+	case *regex.Concat:
+		var out []byte
+		for _, f := range n.Factors {
+			out = append(out, Witness(f, r)...)
+		}
+		return out
+	case *regex.Alt:
+		if len(n.Alternatives) == 0 {
+			return nil
+		}
+		return Witness(n.Alternatives[r.Intn(len(n.Alternatives))], r)
+	case *regex.Star:
+		if r.Intn(2) == 0 {
+			return nil
+		}
+		return Witness(n.Sub, r)
+	case *regex.Repeat:
+		count := n.Min
+		if count == 0 && n.Max != 0 && r.Intn(2) == 0 {
+			count = 1
+		}
+		var out []byte
+		for i := 0; i < count; i++ {
+			out = append(out, Witness(n.Sub, r)...)
+		}
+		return out
+	default:
+		return nil
+	}
+}
+
+// Corpus builds an input stream of length n over the alphabet, planting
+// witnesses of the given patterns so that roughly matchRate × n positions
+// carry a pattern fragment. Unparsable patterns are skipped.
+func Corpus(seed int64, n int, alphabet string, patterns []string, matchRate float64) []byte {
+	r := rand.New(rand.NewSource(seed))
+	base := Text(seed+1, n, alphabet)
+	if len(patterns) == 0 || matchRate <= 0 {
+		return base
+	}
+	var witnesses [][]byte
+	for _, pat := range patterns {
+		ast, err := regex.Parse(pat)
+		if err != nil {
+			continue
+		}
+		w := Witness(ast, r)
+		if len(w) > 0 && len(w) < n/4 {
+			witnesses = append(witnesses, w)
+		}
+	}
+	if len(witnesses) == 0 {
+		return base
+	}
+	// Plant witnesses until the budgeted fraction of positions is
+	// covered.
+	budget := int(matchRate * float64(n))
+	for budget > 0 {
+		w := witnesses[r.Intn(len(witnesses))]
+		if len(w) > n {
+			break
+		}
+		pos := r.Intn(n - len(w) + 1)
+		copy(base[pos:], w)
+		budget -= len(w)
+	}
+	return base
+}
+
+// ActivationRatio measures the fraction of positions in input at which at
+// least one of the given trigger prefixes has just completed — a cheap
+// proxy for the BV activation ratio α used when validating generated
+// corpora.
+func ActivationRatio(input []byte, prefixes [][]byte) float64 {
+	if len(input) == 0 || len(prefixes) == 0 {
+		return 0
+	}
+	hits := 0
+	for i := range input {
+		for _, p := range prefixes {
+			if len(p) > 0 && i+1 >= len(p) && bytesEqual(input[i+1-len(p):i+1], p) {
+				hits++
+				break
+			}
+		}
+	}
+	return float64(hits) / float64(len(input))
+}
+
+func bytesEqual(a, b []byte) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

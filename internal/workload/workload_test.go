@@ -1,0 +1,124 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"bvap/internal/regex"
+	"bvap/internal/swmatch"
+)
+
+func TestAlphaStreamRatio(t *testing.T) {
+	for _, alpha := range []float64{0.05, 0.10, 0.20, 0.50} {
+		s := AlphaStream(42, 100000, alpha, 'a', 'b')
+		count := 0
+		for _, b := range s {
+			if b == 'a' {
+				count++
+			}
+		}
+		got := float64(count) / float64(len(s))
+		if math.Abs(got-alpha) > 0.01 {
+			t.Errorf("alpha %.2f: measured %.3f", alpha, got)
+		}
+	}
+}
+
+func TestAlphaStreamDeterministic(t *testing.T) {
+	a := AlphaStream(7, 1000, 0.1, 'x', 'y')
+	b := AlphaStream(7, 1000, 0.1, 'x', 'y')
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed produced different streams")
+		}
+	}
+	c := AlphaStream(8, 1000, 0.1, 'x', 'y')
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical streams")
+	}
+}
+
+func TestWitnessIsInLanguage(t *testing.T) {
+	patterns := []string{
+		"abc",
+		"a|b",
+		"ab{3}c",
+		"a(bc){2,4}d",
+		`\d{5}-\d{4}`,
+		"x[a-f]{2}y",
+		"a+b?c*d",
+	}
+	r := rand.New(rand.NewSource(11))
+	for _, pat := range patterns {
+		ast := regex.MustParse(pat)
+		m := swmatch.MustNew(pat)
+		for trial := 0; trial < 20; trial++ {
+			w := Witness(ast, r)
+			ends := m.MatchEnds(w)
+			okAtEnd := false
+			for _, e := range ends {
+				if e == len(w)-1 {
+					okAtEnd = true
+				}
+			}
+			if len(w) == 0 {
+				if !m.MatchesEmpty() {
+					t.Fatalf("%q: empty witness for non-nullable pattern", pat)
+				}
+				continue
+			}
+			if !okAtEnd {
+				t.Fatalf("%q: witness %q does not match at its end", pat, w)
+			}
+		}
+	}
+}
+
+func TestCorpusPlantsMatches(t *testing.T) {
+	patterns := []string{"needle", "pin{3}"}
+	corpus := Corpus(3, 20000, "abcdefgh", patterns, 0.05)
+	if len(corpus) != 20000 {
+		t.Fatalf("length = %d", len(corpus))
+	}
+	total := 0
+	for _, pat := range patterns {
+		total += swmatch.MustNew(pat).Count(corpus)
+	}
+	if total == 0 {
+		t.Fatal("no planted matches found")
+	}
+	// Without planting, matches of "needle" over {a..h} are impossible.
+	plain := Corpus(3, 20000, "abcdefgh", nil, 0)
+	if swmatch.MustNew("needle").Count(plain) != 0 {
+		t.Fatal("unplanted corpus contains the needle")
+	}
+}
+
+func TestActivationRatio(t *testing.T) {
+	input := []byte("aXbaXcaX")
+	got := ActivationRatio(input, [][]byte{[]byte("aX")})
+	want := 3.0 / 8
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("ratio = %g, want %g", got, want)
+	}
+	if ActivationRatio(nil, nil) != 0 {
+		t.Fatal("empty input should be 0")
+	}
+}
+
+func TestTextAlphabet(t *testing.T) {
+	s := Text(1, 5000, "xyz")
+	for _, b := range s {
+		if b != 'x' && b != 'y' && b != 'z' {
+			t.Fatalf("symbol %q outside alphabet", b)
+		}
+	}
+}

@@ -1,0 +1,198 @@
+package bvap
+
+import (
+	"fmt"
+
+	"bvap/internal/archmodel"
+	"bvap/internal/compiler"
+	"bvap/internal/hwsim"
+	"bvap/internal/metrics"
+)
+
+// Architecture selects a modeled automata processor for simulation.
+type Architecture int
+
+const (
+	// ArchBVAP is the paper's design: CAMA-style state matching and
+	// transition plus the Bit Vector Module, event-driven.
+	ArchBVAP Architecture = iota
+	// ArchBVAPStreaming is the BVAP-S mode: constant throughput at a
+	// lower clock and supply voltage for direct sensor streaming.
+	ArchBVAPStreaming
+	// ArchCAMA, ArchCA and ArchEAP are the unfolding baselines.
+	ArchCAMA
+	ArchCA
+	ArchEAP
+	// ArchCNT is CAMA extended with counter elements (the §8
+	// micro-benchmark alternative).
+	ArchCNT
+)
+
+func (a Architecture) String() string {
+	switch a {
+	case ArchBVAP:
+		return "BVAP"
+	case ArchBVAPStreaming:
+		return "BVAP-S"
+	case ArchCAMA:
+		return "CAMA"
+	case ArchCA:
+		return "CA"
+	case ArchEAP:
+		return "eAP"
+	case ArchCNT:
+		return "CNT"
+	}
+	return fmt.Sprintf("Architecture(%d)", int(a))
+}
+
+func (a Architecture) internal() archmodel.Arch {
+	switch a {
+	case ArchBVAP:
+		return archmodel.BVAP
+	case ArchBVAPStreaming:
+		return archmodel.BVAPS
+	case ArchCAMA:
+		return archmodel.CAMA
+	case ArchCA:
+		return archmodel.CA
+	case ArchEAP:
+		return archmodel.EAP
+	case ArchCNT:
+		return archmodel.CNT
+	}
+	panic("bvap: unknown architecture")
+}
+
+// Result is the outcome of one simulation run: raw counters plus the
+// derived metrics of the paper's evaluation.
+type Result struct {
+	Architecture Architecture
+	Symbols      uint64
+	Cycles       uint64
+	Matches      uint64
+	StallCycles  uint64
+
+	// EnergyPerSymbolNJ is nJ per input byte (lower is better).
+	EnergyPerSymbolNJ float64
+	// AreaMm2 is the modeled silicon area.
+	AreaMm2 float64
+	// ThroughputGbps is the sustained input bandwidth.
+	ThroughputGbps float64
+	// PowerW is the average power.
+	PowerW float64
+	// ComputeDensityGbpsPerMm2 is throughput per area.
+	ComputeDensityGbpsPerMm2 float64
+	// FoM is the paper's figure of merit, energy × area / throughput
+	// (mJ·mm²/Gbps, lower is better).
+	FoM float64
+}
+
+func resultFrom(a Architecture, s *hwsim.Stats) Result {
+	p := metrics.FromStats(a.String(), s)
+	return Result{
+		Architecture:             a,
+		Symbols:                  s.Symbols,
+		Cycles:                   s.Cycles,
+		Matches:                  s.Matches,
+		StallCycles:              s.StallCycles,
+		EnergyPerSymbolNJ:        p.EnergyPerSymbolNJ,
+		AreaMm2:                  p.AreaMm2,
+		ThroughputGbps:           p.ThroughputGbps,
+		PowerW:                   p.PowerW,
+		ComputeDensityGbpsPerMm2: p.ComputeDensity,
+		FoM:                      p.FoM,
+	}
+}
+
+func (r Result) String() string {
+	return fmt.Sprintf("%s: %.4f nJ/B, %.3f mm², %.2f Gbps, %.2f Gbps/mm², %d matches",
+		r.Architecture, r.EnergyPerSymbolNJ, r.AreaMm2, r.ThroughputGbps,
+		r.ComputeDensityGbpsPerMm2, r.Matches)
+}
+
+// Simulator replays an input stream on a modeled automata processor,
+// accumulating cycle and energy statistics.
+type Simulator struct {
+	arch     Architecture
+	bvapSys  *hwsim.BVAPSystem
+	baseSys  *hwsim.BaselineSystem
+	finished bool
+}
+
+// NewSimulator builds a cycle-accurate simulator for this engine's compiled
+// configuration on BVAP or BVAP-S.
+func (e *Engine) NewSimulator(arch Architecture) (*Simulator, error) {
+	switch arch {
+	case ArchBVAP, ArchBVAPStreaming:
+	default:
+		return nil, fmt.Errorf("bvap: engine simulators support BVAP and BVAP-S; use NewBaselineSimulator for %v", arch)
+	}
+	sys, err := hwsim.NewBVAPSystem(e.res.Config, arch == ArchBVAPStreaming)
+	if err != nil {
+		return nil, err
+	}
+	return &Simulator{arch: arch, bvapSys: sys}, nil
+}
+
+// NewBaselineSimulator builds a simulator for one of the baseline
+// architectures (CAMA, CA, eAP, CNT) over the same patterns. Baselines
+// unfold bounded repetitions; patterns beyond the AP-style 4096-STE limit
+// are skipped (and never match).
+func NewBaselineSimulator(arch Architecture, patterns []string) (*Simulator, error) {
+	var machines []compiler.BaselineMachine
+	switch arch {
+	case ArchCAMA, ArchCA, ArchEAP:
+		machines = compiler.CompileBaseline(patterns)
+	case ArchCNT:
+		machines = compiler.CompileCNT(patterns)
+	default:
+		return nil, fmt.Errorf("bvap: %v is not a baseline architecture", arch)
+	}
+	sys, err := hwsim.NewBaselineSystem(arch.internal(), machines)
+	if err != nil {
+		return nil, err
+	}
+	return &Simulator{arch: arch, baseSys: sys}, nil
+}
+
+// Run processes input. It may be called multiple times; statistics
+// accumulate.
+func (s *Simulator) Run(input []byte) {
+	if s.bvapSys != nil {
+		s.bvapSys.Run(input)
+	} else {
+		s.baseSys.Run(input)
+	}
+}
+
+// Result finalizes the run (charging leakage over the elapsed cycles) and
+// returns the metrics. Further Run calls continue accumulating, but
+// leakage is only charged once per Result call boundary.
+func (s *Simulator) Result() Result {
+	var st *hwsim.Stats
+	if s.bvapSys != nil {
+		if !s.finished {
+			st = s.bvapSys.Finish()
+		} else {
+			st = s.bvapSys.Stats()
+		}
+	} else {
+		if !s.finished {
+			st = s.baseSys.Finish()
+		} else {
+			st = s.baseSys.Stats()
+		}
+	}
+	s.finished = true
+	return resultFrom(s.arch, st)
+}
+
+// Breakdown renders the per-component energy split of the run so far as an
+// aligned text table.
+func (s *Simulator) Breakdown() string {
+	if s.bvapSys != nil {
+		return s.bvapSys.Stats().Breakdown()
+	}
+	return s.baseSys.Stats().Breakdown()
+}
