@@ -25,6 +25,7 @@ import (
 	"bvap/internal/compiler"
 	"bvap/internal/nbva"
 	"bvap/internal/regex"
+	"bvap/internal/telemetry"
 )
 
 // Option configures compilation.
@@ -42,6 +43,21 @@ func WithBVSize(bits int) Option {
 // values between 4 and 12).
 func WithUnfoldThreshold(th int) Option {
 	return func(o *compiler.Options) { o.UnfoldThreshold = th }
+}
+
+// WithTracer attaches a structured-trace emitter to compilation: the
+// compiler emits one wall-time span per pipeline phase (parse → rewrite →
+// Glushkov → AH → instruction selection → tile mapping) and one instant
+// event per pattern recording the rewrite decision it took.
+func WithTracer(tr *telemetry.Tracer) Option {
+	return func(o *compiler.Options) { o.Tracer = tr }
+}
+
+// WithMetrics attaches a metrics registry to compilation: phase wall-time
+// counters, per-pattern rewrite-decision counters, Table 3 read-kind hits,
+// and resource totals accrue on reg.
+func WithMetrics(reg *telemetry.Registry) Option {
+	return func(o *compiler.Options) { o.Metrics = reg }
 }
 
 // Match reports that pattern Pattern (index into the compiled set) matched
@@ -162,12 +178,28 @@ func (e *Engine) Count(input []byte) int {
 	return n
 }
 
+// Engine-metric names exposed by Stream.Instrument.
+const (
+	MetricEngineSymbols      = "bvap_engine_symbols_total"
+	MetricEngineMatches      = "bvap_engine_matches_total"
+	MetricEngineActiveStates = "bvap_engine_active_states"
+)
+
+// streamInstr is the optional per-stream instrumentation; Stream.Step pays
+// a single nil check when it is absent.
+type streamInstr struct {
+	symbols *telemetry.Counter
+	matches *telemetry.Counter
+	active  *telemetry.Gauge
+}
+
 // Stream matches incrementally over a byte stream. Streams are not safe for
 // concurrent use.
 type Stream struct {
 	engine  *Engine
 	runners []*nbva.AHRunner
 	hits    []int
+	inst    *streamInstr
 }
 
 // NewStream creates an independent matching stream.
@@ -183,6 +215,22 @@ func (e *Engine) NewStream() *Stream {
 	return s
 }
 
+// Instrument attaches a metrics registry to this stream: a symbol counter,
+// a match counter, and an active-NFA-state occupancy gauge updated after
+// every Step. Pass nil to detach. The uninstrumented Step path costs a
+// single nil check and allocates nothing.
+func (s *Stream) Instrument(reg *telemetry.Registry) {
+	if reg == nil {
+		s.inst = nil
+		return
+	}
+	s.inst = &streamInstr{
+		symbols: reg.Counter(MetricEngineSymbols, "input symbols processed by the engine"),
+		matches: reg.Counter(MetricEngineMatches, "pattern matches reported by the engine"),
+		active:  reg.Gauge(MetricEngineActiveStates, "active NFA states after the last engine step"),
+	}
+}
+
 // Step consumes one byte and returns the indices of the patterns for which
 // a match ends at it. The returned slice is reused across calls.
 func (s *Stream) Step(b byte) []int {
@@ -191,6 +239,19 @@ func (s *Stream) Step(b byte) []int {
 		if r != nil && r.Step(b) {
 			s.hits = append(s.hits, i)
 		}
+	}
+	if s.inst != nil {
+		s.inst.symbols.Inc()
+		if len(s.hits) > 0 {
+			s.inst.matches.Add(uint64(len(s.hits)))
+		}
+		active := 0
+		for _, r := range s.runners {
+			if r != nil {
+				active += r.ActiveStates()
+			}
+		}
+		s.inst.active.Set(float64(active))
 	}
 	return s.hits
 }

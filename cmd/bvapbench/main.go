@@ -5,13 +5,20 @@
 //
 // Usage:
 //
-//	bvapbench -exp fig11|fig12|fig13|table5|fig14|summary|ablation|stride2|all [flags]
+//	bvapbench -exp fig11|fig12|fig13|table5|fig14|summary|ablation|stride2|breakdown|all [flags]
 //
 // Flags:
 //
 //	-sample N    regexes sampled per dataset (default 80; paper uses >300)
 //	-inputlen N  corpus length per run (default 4096)
 //	-datasets    comma-separated dataset subset (default all seven)
+//
+// Observability: -metrics writes the accrued telemetry counters (Prometheus
+// text, or JSON with a .json suffix), -trace writes a structured trace with
+// one span per experiment (Chrome trace_event JSON, or JSONL with a .jsonl
+// suffix), and -pprof serves net/http/pprof, expvar and a live /metrics
+// endpoint while the benchmarks run. The breakdown experiment attributes a
+// run's energy to pipeline stages on the architecture chosen by -arch.
 package main
 
 import (
@@ -21,17 +28,45 @@ import (
 	"os"
 	"strings"
 
+	"bvap"
 	"bvap/internal/experiments"
+	"bvap/internal/hwsim"
+	"bvap/internal/obs"
+	"bvap/internal/telemetry"
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: fig11, fig12, fig13, table5, fig14, summary, ablation, stride2, all")
+	exp := flag.String("exp", "all", "experiment: fig11, fig12, fig13, table5, fig14, summary, ablation, stride2, breakdown, all")
 	ablationDataset := flag.String("ablation-dataset", "Snort", "dataset for the -exp ablation run")
+	breakdownDataset := flag.String("breakdown-dataset", "Snort", "dataset for the -exp breakdown run")
+	archName := flag.String("arch", "bvap", "architecture for the -exp breakdown run: bvap, bvap-s, cama, ca, eap, cnt")
 	sample := flag.Int("sample", 80, "regexes sampled per dataset")
 	inputLen := flag.Int("inputlen", 4096, "input corpus length")
 	datasetList := flag.String("datasets", "", "comma-separated dataset subset")
 	jsonPath := flag.String("json", "", "also write the structured results as JSON to this file")
+	metricsPath := flag.String("metrics", "", "write telemetry metrics to this file (Prometheus text; .json for JSON)")
+	tracePath := flag.String("trace", "", "write a structured trace to this file (Chrome trace_event JSON; .jsonl for JSONL)")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof, expvar and /metrics on this address")
 	flag.Parse()
+
+	sess, err := obs.Setup(*metricsPath, *tracePath, *pprofAddr)
+	if err != nil {
+		fatal(err)
+	}
+	defer func() {
+		if err := sess.Close(); err != nil {
+			fatal(err)
+		}
+	}()
+
+	// span wraps one experiment in a trace span (a no-op without -trace).
+	span := func(name string) func() {
+		if sess.Tracer == nil {
+			return func() {}
+		}
+		sp := sess.Tracer.Span(name, "bvapbench")
+		return func() { sp.End() }
+	}
 
 	var dump jsonResults
 	var dsets []string
@@ -48,6 +83,7 @@ func main() {
 	all := want["all"]
 
 	if all || want["fig11"] {
+		end := span("fig11")
 		points, err := experiments.Fig11(experiments.Fig11Options{InputLen: *inputLen * 4})
 		if err != nil {
 			fatal(err)
@@ -55,8 +91,10 @@ func main() {
 		dump.Fig11 = points
 		experiments.RenderFig11(os.Stdout, points)
 		fmt.Println()
+		end()
 	}
 	if all || want["fig12"] {
+		end := span("fig12")
 		points, err := experiments.Fig12(experiments.Fig12Options{InputLen: *inputLen * 4})
 		if err != nil {
 			fatal(err)
@@ -64,17 +102,20 @@ func main() {
 		dump.Fig12 = points
 		experiments.RenderFig12(os.Stdout, points)
 		fmt.Println()
+		end()
 	}
 
 	var dse []experiments.DSEPoint
 	needDSE := all || want["fig13"] || want["table5"] || want["fig14"] || want["summary"]
 	if needDSE {
+		end := span("fig13-dse")
 		var err error
 		dse, err = experiments.Fig13(experiments.DSEOptions{
 			Sample:   *sample,
 			InputLen: *inputLen / 2,
 			Datasets: dsets,
 		})
+		end()
 		if err != nil {
 			fatal(err)
 		}
@@ -91,6 +132,7 @@ func main() {
 		fmt.Println()
 	}
 	if all || want["fig14"] || want["summary"] {
+		end := span("fig14")
 		params := map[string]experiments.BestParams{}
 		for _, b := range best {
 			params[b.Dataset] = b
@@ -101,6 +143,7 @@ func main() {
 			Datasets: dsets,
 			Params:   params,
 		})
+		end()
 		if err != nil {
 			fatal(err)
 		}
@@ -117,6 +160,7 @@ func main() {
 		}
 	}
 	if all || want["ablation"] {
+		end := span("ablation")
 		rows, err := experiments.Ablation(experiments.AblationOptions{
 			Dataset:  *ablationDataset,
 			Sample:   *sample,
@@ -127,9 +171,11 @@ func main() {
 		}
 		dump.Ablation = rows
 		experiments.RenderAblation(os.Stdout, *ablationDataset, rows)
+		end()
 	}
 
 	if all || want["stride2"] {
+		end := span("stride2")
 		rows, err := experiments.Stride2(experiments.Stride2Options{
 			Sample:   *sample,
 			InputLen: *inputLen,
@@ -141,6 +187,15 @@ func main() {
 		dump.Stride2 = rows
 		fmt.Println()
 		experiments.RenderStride2(os.Stdout, rows)
+		end()
+	}
+
+	if all || want["breakdown"] {
+		end := span("breakdown")
+		if err := runBreakdown(*archName, *breakdownDataset, *sample, *inputLen, sess); err != nil {
+			fatal(err)
+		}
+		end()
 	}
 
 	if *jsonPath != "" {
@@ -170,6 +225,70 @@ type jsonResults struct {
 	Summary  *experiments.Summary      `json:"summary,omitempty"`
 	Ablation []experiments.AblationRow `json:"ablation,omitempty"`
 	Stride2  []experiments.Stride2Row  `json:"stride2,omitempty"`
+}
+
+// runBreakdown replays one dataset on the architecture named by -arch with
+// a per-stage telemetry sink attached and prints the energy attribution
+// table: which pipeline stage (state match, transition, BVM read/swap,
+// MFCB routing, I/O buffering, leakage...) consumed which share.
+func runBreakdown(archName, dataset string, sample, inputLen int, sess *obs.Session) error {
+	arch, err := bvap.ParseArchitecture(archName)
+	if err != nil {
+		return err
+	}
+	d, err := bvap.DatasetByName(dataset)
+	if err != nil {
+		return err
+	}
+	patterns := d.Patterns(sample)
+	input := d.Input(inputLen, patterns)
+
+	var sim *bvap.Simulator
+	switch arch {
+	case bvap.ArchBVAP, bvap.ArchBVAPStreaming:
+		engine, err := bvap.Compile(patterns,
+			bvap.WithMetrics(sess.Registry), bvap.WithTracer(sess.Tracer))
+		if err != nil {
+			return err
+		}
+		sim, err = engine.NewSimulator(arch)
+		if err != nil {
+			return err
+		}
+	default:
+		sim, err = bvap.NewBaselineSimulator(arch, patterns)
+		if err != nil {
+			return err
+		}
+	}
+
+	reg := sess.Registry
+	if reg == nil {
+		reg = telemetry.NewRegistry()
+	}
+	sink := hwsim.NewTelemetrySink(reg)
+	sim.SetSink(sink)
+	sim.Run(input)
+	r := sim.Result()
+
+	total := sink.TotalStageEnergyPJ()
+	fmt.Printf("energy attribution: %s over %s (%d regexes, %d bytes)\n",
+		arch, dataset, len(patterns), len(input))
+	fmt.Printf("%-14s %16s %8s\n", "stage", "energy(pJ)", "share")
+	for s := hwsim.Stage(0); s < hwsim.NumStages; s++ {
+		pj := sink.StageEnergyPJ(s)
+		if pj == 0 {
+			continue
+		}
+		share := 0.0
+		if total > 0 {
+			share = 100 * pj / total
+		}
+		fmt.Printf("%-14s %16.2f %7.2f%%\n", s, pj, share)
+	}
+	fmt.Printf("%-14s %16.2f\n", "total", total)
+	fmt.Printf("%s\n", r)
+	return nil
 }
 
 func fatal(err error) {

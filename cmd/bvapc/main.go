@@ -14,6 +14,10 @@
 //	-o FILE     write the configuration to FILE (default stdout)
 //	-f FILE     read patterns from FILE, one per line ('#' comments)
 //	-q          suppress the per-pattern report
+//	-trace FILE write a structured trace of the compile pipeline (per-phase
+//	            spans, per-pattern rewrite decisions); Chrome trace_event
+//	            JSON, or JSONL with a .jsonl suffix
+//	-metrics FILE write compile counters (Prometheus text; .json for JSON)
 package main
 
 import (
@@ -26,6 +30,7 @@ import (
 
 	"bvap"
 	"bvap/internal/nbva"
+	"bvap/internal/obs"
 	"bvap/internal/regex"
 	"bvap/internal/swmatch"
 	"bvap/internal/workload"
@@ -39,7 +44,19 @@ func main() {
 	quiet := flag.Bool("q", false, "suppress the report")
 	verify := flag.Bool("verify", false, "differentially verify the compiled machines against the reference software matcher on random inputs (the paper's §8 consistency check)")
 	dot := flag.Bool("dot", false, "emit Graphviz DOT of each pattern's AH-NBVA instead of the JSON configuration")
+	metricsPath := flag.String("metrics", "", "write compile metrics to this file (Prometheus text; .json for JSON)")
+	tracePath := flag.String("trace", "", "write a compile-pipeline trace to this file (Chrome trace_event JSON; .jsonl for JSONL)")
 	flag.Parse()
+
+	sess, err := obs.Setup(*metricsPath, *tracePath, "")
+	if err != nil {
+		fatal(err)
+	}
+	defer func() {
+		if err := sess.Close(); err != nil {
+			fatal(err)
+		}
+	}()
 
 	patterns := flag.Args()
 	if *file != "" {
@@ -55,7 +72,8 @@ func main() {
 		os.Exit(2)
 	}
 
-	engine, err := bvap.Compile(patterns, bvap.WithBVSize(*bv), bvap.WithUnfoldThreshold(*unfold))
+	engine, err := bvap.Compile(patterns, bvap.WithBVSize(*bv), bvap.WithUnfoldThreshold(*unfold),
+		bvap.WithMetrics(sess.Registry), bvap.WithTracer(sess.Tracer))
 	if err != nil {
 		fatal(err)
 	}

@@ -5,11 +5,18 @@
 //
 //	bvapsim -config cfg.json -input data.bin [-arch bvap|bvap-s] [-matches]
 //	bvapsim -patterns rules.txt -dataset Snort -len 65536 -arch cama
+//	bvapsim -patterns rules.txt -dataset Snort -metrics out.prom -trace out.json
 //
 // The first form executes a compiled configuration (from bvapc) on BVAP or
 // BVAP-S. The second compiles patterns on the fly and can also target the
 // baseline architectures (cama, ca, eap, cnt) for comparison; -dataset
 // generates a synthetic corpus when no -input file is given.
+//
+// Observability: -metrics writes the per-stage energy/cycle counters of
+// the run (Prometheus text, or JSON with a .json suffix), -trace writes a
+// structured trace of the compile pipeline and simulated occupancy (Chrome
+// trace_event JSON, or JSONL with a .jsonl suffix), and -pprof serves
+// net/http/pprof, expvar and a live /metrics endpoint.
 package main
 
 import (
@@ -25,7 +32,9 @@ import (
 	"bvap/internal/hwsim"
 	"bvap/internal/metrics"
 	"bvap/internal/nbva"
+	"bvap/internal/obs"
 	"bvap/internal/regex"
+	"bvap/internal/telemetry"
 )
 
 func main() {
@@ -36,15 +45,29 @@ func main() {
 	length := flag.Int("len", 65536, "generated input length")
 	archName := flag.String("arch", "bvap", "architecture: bvap, bvap-s, cama, ca, eap, cnt")
 	showMatches := flag.Bool("matches", false, "print match end offsets")
-	trace := flag.Bool("trace", false, "print the Table 2 style execution trace (single pattern, short input)")
+	tableTrace := flag.Bool("table-trace", false, "print the Table 2 style execution trace (single pattern, short input)")
 	breakdown := flag.Bool("breakdown", false, "print the per-component energy breakdown")
 	compare := flag.Bool("compare", false, "run BVAP, BVAP-S, CAMA, eAP and CA over the same patterns and input, printing a comparison table")
+	metricsPath := flag.String("metrics", "", "write run metrics to this file (Prometheus text; .json for JSON)")
+	tracePath := flag.String("trace", "", "write a structured trace to this file (Chrome trace_event JSON; .jsonl for JSONL)")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof, expvar and /metrics on this address (e.g. localhost:6060)")
+	occupancyEvery := flag.Int("trace-occupancy", 0, "with -trace: sample active-state occupancy into the trace every N steps (0 disables)")
 	flag.Parse()
 
-	arch, err := parseArch(*archName)
+	arch, err := bvap.ParseArchitecture(*archName)
 	if err != nil {
 		fatal(err)
 	}
+
+	sess, err := obs.Setup(*metricsPath, *tracePath, *pprofAddr)
+	if err != nil {
+		fatal(err)
+	}
+	defer func() {
+		if err := sess.Close(); err != nil {
+			fatal(err)
+		}
+	}()
 
 	var patterns []string
 	if *patternsPath != "" {
@@ -59,7 +82,7 @@ func main() {
 		fatal(err)
 	}
 
-	if *trace {
+	if *tableTrace {
 		if err := printTrace(patterns, input); err != nil {
 			fatal(err)
 		}
@@ -76,16 +99,34 @@ func main() {
 		return
 	}
 
+	// instrument attaches the session's registry and tracer to a simulator.
+	instrument := func(sim *bvap.Simulator) {
+		if sess.Registry == nil && sess.Tracer == nil {
+			return
+		}
+		var k *hwsim.TelemetrySink
+		if sess.Registry != nil {
+			k = sim.Instrument(sess.Registry)
+		} else {
+			k = hwsim.NewTelemetrySink(telemetryScratch())
+			sim.SetSink(k)
+		}
+		if sess.Tracer != nil && *occupancyEvery > 0 {
+			k.TraceOccupancy(sess.Tracer, *occupancyEvery)
+		}
+	}
+
 	switch arch {
 	case bvap.ArchBVAP, bvap.ArchBVAPStreaming:
 		if *configPath != "" {
-			runConfig(*configPath, arch == bvap.ArchBVAPStreaming, input, *showMatches, *breakdown)
+			runConfig(*configPath, arch == bvap.ArchBVAPStreaming, input, *showMatches, *breakdown, sess, *occupancyEvery)
 			return
 		}
 		if len(patterns) == 0 {
 			fatal(fmt.Errorf("need -config or -patterns"))
 		}
-		engine, err := bvap.Compile(patterns)
+		engine, err := bvap.Compile(patterns,
+			bvap.WithMetrics(sess.Registry), bvap.WithTracer(sess.Tracer))
 		if err != nil {
 			fatal(err)
 		}
@@ -93,6 +134,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
+		instrument(sim)
 		sim.Run(input)
 		printResult(sim.Result())
 		if *breakdown {
@@ -111,6 +153,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
+		instrument(sim)
 		sim.Run(input)
 		printResult(sim.Result())
 		if *breakdown {
@@ -119,7 +162,11 @@ func main() {
 	}
 }
 
-func runConfig(path string, streaming bool, input []byte, showMatches, breakdown bool) {
+// telemetryScratch backs an occupancy-only sink (a -trace without -metrics)
+// with a throwaway registry.
+func telemetryScratch() *telemetry.Registry { return telemetry.NewRegistry() }
+
+func runConfig(path string, streaming bool, input []byte, showMatches, breakdown bool, sess *obs.Session, occupancyEvery int) {
 	f, err := os.Open(path)
 	if err != nil {
 		fatal(err)
@@ -134,6 +181,17 @@ func runConfig(path string, streaming bool, input []byte, showMatches, breakdown
 		fatal(err)
 	}
 	sys.RecordMatchEnds(showMatches)
+	if sess.Registry != nil || sess.Tracer != nil {
+		reg := sess.Registry
+		if reg == nil {
+			reg = telemetryScratch()
+		}
+		k := hwsim.NewTelemetrySink(reg)
+		if sess.Tracer != nil && occupancyEvery > 0 {
+			k.TraceOccupancy(sess.Tracer, occupancyEvery)
+		}
+		sys.SetSink(k)
+	}
 	sys.Run(input)
 	stats := sys.Finish()
 	fmt.Println(metrics.FromStats(stats.Arch.String(), stats).String())
@@ -215,24 +273,6 @@ func printResult(r bvap.Result) {
 	fmt.Println(r)
 	fmt.Printf("symbols=%d cycles=%d stalls=%d power=%.4fW FoM=%.6f\n",
 		r.Symbols, r.Cycles, r.StallCycles, r.PowerW, r.FoM)
-}
-
-func parseArch(name string) (bvap.Architecture, error) {
-	switch strings.ToLower(name) {
-	case "bvap":
-		return bvap.ArchBVAP, nil
-	case "bvap-s", "bvaps", "streaming":
-		return bvap.ArchBVAPStreaming, nil
-	case "cama":
-		return bvap.ArchCAMA, nil
-	case "ca":
-		return bvap.ArchCA, nil
-	case "eap":
-		return bvap.ArchEAP, nil
-	case "cnt":
-		return bvap.ArchCNT, nil
-	}
-	return 0, fmt.Errorf("unknown architecture %q", name)
 }
 
 func loadInput(path, dataset string, length int, patterns []string) ([]byte, error) {

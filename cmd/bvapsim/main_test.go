@@ -9,6 +9,8 @@ import (
 )
 
 func TestParseArch(t *testing.T) {
+	// The CLI resolves -arch through bvap.ParseArchitecture; the aliases
+	// the tool documents must keep parsing.
 	cases := map[string]bvap.Architecture{
 		"bvap":      bvap.ArchBVAP,
 		"BVAP":      bvap.ArchBVAP,
@@ -20,12 +22,12 @@ func TestParseArch(t *testing.T) {
 		"cnt":       bvap.ArchCNT,
 	}
 	for in, want := range cases {
-		got, err := parseArch(in)
+		got, err := bvap.ParseArchitecture(in)
 		if err != nil || got != want {
-			t.Errorf("parseArch(%q) = %v, %v", in, got, err)
+			t.Errorf("ParseArchitecture(%q) = %v, %v", in, got, err)
 		}
 	}
-	if _, err := parseArch("gpu"); err == nil {
+	if _, err := bvap.ParseArchitecture("gpu"); err == nil {
 		t.Fatal("unknown arch accepted")
 	}
 }

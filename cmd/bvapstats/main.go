@@ -5,10 +5,13 @@
 //
 // Usage:
 //
-//	bvapstats [-sample N] [dataset...]
+//	bvapstats [-sample N] [-metrics FILE] [dataset...]
 //
 // With no arguments it analyzes all seven synthetic datasets and the
-// combined collection.
+// combined collection. -metrics writes the compile-pipeline counters
+// accrued across every analyzed dataset (phase wall time, rewrite
+// decisions, Table 3 read-kind hits) as Prometheus text, or JSON with a
+// .json suffix.
 package main
 
 import (
@@ -17,11 +20,25 @@ import (
 	"os"
 
 	"bvap"
+	"bvap/internal/obs"
 )
 
 func main() {
 	sample := flag.Int("sample", 300, "regexes sampled per dataset")
+	metricsPath := flag.String("metrics", "", "write compile metrics to this file (Prometheus text; .json for JSON)")
 	flag.Parse()
+
+	sess, err := obs.Setup(*metricsPath, "", "")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bvapstats:", err)
+		os.Exit(1)
+	}
+	defer func() {
+		if err := sess.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "bvapstats:", err)
+			os.Exit(1)
+		}
+	}()
 
 	var sets []bvap.Dataset
 	if flag.NArg() == 0 {
@@ -44,7 +61,7 @@ func main() {
 		patterns := d.Patterns(*sample)
 		all = append(all, patterns...)
 		st := bvap.AnalyzePatterns(patterns)
-		engine, err := bvap.Compile(patterns)
+		engine, err := bvap.Compile(patterns, bvap.WithMetrics(sess.Registry))
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "bvapstats:", err)
 			os.Exit(1)

@@ -21,6 +21,7 @@ import (
 	"bvap/internal/isa"
 	"bvap/internal/nbva"
 	"bvap/internal/regex"
+	"bvap/internal/telemetry"
 )
 
 // Options are the user-controlled compilation parameters (§7 and the §8
@@ -31,6 +32,13 @@ type Options struct {
 	// UnfoldThreshold is the largest upper bound unfolded instead of
 	// counted.
 	UnfoldThreshold int
+
+	// Tracer, when non-nil, receives per-phase compile spans and
+	// per-pattern structured events (rewrite decisions, tile mapping).
+	Tracer *telemetry.Tracer
+	// Metrics, when non-nil, accrues compile counters (phase wall time,
+	// Table 3 read-kind hits, rewrite decisions, resource totals).
+	Metrics *telemetry.Registry
 }
 
 // DefaultOptions mirrors regex.DefaultOptions: K = 64, threshold 8.
@@ -102,8 +110,10 @@ func Compile(patterns []string, opt Options) (*Result, error) {
 		},
 	}
 	res := &Result{Config: cfg}
+	in := newInstr(opt)
 	for _, pat := range patterns {
-		machine, ah, rep := compileOne(pat, opt)
+		machine, ah, rep := compileOne(pat, opt, in)
+		in.patternDone(machine, rep, opt)
 		cfg.Machines = append(cfg.Machines, machine)
 		res.Machines = append(res.Machines, ah)
 		res.Report.PerRegex = append(res.Report.PerRegex, rep)
@@ -116,40 +126,56 @@ func Compile(patterns []string, opt Options) (*Result, error) {
 			res.Report.Unsupported++
 		}
 	}
+	mapDone := in.phase("tile-mapping", "")
 	cfg.Tiles = mapToTiles(cfg)
+	mapDone()
+	in.mappingDone(cfg)
 	res.Report.Tiles = len(cfg.Tiles)
 	return res, nil
 }
 
 // compileOne runs the per-regex pipeline, returning the serialized machine,
-// the executable AH automaton, and the report entry.
-func compileOne(pat string, opt Options) (hwconf.Machine, *nbva.AHNBVA, RegexReport) {
+// the executable AH automaton, and the report entry. The optional instr
+// context receives one wall-time span per phase (parse → rewrite → glushkov
+// → ah → instruction-selection).
+func compileOne(pat string, opt Options, in *instr) (hwconf.Machine, *nbva.AHNBVA, RegexReport) {
 	rep := RegexReport{Pattern: pat}
 	fail := func(reason string) (hwconf.Machine, *nbva.AHNBVA, RegexReport) {
 		rep.Supported = false
 		rep.Reason = reason
 		return hwconf.Machine{Regex: pat, Unsupported: reason}, nil, rep
 	}
+	done := in.phase("parse", pat)
 	ast, anchored, err := regex.ParseAnchored(pat)
 	if err != nil {
+		done()
 		return fail(err.Error())
 	}
 	st := regex.Analyze(ast)
 	rep.MaxBound = st.MaxUpperBound
 	rep.UnfoldedSTEs = st.UnfoldedLiterals
+	done()
 
+	done = in.phase("rewrite", pat)
 	ast = LegalizeNesting(regex.Normalize(ast))
 	ast = regex.Rewrite(ast, regex.Options{
 		UnfoldThreshold: opt.UnfoldThreshold,
 		BVSize:          opt.BVSizeBits,
 	})
+	done()
+
+	done = in.phase("glushkov", pat)
 	machine, err := nbva.Build(ast)
+	done()
 	if err != nil {
 		return fail(err.Error())
 	}
 	machine.Anchored = anchored
+
+	done = in.phase("ah", pat)
 	ah, err := nbva.Transform(machine)
 	if err != nil {
+		done()
 		return fail(err.Error())
 	}
 	// A machine may span tiles (read-gated transitions travel over the
@@ -159,21 +185,28 @@ func compileOne(pat string, opt Options) (hwconf.Machine, *nbva.AHNBVA, RegexRep
 	// and need no BV storage, which is what makes a tile's maximum
 	// repetition bound 48 × 64 = 3072.
 	if ah.Size() > archmodel.STEsPerTile*archmodel.TilesPerArray {
+		done()
 		return fail(fmt.Sprintf("needs %d STEs, array capacity is %d",
 			ah.Size(), archmodel.STEsPerTile*archmodel.TilesPerArray))
 	}
 	for _, cl := range bvClusters(ah) {
 		if cl.storageBVs > archmodel.BVsPerTile {
+			done()
 			return fail(fmt.Sprintf("counting cluster needs %d BVs, tile capacity is %d",
 				cl.storageBVs, archmodel.BVsPerTile))
 		}
 		if cl.stes > archmodel.STEsPerTile {
+			done()
 			return fail(fmt.Sprintf("counting cluster needs %d STEs, tile capacity is %d",
 				cl.stes, archmodel.STEsPerTile))
 		}
 	}
+	done()
+
+	done = in.phase("instruction-selection", pat)
 	m, maxWords, err := serializeMachine(pat, ah)
 	if err != nil {
+		done()
 		return fail(err.Error())
 	}
 	// §7 step 2: generate (and self-check) the symbol encoding schema.
@@ -181,9 +214,11 @@ func compileOne(pat string, opt Options) (hwconf.Machine, *nbva.AHNBVA, RegexRep
 	for _, s := range ah.States {
 		classes = append(classes, s.Class)
 		if err := encoding.Verify(s.Class, encoding.Encode(s.Class)); err != nil {
+			done()
 			return fail(err.Error())
 		}
 	}
+	done()
 	rep.Supported = true
 	rep.STEs = ah.Size()
 	rep.BVSTEs = ah.BVStateCount()

@@ -1,0 +1,209 @@
+package compiler
+
+// Compile-pipeline instrumentation: per-phase wall-time spans (parse →
+// rewrite → Glushkov → AH → instruction-selection → tile-mapping) and
+// per-pattern structured events recording the rewrite decisions the §7
+// pipeline took — unfold vs. split, the virtual BV sizes chosen, which of
+// the restricted reads (rAll/rHalf/rQuarter) instruction selection hit,
+// and how many tiles the mapping used. Everything is optional: with no
+// Tracer and no Metrics registry in Options, compilation takes a single
+// nil check per phase.
+
+import (
+	"time"
+
+	"bvap/internal/hwconf"
+	"bvap/internal/isa"
+	"bvap/internal/telemetry"
+)
+
+// Compile-metric names exposed on the Options.Metrics registry.
+const (
+	MetricCompilePhaseSeconds = "bvap_compile_phase_seconds_total"
+	MetricCompileReadHits     = "bvap_compile_read_hits_total"
+	MetricCompileRewrites     = "bvap_compile_rewrite_total"
+	MetricCompilePatterns     = "bvap_compile_patterns_total"
+	MetricCompileUnsupported  = "bvap_compile_unsupported_total"
+	MetricCompileSTEs         = "bvap_compile_stes_total"
+	MetricCompileBVSTEs       = "bvap_compile_bvstes_total"
+	MetricCompileTiles        = "bvap_compile_tiles"
+	MetricCompileBVWords      = "bvap_compile_bv_words"
+)
+
+// instr bundles the optional compile-time instrumentation. A nil *instr is
+// fully inert; every method is nil-receiver safe.
+type instr struct {
+	tracer *telemetry.Tracer
+
+	phaseSeconds *telemetry.FloatCounterVec
+	readHits     *telemetry.CounterVec
+	rewrites     *telemetry.CounterVec
+	patterns     *telemetry.Counter
+	unsupported  *telemetry.Counter
+	stes         *telemetry.Counter
+	bvstes       *telemetry.Counter
+	tiles        *telemetry.Gauge
+	bvWords      *telemetry.Histogram
+}
+
+// newInstr builds the instrumentation context from Options; it returns nil
+// when neither a tracer nor a metrics registry is configured.
+func newInstr(opt Options) *instr {
+	if opt.Tracer == nil && opt.Metrics == nil {
+		return nil
+	}
+	in := &instr{tracer: opt.Tracer}
+	if reg := opt.Metrics; reg != nil {
+		in.phaseSeconds = reg.FloatCounterVec(MetricCompilePhaseSeconds,
+			"wall time spent in each compiler phase", "phase")
+		in.readHits = reg.CounterVec(MetricCompileReadHits,
+			"Table 3 read kinds selected for BV-STEs", "read")
+		in.rewrites = reg.CounterVec(MetricCompileRewrites,
+			"per-pattern rewrite decisions (unfold, split, counted)", "decision")
+		in.patterns = reg.Counter(MetricCompilePatterns, "patterns compiled")
+		in.unsupported = reg.Counter(MetricCompileUnsupported,
+			"patterns rejected as unsupported")
+		in.stes = reg.Counter(MetricCompileSTEs, "STEs allocated across patterns")
+		in.bvstes = reg.Counter(MetricCompileBVSTEs, "BV-STEs allocated across patterns")
+		in.tiles = reg.Gauge(MetricCompileTiles, "tiles used by the last compilation")
+		in.bvWords = reg.Histogram(MetricCompileBVWords,
+			"virtual BV word counts chosen by instruction selection",
+			[]float64{1, 2, 3, 4, 5, 6, 7, 8})
+	}
+	return in
+}
+
+// phase opens a wall-time span for one compiler phase (optionally scoped
+// to a pattern); the returned func closes the span and accrues the phase's
+// duration counter. Always call the returned func exactly once.
+func (in *instr) phase(name, pattern string) func() {
+	if in == nil {
+		return func() {}
+	}
+	start := time.Now()
+	var sp *telemetry.Span
+	if in.tracer != nil {
+		sp = in.tracer.Span(name, "compiler")
+		if pattern != "" {
+			sp.SetArg("pattern", pattern)
+		}
+	}
+	return func() {
+		if in.phaseSeconds != nil {
+			in.phaseSeconds.With(name).Add(time.Since(start).Seconds())
+		}
+		sp.End()
+	}
+}
+
+// patternDone records the per-pattern outcome: counters, the rewrite
+// decision taken, the read kinds and virtual BV sizes selected, and a
+// structured trace event carrying all of it.
+func (in *instr) patternDone(m hwconf.Machine, rep RegexReport, opt Options) {
+	if in == nil {
+		return
+	}
+	// Rewrite decision classification: a pattern whose largest bound is at
+	// or below the threshold is unfolded outright; one whose bound
+	// exceeds the virtual BV size K is split; any pattern that kept
+	// BV-STEs is counted in hardware.
+	unfolded := rep.Supported && rep.MaxBound > 0 && rep.MaxBound <= opt.UnfoldThreshold
+	split := rep.Supported && rep.MaxBound > opt.BVSizeBits
+	counted := rep.Supported && rep.BVSTEs > 0
+
+	readCounts := map[string]int{}
+	maxWords := 0
+	for _, s := range m.STEs {
+		if !s.IsBV {
+			continue
+		}
+		insn, err := isa.Decode(s.Instruction)
+		if err != nil {
+			continue
+		}
+		readCounts[insn.Read.String()]++
+		if in.bvWords != nil {
+			in.bvWords.Observe(float64(insn.Words))
+		}
+		if insn.Words > maxWords {
+			maxWords = insn.Words
+		}
+	}
+
+	if in.patterns != nil {
+		in.patterns.Inc()
+		if !rep.Supported {
+			in.unsupported.Inc()
+		} else {
+			in.stes.Add(uint64(rep.STEs))
+			in.bvstes.Add(uint64(rep.BVSTEs))
+		}
+		if unfolded {
+			in.rewrites.With("unfold").Inc()
+		}
+		if split {
+			in.rewrites.With("split").Inc()
+		}
+		if counted {
+			in.rewrites.With("counted").Inc()
+		}
+		for read, n := range readCounts {
+			in.readHits.With(read).Add(uint64(n))
+		}
+	}
+
+	if in.tracer != nil {
+		args := map[string]any{
+			"pattern":          rep.Pattern,
+			"supported":        rep.Supported,
+			"stes":             rep.STEs,
+			"bv_stes":          rep.BVSTEs,
+			"unfolded_stes":    rep.UnfoldedSTEs,
+			"max_bound":        rep.MaxBound,
+			"bv_size":          opt.BVSizeBits,
+			"unfold_threshold": opt.UnfoldThreshold,
+			"decision_unfold":  unfolded,
+			"decision_split":   split,
+			"decision_counted": counted,
+			"max_bv_words":     maxWords,
+		}
+		if !rep.Supported {
+			args["reason"] = rep.Reason
+		}
+		for read, n := range readCounts {
+			args["reads_"+read] = n
+		}
+		in.tracer.Instant("rewrite_decision", "compiler", args)
+	}
+}
+
+// mappingDone records tile usage after the greedy mapping: the global tile
+// gauge plus one trace event per pattern with the tiles it landed on.
+func (in *instr) mappingDone(cfg *hwconf.Config) {
+	if in == nil {
+		return
+	}
+	if in.tiles != nil {
+		in.tiles.Set(float64(len(cfg.Tiles)))
+	}
+	if in.tracer == nil {
+		return
+	}
+	perMachine := map[int]int{}
+	for _, tp := range cfg.Tiles {
+		for _, m := range tp.Machines {
+			perMachine[m]++
+		}
+	}
+	for i := range cfg.Machines {
+		m := &cfg.Machines[i]
+		if m.Unsupported != "" {
+			continue
+		}
+		in.tracer.Instant("tile_mapping", "compiler", map[string]any{
+			"pattern": m.Regex,
+			"machine": i,
+			"tiles":   perMachine[i],
+		})
+	}
+}

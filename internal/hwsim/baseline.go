@@ -23,6 +23,10 @@ type BaselineSystem struct {
 	recordEnds bool
 	ends       [][]int
 	pos        int
+
+	// sink, when non-nil, receives per-stage energy and occupancy events.
+	sink           Sink
+	leakReportedPJ float64
 }
 
 type baselineMachine struct {
@@ -123,6 +127,10 @@ func packTiles(sizes []int, capacity int) int {
 // RecordMatchEnds enables per-machine match recording.
 func (s *BaselineSystem) RecordMatchEnds(on bool) { s.recordEnds = on }
 
+// SetSink attaches a telemetry sink receiving per-stage energy and per-step
+// occupancy events. Pass nil to detach.
+func (s *BaselineSystem) SetSink(k Sink) { s.sink = k }
+
 // MatchEnds returns the recorded match end positions of machine i.
 func (s *BaselineSystem) MatchEnds(i int) []int { return s.ends[i] }
 
@@ -152,12 +160,15 @@ func (s *BaselineSystem) Step(b byte) {
 	st.Symbols++
 	totalActive := 0
 	totalAvail := 0
+	matchesThisStep := 0
+	snkCounter := 0.0
 	for _, m := range s.machines {
 		if m == nil {
 			continue
 		}
 		if m.runner.Step(b) {
 			st.Matches++
+			matchesThisStep++
 			if s.recordEnds {
 				s.ends[m.index] = append(s.ends[m.index], s.pos)
 			}
@@ -165,7 +176,9 @@ func (s *BaselineSystem) Step(b byte) {
 		totalActive += m.runner.ActiveCount()
 		totalAvail += m.runner.AvailableCount()
 		if st.Arch == archmodel.CNT && m.counters > 0 && m.runner.ActiveCount() > 0 {
-			st.CounterEnergyPJ += archmodel.CounterEnergyPJFor(m.counters)
+			e := archmodel.CounterEnergyPJFor(m.counters)
+			st.CounterEnergyPJ += e
+			snkCounter += e
 		}
 	}
 	// Per-tile energy at the fleet-average activity (the per-tile cost
@@ -173,15 +186,31 @@ func (s *BaselineSystem) Step(b byte) {
 	availFrac := float64(totalAvail) / s.capacity
 	activeFrac := float64(totalActive) / s.capacity
 	arch := st.Arch
-	st.MatchEnergyPJ += s.tilesF * arch.MatchEnergyPJ(availFrac)
-	st.TransitionEnergyPJ += s.tilesF * arch.TransitionEnergyPJ(activeFrac)
-	st.WireEnergyPJ += s.tilesF * arch.WireEnergyPJ()
+	matchPJ := s.tilesF * arch.MatchEnergyPJ(availFrac)
+	transPJ := s.tilesF * arch.TransitionEnergyPJ(activeFrac)
+	wirePJ := s.tilesF * arch.WireEnergyPJ()
+	st.MatchEnergyPJ += matchPJ
+	st.TransitionEnergyPJ += transPJ
+	st.WireEnergyPJ += wirePJ
 	st.Cycles++
+	if s.sink != nil {
+		s.sink.StageEnergy(StageMatch, matchPJ)
+		s.sink.StageEnergy(StageTransition, transPJ)
+		s.sink.StageEnergy(StageWire, wirePJ)
+		s.sink.StageEnergy(StageCounter, snkCounter)
+		s.sink.StepDone(1, float64(totalActive), matchesThisStep)
+	}
 	s.pos++
 }
 
-// Finish closes the run, charging leakage.
+// Finish closes the run, charging leakage. Leakage is reported to the sink
+// as a delta, so repeated Finish calls keep the stage totals consistent
+// with Stats.
 func (s *BaselineSystem) Finish() *Stats {
 	s.stats.addLeakage()
+	if s.sink != nil {
+		s.sink.StageEnergy(StageLeakage, s.stats.LeakageEnergyPJ-s.leakReportedPJ)
+	}
+	s.leakReportedPJ = s.stats.LeakageEnergyPJ
 	return &s.stats
 }

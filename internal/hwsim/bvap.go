@@ -36,6 +36,13 @@ type BVAPSystem struct {
 	// tiles, the occupancy fraction under custom sizing.
 	tileScale []float64
 	variant   Variant
+	// sink, when non-nil, receives per-stage energy, stall and occupancy
+	// events; the nil path adds no allocations to Step.
+	sink Sink
+	// ioReportedPJ / leakReportedPJ track what the sink has already been
+	// told, so repeated Finish calls emit deltas only.
+	ioReportedPJ   float64
+	leakReportedPJ float64
 }
 
 // Variant selects design-ablation knobs on the BVAP simulator, modeling the
@@ -194,6 +201,11 @@ func (s *BVAPSystem) SetCustomSizing() {
 // consistency checks; costs memory proportional to the match count).
 func (s *BVAPSystem) RecordMatchEnds(on bool) { s.recordEnds = on }
 
+// SetSink attaches a telemetry sink receiving per-stage energy, per-array
+// stall and per-step occupancy events. Pass nil to detach; with no sink the
+// Step hot path performs a single nil check and allocates nothing.
+func (s *BVAPSystem) SetSink(k Sink) { s.sink = k }
+
 // MatchEnds returns the recorded match end positions of machine i.
 func (s *BVAPSystem) MatchEnds(i int) []int { return s.ends[i] }
 
@@ -219,13 +231,27 @@ func (s *BVAPSystem) Run(input []byte) {
 }
 
 // Step processes one input symbol: one full SM → bit-vector-processing → ST
-// round across all tiles, with per-event energy and stall accounting.
+// round across all tiles, with per-event energy and stall accounting. When
+// a Sink is attached the same per-event energies are additionally streamed
+// to it, attributed to pipeline stages; the Stats accumulation order is
+// identical with and without a sink, so results do not depend on
+// instrumentation.
 func (s *BVAPSystem) Step(b byte) {
 	st := &s.stats
 	st.Symbols++
 	for i := range s.arrayStall {
 		s.arrayStall[i] = 0
 	}
+
+	// Per-stage accumulators for the sink, summed locally and emitted
+	// once per step. Every update is guarded on sinkOn so the
+	// uninstrumented path pays predictable branches instead of float
+	// dependency chains (pinned by BenchmarkTelemetryOverhead).
+	sinkOn := s.sink != nil
+	var snkRead, snkSwap, snkRoute, snkReset, snkIdle float64
+	var snkMatch, snkTrans, snkWire float64
+	activeTotal := 0.0
+	matchesThisStep := 0
 
 	tileActive := s.tileActive
 	for i := range tileActive {
@@ -238,6 +264,7 @@ func (s *BVAPSystem) Step(b byte) {
 		matched := m.runner.Step(b)
 		if matched {
 			st.Matches++
+			matchesThisStep++
 			if s.recordEnds {
 				s.ends[m.index] = append(s.ends[m.index], s.pos)
 			}
@@ -246,6 +273,9 @@ func (s *BVAPSystem) Step(b byte) {
 			}
 		}
 		active := float64(m.runner.ActiveStates())
+		if sinkOn {
+			activeTotal += active
+		}
 		for ti, tile := range m.tiles {
 			tileActive[tile] += active * m.share[ti]
 		}
@@ -264,15 +294,39 @@ func (s *BVAPSystem) Step(b byte) {
 			if m.bvStates > 0 {
 				bvFrac = float64(bvActive) / float64(m.bvStates)
 			}
-			st.BVMEnergyPJ += archmodel.BVMReadEnergyPJ(reads)
-			if s.variant.NaivePE {
-				st.BVMEnergyPJ += archmodel.NaivePESwapEnergyPJ(m.runner.SwapOps(), words)
-			} else {
-				st.BVMEnergyPJ += archmodel.BVMSwapEnergyPJ(
-					m.runner.ActiveStorageBVs(), m.runner.ActiveSet1BVs(),
-					words, bvFrac) * s.variant.Routing.MFCBEnergyScale()
+			e := archmodel.BVMReadEnergyPJ(reads)
+			st.BVMEnergyPJ += e
+			if sinkOn {
+				snkRead += e
 			}
-			st.BVMEnergyPJ += archmodel.BVMResetEnergyPJ(m.prevBVActive - bvActive)
+			if s.variant.NaivePE {
+				e = archmodel.NaivePESwapEnergyPJ(m.runner.SwapOps(), words)
+				st.BVMEnergyPJ += e
+				if sinkOn {
+					snkSwap += e
+				}
+			} else {
+				base := archmodel.BVMSwapEnergyPJ(
+					m.runner.ActiveStorageBVs(), m.runner.ActiveSet1BVs(),
+					words, bvFrac)
+				e = base * s.variant.Routing.MFCBEnergyScale()
+				st.BVMEnergyPJ += e
+				// Attribute the crossbar overhead beyond the
+				// semi-parallel baseline to the routing stage.
+				if sinkOn {
+					if e > base {
+						snkSwap += base
+						snkRoute += e - base
+					} else {
+						snkSwap += e
+					}
+				}
+			}
+			e = archmodel.BVMResetEnergyPJ(m.prevBVActive - bvActive)
+			st.BVMEnergyPJ += e
+			if sinkOn {
+				snkReset += e
+			}
 			if (bvActive > 0 || alwaysOn) && !s.streaming {
 				// The Global Controller stalls the machine's
 				// array for the BVM phase (§6).
@@ -297,7 +351,11 @@ func (s *BVAPSystem) Step(b byte) {
 	for ti := range s.tiles {
 		scale := s.tileScale[ti]
 		if alwaysOnBVM && s.tiles[ti].bvstes > 0 {
-			st.BVMEnergyPJ += archmodel.BVMIdlePhasePJ(archmodel.PhysicalBVWords) * scale
+			e := archmodel.BVMIdlePhasePJ(archmodel.PhysicalBVWords) * scale
+			st.BVMEnergyPJ += e
+			if sinkOn {
+				snkIdle += e
+			}
 		}
 		capacity := float64(archmodel.STEsPerTile)
 		if s.tiles[ti].fcb {
@@ -307,13 +365,23 @@ func (s *BVAPSystem) Step(b byte) {
 		if s.tiles[ti].stes > 0 {
 			frac = tileActive[ti] / (capacity * scale)
 		}
-		st.MatchEnergyPJ += arch.MatchEnergyPJ(frac) * scale
-		if s.tiles[ti].fcb {
-			st.TransitionEnergyPJ += archmodel.FCBTransitionEnergyPJ(frac) * scale
-		} else {
-			st.TransitionEnergyPJ += arch.TransitionEnergyPJ(frac) * scale
+		e := arch.MatchEnergyPJ(frac) * scale
+		st.MatchEnergyPJ += e
+		if sinkOn {
+			snkMatch += e
 		}
-		st.WireEnergyPJ += arch.WireEnergyPJ() * scale
+		if s.tiles[ti].fcb {
+			e = archmodel.FCBTransitionEnergyPJ(frac) * scale
+		} else {
+			e = arch.TransitionEnergyPJ(frac) * scale
+		}
+		st.TransitionEnergyPJ += e
+		e2 := arch.WireEnergyPJ() * scale
+		st.WireEnergyPJ += e2
+		if sinkOn {
+			snkTrans += e
+			snkWire += e2
+		}
 	}
 
 	// Timing: in BVAP mode the slowest array sets the symbol's cycle
@@ -349,11 +417,28 @@ func (s *BVAPSystem) Step(b byte) {
 	}
 	st.Cycles += uint64(1 + maxStall + ioExtra)
 	st.StallCycles += uint64(maxStall + ioExtra)
+	if s.sink != nil {
+		s.sink.StageEnergy(StageMatch, snkMatch)
+		s.sink.StageEnergy(StageTransition, snkTrans)
+		s.sink.StageEnergy(StageBVMRead, snkRead)
+		s.sink.StageEnergy(StageBVMSwap, snkSwap)
+		s.sink.StageEnergy(StageBVMReset, snkReset)
+		s.sink.StageEnergy(StageBVMIdle, snkIdle)
+		s.sink.StageEnergy(StageRouting, snkRoute)
+		s.sink.StageEnergy(StageWire, snkWire)
+		for a, stall := range s.arrayStall {
+			s.sink.StallCycles(a, stall+ioExtra)
+		}
+		s.sink.StepDone(1+maxStall+ioExtra, activeTotal, matchesThisStep)
+	}
 	s.pos++
 }
 
 // Finish closes the run: I/O observables are folded in and leakage is
 // charged over the final cycle count. Call it once after the last Step/Run.
+// The terminal stages (io_buffer, leakage) are reported to the sink here;
+// repeated Finish calls emit deltas only, so the sink's stage totals stay
+// consistent with Stats.
 func (s *BVAPSystem) Finish() *Stats {
 	if s.io != nil {
 		s.stats.IOEnergyPJ = s.io.bufferPJ
@@ -361,5 +446,11 @@ func (s *BVAPSystem) Finish() *Stats {
 		s.stats.OutputStallCycles = s.io.outputStalls
 	}
 	s.stats.addLeakage()
+	if s.sink != nil {
+		s.sink.StageEnergy(StageIOBuffer, s.stats.IOEnergyPJ-s.ioReportedPJ)
+		s.sink.StageEnergy(StageLeakage, s.stats.LeakageEnergyPJ-s.leakReportedPJ)
+	}
+	s.ioReportedPJ = s.stats.IOEnergyPJ
+	s.leakReportedPJ = s.stats.LeakageEnergyPJ
 	return &s.stats
 }

@@ -1,0 +1,82 @@
+package hwsim
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"bvap/internal/archmodel"
+)
+
+// TestStatsZeroValueDerived is the satellite audit test: every derived
+// metric must return 0 — never NaN or ±Inf — on empty or degenerate runs
+// (no symbols, no cycles, no area), for every architecture.
+func TestStatsZeroValueDerived(t *testing.T) {
+	arches := []archmodel.Arch{
+		archmodel.BVAP, archmodel.BVAPS, archmodel.CAMA,
+		archmodel.CA, archmodel.EAP, archmodel.CNT,
+	}
+	cases := []struct {
+		name string
+		st   Stats
+	}{
+		{"zero value", Stats{}},
+		{"symbols without cycles", Stats{Symbols: 100}},
+		{"cycles without symbols", Stats{Cycles: 100}},
+		{"energy without symbols", Stats{MatchEnergyPJ: 5, WireEnergyPJ: 1}},
+	}
+	for _, arch := range arches {
+		for _, tc := range cases {
+			st := tc.st
+			st.Arch = arch
+			for name, v := range map[string]float64{
+				"EnergyPerSymbolPJ": st.EnergyPerSymbolPJ(),
+				"ThroughputGbps":    st.ThroughputGbps(),
+				"AreaMm2":           st.AreaMm2(),
+				"PowerW":            st.PowerW(),
+			} {
+				if math.IsNaN(v) || math.IsInf(v, 0) {
+					t.Errorf("%v/%s: %s = %v", arch, tc.name, name, v)
+				}
+			}
+			if st.Symbols == 0 && st.EnergyPerSymbolPJ() != 0 {
+				t.Errorf("%v/%s: EnergyPerSymbolPJ = %v, want 0", arch, tc.name, st.EnergyPerSymbolPJ())
+			}
+			if st.Cycles == 0 && (st.ThroughputGbps() != 0 || st.PowerW() != 0) {
+				t.Errorf("%v/%s: throughput/power nonzero on zero cycles", arch, tc.name)
+			}
+		}
+	}
+}
+
+// TestBreakdownGolden pins the Breakdown table layout: the zero case and a
+// populated case with exact shares.
+func TestBreakdownGolden(t *testing.T) {
+	var empty Stats
+	if got := empty.Breakdown(); got != "no energy recorded\n" {
+		t.Fatalf("empty breakdown = %q", got)
+	}
+
+	st := Stats{
+		MatchEnergyPJ:      60,
+		TransitionEnergyPJ: 25,
+		BVMEnergyPJ:        10,
+		LeakageEnergyPJ:    5,
+	}
+	want := strings.Join([]string{
+		"component             energy (pJ)   share",
+		"state matching               60.0   60.0%",
+		"state transition             25.0   25.0%",
+		"bit-vector module            10.0   10.0%",
+		"leakage                       5.0    5.0%",
+		"total                       100.0  100.0%",
+		"",
+	}, "\n")
+	if got := st.Breakdown(); got != want {
+		t.Errorf("breakdown mismatch:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+	// Zero components are elided.
+	if strings.Contains(st.Breakdown(), "counter elements") {
+		t.Error("zero component rendered")
+	}
+}

@@ -108,3 +108,47 @@ func TestZeroStatsSafe(t *testing.T) {
 		t.Fatalf("zero stats produced nonzero metrics: %+v", p)
 	}
 }
+
+// TestDegenerateStatsTable audits every derived metric — including EDP and
+// FoM — over the degenerate runs an empty workload can produce: all must be
+// exactly 0, never NaN or ±Inf.
+func TestDegenerateStatsTable(t *testing.T) {
+	cases := []struct {
+		name string
+		st   hwsim.Stats
+	}{
+		{"zero value", hwsim.Stats{}},
+		{"no cycles", hwsim.Stats{Arch: archmodel.BVAP, Symbols: 512}},
+		{"no symbols", hwsim.Stats{Arch: archmodel.CAMA, Cycles: 512}},
+		{"no area", hwsim.Stats{Arch: archmodel.EAP, Symbols: 512, Cycles: 512}},
+		{"energy only", hwsim.Stats{Arch: archmodel.CNT, MatchEnergyPJ: 100}},
+	}
+	for _, tc := range cases {
+		p := FromStats(tc.name, &tc.st)
+		fields := map[string]float64{
+			"EnergyPerSymbolNJ": p.EnergyPerSymbolNJ,
+			"AreaMm2":           p.AreaMm2,
+			"ThroughputGbps":    p.ThroughputGbps,
+			"PowerW":            p.PowerW,
+			"ComputeDensity":    p.ComputeDensity,
+			"EDP":               p.EDP,
+			"FoM":               p.FoM,
+		}
+		for name, v := range fields {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Errorf("%s: %s = %v", tc.name, name, v)
+			}
+		}
+		// Derived ratios with zero denominators return 0 consistently.
+		if tc.st.Cycles == 0 && (p.ThroughputGbps != 0 || p.EDP != 0 || p.FoM != 0) {
+			t.Errorf("%s: throughput-derived metrics nonzero without cycles: %+v", tc.name, p)
+		}
+		// Normalizing against the degenerate point must also stay finite.
+		n := FromStats("ok", sampleStats()).Normalized(p)
+		for name, v := range map[string]float64{"EDP": n.EDP, "FoM": n.FoM, "energy": n.EnergyPerSymbolNJ} {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Errorf("%s: normalized %s = %v", tc.name, name, v)
+			}
+		}
+	}
+}

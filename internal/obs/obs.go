@@ -1,0 +1,176 @@
+// Package obs wires the telemetry subsystem into the command-line tools:
+// the -metrics, -trace and -pprof flags shared by bvapsim and bvapbench
+// (and the compile-side flags of bvapc/bvapstats) funnel through a Session
+// that owns the metrics registry, the trace emitter, and the optional
+// debug HTTP server.
+//
+// Output formats are chosen by file extension:
+//
+//   - -metrics out.prom (or any non-.json suffix) writes Prometheus text
+//     exposition format 0.0.4; out.json writes the registry's JSON snapshot.
+//   - -trace out.json (or any non-.jsonl suffix) writes a Chrome
+//     trace_event document loadable in chrome://tracing or Perfetto;
+//     out.jsonl writes one JSON event per line.
+//
+// The -pprof address serves net/http/pprof and expvar as usual, plus
+// /metrics with the live Prometheus snapshot of the session registry.
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on DefaultServeMux
+	"os"
+	"strings"
+	"sync"
+
+	"bvap/internal/telemetry"
+)
+
+// The debug HTTP handlers live on http.DefaultServeMux, which rejects
+// duplicate registrations; register once and indirect through a mutable
+// registry pointer so repeated Setup calls (tests) stay valid.
+var (
+	httpOnce sync.Once
+	httpMu   sync.Mutex
+	httpReg  *telemetry.Registry
+)
+
+func currentRegistry() *telemetry.Registry {
+	httpMu.Lock()
+	defer httpMu.Unlock()
+	return httpReg
+}
+
+// Session bundles the observability outputs of one CLI invocation. The
+// zero Session (from Setup("", "", "")) is fully inert: both fields are
+// nil and Close is a no-op.
+type Session struct {
+	// Registry is non-nil when a metrics output was requested (or a pprof
+	// server, which exposes the registry at /metrics).
+	Registry *telemetry.Registry
+	// Tracer is non-nil when a trace output was requested.
+	Tracer *telemetry.Tracer
+
+	metricsPath string
+	traceFile   *os.File
+	listener    net.Listener
+}
+
+// Setup prepares the observability session for the given flag values. Any
+// of the three may be empty. The trace file is created (and truncated)
+// immediately so flag typos fail fast; the metrics file is written by
+// Close, after the run has accrued its counters.
+func Setup(metricsPath, tracePath, pprofAddr string) (*Session, error) {
+	s := &Session{metricsPath: metricsPath}
+	if metricsPath != "" || pprofAddr != "" {
+		s.Registry = telemetry.NewRegistry()
+	}
+	if tracePath != "" {
+		f, err := os.Create(tracePath)
+		if err != nil {
+			return nil, fmt.Errorf("trace output: %w", err)
+		}
+		s.traceFile = f
+		format := telemetry.FormatChrome
+		if strings.HasSuffix(tracePath, ".jsonl") {
+			format = telemetry.FormatJSONL
+		}
+		s.Tracer = telemetry.NewTracer(f, format)
+	}
+	if pprofAddr != "" {
+		if err := s.servePprof(pprofAddr); err != nil {
+			s.Close()
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// servePprof starts the debug HTTP server: net/http/pprof and expvar on
+// the default mux plus a /metrics Prometheus endpoint over the session
+// registry. The listener is bound synchronously so bad addresses error at
+// startup; serving happens in a background goroutine for the life of the
+// process.
+func (s *Session) servePprof(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("pprof listener: %w", err)
+	}
+	s.listener = ln
+	httpMu.Lock()
+	httpReg = s.Registry
+	httpMu.Unlock()
+	httpOnce.Do(func() {
+		expvar.Publish("bvap_metrics", expvar.Func(func() any {
+			if reg := currentRegistry(); reg != nil {
+				return reg.Snapshot()
+			}
+			return nil
+		}))
+		http.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+			if reg := currentRegistry(); reg != nil {
+				reg.WritePrometheus(w) //nolint:errcheck // best-effort debug endpoint
+			}
+		})
+	})
+	go http.Serve(ln, nil) //nolint:errcheck // best-effort debug server
+	fmt.Fprintf(os.Stderr, "pprof/expvar/metrics listening on http://%s/debug/pprof\n", ln.Addr())
+	return nil
+}
+
+// Addr returns the bound address of the debug HTTP server, or "" when no
+// -pprof address was configured.
+func (s *Session) Addr() string {
+	if s == nil || s.listener == nil {
+		return ""
+	}
+	return s.listener.Addr().String()
+}
+
+// Close flushes the session: the trace document is finalized and the
+// metrics snapshot is written in the format selected by the file
+// extension. Close is idempotent and nil-safe.
+func (s *Session) Close() error {
+	if s == nil {
+		return nil
+	}
+	var firstErr error
+	if s.Tracer != nil {
+		if err := s.Tracer.Close(); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("trace output: %w", err)
+		}
+		s.Tracer = nil
+	}
+	if s.traceFile != nil {
+		if err := s.traceFile.Close(); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("trace output: %w", err)
+		}
+		s.traceFile = nil
+	}
+	if s.metricsPath != "" && s.Registry != nil {
+		f, err := os.Create(s.metricsPath)
+		if err == nil {
+			if strings.HasSuffix(s.metricsPath, ".json") {
+				err = s.Registry.WriteJSON(f)
+			} else {
+				err = s.Registry.WritePrometheus(f)
+			}
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("metrics output: %w", err)
+		}
+		s.metricsPath = ""
+	}
+	if s.listener != nil {
+		s.listener.Close() //nolint:errcheck // best-effort debug server
+		s.listener = nil
+	}
+	return firstErr
+}

@@ -1,0 +1,138 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestInertSession(t *testing.T) {
+	s, err := Setup("", "", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Registry != nil || s.Tracer != nil {
+		t.Fatal("empty setup is not inert")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var nilSession *Session
+	if err := nilSession.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMetricsFormats(t *testing.T) {
+	dir := t.TempDir()
+	for _, tc := range []struct {
+		file string
+		want string // substring of the output
+	}{
+		{"out.prom", "# TYPE obs_test_total counter"},
+		{"out.json", `"metrics"`},
+	} {
+		path := filepath.Join(dir, tc.file)
+		s, err := Setup(path, "", "")
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.Registry.Counter("obs_test_total", "test counter").Add(3)
+		if err := s.Close(); err != nil {
+			t.Fatal(err)
+		}
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(string(raw), tc.want) {
+			t.Errorf("%s missing %q:\n%s", tc.file, tc.want, raw)
+		}
+	}
+}
+
+func TestTraceFormats(t *testing.T) {
+	dir := t.TempDir()
+	// .json → Chrome document, .jsonl → one event per line.
+	chrome := filepath.Join(dir, "out.json")
+	s, err := Setup("", chrome, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Tracer.Instant("ev", "test", nil)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(chrome)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(raw) || !strings.Contains(string(raw), "traceEvents") {
+		t.Fatalf("not a Chrome trace: %s", raw)
+	}
+
+	jsonl := filepath.Join(dir, "out.jsonl")
+	s, err = Setup("", jsonl, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Tracer.Instant("a", "test", nil)
+	s.Tracer.Instant("b", "test", nil)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	raw, err = os.ReadFile(jsonl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(string(raw), "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("jsonl lines = %d", len(lines))
+	}
+	for _, line := range lines {
+		if !json.Valid([]byte(line)) {
+			t.Errorf("invalid JSONL line %q", line)
+		}
+	}
+}
+
+func TestPprofServer(t *testing.T) {
+	s, err := Setup("", "", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if s.Registry == nil {
+		t.Fatal("pprof setup should create a registry for /metrics")
+	}
+	s.Registry.Counter("obs_pprof_test_total", "test counter").Inc()
+	for path, want := range map[string]string{
+		"/metrics":          "obs_pprof_test_total 1",
+		"/debug/vars":       "bvap_metrics",
+		"/debug/pprof/":     "profiles",
+		"/debug/pprof/heap": "",
+	} {
+		resp, err := http.Get("http://" + s.Addr() + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("GET %s: status %d", path, resp.StatusCode)
+		}
+		if want != "" && !strings.Contains(string(body), want) {
+			t.Errorf("GET %s: missing %q in body", path, want)
+		}
+	}
+}
+
+func TestTraceBadPath(t *testing.T) {
+	if _, err := Setup("", filepath.Join(t.TempDir(), "no/such/dir/out.json"), ""); err == nil {
+		t.Fatal("bad trace path accepted")
+	}
+}

@@ -1,0 +1,130 @@
+package telemetry
+
+// Exposition formats: Prometheus text format 0.0.4 and a JSON document.
+// Both render a Snapshot, so they are point-in-time consistent per metric
+// (not across metrics — the registry takes no global lock while the hot
+// paths run, by design).
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders every registered metric in the Prometheus text
+// exposition format (one # HELP and # TYPE line per family, histogram
+// children expanded into _bucket/_sum/_count series).
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	samples := r.Snapshot()
+	seen := map[string]bool{}
+	for _, s := range samples {
+		if !seen[s.Name] {
+			seen[s.Name] = true
+			if s.Help != "" {
+				if _, err := fmt.Fprintf(w, "# HELP %s %s\n", s.Name, escapeHelp(s.Help)); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", s.Name, s.Kind); err != nil {
+				return err
+			}
+		}
+		if err := writePromSample(w, s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writePromSample(w io.Writer, s Sample) error {
+	if s.Kind == "histogram" {
+		for _, b := range s.Buckets {
+			le := "+Inf"
+			if !math.IsInf(b.UpperBound, 1) {
+				le = formatFloat(b.UpperBound)
+			}
+			if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n",
+				s.Name, labelString(s.Labels, "le", le), b.Count); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", s.Name, labelString(s.Labels), formatFloat(s.Value)); err != nil {
+			return err
+		}
+		_, err := fmt.Fprintf(w, "%s_count%s %d\n", s.Name, labelString(s.Labels), s.Count)
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s%s %s\n", s.Name, labelString(s.Labels), formatFloat(s.Value))
+	return err
+}
+
+// labelString renders {k="v",...} with keys sorted; extra appends
+// additional key/value pairs (used for the histogram "le" label). Returns
+// "" when there are no labels at all.
+func labelString(labels map[string]string, extra ...string) string {
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for _, k := range keys {
+		if b.Len() > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", k, escapeLabel(labels[k]))
+	}
+	for i := 0; i+1 < len(extra); i += 2 {
+		if b.Len() > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", extra[i], escapeLabel(extra[i+1]))
+	}
+	if b.Len() == 0 {
+		return ""
+	}
+	return "{" + b.String() + "}"
+}
+
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, "\\", "\\\\")
+	v = strings.ReplaceAll(v, "\n", "\\n")
+	return v
+}
+
+func escapeHelp(v string) string {
+	v = strings.ReplaceAll(v, "\\", "\\\\")
+	v = strings.ReplaceAll(v, "\n", "\\n")
+	return v
+}
+
+func formatFloat(f float64) string {
+	return strconv.FormatFloat(f, 'g', -1, 64)
+}
+
+// jsonDoc is the JSON exposition envelope.
+type jsonDoc struct {
+	Metrics []Sample `json:"metrics"`
+}
+
+// WriteJSON renders every registered metric as one indented JSON document
+// {"metrics": [...]}.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	samples := r.Snapshot()
+	// json.Marshal encodes +Inf as an error; replace histogram +Inf upper
+	// bounds with math.MaxFloat64 in the JSON view.
+	for i := range samples {
+		for j := range samples[i].Buckets {
+			if math.IsInf(samples[i].Buckets[j].UpperBound, 1) {
+				samples[i].Buckets[j].UpperBound = math.MaxFloat64
+			}
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(jsonDoc{Metrics: samples})
+}

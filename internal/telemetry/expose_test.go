@@ -1,0 +1,100 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// promLine matches one Prometheus text-format sample line:
+// name{label="value",...} value
+var promLine = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z_][a-zA-Z0-9_]*="[^"]*"(,[a-zA-Z_][a-zA-Z0-9_]*="[^"]*")*\})? (-?[0-9.eE+-]+|\+Inf|NaN)$`)
+
+func buildExpositionRegistry() *Registry {
+	r := NewRegistry()
+	r.Counter("bvap_sim_symbols_total", "symbols processed").Add(1024)
+	stage := r.FloatCounterVec("bvap_stage_energy_picojoules_total", "per-stage energy", "stage")
+	stage.With("match").Add(12.5)
+	stage.With("bvm_swap").Add(0.125)
+	r.Gauge("bvap_engine_active_states", "active NFA states").Set(3)
+	h := r.HistogramVec("bvap_stall_cycles", "per-step stall cycles", []float64{1, 4, 16}, "array")
+	h.With("0").Observe(0)
+	h.With("0").Observe(6)
+	return r
+}
+
+// TestPrometheusOutputParses is the golden-format test of the satellite
+// checklist: every non-comment line of the Prometheus exposition must parse
+// as `name{labels} value`, and comment lines must be # HELP / # TYPE.
+func TestPrometheusOutputParses(t *testing.T) {
+	var sb strings.Builder
+	if err := buildExpositionRegistry().WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if out == "" {
+		t.Fatal("empty exposition")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	samples := 0
+	for _, line := range lines {
+		if strings.HasPrefix(line, "#") {
+			if !strings.HasPrefix(line, "# HELP ") && !strings.HasPrefix(line, "# TYPE ") {
+				t.Errorf("unexpected comment line %q", line)
+			}
+			continue
+		}
+		if !promLine.MatchString(line) {
+			t.Errorf("line does not parse as a Prometheus sample: %q", line)
+		}
+		samples++
+	}
+	if samples == 0 {
+		t.Fatal("no sample lines")
+	}
+	// Spot-check the expected series are present.
+	for _, want := range []string{
+		"bvap_sim_symbols_total 1024",
+		`bvap_stage_energy_picojoules_total{stage="match"} 12.5`,
+		`bvap_stall_cycles_bucket{array="0",le="+Inf"} 2`,
+		`bvap_stall_cycles_sum{array="0"} 6`,
+		`bvap_stall_cycles_count{array="0"} 2`,
+		"# TYPE bvap_stall_cycles histogram",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q;\n%s", want, out)
+		}
+	}
+}
+
+func TestJSONOutputValid(t *testing.T) {
+	var sb strings.Builder
+	if err := buildExpositionRegistry().WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid([]byte(sb.String())) {
+		t.Fatalf("invalid JSON: %s", sb.String())
+	}
+	var doc struct {
+		Metrics []Sample `json:"metrics"`
+	}
+	if err := json.Unmarshal([]byte(sb.String()), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Metrics) == 0 {
+		t.Fatal("no metrics in JSON document")
+	}
+	found := false
+	for _, m := range doc.Metrics {
+		if m.Name == "bvap_stage_energy_picojoules_total" && m.Labels["stage"] == "match" {
+			found = true
+			if m.Value != 12.5 {
+				t.Errorf("match energy = %v", m.Value)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("labeled sample missing from JSON output")
+	}
+}

@@ -1,0 +1,374 @@
+// Package telemetry is the stdlib-only observability layer of the
+// repository: a metrics registry (counters, gauges and histograms with
+// atomic hot paths and labeled families) plus a structured trace emitter
+// (JSONL and Chrome trace_event output; see trace.go).
+//
+// The package exists so the simulator, the compiler and the CLI tools can
+// expose per-stage counters and pipeline events as machine-readable
+// artifacts (Prometheus text, JSON, Chrome traces) instead of hand-rolled
+// strings. Design constraints, in order:
+//
+//  1. zero dependencies — only the Go standard library;
+//  2. allocation-free hot paths — incrementing a resolved Counter,
+//     FloatCounter, Gauge or Histogram never allocates and uses a single
+//     atomic operation (plus a binary search for histograms);
+//  3. deterministic exposition — Snapshot, WritePrometheus and WriteJSON
+//     emit families in registration order and children in sorted label
+//     order, so golden tests and diffs are stable.
+//
+// Labeled children are resolved once (outside the hot loop) via the *Vec
+// types and then updated lock-free; resolution itself takes a lock and may
+// allocate, which is why instrumented code caches the children it needs.
+package telemetry
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing integer metric.
+type Counter struct{ v atomic.Uint64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// FloatCounter is a monotonically increasing float metric (energy in pJ,
+// seconds of wall time). Add with a negative delta is a programming error
+// but is not checked on the hot path.
+type FloatCounter struct{ bits atomic.Uint64 }
+
+// Add adds f atomically (compare-and-swap loop).
+func (c *FloatCounter) Add(f float64) { addFloat(&c.bits, f) }
+
+// Value returns the current value.
+func (c *FloatCounter) Value() float64 { return math.Float64frombits(c.bits.Load()) }
+
+// Gauge is a last-value-wins float metric.
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set stores f.
+func (g *Gauge) Set(f float64) { g.bits.Store(math.Float64bits(f)) }
+
+// Add adds f atomically.
+func (g *Gauge) Add(f float64) { addFloat(&g.bits, f) }
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+func addFloat(bits *atomic.Uint64, f float64) {
+	for {
+		old := bits.Load()
+		if bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+f)) {
+			return
+		}
+	}
+}
+
+// Histogram is a fixed-bucket distribution metric. Bucket upper bounds are
+// inclusive (Prometheus "le" semantics); an implicit +Inf bucket catches
+// the overflow. Observe is lock-free.
+type Histogram struct {
+	bounds []float64 // sorted, immutable after construction
+	counts []atomic.Uint64
+	count  atomic.Uint64
+	sum    atomic.Uint64 // float64 bits
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	b := append([]float64(nil), bounds...)
+	sort.Float64s(b)
+	return &Histogram{bounds: b, counts: make([]atomic.Uint64, len(b)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	// First bucket whose upper bound is >= v; the +Inf bucket is last.
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	addFloat(&h.sum, v)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+// DefaultStallBuckets is a power-of-two bucket ladder suited to per-step
+// stall-cycle and occupancy distributions.
+var DefaultStallBuckets = []float64{0, 1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024}
+
+// kind discriminates metric families.
+type kind int
+
+const (
+	kindCounter kind = iota
+	kindFloatCounter
+	kindGauge
+	kindHistogram
+)
+
+func (k kind) String() string {
+	switch k {
+	case kindCounter, kindFloatCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	case kindHistogram:
+		return "histogram"
+	}
+	return "unknown"
+}
+
+// labelSep joins label values into a child key; it cannot appear in UTF-8
+// label values produced by this repository's instrumentation.
+const labelSep = "\xff"
+
+// family is one named metric family with zero or more labeled children.
+type family struct {
+	name      string
+	help      string
+	kind      kind
+	labelKeys []string
+	bounds    []float64 // histograms only
+
+	mu       sync.Mutex
+	children map[string]any
+}
+
+func (f *family) child(key string) any {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if c, ok := f.children[key]; ok {
+		return c
+	}
+	var c any
+	switch f.kind {
+	case kindCounter:
+		c = &Counter{}
+	case kindFloatCounter:
+		c = &FloatCounter{}
+	case kindGauge:
+		c = &Gauge{}
+	case kindHistogram:
+		c = newHistogram(f.bounds)
+	}
+	f.children[key] = c
+	return c
+}
+
+// Registry holds metric families. The zero value is not usable; construct
+// with NewRegistry. Registration is idempotent: asking for an existing name
+// returns the existing family (and panics if the kind or label keys
+// differ, which is a programming error).
+type Registry struct {
+	mu       sync.Mutex
+	families []*family
+	byName   map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: map[string]*family{}}
+}
+
+func (r *Registry) family(name, help string, k kind, labelKeys []string, bounds []float64) *family {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.byName[name]; ok {
+		if f.kind != k || len(f.labelKeys) != len(labelKeys) {
+			panic(fmt.Sprintf("telemetry: metric %q re-registered with different kind or labels", name))
+		}
+		for i := range labelKeys {
+			if f.labelKeys[i] != labelKeys[i] {
+				panic(fmt.Sprintf("telemetry: metric %q re-registered with different labels", name))
+			}
+		}
+		return f
+	}
+	f := &family{
+		name:      name,
+		help:      help,
+		kind:      k,
+		labelKeys: append([]string(nil), labelKeys...),
+		bounds:    append([]float64(nil), bounds...),
+		children:  map[string]any{},
+	}
+	r.families = append(r.families, f)
+	r.byName[name] = f
+	return f
+}
+
+// Counter returns the unlabeled counter with this name, registering it on
+// first use.
+func (r *Registry) Counter(name, help string) *Counter {
+	return r.family(name, help, kindCounter, nil, nil).child("").(*Counter)
+}
+
+// FloatCounter returns the unlabeled float counter with this name.
+func (r *Registry) FloatCounter(name, help string) *FloatCounter {
+	return r.family(name, help, kindFloatCounter, nil, nil).child("").(*FloatCounter)
+}
+
+// Gauge returns the unlabeled gauge with this name.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	return r.family(name, help, kindGauge, nil, nil).child("").(*Gauge)
+}
+
+// Histogram returns the unlabeled histogram with this name. bounds are the
+// inclusive bucket upper bounds; a +Inf bucket is implicit.
+func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
+	return r.family(name, help, kindHistogram, nil, bounds).child("").(*Histogram)
+}
+
+// CounterVec is a labeled counter family.
+type CounterVec struct{ f *family }
+
+// CounterVec registers (or returns) a labeled counter family.
+func (r *Registry) CounterVec(name, help string, labelKeys ...string) *CounterVec {
+	return &CounterVec{r.family(name, help, kindCounter, labelKeys, nil)}
+}
+
+// With resolves the child for the given label values (must match the label
+// key count). Resolution locks and may allocate; cache the result outside
+// hot loops.
+func (v *CounterVec) With(values ...string) *Counter {
+	return v.f.child(joinValues(v.f, values)).(*Counter)
+}
+
+// FloatCounterVec is a labeled float-counter family.
+type FloatCounterVec struct{ f *family }
+
+// FloatCounterVec registers (or returns) a labeled float counter family.
+func (r *Registry) FloatCounterVec(name, help string, labelKeys ...string) *FloatCounterVec {
+	return &FloatCounterVec{r.family(name, help, kindFloatCounter, labelKeys, nil)}
+}
+
+// With resolves the child for the given label values.
+func (v *FloatCounterVec) With(values ...string) *FloatCounter {
+	return v.f.child(joinValues(v.f, values)).(*FloatCounter)
+}
+
+// GaugeVec is a labeled gauge family.
+type GaugeVec struct{ f *family }
+
+// GaugeVec registers (or returns) a labeled gauge family.
+func (r *Registry) GaugeVec(name, help string, labelKeys ...string) *GaugeVec {
+	return &GaugeVec{r.family(name, help, kindGauge, labelKeys, nil)}
+}
+
+// With resolves the child for the given label values.
+func (v *GaugeVec) With(values ...string) *Gauge {
+	return v.f.child(joinValues(v.f, values)).(*Gauge)
+}
+
+// HistogramVec is a labeled histogram family.
+type HistogramVec struct{ f *family }
+
+// HistogramVec registers (or returns) a labeled histogram family.
+func (r *Registry) HistogramVec(name, help string, bounds []float64, labelKeys ...string) *HistogramVec {
+	return &HistogramVec{r.family(name, help, kindHistogram, labelKeys, bounds)}
+}
+
+// With resolves the child for the given label values.
+func (v *HistogramVec) With(values ...string) *Histogram {
+	return v.f.child(joinValues(v.f, values)).(*Histogram)
+}
+
+func joinValues(f *family, values []string) string {
+	if len(values) != len(f.labelKeys) {
+		panic(fmt.Sprintf("telemetry: metric %q wants %d label values, got %d",
+			f.name, len(f.labelKeys), len(values)))
+	}
+	return strings.Join(values, labelSep)
+}
+
+// Bucket is one cumulative histogram bucket in a snapshot.
+type Bucket struct {
+	// UpperBound is the inclusive upper bound; +Inf for the last bucket.
+	UpperBound float64 `json:"le"`
+	// Count is cumulative: observations ≤ UpperBound.
+	Count uint64 `json:"count"`
+}
+
+// Sample is one metric instance at snapshot time.
+type Sample struct {
+	Name   string            `json:"name"`
+	Kind   string            `json:"kind"`
+	Help   string            `json:"help,omitempty"`
+	Labels map[string]string `json:"labels,omitempty"`
+	// Value is the counter/gauge value; for histograms it is the sum of
+	// observations.
+	Value float64 `json:"value"`
+	// Count is the number of observations (histograms only).
+	Count   uint64   `json:"count,omitempty"`
+	Buckets []Bucket `json:"buckets,omitempty"`
+}
+
+// Snapshot returns the current value of every registered metric, families
+// in registration order, children sorted by label values.
+func (r *Registry) Snapshot() []Sample {
+	r.mu.Lock()
+	families := append([]*family(nil), r.families...)
+	r.mu.Unlock()
+
+	var out []Sample
+	for _, f := range families {
+		f.mu.Lock()
+		keys := make([]string, 0, len(f.children))
+		for k := range f.children {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		children := make([]any, len(keys))
+		for i, k := range keys {
+			children[i] = f.children[k]
+		}
+		f.mu.Unlock()
+
+		for i, k := range keys {
+			s := Sample{Name: f.name, Kind: f.kind.String(), Help: f.help}
+			if len(f.labelKeys) > 0 {
+				s.Labels = map[string]string{}
+				for j, v := range strings.Split(k, labelSep) {
+					if j < len(f.labelKeys) {
+						s.Labels[f.labelKeys[j]] = v
+					}
+				}
+			}
+			switch c := children[i].(type) {
+			case *Counter:
+				s.Value = float64(c.Value())
+			case *FloatCounter:
+				s.Value = c.Value()
+			case *Gauge:
+				s.Value = c.Value()
+			case *Histogram:
+				s.Value = c.Sum()
+				s.Count = c.Count()
+				cum := uint64(0)
+				for bi := range c.counts {
+					cum += c.counts[bi].Load()
+					ub := math.Inf(1)
+					if bi < len(c.bounds) {
+						ub = c.bounds[bi]
+					}
+					s.Buckets = append(s.Buckets, Bucket{UpperBound: ub, Count: cum})
+				}
+			}
+			out = append(out, s)
+		}
+	}
+	return out
+}

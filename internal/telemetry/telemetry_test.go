@@ -1,0 +1,166 @@
+package telemetry
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("steps_total", "steps")
+	c.Inc()
+	c.Add(41)
+	if c.Value() != 42 {
+		t.Fatalf("counter = %d", c.Value())
+	}
+	// Idempotent registration returns the same child.
+	if r.Counter("steps_total", "steps") != c {
+		t.Fatal("re-registration returned a different counter")
+	}
+}
+
+func TestFloatCounterAndGauge(t *testing.T) {
+	r := NewRegistry()
+	fc := r.FloatCounter("energy_pj", "energy")
+	fc.Add(1.5)
+	fc.Add(2.25)
+	if fc.Value() != 3.75 {
+		t.Fatalf("float counter = %v", fc.Value())
+	}
+	g := r.Gauge("occupancy", "active states")
+	g.Set(7)
+	g.Add(3)
+	if g.Value() != 10 {
+		t.Fatalf("gauge = %v", g.Value())
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("stalls", "stall cycles", []float64{1, 4, 16})
+	for _, v := range []float64{0, 1, 2, 5, 100} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if h.Sum() != 108 {
+		t.Fatalf("sum = %v", h.Sum())
+	}
+	snap := r.Snapshot()
+	if len(snap) != 1 {
+		t.Fatalf("snapshot entries = %d", len(snap))
+	}
+	s := snap[0]
+	// Cumulative: ≤1 → 2, ≤4 → 3, ≤16 → 4, +Inf → 5.
+	want := []uint64{2, 3, 4, 5}
+	if len(s.Buckets) != len(want) {
+		t.Fatalf("buckets = %d", len(s.Buckets))
+	}
+	for i, b := range s.Buckets {
+		if b.Count != want[i] {
+			t.Errorf("bucket %d = %d, want %d", i, b.Count, want[i])
+		}
+	}
+	if !math.IsInf(s.Buckets[3].UpperBound, 1) {
+		t.Errorf("last bucket bound = %v, want +Inf", s.Buckets[3].UpperBound)
+	}
+}
+
+func TestLabeledFamilies(t *testing.T) {
+	r := NewRegistry()
+	vec := r.FloatCounterVec("stage_energy_pj", "per-stage energy", "stage")
+	vec.With("match").Add(10)
+	vec.With("transition").Add(20)
+	vec.With("match").Add(5)
+
+	snap := r.Snapshot()
+	if len(snap) != 2 {
+		t.Fatalf("snapshot entries = %d", len(snap))
+	}
+	// Children sorted by label value: match before transition.
+	if snap[0].Labels["stage"] != "match" || snap[0].Value != 15 {
+		t.Errorf("sample 0 = %+v", snap[0])
+	}
+	if snap[1].Labels["stage"] != "transition" || snap[1].Value != 20 {
+		t.Errorf("sample 1 = %+v", snap[1])
+	}
+}
+
+func TestRegistrationMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x", "")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("kind mismatch did not panic")
+		}
+	}()
+	r.Gauge("x", "")
+}
+
+func TestLabelArityPanics(t *testing.T) {
+	r := NewRegistry()
+	vec := r.CounterVec("y", "", "a", "b")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("label arity mismatch did not panic")
+		}
+	}()
+	vec.With("only-one")
+}
+
+func TestConcurrentUpdates(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c", "")
+	fc := r.FloatCounter("f", "")
+	h := r.Histogram("h", "", []float64{10})
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+				fc.Add(0.5)
+				h.Observe(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 8000 {
+		t.Errorf("counter = %d", c.Value())
+	}
+	if fc.Value() != 4000 {
+		t.Errorf("float counter = %v", fc.Value())
+	}
+	if h.Count() != 8000 {
+		t.Errorf("histogram count = %d", h.Count())
+	}
+}
+
+func TestSnapshotDeterministicOrder(t *testing.T) {
+	build := func() string {
+		r := NewRegistry()
+		r.Counter("b_second", "").Inc()
+		r.Counter("a_first", "").Inc()
+		vec := r.GaugeVec("v", "", "k")
+		vec.With("z").Set(1)
+		vec.With("a").Set(2)
+		var sb strings.Builder
+		for _, s := range r.Snapshot() {
+			sb.WriteString(s.Name)
+			sb.WriteString(s.Labels["k"])
+			sb.WriteByte(';')
+		}
+		return sb.String()
+	}
+	a, b := build(), build()
+	if a != b {
+		t.Fatalf("snapshot order not deterministic: %q vs %q", a, b)
+	}
+	if !strings.HasPrefix(a, "b_second;a_first;") {
+		t.Fatalf("families not in registration order: %q", a)
+	}
+}

@@ -1,0 +1,232 @@
+package telemetry
+
+// Structured trace emission. Two output formats share one event model:
+//
+//   - FormatJSONL: one JSON object per line, grep/jq-friendly;
+//   - FormatChrome: the Chrome trace_event JSON array format
+//     ({"traceEvents":[...]}) that chrome://tracing and Perfetto load
+//     directly.
+//
+// Events carry the trace_event fields: ph (phase: "X" complete span, "i"
+// instant, "C" counter), ts/dur in microseconds, name, cat, pid/tid and
+// args. Wall-clock events timestamp against the tracer's start time;
+// simulator events may instead use virtual time (cycle numbers) through
+// the *At variants, which keeps the trace's time axis meaningful for
+// cycle-accurate runs.
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// Format selects the trace output encoding.
+type Format int
+
+const (
+	// FormatJSONL writes one JSON event per line.
+	FormatJSONL Format = iota
+	// FormatChrome writes the Chrome trace_event array document.
+	FormatChrome
+)
+
+// Event is one trace_event record.
+type Event struct {
+	Name string  `json:"name"`
+	Cat  string  `json:"cat,omitempty"`
+	Ph   string  `json:"ph"`
+	Ts   float64 `json:"ts"`
+	Dur  float64 `json:"dur,omitempty"`
+	Pid  int     `json:"pid"`
+	Tid  int     `json:"tid"`
+	// S scopes instant events ("g" global); required by the Chrome viewer
+	// for ph == "i".
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// Tracer emits structured trace events to an io.Writer. It is safe for
+// concurrent use. Call Close once at the end of the run; for FormatChrome
+// the document is invalid JSON until Close writes the closing brackets.
+type Tracer struct {
+	mu     sync.Mutex
+	w      io.Writer
+	format Format
+	start  time.Time
+	wrote  bool
+	closed bool
+	err    error
+	events int
+}
+
+// NewTracer starts a tracer writing to w in the given format. For
+// FormatChrome the document prefix is written immediately.
+func NewTracer(w io.Writer, format Format) *Tracer {
+	t := &Tracer{w: w, format: format, start: time.Now()}
+	if format == FormatChrome {
+		_, t.err = io.WriteString(w, "{\"traceEvents\":[")
+	}
+	return t
+}
+
+// now returns microseconds since the tracer started.
+func (t *Tracer) now() float64 {
+	return float64(time.Since(t.start)) / float64(time.Microsecond)
+}
+
+// Emit writes one raw event. Most callers use Span / Instant / CounterAt
+// instead.
+func (t *Tracer) Emit(ev Event) {
+	if t == nil {
+		return
+	}
+	if ev.Pid == 0 {
+		ev.Pid = 1
+	}
+	if ev.Tid == 0 {
+		ev.Tid = 1
+	}
+	buf, err := json.Marshal(ev)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed || t.err != nil {
+		return
+	}
+	if err != nil {
+		t.err = err
+		return
+	}
+	switch t.format {
+	case FormatChrome:
+		if t.wrote {
+			if _, t.err = io.WriteString(t.w, ","); t.err != nil {
+				return
+			}
+		}
+		if _, t.err = t.w.Write(buf); t.err != nil {
+			return
+		}
+	default:
+		if _, t.err = t.w.Write(append(buf, '\n')); t.err != nil {
+			return
+		}
+	}
+	t.wrote = true
+	t.events++
+}
+
+// Span opens a wall-clock span; the returned Span's End method emits one
+// "X" (complete) event covering the elapsed time. Args set on the span
+// before End are attached to the event. A nil Tracer yields a no-op span.
+func (t *Tracer) Span(name, cat string) *Span {
+	if t == nil {
+		return nil
+	}
+	return &Span{t: t, name: name, cat: cat, ts: t.now(), start: time.Now()}
+}
+
+// Span is an in-flight wall-clock span.
+type Span struct {
+	t     *Tracer
+	name  string
+	cat   string
+	ts    float64
+	start time.Time
+	args  map[string]any
+}
+
+// SetArg attaches a key/value argument to the span's event.
+func (s *Span) SetArg(key string, value any) *Span {
+	if s == nil {
+		return s
+	}
+	if s.args == nil {
+		s.args = map[string]any{}
+	}
+	s.args[key] = value
+	return s
+}
+
+// End emits the span's complete event.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	dur := float64(time.Since(s.start)) / float64(time.Microsecond)
+	if dur <= 0 {
+		dur = 0.001 // keep the event visible in viewers
+	}
+	s.t.Emit(Event{Name: s.name, Cat: s.cat, Ph: "X", Ts: s.ts, Dur: dur, Args: s.args})
+}
+
+// Instant emits a wall-clock instant event.
+func (t *Tracer) Instant(name, cat string, args map[string]any) {
+	if t == nil {
+		return
+	}
+	t.Emit(Event{Name: name, Cat: cat, Ph: "i", Ts: t.now(), S: "g", Args: args})
+}
+
+// InstantAt emits an instant event at a caller-supplied virtual timestamp
+// (microsecond units on the trace's time axis; the simulator uses cycle
+// numbers).
+func (t *Tracer) InstantAt(ts float64, name, cat string, args map[string]any) {
+	if t == nil {
+		return
+	}
+	t.Emit(Event{Name: name, Cat: cat, Ph: "i", Ts: ts, S: "g", Args: args})
+}
+
+// CounterAt emits a "C" counter event at a virtual timestamp: the Chrome
+// viewer renders these as stacked time series (the per-cycle active-state
+// occupancy trace uses this).
+func (t *Tracer) CounterAt(ts float64, name string, values map[string]float64) {
+	if t == nil {
+		return
+	}
+	args := make(map[string]any, len(values))
+	for k, v := range values {
+		args[k] = v
+	}
+	t.Emit(Event{Name: name, Ph: "C", Ts: ts, Args: args})
+}
+
+// Events returns how many events have been emitted.
+func (t *Tracer) Events() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.events
+}
+
+// Err returns the first write or encode error, if any.
+func (t *Tracer) Err() error {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.err
+}
+
+// Close finalizes the trace document (required for FormatChrome) and
+// returns the first error encountered. Close does not close the underlying
+// writer. Subsequent Emit calls are dropped.
+func (t *Tracer) Close() error {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return t.err
+	}
+	t.closed = true
+	if t.format == FormatChrome && t.err == nil {
+		_, t.err = io.WriteString(t.w, "]}\n")
+	}
+	return t.err
+}

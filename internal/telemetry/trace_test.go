@@ -1,0 +1,104 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestChromeTraceValid is the satellite golden test: the Chrome trace
+// document must be valid JSON and every event must carry the required
+// ph/ts/name keys.
+func TestChromeTraceValid(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracer(&buf, FormatChrome)
+	sp := tr.Span("compile", "compiler").SetArg("patterns", 3)
+	tr.Instant("rewrite_decision", "compiler", map[string]any{"pattern": "a{100}", "split": true})
+	tr.CounterAt(42, "active_states", map[string]float64{"states": 7})
+	sp.End()
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	if !json.Valid(raw) {
+		t.Fatalf("invalid trace JSON: %s", raw)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.TraceEvents) != 3 {
+		t.Fatalf("events = %d, want 3", len(doc.TraceEvents))
+	}
+	phases := map[string]bool{}
+	for _, ev := range doc.TraceEvents {
+		for _, key := range []string{"ph", "ts", "name"} {
+			if _, ok := ev[key]; !ok {
+				t.Errorf("event %v missing required key %q", ev, key)
+			}
+		}
+		phases[ev["ph"].(string)] = true
+	}
+	for _, ph := range []string{"X", "i", "C"} {
+		if !phases[ph] {
+			t.Errorf("trace missing a %q event", ph)
+		}
+	}
+}
+
+func TestJSONLTrace(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracer(&buf, FormatJSONL)
+	tr.Instant("a", "cat", nil)
+	tr.InstantAt(10, "b", "cat", map[string]any{"k": "v"})
+	tr.Span("s", "cat").End()
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	for _, line := range lines {
+		var ev Event
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			t.Fatalf("line %q: %v", line, err)
+		}
+		if ev.Name == "" || ev.Ph == "" {
+			t.Errorf("line %q missing name/ph", line)
+		}
+	}
+}
+
+func TestNilTracerIsNoOp(t *testing.T) {
+	var tr *Tracer
+	tr.Instant("x", "", nil)
+	tr.CounterAt(0, "x", nil)
+	tr.Span("x", "").SetArg("k", 1).End()
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Events() != 0 || tr.Err() != nil {
+		t.Fatal("nil tracer misbehaved")
+	}
+}
+
+func TestEmitAfterCloseDropped(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracer(&buf, FormatChrome)
+	tr.Instant("a", "", nil)
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	before := buf.Len()
+	tr.Instant("late", "", nil)
+	if buf.Len() != before {
+		t.Fatal("event written after Close")
+	}
+	if !json.Valid(buf.Bytes()) {
+		t.Fatal("document invalid after Close")
+	}
+}

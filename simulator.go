@@ -2,11 +2,13 @@ package bvap
 
 import (
 	"fmt"
+	"strings"
 
 	"bvap/internal/archmodel"
 	"bvap/internal/compiler"
 	"bvap/internal/hwsim"
 	"bvap/internal/metrics"
+	"bvap/internal/telemetry"
 )
 
 // Architecture selects a modeled automata processor for simulation.
@@ -44,6 +46,33 @@ func (a Architecture) String() string {
 		return "CNT"
 	}
 	return fmt.Sprintf("Architecture(%d)", int(a))
+}
+
+// Architectures lists every modeled architecture in declaration order.
+func Architectures() []Architecture {
+	return []Architecture{ArchBVAP, ArchBVAPStreaming, ArchCAMA, ArchCA, ArchEAP, ArchCNT}
+}
+
+// ParseArchitecture parses an architecture name. It accepts the String()
+// forms of every architecture case-insensitively, plus the aliases
+// "bvaps", "bvap-streaming" and "streaming" for BVAP-S. It round-trips
+// String(): for every Architecture a, ParseArchitecture(a.String()) == a.
+func ParseArchitecture(name string) (Architecture, error) {
+	switch strings.ToLower(strings.TrimSpace(name)) {
+	case "bvap":
+		return ArchBVAP, nil
+	case "bvap-s", "bvaps", "bvap-streaming", "streaming":
+		return ArchBVAPStreaming, nil
+	case "cama":
+		return ArchCAMA, nil
+	case "ca":
+		return ArchCA, nil
+	case "eap":
+		return ArchEAP, nil
+	case "cnt":
+		return ArchCNT, nil
+	}
+	return 0, fmt.Errorf("bvap: unknown architecture %q (want BVAP, BVAP-S, CAMA, CA, eAP or CNT)", name)
 }
 
 func (a Architecture) internal() archmodel.Arch {
@@ -154,6 +183,26 @@ func NewBaselineSimulator(arch Architecture, patterns []string) (*Simulator, err
 		return nil, err
 	}
 	return &Simulator{arch: arch, baseSys: sys}, nil
+}
+
+// SetSink attaches a raw per-stage instrumentation sink to the underlying
+// hardware model (see hwsim.Sink). Pass nil to detach. The uninstrumented
+// simulation path costs one nil check per step.
+func (s *Simulator) SetSink(k hwsim.Sink) {
+	if s.bvapSys != nil {
+		s.bvapSys.SetSink(k)
+	} else {
+		s.baseSys.SetSink(k)
+	}
+}
+
+// Instrument builds a TelemetrySink over reg, attaches it, and returns it:
+// per-stage energy counters, per-array stall histograms, and step/cycle/
+// match/occupancy series accrue on reg while the simulation runs.
+func (s *Simulator) Instrument(reg *telemetry.Registry) *hwsim.TelemetrySink {
+	k := hwsim.NewTelemetrySink(reg)
+	s.SetSink(k)
+	return k
 }
 
 // Run processes input. It may be called multiple times; statistics

@@ -1,0 +1,69 @@
+package bvap
+
+import (
+	"testing"
+
+	"bvap/internal/hwsim"
+	"bvap/internal/telemetry"
+)
+
+// BenchmarkTelemetryOverhead pins the zero-overhead-when-disabled contract:
+// the uninstrumented hot paths (Stream.Step with no registry, the simulator
+// Step with a nil sink) must allocate nothing and stay within a few percent
+// of the seed, while the instrumented variants quantify what an attached
+// registry costs. Numbers are recorded in EXPERIMENTS.md.
+func BenchmarkTelemetryOverhead(b *testing.B) {
+	patterns := []string{"ab{50}c", "x.{10}y", "a{3}b", "k{200}m"}
+	d, err := DatasetByName("Snort")
+	if err != nil {
+		b.Fatal(err)
+	}
+	input := d.Input(4096, patterns)
+	engine, err := Compile(patterns)
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	b.Run("EngineStep/nosink", func(b *testing.B) {
+		s := engine.NewStream()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			s.Step(input[i%len(input)])
+		}
+	})
+	b.Run("EngineStep/registry", func(b *testing.B) {
+		s := engine.NewStream()
+		s.Instrument(telemetry.NewRegistry())
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			s.Step(input[i%len(input)])
+		}
+	})
+
+	newSys := func(b *testing.B) *hwsim.BVAPSystem {
+		sim, err := engine.NewSimulator(ArchBVAP)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return sim.bvapSys
+	}
+	b.Run("BVAPSystemStep/nosink", func(b *testing.B) {
+		sys := newSys(b)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			sys.Step(input[i%len(input)])
+		}
+	})
+	b.Run("BVAPSystemStep/sink", func(b *testing.B) {
+		sys := newSys(b)
+		sys.SetSink(hwsim.NewTelemetrySink(telemetry.NewRegistry()))
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			sys.Step(input[i%len(input)])
+		}
+	})
+}
