@@ -74,6 +74,9 @@ type PatternReport struct {
 	// hardware; Reason explains why. Unsupported patterns never match.
 	Supported bool
 	Reason    string
+	// Kind classifies the failure ("syntax", "capacity", "budget"); see
+	// Engine.PatternErrors for the typed-error view.
+	Kind string
 	// STEs and BVSTEs are the hardware resources the pattern occupies.
 	STEs   int
 	BVSTEs int
@@ -143,6 +146,7 @@ func (e *Engine) Report() Report {
 			Pattern:      pr.Pattern,
 			Supported:    pr.Supported,
 			Reason:       pr.Reason,
+			Kind:         pr.Kind,
 			STEs:         pr.STEs,
 			BVSTEs:       pr.BVSTEs,
 			UnfoldedSTEs: pr.UnfoldedSTEs,
@@ -200,6 +204,11 @@ type Stream struct {
 	runners []*nbva.AHRunner
 	hits    []int
 	inst    *streamInstr
+
+	// budget / symbolsRun implement the run-time symbol budget of
+	// ScanContext (see SetBudget in context.go).
+	budget     Budget
+	symbolsRun int64
 }
 
 // NewStream creates an independent matching stream.

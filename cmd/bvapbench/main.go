@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	bvapbench -exp fig11|fig12|fig13|table5|fig14|summary|ablation|stride2|breakdown|all [flags]
+//	bvapbench -exp fig11|fig12|fig13|table5|fig14|summary|ablation|stride2|breakdown|faults|all [flags]
 //
 // Flags:
 //
@@ -19,6 +19,11 @@
 // suffix), and -pprof serves net/http/pprof, expvar and a live /metrics
 // endpoint while the benchmarks run. The breakdown experiment attributes a
 // run's energy to pipeline stages on the architecture chosen by -arch.
+//
+// The faults experiment sweeps a fault-injection rate over one dataset and
+// reports what the resilience stack delivers: detection rate, window
+// retries, software fallbacks, cross-check mismatches, and the energy
+// overhead of parity protection plus re-execution (see -fault-* flags).
 package main
 
 import (
@@ -26,6 +31,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 
 	"bvap"
@@ -36,10 +42,15 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: fig11, fig12, fig13, table5, fig14, summary, ablation, stride2, breakdown, all")
+	exp := flag.String("exp", "all", "experiment: fig11, fig12, fig13, table5, fig14, summary, ablation, stride2, breakdown, faults, all")
 	ablationDataset := flag.String("ablation-dataset", "Snort", "dataset for the -exp ablation run")
 	breakdownDataset := flag.String("breakdown-dataset", "Snort", "dataset for the -exp breakdown run")
 	archName := flag.String("arch", "bvap", "architecture for the -exp breakdown run: bvap, bvap-s, cama, ca, eap, cnt")
+	faultsDataset := flag.String("fault-dataset", "Snort", "dataset for the -exp faults sweep")
+	faultSeed := flag.Int64("fault-seed", 1, "fault-injection seed for the -exp faults sweep")
+	faultRates := flag.String("fault-rates", "", "comma-separated per-site injection rates for -exp faults (default 0,1e-4,5e-4,2e-3,1e-2)")
+	faultStreaming := flag.Bool("fault-streaming", false, "run the -exp faults sweep on BVAP-S (stream drop/dup faults)")
+	faultNoParity := flag.Bool("fault-noparity", false, "disable the per-BV parity detection circuit in -exp faults")
 	sample := flag.Int("sample", 80, "regexes sampled per dataset")
 	inputLen := flag.Int("inputlen", 4096, "input corpus length")
 	datasetList := flag.String("datasets", "", "comma-separated dataset subset")
@@ -190,6 +201,31 @@ func main() {
 		end()
 	}
 
+	if all || want["faults"] {
+		end := span("faults")
+		rates, err := parseRates(*faultRates)
+		if err != nil {
+			fatal(err)
+		}
+		fopt := experiments.FaultsOptions{
+			Dataset:   *faultsDataset,
+			Sample:    *sample,
+			InputLen:  *inputLen,
+			Rates:     rates,
+			Seed:      *faultSeed,
+			Streaming: *faultStreaming,
+			NoParity:  *faultNoParity,
+		}
+		rows, err := experiments.Faults(fopt)
+		if err != nil {
+			fatal(err)
+		}
+		dump.Faults = rows
+		experiments.RenderFaults(os.Stdout, fopt, rows)
+		fmt.Println()
+		end()
+	}
+
 	if all || want["breakdown"] {
 		end := span("breakdown")
 		if err := runBreakdown(*archName, *breakdownDataset, *sample, *inputLen, sess); err != nil {
@@ -225,6 +261,27 @@ type jsonResults struct {
 	Summary  *experiments.Summary      `json:"summary,omitempty"`
 	Ablation []experiments.AblationRow `json:"ablation,omitempty"`
 	Stride2  []experiments.Stride2Row  `json:"stride2,omitempty"`
+	Faults   []experiments.FaultsRow   `json:"faults,omitempty"`
+}
+
+// parseRates parses the -fault-rates list; an empty string selects the
+// experiment's default sweep.
+func parseRates(s string) ([]float64, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	var out []float64
+	for _, f := range strings.Split(s, ",") {
+		r, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad -fault-rates entry %q: %v", f, err)
+		}
+		if r < 0 || r > 1 {
+			return nil, fmt.Errorf("bad -fault-rates entry %q: rate must be in [0, 1]", f)
+		}
+		out = append(out, r)
+	}
+	return out, nil
 }
 
 // runBreakdown replays one dataset on the architecture named by -arch with

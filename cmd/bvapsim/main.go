@@ -17,10 +17,19 @@
 // structured trace of the compile pipeline and simulated occupancy (Chrome
 // trace_event JSON, or JSONL with a .jsonl suffix), and -pprof serves
 // net/http/pprof, expvar and a live /metrics endpoint.
+//
+// Fault injection: -faults attaches a deterministic fault plan (e.g.
+// "seed=42,rate=1e-4,parity=1") to a BVAP or BVAP-S run and executes it
+// under the detect/retry/degrade resilience harness, reporting injection
+// and recovery counters alongside the usual metrics; -fault-window and
+// -fault-retries tune the checkpoint interval and the retry budget, and
+// -fault-crosscheck verifies committed windows against an independent
+// software matcher.
 package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -52,6 +61,10 @@ func main() {
 	tracePath := flag.String("trace", "", "write a structured trace to this file (Chrome trace_event JSON; .jsonl for JSONL)")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof, expvar and /metrics on this address (e.g. localhost:6060)")
 	occupancyEvery := flag.Int("trace-occupancy", 0, "with -trace: sample active-state occupancy into the trace every N steps (0 disables)")
+	faultPlan := flag.String("faults", "", "fault-injection plan, e.g. \"seed=42,rate=1e-4,parity=1\" (BVAP/BVAP-S with -patterns only)")
+	faultWindow := flag.Int("fault-window", 256, "with -faults: checkpoint window in symbols")
+	faultRetries := flag.Int("fault-retries", 2, "with -faults: window re-executions before degrading to software")
+	faultCrossCheck := flag.Bool("fault-crosscheck", false, "with -faults: cross-check committed windows against a software reference matcher")
 	flag.Parse()
 
 	arch, err := bvap.ParseArchitecture(*archName)
@@ -119,6 +132,9 @@ func main() {
 	switch arch {
 	case bvap.ArchBVAP, bvap.ArchBVAPStreaming:
 		if *configPath != "" {
+			if *faultPlan != "" {
+				fatal(fmt.Errorf("-faults needs -patterns (the resilience harness degrades to the compiled software engine)"))
+			}
 			runConfig(*configPath, arch == bvap.ArchBVAPStreaming, input, *showMatches, *breakdown, sess, *occupancyEvery)
 			return
 		}
@@ -135,7 +151,13 @@ func main() {
 			fatal(err)
 		}
 		instrument(sim)
-		sim.Run(input)
+		if *faultPlan != "" {
+			if err := runFaults(sim, input, *faultPlan, *faultWindow, *faultRetries, *faultCrossCheck, sess); err != nil {
+				fatal(err)
+			}
+		} else {
+			sim.Run(input)
+		}
 		printResult(sim.Result())
 		if *breakdown {
 			fmt.Print(sim.Breakdown())
@@ -146,6 +168,9 @@ func main() {
 			}
 		}
 	default:
+		if *faultPlan != "" {
+			fatal(fmt.Errorf("-faults supports BVAP and BVAP-S only (got %v)", arch))
+		}
 		if len(patterns) == 0 {
 			fatal(fmt.Errorf("baseline architectures need -patterns"))
 		}
@@ -165,6 +190,39 @@ func main() {
 // telemetryScratch backs an occupancy-only sink (a -trace without -metrics)
 // with a throwaway registry.
 func telemetryScratch() *telemetry.Registry { return telemetry.NewRegistry() }
+
+// runFaults executes the input under a fault-injection plan with the
+// detect/retry/degrade resilience harness and prints the campaign report.
+func runFaults(sim *bvap.Simulator, input []byte, planSpec string, window, retries int, crossCheck bool, sess *obs.Session) error {
+	plan, err := bvap.ParseFaultPlan(planSpec)
+	if err != nil {
+		return err
+	}
+	if err := sim.InjectFaults(plan); err != nil {
+		return err
+	}
+	if sess.Registry != nil {
+		sim.InstrumentFaults(sess.Registry)
+	}
+	rep, err := sim.RunResilient(context.Background(), input, bvap.ResilienceConfig{
+		Window:     window,
+		MaxRetries: retries,
+		CrossCheck: crossCheck,
+		Metrics:    sess.Registry,
+	})
+	if err != nil {
+		return err
+	}
+	fs := rep.Faults
+	fmt.Printf("faults: injected=%d detected=%d (%.1f%%) silent=%d\n",
+		fs.TotalInjected(), fs.Detected, fs.DetectionRate()*100, fs.Silent)
+	fmt.Printf("recovery: windows=%d retries=%d fallbacks=%d", rep.Windows, rep.Retries, rep.Fallbacks)
+	if crossCheck {
+		fmt.Printf(" mismatches=%d", rep.Mismatches)
+	}
+	fmt.Println()
+	return nil
+}
 
 func runConfig(path string, streaming bool, input []byte, showMatches, breakdown bool, sess *obs.Session, occupancyEvery int) {
 	f, err := os.Open(path)

@@ -1,0 +1,222 @@
+package bvap
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+// ctxPatterns is a small pattern set used across the cancellation tests;
+// one pattern is deliberately broken and one blows the compile budget.
+var ctxPatterns = []string{"ab{3}c", "x{2,30}y", "(?i)get /[a-z]{8}"}
+
+func TestCompileContextCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	// Many patterns so the per-pattern check must fire long before the end.
+	pats := make([]string, 500)
+	for i := range pats {
+		pats[i] = "a{2,200}b"
+	}
+	_, err := CompileContext(ctx, pats)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if !strings.Contains(err.Error(), "canceled at pattern") {
+		t.Fatalf("err = %v, want a pattern position", err)
+	}
+}
+
+func TestCompileContextDeadline(t *testing.T) {
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	if _, err := CompileContext(ctx, ctxPatterns); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+}
+
+func TestCompileContextUncanceled(t *testing.T) {
+	e, err := CompileContext(context.Background(), ctxPatterns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := e.Count([]byte("abbbc xxxxy")); got != 2 {
+		t.Fatalf("Count = %d, want 2", got)
+	}
+}
+
+func TestFindAllContextCanceled(t *testing.T) {
+	e := MustCompile(ctxPatterns)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	matches, err := e.FindAllContext(ctx, make([]byte, 1<<16))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if matches != nil {
+		t.Fatalf("canceled-before-start scan returned matches: %v", matches)
+	}
+}
+
+func TestScanContextPartialResults(t *testing.T) {
+	e := MustCompile([]string{"ab"})
+	s := e.NewStream()
+	// Build input with one match inside the first chunk and one far past
+	// the symbol budget.
+	input := make([]byte, 4*runChunkSymbols)
+	copy(input[10:], "ab")
+	copy(input[3*runChunkSymbols:], "ab")
+	s.SetBudget(Budget{MaxSymbols: runChunkSymbols})
+	matches, err := s.ScanContext(context.Background(), input)
+	var be *BudgetError
+	if !errors.As(err, &be) {
+		t.Fatalf("err = %v, want *BudgetError", err)
+	}
+	if !errors.Is(err, ErrBudget) {
+		t.Fatalf("err = %v, does not unwrap to ErrBudget", err)
+	}
+	if be.Resource != "symbols" || be.Limit != runChunkSymbols {
+		t.Fatalf("budget error = %+v", be)
+	}
+	if len(matches) != 1 || matches[0].End != 11 {
+		t.Fatalf("partial matches = %v, want the one pre-budget match at 11", matches)
+	}
+}
+
+func TestRunContextDeadline(t *testing.T) {
+	e := MustCompile(ctxPatterns)
+	sim, err := e.NewSimulator(ArchBVAP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	if err := sim.RunContext(ctx, make([]byte, 1<<16)); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+	// The partial result must still be coherent (no symbols ran).
+	if r := sim.Result(); r.Symbols != 0 {
+		t.Fatalf("symbols = %d after immediate deadline", r.Symbols)
+	}
+}
+
+func TestRunContextSymbolBudget(t *testing.T) {
+	e := MustCompile(ctxPatterns)
+	sim, err := e.NewSimulator(ArchBVAP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim.SetBudget(Budget{MaxSymbols: 3 * runChunkSymbols / 2})
+	err = sim.RunContext(context.Background(), make([]byte, 1<<16))
+	var be *BudgetError
+	if !errors.As(err, &be) {
+		t.Fatalf("err = %v, want *BudgetError", err)
+	}
+	// The budget clamps mid-chunk: exactly MaxSymbols ran.
+	if r := sim.Result(); r.Symbols != uint64(3*runChunkSymbols/2) {
+		t.Fatalf("symbols = %d, want %d", r.Symbols, 3*runChunkSymbols/2)
+	}
+}
+
+func TestCompileBudgetIsolatesPatterns(t *testing.T) {
+	// A tight STE budget: the first pattern fits, the second (much larger)
+	// is rejected with a budget error, the third fits again.
+	e, err := Compile([]string{"ab", "(abcdefgh){1,9}(ijklmnop){1,9}(qrstuvwx){1,9}", "cd"},
+		WithBudget(Budget{MaxStates: 8}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := e.Report()
+	if !rep.Patterns[0].Supported || !rep.Patterns[2].Supported {
+		t.Fatalf("small patterns rejected: %+v", rep.Patterns)
+	}
+	if rep.Patterns[1].Supported {
+		t.Fatal("oversized pattern slipped past the budget")
+	}
+	errs := e.PatternErrors()
+	if len(errs) != 1 {
+		t.Fatalf("PatternErrors = %v, want 1", errs)
+	}
+	var pe *PatternError
+	if !errors.As(errs[0], &pe) || pe.Index != 1 {
+		t.Fatalf("pattern error = %v", errs[0])
+	}
+	if !errors.Is(errs[0], ErrBudget) {
+		t.Fatalf("err = %v, does not unwrap to ErrBudget", errs[0])
+	}
+	// Matching still works for the surviving patterns.
+	if got := e.Count([]byte("ab cd")); got != 2 {
+		t.Fatalf("Count = %d, want 2", got)
+	}
+}
+
+func TestPatternErrorKinds(t *testing.T) {
+	// (a{64}){64} nests counters into one cluster needing more BVs than a
+	// tile holds → capacity.
+	e := MustCompile([]string{"ok", "bad(", "(a{64}){64}"})
+	var syntax, unsupported int
+	for _, err := range e.PatternErrors() {
+		switch {
+		case errors.Is(err, ErrSyntax):
+			syntax++
+		case errors.Is(err, ErrUnsupported):
+			unsupported++
+		default:
+			t.Errorf("unclassified pattern error: %v", err)
+		}
+	}
+	if syntax != 1 || unsupported != 1 {
+		t.Fatalf("syntax=%d unsupported=%d, want 1 and 1", syntax, unsupported)
+	}
+}
+
+// TestContextCancelNoGoroutineLeak pins that the context-aware paths spawn
+// no goroutines at all: cancellation is checked inline at chunk boundaries,
+// so there is nothing to leak.
+func TestContextCancelNoGoroutineLeak(t *testing.T) {
+	before := runtime.NumGoroutine()
+	e := MustCompile(ctxPatterns)
+	for i := 0; i < 10; i++ {
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		_, _ = e.FindAllContext(ctx, make([]byte, 1<<14))
+		sim, err := e.NewSimulator(ArchBVAPStreaming)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_ = sim.RunContext(ctx, make([]byte, 1<<14))
+		_, _ = CompileContext(ctx, ctxPatterns)
+	}
+	// Allow the runtime a moment to retire anything transient.
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		runtime.Gosched()
+		time.Sleep(10 * time.Millisecond)
+	}
+	if after := runtime.NumGoroutine(); after > before {
+		t.Fatalf("goroutines grew %d → %d across canceled runs", before, after)
+	}
+}
+
+func TestRunResilientCanceled(t *testing.T) {
+	e := MustCompile(ctxPatterns)
+	sim, err := e.NewSimulator(ArchBVAP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.InjectFaults(UniformFaultPlan(3, 1e-3, true)); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	rep, err := sim.RunResilient(ctx, make([]byte, 1<<14), ResilienceConfig{})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if rep.Windows != 0 {
+		t.Fatalf("windows = %d after immediate cancel", rep.Windows)
+	}
+}

@@ -1,0 +1,108 @@
+package bvap
+
+// The package's error taxonomy. Batch compilation isolates per-pattern
+// failures (a bad rule does not take down the rule set); the taxonomy lets
+// callers triage what happened with errors.Is / errors.As instead of string
+// matching:
+//
+//	errs := engine.PatternErrors()
+//	for _, err := range errs {
+//		var pe *bvap.PatternError
+//		switch {
+//		case errors.Is(err, bvap.ErrSyntax):    // fix the rule
+//		case errors.Is(err, bvap.ErrBudget):    // raise the budget
+//		case errors.As(err, &pe):               // inspect pe.Reason
+//		}
+//	}
+//
+// Budget exhaustion during simulation (Simulator.RunContext,
+// Stream.ScanContext) surfaces as *BudgetError, which also unwraps to
+// ErrBudget. Context cancellation surfaces as the context's own error
+// (context.Canceled / context.DeadlineExceeded) wrapped with position
+// information.
+
+import (
+	"errors"
+	"fmt"
+
+	"bvap/internal/compiler"
+)
+
+var (
+	// ErrSyntax marks a pattern the parser rejected.
+	ErrSyntax = errors.New("pattern syntax error")
+	// ErrUnsupported marks a pattern that parsed but cannot be mapped to
+	// BVAP hardware (resource limits, unsupported constructs).
+	ErrUnsupported = errors.New("pattern not supported on BVAP hardware")
+	// ErrBudget marks work stopped by an exhausted resource budget
+	// (compile-time STE budget or run-time symbol budget).
+	ErrBudget = errors.New("resource budget exceeded")
+)
+
+// PatternError describes one pattern that failed to compile. It unwraps to
+// ErrSyntax, ErrBudget or ErrUnsupported according to the failure kind, so
+// errors.Is triages without string inspection.
+type PatternError struct {
+	// Index is the pattern's position in the compiled set.
+	Index int
+	// Pattern is the source text.
+	Pattern string
+	// Kind is the compiler's failure class: "syntax", "capacity" or
+	// "budget".
+	Kind string
+	// Reason is the human-readable diagnostic.
+	Reason string
+}
+
+func (e *PatternError) Error() string {
+	return fmt.Sprintf("bvap: pattern %d (%q): %s: %s", e.Index, e.Pattern, e.Kind, e.Reason)
+}
+
+// Unwrap maps the failure kind onto the sentinel taxonomy.
+func (e *PatternError) Unwrap() error {
+	switch e.Kind {
+	case compiler.KindSyntax:
+		return ErrSyntax
+	case compiler.KindBudget:
+		return ErrBudget
+	default:
+		return ErrUnsupported
+	}
+}
+
+// BudgetError reports which resource budget was exhausted and where. It
+// unwraps to ErrBudget.
+type BudgetError struct {
+	// Resource names the exhausted budget: "symbols" or "states".
+	Resource string
+	// Limit is the configured budget; Used is the consumption when the
+	// budget tripped.
+	Limit, Used int64
+}
+
+func (e *BudgetError) Error() string {
+	return fmt.Sprintf("bvap: %s budget exceeded (limit %d, used %d)", e.Resource, e.Limit, e.Used)
+}
+
+// Unwrap makes errors.Is(err, ErrBudget) hold.
+func (e *BudgetError) Unwrap() error { return ErrBudget }
+
+// Budget bounds the resources a compilation or simulation may consume.
+// Zero fields mean unlimited. Wall-clock deadlines are expressed through
+// context.WithTimeout / WithDeadline on the ctx passed to the *Context
+// methods.
+type Budget struct {
+	// MaxStates caps the total STEs a Compile call may allocate across
+	// the pattern set; patterns past the cap are reported unsupported
+	// with a budget PatternError instead of failing the batch.
+	MaxStates int
+	// MaxSymbols caps the input symbols a Simulator.RunContext or
+	// Stream.ScanContext call chain may consume (cumulative across calls
+	// on the same object).
+	MaxSymbols int64
+}
+
+// WithBudget applies a compile-time resource budget (Budget.MaxStates).
+func WithBudget(b Budget) Option {
+	return func(o *compiler.Options) { o.MaxTotalSTEs = b.MaxStates }
+}

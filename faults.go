@@ -1,0 +1,208 @@
+package bvap
+
+// Public fault-injection and resilience surface. The simulator can model
+// hardware faults striking the structures BVAP's efficiency depends on —
+// BVM SRAM bit vectors, STE active latches, the BVAP-S streaming input, the
+// hierarchical I/O buffers — and evaluate the detect/retry/degrade recovery
+// stack against them:
+//
+//	sim, _ := engine.NewSimulator(bvap.ArchBVAP)
+//	plan, _ := bvap.ParseFaultPlan("seed=42,rate=1e-4,parity=1")
+//	sim.InjectFaults(plan)
+//	rep, _ := sim.RunResilient(ctx, input, bvap.ResilienceConfig{CrossCheck: true})
+//	// rep.Faults.DetectionRate(), rep.Fallbacks, rep.Mismatches …
+//
+// Injection is deterministic: a plan's seed fully determines the fault
+// stream, and the fault set at rate r is a subset of the set at any higher
+// rate, so detection and recovery curves are monotone by construction.
+
+import (
+	"context"
+	"fmt"
+
+	"bvap/internal/faults"
+	"bvap/internal/swmatch"
+	"bvap/internal/telemetry"
+)
+
+// FaultPlan describes a deterministic fault-injection campaign: seed,
+// per-site rates, site filters, and whether the hardware pays for per-BV
+// parity detection. See the internal/faults documentation for field
+// details.
+type FaultPlan = faults.Plan
+
+// FaultEvent is one injected fault from the recorded trace.
+type FaultEvent = faults.Event
+
+// FaultStats counts a campaign's injections and detection outcomes.
+type FaultStats = faults.Stats
+
+// ParseFaultPlan parses the CLI form of a fault plan: comma-separated
+// key=value terms with keys seed, rate, bitflip, ste, drop, dup, io,
+// parity, trace. Example: "seed=42,rate=1e-4,parity=1".
+func ParseFaultPlan(s string) (*FaultPlan, error) { return faults.ParsePlan(s) }
+
+// UniformFaultPlan builds a plan with every site rate set to rate.
+func UniformFaultPlan(seed int64, rate float64, parity bool) *FaultPlan {
+	return faults.UniformPlan(seed, rate, parity)
+}
+
+// InjectFaults attaches (or with nil detaches) a fault-injection plan to
+// this simulator. Only BVAP and BVAP-S simulators support injection. Call
+// before Run; when the plan enables parity, the modeled area and BV access
+// energy grow by the parity surcharge. With no plan attached the simulation
+// hot path pays a single nil check and is bit-identical to an uninjected
+// run.
+func (s *Simulator) InjectFaults(p *FaultPlan) error {
+	if s.bvapSys == nil {
+		return fmt.Errorf("bvap: fault injection supports BVAP and BVAP-S simulators (got %v)", s.arch)
+	}
+	if p == nil {
+		s.bvapSys.SetFaults(nil)
+		s.inj = nil
+		return nil
+	}
+	in, err := faults.NewInjector(p)
+	if err != nil {
+		return err
+	}
+	s.bvapSys.SetFaults(in)
+	s.inj = in
+	return nil
+}
+
+// FaultStats returns the injected-fault counters (zero value with no plan
+// attached).
+func (s *Simulator) FaultStats() FaultStats {
+	if s.inj == nil {
+		return FaultStats{}
+	}
+	return s.inj.Stats()
+}
+
+// FaultTrace returns the recorded fault events, up to the plan's trace cap.
+// Callers must not mutate the returned slice.
+func (s *Simulator) FaultTrace() []FaultEvent {
+	if s.inj == nil {
+		return nil
+	}
+	return s.inj.Trace()
+}
+
+// InstrumentFaults attaches a telemetry registry to the fault layer:
+// per-site injection counters and detected/silent totals accrue live.
+func (s *Simulator) InstrumentFaults(reg *telemetry.Registry) {
+	if s.inj != nil {
+		s.inj.Instrument(reg)
+	}
+}
+
+// ResilienceConfig tunes RunResilient's detect/retry/degrade loop.
+type ResilienceConfig struct {
+	// Window is the checkpoint interval in symbols (default 256).
+	Window int
+	// MaxRetries bounds re-executions of a window after a detected fault
+	// before degrading to the clean software path (default 2).
+	MaxRetries int
+	// CrossCheck verifies every committed window's match ends against an
+	// independent software matcher per pattern; disagreements count as
+	// silent-corruption escapes (Report.Mismatches). Patterns whose
+	// unfolded form is too large for the reference matcher are skipped.
+	CrossCheck bool
+	// Metrics, when non-nil, accrues live window/retry/fallback/mismatch
+	// counters on the registry.
+	Metrics *telemetry.Registry
+}
+
+// crossCheckMaxUnfolded caps the reference matchers built for CrossCheck:
+// swmatch fully unfolds bounded repetitions, so enormous bounds would make
+// the reference quadratically expensive. Patterns above the cap are skipped
+// (their windows are not cross-checked).
+const crossCheckMaxUnfolded = 4096
+
+// ResilienceReport summarizes one RunResilient campaign.
+type ResilienceReport struct {
+	// Windows is the number of committed checkpoint windows.
+	Windows uint64
+	// Retries counts window re-executions after detected faults.
+	Retries uint64
+	// Fallbacks counts windows that exhausted retries and were replayed
+	// on the clean software path (graceful degradation).
+	Fallbacks uint64
+	// Mismatches counts machine-windows whose committed output diverged
+	// from the reference matcher — corruption that escaped detection and
+	// recovery. Requires CrossCheck.
+	Mismatches uint64
+	// Faults is the injector's final counter snapshot.
+	Faults FaultStats
+}
+
+// RunResilient executes input under the attached fault plan with
+// checkpoint/rollback recovery: windows with detected faults are retried
+// (each retry draws a fresh transient-fault stream) up to MaxRetries, then
+// replayed with injection suppressed — the graceful degradation to the
+// clean software NBVA path. InjectFaults must have been called first.
+// Statistics (energy, cycles) accumulated by discarded attempts stay
+// charged: that is the measured cost of recovery. The context cancels
+// between windows; the partial report is returned alongside the error.
+func (s *Simulator) RunResilient(ctx context.Context, input []byte, cfg ResilienceConfig) (ResilienceReport, error) {
+	if s.bvapSys == nil {
+		return ResilienceReport{}, fmt.Errorf("bvap: resilient execution supports BVAP and BVAP-S simulators (got %v)", s.arch)
+	}
+	if s.inj == nil {
+		return ResilienceReport{}, fmt.Errorf("bvap: no fault plan attached (call InjectFaults first)")
+	}
+	hcfg := faults.HarnessConfig{Window: cfg.Window, MaxRetries: cfg.MaxRetries}
+	if cfg.CrossCheck {
+		if s.eng == nil {
+			return ResilienceReport{}, fmt.Errorf("bvap: cross-check needs an engine-built simulator")
+		}
+		s.bvapSys.RecordMatchEnds(true)
+		refs, err := s.crossCheckRefs()
+		if err != nil {
+			return ResilienceReport{}, err
+		}
+		hcfg.Reference = refs
+	}
+	h, err := faults.NewHarness(s.bvapSys, s.inj, hcfg)
+	if err != nil {
+		return ResilienceReport{}, err
+	}
+	if cfg.Metrics != nil {
+		h.Instrument(cfg.Metrics)
+	}
+	rep, err := h.Run(ctx, input)
+	out := ResilienceReport{
+		Windows:    rep.Windows,
+		Retries:    rep.Retries,
+		Fallbacks:  rep.Fallbacks,
+		Mismatches: rep.Mismatches,
+		Faults:     rep.Faults,
+	}
+	if err != nil {
+		return out, fmt.Errorf("bvap: resilient run: %w", err)
+	}
+	return out, nil
+}
+
+// crossCheckRefs builds one independent software matcher per compiled
+// machine (nil for unsupported patterns and for patterns whose unfolded
+// form exceeds the reference-size cap).
+func (s *Simulator) crossCheckRefs() ([]*swmatch.Matcher, error) {
+	per := s.eng.res.Report.PerRegex
+	refs := make([]*swmatch.Matcher, len(per))
+	for i, pr := range per {
+		if !pr.Supported || pr.UnfoldedSTEs > crossCheckMaxUnfolded {
+			continue
+		}
+		m, err := swmatch.New(pr.Pattern)
+		if err != nil {
+			// The hardware compiler accepted the pattern; a reference
+			// build failure means the reference doesn't cover this
+			// syntax — skip rather than fail the campaign.
+			continue
+		}
+		refs[i] = m
+	}
+	return refs, nil
+}

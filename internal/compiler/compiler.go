@@ -11,6 +11,7 @@
 package compiler
 
 import (
+	"context"
 	"fmt"
 
 	"bvap/internal/archmodel"
@@ -39,6 +40,16 @@ type Options struct {
 	// Metrics, when non-nil, accrues compile counters (phase wall time,
 	// Table 3 read-kind hits, rewrite decisions, resource totals).
 	Metrics *telemetry.Registry
+
+	// Ctx, when non-nil, cancels compilation between patterns and before
+	// tile mapping: Compile returns the context's error wrapped with the
+	// position it stopped at. Nil means no cancellation.
+	Ctx context.Context
+	// MaxTotalSTEs, when positive, is a compile-time resource budget:
+	// patterns whose STEs would push the running total past the budget
+	// are marked unsupported with KindBudget instead of failing the batch
+	// (per-pattern failure isolation).
+	MaxTotalSTEs int
 }
 
 // DefaultOptions mirrors regex.DefaultOptions: K = 64, threshold 8.
@@ -55,12 +66,28 @@ func (o Options) validate() error {
 	return nil
 }
 
+// Failure kinds recorded in RegexReport.Kind for unsupported patterns; the
+// root package maps them onto its sentinel error taxonomy (errors.Is).
+const (
+	// KindSyntax marks a pattern the parser rejected.
+	KindSyntax = "syntax"
+	// KindCapacity marks a pattern that parsed but exceeds a hardware
+	// resource limit (STEs, BV clusters, instruction encodings).
+	KindCapacity = "capacity"
+	// KindBudget marks a pattern skipped because the caller's compile
+	// budget (Options.MaxTotalSTEs) was exhausted.
+	KindBudget = "budget"
+)
+
 // RegexReport summarizes one compiled regex.
 type RegexReport struct {
 	Pattern string
 	// Supported is false when the regex cannot be mapped to BVAP.
 	Supported bool
 	Reason    string
+	// Kind classifies the failure when Supported is false: KindSyntax,
+	// KindCapacity or KindBudget. Empty for supported patterns.
+	Kind string
 	// STEs and BVSTEs are the AH-NBVA resource counts.
 	STEs   int
 	BVSTEs int
@@ -111,8 +138,26 @@ func Compile(patterns []string, opt Options) (*Result, error) {
 	}
 	res := &Result{Config: cfg}
 	in := newInstr(opt)
-	for _, pat := range patterns {
+	for i, pat := range patterns {
+		if opt.Ctx != nil {
+			if err := opt.Ctx.Err(); err != nil {
+				return nil, fmt.Errorf("compiler: compilation canceled at pattern %d of %d: %w",
+					i, len(patterns), err)
+			}
+		}
 		machine, ah, rep := compileOne(pat, opt, in)
+		if rep.Supported && opt.MaxTotalSTEs > 0 &&
+			res.Report.TotalSTEs+rep.STEs > opt.MaxTotalSTEs {
+			// Budget exhaustion isolates per pattern: this pattern (and
+			// any later ones that don't fit) is skipped, the batch
+			// continues.
+			reason := fmt.Sprintf("compile budget: %d STEs would exceed the %d-STE budget (%d used)",
+				rep.STEs, opt.MaxTotalSTEs, res.Report.TotalSTEs)
+			rep = RegexReport{Pattern: pat, Kind: KindBudget, Reason: reason,
+				MaxBound: rep.MaxBound, UnfoldedSTEs: rep.UnfoldedSTEs}
+			machine = hwconf.Machine{Regex: pat, Unsupported: reason}
+			ah = nil
+		}
 		in.patternDone(machine, rep, opt)
 		cfg.Machines = append(cfg.Machines, machine)
 		res.Machines = append(res.Machines, ah)
@@ -124,6 +169,11 @@ func Compile(patterns []string, opt Options) (*Result, error) {
 			res.Report.UnfoldedSTEs += rep.UnfoldedSTEs
 		} else {
 			res.Report.Unsupported++
+		}
+	}
+	if opt.Ctx != nil {
+		if err := opt.Ctx.Err(); err != nil {
+			return nil, fmt.Errorf("compiler: compilation canceled before tile mapping: %w", err)
 		}
 	}
 	mapDone := in.phase("tile-mapping", "")
@@ -140,8 +190,9 @@ func Compile(patterns []string, opt Options) (*Result, error) {
 // → ah → instruction-selection).
 func compileOne(pat string, opt Options, in *instr) (hwconf.Machine, *nbva.AHNBVA, RegexReport) {
 	rep := RegexReport{Pattern: pat}
-	fail := func(reason string) (hwconf.Machine, *nbva.AHNBVA, RegexReport) {
+	fail := func(kind, reason string) (hwconf.Machine, *nbva.AHNBVA, RegexReport) {
 		rep.Supported = false
+		rep.Kind = kind
 		rep.Reason = reason
 		return hwconf.Machine{Regex: pat, Unsupported: reason}, nil, rep
 	}
@@ -149,7 +200,7 @@ func compileOne(pat string, opt Options, in *instr) (hwconf.Machine, *nbva.AHNBV
 	ast, anchored, err := regex.ParseAnchored(pat)
 	if err != nil {
 		done()
-		return fail(err.Error())
+		return fail(KindSyntax, err.Error())
 	}
 	st := regex.Analyze(ast)
 	rep.MaxBound = st.MaxUpperBound
@@ -168,7 +219,7 @@ func compileOne(pat string, opt Options, in *instr) (hwconf.Machine, *nbva.AHNBV
 	machine, err := nbva.Build(ast)
 	done()
 	if err != nil {
-		return fail(err.Error())
+		return fail(KindCapacity, err.Error())
 	}
 	machine.Anchored = anchored
 
@@ -176,7 +227,7 @@ func compileOne(pat string, opt Options, in *instr) (hwconf.Machine, *nbva.AHNBV
 	ah, err := nbva.Transform(machine)
 	if err != nil {
 		done()
-		return fail(err.Error())
+		return fail(KindCapacity, err.Error())
 	}
 	// A machine may span tiles (read-gated transitions travel over the
 	// ordinary state-transition network), but each vector-connected
@@ -186,18 +237,18 @@ func compileOne(pat string, opt Options, in *instr) (hwconf.Machine, *nbva.AHNBV
 	// repetition bound 48 × 64 = 3072.
 	if ah.Size() > archmodel.STEsPerTile*archmodel.TilesPerArray {
 		done()
-		return fail(fmt.Sprintf("needs %d STEs, array capacity is %d",
+		return fail(KindCapacity, fmt.Sprintf("needs %d STEs, array capacity is %d",
 			ah.Size(), archmodel.STEsPerTile*archmodel.TilesPerArray))
 	}
 	for _, cl := range bvClusters(ah) {
 		if cl.storageBVs > archmodel.BVsPerTile {
 			done()
-			return fail(fmt.Sprintf("counting cluster needs %d BVs, tile capacity is %d",
+			return fail(KindCapacity, fmt.Sprintf("counting cluster needs %d BVs, tile capacity is %d",
 				cl.storageBVs, archmodel.BVsPerTile))
 		}
 		if cl.stes > archmodel.STEsPerTile {
 			done()
-			return fail(fmt.Sprintf("counting cluster needs %d STEs, tile capacity is %d",
+			return fail(KindCapacity, fmt.Sprintf("counting cluster needs %d STEs, tile capacity is %d",
 				cl.stes, archmodel.STEsPerTile))
 		}
 	}
@@ -207,7 +258,7 @@ func compileOne(pat string, opt Options, in *instr) (hwconf.Machine, *nbva.AHNBV
 	m, maxWords, err := serializeMachine(pat, ah)
 	if err != nil {
 		done()
-		return fail(err.Error())
+		return fail(KindCapacity, err.Error())
 	}
 	// §7 step 2: generate (and self-check) the symbol encoding schema.
 	classes := make([]charclass.Class, 0, ah.Size())
@@ -215,7 +266,7 @@ func compileOne(pat string, opt Options, in *instr) (hwconf.Machine, *nbva.AHNBV
 		classes = append(classes, s.Class)
 		if err := encoding.Verify(s.Class, encoding.Encode(s.Class)); err != nil {
 			done()
-			return fail(err.Error())
+			return fail(KindCapacity, err.Error())
 		}
 	}
 	done()

@@ -1,0 +1,200 @@
+package experiments
+
+// The fault-injection experiment: sweep the injection rate over a dataset
+// workload and measure what the resilience stack delivers — detection rate,
+// recovery retries, degraded (software-fallback) windows, silent escapes
+// caught by the reference cross-check, and the energy overhead of parity
+// protection plus re-execution relative to a fault-free run of the same
+// workload. Because the injector's fault sets are nested across rates
+// (threshold firing on a shared hash), the injected/detected/fallback
+// columns are monotone in the rate by construction — a property the tests
+// pin.
+
+import (
+	"context"
+	"fmt"
+	"io"
+
+	"bvap/internal/compiler"
+	"bvap/internal/datasets"
+	"bvap/internal/faults"
+	"bvap/internal/hwsim"
+	"bvap/internal/swmatch"
+)
+
+// FaultsOptions parameterizes the fault-injection sweep.
+type FaultsOptions struct {
+	// Dataset names the workload profile (default "Snort").
+	Dataset string
+	// Sample is the number of patterns drawn (default 24).
+	Sample int
+	// InputLen is the stream length in bytes (default 1 << 15).
+	InputLen int
+	// Rates are the per-site injection rates swept (default
+	// {0, 1e-4, 5e-4, 2e-3, 1e-2}).
+	Rates []float64
+	// Seed selects the deterministic fault stream (default 1).
+	Seed int64
+	// Window and MaxRetries tune the recovery harness (defaults 256, 2).
+	Window     int
+	MaxRetries int
+	// Streaming selects the BVAP-S input model (stream drop/dup faults
+	// instead of I/O buffer overflows).
+	Streaming bool
+	// NoParity disables the per-BV parity detection circuit (parity is
+	// on by default; without it only I/O faults are detected, so the
+	// sweep shows what the surcharge buys).
+	NoParity bool
+}
+
+func (o *FaultsOptions) fill() {
+	if o.Dataset == "" {
+		o.Dataset = "Snort"
+	}
+	if o.Sample == 0 {
+		o.Sample = 24
+	}
+	if o.InputLen == 0 {
+		o.InputLen = 1 << 15
+	}
+	if len(o.Rates) == 0 {
+		o.Rates = []float64{0, 1e-4, 5e-4, 2e-3, 1e-2}
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.Window == 0 {
+		o.Window = 256
+	}
+	if o.MaxRetries == 0 {
+		o.MaxRetries = 2
+	}
+}
+
+// FaultsRow is one rate point of the sweep.
+type FaultsRow struct {
+	Rate float64
+	// Injected/Detected/Silent are the injector's counters.
+	Injected, Detected, Silent uint64
+	// DetectionRate is Detected / Injected.
+	DetectionRate float64
+	// Windows/Retries/Fallbacks/Mismatches are the harness counters.
+	Windows, Retries, Fallbacks, Mismatches uint64
+	// EnergyPerSymbolPJ is the run's energy efficiency including parity
+	// and re-execution overhead; EnergyOverhead is its ratio to the
+	// rate-0 row minus 1.
+	EnergyPerSymbolPJ float64
+	EnergyOverhead    float64
+	// ParityEnergyPJ is the parity surcharge alone.
+	ParityEnergyPJ float64
+}
+
+// Faults runs the fault-injection sweep.
+func Faults(opt FaultsOptions) ([]FaultsRow, error) {
+	opt.fill()
+	prof, err := datasets.ByName(opt.Dataset)
+	if err != nil {
+		return nil, err
+	}
+	patterns := prof.Sample(opt.Sample)
+	input := prof.Input(opt.InputLen, patterns)
+	copt := compiler.DefaultOptions()
+	res, err := compiler.Compile(patterns, copt)
+	if err != nil {
+		return nil, err
+	}
+
+	// One reference matcher per machine for the silent-corruption
+	// cross-check (skipping patterns whose unfolded form is too large).
+	refs := make([]*swmatch.Matcher, len(res.Report.PerRegex))
+	for i, pr := range res.Report.PerRegex {
+		if !pr.Supported || pr.UnfoldedSTEs > 4096 {
+			continue
+		}
+		if m, err := swmatch.New(pr.Pattern); err == nil {
+			refs[i] = m
+		}
+	}
+
+	var out []FaultsRow
+	baseline := 0.0
+	for _, rate := range opt.Rates {
+		sys, err := hwsim.NewBVAPSystem(res.Config, opt.Streaming)
+		if err != nil {
+			return nil, err
+		}
+		row := FaultsRow{Rate: rate}
+		if rate == 0 {
+			// Fault-free reference run: no injector, no parity, no
+			// harness — the plain datapath.
+			sys.Run(input)
+			st := sys.Finish()
+			row.EnergyPerSymbolPJ = st.EnergyPerSymbolPJ()
+		} else {
+			plan := faults.UniformPlan(opt.Seed, rate, !opt.NoParity)
+			inj, err := faults.NewInjector(plan)
+			if err != nil {
+				return nil, err
+			}
+			sys.SetFaults(inj)
+			sys.RecordMatchEnds(true)
+			for i := range refs {
+				if refs[i] != nil {
+					refs[i].Reset()
+				}
+			}
+			h, err := faults.NewHarness(sys, inj, faults.HarnessConfig{
+				Window:     opt.Window,
+				MaxRetries: opt.MaxRetries,
+				Reference:  refs,
+			})
+			if err != nil {
+				return nil, err
+			}
+			rep, err := h.Run(context.Background(), input)
+			if err != nil {
+				return nil, fmt.Errorf("faults sweep rate=%g: %v", rate, err)
+			}
+			st := sys.Finish()
+			fs := rep.Faults
+			row.Injected = fs.TotalInjected()
+			row.Detected = fs.Detected
+			row.Silent = fs.Silent
+			row.DetectionRate = fs.DetectionRate()
+			row.Windows = rep.Windows
+			row.Retries = rep.Retries
+			row.Fallbacks = rep.Fallbacks
+			row.Mismatches = rep.Mismatches
+			row.EnergyPerSymbolPJ = st.EnergyPerSymbolPJ()
+			row.ParityEnergyPJ = st.ParityEnergyPJ
+		}
+		if rate == 0 {
+			baseline = row.EnergyPerSymbolPJ
+		}
+		if baseline > 0 {
+			row.EnergyOverhead = row.EnergyPerSymbolPJ/baseline - 1
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+// RenderFaults prints the sweep as an aligned table.
+func RenderFaults(w io.Writer, opt FaultsOptions, rows []FaultsRow) {
+	opt.fill()
+	mode := "BVAP"
+	if opt.Streaming {
+		mode = "BVAP-S"
+	}
+	fmt.Fprintf(w, "Fault injection — %s on %s, seed %d, parity %v, window %d, retries %d\n",
+		mode, opt.Dataset, opt.Seed, !opt.NoParity, opt.Window, opt.MaxRetries)
+	fmt.Fprintf(w, "%10s %9s %9s %7s %7s %8s %8s %6s %6s %11s %9s\n",
+		"rate", "injected", "detected", "det%", "silent",
+		"windows", "retries", "fback", "misma", "pJ/sym", "overhead")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%10.2g %9d %9d %6.1f%% %7d %8d %8d %6d %6d %11.4f %8.2f%%\n",
+			r.Rate, r.Injected, r.Detected, r.DetectionRate*100, r.Silent,
+			r.Windows, r.Retries, r.Fallbacks, r.Mismatches,
+			r.EnergyPerSymbolPJ, r.EnergyOverhead*100)
+	}
+}

@@ -1,0 +1,457 @@
+// Package faults is the deterministic fault-injection and resilience layer
+// of the BVAP simulator. BVAP's energy wins come from dense SRAM bit
+// vectors and stall-controlled word-serial routing — exactly the structures
+// most exposed to soft errors and overload in a deployment — so the
+// simulator models them: a seedable Plan describes *where* and *how often*
+// faults strike (BVM bit flips, STE active-bit corruption, dropped or
+// duplicated symbols at the BVAP-S streaming input, I/O buffer overflows),
+// an Injector turns the plan into a reproducible event stream, and a
+// Harness (harness.go) layers detection, bounded retry with rollback, and
+// graceful degradation to the software NBVA engine on top.
+//
+// Determinism contract: whether a fault fires at a given (site, stream
+// position, lane, attempt) is a pure function of the Plan's seed — it does
+// not depend on execution state, the order of draws, or previous faults.
+// Two runs with the same seed and rates therefore produce identical fault
+// traces, and because firing uses a threshold comparison against the same
+// hash, the fault set at rate r is a subset of the fault set at any rate
+// r' > r (nested faults ⇒ monotone detection/fallback curves).
+package faults
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"bvap/internal/telemetry"
+)
+
+// Site identifies a hardware structure faults can strike.
+type Site int
+
+const (
+	// SiteBVBitFlip flips one bit of an active BV-STE's SRAM bit vector
+	// (a classic soft error in the densest structure of the design).
+	SiteBVBitFlip Site = iota
+	// SiteSTEActive corrupts the active-bit latches of the state-matching
+	// array: an active STE is silently deactivated, or an idle STE is
+	// spuriously activated.
+	SiteSTEActive
+	// SiteStreamDrop loses one symbol at the BVAP-S streaming input (the
+	// sensor interface has no buffering to replay from, §6).
+	SiteStreamDrop
+	// SiteStreamDup duplicates one symbol at the BVAP-S streaming input.
+	SiteStreamDup
+	// SiteIOOverflow overflows the hierarchical I/O buffers of an array:
+	// a corrupted DMA beat empties the ping-pong bank buffer and jams the
+	// report FIFO, surfacing as extra stall cycles.
+	SiteIOOverflow
+
+	// NumSites is the number of injection sites.
+	NumSites
+)
+
+func (s Site) String() string {
+	switch s {
+	case SiteBVBitFlip:
+		return "bv_bit_flip"
+	case SiteSTEActive:
+		return "ste_active"
+	case SiteStreamDrop:
+		return "stream_drop"
+	case SiteStreamDup:
+		return "stream_dup"
+	case SiteIOOverflow:
+		return "io_overflow"
+	}
+	return fmt.Sprintf("Site(%d)", int(s))
+}
+
+// Plan describes a fault-injection campaign: a seed, per-site rates
+// (probability per opportunity, in [0, 1]), optional site filters, and
+// whether the modeled hardware spends energy/area on per-BV parity
+// protection.
+type Plan struct {
+	// Seed selects the deterministic fault stream. Two runs with equal
+	// seeds and rates see identical faults.
+	Seed int64
+
+	// BitFlipRate is the per-machine per-symbol probability of flipping a
+	// random bit in a random active BV vector.
+	BitFlipRate float64
+	// STECorruptRate is the per-machine per-symbol probability of
+	// corrupting an active-bit latch.
+	STECorruptRate float64
+	// DropRate and DupRate are the per-symbol probabilities of losing or
+	// duplicating a symbol at the BVAP-S streaming input. They only apply
+	// to streaming-mode systems.
+	DropRate float64
+	DupRate  float64
+	// IOOverflowRate is the per-array per-symbol probability of an I/O
+	// buffer overflow. It only applies to buffered (non-streaming)
+	// systems.
+	IOOverflowRate float64
+
+	// Parity enables the per-BV parity detection circuit: one parity bit
+	// per 8-bit BV word (a 12.5% Table-4-style surcharge on BV storage
+	// energy and BVM area). With parity, injected BV bit flips are
+	// detected; without it they are silent corruptions.
+	Parity bool
+
+	// Machines, when non-empty, restricts BV and STE injection to these
+	// machine indices (a site filter for targeted campaigns).
+	Machines []int
+
+	// TraceLimit caps the recorded fault trace (0 means the default of
+	// 4096 events; negative disables tracing).
+	TraceLimit int
+}
+
+// UniformPlan is a plan with every site rate set to rate.
+func UniformPlan(seed int64, rate float64, parity bool) *Plan {
+	return &Plan{
+		Seed:           seed,
+		BitFlipRate:    rate,
+		STECorruptRate: rate,
+		DropRate:       rate,
+		DupRate:        rate,
+		IOOverflowRate: rate,
+		Parity:         parity,
+	}
+}
+
+// Validate checks the plan's rates.
+func (p *Plan) Validate() error {
+	for s := Site(0); s < NumSites; s++ {
+		r := p.rate(s)
+		if r < 0 || r > 1 {
+			return fmt.Errorf("faults: %v rate %g out of [0, 1]", s, r)
+		}
+	}
+	for _, m := range p.Machines {
+		if m < 0 {
+			return fmt.Errorf("faults: negative machine filter %d", m)
+		}
+	}
+	return nil
+}
+
+func (p *Plan) rate(s Site) float64 {
+	switch s {
+	case SiteBVBitFlip:
+		return p.BitFlipRate
+	case SiteSTEActive:
+		return p.STECorruptRate
+	case SiteStreamDrop:
+		return p.DropRate
+	case SiteStreamDup:
+		return p.DupRate
+	case SiteIOOverflow:
+		return p.IOOverflowRate
+	}
+	return 0
+}
+
+// ParsePlan parses the CLI form of a plan: comma-separated key=value pairs.
+// Keys: seed, rate (sets every site), bitflip, ste, drop, dup, io,
+// parity (0/1/true/false), trace (event cap). Example:
+//
+//	seed=42,rate=1e-4,parity=1
+func ParsePlan(s string) (*Plan, error) {
+	p := &Plan{Parity: true}
+	if strings.TrimSpace(s) == "" {
+		return nil, fmt.Errorf("faults: empty plan")
+	}
+	for _, kv := range strings.Split(s, ",") {
+		kv = strings.TrimSpace(kv)
+		if kv == "" {
+			continue
+		}
+		k, v, ok := strings.Cut(kv, "=")
+		if !ok {
+			return nil, fmt.Errorf("faults: bad plan term %q (want key=value)", kv)
+		}
+		k = strings.ToLower(strings.TrimSpace(k))
+		v = strings.TrimSpace(v)
+		switch k {
+		case "seed":
+			n, err := strconv.ParseInt(v, 0, 64)
+			if err != nil {
+				return nil, fmt.Errorf("faults: bad seed %q: %v", v, err)
+			}
+			p.Seed = n
+		case "parity":
+			b, err := strconv.ParseBool(v)
+			if err != nil {
+				return nil, fmt.Errorf("faults: bad parity %q: %v", v, err)
+			}
+			p.Parity = b
+		case "trace":
+			n, err := strconv.Atoi(v)
+			if err != nil {
+				return nil, fmt.Errorf("faults: bad trace cap %q: %v", v, err)
+			}
+			p.TraceLimit = n
+		case "rate", "bitflip", "ste", "drop", "dup", "io":
+			r, err := strconv.ParseFloat(v, 64)
+			if err != nil {
+				return nil, fmt.Errorf("faults: bad %s %q: %v", k, v, err)
+			}
+			switch k {
+			case "rate":
+				p.BitFlipRate, p.STECorruptRate = r, r
+				p.DropRate, p.DupRate, p.IOOverflowRate = r, r, r
+			case "bitflip":
+				p.BitFlipRate = r
+			case "ste":
+				p.STECorruptRate = r
+			case "drop":
+				p.DropRate = r
+			case "dup":
+				p.DupRate = r
+			case "io":
+				p.IOOverflowRate = r
+			}
+		default:
+			return nil, fmt.Errorf("faults: unknown plan key %q", k)
+		}
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// Event is one injected fault, as recorded in the trace.
+type Event struct {
+	// Pos is the input stream offset at which the fault struck.
+	Pos uint64 `json:"pos"`
+	// Attempt is the harness retry attempt (0 for the first execution).
+	Attempt int  `json:"attempt"`
+	Site    Site `json:"site"`
+	// Machine/State/Bit locate BV and STE faults; Array locates I/O
+	// faults. Unused fields are -1.
+	Machine int `json:"machine"`
+	State   int `json:"state"`
+	Bit     int `json:"bit"`
+	Array   int `json:"array"`
+	// Detected reports whether the modeled detection circuit (BV parity,
+	// I/O buffer flags) caught the fault.
+	Detected bool `json:"detected"`
+}
+
+func (e Event) String() string {
+	return fmt.Sprintf("pos=%d attempt=%d site=%v machine=%d state=%d bit=%d array=%d detected=%v",
+		e.Pos, e.Attempt, e.Site, e.Machine, e.State, e.Bit, e.Array, e.Detected)
+}
+
+// Stats counts the campaign's injection and detection outcomes. The harness
+// adds recovery counters (retries, fallbacks) in its Report.
+type Stats struct {
+	// Injected counts injected faults by site.
+	Injected [NumSites]uint64
+	// Detected counts faults the modeled detection hardware caught.
+	Detected uint64
+	// Silent counts injected faults that escaped detection.
+	Silent uint64
+}
+
+// TotalInjected sums the per-site injection counts.
+func (s Stats) TotalInjected() uint64 {
+	var n uint64
+	for _, v := range s.Injected {
+		n += v
+	}
+	return n
+}
+
+// DetectionRate is Detected / TotalInjected (0 with no injections).
+func (s Stats) DetectionRate() float64 {
+	t := s.TotalInjected()
+	if t == 0 {
+		return 0
+	}
+	return float64(s.Detected) / float64(t)
+}
+
+// Metric names exposed by Injector.Instrument.
+const (
+	MetricFaultInjected = "bvap_fault_injected_total"
+	MetricFaultDetected = "bvap_fault_detected_total"
+	MetricFaultSilent   = "bvap_fault_silent_total"
+)
+
+const defaultTraceLimit = 4096
+
+// Injector turns a Plan into a deterministic fault stream. It is driven
+// from the simulator's goroutine and is not safe for concurrent use.
+type Injector struct {
+	plan       Plan
+	machineOK  map[int]bool // nil = all machines
+	attempt    int
+	suppressed bool
+	thresholds [NumSites]uint64
+
+	stats      Stats
+	trace      []Event
+	traceLimit int
+
+	// Optional live telemetry (nil-guarded).
+	tmInjected [NumSites]*telemetry.Counter
+	tmDetected *telemetry.Counter
+	tmSilent   *telemetry.Counter
+}
+
+// NewInjector validates the plan and builds an injector for it.
+func NewInjector(p *Plan) (*Injector, error) {
+	if p == nil {
+		return nil, fmt.Errorf("faults: nil plan")
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	in := &Injector{plan: *p, traceLimit: p.TraceLimit}
+	if in.traceLimit == 0 {
+		in.traceLimit = defaultTraceLimit
+	}
+	if len(p.Machines) > 0 {
+		in.machineOK = make(map[int]bool, len(p.Machines))
+		for _, m := range p.Machines {
+			in.machineOK[m] = true
+		}
+	}
+	for s := Site(0); s < NumSites; s++ {
+		in.thresholds[s] = rateThreshold(p.rate(s))
+	}
+	return in, nil
+}
+
+// rateThreshold maps a probability to a uint64 comparison threshold so that
+// the fault set is nested across rates: a hash that fires at rate r also
+// fires at every rate r' ≥ r.
+func rateThreshold(rate float64) uint64 {
+	if rate <= 0 {
+		return 0
+	}
+	if rate >= 1 {
+		return ^uint64(0)
+	}
+	return uint64(rate * float64(1<<63) * 2)
+}
+
+// Plan returns a copy of the injector's plan.
+func (in *Injector) Plan() Plan { return in.plan }
+
+// ParityOn reports whether the plan models per-BV parity protection.
+func (in *Injector) ParityOn() bool { return in.plan.Parity }
+
+// SetAttempt sets the retry-attempt salt: retries of a window draw from a
+// fresh fault stream (transient faults do not recur deterministically).
+func (in *Injector) SetAttempt(a int) { in.attempt = a }
+
+// Attempt returns the current retry-attempt salt.
+func (in *Injector) Attempt() int { return in.attempt }
+
+// Suppress disables and re-enables injection; the harness suppresses faults
+// while re-executing a window on the clean fallback path.
+func (in *Injector) Suppress(on bool) { in.suppressed = on }
+
+// Suppressed reports whether injection is currently suppressed.
+func (in *Injector) Suppressed() bool { return in.suppressed }
+
+// MachineAllowed applies the plan's machine site filter.
+func (in *Injector) MachineAllowed(m int) bool {
+	return in.machineOK == nil || in.machineOK[m]
+}
+
+// Fire reports whether site's fault strikes at stream position pos on lane
+// (machine or array index). The decision is a pure function of (seed, site,
+// pos, lane, attempt).
+func (in *Injector) Fire(site Site, pos uint64, lane int) bool {
+	if in.suppressed {
+		return false
+	}
+	th := in.thresholds[site]
+	if th == 0 {
+		return false
+	}
+	return in.hash(site, pos, lane, 0) <= th-1 || th == ^uint64(0)
+}
+
+// Pick deterministically selects an index in [0, n) for a fired fault
+// (victim state, bit position, corruption kind). salt separates independent
+// choices of one event.
+func (in *Injector) Pick(site Site, pos uint64, lane, salt, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	return int(in.hash(site, pos, lane, salt+1) % uint64(n))
+}
+
+// hash is a splitmix64 chain over the draw coordinates.
+func (in *Injector) hash(site Site, pos uint64, lane, salt int) uint64 {
+	h := splitmix64(uint64(in.plan.Seed) ^ 0x9e3779b97f4a7c15)
+	h = splitmix64(h ^ uint64(site))
+	h = splitmix64(h ^ pos)
+	h = splitmix64(h ^ uint64(lane))
+	h = splitmix64(h ^ uint64(in.attempt))
+	h = splitmix64(h ^ uint64(salt))
+	return h
+}
+
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Record counts one injected fault and appends it to the trace (up to the
+// plan's cap).
+func (in *Injector) Record(ev Event) {
+	in.stats.Injected[ev.Site]++
+	if ev.Detected {
+		in.stats.Detected++
+	} else {
+		in.stats.Silent++
+	}
+	if c := in.tmInjected[ev.Site]; c != nil {
+		c.Inc()
+	}
+	if ev.Detected {
+		if in.tmDetected != nil {
+			in.tmDetected.Inc()
+		}
+	} else if in.tmSilent != nil {
+		in.tmSilent.Inc()
+	}
+	if in.traceLimit > 0 && len(in.trace) < in.traceLimit {
+		ev.Attempt = in.attempt
+		in.trace = append(in.trace, ev)
+	}
+}
+
+// Stats returns a copy of the accumulated counters.
+func (in *Injector) Stats() Stats { return in.stats }
+
+// Trace returns the recorded fault events (capped at the plan's TraceLimit).
+// Callers must not mutate the returned slice.
+func (in *Injector) Trace() []Event { return in.trace }
+
+// Instrument attaches a telemetry registry: per-site injection counters plus
+// detected/silent totals accrue live as faults strike.
+func (in *Injector) Instrument(reg *telemetry.Registry) {
+	if reg == nil {
+		for s := range in.tmInjected {
+			in.tmInjected[s] = nil
+		}
+		in.tmDetected, in.tmSilent = nil, nil
+		return
+	}
+	vec := reg.CounterVec(MetricFaultInjected, "injected hardware faults by site", "site")
+	for s := Site(0); s < NumSites; s++ {
+		in.tmInjected[s] = vec.With(s.String())
+	}
+	in.tmDetected = reg.Counter(MetricFaultDetected, "injected faults caught by the modeled detection hardware")
+	in.tmSilent = reg.Counter(MetricFaultSilent, "injected faults that escaped detection")
+}

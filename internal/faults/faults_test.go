@@ -1,0 +1,269 @@
+package faults
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFaultPlanParse(t *testing.T) {
+	p, err := ParsePlan("seed=42,rate=1e-4,parity=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Seed != 42 || p.BitFlipRate != 1e-4 || p.IOOverflowRate != 1e-4 || !p.Parity {
+		t.Fatalf("plan = %+v", p)
+	}
+
+	p, err = ParsePlan("seed=7, bitflip=1e-3, ste=5e-4, drop=0, dup=0, io=2e-2, parity=false, trace=16")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.BitFlipRate != 1e-3 || p.STECorruptRate != 5e-4 || p.IOOverflowRate != 2e-2 {
+		t.Fatalf("per-site rates lost: %+v", p)
+	}
+	if p.Parity || p.TraceLimit != 16 {
+		t.Fatalf("parity/trace lost: %+v", p)
+	}
+
+	// Parity defaults on: the detection circuit is part of the plan unless
+	// explicitly declined.
+	p, err = ParsePlan("rate=1e-5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Parity {
+		t.Fatal("parity should default to true")
+	}
+
+	for _, bad := range []string{
+		"", "rate", "rate=x", "seed=1,unknown=2", "rate=2", "rate=-1",
+		"seed=zzz", "parity=maybe", "trace=many",
+	} {
+		if _, err := ParsePlan(bad); err == nil {
+			t.Errorf("ParsePlan(%q) accepted", bad)
+		}
+	}
+}
+
+func TestFaultPlanValidate(t *testing.T) {
+	if err := (&Plan{BitFlipRate: 1.5}).Validate(); err == nil {
+		t.Fatal("rate > 1 accepted")
+	}
+	if err := (&Plan{DropRate: -0.1}).Validate(); err == nil {
+		t.Fatal("negative rate accepted")
+	}
+	if err := (&Plan{Machines: []int{-1}}).Validate(); err == nil {
+		t.Fatal("negative machine filter accepted")
+	}
+	if err := UniformPlan(1, 0.5, true).Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFaultRateNesting pins the monotonicity construction: any (site, pos,
+// lane) draw that fires at rate r must also fire at every rate r' > r, and
+// the decision must be identical across injector instances with the same
+// seed.
+func TestFaultRateNesting(t *testing.T) {
+	rates := []float64{0, 1e-6, 1e-4, 1e-2, 0.3, 1}
+	injs := make([]*Injector, len(rates))
+	for i, r := range rates {
+		var err error
+		injs[i], err = NewInjector(UniformPlan(99, r, true))
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	twin, err := NewInjector(UniformPlan(99, rates[len(rates)-1], true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fired := 0
+	for site := Site(0); site < NumSites; site++ {
+		for pos := uint64(0); pos < 3000; pos++ {
+			for lane := 0; lane < 3; lane++ {
+				prev := false
+				for i := range rates {
+					f := injs[i].Fire(site, pos, lane)
+					if prev && !f {
+						t.Fatalf("site %v pos %d lane %d fired at rate %g but not %g",
+							site, pos, lane, rates[i-1], rates[i])
+					}
+					prev = f
+				}
+				if prev {
+					fired++
+				}
+				if twin.Fire(site, pos, lane) != prev {
+					t.Fatalf("same-seed injectors disagree at site %v pos %d lane %d", site, pos, lane)
+				}
+			}
+		}
+	}
+	if fired != int(NumSites)*3000*3 {
+		t.Fatalf("rate-1 plan fired %d of %d draws", fired, int(NumSites)*3000*3)
+	}
+	// Rate 0 never fires.
+	if injs[0].Fire(SiteBVBitFlip, 1, 1) {
+		t.Fatal("rate-0 plan fired")
+	}
+}
+
+// TestFaultAttemptSalt pins that retries draw fresh fault streams: the
+// attempt salt must change the decision for at least some draws, and
+// setting it back must reproduce the original stream exactly.
+func TestFaultAttemptSalt(t *testing.T) {
+	in, err := NewInjector(UniformPlan(5, 0.5, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := make([]bool, 500)
+	for pos := range base {
+		base[pos] = in.Fire(SiteBVBitFlip, uint64(pos), 0)
+	}
+	in.SetAttempt(1)
+	differs := false
+	for pos := range base {
+		if in.Fire(SiteBVBitFlip, uint64(pos), 0) != base[pos] {
+			differs = true
+			break
+		}
+	}
+	if !differs {
+		t.Fatal("attempt salt does not change the fault stream")
+	}
+	in.SetAttempt(0)
+	for pos := range base {
+		if in.Fire(SiteBVBitFlip, uint64(pos), 0) != base[pos] {
+			t.Fatalf("attempt 0 stream not reproducible at pos %d", pos)
+		}
+	}
+}
+
+func TestFaultSuppress(t *testing.T) {
+	in, err := NewInjector(UniformPlan(3, 1, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !in.Fire(SiteSTEActive, 0, 0) {
+		t.Fatal("rate-1 plan did not fire")
+	}
+	in.Suppress(true)
+	if in.Fire(SiteSTEActive, 0, 0) {
+		t.Fatal("suppressed injector fired")
+	}
+	in.Suppress(false)
+	if !in.Fire(SiteSTEActive, 0, 0) {
+		t.Fatal("unsuppressed injector did not fire")
+	}
+}
+
+func TestFaultPickBoundsAndDeterminism(t *testing.T) {
+	in, err := NewInjector(UniformPlan(11, 0.1, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for n := 1; n <= 65; n++ {
+		for pos := uint64(0); pos < 200; pos++ {
+			v := in.Pick(SiteBVBitFlip, pos, 2, 1, n)
+			if v < 0 || v >= n {
+				t.Fatalf("Pick(n=%d) = %d out of range", n, v)
+			}
+			if v2 := in.Pick(SiteBVBitFlip, pos, 2, 1, n); v2 != v {
+				t.Fatalf("Pick not deterministic: %d vs %d", v, v2)
+			}
+		}
+	}
+	// Distinct salts must decorrelate choices.
+	same := 0
+	for pos := uint64(0); pos < 200; pos++ {
+		if in.Pick(SiteBVBitFlip, pos, 2, 1, 64) == in.Pick(SiteBVBitFlip, pos, 2, 2, 64) {
+			same++
+		}
+	}
+	if same > 40 { // ~3 expected by chance
+		t.Fatalf("salts 1 and 2 agree on %d/200 draws", same)
+	}
+}
+
+func TestFaultRecordStatsAndTrace(t *testing.T) {
+	in, err := NewInjector(&Plan{Seed: 1, BitFlipRate: 0.5, Parity: true, TraceLimit: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in.SetAttempt(3)
+	in.Record(Event{Pos: 10, Site: SiteBVBitFlip, Detected: true})
+	in.Record(Event{Pos: 11, Site: SiteSTEActive})
+	in.Record(Event{Pos: 12, Site: SiteIOOverflow, Detected: true}) // over the cap
+	st := in.Stats()
+	if st.TotalInjected() != 3 || st.Detected != 2 || st.Silent != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.Injected[SiteBVBitFlip] != 1 || st.Injected[SiteSTEActive] != 1 || st.Injected[SiteIOOverflow] != 1 {
+		t.Fatalf("per-site counts = %+v", st.Injected)
+	}
+	if got := st.DetectionRate(); got < 0.66 || got > 0.67 {
+		t.Fatalf("detection rate = %v", got)
+	}
+	tr := in.Trace()
+	if len(tr) != 2 {
+		t.Fatalf("trace length %d, want cap 2", len(tr))
+	}
+	if tr[0].Attempt != 3 {
+		t.Fatalf("trace did not stamp the attempt: %+v", tr[0])
+	}
+	if !strings.Contains(tr[0].String(), "bv_bit_flip") {
+		t.Fatalf("event string = %q", tr[0])
+	}
+
+	// Negative TraceLimit disables tracing entirely.
+	in2, err := NewInjector(&Plan{Seed: 1, BitFlipRate: 0.5, TraceLimit: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in2.Record(Event{Site: SiteBVBitFlip})
+	if len(in2.Trace()) != 0 {
+		t.Fatal("negative TraceLimit still traced")
+	}
+}
+
+func TestFaultMachineFilter(t *testing.T) {
+	in, err := NewInjector(&Plan{Seed: 1, BitFlipRate: 1, Machines: []int{2, 5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.MachineAllowed(0) || in.MachineAllowed(4) {
+		t.Fatal("filter admits unlisted machines")
+	}
+	if !in.MachineAllowed(2) || !in.MachineAllowed(5) {
+		t.Fatal("filter rejects listed machines")
+	}
+	open, err := NewInjector(UniformPlan(1, 0.5, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !open.MachineAllowed(123) {
+		t.Fatal("unfiltered plan rejects a machine")
+	}
+}
+
+func FuzzParsePlan(f *testing.F) {
+	f.Add("seed=42,rate=1e-4,parity=1")
+	f.Add("bitflip=0.5,ste=0.1,drop=0,dup=1,io=0.25,trace=8")
+	f.Add("seed=-1,parity=0")
+	f.Add("rate=1")
+	f.Add(",,,")
+	f.Fuzz(func(t *testing.T, s string) {
+		p, err := ParsePlan(s)
+		if err != nil {
+			return
+		}
+		// Anything ParsePlan accepts must validate and build an injector.
+		if err := p.Validate(); err != nil {
+			t.Fatalf("parsed plan fails validation: %v (input %q)", err, s)
+		}
+		if _, err := NewInjector(p); err != nil {
+			t.Fatalf("parsed plan fails NewInjector: %v (input %q)", err, s)
+		}
+	})
+}

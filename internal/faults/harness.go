@@ -1,0 +1,273 @@
+package faults
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"bvap/internal/swmatch"
+	"bvap/internal/telemetry"
+)
+
+// Checkpoint is an opaque execution snapshot taken by a Target. Targets
+// return their own concrete type; the harness only carries it between
+// Checkpoint and Restore.
+type Checkpoint any
+
+// Target is the execution surface the Harness drives. hwsim.BVAPSystem
+// implements it.
+type Target interface {
+	// Step consumes one input symbol (faults included, when an injector
+	// is attached and not suppressed).
+	Step(b byte)
+	// Checkpoint snapshots the functional machine state (active states,
+	// bit vectors, stream position, I/O occupancies). Monotone
+	// observables — energy, cycle and symbol counters — are NOT part of
+	// the snapshot: work discarded by a rollback stays charged, which is
+	// exactly the re-execution overhead the resilience evaluation
+	// measures.
+	Checkpoint() Checkpoint
+	// Restore rewinds to a snapshot taken on this target.
+	Restore(Checkpoint)
+	// Pos returns the committed stream position (symbols consumed since
+	// start, rollbacks excluded).
+	Pos() int
+	// NumMachines returns the number of compiled machines.
+	NumMachines() int
+	// MatchEnds returns machine i's recorded absolute match-end offsets
+	// (requires match recording to be enabled on the target).
+	MatchEnds(machine int) []int
+}
+
+// HarnessConfig tunes the detect/retry/degrade loop.
+type HarnessConfig struct {
+	// Window is the checkpoint interval in symbols (default 256).
+	Window int
+	// MaxRetries bounds the re-executions of a window after a detection
+	// before degrading to the clean fallback path (default 2).
+	MaxRetries int
+	// Backoff is the base delay between retries; attempt k waits
+	// (k+1)·Backoff, canceled promptly by the context. Zero disables
+	// waiting (simulation-speed retries).
+	Backoff time.Duration
+	// Reference optionally cross-checks committed output: entry i is the
+	// independent software matcher for machine i (nil entries skipped).
+	// Mismatches between the target's match ends and the reference count
+	// as silent-corruption escapes. Requires the target to record match
+	// ends.
+	Reference []*swmatch.Matcher
+}
+
+// Report summarizes one harness run.
+type Report struct {
+	// Windows is the number of committed checkpoint windows.
+	Windows uint64
+	// Retries counts window re-executions triggered by detections.
+	Retries uint64
+	// Fallbacks counts windows that exhausted retries and were replayed
+	// on the clean software path.
+	Fallbacks uint64
+	// Mismatches counts machine-windows whose committed match ends
+	// disagreed with the reference matcher — silent corruption that
+	// escaped detection and recovery.
+	Mismatches uint64
+	// Faults is the injector's final counter snapshot.
+	Faults Stats
+}
+
+// Metric names exposed by Harness.Instrument.
+const (
+	MetricHarnessWindows    = "bvap_fault_windows_total"
+	MetricHarnessRetries    = "bvap_fault_retries_total"
+	MetricHarnessFallbacks  = "bvap_fault_fallbacks_total"
+	MetricHarnessMismatches = "bvap_fault_mismatches_total"
+)
+
+// Harness executes an input stream on a fault-injected Target with
+// checkpoint/rollback recovery: windows with detected faults are retried
+// (fresh transient-fault draws per attempt) up to MaxRetries, then replayed
+// with injection suppressed — the graceful degradation to the software NBVA
+// engine, optionally cross-checked against the independent swmatch
+// reference.
+type Harness struct {
+	target Target
+	inj    *Injector
+	cfg    HarnessConfig
+
+	refLens []int // committed match-end count per machine
+
+	tmWindows    *telemetry.Counter
+	tmRetries    *telemetry.Counter
+	tmFallbacks  *telemetry.Counter
+	tmMismatches *telemetry.Counter
+}
+
+// NewHarness builds a harness over a target and its attached injector.
+func NewHarness(t Target, inj *Injector, cfg HarnessConfig) (*Harness, error) {
+	if t == nil {
+		return nil, fmt.Errorf("faults: nil harness target")
+	}
+	if inj == nil {
+		return nil, fmt.Errorf("faults: nil injector (use Target.Step directly for fault-free runs)")
+	}
+	if cfg.Window <= 0 {
+		cfg.Window = 256
+	}
+	if cfg.MaxRetries < 0 {
+		return nil, fmt.Errorf("faults: negative MaxRetries")
+	}
+	if cfg.MaxRetries == 0 {
+		cfg.MaxRetries = 2
+	}
+	if len(cfg.Reference) > 0 && len(cfg.Reference) != t.NumMachines() {
+		return nil, fmt.Errorf("faults: %d reference matchers for %d machines",
+			len(cfg.Reference), t.NumMachines())
+	}
+	return &Harness{target: t, inj: inj, cfg: cfg}, nil
+}
+
+// Instrument attaches a telemetry registry: window, retry, fallback and
+// mismatch counters accrue live during Run.
+func (h *Harness) Instrument(reg *telemetry.Registry) {
+	if reg == nil {
+		h.tmWindows, h.tmRetries, h.tmFallbacks, h.tmMismatches = nil, nil, nil, nil
+		return
+	}
+	h.tmWindows = reg.Counter(MetricHarnessWindows, "committed resilience-harness windows")
+	h.tmRetries = reg.Counter(MetricHarnessRetries, "window re-executions after fault detection")
+	h.tmFallbacks = reg.Counter(MetricHarnessFallbacks, "windows degraded to the clean software path")
+	h.tmMismatches = reg.Counter(MetricHarnessMismatches, "committed windows disagreeing with the reference matcher")
+}
+
+// Run processes input in checkpointed windows with detect/retry/degrade
+// recovery. It returns early with the context's error when canceled; the
+// partial Report is still meaningful.
+func (h *Harness) Run(ctx context.Context, input []byte) (Report, error) {
+	var rep Report
+	t := h.target
+	if len(h.cfg.Reference) > 0 && h.refLens == nil {
+		h.refLens = make([]int, t.NumMachines())
+		for i := range h.refLens {
+			h.refLens[i] = len(t.MatchEnds(i))
+		}
+	}
+
+	for start := 0; start < len(input); {
+		if err := ctx.Err(); err != nil {
+			rep.Faults = h.inj.Stats()
+			return rep, fmt.Errorf("faults: harness canceled at offset %d: %w", start, err)
+		}
+		end := start + h.cfg.Window
+		if end > len(input) {
+			end = len(input)
+		}
+		window := input[start:end]
+		windowPos := t.Pos()
+		ck := t.Checkpoint()
+
+		attempt := 0
+		for {
+			h.inj.SetAttempt(attempt)
+			before := h.inj.Stats().Detected
+			for _, b := range window {
+				t.Step(b)
+			}
+			if h.inj.Stats().Detected == before {
+				break // clean (or silently corrupted) window: commit
+			}
+			if attempt >= h.cfg.MaxRetries {
+				// Degrade: replay the window on the clean software
+				// path (the simulator's own AH-NBVA dataflow with
+				// injection suppressed).
+				t.Restore(ck)
+				h.inj.Suppress(true)
+				for _, b := range window {
+					t.Step(b)
+				}
+				h.inj.Suppress(false)
+				rep.Fallbacks++
+				if h.tmFallbacks != nil {
+					h.tmFallbacks.Inc()
+				}
+				break
+			}
+			t.Restore(ck)
+			attempt++
+			rep.Retries++
+			if h.tmRetries != nil {
+				h.tmRetries.Inc()
+			}
+			if err := h.backoff(ctx, attempt); err != nil {
+				rep.Faults = h.inj.Stats()
+				return rep, err
+			}
+		}
+		h.inj.SetAttempt(0)
+
+		rep.Windows++
+		if h.tmWindows != nil {
+			h.tmWindows.Inc()
+		}
+		if len(h.cfg.Reference) > 0 {
+			rep.Mismatches += h.crossCheck(window, windowPos)
+		}
+		start = end
+	}
+	rep.Faults = h.inj.Stats()
+	return rep, nil
+}
+
+// backoff waits (attempt)·Backoff, returning promptly on cancellation.
+func (h *Harness) backoff(ctx context.Context, attempt int) error {
+	if h.cfg.Backoff <= 0 {
+		return nil
+	}
+	timer := time.NewTimer(time.Duration(attempt) * h.cfg.Backoff)
+	defer timer.Stop()
+	select {
+	case <-ctx.Done():
+		return fmt.Errorf("faults: retry backoff canceled: %w", ctx.Err())
+	case <-timer.C:
+		return nil
+	}
+}
+
+// crossCheck advances the reference matchers over a committed window and
+// compares their match ends against the target's. It returns the number of
+// mismatching machine-windows — corruption that escaped both detection and
+// recovery.
+func (h *Harness) crossCheck(window []byte, windowPos int) uint64 {
+	var mismatches uint64
+	for i, ref := range h.cfg.Reference {
+		if ref == nil {
+			continue
+		}
+		var want []int
+		for j, b := range window {
+			if ref.Step(b) {
+				want = append(want, windowPos+j)
+			}
+		}
+		got := h.target.MatchEnds(i)[h.refLens[i]:]
+		h.refLens[i] = len(h.target.MatchEnds(i))
+		if !equalInts(got, want) {
+			mismatches++
+			if h.tmMismatches != nil {
+				h.tmMismatches.Inc()
+			}
+		}
+	}
+	return mismatches
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,221 @@
+package faults
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"bvap/internal/swmatch"
+	"bvap/internal/telemetry"
+)
+
+// fakeTarget is a scripted Target: `faulty` decides, per (position, attempt),
+// whether a detected fault fires at that step, and `match` marks positions as
+// match ends. It lets the harness tests pin the retry/degrade control flow
+// without a hardware simulator in the loop.
+type fakeTarget struct {
+	inj        *Injector
+	pos        int
+	ends       []int
+	suppressed int // steps executed while injection was suppressed
+	faulty     func(pos uint64, attempt int) bool
+	match      func(b byte) bool
+}
+
+type fakeCk struct {
+	pos     int
+	endsLen int
+}
+
+func (f *fakeTarget) Step(b byte) {
+	p := uint64(f.pos)
+	if f.inj.Suppressed() {
+		f.suppressed++
+	} else if f.faulty != nil && f.faulty(p, f.inj.Attempt()) {
+		f.inj.Record(Event{Pos: p, Site: SiteBVBitFlip, Detected: true})
+	}
+	if f.match != nil && f.match(b) {
+		f.ends = append(f.ends, f.pos)
+	}
+	f.pos++
+}
+
+func (f *fakeTarget) Checkpoint() Checkpoint { return &fakeCk{pos: f.pos, endsLen: len(f.ends)} }
+func (f *fakeTarget) Restore(c Checkpoint) {
+	ck := c.(*fakeCk)
+	f.pos = ck.pos
+	f.ends = f.ends[:ck.endsLen]
+}
+func (f *fakeTarget) Pos() int              { return f.pos }
+func (f *fakeTarget) NumMachines() int      { return 1 }
+func (f *fakeTarget) MatchEnds(i int) []int { return f.ends }
+
+func newFake(t *testing.T, faulty func(uint64, int) bool) (*fakeTarget, *Injector) {
+	t.Helper()
+	// Rate 0: the scripted fakeTarget injects via Record directly; the
+	// injector only carries attempt/suppression state and counters.
+	in, err := NewInjector(UniformPlan(1, 0, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &fakeTarget{inj: in, faulty: faulty}, in
+}
+
+func TestHarnessCleanRun(t *testing.T) {
+	ft, in := newFake(t, nil)
+	h, err := NewHarness(ft, in, HarnessConfig{Window: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := h.Run(context.Background(), make([]byte, 100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 100 symbols / window 16 → 7 windows (last one short).
+	if rep.Windows != 7 || rep.Retries != 0 || rep.Fallbacks != 0 {
+		t.Fatalf("clean run report = %+v", rep)
+	}
+	if ft.pos != 100 {
+		t.Fatalf("pos = %d, want 100", ft.pos)
+	}
+}
+
+// TestHarnessTransientRetry pins the retry path: a fault detected only on
+// attempt 0 costs exactly one rollback, and the window then commits on the
+// fresh fault stream of attempt 1.
+func TestHarnessTransientRetry(t *testing.T) {
+	ft, in := newFake(t, func(pos uint64, attempt int) bool {
+		return pos == 20 && attempt == 0
+	})
+	reg := telemetry.NewRegistry()
+	h, err := NewHarness(ft, in, HarnessConfig{Window: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Instrument(reg)
+	rep, err := h.Run(context.Background(), make([]byte, 64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Windows != 4 || rep.Retries != 1 || rep.Fallbacks != 0 {
+		t.Fatalf("transient report = %+v", rep)
+	}
+	if rep.Faults.Detected != 1 || rep.Faults.TotalInjected() != 1 {
+		t.Fatalf("fault stats = %+v", rep.Faults)
+	}
+	if in.Attempt() != 0 {
+		t.Fatalf("attempt not reset after commit: %d", in.Attempt())
+	}
+	retries := -1.0
+	for _, s := range reg.Snapshot() {
+		if s.Name == MetricHarnessRetries {
+			retries = s.Value
+		}
+	}
+	if retries != 1 {
+		t.Fatalf("telemetry retries = %g, want 1", retries)
+	}
+	if ft.pos != 64 {
+		t.Fatalf("pos = %d, want 64", ft.pos)
+	}
+}
+
+// TestHarnessPersistentFallback pins graceful degradation: a fault that
+// fires on every attempt exhausts MaxRetries (defaulted to 2) and the window
+// is replayed exactly once with injection suppressed.
+func TestHarnessPersistentFallback(t *testing.T) {
+	ft, in := newFake(t, func(pos uint64, attempt int) bool {
+		return pos == 20 // every attempt
+	})
+	h, err := NewHarness(ft, in, HarnessConfig{Window: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := h.Run(context.Background(), make([]byte, 64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Windows != 4 || rep.Retries != 2 || rep.Fallbacks != 1 {
+		t.Fatalf("persistent report = %+v", rep)
+	}
+	// Attempts 0, 1 and 2 each detected the fault once.
+	if rep.Faults.Detected != 3 {
+		t.Fatalf("detected = %d, want 3", rep.Faults.Detected)
+	}
+	// Exactly the degraded window ran suppressed.
+	if ft.suppressed != 16 {
+		t.Fatalf("suppressed steps = %d, want 16", ft.suppressed)
+	}
+	if in.Suppressed() {
+		t.Fatal("injector left suppressed after fallback")
+	}
+	if ft.pos != 64 {
+		t.Fatalf("pos = %d, want 64", ft.pos)
+	}
+}
+
+// TestHarnessCrossCheck pins the silent-corruption escape counter: a target
+// whose committed match ends disagree with the reference matcher is charged
+// one mismatch per affected machine-window, and an agreeing target none.
+func TestHarnessCrossCheck(t *testing.T) {
+	input := []byte("xxxxaxxxxxxxxxxaxxxxxxxxxxxxxxxx") // 'a' at 4 and 15, both in window 0
+	run := func(match func(b byte) bool) Report {
+		ft, in := newFake(t, nil)
+		ft.match = match
+		h, err := NewHarness(ft, in, HarnessConfig{
+			Window:    16,
+			Reference: []*swmatch.Matcher{swmatch.MustNew("a")},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := h.Run(context.Background(), input)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	// Faithful target: ends match the reference exactly → no mismatches.
+	if rep := run(func(b byte) bool { return b == 'a' }); rep.Mismatches != 0 {
+		t.Fatalf("faithful target charged %d mismatches", rep.Mismatches)
+	}
+	// Silently corrupted target: drops every match → one mismatching
+	// machine-window (both escapes land in window 0).
+	if rep := run(nil); rep.Mismatches != 1 {
+		t.Fatalf("corrupted target charged %d mismatches, want 1", rep.Mismatches)
+	}
+}
+
+func TestHarnessConfigErrors(t *testing.T) {
+	ft, in := newFake(t, nil)
+	if _, err := NewHarness(nil, in, HarnessConfig{}); err == nil {
+		t.Fatal("nil target accepted")
+	}
+	if _, err := NewHarness(ft, nil, HarnessConfig{}); err == nil {
+		t.Fatal("nil injector accepted")
+	}
+	if _, err := NewHarness(ft, in, HarnessConfig{MaxRetries: -1}); err == nil {
+		t.Fatal("negative MaxRetries accepted")
+	}
+	if _, err := NewHarness(ft, in, HarnessConfig{
+		Reference: make([]*swmatch.Matcher, 3), // 3 refs for 1 machine
+	}); err == nil {
+		t.Fatal("reference length mismatch accepted")
+	}
+}
+
+func TestHarnessCanceled(t *testing.T) {
+	ft, in := newFake(t, nil)
+	h, err := NewHarness(ft, in, HarnessConfig{Window: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := h.Run(ctx, make([]byte, 64)); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if ft.pos != 0 {
+		t.Fatalf("canceled run still stepped to %d", ft.pos)
+	}
+}

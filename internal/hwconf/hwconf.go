@@ -11,6 +11,7 @@ import (
 	"io"
 
 	"bvap/internal/charclass"
+	"bvap/internal/isa"
 )
 
 // FormatVersion identifies the configuration schema revision.
@@ -141,13 +142,48 @@ func Read(r io.Reader) (*Config, error) {
 	return &c, nil
 }
 
-// Validate checks referential integrity of the configuration.
+// Structural limits a configuration must respect. They mirror the modeled
+// hardware (a tile holds 256 STEs and 48 64-bit BVs) plus generous caps on
+// the image size, so a corrupt or hostile configuration is rejected up
+// front instead of driving the simulator into huge allocations or
+// out-of-range indexing.
+const (
+	// MaxMachines bounds the number of machines in one image.
+	MaxMachines = 1 << 16
+	// MaxMachineSTEs bounds one machine's state count (far above anything
+	// the tile mapper would place, which tops out at tiles × 256).
+	MaxMachineSTEs = 1 << 16
+	// MaxTiles bounds the placement (and thereby the simulator's
+	// array/bank structures derived from the largest tile index).
+	MaxTiles = 1 << 16
+	// maxTileSTEs and maxTileBVs are the per-tile occupancy capacities
+	// (archmodel.STEsPerTile and BVsPerTile; an FCB placement spans a tile
+	// pair, so its BV budget doubles).
+	maxTileSTEs = 256
+	maxTileBVs  = 48
+)
+
+// Validate checks the configuration: referential integrity (STE ids, edge
+// and state indices, tile→machine references), decodability of every BV
+// instruction against its declared width, class encodings, occupancy
+// bounds, and the structural caps above. A Validate'd configuration is safe
+// to hand to the simulator: reconstruction cannot index out of range or
+// allocate disproportionately to the image size.
 func (c *Config) Validate() error {
 	if c.Version != FormatVersion {
 		return fmt.Errorf("hwconf: unsupported version %d", c.Version)
 	}
-	if c.Params.BVSizeBits < 0 || c.Params.BVSizeBits > 0 && c.Params.BVSizeBits < 8 {
-		return fmt.Errorf("hwconf: invalid bv size %d", c.Params.BVSizeBits)
+	if k := c.Params.BVSizeBits; k < 0 || k > isa.PhysicalBVBits || (k > 0 && k < isa.WordBits) {
+		return fmt.Errorf("hwconf: invalid bv size %d (want 0 or %d..%d)", k, isa.WordBits, isa.PhysicalBVBits)
+	}
+	if c.Params.UnfoldThreshold < 0 {
+		return fmt.Errorf("hwconf: negative unfold threshold %d", c.Params.UnfoldThreshold)
+	}
+	if len(c.Machines) > MaxMachines {
+		return fmt.Errorf("hwconf: %d machines exceeds the %d cap", len(c.Machines), MaxMachines)
+	}
+	if len(c.Tiles) > MaxTiles {
+		return fmt.Errorf("hwconf: %d tiles exceeds the %d cap", len(c.Tiles), MaxTiles)
 	}
 	for mi := range c.Machines {
 		m := &c.Machines[mi]
@@ -155,21 +191,52 @@ func (c *Config) Validate() error {
 			continue
 		}
 		n := len(m.STEs)
+		if n > MaxMachineSTEs {
+			return fmt.Errorf("hwconf: machine %d has %d STEs, exceeding the %d cap", mi, n, MaxMachineSTEs)
+		}
 		for i, s := range m.STEs {
 			if s.ID != i {
 				return fmt.Errorf("hwconf: machine %d STE %d has id %d", mi, i, s.ID)
 			}
-			if len(s.Class) != 64 {
-				return fmt.Errorf("hwconf: machine %d STE %d class length %d", mi, i, len(s.Class))
+			if _, err := DecodeClass(s.Class); err != nil {
+				return fmt.Errorf("hwconf: machine %d STE %d: %v", mi, i, err)
 			}
-			if s.IsBV && s.WidthBits < 1 {
-				return fmt.Errorf("hwconf: machine %d BV-STE %d has width %d", mi, i, s.WidthBits)
+			if !s.IsBV {
+				continue
+			}
+			if s.WidthBits < 1 || s.WidthBits > isa.PhysicalBVBits {
+				return fmt.Errorf("hwconf: machine %d BV-STE %d has width %d (want 1..%d)",
+					mi, i, s.WidthBits, isa.PhysicalBVBits)
+			}
+			in, err := isa.Decode(s.Instruction)
+			if err != nil {
+				return fmt.Errorf("hwconf: machine %d BV-STE %d: %v", mi, i, err)
+			}
+			if in.Swap == isa.SwapNone {
+				return fmt.Errorf("hwconf: machine %d BV-STE %d: instruction %v has no swap action", mi, i, in)
+			}
+			if s.WidthBits > in.VirtualBits() {
+				return fmt.Errorf("hwconf: machine %d BV-STE %d: width %d exceeds the %d-bit virtual BV",
+					mi, i, s.WidthBits, in.VirtualBits())
+			}
+			// The upper span end may overhang the logical width (virtual
+			// words round widths up; the runtime clamps it), but a lower
+			// end past the width would read out of the vector.
+			if lo, _, ok := in.ReadSpan(); ok && lo > s.WidthBits {
+				return fmt.Errorf("hwconf: machine %d BV-STE %d: read pointer %d past width %d",
+					mi, i, lo, s.WidthBits)
 			}
 		}
+		seenEdge := make(map[Edge]bool, len(m.Edges))
 		for _, e := range m.Edges {
 			if e.From < 0 || e.From >= n || e.To < 0 || e.To >= n {
 				return fmt.Errorf("hwconf: machine %d edge %+v out of range", mi, e)
 			}
+			key := Edge{From: e.From, To: e.To}
+			if seenEdge[key] {
+				return fmt.Errorf("hwconf: machine %d has duplicate edge %d→%d", mi, e.From, e.To)
+			}
+			seenEdge[key] = true
 		}
 		for _, q := range m.Initial {
 			if q < 0 || q >= n {
@@ -182,11 +249,39 @@ func (c *Config) Validate() error {
 			}
 		}
 	}
+	seenTile := make(map[int]bool, len(c.Tiles))
+	placed := make(map[int]bool)
 	for _, tp := range c.Tiles {
+		if tp.Tile < 0 || tp.Tile >= MaxTiles {
+			return fmt.Errorf("hwconf: tile index %d out of range [0,%d)", tp.Tile, MaxTiles)
+		}
+		if seenTile[tp.Tile] {
+			return fmt.Errorf("hwconf: duplicate tile %d", tp.Tile)
+		}
+		seenTile[tp.Tile] = true
+		if tp.STEs < 0 || tp.STEs > maxTileSTEs {
+			return fmt.Errorf("hwconf: tile %d occupancy %d STEs out of range [0,%d]", tp.Tile, tp.STEs, maxTileSTEs)
+		}
+		bvCap := maxTileBVs
+		if tp.FCBMode {
+			bvCap *= 2 // FCB placements span a physical tile pair
+		}
+		if tp.BVSTEs < 0 || tp.BVSTEs > bvCap {
+			return fmt.Errorf("hwconf: tile %d occupancy %d BV-STEs out of range [0,%d]", tp.Tile, tp.BVSTEs, bvCap)
+		}
+		if tp.BVSTEs > tp.STEs {
+			return fmt.Errorf("hwconf: tile %d has %d BV-STEs but only %d STEs", tp.Tile, tp.BVSTEs, tp.STEs)
+		}
 		for _, m := range tp.Machines {
 			if m < 0 || m >= len(c.Machines) {
 				return fmt.Errorf("hwconf: tile %d references machine %d", tp.Tile, m)
 			}
+			placed[m] = true
+		}
+	}
+	for mi := range c.Machines {
+		if c.Machines[mi].Unsupported == "" && len(c.Machines[mi].STEs) > 0 && !placed[mi] {
+			return fmt.Errorf("hwconf: machine %d (%q) is not placed on any tile", mi, c.Machines[mi].Regex)
 		}
 	}
 	return nil

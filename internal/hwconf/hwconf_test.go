@@ -8,6 +8,7 @@ import (
 	"testing/quick"
 
 	"bvap/internal/charclass"
+	"bvap/internal/isa"
 )
 
 func TestClassCodecRoundTrip(t *testing.T) {
@@ -67,7 +68,9 @@ func validConfig() *Config {
 				Regex: "ab{3}c",
 				STEs: []STE{
 					{ID: 0, Class: EncodeClass(charclass.Single('a'))},
-					{ID: 1, Class: EncodeClass(charclass.Single('b')), IsBV: true, WidthBits: 3, Instruction: 0x0800, Action: "shift"},
+					{ID: 1, Class: EncodeClass(charclass.Single('b')), IsBV: true, WidthBits: 3,
+						Instruction: isa.Instruction{Read: isa.ReadN, Pointer: 3, Swap: isa.SwapShift, Words: 1}.Encode(),
+						Action:      "shift"},
 					{ID: 2, Class: EncodeClass(charclass.Single('c'))},
 				},
 				Edges:   []Edge{{From: 0, To: 1}, {From: 1, To: 1}, {From: 1, To: 2, Gated: true}},
@@ -116,6 +119,25 @@ func TestValidateRejects(t *testing.T) {
 		{"initial out of range", func(c *Config) { c.Machines[0].Initial[0] = 5 }},
 		{"final out of range", func(c *Config) { c.Machines[0].Finals[0] = -2 }},
 		{"tile bad machine", func(c *Config) { c.Tiles[0].Machines[0] = 4 }},
+		{"bad class hex", func(c *Config) { c.Machines[0].STEs[0].Class = strings.Repeat("zz", 32) }},
+		{"bv width over physical", func(c *Config) { c.Machines[0].STEs[1].WidthBits = 65 }},
+		{"bv width over virtual", func(c *Config) { c.Machines[0].STEs[1].WidthBits = 9 }},
+		{"undecodable instruction", func(c *Config) { c.Machines[0].STEs[1].Instruction = 0xffff }},
+		{"bv without swap action", func(c *Config) {
+			c.Machines[0].STEs[1].Instruction = isa.Instruction{Read: isa.ReadAll, Swap: isa.SwapNone, Words: 1}.Encode()
+		}},
+		{"read pointer past width", func(c *Config) {
+			c.Machines[0].STEs[1].Instruction = isa.Instruction{Read: isa.ReadN, Pointer: 7, Swap: isa.SwapShift, Words: 1}.Encode()
+		}},
+		{"duplicate edge", func(c *Config) { c.Machines[0].Edges = append(c.Machines[0].Edges, Edge{From: 0, To: 1, Gated: true}) }},
+		{"negative tile", func(c *Config) { c.Tiles[0].Tile = -1 }},
+		{"duplicate tile", func(c *Config) { c.Tiles = append(c.Tiles, c.Tiles[0]) }},
+		{"tile ste overflow", func(c *Config) { c.Tiles[0].STEs = 257 }},
+		{"tile bv overflow", func(c *Config) { c.Tiles[0].BVSTEs = 49 }},
+		{"negative occupancy", func(c *Config) { c.Tiles[0].STEs = -1 }},
+		{"more bvs than stes", func(c *Config) { c.Tiles[0].BVSTEs = 4 }},
+		{"unplaced machine", func(c *Config) { c.Tiles[0].Machines = nil }},
+		{"bad unfold threshold", func(c *Config) { c.Params.UnfoldThreshold = -1 }},
 	}
 	for _, m := range mutations {
 		cfg := validConfig()

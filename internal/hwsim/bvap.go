@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"bvap/internal/archmodel"
+	"bvap/internal/faults"
 	"bvap/internal/hwconf"
 	"bvap/internal/nbva"
 )
@@ -43,6 +44,16 @@ type BVAPSystem struct {
 	// told, so repeated Finish calls emit deltas only.
 	ioReportedPJ   float64
 	leakReportedPJ float64
+
+	// faults, when non-nil, injects hardware faults into Step; the nil
+	// path pays a single nil check (mirroring sink). parityOn charges the
+	// per-BV parity energy surcharge; parityCharged/parityAreaUm2 track
+	// the area surcharge so SetFaults can be called repeatedly.
+	faults        *faults.Injector
+	parityOn      bool
+	parityCharged bool
+	parityAreaUm2 float64
+	faultScratch  []int
 }
 
 // Variant selects design-ablation knobs on the BVAP simulator, modeling the
@@ -235,8 +246,17 @@ func (s *BVAPSystem) Run(input []byte) {
 // a Sink is attached the same per-event energies are additionally streamed
 // to it, attributed to pipeline stages; the Stats accumulation order is
 // identical with and without a sink, so results do not depend on
-// instrumentation.
+// instrumentation. With a fault injector attached (SetFaults), pre-symbol
+// fault injection runs first; the nil path pays a single nil check.
 func (s *BVAPSystem) Step(b byte) {
+	if s.faults != nil && s.faultStep(b) {
+		return // symbol consumed by a stream-drop fault
+	}
+	s.stepCore(b)
+}
+
+// stepCore is the fault-free datapath of Step.
+func (s *BVAPSystem) stepCore(b byte) {
 	st := &s.stats
 	st.Symbols++
 	for i := range s.arrayStall {
@@ -252,6 +272,12 @@ func (s *BVAPSystem) Step(b byte) {
 	var snkMatch, snkTrans, snkWire float64
 	activeTotal := 0.0
 	matchesThisStep := 0
+
+	// Per-BV parity (fault detection): every BV storage access also reads
+	// or writes its parity bits. Charged only while hardware injection is
+	// live — the degraded replay path models the clean software engine.
+	parityLive := s.parityOn && !s.faults.Suppressed()
+	parityOps := 0
 
 	tileActive := s.tileActive
 	for i := range tileActive {
@@ -290,6 +316,9 @@ func (s *BVAPSystem) Step(b byte) {
 		alwaysOn := s.streaming || (!s.variant.EventDriven && m.bvStates > 0)
 		if bvActive > 0 || alwaysOn {
 			reads := m.runner.ReadOps()
+			if parityLive {
+				parityOps += reads + m.runner.SwapOps()
+			}
 			bvFrac := 0.0
 			if m.bvStates > 0 {
 				bvFrac = float64(bvActive) / float64(m.bvStates)
@@ -381,6 +410,17 @@ func (s *BVAPSystem) Step(b byte) {
 		if sinkOn {
 			snkTrans += e
 			snkWire += e2
+		}
+	}
+
+	// Parity surcharge: one parity bit per 8-bit BV word means every BV
+	// storage access also accesses 12.5% extra SRAM (Table-4-style per-op
+	// energy). Charged only when parity protection is enabled.
+	if parityLive && parityOps > 0 {
+		e := float64(parityOps) * parityOverheadFrac * archmodel.BitVector.EnergyPJ(1)
+		st.ParityEnergyPJ += e
+		if sinkOn {
+			s.sink.StageEnergy(StageParity, e)
 		}
 	}
 

@@ -1,0 +1,217 @@
+package hwsim
+
+import (
+	"testing"
+
+	"bvap/internal/faults"
+)
+
+// faultPatterns exercise BV-carrying counting states (bit-flip targets),
+// plain STEs (active-latch targets) and enough structure that corruptions
+// change observable match behaviour.
+var faultPatterns = []string{"ab{3}c", "a(.a){3}b", "x{2,30}y", "a{1,100}b"}
+
+func faultSystem(t *testing.T, streaming bool) *BVAPSystem {
+	t.Helper()
+	res := compileFor(t, faultPatterns)
+	sys, err := NewBVAPSystem(res.Config, streaming)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.RecordMatchEnds(true)
+	return sys
+}
+
+// TestFaultInjectionDeterminism pins the headline guarantee: two systems
+// built from the same config with same-seed injectors produce bit-identical
+// fault traces, counters, match ends and energy.
+func TestFaultInjectionDeterminism(t *testing.T) {
+	input := randomInput(7, 6000, "abcxy")
+	run := func() (*BVAPSystem, *faults.Injector) {
+		sys := faultSystem(t, false)
+		in, err := faults.NewInjector(faults.UniformPlan(42, 2e-3, true))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sys.SetFaults(in)
+		sys.Run(input)
+		sys.Finish()
+		return sys, in
+	}
+	a, ina := run()
+	b, inb := run()
+
+	sa, sb := ina.Stats(), inb.Stats()
+	if sa != sb {
+		t.Fatalf("fault stats diverge:\n a=%+v\n b=%+v", sa, sb)
+	}
+	if sa.TotalInjected() == 0 {
+		t.Fatal("rate 2e-3 over 6000 symbols injected nothing; test is vacuous")
+	}
+	ta, tb := ina.Trace(), inb.Trace()
+	if len(ta) != len(tb) {
+		t.Fatalf("trace lengths diverge: %d vs %d", len(ta), len(tb))
+	}
+	for i := range ta {
+		if ta[i] != tb[i] {
+			t.Fatalf("trace[%d] diverges: %+v vs %+v", i, ta[i], tb[i])
+		}
+	}
+	if ea, eb := a.Stats().TotalEnergyPJ(), b.Stats().TotalEnergyPJ(); ea != eb {
+		t.Fatalf("energy diverges: %g vs %g", ea, eb)
+	}
+	for i := range faultPatterns {
+		if !equalInts(a.MatchEnds(i), b.MatchEnds(i)) {
+			t.Fatalf("machine %d match ends diverge", i)
+		}
+	}
+}
+
+// TestFaultNilPlanZeroAlloc pins the nil-path promise: with no injector
+// attached, Step allocates nothing.
+func TestFaultNilPlanZeroAlloc(t *testing.T) {
+	sys := faultSystem(t, false)
+	sys.RecordMatchEnds(false)
+	// Warm up so runner scratch buffers reach steady-state capacity.
+	sys.Run(randomInput(8, 2048, "abcxy"))
+	input := randomInput(9, 256, "abcxy")
+	i := 0
+	allocs := testing.AllocsPerRun(200, func() {
+		sys.Step(input[i%len(input)])
+		i++
+	})
+	if allocs != 0 {
+		t.Fatalf("Step with nil fault plan allocates %.1f per call, want 0", allocs)
+	}
+}
+
+// TestFaultCheckpointRestore pins windowed rollback: restoring a checkpoint
+// and replaying the same bytes at the same attempt reproduces the exact
+// functional state (position and match ends), because fault draws are keyed
+// by absolute position, not execution history.
+func TestFaultCheckpointRestore(t *testing.T) {
+	for _, streaming := range []bool{false, true} {
+		sys := faultSystem(t, streaming)
+		in, err := faults.NewInjector(faults.UniformPlan(11, 5e-3, true))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sys.SetFaults(in)
+		input := randomInput(10, 4096, "abcxy")
+		prefix, window := input[:1000], input[1000:1512]
+		for _, b := range prefix {
+			sys.Step(b)
+		}
+		ck := sys.Checkpoint()
+		// Stream-dup faults advance the position for the duplicated copy, so
+		// the checkpoint position is what Restore must return to — not the
+		// raw prefix length.
+		basePos := sys.Pos()
+		baseEnds := make([]int, len(faultPatterns))
+		for i := range faultPatterns {
+			baseEnds[i] = len(sys.MatchEnds(i))
+		}
+		for _, b := range window {
+			sys.Step(b)
+		}
+		firstPos := sys.Pos()
+		first := make([][]int, len(faultPatterns))
+		for i := range faultPatterns {
+			first[i] = append([]int(nil), sys.MatchEnds(i)...)
+		}
+
+		sys.Restore(ck)
+		if sys.Pos() != basePos {
+			t.Fatalf("streaming=%v: Pos after restore = %d, want %d", streaming, sys.Pos(), basePos)
+		}
+		for i := range faultPatterns {
+			if len(sys.MatchEnds(i)) != baseEnds[i] {
+				t.Fatalf("streaming=%v: machine %d ends not truncated: %d vs %d",
+					streaming, i, len(sys.MatchEnds(i)), baseEnds[i])
+			}
+		}
+		for _, b := range window {
+			sys.Step(b)
+		}
+		if sys.Pos() != firstPos {
+			t.Fatalf("streaming=%v: replay Pos = %d, want %d", streaming, sys.Pos(), firstPos)
+		}
+		for i := range faultPatterns {
+			if !equalInts(sys.MatchEnds(i), first[i]) {
+				t.Fatalf("streaming=%v: machine %d replay diverges:\n first  %v\n replay %v",
+					streaming, i, first[i], sys.MatchEnds(i))
+			}
+		}
+	}
+}
+
+// TestFaultParityArea pins the parity surcharge accounting: attaching a
+// parity-enabled injector grows the area, detaching restores it exactly, and
+// a parity-off injector charges nothing.
+func TestFaultParityArea(t *testing.T) {
+	sys := faultSystem(t, false)
+	base := sys.Stats().AreaUm2
+	in, err := faults.NewInjector(faults.UniformPlan(1, 1e-4, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.SetFaults(in)
+	withParity := sys.Stats().AreaUm2
+	if withParity <= base {
+		t.Fatalf("parity did not grow area: %g -> %g", base, withParity)
+	}
+	sys.SetFaults(nil)
+	if got := sys.Stats().AreaUm2; got != base {
+		t.Fatalf("area not restored after detach: %g, want %g", got, base)
+	}
+	off, err := faults.NewInjector(faults.UniformPlan(1, 1e-4, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.SetFaults(off)
+	if got := sys.Stats().AreaUm2; got != base {
+		t.Fatalf("parity-off injector changed area: %g, want %g", got, base)
+	}
+}
+
+// TestFaultStreamDropAll pins the BVAP-S drop site: at drop rate 1 every
+// symbol is consumed by the fault, so the clock ticks but nothing matches.
+func TestFaultStreamDropAll(t *testing.T) {
+	sys := faultSystem(t, true)
+	in, err := faults.NewInjector(&faults.Plan{Seed: 1, DropRate: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.SetFaults(in)
+	input := []byte("abbbc abbbc xxxy abbbc")
+	sys.Run(input)
+	st := sys.Finish()
+	if st.Symbols != uint64(len(input)) {
+		t.Fatalf("symbols = %d, want %d", st.Symbols, len(input))
+	}
+	if st.Matches != 0 {
+		t.Fatalf("dropped stream still matched %d times", st.Matches)
+	}
+	fs := sys.FaultStats()
+	if fs.Injected[faults.SiteStreamDrop] != uint64(len(input)) {
+		t.Fatalf("drop count = %d, want %d", fs.Injected[faults.SiteStreamDrop], len(input))
+	}
+	// Drops are a streaming-only fault site: the non-streaming system must
+	// ignore the plan's drop rate entirely.
+	flat := faultSystem(t, false)
+	flat.SetFaults(mustInjector(t, &faults.Plan{Seed: 1, DropRate: 1}))
+	flat.Run(input)
+	flat.Finish()
+	if n := flat.FaultStats().TotalInjected(); n != 0 {
+		t.Fatalf("non-streaming system injected %d stream faults", n)
+	}
+}
+
+func mustInjector(t *testing.T, p *faults.Plan) *faults.Injector {
+	t.Helper()
+	in, err := faults.NewInjector(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return in
+}

@@ -1,0 +1,63 @@
+package hwsim
+
+import (
+	"bytes"
+	"testing"
+
+	"bvap/internal/compiler"
+	"bvap/internal/hwconf"
+)
+
+// FuzzMachineFromConfig feeds arbitrary bytes through the full
+// configuration path — hwconf.Read (parse + Validate), machine
+// reconstruction, simulator construction, and a short simulated run — and
+// asserts the only acceptable failure mode is a returned error. A
+// Validate'd image must never panic the simulator or drive it into
+// allocations disproportionate to the image, no matter how the bytes were
+// mangled.
+//
+// The seed corpus is real compiler output over patterns that exercise every
+// structural feature: plain STEs, BV-STEs with each swap action, gated
+// edges, anchors, case folding, multi-machine placement, and an
+// unsupported pattern.
+func FuzzMachineFromConfig(f *testing.F) {
+	seeds := [][]string{
+		{"abc"},
+		{"ab{3}c"},
+		{"a(.a){3}b", "x{2,30}y"},
+		{"(?i)get /[a-z]{8}", "^hdr.{10}z", "bad("},
+		{"a{100}", "b{2,5}(cd){6}e"},
+	}
+	for _, pats := range seeds {
+		res, err := compiler.Compile(pats, compiler.DefaultOptions())
+		if err != nil {
+			f.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := res.Config.Write(&buf); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.Bytes(), false)
+		f.Add(buf.Bytes(), true)
+	}
+	input := []byte("abcab{3}c xyhdrz get /abcdefgh 0123aaaaab")
+	f.Fuzz(func(t *testing.T, data []byte, streaming bool) {
+		cfg, err := hwconf.Read(bytes.NewReader(data))
+		if err != nil {
+			return // rejected images are the expected failure mode
+		}
+		sys, err := NewBVAPSystem(cfg, streaming)
+		if err != nil {
+			return
+		}
+		sys.RecordMatchEnds(true)
+		sys.Run(input)
+		st := sys.Finish()
+		if st.Symbols != uint64(len(input)) {
+			t.Fatalf("ran %d symbols, want %d", st.Symbols, len(input))
+		}
+		if st.TotalEnergyPJ() < 0 {
+			t.Fatalf("negative energy %v", st.TotalEnergyPJ())
+		}
+	})
+}

@@ -26,6 +26,11 @@ type ioModel struct {
 	arrayOut  []int // per-array report FIFO occupancy
 	arbiterRR []int // per-bank polling arbiter position
 
+	// dmaHold > 0 suspends the DMA refill of every bank buffer for that
+	// many cycles — the recovery penalty of a corrupted DMA beat injected
+	// by the fault layer (the ping-pong buffer re-requests the beat).
+	dmaHold int
+
 	// Accumulated observables.
 	inputStalls  uint64
 	outputStalls uint64
@@ -92,10 +97,13 @@ func (io *ioModel) tick(pending []bool, reports []int) int {
 	for b := 0; b < io.banks; b++ {
 		lo, hi := io.bankArrays(b)
 		n := hi - lo
-		// DMA refills the bank buffer.
-		io.bankIn[b] += dmaSymbolsPerCycle
-		if io.bankIn[b] > bankInCapacity {
-			io.bankIn[b] = bankInCapacity
+		// DMA refills the bank buffer (suspended while a corrupted beat
+		// is being re-requested).
+		if io.dmaHold == 0 {
+			io.bankIn[b] += dmaSymbolsPerCycle
+			if io.bankIn[b] > bankInCapacity {
+				io.bankIn[b] = bankInCapacity
+			}
 		}
 		// The polling arbiter grants one refill per bank per cycle.
 		for i := 0; i < n; i++ {
@@ -129,6 +137,9 @@ func (io *ioModel) tick(pending []bool, reports []int) int {
 		if io.bankOut[b] > 0 {
 			io.bankOut[b]--
 		}
+	}
+	if io.dmaHold > 0 {
+		io.dmaHold--
 	}
 
 	remaining := 0
@@ -173,4 +184,50 @@ func (io *ioModel) idle(cycles int, scratch []bool) {
 	for c := 0; c < cycles; c++ {
 		io.tick(scratch, nil)
 	}
+}
+
+// injectOverflow models a corrupted DMA beat hitting array a's input path:
+// the array FIFO and its bank buffer are invalidated (their contents came
+// from the bad beat) and the DMA stalls while the ping-pong buffer
+// re-requests the beat; the array's report FIFO jams full for one drain.
+// The resulting buffer-flag excursions are architecturally visible, so the
+// fault layer records these as always detected.
+func (io *ioModel) injectOverflow(a int) {
+	if a < 0 || a >= io.arrays {
+		return
+	}
+	io.arrayIn[a] = 0
+	io.bankIn[a/ioArraysPerBank] = 0
+	io.arrayOut[a] = arrayOutCapacity
+	io.dmaHold = ioOverflowDMAHoldCycles
+}
+
+// ioCheckpoint snapshots the functional occupancy state of the hierarchy.
+// Monotone observables (stall counters, buffer energy) are excluded: work
+// discarded by a rollback stays charged.
+type ioCheckpoint struct {
+	bankIn, bankOut   []int
+	arrayIn, arrayOut []int
+	arbiterRR         []int
+	dmaHold           int
+}
+
+func (io *ioModel) checkpoint() *ioCheckpoint {
+	return &ioCheckpoint{
+		bankIn:    append([]int(nil), io.bankIn...),
+		bankOut:   append([]int(nil), io.bankOut...),
+		arrayIn:   append([]int(nil), io.arrayIn...),
+		arrayOut:  append([]int(nil), io.arrayOut...),
+		arbiterRR: append([]int(nil), io.arbiterRR...),
+		dmaHold:   io.dmaHold,
+	}
+}
+
+func (io *ioModel) restore(ck *ioCheckpoint) {
+	copy(io.bankIn, ck.bankIn)
+	copy(io.bankOut, ck.bankOut)
+	copy(io.arrayIn, ck.arrayIn)
+	copy(io.arrayOut, ck.arrayOut)
+	copy(io.arbiterRR, ck.arbiterRR)
+	io.dmaHold = ck.dmaHold
 }

@@ -28,6 +28,10 @@ func MachineFromConfig(m *hwconf.Machine) (*nbva.AHNBVA, error) {
 			if err != nil {
 				return nil, fmt.Errorf("hwsim: machine %q STE %d: %v", m.Regex, i, err)
 			}
+			if s.WidthBits < 1 || s.WidthBits > isa.PhysicalBVBits {
+				return nil, fmt.Errorf("hwsim: machine %q STE %d: BV width %d out of range [1,%d]",
+					m.Regex, i, s.WidthBits, isa.PhysicalBVBits)
+			}
 			st.Width = s.WidthBits
 			switch in.Swap {
 			case isa.SwapSet1:
@@ -42,6 +46,14 @@ func MachineFromConfig(m *hwconf.Machine) (*nbva.AHNBVA, error) {
 			if lo, hi, ok := in.ReadSpan(); ok {
 				if hi > st.Width {
 					hi = st.Width // virtual words round widths up
+				}
+				if lo > st.Width {
+					// A clamped upper end is the virtual-word overhang;
+					// a lower end past the width would read outside the
+					// vector (and panic at Eval time), so reject the
+					// image instead of building the machine.
+					return nil, fmt.Errorf("hwsim: machine %q STE %d: read pointer %d past BV width %d",
+						m.Regex, i, lo, st.Width)
 				}
 				if lo == hi {
 					st.Read = nbva.ReadBit(lo)

@@ -48,6 +48,9 @@ const (
 	StageIOBuffer
 	// StageLeakage is leakage over the run's cycle count.
 	StageLeakage
+	// StageParity is the per-BV parity protection surcharge (fault
+	// detection; zero on unprotected runs).
+	StageParity
 
 	// NumStages is the number of attribution stages.
 	NumStages
@@ -77,6 +80,8 @@ func (s Stage) String() string {
 		return "io_buffer"
 	case StageLeakage:
 		return "leakage"
+	case StageParity:
+		return "parity"
 	}
 	return fmt.Sprintf("Stage(%d)", int(s))
 }

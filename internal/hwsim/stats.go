@@ -34,6 +34,11 @@ type Stats struct {
 	WireEnergyPJ       float64
 	IOEnergyPJ         float64
 	LeakageEnergyPJ    float64
+	// ParityEnergyPJ is the per-BV parity protection surcharge (fault
+	// detection, enabled via SetFaults with a parity plan): one parity bit
+	// per 8-bit BV word adds 12.5% to every BV storage access. Zero on
+	// unprotected runs.
+	ParityEnergyPJ float64
 
 	// I/O hierarchy stall breakdown (§6): input starvation and report
 	// congestion cycles, included in Cycles.
@@ -51,7 +56,8 @@ type Stats struct {
 // TotalEnergyPJ sums the breakdown.
 func (s *Stats) TotalEnergyPJ() float64 {
 	return s.MatchEnergyPJ + s.TransitionEnergyPJ + s.BVMEnergyPJ +
-		s.CounterEnergyPJ + s.WireEnergyPJ + s.IOEnergyPJ + s.LeakageEnergyPJ
+		s.CounterEnergyPJ + s.WireEnergyPJ + s.IOEnergyPJ + s.LeakageEnergyPJ +
+		s.ParityEnergyPJ
 }
 
 // EnergyPerSymbolPJ is the paper's primary efficiency metric (pJ/byte; the
@@ -126,6 +132,7 @@ func (s *Stats) Breakdown() string {
 		{"counter elements", s.CounterEnergyPJ},
 		{"global wires", s.WireEnergyPJ},
 		{"I/O buffers", s.IOEnergyPJ},
+		{"BV parity", s.ParityEnergyPJ},
 		{"leakage", s.LeakageEnergyPJ},
 	}
 	out := fmt.Sprintf("%-18s %14s %7s\n", "component", "energy (pJ)", "share")

@@ -48,6 +48,13 @@ func (v BitVector) Set(i int) {
 	v.words[(i-1)>>6] |= 1 << (uint(i-1) & 63)
 }
 
+// Flip inverts bit i (1-based) in place — the soft-error primitive used by
+// the fault-injection layer.
+func (v BitVector) Flip(i int) {
+	v.check(i)
+	v.words[(i-1)>>6] ^= 1 << (uint(i-1) & 63)
+}
+
 func (v BitVector) check(i int) {
 	if i < 1 || i > v.width {
 		panic(fmt.Sprintf("nbva: bit index %d out of range [1,%d]", i, v.width))

@@ -6,6 +6,7 @@ import (
 
 	"bvap/internal/archmodel"
 	"bvap/internal/compiler"
+	"bvap/internal/faults"
 	"bvap/internal/hwsim"
 	"bvap/internal/metrics"
 	"bvap/internal/telemetry"
@@ -144,9 +145,18 @@ func (r Result) String() string {
 // accumulating cycle and energy statistics.
 type Simulator struct {
 	arch     Architecture
+	eng      *Engine
 	bvapSys  *hwsim.BVAPSystem
 	baseSys  *hwsim.BaselineSystem
 	finished bool
+
+	// budget / symbolsRun implement the run-time symbol budget of
+	// RunContext (see SetBudget in context.go).
+	budget     Budget
+	symbolsRun int64
+
+	// inj is the attached fault injector (see faults.go).
+	inj *faults.Injector
 }
 
 // NewSimulator builds a cycle-accurate simulator for this engine's compiled
@@ -161,7 +171,7 @@ func (e *Engine) NewSimulator(arch Architecture) (*Simulator, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Simulator{arch: arch, bvapSys: sys}, nil
+	return &Simulator{arch: arch, eng: e, bvapSys: sys}, nil
 }
 
 // NewBaselineSimulator builds a simulator for one of the baseline
