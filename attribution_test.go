@@ -1,0 +1,165 @@
+package bvap
+
+import (
+	"bytes"
+	"testing"
+
+	"bvap/internal/profile"
+)
+
+// newProfiledSimulator builds a simulator for arch over patterns with a
+// profiler attached.
+func newProfiledSimulator(t *testing.T, arch Architecture, patterns []string) (*Simulator, *profile.Profiler) {
+	t.Helper()
+	var sim *Simulator
+	var err error
+	switch arch {
+	case ArchBVAP, ArchBVAPStreaming:
+		var eng *Engine
+		eng, err = Compile(patterns)
+		if err != nil {
+			t.Fatalf("%v: Compile: %v", arch, err)
+		}
+		sim, err = eng.NewSimulator(arch)
+	default:
+		sim, err = NewBaselineSimulator(arch, patterns)
+	}
+	if err != nil {
+		t.Fatalf("%v: simulator: %v", arch, err)
+	}
+	return sim, sim.Profile(profile.Options{})
+}
+
+// checkConservation asserts the attribution's bit-for-bit guarantees
+// against the simulator's terminal stats.
+func checkConservation(t *testing.T, arch Architecture, sim *Simulator, p *profile.Profiler) {
+	t.Helper()
+	sim.Result() // finalize: fold in leakage and I/O
+	st := sim.Stats()
+	a := p.Attribute(st)
+	if a.TotalPJ != st.TotalEnergyPJ() {
+		t.Fatalf("%v: attribution total %v != stats total %v", arch, a.TotalPJ, st.TotalEnergyPJ())
+	}
+	if a.UnattributedPJ != 0 {
+		t.Fatalf("%v: unattributed residual %g, want exactly 0", arch, a.UnattributedPJ)
+	}
+	// The acceptance guarantee: per-pattern shares summed left-to-right in
+	// slice order reproduce TotalEnergyPJ bit-for-bit.
+	sum := 0.0
+	for _, row := range a.Patterns {
+		sum += row.EnergyPJ
+	}
+	if sum != st.TotalEnergyPJ() {
+		t.Fatalf("%v: pattern shares sum %v != total %v (diff %g)",
+			arch, sum, st.TotalEnergyPJ(), sum-st.TotalEnergyPJ())
+	}
+	// Component columns partition each Stats component exactly as well.
+	colSums := make([]float64, profile.NumComponents)
+	for c := profile.Component(0); c < profile.NumComponents; c++ {
+		for _, row := range a.Patterns {
+			colSums[c] += row.Components[c]
+		}
+	}
+	wantCols := []float64{
+		st.MatchEnergyPJ, st.TransitionEnergyPJ, st.BVMEnergyPJ, st.CounterEnergyPJ,
+		st.WireEnergyPJ, st.IOEnergyPJ, st.LeakageEnergyPJ, st.ParityEnergyPJ,
+	}
+	for c, want := range wantCols {
+		if colSums[c] != want {
+			t.Fatalf("%v: component %v column sum %v != %v",
+				arch, profile.Component(c), colSums[c], want)
+		}
+	}
+}
+
+// TestAttributionConservation pins the tentpole invariant on every modeled
+// architecture: per-pattern energy attribution partitions
+// Stats.TotalEnergyPJ() exactly, with zero residual.
+func TestAttributionConservation(t *testing.T) {
+	patterns := []string{"a(.a){3}b", "x{2,30}y", "(?i)get /[a-z]{8}", "^hdr.{10}z", "abc"}
+	input := bytes.Repeat([]byte("abcab abaab xyhdrz get /abcdefgh aaaaab 0123 xxyy "), 40)
+	for _, arch := range Architectures() {
+		arch := arch
+		t.Run(arch.String(), func(t *testing.T) {
+			sim, p := newProfiledSimulator(t, arch, patterns)
+			sim.Run(input)
+			checkConservation(t, arch, sim, p)
+			if p.Symbols() != uint64(len(input)) {
+				t.Fatalf("profiler saw %d symbols, want %d", p.Symbols(), len(input))
+			}
+		})
+	}
+}
+
+// TestAttributionConservationZeroBytes covers the degenerate empty run:
+// the only energy is terminal (leakage over zero cycles = 0), and the
+// partition must still be exact.
+func TestAttributionConservationZeroBytes(t *testing.T) {
+	for _, arch := range Architectures() {
+		arch := arch
+		t.Run(arch.String(), func(t *testing.T) {
+			sim, p := newProfiledSimulator(t, arch, []string{"ab{3}c", "xyz"})
+			checkConservation(t, arch, sim, p)
+		})
+	}
+}
+
+// TestAttributionConservationSinglePattern covers the single-pattern run,
+// where the whole total lands on one row.
+func TestAttributionConservationSinglePattern(t *testing.T) {
+	input := bytes.Repeat([]byte("ab{3}c abbbc abbc "), 30)
+	for _, arch := range Architectures() {
+		arch := arch
+		t.Run(arch.String(), func(t *testing.T) {
+			sim, p := newProfiledSimulator(t, arch, []string{"ab{3}c"})
+			sim.Run(input)
+			checkConservation(t, arch, sim, p)
+			sim.Result()
+			a := p.Attribute(sim.Stats())
+			if len(a.Patterns) != 1 {
+				t.Fatalf("%d rows", len(a.Patterns))
+			}
+			if a.Patterns[0].EnergyPJ != a.TotalPJ {
+				t.Fatalf("single pattern got %v of %v", a.Patterns[0].EnergyPJ, a.TotalPJ)
+			}
+		})
+	}
+}
+
+// TestAttributionWithUnsupportedPattern ensures unsupported patterns ride
+// along with zero weight and the partition stays exact.
+func TestAttributionWithUnsupportedPattern(t *testing.T) {
+	input := bytes.Repeat([]byte("abcabc "), 50)
+	sim, p := newProfiledSimulator(t, ArchBVAP, []string{"abc", "bad("})
+	sim.Run(input)
+	checkConservation(t, ArchBVAP, sim, p)
+}
+
+// TestProfilerHotStatesBVAP sanity-checks the hot-state ranking on a real
+// run: entries are sorted, counted, and carry tile provenance.
+func TestProfilerHotStatesBVAP(t *testing.T) {
+	input := bytes.Repeat([]byte("abcabcabc"), 20)
+	sim, p := newProfiledSimulator(t, ArchBVAP, []string{"abc", "x{2,30}y"})
+	sim.Run(input)
+	sim.Result()
+	hot := p.HotStates(5)
+	if len(hot) == 0 {
+		t.Fatal("no hot states recorded")
+	}
+	for i := 1; i < len(hot); i++ {
+		if hot[i].Activations > hot[i-1].Activations {
+			t.Fatalf("hot states not sorted: %+v", hot)
+		}
+	}
+	for _, h := range hot {
+		if h.Tile < 0 {
+			t.Errorf("hot state %+v lacks tile provenance", h)
+		}
+		if h.Pattern == "" {
+			t.Errorf("hot state %+v lacks pattern provenance", h)
+		}
+	}
+	if th := p.TileHeatmap(); th == nil || th.Max() == 0 {
+		t.Fatal("tile heatmap empty after a matching run")
+	}
+}

@@ -1,17 +1,25 @@
 // Command bvapbench regenerates the tables and figures of the paper's
-// evaluation (§8): the Fig. 11 and Fig. 12 micro-benchmarks, the Fig. 13
-// design space exploration, Table 5's best-FoM parameters, the Fig. 14
-// real-world comparison, and the headline summary.
+// evaluation (§8) and runs the canonical perf harness. Every experiment is
+// declared once in the registry below; the -exp help text, the usage
+// listing and the dispatch all derive from it.
 //
 // Usage:
 //
-//	bvapbench -exp fig11|fig12|fig13|table5|fig14|summary|ablation|stride2|breakdown|faults|all [flags]
+//	bvapbench -exp <name>[,<name>...] [flags]
+//	bvapbench -exp all            # every experiment except perf
+//	bvapbench -exp perf -baseline testdata/bench_baseline.json
 //
 // Flags:
 //
 //	-sample N    regexes sampled per dataset (default 80; paper uses >300)
 //	-inputlen N  corpus length per run (default 4096)
 //	-datasets    comma-separated dataset subset (default all seven)
+//
+// The perf experiment writes a versioned BENCH_<n>.json report (schema in
+// EXPERIMENTS.md) into the current directory (-bench-out overrides), and
+// with -baseline compares the counted metrics against a previous report,
+// exiting non-zero when any metric regresses beyond its threshold.
+// -render adds ASCII tile-occupancy and stall heatmaps per dataset.
 //
 // Observability: -metrics writes the accrued telemetry counters (Prometheus
 // text, or JSON with a .json suffix), -trace writes a structured trace with
@@ -41,49 +49,120 @@ import (
 	"bvap/internal/telemetry"
 )
 
+// experiment is one -exp registry entry. The registry is the single source
+// of truth: usage text, the -exp help string and the dispatch loop are all
+// generated from it, in declaration order (which is also the execution
+// order of -exp all).
+type experiment struct {
+	name string
+	desc string
+	// inAll marks experiments included in -exp all. The perf harness is
+	// excluded: its reports are only comparable at pinned parameters, so
+	// it must be invoked deliberately.
+	inAll bool
+	run   func(a *app) error
+}
+
+func registry() []experiment {
+	return []experiment{
+		{"fig11", "r·a{n} micro-benchmark vs CAMA", true, (*app).runFig11},
+		{"fig12", "r·a{64}·b{m} vs CNT and CAMA", true, (*app).runFig12},
+		{"fig13", "design space exploration grid", true, (*app).runFig13},
+		{"table5", "best-FoM parameters per dataset", true, (*app).runTable5},
+		{"fig14", "real-world comparison across architectures", true, (*app).runFig14},
+		{"summary", "headline aggregate claims", true, (*app).runSummary},
+		{"ablation", "BVAP design-choice ablation", true, (*app).runAblation},
+		{"stride2", "two-symbol stride variant", true, (*app).runStride2},
+		{"faults", "fault-injection resilience sweep", true, (*app).runFaults},
+		{"breakdown", "per-stage energy attribution on one dataset", true, (*app).runBreakdown},
+		{"perf", "canonical perf harness → BENCH_<n>.json (+ -baseline compare)", false, (*app).runPerf},
+	}
+}
+
+func expNames(includeAll bool) string {
+	var names []string
+	for _, e := range registry() {
+		names = append(names, e.name)
+	}
+	if includeAll {
+		names = append(names, "all")
+	}
+	return strings.Join(names, ", ")
+}
+
+// app carries the parsed flags and cross-experiment memoized state.
+type app struct {
+	// flags
+	ablationDataset  string
+	breakdownDataset string
+	archName         string
+	faultsDataset    string
+	faultSeed        int64
+	faultRates       string
+	faultStreaming   bool
+	faultNoParity    bool
+	sample           int
+	inputLen         int
+	datasets         []string
+	archs            []string
+	baselinePath     string
+	benchOut         string
+	render           bool
+
+	sess *obs.Session
+	dump jsonResults
+
+	// Memoized stages shared between experiments (fig13 → table5 →
+	// fig14 → summary all build on the DSE).
+	dse     []experiments.DSEPoint
+	dseDone bool
+	fig14   []experiments.Fig14Row
+}
+
 func main() {
-	exp := flag.String("exp", "all", "experiment: fig11, fig12, fig13, table5, fig14, summary, ablation, stride2, breakdown, faults, all")
-	ablationDataset := flag.String("ablation-dataset", "Snort", "dataset for the -exp ablation run")
-	breakdownDataset := flag.String("breakdown-dataset", "Snort", "dataset for the -exp breakdown run")
-	archName := flag.String("arch", "bvap", "architecture for the -exp breakdown run: bvap, bvap-s, cama, ca, eap, cnt")
-	faultsDataset := flag.String("fault-dataset", "Snort", "dataset for the -exp faults sweep")
-	faultSeed := flag.Int64("fault-seed", 1, "fault-injection seed for the -exp faults sweep")
-	faultRates := flag.String("fault-rates", "", "comma-separated per-site injection rates for -exp faults (default 0,1e-4,5e-4,2e-3,1e-2)")
-	faultStreaming := flag.Bool("fault-streaming", false, "run the -exp faults sweep on BVAP-S (stream drop/dup faults)")
-	faultNoParity := flag.Bool("fault-noparity", false, "disable the per-BV parity detection circuit in -exp faults")
-	sample := flag.Int("sample", 80, "regexes sampled per dataset")
-	inputLen := flag.Int("inputlen", 4096, "input corpus length")
+	var a app
+	exp := flag.String("exp", "all", "comma-separated experiments: "+expNames(true))
+	flag.StringVar(&a.ablationDataset, "ablation-dataset", "Snort", "dataset for the -exp ablation run")
+	flag.StringVar(&a.breakdownDataset, "breakdown-dataset", "Snort", "dataset for the -exp breakdown run")
+	flag.StringVar(&a.archName, "arch", "bvap", "architecture for the -exp breakdown run: bvap, bvap-s, cama, ca, eap, cnt")
+	flag.StringVar(&a.faultsDataset, "fault-dataset", "Snort", "dataset for the -exp faults sweep")
+	flag.Int64Var(&a.faultSeed, "fault-seed", 1, "fault-injection seed for the -exp faults sweep")
+	flag.StringVar(&a.faultRates, "fault-rates", "", "comma-separated per-site injection rates for -exp faults (default 0,1e-4,5e-4,2e-3,1e-2)")
+	flag.BoolVar(&a.faultStreaming, "fault-streaming", false, "run the -exp faults sweep on BVAP-S (stream drop/dup faults)")
+	flag.BoolVar(&a.faultNoParity, "fault-noparity", false, "disable the per-BV parity detection circuit in -exp faults")
+	flag.IntVar(&a.sample, "sample", 80, "regexes sampled per dataset")
+	flag.IntVar(&a.inputLen, "inputlen", 4096, "input corpus length")
 	datasetList := flag.String("datasets", "", "comma-separated dataset subset")
+	archList := flag.String("archs", "", "comma-separated architecture subset for -exp perf (BVAP, BVAP-S, CAMA, CA, eAP, CNT)")
 	jsonPath := flag.String("json", "", "also write the structured results as JSON to this file")
+	flag.StringVar(&a.baselinePath, "baseline", "", "BENCH_<n>.json to compare the -exp perf run against (non-zero exit on regression)")
+	flag.StringVar(&a.benchOut, "bench-out", "", "where -exp perf writes its report (default: next BENCH_<n>.json in the current directory)")
+	flag.BoolVar(&a.render, "render", false, "print ASCII tile-occupancy and stall heatmaps during -exp perf")
 	metricsPath := flag.String("metrics", "", "write telemetry metrics to this file (Prometheus text; .json for JSON)")
 	tracePath := flag.String("trace", "", "write a structured trace to this file (Chrome trace_event JSON; .jsonl for JSONL)")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof, expvar and /metrics on this address")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: bvapbench -exp <name>[,<name>...] [flags]\n\nexperiments:\n")
+		for _, e := range registry() {
+			all := ""
+			if !e.inAll {
+				all = " (not in -exp all)"
+			}
+			fmt.Fprintf(flag.CommandLine.Output(), "  %-10s %s%s\n", e.name, e.desc, all)
+		}
+		fmt.Fprintf(flag.CommandLine.Output(), "\nflags:\n")
+		flag.PrintDefaults()
+	}
 	flag.Parse()
 
-	sess, err := obs.Setup(*metricsPath, *tracePath, *pprofAddr)
-	if err != nil {
-		fatal(err)
-	}
-	defer func() {
-		if err := sess.Close(); err != nil {
-			fatal(err)
-		}
-	}()
-
-	// span wraps one experiment in a trace span (a no-op without -trace).
-	span := func(name string) func() {
-		if sess.Tracer == nil {
-			return func() {}
-		}
-		sp := sess.Tracer.Span(name, "bvapbench")
-		return func() { sp.End() }
-	}
-
-	var dump jsonResults
-	var dsets []string
 	if *datasetList != "" {
 		for _, d := range strings.Split(*datasetList, ",") {
-			dsets = append(dsets, strings.TrimSpace(d))
+			a.datasets = append(a.datasets, strings.TrimSpace(d))
+		}
+	}
+	if *archList != "" {
+		for _, ar := range strings.Split(*archList, ",") {
+			a.archs = append(a.archs, strings.TrimSpace(ar))
 		}
 	}
 
@@ -91,147 +170,37 @@ func main() {
 	for _, e := range strings.Split(*exp, ",") {
 		want[strings.TrimSpace(strings.ToLower(e))] = true
 	}
-	all := want["all"]
-
-	if all || want["fig11"] {
-		end := span("fig11")
-		points, err := experiments.Fig11(experiments.Fig11Options{InputLen: *inputLen * 4})
-		if err != nil {
-			fatal(err)
-		}
-		dump.Fig11 = points
-		experiments.RenderFig11(os.Stdout, points)
-		fmt.Println()
-		end()
+	known := map[string]bool{"all": true}
+	for _, e := range registry() {
+		known[e.name] = true
 	}
-	if all || want["fig12"] {
-		end := span("fig12")
-		points, err := experiments.Fig12(experiments.Fig12Options{InputLen: *inputLen * 4})
-		if err != nil {
-			fatal(err)
+	for name := range want {
+		if !known[name] {
+			fatal(fmt.Errorf("unknown experiment %q (want %s)", name, expNames(true)))
 		}
-		dump.Fig12 = points
-		experiments.RenderFig12(os.Stdout, points)
-		fmt.Println()
-		end()
 	}
 
-	var dse []experiments.DSEPoint
-	needDSE := all || want["fig13"] || want["table5"] || want["fig14"] || want["summary"]
-	if needDSE {
-		end := span("fig13-dse")
-		var err error
-		dse, err = experiments.Fig13(experiments.DSEOptions{
-			Sample:   *sample,
-			InputLen: *inputLen / 2,
-			Datasets: dsets,
-		})
-		end()
-		if err != nil {
+	sess, err := obs.Setup(*metricsPath, *tracePath, *pprofAddr)
+	if err != nil {
+		fatal(err)
+	}
+	a.sess = sess
+	defer func() {
+		if err := sess.Close(); err != nil {
 			fatal(err)
 		}
-	}
-	if all || want["fig13"] {
-		dump.Fig13 = dse
-		experiments.RenderFig13(os.Stdout, dse)
-		fmt.Println()
-	}
-	best := experiments.Table5(dse)
-	dump.Table5 = best
-	if all || want["table5"] {
-		experiments.RenderTable5(os.Stdout, best)
-		fmt.Println()
-	}
-	if all || want["fig14"] || want["summary"] {
-		end := span("fig14")
-		params := map[string]experiments.BestParams{}
-		for _, b := range best {
-			params[b.Dataset] = b
-		}
-		rows, err := experiments.Fig14(experiments.Fig14Options{
-			Sample:   *sample,
-			InputLen: *inputLen,
-			Datasets: dsets,
-			Params:   params,
-		})
-		end()
-		if err != nil {
-			fatal(err)
-		}
-		if all || want["fig14"] {
-			dump.Fig14 = rows
-			experiments.RenderFig14(os.Stdout, rows)
-			fmt.Println()
-		}
-		if all || want["summary"] {
-			s := experiments.Summarize(rows)
-			dump.Summary = &s
-			experiments.RenderSummary(os.Stdout, s)
-			fmt.Println()
-		}
-	}
-	if all || want["ablation"] {
-		end := span("ablation")
-		rows, err := experiments.Ablation(experiments.AblationOptions{
-			Dataset:  *ablationDataset,
-			Sample:   *sample,
-			InputLen: *inputLen,
-		})
-		if err != nil {
-			fatal(err)
-		}
-		dump.Ablation = rows
-		experiments.RenderAblation(os.Stdout, *ablationDataset, rows)
-		end()
-	}
+	}()
 
-	if all || want["stride2"] {
-		end := span("stride2")
-		rows, err := experiments.Stride2(experiments.Stride2Options{
-			Sample:   *sample,
-			InputLen: *inputLen,
-			Datasets: dsets,
-		})
-		if err != nil {
-			fatal(err)
+	for _, e := range registry() {
+		if !(want[e.name] || (want["all"] && e.inAll)) {
+			continue
 		}
-		dump.Stride2 = rows
-		fmt.Println()
-		experiments.RenderStride2(os.Stdout, rows)
+		end := a.span(e.name)
+		err := e.run(&a)
 		end()
-	}
-
-	if all || want["faults"] {
-		end := span("faults")
-		rates, err := parseRates(*faultRates)
 		if err != nil {
-			fatal(err)
+			fatal(fmt.Errorf("%s: %v", e.name, err))
 		}
-		fopt := experiments.FaultsOptions{
-			Dataset:   *faultsDataset,
-			Sample:    *sample,
-			InputLen:  *inputLen,
-			Rates:     rates,
-			Seed:      *faultSeed,
-			Streaming: *faultStreaming,
-			NoParity:  *faultNoParity,
-		}
-		rows, err := experiments.Faults(fopt)
-		if err != nil {
-			fatal(err)
-		}
-		dump.Faults = rows
-		experiments.RenderFaults(os.Stdout, fopt, rows)
-		fmt.Println()
-		end()
-	}
-
-	if all || want["breakdown"] {
-		end := span("breakdown")
-		if err := runBreakdown(*archName, *breakdownDataset, *sample, *inputLen, sess); err != nil {
-			fatal(err)
-		}
-		end()
 	}
 
 	if *jsonPath != "" {
@@ -241,13 +210,236 @@ func main() {
 		}
 		enc := json.NewEncoder(f)
 		enc.SetIndent("", "  ")
-		if err := enc.Encode(dump); err != nil {
+		if err := enc.Encode(a.dump); err != nil {
 			fatal(err)
 		}
 		if err := f.Close(); err != nil {
 			fatal(err)
 		}
 	}
+}
+
+// span wraps one experiment in a trace span (a no-op without -trace).
+func (a *app) span(name string) func() {
+	if a.sess == nil || a.sess.Tracer == nil {
+		return func() {}
+	}
+	sp := a.sess.Tracer.Span(name, "bvapbench")
+	return func() { sp.End() }
+}
+
+// ensureDSE memoizes the Fig. 13 exploration shared by fig13, table5,
+// fig14 and summary.
+func (a *app) ensureDSE() ([]experiments.DSEPoint, error) {
+	if a.dseDone {
+		return a.dse, nil
+	}
+	end := a.span("fig13-dse")
+	defer end()
+	dse, err := experiments.Fig13(experiments.DSEOptions{
+		Sample:   a.sample,
+		InputLen: a.inputLen / 2,
+		Datasets: a.datasets,
+	})
+	if err != nil {
+		return nil, err
+	}
+	a.dse, a.dseDone = dse, true
+	return dse, nil
+}
+
+// ensureFig14 memoizes the real-world comparison shared by fig14 and
+// summary.
+func (a *app) ensureFig14() ([]experiments.Fig14Row, error) {
+	if a.fig14 != nil {
+		return a.fig14, nil
+	}
+	dse, err := a.ensureDSE()
+	if err != nil {
+		return nil, err
+	}
+	params := map[string]experiments.BestParams{}
+	for _, b := range experiments.Table5(dse) {
+		params[b.Dataset] = b
+	}
+	rows, err := experiments.Fig14(experiments.Fig14Options{
+		Sample:   a.sample,
+		InputLen: a.inputLen,
+		Datasets: a.datasets,
+		Params:   params,
+	})
+	if err != nil {
+		return nil, err
+	}
+	a.fig14 = rows
+	return rows, nil
+}
+
+func (a *app) runFig11() error {
+	points, err := experiments.Fig11(experiments.Fig11Options{InputLen: a.inputLen * 4})
+	if err != nil {
+		return err
+	}
+	a.dump.Fig11 = points
+	experiments.RenderFig11(os.Stdout, points)
+	fmt.Println()
+	return nil
+}
+
+func (a *app) runFig12() error {
+	points, err := experiments.Fig12(experiments.Fig12Options{InputLen: a.inputLen * 4})
+	if err != nil {
+		return err
+	}
+	a.dump.Fig12 = points
+	experiments.RenderFig12(os.Stdout, points)
+	fmt.Println()
+	return nil
+}
+
+func (a *app) runFig13() error {
+	dse, err := a.ensureDSE()
+	if err != nil {
+		return err
+	}
+	a.dump.Fig13 = dse
+	experiments.RenderFig13(os.Stdout, dse)
+	fmt.Println()
+	return nil
+}
+
+func (a *app) runTable5() error {
+	dse, err := a.ensureDSE()
+	if err != nil {
+		return err
+	}
+	best := experiments.Table5(dse)
+	a.dump.Table5 = best
+	experiments.RenderTable5(os.Stdout, best)
+	fmt.Println()
+	return nil
+}
+
+func (a *app) runFig14() error {
+	rows, err := a.ensureFig14()
+	if err != nil {
+		return err
+	}
+	a.dump.Fig14 = rows
+	experiments.RenderFig14(os.Stdout, rows)
+	fmt.Println()
+	return nil
+}
+
+func (a *app) runSummary() error {
+	rows, err := a.ensureFig14()
+	if err != nil {
+		return err
+	}
+	s := experiments.Summarize(rows)
+	a.dump.Summary = &s
+	experiments.RenderSummary(os.Stdout, s)
+	fmt.Println()
+	return nil
+}
+
+func (a *app) runAblation() error {
+	rows, err := experiments.Ablation(experiments.AblationOptions{
+		Dataset:  a.ablationDataset,
+		Sample:   a.sample,
+		InputLen: a.inputLen,
+	})
+	if err != nil {
+		return err
+	}
+	a.dump.Ablation = rows
+	experiments.RenderAblation(os.Stdout, a.ablationDataset, rows)
+	return nil
+}
+
+func (a *app) runStride2() error {
+	rows, err := experiments.Stride2(experiments.Stride2Options{
+		Sample:   a.sample,
+		InputLen: a.inputLen,
+		Datasets: a.datasets,
+	})
+	if err != nil {
+		return err
+	}
+	a.dump.Stride2 = rows
+	fmt.Println()
+	experiments.RenderStride2(os.Stdout, rows)
+	return nil
+}
+
+func (a *app) runFaults() error {
+	rates, err := parseRates(a.faultRates)
+	if err != nil {
+		return err
+	}
+	fopt := experiments.FaultsOptions{
+		Dataset:   a.faultsDataset,
+		Sample:    a.sample,
+		InputLen:  a.inputLen,
+		Rates:     rates,
+		Seed:      a.faultSeed,
+		Streaming: a.faultStreaming,
+		NoParity:  a.faultNoParity,
+	}
+	rows, err := experiments.Faults(fopt)
+	if err != nil {
+		return err
+	}
+	a.dump.Faults = rows
+	experiments.RenderFaults(os.Stdout, fopt, rows)
+	fmt.Println()
+	return nil
+}
+
+// runPerf runs the canonical perf harness, writes the versioned BENCH
+// report, and — when -baseline names a previous report — compares the
+// counted metrics and fails on any regression beyond the thresholds.
+func (a *app) runPerf() error {
+	opt := experiments.PerfOptions{
+		Datasets: a.datasets,
+		Archs:    a.archs,
+		Sample:   a.sample,
+		InputLen: a.inputLen,
+	}
+	if a.render {
+		opt.RenderTo = os.Stdout
+	}
+	rep, err := experiments.Perf(opt)
+	if err != nil {
+		return err
+	}
+	a.dump.Perf = rep
+	experiments.RenderPerf(os.Stdout, rep)
+
+	out := a.benchOut
+	if out == "" {
+		out, err = experiments.NextBenchPath(".")
+		if err != nil {
+			return err
+		}
+	}
+	if err := experiments.WriteBenchReport(out, rep); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", out)
+
+	if a.baselinePath != "" {
+		base, err := experiments.ReadBenchReport(a.baselinePath)
+		if err != nil {
+			return err
+		}
+		regs := experiments.CompareBench(rep, base, experiments.Thresholds{})
+		experiments.RenderRegressions(os.Stdout, regs)
+		if len(regs) > 0 {
+			return fmt.Errorf("%d counted metric(s) regressed vs %s", len(regs), a.baselinePath)
+		}
+	}
+	return nil
 }
 
 // jsonResults is the machine-readable form of a bvapbench run, for plotting
@@ -262,6 +454,7 @@ type jsonResults struct {
 	Ablation []experiments.AblationRow `json:"ablation,omitempty"`
 	Stride2  []experiments.Stride2Row  `json:"stride2,omitempty"`
 	Faults   []experiments.FaultsRow   `json:"faults,omitempty"`
+	Perf     *experiments.BenchReport  `json:"perf,omitempty"`
 }
 
 // parseRates parses the -fault-rates list; an empty string selects the
@@ -288,23 +481,23 @@ func parseRates(s string) ([]float64, error) {
 // a per-stage telemetry sink attached and prints the energy attribution
 // table: which pipeline stage (state match, transition, BVM read/swap,
 // MFCB routing, I/O buffering, leakage...) consumed which share.
-func runBreakdown(archName, dataset string, sample, inputLen int, sess *obs.Session) error {
-	arch, err := bvap.ParseArchitecture(archName)
+func (a *app) runBreakdown() error {
+	arch, err := bvap.ParseArchitecture(a.archName)
 	if err != nil {
 		return err
 	}
-	d, err := bvap.DatasetByName(dataset)
+	d, err := bvap.DatasetByName(a.breakdownDataset)
 	if err != nil {
 		return err
 	}
-	patterns := d.Patterns(sample)
-	input := d.Input(inputLen, patterns)
+	patterns := d.Patterns(a.sample)
+	input := d.Input(a.inputLen, patterns)
 
 	var sim *bvap.Simulator
 	switch arch {
 	case bvap.ArchBVAP, bvap.ArchBVAPStreaming:
 		engine, err := bvap.Compile(patterns,
-			bvap.WithMetrics(sess.Registry), bvap.WithTracer(sess.Tracer))
+			bvap.WithMetrics(a.sess.Registry), bvap.WithTracer(a.sess.Tracer))
 		if err != nil {
 			return err
 		}
@@ -319,7 +512,7 @@ func runBreakdown(archName, dataset string, sample, inputLen int, sess *obs.Sess
 		}
 	}
 
-	reg := sess.Registry
+	reg := a.sess.Registry
 	if reg == nil {
 		reg = telemetry.NewRegistry()
 	}
@@ -330,7 +523,7 @@ func runBreakdown(archName, dataset string, sample, inputLen int, sess *obs.Sess
 
 	total := sink.TotalStageEnergyPJ()
 	fmt.Printf("energy attribution: %s over %s (%d regexes, %d bytes)\n",
-		arch, dataset, len(patterns), len(input))
+		arch, a.breakdownDataset, len(patterns), len(input))
 	fmt.Printf("%-14s %16s %8s\n", "stage", "energy(pJ)", "share")
 	for s := hwsim.Stage(0); s < hwsim.NumStages; s++ {
 		pj := sink.StageEnergyPJ(s)

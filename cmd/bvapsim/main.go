@@ -16,7 +16,11 @@
 // the run (Prometheus text, or JSON with a .json suffix), -trace writes a
 // structured trace of the compile pipeline and simulated occupancy (Chrome
 // trace_event JSON, or JSONL with a .jsonl suffix), and -pprof serves
-// net/http/pprof, expvar and a live /metrics endpoint.
+// net/http/pprof, expvar and a live /metrics endpoint. -profile attaches
+// the activity profiler and prints ASCII tile-occupancy and stall-cause
+// heatmaps, the hot-state ranking, and the per-pattern energy attribution
+// after the run (with -trace, the heatmaps are also exported as Chrome
+// counter tracks).
 //
 // Fault injection: -faults attaches a deterministic fault plan (e.g.
 // "seed=42,rate=1e-4,parity=1") to a BVAP or BVAP-S run and executes it
@@ -37,11 +41,13 @@ import (
 	"strings"
 
 	"bvap"
+	"bvap/internal/experiments"
 	"bvap/internal/hwconf"
 	"bvap/internal/hwsim"
 	"bvap/internal/metrics"
 	"bvap/internal/nbva"
 	"bvap/internal/obs"
+	"bvap/internal/profile"
 	"bvap/internal/regex"
 	"bvap/internal/telemetry"
 )
@@ -57,6 +63,7 @@ func main() {
 	tableTrace := flag.Bool("table-trace", false, "print the Table 2 style execution trace (single pattern, short input)")
 	breakdown := flag.Bool("breakdown", false, "print the per-component energy breakdown")
 	compare := flag.Bool("compare", false, "run BVAP, BVAP-S, CAMA, eAP and CA over the same patterns and input, printing a comparison table")
+	profileRun := flag.Bool("profile", false, "print the run's activity profile: tile-occupancy and stall heatmaps, hot states, and per-pattern energy attribution")
 	metricsPath := flag.String("metrics", "", "write run metrics to this file (Prometheus text; .json for JSON)")
 	tracePath := flag.String("trace", "", "write a structured trace to this file (Chrome trace_event JSON; .jsonl for JSONL)")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof, expvar and /metrics on this address (e.g. localhost:6060)")
@@ -112,21 +119,41 @@ func main() {
 		return
 	}
 
-	// instrument attaches the session's registry and tracer to a simulator.
-	instrument := func(sim *bvap.Simulator) {
-		if sess.Registry == nil && sess.Tracer == nil {
+	// instrument attaches the session's registry and tracer to a
+	// simulator, plus the activity profiler when -profile is set (combined
+	// through a fan-out so both observe the run).
+	instrument := func(sim *bvap.Simulator) *profile.Profiler {
+		var k *hwsim.TelemetrySink
+		if sess.Registry != nil || sess.Tracer != nil {
+			if sess.Registry != nil {
+				k = sim.Instrument(sess.Registry)
+			} else {
+				k = hwsim.NewTelemetrySink(telemetryScratch())
+				sim.SetSink(k)
+			}
+			if sess.Tracer != nil && *occupancyEvery > 0 {
+				k.TraceOccupancy(sess.Tracer, *occupancyEvery)
+			}
+		}
+		if !*profileRun {
+			return nil
+		}
+		p := sim.Profile(profile.Options{})
+		if k != nil {
+			sim.SetSink(hwsim.FanOut(k, p))
+		}
+		return p
+	}
+
+	// printProfile renders a finished run's profile (and exports the
+	// heatmaps as trace counter tracks when -trace is active).
+	printProfile := func(p *profile.Profiler, label string, st *hwsim.Stats) {
+		if p == nil {
 			return
 		}
-		var k *hwsim.TelemetrySink
-		if sess.Registry != nil {
-			k = sim.Instrument(sess.Registry)
-		} else {
-			k = hwsim.NewTelemetrySink(telemetryScratch())
-			sim.SetSink(k)
-		}
-		if sess.Tracer != nil && *occupancyEvery > 0 {
-			k.TraceOccupancy(sess.Tracer, *occupancyEvery)
-		}
+		experiments.RenderProfile(os.Stdout, label, p, 10)
+		experiments.RenderAttribution(os.Stdout, p.Attribute(st), 10)
+		p.ExportTrace(sess.Tracer)
 	}
 
 	switch arch {
@@ -135,7 +162,7 @@ func main() {
 			if *faultPlan != "" {
 				fatal(fmt.Errorf("-faults needs -patterns (the resilience harness degrades to the compiled software engine)"))
 			}
-			runConfig(*configPath, arch == bvap.ArchBVAPStreaming, input, *showMatches, *breakdown, sess, *occupancyEvery)
+			runConfig(*configPath, arch == bvap.ArchBVAPStreaming, input, *showMatches, *breakdown, *profileRun, sess, *occupancyEvery)
 			return
 		}
 		if len(patterns) == 0 {
@@ -150,7 +177,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		instrument(sim)
+		prof := instrument(sim)
 		if *faultPlan != "" {
 			if err := runFaults(sim, input, *faultPlan, *faultWindow, *faultRetries, *faultCrossCheck, sess); err != nil {
 				fatal(err)
@@ -162,6 +189,7 @@ func main() {
 		if *breakdown {
 			fmt.Print(sim.Breakdown())
 		}
+		printProfile(prof, arch.String(), sim.Stats())
 		if *showMatches {
 			for _, m := range engine.FindAll(input) {
 				fmt.Printf("match pattern=%d end=%d\n", m.Pattern, m.End)
@@ -178,12 +206,13 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		instrument(sim)
+		prof := instrument(sim)
 		sim.Run(input)
 		printResult(sim.Result())
 		if *breakdown {
 			fmt.Print(sim.Breakdown())
 		}
+		printProfile(prof, arch.String(), sim.Stats())
 	}
 }
 
@@ -224,7 +253,7 @@ func runFaults(sim *bvap.Simulator, input []byte, planSpec string, window, retri
 	return nil
 }
 
-func runConfig(path string, streaming bool, input []byte, showMatches, breakdown bool, sess *obs.Session, occupancyEvery int) {
+func runConfig(path string, streaming bool, input []byte, showMatches, breakdown, profileRun bool, sess *obs.Session, occupancyEvery int) {
 	f, err := os.Open(path)
 	if err != nil {
 		fatal(err)
@@ -239,16 +268,26 @@ func runConfig(path string, streaming bool, input []byte, showMatches, breakdown
 		fatal(err)
 	}
 	sys.RecordMatchEnds(showMatches)
+	var k *hwsim.TelemetrySink
 	if sess.Registry != nil || sess.Tracer != nil {
 		reg := sess.Registry
 		if reg == nil {
 			reg = telemetryScratch()
 		}
-		k := hwsim.NewTelemetrySink(reg)
+		k = hwsim.NewTelemetrySink(reg)
 		if sess.Tracer != nil && occupancyEvery > 0 {
 			k.TraceOccupancy(sess.Tracer, occupancyEvery)
 		}
 		sys.SetSink(k)
+	}
+	var prof *profile.Profiler
+	if profileRun {
+		prof = profile.New(cfg, profile.Options{})
+		if k != nil {
+			sys.SetSink(hwsim.FanOut(k, prof))
+		} else {
+			sys.SetSink(prof)
+		}
 	}
 	sys.Run(input)
 	stats := sys.Finish()
@@ -257,6 +296,11 @@ func runConfig(path string, streaming bool, input []byte, showMatches, breakdown
 		stats.Symbols, stats.Cycles, stats.StallCycles, stats.Matches, stats.Tiles)
 	if breakdown {
 		fmt.Print(stats.Breakdown())
+	}
+	if prof != nil {
+		experiments.RenderProfile(os.Stdout, path, prof, 10)
+		experiments.RenderAttribution(os.Stdout, prof.Attribute(stats), 10)
+		prof.ExportTrace(sess.Tracer)
 	}
 	if showMatches {
 		for i := range cfg.Machines {

@@ -13,6 +13,7 @@ package compiler
 import (
 	"context"
 	"fmt"
+	"sort"
 
 	"bvap/internal/archmodel"
 	"bvap/internal/charclass"
@@ -177,7 +178,7 @@ func Compile(patterns []string, opt Options) (*Result, error) {
 		}
 	}
 	mapDone := in.phase("tile-mapping", "")
-	cfg.Tiles = mapToTiles(cfg)
+	cfg.Tiles, cfg.Provenance = mapToTiles(cfg)
 	mapDone()
 	in.mappingDone(cfg)
 	res.Report.Tiles = len(cfg.Tiles)
@@ -396,8 +397,9 @@ func needsFCB(m *hwconf.Machine) bool {
 // that deliver vectors through the MFCB (destination action copy or shift).
 // A cluster must map into a single tile.
 type cluster struct {
-	stes       int // states in the cluster
-	storageBVs int // BVs with SRAM storage (copy/shift actions)
+	stes       int   // states in the cluster
+	storageBVs int   // BVs with SRAM storage (copy/shift actions)
+	ids        []int // member STE ids (populated by machineClusters only)
 }
 
 // bvClusters computes the vector-connected clusters of an AH automaton.
@@ -483,6 +485,7 @@ func machineClusters(m *hwconf.Machine) []cluster {
 			groups[root] = g
 		}
 		g.stes++
+		g.ids = append(g.ids, q)
 		if m.STEs[q].Action != "set1" {
 			g.storageBVs++
 		}
@@ -499,12 +502,17 @@ func machineClusters(m *hwconf.Machine) []cluster {
 // are atomic; plain (non-BV) states of a machine may spill into any tile
 // with spare STE capacity, since ordinary state transitions cross tiles
 // through the array's global switch.
-func mapToTiles(cfg *hwconf.Config) []hwconf.TilePlacement {
+//
+// Alongside the placement it returns the pattern↔tile provenance table:
+// one TileSpan per contiguous run of a machine's STE ids on a tile, so the
+// profiler can answer "which tile hosts STE q of machine m?".
+func mapToTiles(cfg *hwconf.Config) ([]hwconf.TilePlacement, []hwconf.TileSpan) {
 	type item struct {
 		machine int
 		stes    int
 		bvs     int
 		fcb     bool
+		ids     []int // STE ids this item carries, sorted ascending
 	}
 	var items []item
 	for i := range cfg.Machines {
@@ -513,13 +521,21 @@ func mapToTiles(cfg *hwconf.Config) []hwconf.TilePlacement {
 			continue
 		}
 		fcb := needsFCB(m)
-		clustered := 0
+		clustered := make(map[int]bool, len(m.STEs))
 		for _, cl := range machineClusters(m) {
-			items = append(items, item{machine: i, stes: cl.stes, bvs: cl.storageBVs, fcb: fcb})
-			clustered += cl.stes
+			items = append(items, item{machine: i, stes: cl.stes, bvs: cl.storageBVs, fcb: fcb, ids: cl.ids})
+			for _, q := range cl.ids {
+				clustered[q] = true
+			}
 		}
-		if plain := len(m.STEs) - clustered; plain > 0 {
-			items = append(items, item{machine: i, stes: plain, fcb: fcb})
+		if plain := len(m.STEs) - len(clustered); plain > 0 {
+			ids := make([]int, 0, plain)
+			for q := range m.STEs {
+				if !clustered[q] {
+					ids = append(ids, q)
+				}
+			}
+			items = append(items, item{machine: i, stes: plain, fcb: fcb, ids: ids})
 		}
 	}
 	// First-fit decreasing by BV demand then STE demand.
@@ -534,6 +550,17 @@ func mapToTiles(cfg *hwconf.Config) []hwconf.TilePlacement {
 		}
 	}
 	var tiles []hwconf.TilePlacement
+	// onTile[machine][tile] collects the STE ids placed there, run-length
+	// encoded into TileSpans once the mapping is complete.
+	onTile := map[int]map[int][]int{}
+	record := func(machine, tile int, ids []int) {
+		byTile := onTile[machine]
+		if byTile == nil {
+			byTile = map[int][]int{}
+			onTile[machine] = byTile
+		}
+		byTile[tile] = append(byTile[tile], ids...)
+	}
 	place := func(it item) {
 		capacity := archmodel.STEsPerTile
 		if it.fcb {
@@ -548,11 +575,13 @@ func mapToTiles(cfg *hwconf.Config) []hwconf.TilePlacement {
 				t.STEs += it.stes
 				t.BVSTEs += it.bvs
 				addMachine(t, it.machine)
+				record(it.machine, ti, it.ids)
 				return
 			}
 		}
 		t := hwconf.TilePlacement{Tile: len(tiles), STEs: it.stes, BVSTEs: it.bvs, FCBMode: it.fcb}
 		addMachine(&t, it.machine)
+		record(it.machine, len(tiles), it.ids)
 		tiles = append(tiles, t)
 	}
 	for _, it := range items {
@@ -562,12 +591,29 @@ func mapToTiles(cfg *hwconf.Config) []hwconf.TilePlacement {
 		}
 		// Plain-state items larger than a placement split freely.
 		for it.stes > capacity {
-			place(item{machine: it.machine, stes: capacity, fcb: it.fcb})
+			place(item{machine: it.machine, stes: capacity, fcb: it.fcb, ids: it.ids[:capacity]})
 			it.stes -= capacity
+			it.ids = it.ids[capacity:]
 		}
 		place(it)
 	}
-	return tiles
+	// Emit provenance spans in deterministic (machine, tile) order.
+	var spans []hwconf.TileSpan
+	for m := 0; m < len(cfg.Machines); m++ {
+		byTile := onTile[m]
+		if byTile == nil {
+			continue
+		}
+		tilesOf := make([]int, 0, len(byTile))
+		for t := range byTile {
+			tilesOf = append(tilesOf, t)
+		}
+		sort.Ints(tilesOf)
+		for _, t := range tilesOf {
+			spans = append(spans, hwconf.SpansFromSTEs(m, t, byTile[t])...)
+		}
+	}
+	return tiles, spans
 }
 
 func addMachine(t *hwconf.TilePlacement, m int) {

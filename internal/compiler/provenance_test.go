@@ -1,0 +1,114 @@
+package compiler
+
+import (
+	"bytes"
+	"testing"
+
+	"bvap/internal/hwconf"
+)
+
+// TestProvenanceCoversPlacement compiles pattern sets exercising every
+// structural feature and checks the emitted provenance table: it must
+// survive hwconf round-trip validation, cover every STE of every supported
+// machine exactly once, agree with the per-tile occupancy counts, and
+// resolve every STE to a tile hosting its machine.
+func TestProvenanceCoversPlacement(t *testing.T) {
+	sets := [][]string{
+		{"abc"},
+		{"ab{3}c"},
+		{"a(.a){3}b", "x{2,30}y"},
+		{"(?i)get /[a-z]{8}", "^hdr.{10}z", "bad("},
+		{"a{100}", "b{2,5}(cd){6}e", "abc"},
+	}
+	for _, pats := range sets {
+		res, err := Compile(pats, DefaultOptions())
+		if err != nil {
+			t.Fatalf("Compile(%q): %v", pats, err)
+		}
+		var buf bytes.Buffer
+		if err := res.Config.Write(&buf); err != nil {
+			t.Fatal(err)
+		}
+		cfg, err := hwconf.Read(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("round-trip of %q: %v", pats, err)
+		}
+		idx := cfg.ProvenanceIndex()
+		supported := cfg.SupportedMachines()
+		hasStates := false
+		for _, mi := range supported {
+			if len(cfg.Machines[mi].STEs) > 0 {
+				hasStates = true
+			}
+		}
+		if !hasStates {
+			continue
+		}
+		if idx == nil {
+			t.Fatalf("Compile(%q) emitted no provenance", pats)
+		}
+		// Every STE of every supported machine resolves to a tile that
+		// lists the machine.
+		for _, mi := range supported {
+			m := &cfg.Machines[mi]
+			perTile := idx.MachineTileSTEs(mi)
+			total := 0
+			for _, n := range perTile {
+				total += n
+			}
+			if total != len(m.STEs) {
+				t.Errorf("%q machine %d: provenance covers %d STEs, machine has %d",
+					pats, mi, total, len(m.STEs))
+			}
+			for q := range m.STEs {
+				tile, ok := idx.STETile(mi, q)
+				if !ok {
+					t.Fatalf("%q machine %d STE %d: no tile", pats, mi, q)
+				}
+				found := false
+				for _, hosted := range cfg.Tiles[tile].Machines {
+					if hosted == mi {
+						found = true
+					}
+				}
+				if !found {
+					t.Errorf("%q machine %d STE %d → tile %d, which does not host the machine",
+						pats, mi, q, tile)
+				}
+			}
+		}
+		// Per-tile provenance totals match the placement's occupancy.
+		perTileTotal := make(map[int]int)
+		for _, sp := range cfg.Provenance {
+			perTileTotal[sp.Tile] += sp.Count
+		}
+		for ti, tp := range cfg.Tiles {
+			if perTileTotal[ti] != tp.STEs {
+				t.Errorf("%q tile %d: provenance claims %d STEs, placement records %d",
+					pats, ti, perTileTotal[ti], tp.STEs)
+			}
+		}
+	}
+}
+
+// TestSpansFromSTEs checks the run-length encoder on unordered and gapped
+// id sets.
+func TestSpansFromSTEs(t *testing.T) {
+	if got := hwconf.SpansFromSTEs(0, 0, nil); got != nil {
+		t.Fatalf("empty ids → %v, want nil", got)
+	}
+	got := hwconf.SpansFromSTEs(2, 5, []int{7, 3, 4, 9, 8, 1})
+	want := []hwconf.TileSpan{
+		{Machine: 2, Tile: 5, First: 1, Count: 1},
+		{Machine: 2, Tile: 5, First: 3, Count: 2},
+		{Machine: 2, Tile: 5, First: 7, Count: 3},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("span %d: got %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}

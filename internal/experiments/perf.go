@@ -1,0 +1,497 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"bvap/internal/archmodel"
+	"bvap/internal/compiler"
+	"bvap/internal/datasets"
+	"bvap/internal/hwsim"
+	"bvap/internal/metrics"
+	"bvap/internal/profile"
+)
+
+// BenchSchemaVersion identifies the BENCH_<n>.json layout. Bump it when a
+// field changes meaning; CompareBench refuses to compare across versions.
+const BenchSchemaVersion = 1
+
+// Pinned compiler parameters for the perf harness. Perf runs must be
+// comparable across commits, so the harness never runs the DSE: every
+// report uses the same (bv_size, unfold_th) point.
+const (
+	perfBVSize   = 64
+	perfUnfoldTh = 8
+)
+
+// PerfOptions parameterizes the canonical perf harness run. Zero values
+// select a configuration small enough for CI smoke runs; cmd/bvapbench
+// passes its -sample/-inputlen/-datasets flags through.
+type PerfOptions struct {
+	Datasets []string
+	Archs    []string // String() names; default: every modeled architecture
+	Sample   int
+	InputLen int
+	// TopPatterns bounds the per-cell attribution rows kept in the report
+	// (default 5).
+	TopPatterns int
+	// RenderTo, when non-nil, receives the ASCII profile rendering (tile
+	// occupancy and stall heatmaps, hot states, attribution) of each
+	// dataset's BVAP cell as it completes.
+	RenderTo io.Writer
+}
+
+func (o *PerfOptions) fill() {
+	if len(o.Datasets) == 0 {
+		for _, p := range datasets.Profiles() {
+			o.Datasets = append(o.Datasets, p.Name)
+		}
+	}
+	if len(o.Archs) == 0 {
+		o.Archs = []string{"BVAP", "BVAP-S", "CAMA", "CA", "eAP", "CNT"}
+	}
+	if o.Sample == 0 {
+		o.Sample = 40
+	}
+	if o.InputLen == 0 {
+		o.InputLen = 2048
+	}
+	if o.TopPatterns == 0 {
+		o.TopPatterns = 5
+	}
+}
+
+// BenchEnvironment records where a report was produced. Informational: it
+// never participates in CompareBench.
+type BenchEnvironment struct {
+	GoVersion string `json:"go_version"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	NumCPU    int    `json:"num_cpu"`
+}
+
+// BenchParams records the pinned workload parameters of a report. Two
+// reports are only comparable when these match; CompareBench checks.
+type BenchParams struct {
+	BVSize      int      `json:"bv_size"`
+	UnfoldTh    int      `json:"unfold_th"`
+	Sample      int      `json:"sample"`
+	InputLen    int      `json:"input_len"`
+	Datasets    []string `json:"datasets"`
+	Archs       []string `json:"archs"`
+	TopPatterns int      `json:"top_patterns"`
+}
+
+// BenchPatternRow is one attributed pattern in a cell's top-energy list.
+type BenchPatternRow struct {
+	Pattern  string  `json:"pattern"`
+	EnergyPJ float64 `json:"energy_pj"`
+	Share    float64 `json:"share"`
+}
+
+// BenchCell is one (dataset, architecture) measurement.
+//
+// Counted metrics — symbols, matches, cycles, stall_cycles, energy_pj,
+// stages_pj, stalls — are deterministic model outputs: bit-identical across
+// runs of the same commit on the same workload. Allocation counters are
+// runtime-counted and stable to within noise. Wall-clock fields
+// (compile_ms, run_ms, throughput_mb_s) are informational only and never
+// compared.
+type BenchCell struct {
+	Dataset  string `json:"dataset"`
+	Arch     string `json:"arch"`
+	Patterns int    `json:"patterns"`
+	// Unsupported counts patterns the architecture's compiler rejected
+	// (they ride along with zero activity).
+	Unsupported int `json:"unsupported"`
+
+	// Counted metrics (compared against a baseline).
+	Symbols     uint64  `json:"symbols"`
+	Matches     uint64  `json:"matches"`
+	Cycles      uint64  `json:"cycles"`
+	StallCycles uint64  `json:"stall_cycles"`
+	EnergyPJ    float64 `json:"energy_pj"`
+	Allocs      uint64  `json:"allocs"`
+	AllocBytes  uint64  `json:"alloc_bytes"`
+
+	// Derived metrics (informational).
+	EnergyPerSymbolNJ float64 `json:"energy_per_symbol_nj"`
+	AreaMm2           float64 `json:"area_mm2"`
+	ModelThroughput   float64 `json:"model_throughput_gbps"`
+	FoM               float64 `json:"fom"`
+
+	// Wall-clock metrics (informational).
+	CompileMs       float64 `json:"compile_ms"`
+	RunMs           float64 `json:"run_ms"`
+	SimThroughputMB float64 `json:"sim_throughput_mb_s"`
+
+	// StagesPJ breaks energy down by pipeline stage (profiler-observed
+	// per-step energy; terminal leakage/I-O charges land in EnergyPJ only).
+	StagesPJ map[string]float64 `json:"stages_pj"`
+	// Stalls breaks stall cycles down by cause.
+	Stalls map[string]uint64 `json:"stalls"`
+	// TopPatterns lists the highest-energy patterns by exact attribution.
+	TopPatterns []BenchPatternRow `json:"top_patterns"`
+}
+
+// BenchReport is the versioned BENCH_<n>.json document.
+type BenchReport struct {
+	SchemaVersion int              `json:"schema_version"`
+	Created       string           `json:"created"` // RFC 3339; informational
+	Environment   BenchEnvironment `json:"environment"`
+	Params        BenchParams      `json:"params"`
+	PeakRSSBytes  uint64           `json:"peak_rss_bytes"` // informational
+	Cells         []BenchCell      `json:"cells"`
+}
+
+// perfSystem is the surface Perf needs from either simulated system.
+type perfSystem interface {
+	SetSink(hwsim.Sink)
+	Run([]byte)
+	Finish() *hwsim.Stats
+}
+
+// Perf runs the canonical perf matrix: every requested dataset × every
+// requested architecture at the pinned compiler parameters, with a profiler
+// attached, and returns the versioned report.
+func Perf(opt PerfOptions) (*BenchReport, error) {
+	opt.fill()
+	rep := &BenchReport{
+		SchemaVersion: BenchSchemaVersion,
+		Created:       time.Now().UTC().Format(time.RFC3339),
+		Environment: BenchEnvironment{
+			GoVersion: runtime.Version(),
+			GOOS:      runtime.GOOS,
+			GOARCH:    runtime.GOARCH,
+			NumCPU:    runtime.NumCPU(),
+		},
+		Params: BenchParams{
+			BVSize: perfBVSize, UnfoldTh: perfUnfoldTh,
+			Sample: opt.Sample, InputLen: opt.InputLen,
+			Datasets: opt.Datasets, Archs: opt.Archs,
+			TopPatterns: opt.TopPatterns,
+		},
+	}
+	for _, name := range opt.Datasets {
+		prof, err := datasets.ByName(name)
+		if err != nil {
+			return nil, err
+		}
+		patterns := prof.Sample(opt.Sample)
+		input := prof.Input(opt.InputLen, patterns)
+		for _, arch := range opt.Archs {
+			cell, p, err := runPerfCell(name, arch, patterns, input, opt.TopPatterns)
+			if err != nil {
+				return nil, fmt.Errorf("perf %s/%s: %v", name, arch, err)
+			}
+			rep.Cells = append(rep.Cells, cell)
+			if opt.RenderTo != nil && arch == "BVAP" {
+				RenderProfile(opt.RenderTo, name, p, opt.TopPatterns)
+			}
+		}
+	}
+	rep.PeakRSSBytes = peakRSSBytes()
+	return rep, nil
+}
+
+// runPerfCell measures one (dataset, architecture) cell with a profiler
+// attached, returning the cell and the profiler (for rendering).
+func runPerfCell(dataset, arch string, patterns []string, input []byte, topK int) (BenchCell, *profile.Profiler, error) {
+	cell := BenchCell{Dataset: dataset, Arch: arch, Patterns: len(patterns)}
+	copt := compiler.Options{BVSizeBits: perfBVSize, UnfoldThreshold: perfUnfoldTh}
+
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	t0 := time.Now()
+
+	var sys perfSystem
+	var p *profile.Profiler
+	switch arch {
+	case "BVAP", "BVAP-S":
+		res, err := compiler.Compile(patterns, copt)
+		if err != nil {
+			return cell, nil, err
+		}
+		cell.Unsupported = res.Report.Unsupported
+		p = profile.New(res.Config, profile.Options{})
+		sys, err = hwsim.NewBVAPSystem(res.Config, arch == "BVAP-S")
+		if err != nil {
+			return cell, nil, err
+		}
+	case "CAMA", "CA", "eAP", "CNT":
+		var ms []compiler.BaselineMachine
+		var am archmodel.Arch
+		switch arch {
+		case "CAMA":
+			ms, am = compiler.CompileBaseline(patterns), archmodel.CAMA
+		case "CA":
+			ms, am = compiler.CompileBaseline(patterns), archmodel.CA
+		case "eAP":
+			ms, am = compiler.CompileBaseline(patterns), archmodel.EAP
+		case "CNT":
+			ms, am = compiler.CompileCNT(patterns), archmodel.CNT
+		}
+		for _, m := range ms {
+			if !m.Supported {
+				cell.Unsupported++
+			}
+		}
+		p = profile.NewForPatterns(patterns, profile.Options{})
+		var err error
+		sys, err = hwsim.NewBaselineSystem(am, ms)
+		if err != nil {
+			return cell, nil, err
+		}
+	default:
+		return cell, nil, fmt.Errorf("unknown architecture %q", arch)
+	}
+	cell.CompileMs = float64(time.Since(t0)) / float64(time.Millisecond)
+
+	sys.SetSink(p)
+	t1 := time.Now()
+	sys.Run(input)
+	st := sys.Finish()
+	runDur := time.Since(t1)
+	runtime.ReadMemStats(&m1)
+
+	cell.RunMs = float64(runDur) / float64(time.Millisecond)
+	if s := runDur.Seconds(); s > 0 {
+		cell.SimThroughputMB = float64(len(input)) / s / 1e6
+	}
+	cell.Allocs = m1.Mallocs - m0.Mallocs
+	cell.AllocBytes = m1.TotalAlloc - m0.TotalAlloc
+
+	cell.Symbols = st.Symbols
+	cell.Matches = st.Matches
+	cell.Cycles = st.Cycles
+	cell.StallCycles = st.StallCycles
+	cell.EnergyPJ = st.TotalEnergyPJ()
+
+	pt := metrics.FromStats(arch, st)
+	cell.EnergyPerSymbolNJ = pt.EnergyPerSymbolNJ
+	cell.AreaMm2 = pt.AreaMm2
+	cell.ModelThroughput = pt.ThroughputGbps
+	cell.FoM = pt.FoM
+
+	cell.StagesPJ = map[string]float64{}
+	for s := hwsim.Stage(0); s < hwsim.NumStages; s++ {
+		if pj := p.StageEnergyPJ(s); pj != 0 {
+			cell.StagesPJ[s.String()] = pj
+		}
+	}
+	cell.Stalls = map[string]uint64{}
+	for c := hwsim.StallCause(0); c < hwsim.NumStallCauses; c++ {
+		if n := p.StallTotal(c); n != 0 {
+			cell.Stalls[c.String()] = n
+		}
+	}
+
+	a := p.Attribute(st)
+	rows := append([]profile.PatternEnergy(nil), a.Patterns...)
+	sort.SliceStable(rows, func(i, j int) bool { return rows[i].EnergyPJ > rows[j].EnergyPJ })
+	if len(rows) > topK {
+		rows = rows[:topK]
+	}
+	for _, r := range rows {
+		cell.TopPatterns = append(cell.TopPatterns, BenchPatternRow{
+			Pattern: r.Pattern, EnergyPJ: r.EnergyPJ, Share: r.Share,
+		})
+	}
+	return cell, p, nil
+}
+
+// peakRSSBytes reads the process's peak resident set from
+// /proc/self/status (VmHWM), falling back to the Go runtime's Sys figure on
+// platforms without procfs.
+func peakRSSBytes() uint64 {
+	if b, err := os.ReadFile("/proc/self/status"); err == nil {
+		for _, line := range strings.Split(string(b), "\n") {
+			if !strings.HasPrefix(line, "VmHWM:") {
+				continue
+			}
+			f := strings.Fields(line)
+			if len(f) >= 2 {
+				if kb, err := strconv.ParseUint(f[1], 10, 64); err == nil {
+					return kb * 1024
+				}
+			}
+		}
+	}
+	var m runtime.MemStats
+	runtime.ReadMemStats(&m)
+	return m.Sys
+}
+
+// NextBenchPath returns dir/BENCH_<n>.json for the smallest n greater than
+// every existing report in dir (starting at 1).
+func NextBenchPath(dir string) (string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return "", err
+	}
+	max := 0
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasPrefix(name, "BENCH_") || !strings.HasSuffix(name, ".json") {
+			continue
+		}
+		n, err := strconv.Atoi(strings.TrimSuffix(strings.TrimPrefix(name, "BENCH_"), ".json"))
+		if err != nil || n < 0 {
+			continue
+		}
+		if n > max {
+			max = n
+		}
+	}
+	return filepath.Join(dir, fmt.Sprintf("BENCH_%d.json", max+1)), nil
+}
+
+// WriteBenchReport writes rep as indented JSON.
+func WriteBenchReport(path string, rep *BenchReport) error {
+	b, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}
+
+// ReadBenchReport reads a BENCH_<n>.json document.
+func ReadBenchReport(path string) (*BenchReport, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep BenchReport
+	if err := json.Unmarshal(b, &rep); err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	return &rep, nil
+}
+
+// Thresholds bounds the acceptable relative increase of each counted
+// metric in CompareBench. Zero values select the defaults (25% each, per
+// EXPERIMENTS.md).
+type Thresholds struct {
+	CyclesFrac float64
+	EnergyFrac float64
+	AllocsFrac float64
+}
+
+func (t Thresholds) withDefaults() Thresholds {
+	if t.CyclesFrac == 0 {
+		t.CyclesFrac = 0.25
+	}
+	if t.EnergyFrac == 0 {
+		t.EnergyFrac = 0.25
+	}
+	if t.AllocsFrac == 0 {
+		t.AllocsFrac = 0.25
+	}
+	return t
+}
+
+// Regression is one metric that moved outside its threshold relative to the
+// baseline report.
+type Regression struct {
+	Dataset string  `json:"dataset,omitempty"`
+	Arch    string  `json:"arch,omitempty"`
+	Metric  string  `json:"metric"`
+	Base    float64 `json:"base"`
+	Current float64 `json:"current"`
+	// LimitFrac is the allowed relative increase (0 for exact metrics).
+	LimitFrac float64 `json:"limit_frac"`
+	// Exact marks metrics compared for equality (symbols, matches).
+	Exact bool `json:"exact"`
+}
+
+func (r Regression) String() string {
+	where := r.Metric
+	if r.Dataset != "" || r.Arch != "" {
+		where = fmt.Sprintf("%s/%s %s", r.Dataset, r.Arch, r.Metric)
+	}
+	if r.Exact {
+		return fmt.Sprintf("%s: %v != baseline %v (exact metric)", where, r.Current, r.Base)
+	}
+	delta := 0.0
+	if r.Base != 0 {
+		delta = (r.Current - r.Base) / r.Base
+	}
+	return fmt.Sprintf("%s: %v vs baseline %v (%+.1f%%, limit +%.0f%%)",
+		where, r.Current, r.Base, delta*100, r.LimitFrac*100)
+}
+
+// CompareBench compares current against a baseline report. Symbols and
+// matches must be identical (the workload is deterministic); cycles, energy
+// and allocation counts may increase by at most their threshold fraction.
+// Improvements always pass. Cells present in the baseline but missing from
+// current are regressions; extra cells in current are ignored. A schema or
+// workload-parameter mismatch yields a single regression for that field.
+func CompareBench(current, baseline *BenchReport, th Thresholds) []Regression {
+	th = th.withDefaults()
+	var regs []Regression
+	if current.SchemaVersion != baseline.SchemaVersion {
+		return []Regression{{
+			Metric: "schema_version", Exact: true,
+			Base: float64(baseline.SchemaVersion), Current: float64(current.SchemaVersion),
+		}}
+	}
+	if current.Params.BVSize != baseline.Params.BVSize ||
+		current.Params.UnfoldTh != baseline.Params.UnfoldTh ||
+		current.Params.Sample != baseline.Params.Sample ||
+		current.Params.InputLen != baseline.Params.InputLen {
+		return []Regression{{
+			Metric: "params", Exact: true,
+			Base:    float64(baseline.Params.Sample)*1e6 + float64(baseline.Params.InputLen),
+			Current: float64(current.Params.Sample)*1e6 + float64(current.Params.InputLen),
+		}}
+	}
+	byKey := map[string]*BenchCell{}
+	for i := range current.Cells {
+		c := &current.Cells[i]
+		byKey[c.Dataset+"\x00"+c.Arch] = c
+	}
+	for i := range baseline.Cells {
+		b := &baseline.Cells[i]
+		c, ok := byKey[b.Dataset+"\x00"+b.Arch]
+		if !ok {
+			regs = append(regs, Regression{
+				Dataset: b.Dataset, Arch: b.Arch, Metric: "missing_cell", Exact: true,
+				Base: 1, Current: 0,
+			})
+			continue
+		}
+		exact := func(metric string, base, cur uint64) {
+			if base != cur {
+				regs = append(regs, Regression{
+					Dataset: b.Dataset, Arch: b.Arch, Metric: metric, Exact: true,
+					Base: float64(base), Current: float64(cur),
+				})
+			}
+		}
+		bounded := func(metric string, base, cur, limit float64) {
+			if cur <= base {
+				return // improvements and equality always pass
+			}
+			if base == 0 || (cur-base)/base > limit {
+				regs = append(regs, Regression{
+					Dataset: b.Dataset, Arch: b.Arch, Metric: metric,
+					Base: base, Current: cur, LimitFrac: limit,
+				})
+			}
+		}
+		exact("symbols", b.Symbols, c.Symbols)
+		exact("matches", b.Matches, c.Matches)
+		bounded("cycles", float64(b.Cycles), float64(c.Cycles), th.CyclesFrac)
+		bounded("energy_pj", b.EnergyPJ, c.EnergyPJ, th.EnergyFrac)
+		bounded("allocs", float64(b.Allocs), float64(c.Allocs), th.AllocsFrac)
+	}
+	return regs
+}

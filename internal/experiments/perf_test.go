@@ -1,0 +1,246 @@
+package experiments
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// tinyPerf runs the smallest meaningful perf matrix: one dataset, the
+// paper's design plus one baseline.
+func tinyPerf(t *testing.T) *BenchReport {
+	t.Helper()
+	rep, err := Perf(PerfOptions{
+		Datasets: []string{"Prosite"},
+		Archs:    []string{"BVAP", "CAMA"},
+		Sample:   6,
+		InputLen: 300,
+	})
+	if err != nil {
+		t.Fatalf("Perf: %v", err)
+	}
+	return rep
+}
+
+func TestPerfReportShape(t *testing.T) {
+	rep := tinyPerf(t)
+	if rep.SchemaVersion != BenchSchemaVersion {
+		t.Fatalf("schema version %d", rep.SchemaVersion)
+	}
+	if rep.Environment.GoVersion == "" || rep.Environment.NumCPU < 1 {
+		t.Fatalf("environment block incomplete: %+v", rep.Environment)
+	}
+	if rep.Params.BVSize != 64 || rep.Params.UnfoldTh != 8 {
+		t.Fatalf("perf params not pinned: %+v", rep.Params)
+	}
+	if rep.PeakRSSBytes == 0 {
+		t.Fatal("peak RSS not recorded")
+	}
+	if len(rep.Cells) != 2 {
+		t.Fatalf("%d cells, want 2", len(rep.Cells))
+	}
+	for _, c := range rep.Cells {
+		if c.Dataset != "Prosite" {
+			t.Fatalf("cell dataset %q", c.Dataset)
+		}
+		if c.Symbols != 300 {
+			t.Fatalf("%s: symbols %d, want 300", c.Arch, c.Symbols)
+		}
+		if c.Cycles == 0 || c.EnergyPJ <= 0 {
+			t.Fatalf("%s: empty counted metrics: %+v", c.Arch, c)
+		}
+		if len(c.StagesPJ) == 0 {
+			t.Fatalf("%s: no stage breakdown", c.Arch)
+		}
+		if len(c.TopPatterns) == 0 || len(c.TopPatterns) > rep.Params.TopPatterns {
+			t.Fatalf("%s: %d top patterns", c.Arch, len(c.TopPatterns))
+		}
+		for _, r := range c.TopPatterns {
+			if r.Pattern == "" {
+				t.Fatalf("%s: attribution row without pattern", c.Arch)
+			}
+		}
+	}
+}
+
+// TestPerfCountedMetricsDeterministic pins the comparability premise: the
+// counted metrics are bit-identical across runs of the same commit.
+func TestPerfCountedMetricsDeterministic(t *testing.T) {
+	a, b := tinyPerf(t), tinyPerf(t)
+	for i := range a.Cells {
+		x, y := a.Cells[i], b.Cells[i]
+		if x.Symbols != y.Symbols || x.Matches != y.Matches ||
+			x.Cycles != y.Cycles || x.StallCycles != y.StallCycles ||
+			x.EnergyPJ != y.EnergyPJ {
+			t.Fatalf("counted metrics differ across runs:\n%+v\n%+v", x, y)
+		}
+	}
+}
+
+func TestNextBenchPath(t *testing.T) {
+	dir := t.TempDir()
+	p, err := NextBenchPath(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(p) != "BENCH_1.json" {
+		t.Fatalf("empty dir → %q", p)
+	}
+	for _, name := range []string{"BENCH_3.json", "BENCH_7.json", "BENCH_x.json", "BENCHMARK.json", "BENCH_2.txt"} {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte("{}"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p, err = NextBenchPath(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(p) != "BENCH_8.json" {
+		t.Fatalf("after BENCH_7 → %q", p)
+	}
+}
+
+func TestBenchReportRoundTrip(t *testing.T) {
+	rep := tinyPerf(t)
+	path := filepath.Join(t.TempDir(), "BENCH_1.json")
+	if err := WriteBenchReport(path, rep); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBenchReport(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.SchemaVersion != rep.SchemaVersion || len(got.Cells) != len(rep.Cells) {
+		t.Fatalf("round trip lost shape: %+v", got)
+	}
+	for i := range got.Cells {
+		if got.Cells[i].EnergyPJ != rep.Cells[i].EnergyPJ || got.Cells[i].Cycles != rep.Cells[i].Cycles {
+			t.Fatalf("cell %d: counted metrics mutated by round trip", i)
+		}
+	}
+	if regs := CompareBench(got, rep, Thresholds{}); len(regs) != 0 {
+		t.Fatalf("self-compare after round trip regressed: %v", regs)
+	}
+}
+
+func fakeReport(cells ...BenchCell) *BenchReport {
+	return &BenchReport{
+		SchemaVersion: BenchSchemaVersion,
+		Params:        BenchParams{BVSize: 64, UnfoldTh: 8, Sample: 6, InputLen: 300},
+		Cells:         cells,
+	}
+}
+
+func fakeCell() BenchCell {
+	return BenchCell{
+		Dataset: "Prosite", Arch: "BVAP",
+		Symbols: 300, Matches: 12, Cycles: 1000, EnergyPJ: 5000, Allocs: 400,
+	}
+}
+
+func TestCompareBenchPassAndRegress(t *testing.T) {
+	base := fakeReport(fakeCell())
+
+	// Identical → pass.
+	if regs := CompareBench(fakeReport(fakeCell()), base, Thresholds{}); len(regs) != 0 {
+		t.Fatalf("identical reports regressed: %v", regs)
+	}
+
+	// Within threshold and improvements → pass.
+	ok := fakeCell()
+	ok.Cycles = 1200   // +20% < 25%
+	ok.EnergyPJ = 4000 // improvement
+	ok.Allocs = 100    // improvement
+	if regs := CompareBench(fakeReport(ok), base, Thresholds{}); len(regs) != 0 {
+		t.Fatalf("in-threshold drift regressed: %v", regs)
+	}
+
+	// Injected regressions: cycles beyond threshold, exact-metric drift.
+	bad := fakeCell()
+	bad.Cycles = 1400 // +40% > 25%
+	bad.Matches = 11  // exact metric
+	regs := CompareBench(fakeReport(bad), base, Thresholds{})
+	if len(regs) != 2 {
+		t.Fatalf("want 2 regressions, got %v", regs)
+	}
+	byMetric := map[string]Regression{}
+	for _, r := range regs {
+		byMetric[r.Metric] = r
+	}
+	if r, ok := byMetric["cycles"]; !ok || r.Exact || r.LimitFrac != 0.25 {
+		t.Fatalf("cycles regression malformed: %+v", byMetric)
+	}
+	if r, ok := byMetric["matches"]; !ok || !r.Exact {
+		t.Fatalf("matches regression malformed: %+v", byMetric)
+	}
+	for _, r := range regs {
+		if !strings.Contains(r.String(), "Prosite/BVAP") {
+			t.Fatalf("regression string lacks cell: %q", r.String())
+		}
+	}
+
+	// Custom thresholds apply.
+	if regs := CompareBench(fakeReport(ok), base, Thresholds{CyclesFrac: 0.10}); len(regs) != 1 {
+		t.Fatalf("tight threshold: %v", regs)
+	}
+
+	// Energy growing from a zero baseline is a regression regardless of
+	// ratio.
+	zero := fakeCell()
+	zero.EnergyPJ = 0
+	grown := fakeCell()
+	grown.EnergyPJ = 1
+	if regs := CompareBench(fakeReport(grown), fakeReport(zero), Thresholds{}); len(regs) != 1 {
+		t.Fatalf("zero-baseline growth: %v", regs)
+	}
+}
+
+func TestCompareBenchStructuralMismatches(t *testing.T) {
+	base := fakeReport(fakeCell())
+
+	// Missing cell.
+	if regs := CompareBench(fakeReport(), base, Thresholds{}); len(regs) != 1 || regs[0].Metric != "missing_cell" {
+		t.Fatalf("missing cell: %v", regs)
+	}
+	// Extra cells in current are fine.
+	extra := fakeCell()
+	extra.Arch = "CAMA"
+	if regs := CompareBench(fakeReport(fakeCell(), extra), base, Thresholds{}); len(regs) != 0 {
+		t.Fatalf("extra cell regressed: %v", regs)
+	}
+	// Schema mismatch short-circuits.
+	cur := fakeReport(fakeCell())
+	cur.SchemaVersion = BenchSchemaVersion + 1
+	if regs := CompareBench(cur, base, Thresholds{}); len(regs) != 1 || regs[0].Metric != "schema_version" {
+		t.Fatalf("schema mismatch: %v", regs)
+	}
+	// Workload-parameter mismatch short-circuits.
+	cur = fakeReport(fakeCell())
+	cur.Params.InputLen = 999
+	if regs := CompareBench(cur, base, Thresholds{}); len(regs) != 1 || regs[0].Metric != "params" {
+		t.Fatalf("params mismatch: %v", regs)
+	}
+}
+
+func TestRenderPerfAndRegressions(t *testing.T) {
+	rep := tinyPerf(t)
+	var sb strings.Builder
+	RenderPerf(&sb, rep)
+	out := sb.String()
+	for _, want := range []string{"schema v1", "Prosite", "BVAP", "CAMA", "peak RSS"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("RenderPerf output lacks %q:\n%s", want, out)
+		}
+	}
+	sb.Reset()
+	RenderRegressions(&sb, nil)
+	if !strings.Contains(sb.String(), "PASS") {
+		t.Fatalf("empty regressions: %q", sb.String())
+	}
+	sb.Reset()
+	RenderRegressions(&sb, []Regression{{Dataset: "d", Arch: "a", Metric: "cycles", Base: 1, Current: 2, LimitFrac: 0.25}})
+	if !strings.Contains(sb.String(), "FAIL") || !strings.Contains(sb.String(), "d/a cycles") {
+		t.Fatalf("regression rendering: %q", sb.String())
+	}
+}

@@ -4,6 +4,9 @@ import (
 	"fmt"
 	"io"
 	"sort"
+
+	"bvap/internal/hwsim"
+	"bvap/internal/profile"
 )
 
 // RenderFig11 prints the micro-benchmark sweep as the two panels of
@@ -135,6 +138,146 @@ func RenderSummary(w io.Writer, s Summary) {
 	row("BVAP-S energy saving vs BVAP", s.SEnergySaving, "39%")
 	row("BVAP-S power saving vs BVAP", s.SPowerSaving, "79%")
 	row("BVAP-S throughput loss vs BVAP", s.SThroughputLoss, "67%")
+}
+
+// shadeRamp maps normalized intensity to ASCII shade, blank → densest.
+const shadeRamp = " .:-=+*#%@"
+
+// maxHeatRows caps how many heatmap rows render; dense placements would
+// otherwise scroll for pages.
+const maxHeatRows = 48
+
+func shadeFor(v, max float64) byte {
+	if max <= 0 || v <= 0 {
+		return shadeRamp[0]
+	}
+	i := int(v / max * float64(len(shadeRamp)-1))
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(shadeRamp) {
+		i = len(shadeRamp) - 1
+	}
+	return shadeRamp[i]
+}
+
+// RenderHeatmap prints h as an ASCII shade matrix: one row per heatmap row
+// (labelled by label), one column per used cycle bucket, intensity
+// normalized to the matrix maximum. Rows beyond maxHeatRows are summarized.
+// Nil or empty heatmaps print a placeholder line.
+func RenderHeatmap(w io.Writer, title string, h *profile.Heatmap, label func(r int) string) {
+	if h == nil || h.UsedCols() == 0 || h.Max() == 0 {
+		fmt.Fprintf(w, "%s: (no activity)\n", title)
+		return
+	}
+	used := h.UsedCols()
+	max := h.Max()
+	fmt.Fprintf(w, "%s (%d buckets × %d cycles, max %.3g, ramp %q)\n",
+		title, used, h.BucketCycles(), max, shadeRamp)
+	rows := h.Rows()
+	shown := rows
+	if shown > maxHeatRows {
+		shown = maxHeatRows
+	}
+	width := 0
+	for r := 0; r < shown; r++ {
+		if n := len(label(r)); n > width {
+			width = n
+		}
+	}
+	for r := 0; r < shown; r++ {
+		fmt.Fprintf(w, "  %-*s |", width, label(r))
+		for c := 0; c < used; c++ {
+			fmt.Fprintf(w, "%c", shadeFor(h.Value(r, c), max))
+		}
+		fmt.Fprintln(w, "|")
+	}
+	if rows > shown {
+		fmt.Fprintf(w, "  … %d more rows elided\n", rows-shown)
+	}
+}
+
+// RenderHotStates prints the hot-state ranking as a table.
+func RenderHotStates(w io.Writer, hot []profile.HotState) {
+	if len(hot) == 0 {
+		fmt.Fprintln(w, "hot states: (none activated)")
+		return
+	}
+	fmt.Fprintf(w, "%-8s %6s %6s %12s  %s\n", "machine", "ste", "tile", "activations", "pattern")
+	for _, h := range hot {
+		tile := "-"
+		if h.Tile >= 0 {
+			tile = fmt.Sprintf("%d", h.Tile)
+		}
+		fmt.Fprintf(w, "%-8d %6d %6s %12d  %s\n", h.Machine, h.STE, tile, h.Activations, truncatePattern(h.Pattern, 40))
+	}
+}
+
+// RenderAttribution prints the per-pattern energy partition, highest energy
+// first, capped at topK rows (0 = all).
+func RenderAttribution(w io.Writer, a profile.Attribution, topK int) {
+	fmt.Fprintf(w, "energy attribution: %.3f nJ total, %.3g pJ unattributed\n",
+		a.TotalPJ/1000, a.UnattributedPJ)
+	rows := append([]profile.PatternEnergy(nil), a.Patterns...)
+	sort.SliceStable(rows, func(i, j int) bool { return rows[i].EnergyPJ > rows[j].EnergyPJ })
+	if topK > 0 && len(rows) > topK {
+		rows = rows[:topK]
+	}
+	fmt.Fprintf(w, "%12s %7s  %s\n", "energy (pJ)", "share", "pattern")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%12.3f %6.1f%%  %s\n", r.EnergyPJ, r.Share*100, truncatePattern(r.Pattern, 48))
+	}
+}
+
+// RenderProfile prints one run's full profile: tile-occupancy and
+// stall-cause heatmaps, hot states, and energy attribution weights. The
+// attribution table itself needs the terminal Stats and is rendered by the
+// callers that hold them; here the ranking and heatmaps suffice.
+func RenderProfile(w io.Writer, title string, p *profile.Profiler, topK int) {
+	fmt.Fprintf(w, "\n== profile: %s (%d symbols, %d cycles, %d matches) ==\n",
+		title, p.Symbols(), p.Cycles(), p.Matches())
+	RenderHeatmap(w, "tile occupancy", p.TileHeatmap(), func(r int) string {
+		return fmt.Sprintf("tile%d", r)
+	})
+	RenderHeatmap(w, "stall cycles", p.StallHeatmap(), func(r int) string {
+		return hwsim.StallCause(r).String()
+	})
+	RenderHotStates(w, p.HotStates(topK))
+}
+
+// RenderPerf prints a BENCH report as a per-dataset table.
+func RenderPerf(w io.Writer, rep *BenchReport) {
+	fmt.Fprintf(w, "perf harness — schema v%d, %s/%s %s, bv_size=%d unfold_th=%d sample=%d input=%dB\n",
+		rep.SchemaVersion, rep.Environment.GOOS, rep.Environment.GOARCH,
+		rep.Environment.GoVersion, rep.Params.BVSize, rep.Params.UnfoldTh,
+		rep.Params.Sample, rep.Params.InputLen)
+	fmt.Fprintf(w, "%-14s %-8s %10s %10s %12s %10s %10s %10s\n",
+		"dataset", "arch", "cycles", "matches", "energy nJ", "nJ/B", "stalls", "run ms")
+	for _, c := range rep.Cells {
+		fmt.Fprintf(w, "%-14s %-8s %10d %10d %12.3f %10.4f %10d %10.1f\n",
+			c.Dataset, c.Arch, c.Cycles, c.Matches, c.EnergyPJ/1000,
+			c.EnergyPerSymbolNJ, c.StallCycles, c.RunMs)
+	}
+	fmt.Fprintf(w, "peak RSS %.1f MiB\n", float64(rep.PeakRSSBytes)/(1<<20))
+}
+
+// RenderRegressions prints a CompareBench verdict.
+func RenderRegressions(w io.Writer, regs []Regression) {
+	if len(regs) == 0 {
+		fmt.Fprintln(w, "baseline compare: PASS (no metric outside thresholds)")
+		return
+	}
+	fmt.Fprintf(w, "baseline compare: FAIL — %d regression(s)\n", len(regs))
+	for _, r := range regs {
+		fmt.Fprintf(w, "  %s\n", r.String())
+	}
+}
+
+func truncatePattern(p string, n int) string {
+	if len(p) <= n {
+		return p
+	}
+	return p[:n-1] + "…"
 }
 
 func sortedInts(set map[int]bool) []int {

@@ -1,0 +1,112 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"bvap/internal/hwsim"
+	"bvap/internal/profile"
+)
+
+// syntheticProfiler drives a profiler through a fixed event stream so the
+// renderers have deterministic input without running a simulation.
+func syntheticProfiler() *profile.Profiler {
+	p := profile.NewForPatterns([]string{"ab{3}c", "xy"}, profile.Options{Buckets: 4})
+	// Cycle 0: a BVM stall and machine 0 active.
+	p.Stall(hwsim.StallBVM, 2)
+	p.MachineActivity(0, 2, []int{0, 1})
+	p.StepDone(1, 2, 0)
+	// Cycle 1: input starvation dominates.
+	p.Stall(hwsim.StallBVM, 1)
+	p.Stall(hwsim.StallIOInput, 3)
+	p.MachineActivity(0, 1, []int{1})
+	p.MachineActivity(1, 1, []int{0})
+	p.StepDone(1, 2, 1)
+	// Cycle 2: tail.
+	p.Stall(hwsim.StallIOInput, 1)
+	p.StepDone(1, 0, 0)
+	return p
+}
+
+// TestRenderHeatmapGolden pins the exact ASCII rendering: labels, bucket
+// legend, and the shade ramp mapping (max → '@', 2/3 → '*', 1/3 → '-',
+// zero → space).
+func TestRenderHeatmapGolden(t *testing.T) {
+	p := syntheticProfiler()
+	var sb strings.Builder
+	RenderHeatmap(&sb, "stall cycles", p.StallHeatmap(), func(r int) string {
+		return hwsim.StallCause(r).String()
+	})
+	golden := "stall cycles (3 buckets × 1 cycles, max 3, ramp \" .:-=+*#%@\")\n" +
+		"  bvm       |*- |\n" +
+		"  io_input  | @-|\n" +
+		"  io_output |   |\n"
+	if got := sb.String(); got != golden {
+		t.Fatalf("heatmap rendering drifted:\n got: %q\nwant: %q", got, golden)
+	}
+}
+
+func TestRenderHeatmapEmptyAndElision(t *testing.T) {
+	var sb strings.Builder
+	RenderHeatmap(&sb, "tile occupancy", nil, func(int) string { return "" })
+	if got := sb.String(); got != "tile occupancy: (no activity)\n" {
+		t.Fatalf("nil heatmap: %q", got)
+	}
+	// A fresh profiler's occupancy heatmap has no mass either.
+	p := profile.NewForPatterns([]string{"a"}, profile.Options{})
+	sb.Reset()
+	RenderHeatmap(&sb, "occupancy", p.OccupancyHeatmap(), func(int) string { return "all" })
+	if !strings.Contains(sb.String(), "(no activity)") {
+		t.Fatalf("empty heatmap: %q", sb.String())
+	}
+}
+
+func TestRenderHotStatesAndProfile(t *testing.T) {
+	p := syntheticProfiler()
+	var sb strings.Builder
+	RenderHotStates(&sb, p.HotStates(0))
+	out := sb.String()
+	if !strings.Contains(out, "ab{3}c") || !strings.Contains(out, "xy") {
+		t.Fatalf("hot states lack pattern provenance:\n%s", out)
+	}
+	// Baseline profilers have no tile provenance: the tile column renders
+	// as "-".
+	for _, line := range strings.Split(out, "\n")[1:] {
+		if line == "" {
+			continue
+		}
+		if !strings.Contains(line, " - ") {
+			t.Fatalf("expected '-' tile column in %q", line)
+		}
+	}
+	sb.Reset()
+	RenderHotStates(&sb, nil)
+	if !strings.Contains(sb.String(), "none activated") {
+		t.Fatalf("empty hot states: %q", sb.String())
+	}
+
+	sb.Reset()
+	RenderProfile(&sb, "synthetic", p, 5)
+	out = sb.String()
+	for _, want := range []string{"profile: synthetic", "3 symbols", "stall cycles", "io_input"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("RenderProfile lacks %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRenderAttribution(t *testing.T) {
+	p := syntheticProfiler()
+	st := &hwsim.Stats{MatchEnergyPJ: 100, WireEnergyPJ: 20}
+	var sb strings.Builder
+	RenderAttribution(&sb, p.Attribute(st), 1)
+	out := sb.String()
+	if !strings.Contains(out, "0 pJ unattributed") {
+		t.Fatalf("attribution header: %q", out)
+	}
+	// topK=1 keeps only the highest-energy pattern (machine 0 was the more
+	// active one).
+	if !strings.Contains(out, "ab{3}c") || strings.Contains(out, "\nxy") {
+		t.Fatalf("topK truncation: %q", out)
+	}
+}

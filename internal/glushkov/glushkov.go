@@ -247,6 +247,13 @@ func (r *Runner) Reset() {
 // hardware simulator uses this to model switching energy.
 func (r *Runner) ActiveCount() int { return len(r.activeList) }
 
+// AppendActive appends the ids of the states that fired on the most recent
+// step to dst and returns the extended slice. It allocates only when dst's
+// capacity is insufficient, so profilers can reuse one scratch buffer.
+func (r *Runner) AppendActive(dst []int) []int {
+	return append(dst, r.activeList...)
+}
+
 // Step consumes one input symbol and reports whether a match ends at it.
 func (r *Runner) Step(b byte) bool {
 	a := r.nfa

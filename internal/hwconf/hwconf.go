@@ -28,6 +28,11 @@ type Config struct {
 	// Tiles is the placement: which machines each tile hosts and its
 	// resulting occupancy.
 	Tiles []TilePlacement `json:"tiles"`
+	// Provenance optionally records which STE ids of each machine landed on
+	// which tile, as run-length-encoded spans. Images without it (older
+	// compilers, hand-written configs) still validate; consumers fall back
+	// to "tile unknown". See ProvenanceIndex.
+	Provenance []TileSpan `json:"provenance,omitempty"`
 }
 
 // Params records the compiler parameters that shaped the image.
@@ -249,16 +254,14 @@ func (c *Config) Validate() error {
 			}
 		}
 	}
-	seenTile := make(map[int]bool, len(c.Tiles))
 	placed := make(map[int]bool)
-	for _, tp := range c.Tiles {
-		if tp.Tile < 0 || tp.Tile >= MaxTiles {
-			return fmt.Errorf("hwconf: tile index %d out of range [0,%d)", tp.Tile, MaxTiles)
+	for ti, tp := range c.Tiles {
+		// The simulator indexes its tile structures positionally, so the
+		// declared tile id must equal the slice index (this also implies
+		// uniqueness and the MaxTiles cap, via the len(c.Tiles) check above).
+		if tp.Tile != ti {
+			return fmt.Errorf("hwconf: tile at position %d declares id %d (ids must be dense and in order)", ti, tp.Tile)
 		}
-		if seenTile[tp.Tile] {
-			return fmt.Errorf("hwconf: duplicate tile %d", tp.Tile)
-		}
-		seenTile[tp.Tile] = true
 		if tp.STEs < 0 || tp.STEs > maxTileSTEs {
 			return fmt.Errorf("hwconf: tile %d occupancy %d STEs out of range [0,%d]", tp.Tile, tp.STEs, maxTileSTEs)
 		}
@@ -284,7 +287,7 @@ func (c *Config) Validate() error {
 			return fmt.Errorf("hwconf: machine %d (%q) is not placed on any tile", mi, c.Machines[mi].Regex)
 		}
 	}
-	return nil
+	return c.validateProvenance()
 }
 
 // SupportedMachines returns the indices of machines that compiled and were

@@ -1,0 +1,142 @@
+package hwconf
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Pattern ↔ tile provenance. The placement in Config.Tiles records only how
+// many STEs of which machines each tile hosts; attribution and hot-state
+// ranking additionally need to know *which* STEs of a machine landed where.
+// The compiler emits one TileSpan per contiguous run of a machine's STE ids
+// placed on one tile; ProvenanceIndex is the decoder the simulator and the
+// profiler use to answer "which tile hosts STE q of machine m?".
+
+// TileSpan locates a contiguous run of one machine's STEs on a tile:
+// STE ids First .. First+Count-1 of machine Machine live on tile Tile.
+type TileSpan struct {
+	Machine int `json:"machine"`
+	Tile    int `json:"tile"`
+	First   int `json:"first"`
+	Count   int `json:"count"`
+}
+
+// validateProvenance checks the provenance table against the machines and
+// the placement: references must be in range, spans must lie inside their
+// machine's STE range, and no STE may be claimed by two spans. Tiles are
+// indexed positionally (Validate pins TilePlacement.Tile == index), so a
+// span's tile is checked against len(c.Tiles).
+func (c *Config) validateProvenance() error {
+	if len(c.Provenance) == 0 {
+		return nil
+	}
+	if len(c.Provenance) > MaxTiles*8 {
+		return fmt.Errorf("hwconf: %d provenance spans exceeds the %d cap", len(c.Provenance), MaxTiles*8)
+	}
+	// covered[machine] marks STE ids already claimed, allocated lazily so a
+	// hostile image cannot force allocations beyond its own machine sizes.
+	covered := map[int]map[int]bool{}
+	for i, sp := range c.Provenance {
+		if sp.Machine < 0 || sp.Machine >= len(c.Machines) {
+			return fmt.Errorf("hwconf: provenance span %d references machine %d", i, sp.Machine)
+		}
+		m := &c.Machines[sp.Machine]
+		if m.Unsupported != "" {
+			return fmt.Errorf("hwconf: provenance span %d references unsupported machine %d", i, sp.Machine)
+		}
+		if sp.Tile < 0 || sp.Tile >= len(c.Tiles) {
+			return fmt.Errorf("hwconf: provenance span %d references tile %d of %d", i, sp.Tile, len(c.Tiles))
+		}
+		if sp.Count < 1 || sp.First < 0 || sp.First+sp.Count > len(m.STEs) {
+			return fmt.Errorf("hwconf: provenance span %d covers STEs [%d,%d) of machine %d with %d STEs",
+				i, sp.First, sp.First+sp.Count, sp.Machine, len(m.STEs))
+		}
+		cov := covered[sp.Machine]
+		if cov == nil {
+			cov = make(map[int]bool, sp.Count)
+			covered[sp.Machine] = cov
+		}
+		for q := sp.First; q < sp.First+sp.Count; q++ {
+			if cov[q] {
+				return fmt.Errorf("hwconf: provenance claims STE %d of machine %d twice", q, sp.Machine)
+			}
+			cov[q] = true
+		}
+	}
+	return nil
+}
+
+// ProvenanceIndex answers STE → tile queries over a validated provenance
+// table. Build one with Config.ProvenanceIndex.
+type ProvenanceIndex struct {
+	// spans[machine] holds that machine's spans sorted by First.
+	spans map[int][]TileSpan
+}
+
+// ProvenanceIndex builds the pattern↔tile decoder. It returns nil when the
+// configuration carries no provenance table (older images), which callers
+// treat as "tile unknown".
+func (c *Config) ProvenanceIndex() *ProvenanceIndex {
+	if len(c.Provenance) == 0 {
+		return nil
+	}
+	idx := &ProvenanceIndex{spans: make(map[int][]TileSpan)}
+	for _, sp := range c.Provenance {
+		idx.spans[sp.Machine] = append(idx.spans[sp.Machine], sp)
+	}
+	for m := range idx.spans {
+		s := idx.spans[m]
+		sort.Slice(s, func(i, j int) bool { return s[i].First < s[j].First })
+	}
+	return idx
+}
+
+// STETile returns the tile hosting STE q of machine m. ok is false when the
+// index holds no span covering that STE (nil index, unknown machine, or an
+// id outside every span).
+func (p *ProvenanceIndex) STETile(m, q int) (tile int, ok bool) {
+	if p == nil {
+		return 0, false
+	}
+	spans := p.spans[m]
+	i := sort.Search(len(spans), func(i int) bool { return spans[i].First+spans[i].Count > q })
+	if i < len(spans) && q >= spans[i].First {
+		return spans[i].Tile, true
+	}
+	return 0, false
+}
+
+// MachineTileSTEs returns how many STEs of machine m each tile hosts,
+// keyed by tile index. It returns nil for machines without provenance.
+func (p *ProvenanceIndex) MachineTileSTEs(m int) map[int]int {
+	if p == nil || len(p.spans[m]) == 0 {
+		return nil
+	}
+	out := make(map[int]int)
+	for _, sp := range p.spans[m] {
+		out[sp.Tile] += sp.Count
+	}
+	return out
+}
+
+// SpansFromSTEs run-length encodes a machine's (tile, STE id) assignment
+// into TileSpans: ids is the set of STE ids of machine m placed on tile,
+// in any order. The compiler uses this to emit the provenance table.
+func SpansFromSTEs(machine, tile int, ids []int) []TileSpan {
+	if len(ids) == 0 {
+		return nil
+	}
+	sorted := append([]int(nil), ids...)
+	sort.Ints(sorted)
+	var out []TileSpan
+	first, count := sorted[0], 1
+	for _, q := range sorted[1:] {
+		if q == first+count {
+			count++
+			continue
+		}
+		out = append(out, TileSpan{Machine: machine, Tile: tile, First: first, Count: count})
+		first, count = q, 1
+	}
+	return append(out, TileSpan{Machine: machine, Tile: tile, First: first, Count: count})
+}

@@ -24,8 +24,12 @@ type BaselineSystem struct {
 	ends       [][]int
 	pos        int
 
-	// sink, when non-nil, receives per-stage energy and occupancy events.
+	// sink, when non-nil, receives per-stage energy and occupancy events;
+	// xsink caches the optional ProvenanceSink extension and activeScratch
+	// backs its MachineActivity id lists.
 	sink           Sink
+	xsink          ProvenanceSink
+	activeScratch  []int
 	leakReportedPJ float64
 }
 
@@ -128,8 +132,14 @@ func packTiles(sizes []int, capacity int) int {
 func (s *BaselineSystem) RecordMatchEnds(on bool) { s.recordEnds = on }
 
 // SetSink attaches a telemetry sink receiving per-stage energy and per-step
-// occupancy events. Pass nil to detach.
-func (s *BaselineSystem) SetSink(k Sink) { s.sink = k }
+// occupancy events. Pass nil to detach. Sinks additionally implementing
+// ProvenanceSink receive per-machine activity and counter-energy events
+// (baseline placements carry no per-tile provenance, so TileActivity is
+// never called).
+func (s *BaselineSystem) SetSink(k Sink) {
+	s.sink = k
+	s.xsink, _ = k.(ProvenanceSink)
+}
 
 // MatchEnds returns the recorded match end positions of machine i.
 func (s *BaselineSystem) MatchEnds(i int) []int { return s.ends[i] }
@@ -175,10 +185,17 @@ func (s *BaselineSystem) Step(b byte) {
 		}
 		totalActive += m.runner.ActiveCount()
 		totalAvail += m.runner.AvailableCount()
+		if s.xsink != nil {
+			s.activeScratch = m.runner.AppendActive(s.activeScratch[:0])
+			s.xsink.MachineActivity(m.index, m.runner.ActiveCount(), s.activeScratch)
+		}
 		if st.Arch == archmodel.CNT && m.counters > 0 && m.runner.ActiveCount() > 0 {
 			e := archmodel.CounterEnergyPJFor(m.counters)
 			st.CounterEnergyPJ += e
 			snkCounter += e
+			if s.xsink != nil {
+				s.xsink.MachineStageEnergy(m.index, StageCounter, e)
+			}
 		}
 	}
 	// Per-tile energy at the fleet-average activity (the per-tile cost

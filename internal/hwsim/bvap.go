@@ -38,8 +38,13 @@ type BVAPSystem struct {
 	tileScale []float64
 	variant   Variant
 	// sink, when non-nil, receives per-stage energy, stall and occupancy
-	// events; the nil path adds no allocations to Step.
-	sink Sink
+	// events; the nil path adds no allocations to Step. xsink caches the
+	// optional ProvenanceSink extension (resolved once in SetSink) so the
+	// hot path never repeats the type assertion; activeScratch is the
+	// reusable buffer MachineActivity id lists are built in.
+	sink          Sink
+	xsink         ProvenanceSink
+	activeScratch []int
 	// ioReportedPJ / leakReportedPJ track what the sink has already been
 	// told, so repeated Finish calls emit deltas only.
 	ioReportedPJ   float64
@@ -146,6 +151,7 @@ func NewBVAPSystem(cfg *hwconf.Config, streaming bool) (*BVAPSystem, error) {
 	}
 	sys.arrayStall = make([]int, sys.arrays)
 
+	prov := cfg.ProvenanceIndex()
 	for i := range cfg.Machines {
 		m := &cfg.Machines[i]
 		if m.Unsupported != "" {
@@ -167,8 +173,20 @@ func NewBVAPSystem(cfg *hwconf.Config, streaming bool) (*BVAPSystem, error) {
 		if len(bm.tiles) == 0 {
 			return nil, fmt.Errorf("hwsim: machine %d (%q) is not placed on any tile", i, m.Regex)
 		}
-		for range bm.tiles {
-			bm.share = append(bm.share, 1/float64(len(bm.tiles)))
+		// Activity splits across a machine's tiles by STE share. With a
+		// provenance table the share is the actual STE count per tile;
+		// otherwise (older images) it falls back to an equal split.
+		perTile := prov.MachineTileSTEs(i)
+		covered := 0
+		for _, t := range bm.tiles {
+			covered += perTile[t]
+		}
+		for _, t := range bm.tiles {
+			if covered > 0 {
+				bm.share = append(bm.share, float64(perTile[t])/float64(covered))
+			} else {
+				bm.share = append(bm.share, 1/float64(len(bm.tiles)))
+			}
 		}
 		sys.machines = append(sys.machines, bm)
 	}
@@ -214,8 +232,13 @@ func (s *BVAPSystem) RecordMatchEnds(on bool) { s.recordEnds = on }
 
 // SetSink attaches a telemetry sink receiving per-stage energy, per-array
 // stall and per-step occupancy events. Pass nil to detach; with no sink the
-// Step hot path performs a single nil check and allocates nothing.
-func (s *BVAPSystem) SetSink(k Sink) { s.sink = k }
+// Step hot path performs a single nil check and allocates nothing. Sinks
+// additionally implementing ProvenanceSink (the activity profiler; combine
+// several with FanOut) also receive per-machine and per-tile events.
+func (s *BVAPSystem) SetSink(k Sink) {
+	s.sink = k
+	s.xsink, _ = k.(ProvenanceSink)
+}
 
 // MatchEnds returns the recorded match end positions of machine i.
 func (s *BVAPSystem) MatchEnds(i int) []int { return s.ends[i] }
@@ -268,6 +291,7 @@ func (s *BVAPSystem) stepCore(b byte) {
 	// uninstrumented path pays predictable branches instead of float
 	// dependency chains (pinned by BenchmarkTelemetryOverhead).
 	sinkOn := s.sink != nil
+	xsinkOn := s.xsink != nil
 	var snkRead, snkSwap, snkRoute, snkReset, snkIdle float64
 	var snkMatch, snkTrans, snkWire float64
 	activeTotal := 0.0
@@ -302,6 +326,10 @@ func (s *BVAPSystem) stepCore(b byte) {
 		if sinkOn {
 			activeTotal += active
 		}
+		if xsinkOn {
+			s.activeScratch = m.runner.AppendActive(s.activeScratch[:0])
+			s.xsink.MachineActivity(m.index, m.runner.ActiveStates(), s.activeScratch)
+		}
 		for ti, tile := range m.tiles {
 			tileActive[tile] += active * m.share[ti]
 		}
@@ -317,7 +345,12 @@ func (s *BVAPSystem) stepCore(b byte) {
 		if bvActive > 0 || alwaysOn {
 			reads := m.runner.ReadOps()
 			if parityLive {
-				parityOps += reads + m.runner.SwapOps()
+				mops := reads + m.runner.SwapOps()
+				parityOps += mops
+				if xsinkOn {
+					s.xsink.MachineStageEnergy(m.index, StageParity,
+						float64(mops)*parityOverheadFrac*archmodel.BitVector.EnergyPJ(1))
+				}
 			}
 			bvFrac := 0.0
 			if m.bvStates > 0 {
@@ -328,11 +361,17 @@ func (s *BVAPSystem) stepCore(b byte) {
 			if sinkOn {
 				snkRead += e
 			}
+			if xsinkOn {
+				s.xsink.MachineStageEnergy(m.index, StageBVMRead, e)
+			}
 			if s.variant.NaivePE {
 				e = archmodel.NaivePESwapEnergyPJ(m.runner.SwapOps(), words)
 				st.BVMEnergyPJ += e
 				if sinkOn {
 					snkSwap += e
+				}
+				if xsinkOn {
+					s.xsink.MachineStageEnergy(m.index, StageBVMSwap, e)
 				}
 			} else {
 				base := archmodel.BVMSwapEnergyPJ(
@@ -350,11 +389,22 @@ func (s *BVAPSystem) stepCore(b byte) {
 						snkSwap += e
 					}
 				}
+				if xsinkOn {
+					if e > base {
+						s.xsink.MachineStageEnergy(m.index, StageBVMSwap, base)
+						s.xsink.MachineStageEnergy(m.index, StageRouting, e-base)
+					} else {
+						s.xsink.MachineStageEnergy(m.index, StageBVMSwap, e)
+					}
+				}
 			}
 			e = archmodel.BVMResetEnergyPJ(m.prevBVActive - bvActive)
 			st.BVMEnergyPJ += e
 			if sinkOn {
 				snkReset += e
+			}
+			if xsinkOn {
+				s.xsink.MachineStageEnergy(m.index, StageBVMReset, e)
 			}
 			if (bvActive > 0 || alwaysOn) && !s.streaming {
 				// The Global Controller stalls the machine's
@@ -379,6 +429,9 @@ func (s *BVAPSystem) stepCore(b byte) {
 	arch := st.Arch
 	for ti := range s.tiles {
 		scale := s.tileScale[ti]
+		if xsinkOn {
+			s.xsink.TileActivity(ti, tileActive[ti])
+		}
 		if alwaysOnBVM && s.tiles[ti].bvstes > 0 {
 			e := archmodel.BVMIdlePhasePJ(archmodel.PhysicalBVWords) * scale
 			st.BVMEnergyPJ += e
@@ -435,6 +488,10 @@ func (s *BVAPSystem) stepCore(b byte) {
 			}
 		}
 	}
+	var ioIn0, ioOut0 uint64
+	if xsinkOn && s.io != nil {
+		ioIn0, ioOut0 = s.io.inputStalls, s.io.outputStalls
+	}
 	ioExtra := 0
 	if s.io != nil {
 		// BVM stall cycles let the FIFOs refill before the symbol is
@@ -468,6 +525,16 @@ func (s *BVAPSystem) stepCore(b byte) {
 		s.sink.StageEnergy(StageWire, snkWire)
 		for a, stall := range s.arrayStall {
 			s.sink.StallCycles(a, stall+ioExtra)
+		}
+		if xsinkOn {
+			s.xsink.Stall(StallBVM, maxStall)
+			ioIn, ioOut := 0, 0
+			if s.io != nil {
+				ioIn = int(s.io.inputStalls - ioIn0)
+				ioOut = int(s.io.outputStalls - ioOut0)
+			}
+			s.xsink.Stall(StallIOInput, ioIn)
+			s.xsink.Stall(StallIOOutput, ioOut)
 		}
 		s.sink.StepDone(1+maxStall+ioExtra, activeTotal, matchesThisStep)
 	}

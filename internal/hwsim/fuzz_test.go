@@ -46,11 +46,46 @@ func FuzzMachineFromConfig(f *testing.F) {
 		if err != nil {
 			return // rejected images are the expected failure mode
 		}
+		// The pattern↔tile provenance decoder must stay in bounds on any
+		// Validate'd image: spans reference real machines and tiles, no
+		// STE resolves outside its machine, and per-tile totals never
+		// exceed the machine's state count.
+		idx := cfg.ProvenanceIndex()
+		for mi := range cfg.Machines {
+			m := &cfg.Machines[mi]
+			total := 0
+			for tile, n := range idx.MachineTileSTEs(mi) {
+				if tile < 0 || tile >= len(cfg.Tiles) {
+					t.Fatalf("machine %d provenance references tile %d of %d", mi, tile, len(cfg.Tiles))
+				}
+				if n <= 0 {
+					t.Fatalf("machine %d tile %d has non-positive STE count %d", mi, tile, n)
+				}
+				total += n
+			}
+			if total > len(m.STEs) {
+				t.Fatalf("machine %d provenance covers %d STEs, machine has %d", mi, total, len(m.STEs))
+			}
+			for q := -1; q <= len(m.STEs); q++ {
+				tile, ok := idx.STETile(mi, q)
+				if !ok {
+					continue
+				}
+				if tile < 0 || tile >= len(cfg.Tiles) {
+					t.Fatalf("STETile(%d,%d) = %d out of %d tiles", mi, q, tile, len(cfg.Tiles))
+				}
+				if q < 0 || q >= len(m.STEs) {
+					t.Fatalf("STETile(%d,%d) resolved an out-of-range STE", mi, q)
+				}
+			}
+		}
 		sys, err := NewBVAPSystem(cfg, streaming)
 		if err != nil {
 			return
 		}
 		sys.RecordMatchEnds(true)
+		sink := &boundsCheckSink{t: t, tiles: len(cfg.Tiles), machines: len(cfg.Machines)}
+		sys.SetSink(sink)
 		sys.Run(input)
 		st := sys.Finish()
 		if st.Symbols != uint64(len(input)) {
@@ -60,4 +95,49 @@ func FuzzMachineFromConfig(f *testing.F) {
 			t.Fatalf("negative energy %v", st.TotalEnergyPJ())
 		}
 	})
+}
+
+// boundsCheckSink is a ProvenanceSink asserting every provenance-resolved
+// event stays within the image's machine and tile ranges, no matter how the
+// image bytes were mangled.
+type boundsCheckSink struct {
+	t        *testing.T
+	tiles    int
+	machines int
+}
+
+func (k *boundsCheckSink) StageEnergy(stage Stage, pj float64) {
+	if stage < 0 || stage >= NumStages {
+		k.t.Fatalf("stage %d out of range", stage)
+	}
+}
+func (k *boundsCheckSink) StallCycles(array, cycles int) {
+	if array < 0 || cycles < 0 {
+		k.t.Fatalf("stall event array=%d cycles=%d", array, cycles)
+	}
+}
+func (k *boundsCheckSink) StepDone(cycles int, active float64, matches int) {
+	if cycles < 1 || active < 0 || matches < 0 {
+		k.t.Fatalf("step event cycles=%d active=%v matches=%d", cycles, active, matches)
+	}
+}
+func (k *boundsCheckSink) MachineStageEnergy(m int, stage Stage, pj float64) {
+	if m < 0 || m >= k.machines || stage < 0 || stage >= NumStages {
+		k.t.Fatalf("machine stage event m=%d stage=%d", m, stage)
+	}
+}
+func (k *boundsCheckSink) MachineActivity(m, active int, ids []int) {
+	if m < 0 || m >= k.machines || active < 0 || len(ids) != active {
+		k.t.Fatalf("machine activity event m=%d active=%d ids=%d", m, active, len(ids))
+	}
+}
+func (k *boundsCheckSink) TileActivity(tile int, active float64) {
+	if tile < 0 || tile >= k.tiles || active < 0 {
+		k.t.Fatalf("tile activity event tile=%d active=%v", tile, active)
+	}
+}
+func (k *boundsCheckSink) Stall(cause StallCause, cycles int) {
+	if cause < 0 || cause >= NumStallCauses || cycles < 0 {
+		k.t.Fatalf("stall event cause=%d cycles=%d", cause, cycles)
+	}
 }

@@ -108,6 +108,145 @@ type Sink interface {
 	StepDone(cycles int, activeStates float64, matches int)
 }
 
+// StallCause classifies why the pipeline lost cycles on a step.
+type StallCause int
+
+const (
+	// StallBVM counts Global-Controller stalls for the BVM phase (§6):
+	// whole-system cycles, set by the slowest array.
+	StallBVM StallCause = iota
+	// StallIOInput counts input-FIFO starvation, in array-cycles (several
+	// arrays can starve on the same system cycle).
+	StallIOInput
+	// StallIOOutput counts report-path congestion, in array-cycles.
+	StallIOOutput
+
+	// NumStallCauses is the number of stall causes.
+	NumStallCauses
+)
+
+func (c StallCause) String() string {
+	switch c {
+	case StallBVM:
+		return "bvm"
+	case StallIOInput:
+		return "io_input"
+	case StallIOOutput:
+		return "io_output"
+	}
+	return fmt.Sprintf("StallCause(%d)", int(c))
+}
+
+// ProvenanceSink is an optional extension of Sink carrying the per-machine
+// and per-tile provenance the activity profiler needs: which machine (and
+// thereby which source pattern) and which tile each event belongs to.
+// SetSink detects the extension with a one-time type assertion, so the
+// per-step cost is the same single nil check as the base interface; the
+// extra per-machine emissions run only when the attached sink implements
+// this interface.
+//
+// The extended events carry *weights*, not an exact energy partition: the
+// per-machine stage energies sum to the corresponding Sink.StageEnergy
+// totals only up to float association error. Exact conservation is the
+// attribution layer's job (profile.Attribute), which partitions the
+// terminal Stats directly.
+type ProvenanceSink interface {
+	Sink
+	// MachineStageEnergy attributes pj picojoules of one stage to machine
+	// m (the config/machine index, which equals the source-pattern index).
+	MachineStageEnergy(m int, stage Stage, pj float64)
+	// MachineActivity reports machine m's post-step active-state count
+	// and the ids of the active states. ids is the simulator's scratch
+	// buffer: valid only for the duration of the call, in the runner's
+	// deterministic commit order. It may be nil when the machine is idle.
+	MachineActivity(m int, active int, ids []int)
+	// TileActivity reports tile t's active-STE occupancy for this step
+	// (fractional: machines spanning several tiles split their activity by
+	// STE share).
+	TileActivity(t int, active float64)
+	// Stall reports this step's lost cycles by cause. StallBVM is in
+	// system cycles; the I/O causes are in array-cycles (see StallCause).
+	Stall(cause StallCause, cycles int)
+}
+
+// FanOut combines sinks into one: every event is forwarded to each member
+// in order. Nil members are dropped; with zero non-nil members FanOut
+// returns nil (= instrumentation off), and a single member is returned
+// unwrapped. When at least one member implements ProvenanceSink the
+// combined sink does too, forwarding the extended events to the members
+// that accept them.
+func FanOut(sinks ...Sink) Sink {
+	var base []Sink
+	var prov []ProvenanceSink
+	for _, k := range sinks {
+		if k == nil {
+			continue
+		}
+		base = append(base, k)
+		if pk, ok := k.(ProvenanceSink); ok {
+			prov = append(prov, pk)
+		}
+	}
+	switch {
+	case len(base) == 0:
+		return nil
+	case len(base) == 1:
+		return base[0]
+	case len(prov) == 0:
+		return &multiSink{sinks: base}
+	}
+	return &provMultiSink{multiSink{sinks: base}, prov}
+}
+
+type multiSink struct{ sinks []Sink }
+
+func (m *multiSink) StageEnergy(stage Stage, pj float64) {
+	for _, k := range m.sinks {
+		k.StageEnergy(stage, pj)
+	}
+}
+
+func (m *multiSink) StallCycles(array int, cycles int) {
+	for _, k := range m.sinks {
+		k.StallCycles(array, cycles)
+	}
+}
+
+func (m *multiSink) StepDone(cycles int, activeStates float64, matches int) {
+	for _, k := range m.sinks {
+		k.StepDone(cycles, activeStates, matches)
+	}
+}
+
+type provMultiSink struct {
+	multiSink
+	prov []ProvenanceSink
+}
+
+func (m *provMultiSink) MachineStageEnergy(mi int, stage Stage, pj float64) {
+	for _, k := range m.prov {
+		k.MachineStageEnergy(mi, stage, pj)
+	}
+}
+
+func (m *provMultiSink) MachineActivity(mi int, active int, ids []int) {
+	for _, k := range m.prov {
+		k.MachineActivity(mi, active, ids)
+	}
+}
+
+func (m *provMultiSink) TileActivity(t int, active float64) {
+	for _, k := range m.prov {
+		k.TileActivity(t, active)
+	}
+}
+
+func (m *provMultiSink) Stall(cause StallCause, cycles int) {
+	for _, k := range m.prov {
+		k.Stall(cause, cycles)
+	}
+}
+
 // Metric names exposed by TelemetrySink.
 const (
 	MetricStageEnergy  = "bvap_stage_energy_picojoules_total"

@@ -300,6 +300,14 @@ func (r *AHRunner) ActiveBVStates() int { return r.lastBVActive }
 // ActiveStates returns the number of active states after the latest step.
 func (r *AHRunner) ActiveStates() int { return r.lastNFAActive }
 
+// AppendActive appends the ids of the states active after the latest step
+// to dst and returns the extended slice. It allocates only when dst's
+// capacity is insufficient, so profilers can reuse one scratch buffer
+// across steps; the order is the runner's deterministic commit order.
+func (r *AHRunner) AppendActive(dst []int) []int {
+	return append(dst, r.activeList...)
+}
+
 // ReadOps and SwapOps return the counts of read actions and vector
 // deliveries performed on the latest step; the cycle simulator converts
 // these into BVM energy and latency.

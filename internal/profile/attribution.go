@@ -1,0 +1,316 @@
+package profile
+
+import (
+	"fmt"
+	"math"
+
+	"bvap/internal/hwsim"
+)
+
+// Per-pattern energy attribution. The terminal Stats aggregate is the
+// ground truth; the profiler's per-machine observations supply *weights*
+// by which each of the eight Stats energy components is partitioned across
+// the source patterns. The partition is exact by construction:
+//
+//   - for every component c, the per-pattern values summed left-to-right
+//     in pattern-index order reproduce the component total bit-for-bit;
+//   - the per-pattern totals summed left-to-right in pattern-index order
+//     reproduce Stats.TotalEnergyPJ() bit-for-bit, with a zero
+//     UnattributedPJ residual whenever at least one pattern exists.
+//
+// Floating-point addition is not associative, so both guarantees cannot
+// also force each pattern's total to equal the sum of its components
+// exactly; that relation holds up to a few ULPs on at most one pattern
+// (the snap target). See DESIGN.md.
+
+// Component identifies one Stats energy component (the summands of
+// Stats.TotalEnergyPJ, in its accumulation order).
+type Component int
+
+const (
+	CompMatch Component = iota
+	CompTransition
+	CompBVM
+	CompCounter
+	CompWire
+	CompIO
+	CompLeakage
+	CompParity
+
+	// NumComponents is the number of energy components.
+	NumComponents
+)
+
+func (c Component) String() string {
+	switch c {
+	case CompMatch:
+		return "match"
+	case CompTransition:
+		return "transition"
+	case CompBVM:
+		return "bvm"
+	case CompCounter:
+		return "counter"
+	case CompWire:
+		return "wire"
+	case CompIO:
+		return "io"
+	case CompLeakage:
+		return "leakage"
+	case CompParity:
+		return "parity"
+	}
+	return fmt.Sprintf("Component(%d)", int(c))
+}
+
+// ComponentNames returns the component names in accumulation order.
+func ComponentNames() []string {
+	out := make([]string, NumComponents)
+	for c := Component(0); c < NumComponents; c++ {
+		out[c] = c.String()
+	}
+	return out
+}
+
+// componentTotals reads the component totals from Stats, in
+// TotalEnergyPJ's accumulation order.
+func componentTotals(st *hwsim.Stats) [NumComponents]float64 {
+	return [NumComponents]float64{
+		CompMatch:      st.MatchEnergyPJ,
+		CompTransition: st.TransitionEnergyPJ,
+		CompBVM:        st.BVMEnergyPJ,
+		CompCounter:    st.CounterEnergyPJ,
+		CompWire:       st.WireEnergyPJ,
+		CompIO:         st.IOEnergyPJ,
+		CompLeakage:    st.LeakageEnergyPJ,
+		CompParity:     st.ParityEnergyPJ,
+	}
+}
+
+// PatternEnergy is one pattern's attributed share.
+type PatternEnergy struct {
+	Index   int    `json:"index"`
+	Pattern string `json:"pattern"`
+	// EnergyPJ is the pattern's attributed total. Summing EnergyPJ over
+	// Patterns in slice order reproduces TotalPJ exactly.
+	EnergyPJ float64 `json:"energy_pj"`
+	// Share is EnergyPJ / TotalPJ (0 on zero-energy runs).
+	Share float64 `json:"share"`
+	// Components is the per-component split, indexed by Component. For
+	// each component, summing over Patterns in slice order reproduces the
+	// Stats component total exactly.
+	Components [NumComponents]float64 `json:"components"`
+	// ActiveStateSteps is the activity weight basis: accumulated post-step
+	// active-state counts of the pattern's machine.
+	ActiveStateSteps uint64 `json:"active_state_steps"`
+}
+
+// Attribution is the result of partitioning one run's energy across its
+// source patterns.
+type Attribution struct {
+	// TotalPJ equals Stats.TotalEnergyPJ() bit-for-bit.
+	TotalPJ float64 `json:"total_pj"`
+	// UnattributedPJ is TotalPJ minus the left-to-right sum of the
+	// per-pattern totals: 0 whenever at least one pattern exists (the
+	// whole run is attributed), TotalPJ when there are no patterns.
+	UnattributedPJ float64         `json:"unattributed_pj"`
+	Patterns       []PatternEnergy `json:"patterns"`
+}
+
+// Attribute partitions st's energy across the profiler's patterns.
+// Shared-stage energy (state matching, wires, leakage, I/O) is split by
+// activity share where the profiler observed activity, falling back to
+// static silicon share (STE counts) and finally an equal split across
+// supported patterns, so the partition is total even for idle runs.
+func (p *Profiler) Attribute(st *hwsim.Stats) Attribution {
+	total := st.TotalEnergyPJ()
+	n := len(p.patterns)
+	if n == 0 {
+		return Attribution{TotalPJ: total, UnattributedPJ: total}
+	}
+
+	activity := make([]float64, n)
+	silicon := make([]float64, n)
+	bvmW := make([]float64, n)
+	counterW := make([]float64, n)
+	parityW := make([]float64, n)
+	equal := make([]float64, n)
+	anySupported := false
+	for i := 0; i < n; i++ {
+		if i < len(p.machineActivity) {
+			activity[i] = float64(p.machineActivity[i])
+		}
+		silicon[i] = float64(p.steCount[i])
+		if i < len(p.machineStage) {
+			ms := p.machineStage[i]
+			bvmW[i] = ms[hwsim.StageBVMRead] + ms[hwsim.StageBVMSwap] +
+				ms[hwsim.StageBVMReset] + ms[hwsim.StageBVMIdle] + ms[hwsim.StageRouting]
+			counterW[i] = ms[hwsim.StageCounter]
+			parityW[i] = ms[hwsim.StageParity]
+		}
+		if p.supported[i] {
+			equal[i] = 1
+			anySupported = true
+		}
+	}
+	if !anySupported {
+		for i := range equal {
+			equal[i] = 1
+		}
+	}
+
+	chains := [NumComponents][][]float64{
+		CompMatch:      {activity, silicon, equal},
+		CompTransition: {activity, silicon, equal},
+		CompBVM:        {bvmW, activity, silicon, equal},
+		CompCounter:    {counterW, activity, silicon, equal},
+		CompWire:       {silicon, activity, equal},
+		CompIO:         {silicon, activity, equal},
+		CompLeakage:    {silicon, activity, equal},
+		CompParity:     {parityW, bvmW, silicon, equal},
+	}
+
+	rows := make([]PatternEnergy, n)
+	for i := range rows {
+		rows[i] = PatternEnergy{Index: i, Pattern: p.patterns[i]}
+		if i < len(p.machineActivity) {
+			rows[i].ActiveStateSteps = p.machineActivity[i]
+		}
+	}
+	for c := Component(0); c < NumComponents; c++ {
+		w := chooseWeights(chains[c], equal)
+		parts := splitExact(componentTotals(st)[c], w)
+		for i := range rows {
+			rows[i].Components[c] = parts[i]
+		}
+	}
+
+	// Per-pattern totals: component sums in TotalEnergyPJ order, then a
+	// snap on the largest row so the cross-pattern sum reproduces the
+	// grand total bit-for-bit.
+	totals := make([]float64, n)
+	argmax := 0
+	for i := range rows {
+		t := 0.0
+		for c := Component(0); c < NumComponents; c++ {
+			t += rows[i].Components[c]
+		}
+		totals[i] = t
+		if t > totals[argmax] {
+			argmax = i
+		}
+	}
+	snapSum(totals, total, argmax)
+	for i := range rows {
+		rows[i].EnergyPJ = totals[i]
+		if total != 0 {
+			rows[i].Share = totals[i] / total
+		}
+	}
+	// The residual is 0 by construction of snapSum; recompute it honestly
+	// (the same left-to-right sum the guarantee is stated over) rather
+	// than asserting.
+	seq := 0.0
+	for _, t := range totals {
+		seq += t
+	}
+	return Attribution{TotalPJ: total, UnattributedPJ: total - seq, Patterns: rows}
+}
+
+// chooseWeights returns the first weight vector in the chain with a
+// positive finite sum, falling back to fallback (and finally all-ones).
+func chooseWeights(chain [][]float64, fallback []float64) []float64 {
+	for _, w := range chain {
+		s := 0.0
+		for _, v := range w {
+			s += v
+		}
+		if s > 0 && !math.IsInf(s, 0) && !math.IsNaN(s) {
+			return w
+		}
+	}
+	s := 0.0
+	for _, v := range fallback {
+		s += v
+	}
+	if s > 0 {
+		return fallback
+	}
+	ones := make([]float64, len(fallback))
+	for i := range ones {
+		ones[i] = 1
+	}
+	return ones
+}
+
+// splitExact partitions total across weights so the left-to-right sum of
+// the result reproduces total bit-for-bit. Every share is proportional to
+// its weight except the largest-weight entry, which absorbs the float
+// rounding (a few ULPs at most).
+func splitExact(total float64, weights []float64) []float64 {
+	n := len(weights)
+	out := make([]float64, n)
+	if n == 0 || total == 0 {
+		return out
+	}
+	sumW := 0.0
+	for _, w := range weights {
+		sumW += w
+	}
+	argmax := 0
+	for i, w := range weights {
+		if w > weights[argmax] {
+			argmax = i
+		}
+	}
+	if sumW > 0 && !math.IsInf(sumW, 0) && !math.IsNaN(sumW) {
+		for i, w := range weights {
+			out[i] = total * (w / sumW)
+		}
+	} else {
+		out[argmax] = total
+	}
+	snapSum(out, total, argmax)
+	return out
+}
+
+// snapSum nudges vals[adjust] until the left-to-right sum of vals equals
+// target bit-for-bit. The iterative correction converges in one or two
+// rounds in practice; if it fails (pathological cancellation) the fallback
+// zeroes every other entry and assigns target to vals[adjust], which sums
+// exactly because adding zeros preserves IEEE values. Non-finite targets
+// are left alone (nothing can sum to NaN reliably).
+func snapSum(vals []float64, target float64, adjust int) {
+	if len(vals) == 0 || adjust < 0 || adjust >= len(vals) ||
+		math.IsNaN(target) || math.IsInf(target, 0) {
+		return
+	}
+	for iter := 0; iter < 32; iter++ {
+		s := 0.0
+		for _, v := range vals {
+			s += v
+		}
+		if s == target {
+			return
+		}
+		next := vals[adjust] + (target - s)
+		if next == vals[adjust] {
+			// Too small to move by the difference: nudge one ULP toward
+			// the target.
+			if s < target {
+				next = math.Nextafter(vals[adjust], math.Inf(1))
+			} else {
+				next = math.Nextafter(vals[adjust], math.Inf(-1))
+			}
+		}
+		if math.IsNaN(next) || math.IsInf(next, 0) {
+			break
+		}
+		vals[adjust] = next
+	}
+	// Guaranteed fallback.
+	for i := range vals {
+		vals[i] = 0
+	}
+	vals[adjust] = target
+}

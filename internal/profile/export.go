@@ -1,0 +1,68 @@
+package profile
+
+import (
+	"fmt"
+
+	"bvap/internal/hwsim"
+	"bvap/internal/telemetry"
+)
+
+// Counter-track names emitted by ExportTrace.
+const (
+	TrackTileOccupancy = "tile_occupancy"
+	TrackStalls        = "stall_cycles"
+	TrackOccupancy     = "active_states"
+)
+
+// maxTraceTiles caps how many per-tile series ExportTrace emits; the
+// Chrome viewer becomes unreadable beyond a few dozen stacked series, and
+// hot placements concentrate on low tile indices.
+const maxTraceTiles = 32
+
+// ExportTrace converts the profiler's heatmaps into Chrome counter tracks
+// on the virtual (cycle-number) time axis: one multi-series track of
+// per-tile occupancy, one of stall cycles by cause, and one of aggregate
+// active states. Each bucket becomes one counter sample at the bucket's
+// start cycle, scaled to a per-cycle average so bucket-width doubling does
+// not change the track's magnitude. A nil tracer is a no-op.
+func (p *Profiler) ExportTrace(tr *telemetry.Tracer) {
+	if tr == nil || p == nil {
+		return
+	}
+	exportHeatmap(tr, TrackOccupancy, p.occupancy, func(int) string { return "states" })
+	if p.tileHeat != nil {
+		rows := p.tileHeat.Rows()
+		if rows > maxTraceTiles {
+			rows = maxTraceTiles
+		}
+		exportRows(tr, TrackTileOccupancy, p.tileHeat, rows, func(r int) string {
+			return fmt.Sprintf("tile%d", r)
+		})
+	}
+	exportHeatmap(tr, TrackStalls, p.stallHeat, func(r int) string {
+		return hwsim.StallCause(r).String()
+	})
+}
+
+func exportHeatmap(tr *telemetry.Tracer, name string, h *Heatmap, label func(int) string) {
+	exportRows(tr, name, h, h.Rows(), label)
+}
+
+func exportRows(tr *telemetry.Tracer, name string, h *Heatmap, rows int, label func(int) string) {
+	used := h.UsedCols()
+	if used == 0 || rows == 0 {
+		return
+	}
+	keys := make([]string, rows)
+	for r := 0; r < rows; r++ {
+		keys[r] = label(r)
+	}
+	perCycle := 1 / float64(h.BucketCycles())
+	values := make([]float64, rows)
+	for c := 0; c < used; c++ {
+		for r := 0; r < rows; r++ {
+			values[r] = h.Value(r, c) * perCycle
+		}
+		tr.CounterSeriesAt(float64(uint64(c)*h.BucketCycles()), name, keys, values)
+	}
+}

@@ -1,0 +1,95 @@
+package profile
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"bvap/internal/hwsim"
+	"bvap/internal/telemetry"
+)
+
+func TestExportTrace(t *testing.T) {
+	p := NewForPatterns([]string{"aa"}, Options{Buckets: 8})
+	// Three steps with known occupancy and one stall burst.
+	p.StepDone(1, 4, 0)
+	p.Stall(hwsim.StallBVM, 2)
+	p.StepDone(2, 6, 0) // spans cycles 1-2
+	p.StepDone(1, 1, 0)
+
+	var buf bytes.Buffer
+	tr := telemetry.NewTracer(&buf, telemetry.FormatJSONL)
+	p.ExportTrace(tr)
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var occ, stall []telemetry.Event
+	for _, line := range strings.Split(strings.TrimRight(buf.String(), "\n"), "\n") {
+		var ev telemetry.Event
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			t.Fatalf("line %q: %v", line, err)
+		}
+		if ev.Ph != "C" {
+			t.Fatalf("non-counter event %+v", ev)
+		}
+		switch ev.Name {
+		case TrackOccupancy:
+			occ = append(occ, ev)
+		case TrackStalls:
+			stall = append(stall, ev)
+		case TrackTileOccupancy:
+			t.Fatalf("pattern-only profiler emitted a tile track: %+v", ev)
+		default:
+			t.Fatalf("unknown track %q", ev.Name)
+		}
+	}
+	// Bucket width is 1 cycle: occupancy samples land at their exact
+	// cycles with per-cycle scaling = 1.
+	if len(occ) != 4 {
+		t.Fatalf("occupancy samples: %d, want 4", len(occ))
+	}
+	wantOcc := []float64{4, 6, 0, 1} // step 2 stamps at its pre-step clock
+	for i, ev := range occ {
+		if ev.Ts != float64(i) {
+			t.Fatalf("occ[%d] at ts %v", i, ev.Ts)
+		}
+		if got := ev.Args["states"]; got != wantOcc[i] {
+			t.Fatalf("occ[%d] = %v, want %v", i, got, wantOcc[i])
+		}
+	}
+	if len(stall) == 0 {
+		t.Fatal("no stall samples")
+	}
+	// The stall burst was stamped at cycle 1 with 2 cycles.
+	found := false
+	for _, ev := range stall {
+		if ev.Ts == 1 && ev.Args["bvm"] == 2.0 {
+			found = true
+		}
+		if _, ok := ev.Args["io_input"]; !ok {
+			t.Fatalf("stall sample lacks cause series: %v", ev.Args)
+		}
+	}
+	if !found {
+		t.Fatalf("stall burst not exported: %+v", stall)
+	}
+}
+
+func TestExportTraceNilSafe(t *testing.T) {
+	var p *Profiler
+	p.ExportTrace(nil) // nil profiler, nil tracer: no panic
+	q := NewForPatterns([]string{"a"}, Options{})
+	q.ExportTrace(nil) // nil tracer only
+
+	// An empty profiler exports nothing but stays valid.
+	var buf bytes.Buffer
+	tr := telemetry.NewTracer(&buf, telemetry.FormatJSONL)
+	q.ExportTrace(tr)
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if strings.TrimSpace(buf.String()) != "" {
+		t.Fatalf("empty profiler exported: %q", buf.String())
+	}
+}

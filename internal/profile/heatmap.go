@@ -1,0 +1,144 @@
+package profile
+
+// Heatmap is a fixed-width, cycle-bucketed activity matrix: rows are
+// spatial units (tiles, stall causes, or a single aggregate row) and
+// columns are consecutive windows of simulated cycles. The column count is
+// fixed at construction; when a run outgrows the covered range the bucket
+// width doubles and adjacent column pairs merge in place, so memory stays
+// O(rows × columns) regardless of run length and no sample is ever
+// dropped. Cell values are event sums (active-STE counts, stall cycles)
+// over the bucket's cycle window.
+type Heatmap struct {
+	rows, cols   int
+	bucketCycles uint64
+	maxCycle     uint64 // highest cycle stamped so far
+	stamped      bool
+	data         []float64 // rows × cols, row-major
+}
+
+// newHeatmap allocates a rows × cols heatmap with 1-cycle buckets. cols is
+// rounded up to an even number so pair-merging is exact.
+func newHeatmap(rows, cols int) *Heatmap {
+	if rows < 1 {
+		rows = 1
+	}
+	if cols < 2 {
+		cols = 2
+	}
+	if cols%2 == 1 {
+		cols++
+	}
+	return &Heatmap{rows: rows, cols: cols, bucketCycles: 1, data: make([]float64, rows*cols)}
+}
+
+// add accumulates v into the bucket covering cycle on the given row,
+// widening buckets as needed. Out-of-range rows are ignored (defensive:
+// a hostile sink driver must not panic the profiler).
+func (h *Heatmap) add(row int, cycle uint64, v float64) {
+	if h == nil || row < 0 || row >= h.rows {
+		return
+	}
+	for cycle/h.bucketCycles >= uint64(h.cols) {
+		h.rescale()
+	}
+	h.data[row*h.cols+int(cycle/h.bucketCycles)] += v
+	if !h.stamped || cycle > h.maxCycle {
+		h.maxCycle = cycle
+		h.stamped = true
+	}
+}
+
+// rescale doubles the bucket width, merging adjacent column pairs.
+func (h *Heatmap) rescale() {
+	half := h.cols / 2
+	for r := 0; r < h.rows; r++ {
+		base := r * h.cols
+		for c := 0; c < half; c++ {
+			h.data[base+c] = h.data[base+2*c] + h.data[base+2*c+1]
+		}
+		for c := half; c < h.cols; c++ {
+			h.data[base+c] = 0
+		}
+	}
+	h.bucketCycles *= 2
+}
+
+// Rows returns the row count.
+func (h *Heatmap) Rows() int {
+	if h == nil {
+		return 0
+	}
+	return h.rows
+}
+
+// Cols returns the fixed column (bucket) count.
+func (h *Heatmap) Cols() int {
+	if h == nil {
+		return 0
+	}
+	return h.cols
+}
+
+// BucketCycles returns the current width of one column in cycles.
+func (h *Heatmap) BucketCycles() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.bucketCycles
+}
+
+// UsedCols returns how many leading columns cover stamped cycles — the
+// range worth rendering. Zero for an empty heatmap.
+func (h *Heatmap) UsedCols() int {
+	if h == nil || !h.stamped {
+		return 0
+	}
+	return int(h.maxCycle/h.bucketCycles) + 1
+}
+
+// Value returns one cell; out-of-range indices read as 0.
+func (h *Heatmap) Value(row, col int) float64 {
+	if h == nil || row < 0 || row >= h.rows || col < 0 || col >= h.cols {
+		return 0
+	}
+	return h.data[row*h.cols+col]
+}
+
+// Row returns a copy of one row.
+func (h *Heatmap) Row(row int) []float64 {
+	if h == nil || row < 0 || row >= h.rows {
+		return nil
+	}
+	out := make([]float64, h.cols)
+	copy(out, h.data[row*h.cols:(row+1)*h.cols])
+	return out
+}
+
+// Matrix returns a copy of the full matrix, trimmed to UsedCols columns.
+// Rows are preserved even when empty, so row indices stay meaningful.
+func (h *Heatmap) Matrix() [][]float64 {
+	if h == nil {
+		return nil
+	}
+	used := h.UsedCols()
+	out := make([][]float64, h.rows)
+	for r := range out {
+		out[r] = make([]float64, used)
+		copy(out[r], h.data[r*h.cols:r*h.cols+used])
+	}
+	return out
+}
+
+// Max returns the largest cell value (0 for an empty map).
+func (h *Heatmap) Max() float64 {
+	if h == nil {
+		return 0
+	}
+	max := 0.0
+	for _, v := range h.data {
+		if v > max {
+			max = v
+		}
+	}
+	return max
+}

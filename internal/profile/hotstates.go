@@ -1,0 +1,55 @@
+package profile
+
+import "sort"
+
+// HotState is one entry of the most-active-STE ranking: STE q of machine
+// Machine (compiled from Pattern) was active after Activations steps, and —
+// when the image carries a provenance table — lives on tile Tile.
+type HotState struct {
+	Machine     int    `json:"machine"`
+	Pattern     string `json:"pattern"`
+	STE         int    `json:"ste"`
+	Tile        int    `json:"tile"` // -1 when no provenance covers the STE
+	Activations uint64 `json:"activations"`
+}
+
+// HotStates returns the k most-active STEs across all machines, most
+// active first; ties break deterministically by (machine, STE) ascending.
+// k ≤ 0 selects the profiler's default (Options.TopK). STEs that never
+// activated are omitted, so fewer than k entries may return.
+func (p *Profiler) HotStates(k int) []HotState {
+	if k <= 0 {
+		k = p.opt.TopK
+	}
+	var all []HotState
+	for m, counts := range p.steActivations {
+		pattern := ""
+		if m < len(p.patterns) {
+			pattern = p.patterns[m]
+		}
+		for q, n := range counts {
+			if n == 0 {
+				continue
+			}
+			tile := -1
+			if t, ok := p.prov.STETile(m, q); ok {
+				tile = t
+			}
+			all = append(all, HotState{Machine: m, Pattern: pattern, STE: q, Tile: tile, Activations: n})
+		}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		a, b := all[i], all[j]
+		if a.Activations != b.Activations {
+			return a.Activations > b.Activations
+		}
+		if a.Machine != b.Machine {
+			return a.Machine < b.Machine
+		}
+		return a.STE < b.STE
+	})
+	if len(all) > k {
+		all = all[:k]
+	}
+	return all
+}

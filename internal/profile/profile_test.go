@@ -1,0 +1,247 @@
+package profile
+
+import (
+	"math"
+	"testing"
+
+	"bvap/internal/hwsim"
+)
+
+func TestHeatmapRescale(t *testing.T) {
+	h := newHeatmap(2, 4)
+	if h.Cols() != 4 || h.BucketCycles() != 1 {
+		t.Fatalf("fresh heatmap: cols=%d bucket=%d", h.Cols(), h.BucketCycles())
+	}
+	h.add(0, 0, 1)
+	h.add(0, 1, 2)
+	h.add(0, 2, 3)
+	h.add(0, 3, 4)
+	h.add(1, 3, 10)
+	// Cycle 4 is out of range: buckets double to 2 cycles each.
+	h.add(0, 4, 5)
+	if h.BucketCycles() != 2 {
+		t.Fatalf("bucket width %d after one rescale, want 2", h.BucketCycles())
+	}
+	want0 := []float64{3, 7, 5, 0} // (1+2), (3+4), 5, 0
+	for c, w := range want0 {
+		if got := h.Value(0, c); got != w {
+			t.Errorf("row 0 col %d = %v, want %v", c, got, w)
+		}
+	}
+	if got := h.Value(1, 1); got != 10 {
+		t.Errorf("row 1 col 1 = %v, want 10", got)
+	}
+	// A huge jump forces several doublings at once without losing mass.
+	h.add(0, 63, 100)
+	sum := 0.0
+	for c := 0; c < h.Cols(); c++ {
+		sum += h.Value(0, c)
+	}
+	if sum != 1+2+3+4+5+100 {
+		t.Fatalf("row 0 mass %v after rescales, want %v", sum, 1+2+3+4+5+100)
+	}
+	if used := h.UsedCols(); used < 1 || used > h.Cols() {
+		t.Fatalf("UsedCols = %d out of range", used)
+	}
+}
+
+func TestHeatmapEmptyAndOutOfRange(t *testing.T) {
+	h := newHeatmap(1, 4)
+	if h.UsedCols() != 0 {
+		t.Fatalf("empty heatmap UsedCols = %d", h.UsedCols())
+	}
+	h.add(-1, 0, 1) // ignored
+	h.add(5, 0, 1)  // ignored
+	if h.Max() != 0 {
+		t.Fatalf("out-of-range adds leaked: max %v", h.Max())
+	}
+	var nilMap *Heatmap
+	nilMap.add(0, 0, 1)
+	if nilMap.Rows() != 0 || nilMap.UsedCols() != 0 || nilMap.Matrix() != nil {
+		t.Fatal("nil heatmap accessors must be zero-valued")
+	}
+}
+
+func TestSnapSum(t *testing.T) {
+	cases := []struct {
+		vals   []float64
+		target float64
+	}{
+		{[]float64{0.1, 0.2, 0.3}, 0.7},
+		{[]float64{1e-300, 1e300, 1e-300}, 1e300},
+		{[]float64{3.3333, 3.3333, 3.3334}, 10},
+		{[]float64{0, 0, 0}, 42.5},
+	}
+	for _, c := range cases {
+		vals := append([]float64(nil), c.vals...)
+		argmax := 0
+		for i, v := range vals {
+			if v > vals[argmax] {
+				argmax = i
+			}
+		}
+		snapSum(vals, c.target, argmax)
+		s := 0.0
+		for _, v := range vals {
+			s += v
+		}
+		if s != c.target {
+			t.Errorf("snapSum(%v, %v): sum %v (diff %g)", c.vals, c.target, s, s-c.target)
+		}
+	}
+	// Non-finite targets are left alone rather than poisoning the values.
+	vals := []float64{1, 2}
+	snapSum(vals, math.NaN(), 0)
+	if vals[0] != 1 || vals[1] != 2 {
+		t.Fatalf("NaN target mutated vals: %v", vals)
+	}
+}
+
+func TestSplitExact(t *testing.T) {
+	weights := []float64{1, 2, 3, 0}
+	parts := splitExact(10, weights)
+	s := 0.0
+	for _, v := range parts {
+		s += v
+	}
+	if s != 10 {
+		t.Fatalf("splitExact sum %v, want exactly 10", s)
+	}
+	if parts[3] != 0 {
+		t.Errorf("zero-weight pattern received %v", parts[3])
+	}
+	if !(parts[2] > parts[1] && parts[1] > parts[0]) {
+		t.Errorf("shares not monotone in weights: %v", parts)
+	}
+	// Zero total and empty inputs.
+	for _, v := range splitExact(0, weights) {
+		if v != 0 {
+			t.Fatalf("zero total produced %v", v)
+		}
+	}
+	if got := splitExact(5, nil); len(got) != 0 {
+		t.Fatalf("empty weights produced %v", got)
+	}
+	// All-zero weights still partition exactly.
+	parts = splitExact(7.25, []float64{0, 0})
+	if parts[0]+parts[1] != 7.25 {
+		t.Fatalf("all-zero weights: %v", parts)
+	}
+}
+
+// drive feeds the profiler a deterministic synthetic event stream.
+func drive(p *Profiler) {
+	for step := 0; step < 10; step++ {
+		p.MachineStageEnergy(0, hwsim.StageBVMRead, 1.0)
+		p.MachineActivity(0, 2, []int{0, 3})
+		p.MachineActivity(1, 1, []int{1})
+		p.TileActivity(0, 2)
+		p.TileActivity(1, 1)
+		p.StageEnergy(hwsim.StageMatch, 2.0)
+		p.Stall(hwsim.StallBVM, step%2)
+		p.Stall(hwsim.StallIOInput, 0)
+		p.Stall(hwsim.StallIOOutput, 0)
+		p.StepDone(1+step%2, 3, 0)
+	}
+}
+
+func TestProfilerAccumulation(t *testing.T) {
+	p := NewForPatterns([]string{"aaa", "bb"}, Options{Buckets: 8, TopK: 3})
+	drive(p)
+	if p.Symbols() != 10 {
+		t.Fatalf("symbols %d", p.Symbols())
+	}
+	if p.Cycles() != 15 {
+		t.Fatalf("cycles %d, want 15", p.Cycles())
+	}
+	if got := p.StageEnergyPJ(hwsim.StageMatch); got != 20 {
+		t.Fatalf("match stage %v", got)
+	}
+	if got := p.StallTotal(hwsim.StallBVM); got != 5 {
+		t.Fatalf("bvm stalls %d", got)
+	}
+	if got := p.MachineActivitySteps(0); got != 20 {
+		t.Fatalf("machine 0 activity %d", got)
+	}
+	if p.TileHeatmap() != nil {
+		t.Fatal("pattern-only profiler should have no tile heatmap")
+	}
+	hot := p.HotStates(0) // default TopK = 3
+	if len(hot) != 3 {
+		t.Fatalf("hot states: %d entries, want 3", len(hot))
+	}
+	// STEs 0 and 3 of machine 0 and STE 1 of machine 1 all activated 10
+	// times; ties break by (machine, ste).
+	if hot[0].Machine != 0 || hot[0].STE != 0 || hot[0].Activations != 10 || hot[0].Tile != -1 {
+		t.Fatalf("hot[0] = %+v", hot[0])
+	}
+	if hot[1].STE != 3 || hot[2].Machine != 1 {
+		t.Fatalf("tie order: %+v", hot)
+	}
+}
+
+func TestAttributeZeroPatterns(t *testing.T) {
+	p := NewForPatterns(nil, Options{})
+	st := &hwsim.Stats{MatchEnergyPJ: 5}
+	a := p.Attribute(st)
+	if a.TotalPJ != 5 || a.UnattributedPJ != 5 || len(a.Patterns) != 0 {
+		t.Fatalf("zero-pattern attribution: %+v", a)
+	}
+}
+
+func TestAttributeConservesSynthetic(t *testing.T) {
+	p := NewForPatterns([]string{"aaa", "bb", "c"}, Options{})
+	drive(p)
+	st := &hwsim.Stats{
+		MatchEnergyPJ:      1.1,
+		TransitionEnergyPJ: 2.2,
+		BVMEnergyPJ:        3.3,
+		CounterEnergyPJ:    0.0,
+		WireEnergyPJ:       4.4,
+		IOEnergyPJ:         5.5,
+		LeakageEnergyPJ:    6.6,
+		ParityEnergyPJ:     0.7,
+	}
+	a := p.Attribute(st)
+	if a.TotalPJ != st.TotalEnergyPJ() {
+		t.Fatalf("TotalPJ %v != %v", a.TotalPJ, st.TotalEnergyPJ())
+	}
+	if a.UnattributedPJ != 0 {
+		t.Fatalf("unattributed residual %g", a.UnattributedPJ)
+	}
+	sum := 0.0
+	for _, row := range a.Patterns {
+		sum += row.EnergyPJ
+	}
+	if sum != st.TotalEnergyPJ() {
+		t.Fatalf("pattern totals sum %v != %v (diff %g)", sum, st.TotalEnergyPJ(), sum-st.TotalEnergyPJ())
+	}
+	// Component columns are exact too.
+	totals := componentTotals(st)
+	for c := Component(0); c < NumComponents; c++ {
+		colSum := 0.0
+		for _, row := range a.Patterns {
+			colSum += row.Components[c]
+		}
+		if colSum != totals[c] {
+			t.Errorf("component %v column sum %v != %v", c, colSum, totals[c])
+		}
+	}
+	// Pattern "c" never activated: activity-weighted components must be 0.
+	if a.Patterns[2].Components[CompMatch] != 0 {
+		t.Errorf("idle pattern received match energy %v", a.Patterns[2].Components[CompMatch])
+	}
+}
+
+func TestComponentNames(t *testing.T) {
+	names := ComponentNames()
+	if len(names) != int(NumComponents) {
+		t.Fatalf("%d names", len(names))
+	}
+	want := []string{"match", "transition", "bvm", "counter", "wire", "io", "leakage", "parity"}
+	for i, w := range want {
+		if names[i] != w {
+			t.Errorf("component %d = %q, want %q", i, names[i], w)
+		}
+	}
+}

@@ -192,6 +192,27 @@ func (t *Tracer) CounterAt(ts float64, name string, values map[string]float64) {
 	t.Emit(Event{Name: name, Ph: "C", Ts: ts, Args: args})
 }
 
+// CounterSeriesAt emits a "C" counter event from parallel key/value
+// slices, pairing keys[i] with values[i]. It exists for bulk exporters
+// (heatmap → counter-track conversion) that hold series as slices; extra
+// keys or values beyond the shorter slice are ignored. Emission order in
+// the serialized event is key-sorted (encoding/json), so output is
+// deterministic regardless of slice order.
+func (t *Tracer) CounterSeriesAt(ts float64, name string, keys []string, values []float64) {
+	if t == nil {
+		return
+	}
+	n := len(keys)
+	if len(values) < n {
+		n = len(values)
+	}
+	args := make(map[string]any, n)
+	for i := 0; i < n; i++ {
+		args[keys[i]] = values[i]
+	}
+	t.Emit(Event{Name: name, Ph: "C", Ts: ts, Args: args})
+}
+
 // Events returns how many events have been emitted.
 func (t *Tracer) Events() int {
 	if t == nil {

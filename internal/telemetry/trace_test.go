@@ -73,10 +73,50 @@ func TestJSONLTrace(t *testing.T) {
 	}
 }
 
+// TestCounterSeriesAt covers the bulk slice-based counter emission the
+// heatmap exporter uses: parallel keys/values pair up, extra entries beyond
+// the shorter slice are dropped, and the serialized args are key-sorted.
+func TestCounterSeriesAt(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracer(&buf, FormatJSONL)
+	tr.CounterSeriesAt(128, "tile_occupancy", []string{"tile1", "tile0"}, []float64{2.5, 7})
+	// Length mismatch: only the first value pairs.
+	tr.CounterSeriesAt(256, "stall_cycles", []string{"bvm", "io_input"}, []float64{3})
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	var ev Event
+	if err := json.Unmarshal([]byte(lines[0]), &ev); err != nil {
+		t.Fatal(err)
+	}
+	if ev.Ph != "C" || ev.Ts != 128 || ev.Name != "tile_occupancy" {
+		t.Fatalf("event header: %+v", ev)
+	}
+	if ev.Args["tile0"] != 7.0 || ev.Args["tile1"] != 2.5 {
+		t.Fatalf("args: %v", ev.Args)
+	}
+	// Serialized args are key-sorted regardless of slice order.
+	if i0, i1 := strings.Index(lines[0], "tile0"), strings.Index(lines[0], "tile1"); i0 < 0 || i1 < 0 || i0 > i1 {
+		t.Fatalf("args not key-sorted: %s", lines[0])
+	}
+	var ev2 Event
+	if err := json.Unmarshal([]byte(lines[1]), &ev2); err != nil {
+		t.Fatal(err)
+	}
+	if len(ev2.Args) != 1 || ev2.Args["bvm"] != 3.0 {
+		t.Fatalf("mismatched slices: %v", ev2.Args)
+	}
+}
+
 func TestNilTracerIsNoOp(t *testing.T) {
 	var tr *Tracer
 	tr.Instant("x", "", nil)
 	tr.CounterAt(0, "x", nil)
+	tr.CounterSeriesAt(0, "x", []string{"k"}, []float64{1})
 	tr.Span("x", "").SetArg("k", 1).End()
 	if err := tr.Close(); err != nil {
 		t.Fatal(err)

@@ -9,6 +9,7 @@ import (
 	"bvap/internal/faults"
 	"bvap/internal/hwsim"
 	"bvap/internal/metrics"
+	"bvap/internal/profile"
 	"bvap/internal/telemetry"
 )
 
@@ -157,6 +158,10 @@ type Simulator struct {
 
 	// inj is the attached fault injector (see faults.go).
 	inj *faults.Injector
+
+	// patterns backs Profile() for baseline simulators (engines carry
+	// their configuration instead).
+	patterns []string
 }
 
 // NewSimulator builds a cycle-accurate simulator for this engine's compiled
@@ -192,7 +197,7 @@ func NewBaselineSimulator(arch Architecture, patterns []string) (*Simulator, err
 	if err != nil {
 		return nil, err
 	}
-	return &Simulator{arch: arch, baseSys: sys}, nil
+	return &Simulator{arch: arch, baseSys: sys, patterns: append([]string(nil), patterns...)}, nil
 }
 
 // SetSink attaches a raw per-stage instrumentation sink to the underlying
@@ -204,6 +209,34 @@ func (s *Simulator) SetSink(k hwsim.Sink) {
 	} else {
 		s.baseSys.SetSink(k)
 	}
+}
+
+// Profile builds an activity profiler for this simulator's compiled
+// machines, attaches it as the sink, and returns it: per-tile occupancy
+// and stall-cause heatmaps, hot-state ranking and per-pattern energy
+// attribution accrue while the simulation runs. Profile replaces any
+// previously attached sink; to combine a profiler with other sinks, build
+// one with the profile package directly and attach hwsim.FanOut(...).
+func (s *Simulator) Profile(opt profile.Options) *profile.Profiler {
+	var p *profile.Profiler
+	if s.bvapSys != nil {
+		p = profile.New(s.eng.res.Config, opt)
+	} else {
+		p = profile.NewForPatterns(s.patterns, opt)
+	}
+	s.SetSink(p)
+	return p
+}
+
+// Stats exposes the underlying hardware-model statistics (the attribution
+// ground truth profile.Profiler.Attribute partitions). The returned Stats
+// continue to accumulate if Run is called again; call Result first to fold
+// in the terminal leakage and I/O charges.
+func (s *Simulator) Stats() *hwsim.Stats {
+	if s.bvapSys != nil {
+		return s.bvapSys.Stats()
+	}
+	return s.baseSys.Stats()
 }
 
 // Instrument builds a TelemetrySink over reg, attaches it, and returns it:
