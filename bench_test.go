@@ -1,4 +1,4 @@
-package bvap
+package bvap_test
 
 // This file holds the benchmark harness for the paper's evaluation: one
 // benchmark per table/figure of §8 (the corresponding exact-trace tables of
@@ -12,6 +12,7 @@ import (
 	"strings"
 	"testing"
 
+	"bvap"
 	"bvap/internal/experiments"
 )
 
@@ -163,7 +164,7 @@ func BenchmarkCompile(b *testing.B) {
 	patterns := benchPatterns()
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		if _, err := Compile(patterns); err != nil {
+		if _, err := bvap.Compile(patterns); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -171,7 +172,7 @@ func BenchmarkCompile(b *testing.B) {
 
 // BenchmarkMatchThroughput measures functional AH-NBVA matching speed.
 func BenchmarkMatchThroughput(b *testing.B) {
-	engine := MustCompile(benchPatterns())
+	engine := bvap.MustCompile(benchPatterns())
 	input := []byte(strings.Repeat("attack0123456789abcdef x end ", 1000))
 	b.SetBytes(int64(len(input)))
 	b.ReportAllocs()
@@ -184,12 +185,12 @@ func BenchmarkMatchThroughput(b *testing.B) {
 // BenchmarkBVAPCycleSim measures the cycle-accurate simulator's own speed
 // (simulated symbols per second).
 func BenchmarkBVAPCycleSim(b *testing.B) {
-	engine := MustCompile(benchPatterns())
+	engine := bvap.MustCompile(benchPatterns())
 	input := []byte(strings.Repeat("background traffic with attack bits ", 500))
 	b.SetBytes(int64(len(input)))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		sim, err := engine.NewSimulator(ArchBVAP)
+		sim, err := engine.NewSimulator(bvap.ArchBVAP)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -205,7 +206,7 @@ func BenchmarkBaselineCycleSim(b *testing.B) {
 	b.SetBytes(int64(len(input)))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		sim, err := NewBaselineSimulator(ArchCAMA, patterns)
+		sim, err := bvap.NewBaselineSimulator(bvap.ArchCAMA, patterns)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -216,7 +217,7 @@ func BenchmarkBaselineCycleSim(b *testing.B) {
 
 // BenchmarkStreamStep measures the per-byte streaming cost.
 func BenchmarkStreamStep(b *testing.B) {
-	engine := MustCompile(benchPatterns())
+	engine := bvap.MustCompile(benchPatterns())
 	s := engine.NewStream()
 	b.ReportAllocs()
 	b.ResetTimer()

@@ -21,10 +21,13 @@ package bvap
 
 import (
 	"io"
+	"sync"
 
 	"bvap/internal/compiler"
 	"bvap/internal/nbva"
+	"bvap/internal/parascan"
 	"bvap/internal/regex"
+	"bvap/internal/swmatch"
 	"bvap/internal/telemetry"
 )
 
@@ -94,12 +97,40 @@ type Report struct {
 	Unsupported int
 }
 
-// Engine is a compiled set of patterns. It is safe for concurrent use once
-// built, except for streams created from it, which are independently
-// stateful.
+// Engine is a compiled set of patterns.
+//
+// Concurrency contract: an Engine is immutable after Compile returns and is
+// safe for unrestricted concurrent use — any number of goroutines may call
+// FindAll, Count, ScanBatch, FindAllParallel, NewStream, Report and the
+// simulator constructors on one shared Engine (the race/stress tests in
+// parallel_test.go hammer exactly this). The only mutable objects are the
+// values an Engine hands out: a Stream (and a Simulator) is owned by one
+// goroutine at a time and is not safe for concurrent use.
 type Engine struct {
 	res      *compiler.Result
 	patterns []string
+
+	// spool pools Streams for the batch and chunk scanners so steady-state
+	// scanning allocates nothing per input; refPool pools independent
+	// reference-matcher sets for the shard cross-check ladder (swmatch
+	// matchers are stateful, so each concurrent verification owns a set).
+	spool   *parascan.Pool[*Stream]
+	refPool *parascan.Pool[[]*swmatch.Matcher]
+
+	// seamOnce caches the SeamWindow reach analysis (safe under the
+	// immutability contract: sync.Once is the one blessed lazy field).
+	seamOnce    sync.Once
+	seamBytes   int
+	seamBounded bool
+}
+
+// newEngine wraps a compilation result with the engine's concurrency
+// plumbing. Pool constructors run lazily, on first use.
+func newEngine(res *compiler.Result, patterns []string) *Engine {
+	e := &Engine{res: res, patterns: append([]string(nil), patterns...)}
+	e.spool = parascan.NewPool(e.NewStream)
+	e.refPool = parascan.NewPool(e.crossCheckRefs)
+	return e
 }
 
 // Compile compiles patterns into an Engine using the §7 pipeline. Patterns
@@ -118,7 +149,7 @@ func Compile(patterns []string, opts ...Option) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Engine{res: res, patterns: append([]string(nil), patterns...)}, nil
+	return newEngine(res, patterns), nil
 }
 
 // MustCompile is Compile for known-good inputs; it panics on error.
@@ -265,13 +296,19 @@ func (s *Stream) Step(b byte) []int {
 	return s.hits
 }
 
-// Reset returns the stream to its start-of-input state.
+// Reset returns the stream to its start-of-input state: runner
+// configurations return to start-of-stream AND the ScanContext symbol
+// consumption is cleared, so a reused (pooled) stream begins every input
+// with its full budget. The budget limit itself is configuration, not
+// state, and survives Reset; between ScanContext calls without a Reset,
+// consumption stays cumulative (see SetBudget).
 func (s *Stream) Reset() {
 	for _, r := range s.runners {
 		if r != nil {
 			r.Reset()
 		}
 	}
+	s.symbolsRun = 0
 }
 
 // ParsePattern validates a single pattern, returning a descriptive error

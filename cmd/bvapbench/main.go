@@ -76,6 +76,7 @@ func registry() []experiment {
 		{"faults", "fault-injection resilience sweep", true, (*app).runFaults},
 		{"breakdown", "per-stage energy attribution on one dataset", true, (*app).runBreakdown},
 		{"perf", "canonical perf harness → BENCH_<n>.json (+ -baseline compare)", false, (*app).runPerf},
+		{"throughput", "parallel-vs-sequential scan throughput sweep → BENCH_<n>.json (+ -baseline compare)", false, (*app).runThroughput},
 	}
 }
 
@@ -103,6 +104,10 @@ type app struct {
 	faultNoParity    bool
 	sample           int
 	inputLen         int
+	tpDataset        string
+	tpInputs         int
+	tpWorkers        string
+	tpChunks         string
 	datasets         []string
 	archs            []string
 	baselinePath     string
@@ -132,6 +137,10 @@ func main() {
 	flag.BoolVar(&a.faultNoParity, "fault-noparity", false, "disable the per-BV parity detection circuit in -exp faults")
 	flag.IntVar(&a.sample, "sample", 80, "regexes sampled per dataset")
 	flag.IntVar(&a.inputLen, "inputlen", 4096, "input corpus length")
+	flag.StringVar(&a.tpDataset, "tp-dataset", "Snort", "dataset for the -exp throughput sweep")
+	flag.IntVar(&a.tpInputs, "tp-inputs", 32, "batch pieces the -exp throughput corpus is split into")
+	flag.StringVar(&a.tpWorkers, "tp-workers", "", "comma-separated worker counts for -exp throughput (default 1,2,4[,NumCPU])")
+	flag.StringVar(&a.tpChunks, "tp-chunks", "", "comma-separated chunk sizes for -exp throughput (default 4096,16384)")
 	datasetList := flag.String("datasets", "", "comma-separated dataset subset")
 	archList := flag.String("archs", "", "comma-separated architecture subset for -exp perf (BVAP, BVAP-S, CAMA, CA, eAP, CNT)")
 	jsonPath := flag.String("json", "", "also write the structured results as JSON to this file")
@@ -442,19 +451,91 @@ func (a *app) runPerf() error {
 	return nil
 }
 
+// runThroughput runs the parallel-scan throughput sweep, writes its
+// BENCH-schema report, and — when -baseline names a previous throughput
+// report — compares the counted metrics (symbols and matches exactly,
+// allocations within the bounded threshold) against it.
+func (a *app) runThroughput() error {
+	workers, err := parseIntList(a.tpWorkers)
+	if err != nil {
+		return fmt.Errorf("-tp-workers: %v", err)
+	}
+	chunks, err := parseIntList(a.tpChunks)
+	if err != nil {
+		return fmt.Errorf("-tp-chunks: %v", err)
+	}
+	opt := experiments.ThroughputOptions{
+		Dataset:  a.tpDataset,
+		Sample:   a.sample,
+		InputLen: a.inputLen,
+		Inputs:   a.tpInputs,
+		Workers:  workers,
+		Chunks:   chunks,
+	}
+	res, rep, err := experiments.Throughput(opt)
+	if err != nil {
+		return err
+	}
+	a.dump.Throughput = res
+	experiments.RenderThroughput(os.Stdout, res)
+
+	out := a.benchOut
+	if out == "" {
+		out, err = experiments.NextBenchPath(".")
+		if err != nil {
+			return err
+		}
+	}
+	if err := experiments.WriteBenchReport(out, rep); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", out)
+
+	if a.baselinePath != "" {
+		base, err := experiments.ReadBenchReport(a.baselinePath)
+		if err != nil {
+			return err
+		}
+		regs := experiments.CompareBench(rep, base, experiments.Thresholds{})
+		experiments.RenderRegressions(os.Stdout, regs)
+		if len(regs) > 0 {
+			return fmt.Errorf("%d counted metric(s) regressed vs %s", len(regs), a.baselinePath)
+		}
+	}
+	return nil
+}
+
+// parseIntList parses a comma-separated list of positive ints; an empty
+// string selects the experiment's defaults (nil).
+func parseIntList(s string) ([]int, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad entry %q (want positive integers)", f)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
 // jsonResults is the machine-readable form of a bvapbench run, for plotting
 // the figures outside this repository.
 type jsonResults struct {
-	Fig11    []experiments.Fig11Point  `json:"fig11,omitempty"`
-	Fig12    []experiments.Fig12Point  `json:"fig12,omitempty"`
-	Fig13    []experiments.DSEPoint    `json:"fig13,omitempty"`
-	Table5   []experiments.BestParams  `json:"table5,omitempty"`
-	Fig14    []experiments.Fig14Row    `json:"fig14,omitempty"`
-	Summary  *experiments.Summary      `json:"summary,omitempty"`
-	Ablation []experiments.AblationRow `json:"ablation,omitempty"`
-	Stride2  []experiments.Stride2Row  `json:"stride2,omitempty"`
-	Faults   []experiments.FaultsRow   `json:"faults,omitempty"`
-	Perf     *experiments.BenchReport  `json:"perf,omitempty"`
+	Fig11      []experiments.Fig11Point      `json:"fig11,omitempty"`
+	Fig12      []experiments.Fig12Point      `json:"fig12,omitempty"`
+	Fig13      []experiments.DSEPoint        `json:"fig13,omitempty"`
+	Table5     []experiments.BestParams      `json:"table5,omitempty"`
+	Fig14      []experiments.Fig14Row        `json:"fig14,omitempty"`
+	Summary    *experiments.Summary          `json:"summary,omitempty"`
+	Ablation   []experiments.AblationRow     `json:"ablation,omitempty"`
+	Stride2    []experiments.Stride2Row      `json:"stride2,omitempty"`
+	Faults     []experiments.FaultsRow       `json:"faults,omitempty"`
+	Perf       *experiments.BenchReport      `json:"perf,omitempty"`
+	Throughput *experiments.ThroughputResult `json:"throughput,omitempty"`
 }
 
 // parseRates parses the -fault-rates list; an empty string selects the

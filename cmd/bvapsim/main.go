@@ -29,6 +29,13 @@
 // -fault-retries tune the checkpoint interval and the retry budget, and
 // -fault-crosscheck verifies committed windows against an independent
 // software matcher.
+//
+// Parallel scanning: -parallel scans the input with the sharded parallel
+// engine (FindAllParallel) — chunked when the pattern set's reach is
+// bounded, sequential fallback otherwise — verifies the result against the
+// sequential scan, and prints both paths' throughput; -workers and -chunk
+// tune the worker pool and chunk size, and -matches prints the verified
+// parallel matches.
 package main
 
 import (
@@ -39,6 +46,7 @@ import (
 	"io"
 	"os"
 	"strings"
+	"time"
 
 	"bvap"
 	"bvap/internal/experiments"
@@ -72,6 +80,9 @@ func main() {
 	faultWindow := flag.Int("fault-window", 256, "with -faults: checkpoint window in symbols")
 	faultRetries := flag.Int("fault-retries", 2, "with -faults: window re-executions before degrading to software")
 	faultCrossCheck := flag.Bool("fault-crosscheck", false, "with -faults: cross-check committed windows against a software reference matcher")
+	parallel := flag.Bool("parallel", false, "scan with the sharded parallel engine (needs -patterns): chunked FindAllParallel verified against the sequential scan")
+	workers := flag.Int("workers", 0, "with -parallel: worker goroutines (0 = GOMAXPROCS)")
+	chunkSize := flag.Int("chunk", 0, "with -parallel: live bytes per chunk (0 = default 64 KiB)")
 	flag.Parse()
 
 	arch, err := bvap.ParseArchitecture(*archName)
@@ -114,6 +125,16 @@ func main() {
 			fatal(fmt.Errorf("-compare needs -patterns"))
 		}
 		if err := runComparison(patterns, input); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	if *parallel {
+		if len(patterns) == 0 {
+			fatal(fmt.Errorf("-parallel needs -patterns"))
+		}
+		if err := runParallel(patterns, input, *workers, *chunkSize, *showMatches, sess); err != nil {
 			fatal(err)
 		}
 		return
@@ -340,6 +361,71 @@ func runComparison(patterns []string, input []byte) error {
 		}
 		sim.Run(input)
 		row(sim.Result())
+	}
+	return nil
+}
+
+// runParallel compiles patterns with the session's observability attached
+// and scans input with the sharded parallel engine, verifying the result
+// against the sequential oracle and printing the seam-window decision and
+// the throughput of both paths. The parascan telemetry (chunks, seam
+// replays, fallbacks) accrues on the session registry for -metrics.
+func runParallel(patterns []string, input []byte, workers, chunkSize int, showMatches bool, sess *obs.Session) error {
+	engine, err := bvap.Compile(patterns,
+		bvap.WithMetrics(sess.Registry), bvap.WithTracer(sess.Tracer))
+	if err != nil {
+		return err
+	}
+	rep := engine.Report()
+	if rep.Unsupported > 0 {
+		fmt.Printf("note: %d of %d patterns unsupported (they never match)\n",
+			rep.Unsupported, len(rep.Patterns))
+	}
+	if w, ok := engine.SeamWindow(); ok {
+		fmt.Printf("seam window: %d bytes (bounded reach; chunked scan eligible)\n", w)
+	} else {
+		fmt.Println("seam window: unbounded reach — FindAllParallel falls back to the sequential scan")
+	}
+
+	t0 := time.Now()
+	want := engine.FindAll(input)
+	seqDur := time.Since(t0)
+
+	reg := sess.Registry
+	if reg == nil {
+		reg = telemetryScratch()
+	}
+	opts := &bvap.ParallelOptions{Workers: workers, ChunkSize: chunkSize, Metrics: reg}
+	t1 := time.Now()
+	got, err := engine.FindAllParallel(context.Background(), input, opts)
+	parDur := time.Since(t1)
+	if err != nil {
+		return err
+	}
+	if len(got) != len(want) {
+		return fmt.Errorf("parallel scan diverged from sequential: %d vs %d matches", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			return fmt.Errorf("parallel scan diverged from sequential at match %d: %+v vs %+v", i, got[i], want[i])
+		}
+	}
+
+	mbps := func(d time.Duration) float64 {
+		if s := d.Seconds(); s > 0 {
+			return float64(len(input)) / s / 1e6
+		}
+		return 0
+	}
+	fmt.Printf("sequential: %d matches in %v (%.1f MB/s)\n", len(want), seqDur.Round(time.Microsecond), mbps(seqDur))
+	fmt.Printf("parallel:   %d matches in %v (%.1f MB/s), verified identical\n", len(got), parDur.Round(time.Microsecond), mbps(parDur))
+	if parDur > 0 {
+		fmt.Printf("speedup: %.2fx (workers=%d chunk=%d)\n", seqDur.Seconds()/parDur.Seconds(), workers, chunkSize)
+	}
+	if showMatches {
+		for _, m := range got {
+			fmt.Printf("match pattern=%d end=%d\n", m.Pattern, m.End)
+		}
 	}
 	return nil
 }

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"bvap"
+	"bvap/internal/obs"
 )
 
 func TestParseArch(t *testing.T) {
@@ -71,5 +72,25 @@ func TestLoadInputFile(t *testing.T) {
 	in, err := loadInput(path, "", 0, nil)
 	if err != nil || string(in) != "hello" {
 		t.Fatalf("loadInput file = %q, %v", in, err)
+	}
+}
+
+func TestRunParallel(t *testing.T) {
+	sess, err := obs.Setup("", "", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	input, err := loadInput("", "Snort", 4096, []string{"ab{2,8}c"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Bounded-reach pattern: chunked path, verified against sequential.
+	if err := runParallel([]string{"ab{2,8}c"}, input, 2, 512, false, sess); err != nil {
+		t.Fatal(err)
+	}
+	// Unbounded-reach pattern: sequential fallback, still verified.
+	if err := runParallel([]string{"ab+c"}, input, 2, 512, false, sess); err != nil {
+		t.Fatal(err)
 	}
 }

@@ -33,7 +33,7 @@ func CompileContext(ctx context.Context, patterns []string, opts ...Option) (*En
 	if err != nil {
 		return nil, err
 	}
-	return &Engine{res: res, patterns: append([]string(nil), patterns...)}, nil
+	return newEngine(res, patterns), nil
 }
 
 // PatternErrors returns one typed *PatternError per pattern that failed to
@@ -68,8 +68,11 @@ func (e *Engine) FindAllContext(ctx context.Context, input []byte) ([]Match, err
 }
 
 // SetBudget applies a run-time resource budget to this stream: ScanContext
-// stops with a *BudgetError once MaxSymbols input bytes have been consumed
-// (cumulative across calls).
+// stops with a *BudgetError once MaxSymbols input bytes have been consumed.
+// Consumption is cumulative across ScanContext calls until Reset, which
+// restores the full allowance (the limit itself survives Reset) — so a
+// pooled stream gives every input a fresh budget while a long-lived stream
+// can still meter one logical input across several calls.
 func (s *Stream) SetBudget(b Budget) { s.budget = b }
 
 // ScanContext consumes input incrementally, returning every match (offsets

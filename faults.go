@@ -21,7 +21,6 @@ import (
 	"fmt"
 
 	"bvap/internal/faults"
-	"bvap/internal/swmatch"
 	"bvap/internal/telemetry"
 )
 
@@ -158,11 +157,7 @@ func (s *Simulator) RunResilient(ctx context.Context, input []byte, cfg Resilien
 			return ResilienceReport{}, fmt.Errorf("bvap: cross-check needs an engine-built simulator")
 		}
 		s.bvapSys.RecordMatchEnds(true)
-		refs, err := s.crossCheckRefs()
-		if err != nil {
-			return ResilienceReport{}, err
-		}
-		hcfg.Reference = refs
+		hcfg.Reference = s.eng.crossCheckRefs()
 	}
 	h, err := faults.NewHarness(s.bvapSys, s.inj, hcfg)
 	if err != nil {
@@ -183,26 +178,4 @@ func (s *Simulator) RunResilient(ctx context.Context, input []byte, cfg Resilien
 		return out, fmt.Errorf("bvap: resilient run: %w", err)
 	}
 	return out, nil
-}
-
-// crossCheckRefs builds one independent software matcher per compiled
-// machine (nil for unsupported patterns and for patterns whose unfolded
-// form exceeds the reference-size cap).
-func (s *Simulator) crossCheckRefs() ([]*swmatch.Matcher, error) {
-	per := s.eng.res.Report.PerRegex
-	refs := make([]*swmatch.Matcher, len(per))
-	for i, pr := range per {
-		if !pr.Supported || pr.UnfoldedSTEs > crossCheckMaxUnfolded {
-			continue
-		}
-		m, err := swmatch.New(pr.Pattern)
-		if err != nil {
-			// The hardware compiler accepted the pattern; a reference
-			// build failure means the reference doesn't cover this
-			// syntax — skip rather than fail the campaign.
-			continue
-		}
-		refs[i] = m
-	}
-	return refs, nil
 }

@@ -1,0 +1,337 @@
+package experiments
+
+// The throughput experiment measures the sharded parallel scan engine —
+// the software analogue of the many concurrent streams a BVAP tile array
+// services — against the sequential scanner on one dataset's workload:
+//
+//   - "seq"          one Stream over the whole corpus (the oracle);
+//   - "batch-wN"     ScanBatch over the corpus split into independent
+//                    pieces, N workers (input-level parallelism);
+//   - "par-wN-cC"    FindAllParallel over the whole corpus, N workers and
+//                    C-byte chunks with seam-window replay (chunk-level
+//                    parallelism).
+//
+// Match-set equivalence is asserted inside the experiment (batch rows
+// against per-piece sequential scans, chunk rows against the whole-corpus
+// scan), so a throughput row can never silently trade correctness for
+// speed. Symbols and matches are counted, deterministic metrics; wall
+// clock and speedup are informational and never compared by CompareBench.
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	"bvap"
+	"bvap/internal/datasets"
+)
+
+// ThroughputOptions parameterizes the throughput experiment. Zero values
+// select a CI-smoke-sized configuration.
+type ThroughputOptions struct {
+	Dataset  string // default "Snort"
+	Sample   int    // patterns sampled from the dataset (default 40)
+	InputLen int    // total corpus bytes (default 1 MiB)
+	Inputs   int    // batch pieces the corpus is split into (default 32)
+	Workers  []int  // worker counts swept (default 1, 2, 4, NumCPU)
+	Chunks   []int  // chunk sizes for the par rows (default 4096, 16384)
+	// MaxReach drops sampled patterns whose maximal match length exceeds
+	// it (or is unbounded): chunk parallelism needs a bounded seam window,
+	// and a window rivaling the chunk size degenerates to replay (default
+	// 512). The same filtered set drives every row, so all modes scan the
+	// same machine.
+	MaxReach int
+	// Reps is how many times each row is timed; the minimum wall time is
+	// reported (default 3).
+	Reps int
+}
+
+func (o *ThroughputOptions) fill() {
+	if o.Dataset == "" {
+		o.Dataset = "Snort"
+	}
+	if o.Sample == 0 {
+		o.Sample = 40
+	}
+	if o.InputLen == 0 {
+		o.InputLen = 1 << 20
+	}
+	if o.Inputs == 0 {
+		o.Inputs = 32
+	}
+	if len(o.Workers) == 0 {
+		o.Workers = []int{1, 2, 4}
+		if n := runtime.NumCPU(); n > 4 {
+			o.Workers = append(o.Workers, n)
+		}
+	}
+	if len(o.Chunks) == 0 {
+		o.Chunks = []int{4096, 16384}
+	}
+	if o.MaxReach == 0 {
+		o.MaxReach = 512
+	}
+	if o.Reps == 0 {
+		o.Reps = 3
+	}
+}
+
+// ThroughputRow is one measured scan mode.
+type ThroughputRow struct {
+	Mode    string `json:"mode"` // "seq", "batch-wN", "par-wN-cC"
+	Workers int    `json:"workers"`
+	Chunk   int    `json:"chunk,omitempty"`
+
+	// Counted metrics: deterministic across runs of the same commit.
+	Symbols uint64 `json:"symbols"`
+	Matches uint64 `json:"matches"`
+
+	// Informational metrics.
+	Allocs  uint64  `json:"allocs"`
+	WallMs  float64 `json:"wall_ms"`
+	MBps    float64 `json:"mb_s"`
+	Speedup float64 `json:"speedup_vs_seq"`
+}
+
+// ThroughputResult is the experiment's structured output.
+type ThroughputResult struct {
+	Dataset    string          `json:"dataset"`
+	Patterns   int             `json:"patterns"` // bounded-reach patterns kept
+	Dropped    int             `json:"dropped"`  // sampled patterns dropped by MaxReach
+	SeamWindow int             `json:"seam_window"`
+	Rows       []ThroughputRow `json:"rows"`
+}
+
+// Throughput runs the parallel-vs-sequential throughput matrix and returns
+// both the structured rows and a BENCH-schema report (cells keyed by
+// dataset × mode) so runs can be regression-compared with CompareBench.
+func Throughput(opt ThroughputOptions) (*ThroughputResult, *BenchReport, error) {
+	opt.fill()
+	prof, err := datasets.ByName(opt.Dataset)
+	if err != nil {
+		return nil, nil, err
+	}
+	sampled := prof.Sample(opt.Sample)
+	var patterns []string
+	for _, p := range sampled {
+		reach, bounded, err := bvap.PatternReach(p)
+		if err == nil && bounded && reach <= opt.MaxReach {
+			patterns = append(patterns, p)
+		}
+	}
+	if len(patterns) == 0 {
+		return nil, nil, fmt.Errorf("throughput: no bounded-reach patterns within %d bytes in %s sample", opt.MaxReach, opt.Dataset)
+	}
+	eng, err := bvap.Compile(patterns, bvap.WithBVSize(perfBVSize), bvap.WithUnfoldThreshold(perfUnfoldTh))
+	if err != nil {
+		return nil, nil, err
+	}
+	res := &ThroughputResult{
+		Dataset:  opt.Dataset,
+		Patterns: len(patterns),
+		Dropped:  len(sampled) - len(patterns),
+	}
+	res.SeamWindow, _ = eng.SeamWindow()
+
+	input := prof.Input(opt.InputLen, patterns)
+	pieces := splitPieces(input, opt.Inputs)
+
+	ctx := context.Background()
+
+	// Sequential oracles: the whole corpus (chunk rows compare against
+	// this) and the per-piece scans (batch rows compare against these).
+	var seqWhole []bvap.Match
+	seq := measure(opt.Reps, func() {
+		seqWhole = eng.FindAll(input)
+	})
+	seq.Mode, seq.Workers = "seq", 1
+	seq.Symbols = uint64(len(input))
+	seq.Matches = uint64(len(seqWhole))
+	seq.finish(len(input), seq.WallMs)
+	res.Rows = append(res.Rows, seq)
+
+	wantPieces := make([][]bvap.Match, len(pieces))
+	pieceMatches := uint64(0)
+	for i, p := range pieces {
+		wantPieces[i] = eng.FindAll(p)
+		pieceMatches += uint64(len(wantPieces[i]))
+	}
+
+	for _, w := range opt.Workers {
+		workers := w
+		var results []bvap.BatchResult
+		row := measure(opt.Reps, func() {
+			var err error
+			results, err = eng.ScanBatch(ctx, pieces, &bvap.BatchOptions{Workers: workers})
+			if err != nil {
+				panic(err) // background ctx: cannot happen
+			}
+		})
+		for i, r := range results {
+			if r.Err != nil {
+				return nil, nil, fmt.Errorf("throughput: batch piece %d: %v", i, r.Err)
+			}
+			if !sameMatches(r.Matches, wantPieces[i]) {
+				return nil, nil, fmt.Errorf("throughput: batch-w%d piece %d diverged from sequential scan", workers, i)
+			}
+		}
+		row.Mode, row.Workers = fmt.Sprintf("batch-w%d", workers), workers
+		row.Symbols = uint64(len(input))
+		row.Matches = pieceMatches
+		row.finish(len(input), seq.WallMs)
+		res.Rows = append(res.Rows, row)
+	}
+
+	for _, w := range opt.Workers {
+		if w < 2 {
+			continue // chunk parallelism needs >1 worker to be interesting
+		}
+		for _, c := range opt.Chunks {
+			workers, chunk := w, c
+			var got []bvap.Match
+			row := measure(opt.Reps, func() {
+				var err error
+				got, err = eng.FindAllParallel(ctx, input, &bvap.ParallelOptions{Workers: workers, ChunkSize: chunk})
+				if err != nil {
+					panic(err)
+				}
+			})
+			if !sameMatches(got, seqWhole) {
+				return nil, nil, fmt.Errorf("throughput: par-w%d-c%d diverged from sequential scan", workers, chunk)
+			}
+			row.Mode = fmt.Sprintf("par-w%d-c%d", workers, chunk)
+			row.Workers, row.Chunk = workers, chunk
+			row.Symbols = uint64(len(input))
+			row.Matches = uint64(len(seqWhole))
+			row.finish(len(input), seq.WallMs)
+			res.Rows = append(res.Rows, row)
+		}
+	}
+
+	return res, throughputBench(opt, res), nil
+}
+
+// splitPieces cuts input into n near-equal pieces (fewer when input is
+// shorter than n bytes).
+func splitPieces(input []byte, n int) [][]byte {
+	if n < 1 {
+		n = 1
+	}
+	if n > len(input) {
+		n = len(input)
+	}
+	if n == 0 {
+		return [][]byte{input}
+	}
+	pieces := make([][]byte, 0, n)
+	size := (len(input) + n - 1) / n
+	for off := 0; off < len(input); off += size {
+		end := off + size
+		if end > len(input) {
+			end = len(input)
+		}
+		pieces = append(pieces, input[off:end])
+	}
+	return pieces
+}
+
+// measure times fn Reps times and returns a row holding the minimum wall
+// time and the allocation count of the final repetition.
+func measure(reps int, fn func()) ThroughputRow {
+	var row ThroughputRow
+	best := time.Duration(1<<63 - 1)
+	for i := 0; i < reps; i++ {
+		var m0, m1 runtime.MemStats
+		runtime.ReadMemStats(&m0)
+		t0 := time.Now()
+		fn()
+		d := time.Since(t0)
+		runtime.ReadMemStats(&m1)
+		if d < best {
+			best = d
+		}
+		row.Allocs = m1.Mallocs - m0.Mallocs
+	}
+	row.WallMs = float64(best) / float64(time.Millisecond)
+	return row
+}
+
+// finish derives the informational rates from the measured wall time.
+func (r *ThroughputRow) finish(inputLen int, seqWallMs float64) {
+	if r.WallMs > 0 {
+		r.MBps = float64(inputLen) / (r.WallMs / 1e3) / 1e6
+		r.Speedup = seqWallMs / r.WallMs
+	}
+}
+
+// sameMatches compares two match slices for exact equality (nil and empty
+// both mean "no matches").
+func sameMatches(a, b []bvap.Match) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// throughputBench shapes a throughput run as a BENCH-schema report — one
+// cell per mode, dataset × mode-label as the cell key — so CI can
+// regression-compare the counted metrics (symbols and matches exactly,
+// allocations within the bounded threshold) against a committed baseline
+// with the ordinary CompareBench machinery. Cycle and energy columns stay
+// zero: the software scanner has no hardware model attached.
+func throughputBench(opt ThroughputOptions, res *ThroughputResult) *BenchReport {
+	rep := &BenchReport{
+		SchemaVersion: BenchSchemaVersion,
+		Created:       time.Now().UTC().Format(time.RFC3339),
+		Environment: BenchEnvironment{
+			GoVersion: runtime.Version(),
+			GOOS:      runtime.GOOS,
+			GOARCH:    runtime.GOARCH,
+			NumCPU:    runtime.NumCPU(),
+		},
+		Params: BenchParams{
+			BVSize: perfBVSize, UnfoldTh: perfUnfoldTh,
+			Sample: opt.Sample, InputLen: opt.InputLen,
+			Datasets: []string{opt.Dataset},
+		},
+	}
+	for _, row := range res.Rows {
+		rep.Params.Archs = append(rep.Params.Archs, row.Mode)
+		rep.Cells = append(rep.Cells, BenchCell{
+			Dataset:         res.Dataset,
+			Arch:            row.Mode,
+			Patterns:        res.Patterns,
+			Symbols:         row.Symbols,
+			Matches:         row.Matches,
+			Allocs:          row.Allocs,
+			RunMs:           row.WallMs,
+			SimThroughputMB: row.MBps,
+		})
+	}
+	rep.PeakRSSBytes = peakRSSBytes()
+	return rep
+}
+
+// RenderThroughput prints the throughput table.
+func RenderThroughput(w io.Writer, res *ThroughputResult) {
+	fmt.Fprintf(w, "Throughput — parallel scan vs sequential (%s, %d bounded-reach patterns, %d dropped, seam window %d B)\n",
+		res.Dataset, res.Patterns, res.Dropped, res.SeamWindow)
+	fmt.Fprintf(w, "  %-16s %8s %9s %10s %10s %9s %8s\n",
+		"mode", "workers", "chunk", "matches", "wall ms", "MB/s", "speedup")
+	for _, r := range res.Rows {
+		chunk := "-"
+		if r.Chunk > 0 {
+			chunk = fmt.Sprintf("%d", r.Chunk)
+		}
+		fmt.Fprintf(w, "  %-16s %8d %9s %10d %10.2f %9.1f %7.2fx\n",
+			r.Mode, r.Workers, chunk, r.Matches, r.WallMs, r.MBps, r.Speedup)
+	}
+	fmt.Fprintln(w)
+}

@@ -1,0 +1,97 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// smallTPOpts keeps the experiment CI-test sized.
+func smallTPOpts() ThroughputOptions {
+	return ThroughputOptions{
+		Dataset:  "Snort",
+		Sample:   12,
+		InputLen: 1 << 15,
+		Inputs:   8,
+		Workers:  []int{1, 2},
+		Chunks:   []int{2048},
+		Reps:     1,
+	}
+}
+
+func TestThroughputRowsAndEquivalence(t *testing.T) {
+	res, rep, err := Throughput(smallTPOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Patterns == 0 {
+		t.Fatal("no bounded-reach patterns survived the filter")
+	}
+	// Expected modes: seq, batch-w1, batch-w2, par-w2-c2048.
+	want := []string{"seq", "batch-w1", "batch-w2", "par-w2-c2048"}
+	if len(res.Rows) != len(want) {
+		t.Fatalf("rows = %d, want %d (%+v)", len(res.Rows), len(want), res.Rows)
+	}
+	for i, mode := range want {
+		if res.Rows[i].Mode != mode {
+			t.Fatalf("row %d mode = %q, want %q", i, res.Rows[i].Mode, mode)
+		}
+		if res.Rows[i].Symbols != uint64(smallTPOpts().InputLen) {
+			t.Fatalf("row %q symbols = %d, want %d", mode, res.Rows[i].Symbols, smallTPOpts().InputLen)
+		}
+	}
+	// Batch rows scan the same corpus piece-wise: they agree with each
+	// other; chunk rows agree with seq exactly (equivalence is asserted
+	// inside Throughput; this pins the reported counters too).
+	if res.Rows[1].Matches != res.Rows[2].Matches {
+		t.Fatalf("batch rows disagree: %d vs %d", res.Rows[1].Matches, res.Rows[2].Matches)
+	}
+	if res.Rows[3].Matches != res.Rows[0].Matches {
+		t.Fatalf("par row matches %d, seq %d", res.Rows[3].Matches, res.Rows[0].Matches)
+	}
+	// Bench shaping: one cell per row, counted metrics carried over.
+	if len(rep.Cells) != len(res.Rows) {
+		t.Fatalf("bench cells = %d, want %d", len(rep.Cells), len(res.Rows))
+	}
+	for i, c := range rep.Cells {
+		if c.Arch != res.Rows[i].Mode || c.Symbols != res.Rows[i].Symbols || c.Matches != res.Rows[i].Matches {
+			t.Fatalf("cell %d mismatch: %+v vs %+v", i, c, res.Rows[i])
+		}
+	}
+}
+
+func TestThroughputDeterministicCountedMetrics(t *testing.T) {
+	r1, b1, err := Throughput(smallTPOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, b2, err := Throughput(smallTPOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range r1.Rows {
+		if r1.Rows[i].Symbols != r2.Rows[i].Symbols || r1.Rows[i].Matches != r2.Rows[i].Matches {
+			t.Fatalf("counted metrics not deterministic for %q", r1.Rows[i].Mode)
+		}
+	}
+	// A report self-compares clean under CompareBench (symbols/matches
+	// exact; allocs within threshold by construction on identical runs).
+	if regs := CompareBench(b2, b1, Thresholds{AllocsFrac: 3}); len(regs) != 0 {
+		t.Fatalf("self-compare regressions: %v", regs)
+	}
+}
+
+func TestRenderThroughput(t *testing.T) {
+	res, _, err := Throughput(smallTPOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	RenderThroughput(&buf, res)
+	out := buf.String()
+	for _, want := range []string{"Throughput", "seq", "batch-w2", "par-w2-c2048", "speedup"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("rendering missing %q:\n%s", want, out)
+		}
+	}
+}

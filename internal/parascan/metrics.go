@@ -1,0 +1,116 @@
+package parascan
+
+import "bvap/internal/telemetry"
+
+// Metric names exposed by the parallel scan subsystem. Registered lazily by
+// NewMetrics; the whole subsystem runs with a nil *Metrics when the caller
+// attaches no registry, and every method is nil-receiver safe so the hot
+// paths pay one comparison.
+const (
+	// MetricWorkersBusy is a gauge of worker goroutines currently
+	// executing a shard (batch input or chunk).
+	MetricWorkersBusy = "bvap_parascan_workers_busy"
+	// MetricBatchInputs counts inputs scanned by ScanBatch.
+	MetricBatchInputs = "bvap_parascan_batch_inputs_total"
+	// MetricChunks counts chunks scanned by FindAllParallel.
+	MetricChunks = "bvap_parascan_chunks_scanned_total"
+	// MetricSeamReplays counts chunk scans that replayed a non-empty seam
+	// window (every chunk but the first, absent clamping at offset 0).
+	MetricSeamReplays = "bvap_parascan_seam_replays_total"
+	// MetricSeamReplayBytes counts the warm-up bytes re-scanned at seams —
+	// the redundancy the parallel decomposition pays for independence.
+	MetricSeamReplayBytes = "bvap_parascan_seam_replay_bytes_total"
+	// MetricFallbacks counts FindAllParallel calls that degraded to the
+	// sequential scan, labeled by reason: "unbounded_reach" (a supported
+	// pattern with *, + or {n,}), "short_input" (one chunk suffices) or
+	// "window_dominates" (the seam window is at least the chunk size, so
+	// replay would outweigh useful work).
+	MetricFallbacks = "bvap_parascan_fallback_total"
+	// MetricShardRetries counts shard-local re-scans after a cross-check
+	// mismatch (the RunResilient-style detect/retry ladder of ScanBatch).
+	MetricShardRetries = "bvap_parascan_shard_retries_total"
+	// MetricShardFallbacks counts shards that exhausted their retries and
+	// degraded to the independent reference matcher's output.
+	MetricShardFallbacks = "bvap_parascan_shard_fallbacks_total"
+)
+
+// FallbackReasons enumerates the label values of MetricFallbacks, for
+// exposition and tests.
+var FallbackReasons = []string{"unbounded_reach", "short_input", "window_dominates"}
+
+// Metrics is the resolved handle set of the subsystem's telemetry. A nil
+// *Metrics is valid everywhere and records nothing.
+type Metrics struct {
+	workersBusy     *telemetry.Gauge
+	batchInputs     *telemetry.Counter
+	chunks          *telemetry.Counter
+	seamReplays     *telemetry.Counter
+	seamReplayBytes *telemetry.Counter
+	shardRetries    *telemetry.Counter
+	shardFallbacks  *telemetry.Counter
+	fallbacks       *telemetry.CounterVec
+}
+
+// NewMetrics resolves the subsystem's metric families on reg, returning nil
+// for a nil registry so call sites need no branching.
+func NewMetrics(reg *telemetry.Registry) *Metrics {
+	if reg == nil {
+		return nil
+	}
+	return &Metrics{
+		workersBusy:     reg.Gauge(MetricWorkersBusy, "parallel-scan worker goroutines currently busy"),
+		batchInputs:     reg.Counter(MetricBatchInputs, "inputs scanned by ScanBatch"),
+		chunks:          reg.Counter(MetricChunks, "chunks scanned by FindAllParallel"),
+		seamReplays:     reg.Counter(MetricSeamReplays, "chunk scans that replayed a seam window"),
+		seamReplayBytes: reg.Counter(MetricSeamReplayBytes, "warm-up bytes re-scanned at chunk seams"),
+		shardRetries:    reg.Counter(MetricShardRetries, "shard-local re-scans after a cross-check mismatch"),
+		shardFallbacks:  reg.Counter(MetricShardFallbacks, "shards degraded to the reference matcher after exhausting retries"),
+		fallbacks:       reg.CounterVec(MetricFallbacks, "FindAllParallel calls degraded to the sequential scan", "reason"),
+	}
+}
+
+func (m *Metrics) workerBusy(delta float64) {
+	if m != nil {
+		m.workersBusy.Add(delta)
+	}
+}
+
+// BatchInput records one scanned batch input.
+func (m *Metrics) BatchInput() {
+	if m != nil {
+		m.batchInputs.Inc()
+	}
+}
+
+// ChunkScanned records one scanned chunk and its seam replay cost.
+func (m *Metrics) ChunkScanned(replayBytes int) {
+	if m == nil {
+		return
+	}
+	m.chunks.Inc()
+	if replayBytes > 0 {
+		m.seamReplays.Inc()
+		m.seamReplayBytes.Add(uint64(replayBytes))
+	}
+}
+
+// Fallback records one sequential-scan fallback with its reason label.
+func (m *Metrics) Fallback(reason string) {
+	if m != nil {
+		m.fallbacks.With(reason).Inc()
+	}
+}
+
+// ShardRetry records one shard-local re-scan.
+func (m *Metrics) ShardRetry() {
+	if m != nil {
+		m.shardRetries.Inc()
+	}
+}
+
+// ShardFallback records one shard degraded to the reference path.
+func (m *Metrics) ShardFallback() {
+	if m != nil {
+		m.shardFallbacks.Inc()
+	}
+}

@@ -1,0 +1,150 @@
+// Package parascan is the concurrency substrate of the engine's sharded
+// parallel scanner (Engine.ScanBatch / Engine.FindAllParallel in the root
+// package). It owns the three mechanisms that are independent of the
+// automata model and therefore testable in isolation:
+//
+//   - chunk planning: splitting one large input into shards whose live
+//     regions tile the input exactly, each preceded by a bounded-history
+//     replay window (the seam) that reconstructs the sequential scanner's
+//     frontier at the shard boundary — the data-parallel decomposition of
+//     Sin'ya & Matsuzaki's Simultaneous Finite Automata, specialised to
+//     patterns with bounded reach;
+//   - a bounded, order-preserving worker pool: ForEach schedules indices
+//     onto a fixed number of goroutines while the caller writes results
+//     into per-index slots, so output order is deterministic regardless of
+//     scheduling;
+//   - scanner pooling: a typed sync.Pool wrapper that lets workers reuse
+//     streams (allocation-free steady state) without threading ownership
+//     through the scheduler.
+//
+// The package deliberately knows nothing about regexes or matches: the root
+// package supplies closures over its own Stream type. That keeps the
+// dependency arrow pointing the usual way (bvap → internal/parascan) and
+// makes the chunk-boundary math property-testable without compiling
+// patterns.
+package parascan
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Chunk is one shard of a single input. The half-open live region
+// [Start, End) is the part of the input this shard is responsible for:
+// matches ending inside it belong to this shard and to no other. Scanning
+// begins earlier, at ReplayStart, so the shard's automaton frontier at
+// Start equals the sequential scanner's; matches ending in the warm-up
+// region [ReplayStart, Start) are discarded (the previous shard owns them).
+type Chunk struct {
+	Index       int
+	ReplayStart int
+	Start       int
+	End         int
+}
+
+// ReplayLen returns the length of the warm-up region.
+func (c Chunk) ReplayLen() int { return c.Start - c.ReplayStart }
+
+// PlanChunks tiles an input of inputLen bytes into chunks of chunkSize with
+// a replay window of window bytes before every chunk but the first. The
+// live regions partition [0, inputLen) exactly; ReplayStart never goes
+// below zero. chunkSize < 1 yields a single chunk (no parallelism); a zero
+// inputLen yields no chunks.
+func PlanChunks(inputLen, chunkSize, window int) []Chunk {
+	if inputLen <= 0 {
+		return nil
+	}
+	if chunkSize < 1 {
+		chunkSize = inputLen
+	}
+	if window < 0 {
+		window = 0
+	}
+	out := make([]Chunk, 0, (inputLen+chunkSize-1)/chunkSize)
+	for lo := 0; lo < inputLen; lo += chunkSize {
+		hi := lo + chunkSize
+		if hi > inputLen {
+			hi = inputLen
+		}
+		r := lo - window
+		if r < 0 {
+			r = 0
+		}
+		out = append(out, Chunk{Index: len(out), ReplayStart: r, Start: lo, End: hi})
+	}
+	return out
+}
+
+// Workers normalizes a worker-count option: values < 1 select
+// runtime.GOMAXPROCS(0), and the count never exceeds n (there is no point
+// parking goroutines with nothing to do).
+func Workers(requested, n int) int {
+	w := requested
+	if w < 1 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// ForEach calls fn(ctx, i) exactly once for every index in [0, n) that it
+// starts, distributing indices over min(workers, n) goroutines (workers < 1
+// selects GOMAXPROCS). Indices are claimed in order from an atomic cursor;
+// a canceled ctx stops workers from claiming further indices, and ForEach
+// then returns ctx.Err() — fn invocations already in flight run to
+// completion first, so the caller may read its result slots immediately.
+// The caller is responsible for making fn's writes race-free (the intended
+// shape is one pre-allocated slot per index). m may be nil.
+func ForEach(ctx context.Context, n, workers int, m *Metrics, fn func(ctx context.Context, i int)) error {
+	if n <= 0 {
+		return ctx.Err()
+	}
+	workers = Workers(workers, n)
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				if ctx.Err() != nil {
+					return
+				}
+				i := int(cursor.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				m.workerBusy(1)
+				fn(ctx, i)
+				m.workerBusy(-1)
+			}
+		}()
+	}
+	wg.Wait()
+	return ctx.Err()
+}
+
+// Pool is a typed sync.Pool of reusable scanners. The zero value is not
+// usable; construct with NewPool.
+type Pool[S any] struct{ p sync.Pool }
+
+// NewPool returns a pool that manufactures fresh values with newFn when
+// empty. newFn runs lazily, on the first Get that misses, so constructing a
+// Pool is cheap even when newFn is expensive.
+func NewPool[S any](newFn func() S) *Pool[S] {
+	return &Pool[S]{p: sync.Pool{New: func() any { return newFn() }}}
+}
+
+// Get takes a scanner from the pool, constructing one if necessary. The
+// caller owns it until Put.
+func (p *Pool[S]) Get() S { return p.p.Get().(S) }
+
+// Put returns a scanner to the pool. The caller must not use it afterwards.
+func (p *Pool[S]) Put(s S) { p.p.Put(s) }

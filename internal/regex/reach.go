@@ -1,0 +1,77 @@
+package regex
+
+// Reach analysis for the sharded parallel scanner. A chunk of a large input
+// can be scanned independently of its predecessors when every pattern's
+// matches have bounded length: a match ending inside the chunk then depends
+// only on the last MaxMatchLen symbols before it, so replaying that many
+// bytes before the chunk start reconstructs exactly the frontier the
+// sequential scan would have had (see internal/parascan and DESIGN.md,
+// "Concurrency model"). Patterns containing *, + or {n,} have unbounded
+// reach and force the scanner back to the sequential path.
+
+// reachCap bounds the products computed by MaxMatchLen so pathological
+// nested repetitions (a{60000}){60000} cannot overflow; anything larger is
+// reported unbounded, which is always safe (the caller falls back to the
+// sequential scan).
+const reachCap = 1 << 30
+
+// MaxMatchLen returns an upper bound on the number of symbols in any string
+// of n's language, and whether such a bound exists. The bound is exact for
+// the unfolded form: concatenation sums, alternation takes the maximum, and
+// r{m,n} multiplies by n. Star, plus and {n,} make the language's reach
+// unbounded (unless the repeated body only matches ε).
+func MaxMatchLen(n Node) (int, bool) {
+	switch n := n.(type) {
+	case Empty:
+		return 0, true
+	case Lit:
+		return 1, true
+	case *Concat:
+		total := 0
+		for _, f := range n.Factors {
+			l, ok := MaxMatchLen(f)
+			if !ok {
+				return 0, false
+			}
+			total += l
+			if total > reachCap {
+				return 0, false
+			}
+		}
+		return total, true
+	case *Alt:
+		max := 0
+		for _, a := range n.Alternatives {
+			l, ok := MaxMatchLen(a)
+			if !ok {
+				return 0, false
+			}
+			if l > max {
+				max = l
+			}
+		}
+		return max, true
+	case *Star:
+		if l, ok := MaxMatchLen(n.Sub); ok && l == 0 {
+			return 0, true // (ε)* still only matches ε
+		}
+		return 0, false
+	case *Repeat:
+		l, ok := MaxMatchLen(n.Sub)
+		if !ok {
+			return 0, false
+		}
+		if l == 0 {
+			return 0, true
+		}
+		if n.Max == Unbounded {
+			return 0, false
+		}
+		if n.Max > reachCap/l {
+			return 0, false
+		}
+		return l * n.Max, true
+	default:
+		return 0, false
+	}
+}

@@ -1,0 +1,64 @@
+package regex
+
+import "testing"
+
+func TestMaxMatchLen(t *testing.T) {
+	cases := []struct {
+		pattern string
+		want    int
+		bounded bool
+	}{
+		{"abc", 3, true},
+		{"", 0, true},
+		{"a|bc|def", 3, true},
+		{"a{5}", 5, true},
+		{"a{2,7}", 7, true},
+		{"(ab){3}c", 7, true},
+		{"a?b", 2, true},
+		{"[a-z]{10}[0-9]{2,4}", 14, true},
+		{"(a|bb){3}", 6, true},
+		{"(a{4}){5}", 20, true},
+		{"a*", 0, false},
+		{"a+", 0, false},
+		{"a{3,}", 0, false},
+		{"ab*c", 0, false},
+		{"(a|b*)c", 0, false},
+		{"(a{40000}){40000}", 0, false}, // product above reachCap → unbounded
+	}
+	for _, c := range cases {
+		ast, err := Parse(c.pattern)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", c.pattern, err)
+		}
+		got, ok := MaxMatchLen(ast)
+		if ok != c.bounded {
+			t.Errorf("MaxMatchLen(%q) bounded = %v, want %v", c.pattern, ok, c.bounded)
+			continue
+		}
+		if c.bounded && got != c.want {
+			t.Errorf("MaxMatchLen(%q) = %d, want %d", c.pattern, got, c.want)
+		}
+	}
+}
+
+// TestMaxMatchLenIsUpperBound cross-checks the analysis against the
+// unfolded-literal count: the reach bound can never exceed the total
+// unfolded positions (every consumed symbol is one position), and for pure
+// concatenations of bounded pieces the two agree.
+func TestMaxMatchLenIsUpperBound(t *testing.T) {
+	for _, pattern := range []string{
+		"abc", "a{5}", "(ab){3}c", "[a-z]{10}[0-9]{2,4}", "x(y{2}|zz{3})w",
+	} {
+		ast, err := Parse(pattern)
+		if err != nil {
+			t.Fatal(err)
+		}
+		reach, ok := MaxMatchLen(ast)
+		if !ok {
+			t.Fatalf("MaxMatchLen(%q) unexpectedly unbounded", pattern)
+		}
+		if unfolded := Analyze(ast).UnfoldedLiterals; reach > unfolded {
+			t.Errorf("MaxMatchLen(%q) = %d exceeds unfolded positions %d", pattern, reach, unfolded)
+		}
+	}
+}

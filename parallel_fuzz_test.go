@@ -1,0 +1,74 @@
+package bvap
+
+import (
+	"context"
+	"testing"
+)
+
+// FuzzParallelSeam fuzzes the chunk-boundary reconciliation of the sharded
+// scanner: for an arbitrary (pattern, input, chunk size, worker count) the
+// parallel paths must agree byte-for-byte with the sequential FindAll
+// oracle — FindAllParallel over every chunk phase the fuzzer reaches, and
+// ScanBatch treating the input as a one-element batch. Patterns that fail
+// to compile (or compile unsupported) still go through: the engine's
+// contract is that they never match, so equivalence must hold regardless.
+// Run with `go test -fuzz FuzzParallelSeam .` for a longer campaign; CI
+// runs a 15-second smoke.
+func FuzzParallelSeam(f *testing.F) {
+	f.Add("ab{3,6}c", []byte("xxabbbbbbcxx"), 5, 2)
+	f.Add("ab{2}c", []byte("abbcabbcabbc"), 1, 1)
+	f.Add("^ab{1,4}c", []byte("abbcxabbcx"), 7, 3)
+	f.Add("a{3}|b{2}c", []byte("aaabbcaaa"), 3, 8)
+	f.Add("a+b", []byte("aaabaab"), 4, 2) // unbounded reach → fallback path
+	f.Add("[ab]{2,5}", []byte("ababababab"), 6, 2)
+	f.Add("", []byte(""), 1, 1)
+
+	ctx := context.Background()
+	f.Fuzz(func(t *testing.T, pattern string, input []byte, chunk, workers int) {
+		if len(pattern) > 64 {
+			pattern = pattern[:64]
+		}
+		if len(input) > 1<<10 {
+			input = input[:1<<10]
+		}
+		e, err := Compile([]string{pattern})
+		if err != nil {
+			t.Fatalf("Compile must isolate per-pattern failures, got %v", err)
+		}
+		// Normalize fuzzed knobs into their valid ranges.
+		if chunk < 1 {
+			chunk = 1
+		}
+		if chunk > len(input)+1 {
+			chunk = len(input) + 1
+		}
+		workers = workers%8 + 1
+		if workers < 1 {
+			workers = 1
+		}
+
+		want := e.FindAll(input)
+
+		got, err := e.FindAllParallel(ctx, input, &ParallelOptions{Workers: workers, ChunkSize: chunk})
+		if err != nil {
+			t.Fatalf("FindAllParallel(%q, chunk=%d, workers=%d): %v", pattern, chunk, workers, err)
+		}
+		if !matchesEqual(got, want) {
+			w, bounded := e.SeamWindow()
+			t.Fatalf("FindAllParallel diverged for %q on %q (chunk=%d workers=%d window=%d bounded=%v):\npar %v\nseq %v",
+				pattern, input, chunk, workers, w, bounded, got, want)
+		}
+
+		results, err := e.ScanBatch(ctx, [][]byte{input}, &BatchOptions{Workers: workers})
+		if err != nil {
+			t.Fatalf("ScanBatch: %v", err)
+		}
+		if results[0].Err != nil {
+			t.Fatalf("ScanBatch input err: %v", results[0].Err)
+		}
+		if !matchesEqual(results[0].Matches, want) {
+			t.Fatalf("ScanBatch diverged for %q on %q:\nbatch %v\nseq   %v",
+				pattern, input, results[0].Matches, want)
+		}
+	})
+}

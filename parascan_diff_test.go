@@ -1,0 +1,293 @@
+package bvap
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+
+	"bvap/internal/swmatch"
+)
+
+// This file is the differential/property layer that pins the sharded
+// parallel scanner byte-for-byte to the sequential oracle: for randomly
+// generated pattern sets and inputs,
+//
+//   FindAllParallel(chunk ∈ {1, 7, 64, len})  ==  FindAll  ==  swmatch
+//   ScanBatch(workers ∈ {1, 2, 8})            ==  per-input FindAll
+//
+// Chunk reconciliation is exactly the kind of code that is subtly wrong
+// without being obviously wrong (an off-by-one in the seam window only
+// shows on a match that straddles a chunk boundary at its maximal length),
+// so the generator plants pattern occurrences at uniformly random offsets —
+// including, with high probability over 200 cases, straddling every chunk
+// size tested.
+
+// diffChunkSizes and diffWorkerCounts are the grids required by the
+// acceptance criteria. A chunk size of 0 stands for len(input) (single
+// chunk → short-input fallback path).
+var (
+	diffChunkSizes   = []int{1, 7, 64, 0}
+	diffWorkerCounts = []int{1, 2, 8}
+)
+
+// genPattern emits a random pattern from the engine's supported subset.
+// Bounded constructs dominate so most sets have finite reach; stars/plus
+// appear occasionally to exercise the unbounded_reach fallback, and a
+// leading ^ exercises anchored seam handling.
+func genPattern(r *rand.Rand, depth int) string {
+	body := genBody(r, depth)
+	if r.Intn(5) == 0 {
+		return "^" + body
+	}
+	return body
+}
+
+func genBody(r *rand.Rand, depth int) string {
+	var atom func(d int) string
+	atom = func(d int) string {
+		switch r.Intn(8) {
+		case 0, 1, 2: // literal run
+			n := 1 + r.Intn(3)
+			var sb strings.Builder
+			for i := 0; i < n; i++ {
+				sb.WriteByte(byte('a' + r.Intn(3)))
+			}
+			return sb.String()
+		case 3:
+			return []string{"[ab]", "[bc]", "[a-c]"}[r.Intn(3)]
+		case 4: // bounded repetition
+			base := atom(0)
+			if len(base) > 1 {
+				base = "(" + base + ")"
+			}
+			lo := 1 + r.Intn(4)
+			if r.Intn(2) == 0 {
+				return fmt.Sprintf("%s{%d}", base, lo)
+			}
+			return fmt.Sprintf("%s{%d,%d}", base, lo, lo+r.Intn(5))
+		case 5:
+			return atom(0) + "?"
+		case 6:
+			if d > 0 {
+				return "(" + genBody(r, d-1) + ")"
+			}
+			return string(byte('a' + r.Intn(3)))
+		default: // occasional unbounded operator
+			if r.Intn(5) == 0 {
+				return string(byte('a'+r.Intn(3))) + []string{"*", "+", "{2,}"}[r.Intn(3)]
+			}
+			return string(byte('a' + r.Intn(3)))
+		}
+	}
+	// Concatenation of 1–3 factors, possibly an alternation of two bodies.
+	var parts []string
+	for i := 0; i < 1+r.Intn(3); i++ {
+		parts = append(parts, atom(depth))
+	}
+	s := strings.Join(parts, "")
+	if depth > 0 && r.Intn(4) == 0 {
+		return s + "|" + genBody(r, depth-1)
+	}
+	return s
+}
+
+// genInput builds a random input over a small alphabet with occurrences of
+// literal-ish pattern fragments planted at random offsets, so matches land
+// everywhere — including straddling chunk seams.
+func genInput(r *rand.Rand, patterns []string, maxLen int) []byte {
+	n := r.Intn(maxLen)
+	in := make([]byte, n)
+	for i := range in {
+		in[i] = byte('a' + r.Intn(4)) // a–d; d misses most classes
+	}
+	// Plant fragments: strip metacharacters from patterns to get plain
+	// substrings that often complete a match.
+	for _, p := range patterns {
+		frag := strings.Map(func(c rune) rune {
+			if c >= 'a' && c <= 'c' {
+				return c
+			}
+			return -1
+		}, p)
+		if frag == "" || len(in) == 0 {
+			continue
+		}
+		for k := 0; k < 1+r.Intn(3); k++ {
+			off := r.Intn(len(in))
+			copy(in[off:], frag)
+		}
+	}
+	return in
+}
+
+// matchesEqual compares match slices byte-for-byte, treating nil and empty
+// as equal only when both are empty.
+func matchesEqual(a, b []Match) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	if len(a) == 0 {
+		return true
+	}
+	return reflect.DeepEqual(a, b)
+}
+
+// TestDifferentialParallelVsSequential is the ~200-case property harness:
+// random pattern sets × inputs, asserting FindAllParallel and ScanBatch
+// agree with the sequential FindAll oracle across the chunk-size and
+// worker-count grids, and that the oracle itself agrees with the
+// independent swmatch reference.
+func TestDifferentialParallelVsSequential(t *testing.T) {
+	r := rand.New(rand.NewSource(20260806))
+	ctx := context.Background()
+	cases := 200
+	if testing.Short() {
+		cases = 40
+	}
+	for ci := 0; ci < cases; ci++ {
+		// 1–4 patterns per set.
+		np := 1 + r.Intn(4)
+		patterns := make([]string, np)
+		for i := range patterns {
+			patterns[i] = genPattern(r, 2)
+		}
+		e, err := Compile(patterns)
+		if err != nil {
+			t.Fatalf("case %d: Compile(%q): %v", ci, patterns, err)
+		}
+		input := genInput(r, patterns, 300)
+		want := e.FindAll(input)
+
+		// Oracle vs the independent reference matcher, per supported
+		// pattern (unsupported patterns never match in the engine).
+		rep := e.Report()
+		for pi, pr := range rep.Patterns {
+			if !pr.Supported {
+				continue
+			}
+			ref, err := swmatch.New(pr.Pattern)
+			if err != nil {
+				continue // reference doesn't cover this syntax
+			}
+			var got []int
+			for _, m := range want {
+				if m.Pattern == pi {
+					got = append(got, m.End)
+				}
+			}
+			if wantEnds := ref.MatchEnds(input); !reflect.DeepEqual(got, wantEnds) {
+				t.Fatalf("case %d: oracle disagrees with swmatch for %q on %q:\nengine  %v\nswmatch %v",
+					ci, pr.Pattern, input, got, wantEnds)
+			}
+		}
+
+		// FindAllParallel across the chunk grid × a rotating worker count.
+		for _, cs := range diffChunkSizes {
+			chunk := cs
+			if chunk == 0 {
+				chunk = len(input)
+				if chunk == 0 {
+					chunk = 1
+				}
+			}
+			workers := diffWorkerCounts[ci%len(diffWorkerCounts)]
+			got, err := e.FindAllParallel(ctx, input, &ParallelOptions{Workers: workers, ChunkSize: chunk})
+			if err != nil {
+				t.Fatalf("case %d: FindAllParallel(chunk=%d): %v", ci, chunk, err)
+			}
+			if !matchesEqual(got, want) {
+				w, bounded := e.SeamWindow()
+				t.Fatalf("case %d: FindAllParallel(chunk=%d, workers=%d) diverged on patterns %q input %q (seam window=%d bounded=%v):\npar %v\nseq %v",
+					ci, chunk, workers, patterns, input, w, bounded, got, want)
+			}
+		}
+
+		// ScanBatch across the worker grid: the batch is this input split
+		// into independent pieces plus the whole input, each compared to
+		// its own sequential scan.
+		batch := [][]byte{input}
+		for off := 0; off < len(input); off += 64 {
+			end := off + 64
+			if end > len(input) {
+				end = len(input)
+			}
+			batch = append(batch, input[off:end])
+		}
+		wantBatch := make([][]Match, len(batch))
+		for i, in := range batch {
+			wantBatch[i] = e.FindAll(in)
+		}
+		for _, workers := range diffWorkerCounts {
+			results, err := e.ScanBatch(ctx, batch, &BatchOptions{Workers: workers})
+			if err != nil {
+				t.Fatalf("case %d: ScanBatch(workers=%d): %v", ci, workers, err)
+			}
+			for i, res := range results {
+				if res.Err != nil {
+					t.Fatalf("case %d: ScanBatch input %d: %v", ci, i, res.Err)
+				}
+				if !matchesEqual(res.Matches, wantBatch[i]) {
+					t.Fatalf("case %d: ScanBatch(workers=%d) input %d diverged:\nbatch %v\nseq   %v",
+						ci, workers, i, res.Matches, wantBatch[i])
+				}
+			}
+		}
+	}
+}
+
+// TestDifferentialSeamStraddle drills the seam specifically: a pattern of
+// known maximal length planted so that its matches straddle every chunk
+// boundary at every possible phase. Any error in the replay-window
+// derivation (reach − 1, reach + 1, replay from the wrong side) fails.
+func TestDifferentialSeamStraddle(t *testing.T) {
+	ctx := context.Background()
+	// Reach 8: matches of length 5..8 ending anywhere.
+	e := MustCompile([]string{"ab{3,6}c"})
+	if w, ok := e.SeamWindow(); !ok || w != 8 {
+		t.Fatalf("SeamWindow = %d, %v, want 8, true", w, ok)
+	}
+	for chunk := 9; chunk <= 12; chunk++ {
+		for phase := 0; phase < chunk; phase++ {
+			// Input: noise, then a maximal match positioned so its end
+			// lands 'phase' bytes into the second chunk.
+			pad := chunk + phase - 8
+			if pad < 0 {
+				continue
+			}
+			input := []byte(strings.Repeat("x", pad) + "abbbbbbc" + strings.Repeat("x", chunk))
+			want := e.FindAll(input)
+			if len(want) == 0 {
+				t.Fatalf("chunk=%d phase=%d: oracle found no match (test bug)", chunk, phase)
+			}
+			got, err := e.FindAllParallel(ctx, input, &ParallelOptions{Workers: 2, ChunkSize: chunk})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !matchesEqual(got, want) {
+				t.Fatalf("chunk=%d phase=%d: seam divergence:\npar %v\nseq %v", chunk, phase, got, want)
+			}
+		}
+	}
+}
+
+// TestDifferentialAnchoredSeam pins that anchored patterns neither lose
+// their real (chunk-0) matches nor gain phantom matches from replay
+// re-arming at a chunk boundary.
+func TestDifferentialAnchoredSeam(t *testing.T) {
+	ctx := context.Background()
+	e := MustCompile([]string{"^ab{1,4}c", "b{2}c"})
+	input := []byte("abbc" + strings.Repeat("xabbcx", 40))
+	want := e.FindAll(input)
+	for _, chunk := range []int{7, 8, 16, 33} {
+		got, err := e.FindAllParallel(ctx, input, &ParallelOptions{Workers: 3, ChunkSize: chunk})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !matchesEqual(got, want) {
+			t.Fatalf("chunk=%d: anchored seam divergence:\npar %v\nseq %v", chunk, got, want)
+		}
+	}
+}

@@ -1,0 +1,6 @@
+//go:build !race
+
+package bvap
+
+// raceEnabled reports whether the race detector is active in this build.
+const raceEnabled = false

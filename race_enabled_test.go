@@ -1,0 +1,10 @@
+//go:build race
+
+package bvap
+
+// raceEnabled reports whether the race detector is active in this build.
+// The allocation-regression tests skip under -race: the detector makes
+// sync.Pool randomly drop Puts (to shake out reuse races), so pooled
+// objects are intentionally reallocated and per-input allocation counts
+// are meaningless there.
+const raceEnabled = true
