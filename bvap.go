@@ -22,6 +22,7 @@ package bvap
 import (
 	"io"
 	"sync"
+	"sync/atomic"
 
 	"bvap/internal/compiler"
 	"bvap/internal/nbva"
@@ -122,7 +123,33 @@ type Engine struct {
 	seamOnce    sync.Once
 	seamBytes   int
 	seamBounded bool
+
+	// streamsOut counts pooled streams currently checked out (atomic
+	// accounting, not engine state): the goroutine-hygiene tests assert
+	// it returns to zero after every batch — including batches whose
+	// shards panicked — proving the panic-recovery path returns its
+	// pooled Stream.
+	streamsOut atomic.Int64
 }
+
+// getStream and putStream wrap the stream pool with checkout accounting;
+// every pool access in the batch/chunk scanners goes through them so the
+// panic-safety defers provably return what they took.
+func (e *Engine) getStream() *Stream {
+	e.streamsOut.Add(1)
+	return e.spool.Get()
+}
+
+func (e *Engine) putStream(s *Stream) {
+	e.spool.Put(s)
+	e.streamsOut.Add(-1)
+}
+
+// StreamsOut returns the number of pooled streams currently checked out by
+// in-flight ScanBatch / FindAllParallel shards. It is zero whenever no
+// scan is in flight — even after shards that panicked — and exists for
+// leak detection in tests and the service soak harness.
+func (e *Engine) StreamsOut() int64 { return e.streamsOut.Load() }
 
 // newEngine wraps a compilation result with the engine's concurrency
 // plumbing. Pool constructors run lazily, on first use.

@@ -41,6 +41,7 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"bvap"
 	"bvap/internal/experiments"
@@ -77,6 +78,7 @@ func registry() []experiment {
 		{"breakdown", "per-stage energy attribution on one dataset", true, (*app).runBreakdown},
 		{"perf", "canonical perf harness → BENCH_<n>.json (+ -baseline compare)", false, (*app).runPerf},
 		{"throughput", "parallel-vs-sequential scan throughput sweep → BENCH_<n>.json (+ -baseline compare)", false, (*app).runThroughput},
+		{"soak", "service soak: crash/resume correctness + overload/reload churn → BENCH_<n>.json (+ -baseline compare)", false, (*app).runSoak},
 	}
 }
 
@@ -108,6 +110,11 @@ type app struct {
 	tpInputs         int
 	tpWorkers        string
 	tpChunks         string
+	soakDataset      string
+	soakDuration     time.Duration
+	soakScanners     int
+	soakReloads      int
+	soakRestarts     int
 	datasets         []string
 	archs            []string
 	baselinePath     string
@@ -141,6 +148,11 @@ func main() {
 	flag.IntVar(&a.tpInputs, "tp-inputs", 32, "batch pieces the -exp throughput corpus is split into")
 	flag.StringVar(&a.tpWorkers, "tp-workers", "", "comma-separated worker counts for -exp throughput (default 1,2,4[,NumCPU])")
 	flag.StringVar(&a.tpChunks, "tp-chunks", "", "comma-separated chunk sizes for -exp throughput (default 4096,16384)")
+	flag.StringVar(&a.soakDataset, "soak-dataset", "Snort", "dataset for the -exp soak run")
+	flag.DurationVar(&a.soakDuration, "soak-duration", 2*time.Second, "overload-phase wall bound for -exp soak")
+	flag.IntVar(&a.soakScanners, "soak-scanners", 8, "concurrent scan goroutines for -exp soak")
+	flag.IntVar(&a.soakReloads, "soak-reloads", 3, "concurrent hot reloads during the -exp soak overload phase")
+	flag.IntVar(&a.soakRestarts, "soak-restarts", 4, "checkpoint/resume crash cycles in the -exp soak session phase")
 	datasetList := flag.String("datasets", "", "comma-separated dataset subset")
 	archList := flag.String("archs", "", "comma-separated architecture subset for -exp perf (BVAP, BVAP-S, CAMA, CA, eAP, CNT)")
 	jsonPath := flag.String("json", "", "also write the structured results as JSON to this file")
@@ -505,6 +517,54 @@ func (a *app) runThroughput() error {
 	return nil
 }
 
+// runSoak exercises the long-lived scan service: a checkpoint/resume
+// session interrupted by forced restarts (exact-report correctness), then
+// an overload phase with concurrent scanners and hot reloads. The counted
+// correctness cell goes into a BENCH-schema report; -baseline compares it
+// against a previous soak run.
+func (a *app) runSoak() error {
+	opt := experiments.SoakOptions{
+		Dataset:  a.soakDataset,
+		Sample:   a.sample,
+		InputLen: a.inputLen,
+		Restarts: a.soakRestarts,
+		Duration: a.soakDuration,
+		Scanners: a.soakScanners,
+		Reloads:  a.soakReloads,
+	}
+	res, rep, err := experiments.Soak(opt)
+	if err != nil {
+		return err
+	}
+	a.dump.Soak = res
+	experiments.RenderSoak(os.Stdout, res)
+
+	out := a.benchOut
+	if out == "" {
+		out, err = experiments.NextBenchPath(".")
+		if err != nil {
+			return err
+		}
+	}
+	if err := experiments.WriteBenchReport(out, rep); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", out)
+
+	if a.baselinePath != "" {
+		base, err := experiments.ReadBenchReport(a.baselinePath)
+		if err != nil {
+			return err
+		}
+		regs := experiments.CompareBench(rep, base, experiments.Thresholds{})
+		experiments.RenderRegressions(os.Stdout, regs)
+		if len(regs) > 0 {
+			return fmt.Errorf("%d counted metric(s) regressed vs %s", len(regs), a.baselinePath)
+		}
+	}
+	return nil
+}
+
 // parseIntList parses a comma-separated list of positive ints; an empty
 // string selects the experiment's defaults (nil).
 func parseIntList(s string) ([]int, error) {
@@ -536,6 +596,7 @@ type jsonResults struct {
 	Faults     []experiments.FaultsRow       `json:"faults,omitempty"`
 	Perf       *experiments.BenchReport      `json:"perf,omitempty"`
 	Throughput *experiments.ThroughputResult `json:"throughput,omitempty"`
+	Soak       *experiments.SoakResult       `json:"soak,omitempty"`
 }
 
 // parseRates parses the -fault-rates list; an empty string selects the

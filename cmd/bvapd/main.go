@@ -1,0 +1,282 @@
+// Command bvapd is a long-lived scan service daemon over the bvap.Service
+// layer: it keeps a compiled pattern set hot behind an HTTP API, hot-reloads
+// new sets without dropping in-flight scans, sheds load when the admission
+// queue fills, quarantines inputs that repeatedly time out or panic, and
+// drains gracefully on shutdown.
+//
+// Usage:
+//
+//	bvapd [-listen ADDR] [-patterns FILE | -dataset NAME -sample N] [flags]
+//
+// Endpoints:
+//
+//	POST /scan     body = raw input bytes → JSON {generation, matches}
+//	POST /reload   body = newline-separated patterns → JSON {generation}
+//	GET  /healthz  liveness + current generation and quarantine set
+//	GET  /metrics  service telemetry (Prometheus text format)
+//
+// Service errors map onto HTTP statuses: overload and draining → 503
+// (with Retry-After), quarantine → 429, watchdog timeout → 504, recovered
+// panic → 500. SIGHUP re-reads -patterns and hot-reloads; SIGINT/SIGTERM
+// drain in-flight work (bounded by -drain-timeout) before exit.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"bvap"
+	"bvap/internal/telemetry"
+)
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:8712", "HTTP listen address")
+	patternsPath := flag.String("patterns", "", "pattern file, one regex per line (# comments); reloaded on SIGHUP")
+	dataset := flag.String("dataset", "Snort", "dataset to sample patterns from when -patterns is not given")
+	sample := flag.Int("sample", 20, "patterns sampled from -dataset")
+	scanTimeout := flag.Duration("scan-timeout", 2*time.Second, "per-scan watchdog deadline (0 disables)")
+	maxConcurrent := flag.Int("max-concurrent", 0, "admission slots (0 = GOMAXPROCS)")
+	maxQueue := flag.Int("max-queue", 64, "admission queue depth beyond the slots")
+	quarantine := flag.Int("quarantine-threshold", 3, "hard failures per input key before quarantine")
+	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "bound on the shutdown drain")
+	maxBody := flag.Int64("max-body", 16<<20, "largest accepted request body in bytes")
+	flag.Parse()
+
+	if err := run(*listen, *patternsPath, *dataset, *sample, *scanTimeout,
+		*maxConcurrent, *maxQueue, *quarantine, *drainTimeout, *maxBody); err != nil {
+		fmt.Fprintln(os.Stderr, "bvapd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(listen, patternsPath, dataset string, sample int, scanTimeout time.Duration,
+	maxConcurrent, maxQueue, quarantine int, drainTimeout time.Duration, maxBody int64) error {
+	patterns, err := loadPatterns(patternsPath, dataset, sample)
+	if err != nil {
+		return err
+	}
+
+	reg := telemetry.NewRegistry()
+	svc, err := bvap.NewService(patterns, &bvap.ServiceConfig{
+		MaxConcurrent:       maxConcurrent,
+		MaxQueue:            maxQueue,
+		ScanTimeout:         scanTimeout,
+		QuarantineThreshold: quarantine,
+		Metrics:             reg,
+	})
+	if err != nil {
+		return fmt.Errorf("initial pattern set: %w", err)
+	}
+
+	d := &daemon{svc: svc, reg: reg, maxBody: maxBody}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /scan", d.handleScan)
+	mux.HandleFunc("POST /reload", d.handleReload)
+	mux.HandleFunc("GET /healthz", d.handleHealthz)
+	mux.HandleFunc("GET /metrics", d.handleMetrics)
+	srv := &http.Server{Addr: listen, Handler: mux}
+
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, syscall.SIGINT, syscall.SIGTERM, syscall.SIGHUP)
+	done := make(chan error, 1)
+	go func() { done <- srv.ListenAndServe() }()
+	log.Printf("bvapd: serving %d patterns (generation %d) on %s", len(patterns), svc.Generation(), listen)
+
+	for {
+		select {
+		case err := <-done:
+			if err != nil && !errors.Is(err, http.ErrServerClosed) {
+				return err
+			}
+			return nil
+		case sig := <-sigs:
+			if sig == syscall.SIGHUP {
+				if patternsPath == "" {
+					log.Printf("bvapd: SIGHUP ignored (no -patterns file to re-read)")
+					continue
+				}
+				next, err := loadPatterns(patternsPath, dataset, sample)
+				if err != nil {
+					log.Printf("bvapd: reload: %v (keeping generation %d)", err, svc.Generation())
+					continue
+				}
+				gen, err := svc.Reload(context.Background(), next)
+				if err != nil {
+					log.Printf("bvapd: reload rejected: %v (keeping generation %d)", err, svc.Generation())
+					continue
+				}
+				log.Printf("bvapd: reloaded %d patterns, generation %d", len(next), gen)
+				continue
+			}
+			log.Printf("bvapd: %s — draining (bound %s)", sig, drainTimeout)
+			ctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+			if err := svc.Drain(ctx); err != nil {
+				log.Printf("bvapd: drain: %v", err)
+			}
+			err := srv.Shutdown(ctx)
+			cancel()
+			return err
+		}
+	}
+}
+
+// loadPatterns reads the pattern file (one regex per line, blank lines and
+// # comments skipped) or falls back to sampling the named dataset.
+func loadPatterns(path, dataset string, sample int) ([]string, error) {
+	if path == "" {
+		d, err := bvap.DatasetByName(dataset)
+		if err != nil {
+			return nil, err
+		}
+		return d.Patterns(sample), nil
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return parsePatterns(string(raw))
+}
+
+func parsePatterns(raw string) ([]string, error) {
+	var out []string
+	for _, line := range strings.Split(raw, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		out = append(out, line)
+	}
+	if len(out) == 0 {
+		return nil, errors.New("no patterns in input")
+	}
+	return out, nil
+}
+
+type daemon struct {
+	svc     *bvap.Service
+	reg     *telemetry.Registry
+	maxBody int64
+}
+
+type scanResponse struct {
+	Generation uint64       `json:"generation"`
+	Matches    []bvap.Match `json:"matches"`
+}
+
+type reloadResponse struct {
+	Generation uint64 `json:"generation"`
+	Patterns   int    `json:"patterns"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+	Kind  string `json:"kind,omitempty"`
+}
+
+func (d *daemon) handleScan(w http.ResponseWriter, r *http.Request) {
+	input, err := io.ReadAll(io.LimitReader(r.Body, d.maxBody+1))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if int64(len(input)) > d.maxBody {
+		writeError(w, http.StatusRequestEntityTooLarge, fmt.Errorf("body exceeds %d bytes", d.maxBody))
+		return
+	}
+	ms, err := d.svc.Scan(r.Context(), input)
+	if err != nil {
+		writeServiceError(w, err)
+		return
+	}
+	if ms == nil {
+		ms = []bvap.Match{}
+	}
+	writeJSON(w, http.StatusOK, scanResponse{Generation: d.svc.Generation(), Matches: ms})
+}
+
+func (d *daemon) handleReload(w http.ResponseWriter, r *http.Request) {
+	raw, err := io.ReadAll(io.LimitReader(r.Body, d.maxBody))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	patterns, err := parsePatterns(string(raw))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	gen, err := d.svc.Reload(r.Context(), patterns)
+	if err != nil {
+		writeServiceError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, reloadResponse{Generation: gen, Patterns: len(patterns)})
+}
+
+func (d *daemon) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"generation":  d.svc.Generation(),
+		"quarantined": d.svc.Quarantined(),
+	})
+}
+
+func (d *daemon) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	if err := d.reg.WritePrometheus(w); err != nil {
+		log.Printf("bvapd: /metrics: %v", err)
+	}
+}
+
+// writeServiceError maps the service's typed errors onto HTTP statuses so
+// clients can distinguish "back off" from "this input is poison".
+func writeServiceError(w http.ResponseWriter, err error) {
+	var (
+		pe *bvap.PanicError
+		re *bvap.ReloadError
+	)
+	switch {
+	case errors.Is(err, bvap.ErrDraining):
+		w.Header().Set("Retry-After", "5")
+		writeErrorKind(w, http.StatusServiceUnavailable, err, "draining")
+	case errors.Is(err, bvap.ErrOverloaded):
+		w.Header().Set("Retry-After", "1")
+		writeErrorKind(w, http.StatusServiceUnavailable, err, "overloaded")
+	case errors.Is(err, bvap.ErrQuarantined):
+		writeErrorKind(w, http.StatusTooManyRequests, err, "quarantined")
+	case errors.Is(err, context.DeadlineExceeded):
+		writeErrorKind(w, http.StatusGatewayTimeout, err, "timeout")
+	case errors.As(err, &pe):
+		writeErrorKind(w, http.StatusInternalServerError, err, "panic")
+	case errors.As(err, &re):
+		writeErrorKind(w, http.StatusUnprocessableEntity, err, "reload-"+re.Phase)
+	default:
+		writeErrorKind(w, http.StatusUnprocessableEntity, err, "")
+	}
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeErrorKind(w, status, err, "")
+}
+
+func writeErrorKind(w http.ResponseWriter, status int, err error, kind string) {
+	writeJSON(w, status, errorResponse{Error: err.Error(), Kind: kind})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		log.Printf("bvapd: encode response: %v", err)
+	}
+}

@@ -1,0 +1,139 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"bvap"
+	"bvap/internal/telemetry"
+)
+
+func testDaemon(t *testing.T, patterns []string) *daemon {
+	t.Helper()
+	reg := telemetry.NewRegistry()
+	svc, err := bvap.NewService(patterns, &bvap.ServiceConfig{
+		ScanTimeout: time.Second,
+		Metrics:     reg,
+	})
+	if err != nil {
+		t.Fatalf("NewService: %v", err)
+	}
+	t.Cleanup(func() { svc.Close() })
+	return &daemon{svc: svc, reg: reg, maxBody: 1 << 20}
+}
+
+func TestHandleScan(t *testing.T) {
+	d := testDaemon(t, []string{"ab{2}c", "xy{3}z"})
+	rec := httptest.NewRecorder()
+	req := httptest.NewRequest("POST", "/scan", strings.NewReader("..abbc..xyyyz.."))
+	d.handleScan(rec, req)
+	if rec.Code != 200 {
+		t.Fatalf("status %d, body %s", rec.Code, rec.Body)
+	}
+	var resp scanResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Generation != 1 || len(resp.Matches) != 2 {
+		t.Errorf("generation %d, %d matches; want 1 and 2: %+v", resp.Generation, len(resp.Matches), resp)
+	}
+}
+
+func TestHandleScanNoMatchesIsEmptyArray(t *testing.T) {
+	d := testDaemon(t, []string{"ab{2}c"})
+	rec := httptest.NewRecorder()
+	d.handleScan(rec, httptest.NewRequest("POST", "/scan", strings.NewReader("nothing here")))
+	if rec.Code != 200 {
+		t.Fatalf("status %d", rec.Code)
+	}
+	if !bytes.Contains(rec.Body.Bytes(), []byte(`"matches":[]`)) {
+		t.Errorf("want empty matches array, got %s", rec.Body)
+	}
+}
+
+func TestHandleScanBodyTooLarge(t *testing.T) {
+	d := testDaemon(t, []string{"ab{2}c"})
+	d.maxBody = 8
+	rec := httptest.NewRecorder()
+	d.handleScan(rec, httptest.NewRequest("POST", "/scan", strings.NewReader("0123456789")))
+	if rec.Code != 413 {
+		t.Errorf("status %d, want 413", rec.Code)
+	}
+}
+
+func TestHandleReloadSwapsAndRejects(t *testing.T) {
+	d := testDaemon(t, []string{"ab{2}c"})
+
+	rec := httptest.NewRecorder()
+	d.handleReload(rec, httptest.NewRequest("POST", "/reload", strings.NewReader("# new set\ncd{3}e\nfg{2,4}h\n")))
+	if rec.Code != 200 {
+		t.Fatalf("reload status %d, body %s", rec.Code, rec.Body)
+	}
+	var resp reloadResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Generation != 2 || resp.Patterns != 2 {
+		t.Errorf("generation %d patterns %d; want 2 and 2", resp.Generation, resp.Patterns)
+	}
+
+	// A bad set is rejected with a reload-phase kind and does not bump
+	// the generation.
+	rec = httptest.NewRecorder()
+	d.handleReload(rec, httptest.NewRequest("POST", "/reload", strings.NewReader("a(b\n")))
+	if rec.Code != 422 {
+		t.Errorf("bad reload status %d, want 422", rec.Code)
+	}
+	var eresp errorResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &eresp); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(eresp.Kind, "reload-") {
+		t.Errorf("kind %q, want reload-<phase>", eresp.Kind)
+	}
+	if d.svc.Generation() != 2 {
+		t.Errorf("generation %d after rejected reload, want 2", d.svc.Generation())
+	}
+
+	// An empty body never reaches the service.
+	rec = httptest.NewRecorder()
+	d.handleReload(rec, httptest.NewRequest("POST", "/reload", strings.NewReader("\n# only comments\n")))
+	if rec.Code != 400 {
+		t.Errorf("empty reload status %d, want 400", rec.Code)
+	}
+}
+
+func TestHandleHealthzAndMetrics(t *testing.T) {
+	d := testDaemon(t, []string{"ab{2}c"})
+
+	rec := httptest.NewRecorder()
+	d.handleHealthz(rec, httptest.NewRequest("GET", "/healthz", nil))
+	if rec.Code != 200 || !bytes.Contains(rec.Body.Bytes(), []byte(`"generation":1`)) {
+		t.Errorf("healthz: status %d body %s", rec.Code, rec.Body)
+	}
+
+	// Scan once so the counters exist, then check the exposition.
+	d.handleScan(httptest.NewRecorder(), httptest.NewRequest("POST", "/scan", strings.NewReader("abbc")))
+	rec = httptest.NewRecorder()
+	d.handleMetrics(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != 200 || !bytes.Contains(rec.Body.Bytes(), []byte("bvap_serve_generation")) {
+		t.Errorf("metrics: status %d missing bvap_serve_generation", rec.Code)
+	}
+}
+
+func TestParsePatterns(t *testing.T) {
+	ps, err := parsePatterns("  a{2}b \n\n# comment\nc{3}\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ps) != 2 || ps[0] != "a{2}b" || ps[1] != "c{3}" {
+		t.Errorf("parsePatterns = %q", ps)
+	}
+	if _, err := parsePatterns("# nothing\n"); err == nil {
+		t.Error("all-comment input accepted")
+	}
+}

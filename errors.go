@@ -26,6 +26,7 @@ import (
 	"fmt"
 
 	"bvap/internal/compiler"
+	"bvap/internal/serve"
 )
 
 var (
@@ -38,6 +39,39 @@ var (
 	// (compile-time STE budget or run-time symbol budget).
 	ErrBudget = errors.New("resource budget exceeded")
 )
+
+// Service lifecycle sentinels. They are the same values internal/serve
+// uses, so errors.Is holds across the package boundary; every one is
+// returned by Service methods (see service.go) and never by the plain
+// Engine scan paths.
+var (
+	// ErrOverloaded marks a request shed by the service's admission
+	// control: the concurrency gate and its bounded wait queue are full,
+	// or the request's deadline expired while it was queued (in which
+	// case the error also unwraps to the context error). Back off and
+	// retry; the service itself is healthy.
+	ErrOverloaded = serve.ErrOverloaded
+	// ErrDraining marks a request rejected because Service.Drain or
+	// Close has begun: in-flight work completes, new work is refused.
+	ErrDraining = serve.ErrDraining
+	// ErrQuarantined marks a request refused because its input — or
+	// every pattern it would exercise — has been quarantined by the
+	// service's circuit breaker after repeated timeouts or cross-check
+	// failures. Quarantined keys re-enter service after the cooldown.
+	ErrQuarantined = serve.ErrQuarantined
+)
+
+// PanicError is a panic recovered from a scan body (a ScanBatch shard, a
+// FindAllParallel chunk, or a Service scan), converted into an ordinary
+// error: Op names the operation, Value is the recovered panic value, and
+// Stack is the goroutine stack captured at recovery. One pathological
+// input degrades one request instead of the process.
+type PanicError = serve.PanicError
+
+// ReloadError is a rejected Service.Reload, annotated with the phase that
+// refused the candidate pattern set ("build", "validate" or "crosscheck").
+// The served generation is unchanged when a ReloadError is returned.
+type ReloadError = serve.ReloadError
 
 // PatternError describes one pattern that failed to compile. It unwraps to
 // ErrSyntax, ErrBudget or ErrUnsupported according to the failure kind, so

@@ -1,0 +1,114 @@
+package bvap
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+
+	"bvap/internal/serve"
+)
+
+// The service sentinels are aliases of internal/serve's values, so
+// errors.Is must hold across the package boundary in both directions and
+// through arbitrary wrapping.
+func TestServiceSentinelRoundTrip(t *testing.T) {
+	cases := []struct {
+		name     string
+		public   error
+		internal error
+	}{
+		{"overloaded", ErrOverloaded, serve.ErrOverloaded},
+		{"draining", ErrDraining, serve.ErrDraining},
+		{"quarantined", ErrQuarantined, serve.ErrQuarantined},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if tc.public != tc.internal { //nolint:errorlint // identity is the contract under test
+				t.Fatalf("public sentinel is not the internal value")
+			}
+			wrapped := fmt.Errorf("request 17: %w", tc.public)
+			if !errors.Is(wrapped, tc.public) {
+				t.Errorf("errors.Is(wrapped, public) = false")
+			}
+			if !errors.Is(wrapped, tc.internal) {
+				t.Errorf("errors.Is(wrapped, internal) = false")
+			}
+		})
+	}
+	// The sentinels are distinct from each other and from the compile/run
+	// taxonomy.
+	all := []error{ErrOverloaded, ErrDraining, ErrQuarantined, ErrSyntax, ErrBudget, ErrUnsupported}
+	for i, a := range all {
+		for j, b := range all {
+			if i != j && errors.Is(a, b) {
+				t.Errorf("sentinel %d unexpectedly Is sentinel %d", i, j)
+			}
+		}
+	}
+}
+
+// A shed request whose deadline expired while queued unwraps to both
+// ErrOverloaded and the context error, so callers can triage either way.
+func TestOverloadedCarriesContextError(t *testing.T) {
+	adm := serve.NewAdmission(serve.AdmissionConfig{MaxConcurrent: 1, MaxQueue: 1}, nil)
+	release, err := adm.Acquire(context.Background())
+	if err != nil {
+		t.Fatalf("first Acquire: %v", err)
+	}
+	defer release()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err = adm.Acquire(ctx)
+	if err == nil {
+		t.Fatal("Acquire with expired ctx on a full gate returned nil")
+	}
+	if !errors.Is(err, ErrOverloaded) {
+		t.Errorf("errors.Is(err, ErrOverloaded) = false for %v", err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("errors.Is(err, context.Canceled) = false for %v", err)
+	}
+}
+
+// PanicError is a type alias for internal/serve's type, so errors.As works
+// on errors produced by either package.
+func TestPanicErrorRoundTrip(t *testing.T) {
+	guarded := serve.Guard("unit", func() { panic("boom") })
+	if guarded == nil {
+		t.Fatal("Guard swallowed the panic")
+	}
+	var pe *PanicError
+	if !errors.As(guarded, &pe) {
+		t.Fatalf("errors.As(*PanicError) = false for %T", guarded)
+	}
+	if pe.Op != "unit" || pe.Value != "boom" {
+		t.Errorf("PanicError = {Op: %q, Value: %v}, want {unit, boom}", pe.Op, pe.Value)
+	}
+	if len(pe.Stack) == 0 {
+		t.Error("PanicError.Stack is empty")
+	}
+	wrapped := fmt.Errorf("scan failed: %w", guarded)
+	var pe2 *serve.PanicError
+	if !errors.As(wrapped, &pe2) {
+		t.Error("errors.As through a wrap using the internal type = false")
+	}
+}
+
+// ReloadError is likewise an alias; the phase annotation and the wrapped
+// cause both survive the boundary.
+func TestReloadErrorRoundTrip(t *testing.T) {
+	cause := errors.New("cross-check mismatch on probe 3")
+	err := fmt.Errorf("reload rejected: %w", &serve.ReloadError{Phase: "crosscheck", Err: cause})
+	var re *ReloadError
+	if !errors.As(err, &re) {
+		t.Fatalf("errors.As(*ReloadError) = false")
+	}
+	if re.Phase != "crosscheck" {
+		t.Errorf("Phase = %q, want crosscheck", re.Phase)
+	}
+	if !errors.Is(err, cause) {
+		t.Error("ReloadError does not unwrap to its cause")
+	}
+}

@@ -3,9 +3,15 @@
 // system clock drops, and the matching/transition circuits run at a lower
 // supply voltage. The example compares BVAP and BVAP-S on the same
 // edge-monitoring workload and prints the energy/throughput trade.
+//
+// The second half runs the same feed through the long-lived service layer:
+// a checkpointed stream session is "crashed" mid-feed and resumed from its
+// last checkpoint with no lost or duplicated detections, then the pattern
+// set is hot-reloaded under the session's feet without disturbing it.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -52,6 +58,72 @@ func main() {
 		(1-streaming.ThroughputGbps/normal.ThroughputGbps)*100,
 		(1-streaming.EnergyPerSymbolNJ/normal.EnergyPerSymbolNJ)*100,
 		(1-streaming.PowerW/normal.PowerW)*100)
+
+	serviceDemo(patterns, stream)
+}
+
+// serviceDemo feeds the sensor stream through a bvap.Service stream
+// session, crashes it mid-feed, resumes from the last checkpoint, and
+// hot-reloads the pattern set — the lifecycle a deployed monitor needs.
+func serviceDemo(patterns []string, stream []byte) {
+	svc, err := bvap.NewService(patterns, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer svc.Close()
+
+	// Reference: one uninterrupted pass over the whole stream.
+	want := svc.Engine().FindAll(stream)
+
+	var delivered []bvap.Match
+	sess, err := svc.NewSession(&bvap.SessionConfig{
+		CheckpointInterval: 8 << 10,
+		OnMatch:            func(m bvap.Match) { delivered = append(delivered, m) },
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	ctx := context.Background()
+	cut := 2 * len(stream) / 3
+	if err := sess.Feed(ctx, stream[:cut]); err != nil {
+		log.Fatal(err)
+	}
+	ck := sess.Checkpoint() // durable handle; survives the "process"
+	sess.Close()            // simulated crash after the checkpoint
+
+	// A new session resumes exactly where the checkpoint was taken —
+	// reports delivered before the crash are never re-emitted.
+	resumed, err := svc.ResumeSession(ck, &bvap.SessionConfig{
+		CheckpointInterval: 8 << 10,
+		OnMatch:            func(m bvap.Match) { delivered = append(delivered, m) },
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := resumed.Feed(ctx, stream[ck.Pos():]); err != nil {
+		log.Fatal(err)
+	}
+	resumed.Close()
+
+	exact := len(delivered) == len(want)
+	for i := range delivered {
+		if !exact || delivered[i] != want[i] {
+			exact = false
+			break
+		}
+	}
+	fmt.Printf("\nservice: crashed at byte %d of %d, resumed from checkpoint at %d\n"+
+		"         %d events delivered across the crash (reference %d, exactly-once=%v)\n",
+		cut, len(stream), ck.Pos(), len(delivered), len(want), exact)
+
+	// Hot reload: ship an extra detector without dropping the service.
+	gen, err := svc.Reload(ctx, append(append([]string{}, patterns...), "Q{32}"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("service: hot-reloaded %d→%d patterns, now serving generation %d\n",
+		len(patterns), len(patterns)+1, gen)
 }
 
 // sensorStream mixes idle readings with occasional frames, escapes, and a

@@ -1,0 +1,392 @@
+package experiments
+
+// The soak experiment exercises the long-lived service layer the way a
+// deployment does, in three phases:
+//
+//   - correctness (counted): a streaming session feeds a deterministic
+//     corpus through repeated crash/resume cycles — explicit checkpoint,
+//     session abandoned, ResumeSession, re-feed from the committed cursor —
+//     and the delivered report log must equal the uninterrupted FindAll
+//     reference byte for byte. Symbols and reports are counted metrics.
+//   - overload (informational): scanner goroutines hammer a deliberately
+//     under-provisioned service; sheds/sec and the client-observed p50/p99
+//     scan latency are reported. Load-dependent, never baseline-compared.
+//   - reload (mixed): while the scanners run, several hot reloads swap the
+//     pattern set concurrently. Every generation keeps a sentinel pattern
+//     planted in every scanned input, so any successful scan that misses
+//     the sentinel match is a dropped-correct-match — the zero-downtime
+//     claim, counted and required to be zero. The final generation must
+//     reflect every successful reload.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"bvap"
+	"bvap/internal/datasets"
+)
+
+// SoakOptions parameterizes the soak. Zero values select a CI-smoke-sized
+// run (a couple of seconds).
+type SoakOptions struct {
+	Dataset            string        // default "Snort"
+	Sample             int           // patterns sampled (default 20)
+	InputLen           int           // session corpus bytes (default 256 KiB)
+	CheckpointInterval int           // session checkpoint spacing (default 2048)
+	Restarts           int           // crash/resume cycles (default 4)
+	Duration           time.Duration // overload-phase wall bound (default 2s)
+	Scanners           int           // concurrent scan goroutines (default 8)
+	MaxConcurrent      int           // admission slots (default 2)
+	MaxQueue           int           // admission queue (default 2)
+	Reloads            int           // concurrent hot reloads (default 3)
+}
+
+func (o *SoakOptions) fill() {
+	if o.Dataset == "" {
+		o.Dataset = "Snort"
+	}
+	if o.Sample == 0 {
+		o.Sample = 20
+	}
+	if o.InputLen == 0 {
+		o.InputLen = 256 << 10
+	}
+	if o.CheckpointInterval == 0 {
+		o.CheckpointInterval = 2048
+	}
+	if o.Restarts == 0 {
+		o.Restarts = 4
+	}
+	if o.Duration == 0 {
+		o.Duration = 2 * time.Second
+	}
+	if o.Scanners == 0 {
+		o.Scanners = 8
+	}
+	if o.MaxConcurrent == 0 {
+		o.MaxConcurrent = 2
+	}
+	if o.MaxQueue == 0 {
+		o.MaxQueue = 2
+	}
+	if o.Reloads == 0 {
+		o.Reloads = 3
+	}
+}
+
+// soakSentinel is the pattern every soak generation keeps and every scanned
+// input contains: the tracer for dropped correct matches across swaps.
+const soakSentinel = "svcsoak{2}z"
+
+// SoakResult is the experiment's structured output.
+type SoakResult struct {
+	Dataset  string `json:"dataset"`
+	Patterns int    `json:"patterns"`
+
+	// Correctness phase (deterministic).
+	SessionSymbols   uint64 `json:"session_symbols"`
+	SessionReports   uint64 `json:"session_reports"`
+	ReferenceReports uint64 `json:"reference_reports"`
+	Restarts         int    `json:"restarts"`
+	ReportsExact     bool   `json:"reports_exact"`
+
+	// Overload phase (informational).
+	Scans          uint64  `json:"scans"`
+	Sheds          uint64  `json:"sheds"`
+	ShedsPerSec    float64 `json:"sheds_per_sec"`
+	P50ScanMs      float64 `json:"p50_scan_ms"`
+	P99ScanMs      float64 `json:"p99_scan_ms"`
+	OverloadWallMs float64 `json:"overload_wall_ms"`
+
+	// Reload phase.
+	ReloadsOK             int    `json:"reloads_ok"`
+	FinalGeneration       uint64 `json:"final_generation"`
+	DroppedCorrectMatches uint64 `json:"dropped_correct_matches"`
+
+	// Hygiene.
+	StreamsOut int64 `json:"streams_out"`
+}
+
+// Soak runs the service soak and returns the structured result plus a
+// BENCH-schema report (the correctness cell's symbols and reports are
+// counted; the overload/reload cells are informational).
+func Soak(opt SoakOptions) (*SoakResult, *BenchReport, error) {
+	opt.fill()
+	prof, err := datasets.ByName(opt.Dataset)
+	if err != nil {
+		return nil, nil, err
+	}
+	patterns := append([]string{soakSentinel}, prof.Sample(opt.Sample)...)
+	res := &SoakResult{Dataset: opt.Dataset, Patterns: len(patterns), Restarts: opt.Restarts}
+
+	if err := soakCorrectness(opt, prof, patterns, res); err != nil {
+		return nil, nil, err
+	}
+	if err := soakOverload(opt, patterns, res); err != nil {
+		return nil, nil, err
+	}
+	return res, soakBench(opt, res), nil
+}
+
+// soakCorrectness is the crash/resume exactly-once phase.
+func soakCorrectness(opt SoakOptions, prof datasets.Profile, patterns []string, res *SoakResult) error {
+	svc, err := bvap.NewService(patterns, nil)
+	if err != nil {
+		return fmt.Errorf("soak: compile: %v", err)
+	}
+	defer svc.Close()
+
+	corpus := prof.Input(opt.InputLen, patterns)
+	want := svc.Engine().FindAll(corpus)
+	res.SessionSymbols = uint64(len(corpus))
+	res.ReferenceReports = uint64(len(want))
+
+	var got []bvap.Match
+	cfg := &bvap.SessionConfig{
+		CheckpointInterval: opt.CheckpointInterval,
+		OnMatch:            func(m bvap.Match) { got = append(got, m) },
+	}
+	sess, err := svc.NewSession(cfg)
+	if err != nil {
+		return err
+	}
+	// Feed in awkward chunks; every segment boundary is a crash/resume
+	// cycle: checkpoint, abandon the session (pending reports die with
+	// it), resume from the handle and re-feed from its cursor.
+	segment := len(corpus) / (opt.Restarts + 1)
+	for r := 0; r <= opt.Restarts; r++ {
+		end := (r + 1) * segment
+		if r == opt.Restarts {
+			end = len(corpus)
+		}
+		for off := int(sess.Pos()); off < end; {
+			n := 1500
+			if off+n > end {
+				n = end - off
+			}
+			if err := sess.Feed(context.Background(), corpus[off:off+n]); err != nil {
+				return fmt.Errorf("soak: feed at %d: %v", off, err)
+			}
+			off += n
+		}
+		if r == opt.Restarts {
+			sess.Close()
+			break
+		}
+		ck := sess.Checkpoint()
+		// Crash: overfeed a little past the checkpoint, then drop the
+		// session without Close. The tail reports are never committed.
+		tail := corpus[ck.Pos():]
+		if len(tail) > opt.CheckpointInterval/2 {
+			tail = tail[:opt.CheckpointInterval/2]
+		}
+		_ = sess.Feed(context.Background(), tail)
+		sess, err = svc.ResumeSession(ck, cfg)
+		if err != nil {
+			return fmt.Errorf("soak: resume %d: %v", r, err)
+		}
+	}
+
+	res.SessionReports = uint64(len(got))
+	res.ReportsExact = len(got) == len(want)
+	if res.ReportsExact {
+		for i := range got {
+			if got[i] != want[i] {
+				res.ReportsExact = false
+				break
+			}
+		}
+	}
+	if !res.ReportsExact {
+		return fmt.Errorf("soak: session delivered %d reports, reference %d (or order diverged)", len(got), len(want))
+	}
+	res.StreamsOut += svc.Engine().StreamsOut()
+	return nil
+}
+
+// soakOverload is the concurrent overload + hot-reload phase.
+func soakOverload(opt SoakOptions, patterns []string, res *SoakResult) error {
+	svc, err := bvap.NewService(patterns, &bvap.ServiceConfig{
+		MaxConcurrent: opt.MaxConcurrent,
+		MaxQueue:      opt.MaxQueue,
+	})
+	if err != nil {
+		return err
+	}
+
+	// Every scanned input carries exactly one sentinel occurrence
+	// ("svcsoakkz" matches svcsoak{2}z).
+	input := []byte("noise-noise-svcsoakkz-trailer-bytes")
+	wantSentinel := len(svc.Engine().FindAll(input))
+	if wantSentinel == 0 {
+		return fmt.Errorf("soak: sentinel pattern does not match the probe input")
+	}
+
+	var scans, sheds, dropped atomic.Uint64
+	latCh := make(chan time.Duration, 4096)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < opt.Scanners; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				t0 := time.Now()
+				ms, err := svc.Scan(context.Background(), input)
+				switch {
+				case errors.Is(err, bvap.ErrOverloaded):
+					sheds.Add(1)
+				case err != nil:
+					dropped.Add(1) // any hard failure counts against the swap claim
+				default:
+					scans.Add(1)
+					sentinel := 0
+					for _, m := range ms {
+						if m.Pattern == 0 {
+							sentinel++
+						}
+					}
+					if sentinel != wantSentinel {
+						dropped.Add(1)
+					}
+					select {
+					case latCh <- time.Since(t0):
+					default:
+					}
+				}
+			}
+		}()
+	}
+
+	// Concurrent hot reloads, every generation keeping the sentinel.
+	var reloadWG sync.WaitGroup
+	reloadErrs := make([]error, opt.Reloads)
+	for i := 0; i < opt.Reloads; i++ {
+		reloadWG.Add(1)
+		go func(i int) {
+			defer reloadWG.Done()
+			pats := append([]string{soakSentinel}, patterns[1:]...)
+			pats = append(pats, fmt.Sprintf("soakgen%dx{%d}", i, 2+i))
+			_, reloadErrs[i] = svc.Reload(context.Background(), pats)
+		}(i)
+	}
+	reloadWG.Wait()
+	for time.Since(start) < opt.Duration {
+		time.Sleep(10 * time.Millisecond)
+	}
+	close(stop)
+	wg.Wait()
+	elapsed := time.Since(start)
+	close(latCh)
+
+	for _, err := range reloadErrs {
+		if err == nil {
+			res.ReloadsOK++
+		}
+	}
+	if res.ReloadsOK != opt.Reloads {
+		return fmt.Errorf("soak: %d/%d reloads failed: %v", opt.Reloads-res.ReloadsOK, opt.Reloads, reloadErrs)
+	}
+	res.FinalGeneration = svc.Generation()
+	res.Scans = scans.Load()
+	res.Sheds = sheds.Load()
+	res.DroppedCorrectMatches = dropped.Load()
+	res.OverloadWallMs = float64(elapsed) / float64(time.Millisecond)
+	res.ShedsPerSec = float64(res.Sheds) / elapsed.Seconds()
+
+	var lats []float64
+	for d := range latCh {
+		lats = append(lats, float64(d)/float64(time.Millisecond))
+	}
+	sort.Float64s(lats)
+	if n := len(lats); n > 0 {
+		res.P50ScanMs = lats[n/2]
+		res.P99ScanMs = lats[n*99/100]
+	}
+
+	if err := svc.Drain(context.Background()); err != nil {
+		return fmt.Errorf("soak: drain: %v", err)
+	}
+	res.StreamsOut += svc.Engine().StreamsOut()
+	if res.DroppedCorrectMatches != 0 {
+		return fmt.Errorf("soak: %d scans lost the sentinel match across reload swaps", res.DroppedCorrectMatches)
+	}
+	if res.StreamsOut != 0 {
+		return fmt.Errorf("soak: %d pooled streams still checked out after drain", res.StreamsOut)
+	}
+	return nil
+}
+
+// soakBench shapes a soak run as a BENCH-schema report: the correctness
+// cell's symbols and matches are deterministic counted metrics; the
+// overload and reload cells carry informational wall-clock and shed rates
+// (load-dependent, excluded from exact comparison by construction — their
+// symbols/matches are zero).
+func soakBench(opt SoakOptions, res *SoakResult) *BenchReport {
+	rep := &BenchReport{
+		SchemaVersion: BenchSchemaVersion,
+		Created:       time.Now().UTC().Format(time.RFC3339),
+		Environment: BenchEnvironment{
+			GoVersion: runtime.Version(),
+			GOOS:      runtime.GOOS,
+			GOARCH:    runtime.GOARCH,
+			NumCPU:    runtime.NumCPU(),
+		},
+		Params: BenchParams{
+			BVSize: perfBVSize, UnfoldTh: perfUnfoldTh,
+			Sample: opt.Sample, InputLen: opt.InputLen,
+			Datasets: []string{opt.Dataset},
+			Archs:    []string{"soak-correctness", "soak-overload"},
+		},
+	}
+	rep.Cells = append(rep.Cells, BenchCell{
+		Dataset:  res.Dataset,
+		Arch:     "soak-correctness",
+		Patterns: res.Patterns,
+		Symbols:  res.SessionSymbols,
+		Matches:  res.SessionReports,
+		Stalls: map[string]uint64{
+			"restarts": uint64(res.Restarts),
+		},
+	})
+	rep.Cells = append(rep.Cells, BenchCell{
+		Dataset:  res.Dataset,
+		Arch:     "soak-overload",
+		Patterns: res.Patterns,
+		RunMs:    res.OverloadWallMs,
+		Stalls: map[string]uint64{
+			"scans":           res.Scans,
+			"sheds":           res.Sheds,
+			"reloads_ok":      uint64(res.ReloadsOK),
+			"generation":      res.FinalGeneration,
+			"dropped_correct": res.DroppedCorrectMatches,
+		},
+	})
+	rep.PeakRSSBytes = peakRSSBytes()
+	return rep
+}
+
+// RenderSoak prints the soak summary.
+func RenderSoak(w io.Writer, res *SoakResult) {
+	fmt.Fprintf(w, "Soak — service lifecycle under load (%s, %d patterns)\n", res.Dataset, res.Patterns)
+	fmt.Fprintf(w, "  correctness: %d symbols, %d reports (%d reference), %d crash/resume cycles, exact=%v\n",
+		res.SessionSymbols, res.SessionReports, res.ReferenceReports, res.Restarts, res.ReportsExact)
+	fmt.Fprintf(w, "  overload:    %d scans, %d sheds (%.0f/s), scan latency p50 %.2f ms p99 %.2f ms over %.0f ms\n",
+		res.Scans, res.Sheds, res.ShedsPerSec, res.P50ScanMs, res.P99ScanMs, res.OverloadWallMs)
+	fmt.Fprintf(w, "  reload:      %d/%d concurrent reloads applied, final generation %d, dropped correct matches %d\n",
+		res.ReloadsOK, res.ReloadsOK, res.FinalGeneration, res.DroppedCorrectMatches)
+	fmt.Fprintf(w, "  hygiene:     %d pooled streams checked out after drain\n", res.StreamsOut)
+}

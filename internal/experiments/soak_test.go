@@ -1,0 +1,55 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+	"time"
+)
+
+func TestSoakSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak is a wall-clock experiment")
+	}
+	res, rep, err := Soak(SoakOptions{
+		Sample:   8,
+		InputLen: 64 << 10,
+		Duration: 300 * time.Millisecond,
+		Scanners: 4,
+		Reloads:  3,
+	})
+	if err != nil {
+		t.Fatalf("Soak: %v", err)
+	}
+	if !res.ReportsExact {
+		t.Error("session reports diverged from reference")
+	}
+	if res.SessionReports != res.ReferenceReports {
+		t.Errorf("reports %d != reference %d", res.SessionReports, res.ReferenceReports)
+	}
+	if res.ReloadsOK != 3 || res.FinalGeneration != 4 {
+		t.Errorf("reloads ok %d, final generation %d; want 3 and 4", res.ReloadsOK, res.FinalGeneration)
+	}
+	if res.DroppedCorrectMatches != 0 {
+		t.Errorf("dropped correct matches = %d", res.DroppedCorrectMatches)
+	}
+	if res.StreamsOut != 0 {
+		t.Errorf("streams out = %d", res.StreamsOut)
+	}
+	if res.Scans == 0 {
+		t.Error("overload phase completed no scans")
+	}
+
+	// The report carries the counted correctness cell.
+	if len(rep.Cells) != 2 {
+		t.Fatalf("%d bench cells, want 2", len(rep.Cells))
+	}
+	if rep.Cells[0].Arch != "soak-correctness" || rep.Cells[0].Matches != res.SessionReports {
+		t.Errorf("correctness cell mismatch: %+v", rep.Cells[0])
+	}
+
+	var buf bytes.Buffer
+	RenderSoak(&buf, res)
+	if buf.Len() == 0 {
+		t.Error("RenderSoak produced nothing")
+	}
+}

@@ -75,6 +75,10 @@ func (s *BVAPSystem) NumMachines() int { return len(s.machines) }
 // (energy, cycles, symbols, stall counts) are deliberately excluded —
 // rolled-back work stays charged, which is the measured cost of recovery.
 type sysCheckpoint struct {
+	// owner pins the checkpoint to the system it was taken on: runner
+	// snapshots index into that system's machines, so restoring onto a
+	// different system would silently corrupt it. Restore checks identity.
+	owner   *BVAPSystem
 	pos     int
 	runners []*runnerCk
 	endsLen []int
@@ -88,7 +92,7 @@ type runnerCk struct {
 
 // Checkpoint implements faults.Target.
 func (s *BVAPSystem) Checkpoint() faults.Checkpoint {
-	ck := &sysCheckpoint{pos: s.pos}
+	ck := &sysCheckpoint{owner: s, pos: s.pos}
 	for _, m := range s.machines {
 		if m == nil {
 			ck.runners = append(ck.runners, nil)
@@ -115,6 +119,9 @@ func (s *BVAPSystem) Restore(c faults.Checkpoint) {
 	ck, ok := c.(*sysCheckpoint)
 	if !ok || ck == nil {
 		panic("hwsim: Restore with a checkpoint from a different system type")
+	}
+	if ck.owner != s {
+		panic("hwsim: Restore with a checkpoint taken on a different system")
 	}
 	s.pos = ck.pos
 	for i, m := range s.machines {

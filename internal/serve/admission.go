@@ -1,0 +1,165 @@
+package serve
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// AdmissionConfig bounds the service's concurrent and queued work. The
+// zero value selects 1 concurrent slot and no wait queue (pure load
+// shedding).
+type AdmissionConfig struct {
+	// MaxConcurrent is the number of requests executing at once; values
+	// < 1 select 1.
+	MaxConcurrent int
+	// MaxQueue is the number of requests allowed to wait for a slot;
+	// values < 0 select 0 (a full gate sheds immediately).
+	MaxQueue int
+}
+
+func (c *AdmissionConfig) fill() {
+	if c.MaxConcurrent < 1 {
+		c.MaxConcurrent = 1
+	}
+	if c.MaxQueue < 0 {
+		c.MaxQueue = 0
+	}
+}
+
+// Admission is a bounded concurrency gate with a bounded wait queue and
+// deadline-aware load shedding. Construct with NewAdmission; the zero
+// value is not usable.
+//
+// The shedding policy, in order:
+//
+//  1. a draining gate rejects immediately with ErrDraining;
+//  2. a request finding a free execution slot is admitted immediately;
+//  3. otherwise it queues, unless the queue is full — then it is shed
+//     immediately with ErrOverloaded ("queue_full");
+//  4. a queued request whose context expires before a slot frees is shed
+//     with ErrOverloaded ("deadline") wrapping the context error, so
+//     callers can still distinguish cancellation from timeout with
+//     errors.Is.
+type Admission struct {
+	slots chan struct{}
+	cfg   AdmissionConfig
+
+	queued   atomic.Int64
+	inflight atomic.Int64
+	draining atomic.Bool
+
+	// wg tracks admitted requests for Drain.
+	wg sync.WaitGroup
+
+	m *Metrics
+}
+
+// NewAdmission builds an admission gate. m may be nil.
+func NewAdmission(cfg AdmissionConfig, m *Metrics) *Admission {
+	cfg.fill()
+	return &Admission{
+		slots: make(chan struct{}, cfg.MaxConcurrent),
+		cfg:   cfg,
+		m:     m,
+	}
+}
+
+// Acquire admits one request, returning a release function the caller must
+// invoke exactly once when the request finishes (defer it). A nil release
+// accompanies every error. The admission wait (zero for the fast path) is
+// recorded on the metrics' admission-latency histogram.
+func (a *Admission) Acquire(ctx context.Context) (release func(), err error) {
+	if a.draining.Load() {
+		a.m.Shed("draining")
+		return nil, ErrDraining
+	}
+	// Fast path: a free slot admits without queueing.
+	select {
+	case a.slots <- struct{}{}:
+		a.m.AdmissionWait(0)
+		return a.admit(), nil
+	default:
+	}
+	// Slow path: queue, bounded.
+	if a.queued.Add(1) > int64(a.cfg.MaxQueue) {
+		a.queued.Add(-1)
+		a.m.Shed("queue_full")
+		return nil, ErrOverloaded
+	}
+	a.m.QueueDepth(a.queued.Load())
+	start := time.Now()
+	defer func() {
+		a.queued.Add(-1)
+		a.m.QueueDepth(a.queued.Load())
+	}()
+	select {
+	case a.slots <- struct{}{}:
+		if a.draining.Load() {
+			// Drain began while we were queued: give the slot back.
+			<-a.slots
+			a.m.Shed("draining")
+			return nil, ErrDraining
+		}
+		a.m.AdmissionWait(time.Since(start))
+		return a.admit(), nil
+	case <-ctx.Done():
+		a.m.Shed("deadline")
+		return nil, &overloadedError{cause: ctx.Err()}
+	}
+}
+
+// admit registers one in-flight request and returns its release function.
+func (a *Admission) admit() func() {
+	a.wg.Add(1)
+	a.m.Inflight(a.inflight.Add(1))
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			a.m.Inflight(a.inflight.Add(-1))
+			<-a.slots
+			a.wg.Done()
+		})
+	}
+}
+
+// Queued returns the current wait-queue depth.
+func (a *Admission) Queued() int64 { return a.queued.Load() }
+
+// Inflight returns the number of admitted, unreleased requests.
+func (a *Admission) Inflight() int64 { return a.inflight.Load() }
+
+// Drain flips the gate into draining mode (new Acquires fail with
+// ErrDraining, queued waiters are turned away as slots free) and waits for
+// the in-flight requests to release, or for ctx to expire — whichever
+// comes first. It returns ctx.Err() when the bound was hit with work still
+// in flight. Drain is idempotent.
+func (a *Admission) Drain(ctx context.Context) error {
+	a.draining.Store(true)
+	done := make(chan struct{})
+	go func() {
+		a.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Draining reports whether Drain has begun.
+func (a *Admission) Draining() bool { return a.draining.Load() }
+
+// overloadedError is a deadline shed: it unwraps to both ErrOverloaded and
+// the context error, so errors.Is(err, ErrOverloaded) and
+// errors.Is(err, context.DeadlineExceeded) both hold.
+type overloadedError struct{ cause error }
+
+func (e *overloadedError) Error() string {
+	return ErrOverloaded.Error() + ": " + e.cause.Error()
+}
+
+func (e *overloadedError) Unwrap() []error { return []error{ErrOverloaded, e.cause} }

@@ -1,0 +1,165 @@
+package serve
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// BreakerConfig tunes the quarantine circuit breaker. The zero value
+// selects 3 failures within 1 minute to trip, and a 30-second cooldown.
+type BreakerConfig struct {
+	// Threshold is the number of failures within Window that trips the
+	// breaker for a key; values < 1 select 3.
+	Threshold int
+	// Window is the sliding interval failures are counted over; values
+	// <= 0 select one minute.
+	Window time.Duration
+	// Cooldown is how long a tripped key stays quarantined; values <= 0
+	// select 30 seconds. After the cooldown the key re-enters service
+	// half-open: its failure count restarts from zero, so one more
+	// failure window is needed to re-trip.
+	Cooldown time.Duration
+}
+
+func (c *BreakerConfig) fill() {
+	if c.Threshold < 1 {
+		c.Threshold = 3
+	}
+	if c.Window <= 0 {
+		c.Window = time.Minute
+	}
+	if c.Cooldown <= 0 {
+		c.Cooldown = 30 * time.Second
+	}
+}
+
+// Breaker is a keyed circuit breaker: repeated failures of one key
+// (a pattern index, an input digest) within the window quarantine that key
+// for the cooldown, taking it out of service without affecting other keys
+// — the degraded-set alternative to crashing or serving corrupt results.
+// Construct with NewBreaker; all methods are safe for concurrent use.
+type Breaker struct {
+	cfg BreakerConfig
+	m   *Metrics
+
+	// now is the clock, swappable in tests.
+	now func() time.Time
+
+	mu    sync.Mutex
+	state map[string]*breakerEntry
+}
+
+type breakerEntry struct {
+	failures []time.Time // within the window, oldest first
+	until    time.Time   // quarantined while now < until
+	trips    uint64
+}
+
+// NewBreaker builds a breaker. m may be nil.
+func NewBreaker(cfg BreakerConfig, m *Metrics) *Breaker {
+	cfg.fill()
+	return &Breaker{cfg: cfg, m: m, now: time.Now, state: map[string]*breakerEntry{}}
+}
+
+// Allow reports whether key is currently in service. A key past its
+// cooldown is half-open: Allow returns true and the stale failure history
+// is discarded.
+func (b *Breaker) Allow(key string) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	e := b.state[key]
+	if e == nil {
+		return true
+	}
+	now := b.now()
+	if now.Before(e.until) {
+		return false
+	}
+	if !e.until.IsZero() {
+		// Cooldown elapsed: half-open, fresh failure budget.
+		e.until = time.Time{}
+		e.failures = e.failures[:0]
+		b.m.QuarantineActive(int64(b.activeLocked(now)))
+	}
+	return true
+}
+
+// Failure records one failure of key, returning true when this failure
+// tripped the breaker (the key is now quarantined).
+func (b *Breaker) Failure(key string) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	now := b.now()
+	e := b.state[key]
+	if e == nil {
+		e = &breakerEntry{}
+		b.state[key] = e
+	}
+	if now.Before(e.until) {
+		return false // already quarantined; nothing new trips
+	}
+	// Slide the window.
+	cutoff := now.Add(-b.cfg.Window)
+	keep := e.failures[:0]
+	for _, t := range e.failures {
+		if t.After(cutoff) {
+			keep = append(keep, t)
+		}
+	}
+	e.failures = append(keep, now)
+	if len(e.failures) < b.cfg.Threshold {
+		return false
+	}
+	e.until = now.Add(b.cfg.Cooldown)
+	e.failures = e.failures[:0]
+	e.trips++
+	b.m.QuarantineTrip()
+	b.m.QuarantineActive(int64(b.activeLocked(now)))
+	return true
+}
+
+// Success records one success of key, clearing its failure history (a key
+// must fail Threshold times within one window with no intervening success
+// to trip).
+func (b *Breaker) Success(key string) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if e := b.state[key]; e != nil && !b.now().Before(e.until) {
+		e.failures = e.failures[:0]
+	}
+}
+
+// Quarantined returns the currently quarantined keys, sorted.
+func (b *Breaker) Quarantined() []string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	now := b.now()
+	var out []string
+	for k, e := range b.state {
+		if now.Before(e.until) {
+			out = append(out, k)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// activeLocked counts quarantined keys; callers hold b.mu.
+func (b *Breaker) activeLocked(now time.Time) int {
+	n := 0
+	for _, e := range b.state {
+		if now.Before(e.until) {
+			n++
+		}
+	}
+	return n
+}
+
+// SetClock replaces the breaker's clock; tests use it to step time
+// deterministically.
+func (b *Breaker) SetClock(now func() time.Time) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.now = now
+}

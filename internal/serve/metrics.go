@@ -1,0 +1,190 @@
+package serve
+
+import (
+	"time"
+
+	"bvap/internal/telemetry"
+)
+
+// Metric names exposed by the service layer. Registered lazily by
+// NewMetrics; the whole subsystem runs with a nil *Metrics when the caller
+// attaches no registry, and every method is nil-receiver safe so the hot
+// paths pay one comparison (the parascan convention).
+const (
+	// MetricGeneration is a gauge of the served pattern-set generation
+	// (1 at start, +1 per successful hot reload).
+	MetricGeneration = "bvap_serve_generation"
+	// MetricQueueDepth is a gauge of requests waiting in the admission
+	// queue.
+	MetricQueueDepth = "bvap_serve_queue_depth"
+	// MetricInflight is a gauge of admitted, unfinished requests.
+	MetricInflight = "bvap_serve_inflight"
+	// MetricSheds counts requests shed by admission control, labeled by
+	// reason: "queue_full", "deadline" or "draining".
+	MetricSheds = "bvap_serve_sheds_total"
+	// MetricAdmissionWait is a histogram of admission latency in
+	// milliseconds (0 for the uncontended fast path).
+	MetricAdmissionWait = "bvap_serve_admission_wait_ms"
+	// MetricScans counts scans the service completed, labeled by outcome:
+	// "ok", "error", "panic" or "timeout".
+	MetricScans = "bvap_serve_scans_total"
+	// MetricReloads counts hot-reload attempts, labeled by result: "ok",
+	// "build_failed" or "validate_failed".
+	MetricReloads = "bvap_serve_reloads_total"
+	// MetricQuarantineTrips counts circuit-breaker trips.
+	MetricQuarantineTrips = "bvap_serve_quarantine_trips_total"
+	// MetricQuarantineActive is a gauge of currently quarantined keys.
+	MetricQuarantineActive = "bvap_serve_quarantine_active"
+	// MetricPanics counts panics recovered into *PanicError.
+	MetricPanics = "bvap_serve_panics_total"
+	// MetricWatchdogTimeouts counts scans stopped by the per-scan
+	// watchdog deadline.
+	MetricWatchdogTimeouts = "bvap_serve_watchdog_timeouts_total"
+	// MetricCheckpoints counts streaming checkpoints taken.
+	MetricCheckpoints = "bvap_serve_checkpoints_total"
+	// MetricCheckpointAge is a gauge of symbols consumed since the last
+	// streaming checkpoint (the replay exposure of a crash right now).
+	MetricCheckpointAge = "bvap_serve_checkpoint_age_symbols"
+)
+
+// ShedReasons enumerates the label values of MetricSheds, for exposition
+// and tests.
+var ShedReasons = []string{"queue_full", "deadline", "draining"}
+
+// AdmissionWaitBuckets is the bucket ladder of MetricAdmissionWait, in
+// milliseconds.
+var AdmissionWaitBuckets = []float64{0, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 25, 50, 100, 250, 500, 1000}
+
+// Metrics is the resolved handle set of the service's telemetry. A nil
+// *Metrics is valid everywhere and records nothing.
+type Metrics struct {
+	generation       *telemetry.Gauge
+	queueDepth       *telemetry.Gauge
+	inflight         *telemetry.Gauge
+	sheds            *telemetry.CounterVec
+	admissionWait    *telemetry.Histogram
+	scans            *telemetry.CounterVec
+	reloads          *telemetry.CounterVec
+	quarantineTrips  *telemetry.Counter
+	quarantineActive *telemetry.Gauge
+	panics           *telemetry.Counter
+	watchdogTimeouts *telemetry.Counter
+	checkpoints      *telemetry.Counter
+	checkpointAge    *telemetry.Gauge
+}
+
+// NewMetrics resolves the service's metric families on reg, returning nil
+// for a nil registry so call sites need no branching.
+func NewMetrics(reg *telemetry.Registry) *Metrics {
+	if reg == nil {
+		return nil
+	}
+	return &Metrics{
+		generation:       reg.Gauge(MetricGeneration, "served pattern-set generation"),
+		queueDepth:       reg.Gauge(MetricQueueDepth, "requests waiting in the admission queue"),
+		inflight:         reg.Gauge(MetricInflight, "admitted, unfinished requests"),
+		sheds:            reg.CounterVec(MetricSheds, "requests shed by admission control", "reason"),
+		admissionWait:    reg.Histogram(MetricAdmissionWait, "admission latency in milliseconds", AdmissionWaitBuckets),
+		scans:            reg.CounterVec(MetricScans, "scans completed by the service", "outcome"),
+		reloads:          reg.CounterVec(MetricReloads, "hot-reload attempts", "result"),
+		quarantineTrips:  reg.Counter(MetricQuarantineTrips, "circuit-breaker trips"),
+		quarantineActive: reg.Gauge(MetricQuarantineActive, "currently quarantined keys"),
+		panics:           reg.Counter(MetricPanics, "panics recovered into PanicError"),
+		watchdogTimeouts: reg.Counter(MetricWatchdogTimeouts, "scans stopped by the watchdog deadline"),
+		checkpoints:      reg.Counter(MetricCheckpoints, "streaming checkpoints taken"),
+		checkpointAge:    reg.Gauge(MetricCheckpointAge, "symbols consumed since the last streaming checkpoint"),
+	}
+}
+
+// Generation records the published generation sequence.
+func (m *Metrics) Generation(seq float64) {
+	if m != nil {
+		m.generation.Set(seq)
+	}
+}
+
+// QueueDepth records the admission queue depth.
+func (m *Metrics) QueueDepth(n int64) {
+	if m != nil {
+		m.queueDepth.Set(float64(n))
+	}
+}
+
+// Inflight records the in-flight request count.
+func (m *Metrics) Inflight(n int64) {
+	if m != nil {
+		m.inflight.Set(float64(n))
+	}
+}
+
+// Shed records one shed request with its reason label.
+func (m *Metrics) Shed(reason string) {
+	if m != nil {
+		m.sheds.With(reason).Inc()
+	}
+}
+
+// AdmissionWait records one admission latency observation.
+func (m *Metrics) AdmissionWait(d time.Duration) {
+	if m != nil {
+		m.admissionWait.Observe(float64(d) / float64(time.Millisecond))
+	}
+}
+
+// Scan records one completed scan with its outcome label.
+func (m *Metrics) Scan(outcome string) {
+	if m != nil {
+		m.scans.With(outcome).Inc()
+	}
+}
+
+// Reload records one reload attempt with its result label.
+func (m *Metrics) Reload(result string) {
+	if m != nil {
+		m.reloads.With(result).Inc()
+	}
+}
+
+// QuarantineTrip records one circuit-breaker trip.
+func (m *Metrics) QuarantineTrip() {
+	if m != nil {
+		m.quarantineTrips.Inc()
+	}
+}
+
+// QuarantineActive records the number of quarantined keys.
+func (m *Metrics) QuarantineActive(n int64) {
+	if m != nil {
+		m.quarantineActive.Set(float64(n))
+	}
+}
+
+// Panic records one recovered panic.
+func (m *Metrics) Panic() {
+	if m != nil {
+		m.panics.Inc()
+	}
+}
+
+// WatchdogTimeout records one watchdog-stopped scan.
+func (m *Metrics) WatchdogTimeout() {
+	if m != nil {
+		m.watchdogTimeouts.Inc()
+	}
+}
+
+// CheckpointTaken records one streaming checkpoint and resets the age
+// gauge.
+func (m *Metrics) CheckpointTaken() {
+	if m != nil {
+		m.checkpoints.Inc()
+		m.checkpointAge.Set(0)
+	}
+}
+
+// CheckpointAge records the symbols consumed since the last checkpoint.
+func (m *Metrics) CheckpointAge(symbols int64) {
+	if m != nil {
+		m.checkpointAge.Set(float64(symbols))
+	}
+}

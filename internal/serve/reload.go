@@ -1,0 +1,88 @@
+package serve
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+)
+
+// Generation is one published engine generation: an opaque payload (the
+// root package stores its *Engine plus served-set bookkeeping) tagged with
+// a monotonically increasing sequence number.
+type Generation[T any] struct {
+	// Seq is 1 for the generation the service started with and increases
+	// by one per successful reload.
+	Seq uint64
+	// Value is the generation payload.
+	Value T
+}
+
+// Generations is the hot-reload cell: readers Load the current generation
+// wait-free (one atomic pointer load on the scan path), while writers run
+// the serialized two-phase swap protocol in Swap. Construct with
+// NewGenerations.
+type Generations[T any] struct {
+	cur atomic.Pointer[Generation[T]]
+	// swapMu serializes reloads: concurrent Swap calls queue and each
+	// validates against the generation current at its turn, so N
+	// concurrent reloads all apply, in some order, without losing one.
+	swapMu sync.Mutex
+	m      *Metrics
+}
+
+// NewGenerations publishes the initial generation (Seq 1). m may be nil.
+func NewGenerations[T any](initial T, m *Metrics) *Generations[T] {
+	g := &Generations[T]{m: m}
+	g.cur.Store(&Generation[T]{Seq: 1, Value: initial})
+	m.Generation(1)
+	return g
+}
+
+// Load returns the current generation. The result is immutable; a
+// concurrent Swap publishes a new Generation rather than mutating this
+// one, so a scan that loaded a generation keeps using it to completion
+// (zero-downtime swap).
+func (g *Generations[T]) Load() *Generation[T] { return g.cur.Load() }
+
+// Seq returns the current generation's sequence number.
+func (g *Generations[T]) Seq() uint64 { return g.cur.Load().Seq }
+
+// Swap runs the two-phase reload protocol, serialized against other
+// swaps: build constructs a candidate payload, validate vets it (both run
+// outside any lock the read path can observe — scans proceed on the old
+// generation throughout), and only when both phases return nil is the
+// candidate published. On any error the current generation is untouched
+// and the error is returned wrapped in a *ReloadError naming the phase.
+//
+// build receives the generation being replaced so it can reuse expensive
+// artifacts; validate receives the candidate.
+func (g *Generations[T]) Swap(
+	build func(old *Generation[T]) (T, error),
+	validate func(candidate T) error,
+) (*Generation[T], error) {
+	g.swapMu.Lock()
+	defer g.swapMu.Unlock()
+	old := g.cur.Load()
+	next, err := build(old)
+	if err != nil {
+		g.m.Reload("build_failed")
+		return nil, &ReloadError{Phase: "build", Err: err}
+	}
+	if validate != nil {
+		if err := validate(next); err != nil {
+			g.m.Reload("validate_failed")
+			var re *ReloadError
+			if errors.As(err, &re) {
+				// The validator already named its phase (e.g.
+				// "crosscheck"); keep it.
+				return nil, err
+			}
+			return nil, &ReloadError{Phase: "validate", Err: err}
+		}
+	}
+	gen := &Generation[T]{Seq: old.Seq + 1, Value: next}
+	g.cur.Store(gen)
+	g.m.Reload("ok")
+	g.m.Generation(float64(gen.Seq))
+	return gen, nil
+}

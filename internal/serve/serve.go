@@ -1,0 +1,101 @@
+// Package serve is the lifecycle substrate of the long-lived scan service
+// (bvap.Service in the root package): the mechanisms an always-on matcher
+// needs above the single-scan level, each independent of the automata model
+// and therefore testable in isolation:
+//
+//   - admission control: a bounded concurrency gate with a bounded wait
+//     queue and deadline-aware load shedding (Admission) — under overload
+//     the service sheds requests with ErrOverloaded instead of queueing
+//     unboundedly, and a request whose deadline expires while queued is
+//     shed rather than admitted to do work nobody is waiting for;
+//   - quarantine: a keyed circuit breaker (Breaker) that takes repeatedly
+//     failing patterns or inputs out of service for a cooldown
+//     (ErrQuarantined), degrading the served set rather than the process;
+//   - hot reload: a generation cell (Generations) built on atomic.Pointer
+//     with a serialized two-phase swap protocol — background build,
+//     validation, atomic publish — where a failed candidate never becomes
+//     visible (automatic rollback is the default, not a recovery path);
+//   - panic containment: Guard converts a panic in a scan body into a
+//     typed *PanicError carrying the recovered value and stack, so one
+//     pathological input cannot take the process down;
+//   - watchdogs: Watchdog bounds one scan's wall time with a deadline
+//     context and reports overruns distinctly from caller cancellation.
+//
+// The package deliberately knows nothing about regexes, engines or matches:
+// the root package supplies closures over its own Engine/Stream types,
+// keeping the dependency arrow pointing the usual way (bvap →
+// internal/serve) and the lifecycle state machines property-testable
+// without compiling patterns.
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"runtime/debug"
+)
+
+// Sentinel errors of the service lifecycle. The root package re-exports
+// them (bvap.ErrOverloaded, bvap.ErrDraining, bvap.ErrQuarantined) as the
+// same values, so errors.Is works across the boundary.
+var (
+	// ErrOverloaded marks a request shed by admission control: the
+	// concurrency gate and its wait queue are full, or the request's
+	// deadline expired while it was queued.
+	ErrOverloaded = errors.New("service overloaded")
+	// ErrDraining marks a request rejected because the service is
+	// draining: shutdown has begun, in-flight work is completing, and no
+	// new work is admitted.
+	ErrDraining = errors.New("service draining")
+	// ErrQuarantined marks a request (or pattern) refused because the
+	// circuit breaker has taken its key out of service after repeated
+	// failures; it re-enters service after the cooldown.
+	ErrQuarantined = errors.New("quarantined by circuit breaker")
+)
+
+// PanicError is a panic recovered from a scan body, converted into an
+// ordinary error so a pathological pattern or input degrades one request
+// instead of the process.
+type PanicError struct {
+	// Op names the operation that panicked ("scan", "batch shard",
+	// "chunk scan", "reload build", ...).
+	Op string
+	// Value is the recovered panic value.
+	Value any
+	// Stack is the goroutine stack captured at recovery.
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("panic in %s: %v", e.Op, e.Value)
+}
+
+// Guard runs fn, converting a panic into a *PanicError. The returned error
+// is nil when fn returns normally.
+func Guard(op string, fn func()) (err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			err = &PanicError{Op: op, Value: v, Stack: debug.Stack()}
+		}
+	}()
+	fn()
+	return nil
+}
+
+// ReloadError is a failed hot reload, annotated with the phase that
+// rejected the candidate generation. The served generation is unchanged
+// when a ReloadError is returned — rollback is automatic because the
+// candidate is only published after every phase passes.
+type ReloadError struct {
+	// Phase is the reload phase that failed: "build", "validate" or
+	// "crosscheck".
+	Phase string
+	// Err is the underlying cause.
+	Err error
+}
+
+func (e *ReloadError) Error() string {
+	return fmt.Sprintf("reload rejected in %s phase: %v", e.Phase, e.Err)
+}
+
+// Unwrap exposes the cause to errors.Is/As.
+func (e *ReloadError) Unwrap() error { return e.Err }

@@ -1,0 +1,405 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"bvap/internal/telemetry"
+)
+
+// --- Admission ---
+
+func TestAdmissionFastPath(t *testing.T) {
+	a := NewAdmission(AdmissionConfig{MaxConcurrent: 2}, nil)
+	rel1, err := a.Acquire(context.Background())
+	if err != nil {
+		t.Fatalf("acquire 1: %v", err)
+	}
+	rel2, err := a.Acquire(context.Background())
+	if err != nil {
+		t.Fatalf("acquire 2: %v", err)
+	}
+	if got := a.Inflight(); got != 2 {
+		t.Fatalf("inflight = %d, want 2", got)
+	}
+	rel1()
+	rel1() // release is idempotent
+	rel2()
+	if got := a.Inflight(); got != 0 {
+		t.Fatalf("inflight after release = %d, want 0", got)
+	}
+}
+
+func TestAdmissionShedsQueueFull(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	a := NewAdmission(AdmissionConfig{MaxConcurrent: 1, MaxQueue: 0}, NewMetrics(reg))
+	rel, err := a.Acquire(context.Background())
+	if err != nil {
+		t.Fatalf("acquire: %v", err)
+	}
+	defer rel()
+	if _, err := a.Acquire(context.Background()); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("full gate: err = %v, want ErrOverloaded", err)
+	}
+	assertSample(t, reg, MetricSheds, map[string]string{"reason": "queue_full"}, 1)
+}
+
+func TestAdmissionQueueAdmitsWhenSlotFrees(t *testing.T) {
+	a := NewAdmission(AdmissionConfig{MaxConcurrent: 1, MaxQueue: 4}, nil)
+	rel, err := a.Acquire(context.Background())
+	if err != nil {
+		t.Fatalf("acquire: %v", err)
+	}
+	got := make(chan error, 1)
+	go func() {
+		rel2, err := a.Acquire(context.Background())
+		if err == nil {
+			rel2()
+		}
+		got <- err
+	}()
+	// Wait until the second request is queued, then free the slot.
+	waitFor(t, func() bool { return a.Queued() == 1 })
+	rel()
+	if err := <-got; err != nil {
+		t.Fatalf("queued acquire: %v", err)
+	}
+}
+
+func TestAdmissionShedsExpiredWaiter(t *testing.T) {
+	a := NewAdmission(AdmissionConfig{MaxConcurrent: 1, MaxQueue: 4}, nil)
+	rel, err := a.Acquire(context.Background())
+	if err != nil {
+		t.Fatalf("acquire: %v", err)
+	}
+	defer rel()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	_, err = a.Acquire(ctx)
+	if !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("expired waiter: err = %v, want ErrOverloaded", err)
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("expired waiter: err = %v, want to also wrap DeadlineExceeded", err)
+	}
+	if a.Queued() != 0 {
+		t.Fatalf("queued = %d after shed, want 0", a.Queued())
+	}
+}
+
+func TestAdmissionDrain(t *testing.T) {
+	a := NewAdmission(AdmissionConfig{MaxConcurrent: 2, MaxQueue: 2}, nil)
+	rel, err := a.Acquire(context.Background())
+	if err != nil {
+		t.Fatalf("acquire: %v", err)
+	}
+	// Drain with work in flight: bounded wait expires.
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if err := a.Drain(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("bounded drain: err = %v, want DeadlineExceeded", err)
+	}
+	// New work is rejected while draining.
+	if _, err := a.Acquire(context.Background()); !errors.Is(err, ErrDraining) {
+		t.Fatalf("acquire while draining: err = %v, want ErrDraining", err)
+	}
+	rel()
+	if err := a.Drain(context.Background()); err != nil {
+		t.Fatalf("drain after release: %v", err)
+	}
+}
+
+func TestAdmissionConcurrentStress(t *testing.T) {
+	a := NewAdmission(AdmissionConfig{MaxConcurrent: 4, MaxQueue: 8}, nil)
+	var admitted, shed, peak atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 64; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rel, err := a.Acquire(context.Background())
+			if err != nil {
+				shed.Add(1)
+				return
+			}
+			n := a.Inflight()
+			for {
+				p := peak.Load()
+				if n <= p || peak.CompareAndSwap(p, n) {
+					break
+				}
+			}
+			admitted.Add(1)
+			time.Sleep(time.Millisecond)
+			rel()
+		}()
+	}
+	wg.Wait()
+	if admitted.Load()+shed.Load() != 64 {
+		t.Fatalf("admitted %d + shed %d != 64", admitted.Load(), shed.Load())
+	}
+	if peak.Load() > 4 {
+		t.Fatalf("peak inflight %d exceeds MaxConcurrent 4", peak.Load())
+	}
+	if a.Inflight() != 0 || a.Queued() != 0 {
+		t.Fatalf("gate not quiescent: inflight=%d queued=%d", a.Inflight(), a.Queued())
+	}
+}
+
+// --- Breaker ---
+
+func TestBreakerTripsAndCoolsDown(t *testing.T) {
+	now := time.Unix(0, 0)
+	clock := func() time.Time { return now }
+	reg := telemetry.NewRegistry()
+	b := NewBreaker(BreakerConfig{Threshold: 3, Window: time.Minute, Cooldown: 30 * time.Second}, NewMetrics(reg))
+	b.SetClock(clock)
+
+	if !b.Allow("p0") {
+		t.Fatal("fresh key not allowed")
+	}
+	b.Failure("p0")
+	b.Failure("p0")
+	if tripped := b.Failure("p0"); !tripped {
+		t.Fatal("third failure should trip")
+	}
+	if b.Allow("p0") {
+		t.Fatal("tripped key still allowed")
+	}
+	if q := b.Quarantined(); len(q) != 1 || q[0] != "p0" {
+		t.Fatalf("quarantined = %v, want [p0]", q)
+	}
+	if b.Allow("p1") {
+		// other keys unaffected
+	} else {
+		t.Fatal("unrelated key quarantined")
+	}
+	// Cooldown elapses: half-open, fresh budget.
+	now = now.Add(31 * time.Second)
+	if !b.Allow("p0") {
+		t.Fatal("key not released after cooldown")
+	}
+	if b.Failure("p0") {
+		t.Fatal("single failure after cooldown should not re-trip")
+	}
+	assertSample(t, reg, MetricQuarantineTrips, nil, 1)
+}
+
+func TestBreakerWindowSlides(t *testing.T) {
+	now := time.Unix(0, 0)
+	b := NewBreaker(BreakerConfig{Threshold: 2, Window: 10 * time.Second, Cooldown: time.Minute}, nil)
+	b.SetClock(func() time.Time { return now })
+	b.Failure("k")
+	now = now.Add(11 * time.Second) // first failure ages out
+	if b.Failure("k") {
+		t.Fatal("stale failure should have aged out of the window")
+	}
+	if !b.Allow("k") {
+		t.Fatal("key quarantined despite window slide")
+	}
+}
+
+func TestBreakerSuccessResets(t *testing.T) {
+	b := NewBreaker(BreakerConfig{Threshold: 2, Window: time.Minute, Cooldown: time.Minute}, nil)
+	b.Failure("k")
+	b.Success("k")
+	if b.Failure("k") {
+		t.Fatal("success should have cleared the failure history")
+	}
+}
+
+// --- Generations ---
+
+func TestGenerationsSwapAndRollback(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	g := NewGenerations("v1", NewMetrics(reg))
+	if g.Seq() != 1 || g.Load().Value != "v1" {
+		t.Fatalf("initial generation = %d/%q", g.Seq(), g.Load().Value)
+	}
+	// Failed build: generation unchanged, typed error names the phase.
+	_, err := g.Swap(
+		func(old *Generation[string]) (string, error) { return "", fmt.Errorf("boom") },
+		nil,
+	)
+	var re *ReloadError
+	if !errors.As(err, &re) || re.Phase != "build" {
+		t.Fatalf("err = %v, want ReloadError{build}", err)
+	}
+	if g.Seq() != 1 {
+		t.Fatalf("failed build advanced generation to %d", g.Seq())
+	}
+	// Failed validation: same story, phase preserved from the validator.
+	_, err = g.Swap(
+		func(old *Generation[string]) (string, error) { return "v2", nil },
+		func(c string) error { return &ReloadError{Phase: "crosscheck", Err: fmt.Errorf("diverged")} },
+	)
+	if !errors.As(err, &re) || re.Phase != "crosscheck" {
+		t.Fatalf("err = %v, want ReloadError{crosscheck}", err)
+	}
+	if g.Seq() != 1 || g.Load().Value != "v1" {
+		t.Fatal("failed validation must not publish the candidate")
+	}
+	// Successful swap.
+	gen, err := g.Swap(
+		func(old *Generation[string]) (string, error) { return old.Value + "+v2", nil },
+		func(c string) error { return nil },
+	)
+	if err != nil || gen.Seq != 2 || gen.Value != "v1+v2" {
+		t.Fatalf("swap = %+v, %v", gen, err)
+	}
+	assertSample(t, reg, MetricGeneration, nil, 2)
+}
+
+func TestGenerationsConcurrentSwaps(t *testing.T) {
+	g := NewGenerations(0, nil)
+	var wg sync.WaitGroup
+	const n = 8
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, err := g.Swap(
+				func(old *Generation[int]) (int, error) { return old.Value + 1, nil },
+				nil,
+			)
+			if err != nil {
+				t.Errorf("swap: %v", err)
+			}
+		}()
+	}
+	wg.Wait()
+	if g.Seq() != n+1 || g.Load().Value != n {
+		t.Fatalf("after %d concurrent swaps: seq=%d value=%d", n, g.Seq(), g.Load().Value)
+	}
+}
+
+// --- Guard / Watchdog ---
+
+func TestGuardConvertsPanics(t *testing.T) {
+	err := Guard("scan", func() { panic("kaboom") })
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v, want *PanicError", err)
+	}
+	if pe.Op != "scan" || pe.Value != "kaboom" || len(pe.Stack) == 0 {
+		t.Fatalf("PanicError = %+v", pe)
+	}
+	if !strings.Contains(pe.Error(), "kaboom") {
+		t.Fatalf("Error() = %q", pe.Error())
+	}
+	if err := Guard("scan", func() {}); err != nil {
+		t.Fatalf("clean body: err = %v", err)
+	}
+}
+
+func TestWatchdogOutcomes(t *testing.T) {
+	bg := context.Background()
+	reg := telemetry.NewRegistry()
+	m := NewMetrics(reg)
+
+	if o, err := Watchdog(bg, 0, "op", m, func(ctx context.Context) error { return nil }); o != OutcomeOK || err != nil {
+		t.Fatalf("ok: %v, %v", o, err)
+	}
+	sentinel := fmt.Errorf("scan failed")
+	if o, err := Watchdog(bg, 0, "op", m, func(ctx context.Context) error { return sentinel }); o != OutcomeError || !errors.Is(err, sentinel) {
+		t.Fatalf("error: %v, %v", o, err)
+	}
+	// Timeout: the body blocks until the watchdog context expires.
+	o, err := Watchdog(bg, 5*time.Millisecond, "op", m, func(ctx context.Context) error {
+		<-ctx.Done()
+		return fmt.Errorf("stopped: %w", ctx.Err())
+	})
+	if o != OutcomeTimeout || !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("timeout: %v, %v", o, err)
+	}
+	// Caller cancellation wins over the watchdog.
+	cctx, cancel := context.WithCancel(bg)
+	cancel()
+	o, err = Watchdog(cctx, time.Hour, "op", m, func(ctx context.Context) error {
+		return fmt.Errorf("stopped: %w", ctx.Err())
+	})
+	if o != OutcomeCanceled || !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled: %v, %v", o, err)
+	}
+	// Panic.
+	o, err = Watchdog(bg, 0, "op", m, func(ctx context.Context) error { panic(42) })
+	var pe *PanicError
+	if o != OutcomePanic || !errors.As(err, &pe) || pe.Value != 42 {
+		t.Fatalf("panic: %v, %v", o, err)
+	}
+	assertSample(t, reg, MetricPanics, nil, 1)
+	assertSample(t, reg, MetricWatchdogTimeouts, nil, 1)
+
+	for o, want := range map[Outcome]string{
+		OutcomeOK: "ok", OutcomeError: "error", OutcomeTimeout: "timeout",
+		OutcomeCanceled: "canceled", OutcomePanic: "panic", Outcome(99): "unknown",
+	} {
+		if o.String() != want {
+			t.Fatalf("Outcome(%d).String() = %q, want %q", int(o), o.String(), want)
+		}
+	}
+}
+
+// --- nil-metrics safety ---
+
+func TestNilMetricsSafe(t *testing.T) {
+	var m *Metrics
+	m.Generation(1)
+	m.QueueDepth(1)
+	m.Inflight(1)
+	m.Shed("queue_full")
+	m.AdmissionWait(time.Millisecond)
+	m.Scan("ok")
+	m.Reload("ok")
+	m.QuarantineTrip()
+	m.QuarantineActive(1)
+	m.Panic()
+	m.WatchdogTimeout()
+	m.CheckpointTaken()
+	m.CheckpointAge(1)
+}
+
+// --- helpers ---
+
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition not reached within 2s")
+		}
+		runtime.Gosched()
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// assertSample checks one metric sample's value on the registry.
+func assertSample(t *testing.T, reg *telemetry.Registry, name string, labels map[string]string, want float64) {
+	t.Helper()
+	for _, s := range reg.Snapshot() {
+		if s.Name != name {
+			continue
+		}
+		match := true
+		for k, v := range labels {
+			if s.Labels[k] != v {
+				match = false
+				break
+			}
+		}
+		if match {
+			if s.Value != want {
+				t.Fatalf("%s%v = %v, want %v", name, labels, s.Value, want)
+			}
+			return
+		}
+	}
+	t.Fatalf("metric %s%v not found", name, labels)
+}

@@ -1,0 +1,82 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"time"
+)
+
+// Watchdog bounds one unit of work with a wall-clock deadline layered on
+// the caller's context and classifies how it ended. fn must be
+// cooperative: it receives the derived context and is expected to honor
+// cancellation (the engine's *Context scan paths check every chunk). A
+// panic inside fn is converted to a *PanicError.
+//
+// The outcome distinguishes the three ways a bounded scan stops:
+//
+//   - OutcomeOK: fn returned nil;
+//   - OutcomeTimeout: the watchdog deadline expired (the caller's own
+//     context was still live) — the per-scan budget was the binding
+//     constraint, and the returned error wraps
+//     context.DeadlineExceeded;
+//   - OutcomeCanceled: the caller's context ended first;
+//   - OutcomePanic: fn panicked; the error is the *PanicError.
+//   - OutcomeError: fn returned its own error.
+type Outcome int
+
+// Watchdog outcomes.
+const (
+	OutcomeOK Outcome = iota
+	OutcomeError
+	OutcomeTimeout
+	OutcomeCanceled
+	OutcomePanic
+)
+
+func (o Outcome) String() string {
+	switch o {
+	case OutcomeOK:
+		return "ok"
+	case OutcomeError:
+		return "error"
+	case OutcomeTimeout:
+		return "timeout"
+	case OutcomeCanceled:
+		return "canceled"
+	case OutcomePanic:
+		return "panic"
+	}
+	return "unknown"
+}
+
+// Watchdog runs fn under a deadline of d (no added deadline when d <= 0),
+// classifying the result. m may be nil; panics and timeouts are counted on
+// it.
+func Watchdog(ctx context.Context, d time.Duration, op string, m *Metrics, fn func(ctx context.Context) error) (Outcome, error) {
+	wctx := ctx
+	var cancel context.CancelFunc
+	if d > 0 {
+		wctx, cancel = context.WithTimeout(ctx, d)
+		defer cancel()
+	}
+	var ferr error
+	perr := Guard(op, func() { ferr = fn(wctx) })
+	if perr != nil {
+		m.Panic()
+		return OutcomePanic, perr
+	}
+	if ferr == nil {
+		return OutcomeOK, nil
+	}
+	switch {
+	case ctx.Err() != nil:
+		// The caller's own context ended; even if the watchdog context
+		// also expired, the caller caused (or raced) the stop.
+		return OutcomeCanceled, ferr
+	case errors.Is(ferr, context.DeadlineExceeded) && wctx.Err() != nil:
+		m.WatchdogTimeout()
+		return OutcomeTimeout, ferr
+	default:
+		return OutcomeError, ferr
+	}
+}

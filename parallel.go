@@ -25,6 +25,7 @@ package bvap
 import (
 	"context"
 	"fmt"
+	"runtime/debug"
 	"sort"
 
 	"bvap/internal/parascan"
@@ -83,7 +84,9 @@ type BatchResult struct {
 	// input, identical to what FindAll would return for it.
 	Matches []Match
 	// Err is the per-input error: a *BudgetError for an exhausted symbol
-	// budget, or the wrapped context error for inputs the batch never
+	// budget, a *PanicError for a shard whose scan body panicked (the
+	// worker recovers, returns its pooled stream and keeps serving other
+	// inputs), or the wrapped context error for inputs the batch never
 	// started or abandoned mid-scan.
 	Err error
 	// Retries counts shard-local re-scans taken by the resilience ladder.
@@ -93,7 +96,9 @@ type BatchResult struct {
 // shardCorruptHook, when non-nil, corrupts one scan attempt's match set
 // before verification — the software stand-in for the hardware fault
 // injector, letting tests exercise the shard-local detect/retry/degrade
-// ladder deterministically. Never set outside tests.
+// ladder deterministically. It runs inside the shard's panic guard, so a
+// hook that panics exercises the recovery path too. Never set outside
+// tests.
 var shardCorruptHook func(input []byte, attempt int, ms []Match) []Match
 
 // ScanBatch scans every input concurrently on a bounded worker pool and
@@ -150,14 +155,7 @@ func (e *Engine) scanShard(ctx context.Context, input []byte, o *BatchOptions, p
 	}
 	var res BatchResult
 	for attempt := 0; ; attempt++ {
-		s := e.spool.Get()
-		s.Reset() // fresh runner state and a full symbol budget
-		s.SetBudget(o.Budget)
-		ms, err := s.scanContext(ctx, input, 0)
-		e.spool.Put(s)
-		if hook := shardCorruptHook; hook != nil {
-			ms = hook(input, attempt, ms)
-		}
+		ms, err := e.scanShardAttempt(ctx, input, o.Budget, attempt)
 		res.Matches, res.Err, res.Retries = ms, err, attempt
 		if err != nil || !crossCheck || e.verifyShard(input, ms) {
 			return res
@@ -173,6 +171,33 @@ func (e *Engine) scanShard(ctx context.Context, input []byte, o *BatchOptions, p
 		res.Matches = e.referenceMatches(input, ms)
 		return res
 	}
+}
+
+// scanShardAttempt runs one scan attempt of one batch input on a pooled
+// stream. It is panic-safe: the deferred recovery returns the pooled
+// Stream (a reused stream is Reset before its next scan, so a mid-scan
+// panic cannot leak state into a later input) and converts the panic into
+// a typed *PanicError, so a pathological shard degrades one input's
+// result instead of crashing the worker goroutine — and with it the
+// process, since a panic on a bare worker goroutine is unrecoverable.
+func (e *Engine) scanShardAttempt(ctx context.Context, input []byte, budget Budget, attempt int) (ms []Match, err error) {
+	s := e.getStream()
+	defer func() {
+		if v := recover(); v != nil {
+			ms = nil
+			err = &PanicError{Op: "batch shard", Value: v, Stack: debug.Stack()}
+		}
+		e.putStream(s)
+	}()
+	s.Reset() // fresh runner state and a full symbol budget
+	s.SetBudget(budget)
+	ms, err = s.scanContext(ctx, input, 0)
+	if hook := shardCorruptHook; hook != nil {
+		// The hook runs inside the guarded region so tests can exercise
+		// the panic path exactly where a scan body would blow up.
+		ms = hook(input, attempt, ms)
+	}
+	return ms, err
 }
 
 // verifyShard compares a shard's match set against the engine's
@@ -289,29 +314,17 @@ func (e *Engine) FindAllParallel(ctx context.Context, input []byte, opts *Parall
 
 	chunks := parascan.PlanChunks(len(input), o.ChunkSize, window)
 	shards := make([][]Match, len(chunks))
+	panics := make([]error, len(chunks))
 	err := parascan.ForEach(ctx, len(chunks), o.Workers, pm, func(ctx context.Context, i int) {
-		c := chunks[i]
-		s := e.spool.Get()
-		s.Reset()
-		s.SetBudget(Budget{}) // chunk scans are never budgeted
-		ms, serr := s.scanContext(ctx, input[c.ReplayStart:c.End], c.ReplayStart)
-		e.spool.Put(s)
-		if serr != nil {
-			return // canceled mid-chunk; ForEach surfaces ctx.Err()
-		}
-		// Matches ending in the warm-up region belong to the previous
-		// chunk; drop them in place.
-		live := ms[:0]
-		for _, m := range ms {
-			if m.End >= c.Start {
-				live = append(live, m)
-			}
-		}
-		shards[i] = live
-		pm.ChunkScanned(c.ReplayLen())
+		panics[i] = e.scanChunk(ctx, input, chunks[i], shards, pm)
 	})
 	if err != nil {
 		return nil, fmt.Errorf("bvap: parallel scan canceled: %w", err)
+	}
+	for _, perr := range panics {
+		if perr != nil {
+			return nil, fmt.Errorf("bvap: parallel scan failed: %w", perr)
+		}
 	}
 	total := 0
 	for _, ms := range shards {
@@ -326,6 +339,47 @@ func (e *Engine) FindAllParallel(ctx context.Context, input []byte, opts *Parall
 	}
 	return out, nil
 }
+
+// scanChunk scans one FindAllParallel chunk on a pooled stream, writing
+// the chunk's live matches into its shards slot. Like scanShardAttempt it
+// is panic-safe: the deferred recovery returns the pooled Stream and
+// converts the panic into the returned *PanicError (nil on success), which
+// FindAllParallel surfaces as the call's error.
+func (e *Engine) scanChunk(ctx context.Context, input []byte, c parascan.Chunk, shards [][]Match, pm *parascan.Metrics) (perr error) {
+	s := e.getStream()
+	defer func() {
+		if v := recover(); v != nil {
+			shards[c.Index] = nil
+			perr = &PanicError{Op: "chunk scan", Value: v, Stack: debug.Stack()}
+		}
+		e.putStream(s)
+	}()
+	s.Reset()
+	s.SetBudget(Budget{}) // chunk scans are never budgeted
+	ms, serr := s.scanContext(ctx, input[c.ReplayStart:c.End], c.ReplayStart)
+	if hook := chunkPanicHook; hook != nil {
+		hook(c)
+	}
+	if serr != nil {
+		return nil // canceled mid-chunk; ForEach surfaces ctx.Err()
+	}
+	// Matches ending in the warm-up region belong to the previous chunk;
+	// drop them in place.
+	live := ms[:0]
+	for _, m := range ms {
+		if m.End >= c.Start {
+			live = append(live, m)
+		}
+	}
+	shards[c.Index] = live
+	pm.ChunkScanned(c.ReplayLen())
+	return nil
+}
+
+// chunkPanicHook, when non-nil, runs inside every chunk scan's guarded
+// region — the test lever for the chunk panic-recovery path. Never set
+// outside tests.
+var chunkPanicHook func(c parascan.Chunk)
 
 // SeamWindow returns the compiled set's seam replay window: an upper bound
 // on the byte length of any match of any supported pattern, and whether

@@ -1,0 +1,144 @@
+package bvap
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"bvap/internal/parascan"
+)
+
+// A panicking shard must degrade that one input — typed *PanicError at its
+// index — while the rest of the batch completes normally, every pooled
+// stream is returned, and the engine keeps serving afterwards.
+func TestScanBatchShardPanicIsContained(t *testing.T) {
+	e := MustCompile([]string{"ab{2}c"})
+	poison := []byte("poison-abbc")
+	inputs := [][]byte{
+		[]byte("xxabbcxx"),
+		poison,
+		[]byte("abbcabbc"),
+		[]byte("no match here"),
+	}
+	shardCorruptHook = func(input []byte, attempt int, ms []Match) []Match {
+		if bytes.Equal(input, poison) {
+			panic("shard blew up")
+		}
+		return ms
+	}
+	defer func() { shardCorruptHook = nil }()
+
+	results, err := e.ScanBatch(context.Background(), inputs, &BatchOptions{Workers: 2})
+	if err != nil {
+		t.Fatalf("ScanBatch: %v", err)
+	}
+	var pe *PanicError
+	if !errors.As(results[1].Err, &pe) {
+		t.Fatalf("poisoned input error = %v (%T), want *PanicError", results[1].Err, results[1].Err)
+	}
+	if pe.Op != "batch shard" || pe.Value != "shard blew up" {
+		t.Errorf("PanicError = {Op: %q, Value: %v}", pe.Op, pe.Value)
+	}
+	if !strings.Contains(string(pe.Stack), "scanShardAttempt") {
+		t.Errorf("PanicError.Stack does not mention the scan frame:\n%s", pe.Stack)
+	}
+	if results[1].Matches != nil {
+		t.Errorf("poisoned input returned matches: %v", results[1].Matches)
+	}
+	// The healthy inputs are unaffected.
+	for _, i := range []int{0, 2, 3} {
+		if results[i].Err != nil {
+			t.Errorf("input %d: unexpected error %v", i, results[i].Err)
+		}
+	}
+	if got := len(results[0].Matches); got != 1 {
+		t.Errorf("input 0: %d matches, want 1", got)
+	}
+	if got := len(results[2].Matches); got != 2 {
+		t.Errorf("input 2: %d matches, want 2", got)
+	}
+	// Every pooled stream came back despite the panic.
+	if out := e.StreamsOut(); out != 0 {
+		t.Errorf("StreamsOut() = %d after panicking batch, want 0", out)
+	}
+	// The engine still serves: the previously poisoned input scans fine
+	// once the hook is gone.
+	shardCorruptHook = nil
+	ms := e.FindAll(poison)
+	if len(ms) != 1 {
+		t.Errorf("post-panic FindAll(poison) = %v, want one match", ms)
+	}
+}
+
+// Every input panicking still yields a full result set and an empty pool
+// checkout count — the worker goroutines themselves never die.
+func TestScanBatchAllShardsPanic(t *testing.T) {
+	e := MustCompile([]string{"ab{2}c"})
+	shardCorruptHook = func([]byte, int, []Match) []Match { panic("every shard") }
+	defer func() { shardCorruptHook = nil }()
+
+	inputs := make([][]byte, 16)
+	for i := range inputs {
+		inputs[i] = []byte("abbc")
+	}
+	results, err := e.ScanBatch(context.Background(), inputs, &BatchOptions{Workers: 4})
+	if err != nil {
+		t.Fatalf("ScanBatch: %v", err)
+	}
+	for i, r := range results {
+		var pe *PanicError
+		if !errors.As(r.Err, &pe) {
+			t.Fatalf("input %d: err = %v, want *PanicError", i, r.Err)
+		}
+	}
+	if out := e.StreamsOut(); out != 0 {
+		t.Errorf("StreamsOut() = %d, want 0", out)
+	}
+}
+
+// A panic inside a chunk scan surfaces as FindAllParallel's error (wrapped
+// *PanicError), with the pool intact and the engine reusable.
+func TestFindAllParallelChunkPanic(t *testing.T) {
+	e := MustCompile([]string{"ab{2}c"}) // bounded reach: parallel path taken
+	input := bytes.Repeat([]byte("xabbcx"), 4000)
+	opts := &ParallelOptions{Workers: 2, ChunkSize: 4 << 10}
+
+	chunkPanicHook = func(parascan.Chunk) { panic("chunk blew up") }
+	defer func() { chunkPanicHook = nil }()
+
+	ms, err := e.FindAllParallel(context.Background(), input, opts)
+	if err == nil {
+		t.Fatal("FindAllParallel returned nil error despite panicking chunks")
+	}
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v (%T), want wrapped *PanicError", err, err)
+	}
+	if pe.Op != "chunk scan" {
+		t.Errorf("PanicError.Op = %q, want chunk scan", pe.Op)
+	}
+	if ms != nil {
+		t.Errorf("matches = %v, want nil on failure", ms)
+	}
+	if out := e.StreamsOut(); out != 0 {
+		t.Errorf("StreamsOut() = %d after panicking chunks, want 0", out)
+	}
+
+	// Recovery: with the hook cleared the same call matches the oracle.
+	chunkPanicHook = nil
+	got, err := e.FindAllParallel(context.Background(), input, opts)
+	if err != nil {
+		t.Fatalf("post-panic FindAllParallel: %v", err)
+	}
+	want := e.FindAll(input)
+	if len(got) != len(want) {
+		t.Fatalf("post-panic parallel scan: %d matches, oracle %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("match %d: %+v != oracle %+v", i, got[i], want[i])
+		}
+	}
+}

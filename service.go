@@ -1,0 +1,516 @@
+package bvap
+
+// The long-lived scan service. Engine is a compile-once artifact; Service
+// wraps it with the lifecycle a deployed matcher needs — the mechanisms
+// live in internal/serve, this file binds them to engines and streams:
+//
+//   - hot reload: Reload compiles a candidate pattern set in the
+//     background, validates it in two phases (hardware-configuration
+//     validation, then a swmatch cross-check over the probe corpus) and
+//     publishes it atomically; scans in flight finish on the generation
+//     they loaded, and a rejected candidate never becomes visible;
+//   - admission control: Scan and ScanBatch pass through a bounded
+//     concurrency gate with a bounded wait queue — under overload requests
+//     are shed with ErrOverloaded instead of queueing unboundedly;
+//   - degradation: each scan runs under a watchdog deadline with panic
+//     containment; inputs that repeatedly time out or panic are
+//     quarantined by a circuit breaker (ErrQuarantined) for a cooldown,
+//     taking the pathological key out of service instead of the process;
+//   - checkpoint/resume: NewSession opens a BVAP-S-style streaming session
+//     that checkpoints its matching state every CheckpointInterval symbols
+//     and commits match reports only at checkpoint boundaries, so an
+//     interrupted stream resumes from the last checkpoint with no lost or
+//     duplicated reports;
+//   - drain: Drain/Close complete in-flight work, refuse new work with
+//     ErrDraining, and bound the wait with the caller's context.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"runtime"
+	"runtime/debug"
+	"time"
+
+	"bvap/internal/serve"
+	"bvap/internal/telemetry"
+)
+
+// ServiceConfig tunes a Service. The zero value serves with GOMAXPROCS
+// concurrent scans, no wait queue, no watchdog deadline, default quarantine
+// thresholds, no probe corpus and no telemetry.
+type ServiceConfig struct {
+	// MaxConcurrent bounds the scans executing at once; values < 1 select
+	// runtime.GOMAXPROCS(0).
+	MaxConcurrent int
+	// MaxQueue bounds the requests waiting for a slot; 0 (and negative
+	// values) shed immediately when the gate is full.
+	MaxQueue int
+	// ScanTimeout is the per-scan watchdog deadline layered on the
+	// caller's context; 0 disables it.
+	ScanTimeout time.Duration
+	// QuarantineThreshold / QuarantineWindow / QuarantineCooldown tune the
+	// circuit breaker: Threshold failures of one input key within Window
+	// quarantine it for Cooldown. Zero values select 3 failures / 1 minute
+	// / 30 seconds.
+	QuarantineThreshold int
+	QuarantineWindow    time.Duration
+	QuarantineCooldown  time.Duration
+	// ProbeCorpus are inputs every reload candidate must match correctly
+	// (engine output cross-checked against the independent software
+	// matchers) before it is published. An empty corpus skips the
+	// cross-check phase.
+	ProbeCorpus [][]byte
+	// CompileOptions are applied to the initial compile and to every
+	// reload.
+	CompileOptions []Option
+	// Metrics, when non-nil, accrues the bvap_serve_* gauges and counters
+	// (generation, queue depth, sheds, quarantines, checkpoint age, ...).
+	Metrics *telemetry.Registry
+}
+
+func (c *ServiceConfig) fill() {
+	if c.MaxConcurrent < 1 {
+		c.MaxConcurrent = runtime.GOMAXPROCS(0)
+	}
+	if c.MaxQueue < 0 {
+		c.MaxQueue = 0
+	}
+}
+
+// Service is a supervised, long-lived scan front end over a hot-reloadable
+// Engine. All methods are safe for concurrent use. Construct with
+// NewService; close with Drain or Close.
+type Service struct {
+	cfg ServiceConfig
+	sm  *serve.Metrics
+	adm *serve.Admission
+	brk *serve.Breaker
+	gen *serve.Generations[*Engine]
+}
+
+// NewService compiles patterns and starts serving them as generation 1.
+// The initial set passes the same two-phase validation reloads do, so a
+// service never starts on a configuration it would refuse to reload into.
+func NewService(patterns []string, cfg *ServiceConfig) (*Service, error) {
+	var c ServiceConfig
+	if cfg != nil {
+		c = *cfg
+	}
+	c.fill()
+	sm := serve.NewMetrics(c.Metrics)
+	s := &Service{
+		cfg: c,
+		sm:  sm,
+		adm: serve.NewAdmission(serve.AdmissionConfig{MaxConcurrent: c.MaxConcurrent, MaxQueue: c.MaxQueue}, sm),
+		brk: serve.NewBreaker(serve.BreakerConfig{
+			Threshold: c.QuarantineThreshold,
+			Window:    c.QuarantineWindow,
+			Cooldown:  c.QuarantineCooldown,
+		}, sm),
+	}
+	e, err := s.buildEngine(context.Background(), patterns)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.validateEngine(e); err != nil {
+		return nil, err
+	}
+	s.gen = serve.NewGenerations(e, sm)
+	return s, nil
+}
+
+// buildEngine is the reload build phase: a plain background compile.
+func (s *Service) buildEngine(ctx context.Context, patterns []string) (*Engine, error) {
+	return CompileContext(ctx, patterns, s.cfg.CompileOptions...)
+}
+
+// validateEngine is the reload validation phase. Phase one vets the
+// compiled hardware configuration; phase two requires at least one
+// supported pattern (a candidate where every rule failed would silently
+// serve nothing); phase three cross-checks the candidate's matches against
+// the independent software matchers over the probe corpus. Failures are
+// typed *ReloadError values naming the phase.
+func (s *Service) validateEngine(e *Engine) error {
+	if err := e.res.Config.Validate(); err != nil {
+		return &serve.ReloadError{Phase: "validate", Err: err}
+	}
+	if r := e.res.Report; len(e.patterns) > 0 && r.Unsupported == len(e.patterns) {
+		return &serve.ReloadError{Phase: "validate",
+			Err: fmt.Errorf("no pattern in the candidate set compiled (%d rejected)", r.Unsupported)}
+	}
+	for i, probe := range s.cfg.ProbeCorpus {
+		ms := e.FindAll(probe)
+		if hook := crossCheckCorruptHook; hook != nil {
+			ms = hook(ms)
+		}
+		if !e.verifyShard(probe, ms) {
+			return &serve.ReloadError{Phase: "crosscheck",
+				Err: fmt.Errorf("candidate disagrees with reference matcher on probe %d (%d bytes)", i, len(probe))}
+		}
+	}
+	return nil
+}
+
+// serviceScanHook, when non-nil, runs at the start of every Scan's
+// watchdog-bounded body — the test lever for deterministic slow-scan
+// injection. Never set outside tests.
+var serviceScanHook func(input []byte)
+
+// crossCheckCorruptHook, when non-nil, corrupts the candidate's probe
+// matches before the reload cross-check — the deterministic stand-in for a
+// miscompiled candidate, letting tests exercise the crosscheck-rejection
+// path. Never set outside tests.
+var crossCheckCorruptHook func(ms []Match) []Match
+
+// Reload swaps in a new pattern set: compile, validate (see
+// validateEngine), publish. Scans admitted before the swap finish on their
+// old generation; scans admitted after see the new one — there is no window
+// where neither serves. On failure the served generation is unchanged and
+// the error is a *ReloadError naming the rejecting phase ("build",
+// "validate" or "crosscheck"). Concurrent Reloads serialize and all apply,
+// in some order. Reload returns the new generation sequence number.
+func (s *Service) Reload(ctx context.Context, patterns []string) (uint64, error) {
+	if s.adm.Draining() {
+		return 0, ErrDraining
+	}
+	gen, err := s.gen.Swap(
+		func(*serve.Generation[*Engine]) (*Engine, error) { return s.buildEngine(ctx, patterns) },
+		s.validateEngine,
+	)
+	if err != nil {
+		return 0, err
+	}
+	return gen.Seq, nil
+}
+
+// Engine returns the currently served engine. The engine is immutable; a
+// concurrent Reload publishes a new one rather than changing this one.
+func (s *Service) Engine() *Engine { return s.gen.Load().Value }
+
+// Generation returns the served generation sequence (1 at start, +1 per
+// successful Reload).
+func (s *Service) Generation() uint64 { return s.gen.Seq() }
+
+// Quarantined returns the input keys currently held out of service by the
+// circuit breaker, sorted.
+func (s *Service) Quarantined() []string { return s.brk.Quarantined() }
+
+// inputKey digests an input for quarantine bookkeeping: cheap, stable, and
+// collision-tolerant (a collision only couples two inputs' failure
+// budgets).
+func inputKey(input []byte) string {
+	h := fnv.New64a()
+	h.Write(input)
+	return fmt.Sprintf("input:%016x", h.Sum64())
+}
+
+// Scan matches input against the served pattern set under the service's
+// full protection ladder: quarantine check, admission, watchdog deadline,
+// panic containment. Errors:
+//
+//   - ErrQuarantined: the input's key is cooling down after repeated
+//     timeouts or panics;
+//   - ErrOverloaded: shed by admission control (also unwraps to the
+//     context error when the deadline expired while queued);
+//   - ErrDraining: the service is shutting down;
+//   - *PanicError: the scan body panicked (the input's key takes a
+//     breaker failure);
+//   - a context error: the watchdog deadline or the caller's own context
+//     stopped the scan (a watchdog timeout takes a breaker failure;
+//     caller cancellation does not).
+func (s *Service) Scan(ctx context.Context, input []byte) ([]Match, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	key := inputKey(input)
+	if !s.brk.Allow(key) {
+		return nil, fmt.Errorf("bvap: input %s: %w", key, ErrQuarantined)
+	}
+	release, err := s.adm.Acquire(ctx)
+	if err != nil {
+		return nil, err
+	}
+	defer release()
+
+	e := s.Engine() // pin one generation for the whole scan
+	var ms []Match
+	outcome, werr := serve.Watchdog(ctx, s.cfg.ScanTimeout, "service scan", s.sm, func(wctx context.Context) error {
+		if hook := serviceScanHook; hook != nil {
+			// Inside the watchdog context: a stalling hook exercises the
+			// timeout classification deterministically.
+			hook(input)
+		}
+		var serr error
+		ms, serr = e.scanShardAttempt(wctx, input, Budget{}, 0)
+		return serr
+	})
+	// scanShardAttempt contains its own panics (pool safety), so they
+	// surface as ordinary errors; reclassify for the breaker and metrics.
+	var pe *PanicError
+	if outcome == serve.OutcomeError && errors.As(werr, &pe) {
+		outcome = serve.OutcomePanic
+		s.sm.Panic()
+	}
+	s.sm.Scan(outcome.String())
+	switch outcome {
+	case serve.OutcomeOK:
+		s.brk.Success(key)
+		return ms, nil
+	case serve.OutcomeTimeout, serve.OutcomePanic:
+		if s.brk.Failure(key) {
+			// Tripped: subsequent Scans of this input shed with
+			// ErrQuarantined until the cooldown elapses.
+		}
+		return nil, werr
+	default:
+		// Caller cancellation or an engine error (e.g. budget): not the
+		// input's fault.
+		return ms, werr
+	}
+}
+
+// ScanBatch runs Engine.ScanBatch on the served generation under admission
+// control: the whole batch occupies one admission slot (its internal
+// parallelism is bounded by opts.Workers, as without the service). Shed and
+// drain errors are as in Scan; per-input errors are in the results.
+func (s *Service) ScanBatch(ctx context.Context, inputs [][]byte, opts *BatchOptions) ([]BatchResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	release, err := s.adm.Acquire(ctx)
+	if err != nil {
+		return nil, err
+	}
+	defer release()
+	return s.Engine().ScanBatch(ctx, inputs, opts)
+}
+
+// Drain stops admitting work (new requests fail with ErrDraining), lets
+// in-flight scans finish, and returns when they have — or when ctx expires,
+// in which case it returns the context error with work still in flight.
+// Drain is idempotent.
+func (s *Service) Drain(ctx context.Context) error { return s.adm.Drain(ctx) }
+
+// Close is Drain without a bound: it waits for in-flight scans to finish.
+func (s *Service) Close() error { return s.adm.Drain(context.Background()) }
+
+// SessionConfig tunes a streaming session.
+type SessionConfig struct {
+	// CheckpointInterval is the number of input symbols between automatic
+	// checkpoints; values < 1 select 4096. Smaller intervals bound the
+	// replay after a failure more tightly at the cost of more frequent
+	// snapshot work.
+	CheckpointInterval int
+	// OnMatch, when non-nil, receives every committed match exactly once,
+	// in stream order, with End as the absolute stream offset. Matches are
+	// delivered only at checkpoint boundaries (commit points); matches
+	// found after the last checkpoint of a failed Feed are discarded and
+	// regenerated when the caller re-feeds from Pos().
+	OnMatch func(Match)
+}
+
+// DefaultCheckpointInterval is the SessionConfig.CheckpointInterval when
+// unset.
+const DefaultCheckpointInterval = 4096
+
+// StreamSession is a long-lived BVAP-S style streaming scan with
+// checkpoint/resume and exactly-once match delivery. A session pins the
+// generation it was opened on (a Reload does not disturb open sessions) and
+// is owned by one goroutine at a time, like a Stream.
+//
+// Delivery contract: OnMatch sees each match exactly once provided the
+// caller follows the resume protocol — after a Feed error, continue feeding
+// from absolute offset Pos() (the session has rewound its matching state to
+// the last checkpoint; the tail since then is replayed, regenerating
+// exactly the reports that were never committed).
+type StreamSession struct {
+	svc      *Service
+	eng      *Engine
+	gen      uint64
+	stream   *Stream
+	interval int
+	onMatch  func(Match)
+
+	ck      *StreamCheckpoint // last committed checkpoint
+	pending []Match           // found since ck, not yet delivered
+	sinceCk int               // symbols consumed since ck
+	closed  bool
+}
+
+// NewSession opens a streaming session on the current generation.
+func (s *Service) NewSession(cfg *SessionConfig) (*StreamSession, error) {
+	if s.adm.Draining() {
+		return nil, ErrDraining
+	}
+	gen := s.gen.Load()
+	return s.newSession(gen.Value, gen.Seq, cfg)
+}
+
+func (s *Service) newSession(e *Engine, seq uint64, cfg *SessionConfig) (*StreamSession, error) {
+	var c SessionConfig
+	if cfg != nil {
+		c = *cfg
+	}
+	if c.CheckpointInterval < 1 {
+		c.CheckpointInterval = DefaultCheckpointInterval
+	}
+	ss := &StreamSession{
+		svc:      s,
+		eng:      e,
+		gen:      seq,
+		stream:   e.NewStream(),
+		interval: c.CheckpointInterval,
+		onMatch:  c.OnMatch,
+	}
+	ss.ck = ss.stream.Checkpoint() // position 0
+	return ss, nil
+}
+
+// Generation returns the generation sequence this session is pinned to.
+func (ss *StreamSession) Generation() uint64 { return ss.gen }
+
+// Pos returns the committed stream position: the absolute offset of the
+// next symbol to feed after a failure (everything before it has been
+// matched and its reports delivered; everything after it has been rewound).
+func (ss *StreamSession) Pos() int64 { return ss.ck.Symbols() }
+
+// Feed consumes the next chunk of the stream, starting at the session's
+// current (uncommitted) position. It checkpoints and commits pending match
+// reports every CheckpointInterval symbols. On error — cancellation, an
+// exhausted budget, or a panic in the scan body (returned as *PanicError) —
+// the session rewinds to its last checkpoint and discards undelivered
+// matches; the caller resumes by feeding again from absolute offset Pos().
+func (ss *StreamSession) Feed(ctx context.Context, chunk []byte) error {
+	if ss.closed {
+		return ErrDraining
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	off := 0
+	for off < len(chunk) {
+		n := ss.interval - ss.sinceCk
+		if n > len(chunk)-off {
+			n = len(chunk) - off
+		}
+		base := int(ss.stream.symbolsRun) // absolute offset of chunk[off]
+		ms, err := ss.feedGuarded(ctx, chunk[off:off+n], base)
+		if err != nil {
+			// Rewind to the last commit point: uncommitted matches are
+			// discarded (never delivered) and the matching state returns
+			// to Pos(), so a replay regenerates them exactly once.
+			_ = ss.stream.Restore(ss.ck)
+			ss.pending = ss.pending[:0]
+			ss.sinceCk = 0
+			ss.svc.sm.CheckpointAge(0)
+			return err
+		}
+		ss.pending = append(ss.pending, ms...)
+		off += n
+		ss.sinceCk += n
+		if ss.sinceCk >= ss.interval {
+			ss.commit()
+		} else {
+			ss.svc.sm.CheckpointAge(int64(ss.sinceCk))
+		}
+	}
+	return nil
+}
+
+// feedGuarded scans one sub-interval with panic containment: a panic in the
+// step loop becomes a *PanicError and the session's rewind-to-checkpoint
+// recovery applies, instead of the panic unwinding through the caller.
+func (ss *StreamSession) feedGuarded(ctx context.Context, data []byte, base int) (ms []Match, err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			ms = nil
+			err = &PanicError{Op: "session feed", Value: v, Stack: debug.Stack()}
+		}
+	}()
+	if hook := sessionFeedHook; hook != nil {
+		// Inside the guarded region: a panicking hook exercises the
+		// rewind-to-checkpoint recovery exactly where a step would fail.
+		hook(base, data)
+	}
+	return ss.stream.scanContext(ctx, data, base)
+}
+
+// sessionFeedHook, when non-nil, runs before every guarded sub-interval
+// scan with the sub-interval's absolute base offset — the test lever for
+// mid-stream failure injection. Never set outside tests.
+var sessionFeedHook func(base int, data []byte)
+
+// commit takes a checkpoint and delivers the pending matches.
+func (ss *StreamSession) commit() {
+	ss.ck = ss.stream.Checkpoint()
+	if ss.onMatch != nil {
+		for _, m := range ss.pending {
+			ss.onMatch(m)
+		}
+	}
+	ss.pending = ss.pending[:0]
+	ss.sinceCk = 0
+	ss.svc.sm.CheckpointTaken()
+}
+
+// Checkpoint forces a commit boundary now — pending matches are delivered
+// and the matching state snapshotted — and returns a resumable handle. The
+// handle survives the session object: Service.ResumeSession rebuilds an
+// equivalent session from it (same pinned generation, same position), which
+// is how a stream outlives the goroutine — or the restart — that was
+// feeding it.
+func (ss *StreamSession) Checkpoint() *SessionCheckpoint {
+	ss.commit()
+	return &SessionCheckpoint{eng: ss.eng, gen: ss.gen, ck: ss.ck}
+}
+
+// Close ends the session, committing (and delivering) any pending matches.
+func (ss *StreamSession) Close() {
+	if ss.closed {
+		return
+	}
+	if len(ss.pending) > 0 || ss.sinceCk > 0 {
+		ss.commit()
+	}
+	ss.closed = true
+}
+
+// SessionCheckpoint is a resumable handle to a streaming session's
+// committed state: the pinned engine generation and the matching state at
+// the last commit point.
+type SessionCheckpoint struct {
+	eng *Engine
+	gen uint64
+	ck  *StreamCheckpoint
+}
+
+// Pos returns the absolute stream offset the checkpoint resumes from.
+func (ck *SessionCheckpoint) Pos() int64 { return ck.ck.Symbols() }
+
+// Generation returns the generation the checkpoint is pinned to.
+func (ck *SessionCheckpoint) Generation() uint64 { return ck.gen }
+
+// ResumeSession reopens a streaming session from a checkpoint: a fresh
+// stream is restored to the checkpoint's matching state and position, on
+// the checkpoint's pinned generation (even if the service has since
+// reloaded past it). The caller feeds from ck.Pos(); reports before it were
+// already delivered and are not regenerated.
+func (s *Service) ResumeSession(ck *SessionCheckpoint, cfg *SessionConfig) (*StreamSession, error) {
+	if ck == nil {
+		return nil, fmt.Errorf("bvap: nil session checkpoint")
+	}
+	if s.adm.Draining() {
+		return nil, ErrDraining
+	}
+	ss, err := s.newSession(ck.eng, ck.gen, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := ss.stream.Restore(ck.ck); err != nil {
+		return nil, err
+	}
+	ss.ck = ck.ck
+	return ss, nil
+}

@@ -1,0 +1,260 @@
+package bvap
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestServiceChaosSoak is the acceptance soak for the service layer: a
+// checkpointed stream session survives injected panics and forced
+// crash/resume cycles while concurrent scanners hammer admission control,
+// a poison input trips the quarantine breaker, and three hot reloads land
+// mid-flight. The session's delivered report set must be byte-identical to
+// an undisturbed sequential reference, with no dropped correct matches in
+// the scan plane, no stuck pooled streams, and no leaked goroutines.
+func TestServiceChaosSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos soak is a wall-clock test")
+	}
+	before := runtime.NumGoroutine()
+
+	basePatterns := []string{"ab{2}c", "ab{2,5}c", "c{3}"}
+	svc, err := NewService(basePatterns, &ServiceConfig{
+		MaxConcurrent:       2,
+		MaxQueue:            2,
+		ScanTimeout:         time.Second,
+		QuarantineThreshold: 3,
+		QuarantineWindow:    time.Minute,
+		QuarantineCooldown:  time.Minute,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The session pins generation 1; the reference must come from the
+	// same engine, captured before any reload swaps the service.
+	corpus := checkpointInput(99, 128<<10)
+	pinned := svc.Engine()
+	want := pinned.FindAll(corpus)
+	if len(want) == 0 {
+		t.Fatal("degenerate corpus: no reference matches")
+	}
+
+	// Fault plan: three one-shot panics injected into the session's
+	// guarded feed path, each at a fixed stream position. After the
+	// rewind, the replay crosses the same position again — the fired map
+	// keeps the bomb from re-detonating, modeling a transient fault.
+	bombs := []int{20011, 50023, 90017}
+	var fired sync.Map
+	sessionFeedHook = func(base int, data []byte) {
+		for _, b := range bombs {
+			if base < b && base+len(data) >= b {
+				if _, dup := fired.LoadOrStore(b, true); !dup {
+					panic(fmt.Sprintf("chaos: injected fault at %d", b))
+				}
+			}
+		}
+	}
+	defer func() { sessionFeedHook = nil }()
+
+	// Poison input for the scan plane: every scan of it panics, so the
+	// breaker must quarantine it after QuarantineThreshold failures.
+	poison := []byte("poison-input-marker")
+	serviceScanHook = func(in []byte) {
+		if bytes.Equal(in, poison) {
+			panic("chaos: poison input")
+		}
+	}
+	defer func() { serviceScanHook = nil }()
+
+	// ---- Session plane: feed with faults + forced crash/resume. ----
+	var delivered []Match
+	cfg := &SessionConfig{
+		CheckpointInterval: 2048,
+		OnMatch:            func(m Match) { delivered = append(delivered, m) },
+	}
+	sess, err := svc.NewSession(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sessionDone := make(chan struct{})
+	go func() {
+		defer close(sessionDone)
+		ctx := context.Background()
+		panics, crashes, cursor := 0, 0, 0
+		for cursor < len(corpus) {
+			end := cursor + 1500
+			if end > len(corpus) {
+				end = len(corpus)
+			}
+			if err := sess.Feed(ctx, corpus[cursor:end]); err != nil {
+				var pe *PanicError
+				if !errors.As(err, &pe) {
+					t.Errorf("session feed: unexpected error %v", err)
+					return
+				}
+				panics++
+				// Rewound to the last commit: replay from Pos(), which
+				// may be well before the failed chunk.
+				cursor = int(sess.Pos())
+				continue
+			}
+			cursor = end
+			// Every ~16 KiB, crash the whole session object and
+			// resume a fresh one from the durable handle.
+			if crashes < 4 && cursor/(16<<10) > crashes {
+				ck := sess.Checkpoint() // commits: ck.Pos() == cursor
+				sess.Close()            // simulated process death
+				next, err := svc.ResumeSession(ck, cfg)
+				if err != nil {
+					t.Errorf("ResumeSession: %v", err)
+					return
+				}
+				if got := int(next.Pos()); got != cursor {
+					t.Errorf("resumed at %d, cursor %d", got, cursor)
+					return
+				}
+				sess = next
+				crashes++
+			}
+		}
+		sess.Close()
+		if panics != len(bombs) {
+			t.Errorf("session absorbed %d injected panics, want %d", panics, len(bombs))
+		}
+		if crashes != 4 {
+			t.Errorf("session crash/resume cycles = %d, want 4", crashes)
+		}
+	}()
+
+	// ---- Scan plane: concurrent scanners + poison + hot reloads. ----
+	goodInput := []byte("..abbc..abbc..abbc..") // 3 hits of pattern 0
+	const wantPerScan = 3
+	var dropped, poisonRejects atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-sessionDone:
+					return
+				default:
+				}
+				in := goodInput
+				if i%7 == g {
+					in = poison
+				}
+				ms, err := svc.Scan(context.Background(), in)
+				switch {
+				case err == nil:
+					if &in[0] == &poison[0] {
+						dropped.Add(1) // poison must never succeed
+						continue
+					}
+					n := 0
+					for _, m := range ms {
+						if m.Pattern == 0 {
+							n++
+						}
+					}
+					if n != wantPerScan {
+						dropped.Add(1)
+					}
+				case errors.Is(err, ErrOverloaded):
+					// Expected shedding under a 2+2 gate.
+				case errors.Is(err, ErrQuarantined) || isPanicErr(err):
+					if &in[0] != &poison[0] {
+						dropped.Add(1)
+					} else {
+						poisonRejects.Add(1)
+					}
+				default:
+					t.Errorf("scan: unexpected error %v", err)
+					return
+				}
+			}
+		}(g)
+	}
+
+	// Three concurrent hot reloads, each keeping the base patterns (so
+	// pattern 0's match count is invariant across generations) and adding
+	// a generation marker.
+	var reloadsOK atomic.Int64
+	for r := 0; r < 3; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			next := append(append([]string{}, basePatterns...),
+				fmt.Sprintf("soakgen%dx{%d}", r, 4+r))
+			if _, err := svc.Reload(context.Background(), next); err != nil {
+				t.Errorf("reload %d: %v", r, err)
+				return
+			}
+			reloadsOK.Add(1)
+		}(r)
+	}
+
+	<-sessionDone
+	wg.Wait()
+
+	// ---- Verdict. ----
+	if got := reloadsOK.Load(); got != 3 {
+		t.Errorf("concurrent reloads applied = %d, want 3", got)
+	}
+	if gen := svc.Generation(); gen != 4 {
+		t.Errorf("final generation = %d, want 4", gen)
+	}
+	if n := dropped.Load(); n != 0 {
+		t.Errorf("scan plane dropped %d correct results", n)
+	}
+	if poisonRejects.Load() == 0 {
+		t.Error("poison input was never rejected")
+	}
+	if q := svc.Quarantined(); len(q) != 1 {
+		t.Errorf("quarantine set = %v, want exactly the poison key", q)
+	}
+
+	// Byte-identical delivery: the interrupted, faulted, reloaded-under
+	// session reports exactly what one undisturbed pass reports.
+	if len(delivered) != len(want) {
+		t.Fatalf("session delivered %d reports, reference %d", len(delivered), len(want))
+	}
+	for i := range delivered {
+		if delivered[i] != want[i] {
+			t.Fatalf("report %d: %+v != reference %+v", i, delivered[i], want[i])
+		}
+	}
+
+	if err := svc.Drain(context.Background()); err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+	if n := pinned.StreamsOut(); n != 0 {
+		t.Errorf("%d pooled streams checked out of the pinned engine", n)
+	}
+	if n := svc.Engine().StreamsOut(); n != 0 {
+		t.Errorf("%d pooled streams checked out of the live engine", n)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		runtime.Gosched()
+		time.Sleep(10 * time.Millisecond)
+	}
+	if after := runtime.NumGoroutine(); after > before {
+		t.Errorf("goroutines grew %d → %d across the soak", before, after)
+	}
+}
+
+func isPanicErr(err error) bool {
+	var pe *PanicError
+	return errors.As(err, &pe)
+}

@@ -1,0 +1,583 @@
+package bvap
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"bvap/internal/serve"
+	"bvap/internal/telemetry"
+)
+
+func TestServiceScanBasic(t *testing.T) {
+	svc, err := NewService([]string{"ab{2}c", "b{3}"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	input := []byte("xxabbcxbbbx")
+	got, err := svc.Scan(context.Background(), input)
+	if err != nil {
+		t.Fatalf("Scan: %v", err)
+	}
+	want := svc.Engine().FindAll(input)
+	if len(got) != len(want) {
+		t.Fatalf("Scan = %v, FindAll = %v", got, want)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("match %d: %+v != %+v", i, got[i], want[i])
+		}
+	}
+	if g := svc.Generation(); g != 1 {
+		t.Errorf("Generation() = %d, want 1", g)
+	}
+}
+
+func TestServiceReloadSwap(t *testing.T) {
+	svc, err := NewService([]string{"ab{2}c"}, &ServiceConfig{
+		ProbeCorpus: [][]byte{[]byte("xxabbcxx"), []byte("zzz")},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+
+	input := []byte("abbc-defc")
+	if ms, _ := svc.Scan(context.Background(), input); len(ms) != 1 {
+		t.Fatalf("gen 1 scan: %v", ms)
+	}
+	seq, err := svc.Reload(context.Background(), []string{"def{1}c"})
+	if err != nil {
+		t.Fatalf("Reload: %v", err)
+	}
+	if seq != 2 || svc.Generation() != 2 {
+		t.Fatalf("generation after reload = %d (ret %d), want 2", svc.Generation(), seq)
+	}
+	ms, err := svc.Scan(context.Background(), input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 1 || ms[0].End != 8 {
+		t.Errorf("gen 2 scan = %v, want one match ending at 8", ms)
+	}
+}
+
+func TestServiceReloadRollback(t *testing.T) {
+	svc, err := NewService([]string{"ab{2}c"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+
+	// A candidate where every pattern fails to compile is rejected in the
+	// validate phase; the served generation is untouched.
+	_, err = svc.Reload(context.Background(), []string{"(", "[z-a]"})
+	var re *ReloadError
+	if !errors.As(err, &re) {
+		t.Fatalf("Reload err = %v (%T), want *ReloadError", err, err)
+	}
+	if re.Phase != "validate" {
+		t.Errorf("ReloadError.Phase = %q, want validate", re.Phase)
+	}
+	if g := svc.Generation(); g != 1 {
+		t.Errorf("generation after rejected reload = %d, want 1", g)
+	}
+	if ms, err := svc.Scan(context.Background(), []byte("abbc")); err != nil || len(ms) != 1 {
+		t.Errorf("old generation no longer serves: %v, %v", ms, err)
+	}
+
+	// Build-phase failure: a canceled compile context.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err = svc.Reload(ctx, []string{"xy{2}z"})
+	if !errors.As(err, &re) || re.Phase != "build" {
+		t.Errorf("canceled reload = %v, want build-phase *ReloadError", err)
+	}
+	if g := svc.Generation(); g != 1 {
+		t.Errorf("generation = %d, want 1", g)
+	}
+}
+
+func TestServiceReloadCrossCheckRejects(t *testing.T) {
+	svc, err := NewService([]string{"ab{2}c"}, &ServiceConfig{
+		ProbeCorpus: [][]byte{[]byte("xxabbcxx")},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+
+	crossCheckCorruptHook = func(ms []Match) []Match { return ms[:0] } // drop every probe match
+	defer func() { crossCheckCorruptHook = nil }()
+	_, err = svc.Reload(context.Background(), []string{"ab{2}c", "q{4}"})
+	var re *ReloadError
+	if !errors.As(err, &re) {
+		t.Fatalf("Reload err = %v, want *ReloadError", err)
+	}
+	if re.Phase != "crosscheck" {
+		t.Errorf("Phase = %q, want crosscheck", re.Phase)
+	}
+	if g := svc.Generation(); g != 1 {
+		t.Errorf("generation = %d, want 1", g)
+	}
+}
+
+// Concurrent reloads all apply, scans never observe a broken generation,
+// and the final generation reflects every successful swap.
+func TestServiceConcurrentReloads(t *testing.T) {
+	svc, err := NewService([]string{"ab{2}c"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+
+	const reloads = 5
+	var wg sync.WaitGroup
+	for i := 0; i < reloads; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			pats := []string{"ab{2}c", fmt.Sprintf("x{%d}y", i+2)}
+			if _, err := svc.Reload(context.Background(), pats); err != nil {
+				t.Errorf("reload %d: %v", i, err)
+			}
+		}(i)
+	}
+	stop := make(chan struct{})
+	var scanWG sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		scanWG.Add(1)
+		go func() {
+			defer scanWG.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				ms, err := svc.Scan(context.Background(), []byte("zzabbczz"))
+				if errors.Is(err, ErrOverloaded) {
+					continue // admission shed under the stress loop: fine
+				}
+				if err != nil {
+					t.Errorf("scan during reloads: %v", err)
+					return
+				}
+				// ab{2}c is in every generation.
+				if len(ms) == 0 {
+					t.Error("scan during reloads lost the stable pattern")
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	scanWG.Wait()
+	if g := svc.Generation(); g != 1+reloads {
+		t.Errorf("final generation = %d, want %d", g, 1+reloads)
+	}
+}
+
+func TestServiceQuarantine(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	svc, err := NewService([]string{"ab{2}c"}, &ServiceConfig{
+		QuarantineThreshold: 2,
+		QuarantineCooldown:  time.Hour, // stays tripped for the test
+		Metrics:             reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+
+	poison := []byte("poison-input")
+	shardCorruptHook = func(input []byte, _ int, ms []Match) []Match {
+		if bytes.Equal(input, poison) {
+			panic("poisoned")
+		}
+		return ms
+	}
+	defer func() { shardCorruptHook = nil }()
+
+	for i := 0; i < 2; i++ {
+		_, err := svc.Scan(context.Background(), poison)
+		var pe *PanicError
+		if !errors.As(err, &pe) {
+			t.Fatalf("scan %d: err = %v, want *PanicError", i, err)
+		}
+	}
+	// Tripped: the third scan sheds without running anything.
+	_, err = svc.Scan(context.Background(), poison)
+	if !errors.Is(err, ErrQuarantined) {
+		t.Fatalf("post-trip scan err = %v, want ErrQuarantined", err)
+	}
+	if q := svc.Quarantined(); len(q) != 1 {
+		t.Errorf("Quarantined() = %v, want one key", q)
+	}
+	// Other inputs are unaffected.
+	if ms, err := svc.Scan(context.Background(), []byte("abbc")); err != nil || len(ms) != 1 {
+		t.Errorf("healthy input degraded: %v, %v", ms, err)
+	}
+	// Pool hygiene across the panics.
+	if out := svc.Engine().StreamsOut(); out != 0 {
+		t.Errorf("StreamsOut() = %d, want 0", out)
+	}
+}
+
+func TestServiceOverloadSheds(t *testing.T) {
+	svc, err := NewService([]string{"ab{2}c"}, &ServiceConfig{
+		MaxConcurrent: 1,
+		MaxQueue:      0,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+
+	slow := []byte("slow-input")
+	block := make(chan struct{})
+	started := make(chan struct{})
+	var once sync.Once
+	shardCorruptHook = func(input []byte, _ int, ms []Match) []Match {
+		if bytes.Equal(input, slow) {
+			once.Do(func() { close(started) })
+			<-block
+		}
+		return ms
+	}
+	defer func() { shardCorruptHook = nil }()
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := svc.Scan(context.Background(), slow)
+		done <- err
+	}()
+	<-started
+
+	// Gate full, no queue: immediate shed.
+	_, err = svc.Scan(context.Background(), []byte("abbc"))
+	if !errors.Is(err, ErrOverloaded) {
+		t.Errorf("scan under load err = %v, want ErrOverloaded", err)
+	}
+	close(block)
+	if err := <-done; err != nil {
+		t.Errorf("slow scan: %v", err)
+	}
+	// Slot freed: scans admit again.
+	if _, err := svc.Scan(context.Background(), []byte("abbc")); err != nil {
+		t.Errorf("scan after load: %v", err)
+	}
+}
+
+func TestServiceDrain(t *testing.T) {
+	svc, err := NewService([]string{"ab{2}c"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.Drain(context.Background()); err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+	if _, err := svc.Scan(context.Background(), []byte("abbc")); !errors.Is(err, ErrDraining) {
+		t.Errorf("post-drain Scan err = %v, want ErrDraining", err)
+	}
+	if _, err := svc.NewSession(nil); !errors.Is(err, ErrDraining) {
+		t.Errorf("post-drain NewSession err = %v, want ErrDraining", err)
+	}
+	if _, err := svc.Reload(context.Background(), []string{"xy"}); !errors.Is(err, ErrDraining) {
+		t.Errorf("post-drain Reload err = %v, want ErrDraining", err)
+	}
+	if err := svc.Close(); err != nil {
+		t.Errorf("Close after Drain: %v", err)
+	}
+}
+
+func TestServiceWatchdogTimeout(t *testing.T) {
+	svc, err := NewService([]string{"ab{2}c"}, &ServiceConfig{
+		ScanTimeout:         20 * time.Millisecond,
+		QuarantineThreshold: 1,
+		QuarantineCooldown:  time.Hour,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+
+	slow := []byte("watchdog-victim")
+	serviceScanHook = func(input []byte) {
+		if bytes.Equal(input, slow) {
+			time.Sleep(100 * time.Millisecond) // outlive the 20ms watchdog
+		}
+	}
+	defer func() { serviceScanHook = nil }()
+
+	// The hook stalls past the deadline, then the cooperative scan body
+	// observes the expired watchdog context at its first chunk check.
+	_, err = svc.Scan(context.Background(), slow)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("watchdog scan err = %v, want DeadlineExceeded", err)
+	}
+	// Threshold 1: the key is quarantined now.
+	_, err = svc.Scan(context.Background(), slow)
+	if !errors.Is(err, ErrQuarantined) {
+		t.Errorf("post-timeout scan err = %v, want ErrQuarantined", err)
+	}
+	// Other inputs still serve.
+	if ms, err := svc.Scan(context.Background(), []byte("abbc")); err != nil || len(ms) != 1 {
+		t.Errorf("healthy input degraded: %v, %v", ms, err)
+	}
+}
+
+// Exactly-once delivery across an explicit checkpoint + resume: the
+// delivered reports of (session → crash → resumed session) equal the
+// uninterrupted reference run, with no loss and no duplicates.
+func TestSessionCheckpointResumeExactlyOnce(t *testing.T) {
+	patterns := []string{"ab{2}c", "ab{2,5}c", "c{3}"}
+	svc, err := NewService(patterns, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+
+	input := checkpointInput(42, 64<<10)
+	want := svc.Engine().FindAll(input)
+	if len(want) == 0 {
+		t.Fatal("reference run found no matches; bad corpus")
+	}
+
+	var got []Match
+	seen := map[Match]int{}
+	onMatch := func(m Match) {
+		got = append(got, m)
+		seen[m]++
+	}
+
+	sess, err := svc.NewSession(&SessionConfig{CheckpointInterval: 1 << 10, OnMatch: onMatch})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Feed a prefix in awkward chunk sizes.
+	cut := 37*len(input)/64 + 13
+	for off := 0; off < cut; {
+		n := 777
+		if off+n > cut {
+			n = cut - off
+		}
+		if err := sess.Feed(context.Background(), input[off:off+n]); err != nil {
+			t.Fatalf("feed at %d: %v", off, err)
+		}
+		off += n
+	}
+	ck := sess.Checkpoint() // durable handle; commits pending reports
+	if ck.Pos() != int64(cut) {
+		t.Fatalf("checkpoint Pos() = %d, want %d", ck.Pos(), cut)
+	}
+
+	// "Crash": feed a sub-interval tail on the doomed session (short of
+	// the next commit boundary, so nothing more is delivered), then
+	// abandon it without Close — the pending matches are lost with it.
+	_ = sess.Feed(context.Background(), input[cut:cut+700])
+	if sess.Pos() != ck.Pos() {
+		t.Fatalf("doomed feed advanced the commit point to %d", sess.Pos())
+	}
+
+	resumed, err := svc.ResumeSession(ck, &SessionConfig{CheckpointInterval: 1 << 10, OnMatch: onMatch})
+	if err != nil {
+		t.Fatalf("ResumeSession: %v", err)
+	}
+	if resumed.Pos() != ck.Pos() {
+		t.Fatalf("resumed Pos() = %d, want %d", resumed.Pos(), ck.Pos())
+	}
+	if err := resumed.Feed(context.Background(), input[ck.Pos():]); err != nil {
+		t.Fatalf("resumed feed: %v", err)
+	}
+	resumed.Close()
+
+	if len(got) != len(want) {
+		t.Fatalf("delivered %d reports, reference %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("report %d: %+v != reference %+v", i, got[i], want[i])
+		}
+	}
+	for m, n := range seen {
+		if n != 1 {
+			t.Fatalf("match %+v delivered %d times", m, n)
+		}
+	}
+}
+
+// A mid-feed failure rewinds to the last automatic checkpoint; re-feeding
+// from Pos() regenerates exactly the undelivered reports.
+func TestSessionFeedFailureRewinds(t *testing.T) {
+	svc, err := NewService([]string{"ab{2}c", "c{3}"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+
+	input := checkpointInput(99, 32<<10)
+	want := svc.Engine().FindAll(input)
+
+	var got []Match
+	sess, err := svc.NewSession(&SessionConfig{
+		CheckpointInterval: 2048,
+		OnMatch:            func(m Match) { got = append(got, m) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Blow up once the stream passes byte 20000.
+	const bomb = 20000
+	armed := true
+	sessionFeedHook = func(base int, data []byte) {
+		if armed && base+len(data) > bomb {
+			panic("injected mid-stream fault")
+		}
+	}
+	defer func() { sessionFeedHook = nil }()
+
+	err = sess.Feed(context.Background(), input)
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("feed err = %v, want *PanicError", err)
+	}
+	if pe.Op != "session feed" {
+		t.Errorf("PanicError.Op = %q", pe.Op)
+	}
+	pos := sess.Pos()
+	if pos%2048 != 0 || pos > bomb {
+		t.Fatalf("rewound Pos() = %d, want a checkpoint boundary at or before %d", pos, bomb)
+	}
+	// Every delivered report so far precedes the commit point.
+	for _, m := range got {
+		if int64(m.End) >= pos {
+			t.Fatalf("report %+v delivered beyond the commit point %d", m, pos)
+		}
+	}
+
+	// Disarm and resume feeding from Pos().
+	armed = false
+	if err := sess.Feed(context.Background(), input[pos:]); err != nil {
+		t.Fatalf("resumed feed: %v", err)
+	}
+	sess.Close()
+
+	if len(got) != len(want) {
+		t.Fatalf("delivered %d reports, reference %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("report %d: %+v != %+v", i, got[i], want[i])
+		}
+	}
+}
+
+// A session pins its generation: reloading does not disturb an open
+// session, and a new session sees the new set.
+func TestSessionPinsGeneration(t *testing.T) {
+	svc, err := NewService([]string{"ab{2}c"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+
+	var old []Match
+	sess, err := svc.NewSession(&SessionConfig{CheckpointInterval: 64, OnMatch: func(m Match) { old = append(old, m) }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.Reload(context.Background(), []string{"x{3}y"}); err != nil {
+		t.Fatal(err)
+	}
+	input := bytes.Repeat([]byte("abbc-xxxy-"), 30)
+	if err := sess.Feed(context.Background(), input); err != nil {
+		t.Fatal(err)
+	}
+	sess.Close()
+	for _, m := range old {
+		if m.Pattern != 0 {
+			t.Fatalf("pinned session reported pattern %d", m.Pattern)
+		}
+	}
+	if len(old) != 30 {
+		t.Errorf("pinned session: %d reports, want 30 (ab{2}c)", len(old))
+	}
+
+	var fresh []Match
+	s2, err := svc.NewSession(&SessionConfig{CheckpointInterval: 64, OnMatch: func(m Match) { fresh = append(fresh, m) }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Generation() != 2 {
+		t.Errorf("new session generation = %d, want 2", s2.Generation())
+	}
+	if err := s2.Feed(context.Background(), input); err != nil {
+		t.Fatal(err)
+	}
+	s2.Close()
+	if len(fresh) != 30 {
+		t.Errorf("gen-2 session: %d reports, want 30 (x{3}y)", len(fresh))
+	}
+}
+
+// The service gauges move: generation, scans, sheds, checkpoints.
+func TestServiceMetrics(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	svc, err := NewService([]string{"ab{2}c"}, &ServiceConfig{Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+
+	if _, err := svc.Scan(context.Background(), []byte("abbc")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.Reload(context.Background(), []string{"ab{2}c", "z{2}"}); err != nil {
+		t.Fatal(err)
+	}
+	sess, err := svc.NewSession(&SessionConfig{CheckpointInterval: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Feed(context.Background(), bytes.Repeat([]byte("abbc"), 16)); err != nil {
+		t.Fatal(err)
+	}
+	sess.Close()
+
+	find := func(name string, labels map[string]string) float64 {
+	samples:
+		for _, s := range reg.Snapshot() {
+			if s.Name != name {
+				continue
+			}
+			for k, v := range labels {
+				if s.Labels[k] != v {
+					continue samples
+				}
+			}
+			return s.Value
+		}
+		t.Fatalf("metric %s%v not found", name, labels)
+		return 0
+	}
+	if v := find(serve.MetricGeneration, nil); v != 2 {
+		t.Errorf("%s = %v, want 2", serve.MetricGeneration, v)
+	}
+	if v := find(serve.MetricScans, map[string]string{"outcome": "ok"}); v < 1 {
+		t.Errorf("%s{ok} = %v, want >= 1", serve.MetricScans, v)
+	}
+	if v := find(serve.MetricReloads, map[string]string{"result": "ok"}); v != 1 {
+		t.Errorf("%s{ok} = %v, want 1", serve.MetricReloads, v)
+	}
+	if v := find(serve.MetricCheckpoints, nil); v < 4 {
+		t.Errorf("%s = %v, want >= 4", serve.MetricCheckpoints, v)
+	}
+}
