@@ -130,6 +130,13 @@ type Engine struct {
 	// shards panicked — proving the panic-recovery path returns its
 	// pooled Stream.
 	streamsOut atomic.Int64
+
+	// energyRatePJPerSym is the calibrated per-symbol energy of this
+	// configuration on the BVAP model, in pJ: set once by the service's
+	// pre-publish calibration (before the engine is visible to scans) and 0
+	// when never calibrated. It powers the serving path's live per-scan
+	// energy estimate — the software engine burns no modeled energy itself.
+	energyRatePJPerSym float64
 }
 
 // getStream and putStream wrap the stream pool with checkout accounting;
@@ -150,6 +157,19 @@ func (e *Engine) putStream(s *Stream) {
 // scan is in flight — even after shards that panicked — and exists for
 // leak detection in tests and the service soak harness.
 func (e *Engine) StreamsOut() int64 { return e.streamsOut.Load() }
+
+// ScanEnergyEstimatePJ estimates the modeled energy of scanning inputBytes
+// on this configuration, in pJ, from the service's simulator calibration
+// (rate × length). ok is false when the engine was never calibrated —
+// engines outside a Service, or services with calibration disabled. The
+// figure is an estimate, not the exact per-run partition a Simulator with
+// a tracing.EnergySink produces.
+func (e *Engine) ScanEnergyEstimatePJ(inputBytes int) (float64, bool) {
+	if e.energyRatePJPerSym <= 0 {
+		return 0, false
+	}
+	return e.energyRatePJPerSym * float64(inputBytes), true
+}
 
 // newEngine wraps a compilation result with the engine's concurrency
 // plumbing. Pool constructors run lazily, on first use.

@@ -79,6 +79,7 @@ func registry() []experiment {
 		{"perf", "canonical perf harness → BENCH_<n>.json (+ -baseline compare)", false, (*app).runPerf},
 		{"throughput", "parallel-vs-sequential scan throughput sweep → BENCH_<n>.json (+ -baseline compare)", false, (*app).runThroughput},
 		{"soak", "service soak: crash/resume correctness + overload/reload churn → BENCH_<n>.json (+ -baseline compare)", false, (*app).runSoak},
+		{"obs", "tracing overhead: disabled-path allocs, live throughput cost, energy-partition exactness → BENCH_<n>.json (+ -baseline compare)", false, (*app).runObs},
 	}
 }
 
@@ -115,6 +116,9 @@ type app struct {
 	soakScanners     int
 	soakReloads      int
 	soakRestarts     int
+	obsDataset       string
+	obsScans         int
+	obsRounds        int
 	datasets         []string
 	archs            []string
 	baselinePath     string
@@ -153,6 +157,9 @@ func main() {
 	flag.IntVar(&a.soakScanners, "soak-scanners", 8, "concurrent scan goroutines for -exp soak")
 	flag.IntVar(&a.soakReloads, "soak-reloads", 3, "concurrent hot reloads during the -exp soak overload phase")
 	flag.IntVar(&a.soakRestarts, "soak-restarts", 4, "checkpoint/resume crash cycles in the -exp soak session phase")
+	flag.StringVar(&a.obsDataset, "obs-dataset", "Snort", "dataset for the -exp obs overhead run")
+	flag.IntVar(&a.obsScans, "obs-scans", 32, "timed scans per side per round in -exp obs")
+	flag.IntVar(&a.obsRounds, "obs-rounds", 3, "alternating measurement rounds in -exp obs")
 	datasetList := flag.String("datasets", "", "comma-separated dataset subset")
 	archList := flag.String("archs", "", "comma-separated architecture subset for -exp perf (BVAP, BVAP-S, CAMA, CA, eAP, CNT)")
 	jsonPath := flag.String("json", "", "also write the structured results as JSON to this file")
@@ -565,6 +572,52 @@ func (a *app) runSoak() error {
 	return nil
 }
 
+// runObs measures the observability layer's own cost: the disabled-path
+// allocation contract (counted, pinned at zero), the live throughput
+// overhead of an attached flight recorder (informational), and the
+// bit-exactness of the traced energy partition (counted). The report goes
+// into a BENCH-schema file; -baseline compares a previous obs run.
+func (a *app) runObs() error {
+	opt := experiments.ObsOptions{
+		Dataset:  a.obsDataset,
+		Sample:   a.sample,
+		InputLen: a.inputLen,
+		Scans:    a.obsScans,
+		Rounds:   a.obsRounds,
+	}
+	res, rep, err := experiments.Obs(opt)
+	if err != nil {
+		return err
+	}
+	a.dump.Obs = res
+	experiments.RenderObs(os.Stdout, res)
+
+	out := a.benchOut
+	if out == "" {
+		out, err = experiments.NextBenchPath(".")
+		if err != nil {
+			return err
+		}
+	}
+	if err := experiments.WriteBenchReport(out, rep); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", out)
+
+	if a.baselinePath != "" {
+		base, err := experiments.ReadBenchReport(a.baselinePath)
+		if err != nil {
+			return err
+		}
+		regs := experiments.CompareBench(rep, base, experiments.Thresholds{})
+		experiments.RenderRegressions(os.Stdout, regs)
+		if len(regs) > 0 {
+			return fmt.Errorf("%d counted metric(s) regressed vs %s", len(regs), a.baselinePath)
+		}
+	}
+	return nil
+}
+
 // parseIntList parses a comma-separated list of positive ints; an empty
 // string selects the experiment's defaults (nil).
 func parseIntList(s string) ([]int, error) {
@@ -597,6 +650,7 @@ type jsonResults struct {
 	Perf       *experiments.BenchReport      `json:"perf,omitempty"`
 	Throughput *experiments.ThroughputResult `json:"throughput,omitempty"`
 	Soak       *experiments.SoakResult       `json:"soak,omitempty"`
+	Obs        *experiments.ObsResult        `json:"obs,omitempty"`
 }
 
 // parseRates parses the -fault-rates list; an empty string selects the

@@ -10,10 +10,20 @@
 //
 // Endpoints:
 //
-//	POST /scan     body = raw input bytes → JSON {generation, matches}
-//	POST /reload   body = newline-separated patterns → JSON {generation}
-//	GET  /healthz  liveness + current generation and quarantine set
-//	GET  /metrics  service telemetry (Prometheus text format)
+//	POST /scan             body = raw input bytes → JSON {generation, matches, trace_id}
+//	POST /reload           body = newline-separated patterns → JSON {generation}
+//	GET  /healthz          liveness + current generation and quarantine set
+//	GET  /metrics          service telemetry (Prometheus text format; OpenMetrics
+//	                       with exemplars on Accept: application/openmetrics-text)
+//	GET  /debug/flight     flight-recorder ring dump (recent + pinned traces, JSON)
+//	GET  /debug/trace/{id} one trace by hex id (JSON; ?format=chrome for a
+//	                       chrome://tracing / Perfetto document)
+//
+// Every scan runs under a request-scoped trace: the returned trace_id keys
+// the flight recorder's ring (tune with -flight-*), appears on every log
+// line for the request, and is attached to the serve histograms as an
+// OpenMetrics exemplar. -debug-addr serves net/http/pprof on a separate
+// listener. Logs are structured log/slog (-log-format text|json).
 //
 // Service errors map onto HTTP statuses: overload and draining → 503
 // (with Retry-After), quarantine → 429, watchdog timeout → 504, recovered
@@ -28,8 +38,9 @@ import (
 	"flag"
 	"fmt"
 	"io"
-	"log"
+	"log/slog"
 	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof/* on DefaultServeMux for -debug-addr
 	"os"
 	"os/signal"
 	"strings"
@@ -38,60 +49,143 @@ import (
 
 	"bvap"
 	"bvap/internal/telemetry"
+	"bvap/internal/tracing"
 )
 
+// config carries the parsed flag set through run.
+type config struct {
+	listen        string
+	debugAddr     string
+	patternsPath  string
+	dataset       string
+	sample        int
+	scanTimeout   time.Duration
+	maxConcurrent int
+	maxQueue      int
+	quarantine    int
+	drainTimeout  time.Duration
+	maxBody       int64
+	logFormat     string
+	logLevel      string
+
+	flightCapacity      int
+	flightPinned        int
+	flightLatencyBudget time.Duration
+	flightEnergyBudget  float64
+}
+
 func main() {
-	listen := flag.String("listen", "127.0.0.1:8712", "HTTP listen address")
-	patternsPath := flag.String("patterns", "", "pattern file, one regex per line (# comments); reloaded on SIGHUP")
-	dataset := flag.String("dataset", "Snort", "dataset to sample patterns from when -patterns is not given")
-	sample := flag.Int("sample", 20, "patterns sampled from -dataset")
-	scanTimeout := flag.Duration("scan-timeout", 2*time.Second, "per-scan watchdog deadline (0 disables)")
-	maxConcurrent := flag.Int("max-concurrent", 0, "admission slots (0 = GOMAXPROCS)")
-	maxQueue := flag.Int("max-queue", 64, "admission queue depth beyond the slots")
-	quarantine := flag.Int("quarantine-threshold", 3, "hard failures per input key before quarantine")
-	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "bound on the shutdown drain")
-	maxBody := flag.Int64("max-body", 16<<20, "largest accepted request body in bytes")
+	var cfg config
+	flag.StringVar(&cfg.listen, "listen", "127.0.0.1:8712", "HTTP listen address")
+	flag.StringVar(&cfg.debugAddr, "debug-addr", "", "separate listen address for net/http/pprof (empty disables)")
+	flag.StringVar(&cfg.patternsPath, "patterns", "", "pattern file, one regex per line (# comments); reloaded on SIGHUP")
+	flag.StringVar(&cfg.dataset, "dataset", "Snort", "dataset to sample patterns from when -patterns is not given")
+	flag.IntVar(&cfg.sample, "sample", 20, "patterns sampled from -dataset")
+	flag.DurationVar(&cfg.scanTimeout, "scan-timeout", 2*time.Second, "per-scan watchdog deadline (0 disables)")
+	flag.IntVar(&cfg.maxConcurrent, "max-concurrent", 0, "admission slots (0 = GOMAXPROCS)")
+	flag.IntVar(&cfg.maxQueue, "max-queue", 64, "admission queue depth beyond the slots")
+	flag.IntVar(&cfg.quarantine, "quarantine-threshold", 3, "hard failures per input key before quarantine")
+	flag.DurationVar(&cfg.drainTimeout, "drain-timeout", 10*time.Second, "bound on the shutdown drain")
+	flag.Int64Var(&cfg.maxBody, "max-body", 16<<20, "largest accepted request body in bytes")
+	flag.StringVar(&cfg.logFormat, "log-format", "text", "log output format: text or json")
+	flag.StringVar(&cfg.logLevel, "log-level", "info", "minimum log level: debug, info, warn or error")
+	flag.IntVar(&cfg.flightCapacity, "flight-capacity", 256, "completed traces retained by the flight recorder")
+	flag.IntVar(&cfg.flightPinned, "flight-pinned", 32, "over-budget traces retained by the flight recorder's black box")
+	flag.DurationVar(&cfg.flightLatencyBudget, "flight-latency-budget", 0, "pin any scan slower than this into the black box (0 disables)")
+	flag.Float64Var(&cfg.flightEnergyBudget, "flight-energy-budget", 0, "pin any scan above this many picojoules into the black box (0 disables)")
 	flag.Parse()
 
-	if err := run(*listen, *patternsPath, *dataset, *sample, *scanTimeout,
-		*maxConcurrent, *maxQueue, *quarantine, *drainTimeout, *maxBody); err != nil {
+	logger, err := newLogger(cfg.logFormat, cfg.logLevel)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "bvapd:", err)
+		os.Exit(2)
+	}
+	if err := run(cfg, logger); err != nil {
+		logger.Error("exiting", "err", err)
 		os.Exit(1)
 	}
 }
 
-func run(listen, patternsPath, dataset string, sample int, scanTimeout time.Duration,
-	maxConcurrent, maxQueue, quarantine int, drainTimeout time.Duration, maxBody int64) error {
-	patterns, err := loadPatterns(patternsPath, dataset, sample)
+// newLogger builds the process logger from the -log-format / -log-level
+// flags: structured text or JSON on stderr.
+func newLogger(format, level string) (*slog.Logger, error) {
+	var lv slog.Level
+	switch level {
+	case "debug":
+		lv = slog.LevelDebug
+	case "info":
+		lv = slog.LevelInfo
+	case "warn":
+		lv = slog.LevelWarn
+	case "error":
+		lv = slog.LevelError
+	default:
+		return nil, fmt.Errorf("unknown -log-level %q", level)
+	}
+	opts := &slog.HandlerOptions{Level: lv}
+	switch format {
+	case "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, opts)), nil
+	default:
+		return nil, fmt.Errorf("unknown -log-format %q", format)
+	}
+}
+
+func run(cfg config, logger *slog.Logger) error {
+	patterns, err := loadPatterns(cfg.patternsPath, cfg.dataset, cfg.sample)
 	if err != nil {
 		return err
 	}
 
 	reg := telemetry.NewRegistry()
+	rec := tracing.NewRecorder(tracing.Config{
+		Capacity:       cfg.flightCapacity,
+		PinCapacity:    cfg.flightPinned,
+		LatencyBudget:  cfg.flightLatencyBudget,
+		EnergyBudgetPJ: cfg.flightEnergyBudget,
+	})
 	svc, err := bvap.NewService(patterns, &bvap.ServiceConfig{
-		MaxConcurrent:       maxConcurrent,
-		MaxQueue:            maxQueue,
-		ScanTimeout:         scanTimeout,
-		QuarantineThreshold: quarantine,
+		MaxConcurrent:       cfg.maxConcurrent,
+		MaxQueue:            cfg.maxQueue,
+		ScanTimeout:         cfg.scanTimeout,
+		QuarantineThreshold: cfg.quarantine,
 		Metrics:             reg,
+		FlightRecorder:      rec,
 	})
 	if err != nil {
 		return fmt.Errorf("initial pattern set: %w", err)
 	}
 
-	d := &daemon{svc: svc, reg: reg, maxBody: maxBody}
+	d := &daemon{svc: svc, reg: reg, rec: rec, log: logger, maxBody: cfg.maxBody}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /scan", d.handleScan)
 	mux.HandleFunc("POST /reload", d.handleReload)
 	mux.HandleFunc("GET /healthz", d.handleHealthz)
 	mux.HandleFunc("GET /metrics", d.handleMetrics)
-	srv := &http.Server{Addr: listen, Handler: mux}
+	mux.HandleFunc("GET /debug/flight", d.handleFlight)
+	mux.HandleFunc("GET /debug/trace/{id}", d.handleTrace)
+	srv := &http.Server{Addr: cfg.listen, Handler: mux}
+
+	if cfg.debugAddr != "" {
+		// The blank net/http/pprof import registered its handlers on
+		// http.DefaultServeMux; expose that mux on its own listener so
+		// profiling never shares a port with the scan API.
+		dbg := &http.Server{Addr: cfg.debugAddr, Handler: http.DefaultServeMux}
+		go func() {
+			if err := dbg.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				logger.Error("debug listener failed", "addr", cfg.debugAddr, "err", err)
+			}
+		}()
+		logger.Info("pprof listening", "addr", cfg.debugAddr)
+	}
 
 	sigs := make(chan os.Signal, 1)
 	signal.Notify(sigs, syscall.SIGINT, syscall.SIGTERM, syscall.SIGHUP)
 	done := make(chan error, 1)
 	go func() { done <- srv.ListenAndServe() }()
-	log.Printf("bvapd: serving %d patterns (generation %d) on %s", len(patterns), svc.Generation(), listen)
+	logger.Info("serving", "patterns", len(patterns), "generation", svc.Generation(), "addr", cfg.listen)
 
 	for {
 		select {
@@ -102,27 +196,27 @@ func run(listen, patternsPath, dataset string, sample int, scanTimeout time.Dura
 			return nil
 		case sig := <-sigs:
 			if sig == syscall.SIGHUP {
-				if patternsPath == "" {
-					log.Printf("bvapd: SIGHUP ignored (no -patterns file to re-read)")
+				if cfg.patternsPath == "" {
+					logger.Warn("SIGHUP ignored: no -patterns file to re-read")
 					continue
 				}
-				next, err := loadPatterns(patternsPath, dataset, sample)
+				next, err := loadPatterns(cfg.patternsPath, cfg.dataset, cfg.sample)
 				if err != nil {
-					log.Printf("bvapd: reload: %v (keeping generation %d)", err, svc.Generation())
+					logger.Warn("reload read failed", "err", err, "generation", svc.Generation(), "outcome", "rejected")
 					continue
 				}
 				gen, err := svc.Reload(context.Background(), next)
 				if err != nil {
-					log.Printf("bvapd: reload rejected: %v (keeping generation %d)", err, svc.Generation())
+					logger.Warn("reload rejected", "err", err, "generation", svc.Generation(), "outcome", "rejected")
 					continue
 				}
-				log.Printf("bvapd: reloaded %d patterns, generation %d", len(next), gen)
+				logger.Info("reloaded", "patterns", len(next), "generation", gen, "outcome", "ok")
 				continue
 			}
-			log.Printf("bvapd: %s — draining (bound %s)", sig, drainTimeout)
-			ctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+			logger.Info("draining", "signal", sig.String(), "bound", cfg.drainTimeout)
+			ctx, cancel := context.WithTimeout(context.Background(), cfg.drainTimeout)
 			if err := svc.Drain(ctx); err != nil {
-				log.Printf("bvapd: drain: %v", err)
+				logger.Warn("drain incomplete", "err", err)
 			}
 			err := srv.Shutdown(ctx)
 			cancel()
@@ -166,12 +260,24 @@ func parsePatterns(raw string) ([]string, error) {
 type daemon struct {
 	svc     *bvap.Service
 	reg     *telemetry.Registry
+	rec     *tracing.Recorder
+	log     *slog.Logger
 	maxBody int64
+}
+
+// logger returns the daemon's logger, defaulting for tests that construct
+// a bare daemon.
+func (d *daemon) logger() *slog.Logger {
+	if d.log != nil {
+		return d.log
+	}
+	return slog.Default()
 }
 
 type scanResponse struct {
 	Generation uint64       `json:"generation"`
 	Matches    []bvap.Match `json:"matches"`
+	TraceID    string       `json:"trace_id,omitempty"`
 }
 
 type reloadResponse struct {
@@ -180,67 +286,151 @@ type reloadResponse struct {
 }
 
 type errorResponse struct {
-	Error string `json:"error"`
-	Kind  string `json:"kind,omitempty"`
+	Error   string `json:"error"`
+	Kind    string `json:"kind,omitempty"`
+	TraceID string `json:"trace_id,omitempty"`
+}
+
+// flightResponse is the /debug/flight document.
+type flightResponse struct {
+	Capacity    int                 `json:"capacity"`
+	PinCapacity int                 `json:"pin_capacity"`
+	Recorded    uint64              `json:"recorded"`
+	PinnedTotal uint64              `json:"pinned_total"`
+	Recent      []tracing.TraceView `json:"recent"`
+	Pinned      []tracing.TraceView `json:"pinned"`
 }
 
 func (d *daemon) handleScan(w http.ResponseWriter, r *http.Request) {
+	ctx, tr := d.rec.StartTrace(r.Context(), "http.scan")
+	defer d.rec.Record(tr)
 	input, err := io.ReadAll(io.LimitReader(r.Body, d.maxBody+1))
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		tr.SetStr("outcome", "bad_request")
+		d.writeError(w, http.StatusBadRequest, err, "", tr)
 		return
 	}
 	if int64(len(input)) > d.maxBody {
-		writeError(w, http.StatusRequestEntityTooLarge, fmt.Errorf("body exceeds %d bytes", d.maxBody))
+		tr.SetStr("outcome", "body_too_large")
+		d.writeError(w, http.StatusRequestEntityTooLarge,
+			fmt.Errorf("body exceeds %d bytes", d.maxBody), "", tr)
 		return
 	}
-	ms, err := d.svc.Scan(r.Context(), input)
+	start := time.Now()
+	ms, err := d.svc.Scan(ctx, input)
 	if err != nil {
-		writeServiceError(w, err)
+		status, kind := serviceErrorStatus(w, err)
+		d.logger().Warn("scan failed",
+			"trace_id", tr.IDString(), "generation", d.svc.Generation(),
+			"bytes", len(input), "outcome", kind, "err", err)
+		d.writeError(w, status, err, kind, tr)
 		return
 	}
 	if ms == nil {
 		ms = []bvap.Match{}
 	}
-	writeJSON(w, http.StatusOK, scanResponse{Generation: d.svc.Generation(), Matches: ms})
+	d.logger().Debug("scan ok",
+		"trace_id", tr.IDString(), "generation", d.svc.Generation(),
+		"bytes", len(input), "matches", len(ms), "outcome", "ok",
+		"duration", time.Since(start))
+	writeJSON(w, d.logger(), http.StatusOK, scanResponse{
+		Generation: d.svc.Generation(), Matches: ms, TraceID: tr.IDString(),
+	})
 }
 
 func (d *daemon) handleReload(w http.ResponseWriter, r *http.Request) {
 	raw, err := io.ReadAll(io.LimitReader(r.Body, d.maxBody))
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		d.writeError(w, http.StatusBadRequest, err, "", nil)
 		return
 	}
 	patterns, err := parsePatterns(string(raw))
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		d.writeError(w, http.StatusBadRequest, err, "", nil)
 		return
 	}
 	gen, err := d.svc.Reload(r.Context(), patterns)
 	if err != nil {
-		writeServiceError(w, err)
+		status, kind := serviceErrorStatus(w, err)
+		d.logger().Warn("reload rejected",
+			"generation", d.svc.Generation(), "patterns", len(patterns),
+			"outcome", kind, "err", err)
+		d.writeError(w, status, err, kind, nil)
 		return
 	}
-	writeJSON(w, http.StatusOK, reloadResponse{Generation: gen, Patterns: len(patterns)})
+	d.logger().Info("reloaded", "patterns", len(patterns), "generation", gen, "outcome", "ok")
+	writeJSON(w, d.logger(), http.StatusOK, reloadResponse{Generation: gen, Patterns: len(patterns)})
 }
 
 func (d *daemon) handleHealthz(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{
+	writeJSON(w, d.logger(), http.StatusOK, map[string]any{
 		"generation":  d.svc.Generation(),
 		"quarantined": d.svc.Quarantined(),
 	})
 }
 
-func (d *daemon) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+func (d *daemon) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	// OpenMetrics (exemplar-capable) only when the scraper asks for it;
+	// classic 0.0.4 text otherwise, which must never carry exemplar syntax.
+	if strings.Contains(r.Header.Get("Accept"), "application/openmetrics-text") {
+		w.Header().Set("Content-Type", "application/openmetrics-text; version=1.0.0; charset=utf-8")
+		if err := d.reg.WriteOpenMetrics(w); err != nil {
+			d.logger().Warn("metrics write failed", "err", err)
+		}
+		return
+	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	if err := d.reg.WritePrometheus(w); err != nil {
-		log.Printf("bvapd: /metrics: %v", err)
+		d.logger().Warn("metrics write failed", "err", err)
 	}
 }
 
-// writeServiceError maps the service's typed errors onto HTTP statuses so
-// clients can distinguish "back off" from "this input is poison".
-func writeServiceError(w http.ResponseWriter, err error) {
+func (d *daemon) handleFlight(w http.ResponseWriter, _ *http.Request) {
+	recent := d.rec.Recent()
+	pinned := d.rec.Pinned()
+	resp := flightResponse{
+		Capacity:    d.rec.Config().Capacity,
+		PinCapacity: d.rec.Config().PinCapacity,
+		Recorded:    d.rec.Recorded(),
+		PinnedTotal: d.rec.PinnedTotal(),
+		Recent:      make([]tracing.TraceView, 0, len(recent)),
+		Pinned:      make([]tracing.TraceView, 0, len(pinned)),
+	}
+	for _, t := range recent {
+		resp.Recent = append(resp.Recent, t.View())
+	}
+	for _, t := range pinned {
+		resp.Pinned = append(resp.Pinned, t.View())
+	}
+	writeJSON(w, d.logger(), http.StatusOK, resp)
+}
+
+func (d *daemon) handleTrace(w http.ResponseWriter, r *http.Request) {
+	id, err := tracing.ParseTraceID(r.PathValue("id"))
+	if err != nil {
+		d.writeError(w, http.StatusBadRequest, fmt.Errorf("bad trace id: %w", err), "", nil)
+		return
+	}
+	t := d.rec.Lookup(id)
+	if t == nil {
+		d.writeError(w, http.StatusNotFound, fmt.Errorf("trace %s not retained", id), "", nil)
+		return
+	}
+	if r.URL.Query().Get("format") == "chrome" {
+		w.Header().Set("Content-Type", "application/json")
+		if err := t.WriteChrome(w); err != nil {
+			d.logger().Warn("chrome trace write failed", "trace_id", id.String(), "err", err)
+		}
+		return
+	}
+	writeJSON(w, d.logger(), http.StatusOK, t.View())
+}
+
+// serviceErrorStatus maps the service's typed errors onto HTTP statuses so
+// clients can distinguish "back off" from "this input is poison", setting
+// Retry-After where backoff applies. The kind also labels the failure log
+// line and error body.
+func serviceErrorStatus(w http.ResponseWriter, err error) (status int, kind string) {
 	var (
 		pe *bvap.PanicError
 		re *bvap.ReloadError
@@ -248,35 +438,31 @@ func writeServiceError(w http.ResponseWriter, err error) {
 	switch {
 	case errors.Is(err, bvap.ErrDraining):
 		w.Header().Set("Retry-After", "5")
-		writeErrorKind(w, http.StatusServiceUnavailable, err, "draining")
+		return http.StatusServiceUnavailable, "draining"
 	case errors.Is(err, bvap.ErrOverloaded):
 		w.Header().Set("Retry-After", "1")
-		writeErrorKind(w, http.StatusServiceUnavailable, err, "overloaded")
+		return http.StatusServiceUnavailable, "overloaded"
 	case errors.Is(err, bvap.ErrQuarantined):
-		writeErrorKind(w, http.StatusTooManyRequests, err, "quarantined")
+		return http.StatusTooManyRequests, "quarantined"
 	case errors.Is(err, context.DeadlineExceeded):
-		writeErrorKind(w, http.StatusGatewayTimeout, err, "timeout")
+		return http.StatusGatewayTimeout, "timeout"
 	case errors.As(err, &pe):
-		writeErrorKind(w, http.StatusInternalServerError, err, "panic")
+		return http.StatusInternalServerError, "panic"
 	case errors.As(err, &re):
-		writeErrorKind(w, http.StatusUnprocessableEntity, err, "reload-"+re.Phase)
+		return http.StatusUnprocessableEntity, "reload-" + re.Phase
 	default:
-		writeErrorKind(w, http.StatusUnprocessableEntity, err, "")
+		return http.StatusUnprocessableEntity, ""
 	}
 }
 
-func writeError(w http.ResponseWriter, status int, err error) {
-	writeErrorKind(w, status, err, "")
+func (d *daemon) writeError(w http.ResponseWriter, status int, err error, kind string, tr *tracing.Trace) {
+	writeJSON(w, d.logger(), status, errorResponse{Error: err.Error(), Kind: kind, TraceID: tr.IDString()})
 }
 
-func writeErrorKind(w http.ResponseWriter, status int, err error, kind string) {
-	writeJSON(w, status, errorResponse{Error: err.Error(), Kind: kind})
-}
-
-func writeJSON(w http.ResponseWriter, status int, v any) {
+func writeJSON(w http.ResponseWriter, logger *slog.Logger, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	if err := json.NewEncoder(w).Encode(v); err != nil {
-		log.Printf("bvapd: encode response: %v", err)
+		logger.Warn("encode response failed", "err", err)
 	}
 }

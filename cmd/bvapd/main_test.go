@@ -3,6 +3,9 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"io"
+	"log/slog"
+	"net/http"
 	"net/http/httptest"
 	"strings"
 	"testing"
@@ -10,20 +13,27 @@ import (
 
 	"bvap"
 	"bvap/internal/telemetry"
+	"bvap/internal/tracing"
 )
 
 func testDaemon(t *testing.T, patterns []string) *daemon {
 	t.Helper()
 	reg := telemetry.NewRegistry()
+	rec := tracing.NewRecorder(tracing.Config{Capacity: 16, PinCapacity: 4})
 	svc, err := bvap.NewService(patterns, &bvap.ServiceConfig{
-		ScanTimeout: time.Second,
-		Metrics:     reg,
+		ScanTimeout:    time.Second,
+		Metrics:        reg,
+		FlightRecorder: rec,
 	})
 	if err != nil {
 		t.Fatalf("NewService: %v", err)
 	}
 	t.Cleanup(func() { svc.Close() })
-	return &daemon{svc: svc, reg: reg, maxBody: 1 << 20}
+	return &daemon{
+		svc: svc, reg: reg, rec: rec,
+		log:     slog.New(slog.NewTextHandler(io.Discard, nil)),
+		maxBody: 1 << 20,
+	}
 }
 
 func TestHandleScan(t *testing.T) {
@@ -122,6 +132,138 @@ func TestHandleHealthzAndMetrics(t *testing.T) {
 	d.handleMetrics(rec, httptest.NewRequest("GET", "/metrics", nil))
 	if rec.Code != 200 || !bytes.Contains(rec.Body.Bytes(), []byte("bvap_serve_generation")) {
 		t.Errorf("metrics: status %d missing bvap_serve_generation", rec.Code)
+	}
+}
+
+func TestHandleScanReturnsTraceIDAndRecordsFlight(t *testing.T) {
+	d := testDaemon(t, []string{"ab{2}c"})
+	rec := httptest.NewRecorder()
+	d.handleScan(rec, httptest.NewRequest("POST", "/scan", strings.NewReader("..abbc..")))
+	if rec.Code != 200 {
+		t.Fatalf("status %d, body %s", rec.Code, rec.Body)
+	}
+	var resp scanResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.TraceID) != 16 {
+		t.Fatalf("trace_id %q, want 16 hex digits", resp.TraceID)
+	}
+
+	rec = httptest.NewRecorder()
+	d.handleFlight(rec, httptest.NewRequest("GET", "/debug/flight", nil))
+	if rec.Code != 200 {
+		t.Fatalf("flight status %d", rec.Code)
+	}
+	var flight flightResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &flight); err != nil {
+		t.Fatalf("flight dump not JSON: %v\n%s", err, rec.Body)
+	}
+	if flight.Capacity != 16 || flight.Recorded != 1 || len(flight.Recent) != 1 {
+		t.Fatalf("flight = capacity %d recorded %d recent %d; want 16, 1, 1",
+			flight.Capacity, flight.Recorded, len(flight.Recent))
+	}
+	tv := flight.Recent[0]
+	if tv.TraceID != resp.TraceID {
+		t.Errorf("flight trace id %q, want %q", tv.TraceID, resp.TraceID)
+	}
+	if tv.Name != "http.scan" || tv.Attrs["outcome"] != "ok" {
+		t.Errorf("trace name %q attrs %v; want http.scan with outcome ok", tv.Name, tv.Attrs)
+	}
+	if len(tv.Spans) == 0 {
+		t.Error("recorded trace has no spans; service stages were not instrumented")
+	}
+}
+
+func TestHandleTraceEndpoint(t *testing.T) {
+	d := testDaemon(t, []string{"ab{2}c"})
+	rec := httptest.NewRecorder()
+	d.handleScan(rec, httptest.NewRequest("POST", "/scan", strings.NewReader("abbc")))
+	var resp scanResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+
+	// handleTrace reads the {id} path value, so route through a mux.
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /debug/trace/{id}", d.handleTrace)
+
+	rec = httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/trace/"+resp.TraceID, nil))
+	if rec.Code != 200 {
+		t.Fatalf("trace status %d, body %s", rec.Code, rec.Body)
+	}
+	var tv tracing.TraceView
+	if err := json.Unmarshal(rec.Body.Bytes(), &tv); err != nil {
+		t.Fatal(err)
+	}
+	if tv.TraceID != resp.TraceID {
+		t.Errorf("view trace id %q, want %q", tv.TraceID, resp.TraceID)
+	}
+
+	rec = httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/trace/"+resp.TraceID+"?format=chrome", nil))
+	if rec.Code != 200 || !bytes.Contains(rec.Body.Bytes(), []byte("traceEvents")) {
+		t.Errorf("chrome export: status %d body %s", rec.Code, rec.Body)
+	}
+
+	rec = httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/trace/not-hex", nil))
+	if rec.Code != 400 {
+		t.Errorf("bad id status %d, want 400", rec.Code)
+	}
+
+	rec = httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/trace/00000000000000ff", nil))
+	if rec.Code != 404 {
+		t.Errorf("unknown id status %d, want 404", rec.Code)
+	}
+}
+
+func TestHandleMetricsContentNegotiation(t *testing.T) {
+	d := testDaemon(t, []string{"ab{2}c"})
+	d.handleScan(httptest.NewRecorder(), httptest.NewRequest("POST", "/scan", strings.NewReader("abbc")))
+
+	// Default scrape: classic Prometheus text, no OpenMetrics syntax.
+	rec := httptest.NewRecorder()
+	d.handleMetrics(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if got := rec.Header().Get("Content-Type"); !strings.Contains(got, "0.0.4") {
+		t.Errorf("default content type %q", got)
+	}
+	if bytes.Contains(rec.Body.Bytes(), []byte("# EOF")) {
+		t.Error("classic exposition must not end with # EOF")
+	}
+
+	// OpenMetrics negotiation carries exemplars and the EOF terminator.
+	rec = httptest.NewRecorder()
+	req := httptest.NewRequest("GET", "/metrics", nil)
+	req.Header.Set("Accept", "application/openmetrics-text; version=1.0.0")
+	d.handleMetrics(rec, req)
+	if got := rec.Header().Get("Content-Type"); !strings.Contains(got, "openmetrics-text") {
+		t.Errorf("negotiated content type %q", got)
+	}
+	body := rec.Body.String()
+	if !strings.HasSuffix(body, "# EOF\n") {
+		t.Error("OpenMetrics exposition missing # EOF terminator")
+	}
+	if !strings.Contains(body, `trace_id="`) {
+		t.Error("OpenMetrics exposition missing trace_id exemplar on serve histograms")
+	}
+}
+
+func TestNewLogger(t *testing.T) {
+	for _, format := range []string{"text", "json"} {
+		for _, level := range []string{"debug", "info", "warn", "error"} {
+			if _, err := newLogger(format, level); err != nil {
+				t.Errorf("newLogger(%q, %q): %v", format, level, err)
+			}
+		}
+	}
+	if _, err := newLogger("xml", "info"); err == nil {
+		t.Error("bad format accepted")
+	}
+	if _, err := newLogger("json", "loud"); err == nil {
+		t.Error("bad level accepted")
 	}
 }
 

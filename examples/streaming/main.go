@@ -13,11 +13,24 @@ package main
 import (
 	"context"
 	"fmt"
-	"log"
+	"log/slog"
 	"math/rand"
+	"os"
 
 	"bvap"
+	"bvap/internal/tracing"
 )
+
+// logger carries the example's structured log output; the service demo
+// attaches trace_id / generation / outcome fields to its lifecycle lines
+// the way a deployed monitor would.
+var logger = slog.New(slog.NewTextHandler(os.Stderr, nil))
+
+// fatal logs a structured error line and exits.
+func fatal(msg string, err error) {
+	logger.Error(msg, "err", err)
+	os.Exit(1)
+}
 
 func main() {
 	// Edge telemetry patterns: watch for a sensor escape sequence, a
@@ -29,7 +42,7 @@ func main() {
 	}
 	engine, err := bvap.Compile(patterns)
 	if err != nil {
-		log.Fatal(err)
+		fatal("compile failed", err)
 	}
 
 	stream := sensorStream(512<<10, 3)
@@ -37,7 +50,7 @@ func main() {
 	run := func(arch bvap.Architecture) bvap.Result {
 		sim, err := engine.NewSimulator(arch)
 		if err != nil {
-			log.Fatal(err)
+			fatal("simulator construction failed", err)
 		}
 		sim.Run(stream)
 		return sim.Result()
@@ -66,9 +79,12 @@ func main() {
 // session, crashes it mid-feed, resumes from the last checkpoint, and
 // hot-reloads the pattern set — the lifecycle a deployed monitor needs.
 func serviceDemo(patterns []string, stream []byte) {
-	svc, err := bvap.NewService(patterns, nil)
+	// The flight recorder retains completed feed traces: every structured
+	// log line below can be joined to a full span tree by trace_id.
+	rec := tracing.NewRecorder(tracing.Config{Capacity: 32})
+	svc, err := bvap.NewService(patterns, &bvap.ServiceConfig{FlightRecorder: rec})
 	if err != nil {
-		log.Fatal(err)
+		fatal("service start failed", err)
 	}
 	defer svc.Close()
 
@@ -81,14 +97,16 @@ func serviceDemo(patterns []string, stream []byte) {
 		OnMatch:            func(m bvap.Match) { delivered = append(delivered, m) },
 	})
 	if err != nil {
-		log.Fatal(err)
+		fatal("session open failed", err)
 	}
 
 	ctx := context.Background()
 	cut := 2 * len(stream) / 3
 	if err := sess.Feed(ctx, stream[:cut]); err != nil {
-		log.Fatal(err)
+		fatal("feed failed", err)
 	}
+	logger.Info("fed", "trace_id", lastTraceID(rec), "generation", svc.Generation(),
+		"bytes", cut, "outcome", "ok")
 	ck := sess.Checkpoint() // durable handle; survives the "process"
 	sess.Close()            // simulated crash after the checkpoint
 
@@ -99,11 +117,13 @@ func serviceDemo(patterns []string, stream []byte) {
 		OnMatch:            func(m bvap.Match) { delivered = append(delivered, m) },
 	})
 	if err != nil {
-		log.Fatal(err)
+		fatal("resume failed", err)
 	}
 	if err := resumed.Feed(ctx, stream[ck.Pos():]); err != nil {
-		log.Fatal(err)
+		fatal("resumed feed failed", err)
 	}
+	logger.Info("fed", "trace_id", lastTraceID(rec), "generation", svc.Generation(),
+		"bytes", int64(len(stream))-ck.Pos(), "outcome", "ok")
 	resumed.Close()
 
 	exact := len(delivered) == len(want)
@@ -120,10 +140,20 @@ func serviceDemo(patterns []string, stream []byte) {
 	// Hot reload: ship an extra detector without dropping the service.
 	gen, err := svc.Reload(ctx, append(append([]string{}, patterns...), "Q{32}"))
 	if err != nil {
-		log.Fatal(err)
+		fatal("reload failed", err)
 	}
+	logger.Info("reloaded", "generation", gen, "patterns", len(patterns)+1, "outcome", "ok")
 	fmt.Printf("service: hot-reloaded %d→%d patterns, now serving generation %d\n",
 		len(patterns), len(patterns)+1, gen)
+}
+
+// lastTraceID returns the id of the most recently recorded trace, joining
+// log lines to the flight recorder's ring.
+func lastTraceID(rec *tracing.Recorder) string {
+	if recent := rec.Recent(); len(recent) > 0 {
+		return recent[0].IDString()
+	}
+	return ""
 }
 
 // sensorStream mixes idle readings with occasional frames, escapes, and a

@@ -1,0 +1,310 @@
+package experiments
+
+// The obs experiment measures the cost of the observability layer itself,
+// in three cells:
+//
+//   - disabled (counted): allocations per operation of the full tracing
+//     surface — StartTrace/StartSpan/attr setters/End/Record — against a
+//     nil flight recorder. The serve path runs this code on every scan
+//     whether or not tracing is enabled, so the disabled path is required
+//     to be allocation-free; the cell's alloc count is a counted metric
+//     pinned at zero (any baseline comparison regresses if it grows).
+//   - overhead (informational): the same scan workload through two
+//     identically configured services, one with a flight recorder attached
+//     and one without; the throughput delta is the live cost of tracing.
+//     Wall-clock and load dependent, never baseline-compared.
+//   - energy (counted): a simulation run with the tracing energy sink
+//     attached must partition its energy so the per-stage vector sums
+//     bit-exactly to the hardware model's Stats.TotalEnergyPJ(). The
+//     partition total and per-stage split are counted metrics.
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"runtime"
+	"testing"
+	"time"
+
+	"bvap"
+	"bvap/internal/datasets"
+	"bvap/internal/tracing"
+)
+
+// ObsOptions parameterizes the observability-overhead experiment. Zero
+// values select a CI-smoke-sized run.
+type ObsOptions struct {
+	Dataset   string // default "Snort"
+	Sample    int    // patterns sampled (default 20)
+	InputLen  int    // bytes per scan (default 64 KiB)
+	Scans     int    // timed scans per side per round (default 32)
+	Rounds    int    // alternating measurement rounds (default 3)
+	AllocRuns int    // testing.AllocsPerRun rounds for the disabled cell (default 100)
+}
+
+func (o *ObsOptions) fill() {
+	if o.Dataset == "" {
+		o.Dataset = "Snort"
+	}
+	if o.Sample == 0 {
+		o.Sample = 20
+	}
+	if o.InputLen == 0 {
+		o.InputLen = 64 << 10
+	}
+	if o.Scans == 0 {
+		o.Scans = 32
+	}
+	if o.Rounds == 0 {
+		o.Rounds = 3
+	}
+	if o.AllocRuns == 0 {
+		o.AllocRuns = 100
+	}
+}
+
+// ObsResult is the experiment's structured output.
+type ObsResult struct {
+	Dataset  string `json:"dataset"`
+	Patterns int    `json:"patterns"`
+
+	// Disabled path (counted, must be zero).
+	DisabledAllocsPerOp float64 `json:"disabled_allocs_per_op"`
+
+	// Live overhead (informational).
+	ScansPerSide   int     `json:"scans_per_side"`
+	UntracedMBps   float64 `json:"untraced_mb_s"`
+	TracedMBps     float64 `json:"traced_mb_s"`
+	OverheadPct    float64 `json:"overhead_pct"`
+	TracesRecorded uint64  `json:"traces_recorded"`
+	SpansPerTrace  int     `json:"spans_per_trace"`
+
+	// Energy partition exactness (counted).
+	EnergySymbols    uint64  `json:"energy_symbols"`
+	EnergyMatches    uint64  `json:"energy_matches"`
+	EnergyStatsPJ    float64 `json:"energy_stats_pj"`
+	EnergyTracePJ    float64 `json:"energy_trace_pj"`
+	EnergyExact      bool    `json:"energy_exact"`
+	EnergyStageCount int     `json:"energy_stage_count"`
+}
+
+// Obs measures the observability layer's own cost and returns the
+// structured result plus a BENCH-schema report. It fails outright when the
+// disabled path allocates or the energy partition is inexact — those are
+// contracts, not measurements.
+func Obs(opt ObsOptions) (*ObsResult, *BenchReport, error) {
+	opt.fill()
+	prof, err := datasets.ByName(opt.Dataset)
+	if err != nil {
+		return nil, nil, err
+	}
+	patterns := prof.Sample(opt.Sample)
+	input := prof.Input(opt.InputLen, patterns)
+	res := &ObsResult{Dataset: opt.Dataset, Patterns: len(patterns), ScansPerSide: opt.Scans * opt.Rounds}
+
+	if err := obsDisabledAllocs(opt, res); err != nil {
+		return nil, nil, err
+	}
+	if err := obsOverhead(opt, patterns, input, res); err != nil {
+		return nil, nil, err
+	}
+	if err := obsEnergyExact(patterns, input, res); err != nil {
+		return nil, nil, err
+	}
+	return res, obsBench(opt, res), nil
+}
+
+// obsDisabledAllocs pins the nil-recorder tracing surface at zero
+// allocations per operation — the same contract the unit test
+// TestTracingDisabledPathAllocationFree enforces, measured here so a
+// baseline comparison also catches it.
+func obsDisabledAllocs(opt ObsOptions, res *ObsResult) error {
+	var rec *tracing.Recorder
+	ctx := context.Background()
+	work := func() {
+		tctx, tr := rec.StartTrace(ctx, "obs.disabled")
+		tr.SetInt("input_bytes", 4096)
+		tr.SetStr("outcome", "ok")
+		sctx, sp := tracing.StartSpan(tctx, "scan")
+		_, shard := tracing.StartSpan(sctx, "shard")
+		shard.SetInt("matches", 0)
+		shard.End()
+		sp.End()
+		tr.SetEnergyEstimate(1.5)
+		_ = tr.IDString()
+		rec.Record(tr)
+	}
+	work() // warm up any lazy runtime state outside the measured runs
+	res.DisabledAllocsPerOp = testing.AllocsPerRun(opt.AllocRuns, work)
+	if res.DisabledAllocsPerOp != 0 {
+		return fmt.Errorf("obs: disabled tracing path allocates %.1f per op, want 0", res.DisabledAllocsPerOp)
+	}
+	return nil
+}
+
+// obsOverhead times the same scan workload with and without a flight
+// recorder attached, alternating rounds to share thermal/scheduler noise,
+// and keeps each side's best round.
+func obsOverhead(opt ObsOptions, patterns []string, input []byte, res *ObsResult) error {
+	newSvc := func(rec *tracing.Recorder) (*bvap.Service, error) {
+		return bvap.NewService(patterns, &bvap.ServiceConfig{FlightRecorder: rec})
+	}
+	plain, err := newSvc(nil)
+	if err != nil {
+		return fmt.Errorf("obs: compile: %v", err)
+	}
+	defer plain.Close()
+	rec := tracing.NewRecorder(tracing.Config{Capacity: 256})
+	traced, err := newSvc(rec)
+	if err != nil {
+		return err
+	}
+	defer traced.Close()
+
+	ctx := context.Background()
+	side := func(svc *bvap.Service) (time.Duration, error) {
+		start := time.Now()
+		for i := 0; i < opt.Scans; i++ {
+			if _, err := svc.Scan(ctx, input); err != nil {
+				return 0, fmt.Errorf("obs: scan: %v", err)
+			}
+		}
+		return time.Since(start), nil
+	}
+	// Warm-up pass on both sides before timing anything.
+	if _, err := side(plain); err != nil {
+		return err
+	}
+	if _, err := side(traced); err != nil {
+		return err
+	}
+	bestPlain, bestTraced := time.Duration(0), time.Duration(0)
+	for r := 0; r < opt.Rounds; r++ {
+		dp, err := side(plain)
+		if err != nil {
+			return err
+		}
+		dt, err := side(traced)
+		if err != nil {
+			return err
+		}
+		if bestPlain == 0 || dp < bestPlain {
+			bestPlain = dp
+		}
+		if bestTraced == 0 || dt < bestTraced {
+			bestTraced = dt
+		}
+	}
+
+	bytesPerSide := float64(opt.Scans) * float64(len(input))
+	res.UntracedMBps = bytesPerSide / (1 << 20) / bestPlain.Seconds()
+	res.TracedMBps = bytesPerSide / (1 << 20) / bestTraced.Seconds()
+	if res.UntracedMBps > 0 {
+		res.OverheadPct = (1 - res.TracedMBps/res.UntracedMBps) * 100
+	}
+	res.TracesRecorded = rec.Recorded()
+	if recent := rec.Recent(); len(recent) > 0 {
+		res.SpansPerTrace = len(recent[0].View().Spans)
+	}
+	if res.TracesRecorded == 0 {
+		return fmt.Errorf("obs: traced service recorded no traces")
+	}
+	return nil
+}
+
+// obsEnergyExact runs one simulation with the tracing energy sink attached
+// and requires the recorded per-stage partition to sum bit-exactly to the
+// hardware model's total.
+func obsEnergyExact(patterns []string, input []byte, res *ObsResult) error {
+	engine, err := bvap.Compile(patterns)
+	if err != nil {
+		return err
+	}
+	sim, err := engine.NewSimulator(bvap.ArchBVAP)
+	if err != nil {
+		return err
+	}
+	sink := sim.TraceEnergy()
+	sim.Run(input)
+	r := sim.Result() // finalize: charges terminal leakage and I/O
+	st := sim.Stats()
+
+	tr := tracing.NewTrace("obs.energy")
+	sink.Finish(tr, st)
+	p, ok := tr.Energy()
+	if !ok {
+		return fmt.Errorf("obs: energy sink recorded no partition")
+	}
+	res.EnergySymbols = r.Symbols
+	res.EnergyMatches = r.Matches
+	res.EnergyStatsPJ = st.TotalEnergyPJ()
+	res.EnergyTracePJ = p.Sum()
+	res.EnergyStageCount = len(p.ByStage())
+	res.EnergyExact = p.Sum() == st.TotalEnergyPJ() && p.TotalPJ == st.TotalEnergyPJ()
+	if !res.EnergyExact {
+		return fmt.Errorf("obs: partition sum %v != stats total %v", p.Sum(), st.TotalEnergyPJ())
+	}
+	return nil
+}
+
+// obsBench shapes the run as a BENCH-schema report: the disabled cell's
+// alloc count and the energy cell's symbols/matches/energy are counted;
+// the overhead cell carries informational throughput only.
+func obsBench(opt ObsOptions, res *ObsResult) *BenchReport {
+	rep := &BenchReport{
+		SchemaVersion: BenchSchemaVersion,
+		Created:       time.Now().UTC().Format(time.RFC3339),
+		Environment: BenchEnvironment{
+			GoVersion: runtime.Version(),
+			GOOS:      runtime.GOOS,
+			GOARCH:    runtime.GOARCH,
+			NumCPU:    runtime.NumCPU(),
+		},
+		Params: BenchParams{
+			BVSize: perfBVSize, UnfoldTh: perfUnfoldTh,
+			Sample: opt.Sample, InputLen: opt.InputLen,
+			Datasets: []string{opt.Dataset},
+			Archs:    []string{"obs-disabled", "obs-traced", "obs-energy"},
+		},
+	}
+	rep.Cells = append(rep.Cells, BenchCell{
+		Dataset:  res.Dataset,
+		Arch:     "obs-disabled",
+		Patterns: res.Patterns,
+		Allocs:   uint64(res.DisabledAllocsPerOp),
+	})
+	rep.Cells = append(rep.Cells, BenchCell{
+		Dataset:         res.Dataset,
+		Arch:            "obs-traced",
+		Patterns:        res.Patterns,
+		SimThroughputMB: res.TracedMBps,
+		Stalls: map[string]uint64{
+			"scans_per_side":  uint64(res.ScansPerSide),
+			"traces_recorded": res.TracesRecorded,
+			"spans_per_trace": uint64(res.SpansPerTrace),
+		},
+	})
+	rep.Cells = append(rep.Cells, BenchCell{
+		Dataset:  res.Dataset,
+		Arch:     "obs-energy",
+		Patterns: res.Patterns,
+		Symbols:  res.EnergySymbols,
+		Matches:  res.EnergyMatches,
+		EnergyPJ: res.EnergyTracePJ,
+	})
+	rep.PeakRSSBytes = peakRSSBytes()
+	return rep
+}
+
+// RenderObs prints the observability-overhead summary.
+func RenderObs(w io.Writer, res *ObsResult) {
+	fmt.Fprintf(w, "Obs — tracing overhead (%s, %d patterns)\n", res.Dataset, res.Patterns)
+	fmt.Fprintf(w, "  disabled: %.1f allocs/op across the full tracing surface (contract: 0)\n",
+		res.DisabledAllocsPerOp)
+	fmt.Fprintf(w, "  traced:   %.1f MB/s vs %.1f MB/s untraced — %.2f%% overhead over %d scans/side\n",
+		res.TracedMBps, res.UntracedMBps, res.OverheadPct, res.ScansPerSide)
+	fmt.Fprintf(w, "            %d traces recorded, %d spans on the latest\n",
+		res.TracesRecorded, res.SpansPerTrace)
+	fmt.Fprintf(w, "  energy:   partition %.6g pJ over %d stages == stats %.6g pJ (exact=%v)\n",
+		res.EnergyTracePJ, res.EnergyStageCount, res.EnergyStatsPJ, res.EnergyExact)
+}

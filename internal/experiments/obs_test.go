@@ -1,0 +1,55 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestObsSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("obs is a wall-clock experiment")
+	}
+	res, rep, err := Obs(ObsOptions{
+		Sample:   8,
+		InputLen: 16 << 10,
+		Scans:    4,
+		Rounds:   2,
+	})
+	if err != nil {
+		t.Fatalf("Obs: %v", err)
+	}
+	if res.DisabledAllocsPerOp != 0 {
+		t.Errorf("disabled path allocates %.1f per op", res.DisabledAllocsPerOp)
+	}
+	if !res.EnergyExact {
+		t.Errorf("energy partition inexact: trace %v vs stats %v", res.EnergyTracePJ, res.EnergyStatsPJ)
+	}
+	if res.TracesRecorded == 0 {
+		t.Error("traced side recorded no traces")
+	}
+	if res.SpansPerTrace == 0 {
+		t.Error("recorded trace has no spans")
+	}
+	if res.UntracedMBps <= 0 || res.TracedMBps <= 0 {
+		t.Errorf("throughput not measured: untraced %.2f traced %.2f", res.UntracedMBps, res.TracedMBps)
+	}
+
+	if len(rep.Cells) != 3 {
+		t.Fatalf("%d bench cells, want 3", len(rep.Cells))
+	}
+	if rep.Cells[0].Arch != "obs-disabled" || rep.Cells[0].Allocs != 0 {
+		t.Errorf("disabled cell mismatch: %+v", rep.Cells[0])
+	}
+	if rep.Cells[2].Arch != "obs-energy" || rep.Cells[2].EnergyPJ != res.EnergyTracePJ {
+		t.Errorf("energy cell mismatch: %+v", rep.Cells[2])
+	}
+	if rep.Cells[2].Symbols != res.EnergySymbols || rep.Cells[2].Symbols == 0 {
+		t.Errorf("energy cell symbols %d, want %d != 0", rep.Cells[2].Symbols, res.EnergySymbols)
+	}
+
+	var buf bytes.Buffer
+	RenderObs(&buf, res)
+	if buf.Len() == 0 {
+		t.Error("RenderObs produced nothing")
+	}
+}

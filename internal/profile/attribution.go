@@ -274,6 +274,13 @@ func splitExact(total float64, weights []float64) []float64 {
 	return out
 }
 
+// SnapSum nudges vals[adjust] until the left-to-right sum of vals equals
+// target bit-for-bit — the exact-conservation primitive behind Attribute,
+// exported so other exact partitions of a Stats total (the tracing layer's
+// per-span energy breakdown) share one implementation. See snapSum for the
+// convergence and fallback contract.
+func SnapSum(vals []float64, target float64, adjust int) { snapSum(vals, target, adjust) }
+
 // snapSum nudges vals[adjust] until the left-to-right sum of vals equals
 // target bit-for-bit. The iterative correction converges in one or two
 // rounds in practice; if it fails (pathological cancellation) the fallback

@@ -45,6 +45,14 @@ const (
 	// MetricCheckpointAge is a gauge of symbols consumed since the last
 	// streaming checkpoint (the replay exposure of a crash right now).
 	MetricCheckpointAge = "bvap_serve_checkpoint_age_symbols"
+	// MetricScanDuration is a histogram of end-to-end scan latency in
+	// milliseconds (admission through engine return), carrying a trace-id
+	// exemplar when the scan was traced.
+	MetricScanDuration = "bvap_serve_scan_duration_ms"
+	// MetricScanEnergy is a histogram of per-scan energy in picojoules
+	// (the calibrated serving-path estimate; see ServiceConfig), carrying a
+	// trace-id exemplar when the scan was traced.
+	MetricScanEnergy = "bvap_serve_scan_energy_pj"
 )
 
 // ShedReasons enumerates the label values of MetricSheds, for exposition
@@ -54,6 +62,16 @@ var ShedReasons = []string{"queue_full", "deadline", "draining"}
 // AdmissionWaitBuckets is the bucket ladder of MetricAdmissionWait, in
 // milliseconds.
 var AdmissionWaitBuckets = []float64{0, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 25, 50, 100, 250, 500, 1000}
+
+// ScanDurationBuckets is the bucket ladder of MetricScanDuration, in
+// milliseconds: the admission ladder extended upward, since a scan holds
+// its slot for the whole engine run.
+var ScanDurationBuckets = []float64{0.1, 0.25, 0.5, 1, 2.5, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000}
+
+// ScanEnergyBuckets is the bucket ladder of MetricScanEnergy, in
+// picojoules: decades from 10 pJ to 1 J-scale scans (1e12 pJ), wide
+// because per-scan energy follows input length.
+var ScanEnergyBuckets = []float64{10, 1e2, 1e3, 1e4, 1e5, 1e6, 1e7, 1e8, 1e9, 1e10, 1e11, 1e12}
 
 // Metrics is the resolved handle set of the service's telemetry. A nil
 // *Metrics is valid everywhere and records nothing.
@@ -71,6 +89,8 @@ type Metrics struct {
 	watchdogTimeouts *telemetry.Counter
 	checkpoints      *telemetry.Counter
 	checkpointAge    *telemetry.Gauge
+	scanDuration     *telemetry.Histogram
+	scanEnergy       *telemetry.Histogram
 }
 
 // NewMetrics resolves the service's metric families on reg, returning nil
@@ -93,6 +113,8 @@ func NewMetrics(reg *telemetry.Registry) *Metrics {
 		watchdogTimeouts: reg.Counter(MetricWatchdogTimeouts, "scans stopped by the watchdog deadline"),
 		checkpoints:      reg.Counter(MetricCheckpoints, "streaming checkpoints taken"),
 		checkpointAge:    reg.Gauge(MetricCheckpointAge, "symbols consumed since the last streaming checkpoint"),
+		scanDuration:     reg.Histogram(MetricScanDuration, "end-to-end scan latency in milliseconds", ScanDurationBuckets),
+		scanEnergy:       reg.Histogram(MetricScanEnergy, "per-scan energy estimate in picojoules", ScanEnergyBuckets),
 	}
 }
 
@@ -186,5 +208,22 @@ func (m *Metrics) CheckpointTaken() {
 func (m *Metrics) CheckpointAge(symbols int64) {
 	if m != nil {
 		m.checkpointAge.Set(float64(symbols))
+	}
+}
+
+// ScanDuration records one end-to-end scan latency; a non-empty traceID
+// attaches an exemplar linking the observation to its flight-recorder
+// trace.
+func (m *Metrics) ScanDuration(d time.Duration, traceID string) {
+	if m != nil {
+		m.scanDuration.ObserveExemplar(float64(d)/float64(time.Millisecond), traceID)
+	}
+}
+
+// ScanEnergy records one per-scan energy figure in picojoules, with the
+// same exemplar linkage.
+func (m *Metrics) ScanEnergy(pj float64, traceID string) {
+	if m != nil {
+		m.scanEnergy.ObserveExemplar(pj, traceID)
 	}
 }

@@ -106,6 +106,76 @@ func formatFloat(f float64) string {
 	return strconv.FormatFloat(f, 'g', -1, 64)
 }
 
+// WriteOpenMetrics renders every registered metric in the OpenMetrics
+// text format. It exists because the classic Prometheus format (0.0.4,
+// WritePrometheus) has no exemplar syntax: OpenMetrics bucket lines may
+// carry a trailing "# {trace_id=...} value timestamp" exemplar, which is
+// how the serve-path latency/energy histograms link a scraped tail bucket
+// back to a flight-recorder trace. bvapd's /metrics negotiates this
+// format on Accept: application/openmetrics-text. Ends with the mandatory
+// "# EOF" terminator.
+func (r *Registry) WriteOpenMetrics(w io.Writer) error {
+	samples := r.Snapshot()
+	seen := map[string]bool{}
+	for _, s := range samples {
+		if !seen[s.Name] {
+			seen[s.Name] = true
+			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", s.Name, s.Kind); err != nil {
+				return err
+			}
+			if s.Help != "" {
+				if _, err := fmt.Fprintf(w, "# HELP %s %s\n", s.Name, escapeHelp(s.Help)); err != nil {
+					return err
+				}
+			}
+		}
+		if err := writeOpenMetricsSample(w, s); err != nil {
+			return err
+		}
+	}
+	_, err := io.WriteString(w, "# EOF\n")
+	return err
+}
+
+func writeOpenMetricsSample(w io.Writer, s Sample) error {
+	if s.Kind != "histogram" {
+		_, err := fmt.Fprintf(w, "%s%s %s\n", s.Name, labelString(s.Labels), formatFloat(s.Value))
+		return err
+	}
+	// The exemplar goes on the one bucket whose range contains its value
+	// (OpenMetrics requires previous-le < value <= le).
+	exIdx := -1
+	if s.Exemplar != nil {
+		for i, b := range s.Buckets {
+			if s.Exemplar.Value <= b.UpperBound {
+				exIdx = i
+				break
+			}
+		}
+	}
+	for i, b := range s.Buckets {
+		le := "+Inf"
+		if !math.IsInf(b.UpperBound, 1) {
+			le = formatFloat(b.UpperBound)
+		}
+		suffix := ""
+		if i == exIdx {
+			suffix = fmt.Sprintf(" # {trace_id=%q} %s %s",
+				escapeLabel(s.Exemplar.TraceID), formatFloat(s.Exemplar.Value),
+				formatFloat(float64(s.Exemplar.UnixNano)/1e9))
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d%s\n",
+			s.Name, labelString(s.Labels, "le", le), b.Count, suffix); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", s.Name, labelString(s.Labels), formatFloat(s.Value)); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n", s.Name, labelString(s.Labels), s.Count)
+	return err
+}
+
 // jsonDoc is the JSON exposition envelope.
 type jsonDoc struct {
 	Metrics []Sample `json:"metrics"`

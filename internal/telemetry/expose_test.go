@@ -2,8 +2,11 @@ package telemetry
 
 import (
 	"encoding/json"
+	"math"
 	"regexp"
+	"strconv"
 	"strings"
+	"sync"
 	"testing"
 )
 
@@ -96,5 +99,234 @@ func TestJSONOutputValid(t *testing.T) {
 	}
 	if !found {
 		t.Fatal("labeled sample missing from JSON output")
+	}
+}
+
+// parsePromHistogram pulls one histogram family back out of a Prometheus
+// text exposition: le → cumulative count, plus _sum and _count.
+func parsePromHistogram(t *testing.T, out, name string) (buckets map[string]uint64, sum float64, count uint64) {
+	t.Helper()
+	buckets = map[string]uint64{}
+	for _, line := range strings.Split(out, "\n") {
+		switch {
+		case strings.HasPrefix(line, name+"_bucket{"):
+			rest := strings.TrimPrefix(line, name+"_bucket{")
+			end := strings.Index(rest, "}")
+			fields := strings.Fields(rest[end+1:])
+			c, err := strconv.ParseUint(fields[0], 10, 64)
+			if err != nil {
+				t.Fatalf("bad bucket line %q: %v", line, err)
+			}
+			le := ""
+			for _, kv := range strings.Split(rest[:end], ",") {
+				if strings.HasPrefix(kv, `le="`) {
+					le = strings.TrimSuffix(strings.TrimPrefix(kv, `le="`), `"`)
+				}
+			}
+			buckets[le] = c
+		case strings.HasPrefix(line, name+"_sum"):
+			f, err := strconv.ParseFloat(strings.Fields(line)[1], 64)
+			if err != nil {
+				t.Fatalf("bad sum line %q: %v", line, err)
+			}
+			sum = f
+		case strings.HasPrefix(line, name+"_count"):
+			c, err := strconv.ParseUint(strings.Fields(line)[1], 10, 64)
+			if err != nil {
+				t.Fatalf("bad count line %q: %v", line, err)
+			}
+			count = c
+		}
+	}
+	return buckets, sum, count
+}
+
+// TestHistogramExpositionRoundTrip drives a histogram with a known value
+// set and checks both exposition formats agree with hand-computed
+// cumulative buckets, the +Inf catch-all, and _sum/_count.
+func TestHistogramExpositionRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("bvap_rt_ms", "round-trip test", []float64{1, 5, 25})
+	values := []float64{0.5, 1, 3, 5, 7, 30, 1000}
+	wantSum := 0.0
+	for _, v := range values {
+		h.Observe(v)
+		wantSum += v
+	}
+	// Inclusive le semantics: le=1 → {0.5, 1}, le=5 → +{3, 5}, le=25 → +{7},
+	// +Inf → everything.
+	wantCum := map[string]uint64{"1": 2, "5": 4, "25": 5, "+Inf": 7}
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	buckets, sum, count := parsePromHistogram(t, sb.String(), "bvap_rt_ms")
+	if len(buckets) != len(wantCum) {
+		t.Fatalf("bucket lines = %v, want %v", buckets, wantCum)
+	}
+	for le, want := range wantCum {
+		if buckets[le] != want {
+			t.Errorf("bucket le=%q = %d, want %d", le, buckets[le], want)
+		}
+	}
+	if sum != wantSum || count != uint64(len(values)) {
+		t.Fatalf("_sum/_count = %v/%d, want %v/%d", sum, count, wantSum, len(values))
+	}
+
+	// The JSON document must agree, with +Inf mapped to MaxFloat64.
+	sb.Reset()
+	if err := r.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Metrics []Sample `json:"metrics"`
+	}
+	if err := json.Unmarshal([]byte(sb.String()), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Metrics) != 1 {
+		t.Fatalf("metrics = %d, want 1", len(doc.Metrics))
+	}
+	m := doc.Metrics[0]
+	if m.Count != uint64(len(values)) || m.Value != wantSum {
+		t.Fatalf("JSON count/sum = %d/%v", m.Count, m.Value)
+	}
+	if len(m.Buckets) != 4 {
+		t.Fatalf("JSON buckets = %d, want 4", len(m.Buckets))
+	}
+	last := m.Buckets[len(m.Buckets)-1]
+	if last.UpperBound != math.MaxFloat64 || last.Count != 7 {
+		t.Fatalf("JSON +Inf bucket = %+v", last)
+	}
+	prev := uint64(0)
+	for _, b := range m.Buckets {
+		if b.Count < prev {
+			t.Fatalf("JSON buckets not cumulative: %+v", m.Buckets)
+		}
+		prev = b.Count
+	}
+}
+
+// TestHistogramExpositionUnderConcurrentObserve hammers one histogram from
+// several goroutines while repeatedly rendering it, checking every
+// exposition is internally consistent: buckets cumulative, +Inf == _count,
+// and the final totals exact.
+func TestHistogramExpositionUnderConcurrentObserve(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("bvap_conc_ms", "", []float64{1, 10, 100})
+	const goroutines, perG = 8, 5000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				h.Observe(float64((g*perG + i) % 200))
+			}
+		}(g)
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	for {
+		var sb strings.Builder
+		if err := r.WritePrometheus(&sb); err != nil {
+			t.Fatal(err)
+		}
+		buckets, _, count := parsePromHistogram(t, sb.String(), "bvap_conc_ms")
+		prev := uint64(0)
+		for _, le := range []string{"1", "10", "100", "+Inf"} {
+			if buckets[le] < prev {
+				t.Fatalf("buckets not cumulative mid-run: %v", buckets)
+			}
+			prev = buckets[le]
+		}
+		// Observe bumps the bucket before the total count, so a concurrent
+		// snapshot may see +Inf ahead of _count but never behind it.
+		if buckets["+Inf"] < count {
+			t.Fatalf("+Inf bucket %d < _count %d", buckets["+Inf"], count)
+		}
+		select {
+		case <-done:
+			var final strings.Builder
+			if err := r.WritePrometheus(&final); err != nil {
+				t.Fatal(err)
+			}
+			buckets, sum, count := parsePromHistogram(t, final.String(), "bvap_conc_ms")
+			total := uint64(goroutines * perG)
+			if count != total || buckets["+Inf"] != total {
+				t.Fatalf("final count = %d, +Inf = %d, want %d", count, buckets["+Inf"], total)
+			}
+			// Each goroutine observes 0..199 cycling: per 200 observations,
+			// 2 values ≤ 1 (0 and 1), 11 ≤ 10, 101 ≤ 100.
+			cycles := total / 200
+			if buckets["1"] != 2*cycles || buckets["10"] != 11*cycles || buckets["100"] != 101*cycles {
+				t.Fatalf("final buckets = %v", buckets)
+			}
+			wantSum := float64(cycles) * (199.0 * 200.0 / 2.0)
+			if sum != wantSum {
+				t.Fatalf("final sum = %v, want %v", sum, wantSum)
+			}
+			return
+		default:
+		}
+	}
+}
+
+func TestOpenMetricsExemplars(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("bvap_serve_scan_duration_ms", "scan latency", []float64{1, 10, 100})
+	h.Observe(0.5)
+	h.ObserveExemplar(42, "00000000deadbeef")
+	h.ObserveExemplar(3, "") // empty trace id: no exemplar replacement
+
+	ex := h.Exemplar()
+	if ex == nil || ex.Value != 42 || ex.TraceID != "00000000deadbeef" {
+		t.Fatalf("Exemplar() = %+v", ex)
+	}
+
+	var sb strings.Builder
+	if err := r.WriteOpenMetrics(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.HasSuffix(out, "# EOF\n") {
+		t.Fatalf("OpenMetrics output missing # EOF terminator:\n%s", out)
+	}
+	// The exemplar must sit on exactly the bucket containing 42 (le=100).
+	wantLine := `bvap_serve_scan_duration_ms_bucket{le="100"} 3 # {trace_id="00000000deadbeef"} 42`
+	if !strings.Contains(out, wantLine) {
+		t.Fatalf("OpenMetrics missing exemplar line %q:\n%s", wantLine, out)
+	}
+	if strings.Count(out, "# {") != 1 {
+		t.Fatalf("exemplar rendered on more than one bucket:\n%s", out)
+	}
+	if !strings.Contains(out, `bvap_serve_scan_duration_ms_bucket{le="+Inf"} 3`) {
+		t.Fatalf("+Inf bucket wrong:\n%s", out)
+	}
+
+	// Classic Prometheus output must stay exemplar-free (0.0.4 scrapers
+	// reject the OpenMetrics syntax).
+	sb.Reset()
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(sb.String(), "# {") {
+		t.Fatalf("classic Prometheus exposition carries exemplar syntax:\n%s", sb.String())
+	}
+
+	// And the JSON view carries it structurally.
+	sb.Reset()
+	if err := r.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Metrics []Sample `json:"metrics"`
+	}
+	if err := json.Unmarshal([]byte(sb.String()), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Metrics[0].Exemplar == nil || doc.Metrics[0].Exemplar.TraceID != "00000000deadbeef" {
+		t.Fatalf("JSON exemplar = %+v", doc.Metrics[0].Exemplar)
 	}
 }

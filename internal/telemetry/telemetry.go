@@ -28,6 +28,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Counter is a monotonically increasing integer metric.
@@ -74,14 +75,25 @@ func addFloat(bits *atomic.Uint64, f float64) {
 	}
 }
 
+// Exemplar ties one recent observation to the trace that produced it
+// (OpenMetrics exemplar semantics): scrape the histogram, follow the
+// trace id into bvapd's /debug/trace/{id} to see where the tail latency
+// or energy went.
+type Exemplar struct {
+	Value    float64 `json:"value"`
+	TraceID  string  `json:"trace_id"`
+	UnixNano int64   `json:"unix_nano"`
+}
+
 // Histogram is a fixed-bucket distribution metric. Bucket upper bounds are
 // inclusive (Prometheus "le" semantics); an implicit +Inf bucket catches
 // the overflow. Observe is lock-free.
 type Histogram struct {
-	bounds []float64 // sorted, immutable after construction
-	counts []atomic.Uint64
-	count  atomic.Uint64
-	sum    atomic.Uint64 // float64 bits
+	bounds   []float64 // sorted, immutable after construction
+	counts   []atomic.Uint64
+	count    atomic.Uint64
+	sum      atomic.Uint64 // float64 bits
+	exemplar atomic.Pointer[Exemplar]
 }
 
 func newHistogram(bounds []float64) *Histogram {
@@ -98,6 +110,22 @@ func (h *Histogram) Observe(v float64) {
 	h.count.Add(1)
 	addFloat(&h.sum, v)
 }
+
+// ObserveExemplar records one value and, when traceID is non-empty,
+// replaces the histogram's exemplar with this observation (last-wins; one
+// pointer allocation plus one atomic store on top of Observe, so callers
+// on a traced path pay for the exemplar and the untraced path — empty
+// traceID — pays nothing extra).
+func (h *Histogram) ObserveExemplar(v float64, traceID string) {
+	h.Observe(v)
+	if traceID == "" {
+		return
+	}
+	h.exemplar.Store(&Exemplar{Value: v, TraceID: traceID, UnixNano: time.Now().UnixNano()})
+}
+
+// Exemplar returns the most recent exemplar, or nil.
+func (h *Histogram) Exemplar() *Exemplar { return h.exemplar.Load() }
 
 // Count returns the number of observations.
 func (h *Histogram) Count() uint64 { return h.count.Load() }
@@ -314,6 +342,8 @@ type Sample struct {
 	// Count is the number of observations (histograms only).
 	Count   uint64   `json:"count,omitempty"`
 	Buckets []Bucket `json:"buckets,omitempty"`
+	// Exemplar is the histogram's most recent traced observation, if any.
+	Exemplar *Exemplar `json:"exemplar,omitempty"`
 }
 
 // Snapshot returns the current value of every registered metric, families
@@ -357,6 +387,7 @@ func (r *Registry) Snapshot() []Sample {
 			case *Histogram:
 				s.Value = c.Sum()
 				s.Count = c.Count()
+				s.Exemplar = c.Exemplar()
 				cum := uint64(0)
 				for bi := range c.counts {
 					cum += c.counts[bi].Load()

@@ -1,0 +1,117 @@
+package tracing
+
+// Exact per-trace energy accounting. The per-stage energies a hwsim.Sink
+// streams during a run sum to Stats.TotalEnergyPJ() only up to float
+// association error (the order of additions differs); Partition snaps the
+// streamed breakdown onto the terminal Stats total with profile.SnapSum —
+// the same conservation primitive the per-pattern attribution layer uses —
+// so every trace's stage energies sum to the scan's TotalEnergyPJ()
+// bit-for-bit. TestTraceEnergyExactAcrossArchitectures (repository root)
+// property-tests the guarantee on every modeled architecture.
+
+import (
+	"bvap/internal/hwsim"
+	"bvap/internal/profile"
+)
+
+// EnergyPartition is one scan's exact per-stage energy split.
+type EnergyPartition struct {
+	// Stages holds pJ per hwsim.Stage. Summed left-to-right (stage order)
+	// the values reproduce TotalPJ bit-for-bit.
+	Stages [hwsim.NumStages]float64
+	// TotalPJ equals Stats.TotalEnergyPJ() of the partitioned run exactly.
+	TotalPJ float64
+}
+
+// Sum is the left-to-right stage sum — equal to TotalPJ bit-for-bit by
+// construction.
+func (p *EnergyPartition) Sum() float64 {
+	s := 0.0
+	for i := range p.Stages {
+		s += p.Stages[i]
+	}
+	return s
+}
+
+// ByStage renders the nonzero stages as a name→pJ map (the JSON view).
+func (p *EnergyPartition) ByStage() map[string]float64 {
+	out := make(map[string]float64)
+	for i, pj := range p.Stages {
+		if pj != 0 {
+			out[hwsim.Stage(i).String()] = pj
+		}
+	}
+	return out
+}
+
+// EnergySink is a hwsim.Sink accruing the per-stage energy (and the
+// step/cycle/match counters) of one simulated scan for a trace. Attach it
+// with Simulator.SetSink (or combine with hwsim.FanOut), run, finalize the
+// simulation, then call Partition or Finish with the terminal Stats.
+//
+// Like every Sink it is driven from the simulator's goroutine only.
+type EnergySink struct {
+	stages  [hwsim.NumStages]float64
+	symbols uint64
+	cycles  uint64
+	matches uint64
+}
+
+// NewEnergySink returns an empty sink.
+func NewEnergySink() *EnergySink { return &EnergySink{} }
+
+// StageEnergy implements hwsim.Sink.
+func (k *EnergySink) StageEnergy(stage hwsim.Stage, pj float64) {
+	if stage < 0 || stage >= hwsim.NumStages {
+		return
+	}
+	k.stages[stage] += pj
+}
+
+// StallCycles implements hwsim.Sink.
+func (k *EnergySink) StallCycles(int, int) {}
+
+// StepDone implements hwsim.Sink.
+func (k *EnergySink) StepDone(cycles int, _ float64, matches int) {
+	k.symbols++
+	k.cycles += uint64(cycles)
+	k.matches += uint64(matches)
+}
+
+// Symbols returns the symbols observed so far.
+func (k *EnergySink) Symbols() uint64 { return k.symbols }
+
+// Cycles returns the cycles observed so far.
+func (k *EnergySink) Cycles() uint64 { return k.cycles }
+
+// Matches returns the matches observed so far.
+func (k *EnergySink) Matches() uint64 { return k.matches }
+
+// Partition closes the accounting against the run's terminal Stats: the
+// streamed per-stage energies are snapped (largest stage absorbs the
+// association error, a few ULPs at most) so their left-to-right sum equals
+// st.TotalEnergyPJ() bit-for-bit. Call after the simulation is finalized
+// (Simulator.Result / system Finish), which emits the terminal io_buffer
+// and leakage charges into the sink.
+func (k *EnergySink) Partition(st *hwsim.Stats) EnergyPartition {
+	p := EnergyPartition{Stages: k.stages, TotalPJ: st.TotalEnergyPJ()}
+	argmax := 0
+	for i := range p.Stages {
+		if p.Stages[i] > p.Stages[argmax] {
+			argmax = i
+		}
+	}
+	profile.SnapSum(p.Stages[:], p.TotalPJ, argmax)
+	return p
+}
+
+// Finish records the exact partition plus the run counters on the trace
+// and returns the partition. A nil trace still returns the partition.
+func (k *EnergySink) Finish(tr *Trace, st *hwsim.Stats) EnergyPartition {
+	p := k.Partition(st)
+	tr.SetEnergy(p)
+	tr.SetInt("sim_symbols", int(k.symbols))
+	tr.SetInt("sim_cycles", int(k.cycles))
+	tr.SetInt("sim_matches", int(k.matches))
+	return p
+}

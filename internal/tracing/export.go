@@ -1,0 +1,155 @@
+package tracing
+
+// JSON and Chrome-trace views of a trace. View snapshots the span tree
+// under the trace lock into plain structs (what /debug/flight and
+// /debug/trace/{id} marshal); WriteChrome converts a trace through the
+// existing telemetry emitter into the chrome://tracing / Perfetto
+// trace_event document.
+
+import (
+	"io"
+	"time"
+
+	"bvap/internal/telemetry"
+)
+
+// SpanView is the JSON form of one span.
+type SpanView struct {
+	SpanID   string `json:"span_id"`
+	ParentID string `json:"parent_id,omitempty"`
+	Name     string `json:"name"`
+	// StartUS is the span's start offset from the trace start, microseconds.
+	StartUS float64 `json:"start_us"`
+	// DurUS is the span duration in microseconds; for a span still open when
+	// the snapshot was taken (watchdog-abandoned scan goroutine) it is the
+	// elapsed time so far and Done is false.
+	DurUS float64        `json:"dur_us"`
+	Done  bool           `json:"done"`
+	Attrs map[string]any `json:"attrs,omitempty"`
+}
+
+// TraceView is the JSON form of one trace.
+type TraceView struct {
+	TraceID    string         `json:"trace_id"`
+	Name       string         `json:"name"`
+	Start      string         `json:"start"` // RFC3339Nano
+	DurationMS float64        `json:"duration_ms"`
+	Done       bool           `json:"done"`
+	Pinned     bool           `json:"pinned,omitempty"`
+	PinReason  string         `json:"pin_reason,omitempty"`
+	Attrs      map[string]any `json:"attrs,omitempty"`
+	// EnergyPJ is the trace's energy figure: the exact simulator partition
+	// total when one was recorded (EnergyEstimated false; the per-stage
+	// split is in EnergyStagesPJ and sums to EnergyPJ bit-for-bit), else the
+	// calibrated serving-path estimate (EnergyEstimated true).
+	EnergyPJ        float64            `json:"energy_pj,omitempty"`
+	EnergyEstimated bool               `json:"energy_estimated,omitempty"`
+	EnergyStagesPJ  map[string]float64 `json:"energy_stages_pj,omitempty"`
+	Spans           []SpanView         `json:"spans"`
+}
+
+func attrMap(attrs []Attr) map[string]any {
+	if len(attrs) == 0 {
+		return nil
+	}
+	m := make(map[string]any, len(attrs))
+	for _, a := range attrs {
+		m[a.Key] = a.Value
+	}
+	return m
+}
+
+// View snapshots the trace for JSON marshaling. Safe to call while worker
+// goroutines still mutate spans; open spans report elapsed time with
+// Done=false. A nil trace yields the zero view.
+func (t *Trace) View() TraceView {
+	if t == nil {
+		return TraceView{}
+	}
+	now := time.Now()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	v := TraceView{
+		TraceID: t.id.String(),
+		Name:    t.name,
+		Start:   t.start.Format(time.RFC3339Nano),
+		Done:    t.done,
+		Pinned:  t.pinned,
+		Attrs:   attrMap(t.attrs),
+		Spans:   make([]SpanView, 0, len(t.spans)),
+	}
+	v.PinReason = t.pinReason
+	if t.done {
+		v.DurationMS = float64(t.durNS) / float64(time.Millisecond)
+	} else {
+		v.DurationMS = float64(now.Sub(t.start)) / float64(time.Millisecond)
+	}
+	if t.energy != nil {
+		v.EnergyPJ = t.energy.TotalPJ
+		v.EnergyStagesPJ = t.energy.ByStage()
+	} else if t.estPJ != 0 {
+		v.EnergyPJ = t.estPJ
+		v.EnergyEstimated = true
+	}
+	for _, sp := range t.spans {
+		sv := SpanView{
+			SpanID:  sp.id.String(),
+			Name:    sp.name,
+			StartUS: float64(sp.start.Sub(t.start)) / float64(time.Microsecond),
+			Done:    sp.done,
+			Attrs:   attrMap(sp.attrs),
+		}
+		if sp.parent != 0 {
+			sv.ParentID = sp.parent.String()
+		}
+		if sp.done {
+			sv.DurUS = float64(sp.durNS) / float64(time.Microsecond)
+		} else {
+			sv.DurUS = float64(now.Sub(sp.start)) / float64(time.Microsecond)
+		}
+		v.Spans = append(v.Spans, sv)
+	}
+	return v
+}
+
+// WriteChrome renders the trace as a Chrome trace_event document through
+// the telemetry emitter: one "X" event for the whole trace plus one per
+// span, timestamped as offsets from the trace start so the viewer's time
+// axis matches StartUS/DurUS in the JSON view.
+func (t *Trace) WriteChrome(w io.Writer) error {
+	v := t.View()
+	tr := telemetry.NewTracer(w, telemetry.FormatChrome)
+	args := map[string]any{"trace_id": v.TraceID}
+	for k, val := range v.Attrs {
+		args[k] = val
+	}
+	if v.EnergyPJ != 0 {
+		args["energy_pj"] = v.EnergyPJ
+		args["energy_estimated"] = v.EnergyEstimated
+	}
+	if v.Pinned {
+		args["pin_reason"] = v.PinReason
+	}
+	tr.Emit(telemetry.Event{
+		Name: v.Name, Cat: "trace", Ph: "X",
+		Ts: 0, Dur: v.DurationMS * 1000, Args: args,
+	})
+	for _, sp := range v.Spans {
+		sargs := map[string]any{"span_id": sp.SpanID}
+		if sp.ParentID != "" {
+			sargs["parent_id"] = sp.ParentID
+		}
+		for k, val := range sp.Attrs {
+			sargs[k] = val
+		}
+		dur := sp.DurUS
+		if dur <= 0 {
+			dur = 0.001 // keep the event visible in viewers
+		}
+		tr.Emit(telemetry.Event{
+			Name: sp.Name, Cat: "span", Ph: "X",
+			Ts: sp.StartUS, Dur: dur, Args: sargs,
+		})
+	}
+	return tr.Close()
+}

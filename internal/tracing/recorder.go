@@ -1,0 +1,168 @@
+package tracing
+
+import (
+	"context"
+	"sync/atomic"
+	"time"
+)
+
+// Config tunes a flight Recorder. The zero value keeps 256 recent traces
+// and 32 pinned traces with no budgets (nothing pins).
+type Config struct {
+	// Capacity is the recent-trace ring size; values < 1 select 256.
+	Capacity int
+	// PinCapacity is the black-box ring size; values < 1 select 32.
+	PinCapacity int
+	// LatencyBudget pins any recorded trace whose duration exceeds it;
+	// 0 disables latency pinning.
+	LatencyBudget time.Duration
+	// EnergyBudgetPJ pins any recorded trace whose energy (exact partition
+	// total, or the calibrated estimate) exceeds it; 0 disables energy
+	// pinning.
+	EnergyBudgetPJ float64
+}
+
+// Recorder is the always-on flight recorder: a fixed-size lock-light ring
+// of completed traces plus a second ring ("black box") pinning traces that
+// exceeded a latency or energy budget. Recording is wait-free — one
+// atomic slot index increment and one atomic pointer store per trace — so
+// it sits on the serve path without a lock. A nil *Recorder is valid
+// everywhere and records nothing (the disabled-tracing configuration).
+type Recorder struct {
+	cfg      Config
+	ring     []atomic.Pointer[Trace]
+	next     atomic.Uint64
+	pins     []atomic.Pointer[Trace]
+	pinNext  atomic.Uint64
+	recorded atomic.Uint64
+	pinTotal atomic.Uint64
+}
+
+// NewRecorder builds a flight recorder.
+func NewRecorder(cfg Config) *Recorder {
+	if cfg.Capacity < 1 {
+		cfg.Capacity = 256
+	}
+	if cfg.PinCapacity < 1 {
+		cfg.PinCapacity = 32
+	}
+	return &Recorder{
+		cfg:  cfg,
+		ring: make([]atomic.Pointer[Trace], cfg.Capacity),
+		pins: make([]atomic.Pointer[Trace], cfg.PinCapacity),
+	}
+}
+
+// Config returns the recorder's resolved configuration (zero value for a
+// nil recorder).
+func (r *Recorder) Config() Config {
+	if r == nil {
+		return Config{}
+	}
+	return r.cfg
+}
+
+// StartTrace begins a trace named name and returns a derived context
+// carrying it. A nil recorder returns (ctx, nil) unchanged — the single
+// enablement check of the serve path. The caller that starts a trace owns
+// recording it: pair with a deferred Record.
+func (r *Recorder) StartTrace(ctx context.Context, name string) (context.Context, *Trace) {
+	if r == nil {
+		return ctx, nil
+	}
+	t := NewTrace(name)
+	return NewContext(ctx, t), t
+}
+
+// Record finalizes the trace and stores it in the recent ring, pinning it
+// into the black box when it exceeded a budget. Nil-safe on both sides.
+func (r *Recorder) Record(t *Trace) {
+	if r == nil || t == nil {
+		return
+	}
+	dur, energyPJ := t.finish()
+	r.ring[(r.next.Add(1)-1)%uint64(len(r.ring))].Store(t)
+	r.recorded.Add(1)
+
+	reason := ""
+	if r.cfg.LatencyBudget > 0 && dur > r.cfg.LatencyBudget {
+		reason = "latency_budget"
+	}
+	if r.cfg.EnergyBudgetPJ > 0 && energyPJ > r.cfg.EnergyBudgetPJ {
+		if reason != "" {
+			reason += "+energy_budget"
+		} else {
+			reason = "energy_budget"
+		}
+	}
+	if reason != "" {
+		t.setPinned(reason)
+		r.pins[(r.pinNext.Add(1)-1)%uint64(len(r.pins))].Store(t)
+		r.pinTotal.Add(1)
+	}
+}
+
+// Recorded returns the total traces recorded (including ones the ring has
+// since evicted).
+func (r *Recorder) Recorded() uint64 {
+	if r == nil {
+		return 0
+	}
+	return r.recorded.Load()
+}
+
+// PinnedTotal returns the total traces pinned into the black box
+// (including evicted ones).
+func (r *Recorder) PinnedTotal() uint64 {
+	if r == nil {
+		return 0
+	}
+	return r.pinTotal.Load()
+}
+
+// Recent returns the retained completed traces, newest first.
+func (r *Recorder) Recent() []*Trace {
+	if r == nil {
+		return nil
+	}
+	return collect(r.ring, r.next.Load())
+}
+
+// Pinned returns the retained black-box traces, newest first.
+func (r *Recorder) Pinned() []*Trace {
+	if r == nil {
+		return nil
+	}
+	return collect(r.pins, r.pinNext.Load())
+}
+
+// collect walks a ring newest-first. next is the slot index one past the
+// most recent store; concurrent recording can at worst replace a slot
+// mid-walk with a newer trace, which stays correct (every returned trace
+// was recorded).
+func collect(ring []atomic.Pointer[Trace], next uint64) []*Trace {
+	n := uint64(len(ring))
+	out := make([]*Trace, 0, n)
+	for i := uint64(0); i < n; i++ {
+		if t := ring[(next-1-i+2*n)%n].Load(); t != nil {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// Lookup finds a retained trace by id (recent ring first, then the black
+// box), or nil.
+func (r *Recorder) Lookup(id TraceID) *Trace {
+	if r == nil || id == 0 {
+		return nil
+	}
+	for _, ring := range [][]atomic.Pointer[Trace]{r.ring, r.pins} {
+		for i := range ring {
+			if t := ring[i].Load(); t != nil && t.id == id {
+				return t
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,441 @@
+// Package tracing is the request-scoped observability layer of the serving
+// path: 64-bit trace/span identifiers propagated through context.Context,
+// per-stage wall-clock spans, an exact hwsim energy partition per trace,
+// and a lock-light flight recorder (recorder.go) that keeps the last N
+// completed traces plus a threshold-triggered "black box" of scans that
+// blew a latency or energy budget.
+//
+// Design constraints, in order:
+//
+//  1. zero overhead when disabled — every entry point is nil-receiver safe
+//     and the disabled path (no *Trace in the context) performs no
+//     allocation and no locking: one context.Value lookup and one nil
+//     check. TestTracingDisabledPathAllocationFree pins this at 0
+//     allocs/op, the same way TestUninstrumentedStepAllocationFree pins
+//     the hwsim hot path;
+//  2. exact energy accounting — a trace's per-stage energy partition sums
+//     left-to-right to Stats.TotalEnergyPJ() bit-for-bit (energy.go
+//     reuses profile.SnapSum, the attribution layer's conservation
+//     primitive);
+//  3. stdlib only, like internal/telemetry.
+//
+// Attribute setters are typed (SetInt/SetStr/SetFloat/SetBool) rather than
+// taking `any` so the disabled path never boxes arguments before the nil
+// check.
+package tracing
+
+import (
+	"context"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// TraceID identifies one request-scoped trace. Zero is "no trace".
+type TraceID uint64
+
+// String renders the id as 16 lowercase hex digits (the form logged as
+// trace_id and accepted by ParseTraceID and bvapd's /debug/trace/{id}).
+func (t TraceID) String() string { return formatID(uint64(t)) }
+
+// SpanID identifies one span within a trace. Zero is "no span" (a root
+// span's parent).
+type SpanID uint64
+
+// String renders the id as 16 lowercase hex digits.
+func (s SpanID) String() string { return formatID(uint64(s)) }
+
+func formatID(v uint64) string {
+	var buf [16]byte
+	const hexdigits = "0123456789abcdef"
+	for i := 15; i >= 0; i-- {
+		buf[i] = hexdigits[v&0xf]
+		v >>= 4
+	}
+	return string(buf[:])
+}
+
+// ParseTraceID parses the String() form (16 hex digits, leading zeros
+// optional).
+func ParseTraceID(s string) (TraceID, error) {
+	v, err := strconv.ParseUint(s, 16, 64)
+	return TraceID(v), err
+}
+
+// idState drives the process-wide id generator: a golden-gamma counter
+// finalized by splitmix64 (the repository's deterministic-hash idiom, see
+// internal/faults), seeded once from the clock so concurrent processes
+// don't collide.
+var idState atomic.Uint64
+
+func init() { idState.Store(uint64(time.Now().UnixNano()) ^ 0x9e3779b97f4a7c15) }
+
+func nextID() uint64 {
+	for {
+		if v := splitmix64(idState.Add(0x9e3779b97f4a7c15)); v != 0 {
+			return v
+		}
+	}
+}
+
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Attr is one typed key/value attribute on a trace or span.
+type Attr struct {
+	Key   string
+	Value any
+}
+
+// Trace is one request's span tree plus its trace-level attributes and
+// energy accounting. All methods are safe for concurrent use (shard and
+// chunk spans run on worker goroutines) and nil-receiver safe, so
+// instrumented code needs no enablement branches.
+type Trace struct {
+	id    TraceID
+	name  string
+	start time.Time
+
+	mu        sync.Mutex
+	spans     []*Span
+	attrs     []Attr
+	energy    *EnergyPartition
+	estPJ     float64 // calibrated estimate, pJ; 0 = none
+	durNS     int64   // set once by finish
+	done      bool
+	pinned    bool
+	pinReason string
+}
+
+// NewTrace starts a trace with a fresh id.
+func NewTrace(name string) *Trace {
+	return &Trace{id: TraceID(nextID()), name: name, start: time.Now()}
+}
+
+// ID returns the trace id (0 for a nil trace).
+func (t *Trace) ID() TraceID {
+	if t == nil {
+		return 0
+	}
+	return t.id
+}
+
+// IDString returns the hex trace id, or "" for a nil trace — the form
+// every serve-path log line and histogram exemplar carries.
+func (t *Trace) IDString() string {
+	if t == nil {
+		return ""
+	}
+	return t.id.String()
+}
+
+// Name returns the trace's root operation name.
+func (t *Trace) Name() string {
+	if t == nil {
+		return ""
+	}
+	return t.name
+}
+
+// Start returns the trace's start time (zero for a nil trace).
+func (t *Trace) Start() time.Time {
+	if t == nil {
+		return time.Time{}
+	}
+	return t.start
+}
+
+// Duration returns the recorded duration for a finished trace and the
+// running elapsed time otherwise.
+func (t *Trace) Duration() time.Duration {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.done {
+		return time.Duration(t.durNS)
+	}
+	return time.Since(t.start)
+}
+
+// finish closes the trace (idempotently) and returns its duration and the
+// energy used for budget checks.
+func (t *Trace) finish() (time.Duration, float64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if !t.done {
+		t.durNS = int64(time.Since(t.start))
+		t.done = true
+	}
+	return time.Duration(t.durNS), t.energyLocked()
+}
+
+// energyLocked returns the exact partition total when one was recorded and
+// the calibrated estimate otherwise. Caller holds t.mu.
+func (t *Trace) energyLocked() float64 {
+	if t.energy != nil {
+		return t.energy.TotalPJ
+	}
+	return t.estPJ
+}
+
+// EnergyPJ returns the trace's energy (exact partition total if recorded,
+// else the calibrated estimate) and whether any energy was recorded.
+func (t *Trace) EnergyPJ() (float64, bool) {
+	if t == nil {
+		return 0, false
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.energyLocked(), t.energy != nil || t.estPJ != 0
+}
+
+// Energy returns a copy of the exact per-stage partition, if one was
+// recorded.
+func (t *Trace) Energy() (EnergyPartition, bool) {
+	if t == nil {
+		return EnergyPartition{}, false
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.energy == nil {
+		return EnergyPartition{}, false
+	}
+	return *t.energy, true
+}
+
+// SetEnergy records the exact per-stage energy partition (see
+// EnergySink.Partition: the stage values sum to Stats.TotalEnergyPJ()
+// bit-for-bit).
+func (t *Trace) SetEnergy(p EnergyPartition) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.energy = &p
+	t.mu.Unlock()
+}
+
+// SetEnergyEstimate records a calibrated per-scan energy estimate in pJ
+// (the serving path runs the software engine, so its live energy figure is
+// rate × input bytes from a per-generation simulator calibration, clearly
+// distinguished from the exact simulator partition).
+func (t *Trace) SetEnergyEstimate(pj float64) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.estPJ = pj
+	t.mu.Unlock()
+}
+
+// EnergyEstimated reports whether the trace's energy figure is a
+// calibrated estimate rather than an exact partition.
+func (t *Trace) EnergyEstimated() bool {
+	if t == nil {
+		return false
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.energy == nil && t.estPJ != 0
+}
+
+// Pinned reports whether the flight recorder pinned this trace into its
+// black box, and why ("latency_budget", "energy_budget" or both).
+func (t *Trace) Pinned() (bool, string) {
+	if t == nil {
+		return false, ""
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.pinned, t.pinReason
+}
+
+func (t *Trace) setPinned(reason string) {
+	t.mu.Lock()
+	t.pinned, t.pinReason = true, reason
+	t.mu.Unlock()
+}
+
+// setAttr appends (or overwrites) one trace-level attribute.
+func (t *Trace) setAttr(key string, v any) {
+	t.mu.Lock()
+	t.attrs = setAttr(t.attrs, key, v)
+	t.mu.Unlock()
+}
+
+func setAttr(attrs []Attr, key string, v any) []Attr {
+	for i := range attrs {
+		if attrs[i].Key == key {
+			attrs[i].Value = v
+			return attrs
+		}
+	}
+	return append(attrs, Attr{Key: key, Value: v})
+}
+
+// SetInt records an integer trace attribute.
+func (t *Trace) SetInt(key string, v int) {
+	if t == nil {
+		return
+	}
+	t.setAttr(key, v)
+}
+
+// SetStr records a string trace attribute.
+func (t *Trace) SetStr(key, v string) {
+	if t == nil {
+		return
+	}
+	t.setAttr(key, v)
+}
+
+// SetFloat records a float trace attribute.
+func (t *Trace) SetFloat(key string, v float64) {
+	if t == nil {
+		return
+	}
+	t.setAttr(key, v)
+}
+
+// SetBool records a boolean trace attribute.
+func (t *Trace) SetBool(key string, v bool) {
+	if t == nil {
+		return
+	}
+	t.setAttr(key, v)
+}
+
+// StartSpan opens a root-level span on the trace. Prefer the package-level
+// StartSpan when a context is at hand — it parents the span under the
+// enclosing one.
+func (t *Trace) StartSpan(name string) *Span {
+	if t == nil {
+		return nil
+	}
+	return t.newSpan(name, 0)
+}
+
+func (t *Trace) newSpan(name string, parent SpanID) *Span {
+	sp := &Span{tr: t, id: SpanID(nextID()), parent: parent, name: name, start: time.Now()}
+	t.mu.Lock()
+	t.spans = append(t.spans, sp)
+	t.mu.Unlock()
+	return sp
+}
+
+// Span is one timed stage of a trace. Mutations synchronize on the owning
+// trace's lock, so a span abandoned by a watchdog-timeout scan can still
+// End safely while the flight recorder serves the completed trace.
+type Span struct {
+	tr     *Trace
+	id     SpanID
+	parent SpanID
+	name   string
+	start  time.Time
+
+	// Guarded by tr.mu.
+	durNS int64
+	done  bool
+	attrs []Attr
+}
+
+// ID returns the span id (0 for a nil span).
+func (s *Span) ID() SpanID {
+	if s == nil {
+		return 0
+	}
+	return s.id
+}
+
+// End closes the span (idempotently).
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	d := int64(time.Since(s.start))
+	s.tr.mu.Lock()
+	if !s.done {
+		s.durNS, s.done = d, true
+	}
+	s.tr.mu.Unlock()
+}
+
+func (s *Span) setAttr(key string, v any) {
+	s.tr.mu.Lock()
+	s.attrs = setAttr(s.attrs, key, v)
+	s.tr.mu.Unlock()
+}
+
+// SetInt records an integer span attribute.
+func (s *Span) SetInt(key string, v int) {
+	if s == nil {
+		return
+	}
+	s.setAttr(key, v)
+}
+
+// SetStr records a string span attribute.
+func (s *Span) SetStr(key, v string) {
+	if s == nil {
+		return
+	}
+	s.setAttr(key, v)
+}
+
+// SetFloat records a float span attribute.
+func (s *Span) SetFloat(key string, v float64) {
+	if s == nil {
+		return
+	}
+	s.setAttr(key, v)
+}
+
+// traceKey and spanKey carry the active trace and enclosing span through
+// context.Context.
+type (
+	traceKey struct{}
+	spanKey  struct{}
+)
+
+// NewContext returns ctx carrying the trace. A nil trace returns ctx
+// unchanged, so the disabled path allocates nothing.
+func NewContext(ctx context.Context, t *Trace) context.Context {
+	if t == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, traceKey{}, t)
+}
+
+// FromContext returns the context's trace, or nil. It never allocates.
+func FromContext(ctx context.Context) *Trace {
+	if ctx == nil {
+		return nil
+	}
+	t, _ := ctx.Value(traceKey{}).(*Trace)
+	return t
+}
+
+// StartSpan opens a span on the context's trace, parented under the
+// context's enclosing span, and returns a context carrying the new span as
+// the parent for nested stages. Without a trace in the context it returns
+// (ctx, nil) with no allocation — the serve path calls this on every scan
+// whether or not tracing is enabled.
+func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
+	tr := FromContext(ctx)
+	if tr == nil {
+		return ctx, nil
+	}
+	parent := SpanID(0)
+	if ps, ok := ctx.Value(spanKey{}).(*Span); ok && ps != nil {
+		parent = ps.id
+	}
+	sp := tr.newSpan(name, parent)
+	return context.WithValue(ctx, spanKey{}, sp), sp
+}

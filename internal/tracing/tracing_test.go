@@ -1,0 +1,412 @@
+package tracing
+
+import (
+	"context"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"bvap/internal/hwsim"
+)
+
+func TestIDFormatRoundTrip(t *testing.T) {
+	for _, v := range []uint64{1, 0xdeadbeef, 0xffffffffffffffff, 0x0123456789abcdef} {
+		id := TraceID(v)
+		s := id.String()
+		if len(s) != 16 {
+			t.Fatalf("String(%#x) = %q, want 16 hex digits", v, s)
+		}
+		back, err := ParseTraceID(s)
+		if err != nil || back != id {
+			t.Fatalf("ParseTraceID(%q) = %v, %v, want %v", s, back, err, id)
+		}
+	}
+	if _, err := ParseTraceID("not-hex"); err == nil {
+		t.Fatal("ParseTraceID accepted garbage")
+	}
+}
+
+func TestNextIDNeverZeroAndDistinct(t *testing.T) {
+	seen := make(map[uint64]bool)
+	for i := 0; i < 10000; i++ {
+		v := nextID()
+		if v == 0 {
+			t.Fatal("nextID returned 0")
+		}
+		if seen[v] {
+			t.Fatalf("nextID repeated %#x", v)
+		}
+		seen[v] = true
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var tr *Trace
+	if tr.ID() != 0 || tr.IDString() != "" || tr.Name() != "" || !tr.Start().IsZero() || tr.Duration() != 0 {
+		t.Fatal("nil Trace accessors not zero")
+	}
+	tr.SetInt("k", 1)
+	tr.SetStr("k", "v")
+	tr.SetFloat("k", 1)
+	tr.SetBool("k", true)
+	tr.SetEnergy(EnergyPartition{})
+	tr.SetEnergyEstimate(1)
+	if tr.EnergyEstimated() {
+		t.Fatal("nil Trace EnergyEstimated")
+	}
+	if _, ok := tr.EnergyPJ(); ok {
+		t.Fatal("nil Trace EnergyPJ ok")
+	}
+	if _, ok := tr.Energy(); ok {
+		t.Fatal("nil Trace Energy ok")
+	}
+	if p, r := tr.Pinned(); p || r != "" {
+		t.Fatal("nil Trace Pinned")
+	}
+	if v := tr.View(); v.TraceID != "" || len(v.Spans) != 0 {
+		t.Fatal("nil Trace View not zero")
+	}
+
+	sp := tr.StartSpan("x")
+	if sp != nil {
+		t.Fatal("nil Trace StartSpan returned span")
+	}
+	sp.End()
+	sp.SetInt("k", 1)
+	sp.SetStr("k", "v")
+	sp.SetFloat("k", 1)
+	if sp.ID() != 0 {
+		t.Fatal("nil Span ID")
+	}
+
+	var r *Recorder
+	ctx, got := r.StartTrace(context.Background(), "scan")
+	if got != nil || ctx != context.Background() {
+		t.Fatal("nil Recorder StartTrace not pass-through")
+	}
+	r.Record(nil)
+	r.Record(NewTrace("x"))
+	if r.Recorded() != 0 || r.PinnedTotal() != 0 || r.Recent() != nil || r.Pinned() != nil {
+		t.Fatal("nil Recorder not empty")
+	}
+	if r.Lookup(1) != nil {
+		t.Fatal("nil Recorder Lookup")
+	}
+	if (r.Config() != Config{}) {
+		t.Fatal("nil Recorder Config not zero")
+	}
+}
+
+func TestContextPropagationAndParenting(t *testing.T) {
+	tr := NewTrace("scan")
+	ctx := NewContext(context.Background(), tr)
+	if FromContext(ctx) != tr {
+		t.Fatal("FromContext lost the trace")
+	}
+	if FromContext(nil) != nil || FromContext(context.Background()) != nil {
+		t.Fatal("FromContext invented a trace")
+	}
+	if NewContext(context.Background(), nil) != context.Background() {
+		t.Fatal("NewContext(nil trace) changed the context")
+	}
+
+	ctx1, outer := StartSpan(ctx, "outer")
+	_, inner := StartSpan(ctx1, "inner")
+	if outer == nil || inner == nil {
+		t.Fatal("spans not created")
+	}
+	inner.SetInt("attempt", 1)
+	inner.End()
+	outer.End()
+	outer.End() // idempotent
+	tr.finish()
+
+	v := tr.View()
+	if len(v.Spans) != 2 {
+		t.Fatalf("got %d spans, want 2", len(v.Spans))
+	}
+	if v.Spans[0].Name != "outer" || v.Spans[0].ParentID != "" {
+		t.Fatalf("outer span wrong: %+v", v.Spans[0])
+	}
+	if v.Spans[1].Name != "inner" || v.Spans[1].ParentID != v.Spans[0].SpanID {
+		t.Fatalf("inner span not parented under outer: %+v", v.Spans[1])
+	}
+	if v.Spans[1].Attrs["attempt"] != 1 {
+		t.Fatalf("inner attrs = %v", v.Spans[1].Attrs)
+	}
+	if !v.Done || v.DurationMS < 0 {
+		t.Fatalf("trace view not finished: %+v", v)
+	}
+}
+
+func TestAttrOverwrite(t *testing.T) {
+	tr := NewTrace("x")
+	tr.SetStr("outcome", "ok")
+	tr.SetStr("outcome", "panic")
+	tr.SetInt("n", 3)
+	v := tr.View()
+	if len(v.Attrs) != 2 || v.Attrs["outcome"] != "panic" || v.Attrs["n"] != 3 {
+		t.Fatalf("attrs = %v", v.Attrs)
+	}
+}
+
+// TestTracingDisabledPathAllocationFree pins the disabled tracing path —
+// no *Trace in the context — at zero allocations per operation, the same
+// contract TestUninstrumentedStepAllocationFree enforces for the hwsim
+// step path. If this fails, the serve path's tracing-off overhead
+// guarantee is broken: fix the allocation, do not relax the test.
+func TestTracingDisabledPathAllocationFree(t *testing.T) {
+	ctx := context.Background()
+	var rec *Recorder
+	work := func() {
+		ctx2, tr := rec.StartTrace(ctx, "scan")
+		ctx3, sp := StartSpan(ctx2, "scan")
+		sp.SetInt("input_bytes", 4096)
+		sp.SetStr("outcome", "ok")
+		_, sp2 := StartSpan(ctx3, "shard")
+		sp2.SetFloat("pj", 1.5)
+		sp2.End()
+		sp.End()
+		tr.SetEnergyEstimate(1)
+		rec.Record(tr)
+		_ = tr.IDString()
+	}
+	work() // warm up
+	if allocs := testing.AllocsPerRun(10, work); allocs != 0 {
+		t.Fatalf("disabled tracing path allocates %v allocs/op, want 0", allocs)
+	}
+}
+
+func TestRecorderRingWrapAndLookup(t *testing.T) {
+	r := NewRecorder(Config{Capacity: 4, PinCapacity: 2})
+	if got := r.Config(); got.Capacity != 4 || got.PinCapacity != 2 {
+		t.Fatalf("Config() = %+v", got)
+	}
+	var ids []TraceID
+	for i := 0; i < 7; i++ {
+		_, tr := r.StartTrace(context.Background(), "scan")
+		tr.SetInt("i", i)
+		ids = append(ids, tr.ID())
+		r.Record(tr)
+	}
+	if r.Recorded() != 7 {
+		t.Fatalf("Recorded() = %d, want 7", r.Recorded())
+	}
+	recent := r.Recent()
+	if len(recent) != 4 {
+		t.Fatalf("Recent() kept %d, want 4", len(recent))
+	}
+	// Newest first: traces 6,5,4,3.
+	for i, tr := range recent {
+		if tr.ID() != ids[6-i] {
+			t.Fatalf("Recent()[%d] = %v, want %v", i, tr.ID(), ids[6-i])
+		}
+	}
+	if r.Lookup(ids[6]) == nil || r.Lookup(ids[3]) == nil {
+		t.Fatal("Lookup lost a retained trace")
+	}
+	if r.Lookup(ids[0]) != nil {
+		t.Fatal("Lookup returned an evicted trace")
+	}
+	if r.Lookup(0) != nil {
+		t.Fatal("Lookup(0) returned a trace")
+	}
+	if len(r.Pinned()) != 0 || r.PinnedTotal() != 0 {
+		t.Fatal("budget-free recorder pinned something")
+	}
+}
+
+func TestRecorderPinsOverBudget(t *testing.T) {
+	r := NewRecorder(Config{LatencyBudget: time.Nanosecond, EnergyBudgetPJ: 100})
+	_, slow := r.StartTrace(context.Background(), "scan")
+	time.Sleep(100 * time.Microsecond)
+	r.Record(slow)
+	if p, reason := slow.Pinned(); !p || reason != "latency_budget" {
+		t.Fatalf("slow trace pinned=%v reason=%q", p, reason)
+	}
+
+	r2 := NewRecorder(Config{EnergyBudgetPJ: 100})
+	_, hot := r2.StartTrace(context.Background(), "scan")
+	hot.SetEnergyEstimate(1e6)
+	r2.Record(hot)
+	if p, reason := hot.Pinned(); !p || reason != "energy_budget" {
+		t.Fatalf("hot trace pinned=%v reason=%q", p, reason)
+	}
+	if len(r2.Pinned()) != 1 || r2.PinnedTotal() != 1 {
+		t.Fatalf("pin ring holds %d (total %d), want 1", len(r2.Pinned()), r2.PinnedTotal())
+	}
+	if r2.Lookup(hot.ID()) != hot {
+		t.Fatal("pinned trace not found by Lookup")
+	}
+
+	r3 := NewRecorder(Config{LatencyBudget: time.Nanosecond, EnergyBudgetPJ: 1})
+	_, both := r3.StartTrace(context.Background(), "scan")
+	both.SetEnergyEstimate(10)
+	time.Sleep(10 * time.Microsecond)
+	r3.Record(both)
+	if _, reason := both.Pinned(); reason != "latency_budget+energy_budget" {
+		t.Fatalf("double-budget reason = %q", reason)
+	}
+}
+
+func TestRecorderConcurrentRecordAndRead(t *testing.T) {
+	r := NewRecorder(Config{Capacity: 8, PinCapacity: 4, LatencyBudget: time.Nanosecond})
+	stop := make(chan struct{})
+	readerDone := make(chan struct{})
+	go func() {
+		defer close(readerDone)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			for _, tr := range r.Recent() {
+				_ = tr.View()
+			}
+			for _, tr := range r.Pinned() {
+				_, _ = tr.Pinned()
+			}
+		}
+	}()
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				_, tr := r.StartTrace(context.Background(), "scan")
+				_, sp := StartSpan(NewContext(context.Background(), tr), "stage")
+				sp.End()
+				r.Record(tr)
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	<-readerDone
+	if r.Recorded() != 2000 {
+		t.Fatalf("Recorded() = %d, want 2000", r.Recorded())
+	}
+	if len(r.Recent()) != 8 {
+		t.Fatalf("Recent() kept %d, want 8", len(r.Recent()))
+	}
+}
+
+func TestViewEnergyFields(t *testing.T) {
+	tr := NewTrace("scan")
+	tr.SetEnergyEstimate(123.5)
+	if !tr.EnergyEstimated() {
+		t.Fatal("estimate not flagged")
+	}
+	v := tr.View()
+	if v.EnergyPJ != 123.5 || !v.EnergyEstimated || v.EnergyStagesPJ != nil {
+		t.Fatalf("estimate view = %+v", v)
+	}
+
+	var p EnergyPartition
+	p.Stages[hwsim.StageMatch] = 10
+	p.Stages[hwsim.StageLeakage] = 2.5
+	p.TotalPJ = 12.5
+	tr.SetEnergy(p)
+	if tr.EnergyEstimated() {
+		t.Fatal("exact partition still flagged as estimate")
+	}
+	if pj, ok := tr.EnergyPJ(); !ok || pj != 12.5 {
+		t.Fatalf("EnergyPJ = %v, %v", pj, ok)
+	}
+	v = tr.View()
+	if v.EnergyPJ != 12.5 || v.EnergyEstimated {
+		t.Fatalf("exact view = %+v", v)
+	}
+	if len(v.EnergyStagesPJ) != 2 || v.EnergyStagesPJ["match"] != 10 || v.EnergyStagesPJ["leakage"] != 2.5 {
+		t.Fatalf("stage map = %v", v.EnergyStagesPJ)
+	}
+}
+
+func TestWriteChromeValidJSON(t *testing.T) {
+	tr := NewTrace("scan")
+	ctx := NewContext(context.Background(), tr)
+	ctx1, outer := StartSpan(ctx, "scan")
+	_, shard := StartSpan(ctx1, "shard")
+	shard.SetInt("attempt", 1)
+	shard.End()
+	outer.End()
+	tr.SetEnergyEstimate(42)
+	tr.finish()
+
+	var sb strings.Builder
+	if err := tr.WriteChrome(&sb); err != nil {
+		t.Fatalf("WriteChrome: %v", err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Dur  float64        `json:"dur"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(sb.String()), &doc); err != nil {
+		t.Fatalf("chrome document invalid JSON: %v\n%s", err, sb.String())
+	}
+	if len(doc.TraceEvents) != 3 {
+		t.Fatalf("got %d events, want 3 (trace + 2 spans)", len(doc.TraceEvents))
+	}
+	if doc.TraceEvents[0].Name != "scan" || doc.TraceEvents[0].Args["trace_id"] != tr.IDString() {
+		t.Fatalf("root event wrong: %+v", doc.TraceEvents[0])
+	}
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph != "X" {
+			t.Fatalf("event phase %q, want X", ev.Ph)
+		}
+	}
+	if doc.TraceEvents[2].Args["parent_id"] == "" {
+		t.Fatal("shard event lost its parent")
+	}
+}
+
+func TestEnergySinkPartitionExact(t *testing.T) {
+	k := NewEnergySink()
+	k.StageEnergy(hwsim.StageMatch, 0.1)
+	k.StageEnergy(hwsim.StageMatch, 0.2)
+	k.StageEnergy(hwsim.StageTransition, 0.3)
+	k.StageEnergy(hwsim.StageLeakage, 1e-9)
+	k.StageEnergy(hwsim.Stage(-1), 99) // out of range: dropped
+	k.StageEnergy(hwsim.NumStages, 99)
+	k.StepDone(3, 1, 2)
+	k.StepDone(2, 1, 0)
+	if k.Symbols() != 2 || k.Cycles() != 5 || k.Matches() != 2 {
+		t.Fatalf("counters = %d/%d/%d", k.Symbols(), k.Cycles(), k.Matches())
+	}
+
+	// Stats whose TotalEnergyPJ differs from the streamed sum by real
+	// association error.
+	st := &hwsim.Stats{MatchEnergyPJ: 0.1 + 0.2, TransitionEnergyPJ: 0.3, LeakageEnergyPJ: 1e-9}
+	p := k.Partition(st)
+	if p.TotalPJ != st.TotalEnergyPJ() {
+		t.Fatalf("TotalPJ = %v, want %v", p.TotalPJ, st.TotalEnergyPJ())
+	}
+	if got := p.Sum(); got != p.TotalPJ {
+		t.Fatalf("Sum() = %b, TotalPJ = %b: not bit-exact", got, p.TotalPJ)
+	}
+
+	tr := NewTrace("sim")
+	p2 := k.Finish(tr, st)
+	if p2.TotalPJ != p.TotalPJ {
+		t.Fatalf("Finish partition differs: %v vs %v", p2.TotalPJ, p.TotalPJ)
+	}
+	v := tr.View()
+	if v.Attrs["sim_symbols"] != 2 || v.Attrs["sim_cycles"] != 5 || v.Attrs["sim_matches"] != 2 {
+		t.Fatalf("sim attrs = %v", v.Attrs)
+	}
+	if tr.EnergyEstimated() {
+		t.Fatal("exact partition flagged as estimate")
+	}
+	// Nil-trace Finish still returns the partition.
+	if p3 := k.Finish(nil, st); p3.TotalPJ != p.TotalPJ {
+		t.Fatalf("nil-trace Finish = %v", p3.TotalPJ)
+	}
+}

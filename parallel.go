@@ -32,6 +32,7 @@ import (
 	"bvap/internal/regex"
 	"bvap/internal/swmatch"
 	"bvap/internal/telemetry"
+	"bvap/internal/tracing"
 )
 
 // DefaultChunkSize is the FindAllParallel chunk size when ParallelOptions
@@ -181,17 +182,23 @@ func (e *Engine) scanShard(ctx context.Context, input []byte, o *BatchOptions, p
 // result instead of crashing the worker goroutine — and with it the
 // process, since a panic on a bare worker goroutine is unrecoverable.
 func (e *Engine) scanShardAttempt(ctx context.Context, input []byte, budget Budget, attempt int) (ms []Match, err error) {
+	sctx, sp := tracing.StartSpan(ctx, "shard")
+	sp.SetInt("attempt", attempt)
+	sp.SetInt("bytes", len(input))
 	s := e.getStream()
 	defer func() {
 		if v := recover(); v != nil {
 			ms = nil
 			err = &PanicError{Op: "batch shard", Value: v, Stack: debug.Stack()}
+			sp.SetStr("panic", "recovered")
 		}
 		e.putStream(s)
+		sp.SetInt("matches", len(ms))
+		sp.End()
 	}()
 	s.Reset() // fresh runner state and a full symbol budget
 	s.SetBudget(budget)
-	ms, err = s.scanContext(ctx, input, 0)
+	ms, err = s.scanContext(sctx, input, 0)
 	if hook := shardCorruptHook; hook != nil {
 		// The hook runs inside the guarded region so tests can exercise
 		// the panic path exactly where a scan body would blow up.
@@ -297,6 +304,7 @@ func (e *Engine) FindAllParallel(ctx context.Context, input []byte, opts *Parall
 	}
 	pm := parascan.NewMetrics(o.Metrics)
 
+	tr := tracing.FromContext(ctx)
 	window, bounded := e.SeamWindow()
 	reason := ""
 	switch {
@@ -309,10 +317,13 @@ func (e *Engine) FindAllParallel(ctx context.Context, input []byte, opts *Parall
 	}
 	if reason != "" {
 		pm.Fallback(reason)
+		tr.SetStr("parallel_fallback", reason)
 		return e.FindAllContext(ctx, input)
 	}
 
 	chunks := parascan.PlanChunks(len(input), o.ChunkSize, window)
+	tr.SetInt("chunks", len(chunks))
+	tr.SetInt("seam_window", window)
 	shards := make([][]Match, len(chunks))
 	panics := make([]error, len(chunks))
 	err := parascan.ForEach(ctx, len(chunks), o.Workers, pm, func(ctx context.Context, i int) {
@@ -346,17 +357,23 @@ func (e *Engine) FindAllParallel(ctx context.Context, input []byte, opts *Parall
 // converts the panic into the returned *PanicError (nil on success), which
 // FindAllParallel surfaces as the call's error.
 func (e *Engine) scanChunk(ctx context.Context, input []byte, c parascan.Chunk, shards [][]Match, pm *parascan.Metrics) (perr error) {
+	cctx, sp := tracing.StartSpan(ctx, "chunk")
+	sp.SetInt("index", c.Index)
+	sp.SetInt("replay_bytes", c.ReplayLen())
 	s := e.getStream()
 	defer func() {
 		if v := recover(); v != nil {
 			shards[c.Index] = nil
 			perr = &PanicError{Op: "chunk scan", Value: v, Stack: debug.Stack()}
+			sp.SetStr("panic", "recovered")
 		}
 		e.putStream(s)
+		sp.SetInt("matches", len(shards[c.Index]))
+		sp.End()
 	}()
 	s.Reset()
 	s.SetBudget(Budget{}) // chunk scans are never budgeted
-	ms, serr := s.scanContext(ctx, input[c.ReplayStart:c.End], c.ReplayStart)
+	ms, serr := s.scanContext(cctx, input[c.ReplayStart:c.End], c.ReplayStart)
 	if hook := chunkPanicHook; hook != nil {
 		hook(c)
 	}

@@ -35,6 +35,7 @@ import (
 
 	"bvap/internal/serve"
 	"bvap/internal/telemetry"
+	"bvap/internal/tracing"
 )
 
 // ServiceConfig tunes a Service. The zero value serves with GOMAXPROCS
@@ -68,6 +69,22 @@ type ServiceConfig struct {
 	// Metrics, when non-nil, accrues the bvap_serve_* gauges and counters
 	// (generation, queue depth, sheds, quarantines, checkpoint age, ...).
 	Metrics *telemetry.Registry
+	// FlightRecorder, when non-nil, turns on request-scoped tracing: every
+	// Scan / session Feed without a trace already in its context starts one,
+	// records per-stage spans (breaker, admission, scan, shards, seam
+	// replay, checkpoints), and lands in the recorder's ring — with scans
+	// that blow the recorder's latency or energy budget pinned into its
+	// black box. Nil disables tracing at zero cost (0 allocs on the scan
+	// path; see TestServiceScanTracingDisabledAllocationFree).
+	FlightRecorder *tracing.Recorder
+	// EnergyProbeSymbols sizes the synthetic input of the pre-publish
+	// energy calibration: each published engine is run through the BVAP
+	// cycle model (over the probe corpus plus a synthetic ramp of this many
+	// symbols) to fix a pJ/symbol rate, which prices the live per-scan
+	// energy estimate (bvap_serve_scan_energy_pj, trace energy_pj).
+	// 0 selects 4096; negative disables calibration — scans then report no
+	// energy figure.
+	EnergyProbeSymbols int
 }
 
 func (c *ServiceConfig) fill() {
@@ -114,7 +131,7 @@ func NewService(patterns []string, cfg *ServiceConfig) (*Service, error) {
 	if err != nil {
 		return nil, err
 	}
-	if err := s.validateEngine(e); err != nil {
+	if err := s.prepareEngine(e); err != nil {
 		return nil, err
 	}
 	s.gen = serve.NewGenerations(e, sm)
@@ -153,6 +170,51 @@ func (s *Service) validateEngine(e *Engine) error {
 	return nil
 }
 
+// prepareEngine is the full pre-publish pipeline of a candidate engine:
+// validation (see validateEngine) followed by energy calibration. Both
+// NewService and Reload publish only prepared engines, so a served engine
+// always carries its energy rate.
+func (s *Service) prepareEngine(e *Engine) error {
+	if err := s.validateEngine(e); err != nil {
+		return err
+	}
+	s.calibrateEngine(e)
+	return nil
+}
+
+// calibrateEngine fixes the engine's pJ/symbol energy rate by replaying
+// the probe corpus plus a synthetic byte ramp through the BVAP cycle
+// model. Runs before the engine is published (the Engine immutability
+// contract holds for everything scans can see), and never fails a reload:
+// a configuration the cycle model rejects simply serves without an energy
+// figure.
+func (s *Service) calibrateEngine(e *Engine) {
+	if s.cfg.EnergyProbeSymbols < 0 {
+		return
+	}
+	n := s.cfg.EnergyProbeSymbols
+	if n == 0 {
+		n = 4096
+	}
+	sim, err := e.NewSimulator(ArchBVAP)
+	if err != nil {
+		return
+	}
+	for _, probe := range s.cfg.ProbeCorpus {
+		sim.Run(probe)
+	}
+	ramp := make([]byte, n)
+	for i := range ramp {
+		ramp[i] = byte(i*131 + 89)
+	}
+	sim.Run(ramp)
+	sim.Result() // finalize: charges terminal leakage and I/O
+	st := sim.Stats()
+	if st.Symbols > 0 {
+		e.energyRatePJPerSym = st.TotalEnergyPJ() / float64(st.Symbols)
+	}
+}
+
 // serviceScanHook, when non-nil, runs at the start of every Scan's
 // watchdog-bounded body — the test lever for deterministic slow-scan
 // injection. Never set outside tests.
@@ -177,7 +239,7 @@ func (s *Service) Reload(ctx context.Context, patterns []string) (uint64, error)
 	}
 	gen, err := s.gen.Swap(
 		func(*serve.Generation[*Engine]) (*Engine, error) { return s.buildEngine(ctx, patterns) },
-		s.validateEngine,
+		s.prepareEngine,
 	)
 	if err != nil {
 		return 0, err
@@ -224,19 +286,41 @@ func (s *Service) Scan(ctx context.Context, input []byte) ([]Match, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	// Tracing: adopt the caller's trace if one rides the context (bvapd
+	// starts it per request); otherwise start — and own recording — one of
+	// our own when a flight recorder is configured. With neither, tr is nil
+	// and every tracing call below is a nil-check no-op.
+	tr := tracing.FromContext(ctx)
+	if tr == nil && s.cfg.FlightRecorder != nil {
+		ctx, tr = s.cfg.FlightRecorder.StartTrace(ctx, "service.scan")
+		defer s.cfg.FlightRecorder.Record(tr)
+	}
+	tr.SetInt("input_bytes", len(input))
+	startedAt := time.Now()
+
 	key := inputKey(input)
-	if !s.brk.Allow(key) {
+	_, bsp := tracing.StartSpan(ctx, "breaker")
+	allowed := s.brk.Allow(key)
+	bsp.End()
+	if !allowed {
+		tr.SetStr("outcome", "quarantined")
 		return nil, fmt.Errorf("bvap: input %s: %w", key, ErrQuarantined)
 	}
+	_, asp := tracing.StartSpan(ctx, "admission")
 	release, err := s.adm.Acquire(ctx)
+	asp.End()
 	if err != nil {
+		tr.SetStr("outcome", "shed")
 		return nil, err
 	}
 	defer release()
 
-	e := s.Engine() // pin one generation for the whole scan
+	g := s.gen.Load() // pin one generation for the whole scan
+	e := g.Value
+	tr.SetInt("generation", int(g.Seq))
 	var ms []Match
-	outcome, werr := serve.Watchdog(ctx, s.cfg.ScanTimeout, "service scan", s.sm, func(wctx context.Context) error {
+	sctx, ssp := tracing.StartSpan(ctx, "scan")
+	outcome, werr := serve.Watchdog(sctx, s.cfg.ScanTimeout, "service scan", s.sm, func(wctx context.Context) error {
 		if hook := serviceScanHook; hook != nil {
 			// Inside the watchdog context: a stalling hook exercises the
 			// timeout classification deterministically.
@@ -246,6 +330,7 @@ func (s *Service) Scan(ctx context.Context, input []byte) ([]Match, error) {
 		ms, serr = e.scanShardAttempt(wctx, input, Budget{}, 0)
 		return serr
 	})
+	ssp.End()
 	// scanShardAttempt contains its own panics (pool safety), so they
 	// surface as ordinary errors; reclassify for the breaker and metrics.
 	var pe *PanicError
@@ -254,6 +339,14 @@ func (s *Service) Scan(ctx context.Context, input []byte) ([]Match, error) {
 		s.sm.Panic()
 	}
 	s.sm.Scan(outcome.String())
+	tr.SetStr("outcome", outcome.String())
+	tr.SetInt("matches", len(ms))
+	trID := tr.IDString()
+	s.sm.ScanDuration(time.Since(startedAt), trID)
+	if est, ok := e.ScanEnergyEstimatePJ(len(input)); ok {
+		tr.SetEnergyEstimate(est)
+		s.sm.ScanEnergy(est, trID)
+	}
 	switch outcome {
 	case serve.OutcomeOK:
 		s.brk.Success(key)
@@ -337,6 +430,11 @@ type StreamSession struct {
 	pending []Match           // found since ck, not yet delivered
 	sinceCk int               // symbols consumed since ck
 	closed  bool
+
+	// tr is the trace of the Feed currently on the stack (sessions are
+	// single-goroutine, so plain assignment suffices); commit hangs its
+	// checkpoint span off it. Nil outside a traced Feed.
+	tr *tracing.Trace
 }
 
 // NewSession opens a streaming session on the current generation.
@@ -389,6 +487,20 @@ func (ss *StreamSession) Feed(ctx context.Context, chunk []byte) error {
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	// Same trace adoption as Service.Scan: ride the caller's trace, or
+	// start one per Feed when the service has a flight recorder.
+	tr := tracing.FromContext(ctx)
+	if tr == nil && ss.svc.cfg.FlightRecorder != nil {
+		ctx, tr = ss.svc.cfg.FlightRecorder.StartTrace(ctx, "session.feed")
+		defer ss.svc.cfg.FlightRecorder.Record(tr)
+	}
+	tr.SetInt("chunk_bytes", len(chunk))
+	tr.SetInt("generation", int(ss.gen))
+	ss.tr = tr
+	defer func() { ss.tr = nil }()
+	if est, ok := ss.eng.ScanEnergyEstimatePJ(len(chunk)); ok {
+		tr.SetEnergyEstimate(est)
+	}
 	off := 0
 	for off < len(chunk) {
 		n := ss.interval - ss.sinceCk
@@ -396,17 +508,26 @@ func (ss *StreamSession) Feed(ctx context.Context, chunk []byte) error {
 			n = len(chunk) - off
 		}
 		base := int(ss.stream.symbolsRun) // absolute offset of chunk[off]
-		ms, err := ss.feedGuarded(ctx, chunk[off:off+n], base)
+		fctx, fsp := tracing.StartSpan(ctx, "feed")
+		fsp.SetInt("base", base)
+		fsp.SetInt("bytes", n)
+		ms, err := ss.feedGuarded(fctx, chunk[off:off+n], base)
 		if err != nil {
 			// Rewind to the last commit point: uncommitted matches are
 			// discarded (never delivered) and the matching state returns
 			// to Pos(), so a replay regenerates them exactly once.
+			fsp.SetStr("rewind", "restored_to_checkpoint")
+			fsp.End()
+			tr.SetStr("outcome", "rewind")
+			tr.SetInt("rewind_pos", int(ss.ck.Symbols()))
 			_ = ss.stream.Restore(ss.ck)
 			ss.pending = ss.pending[:0]
 			ss.sinceCk = 0
 			ss.svc.sm.CheckpointAge(0)
 			return err
 		}
+		fsp.SetInt("matches", len(ms))
+		fsp.End()
 		ss.pending = append(ss.pending, ms...)
 		off += n
 		ss.sinceCk += n
@@ -416,6 +537,7 @@ func (ss *StreamSession) Feed(ctx context.Context, chunk []byte) error {
 			ss.svc.sm.CheckpointAge(int64(ss.sinceCk))
 		}
 	}
+	tr.SetStr("outcome", "ok")
 	return nil
 }
 
@@ -444,7 +566,10 @@ var sessionFeedHook func(base int, data []byte)
 
 // commit takes a checkpoint and delivers the pending matches.
 func (ss *StreamSession) commit() {
+	sp := ss.tr.StartSpan("checkpoint")
+	sp.SetInt("delivered", len(ss.pending))
 	ss.ck = ss.stream.Checkpoint()
+	sp.SetInt("position", int(ss.ck.Symbols()))
 	if ss.onMatch != nil {
 		for _, m := range ss.pending {
 			ss.onMatch(m)
@@ -453,6 +578,7 @@ func (ss *StreamSession) commit() {
 	ss.pending = ss.pending[:0]
 	ss.sinceCk = 0
 	ss.svc.sm.CheckpointTaken()
+	sp.End()
 }
 
 // Checkpoint forces a commit boundary now — pending matches are delivered

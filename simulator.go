@@ -11,6 +11,7 @@ import (
 	"bvap/internal/metrics"
 	"bvap/internal/profile"
 	"bvap/internal/telemetry"
+	"bvap/internal/tracing"
 )
 
 // Architecture selects a modeled automata processor for simulation.
@@ -244,6 +245,17 @@ func (s *Simulator) Stats() *hwsim.Stats {
 // match/occupancy series accrue on reg while the simulation runs.
 func (s *Simulator) Instrument(reg *telemetry.Registry) *hwsim.TelemetrySink {
 	k := hwsim.NewTelemetrySink(reg)
+	s.SetSink(k)
+	return k
+}
+
+// TraceEnergy attaches a fresh tracing.EnergySink and returns it: after
+// Result() finalizes the run, sink.Finish(trace, sim.Stats()) records an
+// exact per-stage energy partition (summing to Stats.TotalEnergyPJ()
+// bit-for-bit) on a flight-recorder trace. Combine with hwsim.FanOut to
+// keep another sink attached.
+func (s *Simulator) TraceEnergy() *tracing.EnergySink {
+	k := tracing.NewEnergySink()
 	s.SetSink(k)
 	return k
 }

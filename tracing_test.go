@@ -1,0 +1,392 @@
+package bvap
+
+// Serving-path tracing: the exact-energy property across every modeled
+// architecture, the flight-recorder integration of Service.Scan and
+// streaming sessions, and the disabled-path zero-allocation pin.
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"bvap/internal/telemetry"
+	"bvap/internal/tracing"
+)
+
+// TestTraceEnergyExactAcrossArchitectures is the acceptance property of
+// the tracing layer's energy accounting: for every modeled architecture,
+// the per-stage energy partition a tracing.EnergySink produces sums
+// left-to-right to Stats.TotalEnergyPJ() bit-for-bit (==, not within an
+// epsilon).
+func TestTraceEnergyExactAcrossArchitectures(t *testing.T) {
+	patterns := []string{"ab{2}c", "b{3}", "a{2,4}b", "cd{1,8}"}
+	input := make([]byte, 4096)
+	for i := range input {
+		input[i] = "abcd"[i%7%4]
+	}
+	eng, err := Compile(patterns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, arch := range Architectures() {
+		arch := arch
+		t.Run(arch.String(), func(t *testing.T) {
+			var sim *Simulator
+			var err error
+			switch arch {
+			case ArchBVAP, ArchBVAPStreaming:
+				sim, err = eng.NewSimulator(arch)
+			default:
+				sim, err = NewBaselineSimulator(arch, patterns)
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			sink := sim.TraceEnergy()
+			sim.Run(input)
+			res := sim.Result() // finalize: terminal I/O + leakage land in the sink
+			st := sim.Stats()
+
+			tr := tracing.NewTrace("sim." + arch.String())
+			p := sink.Finish(tr, st)
+			if p.TotalPJ != st.TotalEnergyPJ() {
+				t.Fatalf("partition TotalPJ %v != Stats.TotalEnergyPJ %v", p.TotalPJ, st.TotalEnergyPJ())
+			}
+			if got := p.Sum(); got != st.TotalEnergyPJ() {
+				t.Fatalf("stage sum %b != TotalEnergyPJ %b (not bit-exact)", got, st.TotalEnergyPJ())
+			}
+			if pj, ok := tr.EnergyPJ(); !ok || pj != st.TotalEnergyPJ() {
+				t.Fatalf("trace energy = %v, %v", pj, ok)
+			}
+			if tr.EnergyEstimated() {
+				t.Fatal("simulator partition flagged as estimate")
+			}
+			if res.Symbols != uint64(len(input)) {
+				t.Fatalf("symbols = %d", res.Symbols)
+			}
+			// The JSON view's stage map re-sums to the same total (map
+			// iteration order doesn't matter for equality of the stored
+			// values; the exactness claim is about the slice order).
+			v := tr.View()
+			if v.EnergyPJ != st.TotalEnergyPJ() || v.EnergyEstimated {
+				t.Fatalf("view energy = %+v", v)
+			}
+		})
+	}
+}
+
+// TestServiceScanTraced exercises the full serve-path span tree: breaker,
+// admission and scan spans with a shard span nested under scan, outcome
+// and generation attributes, the calibrated energy estimate, the
+// flight-recorder ring, and the exemplar-carrying histograms.
+func TestServiceScanTraced(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	rec := tracing.NewRecorder(tracing.Config{Capacity: 16})
+	svc, err := NewService([]string{"ab{2}c", "b{3}"}, &ServiceConfig{
+		Metrics:        reg,
+		FlightRecorder: rec,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+
+	input := []byte("xxabbcxxbbbxx")
+	ms, err := svc.Scan(context.Background(), input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) == 0 {
+		t.Fatal("no matches")
+	}
+	if rec.Recorded() != 1 {
+		t.Fatalf("recorded = %d, want 1", rec.Recorded())
+	}
+	tr := rec.Recent()[0]
+	v := tr.View()
+	if v.Name != "service.scan" {
+		t.Fatalf("trace name = %q", v.Name)
+	}
+	if !v.Done {
+		t.Fatal("recorded trace not finished")
+	}
+	if v.Attrs["outcome"] != "ok" || v.Attrs["generation"] != 1 ||
+		v.Attrs["input_bytes"] != len(input) || v.Attrs["matches"] != len(ms) {
+		t.Fatalf("trace attrs = %v", v.Attrs)
+	}
+	spanNames := map[string]string{} // name -> span id
+	parents := map[string]string{}
+	for _, sp := range v.Spans {
+		spanNames[sp.Name] = sp.SpanID
+		parents[sp.Name] = sp.ParentID
+		if !sp.Done {
+			t.Fatalf("span %q not ended", sp.Name)
+		}
+	}
+	for _, want := range []string{"breaker", "admission", "scan", "shard"} {
+		if spanNames[want] == "" {
+			t.Fatalf("missing span %q in %v", want, v.Spans)
+		}
+	}
+	if parents["shard"] != spanNames["scan"] {
+		t.Fatalf("shard span parented under %q, want the scan span", parents["shard"])
+	}
+	if parents["breaker"] != "" || parents["admission"] != "" || parents["scan"] != "" {
+		t.Fatalf("top-level spans have parents: %v", parents)
+	}
+
+	// Calibration ran at construction, so the scan carries an energy
+	// estimate and the energy histogram an exemplar.
+	if !v.EnergyEstimated || v.EnergyPJ <= 0 {
+		t.Fatalf("energy estimate = %v (estimated=%v)", v.EnergyPJ, v.EnergyEstimated)
+	}
+	rate, ok := svc.Engine().ScanEnergyEstimatePJ(len(input))
+	if !ok || rate != v.EnergyPJ {
+		t.Fatalf("engine estimate %v (ok=%v) != trace %v", rate, ok, v.EnergyPJ)
+	}
+
+	var sb strings.Builder
+	if err := reg.WriteOpenMetrics(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, name := range []string{"bvap_serve_scan_duration_ms", "bvap_serve_scan_energy_pj"} {
+		if !strings.Contains(out, name+"_count 1") {
+			t.Fatalf("%s not observed:\n%s", name, out)
+		}
+	}
+	if !strings.Contains(out, `trace_id="`+v.TraceID+`"`) {
+		t.Fatalf("exemplar trace id %s missing from OpenMetrics output:\n%s", v.TraceID, out)
+	}
+
+	// Lookup and the Chrome conversion work on the recorded trace.
+	if rec.Lookup(tr.ID()) != tr {
+		t.Fatal("Lookup lost the trace")
+	}
+	sb.Reset()
+	if err := tr.WriteChrome(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), `"traceEvents"`) {
+		t.Fatal("chrome document malformed")
+	}
+}
+
+// TestServiceScanAdoptsCallerTrace: a trace already in the context (the
+// bvapd per-request trace) is used as-is — the service neither starts nor
+// records its own.
+func TestServiceScanAdoptsCallerTrace(t *testing.T) {
+	rec := tracing.NewRecorder(tracing.Config{})
+	svc, err := NewService([]string{"ab{2}c"}, &ServiceConfig{FlightRecorder: rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+
+	ctx, tr := rec.StartTrace(context.Background(), "request")
+	if _, err := svc.Scan(ctx, []byte("abbc")); err != nil {
+		t.Fatal(err)
+	}
+	if rec.Recorded() != 0 {
+		t.Fatalf("service recorded the caller's trace (recorded=%d)", rec.Recorded())
+	}
+	v := tr.View()
+	if v.Attrs["outcome"] != "ok" {
+		t.Fatalf("caller trace missing scan attrs: %v", v.Attrs)
+	}
+	rec.Record(tr)
+	if rec.Recorded() != 1 {
+		t.Fatal("caller-owned Record failed")
+	}
+}
+
+// TestServiceScanQuarantinePinsTrace: a watchdog-stalled scan both trips
+// the breaker path attributes and, with a tight latency budget, lands in
+// the recorder's black box.
+func TestServiceScanLatencyBudgetPin(t *testing.T) {
+	rec := tracing.NewRecorder(tracing.Config{LatencyBudget: time.Nanosecond})
+	svc, err := NewService([]string{"ab{2}c"}, &ServiceConfig{FlightRecorder: rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	if _, err := svc.Scan(context.Background(), []byte("abbc")); err != nil {
+		t.Fatal(err)
+	}
+	if rec.PinnedTotal() != 1 {
+		t.Fatalf("pinned = %d, want 1 (every real scan exceeds 1ns)", rec.PinnedTotal())
+	}
+	if p, reason := rec.Pinned()[0].Pinned(); !p || reason != "latency_budget" {
+		t.Fatalf("pin reason = %v/%q", p, reason)
+	}
+}
+
+// TestStreamSessionTraced: session feeds carry feed and checkpoint spans
+// and the rewind path stamps its reason on the trace.
+func TestStreamSessionTraced(t *testing.T) {
+	rec := tracing.NewRecorder(tracing.Config{Capacity: 8})
+	svc, err := NewService([]string{"ab{2}c"}, &ServiceConfig{FlightRecorder: rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+
+	ss, err := svc.NewSession(&SessionConfig{CheckpointInterval: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ss.Feed(context.Background(), []byte("xxabbcxxabbcxxab")); err != nil {
+		t.Fatal(err)
+	}
+	ss.Close()
+	if rec.Recorded() != 1 {
+		t.Fatalf("recorded = %d, want 1", rec.Recorded())
+	}
+	v := rec.Recent()[0].View()
+	if v.Name != "session.feed" || v.Attrs["outcome"] != "ok" || v.Attrs["generation"] != 1 {
+		t.Fatalf("feed trace = %+v", v)
+	}
+	feeds, checkpoints := 0, 0
+	for _, sp := range v.Spans {
+		switch sp.Name {
+		case "feed":
+			feeds++
+		case "checkpoint":
+			if sp.Attrs["delivered"] == nil || sp.Attrs["position"] == nil {
+				t.Fatalf("checkpoint span attrs = %v", sp.Attrs)
+			}
+			checkpoints++
+		}
+	}
+	// 16 bytes at interval 8: two feed sub-intervals, two commits.
+	if feeds != 2 || checkpoints != 2 {
+		t.Fatalf("feeds=%d checkpoints=%d, want 2/2", feeds, checkpoints)
+	}
+
+	// Rewind path: a panicking feed hook stamps the rewind attributes.
+	ss2, err := svc.NewSession(&SessionConfig{CheckpointInterval: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sessionFeedHook = func(base int, data []byte) { panic("injected feed fault") }
+	defer func() { sessionFeedHook = nil }()
+	if err := ss2.Feed(context.Background(), []byte("abbcabbc")); err == nil {
+		t.Fatal("injected fault did not surface")
+	}
+	sessionFeedHook = nil
+	v2 := rec.Recent()[0].View()
+	if v2.Attrs["outcome"] != "rewind" || v2.Attrs["rewind_pos"] != 0 {
+		t.Fatalf("rewind trace attrs = %v", v2.Attrs)
+	}
+}
+
+// TestServiceScanTracingDisabledAllocationFree pins the pure tracing
+// surface of a scan — context lookup, span creation, attribute setting,
+// recorder interaction — at 0 allocs/op when no recorder is configured.
+// (Service.Scan as a whole allocates for its quarantine input key and
+// match storage regardless of tracing; the contract here is that tracing
+// adds nothing.)
+func TestServiceScanTracingDisabledAllocationFree(t *testing.T) {
+	var rec *tracing.Recorder
+	ctx := context.Background()
+	work := func() {
+		ctx2, tr := rec.StartTrace(ctx, "service.scan")
+		tr.SetInt("input_bytes", 4096)
+		_, bsp := tracing.StartSpan(ctx2, "breaker")
+		bsp.End()
+		_, asp := tracing.StartSpan(ctx2, "admission")
+		asp.End()
+		sctx, ssp := tracing.StartSpan(ctx2, "scan")
+		_, shsp := tracing.StartSpan(sctx, "shard")
+		shsp.SetInt("attempt", 0)
+		shsp.End()
+		ssp.End()
+		tr.SetStr("outcome", "ok")
+		_ = tr.IDString()
+		rec.Record(tr)
+	}
+	work()
+	if allocs := testing.AllocsPerRun(100, work); allocs != 0 {
+		t.Fatalf("disabled tracing surface allocates %v allocs/op, want 0", allocs)
+	}
+}
+
+// TestServiceUntracedScanStillWorks: no recorder, no registry — the
+// fully-disabled configuration scans as before.
+func TestServiceUntracedScanStillWorks(t *testing.T) {
+	svc, err := NewService([]string{"ab{2}c"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	ms, err := svc.Scan(context.Background(), []byte("xxabbc"))
+	if err != nil || len(ms) != 1 {
+		t.Fatalf("scan = %v, %v", ms, err)
+	}
+	// Calibration still priced the engine (it is independent of tracing).
+	if _, ok := svc.Engine().ScanEnergyEstimatePJ(10); !ok {
+		t.Fatal("default service not calibrated")
+	}
+	// And an uncalibrated engine reports none.
+	eng, err := Compile([]string{"ab{2}c"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := eng.ScanEnergyEstimatePJ(10); ok {
+		t.Fatal("bare engine claims an energy estimate")
+	}
+}
+
+// TestServiceCalibrationDisabled: EnergyProbeSymbols < 0 turns the
+// pre-publish calibration off.
+func TestServiceCalibrationDisabled(t *testing.T) {
+	svc, err := NewService([]string{"ab{2}c"}, &ServiceConfig{EnergyProbeSymbols: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	if _, ok := svc.Engine().ScanEnergyEstimatePJ(10); ok {
+		t.Fatal("calibration ran despite EnergyProbeSymbols < 0")
+	}
+}
+
+// TestFindAllParallelTraceAttrs: the chunked scan stamps chunk count and
+// seam window (or the fallback reason) on the active trace.
+func TestFindAllParallelTraceAttrs(t *testing.T) {
+	eng, err := Compile([]string{"ab{2}c"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	input := make([]byte, 3*DefaultChunkSize)
+	for i := range input {
+		input[i] = "abc x"[i%5]
+	}
+	rec := tracing.NewRecorder(tracing.Config{})
+	ctx, tr := rec.StartTrace(context.Background(), "parallel")
+	if _, err := eng.FindAllParallel(ctx, input, nil); err != nil {
+		t.Fatal(err)
+	}
+	v := tr.View()
+	if v.Attrs["chunks"] == nil || v.Attrs["seam_window"] == nil {
+		t.Fatalf("parallel trace attrs = %v", v.Attrs)
+	}
+	chunkSpans := 0
+	for _, sp := range v.Spans {
+		if sp.Name == "chunk" {
+			chunkSpans++
+		}
+	}
+	if chunkSpans != v.Attrs["chunks"] {
+		t.Fatalf("chunk spans = %d, attr = %v", chunkSpans, v.Attrs["chunks"])
+	}
+
+	// Short input: fallback reason instead.
+	ctx2, tr2 := rec.StartTrace(context.Background(), "parallel")
+	if _, err := eng.FindAllParallel(ctx2, []byte("xxabbc"), nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := tr2.View().Attrs["parallel_fallback"]; got != "short_input" {
+		t.Fatalf("fallback attr = %v", got)
+	}
+}
