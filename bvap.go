@@ -20,6 +20,8 @@
 package bvap
 
 import (
+	"encoding/binary"
+	"hash/fnv"
 	"io"
 	"sync"
 	"sync/atomic"
@@ -137,6 +139,41 @@ type Engine struct {
 	// when never calibrated. It powers the serving path's live per-scan
 	// energy estimate — the software engine burns no modeled energy itself.
 	energyRatePJPerSym float64
+
+	// fingerprint identifies the compiled behavior (see Fingerprint).
+	fingerprint uint64
+}
+
+// Fingerprint is a stable 64-bit identity of the engine's compiled
+// behavior: FNV-64a over the compile parameters that shape the machines
+// (BV size, unfold threshold) plus each pattern's text and supported flag.
+// Two engines with equal fingerprints execute identical automata, so a
+// wire session checkpoint (SessionCheckpoint.MarshalBinary) taken against
+// one resumes correctly against the other — even across processes or
+// reloads that recompiled the same pattern set.
+func (e *Engine) Fingerprint() uint64 { return e.fingerprint }
+
+// computeFingerprint derives the engine fingerprint at construction time.
+func computeFingerprint(res *compiler.Result, patterns []string) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	writeInt := func(v int) {
+		binary.LittleEndian.PutUint64(buf[:], uint64(int64(v)))
+		h.Write(buf[:])
+	}
+	writeInt(res.Config.Params.BVSizeBits)
+	writeInt(res.Config.Params.UnfoldThreshold)
+	writeInt(len(patterns))
+	for i, p := range patterns {
+		writeInt(len(p))
+		h.Write([]byte(p))
+		supported := byte(0)
+		if i < len(res.Report.PerRegex) && res.Report.PerRegex[i].Supported {
+			supported = 1
+		}
+		h.Write([]byte{supported})
+	}
+	return h.Sum64()
 }
 
 // getStream and putStream wrap the stream pool with checkout accounting;
@@ -175,6 +212,7 @@ func (e *Engine) ScanEnergyEstimatePJ(inputBytes int) (float64, bool) {
 // plumbing. Pool constructors run lazily, on first use.
 func newEngine(res *compiler.Result, patterns []string) *Engine {
 	e := &Engine{res: res, patterns: append([]string(nil), patterns...)}
+	e.fingerprint = computeFingerprint(res, e.patterns)
 	e.spool = parascan.NewPool(e.NewStream)
 	e.refPool = parascan.NewPool(e.crossCheckRefs)
 	return e

@@ -1,0 +1,187 @@
+package bvap
+
+// The wire form of a session checkpoint — the migration currency of the
+// clustered service. SessionCheckpoint.MarshalBinary serializes a
+// committed streaming position into a self-validating byte string;
+// Service.DecodeSessionCheckpoint / ResumeSessionBytes reconstruct an
+// equivalent session in another process, as long as that process serves
+// (or retains; see ServiceConfig.RetainGenerations) an engine with the
+// same fingerprint — i.e. compiled from the same pattern set with the
+// same parameters. Together with the session layer's commit-at-checkpoint
+// delivery, this is what lets an in-flight BVAP-S stream checkpoint on one
+// node and resume on another with byte-identical, exactly-once match
+// reports.
+//
+// Layout (little-endian):
+//
+//	[4]  magic "BVCK"
+//	u8   version (1)
+//	u64  engine fingerprint
+//	u64  pinned generation sequence
+//	u64  committed symbol position
+//	u32  machine count
+//	per machine: u8 presence, then the runner snapshot wire
+//	             (internal/nbva) when present
+//	u64  FNV-64a checksum over everything above
+//
+// Decoding trusts nothing: the checksum gates all parsing of variable-
+// length content, the fingerprint must resolve to a live or retained
+// engine, the machine count must equal that engine's, presence bits must
+// match the engine's supported set, and every snapshot is re-validated
+// against its machine (bounds, widths, liveness) with occupancy counters
+// recomputed rather than read. A corrupt byte string fails with
+// ErrCheckpointCorrupt; a fingerprint this service cannot serve fails
+// with ErrCheckpointStale.
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/fnv"
+
+	"bvap/internal/nbva"
+)
+
+var (
+	// ErrCheckpointCorrupt marks a wire session checkpoint that failed
+	// structural validation: bad magic, unknown version, checksum
+	// mismatch, truncation, or snapshot content the pinned engine's
+	// machines could never reach. The checkpoint cannot be resumed.
+	ErrCheckpointCorrupt = errors.New("session checkpoint corrupt")
+	// ErrCheckpointStale marks a structurally valid wire checkpoint whose
+	// engine fingerprint this service neither serves nor retains — the
+	// fleet reloaded to a semantically different pattern set since the
+	// checkpoint was taken, or the retention window
+	// (ServiceConfig.RetainGenerations) has passed. The stream must be
+	// restarted rather than resumed.
+	ErrCheckpointStale = errors.New("session checkpoint stale: engine fingerprint not served or retained")
+)
+
+// checkpointWireMagic and checkpointWireVersion frame the wire form.
+const (
+	checkpointWireMagic   = "BVCK"
+	checkpointWireVersion = 1
+)
+
+// MarshalBinary serializes the checkpoint for migration or durable
+// storage. The result embeds the engine fingerprint, the committed
+// position, every machine's runner snapshot and a trailing checksum; it is
+// self-contained and remains decodable by any Service whose served or
+// retained engine set includes the fingerprint.
+func (ck *SessionCheckpoint) MarshalBinary() ([]byte, error) {
+	e := ck.eng
+	machines := e.res.Machines
+	if len(ck.ck.snaps) != len(machines) {
+		return nil, fmt.Errorf("bvap: checkpoint has %d snapshots for %d machines", len(ck.ck.snaps), len(machines))
+	}
+	buf := make([]byte, 0, 64)
+	buf = append(buf, checkpointWireMagic...)
+	buf = append(buf, checkpointWireVersion)
+	buf = binary.LittleEndian.AppendUint64(buf, e.Fingerprint())
+	buf = binary.LittleEndian.AppendUint64(buf, ck.gen)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(ck.ck.symbols))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(machines)))
+	for i, snap := range ck.ck.snaps {
+		if snap == nil {
+			buf = append(buf, 0)
+			continue
+		}
+		if machines[i] == nil {
+			return nil, fmt.Errorf("bvap: checkpoint has a snapshot for unsupported machine %d", i)
+		}
+		buf = append(buf, 1)
+		var err error
+		buf, err = snap.AppendWire(buf, machines[i])
+		if err != nil {
+			return nil, fmt.Errorf("bvap: encoding snapshot of machine %d: %w", i, err)
+		}
+	}
+	h := fnv.New64a()
+	h.Write(buf)
+	return binary.LittleEndian.AppendUint64(buf, h.Sum64()), nil
+}
+
+// DecodeSessionCheckpoint reconstructs a resumable session checkpoint from
+// its wire form, binding it to this service's engine with the matching
+// fingerprint. Errors unwrap to ErrCheckpointCorrupt (structural damage)
+// or ErrCheckpointStale (unknown fingerprint).
+func (s *Service) DecodeSessionCheckpoint(data []byte) (*SessionCheckpoint, error) {
+	const header = 4 + 1 + 8 + 8 + 8 + 4
+	if len(data) < header+8 {
+		return nil, fmt.Errorf("bvap: %w: %d bytes is shorter than any checkpoint", ErrCheckpointCorrupt, len(data))
+	}
+	body, sum := data[:len(data)-8], binary.LittleEndian.Uint64(data[len(data)-8:])
+	h := fnv.New64a()
+	h.Write(body)
+	if h.Sum64() != sum {
+		return nil, fmt.Errorf("bvap: %w: checksum mismatch", ErrCheckpointCorrupt)
+	}
+	if string(body[:4]) != checkpointWireMagic {
+		return nil, fmt.Errorf("bvap: %w: bad magic %q", ErrCheckpointCorrupt, body[:4])
+	}
+	if body[4] != checkpointWireVersion {
+		return nil, fmt.Errorf("bvap: %w: unknown version %d", ErrCheckpointCorrupt, body[4])
+	}
+	fp := binary.LittleEndian.Uint64(body[5:])
+	gen := binary.LittleEndian.Uint64(body[13:])
+	symbols := int64(binary.LittleEndian.Uint64(body[21:]))
+	nmach := int(binary.LittleEndian.Uint32(body[29:]))
+	if symbols < 0 {
+		return nil, fmt.Errorf("bvap: %w: negative symbol position", ErrCheckpointCorrupt)
+	}
+	e := s.engineByFingerprint(fp)
+	if e == nil {
+		return nil, fmt.Errorf("bvap: %w (fingerprint %016x)", ErrCheckpointStale, fp)
+	}
+	machines := e.res.Machines
+	if nmach != len(machines) {
+		return nil, fmt.Errorf("bvap: %w: %d machines on the wire, engine has %d", ErrCheckpointCorrupt, nmach, len(machines))
+	}
+	rest := body[header:]
+	snaps := make([]*nbva.RunnerSnapshot, nmach)
+	for i := 0; i < nmach; i++ {
+		if len(rest) < 1 {
+			return nil, fmt.Errorf("bvap: %w: truncated before machine %d", ErrCheckpointCorrupt, i)
+		}
+		presence := rest[0]
+		rest = rest[1:]
+		switch presence {
+		case 0:
+			if machines[i] != nil {
+				return nil, fmt.Errorf("bvap: %w: no snapshot for supported machine %d", ErrCheckpointCorrupt, i)
+			}
+		case 1:
+			if machines[i] == nil {
+				return nil, fmt.Errorf("bvap: %w: snapshot present for unsupported machine %d", ErrCheckpointCorrupt, i)
+			}
+			snap, r, err := nbva.DecodeRunnerSnapshotWire(rest, machines[i])
+			if err != nil {
+				return nil, fmt.Errorf("bvap: %w: machine %d: %v", ErrCheckpointCorrupt, i, err)
+			}
+			snaps[i], rest = snap, r
+		default:
+			return nil, fmt.Errorf("bvap: %w: presence byte %d for machine %d", ErrCheckpointCorrupt, presence, i)
+		}
+	}
+	if len(rest) != 0 {
+		return nil, fmt.Errorf("bvap: %w: %d trailing bytes", ErrCheckpointCorrupt, len(rest))
+	}
+	return &SessionCheckpoint{
+		eng: e,
+		gen: gen,
+		ck:  &StreamCheckpoint{engine: e, snaps: snaps, symbols: symbols},
+	}, nil
+}
+
+// ResumeSessionBytes is ResumeSession from the wire form: decode (checksum,
+// fingerprint resolution, snapshot validation), then reopen a session at
+// the checkpoint's committed position. This is the receiving half of a
+// live migration — the sending node ships ck.MarshalBinary() and its
+// delivered-match cursor; the receiver resumes here and feeds from Pos().
+func (s *Service) ResumeSessionBytes(data []byte, cfg *SessionConfig) (*StreamSession, error) {
+	ck, err := s.DecodeSessionCheckpoint(data)
+	if err != nil {
+		return nil, err
+	}
+	return s.ResumeSession(ck, cfg)
+}

@@ -1,0 +1,293 @@
+package bvap
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// wireSession opens a session with a match collector, feeds prefix bytes,
+// and returns the session plus its wire checkpoint.
+func wireSessionCheckpoint(t *testing.T, svc *Service, input []byte, interval int) ([]byte, []Match) {
+	t.Helper()
+	var delivered []Match
+	ss, err := svc.NewSession(&SessionConfig{
+		CheckpointInterval: interval,
+		OnMatch:            func(m Match) { delivered = append(delivered, m) },
+	})
+	if err != nil {
+		t.Fatalf("NewSession: %v", err)
+	}
+	if err := ss.Feed(nil, input); err != nil {
+		t.Fatalf("Feed: %v", err)
+	}
+	wire, err := ss.Checkpoint().MarshalBinary()
+	if err != nil {
+		t.Fatalf("MarshalBinary: %v", err)
+	}
+	ss.Close()
+	return wire, delivered
+}
+
+func TestSessionCheckpointWireRoundTrip(t *testing.T) {
+	patterns := []string{"ab{2}c", "c{3}"}
+	svc, err := NewService(patterns, nil)
+	if err != nil {
+		t.Fatalf("NewService: %v", err)
+	}
+	defer svc.Close()
+
+	input := bytes.Repeat([]byte("xabbc_ccc_"), 120)
+	oracle := MustCompile(patterns).FindAll(input)
+	half := len(input) / 2
+
+	wire, delivered := wireSessionCheckpoint(t, svc, input[:half], 128)
+
+	// Resume from bytes — as a migrated node would — and feed the rest.
+	got := append([]Match(nil), delivered...)
+	rs, err := svc.ResumeSessionBytes(wire, &SessionConfig{
+		CheckpointInterval: 128,
+		OnMatch:            func(m Match) { got = append(got, m) },
+	})
+	if err != nil {
+		t.Fatalf("ResumeSessionBytes: %v", err)
+	}
+	if rs.Pos() != int64(half) {
+		t.Fatalf("resumed at %d, want %d", rs.Pos(), half)
+	}
+	if err := rs.Feed(nil, input[half:]); err != nil {
+		t.Fatalf("Feed after resume: %v", err)
+	}
+	rs.Close()
+
+	if len(got) != len(oracle) {
+		t.Fatalf("resumed run delivered %d matches, oracle %d", len(got), len(oracle))
+	}
+	for i := range got {
+		if got[i] != oracle[i] {
+			t.Fatalf("match %d = %+v, oracle %+v — wire resume must be byte-identical", i, got[i], oracle[i])
+		}
+	}
+}
+
+func TestSessionCheckpointWireCorruptionRejected(t *testing.T) {
+	svc, err := NewService([]string{"ab{2}c"}, nil)
+	if err != nil {
+		t.Fatalf("NewService: %v", err)
+	}
+	defer svc.Close()
+	wire, _ := wireSessionCheckpoint(t, svc, bytes.Repeat([]byte("xabbc"), 100), 64)
+
+	// Sanity: the pristine wire decodes.
+	if _, err := svc.DecodeSessionCheckpoint(wire); err != nil {
+		t.Fatalf("pristine wire rejected: %v", err)
+	}
+	// Every single-byte corruption must be rejected (checksum), never
+	// silently resumed.
+	for i := 0; i < len(wire); i++ {
+		mut := append([]byte(nil), wire...)
+		mut[i] ^= 0x40
+		if _, err := svc.DecodeSessionCheckpoint(mut); !errors.Is(err, ErrCheckpointCorrupt) {
+			// A flip inside the fingerprint bytes changes the fingerprint
+			// but also breaks the checksum, so corrupt is still correct.
+			t.Fatalf("byte %d flipped: err = %v, want ErrCheckpointCorrupt", i, err)
+		}
+	}
+	// Every truncation must be rejected.
+	for n := 0; n < len(wire); n += 7 {
+		if _, err := svc.DecodeSessionCheckpoint(wire[:n]); !errors.Is(err, ErrCheckpointCorrupt) {
+			t.Fatalf("truncation to %d bytes: err = %v, want ErrCheckpointCorrupt", n, err)
+		}
+	}
+	if _, err := svc.ResumeSessionBytes(wire[:len(wire)-1], nil); !errors.Is(err, ErrCheckpointCorrupt) {
+		t.Fatalf("ResumeSessionBytes on truncated wire = %v, want ErrCheckpointCorrupt", err)
+	}
+}
+
+func TestSessionCheckpointWireSurvivesSameSetReload(t *testing.T) {
+	patterns := []string{"ab{2}c"}
+	svc, err := NewService(patterns, nil)
+	if err != nil {
+		t.Fatalf("NewService: %v", err)
+	}
+	defer svc.Close()
+	input := bytes.Repeat([]byte("xabbc"), 200)
+	wire, delivered := wireSessionCheckpoint(t, svc, input[:500], 64)
+
+	// Reload the SAME pattern set: new generation, equal fingerprint — the
+	// wire checkpoint resumes on the freshly compiled engine.
+	if _, err := svc.Reload(nil, patterns); err != nil {
+		t.Fatalf("Reload: %v", err)
+	}
+	got := append([]Match(nil), delivered...)
+	rs, err := svc.ResumeSessionBytes(wire, &SessionConfig{OnMatch: func(m Match) { got = append(got, m) }})
+	if err != nil {
+		t.Fatalf("resume after same-set reload: %v", err)
+	}
+	if err := rs.Feed(nil, input[500:]); err != nil {
+		t.Fatalf("Feed: %v", err)
+	}
+	rs.Close()
+	oracle := MustCompile(patterns).FindAll(input)
+	if len(got) != len(oracle) {
+		t.Fatalf("delivered %d matches across a same-set reload, oracle %d", len(got), len(oracle))
+	}
+}
+
+func TestSessionCheckpointWireStaleAfterDifferentReload(t *testing.T) {
+	svc, err := NewService([]string{"ab{2}c"}, &ServiceConfig{RetainGenerations: 1})
+	if err != nil {
+		t.Fatalf("NewService: %v", err)
+	}
+	defer svc.Close()
+	wire, _ := wireSessionCheckpoint(t, svc, bytes.Repeat([]byte("xabbc"), 100), 64)
+
+	// A semantically different reload with a retention window of 1 evicts
+	// the original engine: the wire checkpoint's fingerprint resolves
+	// nowhere and resume fails with the typed stale error.
+	if _, err := svc.Reload(nil, []string{"zz{4}q"}); err != nil {
+		t.Fatalf("Reload: %v", err)
+	}
+	if _, err := svc.ResumeSessionBytes(wire, nil); !errors.Is(err, ErrCheckpointStale) {
+		t.Fatalf("resume after different-set reload = %v, want ErrCheckpointStale", err)
+	}
+}
+
+func TestSessionCheckpointRetiredGenerationRetained(t *testing.T) {
+	// With the default retention window, a wire checkpoint from a RETIRED
+	// generation still resumes after a different-set reload — the retained
+	// engine serves it — while the in-memory handle keeps working too.
+	svc, err := NewService([]string{"ab{2}c"}, nil)
+	if err != nil {
+		t.Fatalf("NewService: %v", err)
+	}
+	defer svc.Close()
+	input := bytes.Repeat([]byte("xabbc"), 200)
+	oracle := MustCompile([]string{"ab{2}c"}).FindAll(input)
+
+	var delivered []Match
+	ss, err := svc.NewSession(&SessionConfig{
+		CheckpointInterval: 64,
+		OnMatch:            func(m Match) { delivered = append(delivered, m) },
+	})
+	if err != nil {
+		t.Fatalf("NewSession: %v", err)
+	}
+	if err := ss.Feed(nil, input[:500]); err != nil {
+		t.Fatalf("Feed: %v", err)
+	}
+	ck := ss.Checkpoint()
+	wire, err := ck.MarshalBinary()
+	if err != nil {
+		t.Fatalf("MarshalBinary: %v", err)
+	}
+	ss.Close()
+
+	if _, err := svc.Reload(nil, []string{"zz{4}q"}); err != nil {
+		t.Fatalf("Reload: %v", err)
+	}
+
+	finish := func(rs *StreamSession, err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatalf("resume: %v", err)
+		}
+		got := append([]Match(nil), delivered...)
+		rs.onMatch = func(m Match) { got = append(got, m) }
+		if err := rs.Feed(nil, input[500:]); err != nil {
+			t.Fatalf("Feed: %v", err)
+		}
+		rs.Close()
+		if len(got) != len(oracle) {
+			t.Fatalf("retired-generation resume delivered %d matches, oracle %d", len(got), len(oracle))
+		}
+		for i := range got {
+			if got[i] != oracle[i] {
+				t.Fatalf("match %d = %+v, oracle %+v", i, got[i], oracle[i])
+			}
+		}
+	}
+	// In-memory handle: pinned by pointer, reload-immune.
+	finish(svc.ResumeSession(ck, nil))
+	// Wire bytes: resolved through the retention window.
+	finish(svc.ResumeSessionBytes(wire, nil))
+}
+
+// FuzzSessionCheckpointWire throws arbitrary bytes at the checkpoint
+// decoder. Any input must either be rejected with a typed error or decode
+// into a checkpoint that resumes and keeps matching — never panic, never
+// resume into a corrupted matcher state. Seeds include genuine checkpoints
+// so the fuzzer starts from the valid region and mutates outward.
+func FuzzSessionCheckpointWire(f *testing.F) {
+	svc, err := NewService([]string{"ab{2}c", "a(.a){3}b"}, nil)
+	if err != nil {
+		f.Fatalf("NewService: %v", err)
+	}
+	defer svc.Close()
+
+	corpus := bytes.Repeat([]byte("xabbc_axayaab_"), 40)
+	for _, cut := range []int{0, 17, len(corpus) / 2, len(corpus)} {
+		ss, err := svc.NewSession(&SessionConfig{CheckpointInterval: 32})
+		if err != nil {
+			f.Fatalf("NewSession: %v", err)
+		}
+		if err := ss.Feed(nil, corpus[:cut]); err != nil {
+			f.Fatalf("Feed: %v", err)
+		}
+		wire, err := ss.Checkpoint().MarshalBinary()
+		if err != nil {
+			f.Fatalf("MarshalBinary: %v", err)
+		}
+		ss.Close()
+		f.Add(wire)
+	}
+	f.Add([]byte{})
+	f.Add([]byte("BVCK"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 1<<16 {
+			data = data[:1<<16]
+		}
+		ck, err := svc.DecodeSessionCheckpoint(data)
+		if err != nil {
+			if !errors.Is(err, ErrCheckpointCorrupt) && !errors.Is(err, ErrCheckpointStale) {
+				t.Fatalf("decode error is untyped: %v", err)
+			}
+			return
+		}
+		// Accepted wire must round-trip exactly and resume into a session
+		// that survives further input.
+		again, err := ck.MarshalBinary()
+		if err != nil {
+			t.Fatalf("re-encode of accepted checkpoint: %v", err)
+		}
+		if !bytes.Equal(again, data) {
+			t.Fatalf("accepted wire does not round-trip: %d vs %d bytes", len(again), len(data))
+		}
+		rs, err := svc.ResumeSession(ck, nil)
+		if err != nil {
+			t.Fatalf("resume of accepted checkpoint: %v", err)
+		}
+		if err := rs.Feed(nil, corpus[:64]); err != nil {
+			t.Fatalf("feed after fuzz resume: %v", err)
+		}
+		rs.Close()
+	})
+}
+
+func TestEngineFingerprintSemantics(t *testing.T) {
+	a1 := MustCompile([]string{"ab{2}c", "c{3}"})
+	a2 := MustCompile([]string{"ab{2}c", "c{3}"})
+	if a1.Fingerprint() != a2.Fingerprint() {
+		t.Fatal("same patterns, same options: fingerprints must be equal")
+	}
+	if a1.Fingerprint() == MustCompile([]string{"ab{2}c"}).Fingerprint() {
+		t.Fatal("different pattern sets share a fingerprint")
+	}
+	if a1.Fingerprint() == MustCompile([]string{"c{3}", "ab{2}c"}).Fingerprint() {
+		t.Fatal("pattern order is semantic (indices name patterns in reports); fingerprints must differ")
+	}
+	if a1.Fingerprint() == MustCompile([]string{"ab{2}c", "c{3}"}, WithBVSize(32)).Fingerprint() {
+		t.Fatal("different compile parameters share a fingerprint")
+	}
+}

@@ -80,6 +80,7 @@ func registry() []experiment {
 		{"throughput", "parallel-vs-sequential scan throughput sweep → BENCH_<n>.json (+ -baseline compare)", false, (*app).runThroughput},
 		{"soak", "service soak: crash/resume correctness + overload/reload churn → BENCH_<n>.json (+ -baseline compare)", false, (*app).runSoak},
 		{"obs", "tracing overhead: disabled-path allocs, live throughput cost, energy-partition exactness → BENCH_<n>.json (+ -baseline compare)", false, (*app).runObs},
+		{"cluster", "fleet soak: node kills, session migration, coordinated reloads, tenant quotas → BENCH_<n>.json (+ -baseline compare)", false, (*app).runCluster},
 	}
 }
 
@@ -119,6 +120,11 @@ type app struct {
 	obsDataset       string
 	obsScans         int
 	obsRounds        int
+	clusterDataset   string
+	clusterNodes     int
+	clusterStreams   int
+	clusterKills     int
+	clusterPublishes int
 	datasets         []string
 	archs            []string
 	baselinePath     string
@@ -160,6 +166,11 @@ func main() {
 	flag.StringVar(&a.obsDataset, "obs-dataset", "Snort", "dataset for the -exp obs overhead run")
 	flag.IntVar(&a.obsScans, "obs-scans", 32, "timed scans per side per round in -exp obs")
 	flag.IntVar(&a.obsRounds, "obs-rounds", 3, "alternating measurement rounds in -exp obs")
+	flag.StringVar(&a.clusterDataset, "cluster-dataset", "Snort", "dataset for the -exp cluster fleet soak")
+	flag.IntVar(&a.clusterNodes, "cluster-nodes", 3, "in-process nodes in the -exp cluster fleet")
+	flag.IntVar(&a.clusterStreams, "cluster-streams", 6, "concurrent migrating sessions in -exp cluster")
+	flag.IntVar(&a.clusterKills, "cluster-kills", 2, "forced node kills during -exp cluster (capped at nodes-1)")
+	flag.IntVar(&a.clusterPublishes, "cluster-publishes", 2, "coordinated reload rounds during -exp cluster")
 	datasetList := flag.String("datasets", "", "comma-separated dataset subset")
 	archList := flag.String("archs", "", "comma-separated architecture subset for -exp perf (BVAP, BVAP-S, CAMA, CA, eAP, CNT)")
 	jsonPath := flag.String("json", "", "also write the structured results as JSON to this file")
@@ -618,6 +629,54 @@ func (a *app) runObs() error {
 	return nil
 }
 
+// runCluster runs the fleet soak: an in-process cluster of bvapd nodes
+// behind a consistent-hash ring, streams migrating across forced node
+// kills via wire checkpoints, rolling coordinated reloads, and a tenant
+// quota pressure phase. The counted exactly-once cell goes into a
+// BENCH-schema report; -baseline compares a previous cluster run.
+func (a *app) runCluster() error {
+	opt := experiments.ClusterSoakOptions{
+		Dataset:   a.clusterDataset,
+		Nodes:     a.clusterNodes,
+		Streams:   a.clusterStreams,
+		Kills:     a.clusterKills,
+		Publishes: a.clusterPublishes,
+		Sample:    a.sample,
+		InputLen:  a.inputLen,
+	}
+	res, rep, err := experiments.ClusterSoak(opt)
+	if err != nil {
+		return err
+	}
+	a.dump.Cluster = res
+	experiments.RenderClusterSoak(os.Stdout, res)
+
+	out := a.benchOut
+	if out == "" {
+		out, err = experiments.NextBenchPath(".")
+		if err != nil {
+			return err
+		}
+	}
+	if err := experiments.WriteBenchReport(out, rep); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", out)
+
+	if a.baselinePath != "" {
+		base, err := experiments.ReadBenchReport(a.baselinePath)
+		if err != nil {
+			return err
+		}
+		regs := experiments.CompareBench(rep, base, experiments.Thresholds{})
+		experiments.RenderRegressions(os.Stdout, regs)
+		if len(regs) > 0 {
+			return fmt.Errorf("%d counted metric(s) regressed vs %s", len(regs), a.baselinePath)
+		}
+	}
+	return nil
+}
+
 // parseIntList parses a comma-separated list of positive ints; an empty
 // string selects the experiment's defaults (nil).
 func parseIntList(s string) ([]int, error) {
@@ -638,19 +697,20 @@ func parseIntList(s string) ([]int, error) {
 // jsonResults is the machine-readable form of a bvapbench run, for plotting
 // the figures outside this repository.
 type jsonResults struct {
-	Fig11      []experiments.Fig11Point      `json:"fig11,omitempty"`
-	Fig12      []experiments.Fig12Point      `json:"fig12,omitempty"`
-	Fig13      []experiments.DSEPoint        `json:"fig13,omitempty"`
-	Table5     []experiments.BestParams      `json:"table5,omitempty"`
-	Fig14      []experiments.Fig14Row        `json:"fig14,omitempty"`
-	Summary    *experiments.Summary          `json:"summary,omitempty"`
-	Ablation   []experiments.AblationRow     `json:"ablation,omitempty"`
-	Stride2    []experiments.Stride2Row      `json:"stride2,omitempty"`
-	Faults     []experiments.FaultsRow       `json:"faults,omitempty"`
-	Perf       *experiments.BenchReport      `json:"perf,omitempty"`
-	Throughput *experiments.ThroughputResult `json:"throughput,omitempty"`
-	Soak       *experiments.SoakResult       `json:"soak,omitempty"`
-	Obs        *experiments.ObsResult        `json:"obs,omitempty"`
+	Fig11      []experiments.Fig11Point       `json:"fig11,omitempty"`
+	Fig12      []experiments.Fig12Point       `json:"fig12,omitempty"`
+	Fig13      []experiments.DSEPoint         `json:"fig13,omitempty"`
+	Table5     []experiments.BestParams       `json:"table5,omitempty"`
+	Fig14      []experiments.Fig14Row         `json:"fig14,omitempty"`
+	Summary    *experiments.Summary           `json:"summary,omitempty"`
+	Ablation   []experiments.AblationRow      `json:"ablation,omitempty"`
+	Stride2    []experiments.Stride2Row       `json:"stride2,omitempty"`
+	Faults     []experiments.FaultsRow        `json:"faults,omitempty"`
+	Perf       *experiments.BenchReport       `json:"perf,omitempty"`
+	Throughput *experiments.ThroughputResult  `json:"throughput,omitempty"`
+	Soak       *experiments.SoakResult        `json:"soak,omitempty"`
+	Obs        *experiments.ObsResult         `json:"obs,omitempty"`
+	Cluster    *experiments.ClusterSoakResult `json:"cluster,omitempty"`
 }
 
 // parseRates parses the -fault-rates list; an empty string selects the

@@ -18,6 +18,10 @@
 //	GET  /debug/flight     flight-recorder ring dump (recent + pinned traces, JSON)
 //	GET  /debug/trace/{id} one trace by hex id (JSON; ?format=chrome for a
 //	                       chrome://tracing / Perfetto document)
+//	POST /cluster/*        fleet surface (-node-id): two-phase reload
+//	                       prepare/commit/abort, session migration, scans
+//	POST /cluster/publish  coordinated fleet-wide reload (-peers): body =
+//	                       newline-separated patterns, ?ticket= optional
 //
 // Every scan runs under a request-scoped trace: the returned trace_id keys
 // the flight recorder's ring (tune with -flight-*), appears on every log
@@ -25,10 +29,22 @@
 // OpenMetrics exemplar. -debug-addr serves net/http/pprof on a separate
 // listener. Logs are structured log/slog (-log-format text|json).
 //
+// Cluster mode: -node-id mounts the fleet surface under /cluster/* —
+// two-phase prepare/commit/abort for coordinated reloads, session
+// open/feed/checkpoint/resume/close for live BVAP-S migration, and scan
+// with per-tenant quota accounting (X-Bvap-Tenant header; quotas via
+// -quota-rate/-quota-burst). With -peers, POST /cluster/publish drives a
+// fleet-wide two-phase reload across the peer list: every node stages and
+// validates the candidate, fingerprints are compared, and only a unanimous
+// fleet commits — one failing node rolls the round back everywhere by
+// non-publication. Trace ids propagate across node hops via X-Bvap-Trace-Id.
+//
 // Service errors map onto HTTP statuses: overload and draining → 503
-// (with Retry-After), quarantine → 429, watchdog timeout → 504, recovered
-// panic → 500. SIGHUP re-reads -patterns and hot-reloads; SIGINT/SIGTERM
-// drain in-flight work (bounded by -drain-timeout) before exit.
+// (with Retry-After), quarantine and tenant quota → 429 (quota with
+// Retry-After), watchdog timeout → 504, recovered panic → 500. SIGHUP
+// re-reads -patterns and hot-reloads; SIGINT/SIGTERM drain in-flight work
+// bounded by -drain-timeout, then force-close whatever remains so the
+// process always exits within the bound.
 package main
 
 import (
@@ -37,6 +53,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"hash/fnv"
 	"io"
 	"log/slog"
 	"net/http"
@@ -48,6 +65,7 @@ import (
 	"time"
 
 	"bvap"
+	"bvap/internal/cluster"
 	"bvap/internal/telemetry"
 	"bvap/internal/tracing"
 )
@@ -67,6 +85,10 @@ type config struct {
 	maxBody       int64
 	logFormat     string
 	logLevel      string
+	nodeID        string
+	peers         string
+	quotaRate     float64
+	quotaBurst    float64
 
 	flightCapacity      int
 	flightPinned        int
@@ -89,6 +111,10 @@ func main() {
 	flag.Int64Var(&cfg.maxBody, "max-body", 16<<20, "largest accepted request body in bytes")
 	flag.StringVar(&cfg.logFormat, "log-format", "text", "log output format: text or json")
 	flag.StringVar(&cfg.logLevel, "log-level", "info", "minimum log level: debug, info, warn or error")
+	flag.StringVar(&cfg.nodeID, "node-id", "", "cluster node identity; mounts the /cluster/* fleet surface when set")
+	flag.StringVar(&cfg.peers, "peers", "", "comma-separated peer base URLs; enables POST /cluster/publish coordinated reloads")
+	flag.Float64Var(&cfg.quotaRate, "quota-rate", 0, "default per-tenant admission tokens per second (0 = unlimited)")
+	flag.Float64Var(&cfg.quotaBurst, "quota-burst", 0, "default per-tenant admission burst (0 = rate-derived)")
 	flag.IntVar(&cfg.flightCapacity, "flight-capacity", 256, "completed traces retained by the flight recorder")
 	flag.IntVar(&cfg.flightPinned, "flight-pinned", 32, "over-budget traces retained by the flight recorder's black box")
 	flag.DurationVar(&cfg.flightLatencyBudget, "flight-latency-budget", 0, "pin any scan slower than this into the black box (0 disables)")
@@ -151,6 +177,7 @@ func run(cfg config, logger *slog.Logger) error {
 		MaxQueue:            cfg.maxQueue,
 		ScanTimeout:         cfg.scanTimeout,
 		QuarantineThreshold: cfg.quarantine,
+		DefaultQuota:        bvap.QuotaConfig{RatePerSec: cfg.quotaRate, Burst: cfg.quotaBurst},
 		Metrics:             reg,
 		FlightRecorder:      rec,
 	})
@@ -166,6 +193,25 @@ func run(cfg config, logger *slog.Logger) error {
 	mux.HandleFunc("GET /metrics", d.handleMetrics)
 	mux.HandleFunc("GET /debug/flight", d.handleFlight)
 	mux.HandleFunc("GET /debug/trace/{id}", d.handleTrace)
+	if cfg.nodeID != "" {
+		// Fleet surface: two-phase reload participation and live session
+		// migration. The node shares this daemon's service, so cluster
+		// scans and sessions see the same generations, quotas and metrics.
+		d.node = cluster.NewNode(svc, cluster.NodeConfig{ID: cfg.nodeID, Recorder: rec})
+		mux.Handle("/cluster/", d.node.Handler())
+		logger.Info("cluster surface mounted", "node", cfg.nodeID)
+	}
+	if cfg.peers != "" {
+		var peers []string
+		for _, p := range strings.Split(cfg.peers, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				peers = append(peers, p)
+			}
+		}
+		d.coord = cluster.NewCoordinator(cluster.NewClient(cluster.ClientConfig{}), peers)
+		mux.HandleFunc("POST /cluster/publish", d.handlePublish)
+		logger.Info("cluster coordinator enabled", "peers", len(peers))
+	}
 	srv := &http.Server{Addr: cfg.listen, Handler: mux}
 
 	if cfg.debugAddr != "" {
@@ -218,9 +264,24 @@ func run(cfg config, logger *slog.Logger) error {
 			if err := svc.Drain(ctx); err != nil {
 				logger.Warn("drain incomplete", "err", err)
 			}
+			if d.node != nil {
+				// Open migration sessions commit their pending reports and
+				// return their pooled streams before the listener goes away.
+				d.node.Close()
+			}
 			err := srv.Shutdown(ctx)
 			cancel()
-			return err
+			if err != nil {
+				// The graceful drain ran out of budget with connections
+				// still open: force-close them. Exiting on time matters
+				// more than the stragglers — their clients hold durable
+				// checkpoints and resume elsewhere.
+				logger.Warn("graceful shutdown incomplete; forcing close", "err", err)
+				if cerr := srv.Close(); cerr != nil {
+					logger.Warn("forced close failed", "err", cerr)
+				}
+			}
+			return nil
 		}
 	}
 }
@@ -263,6 +324,8 @@ type daemon struct {
 	rec     *tracing.Recorder
 	log     *slog.Logger
 	maxBody int64
+	node    *cluster.Node        // non-nil when -node-id mounted /cluster/*
+	coord   *cluster.Coordinator // non-nil when -peers enabled /cluster/publish
 }
 
 // logger returns the daemon's logger, defaulting for tests that construct
@@ -316,6 +379,10 @@ func (d *daemon) handleScan(w http.ResponseWriter, r *http.Request) {
 			fmt.Errorf("body exceeds %d bytes", d.maxBody), "", tr)
 		return
 	}
+	if tenant := r.Header.Get(cluster.TenantHeader); tenant != "" {
+		ctx = bvap.WithTenant(ctx, tenant)
+		tr.SetStr("tenant", tenant)
+	}
 	start := time.Now()
 	ms, err := d.svc.Scan(ctx, input)
 	if err != nil {
@@ -360,6 +427,53 @@ func (d *daemon) handleReload(w http.ResponseWriter, r *http.Request) {
 	}
 	d.logger().Info("reloaded", "patterns", len(patterns), "generation", gen, "outcome", "ok")
 	writeJSON(w, d.logger(), http.StatusOK, reloadResponse{Generation: gen, Patterns: len(patterns)})
+}
+
+// publishResponse is the POST /cluster/publish document: the round's
+// ticket and the per-peer generation each node now serves.
+type publishResponse struct {
+	Ticket      string            `json:"ticket"`
+	Generations map[string]uint64 `json:"generations"`
+}
+
+// handlePublish drives the fleet-wide two-phase reload over the configured
+// peer set. The body is a pattern file (one regex per line); the round's
+// ticket comes from ?ticket= or, by default, a hash of the candidate set —
+// deterministic, so a retried publish replays the same round idempotently
+// instead of opening a new one.
+func (d *daemon) handlePublish(w http.ResponseWriter, r *http.Request) {
+	raw, err := io.ReadAll(io.LimitReader(r.Body, d.maxBody))
+	if err != nil {
+		d.writeError(w, http.StatusBadRequest, err, "", nil)
+		return
+	}
+	patterns, err := parsePatterns(string(raw))
+	if err != nil {
+		d.writeError(w, http.StatusBadRequest, err, "", nil)
+		return
+	}
+	ticket := r.URL.Query().Get("ticket")
+	if ticket == "" {
+		h := fnv.New64a()
+		for _, p := range patterns {
+			io.WriteString(h, p)
+			h.Write([]byte{0})
+		}
+		ticket = fmt.Sprintf("set-%016x", h.Sum64())
+	}
+	gens, err := d.coord.Publish(r.Context(), ticket, patterns)
+	if err != nil {
+		var pub *cluster.PublishError
+		status, kind := http.StatusBadGateway, "publish"
+		if errors.As(err, &pub) {
+			kind = "publish-" + pub.Phase
+		}
+		d.logger().Warn("fleet publish failed", "ticket", ticket, "patterns", len(patterns), "outcome", kind, "err", err)
+		d.writeError(w, status, err, kind, nil)
+		return
+	}
+	d.logger().Info("fleet published", "ticket", ticket, "patterns", len(patterns), "peers", len(gens), "outcome", "ok")
+	writeJSON(w, d.logger(), http.StatusOK, publishResponse{Ticket: ticket, Generations: gens})
 }
 
 func (d *daemon) handleHealthz(w http.ResponseWriter, _ *http.Request) {
@@ -442,6 +556,9 @@ func serviceErrorStatus(w http.ResponseWriter, err error) (status int, kind stri
 	case errors.Is(err, bvap.ErrOverloaded):
 		w.Header().Set("Retry-After", "1")
 		return http.StatusServiceUnavailable, "overloaded"
+	case errors.Is(err, bvap.ErrQuotaExceeded):
+		w.Header().Set("Retry-After", "1")
+		return http.StatusTooManyRequests, "quota"
 	case errors.Is(err, bvap.ErrQuarantined):
 		return http.StatusTooManyRequests, "quarantined"
 	case errors.Is(err, context.DeadlineExceeded):

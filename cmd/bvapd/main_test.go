@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"io"
 	"log/slog"
@@ -12,6 +13,7 @@ import (
 	"time"
 
 	"bvap"
+	"bvap/internal/cluster"
 	"bvap/internal/telemetry"
 	"bvap/internal/tracing"
 )
@@ -277,5 +279,126 @@ func TestParsePatterns(t *testing.T) {
 	}
 	if _, err := parsePatterns("# nothing\n"); err == nil {
 		t.Error("all-comment input accepted")
+	}
+}
+
+// testQuotaDaemon is testDaemon with a metered tenant quota layer.
+func testQuotaDaemon(t *testing.T, patterns []string, quotas map[string]bvap.QuotaConfig) *daemon {
+	t.Helper()
+	reg := telemetry.NewRegistry()
+	rec := tracing.NewRecorder(tracing.Config{Capacity: 16, PinCapacity: 4})
+	svc, err := bvap.NewService(patterns, &bvap.ServiceConfig{
+		ScanTimeout:    time.Second,
+		TenantQuotas:   quotas,
+		Metrics:        reg,
+		FlightRecorder: rec,
+	})
+	if err != nil {
+		t.Fatalf("NewService: %v", err)
+	}
+	t.Cleanup(func() { svc.Close() })
+	return &daemon{
+		svc: svc, reg: reg, rec: rec,
+		log:     slog.New(slog.NewTextHandler(io.Discard, nil)),
+		maxBody: 1 << 20,
+	}
+}
+
+func TestHandleScanTenantQuota(t *testing.T) {
+	d := testQuotaDaemon(t, []string{"ab{2}c"}, map[string]bvap.QuotaConfig{
+		"metered": {RatePerSec: 0.001, Burst: 2},
+	})
+	scan := func(tenant string) *httptest.ResponseRecorder {
+		rec := httptest.NewRecorder()
+		req := httptest.NewRequest("POST", "/scan", strings.NewReader("..abbc.."))
+		if tenant != "" {
+			req.Header.Set(cluster.TenantHeader, tenant)
+		}
+		d.handleScan(rec, req)
+		return rec
+	}
+	if scan("metered").Code != 200 || scan("metered").Code != 200 {
+		t.Fatal("metered tenant's burst refused")
+	}
+	rec := scan("metered")
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("over-quota scan = %d, want 429: %s", rec.Code, rec.Body)
+	}
+	if rec.Header().Get("Retry-After") == "" {
+		t.Error("429 quota response missing Retry-After")
+	}
+	var resp errorResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil || resp.Kind != "quota" {
+		t.Errorf("error body kind = %q (%v), want quota", resp.Kind, err)
+	}
+	// Other tenants keep their own buckets.
+	if scan("").Code != 200 || scan("neighbor").Code != 200 {
+		t.Error("unmetered tenants refused; quota must be per tenant")
+	}
+}
+
+// TestClusterSurfaceMounted wires the daemon mux the way run() does and
+// drives a two-node coordinated publish plus a session migration through
+// it — the bvapd-level integration of the fleet surface.
+func TestClusterSurfaceMounted(t *testing.T) {
+	newNode := func(id string) (*daemon, *httptest.Server) {
+		d := testDaemon(t, []string{"ab{2}c"})
+		d.node = cluster.NewNode(d.svc, cluster.NodeConfig{ID: id, Recorder: d.rec})
+		t.Cleanup(func() { d.node.Close() })
+		mux := http.NewServeMux()
+		mux.HandleFunc("POST /scan", d.handleScan)
+		mux.Handle("/cluster/", d.node.Handler())
+		srv := httptest.NewServer(mux)
+		t.Cleanup(srv.Close)
+		return d, srv
+	}
+	da, sa := newNode("a")
+	db, sb := newNode("b")
+
+	// Coordinator via the publish handler on node a.
+	da.coord = cluster.NewCoordinator(cluster.NewClient(cluster.ClientConfig{}), []string{sa.URL, sb.URL})
+	rec := httptest.NewRecorder()
+	da.handlePublish(rec, httptest.NewRequest("POST", "/cluster/publish", strings.NewReader("ab{2}c\nc{3}\n")))
+	if rec.Code != 200 {
+		t.Fatalf("publish = %d: %s", rec.Code, rec.Body)
+	}
+	if da.svc.Generation() != 2 || db.svc.Generation() != 2 {
+		t.Fatalf("generations %d/%d after publish, want 2/2", da.svc.Generation(), db.svc.Generation())
+	}
+	// Replaying the same body is idempotent (deterministic default ticket).
+	rec = httptest.NewRecorder()
+	da.handlePublish(rec, httptest.NewRequest("POST", "/cluster/publish", strings.NewReader("ab{2}c\nc{3}\n")))
+	if rec.Code != 200 || da.svc.Generation() != 2 {
+		t.Fatalf("replayed publish = %d, generation %d; want 200 and 2", rec.Code, da.svc.Generation())
+	}
+
+	// Session migration a → b through the mounted surface.
+	client := cluster.NewClient(cluster.ClientConfig{})
+	ctx := context.Background()
+	if err := client.PostJSON(ctx, sa.URL, "/cluster/session/open",
+		cluster.SessionOpenRequest{SessionID: "s1", Interval: 64}, nil); err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	var feed cluster.SessionResponse
+	if err := client.PostJSON(ctx, sa.URL, "/cluster/session/feed",
+		cluster.SessionFeedRequest{SessionID: "s1", Chunk: bytes.Repeat([]byte("xabbc"), 40)}, &feed); err != nil {
+		t.Fatalf("feed: %v", err)
+	}
+	var ck cluster.SessionResponse
+	if err := client.PostJSON(ctx, sa.URL, "/cluster/session/checkpoint",
+		cluster.SessionRequest{SessionID: "s1"}, &ck); err != nil {
+		t.Fatalf("checkpoint: %v", err)
+	}
+	var res cluster.SessionResponse
+	if err := client.PostJSON(ctx, sb.URL, "/cluster/session/resume",
+		cluster.SessionResumeRequest{SessionID: "s1", Checkpoint: ck.Checkpoint}, &res); err != nil {
+		t.Fatalf("resume on b: %v", err)
+	}
+	if res.Pos != ck.Pos || res.Pos != 200 {
+		t.Fatalf("resumed at %d, checkpointed at %d; want 200", res.Pos, ck.Pos)
+	}
+	total := len(feed.Matches) + len(ck.Matches)
+	if total != 40 {
+		t.Fatalf("%d matches before migration, want 40", total)
 	}
 }

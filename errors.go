@@ -59,6 +59,16 @@ var (
 	// service's circuit breaker after repeated timeouts or cross-check
 	// failures. Quarantined keys re-enter service after the cooldown.
 	ErrQuarantined = serve.ErrQuarantined
+	// ErrQuotaExceeded marks a request refused by its tenant's token-bucket
+	// quota (see ServiceConfig.DefaultQuota / TenantQuotas and WithTenant)
+	// before it could contend for an admission slot. The bucket refills
+	// continuously; back off and retry.
+	ErrQuotaExceeded = serve.ErrQuotaExceeded
+	// ErrStaleGeneration marks a PreparedReload.Commit refused because
+	// another reload published between prepare and commit: the candidate
+	// was validated against a generation that no longer serves. Re-prepare
+	// against the new generation.
+	ErrStaleGeneration = serve.ErrStaleGeneration
 )
 
 // PanicError is a panic recovered from a scan body (a ScanBatch shard, a

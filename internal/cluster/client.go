@@ -1,0 +1,200 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"bvap/internal/serve"
+	"bvap/internal/tracing"
+)
+
+// TraceHeader carries the trace id across inter-node hops: the client
+// stamps it from the request context, the receiving node adopts it
+// (tracing.Recorder.StartTraceRemote), and both nodes' /debug/trace/{id}
+// then serve their halves of the same request.
+const TraceHeader = "X-Bvap-Trace-Id"
+
+// TenantHeader carries the tenant id of a proxied request, so per-tenant
+// quotas meter the originating tenant rather than the forwarding node.
+const TenantHeader = "X-Bvap-Tenant"
+
+// ClientConfig tunes the inter-node client. The zero value selects 3
+// attempts, a 2-second per-attempt timeout, the serve.Backoff defaults
+// (50 ms base, jittered doubling) between attempts, and the serve.Breaker
+// defaults per peer.
+type ClientConfig struct {
+	// MaxAttempts bounds tries per call (first + retries); values < 1
+	// select 3.
+	MaxAttempts int
+	// AttemptTimeout bounds each attempt, layered under the caller's
+	// context; values <= 0 select 2 seconds.
+	AttemptTimeout time.Duration
+	// Backoff is the inter-attempt delay schedule; zero fields take the
+	// serve.Backoff defaults.
+	Backoff serve.Backoff
+	// Breaker tunes the per-peer circuit breaker; the zero value takes the
+	// serve.BreakerConfig defaults.
+	Breaker serve.BreakerConfig
+	// HTTPClient, when non-nil, replaces http.DefaultClient (tests inject
+	// httptest clients).
+	HTTPClient *http.Client
+}
+
+// Client is the fleet's inter-node HTTP transport: JSON-over-POST with
+// typed errors, per-attempt timeouts, jittered exponential retry on
+// transient failures, a per-peer circuit breaker, and trace-id
+// propagation. Safe for concurrent use.
+type Client struct {
+	cfg ClientConfig
+	hc  *http.Client
+	brk *serve.Breaker
+}
+
+// NewClient builds a client.
+func NewClient(cfg ClientConfig) *Client {
+	if cfg.MaxAttempts < 1 {
+		cfg.MaxAttempts = 3
+	}
+	if cfg.AttemptTimeout <= 0 {
+		cfg.AttemptTimeout = 2 * time.Second
+	}
+	hc := cfg.HTTPClient
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	return &Client{cfg: cfg, hc: hc, brk: serve.NewBreaker(cfg.Breaker, nil)}
+}
+
+// PeerError is a failed inter-node call: the peer, the path, how many
+// attempts were spent, the final HTTP status (0 when the failure was
+// transport-level) and the underlying cause. It unwraps to the cause, so
+// errors.Is sees context cancellation, serve.ErrQuarantined (peer breaker
+// open) and the remote error sentinels a node maps onto status codes.
+type PeerError struct {
+	Peer     string
+	Path     string
+	Attempts int
+	Status   int
+	Err      error
+}
+
+func (e *PeerError) Error() string {
+	return fmt.Sprintf("cluster: peer %s %s failed after %d attempt(s): %v", e.Peer, e.Path, e.Attempts, e.Err)
+}
+
+func (e *PeerError) Unwrap() error { return e.Err }
+
+// remoteError is a non-2xx JSON error payload relayed from a peer.
+type remoteError struct {
+	Status int
+	Msg    string
+}
+
+func (e *remoteError) Error() string {
+	return fmt.Sprintf("peer returned %d: %s", e.Status, e.Msg)
+}
+
+// PostJSON calls POST peer+path with req as JSON and decodes the 2xx
+// response into resp (ignored when resp is nil). Transient failures —
+// transport errors, 429 and 5xx statuses — are retried on the backoff
+// schedule until MaxAttempts or context expiry; non-retryable statuses
+// fail fast. The peer's breaker opens after repeated failures
+// (serve.ErrQuarantined via errors.Is) and re-closes on the escalating
+// cooldown schedule.
+func (c *Client) PostJSON(ctx context.Context, peer, path string, req, resp any) error {
+	if !c.brk.Allow(peer) {
+		return &PeerError{Peer: peer, Path: path, Err: serve.ErrQuarantined}
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		return &PeerError{Peer: peer, Path: path, Err: err}
+	}
+	var last error
+	lastStatus := 0
+	attempt := 0
+	for ; attempt < c.cfg.MaxAttempts; attempt++ {
+		if attempt > 0 {
+			if err := c.cfg.Backoff.Wait(ctx, attempt-1); err != nil {
+				break
+			}
+		}
+		status, err := c.post(ctx, peer, path, body, resp)
+		if err == nil {
+			c.brk.Success(peer)
+			return nil
+		}
+		last, lastStatus = err, status
+		if !retryable(status, err) {
+			c.brk.Success(peer) // the peer answered; the request was just refused
+			return &PeerError{Peer: peer, Path: path, Attempts: attempt + 1, Status: status, Err: err}
+		}
+	}
+	if last == nil {
+		last = ctx.Err()
+	}
+	c.brk.Failure(peer)
+	return &PeerError{Peer: peer, Path: path, Attempts: attempt, Status: lastStatus, Err: last}
+}
+
+// post runs one attempt under its own timeout.
+func (c *Client) post(ctx context.Context, peer, path string, body []byte, resp any) (int, error) {
+	actx, cancel := context.WithTimeout(ctx, c.cfg.AttemptTimeout)
+	defer cancel()
+	hreq, err := http.NewRequestWithContext(actx, http.MethodPost, peer+path, bytes.NewReader(body))
+	if err != nil {
+		return 0, err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	if id := tracing.FromContext(ctx).IDString(); id != "" {
+		hreq.Header.Set(TraceHeader, id)
+	}
+	hres, err := c.hc.Do(hreq)
+	if err != nil {
+		return 0, err
+	}
+	defer func() {
+		io.Copy(io.Discard, io.LimitReader(hres.Body, 1<<16))
+		hres.Body.Close()
+	}()
+	if hres.StatusCode/100 != 2 {
+		var payload struct {
+			Error string `json:"error"`
+		}
+		msg := hres.Status
+		if json.NewDecoder(io.LimitReader(hres.Body, 1<<16)).Decode(&payload) == nil && payload.Error != "" {
+			msg = payload.Error
+		}
+		return hres.StatusCode, &remoteError{Status: hres.StatusCode, Msg: msg}
+	}
+	if resp == nil {
+		return hres.StatusCode, nil
+	}
+	if err := json.NewDecoder(io.LimitReader(hres.Body, 16<<20)).Decode(resp); err != nil {
+		return hres.StatusCode, fmt.Errorf("decoding response: %w", err)
+	}
+	return hres.StatusCode, nil
+}
+
+// retryable classifies one attempt's failure: transport errors and
+// explicitly transient statuses retry; everything else (4xx semantics,
+// decode failures of a 2xx body) does not. Context expiry stops the loop
+// in Wait rather than here.
+func retryable(status int, err error) bool {
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return status == 0 // an attempt timeout is transient; caller expiry ends in Wait
+	}
+	if status == 0 {
+		return true // transport-level failure
+	}
+	switch status {
+	case http.StatusTooManyRequests, http.StatusBadGateway, http.StatusServiceUnavailable, http.StatusGatewayTimeout:
+		return true
+	}
+	return false
+}

@@ -1,0 +1,136 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"bvap/internal/serve"
+	"bvap/internal/tracing"
+)
+
+func fastClient(hc *http.Client) *Client {
+	return NewClient(ClientConfig{
+		HTTPClient:     hc,
+		MaxAttempts:    3,
+		AttemptTimeout: 2 * time.Second,
+		Backoff:        serve.Backoff{Base: time.Millisecond, Jitter: -1},
+	})
+}
+
+func TestClientRetriesTransientFailures(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) < 3 {
+			http.Error(w, `{"error":"warming up"}`, http.StatusServiceUnavailable)
+			return
+		}
+		json.NewEncoder(w).Encode(map[string]string{"pong": "ok"})
+	}))
+	defer srv.Close()
+
+	var resp map[string]string
+	if err := fastClient(srv.Client()).PostJSON(context.Background(), srv.URL, "/ping", map[string]int{}, &resp); err != nil {
+		t.Fatalf("PostJSON after transient 503s: %v", err)
+	}
+	if calls.Load() != 3 || resp["pong"] != "ok" {
+		t.Fatalf("calls=%d resp=%v; want 3 attempts then success", calls.Load(), resp)
+	}
+}
+
+func TestClientDoesNotRetryClientErrors(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		http.Error(w, `{"error":"no such session"}`, http.StatusNotFound)
+	}))
+	defer srv.Close()
+
+	err := fastClient(srv.Client()).PostJSON(context.Background(), srv.URL, "/x", map[string]int{}, nil)
+	if err == nil {
+		t.Fatal("404 reported as success")
+	}
+	var pe *PeerError
+	if !errors.As(err, &pe) || pe.Status != http.StatusNotFound || pe.Attempts != 1 {
+		t.Fatalf("err = %#v; want one-attempt *PeerError with status 404", err)
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("client retried a 404: %d calls", calls.Load())
+	}
+}
+
+func TestClientBreakerOpensOnRepeatedFailure(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, `{"error":"down"}`, http.StatusServiceUnavailable)
+	}))
+	defer srv.Close()
+
+	c := NewClient(ClientConfig{
+		HTTPClient:     srv.Client(),
+		MaxAttempts:    1,
+		AttemptTimeout: time.Second,
+		Backoff:        serve.Backoff{Base: time.Millisecond, Jitter: -1},
+		Breaker:        serve.BreakerConfig{Threshold: 2, Window: time.Minute, Cooldown: time.Hour},
+	})
+	for i := 0; i < 2; i++ {
+		if err := c.PostJSON(context.Background(), srv.URL, "/x", map[string]int{}, nil); err == nil {
+			t.Fatal("503 reported as success")
+		}
+	}
+	// Third call: the peer's breaker is open — refused without an HTTP hit.
+	err := c.PostJSON(context.Background(), srv.URL, "/x", map[string]int{}, nil)
+	if !errors.Is(err, serve.ErrQuarantined) {
+		t.Fatalf("call on open breaker = %v, want ErrQuarantined", err)
+	}
+}
+
+func TestClientPropagatesTraceHeader(t *testing.T) {
+	var got atomic.Value
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		got.Store(r.Header.Get(TraceHeader))
+		json.NewEncoder(w).Encode(map[string]int{})
+	}))
+	defer srv.Close()
+
+	tr := tracing.NewTrace("cross-node")
+	ctx := tracing.NewContext(context.Background(), tr)
+	if err := fastClient(srv.Client()).PostJSON(ctx, srv.URL, "/x", map[string]int{}, nil); err != nil {
+		t.Fatalf("PostJSON: %v", err)
+	}
+	if h, _ := got.Load().(string); h != tr.IDString() {
+		t.Fatalf("peer saw trace header %q, want %q", got.Load(), tr.IDString())
+	}
+}
+
+func TestClientHonorsCallerContext(t *testing.T) {
+	block := make(chan struct{})
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		<-block
+	}))
+	defer srv.Close()
+	defer close(block) // LIFO: unblock the handler before srv.Close waits on it
+
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	err := NewClient(ClientConfig{
+		HTTPClient:     srv.Client(),
+		MaxAttempts:    10,
+		AttemptTimeout: 10 * time.Second,
+		Backoff:        serve.Backoff{Base: time.Millisecond, Jitter: -1},
+	}).PostJSON(ctx, srv.URL, "/slow", map[string]int{}, nil)
+	if err == nil {
+		t.Fatal("call against a hung peer succeeded")
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want to unwrap to context.DeadlineExceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("caller deadline of 50ms took %v to enforce", elapsed)
+	}
+}

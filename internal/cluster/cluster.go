@@ -1,0 +1,167 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// PublishError is a failed fleet-wide publish, annotated with the phase
+// that stopped the round and the per-peer causes. After a "prepare" or
+// "fingerprint" failure no node published anything (rollback by
+// non-publication); after a "commit" failure the fleet may be split —
+// re-run Publish with a fresh ticket to converge (prepare/commit are
+// idempotent per ticket on every node).
+type PublishError struct {
+	// Phase is "prepare", "fingerprint" or "commit".
+	Phase string
+	// Ticket is the round's ticket.
+	Ticket string
+	// Errs maps peer → cause for the peers that failed the phase.
+	Errs map[string]error
+}
+
+func (e *PublishError) Error() string {
+	peers := make([]string, 0, len(e.Errs))
+	for p := range e.Errs {
+		peers = append(peers, p)
+	}
+	sort.Strings(peers)
+	var b strings.Builder
+	fmt.Fprintf(&b, "cluster: publish %s failed in %s phase on %d peer(s)", e.Ticket, e.Phase, len(peers))
+	for _, p := range peers {
+		fmt.Fprintf(&b, "; %s: %v", p, e.Errs[p])
+	}
+	return b.String()
+}
+
+// Coordinator drives fleet-wide operations over a peer set: the two-phase
+// coordinated reload, and fleet introspection. It holds no durable state —
+// any process (a deploy script, a node, a test driver) can coordinate, and
+// a coordinator dying mid-round is safe: an unfinished prepare is rolled
+// back by non-publication on every node, and a re-run with the same or a
+// fresh ticket converges.
+type Coordinator struct {
+	client *Client
+	peers  []string // base URLs
+}
+
+// NewCoordinator builds a coordinator over peers (base URLs).
+func NewCoordinator(client *Client, peers []string) *Coordinator {
+	return &Coordinator{client: client, peers: append([]string(nil), peers...)}
+}
+
+// Peers returns the coordinated peer set.
+func (c *Coordinator) Peers() []string { return append([]string(nil), c.peers...) }
+
+// Publish runs the fleet-wide two-phase reload: prepare patterns on every
+// peer in parallel (each node compiles, validates and calibrates but does
+// not publish), verify every node staged the same engine fingerprint, and
+// only then commit everywhere. Any prepare failure — one node refusing the
+// candidate fails the round for all — aborts the ticket fleet-wide and no
+// node publishes: the rolling upgrade cannot leave the fleet serving two
+// different rule sets because one box had a bad day. Commit returns the
+// per-peer generation sequences on success.
+func (c *Coordinator) Publish(ctx context.Context, ticket string, patterns []string) (map[string]uint64, error) {
+	return c.PublishTo(ctx, c.peers, ticket, patterns)
+}
+
+// PublishTo is Publish against an explicit peer set — for callers whose
+// fleet membership changes between rounds (a ring shrinking under node
+// kills) while the coordinator itself stays put.
+func (c *Coordinator) PublishTo(ctx context.Context, peers []string, ticket string, patterns []string) (map[string]uint64, error) {
+	round := &Coordinator{client: c.client, peers: append([]string(nil), peers...)}
+	return round.publish(ctx, ticket, patterns)
+}
+
+func (c *Coordinator) publish(ctx context.Context, ticket string, patterns []string) (map[string]uint64, error) {
+	if len(c.peers) == 0 {
+		return nil, fmt.Errorf("cluster: publish %s: no peers", ticket)
+	}
+
+	// Phase 1: prepare everywhere, in parallel.
+	prints := make([]string, len(c.peers))
+	errs := c.fanout(func(i int) error {
+		var resp PrepareResponse
+		err := c.client.PostJSON(ctx, c.peers[i], "/cluster/prepare",
+			PrepareRequest{Ticket: ticket, Patterns: patterns}, &resp)
+		if err == nil {
+			prints[i] = resp.Fingerprint
+		}
+		return err
+	})
+	if len(errs) > 0 {
+		c.abort(ctx, ticket)
+		return nil, &PublishError{Phase: "prepare", Ticket: ticket, Errs: errs}
+	}
+
+	// Phase 1b: every node must have staged a semantically identical
+	// engine — equal fingerprints — before any node may publish.
+	mismatches := map[string]error{}
+	for i, fp := range prints {
+		if fp != prints[0] {
+			mismatches[c.peers[i]] = fmt.Errorf("staged fingerprint %s, peer %s staged %s", fp, c.peers[0], prints[0])
+		}
+	}
+	if len(mismatches) > 0 {
+		c.abort(ctx, ticket)
+		return nil, &PublishError{Phase: "fingerprint", Ticket: ticket, Errs: mismatches}
+	}
+
+	// Phase 2: commit everywhere.
+	gens := make([]uint64, len(c.peers))
+	errs = c.fanout(func(i int) error {
+		var resp CommitResponse
+		err := c.client.PostJSON(ctx, c.peers[i], "/cluster/commit", TicketRequest{Ticket: ticket}, &resp)
+		if err == nil {
+			gens[i] = resp.Generation
+		}
+		return err
+	})
+	if len(errs) > 0 {
+		// Peers that committed stay committed (publication is atomic per
+		// node); the caller re-runs Publish to converge the rest.
+		return nil, &PublishError{Phase: "commit", Ticket: ticket, Errs: errs}
+	}
+	out := make(map[string]uint64, len(c.peers))
+	for i, p := range c.peers {
+		out[p] = gens[i]
+	}
+	return out, nil
+}
+
+// abort tells every peer to drop the ticket; best-effort (an unreachable
+// peer's staged candidate is garbage that can never publish — commit
+// requires the coordinator to return to it, which this round never will).
+func (c *Coordinator) abort(ctx context.Context, ticket string) {
+	c.fanout(func(i int) error {
+		return c.client.PostJSON(ctx, c.peers[i], "/cluster/abort", TicketRequest{Ticket: ticket}, nil)
+	})
+}
+
+// fanout runs fn(i) for every peer concurrently and returns the non-nil
+// errors keyed by peer URL.
+func (c *Coordinator) fanout(fn func(i int) error) map[string]error {
+	var wg sync.WaitGroup
+	errList := make([]error, len(c.peers))
+	for i := range c.peers {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errList[i] = fn(i)
+		}(i)
+	}
+	wg.Wait()
+	errs := map[string]error{}
+	for i, err := range errList {
+		if err != nil {
+			errs[c.peers[i]] = err
+		}
+	}
+	if len(errs) == 0 {
+		return nil
+	}
+	return errs
+}

@@ -1,0 +1,499 @@
+package cluster
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+
+	"bvap"
+	"bvap/internal/serve"
+	"bvap/internal/tracing"
+)
+
+// NodeConfig tunes a cluster node.
+type NodeConfig struct {
+	// ID names the node in the ring and in /cluster/info.
+	ID string
+	// Recorder, when non-nil, adopts remote trace ids from TraceHeader so
+	// the node's half of a cross-node request records (and is looked up)
+	// under the coordinator's id.
+	Recorder *tracing.Recorder
+	// SessionInterval is the default checkpoint interval of sessions
+	// opened without one; values < 1 select the service default.
+	SessionInterval int
+}
+
+// Node is the cluster-facing surface of one bvapd process: HTTP handlers
+// for the two-phase reload protocol (prepare/commit/abort), live session
+// migration (open/feed/checkpoint/resume/close) and routed scans, all over
+// the embedded *bvap.Service. Mount Handler under /cluster/. All handlers
+// are safe for concurrent use.
+type Node struct {
+	cfg NodeConfig
+	svc *bvap.Service
+
+	mu       sync.Mutex
+	staged   map[string]*stagedTicket
+	sessions map[string]*nodeSession
+}
+
+// stagedTicket is one prepare round's node-local state, kept so prepare
+// and commit are idempotent per ticket: a coordinator that dies and
+// re-runs its round converges instead of double-applying.
+type stagedTicket struct {
+	prep        *bvap.PreparedReload
+	fingerprint uint64
+	committed   bool
+	gen         uint64
+}
+
+// nodeSession is one migrated-able streaming session. Committed matches
+// buffer here until the driver collects them in a feed/checkpoint/close
+// response; the driver treats them as provisional until it persists a wire
+// checkpoint taken at or after their positions (the exactly-once
+// protocol — see the soak driver in internal/experiments).
+type nodeSession struct {
+	mu  sync.Mutex
+	ss  *bvap.StreamSession
+	buf []Match
+}
+
+// NewNode wraps svc with the cluster surface.
+func NewNode(svc *bvap.Service, cfg NodeConfig) *Node {
+	return &Node{
+		cfg:      cfg,
+		svc:      svc,
+		staged:   map[string]*stagedTicket{},
+		sessions: map[string]*nodeSession{},
+	}
+}
+
+// Match is the wire form of one committed match report.
+type Match struct {
+	// Pattern is the index of the matching pattern in the served set.
+	Pattern int `json:"pattern"`
+	// End is the absolute stream offset the match ends at.
+	End int `json:"end"`
+}
+
+// Wire request/response bodies of the node endpoints. Exported so the
+// coordinator, bvapd and the soak driver share one definition.
+type (
+	PrepareRequest struct {
+		Ticket   string   `json:"ticket"`
+		Patterns []string `json:"patterns"`
+	}
+	PrepareResponse struct {
+		Fingerprint string `json:"fingerprint"` // hex engine fingerprint
+		Base        uint64 `json:"base"`        // generation validated against
+	}
+	TicketRequest struct {
+		Ticket string `json:"ticket"`
+	}
+	CommitResponse struct {
+		Generation uint64 `json:"generation"`
+	}
+	SessionOpenRequest struct {
+		SessionID string `json:"session_id"`
+		Interval  int    `json:"interval,omitempty"`
+	}
+	SessionFeedRequest struct {
+		SessionID string `json:"session_id"`
+		Chunk     []byte `json:"chunk"`
+	}
+	SessionRequest struct {
+		SessionID string `json:"session_id"`
+	}
+	SessionResumeRequest struct {
+		SessionID  string `json:"session_id"`
+		Checkpoint []byte `json:"checkpoint"`
+		Interval   int    `json:"interval,omitempty"`
+	}
+	SessionResponse struct {
+		// Pos is the committed stream position (the offset feeding resumes
+		// from after a failure).
+		Pos int64 `json:"pos"`
+		// Checkpoint is the wire checkpoint (checkpoint endpoint only).
+		Checkpoint []byte `json:"checkpoint,omitempty"`
+		// Matches are the reports committed since the last collection.
+		Matches []Match `json:"matches,omitempty"`
+	}
+	ScanRequest struct {
+		Input []byte `json:"input"`
+		// Tenant attributes the scan for quota accounting; the
+		// TenantHeader, when set, takes precedence.
+		Tenant string `json:"tenant,omitempty"`
+	}
+	ScanResponse struct {
+		Matches []Match `json:"matches,omitempty"`
+	}
+	InfoResponse struct {
+		Node        string   `json:"node"`
+		Generation  uint64   `json:"generation"`
+		Fingerprint string   `json:"fingerprint"`
+		Sessions    []string `json:"sessions,omitempty"`
+	}
+)
+
+// Handler returns the node's endpoint set, rooted at /cluster/.
+func (n *Node) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/cluster/prepare", n.withTrace("cluster.prepare", n.handlePrepare))
+	mux.HandleFunc("/cluster/commit", n.withTrace("cluster.commit", n.handleCommit))
+	mux.HandleFunc("/cluster/abort", n.withTrace("cluster.abort", n.handleAbort))
+	mux.HandleFunc("/cluster/session/open", n.withTrace("cluster.session.open", n.handleSessionOpen))
+	mux.HandleFunc("/cluster/session/feed", n.withTrace("cluster.session.feed", n.handleSessionFeed))
+	mux.HandleFunc("/cluster/session/checkpoint", n.withTrace("cluster.session.checkpoint", n.handleSessionCheckpoint))
+	mux.HandleFunc("/cluster/session/resume", n.withTrace("cluster.session.resume", n.handleSessionResume))
+	mux.HandleFunc("/cluster/session/close", n.withTrace("cluster.session.close", n.handleSessionClose))
+	mux.HandleFunc("/cluster/scan", n.withTrace("cluster.scan", n.handleScan))
+	mux.HandleFunc("/cluster/info", n.withTrace("cluster.info", n.handleInfo))
+	return mux
+}
+
+// withTrace adopts the remote trace id riding TraceHeader (when the node
+// has a recorder), so the handler's spans land under the caller's id.
+func (n *Node) withTrace(name string, h func(http.ResponseWriter, *http.Request)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if n.cfg.Recorder != nil {
+			var remote tracing.TraceID
+			if raw := r.Header.Get(TraceHeader); raw != "" {
+				if id, err := tracing.ParseTraceID(raw); err == nil {
+					remote = id
+				}
+			}
+			ctx, tr := n.cfg.Recorder.StartTraceRemote(r.Context(), name, remote)
+			tr.SetStr("node", n.cfg.ID)
+			defer n.cfg.Recorder.Record(tr)
+			r = r.WithContext(ctx)
+		}
+		h(w, r)
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+// writeError maps a service error onto a status the client-side retry
+// policy understands: transient refusals (overload, drain, quota,
+// quarantine) are 503/429 and retried; protocol conflicts (stale
+// generation, stale checkpoint) are 409 and surfaced; structural damage
+// is 400.
+func writeError(w http.ResponseWriter, err error) {
+	status := http.StatusInternalServerError
+	switch {
+	case errors.Is(err, bvap.ErrQuotaExceeded):
+		status = http.StatusTooManyRequests
+		w.Header().Set("Retry-After", "1")
+	case errors.Is(err, bvap.ErrOverloaded):
+		status = http.StatusServiceUnavailable
+		w.Header().Set("Retry-After", "1")
+	case errors.Is(err, bvap.ErrDraining), errors.Is(err, bvap.ErrQuarantined):
+		status = http.StatusServiceUnavailable
+		w.Header().Set("Retry-After", "5")
+	case errors.Is(err, serve.ErrStaleGeneration), errors.Is(err, bvap.ErrCheckpointStale):
+		status = http.StatusConflict
+	case errors.Is(err, bvap.ErrCheckpointCorrupt):
+		status = http.StatusBadRequest
+	}
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	if r.Method != http.MethodPost {
+		writeJSON(w, http.StatusMethodNotAllowed, map[string]string{"error": "POST required"})
+		return false
+	}
+	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": fmt.Sprintf("bad request body: %v", err)})
+		return false
+	}
+	return true
+}
+
+func (n *Node) handlePrepare(w http.ResponseWriter, r *http.Request) {
+	var req PrepareRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if req.Ticket == "" {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "missing ticket"})
+		return
+	}
+	n.mu.Lock()
+	if t, ok := n.staged[req.Ticket]; ok {
+		// Idempotent replay: a coordinator retrying its prepare gets the
+		// fingerprint of the already-staged candidate.
+		resp := PrepareResponse{Fingerprint: fmt.Sprintf("%016x", t.fingerprint), Base: t.prep.Base()}
+		n.mu.Unlock()
+		writeJSON(w, http.StatusOK, resp)
+		return
+	}
+	n.mu.Unlock()
+	prep, err := n.svc.PrepareReload(r.Context(), req.Patterns)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	n.mu.Lock()
+	if _, ok := n.staged[req.Ticket]; ok {
+		// Lost a concurrent race on the same ticket; keep the first.
+		n.mu.Unlock()
+		prep.Abort()
+		n.handlePrepare(w, r)
+		return
+	}
+	t := &stagedTicket{prep: prep, fingerprint: prep.Fingerprint()}
+	n.staged[req.Ticket] = t
+	n.mu.Unlock()
+	writeJSON(w, http.StatusOK, PrepareResponse{Fingerprint: fmt.Sprintf("%016x", t.fingerprint), Base: prep.Base()})
+}
+
+func (n *Node) handleCommit(w http.ResponseWriter, r *http.Request) {
+	var req TicketRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	n.mu.Lock()
+	t, ok := n.staged[req.Ticket]
+	n.mu.Unlock()
+	if !ok {
+		writeJSON(w, http.StatusNotFound, map[string]string{"error": "unknown ticket " + req.Ticket})
+		return
+	}
+	n.mu.Lock()
+	if t.committed {
+		gen := t.gen
+		n.mu.Unlock()
+		writeJSON(w, http.StatusOK, CommitResponse{Generation: gen})
+		return
+	}
+	n.mu.Unlock()
+	gen, err := t.prep.Commit()
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	n.mu.Lock()
+	t.committed, t.gen = true, gen
+	n.mu.Unlock()
+	writeJSON(w, http.StatusOK, CommitResponse{Generation: gen})
+}
+
+func (n *Node) handleAbort(w http.ResponseWriter, r *http.Request) {
+	var req TicketRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	n.mu.Lock()
+	t, ok := n.staged[req.Ticket]
+	delete(n.staged, req.Ticket)
+	n.mu.Unlock()
+	if ok {
+		t.prep.Abort()
+	}
+	writeJSON(w, http.StatusOK, map[string]bool{"aborted": ok})
+}
+
+// session returns the named session or writes a 404.
+func (n *Node) session(w http.ResponseWriter, id string) *nodeSession {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	ns := n.sessions[id]
+	if ns == nil {
+		writeJSON(w, http.StatusNotFound, map[string]string{"error": "unknown session " + id})
+	}
+	return ns
+}
+
+// installSession registers a new session under id, wiring its OnMatch into
+// the collection buffer. It fails when id is taken.
+func (n *Node) installSession(id string, open func(cfg *bvap.SessionConfig) (*bvap.StreamSession, error)) (*nodeSession, error) {
+	ns := &nodeSession{}
+	cfg := &bvap.SessionConfig{
+		CheckpointInterval: n.cfg.SessionInterval,
+		OnMatch: func(m bvap.Match) {
+			// Called from within feed/checkpoint while ns.mu is held by the
+			// same goroutine's handler — append without locking would race
+			// only if sessions were shared; they are handler-serialized via
+			// ns.mu, so buffering here is ordered with collection.
+			ns.buf = append(ns.buf, Match{Pattern: m.Pattern, End: m.End})
+		},
+	}
+	ss, err := open(cfg)
+	if err != nil {
+		return nil, err
+	}
+	ns.ss = ss
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, taken := n.sessions[id]; taken {
+		return nil, fmt.Errorf("session %s already open on node %s", id, n.cfg.ID)
+	}
+	n.sessions[id] = ns
+	return ns, nil
+}
+
+func (n *Node) handleSessionOpen(w http.ResponseWriter, r *http.Request) {
+	var req SessionOpenRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	interval := req.Interval
+	ns, err := n.installSession(req.SessionID, func(cfg *bvap.SessionConfig) (*bvap.StreamSession, error) {
+		if interval > 0 {
+			cfg.CheckpointInterval = interval
+		}
+		return n.svc.NewSession(cfg)
+	})
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, SessionResponse{Pos: ns.ss.Pos()})
+}
+
+func (n *Node) handleSessionResume(w http.ResponseWriter, r *http.Request) {
+	var req SessionResumeRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	interval := req.Interval
+	ns, err := n.installSession(req.SessionID, func(cfg *bvap.SessionConfig) (*bvap.StreamSession, error) {
+		if interval > 0 {
+			cfg.CheckpointInterval = interval
+		}
+		return n.svc.ResumeSessionBytes(req.Checkpoint, cfg)
+	})
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, SessionResponse{Pos: ns.ss.Pos()})
+}
+
+func (n *Node) handleSessionFeed(w http.ResponseWriter, r *http.Request) {
+	var req SessionFeedRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	ns := n.session(w, req.SessionID)
+	if ns == nil {
+		return
+	}
+	ns.mu.Lock()
+	defer ns.mu.Unlock()
+	if err := ns.ss.Feed(r.Context(), req.Chunk); err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, SessionResponse{Pos: ns.ss.Pos(), Matches: ns.collectLocked()})
+}
+
+func (n *Node) handleSessionCheckpoint(w http.ResponseWriter, r *http.Request) {
+	var req SessionRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	ns := n.session(w, req.SessionID)
+	if ns == nil {
+		return
+	}
+	ns.mu.Lock()
+	defer ns.mu.Unlock()
+	ck := ns.ss.Checkpoint()
+	wire, err := ck.MarshalBinary()
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, SessionResponse{Pos: ck.Pos(), Checkpoint: wire, Matches: ns.collectLocked()})
+}
+
+func (n *Node) handleSessionClose(w http.ResponseWriter, r *http.Request) {
+	var req SessionRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	n.mu.Lock()
+	ns := n.sessions[req.SessionID]
+	delete(n.sessions, req.SessionID)
+	n.mu.Unlock()
+	if ns == nil {
+		writeJSON(w, http.StatusNotFound, map[string]string{"error": "unknown session " + req.SessionID})
+		return
+	}
+	ns.mu.Lock()
+	defer ns.mu.Unlock()
+	ns.ss.Close()
+	writeJSON(w, http.StatusOK, SessionResponse{Pos: ns.ss.Pos(), Matches: ns.collectLocked()})
+}
+
+// collectLocked drains the committed-match buffer. Callers hold ns.mu.
+func (ns *nodeSession) collectLocked() []Match {
+	out := ns.buf
+	ns.buf = nil
+	return out
+}
+
+func (n *Node) handleScan(w http.ResponseWriter, r *http.Request) {
+	var req ScanRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	ctx := r.Context()
+	tenant := r.Header.Get(TenantHeader)
+	if tenant == "" {
+		tenant = req.Tenant
+	}
+	if tenant != "" {
+		ctx = bvap.WithTenant(ctx, tenant)
+	}
+	ms, err := n.svc.Scan(ctx, req.Input)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	resp := ScanResponse{}
+	for _, m := range ms {
+		resp.Matches = append(resp.Matches, Match{Pattern: m.Pattern, End: m.End})
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (n *Node) handleInfo(w http.ResponseWriter, r *http.Request) {
+	n.mu.Lock()
+	ids := make([]string, 0, len(n.sessions))
+	for id := range n.sessions {
+		ids = append(ids, id)
+	}
+	n.mu.Unlock()
+	sort.Strings(ids)
+	writeJSON(w, http.StatusOK, InfoResponse{
+		Node:        n.cfg.ID,
+		Generation:  n.svc.Generation(),
+		Fingerprint: fmt.Sprintf("%016x", n.svc.Engine().Fingerprint()),
+		Sessions:    ids,
+	})
+}
+
+// Close closes every open session (committing pending reports into their
+// buffers, which are then dropped) — the node-local half of shutdown; the
+// service itself is drained by its owner.
+func (n *Node) Close() {
+	n.mu.Lock()
+	sessions := n.sessions
+	n.sessions = map[string]*nodeSession{}
+	n.mu.Unlock()
+	for _, ns := range sessions {
+		ns.mu.Lock()
+		ns.ss.Close()
+		ns.mu.Unlock()
+	}
+}

@@ -1,0 +1,263 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"bvap"
+	"bvap/internal/serve"
+)
+
+// testNode is one in-process cluster node: service + node surface + HTTP
+// server.
+type testNode struct {
+	node *Node
+	svc  *bvap.Service
+	srv  *httptest.Server
+}
+
+func newTestNode(t *testing.T, id string, patterns []string, cfg *bvap.ServiceConfig) *testNode {
+	t.Helper()
+	svc, err := bvap.NewService(patterns, cfg)
+	if err != nil {
+		t.Fatalf("NewService(%s): %v", id, err)
+	}
+	n := NewNode(svc, NodeConfig{ID: id})
+	srv := httptest.NewServer(n.Handler())
+	t.Cleanup(func() {
+		srv.Close()
+		n.Close()
+		svc.Close()
+	})
+	return &testNode{node: n, svc: svc, srv: srv}
+}
+
+func testClusterClient() *Client {
+	return NewClient(ClientConfig{
+		MaxAttempts:    3,
+		AttemptTimeout: 10 * time.Second,
+		Backoff:        serve.Backoff{Base: time.Millisecond, Jitter: -1},
+	})
+}
+
+func TestCoordinatedPublishAllOrNothing(t *testing.T) {
+	initial := []string{"ab{2}c"}
+	var nodes []*testNode
+	var peers []string
+	for i := 0; i < 3; i++ {
+		n := newTestNode(t, fmt.Sprintf("n%d", i), initial, nil)
+		nodes = append(nodes, n)
+		peers = append(peers, n.srv.URL)
+	}
+	coord := NewCoordinator(testClusterClient(), peers)
+
+	// Healthy round: every node advances one generation, same fingerprint.
+	gens, err := coord.Publish(context.Background(), "round-1", []string{"ab{2}c", "c{3}"})
+	if err != nil {
+		t.Fatalf("Publish: %v", err)
+	}
+	for _, n := range nodes {
+		if got := n.svc.Generation(); got != 2 {
+			t.Fatalf("node %s at generation %d after publish, want 2", n.node.cfg.ID, got)
+		}
+		if gens[n.srv.URL] != 2 {
+			t.Fatalf("publish reported generation %d for %s", gens[n.srv.URL], n.srv.URL)
+		}
+	}
+	fp := nodes[0].svc.Engine().Fingerprint()
+	for _, n := range nodes[1:] {
+		if n.svc.Engine().Fingerprint() != fp {
+			t.Fatal("fleet serving different fingerprints after coordinated publish")
+		}
+	}
+
+	// Failed round: a candidate that cannot compile anywhere is rejected in
+	// prepare on every node, and NO node advances — rollback by
+	// non-publication.
+	_, err = coord.Publish(context.Background(), "round-2", []string{"((("})
+	var pub *PublishError
+	if !errors.As(err, &pub) || pub.Phase != "prepare" {
+		t.Fatalf("bad-candidate publish = %v, want *PublishError{Phase: prepare}", err)
+	}
+	for _, n := range nodes {
+		if got := n.svc.Generation(); got != 2 {
+			t.Fatalf("node %s moved to generation %d after a failed round", n.node.cfg.ID, got)
+		}
+	}
+
+	// Idempotent replay: re-running a committed ticket converges without
+	// double-applying.
+	if _, err := coord.Publish(context.Background(), "round-1", []string{"ab{2}c", "c{3}"}); err != nil {
+		t.Fatalf("replaying committed round: %v", err)
+	}
+	for _, n := range nodes {
+		if got := n.svc.Generation(); got != 2 {
+			t.Fatalf("replayed commit advanced node %s to %d", n.node.cfg.ID, got)
+		}
+	}
+}
+
+func TestCoordinatedPublishAbortsWhenOneNodeFails(t *testing.T) {
+	good := newTestNode(t, "good", []string{"ab{2}c"}, nil)
+	// The bad node refuses every prepare.
+	bad := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, `{"error":"disk full"}`, http.StatusInternalServerError)
+	}))
+	defer bad.Close()
+
+	coord := NewCoordinator(testClusterClient(), []string{good.srv.URL, bad.URL})
+	_, err := coord.Publish(context.Background(), "t1", []string{"c{3}"})
+	var pub *PublishError
+	if !errors.As(err, &pub) || pub.Phase != "prepare" {
+		t.Fatalf("publish with one failing node = %v, want prepare-phase PublishError", err)
+	}
+	if _, ok := pub.Errs[bad.URL]; !ok {
+		t.Fatalf("PublishError does not name the failing peer: %v", pub.Errs)
+	}
+	// The healthy node must NOT have published (two-phase property), and
+	// its staged candidate must be gone (abort reached it).
+	if got := good.svc.Generation(); got != 1 {
+		t.Fatalf("healthy node advanced to generation %d though the round failed", got)
+	}
+	good.node.mu.Lock()
+	staged := len(good.node.staged)
+	good.node.mu.Unlock()
+	if staged != 0 {
+		t.Fatalf("%d staged tickets left on the healthy node after abort", staged)
+	}
+}
+
+func TestSessionMigratesBetweenNodes(t *testing.T) {
+	patterns := []string{"ab{2}c"}
+	a := newTestNode(t, "a", patterns, nil)
+	b := newTestNode(t, "b", patterns, nil)
+	client := testClusterClient()
+	ctx := context.Background()
+
+	input := bytes.Repeat([]byte("xabbcx"), 300) // 1800 bytes, matches at every "abbc"
+	wantEngine := bvap.MustCompile(patterns)
+	want := wantEngine.FindAll(input)
+
+	const sid = "stream-42"
+	var open SessionResponse
+	if err := client.PostJSON(ctx, a.srv.URL, "/cluster/session/open",
+		SessionOpenRequest{SessionID: sid, Interval: 256}, &open); err != nil {
+		t.Fatalf("open: %v", err)
+	}
+
+	var got []Match
+	// First half on node a.
+	half := len(input) / 2
+	var feed SessionResponse
+	if err := client.PostJSON(ctx, a.srv.URL, "/cluster/session/feed",
+		SessionFeedRequest{SessionID: sid, Chunk: input[:half]}, &feed); err != nil {
+		t.Fatalf("feed on a: %v", err)
+	}
+	got = append(got, feed.Matches...)
+
+	// Checkpoint on a, resume on b — the migration.
+	var ck SessionResponse
+	if err := client.PostJSON(ctx, a.srv.URL, "/cluster/session/checkpoint",
+		SessionRequest{SessionID: sid}, &ck); err != nil {
+		t.Fatalf("checkpoint on a: %v", err)
+	}
+	got = append(got, ck.Matches...)
+	if ck.Pos != int64(half) {
+		t.Fatalf("checkpoint pos = %d, want %d", ck.Pos, half)
+	}
+	if err := client.PostJSON(ctx, a.srv.URL, "/cluster/session/close",
+		SessionRequest{SessionID: sid}, nil); err != nil {
+		t.Fatalf("close on a: %v", err)
+	}
+	var res SessionResponse
+	if err := client.PostJSON(ctx, b.srv.URL, "/cluster/session/resume",
+		SessionResumeRequest{SessionID: sid, Checkpoint: ck.Checkpoint, Interval: 256}, &res); err != nil {
+		t.Fatalf("resume on b: %v", err)
+	}
+	if res.Pos != int64(half) {
+		t.Fatalf("resumed pos = %d, want %d", res.Pos, half)
+	}
+
+	// Second half on node b, then close to flush the tail.
+	if err := client.PostJSON(ctx, b.srv.URL, "/cluster/session/feed",
+		SessionFeedRequest{SessionID: sid, Chunk: input[half:]}, &feed); err != nil {
+		t.Fatalf("feed on b: %v", err)
+	}
+	got = append(got, feed.Matches...)
+	var cl SessionResponse
+	if err := client.PostJSON(ctx, b.srv.URL, "/cluster/session/close",
+		SessionRequest{SessionID: sid}, &cl); err != nil {
+		t.Fatalf("close on b: %v", err)
+	}
+	got = append(got, cl.Matches...)
+
+	if len(got) != len(want) {
+		t.Fatalf("migrated session delivered %d matches, oracle has %d", len(got), len(want))
+	}
+	for i, m := range got {
+		if m.Pattern != want[i].Pattern || m.End != want[i].End {
+			t.Fatalf("match %d = %+v, oracle %+v — migration broke report identity", i, m, want[i])
+		}
+	}
+}
+
+func TestSessionResumeRejectsForeignFingerprint(t *testing.T) {
+	a := newTestNode(t, "a", []string{"ab{2}c"}, nil)
+	b := newTestNode(t, "b", []string{"zz{4}q"}, nil) // different pattern set
+	client := testClusterClient()
+	ctx := context.Background()
+
+	var open SessionResponse
+	if err := client.PostJSON(ctx, a.srv.URL, "/cluster/session/open",
+		SessionOpenRequest{SessionID: "s", Interval: 64}, &open); err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	var ck SessionResponse
+	if err := client.PostJSON(ctx, a.srv.URL, "/cluster/session/checkpoint",
+		SessionRequest{SessionID: "s"}, &ck); err != nil {
+		t.Fatalf("checkpoint: %v", err)
+	}
+	err := client.PostJSON(ctx, b.srv.URL, "/cluster/session/resume",
+		SessionResumeRequest{SessionID: "s", Checkpoint: ck.Checkpoint}, nil)
+	var pe *PeerError
+	if !errors.As(err, &pe) || pe.Status != http.StatusConflict {
+		t.Fatalf("foreign-fingerprint resume = %v, want 409 PeerError", err)
+	}
+}
+
+func TestNodeScanRoutesTenantQuota(t *testing.T) {
+	n := newTestNode(t, "q", []string{"ab{2}c"}, &bvap.ServiceConfig{
+		TenantQuotas: map[string]bvap.QuotaConfig{"limited": {RatePerSec: 0.001, Burst: 2}},
+	})
+	hc := n.srv.Client()
+	post := func(tenant string) int {
+		req, _ := http.NewRequest(http.MethodPost, n.srv.URL+"/cluster/scan",
+			bytes.NewReader([]byte(`{"input":"eGFiYmN4"}`))) // "xabbcx"
+		if tenant != "" {
+			req.Header.Set(TenantHeader, tenant)
+		}
+		resp, err := hc.Do(req)
+		if err != nil {
+			t.Fatalf("scan: %v", err)
+		}
+		defer resp.Body.Close()
+		return resp.StatusCode
+	}
+	if post("limited") != http.StatusOK || post("limited") != http.StatusOK {
+		t.Fatal("limited tenant's burst refused")
+	}
+	if got := post("limited"); got != http.StatusTooManyRequests {
+		t.Fatalf("over-quota scan returned %d, want 429", got)
+	}
+	for i := 0; i < 5; i++ {
+		if got := post("other"); got != http.StatusOK {
+			t.Fatalf("unmetered tenant refused with %d; quotas must be per tenant", got)
+		}
+	}
+}

@@ -1,0 +1,178 @@
+// Package cluster turns a set of bvapd processes into one sharded scan
+// fleet. It supplies the four mechanisms fleet operation needs above the
+// single-node Service:
+//
+//   - placement: a consistent-hash ring (Ring) with virtual nodes and a
+//     rendezvous tiebreak assigns stream and input keys to nodes, so
+//     adding or removing one node moves only ~1/N of the keyspace;
+//   - transport: an inter-node HTTP client (Client) with typed errors,
+//     per-attempt timeouts, jittered exponential retry (internal/serve's
+//     Backoff) and a per-peer circuit breaker (internal/serve's Breaker),
+//     propagating trace ids across hops so /debug/trace/{id} on any node
+//     finds its half of a request;
+//   - coordinated reload: a two-phase fleet-wide publish (Coordinator)
+//     generalizing the single-node build→validate→publish state machine —
+//     prepare on every node, commit only when every node validated the
+//     same fingerprint, rollback by non-publication otherwise;
+//   - migration: node-side session endpoints (Node) that checkpoint an
+//     in-flight BVAP-S stream into its wire form on one node and resume it
+//     on another, preserving the session layer's exactly-once delivery.
+//
+// The package deliberately contains no consensus machinery: the
+// coordinator is any caller (a deploy script, one of the nodes, a test
+// driver), and safety does not depend on it surviving — an abandoned
+// prepare is rolled back by non-publication, and a crashed commit round
+// is converged by re-running Publish with a fresh ticket.
+package cluster
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"sync"
+)
+
+// DefaultVirtualNodes is the per-node vnode count when RingConfig leaves
+// it zero: enough points that the largest arc owns only a few percent of
+// the keyspace at small fleet sizes.
+const DefaultVirtualNodes = 64
+
+// Ring is a consistent-hash ring over node names. Each node projects
+// VirtualNodes points onto the 64-bit ring; a key is owned by the node of
+// the first point at or clockwise of the key's hash. Equal-hash point
+// collisions (possible, if vanishingly rare, on a 64-bit ring) are broken
+// by rendezvous hashing — highest combined point/key score wins — so
+// ownership never depends on map iteration or insertion order. All
+// methods are safe for concurrent use.
+type Ring struct {
+	vnodes int
+
+	mu     sync.RWMutex
+	points []ringPoint // sorted by (hash, node) ascending
+	nodes  map[string]bool
+}
+
+type ringPoint struct {
+	hash uint64
+	node string
+}
+
+// NewRing builds an empty ring; vnodes <= 0 selects DefaultVirtualNodes.
+func NewRing(vnodes int) *Ring {
+	if vnodes <= 0 {
+		vnodes = DefaultVirtualNodes
+	}
+	return &Ring{vnodes: vnodes, nodes: map[string]bool{}}
+}
+
+// keyHash digests a key onto the ring: FNV-64a finalized by splitmix64 so
+// structured keys (sequential session ids, host:port strings) spread
+// uniformly.
+func keyHash(key string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	return mix64(h.Sum64())
+}
+
+func mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Add inserts a node (idempotent), projecting its virtual points.
+func (r *Ring) Add(node string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.nodes[node] {
+		return
+	}
+	r.nodes[node] = true
+	for i := 0; i < r.vnodes; i++ {
+		r.points = append(r.points, ringPoint{hash: keyHash(fmt.Sprintf("%s#%d", node, i)), node: node})
+	}
+	sort.Slice(r.points, func(a, b int) bool {
+		if r.points[a].hash != r.points[b].hash {
+			return r.points[a].hash < r.points[b].hash
+		}
+		return r.points[a].node < r.points[b].node
+	})
+}
+
+// Remove deletes a node and its points (idempotent).
+func (r *Ring) Remove(node string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.nodes[node] {
+		return
+	}
+	delete(r.nodes, node)
+	kept := r.points[:0]
+	for _, p := range r.points {
+		if p.node != node {
+			kept = append(kept, p)
+		}
+	}
+	r.points = kept
+}
+
+// Nodes returns the member node names, sorted.
+func (r *Ring) Nodes() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.nodes))
+	for n := range r.nodes {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Owner returns the node owning key, or "" on an empty ring.
+func (r *Ring) Owner(key string) string {
+	owners := r.Owners(key, 1)
+	if len(owners) == 0 {
+		return ""
+	}
+	return owners[0]
+}
+
+// Owners returns up to n distinct nodes for key in preference order: the
+// owner first, then the successive distinct nodes clockwise — the
+// replica/failover chain a driver walks when the owner is down.
+func (r *Ring) Owners(key string, n int) []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if len(r.points) == 0 || n < 1 {
+		return nil
+	}
+	h := keyHash(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	// Rendezvous tiebreak within an equal-hash run: every point with the
+	// landing hash competes by combined score, so a hash collision between
+	// two nodes' vnodes resolves deterministically for each key rather
+	// than by sort order alone.
+	if j := i; r.points[j].hash == h {
+		best, bestScore := j, mix64(r.points[j].hash^h^keyHash(r.points[j].node))
+		for k := j + 1; k < len(r.points) && r.points[k].hash == r.points[j].hash; k++ {
+			if s := mix64(r.points[k].hash ^ h ^ keyHash(r.points[k].node)); s > bestScore {
+				best, bestScore = k, s
+			}
+		}
+		i = best
+	}
+	var out []string
+	seen := map[string]bool{}
+	for k := 0; k < len(r.points) && len(out) < n; k++ {
+		p := r.points[(i+k)%len(r.points)]
+		if !seen[p.node] {
+			seen[p.node] = true
+			out = append(out, p.node)
+		}
+	}
+	return out
+}

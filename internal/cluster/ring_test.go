@@ -1,0 +1,119 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestRingOwnershipStableAndTotal(t *testing.T) {
+	r := NewRing(0)
+	for i := 0; i < 5; i++ {
+		r.Add(fmt.Sprintf("node-%d", i))
+	}
+	if got := len(r.Nodes()); got != 5 {
+		t.Fatalf("Nodes() = %d entries, want 5", got)
+	}
+	for i := 0; i < 1000; i++ {
+		key := fmt.Sprintf("session-%d", i)
+		o1, o2 := r.Owner(key), r.Owner(key)
+		if o1 == "" || o1 != o2 {
+			t.Fatalf("Owner(%q) unstable or empty: %q vs %q", key, o1, o2)
+		}
+	}
+}
+
+func TestRingEmptyAndSingle(t *testing.T) {
+	r := NewRing(8)
+	if o := r.Owner("k"); o != "" {
+		t.Fatalf("empty ring owner = %q, want \"\"", o)
+	}
+	if os := r.Owners("k", 3); os != nil {
+		t.Fatalf("empty ring owners = %v, want nil", os)
+	}
+	r.Add("only")
+	r.Add("only") // idempotent
+	for i := 0; i < 100; i++ {
+		if o := r.Owner(fmt.Sprintf("k%d", i)); o != "only" {
+			t.Fatalf("single-node ring owner = %q", o)
+		}
+	}
+}
+
+func TestRingRemovalMovesOnlyVictimKeys(t *testing.T) {
+	r := NewRing(0)
+	nodes := []string{"a", "b", "c", "d"}
+	for _, n := range nodes {
+		r.Add(n)
+	}
+	const keys = 4000
+	before := make([]string, keys)
+	for i := range before {
+		before[i] = r.Owner(fmt.Sprintf("key-%d", i))
+	}
+	r.Remove("c")
+	moved := 0
+	for i := range before {
+		after := r.Owner(fmt.Sprintf("key-%d", i))
+		if after == "c" {
+			t.Fatal("removed node still owns keys")
+		}
+		if after != before[i] {
+			if before[i] != "c" {
+				t.Fatalf("key-%d moved %q→%q though neither is the removed node", i, before[i], after)
+			}
+			moved++
+		}
+	}
+	// Only c's keys moved; with 4 nodes that should be ~1/4 of the space.
+	if moved == 0 || moved > keys/2 {
+		t.Fatalf("%d of %d keys moved on one removal; consistent hashing should move ~1/4", moved, keys)
+	}
+}
+
+func TestRingBalance(t *testing.T) {
+	r := NewRing(0)
+	for i := 0; i < 4; i++ {
+		r.Add(fmt.Sprintf("n%d", i))
+	}
+	counts := map[string]int{}
+	const keys = 8000
+	for i := 0; i < keys; i++ {
+		counts[r.Owner(fmt.Sprintf("stream/%d", i))]++
+	}
+	for n, c := range counts {
+		// Perfect balance is 2000; accept a generous 3x spread — the test
+		// guards against degenerate placement (one node owning everything),
+		// not statistical variance.
+		if c < keys/12 || c > keys/2 {
+			t.Fatalf("node %s owns %d of %d keys; ring is badly unbalanced: %v", n, c, keys, counts)
+		}
+	}
+}
+
+func TestRingOwnersDistinctPreferenceChain(t *testing.T) {
+	r := NewRing(0)
+	for i := 0; i < 4; i++ {
+		r.Add(fmt.Sprintf("n%d", i))
+	}
+	for i := 0; i < 200; i++ {
+		key := fmt.Sprintf("k%d", i)
+		owners := r.Owners(key, 3)
+		if len(owners) != 3 {
+			t.Fatalf("Owners(%q, 3) = %v", key, owners)
+		}
+		seen := map[string]bool{}
+		for _, o := range owners {
+			if seen[o] {
+				t.Fatalf("Owners(%q) repeats %q: %v", key, o, owners)
+			}
+			seen[o] = true
+		}
+		if owners[0] != r.Owner(key) {
+			t.Fatalf("Owners[0] (%q) != Owner (%q)", owners[0], r.Owner(key))
+		}
+		// Asking for more replicas than nodes returns all nodes once.
+		if all := r.Owners(key, 10); len(all) != 4 {
+			t.Fatalf("Owners(%q, 10) = %d nodes, want 4", key, len(all))
+		}
+	}
+}

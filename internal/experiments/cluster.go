@@ -1,0 +1,629 @@
+package experiments
+
+// The cluster soak exercises the fleet layer the way a deployment does: N
+// in-process bvapd nodes behind a consistent-hash ring, M concurrent BVAP-S
+// streams driven through them, while the control plane performs rolling
+// two-phase coordinated reloads and the chaos schedule force-kills nodes
+// mid-stream. Each stream's driver implements the kill-tolerant
+// exactly-once protocol:
+//
+//   - matches returned by a feed are PROVISIONAL until a wire checkpoint
+//     at or past their position persists at the driver;
+//   - on a node kill, the driver truncates its delivered log back to the
+//     durable prefix, re-resolves the stream's owner on the (shrunken)
+//     ring, resumes from the durable checkpoint bytes on the new node, and
+//     re-feeds — replay regenerates the truncated tail byte-identically.
+//
+// The counted correctness claim: after kills, migrations, and fleet-wide
+// pattern publishes, every stream's delivered report log equals the origin
+// engine's uninterrupted FindAll over its corpus, byte for byte. A tenant
+// quota pressure phase follows: a metered tenant must be refused while an
+// unmetered tenant is never refused.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"sync"
+	"time"
+
+	"bvap"
+	"bvap/internal/cluster"
+	"bvap/internal/datasets"
+	"bvap/internal/serve"
+)
+
+// ClusterSoakOptions parameterizes the fleet soak. Zero values select a
+// CI-smoke-sized run (a few seconds under -race).
+type ClusterSoakOptions struct {
+	Nodes           int    // fleet size (default 3)
+	Streams         int    // concurrent migrating sessions (default 6)
+	Dataset         string // pattern source (default "Snort")
+	Sample          int    // patterns sampled (default 12)
+	InputLen        int    // per-stream corpus bytes (default 48 KiB)
+	ChunkLen        int    // feed granularity (default 1500)
+	CheckpointEvery int    // chunks between durable wire checkpoints (default 3)
+	Interval        int    // session commit interval in symbols (default 1024)
+	Kills           int    // forced node kills mid-stream (default 2)
+	Publishes       int    // rolling coordinated reload rounds (default 2)
+	QuotaScans      int    // per-tenant scans in the quota phase (default 24)
+}
+
+func (o *ClusterSoakOptions) fill() {
+	if o.Nodes == 0 {
+		o.Nodes = 3
+	}
+	if o.Streams == 0 {
+		o.Streams = 6
+	}
+	if o.Dataset == "" {
+		o.Dataset = "Snort"
+	}
+	if o.Sample == 0 {
+		o.Sample = 12
+	}
+	if o.InputLen == 0 {
+		o.InputLen = 48 << 10
+	}
+	if o.ChunkLen == 0 {
+		o.ChunkLen = 1500
+	}
+	if o.CheckpointEvery == 0 {
+		o.CheckpointEvery = 3
+	}
+	if o.Interval == 0 {
+		o.Interval = 1024
+	}
+	if o.Kills == 0 {
+		o.Kills = 2
+	}
+	if o.Kills > o.Nodes-1 {
+		o.Kills = o.Nodes - 1 // at least one survivor
+	}
+	if o.Publishes == 0 {
+		o.Publishes = 2
+	}
+	if o.QuotaScans == 0 {
+		o.QuotaScans = 24
+	}
+}
+
+// ClusterSoakResult is the experiment's structured output.
+type ClusterSoakResult struct {
+	Nodes    int `json:"nodes"`
+	Streams  int `json:"streams"`
+	Patterns int `json:"patterns"`
+
+	// Exactly-once correctness across kills and migrations (counted).
+	StreamSymbols    uint64 `json:"stream_symbols"`
+	StreamReports    uint64 `json:"stream_reports"`
+	ReferenceReports uint64 `json:"reference_reports"`
+	ReportsExact     bool   `json:"reports_exact"`
+	Kills            int    `json:"kills"`
+	Migrations       int    `json:"migrations"`
+
+	// Control plane.
+	PublishesOK     int    `json:"publishes_ok"`
+	FinalGeneration uint64 `json:"final_generation"`
+
+	// Tenant quota pressure (informational counts; the invariants —
+	// metered refused at least once, unmetered never refused — are hard
+	// failures).
+	QuotaAllowed uint64 `json:"quota_allowed"`
+	QuotaRefused uint64 `json:"quota_refused"`
+	OpenRefused  uint64 `json:"open_refused"`
+
+	// Hygiene: pooled streams still checked out on surviving nodes.
+	StreamsOut int64 `json:"streams_out"`
+}
+
+// clusterSentinel is planted in every generation the fleet publishes, so
+// reload rounds never invalidate in-flight stream checkpoints' semantics.
+const clusterSentinel = "clsoak{2}z"
+
+// soakNode is one in-process fleet member: service, node surface, HTTP
+// server.
+type soakNode struct {
+	svc  *bvap.Service
+	node *cluster.Node
+	srv  *httptest.Server
+	// origin is the engine the node served at bring-up: streams pin to it,
+	// so its pool is where leaked session streams would show.
+	origin *bvap.Engine
+}
+
+// soakFleet is the shared mutable cluster view: the ring and the live-node
+// set, mutated by the chaos schedule while stream drivers read it.
+type soakFleet struct {
+	mu     sync.RWMutex
+	ring   *cluster.Ring
+	nodes  map[string]*soakNode // by base URL, live only
+	client *cluster.Client
+}
+
+func (f *soakFleet) owner(key string) string {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	return f.ring.Owner(key)
+}
+
+func (f *soakFleet) peers() []string {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	return f.ring.Nodes()
+}
+
+// kill removes a node from the ring, then severs its connections and shuts
+// it down. Streams discover the death through transport errors and migrate.
+func (f *soakFleet) kill(url string) *soakNode {
+	f.mu.Lock()
+	n := f.nodes[url]
+	delete(f.nodes, url)
+	f.ring.Remove(url)
+	f.mu.Unlock()
+	if n == nil {
+		return nil
+	}
+	n.srv.CloseClientConnections()
+	n.srv.Close()
+	n.node.Close()
+	n.svc.Close()
+	return n
+}
+
+// ClusterSoak runs the fleet soak and returns the structured result plus a
+// BENCH-schema report (the correctness cell is counted; the control cell is
+// informational).
+func ClusterSoak(opt ClusterSoakOptions) (*ClusterSoakResult, *BenchReport, error) {
+	opt.fill()
+	prof, err := datasets.ByName(opt.Dataset)
+	if err != nil {
+		return nil, nil, err
+	}
+	patterns := append([]string{clusterSentinel}, prof.Sample(opt.Sample)...)
+	res := &ClusterSoakResult{Nodes: opt.Nodes, Streams: opt.Streams, Patterns: len(patterns)}
+
+	// Fleet bring-up: every node serves the same initial set (same
+	// fingerprint), with a metered "limited" tenant for the quota phase.
+	svcCfg := &bvap.ServiceConfig{
+		TenantQuotas: map[string]bvap.QuotaConfig{
+			"limited": {RatePerSec: 0.001, Burst: float64(opt.QuotaScans) / 3},
+		},
+	}
+	fleet := &soakFleet{
+		ring:  cluster.NewRing(0),
+		nodes: map[string]*soakNode{},
+		client: cluster.NewClient(cluster.ClientConfig{
+			MaxAttempts:    2,
+			AttemptTimeout: 10 * time.Second,
+			Backoff:        serve.Backoff{Base: 2 * time.Millisecond, Jitter: -1},
+			// The chaos schedule kills nodes on purpose; a breaker that
+			// quarantines a dead peer is correct but irrelevant here, so
+			// keep it effectively out of the way.
+			Breaker: serve.BreakerConfig{Threshold: 1 << 20},
+		}),
+	}
+	for i := 0; i < opt.Nodes; i++ {
+		svc, err := bvap.NewService(patterns, svcCfg)
+		if err != nil {
+			return nil, nil, fmt.Errorf("cluster soak: node %d compile: %v", i, err)
+		}
+		node := cluster.NewNode(svc, cluster.NodeConfig{ID: fmt.Sprintf("node-%d", i)})
+		srv := httptest.NewServer(node.Handler())
+		fleet.nodes[srv.URL] = &soakNode{svc: svc, node: node, srv: srv, origin: svc.Engine()}
+		fleet.ring.Add(srv.URL)
+	}
+	defer func() {
+		for url := range fleet.nodes {
+			fleet.kill(url)
+		}
+	}()
+
+	// Per-stream corpora: deterministic rotations of one generated corpus,
+	// so streams differ while the oracle stays reproducible. The oracle is
+	// the ORIGIN engine's uninterrupted FindAll — migrations pin streams to
+	// the origin fingerprint regardless of later publishes.
+	base := prof.Input(opt.InputLen, patterns)
+	var origin *bvap.Engine
+	for _, n := range fleet.nodes {
+		origin = n.origin
+		break
+	}
+	corpora := make([][]byte, opt.Streams)
+	oracles := make([][]bvap.Match, opt.Streams)
+	for i := range corpora {
+		rot := (i * 1013) % len(base)
+		corpora[i] = append(append([]byte{}, base[rot:]...), base[:rot]...)
+		oracles[i] = origin.FindAll(corpora[i])
+		res.StreamSymbols += uint64(len(corpora[i]))
+		res.ReferenceReports += uint64(len(oracles[i]))
+	}
+
+	// Chaos schedule: interleave publishes and kills at deterministic
+	// progress fractions of the longest stream.
+	if err := runClusterStreams(opt, fleet, patterns, corpora, oracles, res); err != nil {
+		return nil, nil, err
+	}
+	if err := clusterQuotaPressure(opt, fleet, res); err != nil {
+		return nil, nil, err
+	}
+
+	for _, url := range fleet.peers() {
+		fleet.mu.RLock()
+		n := fleet.nodes[url]
+		fleet.mu.RUnlock()
+		if n == nil {
+			continue
+		}
+		if gen := n.svc.Generation(); gen > res.FinalGeneration {
+			res.FinalGeneration = gen
+		}
+		res.StreamsOut += n.origin.StreamsOut()
+	}
+	if res.StreamsOut != 0 {
+		return nil, nil, fmt.Errorf("cluster soak: %d pooled streams still checked out on surviving nodes", res.StreamsOut)
+	}
+	return res, clusterBench(opt, res), nil
+}
+
+// runClusterStreams drives all streams concurrently while the chaos
+// goroutine publishes and kills on a progress-based schedule.
+func runClusterStreams(opt ClusterSoakOptions, fleet *soakFleet, patterns []string, corpora [][]byte, oracles [][]bvap.Match, res *ClusterSoakResult) error {
+	type streamOut struct {
+		log      []cluster.Match
+		migrated int
+		err      error
+	}
+	outs := make([]streamOut, opt.Streams)
+
+	// Chaos control: the drivers report aggregate progress; the chaos
+	// goroutine fires each event once when progress crosses its fraction.
+	var progressMu sync.Mutex
+	fed := 0
+	total := 0
+	for _, c := range corpora {
+		total += len(c)
+	}
+	addProgress := func(n int) {
+		progressMu.Lock()
+		fed += n
+		progressMu.Unlock()
+	}
+	progress := func() float64 {
+		progressMu.Lock()
+		defer progressMu.Unlock()
+		return float64(fed) / float64(total)
+	}
+
+	stop := make(chan struct{})
+	chaosErr := make(chan error, 1)
+	go func() {
+		defer close(chaosErr)
+		coord := cluster.NewCoordinator(fleet.client, nil)
+		type event struct {
+			at      float64
+			publish int // publish round (1-based), or 0 for a kill
+		}
+		var events []event
+		for i := 0; i < opt.Publishes; i++ {
+			events = append(events, event{at: float64(i+1) / float64(opt.Publishes+opt.Kills+1), publish: i + 1})
+		}
+		for i := 0; i < opt.Kills; i++ {
+			events = append(events, event{at: float64(opt.Publishes+i+1) / float64(opt.Publishes+opt.Kills+1)})
+		}
+		// Once the streams finish, any events still pending fire
+		// immediately: the counters always reflect the configured schedule,
+		// and a publish or kill landing on a quiet fleet is harmless.
+		draining := false
+		next := 0
+		for next < len(events) {
+			if !draining {
+				select {
+				case <-stop:
+					draining = true
+				case <-time.After(time.Millisecond):
+				}
+				if !draining && progress() < events[next].at {
+					continue
+				}
+			}
+			ev := events[next]
+			next++
+			if ev.publish > 0 {
+				// Rolling coordinated reload across the CURRENT live set,
+				// always keeping the sentinel and the base set so stream
+				// semantics never change under the fleet.
+				pats := append(append([]string{}, patterns...), fmt.Sprintf("clgen%dy{%d}", ev.publish, 2+ev.publish))
+				if _, err := coord.PublishTo(context.Background(), fleet.peers(),
+					fmt.Sprintf("soak-round-%d", ev.publish), pats); err != nil {
+					chaosErr <- fmt.Errorf("cluster soak: publish round %d: %w", ev.publish, err)
+					return
+				}
+				progressMu.Lock()
+				res.PublishesOK++
+				progressMu.Unlock()
+			} else {
+				// Kill the first live node that still exists — forced,
+				// mid-stream, connections severed.
+				peers := fleet.peers()
+				if len(peers) <= 1 {
+					continue
+				}
+				fleet.kill(peers[0])
+				progressMu.Lock()
+				res.Kills++
+				progressMu.Unlock()
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for i := range corpora {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			log, migrated, err := driveClusterStream(opt, fleet, fmt.Sprintf("stream-%d", i), corpora[i], addProgress)
+			outs[i] = streamOut{log: log, migrated: migrated, err: err}
+		}(i)
+	}
+	wg.Wait()
+	close(stop)
+	if err := <-chaosErr; err != nil {
+		return err
+	}
+
+	res.ReportsExact = true
+	for i, out := range outs {
+		if out.err != nil {
+			return fmt.Errorf("cluster soak: stream %d: %w", i, out.err)
+		}
+		res.Migrations += out.migrated
+		res.StreamReports += uint64(len(out.log))
+		want := oracles[i]
+		if len(out.log) != len(want) {
+			res.ReportsExact = false
+			return fmt.Errorf("cluster soak: stream %d delivered %d reports, oracle %d — exactly-once broken",
+				i, len(out.log), len(want))
+		}
+		for j, m := range out.log {
+			if m.Pattern != want[j].Pattern || m.End != want[j].End {
+				res.ReportsExact = false
+				return fmt.Errorf("cluster soak: stream %d report %d = %+v, oracle %+v — replay diverged",
+					i, j, m, want[j])
+			}
+		}
+	}
+	return nil
+}
+
+// driveClusterStream feeds one corpus through the fleet with the
+// truncate-on-resume exactly-once protocol. Matches from feeds are
+// provisional; a wire checkpoint makes the log durable up to its position.
+// On any transport failure the log rolls back to the durable prefix and the
+// stream resumes on the ring's current owner from the durable bytes.
+func driveClusterStream(opt ClusterSoakOptions, fleet *soakFleet, id string, corpus []byte, addProgress func(int)) ([]cluster.Match, int, error) {
+	ctx := context.Background()
+	var (
+		log        []cluster.Match
+		durableLen int
+		durablePos int64
+		durable    []byte // wire checkpoint; nil means "restart from zero"
+		migrations int
+	)
+	owner := fleet.owner(id)
+	if owner == "" {
+		return nil, 0, errors.New("no live nodes")
+	}
+	if err := fleet.client.PostJSON(ctx, owner, "/cluster/session/open",
+		cluster.SessionOpenRequest{SessionID: id, Interval: opt.Interval}, nil); err != nil {
+		return nil, 0, fmt.Errorf("open on %s: %w", owner, err)
+	}
+
+	// migrate rolls back to the durable prefix and resumes on the current
+	// owner. Feeds after the durable position re-run; replay determinism
+	// makes the regenerated tail identical to the truncated one.
+	migrate := func(cause error) error {
+		var pe *cluster.PeerError
+		if errors.As(cause, &pe) && pe.Status != 0 {
+			// The node answered: a real protocol error, not a kill.
+			return cause
+		}
+		log = log[:durableLen]
+		migrations++
+		for attempt := 0; attempt < opt.Nodes+1; attempt++ {
+			owner = fleet.owner(id)
+			if owner == "" {
+				return errors.New("fleet has no live nodes")
+			}
+			var err error
+			if durable == nil {
+				err = fleet.client.PostJSON(ctx, owner, "/cluster/session/open",
+					cluster.SessionOpenRequest{SessionID: id, Interval: opt.Interval}, nil)
+			} else {
+				err = fleet.client.PostJSON(ctx, owner, "/cluster/session/resume",
+					cluster.SessionResumeRequest{SessionID: id, Checkpoint: durable, Interval: opt.Interval}, nil)
+			}
+			if err == nil {
+				return nil
+			}
+			var pe *cluster.PeerError
+			if errors.As(err, &pe) && pe.Status != 0 {
+				return err
+			}
+			// The new owner died too; re-resolve and try again.
+		}
+		return fmt.Errorf("stream %s could not find a live owner", id)
+	}
+
+	pos := int(durablePos)
+	sinceCk := 0
+	for pos < len(corpus) {
+		end := pos + opt.ChunkLen
+		if end > len(corpus) {
+			end = len(corpus)
+		}
+		var resp cluster.SessionResponse
+		if err := fleet.client.PostJSON(ctx, owner, "/cluster/session/feed",
+			cluster.SessionFeedRequest{SessionID: id, Chunk: corpus[pos:end]}, &resp); err != nil {
+			if err = migrate(err); err != nil {
+				return nil, migrations, err
+			}
+			pos = int(durablePos)
+			sinceCk = 0
+			continue
+		}
+		log = append(log, resp.Matches...)
+		addProgress(end - pos)
+		pos = end
+		sinceCk++
+		if sinceCk >= opt.CheckpointEvery || pos == len(corpus) {
+			var ck cluster.SessionResponse
+			if err := fleet.client.PostJSON(ctx, owner, "/cluster/session/checkpoint",
+				cluster.SessionRequest{SessionID: id}, &ck); err != nil {
+				if err = migrate(err); err != nil {
+					return nil, migrations, err
+				}
+				pos = int(durablePos)
+				sinceCk = 0
+				continue
+			}
+			log = append(log, ck.Matches...)
+			durable = ck.Checkpoint
+			durablePos = ck.Pos
+			durableLen = len(log)
+			sinceCk = 0
+		}
+	}
+
+	var cl cluster.SessionResponse
+	if err := fleet.client.PostJSON(ctx, owner, "/cluster/session/close",
+		cluster.SessionRequest{SessionID: id}, &cl); err != nil {
+		// The final checkpoint ran at pos == len(corpus), so the log is
+		// already durable and complete; a close lost to a kill drops
+		// nothing. The dead node's session is reaped by its Node.Close.
+		var pe *cluster.PeerError
+		if errors.As(err, &pe) && pe.Status != 0 {
+			return nil, migrations, err
+		}
+		return log, migrations, nil
+	}
+	return append(log, cl.Matches...), migrations, nil
+}
+
+// clusterQuotaPressure hammers the surviving fleet with a metered and an
+// unmetered tenant. The metered tenant must hit its bucket; the unmetered
+// tenant must never be refused.
+func clusterQuotaPressure(opt ClusterSoakOptions, fleet *soakFleet, res *ClusterSoakResult) error {
+	peers := fleet.peers()
+	if len(peers) == 0 {
+		return errors.New("cluster soak: no survivors for the quota phase")
+	}
+	// One attempt, no retry: a 429 is the signal under test, not a
+	// transient to smooth over.
+	client := cluster.NewClient(cluster.ClientConfig{
+		MaxAttempts:    1,
+		AttemptTimeout: 10 * time.Second,
+		Breaker:        serve.BreakerConfig{Threshold: 1 << 20},
+	})
+	scan := func(tenant string) (refused bool, err error) {
+		peer := peers[int(res.QuotaAllowed+res.QuotaRefused+res.OpenRefused)%len(peers)]
+		req := cluster.ScanRequest{Input: []byte("noise-clsoakkz-noise"), Tenant: tenant}
+		perr := client.PostJSON(context.Background(), peer, "/cluster/scan", req, nil)
+		if perr == nil {
+			return false, nil
+		}
+		var pe *cluster.PeerError
+		if errors.As(perr, &pe) && pe.Status == http.StatusTooManyRequests {
+			return true, nil
+		}
+		return false, perr
+	}
+	for i := 0; i < opt.QuotaScans; i++ {
+		refused, err := scan("limited")
+		if err != nil {
+			return fmt.Errorf("cluster soak: metered scan: %w", err)
+		}
+		if refused {
+			res.QuotaRefused++
+		} else {
+			res.QuotaAllowed++
+		}
+		if refused, err = scan(""); err != nil {
+			return fmt.Errorf("cluster soak: unmetered scan: %w", err)
+		} else if refused {
+			res.OpenRefused++
+		}
+	}
+	if res.QuotaRefused == 0 {
+		return fmt.Errorf("cluster soak: metered tenant was never refused across %d scans", opt.QuotaScans)
+	}
+	if res.OpenRefused != 0 {
+		return fmt.Errorf("cluster soak: unmetered tenant refused %d times; quotas must be per tenant", res.OpenRefused)
+	}
+	return nil
+}
+
+// clusterBench shapes the soak as a BENCH-schema report: the correctness
+// cell's symbols and reports are counted; the control cell carries
+// informational fleet counters.
+func clusterBench(opt ClusterSoakOptions, res *ClusterSoakResult) *BenchReport {
+	rep := &BenchReport{
+		SchemaVersion: BenchSchemaVersion,
+		Created:       time.Now().UTC().Format(time.RFC3339),
+		Environment: BenchEnvironment{
+			GoVersion: runtime.Version(),
+			GOOS:      runtime.GOOS,
+			GOARCH:    runtime.GOARCH,
+			NumCPU:    runtime.NumCPU(),
+		},
+		Params: BenchParams{
+			BVSize: perfBVSize, UnfoldTh: perfUnfoldTh,
+			Sample: opt.Sample, InputLen: opt.InputLen,
+			Datasets: []string{opt.Dataset},
+			Archs:    []string{"cluster-correctness", "cluster-control"},
+		},
+	}
+	rep.Cells = append(rep.Cells, BenchCell{
+		Dataset:  opt.Dataset,
+		Arch:     "cluster-correctness",
+		Patterns: res.Patterns,
+		Symbols:  res.StreamSymbols,
+		Matches:  res.StreamReports,
+		Stalls: map[string]uint64{
+			"nodes":      uint64(res.Nodes),
+			"streams":    uint64(res.Streams),
+			"kills":      uint64(res.Kills),
+			"migrations": uint64(res.Migrations),
+		},
+	})
+	rep.Cells = append(rep.Cells, BenchCell{
+		Dataset:  opt.Dataset,
+		Arch:     "cluster-control",
+		Patterns: res.Patterns,
+		Stalls: map[string]uint64{
+			"publishes_ok":  uint64(res.PublishesOK),
+			"generation":    res.FinalGeneration,
+			"quota_allowed": res.QuotaAllowed,
+			"quota_refused": res.QuotaRefused,
+			"open_refused":  res.OpenRefused,
+		},
+	})
+	rep.PeakRSSBytes = peakRSSBytes()
+	return rep
+}
+
+// RenderClusterSoak prints the fleet soak summary.
+func RenderClusterSoak(w io.Writer, res *ClusterSoakResult) {
+	fmt.Fprintf(w, "Cluster soak — %d nodes, %d streams, %d patterns\n", res.Nodes, res.Streams, res.Patterns)
+	fmt.Fprintf(w, "  exactly-once: %d symbols, %d reports (%d reference), exact=%v across %d kills and %d migrations\n",
+		res.StreamSymbols, res.StreamReports, res.ReferenceReports, res.ReportsExact, res.Kills, res.Migrations)
+	fmt.Fprintf(w, "  control:      %d coordinated publishes applied, surviving generation %d\n",
+		res.PublishesOK, res.FinalGeneration)
+	fmt.Fprintf(w, "  quotas:       metered tenant %d allowed / %d refused, unmetered refused %d\n",
+		res.QuotaAllowed, res.QuotaRefused, res.OpenRefused)
+	fmt.Fprintf(w, "  hygiene:      %d pooled streams checked out on survivors\n", res.StreamsOut)
+}

@@ -1,0 +1,113 @@
+package experiments
+
+import (
+	"bytes"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// settleClusterGoroutines waits up to 5s for the goroutine count to fall
+// back to the pre-soak baseline — HTTP servers, chaos goroutines and stream
+// drivers all wind down asynchronously.
+func settleClusterGoroutines(baseline int) int {
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > baseline && time.Now().Before(deadline) {
+		runtime.GC()
+		time.Sleep(20 * time.Millisecond)
+	}
+	return runtime.NumGoroutine()
+}
+
+// TestClusterSoak is the PR's acceptance gate: N≥3 in-process nodes,
+// rolling coordinated reloads, forced node kills mid-stream, tenant quota
+// pressure — and every stream's delivered report log byte-identical to the
+// origin engine's uninterrupted reference, with no goroutine left behind.
+func TestClusterSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cluster soak is a wall-clock experiment")
+	}
+	before := runtime.NumGoroutine()
+
+	res, rep, err := ClusterSoak(ClusterSoakOptions{
+		Nodes:    3,
+		Streams:  6,
+		Sample:   8,
+		InputLen: 32 << 10,
+		Kills:    2,
+	})
+	if err != nil {
+		t.Fatalf("ClusterSoak: %v", err)
+	}
+	if !res.ReportsExact || res.StreamReports != res.ReferenceReports {
+		t.Errorf("reports %d vs reference %d (exact=%v); exactly-once broken",
+			res.StreamReports, res.ReferenceReports, res.ReportsExact)
+	}
+	if res.Kills != 2 {
+		t.Errorf("kills = %d, want 2", res.Kills)
+	}
+	if res.PublishesOK != 2 {
+		t.Errorf("publishes ok = %d, want 2", res.PublishesOK)
+	}
+	if res.FinalGeneration < 2 {
+		t.Errorf("surviving generation = %d; coordinated reloads did not land", res.FinalGeneration)
+	}
+	if res.QuotaRefused == 0 {
+		t.Error("metered tenant was never refused")
+	}
+	if res.OpenRefused != 0 {
+		t.Errorf("unmetered tenant refused %d times", res.OpenRefused)
+	}
+	if res.StreamsOut != 0 {
+		t.Errorf("streams out = %d", res.StreamsOut)
+	}
+
+	// The report carries the counted exactly-once cell plus the
+	// informational control cell.
+	if len(rep.Cells) != 2 {
+		t.Fatalf("%d bench cells, want 2", len(rep.Cells))
+	}
+	if rep.Cells[0].Arch != "cluster-correctness" || rep.Cells[0].Matches != res.StreamReports {
+		t.Errorf("correctness cell mismatch: %+v", rep.Cells[0])
+	}
+	if rep.Cells[1].Stalls["quota_refused"] != res.QuotaRefused {
+		t.Errorf("control cell mismatch: %+v", rep.Cells[1])
+	}
+
+	var buf bytes.Buffer
+	RenderClusterSoak(&buf, res)
+	if buf.Len() == 0 {
+		t.Error("RenderClusterSoak produced nothing")
+	}
+	t.Logf("\n%s", buf.String())
+
+	if after := settleClusterGoroutines(before); after > before {
+		t.Errorf("goroutine leak: %d before, %d after the cluster soak", before, after)
+	}
+}
+
+// TestClusterSoakSingleKill covers the minimal chaos path at a smaller
+// scale, including a fleet that shrinks to a lone survivor still passing
+// the quota phase.
+func TestClusterSoakSingleKill(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cluster soak is a wall-clock experiment")
+	}
+	res, _, err := ClusterSoak(ClusterSoakOptions{
+		Nodes:     2,
+		Streams:   3,
+		Sample:    6,
+		InputLen:  16 << 10,
+		Kills:     1,
+		Publishes: 1,
+	})
+	if err != nil {
+		t.Fatalf("ClusterSoak: %v", err)
+	}
+	if !res.ReportsExact {
+		t.Error("reports diverged with a single kill")
+	}
+	if res.Kills != 1 || res.PublishesOK != 1 {
+		t.Errorf("kills=%d publishes=%d, want 1 and 1", res.Kills, res.PublishesOK)
+	}
+}

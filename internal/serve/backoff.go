@@ -1,0 +1,126 @@
+package serve
+
+import (
+	"context"
+	"sync/atomic"
+	"time"
+)
+
+// Backoff is a jittered exponential backoff schedule, shared by every
+// retry loop in the serving stack: the cluster client's inter-node request
+// retries, the breaker's escalating half-open re-entry cooldown, and any
+// future probe loop. It is deliberately deterministic given a Seed so the
+// resilience tests can pin exact schedules, while distinct unseeded
+// instances still decorrelate (thundering-herd protection) because the
+// jitter stream is keyed per draw.
+//
+// The zero value is usable: 50 ms base, 30 s cap, factor 2, 20% jitter.
+type Backoff struct {
+	// Base is the attempt-0 delay; values <= 0 select 50 ms.
+	Base time.Duration
+	// Max caps the grown delay (before jitter); values <= 0 select 30 s.
+	Max time.Duration
+	// Factor is the per-attempt growth multiplier; values < 1 select 2.
+	Factor float64
+	// Jitter is the fraction of the delay that is randomized, in [0, 1]:
+	// a delay d becomes uniform in [d·(1-Jitter/2), d·(1+Jitter/2)], so
+	// the expected delay is unchanged. 0 selects 0.2; negative disables
+	// jitter entirely (exact schedules, for tests).
+	Jitter float64
+	// Seed keys the deterministic jitter stream; 0 selects a fixed
+	// default. Backoff is a plain value (config travels by copy); the draw
+	// counter that decorrelates successive jitter draws is package-level,
+	// so copies share the stream rather than replaying it.
+	Seed uint64
+}
+
+// backoffDraws decorrelates jitter draws across all Backoff values in the
+// process; the per-value Seed still keys the stream, so a seeded schedule
+// is reproducible draw-for-draw within one test that controls its draws.
+var backoffDraws atomic.Uint64
+
+func (b *Backoff) base() time.Duration {
+	if b.Base <= 0 {
+		return 50 * time.Millisecond
+	}
+	return b.Base
+}
+
+func (b *Backoff) max() time.Duration {
+	if b.Max <= 0 {
+		return 30 * time.Second
+	}
+	return b.Max
+}
+
+func (b *Backoff) factor() float64 {
+	if b.Factor < 1 {
+		return 2
+	}
+	return b.Factor
+}
+
+func (b *Backoff) jitter() float64 {
+	switch {
+	case b.Jitter < 0:
+		return 0
+	case b.Jitter == 0:
+		return 0.2
+	case b.Jitter > 1:
+		return 1
+	}
+	return b.Jitter
+}
+
+// Delay returns the delay before retry `attempt` (0-based): base·factor^attempt,
+// capped at Max, then jittered. Negative attempts are treated as 0.
+func (b *Backoff) Delay(attempt int) time.Duration {
+	if attempt < 0 {
+		attempt = 0
+	}
+	d := float64(b.base())
+	f, cap := b.factor(), float64(b.max())
+	for i := 0; i < attempt && d < cap; i++ {
+		d *= f
+	}
+	if d > cap {
+		d = cap
+	}
+	if j := b.jitter(); j > 0 {
+		// u in [0,1) from a splitmix64 draw keyed by seed and draw index:
+		// deterministic under a fixed Seed, decorrelated across draws.
+		seed := b.Seed
+		if seed == 0 {
+			seed = 0x9e3779b97f4a7c15
+		}
+		u := float64(splitmix64(seed^backoffDraws.Add(1))>>11) / float64(1<<53)
+		d *= 1 - j/2 + j*u
+	}
+	if d < 1 {
+		d = 1
+	}
+	return time.Duration(d)
+}
+
+// Wait sleeps for Delay(attempt) or until ctx is done, returning ctx.Err()
+// in the latter case — the context-aware form every retry loop should use
+// instead of time.Sleep.
+func (b *Backoff) Wait(ctx context.Context, attempt int) error {
+	t := time.NewTimer(b.Delay(attempt))
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// splitmix64 is the repository's standard finalizer (internal/faults,
+// internal/tracing use the same constants).
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}

@@ -1,0 +1,294 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestBackoffUnjitteredSchedule(t *testing.T) {
+	b := Backoff{Base: 100 * time.Millisecond, Max: time.Second, Factor: 2, Jitter: -1}
+	want := []time.Duration{
+		100 * time.Millisecond, 200 * time.Millisecond, 400 * time.Millisecond,
+		800 * time.Millisecond, time.Second, time.Second,
+	}
+	for attempt, w := range want {
+		if d := b.Delay(attempt); d != w {
+			t.Fatalf("Delay(%d) = %v, want %v", attempt, d, w)
+		}
+	}
+	if d := b.Delay(-3); d != 100*time.Millisecond {
+		t.Fatalf("Delay(-3) = %v, want the base delay", d)
+	}
+}
+
+func TestBackoffDefaults(t *testing.T) {
+	var b Backoff
+	d0 := b.Delay(0)
+	// 50 ms base with 20% jitter: within [45, 55] ms.
+	if d0 < 45*time.Millisecond || d0 > 55*time.Millisecond {
+		t.Fatalf("zero-value Delay(0) = %v, want ~50ms ±10%%", d0)
+	}
+	// The cap holds under growth: far attempts stay within jitter of 30 s.
+	if d := b.Delay(40); d < 27*time.Second || d > 33*time.Second {
+		t.Fatalf("zero-value Delay(40) = %v, want ~30s ±10%%", d)
+	}
+}
+
+func TestBackoffJitterBoundsAndSpread(t *testing.T) {
+	b := Backoff{Base: time.Second, Max: time.Hour, Factor: 2, Jitter: 0.5, Seed: 42}
+	lo, hi := 750*time.Millisecond, 1250*time.Millisecond
+	seen := map[time.Duration]bool{}
+	for i := 0; i < 64; i++ {
+		d := b.Delay(0)
+		if d < lo || d > hi {
+			t.Fatalf("jittered delay %v outside [%v, %v]", d, lo, hi)
+		}
+		seen[d] = true
+	}
+	if len(seen) < 2 {
+		t.Fatal("64 jittered draws produced one value; jitter stream is stuck")
+	}
+}
+
+func TestBackoffWaitHonorsContext(t *testing.T) {
+	b := Backoff{Base: time.Hour, Jitter: -1}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- b.Wait(ctx, 0) }()
+	cancel()
+	select {
+	case err := <-done:
+		if err != context.Canceled {
+			t.Fatalf("Wait returned %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Wait did not return after cancellation")
+	}
+}
+
+func TestBackoffWaitCompletes(t *testing.T) {
+	b := Backoff{Base: time.Millisecond, Jitter: -1}
+	if err := b.Wait(context.Background(), 0); err != nil {
+		t.Fatalf("Wait = %v, want nil", err)
+	}
+}
+
+// TestBreakerCooldownEscalates pins the satellite behavior: a key that
+// re-trips after a half-open probe quarantines on the doubling schedule,
+// capped at MaxCooldown, and a success resets it to the base cooldown.
+func TestBreakerCooldownEscalates(t *testing.T) {
+	now := time.Unix(0, 0)
+	b := NewBreaker(BreakerConfig{
+		Threshold: 1, Window: time.Minute,
+		Cooldown: 10 * time.Second, MaxCooldown: 40 * time.Second,
+	}, nil)
+	b.SetClock(func() time.Time { return now })
+
+	trip := func() {
+		t.Helper()
+		if !b.Failure("k") {
+			t.Fatal("failure at threshold 1 should trip")
+		}
+	}
+	quarantinedFor := func(d time.Duration) {
+		t.Helper()
+		probe := now
+		if b.Allow("k") {
+			t.Fatal("key allowed immediately after trip")
+		}
+		now = probe.Add(d - time.Nanosecond)
+		if b.Allow("k") {
+			t.Fatalf("key released before the %v cooldown elapsed", d)
+		}
+		now = probe.Add(d + time.Millisecond)
+		if !b.Allow("k") {
+			t.Fatalf("key still quarantined after the %v cooldown", d)
+		}
+	}
+
+	trip()
+	quarantinedFor(10 * time.Second) // first trip: base cooldown
+	trip()
+	quarantinedFor(20 * time.Second) // second consecutive: doubled
+	trip()
+	quarantinedFor(40 * time.Second) // third: doubled again
+	trip()
+	quarantinedFor(40 * time.Second) // capped at MaxCooldown
+
+	// An in-service success resets the escalation to the base schedule.
+	b.Success("k")
+	trip()
+	quarantinedFor(10 * time.Second)
+}
+
+func TestQuotasTokenBucket(t *testing.T) {
+	now := time.Unix(0, 0)
+	q := NewQuotas(QuotaConfig{RatePerSec: 1, Burst: 3}, map[string]QuotaConfig{
+		"vip":  {RatePerSec: 1000},
+		"free": {RatePerSec: 0.5, Burst: 1},
+	})
+	if q == nil {
+		t.Fatal("NewQuotas returned nil for a metered config")
+	}
+	q.SetClock(func() time.Time { return now })
+
+	// Default tenant: burst of 3, then refusal.
+	for i := 0; i < 3; i++ {
+		if !q.Allow("t1") {
+			t.Fatalf("burst admission %d refused", i)
+		}
+	}
+	if q.Allow("t1") {
+		t.Fatal("4th admission allowed past a burst of 3")
+	}
+	// Tenants are independent buckets.
+	if !q.Allow("t2") {
+		t.Fatal("t1's exhaustion starved t2")
+	}
+	// Continuous refill at 1/s.
+	now = now.Add(1500 * time.Millisecond)
+	if !q.Allow("t1") {
+		t.Fatal("bucket did not refill after 1.5s at 1/s")
+	}
+	if q.Allow("t1") {
+		t.Fatal("bucket over-refilled: 1.5 tokens should admit exactly once")
+	}
+	// Per-tenant overrides.
+	for i := 0; i < 100; i++ {
+		if !q.Allow("vip") {
+			t.Fatalf("vip admission %d refused under a 1000/s quota", i)
+		}
+	}
+	if !q.Allow("free") {
+		t.Fatal("free tenant's single-burst bucket refused its first request")
+	}
+	if q.Allow("free") {
+		t.Fatal("free tenant admitted past burst 1")
+	}
+	// Refill never exceeds burst.
+	now = now.Add(time.Hour)
+	if tokens, metered := q.Tokens("t1"); !metered || tokens != 3 {
+		t.Fatalf("Tokens(t1) = %v, %v; want 3 (capped at burst), true", tokens, metered)
+	}
+}
+
+func TestQuotasUnlimited(t *testing.T) {
+	if q := NewQuotas(QuotaConfig{}, nil); q != nil {
+		t.Fatal("fully unlimited config should build the nil (disabled) layer")
+	}
+	var q *Quotas
+	if !q.Allow("anyone") {
+		t.Fatal("nil Quotas must admit everything")
+	}
+	if _, metered := q.Tokens("anyone"); metered {
+		t.Fatal("nil Quotas reports tenants as metered")
+	}
+	// An explicitly unlimited tenant inside a metered layer keeps no bucket.
+	ql := NewQuotas(QuotaConfig{RatePerSec: 1}, map[string]QuotaConfig{"open": {}})
+	for i := 0; i < 1000; i++ {
+		if !ql.Allow("open") {
+			t.Fatal("unlimited tenant refused")
+		}
+	}
+}
+
+func TestQuotasEvictionBounded(t *testing.T) {
+	q := NewQuotas(QuotaConfig{RatePerSec: 1, Burst: 1}, nil)
+	now := time.Unix(0, 0)
+	q.SetClock(func() time.Time { return now })
+	for i := 0; i < maxTrackedTenants+100; i++ {
+		q.Allow(string(rune('a')) + string(rune(i)))
+	}
+	q.mu.Lock()
+	n := len(q.state)
+	q.mu.Unlock()
+	if n > maxTrackedTenants {
+		t.Fatalf("tracked buckets = %d, want <= %d", n, maxTrackedTenants)
+	}
+}
+
+func TestGenerationsStageCommit(t *testing.T) {
+	g := NewGenerations("v1", nil)
+	st, err := g.Stage(
+		func(old *Generation[string]) (string, error) { return old.Value + "+v2", nil },
+		nil,
+	)
+	if err != nil {
+		t.Fatalf("Stage: %v", err)
+	}
+	if got := g.Load().Value; got != "v1" {
+		t.Fatalf("staged candidate visible before commit: serving %q", got)
+	}
+	gen, err := st.Commit()
+	if err != nil {
+		t.Fatalf("Commit: %v", err)
+	}
+	if gen.Seq != 2 || g.Load().Value != "v1+v2" {
+		t.Fatalf("after commit: seq=%d value=%q, want 2, v1+v2", gen.Seq, g.Load().Value)
+	}
+	// Commit is idempotent-exclusive: the second call is refused as stale.
+	if _, err := st.Commit(); !errors.Is(err, ErrStaleGeneration) {
+		t.Fatalf("second Commit = %v, want ErrStaleGeneration", err)
+	}
+}
+
+func TestGenerationsStageStaleOnInterleavedSwap(t *testing.T) {
+	g := NewGenerations(1, nil)
+	st, err := g.Stage(func(old *Generation[int]) (int, error) { return old.Value + 1, nil }, nil)
+	if err != nil {
+		t.Fatalf("Stage: %v", err)
+	}
+	// Another reload lands between prepare and commit.
+	if _, err := g.Swap(func(old *Generation[int]) (int, error) { return old.Value + 100, nil }, nil); err != nil {
+		t.Fatalf("interleaved Swap: %v", err)
+	}
+	if _, err := st.Commit(); !errors.Is(err, ErrStaleGeneration) {
+		t.Fatalf("Commit after interleaved Swap = %v, want ErrStaleGeneration", err)
+	}
+	if got := g.Load().Value; got != 101 {
+		t.Fatalf("stale commit disturbed the served value: %d, want 101", got)
+	}
+}
+
+func TestGenerationsStageAbort(t *testing.T) {
+	g := NewGenerations("a", nil)
+	st, err := g.Stage(func(*Generation[string]) (string, error) { return "b", nil }, nil)
+	if err != nil {
+		t.Fatalf("Stage: %v", err)
+	}
+	st.Abort()
+	st.Abort() // idempotent
+	if _, err := st.Commit(); !errors.Is(err, ErrStaleGeneration) {
+		t.Fatalf("Commit after Abort = %v, want stale refusal", err)
+	}
+	if g.Load().Value != "a" || g.Seq() != 1 {
+		t.Fatal("abort disturbed the served generation")
+	}
+	// The cell still reloads normally afterwards.
+	if _, err := g.Swap(func(*Generation[string]) (string, error) { return "c", nil }, nil); err != nil {
+		t.Fatalf("Swap after Abort: %v", err)
+	}
+	if g.Load().Value != "c" {
+		t.Fatal("post-abort swap did not publish")
+	}
+}
+
+func TestGenerationsStageValidateRejects(t *testing.T) {
+	g := NewGenerations(0, nil)
+	_, err := g.Stage(
+		func(*Generation[int]) (int, error) { return 9, nil },
+		func(int) error { return errors.New("candidate rejected") },
+	)
+	if err == nil {
+		t.Fatal("Stage with failing validator succeeded")
+	}
+	var re *ReloadError
+	if !errors.As(err, &re) || re.Phase != "validate" {
+		t.Fatalf("Stage error = %v, want *ReloadError{Phase: validate}", err)
+	}
+	if g.Seq() != 1 {
+		t.Fatal("rejected stage advanced the generation")
+	}
+}

@@ -7,7 +7,9 @@ import (
 )
 
 // BreakerConfig tunes the quarantine circuit breaker. The zero value
-// selects 3 failures within 1 minute to trip, and a 30-second cooldown.
+// selects 3 failures within 1 minute to trip, and a 30-second first
+// cooldown that doubles per consecutive trip up to 8× (the shared Backoff
+// schedule, unjittered so quarantine windows are exact).
 type BreakerConfig struct {
 	// Threshold is the number of failures within Window that trips the
 	// breaker for a key; values < 1 select 3.
@@ -15,11 +17,18 @@ type BreakerConfig struct {
 	// Window is the sliding interval failures are counted over; values
 	// <= 0 select one minute.
 	Window time.Duration
-	// Cooldown is how long a tripped key stays quarantined; values <= 0
-	// select 30 seconds. After the cooldown the key re-enters service
-	// half-open: its failure count restarts from zero, so one more
-	// failure window is needed to re-trip.
+	// Cooldown is how long a key stays quarantined after its first trip;
+	// values <= 0 select 30 seconds. After the cooldown the key re-enters
+	// service half-open: its failure count restarts from zero, so one more
+	// failure window is needed to re-trip — but a key that re-trips after
+	// a half-open probe escalates along the Backoff schedule (Cooldown ·
+	// 2^consecutive-trips, capped at MaxCooldown) instead of re-entering
+	// on the fixed interval. A success while in service resets the
+	// escalation.
 	Cooldown time.Duration
+	// MaxCooldown caps the escalated cooldown; values <= 0 select
+	// 8 × Cooldown.
+	MaxCooldown time.Duration
 }
 
 func (c *BreakerConfig) fill() {
@@ -32,6 +41,9 @@ func (c *BreakerConfig) fill() {
 	if c.Cooldown <= 0 {
 		c.Cooldown = 30 * time.Second
 	}
+	if c.MaxCooldown <= 0 {
+		c.MaxCooldown = 8 * c.Cooldown
+	}
 }
 
 // Breaker is a keyed circuit breaker: repeated failures of one key
@@ -42,6 +54,13 @@ func (c *BreakerConfig) fill() {
 type Breaker struct {
 	cfg BreakerConfig
 	m   *Metrics
+
+	// reentry is the escalation schedule of repeat offenders: the cooldown
+	// of a key's k-th consecutive trip is reentry.Delay(k-1). It replaces
+	// the old fixed-cooldown sleep with the shared jitterable Backoff
+	// (configured unjittered here, so quarantine windows stay exact for
+	// operators and tests alike).
+	reentry Backoff
 
 	// now is the clock, swappable in tests.
 	now func() time.Time
@@ -54,12 +73,21 @@ type breakerEntry struct {
 	failures []time.Time // within the window, oldest first
 	until    time.Time   // quarantined while now < until
 	trips    uint64
+	// consecutive counts trips without an intervening in-service success:
+	// it indexes the re-entry backoff schedule and resets on Success.
+	consecutive int
 }
 
 // NewBreaker builds a breaker. m may be nil.
 func NewBreaker(cfg BreakerConfig, m *Metrics) *Breaker {
 	cfg.fill()
-	return &Breaker{cfg: cfg, m: m, now: time.Now, state: map[string]*breakerEntry{}}
+	return &Breaker{
+		cfg:     cfg,
+		m:       m,
+		reentry: Backoff{Base: cfg.Cooldown, Max: cfg.MaxCooldown, Factor: 2, Jitter: -1},
+		now:     time.Now,
+		state:   map[string]*breakerEntry{},
+	}
 }
 
 // Allow reports whether key is currently in service. A key past its
@@ -111,7 +139,10 @@ func (b *Breaker) Failure(key string) bool {
 	if len(e.failures) < b.cfg.Threshold {
 		return false
 	}
-	e.until = now.Add(b.cfg.Cooldown)
+	// Escalate: the k-th consecutive trip quarantines for the k-th step of
+	// the re-entry backoff schedule (first trip = base cooldown).
+	e.until = now.Add(b.reentry.Delay(e.consecutive))
+	e.consecutive++
 	e.failures = e.failures[:0]
 	e.trips++
 	b.m.QuarantineTrip()
@@ -121,12 +152,14 @@ func (b *Breaker) Failure(key string) bool {
 
 // Success records one success of key, clearing its failure history (a key
 // must fail Threshold times within one window with no intervening success
-// to trip).
+// to trip) and resetting the cooldown escalation: a half-open probe that
+// succeeds returns the key to the base schedule.
 func (b *Breaker) Success(key string) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	if e := b.state[key]; e != nil && !b.now().Before(e.until) {
 		e.failures = e.failures[:0]
+		e.consecutive = 0
 	}
 }
 

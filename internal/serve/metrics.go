@@ -25,6 +25,12 @@ const (
 	// MetricAdmissionWait is a histogram of admission latency in
 	// milliseconds (0 for the uncontended fast path).
 	MetricAdmissionWait = "bvap_serve_admission_wait_ms"
+	// MetricAdmits counts admission-gate decisions labeled by tenant and
+	// outcome: "ok" (admitted), "quota" (refused by the tenant's token
+	// bucket), "shed" (refused by the shared gate) or "draining". The
+	// tenant label is the caller-supplied tenant id, "default" when the
+	// request carried none.
+	MetricAdmits = "bvap_serve_admit_total"
 	// MetricScans counts scans the service completed, labeled by outcome:
 	// "ok", "error", "panic" or "timeout".
 	MetricScans = "bvap_serve_scans_total"
@@ -59,6 +65,9 @@ const (
 // and tests.
 var ShedReasons = []string{"queue_full", "deadline", "draining"}
 
+// AdmitOutcomes enumerates the outcome label values of MetricAdmits.
+var AdmitOutcomes = []string{"ok", "quota", "shed", "draining"}
+
 // AdmissionWaitBuckets is the bucket ladder of MetricAdmissionWait, in
 // milliseconds.
 var AdmissionWaitBuckets = []float64{0, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 25, 50, 100, 250, 500, 1000}
@@ -80,6 +89,7 @@ type Metrics struct {
 	queueDepth       *telemetry.Gauge
 	inflight         *telemetry.Gauge
 	sheds            *telemetry.CounterVec
+	admits           *telemetry.CounterVec
 	admissionWait    *telemetry.Histogram
 	scans            *telemetry.CounterVec
 	reloads          *telemetry.CounterVec
@@ -104,6 +114,7 @@ func NewMetrics(reg *telemetry.Registry) *Metrics {
 		queueDepth:       reg.Gauge(MetricQueueDepth, "requests waiting in the admission queue"),
 		inflight:         reg.Gauge(MetricInflight, "admitted, unfinished requests"),
 		sheds:            reg.CounterVec(MetricSheds, "requests shed by admission control", "reason"),
+		admits:           reg.CounterVec(MetricAdmits, "admission-gate decisions by tenant", "tenant", "outcome"),
 		admissionWait:    reg.Histogram(MetricAdmissionWait, "admission latency in milliseconds", AdmissionWaitBuckets),
 		scans:            reg.CounterVec(MetricScans, "scans completed by the service", "outcome"),
 		reloads:          reg.CounterVec(MetricReloads, "hot-reload attempts", "result"),
@@ -143,6 +154,17 @@ func (m *Metrics) Inflight(n int64) {
 func (m *Metrics) Shed(reason string) {
 	if m != nil {
 		m.sheds.With(reason).Inc()
+	}
+}
+
+// Admit records one admission-gate decision for a tenant. An empty tenant
+// is recorded as "default".
+func (m *Metrics) Admit(tenant, outcome string) {
+	if m != nil {
+		if tenant == "" {
+			tenant = "default"
+		}
+		m.admits.With(tenant, outcome).Inc()
 	}
 }
 

@@ -1,0 +1,173 @@
+package serve
+
+import (
+	"sync"
+	"time"
+)
+
+// QuotaConfig is one tenant's token-bucket allowance on the admission
+// gate: a sustained admission rate plus a burst depth. The zero value is
+// unlimited (no bucket is kept).
+type QuotaConfig struct {
+	// RatePerSec is the sustained admissions per second; values <= 0 mean
+	// unlimited.
+	RatePerSec float64
+	// Burst is the bucket depth — how many admissions a tenant may take
+	// instantaneously after an idle period. Values < 1 select
+	// max(RatePerSec, 1).
+	Burst float64
+}
+
+func (c QuotaConfig) fill() QuotaConfig {
+	if c.RatePerSec > 0 && c.Burst < 1 {
+		c.Burst = c.RatePerSec
+		if c.Burst < 1 {
+			c.Burst = 1
+		}
+	}
+	return c
+}
+
+// Quotas is the per-tenant token-bucket layer of the admission gate: every
+// request names a tenant (the anonymous tenant is just another key) and
+// must take a token from that tenant's bucket before it may contend for an
+// admission slot, so one tenant's burst cannot starve the shared
+// concurrency gate. Buckets refill continuously at RatePerSec up to Burst.
+//
+// A nil *Quotas admits everything — the single-tenant configuration pays
+// one nil check. Construct with NewQuotas; all methods are safe for
+// concurrent use.
+type Quotas struct {
+	def      QuotaConfig
+	perT     map[string]QuotaConfig
+	now      func() time.Time
+	mu       sync.Mutex
+	state    map[string]*bucket
+	maxIdle  int // bound on tracked buckets (defense against tenant-id floods)
+	evictSeq uint64
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+	touch  uint64
+}
+
+// maxTrackedTenants bounds the bucket map: beyond it, the least recently
+// used bucket is dropped (a dropped tenant restarts with a full bucket —
+// quota is a fairness device, not an accounting ledger).
+const maxTrackedTenants = 4096
+
+// NewQuotas builds the quota layer. def applies to tenants without an
+// explicit entry; perTenant overrides per tenant id. When def is unlimited
+// and perTenant is empty, NewQuotas returns nil (the disabled layer).
+func NewQuotas(def QuotaConfig, perTenant map[string]QuotaConfig) *Quotas {
+	if def.RatePerSec <= 0 && len(perTenant) == 0 {
+		return nil
+	}
+	q := &Quotas{
+		def:     def.fill(),
+		perT:    make(map[string]QuotaConfig, len(perTenant)),
+		now:     time.Now,
+		state:   map[string]*bucket{},
+		maxIdle: maxTrackedTenants,
+	}
+	for t, c := range perTenant {
+		q.perT[t] = c.fill()
+	}
+	return q
+}
+
+// config resolves the tenant's quota.
+func (q *Quotas) config(tenant string) QuotaConfig {
+	if c, ok := q.perT[tenant]; ok {
+		return c
+	}
+	return q.def
+}
+
+// Allow takes one token from tenant's bucket, reporting whether the tenant
+// is within quota. Unlimited tenants always pass and keep no bucket.
+func (q *Quotas) Allow(tenant string) bool {
+	if q == nil {
+		return true
+	}
+	cfg := q.config(tenant)
+	if cfg.RatePerSec <= 0 {
+		return true
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	now := q.now()
+	b := q.state[tenant]
+	if b == nil {
+		b = &bucket{tokens: cfg.Burst, last: now}
+		if len(q.state) >= q.maxIdle {
+			q.evictLocked()
+		}
+		q.state[tenant] = b
+	} else {
+		b.tokens += now.Sub(b.last).Seconds() * cfg.RatePerSec
+		if b.tokens > cfg.Burst {
+			b.tokens = cfg.Burst
+		}
+		b.last = now
+	}
+	q.evictSeq++
+	b.touch = q.evictSeq
+	if b.tokens < 1 {
+		return false
+	}
+	b.tokens--
+	return true
+}
+
+// Tokens returns the tenant's current token balance (refilled to now) and
+// whether the tenant is metered at all — observability for tests and the
+// healthz surface.
+func (q *Quotas) Tokens(tenant string) (float64, bool) {
+	if q == nil {
+		return 0, false
+	}
+	cfg := q.config(tenant)
+	if cfg.RatePerSec <= 0 {
+		return 0, false
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	b := q.state[tenant]
+	if b == nil {
+		return cfg.Burst, true
+	}
+	tokens := b.tokens + q.now().Sub(b.last).Seconds()*cfg.RatePerSec
+	if tokens > cfg.Burst {
+		tokens = cfg.Burst
+	}
+	return tokens, true
+}
+
+// evictLocked drops the least recently touched bucket. Callers hold q.mu.
+func (q *Quotas) evictLocked() {
+	var victim string
+	var oldest uint64
+	first := true
+	for t, b := range q.state {
+		if first || b.touch < oldest {
+			victim, oldest, first = t, b.touch, false
+		}
+	}
+	if !first {
+		delete(q.state, victim)
+	}
+}
+
+// SetClock replaces the quota clock; tests use it to step refills
+// deterministically.
+func (q *Quotas) SetClock(now func() time.Time) {
+	if q == nil {
+		return
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.now = now
+}

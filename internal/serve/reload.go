@@ -86,3 +86,92 @@ func (g *Generations[T]) Swap(
 	g.m.Generation(float64(gen.Seq))
 	return gen, nil
 }
+
+// Staged is a prepared-but-unpublished candidate generation: the first
+// phase of the fleet-wide two-phase publish. Stage runs build+validate and
+// records the base generation; Commit publishes the candidate only if the
+// generation has not moved since (compare-and-swap on the sequence), and
+// Abort discards it. A Staged that is never committed is rollback by
+// non-publication: nothing the read path can observe ever changed.
+//
+// Commit and Abort are each idempotent and mutually exclusive; whichever
+// runs first wins.
+type Staged[T any] struct {
+	g *Generations[T]
+	// Base is the sequence of the generation the candidate was validated
+	// against.
+	Base uint64
+	// Value is the prepared candidate payload.
+	Value T
+
+	mu   sync.Mutex
+	done bool
+}
+
+// Stage runs the prepare phase of a two-phase publish: build and validate
+// exactly as Swap does (serialized against Swaps and other Stages), but
+// stop short of publication, returning the staged candidate for a later
+// Commit or Abort. Errors are *ReloadError values as in Swap.
+func (g *Generations[T]) Stage(
+	build func(old *Generation[T]) (T, error),
+	validate func(candidate T) error,
+) (*Staged[T], error) {
+	g.swapMu.Lock()
+	defer g.swapMu.Unlock()
+	old := g.cur.Load()
+	next, err := build(old)
+	if err != nil {
+		g.m.Reload("build_failed")
+		return nil, &ReloadError{Phase: "build", Err: err}
+	}
+	if validate != nil {
+		if err := validate(next); err != nil {
+			g.m.Reload("validate_failed")
+			var re *ReloadError
+			if errors.As(err, &re) {
+				return nil, err
+			}
+			return nil, &ReloadError{Phase: "validate", Err: err}
+		}
+	}
+	return &Staged[T]{g: g, Base: old.Seq, Value: next}, nil
+}
+
+// Commit publishes the staged candidate, failing with ErrStaleGeneration
+// (wrapped in a *ReloadError with Phase "commit") when another publish
+// landed since Stage — the candidate was validated against a generation
+// that no longer serves, so letting it through could silently undo the
+// interleaved reload. Idempotent: a second Commit (or a Commit after
+// Abort) returns a stale error without side effects.
+func (s *Staged[T]) Commit() (*Generation[T], error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.done {
+		return nil, &ReloadError{Phase: "commit", Err: ErrStaleGeneration}
+	}
+	s.g.swapMu.Lock()
+	defer s.g.swapMu.Unlock()
+	old := s.g.cur.Load()
+	if old.Seq != s.Base {
+		s.done = true
+		s.g.m.Reload("stale")
+		return nil, &ReloadError{Phase: "commit", Err: ErrStaleGeneration}
+	}
+	gen := &Generation[T]{Seq: old.Seq + 1, Value: s.Value}
+	s.g.cur.Store(gen)
+	s.done = true
+	s.g.m.Reload("ok")
+	s.g.m.Generation(float64(gen.Seq))
+	return gen, nil
+}
+
+// Abort discards the staged candidate. Idempotent; a no-op after Commit.
+func (s *Staged[T]) Abort() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.done {
+		return
+	}
+	s.done = true
+	s.g.m.Reload("aborted")
+}

@@ -50,6 +50,16 @@ var (
 	// circuit breaker has taken its key out of service after repeated
 	// failures; it re-enters service after the cooldown.
 	ErrQuarantined = errors.New("quarantined by circuit breaker")
+	// ErrQuotaExceeded marks a request refused by the per-tenant
+	// token-bucket quota before it could contend for an admission slot:
+	// the tenant has exhausted its sustained rate and burst allowance.
+	// Other tenants are unaffected; the bucket refills continuously.
+	ErrQuotaExceeded = errors.New("tenant quota exceeded")
+	// ErrStaleGeneration marks a staged candidate whose base generation
+	// was superseded between prepare and commit: another reload published
+	// first, so the commit is refused and the candidate must be re-staged
+	// against the new generation.
+	ErrStaleGeneration = errors.New("staged candidate is stale: generation advanced since prepare")
 )
 
 // PanicError is a panic recovered from a scan body, converted into an

@@ -74,6 +74,18 @@ func (r *Recorder) StartTrace(ctx context.Context, name string) (context.Context
 	return NewContext(ctx, t), t
 }
 
+// StartTraceRemote is StartTrace under an id assigned by a remote peer:
+// the local span tree records (and is later looked up) under the caller's
+// trace id, rejoining the two nodes' halves of one request. A zero id
+// degrades to StartTrace.
+func (r *Recorder) StartTraceRemote(ctx context.Context, name string, id TraceID) (context.Context, *Trace) {
+	if r == nil {
+		return ctx, nil
+	}
+	t := NewTraceWithID(id, name)
+	return NewContext(ctx, t), t
+}
+
 // Record finalizes the trace and stores it in the recent ring, pinning it
 // into the black box when it exceeded a budget. Nil-safe on both sides.
 func (r *Recorder) Record(t *Trace) {

@@ -117,6 +117,18 @@ func NewTrace(name string) *Trace {
 	return &Trace{id: TraceID(nextID()), name: name, start: time.Now()}
 }
 
+// NewTraceWithID starts a trace adopting an externally assigned id — the
+// cross-node propagation path: a peer's request carries its trace id in a
+// header, and the local segment of the work records under the same id so
+// /debug/trace/{id} on either node finds its half of the request. A zero
+// id falls back to a fresh one.
+func NewTraceWithID(id TraceID, name string) *Trace {
+	if id == 0 {
+		return NewTrace(name)
+	}
+	return &Trace{id: id, name: name, start: time.Now()}
+}
+
 // ID returns the trace id (0 for a nil trace).
 func (t *Trace) ID() TraceID {
 	if t == nil {

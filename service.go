@@ -31,6 +31,7 @@ import (
 	"hash/fnv"
 	"runtime"
 	"runtime/debug"
+	"sync"
 	"time"
 
 	"bvap/internal/serve"
@@ -85,6 +86,19 @@ type ServiceConfig struct {
 	// 0 selects 4096; negative disables calibration — scans then report no
 	// energy figure.
 	EnergyProbeSymbols int
+	// DefaultQuota is the per-tenant token-bucket admission quota applied
+	// to tenants without a TenantQuotas entry (tenant ids ride the request
+	// context; see WithTenant). The zero value is unlimited — the
+	// single-tenant configuration pays one nil check.
+	DefaultQuota QuotaConfig
+	// TenantQuotas overrides DefaultQuota per tenant id.
+	TenantQuotas map[string]QuotaConfig
+	// RetainGenerations is how many retired engine generations the service
+	// keeps addressable by fingerprint for wire-checkpoint resume
+	// (Service.ResumeSessionBytes): a session checkpointed before a reload
+	// can still land on the engine it was taken against, as long as that
+	// engine is within the retention window. Values < 1 select 4.
+	RetainGenerations int
 }
 
 func (c *ServiceConfig) fill() {
@@ -94,6 +108,33 @@ func (c *ServiceConfig) fill() {
 	if c.MaxQueue < 0 {
 		c.MaxQueue = 0
 	}
+	if c.RetainGenerations < 1 {
+		c.RetainGenerations = 4
+	}
+}
+
+// QuotaConfig is one tenant's token-bucket allowance on the admission gate:
+// a sustained admission rate plus a burst depth. The zero value is
+// unlimited. It is internal/serve's QuotaConfig re-exported.
+type QuotaConfig = serve.QuotaConfig
+
+// tenantKey is the context key of the request tenant id.
+type tenantKey struct{}
+
+// WithTenant attributes the requests made with the returned context to
+// tenant: admission decisions are metered per tenant
+// (bvap_serve_admit_total) and, when the service configures quotas, gated
+// by the tenant's token bucket before the request may contend for a shared
+// admission slot. An empty tenant id is the anonymous "default" tenant.
+func WithTenant(ctx context.Context, tenant string) context.Context {
+	return context.WithValue(ctx, tenantKey{}, tenant)
+}
+
+// TenantFromContext returns the tenant id attached by WithTenant, or ""
+// when the context carries none.
+func TenantFromContext(ctx context.Context) string {
+	t, _ := ctx.Value(tenantKey{}).(string)
+	return t
 }
 
 // Service is a supervised, long-lived scan front end over a hot-reloadable
@@ -105,6 +146,15 @@ type Service struct {
 	adm *serve.Admission
 	brk *serve.Breaker
 	gen *serve.Generations[*Engine]
+	quo *serve.Quotas
+
+	// retained holds the last RetainGenerations published engines keyed by
+	// fingerprint, so a wire session checkpoint taken before a reload can
+	// still resolve the engine it was pinned to (ResumeSessionBytes).
+	// retainedOrder is the publication order, oldest first, for trimming.
+	retainedMu    sync.Mutex
+	retained      map[uint64]*Engine
+	retainedOrder []uint64
 }
 
 // NewService compiles patterns and starts serving them as generation 1.
@@ -126,6 +176,8 @@ func NewService(patterns []string, cfg *ServiceConfig) (*Service, error) {
 			Window:    c.QuarantineWindow,
 			Cooldown:  c.QuarantineCooldown,
 		}, sm),
+		quo:      serve.NewQuotas(c.DefaultQuota, c.TenantQuotas),
+		retained: map[uint64]*Engine{},
 	}
 	e, err := s.buildEngine(context.Background(), patterns)
 	if err != nil {
@@ -135,7 +187,42 @@ func NewService(patterns []string, cfg *ServiceConfig) (*Service, error) {
 		return nil, err
 	}
 	s.gen = serve.NewGenerations(e, sm)
+	s.retain(e)
 	return s, nil
+}
+
+// retain records a just-published engine in the fingerprint-keyed retention
+// window, trimming the oldest beyond RetainGenerations. Re-publishing an
+// equal fingerprint (same pattern set recompiled) refreshes its slot.
+func (s *Service) retain(e *Engine) {
+	fp := e.Fingerprint()
+	s.retainedMu.Lock()
+	defer s.retainedMu.Unlock()
+	if _, ok := s.retained[fp]; ok {
+		for i, f := range s.retainedOrder {
+			if f == fp {
+				s.retainedOrder = append(s.retainedOrder[:i], s.retainedOrder[i+1:]...)
+				break
+			}
+		}
+	}
+	s.retained[fp] = e
+	s.retainedOrder = append(s.retainedOrder, fp)
+	for len(s.retainedOrder) > s.cfg.RetainGenerations {
+		delete(s.retained, s.retainedOrder[0])
+		s.retainedOrder = s.retainedOrder[1:]
+	}
+}
+
+// engineByFingerprint resolves an engine a wire checkpoint is pinned to:
+// the served generation first, then the retention window.
+func (s *Service) engineByFingerprint(fp uint64) *Engine {
+	if e := s.gen.Load().Value; e.Fingerprint() == fp {
+		return e
+	}
+	s.retainedMu.Lock()
+	defer s.retainedMu.Unlock()
+	return s.retained[fp]
 }
 
 // buildEngine is the reload build phase: a plain background compile.
@@ -244,8 +331,67 @@ func (s *Service) Reload(ctx context.Context, patterns []string) (uint64, error)
 	if err != nil {
 		return 0, err
 	}
+	s.retain(gen.Value)
 	return gen.Seq, nil
 }
+
+// PreparedReload is a validated-but-unpublished candidate pattern set: the
+// node-local half of the fleet's two-phase coordinated reload. A
+// coordinator Prepares on every node, compares Fingerprints (all nodes must
+// have compiled semantically identical sets), and only then Commits
+// everywhere; any node that fails to prepare aborts the round fleet-wide —
+// rollback is non-publication, so a half-failed round leaves every node
+// serving exactly what it served before.
+type PreparedReload struct {
+	svc    *Service
+	staged *serve.Staged[*Engine]
+}
+
+// PrepareReload runs the build and validation phases of Reload — compile,
+// hardware-configuration validation, probe-corpus cross-check, energy
+// calibration — but stops short of publication. The candidate is held
+// aside for Commit or Abort; scans continue on the current generation
+// throughout, and concurrent Reloads/Prepares serialize exactly as
+// concurrent Reloads do.
+func (s *Service) PrepareReload(ctx context.Context, patterns []string) (*PreparedReload, error) {
+	if s.adm.Draining() {
+		return nil, ErrDraining
+	}
+	st, err := s.gen.Stage(
+		func(*serve.Generation[*Engine]) (*Engine, error) { return s.buildEngine(ctx, patterns) },
+		s.prepareEngine,
+	)
+	if err != nil {
+		return nil, err
+	}
+	return &PreparedReload{svc: s, staged: st}, nil
+}
+
+// Fingerprint returns the candidate engine's fingerprint (see
+// Engine.Fingerprint) — the value a fleet coordinator compares across
+// nodes before committing a round.
+func (p *PreparedReload) Fingerprint() uint64 { return p.staged.Value.Fingerprint() }
+
+// Base returns the generation sequence the candidate was validated
+// against.
+func (p *PreparedReload) Base() uint64 { return p.staged.Base }
+
+// Commit publishes the prepared candidate, returning the new generation
+// sequence. It fails with an error unwrapping to ErrStaleGeneration when
+// another reload published since PrepareReload — the candidate was vetted
+// against a generation that no longer serves. Idempotent with Abort:
+// whichever runs first wins.
+func (p *PreparedReload) Commit() (uint64, error) {
+	gen, err := p.staged.Commit()
+	if err != nil {
+		return 0, err
+	}
+	p.svc.retain(gen.Value)
+	return gen.Seq, nil
+}
+
+// Abort discards the prepared candidate without publishing it.
+func (p *PreparedReload) Abort() { p.staged.Abort() }
 
 // Engine returns the currently served engine. The engine is immutable; a
 // concurrent Reload publishes a new one rather than changing this one.
@@ -298,6 +444,12 @@ func (s *Service) Scan(ctx context.Context, input []byte) ([]Match, error) {
 	tr.SetInt("input_bytes", len(input))
 	startedAt := time.Now()
 
+	tenant := TenantFromContext(ctx)
+	if !s.quo.Allow(tenant) {
+		s.sm.Admit(tenant, "quota")
+		tr.SetStr("outcome", "quota")
+		return nil, fmt.Errorf("bvap: tenant %q: %w", tenant, ErrQuotaExceeded)
+	}
 	key := inputKey(input)
 	_, bsp := tracing.StartSpan(ctx, "breaker")
 	allowed := s.brk.Allow(key)
@@ -310,9 +462,11 @@ func (s *Service) Scan(ctx context.Context, input []byte) ([]Match, error) {
 	release, err := s.adm.Acquire(ctx)
 	asp.End()
 	if err != nil {
+		s.sm.Admit(tenant, admitOutcome(err))
 		tr.SetStr("outcome", "shed")
 		return nil, err
 	}
+	s.sm.Admit(tenant, "ok")
 	defer release()
 
 	g := s.gen.Load() // pin one generation for the whole scan
@@ -372,12 +526,27 @@ func (s *Service) ScanBatch(ctx context.Context, inputs [][]byte, opts *BatchOpt
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	tenant := TenantFromContext(ctx)
+	if !s.quo.Allow(tenant) {
+		s.sm.Admit(tenant, "quota")
+		return nil, fmt.Errorf("bvap: tenant %q: %w", tenant, ErrQuotaExceeded)
+	}
 	release, err := s.adm.Acquire(ctx)
 	if err != nil {
+		s.sm.Admit(tenant, admitOutcome(err))
 		return nil, err
 	}
+	s.sm.Admit(tenant, "ok")
 	defer release()
 	return s.Engine().ScanBatch(ctx, inputs, opts)
+}
+
+// admitOutcome maps an admission error onto the MetricAdmits outcome label.
+func admitOutcome(err error) string {
+	if errors.Is(err, ErrDraining) {
+		return "draining"
+	}
+	return "shed"
 }
 
 // Drain stops admitting work (new requests fail with ErrDraining), lets
