@@ -43,11 +43,23 @@ type Node struct {
 // stagedTicket is one prepare round's node-local state, kept so prepare
 // and commit are idempotent per ticket: a coordinator that dies and
 // re-runs its round converges instead of double-applying.
+//
+// Locking: fingerprint and base are immutable after staging. prep is
+// guarded by mu, which also serializes the Commit/Abort operation so
+// concurrent commits of one ticket resolve to one publication plus
+// replays. committed and gen are written with BOTH mu and the node mutex
+// held (mu first), so readers holding either lock see a consistent pair —
+// sweepStagedLocked reads them under the node mutex alone. prep is dropped
+// the moment the ticket resolves (committed or dead), so a retained ticket
+// no longer pins a compiled engine.
 type stagedTicket struct {
-	prep        *bvap.PreparedReload
 	fingerprint uint64
-	committed   bool
-	gen         uint64
+	base        uint64
+
+	mu        sync.Mutex
+	prep      *bvap.PreparedReload // nil once committed or dead
+	committed bool
+	gen       uint64
 }
 
 // nodeSession is one migrated-able streaming session. Committed matches
@@ -217,6 +229,25 @@ func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
 	return true
 }
 
+// sweepStagedLocked evicts committed tickets whose generation has been
+// superseded. Such a ticket can only mislead: replaying its prepare would
+// hand the coordinator a fingerprint the node no longer serves, and its
+// commit would report an old generation without publishing — so a
+// re-publish of a previously published set (rolling back A after B, with
+// the ticket derived deterministically from the set) would "succeed"
+// while the fleet keeps serving B. Evicting forces a fresh round instead.
+// At most one committed ticket (the one whose gen is current) survives,
+// which also bounds retained tickets across repeated reloads. Callers
+// hold n.mu.
+func (n *Node) sweepStagedLocked() {
+	cur := n.svc.Generation()
+	for id, t := range n.staged {
+		if t.committed && t.gen != cur {
+			delete(n.staged, id)
+		}
+	}
+}
+
 func (n *Node) handlePrepare(w http.ResponseWriter, r *http.Request) {
 	var req PrepareRequest
 	if !decodeBody(w, r, &req) {
@@ -227,10 +258,11 @@ func (n *Node) handlePrepare(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	n.mu.Lock()
+	n.sweepStagedLocked()
 	if t, ok := n.staged[req.Ticket]; ok {
 		// Idempotent replay: a coordinator retrying its prepare gets the
 		// fingerprint of the already-staged candidate.
-		resp := PrepareResponse{Fingerprint: fmt.Sprintf("%016x", t.fingerprint), Base: t.prep.Base()}
+		resp := PrepareResponse{Fingerprint: fmt.Sprintf("%016x", t.fingerprint), Base: t.base}
 		n.mu.Unlock()
 		writeJSON(w, http.StatusOK, resp)
 		return
@@ -242,17 +274,21 @@ func (n *Node) handlePrepare(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	n.mu.Lock()
-	if _, ok := n.staged[req.Ticket]; ok {
-		// Lost a concurrent race on the same ticket; keep the first.
+	if t, ok := n.staged[req.Ticket]; ok {
+		// Lost a concurrent race on the same ticket; keep the first and
+		// answer with its staging directly (the request body is already
+		// consumed, so re-entering the handler would misread EOF as a bad
+		// request and spuriously fail the round).
+		resp := PrepareResponse{Fingerprint: fmt.Sprintf("%016x", t.fingerprint), Base: t.base}
 		n.mu.Unlock()
 		prep.Abort()
-		n.handlePrepare(w, r)
+		writeJSON(w, http.StatusOK, resp)
 		return
 	}
-	t := &stagedTicket{prep: prep, fingerprint: prep.Fingerprint()}
+	t := &stagedTicket{prep: prep, fingerprint: prep.Fingerprint(), base: prep.Base()}
 	n.staged[req.Ticket] = t
 	n.mu.Unlock()
-	writeJSON(w, http.StatusOK, PrepareResponse{Fingerprint: fmt.Sprintf("%016x", t.fingerprint), Base: prep.Base()})
+	writeJSON(w, http.StatusOK, PrepareResponse{Fingerprint: fmt.Sprintf("%016x", t.fingerprint), Base: t.base})
 }
 
 func (n *Node) handleCommit(w http.ResponseWriter, r *http.Request) {
@@ -267,22 +303,48 @@ func (n *Node) handleCommit(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusNotFound, map[string]string{"error": "unknown ticket " + req.Ticket})
 		return
 	}
-	n.mu.Lock()
+	// t.mu serializes the whole commit: concurrent commits of one ticket
+	// resolve to one publication, and every later caller replays the
+	// recorded generation instead of racing into a spurious stale refusal.
+	t.mu.Lock()
 	if t.committed {
 		gen := t.gen
-		n.mu.Unlock()
+		t.mu.Unlock()
 		writeJSON(w, http.StatusOK, CommitResponse{Generation: gen})
 		return
 	}
-	n.mu.Unlock()
+	if t.prep == nil {
+		// Resolved dead (a previous commit hit a superseded base) but still
+		// reachable through a raced lookup; same refusal as that commit.
+		t.mu.Unlock()
+		writeError(w, serve.ErrStaleGeneration)
+		return
+	}
 	gen, err := t.prep.Commit()
 	if err != nil {
+		if errors.Is(err, serve.ErrStaleGeneration) {
+			// The candidate can never publish — its base generation is gone.
+			// Drop it so the ticket stops pinning a compiled engine and a
+			// fresh round under the same ticket can re-stage.
+			t.prep.Abort()
+			t.prep = nil
+			n.mu.Lock()
+			if n.staged[req.Ticket] == t {
+				delete(n.staged, req.Ticket)
+			}
+			n.mu.Unlock()
+		}
+		t.mu.Unlock()
 		writeError(w, err)
 		return
 	}
+	t.prep = nil
 	n.mu.Lock()
 	t.committed, t.gen = true, gen
+	// This publication superseded whatever committed ticket was current.
+	n.sweepStagedLocked()
 	n.mu.Unlock()
+	t.mu.Unlock()
 	writeJSON(w, http.StatusOK, CommitResponse{Generation: gen})
 }
 
@@ -296,7 +358,12 @@ func (n *Node) handleAbort(w http.ResponseWriter, r *http.Request) {
 	delete(n.staged, req.Ticket)
 	n.mu.Unlock()
 	if ok {
-		t.prep.Abort()
+		t.mu.Lock()
+		if t.prep != nil {
+			t.prep.Abort()
+			t.prep = nil
+		}
+		t.mu.Unlock()
 	}
 	writeJSON(w, http.StatusOK, map[string]bool{"aborted": ok})
 }
@@ -332,11 +399,15 @@ func (n *Node) installSession(id string, open func(cfg *bvap.SessionConfig) (*bv
 	}
 	ns.ss = ss
 	n.mu.Lock()
-	defer n.mu.Unlock()
 	if _, taken := n.sessions[id]; taken {
+		n.mu.Unlock()
+		// Release the freshly opened session — leaving it unclosed would
+		// leak its checked-out stream for the process lifetime.
+		ss.Close()
 		return nil, fmt.Errorf("session %s already open on node %s", id, n.cfg.ID)
 	}
 	n.sessions[id] = ns
+	n.mu.Unlock()
 	return ns, nil
 }
 

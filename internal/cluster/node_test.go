@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"sync"
 	"testing"
 	"time"
 
@@ -130,6 +131,181 @@ func TestCoordinatedPublishAbortsWhenOneNodeFails(t *testing.T) {
 	good.node.mu.Unlock()
 	if staged != 0 {
 		t.Fatalf("%d staged tickets left on the healthy node after abort", staged)
+	}
+}
+
+// TestRepublishOldSetAfterNewerPublish is the rollback scenario: publish
+// A, publish B, then publish A again under A's original (deterministic)
+// ticket. The committed ticket from the first round must not replay — the
+// fleet has moved since — so the re-publish opens a fresh round and every
+// node actually serves A again.
+func TestRepublishOldSetAfterNewerPublish(t *testing.T) {
+	setA := []string{"ab{2}c", "c{3}"}
+	setB := []string{"zz{4}q"}
+	var nodes []*testNode
+	var peers []string
+	for i := 0; i < 3; i++ {
+		n := newTestNode(t, fmt.Sprintf("n%d", i), []string{"ab{2}c"}, nil)
+		nodes = append(nodes, n)
+		peers = append(peers, n.srv.URL)
+	}
+	coord := NewCoordinator(testClusterClient(), peers)
+	ctx := context.Background()
+
+	if _, err := coord.Publish(ctx, "ticket-A", setA); err != nil {
+		t.Fatalf("publish A: %v", err)
+	}
+	fpA := nodes[0].svc.Engine().Fingerprint()
+	if _, err := coord.Publish(ctx, "ticket-B", setB); err != nil {
+		t.Fatalf("publish B: %v", err)
+	}
+	// Roll back: same set, same ticket as the first round.
+	gens, err := coord.Publish(ctx, "ticket-A", setA)
+	if err != nil {
+		t.Fatalf("re-publish A: %v", err)
+	}
+	for _, n := range nodes {
+		if got := n.svc.Generation(); got != 4 {
+			t.Fatalf("node %s at generation %d after rollback, want 4 (fresh round, not a stale-ticket replay)", n.node.cfg.ID, got)
+		}
+		if gens[n.srv.URL] != 4 {
+			t.Fatalf("rollback reported generation %d for %s, want 4", gens[n.srv.URL], n.srv.URL)
+		}
+		if got := n.svc.Engine().Fingerprint(); got != fpA {
+			t.Fatalf("node %s serving fingerprint %016x after rollback, want A's %016x", n.node.cfg.ID, got, fpA)
+		}
+	}
+}
+
+// TestCommittedTicketDropsPreparedEngine checks the staged map does not
+// pin compiled engines (or grow) across repeated coordinated reloads: a
+// resolved ticket keeps only {committed, gen} and superseded tickets are
+// swept at the next prepare.
+func TestCommittedTicketDropsPreparedEngine(t *testing.T) {
+	n := newTestNode(t, "m", []string{"ab{2}c"}, nil)
+	coord := NewCoordinator(testClusterClient(), []string{n.srv.URL})
+	ctx := context.Background()
+	for i := 0; i < 8; i++ {
+		if _, err := coord.Publish(ctx, fmt.Sprintf("round-%d", i), []string{fmt.Sprintf("ab{%d}c", i+2)}); err != nil {
+			t.Fatalf("publish round %d: %v", i, err)
+		}
+	}
+	n.node.mu.Lock()
+	defer n.node.mu.Unlock()
+	if len(n.node.staged) > 1 {
+		t.Fatalf("%d tickets retained after 8 rounds, want ≤ 1 (the current generation's)", len(n.node.staged))
+	}
+	for id, tk := range n.node.staged {
+		if tk.prep != nil {
+			t.Fatalf("committed ticket %s still holds its PreparedReload", id)
+		}
+	}
+}
+
+// TestConcurrentPrepareSameTicket hammers one ticket with concurrent
+// prepares: every caller must get 200 with the winner's fingerprint (the
+// loser path must not re-read the consumed request body), and exactly one
+// candidate may stay staged.
+func TestConcurrentPrepareSameTicket(t *testing.T) {
+	n := newTestNode(t, "p", []string{"ab{2}c"}, nil)
+	client := testClusterClient()
+	ctx := context.Background()
+
+	const workers = 8
+	resps := make([]PrepareResponse, workers)
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = client.PostJSON(ctx, n.srv.URL, "/cluster/prepare",
+				PrepareRequest{Ticket: "shared", Patterns: []string{"c{3}"}}, &resps[i])
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < workers; i++ {
+		if errs[i] != nil {
+			t.Fatalf("concurrent prepare %d: %v", i, errs[i])
+		}
+		if resps[i].Fingerprint != resps[0].Fingerprint {
+			t.Fatalf("prepare %d staged fingerprint %s, prepare 0 staged %s", i, resps[i].Fingerprint, resps[0].Fingerprint)
+		}
+	}
+	n.node.mu.Lock()
+	staged := len(n.node.staged)
+	n.node.mu.Unlock()
+	if staged != 1 {
+		t.Fatalf("%d tickets staged after concurrent prepares of one ticket, want 1", staged)
+	}
+}
+
+// TestConcurrentCommitSameTicket: concurrent commits of one prepared
+// ticket must all succeed with the same generation — one publication, the
+// rest replays — never a spurious stale refusal.
+func TestConcurrentCommitSameTicket(t *testing.T) {
+	n := newTestNode(t, "c", []string{"ab{2}c"}, nil)
+	client := testClusterClient()
+	ctx := context.Background()
+
+	if err := client.PostJSON(ctx, n.srv.URL, "/cluster/prepare",
+		PrepareRequest{Ticket: "t", Patterns: []string{"c{3}"}}, nil); err != nil {
+		t.Fatalf("prepare: %v", err)
+	}
+	const workers = 8
+	resps := make([]CommitResponse, workers)
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = client.PostJSON(ctx, n.srv.URL, "/cluster/commit",
+				TicketRequest{Ticket: "t"}, &resps[i])
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < workers; i++ {
+		if errs[i] != nil {
+			t.Fatalf("concurrent commit %d: %v", i, errs[i])
+		}
+		if resps[i].Generation != 2 {
+			t.Fatalf("concurrent commit %d returned generation %d, want 2", i, resps[i].Generation)
+		}
+	}
+	if got := n.svc.Generation(); got != 2 {
+		t.Fatalf("node at generation %d after concurrent commits, want 2 (exactly one publication)", got)
+	}
+}
+
+// TestDuplicateSessionOpenDoesNotLeak: the losing open must close its
+// freshly opened session instead of abandoning the checked-out stream,
+// and must not disturb the established one.
+func TestDuplicateSessionOpenDoesNotLeak(t *testing.T) {
+	n := newTestNode(t, "d", []string{"ab{2}c"}, nil)
+	client := testClusterClient()
+	ctx := context.Background()
+
+	if err := client.PostJSON(ctx, n.srv.URL, "/cluster/session/open",
+		SessionOpenRequest{SessionID: "dup"}, nil); err != nil {
+		t.Fatalf("first open: %v", err)
+	}
+	if err := client.PostJSON(ctx, n.srv.URL, "/cluster/session/open",
+		SessionOpenRequest{SessionID: "dup"}, nil); err == nil {
+		t.Fatal("duplicate open succeeded, want refusal")
+	}
+	// The original session still works, and closing it frees the id.
+	if err := client.PostJSON(ctx, n.srv.URL, "/cluster/session/feed",
+		SessionFeedRequest{SessionID: "dup", Chunk: []byte("xabbcx")}, nil); err != nil {
+		t.Fatalf("feed after duplicate open: %v", err)
+	}
+	if err := client.PostJSON(ctx, n.srv.URL, "/cluster/session/close",
+		SessionRequest{SessionID: "dup"}, nil); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	if err := client.PostJSON(ctx, n.srv.URL, "/cluster/session/open",
+		SessionOpenRequest{SessionID: "dup"}, nil); err != nil {
+		t.Fatalf("re-open after close: %v", err)
 	}
 }
 
