@@ -81,6 +81,7 @@ func registry() []experiment {
 		{"soak", "service soak: crash/resume correctness + overload/reload churn → BENCH_<n>.json (+ -baseline compare)", false, (*app).runSoak},
 		{"obs", "tracing overhead: disabled-path allocs, live throughput cost, energy-partition exactness → BENCH_<n>.json (+ -baseline compare)", false, (*app).runObs},
 		{"cluster", "fleet soak: node kills, session migration, coordinated reloads, tenant quotas → BENCH_<n>.json (+ -baseline compare)", false, (*app).runCluster},
+		{"fleetobs", "fleet observability gate: cross-node trace stitching, exact metrics federation, SLO burn-rate alerting, disabled-path allocs → BENCH_<n>.json (+ -baseline compare)", false, (*app).runFleetObs},
 	}
 }
 
@@ -125,6 +126,9 @@ type app struct {
 	clusterStreams   int
 	clusterKills     int
 	clusterPublishes int
+	fleetobsDataset  string
+	fleetobsNodes    int
+	fleetobsScans    int
 	datasets         []string
 	archs            []string
 	baselinePath     string
@@ -171,6 +175,9 @@ func main() {
 	flag.IntVar(&a.clusterStreams, "cluster-streams", 6, "concurrent migrating sessions in -exp cluster")
 	flag.IntVar(&a.clusterKills, "cluster-kills", 2, "forced node kills during -exp cluster (capped at nodes-1)")
 	flag.IntVar(&a.clusterPublishes, "cluster-publishes", 2, "coordinated reload rounds during -exp cluster")
+	flag.StringVar(&a.fleetobsDataset, "fleetobs-dataset", "Snort", "dataset for the -exp fleetobs gate")
+	flag.IntVar(&a.fleetobsNodes, "fleetobs-nodes", 3, "in-process nodes in the -exp fleetobs fleet")
+	flag.IntVar(&a.fleetobsScans, "fleetobs-scans", 24, "forced-forward ring-routed scans in -exp fleetobs")
 	datasetList := flag.String("datasets", "", "comma-separated dataset subset")
 	archList := flag.String("archs", "", "comma-separated architecture subset for -exp perf (BVAP, BVAP-S, CAMA, CA, eAP, CNT)")
 	jsonPath := flag.String("json", "", "also write the structured results as JSON to this file")
@@ -694,6 +701,51 @@ func parseIntList(s string) ([]int, error) {
 	return out, nil
 }
 
+// runFleetObs runs the fleet observability gate: cross-node trace
+// stitching with zero orphans, exact metrics federation, SLO burn-rate
+// fire/resolve on an injected regression, and the zero-alloc disabled
+// tracing path.
+func (a *app) runFleetObs() error {
+	opt := experiments.FleetObsOptions{
+		Dataset:  a.fleetobsDataset,
+		Nodes:    a.fleetobsNodes,
+		Scans:    a.fleetobsScans,
+		Sample:   a.sample,
+		InputLen: a.inputLen,
+	}
+	res, rep, err := experiments.FleetObs(opt)
+	if err != nil {
+		return err
+	}
+	a.dump.FleetObs = res
+	experiments.RenderFleetObs(os.Stdout, res)
+
+	out := a.benchOut
+	if out == "" {
+		out, err = experiments.NextBenchPath(".")
+		if err != nil {
+			return err
+		}
+	}
+	if err := experiments.WriteBenchReport(out, rep); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", out)
+
+	if a.baselinePath != "" {
+		base, err := experiments.ReadBenchReport(a.baselinePath)
+		if err != nil {
+			return err
+		}
+		regs := experiments.CompareBench(rep, base, experiments.Thresholds{})
+		experiments.RenderRegressions(os.Stdout, regs)
+		if len(regs) > 0 {
+			return fmt.Errorf("%d counted metric(s) regressed vs %s", len(regs), a.baselinePath)
+		}
+	}
+	return nil
+}
+
 // jsonResults is the machine-readable form of a bvapbench run, for plotting
 // the figures outside this repository.
 type jsonResults struct {
@@ -711,6 +763,7 @@ type jsonResults struct {
 	Soak       *experiments.SoakResult        `json:"soak,omitempty"`
 	Obs        *experiments.ObsResult         `json:"obs,omitempty"`
 	Cluster    *experiments.ClusterSoakResult `json:"cluster,omitempty"`
+	FleetObs   *experiments.FleetObsResult    `json:"fleetobs,omitempty"`
 }
 
 // parseRates parses the -fault-rates list; an empty string selects the

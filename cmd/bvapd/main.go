@@ -19,9 +19,17 @@
 //	GET  /debug/trace/{id} one trace by hex id (JSON; ?format=chrome for a
 //	                       chrome://tracing / Perfetto document)
 //	POST /cluster/*        fleet surface (-node-id): two-phase reload
-//	                       prepare/commit/abort, session migration, scans
+//	                       prepare/commit/abort, session migration, scans,
+//	                       span-fragment export, metric snapshots, health
 //	POST /cluster/publish  coordinated fleet-wide reload (-peers): body =
 //	                       newline-separated patterns, ?ticket= optional
+//	GET  /debug/fleet/trace/{id}  (-peers) cross-node stitched trace: every
+//	                       peer's span fragments grafted into one causal
+//	                       tree (?format=chrome for Perfetto)
+//	GET  /debug/fleet/metrics     (-peers) federated OpenMetrics: fleet
+//	                       totals plus node="..."-labeled per-node series
+//	GET  /debug/fleet/health      (-peers) per-node health probe + SLO
+//	                       burn-rate alerts
 //
 // Every scan runs under a request-scoped trace: the returned trace_id keys
 // the flight recorder's ring (tune with -flight-*), appears on every log
@@ -66,6 +74,8 @@ import (
 
 	"bvap"
 	"bvap/internal/cluster"
+	"bvap/internal/serve"
+	"bvap/internal/slo"
 	"bvap/internal/telemetry"
 	"bvap/internal/tracing"
 )
@@ -94,6 +104,15 @@ type config struct {
 	flightPinned        int
 	flightLatencyBudget time.Duration
 	flightEnergyBudget  float64
+
+	federateInterval time.Duration
+	sloAvailTarget   float64
+	sloLatencyTarget float64
+	sloLatencyMS     float64
+	sloFastWindow    time.Duration
+	sloSlowWindow    time.Duration
+	sloBurn          float64
+	sloInterval      time.Duration
 }
 
 func main() {
@@ -119,6 +138,14 @@ func main() {
 	flag.IntVar(&cfg.flightPinned, "flight-pinned", 32, "over-budget traces retained by the flight recorder's black box")
 	flag.DurationVar(&cfg.flightLatencyBudget, "flight-latency-budget", 0, "pin any scan slower than this into the black box (0 disables)")
 	flag.Float64Var(&cfg.flightEnergyBudget, "flight-energy-budget", 0, "pin any scan above this many picojoules into the black box (0 disables)")
+	flag.DurationVar(&cfg.federateInterval, "federate-interval", 10*time.Second, "fleet metrics scrape cadence (-peers)")
+	flag.Float64Var(&cfg.sloAvailTarget, "slo-availability-target", 0, "scan availability SLO target in (0,1), e.g. 0.999 (0 disables)")
+	flag.Float64Var(&cfg.sloLatencyTarget, "slo-latency-target", 0, "scan latency SLO target in (0,1): fraction of scans under -slo-latency-ms (0 disables)")
+	flag.Float64Var(&cfg.sloLatencyMS, "slo-latency-ms", 50, "latency SLO threshold, ms (rounded down to a histogram bucket bound)")
+	flag.DurationVar(&cfg.sloFastWindow, "slo-fast-window", 5*time.Minute, "fast burn-rate window")
+	flag.DurationVar(&cfg.sloSlowWindow, "slo-slow-window", time.Hour, "slow burn-rate window")
+	flag.Float64Var(&cfg.sloBurn, "slo-burn-threshold", 14.4, "burn rate both windows must exceed to fire")
+	flag.DurationVar(&cfg.sloInterval, "slo-interval", 10*time.Second, "SLO monitor sampling cadence")
 	flag.Parse()
 
 	logger, err := newLogger(cfg.logFormat, cfg.logLevel)
@@ -160,6 +187,11 @@ func newLogger(format, level string) (*slog.Logger, error) {
 }
 
 func run(cfg config, logger *slog.Logger) error {
+	if cfg.nodeID != "" {
+		// Node identity on every log line: a multi-node fleet's interleaved
+		// log streams stay attributable.
+		logger = logger.With("node_id", cfg.nodeID)
+	}
 	patterns, err := loadPatterns(cfg.patternsPath, cfg.dataset, cfg.sample)
 	if err != nil {
 		return err
@@ -185,7 +217,8 @@ func run(cfg config, logger *slog.Logger) error {
 		return fmt.Errorf("initial pattern set: %w", err)
 	}
 
-	d := &daemon{svc: svc, reg: reg, rec: rec, log: logger, maxBody: cfg.maxBody}
+	d := &daemon{svc: svc, reg: reg, rec: rec, log: logger, maxBody: cfg.maxBody, nodeID: cfg.nodeID}
+	d.mon = newSLOMonitor(cfg, reg, logger)
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /scan", d.handleScan)
 	mux.HandleFunc("POST /reload", d.handleReload)
@@ -196,11 +229,15 @@ func run(cfg config, logger *slog.Logger) error {
 	if cfg.nodeID != "" {
 		// Fleet surface: two-phase reload participation and live session
 		// migration. The node shares this daemon's service, so cluster
-		// scans and sessions see the same generations, quotas and metrics.
-		d.node = cluster.NewNode(svc, cluster.NodeConfig{ID: cfg.nodeID, Recorder: rec})
+		// scans and sessions see the same generations, quotas and metrics,
+		// and shares the registry + recorder, so /cluster/metrics and
+		// /cluster/trace/{id} export what this process observed.
+		d.node = cluster.NewNode(svc, cluster.NodeConfig{ID: cfg.nodeID, Recorder: rec, Metrics: reg})
 		mux.Handle("/cluster/", d.node.Handler())
 		logger.Info("cluster surface mounted", "node", cfg.nodeID)
 	}
+	background, stopBackground := context.WithCancel(context.Background())
+	defer stopBackground()
 	if cfg.peers != "" {
 		var peers []string
 		for _, p := range strings.Split(cfg.peers, ",") {
@@ -208,9 +245,42 @@ func run(cfg config, logger *slog.Logger) error {
 				peers = append(peers, p)
 			}
 		}
-		d.coord = cluster.NewCoordinator(cluster.NewClient(cluster.ClientConfig{}), peers)
+		client := cluster.NewClient(cluster.ClientConfig{})
+		d.coord = cluster.NewCoordinator(client, peers)
+		localID := cfg.nodeID
+		if localID == "" {
+			localID = "coordinator"
+		}
+		d.fed = cluster.NewFederator(client, peers, cluster.FederatorConfig{
+			Interval:      cfg.federateInterval,
+			Logger:        logger,
+			Local:         reg,
+			LocalID:       localID,
+			LocalRecorder: rec,
+		})
 		mux.HandleFunc("POST /cluster/publish", d.handlePublish)
-		logger.Info("cluster coordinator enabled", "peers", len(peers))
+		mux.HandleFunc("GET /debug/fleet/trace/{id}", d.handleFleetTrace)
+		mux.HandleFunc("GET /debug/fleet/metrics", d.handleFleetMetrics)
+		mux.HandleFunc("GET /debug/fleet/health", d.handleFleetHealth)
+		go d.fed.Run(background)
+		logger.Info("cluster coordinator enabled", "peers", len(peers), "federate_interval", cfg.federateInterval)
+	}
+	if d.mon.Objectives() > 0 {
+		go func() {
+			ticker := time.NewTicker(cfg.sloInterval)
+			defer ticker.Stop()
+			for {
+				select {
+				case <-background.Done():
+					return
+				case now := <-ticker.C:
+					d.mon.Observe(now)
+				}
+			}
+		}()
+		logger.Info("slo monitor running", "objectives", d.mon.Objectives(),
+			"fast_window", cfg.sloFastWindow, "slow_window", cfg.sloSlowWindow,
+			"burn_threshold", cfg.sloBurn, "interval", cfg.sloInterval)
 	}
 	srv := &http.Server{Addr: cfg.listen, Handler: mux}
 
@@ -324,8 +394,68 @@ type daemon struct {
 	rec     *tracing.Recorder
 	log     *slog.Logger
 	maxBody int64
+	nodeID  string               // labels metrics and traces when -node-id set
 	node    *cluster.Node        // non-nil when -node-id mounted /cluster/*
 	coord   *cluster.Coordinator // non-nil when -peers enabled /cluster/publish
+	fed     *cluster.Federator   // non-nil when -peers enabled /debug/fleet/*
+	mon     *slo.Monitor         // nil-safe; empty unless -slo-* targets set
+}
+
+// newSLOMonitor builds the burn-rate monitor from the -slo-* flags. Both
+// objectives read the serve metrics straight out of the registry snapshot,
+// so the monitor needs no hooks inside the scan path.
+func newSLOMonitor(cfg config, reg *telemetry.Registry, logger *slog.Logger) *slo.Monitor {
+	var objectives []slo.Objective
+	if cfg.sloAvailTarget > 0 && cfg.sloAvailTarget < 1 {
+		objectives = append(objectives, slo.Objective{
+			Name:   "scan-availability",
+			Target: cfg.sloAvailTarget,
+			Source: func() (good, total float64) {
+				for _, s := range reg.Snapshot() {
+					if s.Name != serve.MetricScans {
+						continue
+					}
+					total += s.Value
+					if s.Labels["outcome"] == "ok" {
+						good += s.Value
+					}
+				}
+				return good, total
+			},
+			FastWindow:    cfg.sloFastWindow,
+			SlowWindow:    cfg.sloSlowWindow,
+			BurnThreshold: cfg.sloBurn,
+		})
+	}
+	if cfg.sloLatencyTarget > 0 && cfg.sloLatencyTarget < 1 {
+		le := cfg.sloLatencyMS
+		objectives = append(objectives, slo.Objective{
+			Name:   fmt.Sprintf("scan-latency-%gms", le),
+			Target: cfg.sloLatencyTarget,
+			Source: func() (good, total float64) {
+				for _, s := range reg.Snapshot() {
+					if s.Name != serve.MetricScanDuration {
+						continue
+					}
+					total += float64(s.Count)
+					// Cumulative buckets: the largest bound ≤ the threshold
+					// carries the count of scans at least that fast.
+					var under uint64
+					for _, b := range s.Buckets {
+						if b.UpperBound <= le {
+							under = b.Count
+						}
+					}
+					good += float64(under)
+				}
+				return good, total
+			},
+			FastWindow:    cfg.sloFastWindow,
+			SlowWindow:    cfg.sloSlowWindow,
+			BurnThreshold: cfg.sloBurn,
+		})
+	}
+	return slo.NewMonitor(objectives, logger)
 }
 
 // logger returns the daemon's logger, defaulting for tests that construct
@@ -367,6 +497,9 @@ type flightResponse struct {
 func (d *daemon) handleScan(w http.ResponseWriter, r *http.Request) {
 	ctx, tr := d.rec.StartTrace(r.Context(), "http.scan")
 	defer d.rec.Record(tr)
+	if d.nodeID != "" {
+		tr.SetStr("node", d.nodeID)
+	}
 	input, err := io.ReadAll(io.LimitReader(r.Body, d.maxBody+1))
 	if err != nil {
 		tr.SetStr("outcome", "bad_request")
@@ -434,6 +567,10 @@ func (d *daemon) handleReload(w http.ResponseWriter, r *http.Request) {
 type publishResponse struct {
 	Ticket      string            `json:"ticket"`
 	Generations map[string]uint64 `json:"generations"`
+	// TraceID keys the publish round's distributed trace: the coordinator's
+	// client spans live here, each node's prepare/commit spans on the node —
+	// GET /debug/fleet/trace/{id} stitches them back together.
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 // handlePublish drives the fleet-wide two-phase reload over the configured
@@ -442,14 +579,25 @@ type publishResponse struct {
 // deterministic, so a retried publish replays the same round idempotently
 // instead of opening a new one.
 func (d *daemon) handlePublish(w http.ResponseWriter, r *http.Request) {
+	// A publish round is the natural cross-node trace: the cluster client
+	// stamps this trace's id (and the current span as parent) on every
+	// prepare/commit hop, so each node retains a child fragment and
+	// /debug/fleet/trace/{id} can rebuild the whole round.
+	ctx, tr := d.rec.StartTrace(r.Context(), "fleet.publish")
+	defer d.rec.Record(tr)
+	if d.nodeID != "" {
+		tr.SetStr("node", d.nodeID)
+	}
 	raw, err := io.ReadAll(io.LimitReader(r.Body, d.maxBody))
 	if err != nil {
-		d.writeError(w, http.StatusBadRequest, err, "", nil)
+		tr.SetStr("outcome", "bad_request")
+		d.writeError(w, http.StatusBadRequest, err, "", tr)
 		return
 	}
 	patterns, err := parsePatterns(string(raw))
 	if err != nil {
-		d.writeError(w, http.StatusBadRequest, err, "", nil)
+		tr.SetStr("outcome", "bad_request")
+		d.writeError(w, http.StatusBadRequest, err, "", tr)
 		return
 	}
 	ticket := r.URL.Query().Get("ticket")
@@ -461,19 +609,22 @@ func (d *daemon) handlePublish(w http.ResponseWriter, r *http.Request) {
 		}
 		ticket = fmt.Sprintf("set-%016x", h.Sum64())
 	}
-	gens, err := d.coord.Publish(r.Context(), ticket, patterns)
+	tr.SetStr("ticket", ticket)
+	gens, err := d.coord.Publish(ctx, ticket, patterns)
 	if err != nil {
 		var pub *cluster.PublishError
 		status, kind := http.StatusBadGateway, "publish"
 		if errors.As(err, &pub) {
 			kind = "publish-" + pub.Phase
 		}
-		d.logger().Warn("fleet publish failed", "ticket", ticket, "patterns", len(patterns), "outcome", kind, "err", err)
-		d.writeError(w, status, err, kind, nil)
+		tr.SetStr("outcome", kind)
+		d.logger().Warn("fleet publish failed", "trace_id", tr.IDString(), "ticket", ticket, "patterns", len(patterns), "outcome", kind, "err", err)
+		d.writeError(w, status, err, kind, tr)
 		return
 	}
-	d.logger().Info("fleet published", "ticket", ticket, "patterns", len(patterns), "peers", len(gens), "outcome", "ok")
-	writeJSON(w, d.logger(), http.StatusOK, publishResponse{Ticket: ticket, Generations: gens})
+	tr.SetStr("outcome", "ok")
+	d.logger().Info("fleet published", "trace_id", tr.IDString(), "ticket", ticket, "patterns", len(patterns), "peers", len(gens), "outcome", "ok")
+	writeJSON(w, d.logger(), http.StatusOK, publishResponse{Ticket: ticket, Generations: gens, TraceID: tr.IDString()})
 }
 
 func (d *daemon) handleHealthz(w http.ResponseWriter, _ *http.Request) {
@@ -484,17 +635,23 @@ func (d *daemon) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 }
 
 func (d *daemon) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	// In a fleet (-node-id set), stamp node="..." on every series so
+	// per-node streams stay distinguishable after federation.
+	samples := d.reg.Snapshot()
+	if d.nodeID != "" {
+		samples = telemetry.WithLabel(samples, "node", d.nodeID)
+	}
 	// OpenMetrics (exemplar-capable) only when the scraper asks for it;
 	// classic 0.0.4 text otherwise, which must never carry exemplar syntax.
 	if strings.Contains(r.Header.Get("Accept"), "application/openmetrics-text") {
 		w.Header().Set("Content-Type", "application/openmetrics-text; version=1.0.0; charset=utf-8")
-		if err := d.reg.WriteOpenMetrics(w); err != nil {
+		if err := telemetry.WriteOpenMetricsSamples(w, samples); err != nil {
 			d.logger().Warn("metrics write failed", "err", err)
 		}
 		return
 	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	if err := d.reg.WritePrometheus(w); err != nil {
+	if err := telemetry.WritePrometheusSamples(w, samples); err != nil {
 		d.logger().Warn("metrics write failed", "err", err)
 	}
 }
@@ -538,6 +695,67 @@ func (d *daemon) handleTrace(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, d.logger(), http.StatusOK, t.View())
+}
+
+// handleFleetTrace serves the cross-node stitched view of one trace:
+// every peer's span fragments (plus this process's own) grafted into a
+// single causal tree. Malformed ids are the caller's fault (400);
+// unknown-everywhere ids are 404.
+func (d *daemon) handleFleetTrace(w http.ResponseWriter, r *http.Request) {
+	id, err := tracing.ParseTraceID(r.PathValue("id"))
+	if err != nil {
+		d.writeError(w, http.StatusBadRequest, fmt.Errorf("bad trace id: %w", err), "", nil)
+		return
+	}
+	st, err := d.fed.FleetTrace(r.Context(), id)
+	if err != nil {
+		status := http.StatusBadGateway
+		if errors.Is(err, cluster.ErrNoFragments) {
+			status = http.StatusNotFound
+		}
+		d.writeError(w, status, err, "", nil)
+		return
+	}
+	if r.URL.Query().Get("format") == "chrome" {
+		w.Header().Set("Content-Type", "application/json")
+		if err := st.WriteChrome(w); err != nil {
+			d.logger().Warn("chrome fleet trace write failed", "trace_id", id.String(), "err", err)
+		}
+		return
+	}
+	writeJSON(w, d.logger(), http.StatusOK, st)
+}
+
+// handleFleetMetrics scrapes the fleet now (the background loop keeps the
+// view warm, but a scrape on demand never serves stale totals) and renders
+// one OpenMetrics document: fleet-merged series first, then per-node
+// series labeled node="...".
+func (d *daemon) handleFleetMetrics(w http.ResponseWriter, r *http.Request) {
+	snap := d.fed.Scrape(r.Context())
+	if snap.MergeErr != nil {
+		d.writeError(w, http.StatusInternalServerError, snap.MergeErr, "federation-layout", nil)
+		return
+	}
+	if err := snap.WriteOpenMetrics(w); err != nil {
+		d.logger().Warn("fleet metrics write failed", "err", err)
+	}
+}
+
+// fleetHealthResponse is the /debug/fleet/health document: the per-node
+// probe report plus the SLO monitor's burn-rate state.
+type fleetHealthResponse struct {
+	cluster.FleetHealth
+	SLO       []slo.Status `json:"slo,omitempty"`
+	SLOFiring bool         `json:"slo_firing"`
+}
+
+func (d *daemon) handleFleetHealth(w http.ResponseWriter, r *http.Request) {
+	report := d.fed.Health(r.Context())
+	writeJSON(w, d.logger(), http.StatusOK, fleetHealthResponse{
+		FleetHealth: report,
+		SLO:         d.mon.Status(time.Now()),
+		SLOFiring:   d.mon.Firing(),
+	})
 }
 
 // serviceErrorStatus maps the service's typed errors onto HTTP statuses so

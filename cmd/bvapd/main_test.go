@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"fmt"
 	"io"
 	"log/slog"
 	"net/http"
@@ -400,5 +401,103 @@ func TestClusterSurfaceMounted(t *testing.T) {
 	total := len(feed.Matches) + len(ck.Matches)
 	if total != 40 {
 		t.Fatalf("%d matches before migration, want 40", total)
+	}
+}
+
+// TestNodeIDLabelsMetrics pins satellite behavior of -node-id: every
+// exposed metric series carries node="...".
+func TestNodeIDLabelsMetrics(t *testing.T) {
+	d := testDaemon(t, []string{"ab{2}c"})
+	d.nodeID = "node-7"
+	d.handleScan(httptest.NewRecorder(), httptest.NewRequest("POST", "/scan", strings.NewReader("abbc")))
+
+	rec := httptest.NewRecorder()
+	d.handleMetrics(rec, httptest.NewRequest("GET", "/metrics", nil))
+	body := rec.Body.String()
+	if !strings.Contains(body, `node="node-7"`) {
+		t.Fatalf("exposition missing node label:\n%s", body)
+	}
+	for _, line := range strings.Split(body, "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if !strings.Contains(line, `node="node-7"`) {
+			t.Fatalf("series without node label: %q", line)
+		}
+	}
+
+	// The scan trace carries the node attribute into the flight recorder.
+	traces := d.rec.Recent()
+	if len(traces) != 1 || traces[0].View().Attrs["node"] != "node-7" {
+		t.Fatalf("scan trace missing node attr: %+v", traces[0].View().Attrs)
+	}
+}
+
+func TestNewSLOMonitorObjectives(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	log := slog.New(slog.NewTextHandler(io.Discard, nil))
+	if m := newSLOMonitor(config{}, reg, log); m.Objectives() != 0 {
+		t.Fatalf("no targets configured, got %d objectives", m.Objectives())
+	}
+	cfg := config{sloAvailTarget: 0.999, sloLatencyTarget: 0.95, sloLatencyMS: 50}
+	if m := newSLOMonitor(cfg, reg, log); m.Objectives() != 2 {
+		t.Fatalf("both targets configured, got %d objectives", m.Objectives())
+	}
+}
+
+// TestSLOMonitorFiresOnServeErrors drives the availability objective off
+// the real serve metrics: healthy scans keep it quiet, a burst of scan
+// failures fires it.
+func TestSLOMonitorFiresOnServeErrors(t *testing.T) {
+	d := testDaemon(t, []string{"ab{2}c"})
+	mon := newSLOMonitor(config{
+		sloAvailTarget: 0.999,
+		sloFastWindow:  5 * time.Minute,
+		sloSlowWindow:  time.Hour,
+		sloBurn:        14.4,
+	}, d.reg, slog.New(slog.NewTextHandler(io.Discard, nil)))
+
+	now := time.Unix(1_700_000_000, 0)
+	scanOK := func() {
+		rec := httptest.NewRecorder()
+		d.handleScan(rec, httptest.NewRequest("POST", "/scan", strings.NewReader("abbc")))
+		if rec.Code != 200 {
+			t.Fatalf("scan = %d", rec.Code)
+		}
+	}
+	// Healthy hour.
+	for i := 0; i < 60; i++ {
+		scanOK()
+		now = now.Add(time.Minute)
+		mon.Observe(now)
+	}
+	if mon.Firing() {
+		t.Fatal("healthy baseline fired")
+	}
+
+	// Inject a regression: a second service on the same registry whose
+	// watchdog deadline is unmeetable, so every admitted scan lands in
+	// bvap_serve_scans_total with a non-ok outcome — the counter the
+	// availability objective watches. (Distinct inputs dodge the
+	// quarantine breaker; the quarantine path stops counting.)
+	bad, err := bvap.NewService([]string{"ab{2}c"}, &bvap.ServiceConfig{
+		ScanTimeout:         time.Nanosecond,
+		QuarantineThreshold: 1 << 30,
+		Metrics:             d.reg,
+	})
+	if err != nil {
+		t.Fatalf("NewService: %v", err)
+	}
+	defer bad.Close()
+	for i := 0; i < 40; i++ {
+		input := []byte(fmt.Sprintf("abbc-%d", i))
+		if _, err := bad.Scan(context.Background(), input); err == nil {
+			t.Fatal("1ns-deadline scan succeeded")
+		}
+		now = now.Add(30 * time.Second)
+		mon.Observe(now)
+	}
+	if !mon.Firing() {
+		t.Fatalf("sustained failures did not fire: %+v", mon.Status(now))
 	}
 }

@@ -20,6 +20,14 @@ import (
 // then serve their halves of the same request.
 const TraceHeader = "X-Bvap-Trace-Id"
 
+// SpanHeader carries the caller's span id alongside TraceHeader — the span
+// context of cross-node stitching. The client opens a client span per call
+// and stamps its id here; the receiving node adopts it as the remote
+// parent (tracing.Recorder.StartTraceRemoteSpan), and the fleet assembler
+// later grafts the server-side fragment under that exact client span to
+// rebuild one causally-ordered tree.
+const SpanHeader = "X-Bvap-Span-Id"
+
 // TenantHeader carries the tenant id of a proxied request, so per-tenant
 // quotas meter the originating tenant rather than the forwarding node.
 const TenantHeader = "X-Bvap-Tenant"
@@ -115,6 +123,12 @@ func (c *Client) PostJSON(ctx context.Context, peer, path string, req, resp any)
 	if err != nil {
 		return &PeerError{Peer: peer, Path: path, Err: err}
 	}
+	// The client span covers the whole call (all attempts); its id rides
+	// SpanHeader so the peer's server-side fragment grafts under it. On the
+	// tracing-disabled path StartSpan returns (ctx, nil) with no allocation.
+	ctx, sp := tracing.StartSpan(ctx, "cluster.client "+path)
+	sp.SetStr("peer", peer)
+	defer sp.End()
 	var last error
 	lastStatus := 0
 	attempt := 0
@@ -154,6 +168,9 @@ func (c *Client) post(ctx context.Context, peer, path string, body []byte, resp 
 	if id := tracing.FromContext(ctx).IDString(); id != "" {
 		hreq.Header.Set(TraceHeader, id)
 	}
+	if id := tracing.SpanFromContext(ctx).IDString(); id != "" {
+		hreq.Header.Set(SpanHeader, id)
+	}
 	hres, err := c.hc.Do(hreq)
 	if err != nil {
 		return 0, err
@@ -179,6 +196,99 @@ func (c *Client) post(ctx context.Context, peer, path string, body []byte, resp 
 		return hres.StatusCode, fmt.Errorf("decoding response: %w", err)
 	}
 	return hres.StatusCode, nil
+}
+
+// GetBytes calls GET peer+path and returns the 2xx response body, with the
+// same retry, breaker, and trace/span propagation semantics as PostJSON —
+// the transport of the fleet observability plane (span fragments, metric
+// snapshots, node health). Bodies are capped at 16 MiB.
+func (c *Client) GetBytes(ctx context.Context, peer, path string) ([]byte, error) {
+	if !c.brk.Allow(peer) {
+		return nil, &PeerError{Peer: peer, Path: path, Err: serve.ErrQuarantined}
+	}
+	ctx, sp := tracing.StartSpan(ctx, "cluster.client "+path)
+	sp.SetStr("peer", peer)
+	defer sp.End()
+	var last error
+	lastStatus := 0
+	attempt := 0
+	for ; attempt < c.cfg.MaxAttempts; attempt++ {
+		if attempt > 0 {
+			if err := c.cfg.Backoff.Wait(ctx, attempt-1); err != nil {
+				break
+			}
+		}
+		status, body, err := c.get(ctx, peer, path)
+		if err == nil {
+			c.brk.Success(peer)
+			return body, nil
+		}
+		last, lastStatus = err, status
+		if !retryable(status, err) {
+			c.brk.Success(peer) // the peer answered; the request was just refused
+			return nil, &PeerError{Peer: peer, Path: path, Attempts: attempt + 1, Status: status, Err: err}
+		}
+	}
+	if last == nil {
+		last = ctx.Err()
+	}
+	c.brk.Failure(peer)
+	return nil, &PeerError{Peer: peer, Path: path, Attempts: attempt, Status: lastStatus, Err: last}
+}
+
+// GetJSON is GetBytes plus a JSON decode of the body into resp.
+func (c *Client) GetJSON(ctx context.Context, peer, path string, resp any) error {
+	body, err := c.GetBytes(ctx, peer, path)
+	if err != nil {
+		return err
+	}
+	if resp == nil {
+		return nil
+	}
+	if err := json.Unmarshal(body, resp); err != nil {
+		return &PeerError{Peer: peer, Path: path, Attempts: 1, Status: http.StatusOK,
+			Err: fmt.Errorf("decoding response: %w", err)}
+	}
+	return nil
+}
+
+// get runs one GET attempt under its own timeout.
+func (c *Client) get(ctx context.Context, peer, path string) (int, []byte, error) {
+	actx, cancel := context.WithTimeout(ctx, c.cfg.AttemptTimeout)
+	defer cancel()
+	hreq, err := http.NewRequestWithContext(actx, http.MethodGet, peer+path, nil)
+	if err != nil {
+		return 0, nil, err
+	}
+	if id := tracing.FromContext(ctx).IDString(); id != "" {
+		hreq.Header.Set(TraceHeader, id)
+	}
+	if id := tracing.SpanFromContext(ctx).IDString(); id != "" {
+		hreq.Header.Set(SpanHeader, id)
+	}
+	hres, err := c.hc.Do(hreq)
+	if err != nil {
+		return 0, nil, err
+	}
+	defer func() {
+		io.Copy(io.Discard, io.LimitReader(hres.Body, 1<<16))
+		hres.Body.Close()
+	}()
+	if hres.StatusCode/100 != 2 {
+		var payload struct {
+			Error string `json:"error"`
+		}
+		msg := hres.Status
+		if json.NewDecoder(io.LimitReader(hres.Body, 1<<16)).Decode(&payload) == nil && payload.Error != "" {
+			msg = payload.Error
+		}
+		return hres.StatusCode, nil, &remoteError{Status: hres.StatusCode, Msg: msg}
+	}
+	body, err := io.ReadAll(io.LimitReader(hres.Body, 16<<20))
+	if err != nil {
+		return hres.StatusCode, nil, err
+	}
+	return hres.StatusCode, body, nil
 }
 
 // retryable classifies one attempt's failure: transport errors and

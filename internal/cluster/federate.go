@@ -1,0 +1,298 @@
+package cluster
+
+// The coordinator side of the fleet observability plane: a Federator that
+// scrapes every node's /cluster/metrics into one merged fleet view,
+// assembles cross-node traces from /cluster/trace/{id} fragments, and
+// probes /cluster/health into a fleet health report. bvapd mounts the
+// results under /debug/fleet/*.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"bvap/internal/telemetry"
+	"bvap/internal/tracing"
+)
+
+// FederatorConfig tunes the fleet scrape loop.
+type FederatorConfig struct {
+	// Interval is the background scrape cadence; values <= 0 select 10s.
+	Interval time.Duration
+	// Logger, when non-nil, receives scrape failures.
+	Logger *slog.Logger
+	// Local, when non-nil, contributes the coordinator's own registry
+	// snapshot (under node id LocalID) to the fleet view without an HTTP
+	// round trip.
+	Local   *telemetry.Registry
+	LocalID string
+	// LocalRecorder, when non-nil, contributes the coordinator's own
+	// retained trace fragments to FleetTrace — the driver's half of a
+	// distributed request (its client spans) lives here.
+	LocalRecorder *tracing.Recorder
+}
+
+// NodeSamples is one node's decoded snapshot within a FleetSnapshot.
+type NodeSamples struct {
+	Node    string
+	Err     error // scrape or decode failure; Samples nil
+	Samples []telemetry.Sample
+}
+
+// FleetSnapshot is one federation round: every node's snapshot plus the
+// merged fleet-wide sample set.
+type FleetSnapshot struct {
+	Taken time.Time
+	Nodes []NodeSamples
+	// Fleet is the cross-node Merge: counters summed exactly, histograms
+	// merged bucket-for-bucket, exemplars from the most recent node.
+	Fleet []telemetry.Sample
+	// MergeErr reports a federation layout conflict (nodes exposing
+	// incompatible histogram ladders); Fleet is nil when set.
+	MergeErr error
+}
+
+// Federator periodically scrapes the fleet's per-node metric snapshots and
+// keeps the latest merged view. Safe for concurrent use.
+type Federator struct {
+	client *Client
+	peers  []string
+	cfg    FederatorConfig
+
+	mu   sync.Mutex
+	last *FleetSnapshot
+}
+
+// NewFederator builds a federator over peers (base URLs).
+func NewFederator(client *Client, peers []string, cfg FederatorConfig) *Federator {
+	if cfg.Interval <= 0 {
+		cfg.Interval = 10 * time.Second
+	}
+	return &Federator{client: client, peers: append([]string(nil), peers...), cfg: cfg}
+}
+
+// Scrape runs one federation round now, remembers it as the latest, and
+// returns it. Per-node failures are recorded in the snapshot rather than
+// failing the round — a fleet view that drops a crashed node beats no
+// view.
+func (f *Federator) Scrape(ctx context.Context) *FleetSnapshot {
+	snap := &FleetSnapshot{Taken: time.Now()}
+	results := make([]NodeSamples, len(f.peers))
+	var wg sync.WaitGroup
+	for i, peer := range f.peers {
+		wg.Add(1)
+		go func(i int, peer string) {
+			defer wg.Done()
+			var resp MetricsResponse
+			if err := f.client.GetJSON(ctx, peer, "/cluster/metrics", &resp); err != nil {
+				results[i] = NodeSamples{Node: peer, Err: err}
+				return
+			}
+			samples, err := telemetry.UnmarshalSamples(resp.Metrics)
+			if err != nil {
+				results[i] = NodeSamples{Node: resp.Node, Err: err}
+				return
+			}
+			results[i] = NodeSamples{Node: resp.Node, Samples: samples}
+		}(i, peer)
+	}
+	wg.Wait()
+	if f.cfg.Local != nil {
+		// A peer list that includes this process's own URL (the usual bvapd
+		// convention — publishes must reach every node including the
+		// coordinator) would count the local registry twice; the scraped
+		// copy identifies itself by node id, so drop it in favour of the
+		// fresher in-process snapshot.
+		kept := results[:0]
+		for _, n := range results {
+			if n.Err == nil && f.cfg.LocalID != "" && n.Node == f.cfg.LocalID {
+				continue
+			}
+			kept = append(kept, n)
+		}
+		results = append(kept, NodeSamples{Node: f.cfg.LocalID, Samples: f.cfg.Local.Snapshot()})
+	}
+	snap.Nodes = results
+
+	sets := make([][]telemetry.Sample, 0, len(results))
+	for _, n := range results {
+		if n.Err == nil {
+			sets = append(sets, n.Samples)
+		} else if f.cfg.Logger != nil {
+			f.cfg.Logger.Warn("fleet metrics scrape failed", "peer", n.Node, "err", n.Err)
+		}
+	}
+	snap.Fleet, snap.MergeErr = telemetry.Merge(sets...)
+	if snap.MergeErr != nil && f.cfg.Logger != nil {
+		f.cfg.Logger.Error("fleet metrics merge failed", "err", snap.MergeErr)
+	}
+
+	f.mu.Lock()
+	f.last = snap
+	f.mu.Unlock()
+	return snap
+}
+
+// Last returns the most recent snapshot (nil before the first scrape).
+func (f *Federator) Last() *FleetSnapshot {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.last
+}
+
+// Run scrapes on the configured cadence until ctx is done — bvapd's
+// background federation loop.
+func (f *Federator) Run(ctx context.Context) {
+	ticker := time.NewTicker(f.cfg.Interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-ticker.C:
+			f.Scrape(ctx)
+		}
+	}
+}
+
+// WriteOpenMetrics renders snap as one OpenMetrics document: the merged
+// fleet series first (no node label — these are the fleet totals, with
+// bvap_serve_scan_energy_pj aggregated across shards), then every node's
+// series re-labeled with node="<id>" so per-node drill-down needs no
+// second endpoint.
+func (snap *FleetSnapshot) WriteOpenMetrics(w http.ResponseWriter) error {
+	var all []telemetry.Sample
+	all = append(all, snap.Fleet...)
+	for _, n := range snap.Nodes {
+		if n.Err != nil {
+			continue
+		}
+		all = append(all, telemetry.WithLabel(n.Samples, "node", n.Node)...)
+	}
+	w.Header().Set("Content-Type", "application/openmetrics-text; version=1.0.0; charset=utf-8")
+	return telemetry.WriteOpenMetricsSamples(w, all)
+}
+
+// ErrNoFragments reports a FleetTrace id no node retains anything for.
+var ErrNoFragments = errors.New("cluster: no node retains fragments for trace")
+
+// FleetTrace collects every node's span fragments for id and stitches them
+// into one causally-ordered trace. Nodes that answer 404 simply never
+// touched the trace; transport failures are tolerated the same way (the
+// stitched result then reports orphans, which is the signal an operator
+// needs). It fails only when no fragment exists anywhere.
+func (f *Federator) FleetTrace(ctx context.Context, id tracing.TraceID) (*tracing.StitchedTrace, error) {
+	frags := make([][]tracing.Fragment, len(f.peers))
+	var wg sync.WaitGroup
+	for i, peer := range f.peers {
+		wg.Add(1)
+		go func(i int, peer string) {
+			defer wg.Done()
+			body, err := f.client.GetBytes(ctx, peer, "/cluster/trace/"+id.String())
+			if err != nil {
+				var pe *PeerError
+				if !(errors.As(err, &pe) && pe.Status == http.StatusNotFound) && f.cfg.Logger != nil {
+					f.cfg.Logger.Warn("fleet trace fetch failed", "peer", peer, "err", err)
+				}
+				return
+			}
+			fs, err := tracing.DecodeFragments(body)
+			if err != nil {
+				if f.cfg.Logger != nil {
+					f.cfg.Logger.Warn("fleet trace decode failed", "peer", peer, "err", err)
+				}
+				return
+			}
+			frags[i] = fs
+		}(i, peer)
+	}
+	wg.Wait()
+	var all []tracing.Fragment
+	if f.cfg.LocalRecorder != nil {
+		all = append(all, f.cfg.LocalRecorder.Fragments(id, f.cfg.LocalID)...)
+	}
+	for _, fs := range frags {
+		for _, fr := range fs {
+			// When this process is itself in the peer list, the scrape
+			// returns the local recorder's fragments a second time under
+			// the same node id; the in-process copy above already has them.
+			if f.cfg.LocalRecorder != nil && f.cfg.LocalID != "" && fr.Node == f.cfg.LocalID {
+				continue
+			}
+			all = append(all, fr)
+		}
+	}
+	if len(all) == 0 {
+		return nil, fmt.Errorf("%w %s", ErrNoFragments, id)
+	}
+	return tracing.Stitch(id, all), nil
+}
+
+// FleetNodeHealth is one node's probe result within a FleetHealth report.
+type FleetNodeHealth struct {
+	Peer string `json:"peer"`
+	// RingIndex is the node's position in the sorted peer list used as the
+	// consistent-hash ring membership (-1 when the prober runs ringless).
+	RingIndex int        `json:"ring_index"`
+	Err       string     `json:"error,omitempty"`
+	Health    NodeHealth `json:"health"`
+}
+
+// FleetHealth is the fleet-wide health report served at
+// /debug/fleet/health (the SLO block is appended by bvapd, which owns the
+// monitor).
+type FleetHealth struct {
+	Taken time.Time         `json:"taken"`
+	Nodes []FleetNodeHealth `json:"nodes"`
+	// Generations maps generation fingerprints to the peers serving them —
+	// more than one key means a torn fleet (a reload round died between
+	// prepare and commit, or a node missed a publish).
+	Generations map[string][]string `json:"generations,omitempty"`
+}
+
+// Health probes every node's /cluster/health in parallel.
+func (f *Federator) Health(ctx context.Context) FleetHealth {
+	report := FleetHealth{Taken: time.Now(), Generations: map[string][]string{}}
+	results := make([]FleetNodeHealth, len(f.peers))
+	ringIndex := map[string]int{}
+	for i, p := range sortedPeers(f.peers) {
+		ringIndex[p] = i
+	}
+	var wg sync.WaitGroup
+	for i, peer := range f.peers {
+		wg.Add(1)
+		go func(i int, peer string) {
+			defer wg.Done()
+			h := FleetNodeHealth{Peer: peer, RingIndex: ringIndex[peer]}
+			var nh NodeHealth
+			if err := f.client.GetJSON(ctx, peer, "/cluster/health", &nh); err != nil {
+				h.Err = err.Error()
+			} else {
+				h.Health = nh
+			}
+			results[i] = h
+		}(i, peer)
+	}
+	wg.Wait()
+	for _, h := range results {
+		if h.Err == "" {
+			report.Generations[h.Health.Fingerprint] = append(report.Generations[h.Health.Fingerprint], h.Peer)
+		}
+	}
+	for _, peers := range report.Generations {
+		sort.Strings(peers)
+	}
+	report.Nodes = results
+	return report
+}
+
+func sortedPeers(peers []string) []string {
+	out := append([]string(nil), peers...)
+	sort.Strings(out)
+	return out
+}

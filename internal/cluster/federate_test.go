@@ -1,0 +1,376 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"bvap"
+	"bvap/internal/telemetry"
+	"bvap/internal/tracing"
+)
+
+// testFleet is an in-process ring of fully observable nodes: every node
+// carries a recorder and a metrics registry and knows the ring, so keyed
+// scans hop to their owner and every hop leaves a span fragment behind.
+type testFleet struct {
+	nodes []*Node
+	regs  []*telemetry.Registry
+	recs  []*tracing.Recorder
+	srvs  []*httptest.Server
+	peers []string
+	ring  *Ring
+}
+
+func newTestFleet(t *testing.T, size int, patterns []string) *testFleet {
+	t.Helper()
+	f := &testFleet{nodes: make([]*Node, size)}
+	// Servers first: the ring is keyed by base URL, which the node configs
+	// need, and which httptest only assigns at start. The handler closes
+	// over the node slot so the node can be built afterwards.
+	for i := 0; i < size; i++ {
+		i := i
+		srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			f.nodes[i].Handler().ServeHTTP(w, r)
+		}))
+		t.Cleanup(srv.Close)
+		f.srvs = append(f.srvs, srv)
+		f.peers = append(f.peers, srv.URL)
+	}
+	f.ring = NewRing(64)
+	for _, p := range f.peers {
+		f.ring.Add(p)
+	}
+	client := testClusterClient()
+	for i := 0; i < size; i++ {
+		reg := telemetry.NewRegistry()
+		rec := tracing.NewRecorder(tracing.Config{Capacity: 128})
+		svc, err := bvap.NewService(patterns, &bvap.ServiceConfig{Metrics: reg})
+		if err != nil {
+			t.Fatalf("NewService: %v", err)
+		}
+		n := NewNode(svc, NodeConfig{
+			ID:       fmt.Sprintf("node-%d", i),
+			Recorder: rec,
+			Metrics:  reg,
+			Self:     f.peers[i],
+			Ring:     f.ring,
+			Client:   client,
+		})
+		t.Cleanup(func() { n.Close(); svc.Close() })
+		f.nodes[i] = n
+		f.regs = append(f.regs, reg)
+		f.recs = append(f.recs, rec)
+	}
+	return f
+}
+
+// keyOwnedBy finds a routing key whose ring owner is peer index want.
+func (f *testFleet) keyOwnedBy(t *testing.T, want int) string {
+	t.Helper()
+	for i := 0; i < 10000; i++ {
+		key := fmt.Sprintf("stream-%d", i)
+		if f.ring.Owner(key) == f.peers[want] {
+			return key
+		}
+	}
+	t.Fatal("no key found for owner")
+	return ""
+}
+
+func TestRingRoutedScanStitchesAcrossNodes(t *testing.T) {
+	f := newTestFleet(t, 3, []string{"ab{2}c"})
+	client := testClusterClient()
+
+	// Drive like bvapd's coordinator would: a root trace whose context the
+	// cluster client propagates. The scan lands on node 0 but its key is
+	// owned by node 2, forcing the forwarding hop.
+	driver := tracing.NewRecorder(tracing.Config{Capacity: 16})
+	ctx, root := driver.StartTrace(context.Background(), "http.scan")
+	key := f.keyOwnedBy(t, 2)
+	var resp ScanResponse
+	if err := client.PostJSON(ctx, f.peers[0], "/cluster/scan",
+		ScanRequest{Input: []byte("xabbc"), Key: key}, &resp); err != nil {
+		t.Fatalf("scan: %v", err)
+	}
+	driver.Record(root)
+	if resp.Node != "node-2" {
+		t.Fatalf("scan executed on %q, want ring owner node-2", resp.Node)
+	}
+	if len(resp.Matches) != 1 {
+		t.Fatalf("matches = %v, want 1", resp.Matches)
+	}
+
+	// Assemble the fleet trace the way /debug/fleet/trace/{id} does.
+	fed := NewFederator(client, f.peers, FederatorConfig{
+		LocalID: "driver", Local: telemetry.NewRegistry(), LocalRecorder: driver,
+	})
+	st, err := fed.FleetTrace(context.Background(), root.ID())
+	if err != nil {
+		t.Fatalf("FleetTrace: %v", err)
+	}
+	if st.Orphans != 0 {
+		out, _ := stitchedJSON(st)
+		t.Fatalf("stitched trace has %d orphans:\n%s", st.Orphans, out)
+	}
+	if len(st.Roots) != 1 || st.Roots[0].Node != "driver" {
+		t.Fatalf("roots = %+v, want single root on driver", st.Roots)
+	}
+	// Exactly one fragment per hop: driver, entry node, owner node.
+	if st.Fragments != 3 {
+		t.Fatalf("fragments = %d, want 3 (driver + node-0 + node-2)", st.Fragments)
+	}
+	wantNodes := map[string]bool{"driver": true, "node-0": true, "node-2": true}
+	for _, n := range st.Nodes {
+		if !wantNodes[n] {
+			t.Fatalf("unexpected node %q in stitched trace (nodes %v)", n, st.Nodes)
+		}
+		delete(wantNodes, n)
+	}
+	if len(wantNodes) != 0 {
+		t.Fatalf("hops missing from stitched trace: %v (got %v)", wantNodes, st.Nodes)
+	}
+	// The causal chain: driver root → driver client span → node-0 fragment
+	// → node-0 forward span → node-0 client span → node-2 fragment.
+	cur := st.Roots[0]
+	depthNodes := []string{}
+	for cur != nil {
+		if cur.SpanID == "" {
+			depthNodes = append(depthNodes, cur.Node)
+		}
+		if len(cur.Children) == 0 {
+			cur = nil
+		} else {
+			cur = cur.Children[0]
+		}
+	}
+	if len(depthNodes) != 3 || depthNodes[0] != "driver" || depthNodes[1] != "node-0" || depthNodes[2] != "node-2" {
+		t.Fatalf("causal chain of fragments = %v, want [driver node-0 node-2]", depthNodes)
+	}
+}
+
+func stitchedJSON(st *tracing.StitchedTrace) (string, error) {
+	var sb strings.Builder
+	err := st.WriteChrome(&sb)
+	return sb.String(), err
+}
+
+func TestFederatorScrapeSumsExactly(t *testing.T) {
+	f := newTestFleet(t, 3, []string{"ab{2}c"})
+	client := testClusterClient()
+
+	// Uneven load per node, applied directly through the service API.
+	loads := []int{5, 17, 31}
+	var want uint64
+	for i, n := range loads {
+		want += uint64(n)
+		for j := 0; j < n; j++ {
+			if _, err := f.nodes[i].svc.Scan(context.Background(), []byte("xabbc")); err != nil {
+				t.Fatalf("scan node %d: %v", i, err)
+			}
+		}
+	}
+
+	fed := NewFederator(client, f.peers, FederatorConfig{})
+	snap := fed.Scrape(context.Background())
+	if snap.MergeErr != nil {
+		t.Fatalf("merge: %v", snap.MergeErr)
+	}
+	if len(snap.Nodes) != 3 {
+		t.Fatalf("scraped %d nodes, want 3", len(snap.Nodes))
+	}
+	for _, n := range snap.Nodes {
+		if n.Err != nil {
+			t.Fatalf("node %s scrape failed: %v", n.Node, n.Err)
+		}
+	}
+	var got float64
+	var found bool
+	var gotCount, wantCount uint64
+	for _, s := range snap.Fleet {
+		if s.Name == "bvap_serve_scans_total" && s.Labels["outcome"] == "ok" {
+			got, found = s.Value, true
+		}
+		if s.Name == "bvap_serve_scan_duration_ms" {
+			gotCount = s.Count
+		}
+	}
+	if !found || got != float64(want) {
+		t.Fatalf("fleet scans_total{outcome=ok} = %v (found=%v), want exactly %d", got, found, want)
+	}
+	// Cross-check against the per-node registries: the fleet histogram
+	// count is exactly the sum of per-node counts.
+	for _, reg := range f.regs {
+		for _, s := range reg.Snapshot() {
+			if s.Name == "bvap_serve_scan_duration_ms" {
+				wantCount += s.Count
+			}
+		}
+	}
+	if gotCount != wantCount {
+		t.Fatalf("fleet duration count = %d, want %d", gotCount, wantCount)
+	}
+	if fed.Last() != snap {
+		t.Fatal("Last() does not return the scrape")
+	}
+}
+
+func TestFederatorToleratesDeadNode(t *testing.T) {
+	f := newTestFleet(t, 2, []string{"ab{2}c"})
+	dead := "http://127.0.0.1:1" // nothing listens there
+	peers := append(append([]string(nil), f.peers...), dead)
+	fed := NewFederator(testClusterClient(), peers, FederatorConfig{})
+
+	snap := fed.Scrape(context.Background())
+	if snap.MergeErr != nil {
+		t.Fatalf("merge: %v", snap.MergeErr)
+	}
+	var failed int
+	for _, n := range snap.Nodes {
+		if n.Err != nil {
+			failed++
+		}
+	}
+	if failed != 1 {
+		t.Fatalf("%d nodes failed, want exactly the dead one", failed)
+	}
+	if len(snap.Fleet) == 0 {
+		t.Fatal("fleet view empty despite two live nodes")
+	}
+}
+
+// TestFederatorSelfScrapeNotDoubleCounted covers the bvapd convention of a
+// -peers list that includes the coordinator's own URL: the local registry
+// and recorder must not be counted a second time through the self-scrape.
+func TestFederatorSelfScrapeNotDoubleCounted(t *testing.T) {
+	f := newTestFleet(t, 2, []string{"ab{2}c"})
+	client := testClusterClient()
+
+	// node-0 is the coordinator: its registry/recorder are the federator's
+	// Local side AND reachable through the peer list.
+	fed := NewFederator(client, f.peers, FederatorConfig{
+		Local: f.regs[0], LocalID: "node-0", LocalRecorder: f.recs[0],
+	})
+
+	loads := []int{4, 7}
+	var want uint64
+	for i, n := range loads {
+		want += uint64(n)
+		for j := 0; j < n; j++ {
+			if _, err := f.nodes[i].svc.Scan(context.Background(), []byte("xabbc")); err != nil {
+				t.Fatalf("scan node %d: %v", i, err)
+			}
+		}
+	}
+	snap := fed.Scrape(context.Background())
+	if snap.MergeErr != nil {
+		t.Fatalf("merge: %v", snap.MergeErr)
+	}
+	if len(snap.Nodes) != 2 {
+		t.Fatalf("snapshot lists %d nodes, want 2 (self-scrape deduped)", len(snap.Nodes))
+	}
+	for _, s := range snap.Fleet {
+		if s.Name == "bvap_serve_scans_total" && s.Labels["outcome"] == "ok" {
+			if s.Value != float64(want) {
+				t.Fatalf("fleet scans_total = %v, want %d (coordinator counted once)", s.Value, want)
+			}
+		}
+	}
+
+	// A trace recorded on the coordinator must stitch from exactly one
+	// fragment, not the local copy plus its self-scraped duplicate.
+	_, root := f.recs[0].StartTrace(context.Background(), "self.trace")
+	f.recs[0].Record(root)
+	st, err := fed.FleetTrace(context.Background(), root.ID())
+	if err != nil {
+		t.Fatalf("FleetTrace: %v", err)
+	}
+	if st.Fragments != 1 || st.Orphans != 0 {
+		t.Fatalf("fragments = %d orphans = %d, want 1 fragment, 0 orphans", st.Fragments, st.Orphans)
+	}
+}
+
+func TestFleetTraceNoFragments(t *testing.T) {
+	f := newTestFleet(t, 2, []string{"ab{2}c"})
+	fed := NewFederator(testClusterClient(), f.peers, FederatorConfig{})
+	_, err := fed.FleetTrace(context.Background(), tracing.TraceID(0x1234))
+	if !errors.Is(err, ErrNoFragments) {
+		t.Fatalf("unknown trace: err = %v, want ErrNoFragments", err)
+	}
+}
+
+func TestFleetHealthReport(t *testing.T) {
+	f := newTestFleet(t, 3, []string{"ab{2}c"})
+	fed := NewFederator(testClusterClient(), f.peers, FederatorConfig{})
+
+	report := fed.Health(context.Background())
+	if len(report.Nodes) != 3 {
+		t.Fatalf("probed %d nodes, want 3", len(report.Nodes))
+	}
+	seenRing := map[int]bool{}
+	for _, n := range report.Nodes {
+		if n.Err != "" {
+			t.Fatalf("node %s probe failed: %s", n.Peer, n.Err)
+		}
+		if n.Health.Generation != 1 || n.Health.Fingerprint == "" {
+			t.Fatalf("node health incomplete: %+v", n.Health)
+		}
+		seenRing[n.RingIndex] = true
+	}
+	if len(seenRing) != 3 {
+		t.Fatalf("ring indexes not distinct: %v", seenRing)
+	}
+	// A homogeneous fleet has exactly one generation fingerprint.
+	if len(report.Generations) != 1 {
+		t.Fatalf("generations = %v, want one fingerprint", report.Generations)
+	}
+
+	// Tear the fleet: reload one node only; the report must show two
+	// fingerprint groups.
+	if _, err := f.nodes[0].svc.Reload(context.Background(), []string{"c{3}"}); err != nil {
+		t.Fatalf("reload: %v", err)
+	}
+	report = fed.Health(context.Background())
+	if len(report.Generations) != 2 {
+		t.Fatalf("torn fleet not detected: generations = %v", report.Generations)
+	}
+}
+
+// TestFederatorConcurrentScrapeAndTrace exercises the federator under
+// concurrent use — meaningful under -race.
+func TestFederatorConcurrentScrapeAndTrace(t *testing.T) {
+	f := newTestFleet(t, 3, []string{"ab{2}c"})
+	client := testClusterClient()
+	fed := NewFederator(client, f.peers, FederatorConfig{})
+
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				var resp ScanResponse
+				key := fmt.Sprintf("w%d-%d", w, i)
+				if err := client.PostJSON(context.Background(), f.peers[w%3], "/cluster/scan",
+					ScanRequest{Input: []byte("xabbc"), Key: key}, &resp); err != nil {
+					t.Errorf("scan: %v", err)
+					return
+				}
+				snap := fed.Scrape(context.Background())
+				if snap.MergeErr != nil {
+					t.Errorf("merge: %v", snap.MergeErr)
+					return
+				}
+				fed.Last()
+				fed.Health(context.Background())
+			}
+		}()
+	}
+	wg.Wait()
+}

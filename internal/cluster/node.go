@@ -10,6 +10,7 @@ import (
 
 	"bvap"
 	"bvap/internal/serve"
+	"bvap/internal/telemetry"
 	"bvap/internal/tracing"
 )
 
@@ -19,11 +20,25 @@ type NodeConfig struct {
 	ID string
 	// Recorder, when non-nil, adopts remote trace ids from TraceHeader so
 	// the node's half of a cross-node request records (and is looked up)
-	// under the coordinator's id.
+	// under the coordinator's id, and serves span fragments at
+	// /cluster/trace/{id} for the fleet stitcher.
 	Recorder *tracing.Recorder
+	// Metrics, when non-nil, is the node's registry, exported as a
+	// serialized snapshot at /cluster/metrics for the federation scrape
+	// loop.
+	Metrics *telemetry.Registry
 	// SessionInterval is the default checkpoint interval of sessions
 	// opened without one; values < 1 select the service default.
 	SessionInterval int
+	// Self, Ring and Client enable ring-routed scans: a scan request
+	// carrying a routing key that hashes to another ring member is
+	// forwarded there (once — the forwarded request is marked, so
+	// disagreeing ring views degrade to serving locally rather than
+	// looping). Self is this node's own base URL as it appears in the
+	// ring; all three must be set for forwarding to engage.
+	Self   string
+	Ring   *Ring
+	Client *Client
 }
 
 // Node is the cluster-facing surface of one bvapd process: HTTP handlers
@@ -138,9 +153,46 @@ type (
 		// Tenant attributes the scan for quota accounting; the
 		// TenantHeader, when set, takes precedence.
 		Tenant string `json:"tenant,omitempty"`
+		// Key, when set on a ring-enabled node, routes the scan to the
+		// ring member owning the key (stream affinity); an empty key scans
+		// locally.
+		Key string `json:"key,omitempty"`
+		// Forwarded marks a scan that already took its one routing hop;
+		// the receiving node serves it locally regardless of ring view.
+		Forwarded bool `json:"forwarded,omitempty"`
 	}
 	ScanResponse struct {
+		// Node is the node that executed the scan (the ring owner when the
+		// request was forwarded).
+		Node    string  `json:"node,omitempty"`
 		Matches []Match `json:"matches,omitempty"`
+	}
+	// MetricsResponse is one node's serialized registry snapshot
+	// (GET /cluster/metrics). Metrics is the telemetry.MarshalSamples
+	// payload, kept raw so the node needn't re-decode what it just
+	// encoded.
+	MetricsResponse struct {
+		Node    string          `json:"node"`
+		Metrics json.RawMessage `json:"metrics"`
+	}
+	// NodeHealth is one node's self-reported status (GET /cluster/health),
+	// collected by the fleet prober into /debug/fleet/health.
+	NodeHealth struct {
+		Node        string `json:"node"`
+		Generation  uint64 `json:"generation"`
+		Fingerprint string `json:"fingerprint"`
+		Sessions    int    `json:"sessions"`
+		Staged      int    `json:"staged_tickets"`
+		// Quarantined lists scan keys the service breaker has quarantined.
+		Quarantined []string `json:"quarantined,omitempty"`
+		// QuotaSaturation is per-tenant quota consumption (0 idle → 1
+		// exhausted); nil when quotas are disabled.
+		QuotaSaturation map[string]float64 `json:"quota_saturation,omitempty"`
+		// FlightRecorded / FlightPinned are flight-recorder lifetime
+		// totals; Pinned growth means scans are blowing latency or energy
+		// budgets.
+		FlightRecorded uint64 `json:"flight_recorded"`
+		FlightPinned   uint64 `json:"flight_pinned"`
 	}
 	InfoResponse struct {
 		Node        string   `json:"node"`
@@ -163,21 +215,35 @@ func (n *Node) Handler() http.Handler {
 	mux.HandleFunc("/cluster/session/close", n.withTrace("cluster.session.close", n.handleSessionClose))
 	mux.HandleFunc("/cluster/scan", n.withTrace("cluster.scan", n.handleScan))
 	mux.HandleFunc("/cluster/info", n.withTrace("cluster.info", n.handleInfo))
+	mux.HandleFunc("GET /cluster/trace/{id}", n.handleTraceExport)
+	mux.HandleFunc("GET /cluster/metrics", n.handleMetrics)
+	mux.HandleFunc("GET /cluster/health", n.handleHealth)
 	return mux
 }
 
 // withTrace adopts the remote trace id riding TraceHeader (when the node
-// has a recorder), so the handler's spans land under the caller's id.
+// has a recorder), so the handler's spans land under the caller's id. The
+// caller's span id (SpanHeader) is adopted as the remote parent, which is
+// what lets the fleet stitcher graft this node's fragment under the exact
+// client span that caused the request.
 func (n *Node) withTrace(name string, h func(http.ResponseWriter, *http.Request)) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		if n.cfg.Recorder != nil {
 			var remote tracing.TraceID
+			var parent tracing.SpanID
 			if raw := r.Header.Get(TraceHeader); raw != "" {
 				if id, err := tracing.ParseTraceID(raw); err == nil {
 					remote = id
 				}
 			}
-			ctx, tr := n.cfg.Recorder.StartTraceRemote(r.Context(), name, remote)
+			if remote != 0 {
+				if raw := r.Header.Get(SpanHeader); raw != "" {
+					if id, err := tracing.ParseSpanID(raw); err == nil {
+						parent = id
+					}
+				}
+			}
+			ctx, tr := n.cfg.Recorder.StartTraceRemoteSpan(r.Context(), name, remote, parent)
 			tr.SetStr("node", n.cfg.ID)
 			defer n.cfg.Recorder.Record(tr)
 			r = r.WithContext(ctx)
@@ -523,6 +589,25 @@ func (n *Node) handleScan(w http.ResponseWriter, r *http.Request) {
 	if tenant == "" {
 		tenant = req.Tenant
 	}
+	// Ring routing: a keyed scan landing on a non-owner takes exactly one
+	// hop to the owner. The hop is a traced client call, so the stitched
+	// fleet trace shows driver → this node → owner as one causal chain.
+	if owner, ok := n.routeScan(&req); ok {
+		fwd := req
+		fwd.Tenant, fwd.Forwarded = tenant, true
+		ctx, sp := tracing.StartSpan(ctx, "cluster.forward")
+		sp.SetStr("owner", owner)
+		sp.SetStr("key", req.Key)
+		var resp ScanResponse
+		err := n.cfg.Client.PostJSON(ctx, owner, "/cluster/scan", fwd, &resp)
+		sp.End()
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, resp)
+		return
+	}
 	if tenant != "" {
 		ctx = bvap.WithTenant(ctx, tenant)
 	}
@@ -531,11 +616,83 @@ func (n *Node) handleScan(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
-	resp := ScanResponse{}
+	resp := ScanResponse{Node: n.cfg.ID}
 	for _, m := range ms {
 		resp.Matches = append(resp.Matches, Match{Pattern: m.Pattern, End: m.End})
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// routeScan decides whether a scan request must hop to another ring
+// member, returning the owner's base URL. Forwarded or keyless requests,
+// nodes without ring configuration, and keys this node owns all stay
+// local.
+func (n *Node) routeScan(req *ScanRequest) (string, bool) {
+	if req.Forwarded || req.Key == "" || n.cfg.Ring == nil || n.cfg.Client == nil || n.cfg.Self == "" {
+		return "", false
+	}
+	owner := n.cfg.Ring.Owner(req.Key)
+	if owner == "" || owner == n.cfg.Self {
+		return "", false
+	}
+	return owner, true
+}
+
+// handleTraceExport serves this node's span fragments for one trace id in
+// the BVTF wire form — the raw material of cross-node stitching. A
+// malformed id is 400; a well-formed id with no retained fragments is 404
+// (the trace never touched this node, or its rings have since evicted it).
+func (n *Node) handleTraceExport(w http.ResponseWriter, r *http.Request) {
+	id, err := tracing.ParseTraceID(r.PathValue("id"))
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": fmt.Sprintf("bad trace id: %v", err)})
+		return
+	}
+	frags := n.cfg.Recorder.Fragments(id, n.cfg.ID)
+	if len(frags) == 0 {
+		writeJSON(w, http.StatusNotFound, map[string]string{"error": "no fragments for trace " + id.String()})
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Write(tracing.EncodeFragments(frags))
+}
+
+// handleMetrics serves this node's registry snapshot for the federation
+// scrape loop.
+func (n *Node) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if n.cfg.Metrics == nil {
+		writeJSON(w, http.StatusNotFound, map[string]string{"error": "node has no metrics registry"})
+		return
+	}
+	raw, err := telemetry.MarshalSamples(n.cfg.Metrics.Snapshot())
+	if err != nil {
+		writeJSON(w, http.StatusInternalServerError, map[string]string{"error": err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, MetricsResponse{Node: n.cfg.ID, Metrics: raw})
+}
+
+// Health reports the node's self-observed status (also served at
+// GET /cluster/health for the fleet prober).
+func (n *Node) Health() NodeHealth {
+	n.mu.Lock()
+	sessions, staged := len(n.sessions), len(n.staged)
+	n.mu.Unlock()
+	return NodeHealth{
+		Node:            n.cfg.ID,
+		Generation:      n.svc.Generation(),
+		Fingerprint:     fmt.Sprintf("%016x", n.svc.Engine().Fingerprint()),
+		Sessions:        sessions,
+		Staged:          staged,
+		Quarantined:     n.svc.Quarantined(),
+		QuotaSaturation: n.svc.QuotaSaturation(),
+		FlightRecorded:  n.cfg.Recorder.Recorded(),
+		FlightPinned:    n.cfg.Recorder.PinnedTotal(),
+	}
+}
+
+func (n *Node) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, n.Health())
 }
 
 func (n *Node) handleInfo(w http.ResponseWriter, r *http.Request) {

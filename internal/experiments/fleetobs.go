@@ -1,0 +1,556 @@
+package experiments
+
+// The fleetobs experiment gates the fleet observability plane end to end,
+// in four cells:
+//
+//   - trace (counted): every ring-routed scan through an N-node fleet —
+//     driven so the entry node is never the ring owner, forcing the
+//     forwarding hop — must assemble into exactly one stitched trace with
+//     a fragment from every hop (driver, entry node, owner node), a
+//     single driver root, correct parent links, and ZERO orphans. The
+//     orphan count is a counted metric pinned at zero.
+//   - federate (counted): the federated fleet metrics snapshot must sum
+//     per-node counters exactly — bvap_serve_scans_total and the
+//     bvap_serve_scan_duration_ms / bvap_serve_scan_energy_pj histogram
+//     counts are compared against the per-node registries with ==, not a
+//     tolerance.
+//   - slo (counted): a burn-rate monitor over one node's real scan
+//     counters, driven on a simulated clock, must stay silent through a
+//     healthy baseline (zero transitions) and fire on an injected
+//     deadline regression (scans forced past their watchdog deadline
+//     count as non-ok outcomes), then resolve once the regression stops.
+//   - disabled (counted): the full tracing surface the serve and cluster
+//     paths touch per request — including the remote span-context
+//     adoption used for cross-node stitching — against a nil recorder is
+//     pinned at zero allocations per operation.
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"testing"
+	"time"
+
+	"bvap"
+	"bvap/internal/cluster"
+	"bvap/internal/datasets"
+	"bvap/internal/serve"
+	"bvap/internal/slo"
+	"bvap/internal/telemetry"
+	"bvap/internal/tracing"
+)
+
+// FleetObsOptions parameterizes the fleet observability gate. Zero values
+// select a CI-smoke-sized run (a second or two under -race).
+type FleetObsOptions struct {
+	Nodes     int    // fleet size (default 3)
+	Dataset   string // pattern source (default "Snort")
+	Sample    int    // patterns sampled (default 12)
+	InputLen  int    // bytes per scan (default 4 KiB)
+	Scans     int    // forced-forward ring-routed scans (default 24)
+	AllocRuns int    // testing.AllocsPerRun rounds for the disabled cell (default 100)
+}
+
+func (o *FleetObsOptions) fill() {
+	if o.Nodes == 0 {
+		o.Nodes = 3
+	}
+	if o.Nodes < 2 {
+		o.Nodes = 2 // forwarding needs a second node
+	}
+	if o.Dataset == "" {
+		o.Dataset = "Snort"
+	}
+	if o.Sample == 0 {
+		o.Sample = 12
+	}
+	if o.InputLen == 0 {
+		o.InputLen = 4 << 10
+	}
+	if o.Scans == 0 {
+		o.Scans = 24
+	}
+	if o.AllocRuns == 0 {
+		o.AllocRuns = 100
+	}
+}
+
+// FleetObsResult is the experiment's structured output.
+type FleetObsResult struct {
+	Nodes    int `json:"nodes"`
+	Patterns int `json:"patterns"`
+
+	// Trace stitching (counted; Orphans pinned at zero).
+	Scans          int `json:"scans"`
+	ForwardedScans int `json:"forwarded_scans"`
+	Traces         int `json:"traces"`
+	Fragments      int `json:"fragments"`
+	Spans          int `json:"spans"`
+	Orphans        int `json:"orphans"`
+
+	// Metrics federation exactness (counted).
+	FleetScans      uint64  `json:"fleet_scans"`
+	NodeScansSum    uint64  `json:"node_scans_sum"`
+	FleetDurCount   uint64  `json:"fleet_duration_count"`
+	FleetEnergyPJ   float64 `json:"fleet_energy_pj"`
+	FederationExact bool    `json:"federation_exact"`
+
+	// SLO burn-rate monitoring (counted transitions).
+	SLOBaselineTransitions uint64 `json:"slo_baseline_transitions"` // must be 0
+	SLOFired               bool   `json:"slo_fired"`
+	SLOResolved            bool   `json:"slo_resolved"`
+	SLOTransitions         uint64 `json:"slo_transitions"` // must be 2 (fire, resolve)
+
+	// Disabled path (counted, must be zero).
+	DisabledAllocsPerOp float64 `json:"disabled_allocs_per_op"`
+}
+
+// obsFleet is the in-process fleet the experiment drives: every node has a
+// recorder, a registry, and the shared ring, so keyed scans hop to their
+// owner and every hop leaves a span fragment behind.
+type obsFleet struct {
+	nodes  []*cluster.Node
+	svcs   []*bvap.Service
+	regs   []*telemetry.Registry
+	srvs   []*httptest.Server
+	peers  []string
+	ring   *cluster.Ring
+	client *cluster.Client
+}
+
+func newObsFleet(opt FleetObsOptions, patterns []string) (*obsFleet, error) {
+	f := &obsFleet{nodes: make([]*cluster.Node, opt.Nodes)}
+	// Servers first: the ring is keyed by base URL, which the node configs
+	// need, and which httptest only assigns at start. The handler closes
+	// over the node slot so the node can be built afterwards.
+	for i := 0; i < opt.Nodes; i++ {
+		i := i
+		srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			f.nodes[i].Handler().ServeHTTP(w, r)
+		}))
+		f.srvs = append(f.srvs, srv)
+		f.peers = append(f.peers, srv.URL)
+	}
+	f.ring = cluster.NewRing(0)
+	for _, p := range f.peers {
+		f.ring.Add(p)
+	}
+	f.client = cluster.NewClient(cluster.ClientConfig{
+		MaxAttempts:    2,
+		AttemptTimeout: 10 * time.Second,
+		Backoff:        serve.Backoff{Base: 2 * time.Millisecond, Jitter: -1},
+		Breaker:        serve.BreakerConfig{Threshold: 1 << 20},
+	})
+	for i := 0; i < opt.Nodes; i++ {
+		reg := telemetry.NewRegistry()
+		rec := tracing.NewRecorder(tracing.Config{Capacity: 4 * opt.Scans})
+		svc, err := bvap.NewService(patterns, &bvap.ServiceConfig{Metrics: reg, FlightRecorder: rec})
+		if err != nil {
+			f.close()
+			return nil, fmt.Errorf("fleetobs: node %d compile: %v", i, err)
+		}
+		f.nodes[i] = cluster.NewNode(svc, cluster.NodeConfig{
+			ID:       fmt.Sprintf("node-%d", i),
+			Recorder: rec,
+			Metrics:  reg,
+			Self:     f.peers[i],
+			Ring:     f.ring,
+			Client:   f.client,
+		})
+		f.svcs = append(f.svcs, svc)
+		f.regs = append(f.regs, reg)
+	}
+	return f, nil
+}
+
+func (f *obsFleet) close() {
+	for _, n := range f.nodes {
+		if n != nil {
+			n.Close()
+		}
+	}
+	for _, s := range f.svcs {
+		s.Close()
+	}
+	for _, srv := range f.srvs {
+		srv.Close()
+	}
+}
+
+// keyOwnedBy finds a routing key whose ring owner is peer index want.
+func (f *obsFleet) keyOwnedBy(want int) (string, error) {
+	for i := 0; i < 100000; i++ {
+		key := fmt.Sprintf("fleetobs-%d-%d", want, i)
+		if f.ring.Owner(key) == f.peers[want] {
+			return key, nil
+		}
+	}
+	return "", fmt.Errorf("fleetobs: no key hashes to node %d", want)
+}
+
+// FleetObs runs the fleet observability gate and returns the structured
+// result plus a BENCH-schema report. The stitching, federation, SLO and
+// disabled-path properties are contracts: any violation fails the run
+// outright rather than reporting a degraded number.
+func FleetObs(opt FleetObsOptions) (*FleetObsResult, *BenchReport, error) {
+	opt.fill()
+	prof, err := datasets.ByName(opt.Dataset)
+	if err != nil {
+		return nil, nil, err
+	}
+	patterns := prof.Sample(opt.Sample)
+	input := prof.Input(opt.InputLen, patterns)
+	res := &FleetObsResult{Nodes: opt.Nodes, Patterns: len(patterns)}
+
+	fleet, err := newObsFleet(opt, patterns)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer fleet.close()
+
+	if err := fleetObsTraces(opt, fleet, input, res); err != nil {
+		return nil, nil, err
+	}
+	if err := fleetObsFederation(fleet, res); err != nil {
+		return nil, nil, err
+	}
+	if err := fleetObsSLO(opt, patterns, input, res); err != nil {
+		return nil, nil, err
+	}
+	if err := fleetObsDisabledAllocs(opt, res); err != nil {
+		return nil, nil, err
+	}
+	return res, fleetObsBench(opt, res), nil
+}
+
+// fleetObsTraces drives forced-forward scans through the ring — the entry
+// node is deliberately never the key's owner — and requires every scan to
+// stitch into one complete, orphan-free, causally-ordered trace.
+func fleetObsTraces(opt FleetObsOptions, fleet *obsFleet, input []byte, res *FleetObsResult) error {
+	driver := tracing.NewRecorder(tracing.Config{Capacity: 2 * opt.Scans})
+	fed := cluster.NewFederator(fleet.client, fleet.peers, cluster.FederatorConfig{
+		LocalID: "driver", Local: telemetry.NewRegistry(), LocalRecorder: driver,
+	})
+	ctx := context.Background()
+	for s := 0; s < opt.Scans; s++ {
+		ownerIdx := s % opt.Nodes
+		entryIdx := (ownerIdx + 1) % opt.Nodes
+		key, err := fleet.keyOwnedBy(ownerIdx)
+		if err != nil {
+			return err
+		}
+		tctx, root := driver.StartTrace(ctx, "fleetobs.scan")
+		var resp cluster.ScanResponse
+		if err := fleet.client.PostJSON(tctx, fleet.peers[entryIdx], "/cluster/scan",
+			cluster.ScanRequest{Input: input, Key: key}, &resp); err != nil {
+			return fmt.Errorf("fleetobs: scan %d: %v", s, err)
+		}
+		driver.Record(root)
+		wantNode := fmt.Sprintf("node-%d", ownerIdx)
+		if resp.Node != wantNode {
+			return fmt.Errorf("fleetobs: scan %d executed on %q, want ring owner %q", s, resp.Node, wantNode)
+		}
+		res.Scans++
+		res.ForwardedScans++
+
+		st, err := fed.FleetTrace(ctx, root.ID())
+		if err != nil {
+			return fmt.Errorf("fleetobs: scan %d trace assembly: %v", s, err)
+		}
+		res.Traces++
+		res.Fragments += st.Fragments
+		res.Spans += st.SpanCount
+		res.Orphans += st.Orphans
+		if st.Orphans != 0 {
+			return fmt.Errorf("fleetobs: scan %d stitched with %d orphan span(s) — span context dropped somewhere in the fleet", s, st.Orphans)
+		}
+		if len(st.Roots) != 1 || st.Roots[0].Node != "driver" {
+			return fmt.Errorf("fleetobs: scan %d has %d root(s) (first on %q), want one on the driver",
+				s, len(st.Roots), rootNode(st))
+		}
+		// One fragment per hop: driver, entry node, owner node.
+		if st.Fragments != 3 {
+			return fmt.Errorf("fleetobs: scan %d stitched %d fragments, want 3 (driver + entry + owner)", s, st.Fragments)
+		}
+		want := map[string]bool{"driver": true, fmt.Sprintf("node-%d", entryIdx): true, wantNode: true}
+		for _, n := range st.Nodes {
+			if !want[n] {
+				return fmt.Errorf("fleetobs: scan %d trace includes unexpected node %q", s, n)
+			}
+			delete(want, n)
+		}
+		if len(want) != 0 {
+			return fmt.Errorf("fleetobs: scan %d trace missing hops %v (nodes %v)", s, want, st.Nodes)
+		}
+	}
+	return nil
+}
+
+func rootNode(st *tracing.StitchedTrace) string {
+	if len(st.Roots) == 0 {
+		return ""
+	}
+	return st.Roots[0].Node
+}
+
+// fleetObsFederation scrapes every node and requires the fleet-level
+// counters to be the exact sum of the per-node registries.
+func fleetObsFederation(fleet *obsFleet, res *FleetObsResult) error {
+	fed := cluster.NewFederator(fleet.client, fleet.peers, cluster.FederatorConfig{})
+	snap := fed.Scrape(context.Background())
+	if snap.MergeErr != nil {
+		return fmt.Errorf("fleetobs: federation merge: %v", snap.MergeErr)
+	}
+	for _, n := range snap.Nodes {
+		if n.Err != nil {
+			return fmt.Errorf("fleetobs: scrape of %s failed: %v", n.Node, n.Err)
+		}
+	}
+	var fleetScans, fleetDur uint64
+	var energySeen bool
+	for _, s := range snap.Fleet {
+		switch s.Name {
+		case serve.MetricScans:
+			fleetScans += uint64(s.Value)
+		case serve.MetricScanDuration:
+			fleetDur = s.Count
+		case serve.MetricScanEnergy:
+			energySeen = true
+			res.FleetEnergyPJ = s.Value
+		}
+	}
+	var nodeScans, nodeDur uint64
+	for _, reg := range fleet.regs {
+		for _, s := range reg.Snapshot() {
+			switch s.Name {
+			case serve.MetricScans:
+				nodeScans += uint64(s.Value)
+			case serve.MetricScanDuration:
+				nodeDur += s.Count
+			}
+		}
+	}
+	res.FleetScans, res.NodeScansSum, res.FleetDurCount = fleetScans, nodeScans, fleetDur
+	res.FederationExact = fleetScans == nodeScans && fleetDur == nodeDur && fleetScans > 0
+	if !res.FederationExact {
+		return fmt.Errorf("fleetobs: federation inexact: fleet scans %d vs node sum %d, fleet duration count %d vs node sum %d",
+			fleetScans, nodeScans, fleetDur, nodeDur)
+	}
+	if !energySeen {
+		return fmt.Errorf("fleetobs: fleet snapshot is missing %s", serve.MetricScanEnergy)
+	}
+	return nil
+}
+
+// fleetObsSLO drives a burn-rate monitor over one standalone node's real
+// scan counters on a simulated clock: a healthy baseline must not page; an
+// injected deadline regression (every scan forced past its watchdog
+// deadline, an unambiguously non-ok outcome) must fire and then resolve.
+func fleetObsSLO(opt FleetObsOptions, patterns []string, input []byte, res *FleetObsResult) error {
+	reg := telemetry.NewRegistry()
+	svc, err := bvap.NewService(patterns, &bvap.ServiceConfig{Metrics: reg})
+	if err != nil {
+		return err
+	}
+	defer svc.Close()
+	source := func() (good, total float64) {
+		for _, s := range reg.Snapshot() {
+			if s.Name == serve.MetricScans {
+				total += s.Value
+				if s.Labels["outcome"] == "ok" {
+					good += s.Value
+				}
+			}
+		}
+		return good, total
+	}
+	mon := slo.NewMonitor([]slo.Objective{{
+		Name:   "scan-deadline",
+		Target: 0.999,
+		Source: source,
+	}}, nil)
+
+	// Healthy baseline: ten simulated minutes of successful scans.
+	ctx := context.Background()
+	now := time.Unix(1_700_000_000, 0)
+	for tick := 0; tick < 60; tick++ {
+		for i := 0; i < 2; i++ {
+			if _, err := svc.Scan(ctx, input); err != nil {
+				return fmt.Errorf("fleetobs: baseline scan: %v", err)
+			}
+		}
+		now = now.Add(10 * time.Second)
+		mon.Observe(now)
+	}
+	if st := mon.Status(now)[0]; st.Transitions != 0 || st.Firing {
+		res.SLOBaselineTransitions = st.Transitions
+		return fmt.Errorf("fleetobs: healthy baseline paged: %+v", st)
+	}
+
+	// Injected regression: a service sharing the registry whose watchdog
+	// deadline is unmeetable — every scan lands in the counters with a
+	// non-ok outcome. Distinct inputs dodge the quarantine breaker, whose
+	// refusals would stop reaching the counter.
+	bad, err := bvap.NewService(patterns, &bvap.ServiceConfig{
+		ScanTimeout:         time.Nanosecond,
+		QuarantineThreshold: 1 << 30,
+		Metrics:             reg,
+	})
+	if err != nil {
+		return err
+	}
+	defer bad.Close()
+	for tick := 0; tick < 30; tick++ {
+		for i := 0; i < 2; i++ {
+			in := append([]byte(fmt.Sprintf("fleetobs-%d-%d-", tick, i)), input...)
+			if _, err := bad.Scan(ctx, in); err == nil {
+				return fmt.Errorf("fleetobs: 1ns-deadline scan succeeded")
+			}
+		}
+		now = now.Add(10 * time.Second)
+		mon.Observe(now)
+	}
+	if !mon.Firing() {
+		return fmt.Errorf("fleetobs: injected deadline regression did not fire: %+v", mon.Status(now))
+	}
+	res.SLOFired = true
+
+	// Recovery: the fast window clears within simulated minutes of the fix.
+	for tick := 0; tick < 40; tick++ {
+		for i := 0; i < 2; i++ {
+			if _, err := svc.Scan(ctx, input); err != nil {
+				return fmt.Errorf("fleetobs: recovery scan: %v", err)
+			}
+		}
+		now = now.Add(10 * time.Second)
+		mon.Observe(now)
+	}
+	if mon.Firing() {
+		return fmt.Errorf("fleetobs: alert still firing after recovery: %+v", mon.Status(now))
+	}
+	res.SLOResolved = true
+	res.SLOTransitions = mon.Status(now)[0].Transitions
+	if res.SLOTransitions != 2 {
+		return fmt.Errorf("fleetobs: %d alert transitions, want exactly 2 (fire, resolve)", res.SLOTransitions)
+	}
+	return nil
+}
+
+// fleetObsDisabledAllocs pins the nil-recorder tracing surface — including
+// the remote span-context adoption the cluster path runs per forwarded
+// request — at zero allocations per operation.
+func fleetObsDisabledAllocs(opt FleetObsOptions, res *FleetObsResult) error {
+	var rec *tracing.Recorder
+	ctx := context.Background()
+	work := func() {
+		// The coordinator side: root trace, client span, attrs.
+		tctx, tr := rec.StartTrace(ctx, "fleetobs.disabled")
+		tr.SetStr("node", "node-0")
+		sctx, sp := tracing.StartSpan(tctx, "cluster.forward")
+		sp.SetInt("owner", 1)
+		_ = tracing.SpanFromContext(sctx).IDString()
+		sp.End()
+		// The serving side: adopting remote span context.
+		rctx, child := rec.StartTraceRemoteSpan(ctx, "cluster.scan", tr.ID(), sp.ID())
+		_ = child.RemoteParent()
+		_, inner := tracing.StartSpan(rctx, "engine.scan")
+		inner.End()
+		rec.Record(child)
+		rec.Record(tr)
+	}
+	work() // warm up any lazy runtime state outside the measured runs
+	res.DisabledAllocsPerOp = testing.AllocsPerRun(opt.AllocRuns, work)
+	if res.DisabledAllocsPerOp != 0 {
+		return fmt.Errorf("fleetobs: disabled tracing path allocates %.1f per op, want 0", res.DisabledAllocsPerOp)
+	}
+	return nil
+}
+
+// fleetObsBench shapes the run as a BENCH-schema report: the trace cell's
+// orphan count and the disabled cell's alloc count are counted metrics
+// pinned at zero; the federation cell's exact sums are counted.
+func fleetObsBench(opt FleetObsOptions, res *FleetObsResult) *BenchReport {
+	boolCount := func(b bool) uint64 {
+		if b {
+			return 1
+		}
+		return 0
+	}
+	rep := &BenchReport{
+		SchemaVersion: BenchSchemaVersion,
+		Created:       time.Now().UTC().Format(time.RFC3339),
+		Environment: BenchEnvironment{
+			GoVersion: runtime.Version(),
+			GOOS:      runtime.GOOS,
+			GOARCH:    runtime.GOARCH,
+			NumCPU:    runtime.NumCPU(),
+		},
+		Params: BenchParams{
+			BVSize: perfBVSize, UnfoldTh: perfUnfoldTh,
+			Sample: opt.Sample, InputLen: opt.InputLen,
+			Datasets: []string{opt.Dataset},
+			Archs:    []string{"fleet-trace", "fleet-federate", "fleet-slo", "fleet-disabled"},
+		},
+	}
+	rep.Cells = append(rep.Cells, BenchCell{
+		Dataset:  opt.Dataset,
+		Arch:     "fleet-trace",
+		Patterns: res.Patterns,
+		Allocs:   uint64(res.Orphans), // pinned at zero
+		Stalls: map[string]uint64{
+			"nodes":     uint64(res.Nodes),
+			"scans":     uint64(res.Scans),
+			"forwarded": uint64(res.ForwardedScans),
+			"traces":    uint64(res.Traces),
+			"fragments": uint64(res.Fragments),
+			"spans":     uint64(res.Spans),
+		},
+	})
+	rep.Cells = append(rep.Cells, BenchCell{
+		Dataset:  opt.Dataset,
+		Arch:     "fleet-federate",
+		Patterns: res.Patterns,
+		Symbols:  res.FleetScans,
+		Matches:  res.NodeScansSum,
+		EnergyPJ: res.FleetEnergyPJ,
+		Stalls: map[string]uint64{
+			"exact":          boolCount(res.FederationExact),
+			"duration_count": res.FleetDurCount,
+		},
+	})
+	rep.Cells = append(rep.Cells, BenchCell{
+		Dataset:  opt.Dataset,
+		Arch:     "fleet-slo",
+		Patterns: res.Patterns,
+		Stalls: map[string]uint64{
+			"baseline_transitions": res.SLOBaselineTransitions,
+			"fired":                boolCount(res.SLOFired),
+			"resolved":             boolCount(res.SLOResolved),
+			"transitions":          res.SLOTransitions,
+		},
+	})
+	rep.Cells = append(rep.Cells, BenchCell{
+		Dataset:  opt.Dataset,
+		Arch:     "fleet-disabled",
+		Patterns: res.Patterns,
+		Allocs:   uint64(res.DisabledAllocsPerOp),
+	})
+	rep.PeakRSSBytes = peakRSSBytes()
+	return rep
+}
+
+// RenderFleetObs prints the fleet observability summary.
+func RenderFleetObs(w io.Writer, res *FleetObsResult) {
+	fmt.Fprintf(w, "Fleetobs — %d nodes, %d patterns\n", res.Nodes, res.Patterns)
+	fmt.Fprintf(w, "  traces:   %d ring-routed scans (%d forwarded) → %d stitched traces, %d fragments, %d spans, %d orphans (contract: 0)\n",
+		res.Scans, res.ForwardedScans, res.Traces, res.Fragments, res.Spans, res.Orphans)
+	fmt.Fprintf(w, "  federate: fleet scans %d == node sum %d, duration count %d, energy %.6g pJ (exact=%v)\n",
+		res.FleetScans, res.NodeScansSum, res.FleetDurCount, res.FleetEnergyPJ, res.FederationExact)
+	fmt.Fprintf(w, "  slo:      baseline transitions %d, fired=%v, resolved=%v, transitions %d (contract: 0 then 2)\n",
+		res.SLOBaselineTransitions, res.SLOFired, res.SLOResolved, res.SLOTransitions)
+	fmt.Fprintf(w, "  disabled: %.1f allocs/op across the tracing + remote-span surface (contract: 0)\n",
+		res.DisabledAllocsPerOp)
+}

@@ -1,0 +1,63 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestFleetObsSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fleetobs spins up an in-process fleet")
+	}
+	res, rep, err := FleetObs(FleetObsOptions{
+		Nodes:    3,
+		Sample:   6,
+		InputLen: 2 << 10,
+		Scans:    6,
+	})
+	if err != nil {
+		t.Fatalf("FleetObs: %v", err)
+	}
+	if res.Orphans != 0 {
+		t.Errorf("stitched traces carry %d orphans", res.Orphans)
+	}
+	if res.Traces != res.Scans || res.ForwardedScans != res.Scans {
+		t.Errorf("traces=%d forwarded=%d, want both == scans=%d", res.Traces, res.ForwardedScans, res.Scans)
+	}
+	// Forced-forward scans: three fragments per trace, every one stitched.
+	if res.Fragments != 3*res.Scans {
+		t.Errorf("fragments=%d, want %d", res.Fragments, 3*res.Scans)
+	}
+	if res.Spans <= res.Fragments {
+		t.Errorf("spans=%d, want more than one per fragment root (%d)", res.Spans, res.Fragments)
+	}
+	if !res.FederationExact || res.FleetScans != res.NodeScansSum {
+		t.Errorf("federation inexact: fleet %d vs nodes %d", res.FleetScans, res.NodeScansSum)
+	}
+	if res.SLOBaselineTransitions != 0 || !res.SLOFired || !res.SLOResolved || res.SLOTransitions != 2 {
+		t.Errorf("slo cell: baseline=%d fired=%v resolved=%v transitions=%d",
+			res.SLOBaselineTransitions, res.SLOFired, res.SLOResolved, res.SLOTransitions)
+	}
+	if res.DisabledAllocsPerOp != 0 {
+		t.Errorf("disabled path allocates %.1f per op", res.DisabledAllocsPerOp)
+	}
+
+	if len(rep.Cells) != 4 {
+		t.Fatalf("%d bench cells, want 4", len(rep.Cells))
+	}
+	if rep.Cells[0].Arch != "fleet-trace" || rep.Cells[0].Allocs != 0 {
+		t.Errorf("trace cell mismatch: %+v", rep.Cells[0])
+	}
+	if rep.Cells[1].Arch != "fleet-federate" || rep.Cells[1].Symbols != rep.Cells[1].Matches {
+		t.Errorf("federate cell mismatch: %+v", rep.Cells[1])
+	}
+	if rep.Cells[3].Arch != "fleet-disabled" || rep.Cells[3].Allocs != 0 {
+		t.Errorf("disabled cell mismatch: %+v", rep.Cells[3])
+	}
+
+	var buf bytes.Buffer
+	RenderFleetObs(&buf, res)
+	if buf.Len() == 0 {
+		t.Error("RenderFleetObs produced nothing")
+	}
+}

@@ -146,6 +146,48 @@ func (q *Quotas) Tokens(tenant string) (float64, bool) {
 	return tokens, true
 }
 
+// Saturation reports, per metered tenant, the consumed fraction of its
+// burst budget at this instant: 0 is a full bucket, 1 is exhausted. It
+// covers every explicitly configured tenant plus any tenant with live
+// bucket state under the default quota — the fleet health plane's view of
+// who is pressing against admission.
+func (q *Quotas) Saturation() map[string]float64 {
+	if q == nil {
+		return nil
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	now := q.now()
+	out := map[string]float64{}
+	add := func(tenant string) {
+		cfg := q.config(tenant)
+		if cfg.RatePerSec <= 0 || cfg.Burst <= 0 {
+			return
+		}
+		tokens := cfg.Burst
+		if b := q.state[tenant]; b != nil {
+			tokens = b.tokens + now.Sub(b.last).Seconds()*cfg.RatePerSec
+			if tokens > cfg.Burst {
+				tokens = cfg.Burst
+			}
+		}
+		sat := 1 - tokens/cfg.Burst
+		if sat < 0 {
+			sat = 0
+		}
+		out[tenant] = sat
+	}
+	for t := range q.perT {
+		add(t)
+	}
+	for t := range q.state {
+		if _, ok := out[t]; !ok {
+			add(t)
+		}
+	}
+	return out
+}
+
 // evictLocked drops the least recently touched bucket. Callers hold q.mu.
 func (q *Quotas) evictLocked() {
 	var victim string

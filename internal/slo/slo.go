@@ -1,0 +1,277 @@
+// Package slo is the fleet's service-level-objective plane: a multi-window
+// burn-rate monitor over cumulative good/total counters, the standard SRE
+// alerting shape, stdlib-only like the rest of the repository.
+//
+// An Objective declares a success-ratio target (e.g. 99.9% of scans
+// succeed, or complete under 50ms). The monitor periodically samples each
+// objective's cumulative (good, total) counters and derives the error
+// *burn rate* over two trailing windows:
+//
+//	error rate = 1 - Δgood/Δtotal          (over the window)
+//	burn rate  = error rate / (1 - target)
+//
+// A burn rate of 1 means the service is consuming its error budget exactly
+// at the rate that exhausts it at the end of the SLO period; 10 means ten
+// times faster. An alert fires only when BOTH windows exceed the
+// threshold: the fast window (default 5m) makes the alert respond quickly
+// and reset quickly once the regression stops, the slow window (default
+// 1h) keeps a short blip from paging. This is the classic multi-window
+// multi-burn-rate construction — it bounds both detection time and false
+// positives without tuning per-service magic numbers.
+//
+// The monitor takes explicit timestamps (Observe(now)) and never reads the
+// wall clock itself, so tests and the fleetobs soak drive simulated hours
+// through it in microseconds.
+package slo
+
+import (
+	"log/slog"
+	"sync"
+	"time"
+)
+
+// Objective is one monitored service-level objective.
+type Objective struct {
+	// Name identifies the objective in health output and logs
+	// (e.g. "scan-availability", "scan-latency-p50ms").
+	Name string
+	// Target is the success-ratio objective in (0,1), e.g. 0.999. The
+	// error budget is 1-Target.
+	Target float64
+	// Source returns the cumulative (good, total) event counts since
+	// process start. Monotonic non-decreasing; the monitor works on
+	// deltas, so process restarts simply reset the windows.
+	Source func() (good, total float64)
+	// FastWindow and SlowWindow are the two trailing burn-rate windows;
+	// zero selects 5m and 1h.
+	FastWindow, SlowWindow time.Duration
+	// BurnThreshold is the burn rate both windows must exceed to fire;
+	// zero selects 14.4 (the canonical "2% of a 30-day budget in one
+	// hour" page threshold).
+	BurnThreshold float64
+}
+
+func (o Objective) fill() Objective {
+	if o.FastWindow <= 0 {
+		o.FastWindow = 5 * time.Minute
+	}
+	if o.SlowWindow <= 0 {
+		o.SlowWindow = time.Hour
+	}
+	if o.BurnThreshold <= 0 {
+		o.BurnThreshold = 14.4
+	}
+	if o.Target <= 0 || o.Target >= 1 {
+		o.Target = 0.999
+	}
+	return o
+}
+
+// sample is one cumulative reading.
+type sample struct {
+	at          time.Time
+	good, total float64
+}
+
+// objState is one objective's ring of readings plus alert state.
+type objState struct {
+	obj     Objective
+	ring    []sample // chronological
+	firing  bool
+	since   time.Time
+	changes uint64
+}
+
+// Status is one objective's evaluated state, as surfaced in
+// /debug/fleet/health.
+type Status struct {
+	Name          string    `json:"name"`
+	Target        float64   `json:"target"`
+	BurnThreshold float64   `json:"burn_threshold"`
+	FastWindowS   float64   `json:"fast_window_s"`
+	SlowWindowS   float64   `json:"slow_window_s"`
+	BurnFast      float64   `json:"burn_fast"`
+	BurnSlow      float64   `json:"burn_slow"`
+	ErrorRateFast float64   `json:"error_rate_fast"`
+	ErrorRateSlow float64   `json:"error_rate_slow"`
+	Good          float64   `json:"good"`
+	Total         float64   `json:"total"`
+	Firing        bool      `json:"firing"`
+	Since         time.Time `json:"since,omitempty"`
+	// Transitions counts fire/resolve edges since the monitor started —
+	// the fleetobs gate asserts exactly one fire on an injected
+	// regression and zero on the healthy baseline.
+	Transitions uint64 `json:"transitions"`
+}
+
+// Monitor evaluates a set of objectives. Safe for concurrent use.
+type Monitor struct {
+	log *slog.Logger
+
+	mu   sync.Mutex
+	objs []*objState
+}
+
+// NewMonitor builds a monitor. log may be nil (transitions then go
+// unlogged); objectives with a nil Source are dropped.
+func NewMonitor(objectives []Objective, log *slog.Logger) *Monitor {
+	m := &Monitor{log: log}
+	for _, o := range objectives {
+		if o.Source == nil {
+			continue
+		}
+		m.objs = append(m.objs, &objState{obj: o.fill()})
+	}
+	return m
+}
+
+// Objectives returns the number of monitored objectives.
+func (m *Monitor) Objectives() int {
+	if m == nil {
+		return 0
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.objs)
+}
+
+// Observe takes one cumulative reading per objective at time now and
+// re-evaluates alert state, logging fire/resolve transitions. Call it on a
+// fixed cadence (bvapd uses a ticker; tests pass synthetic clocks).
+func (m *Monitor) Observe(now time.Time) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, st := range m.objs {
+		good, total := st.obj.Source()
+		st.ring = append(st.ring, sample{at: now, good: good, total: total})
+		st.trim(now)
+		s := st.evaluate(now)
+		if s.Firing != st.firing {
+			st.firing = s.Firing
+			st.changes++
+			if st.firing {
+				st.since = now
+			} else {
+				st.since = time.Time{}
+			}
+			if m.log != nil {
+				if st.firing {
+					m.log.Warn("slo burn-rate alert firing",
+						"objective", st.obj.Name, "target", st.obj.Target,
+						"burn_fast", s.BurnFast, "burn_slow", s.BurnSlow,
+						"threshold", st.obj.BurnThreshold)
+				} else {
+					m.log.Info("slo burn-rate alert resolved",
+						"objective", st.obj.Name,
+						"burn_fast", s.BurnFast, "burn_slow", s.BurnSlow)
+				}
+			}
+		}
+	}
+}
+
+// trim drops readings older than the slow window, always keeping one
+// reading at or before the window start so deltas stay well-defined.
+func (st *objState) trim(now time.Time) {
+	cutoff := now.Add(-st.obj.SlowWindow)
+	keepFrom := 0
+	for i, s := range st.ring {
+		if s.at.Before(cutoff) {
+			keepFrom = i
+		} else {
+			break
+		}
+	}
+	if keepFrom > 0 {
+		st.ring = append(st.ring[:0], st.ring[keepFrom:]...)
+	}
+}
+
+// windowRates returns the error rate and burn rate over the trailing
+// window w ending at now. With no traffic in the window both are 0 — an
+// idle service is not burning budget.
+func (st *objState) windowRates(now time.Time, w time.Duration) (errRate, burn float64) {
+	if len(st.ring) == 0 {
+		return 0, 0
+	}
+	last := st.ring[len(st.ring)-1]
+	start := now.Add(-w)
+	// Baseline: the newest reading at or before the window start; if every
+	// reading is inside the window (monitor younger than the window), use
+	// zero — everything observed so far counts.
+	base := sample{}
+	for _, s := range st.ring {
+		if !s.at.After(start) {
+			base = s
+		} else {
+			break
+		}
+	}
+	dGood, dTotal := last.good-base.good, last.total-base.total
+	if dTotal <= 0 {
+		return 0, 0
+	}
+	errRate = 1 - dGood/dTotal
+	if errRate < 0 {
+		errRate = 0
+	}
+	return errRate, errRate / (1 - st.obj.Target)
+}
+
+func (st *objState) evaluate(now time.Time) Status {
+	s := Status{
+		Name:          st.obj.Name,
+		Target:        st.obj.Target,
+		BurnThreshold: st.obj.BurnThreshold,
+		FastWindowS:   st.obj.FastWindow.Seconds(),
+		SlowWindowS:   st.obj.SlowWindow.Seconds(),
+		Firing:        st.firing,
+		Since:         st.since,
+		Transitions:   st.changes,
+	}
+	if len(st.ring) > 0 {
+		s.Good = st.ring[len(st.ring)-1].good
+		s.Total = st.ring[len(st.ring)-1].total
+	}
+	s.ErrorRateFast, s.BurnFast = st.windowRates(now, st.obj.FastWindow)
+	s.ErrorRateSlow, s.BurnSlow = st.windowRates(now, st.obj.SlowWindow)
+	s.Firing = s.BurnFast >= st.obj.BurnThreshold && s.BurnSlow >= st.obj.BurnThreshold
+	return s
+}
+
+// Status evaluates every objective as of now without taking a new reading
+// (the health endpoint calls this between Observe ticks).
+func (m *Monitor) Status(now time.Time) []Status {
+	if m == nil {
+		return nil
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]Status, 0, len(m.objs))
+	for _, st := range m.objs {
+		s := st.evaluate(now)
+		// Report the committed alert state (transitions happen in Observe,
+		// where they are logged), but expose the live burn numbers.
+		s.Firing = st.firing
+		out = append(out, s)
+	}
+	return out
+}
+
+// Firing reports whether any objective's alert is currently firing.
+func (m *Monitor) Firing() bool {
+	if m == nil {
+		return false
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, st := range m.objs {
+		if st.firing {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,197 @@
+package slo
+
+import (
+	"bytes"
+	"log/slog"
+	"strings"
+	"testing"
+	"time"
+)
+
+// counters is a fake cumulative (good, total) source the tests drive.
+type counters struct {
+	good, total float64
+}
+
+func (c *counters) source() (float64, float64) { return c.good, c.total }
+
+// add records n events with the given error rate.
+func (c *counters) add(n, errRate float64) {
+	c.total += n
+	c.good += n * (1 - errRate)
+}
+
+func newTestMonitor(c *counters, log *slog.Logger) *Monitor {
+	return NewMonitor([]Objective{{
+		Name:       "scan-availability",
+		Target:     0.999,
+		Source:     c.source,
+		FastWindow: 5 * time.Minute,
+		SlowWindow: time.Hour,
+		// Default threshold 14.4: fires when the error rate sustains at
+		// 14.4 × the 0.1% budget = 1.44%.
+	}}, log)
+}
+
+// drive ticks the monitor every 10s for dur, applying errRate to 100
+// events per tick, and returns the advanced clock.
+func drive(m *Monitor, c *counters, start time.Time, dur time.Duration, errRate float64) time.Time {
+	const tick = 10 * time.Second
+	now := start
+	for elapsed := time.Duration(0); elapsed < dur; elapsed += tick {
+		now = now.Add(tick)
+		c.add(100, errRate)
+		m.Observe(now)
+	}
+	return now
+}
+
+func TestHealthyBaselineStaysSilent(t *testing.T) {
+	var buf bytes.Buffer
+	log := slog.New(slog.NewTextHandler(&buf, nil))
+	c := &counters{}
+	m := newTestMonitor(c, log)
+
+	start := time.Unix(1_700_000_000, 0)
+	// Two simulated hours at a 0.05% error rate — half the budget.
+	now := drive(m, c, start, 2*time.Hour, 0.0005)
+
+	for _, s := range m.Status(now) {
+		if s.Firing || s.Transitions != 0 {
+			t.Fatalf("healthy baseline fired: %+v", s)
+		}
+	}
+	if m.Firing() {
+		t.Fatal("Firing() true on healthy baseline")
+	}
+	if strings.Contains(buf.String(), "alert") {
+		t.Fatalf("healthy baseline logged alerts:\n%s", buf.String())
+	}
+}
+
+func TestInjectedRegressionFiresAndResolves(t *testing.T) {
+	var buf bytes.Buffer
+	log := slog.New(slog.NewTextHandler(&buf, nil))
+	c := &counters{}
+	m := newTestMonitor(c, log)
+
+	start := time.Unix(1_700_000_000, 0)
+	now := drive(m, c, start, time.Hour, 0.0005) // healthy warm-up
+	if m.Firing() {
+		t.Fatal("fired during warm-up")
+	}
+
+	// Inject a 10% error rate — burn 100× the budget. The slow window is
+	// the laggard: it needs the bad minutes to push the 1h average past
+	// 14.4 × 0.1% = 1.44%, which ~15 minutes of 10% errors does.
+	now = drive(m, c, now, 20*time.Minute, 0.10)
+	if !m.Firing() {
+		st := m.Status(now)
+		t.Fatalf("regression did not fire: %+v", st)
+	}
+	st := m.Status(now)[0]
+	if st.BurnFast < 14.4 || st.BurnSlow < 14.4 {
+		t.Fatalf("firing with burns below threshold: %+v", st)
+	}
+	if st.Since.IsZero() {
+		t.Fatal("firing status has zero Since")
+	}
+	if !strings.Contains(buf.String(), "slo burn-rate alert firing") {
+		t.Fatalf("fire transition not logged:\n%s", buf.String())
+	}
+
+	// Recovery: the fast window clears within minutes of the fix.
+	now = drive(m, c, now, 10*time.Minute, 0.0005)
+	if m.Firing() {
+		t.Fatalf("alert still firing 10m after recovery: %+v", m.Status(now))
+	}
+	if !strings.Contains(buf.String(), "slo burn-rate alert resolved") {
+		t.Fatalf("resolve transition not logged:\n%s", buf.String())
+	}
+	// Exactly one fire + one resolve.
+	if st := m.Status(now)[0]; st.Transitions != 2 {
+		t.Fatalf("transitions = %d, want 2 (fire, resolve)", st.Transitions)
+	}
+}
+
+func TestShortBlipDoesNotPage(t *testing.T) {
+	c := &counters{}
+	m := newTestMonitor(c, nil)
+	start := time.Unix(1_700_000_000, 0)
+	now := drive(m, c, start, time.Hour, 0) // perfect warm-up
+
+	// 100% errors for 30 seconds: the fast window spikes far past the
+	// threshold, but the slow window absorbs it (30s of outage is 0.83% of
+	// the hour — under the 14.4 × 0.1% = 1.44% slow-window trip point) —
+	// multi-window suppression keeps the page quiet.
+	now = drive(m, c, now, 30*time.Second, 1.0)
+	if m.Firing() {
+		t.Fatalf("30-second blip paged: %+v", m.Status(now))
+	}
+	st := m.Status(now)[0]
+	if st.BurnFast < 14.4 {
+		t.Fatalf("fast window did not register the blip: %+v", st)
+	}
+	if st.BurnSlow >= 14.4 {
+		t.Fatalf("slow window fired on a 30-second blip: %+v", st)
+	}
+}
+
+func TestIdleWindowsDoNotBurn(t *testing.T) {
+	c := &counters{}
+	m := newTestMonitor(c, nil)
+	start := time.Unix(1_700_000_000, 0)
+	now := start
+	// No traffic at all: repeated identical readings.
+	for i := 0; i < 100; i++ {
+		now = now.Add(10 * time.Second)
+		m.Observe(now)
+	}
+	st := m.Status(now)[0]
+	if st.BurnFast != 0 || st.BurnSlow != 0 || st.Firing {
+		t.Fatalf("idle service burns budget: %+v", st)
+	}
+}
+
+func TestRingTrimsToSlowWindow(t *testing.T) {
+	c := &counters{}
+	m := newTestMonitor(c, nil)
+	start := time.Unix(1_700_000_000, 0)
+	drive(m, c, start, 6*time.Hour, 0.0005)
+	st := m.objs[0]
+	// 1h window at 10s cadence = 360 samples, plus the one pre-window
+	// baseline and a little slack; 6h of samples must not accumulate.
+	if n := len(st.ring); n > 365 {
+		t.Fatalf("ring holds %d samples after 6h, want ≤ slow window (≈361)", n)
+	}
+}
+
+func TestMonitorNilAndEmptySafe(t *testing.T) {
+	var m *Monitor
+	m.Observe(time.Now())
+	if m.Firing() || m.Status(time.Now()) != nil || m.Objectives() != 0 {
+		t.Fatal("nil monitor not inert")
+	}
+	empty := NewMonitor([]Objective{{Name: "no-source"}}, nil)
+	if empty.Objectives() != 0 {
+		t.Fatal("nil-Source objective not dropped")
+	}
+	empty.Observe(time.Now())
+	if empty.Firing() {
+		t.Fatal("empty monitor fired")
+	}
+}
+
+func TestCounterResetTolerated(t *testing.T) {
+	// A process restart resets cumulative counters to zero; deltas go
+	// negative for one window. The monitor must clamp, not fire or panic.
+	c := &counters{}
+	m := newTestMonitor(c, nil)
+	start := time.Unix(1_700_000_000, 0)
+	now := drive(m, c, start, 30*time.Minute, 0)
+	c.good, c.total = 0, 0
+	now = drive(m, c, now, 10*time.Minute, 0)
+	if m.Firing() {
+		t.Fatalf("counter reset fired the alert: %+v", m.Status(now))
+	}
+}

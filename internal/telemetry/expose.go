@@ -19,7 +19,14 @@ import (
 // exposition format (one # HELP and # TYPE line per family, histogram
 // children expanded into _bucket/_sum/_count series).
 func (r *Registry) WritePrometheus(w io.Writer) error {
-	samples := r.Snapshot()
+	return WritePrometheusSamples(w, r.Snapshot())
+}
+
+// WritePrometheusSamples renders an arbitrary sample set (a registry
+// snapshot, a decoded peer snapshot, or a Merge result) in the Prometheus
+// text format. Samples sharing a name must be contiguous, as Snapshot and
+// Merge both guarantee, or the family header repeats.
+func WritePrometheusSamples(w io.Writer, samples []Sample) error {
 	seen := map[string]bool{}
 	for _, s := range samples {
 		if !seen[s.Name] {
@@ -115,7 +122,14 @@ func formatFloat(f float64) string {
 // format on Accept: application/openmetrics-text. Ends with the mandatory
 // "# EOF" terminator.
 func (r *Registry) WriteOpenMetrics(w io.Writer) error {
-	samples := r.Snapshot()
+	return WriteOpenMetricsSamples(w, r.Snapshot())
+}
+
+// WriteOpenMetricsSamples renders an arbitrary sample set in the
+// OpenMetrics text format, ending with the mandatory "# EOF" terminator —
+// the federation path runs Merge over per-node snapshots and exposes the
+// result through this writer.
+func WriteOpenMetricsSamples(w io.Writer, samples []Sample) error {
 	seen := map[string]bool{}
 	for _, s := range samples {
 		if !seen[s.Name] {
@@ -184,17 +198,10 @@ type jsonDoc struct {
 // WriteJSON renders every registered metric as one indented JSON document
 // {"metrics": [...]}.
 func (r *Registry) WriteJSON(w io.Writer) error {
-	samples := r.Snapshot()
 	// json.Marshal encodes +Inf as an error; replace histogram +Inf upper
-	// bounds with math.MaxFloat64 in the JSON view.
-	for i := range samples {
-		for j := range samples[i].Buckets {
-			if math.IsInf(samples[i].Buckets[j].UpperBound, 1) {
-				samples[i].Buckets[j].UpperBound = math.MaxFloat64
-			}
-		}
-	}
+	// bounds with math.MaxFloat64 in the JSON view (capInf copies, so the
+	// snapshot itself is untouched).
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	return enc.Encode(jsonDoc{Metrics: samples})
+	return enc.Encode(jsonDoc{Metrics: capInf(r.Snapshot())})
 }

@@ -1,0 +1,233 @@
+package telemetry
+
+// Metrics federation: serialize a registry Snapshot, ship it across the
+// fleet, and Merge per-node snapshots into one fleet-wide sample set.
+//
+// Merge semantics:
+//
+//   - samples are keyed by (name, label set); same-key samples from
+//     different nodes combine, distinct keys pass through;
+//   - counters and gauges sum (a fleet gauge such as inflight scans is the
+//     sum of per-node values);
+//   - histograms require bit-identical bucket layouts — same bound count,
+//     same bounds, compared as exact float64 values — and then sum
+//     per-bucket cumulative counts, the observation count, and the sum.
+//     A layout mismatch (nodes running different build vintages with
+//     different bucket ladders) fails with *LayoutError rather than
+//     producing silently wrong quantiles;
+//   - exemplars keep the most recent observation across nodes (largest
+//     UnixNano), so the fleet view's tail exemplar links to the node that
+//     actually served the slow scan;
+//   - output order is deterministic: families in first-seen order, children
+//     within a family sorted by label string — the same convention as
+//     Registry.Snapshot, so exposition writers can rely on contiguous
+//     families.
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// LayoutError reports two same-key samples that cannot merge: mismatched
+// metric kinds or mismatched histogram bucket layouts.
+type LayoutError struct {
+	Name   string
+	Labels string // canonical label string, "" when unlabeled
+	Reason string
+}
+
+func (e *LayoutError) Error() string {
+	if e.Labels == "" {
+		return fmt.Sprintf("telemetry: cannot merge %s: %s", e.Name, e.Reason)
+	}
+	return fmt.Sprintf("telemetry: cannot merge %s%s: %s", e.Name, e.Labels, e.Reason)
+}
+
+// sampleKey is the merge identity: name plus canonical label rendering.
+func sampleKey(s Sample) string { return s.Name + labelString(s.Labels) }
+
+// Merge combines any number of sample sets (typically one Snapshot per
+// node) into one fleet-wide set. Inputs are not mutated; merged histogram
+// samples get fresh bucket slices. Counter sums are exact: per-node uint64
+// counters are summed in uint64 before the float64 Value is rebuilt, so
+// federated totals equal the arithmetic sum of per-node totals bit-for-bit
+// as long as each total is below 2^53 (beyond float64's integer range no
+// exposition format is exact either).
+func Merge(sets ...[]Sample) ([]Sample, error) {
+	type slot struct {
+		s Sample
+		// uintValue accumulates counter sums exactly; Value is rebuilt
+		// from it for kind "counter" samples with integral values.
+		uintValue uint64
+		integral  bool
+	}
+	var familyOrder []string
+	children := map[string]map[string]*slot{} // family → key → slot
+	for _, set := range sets {
+		for _, s := range set {
+			fam := children[s.Name]
+			if fam == nil {
+				fam = map[string]*slot{}
+				children[s.Name] = fam
+				familyOrder = append(familyOrder, s.Name)
+			}
+			key := sampleKey(s)
+			sl := fam[key]
+			if sl == nil {
+				cp := s
+				cp.Labels = copyLabels(s.Labels)
+				cp.Buckets = append([]Bucket(nil), s.Buckets...)
+				uv, ok := exactUint(s.Value)
+				fam[key] = &slot{s: cp, uintValue: uv, integral: ok}
+				continue
+			}
+			if sl.s.Kind != s.Kind {
+				return nil, &LayoutError{Name: s.Name, Labels: labelString(s.Labels),
+					Reason: fmt.Sprintf("kind %s vs %s", sl.s.Kind, s.Kind)}
+			}
+			switch s.Kind {
+			case "histogram":
+				if err := mergeHistogram(&sl.s, s); err != nil {
+					return nil, err
+				}
+			default:
+				sl.s.Value += s.Value
+				uv, ok := exactUint(s.Value)
+				sl.uintValue += uv
+				sl.integral = sl.integral && ok
+			}
+			if sl.s.Help == "" {
+				sl.s.Help = s.Help
+			}
+		}
+	}
+	var out []Sample
+	for _, name := range familyOrder {
+		fam := children[name]
+		keys := make([]string, 0, len(fam))
+		for k := range fam {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			sl := fam[k]
+			if sl.s.Kind == "counter" && sl.integral {
+				sl.s.Value = float64(sl.uintValue)
+			}
+			out = append(out, sl.s)
+		}
+	}
+	return out, nil
+}
+
+// exactUint reports v as a uint64 when it is a non-negative integer inside
+// float64's exact range.
+func exactUint(v float64) (uint64, bool) {
+	if v >= 0 && v < 1<<53 && v == math.Trunc(v) {
+		return uint64(v), true
+	}
+	return 0, false
+}
+
+func mergeHistogram(dst *Sample, src Sample) error {
+	if len(dst.Buckets) != len(src.Buckets) {
+		return &LayoutError{Name: src.Name, Labels: labelString(src.Labels),
+			Reason: fmt.Sprintf("bucket count %d vs %d", len(dst.Buckets), len(src.Buckets))}
+	}
+	for i := range dst.Buckets {
+		a, b := dst.Buckets[i].UpperBound, src.Buckets[i].UpperBound
+		if a != b && !(math.IsInf(a, 1) && math.IsInf(b, 1)) {
+			return &LayoutError{Name: src.Name, Labels: labelString(src.Labels),
+				Reason: fmt.Sprintf("bucket %d bound %v vs %v", i, a, b)}
+		}
+	}
+	for i := range dst.Buckets {
+		dst.Buckets[i].Count += src.Buckets[i].Count
+	}
+	dst.Count += src.Count
+	dst.Value += src.Value
+	if src.Exemplar != nil && (dst.Exemplar == nil || src.Exemplar.UnixNano > dst.Exemplar.UnixNano) {
+		dst.Exemplar = src.Exemplar
+	}
+	return nil
+}
+
+// WithLabel returns a copy of samples with an extra label on every sample
+// — the federation path stamps node identity this way (label "node") at
+// exposition time rather than widening every registered family. An
+// existing label under the same key is overwritten.
+func WithLabel(samples []Sample, key, value string) []Sample {
+	out := make([]Sample, len(samples))
+	for i, s := range samples {
+		cp := s
+		cp.Labels = copyLabels(s.Labels)
+		if cp.Labels == nil {
+			cp.Labels = map[string]string{}
+		}
+		cp.Labels[key] = value
+		out[i] = cp
+	}
+	return out
+}
+
+func copyLabels(m map[string]string) map[string]string {
+	if m == nil {
+		return nil
+	}
+	cp := make(map[string]string, len(m))
+	for k, v := range m {
+		cp[k] = v
+	}
+	return cp
+}
+
+// capInf returns a deep-enough copy of samples with histogram +Inf upper
+// bounds replaced by math.MaxFloat64, the repository's JSON stand-in for
+// +Inf (encoding/json rejects infinities).
+func capInf(samples []Sample) []Sample {
+	out := make([]Sample, len(samples))
+	for i, s := range samples {
+		cp := s
+		cp.Buckets = append([]Bucket(nil), s.Buckets...)
+		for j := range cp.Buckets {
+			if math.IsInf(cp.Buckets[j].UpperBound, 1) {
+				cp.Buckets[j].UpperBound = math.MaxFloat64
+			}
+		}
+		out[i] = cp
+	}
+	return out
+}
+
+// uncapInf reverses capInf: a decoded snapshot's math.MaxFloat64 bounds
+// become +Inf again, so merge layout checks and exposition writers see the
+// registry's real ladder.
+func uncapInf(samples []Sample) []Sample {
+	for i := range samples {
+		for j := range samples[i].Buckets {
+			if samples[i].Buckets[j].UpperBound == math.MaxFloat64 {
+				samples[i].Buckets[j].UpperBound = math.Inf(1)
+			}
+		}
+	}
+	return samples
+}
+
+// MarshalSamples serializes a sample set for the wire (the payload of
+// GET /cluster/metrics). Histogram +Inf bounds travel as math.MaxFloat64;
+// UnmarshalSamples restores them.
+func MarshalSamples(samples []Sample) ([]byte, error) {
+	return json.Marshal(capInf(samples))
+}
+
+// UnmarshalSamples parses a MarshalSamples payload, restoring +Inf bucket
+// bounds.
+func UnmarshalSamples(data []byte) ([]Sample, error) {
+	var samples []Sample
+	if err := json.Unmarshal(data, &samples); err != nil {
+		return nil, err
+	}
+	return uncapInf(samples), nil
+}

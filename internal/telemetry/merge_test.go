@@ -1,0 +1,321 @@
+package telemetry
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// nodeRegistry builds one simulated node's registry with the same family
+// layout on every node (as a homogeneous fleet would have) and drives rng
+// observations through it, returning the per-node expected totals.
+func nodeRegistry(rng *rand.Rand, bounds []float64, exemplarNS int64) (*Registry, uint64, uint64, float64) {
+	reg := NewRegistry()
+	scans := reg.CounterVec("scans_total", "scans", "outcome")
+	h := reg.Histogram("latency_ms", "latency", bounds)
+	inflight := reg.Gauge("inflight", "inflight scans")
+
+	ok := uint64(rng.Intn(1000))
+	errs := uint64(rng.Intn(100))
+	scans.With("ok").Add(ok)
+	scans.With("error").Add(errs)
+	var sum float64
+	for i := 0; i < 200; i++ {
+		v := rng.Float64() * 120
+		sum += v
+		h.Observe(v)
+	}
+	h.exemplarFor(exemplarNS)
+	inflight.Set(float64(rng.Intn(8)))
+	return reg, ok, errs, sum
+}
+
+// exemplarFor plants an exemplar with a controlled timestamp so the
+// most-recent-wins property is deterministic under test.
+func (h *Histogram) exemplarFor(unixNano int64) {
+	h.exemplar.Store(&Exemplar{Value: 1, TraceID: traceIDForNS(unixNano), UnixNano: unixNano})
+}
+
+func traceIDForNS(ns int64) string {
+	const hex = "0123456789abcdef"
+	b := make([]byte, 16)
+	for i := range b {
+		b[i] = hex[(uint64(ns)>>(4*uint(i%16)))&0xf]
+	}
+	return string(b)
+}
+
+func findSample(samples []Sample, name string, labels map[string]string) *Sample {
+	for i := range samples {
+		if samples[i].Name != name {
+			continue
+		}
+		if labelString(samples[i].Labels) == labelString(labels) {
+			return &samples[i]
+		}
+	}
+	return nil
+}
+
+// TestMergeSumsExactly is the federation correctness property: across
+// randomized per-node loads, the merged counter values and histogram
+// count/sum/buckets are exactly the arithmetic sums of the per-node values
+// — bit-exact for counters and bucket counts, and the exemplar comes from
+// the node with the most recent observation.
+func TestMergeSumsExactly(t *testing.T) {
+	bounds := []float64{1, 5, 25, 100}
+	for trial := 0; trial < 20; trial++ {
+		rng := rand.New(rand.NewSource(int64(trial) + 1))
+		nNodes := 2 + rng.Intn(4)
+		var sets [][]Sample
+		var wantOK, wantErr, wantCount uint64
+		var wantSum float64
+		wantBuckets := make([]uint64, len(bounds)+1)
+		newestNS := int64(-1)
+		for n := 0; n < nNodes; n++ {
+			exNS := int64(1000 + rng.Intn(1000))
+			if exNS > newestNS {
+				newestNS = exNS
+			}
+			reg, ok, errs, sum := nodeRegistry(rng, bounds, exNS)
+			wantOK += ok
+			wantErr += errs
+			wantSum += sum
+			snap := reg.Snapshot()
+			if hs := findSample(snap, "latency_ms", nil); hs != nil {
+				wantCount += hs.Count
+				for i, b := range hs.Buckets {
+					wantBuckets[i] += b.Count
+				}
+			}
+			// Round-trip each node's snapshot through the wire codec first:
+			// merge operates on what the coordinator actually receives.
+			wire, err := MarshalSamples(snap)
+			if err != nil {
+				t.Fatalf("trial %d: MarshalSamples: %v", trial, err)
+			}
+			back, err := UnmarshalSamples(wire)
+			if err != nil {
+				t.Fatalf("trial %d: UnmarshalSamples: %v", trial, err)
+			}
+			sets = append(sets, back)
+		}
+		fleet, err := Merge(sets...)
+		if err != nil {
+			t.Fatalf("trial %d: Merge: %v", trial, err)
+		}
+		if s := findSample(fleet, "scans_total", map[string]string{"outcome": "ok"}); s == nil || s.Value != float64(wantOK) {
+			t.Fatalf("trial %d: ok counter = %+v, want exactly %d", trial, s, wantOK)
+		}
+		if s := findSample(fleet, "scans_total", map[string]string{"outcome": "error"}); s == nil || s.Value != float64(wantErr) {
+			t.Fatalf("trial %d: error counter = %+v, want exactly %d", trial, s, wantErr)
+		}
+		hs := findSample(fleet, "latency_ms", nil)
+		if hs == nil {
+			t.Fatalf("trial %d: merged histogram missing", trial)
+		}
+		if hs.Count != wantCount {
+			t.Fatalf("trial %d: merged count = %d, want %d", trial, hs.Count, wantCount)
+		}
+		if hs.Value != wantSum {
+			// Histogram sums are float adds in a fixed order per node; the
+			// merge adds per-node sums, which is exactly the sum of the
+			// per-node Sum() values (associativity is NOT assumed — wantSum
+			// accumulated in the same per-node order).
+			t.Fatalf("trial %d: merged sum = %v, want %v", trial, hs.Value, wantSum)
+		}
+		if len(hs.Buckets) != len(bounds)+1 {
+			t.Fatalf("trial %d: merged buckets = %d, want %d", trial, len(hs.Buckets), len(bounds)+1)
+		}
+		for i, b := range hs.Buckets {
+			if b.Count != wantBuckets[i] {
+				t.Fatalf("trial %d: bucket %d = %d, want %d", trial, i, b.Count, wantBuckets[i])
+			}
+		}
+		if !math.IsInf(hs.Buckets[len(hs.Buckets)-1].UpperBound, 1) {
+			t.Fatalf("trial %d: +Inf bound lost in wire round-trip: %v", trial, hs.Buckets)
+		}
+		if hs.Exemplar == nil || hs.Exemplar.UnixNano != newestNS {
+			t.Fatalf("trial %d: exemplar = %+v, want most recent (ns %d)", trial, hs.Exemplar, newestNS)
+		}
+	}
+}
+
+func TestMergeLayoutMismatchTyped(t *testing.T) {
+	a := NewRegistry()
+	a.Histogram("latency_ms", "latency", []float64{1, 5, 25}).Observe(3)
+	b := NewRegistry()
+	b.Histogram("latency_ms", "latency", []float64{1, 10, 25}).Observe(3)
+
+	_, err := Merge(a.Snapshot(), b.Snapshot())
+	var le *LayoutError
+	if !errors.As(err, &le) {
+		t.Fatalf("mismatched bounds: err = %v, want *LayoutError", err)
+	}
+	if le.Name != "latency_ms" {
+		t.Fatalf("LayoutError.Name = %q", le.Name)
+	}
+
+	c := NewRegistry()
+	c.Histogram("latency_ms", "latency", []float64{1, 5}).Observe(3)
+	if _, err := Merge(a.Snapshot(), c.Snapshot()); !errors.As(err, &le) {
+		t.Fatalf("mismatched bucket count: err = %v, want *LayoutError", err)
+	}
+
+	d := NewRegistry()
+	d.Counter("latency_ms", "not a histogram").Inc()
+	if _, err := Merge(a.Snapshot(), d.Snapshot()); !errors.As(err, &le) {
+		t.Fatalf("mismatched kind: err = %v, want *LayoutError", err)
+	}
+}
+
+func TestMergeDoesNotMutateInputs(t *testing.T) {
+	reg := NewRegistry()
+	reg.Histogram("h", "", []float64{1, 2}).Observe(1.5)
+	reg.Counter("c", "").Add(3)
+	snapA, snapB := reg.Snapshot(), reg.Snapshot()
+	before := snapA[0].Value
+
+	if _, err := Merge(snapA, snapB); err != nil {
+		t.Fatalf("Merge: %v", err)
+	}
+	if snapA[0].Value != before {
+		t.Fatal("Merge mutated its input slice")
+	}
+	hs := findSample(snapA, "h", nil)
+	if hs.Buckets[0].Count != 0 || hs.Buckets[1].Count != 1 {
+		t.Fatalf("Merge mutated input buckets: %v", hs.Buckets)
+	}
+}
+
+func TestMergeGaugesSumAndPassThrough(t *testing.T) {
+	a, b := NewRegistry(), NewRegistry()
+	a.Gauge("inflight", "").Set(3)
+	b.Gauge("inflight", "").Set(4)
+	a.Counter("only_on_a", "").Add(7)
+
+	fleet, err := Merge(a.Snapshot(), b.Snapshot())
+	if err != nil {
+		t.Fatalf("Merge: %v", err)
+	}
+	if s := findSample(fleet, "inflight", nil); s == nil || s.Value != 7 {
+		t.Fatalf("gauge sum = %+v, want 7", s)
+	}
+	if s := findSample(fleet, "only_on_a", nil); s == nil || s.Value != 7 {
+		t.Fatalf("pass-through sample = %+v, want 7", s)
+	}
+}
+
+func TestWithLabel(t *testing.T) {
+	reg := NewRegistry()
+	reg.CounterVec("scans_total", "", "outcome").With("ok").Inc()
+	reg.Counter("plain", "").Inc()
+	snap := reg.Snapshot()
+
+	labeled := WithLabel(snap, "node", "n1")
+	for _, s := range labeled {
+		if s.Labels["node"] != "n1" {
+			t.Fatalf("sample %s missing node label: %v", s.Name, s.Labels)
+		}
+	}
+	// Inputs untouched.
+	for _, s := range snap {
+		if s.Labels["node"] != "" {
+			t.Fatalf("WithLabel mutated input sample %s: %v", s.Name, s.Labels)
+		}
+	}
+	// Existing key overwritten, not duplicated.
+	for i, s := range WithLabel(labeled, "node", "n2") {
+		if s.Labels["node"] != "n2" || len(s.Labels) != len(labeled[i].Labels) {
+			t.Fatalf("relabel wrong: %v vs %v", s.Labels, labeled[i].Labels)
+		}
+	}
+}
+
+// TestFederatedOpenMetricsDocument pins the exposition of a merged fleet
+// set: exemplars survive federation (attributed to the most recent node),
+// node-labeled series render, and the document stays a valid OpenMetrics
+// stream ending in # EOF.
+func TestFederatedOpenMetricsDocument(t *testing.T) {
+	a := NewRegistry()
+	ha := a.Histogram("latency_ms", "latency", []float64{1, 10})
+	ha.Observe(0.5)
+	ha.exemplarFor(100)
+	b := NewRegistry()
+	hb := b.Histogram("latency_ms", "latency", []float64{1, 10})
+	hb.Observe(5)
+	hb.exemplarFor(200)
+
+	fleet, err := Merge(a.Snapshot(), b.Snapshot())
+	if err != nil {
+		t.Fatalf("Merge: %v", err)
+	}
+	var all []Sample
+	all = append(all, fleet...)
+	all = append(all, WithLabel(a.Snapshot(), "node", "node-a")...)
+	all = append(all, WithLabel(b.Snapshot(), "node", "node-b")...)
+
+	var sb strings.Builder
+	if err := WriteOpenMetricsSamples(&sb, all); err != nil {
+		t.Fatalf("WriteOpenMetricsSamples: %v", err)
+	}
+	doc := sb.String()
+	if !strings.HasSuffix(doc, "# EOF\n") {
+		t.Fatalf("document does not end with # EOF:\n%s", doc)
+	}
+	if strings.Count(doc, "# EOF") != 1 {
+		t.Fatalf("more than one # EOF terminator:\n%s", doc)
+	}
+	wantEx := traceIDForNS(200)
+	if !strings.Contains(doc, wantEx) {
+		t.Fatalf("fleet exemplar (most recent node) missing from exposition:\n%s", doc)
+	}
+	if !strings.Contains(doc, `node="node-a"`) || !strings.Contains(doc, `node="node-b"`) {
+		t.Fatalf("node-labeled series missing:\n%s", doc)
+	}
+	// The fleet histogram count is the sum of both nodes'.
+	if !strings.Contains(doc, "latency_ms_count 2") {
+		t.Fatalf("fleet count line missing:\n%s", doc)
+	}
+}
+
+func TestSampleWireRoundTripExact(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("latency_ms", "latency", []float64{0.5, 2.5})
+	h.Observe(0.1)
+	h.ObserveExemplar(2, "00000000deadbeef")
+	reg.CounterVec("scans_total", "scans", "outcome").With("ok").Add(1 << 50)
+	reg.Gauge("inflight", "live").Set(2.5)
+
+	snap := reg.Snapshot()
+	wire, err := MarshalSamples(snap)
+	if err != nil {
+		t.Fatalf("MarshalSamples: %v", err)
+	}
+	back, err := UnmarshalSamples(wire)
+	if err != nil {
+		t.Fatalf("UnmarshalSamples: %v", err)
+	}
+	if len(back) != len(snap) {
+		t.Fatalf("round-trip lost samples: %d vs %d", len(back), len(snap))
+	}
+	for i := range snap {
+		a, b := snap[i], back[i]
+		if a.Name != b.Name || a.Kind != b.Kind || a.Value != b.Value || a.Count != b.Count {
+			t.Fatalf("sample %d mismatch:\n%+v\n%+v", i, a, b)
+		}
+		for j := range a.Buckets {
+			if a.Buckets[j] != b.Buckets[j] {
+				t.Fatalf("sample %d bucket %d: %v vs %v (+Inf must survive)", i, j, a.Buckets[j], b.Buckets[j])
+			}
+		}
+		if (a.Exemplar == nil) != (b.Exemplar == nil) {
+			t.Fatalf("sample %d exemplar lost", i)
+		}
+		if a.Exemplar != nil && *a.Exemplar != *b.Exemplar {
+			t.Fatalf("sample %d exemplar: %+v vs %+v", i, a.Exemplar, b.Exemplar)
+		}
+	}
+}

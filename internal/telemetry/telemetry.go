@@ -130,6 +130,25 @@ func (h *Histogram) Exemplar() *Exemplar { return h.exemplar.Load() }
 // Count returns the number of observations.
 func (h *Histogram) Count() uint64 { return h.count.Load() }
 
+// CumulativeCount returns the number of observations ≤ le, where le is one
+// of the histogram's bucket bounds (any other value rounds down to the
+// nearest bound below it; +Inf returns the total count). The SLO monitor
+// derives latency-objective "good" counts this way without a snapshot
+// allocation.
+func (h *Histogram) CumulativeCount(le float64) uint64 {
+	var cum uint64
+	for i := range h.bounds {
+		if h.bounds[i] > le {
+			return cum
+		}
+		cum += h.counts[i].Load()
+	}
+	if math.IsInf(le, 1) {
+		cum += h.counts[len(h.bounds)].Load()
+	}
+	return cum
+}
+
 // Sum returns the sum of observed values.
 func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
 

@@ -79,10 +79,19 @@ func (r *Recorder) StartTrace(ctx context.Context, name string) (context.Context
 // trace id, rejoining the two nodes' halves of one request. A zero id
 // degrades to StartTrace.
 func (r *Recorder) StartTraceRemote(ctx context.Context, name string, id TraceID) (context.Context, *Trace) {
+	return r.StartTraceRemoteSpan(ctx, name, id, 0)
+}
+
+// StartTraceRemoteSpan is StartTraceRemote also adopting the caller's span
+// id (from the X-Bvap-Span-Id header): the resulting trace remembers which
+// remote span caused it, so the fleet stitcher can graft this node's span
+// tree under the caller's client span. A zero parent means the remote end
+// sent no span context (or tracing is disabled there).
+func (r *Recorder) StartTraceRemoteSpan(ctx context.Context, name string, id TraceID, parent SpanID) (context.Context, *Trace) {
 	if r == nil {
 		return ctx, nil
 	}
-	t := NewTraceWithID(id, name)
+	t := NewTraceWithParent(id, parent, name)
 	return NewContext(ctx, t), t
 }
 
@@ -177,4 +186,27 @@ func (r *Recorder) Lookup(id TraceID) *Trace {
 		}
 	}
 	return nil
+}
+
+// LookupAll returns every retained trace recorded under id, deduplicated
+// across the recent and pinned rings. Unlike Lookup it can return more than
+// one trace: a node that serves several hops of the same distributed
+// request (e.g. prepare then commit of a two-phase publish) records one
+// adopted trace per hop, all sharing the caller's trace id. Used by the
+// span-fragment exporter.
+func (r *Recorder) LookupAll(id TraceID) []*Trace {
+	if r == nil || id == 0 {
+		return nil
+	}
+	var out []*Trace
+	seen := map[*Trace]bool{}
+	for _, ring := range [][]atomic.Pointer[Trace]{r.ring, r.pins} {
+		for i := range ring {
+			if t := ring[i].Load(); t != nil && t.id == id && !seen[t] {
+				seen[t] = true
+				out = append(out, t)
+			}
+		}
+	}
+	return out
 }

@@ -1,0 +1,322 @@
+package tracing
+
+// Stitch assembles span fragments collected from every node of a fleet
+// into one causally-ordered trace tree. Ordering is strictly by parent
+// links: a fragment's position in the tree is the span that caused it (the
+// remote caller's client span, carried by X-Bvap-Span-Id), and a
+// fragment's spans are placed at their offsets from that anchor. Wall
+// clocks are never compared across nodes — node clocks can disagree by
+// more than a fast RPC takes, so the stitched timeline is causal time, not
+// fleet-wide wall time. Within one fragment (one node's monotonic clock)
+// offsets are exact.
+//
+// A span or fragment whose parent id resolves to no span in any fragment
+// is an orphan: it is kept (attached at the nearest enclosing root so no
+// data is dropped) and counted, and the fleetobs gate asserts the count is
+// zero for a healthy fleet.
+
+import (
+	"io"
+	"sort"
+
+	"bvap/internal/telemetry"
+)
+
+// StitchedSpan is one node of the assembled cross-node trace tree. Every
+// fragment contributes one synthetic root (SpanID "" — the hop itself,
+// e.g. "cluster.scan" on the serving node) plus one StitchedSpan per real
+// span.
+type StitchedSpan struct {
+	Node     string `json:"node"`
+	SpanID   string `json:"span_id,omitempty"`
+	ParentID string `json:"parent_id,omitempty"`
+	Name     string `json:"name"`
+	// StartUS is the span's causal start offset in microseconds: its
+	// fragment's anchor position plus the span's node-local offset.
+	StartUS  float64           `json:"start_us"`
+	DurUS    float64           `json:"dur_us"`
+	Done     bool              `json:"done"`
+	Orphan   bool              `json:"orphan,omitempty"`
+	Attrs    map[string]string `json:"attrs,omitempty"`
+	Children []*StitchedSpan   `json:"children,omitempty"`
+}
+
+// StitchedTrace is the assembled fleet-wide view of one trace id.
+type StitchedTrace struct {
+	TraceID   string   `json:"trace_id"`
+	Name      string   `json:"name"`
+	Nodes     []string `json:"nodes"`
+	Fragments int      `json:"fragments"`
+	SpanCount int      `json:"span_count"`
+	// Orphans counts spans and fragments whose parent link resolved to no
+	// span in any collected fragment — nonzero means the trace is
+	// incomplete (a node evicted its half, or span context was dropped).
+	Orphans  int             `json:"orphans"`
+	DurUS    float64         `json:"dur_us"`
+	EnergyPJ float64         `json:"energy_pj,omitempty"`
+	Roots    []*StitchedSpan `json:"roots"`
+}
+
+// stitchFrag is the per-fragment working state of the assembler.
+type stitchFrag struct {
+	f        Fragment
+	root     *StitchedSpan
+	spans    []*StitchedSpan // parallel to f.Spans
+	children []*stitchFrag   // fragments anchored under one of this fragment's spans
+	anchorIn map[*StitchedSpan][]*stitchFrag
+	placed   bool
+}
+
+// Stitch assembles fragments (from any number of nodes, in any order) into
+// one causally-ordered trace tree for trace id.
+func Stitch(id TraceID, frags []Fragment) *StitchedTrace {
+	st := &StitchedTrace{TraceID: id.String(), Fragments: len(frags)}
+	nodes := map[string]bool{}
+	spanIndex := map[SpanID]*StitchedSpan{} // real spans across all fragments
+	spanFrag := map[SpanID]*stitchFrag{}
+	work := make([]*stitchFrag, 0, len(frags))
+
+	for _, f := range frags {
+		nodes[f.Node] = true
+		st.EnergyPJ += f.EnergyPJ
+		sf := &stitchFrag{
+			f: f,
+			root: &StitchedSpan{
+				Node:  f.Node,
+				Name:  f.Name,
+				DurUS: float64(f.DurNS) / 1e3,
+				Done:  f.Done,
+			},
+			anchorIn: map[*StitchedSpan][]*stitchFrag{},
+		}
+		if f.Parent != 0 {
+			sf.root.ParentID = f.Parent.String()
+		}
+		sf.spans = make([]*StitchedSpan, len(f.Spans))
+		for i, sp := range f.Spans {
+			ss := &StitchedSpan{
+				Node:   f.Node,
+				SpanID: sp.ID.String(),
+				Name:   sp.Name,
+				DurUS:  float64(sp.DurNS) / 1e3,
+				Done:   sp.Done,
+				Attrs:  attrStringMap(sp.Attrs),
+			}
+			if sp.Parent != 0 {
+				ss.ParentID = sp.Parent.String()
+			}
+			sf.spans[i] = ss
+			if sp.ID != 0 {
+				spanIndex[sp.ID] = ss
+				spanFrag[sp.ID] = sf
+			}
+		}
+		work = append(work, sf)
+	}
+	st.Nodes = sortedKeys(nodes)
+
+	// Pass 1: intra-fragment span tree. A span parents under another span
+	// of the same fragment, or under the fragment root when its parent is
+	// zero; a dangling in-fragment parent is an orphan kept at the root.
+	for _, sf := range work {
+		for i, sp := range sf.f.Spans {
+			ss := sf.spans[i]
+			switch {
+			case sp.Parent == 0:
+				sf.root.Children = append(sf.root.Children, ss)
+			default:
+				if parent, ok := spanIndex[sp.Parent]; ok && spanFrag[sp.Parent] == sf && parent != ss {
+					parent.Children = append(parent.Children, ss)
+				} else {
+					ss.Orphan = true
+					st.Orphans++
+					sf.root.Children = append(sf.root.Children, ss)
+				}
+			}
+			st.SpanCount++
+		}
+	}
+
+	// Pass 2: inter-fragment grafting. A fragment anchors under its remote
+	// parent span wherever that span lives; a missing parent (or a cycle —
+	// adversarial input only) demotes the fragment to an orphan root.
+	var roots []*stitchFrag
+	for _, sf := range work {
+		if sf.f.Parent == 0 {
+			roots = append(roots, sf)
+			continue
+		}
+		anchor, ok := spanIndex[sf.f.Parent]
+		owner := spanFrag[sf.f.Parent]
+		if !ok || owner == sf {
+			sf.root.Orphan = true
+			st.Orphans++
+			roots = append(roots, sf)
+			continue
+		}
+		owner.children = append(owner.children, sf)
+		owner.anchorIn[anchor] = append(owner.anchorIn[anchor], sf)
+	}
+
+	// Cycle guard: any fragment not reachable from a root (possible only
+	// with forged parent links) becomes an orphan root.
+	var walk func(sf *stitchFrag)
+	walk = func(sf *stitchFrag) {
+		if sf.placed {
+			return
+		}
+		sf.placed = true
+		for _, c := range sf.children {
+			walk(c)
+		}
+	}
+	for _, sf := range roots {
+		walk(sf)
+	}
+	for _, sf := range work {
+		if !sf.placed {
+			sf.root.Orphan = true
+			st.Orphans++
+			sf.children = nil
+			sf.anchorIn = map[*StitchedSpan][]*stitchFrag{}
+			roots = append(roots, sf)
+			walk(sf)
+		}
+	}
+
+	// Pass 3: causal placement. A root fragment starts at 0; every other
+	// fragment starts where its anchor span starts; spans start at their
+	// fragment base plus their node-local offset.
+	var place func(sf *stitchFrag, baseUS float64)
+	place = func(sf *stitchFrag, baseUS float64) {
+		sf.root.StartUS = baseUS
+		for i, sp := range sf.f.Spans {
+			sf.spans[i].StartUS = baseUS + float64(sp.StartNS)/1e3
+		}
+		for anchor, children := range sf.anchorIn {
+			for _, c := range children {
+				place(c, anchor.StartUS)
+			}
+		}
+		// Orphan-rooted children (cleared anchorIn) never appear here.
+		if end := sf.root.StartUS + sf.root.DurUS; end > st.DurUS {
+			st.DurUS = end
+		}
+	}
+	for _, sf := range roots {
+		place(sf, 0)
+		st.Roots = append(st.Roots, sf.root)
+	}
+
+	// Graft fragment roots into their anchor spans' child lists and sort
+	// every child list deterministically.
+	for _, sf := range work {
+		for anchor, children := range sf.anchorIn {
+			for _, c := range children {
+				anchor.Children = append(anchor.Children, c.root)
+			}
+		}
+	}
+	var sortTree func(ss *StitchedSpan)
+	sortTree = func(ss *StitchedSpan) {
+		sort.SliceStable(ss.Children, func(i, j int) bool {
+			a, b := ss.Children[i], ss.Children[j]
+			if a.StartUS != b.StartUS {
+				return a.StartUS < b.StartUS
+			}
+			if a.Node != b.Node {
+				return a.Node < b.Node
+			}
+			return a.SpanID < b.SpanID
+		})
+		for _, c := range ss.Children {
+			sortTree(c)
+		}
+	}
+	sort.SliceStable(st.Roots, func(i, j int) bool {
+		a, b := st.Roots[i], st.Roots[j]
+		if a.Orphan != b.Orphan {
+			return !a.Orphan
+		}
+		if a.Node != b.Node {
+			return a.Node < b.Node
+		}
+		return a.Name < b.Name
+	})
+	for _, r := range st.Roots {
+		sortTree(r)
+	}
+	if len(roots) > 0 {
+		st.Name = st.Roots[0].Name
+	}
+	return st
+}
+
+func attrStringMap(attrs []FragmentAttr) map[string]string {
+	if len(attrs) == 0 {
+		return nil
+	}
+	m := make(map[string]string, len(attrs))
+	for _, a := range attrs {
+		m[a.Key] = a.Value
+	}
+	return m
+}
+
+func sortedKeys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// WriteChrome renders the stitched trace as a Chrome trace_event document,
+// one process lane per node (pid = node index in the sorted node list) so
+// the viewer shows each node's spans in its own track, timestamped on the
+// causal axis.
+func (st *StitchedTrace) WriteChrome(w io.Writer) error {
+	tr := telemetry.NewTracer(w, telemetry.FormatChrome)
+	pidOf := make(map[string]int, len(st.Nodes))
+	for i, n := range st.Nodes {
+		pidOf[n] = i + 1
+	}
+	var emit func(ss *StitchedSpan)
+	emit = func(ss *StitchedSpan) {
+		args := map[string]any{"node": ss.Node}
+		if ss.SpanID != "" {
+			args["span_id"] = ss.SpanID
+		}
+		if ss.ParentID != "" {
+			args["parent_id"] = ss.ParentID
+		}
+		if ss.Orphan {
+			args["orphan"] = true
+		}
+		for k, v := range ss.Attrs {
+			args[k] = v
+		}
+		dur := ss.DurUS
+		if dur <= 0 {
+			dur = 0.001
+		}
+		cat := "span"
+		if ss.SpanID == "" {
+			cat = "fragment"
+		}
+		tr.Emit(telemetry.Event{
+			Name: ss.Name, Cat: cat, Ph: "X",
+			Ts: ss.StartUS, Dur: dur,
+			Pid: pidOf[ss.Node], Tid: 1,
+			Args: args,
+		})
+		for _, c := range ss.Children {
+			emit(c)
+		}
+	}
+	for _, r := range st.Roots {
+		emit(r)
+	}
+	return tr.Close()
+}

@@ -1,0 +1,213 @@
+package tracing
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// threeHopFragments models coordinator → node-b → node-c: the coordinator's
+// client span anchors node-b's fragment, whose own client span anchors
+// node-c's. Span ids are hand-picked so the test controls every link.
+func threeHopFragments() []Fragment {
+	return []Fragment{
+		{
+			Node: "node-c", TraceID: 0xabc, Parent: 21, Name: "cluster.scan",
+			DurNS: 400_000, Done: true, EnergyPJ: 2,
+			Spans: []FragmentSpan{
+				{ID: 31, Name: "engine.scan", StartNS: 50_000, DurNS: 300_000, Done: true},
+			},
+		},
+		{
+			Node: "coordinator", TraceID: 0xabc, Name: "http.scan",
+			DurNS: 2_000_000, Done: true, EnergyPJ: 1,
+			Spans: []FragmentSpan{
+				{ID: 11, Name: "cluster.client /cluster/scan", StartNS: 100_000, DurNS: 1_500_000, Done: true,
+					Attrs: []FragmentAttr{{Key: "peer", Value: "http://node-b"}}},
+			},
+		},
+		{
+			Node: "node-b", TraceID: 0xabc, Parent: 11, Name: "cluster.scan",
+			DurNS: 1_000_000, Done: true, EnergyPJ: 4,
+			Spans: []FragmentSpan{
+				{ID: 21, Parent: 22, Name: "cluster.client /cluster/scan", StartNS: 200_000, DurNS: 600_000, Done: true},
+				{ID: 22, Name: "cluster.forward", StartNS: 150_000, DurNS: 700_000, Done: true},
+			},
+		},
+	}
+}
+
+func findSpan(roots []*StitchedSpan, name string) *StitchedSpan {
+	var walk func(ss *StitchedSpan) *StitchedSpan
+	walk = func(ss *StitchedSpan) *StitchedSpan {
+		if ss.Name == name {
+			return ss
+		}
+		for _, c := range ss.Children {
+			if got := walk(c); got != nil {
+				return got
+			}
+		}
+		return nil
+	}
+	for _, r := range roots {
+		if got := walk(r); got != nil {
+			return got
+		}
+	}
+	return nil
+}
+
+func TestStitchThreeHopChain(t *testing.T) {
+	st := Stitch(0xabc, threeHopFragments())
+
+	if st.Orphans != 0 {
+		t.Fatalf("healthy chain stitched with %d orphans", st.Orphans)
+	}
+	if len(st.Roots) != 1 {
+		t.Fatalf("got %d roots, want 1: %+v", len(st.Roots), st.Roots)
+	}
+	if st.Name != "http.scan" || st.Roots[0].Node != "coordinator" {
+		t.Fatalf("root is %q on %q, want http.scan on coordinator", st.Name, st.Roots[0].Node)
+	}
+	if got, want := st.Nodes, []string{"coordinator", "node-b", "node-c"}; len(got) != 3 ||
+		got[0] != want[0] || got[1] != want[1] || got[2] != want[2] {
+		t.Fatalf("nodes = %v, want %v", got, want)
+	}
+	if st.Fragments != 3 || st.SpanCount != 4 {
+		t.Fatalf("fragments=%d spans=%d, want 3 and 4", st.Fragments, st.SpanCount)
+	}
+	if st.EnergyPJ != 7 {
+		t.Fatalf("energy = %v, want 7 (sum of fragments)", st.EnergyPJ)
+	}
+
+	// Parent links: client span on the coordinator holds node-b's fragment
+	// root; node-b's inner client span holds node-c's.
+	client := findSpan(st.Roots, "cluster.client /cluster/scan")
+	if client == nil || client.Node != "coordinator" {
+		t.Fatalf("coordinator client span missing: %+v", client)
+	}
+	var hopB *StitchedSpan
+	for _, c := range client.Children {
+		if c.Node == "node-b" && c.SpanID == "" {
+			hopB = c
+		}
+	}
+	if hopB == nil {
+		t.Fatalf("node-b fragment not grafted under the client span: %+v", client.Children)
+	}
+	// Causal placement: node-b's fragment starts exactly where the client
+	// span starts (100µs), and its spans are offset from there.
+	if hopB.StartUS != 100 {
+		t.Fatalf("node-b fragment StartUS = %v, want 100 (anchor span start)", hopB.StartUS)
+	}
+	fwd := findSpan([]*StitchedSpan{hopB}, "cluster.forward")
+	if fwd == nil || fwd.StartUS != 250 {
+		t.Fatalf("cluster.forward StartUS = %+v, want 250 (100 base + 150 offset)", fwd)
+	}
+	hopC := findSpan(st.Roots, "engine.scan")
+	if hopC == nil || hopC.Node != "node-c" {
+		t.Fatal("node-c spans missing from the stitched tree")
+	}
+	// node-c anchors under node-b's client span: base 100+200=300, span +50.
+	if hopC.StartUS != 350 {
+		t.Fatalf("engine.scan StartUS = %v, want 350", hopC.StartUS)
+	}
+}
+
+func TestStitchOrderInsensitive(t *testing.T) {
+	frags := threeHopFragments()
+	a, _ := json.Marshal(Stitch(0xabc, frags))
+	reversed := []Fragment{frags[2], frags[1], frags[0]}
+	b, _ := json.Marshal(Stitch(0xabc, reversed))
+	if !bytes.Equal(a, b) {
+		t.Fatalf("stitch depends on fragment arrival order:\n%s\n%s", a, b)
+	}
+}
+
+func TestStitchOrphans(t *testing.T) {
+	frags := threeHopFragments()
+	// Drop the coordinator fragment: node-b's parent link (span 11) now
+	// resolves nowhere, so its whole subtree re-roots as an orphan, while
+	// node-c (anchored on node-b's span 21) still grafts cleanly.
+	st := Stitch(0xabc, []Fragment{frags[0], frags[2]})
+	if st.Orphans != 1 {
+		t.Fatalf("orphans = %d, want 1 (node-b fragment root)", st.Orphans)
+	}
+	if len(st.Roots) != 1 || !st.Roots[0].Orphan || st.Roots[0].Node != "node-b" {
+		t.Fatalf("roots = %+v, want single orphan root on node-b", st.Roots)
+	}
+	if findSpan(st.Roots, "engine.scan") == nil {
+		t.Fatal("node-c spans lost: orphaned ancestor must not drop descendants")
+	}
+
+	// A dangling intra-fragment parent is also an orphan, kept at its
+	// fragment root.
+	st2 := Stitch(1, []Fragment{{
+		Node: "n", TraceID: 1, Name: "hop", DurNS: 10, Done: true,
+		Spans: []FragmentSpan{{ID: 5, Parent: 99, Name: "dangling", DurNS: 1, Done: true}},
+	}})
+	if st2.Orphans != 1 {
+		t.Fatalf("dangling span orphans = %d, want 1", st2.Orphans)
+	}
+	sp := findSpan(st2.Roots, "dangling")
+	if sp == nil || !sp.Orphan {
+		t.Fatalf("dangling span not kept as orphan: %+v", sp)
+	}
+}
+
+func TestStitchCycleDoesNotHang(t *testing.T) {
+	// Forged input: two fragments anchored under each other's spans. The
+	// stitcher must terminate and keep both as orphan roots.
+	frags := []Fragment{
+		{Node: "a", TraceID: 1, Parent: 20, Name: "ha", DurNS: 10, Done: true,
+			Spans: []FragmentSpan{{ID: 10, Name: "sa", DurNS: 1, Done: true}}},
+		{Node: "b", TraceID: 1, Parent: 10, Name: "hb", DurNS: 10, Done: true,
+			Spans: []FragmentSpan{{ID: 20, Name: "sb", DurNS: 1, Done: true}}},
+	}
+	st := Stitch(1, frags)
+	if len(st.Roots) != 2 {
+		t.Fatalf("cycle: got %d roots, want both fragments re-rooted", len(st.Roots))
+	}
+	if st.Orphans == 0 {
+		t.Fatal("cycle produced no orphans")
+	}
+	// Self-anchoring is equally adversarial.
+	self := Stitch(2, []Fragment{{Node: "a", TraceID: 2, Parent: 7, Name: "h", DurNS: 1, Done: true,
+		Spans: []FragmentSpan{{ID: 7, Name: "s", DurNS: 1, Done: true}}}})
+	if len(self.Roots) != 1 || !self.Roots[0].Orphan {
+		t.Fatalf("self-anchored fragment not demoted to orphan root: %+v", self.Roots)
+	}
+}
+
+func TestStitchedWriteChromeValidJSON(t *testing.T) {
+	st := Stitch(0xabc, threeHopFragments())
+	var buf bytes.Buffer
+	if err := st.WriteChrome(&buf); err != nil {
+		t.Fatalf("WriteChrome: %v", err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Pid  int            `json:"pid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("chrome doc not JSON: %v\n%s", err, buf.Bytes())
+	}
+	if len(doc.TraceEvents) != 7 {
+		t.Fatalf("got %d events, want 7 (3 fragment roots + 4 spans)", len(doc.TraceEvents))
+	}
+	pids := map[int]bool{}
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph != "X" {
+			t.Fatalf("event %q ph=%q, want X", ev.Name, ev.Ph)
+		}
+		pids[ev.Pid] = true
+	}
+	if len(pids) != 3 {
+		t.Fatalf("got %d process lanes, want one per node (3)", len(pids))
+	}
+}

@@ -56,11 +56,46 @@ func formatID(v uint64) string {
 	return string(buf[:])
 }
 
-// ParseTraceID parses the String() form (16 hex digits, leading zeros
-// optional).
+// ParseTraceID parses the String() form (1–16 hex digits, leading zeros
+// optional). It is strict so HTTP handlers can distinguish a malformed id
+// (parse error → 400) from a well-formed id that simply isn't retained
+// (lookup miss → 404): empty strings, ids longer than 16 digits, non-hex
+// characters, sign prefixes, and the all-zero id ("no trace") are all
+// errors.
 func ParseTraceID(s string) (TraceID, error) {
-	v, err := strconv.ParseUint(s, 16, 64)
+	v, err := parseID(s)
 	return TraceID(v), err
+}
+
+// ParseSpanID parses the String() form of a span id with the same
+// strictness as ParseTraceID.
+func ParseSpanID(s string) (SpanID, error) {
+	v, err := parseID(s)
+	return SpanID(v), err
+}
+
+func parseID(s string) (uint64, error) {
+	if s == "" || len(s) > 16 {
+		return 0, errIDSyntax(s)
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if !('0' <= c && c <= '9' || 'a' <= c && c <= 'f' || 'A' <= c && c <= 'F') {
+			return 0, errIDSyntax(s)
+		}
+	}
+	v, err := strconv.ParseUint(s, 16, 64)
+	if err != nil {
+		return 0, err
+	}
+	if v == 0 {
+		return 0, errIDSyntax(s)
+	}
+	return v, nil
+}
+
+func errIDSyntax(s string) error {
+	return &strconv.NumError{Func: "ParseTraceID", Num: s, Err: strconv.ErrSyntax}
 }
 
 // idState drives the process-wide id generator: a golden-gamma counter
@@ -97,9 +132,10 @@ type Attr struct {
 // chunk spans run on worker goroutines) and nil-receiver safe, so
 // instrumented code needs no enablement branches.
 type Trace struct {
-	id    TraceID
-	name  string
-	start time.Time
+	id     TraceID
+	name   string
+	start  time.Time
+	parent SpanID // remote parent span (cross-node adoption); 0 = local root
 
 	mu        sync.Mutex
 	spans     []*Span
@@ -123,10 +159,29 @@ func NewTrace(name string) *Trace {
 // /debug/trace/{id} on either node finds its half of the request. A zero
 // id falls back to a fresh one.
 func NewTraceWithID(id TraceID, name string) *Trace {
+	return NewTraceWithParent(id, 0, name)
+}
+
+// NewTraceWithParent is NewTraceWithID carrying the remote caller's span id
+// as well: the peer that issued the request records a client span and sends
+// its id alongside the trace id, and the fleet stitcher later grafts this
+// trace's local span tree under that span to rebuild the cross-node causal
+// tree. A zero id falls back to a fresh trace; a zero parent means the
+// local segment is a root.
+func NewTraceWithParent(id TraceID, parent SpanID, name string) *Trace {
 	if id == 0 {
 		return NewTrace(name)
 	}
-	return &Trace{id: id, name: name, start: time.Now()}
+	return &Trace{id: id, name: name, parent: parent, start: time.Now()}
+}
+
+// RemoteParent returns the remote caller's span id this trace was adopted
+// under (0 for a local root or a nil trace).
+func (t *Trace) RemoteParent() SpanID {
+	if t == nil {
+		return 0
+	}
+	return t.parent
 }
 
 // ID returns the trace id (0 for a nil trace).
@@ -366,6 +421,32 @@ func (s *Span) ID() SpanID {
 	return s.id
 }
 
+// IDString returns the hex span id, or "" for a nil span — the form the
+// cluster client stamps into the X-Bvap-Span-Id header. The empty string
+// (rather than sixteen zeros) keeps the disabled path header-free.
+func (s *Span) IDString() string {
+	if s == nil {
+		return ""
+	}
+	return s.id.String()
+}
+
+// Parent returns the span's parent span id (0 for a root or nil span).
+func (s *Span) Parent() SpanID {
+	if s == nil {
+		return 0
+	}
+	return s.parent
+}
+
+// Name returns the span's operation name ("" for a nil span).
+func (s *Span) Name() string {
+	if s == nil {
+		return ""
+	}
+	return s.name
+}
+
 // End closes the span (idempotently).
 func (s *Span) End() {
 	if s == nil {
@@ -432,6 +513,17 @@ func FromContext(ctx context.Context) *Trace {
 	}
 	t, _ := ctx.Value(traceKey{}).(*Trace)
 	return t
+}
+
+// SpanFromContext returns the context's enclosing span, or nil. It never
+// allocates — the cluster client calls it on every outbound request whether
+// or not tracing is enabled.
+func SpanFromContext(ctx context.Context) *Span {
+	if ctx == nil {
+		return nil
+	}
+	s, _ := ctx.Value(spanKey{}).(*Span)
+	return s
 }
 
 // StartSpan opens a span on the context's trace, parented under the

@@ -172,6 +172,10 @@ func TestTracingDisabledPathAllocationFree(t *testing.T) {
 		tr.SetEnergyEstimate(1)
 		rec.Record(tr)
 		_ = tr.IDString()
+		// The cross-node propagation helpers ride the same hot path: the
+		// cluster client consults them on every request.
+		_ = SpanFromContext(ctx3).IDString()
+		_ = tr.RemoteParent()
 	}
 	work() // warm up
 	if allocs := testing.AllocsPerRun(10, work); allocs != 0 {

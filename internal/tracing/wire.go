@@ -1,0 +1,411 @@
+package tracing
+
+// The span-export wire form — the currency of cross-node trace stitching.
+// A node answering GET /cluster/trace/{id} snapshots every retained trace
+// recorded under that id into Fragments (one per local hop of the
+// distributed request) and serializes them with EncodeFragments; the
+// coordinator's assembler decodes each node's reply and grafts the
+// fragments into one causally-ordered tree (stitch.go).
+//
+// Fragments deliberately carry no absolute wall-clock timestamps: node
+// clocks are not comparable, so the wire form transports only durations
+// and intra-fragment start offsets, and the stitcher places every fragment
+// at its remote parent span's causal position. There is nothing in the
+// bytes that would even permit cross-node wall-clock ordering.
+//
+// Layout (little-endian, mirroring the BVCK session-checkpoint idiom):
+//
+//	[4]  magic "BVTF"
+//	u8   version (1)
+//	u16  fragment count
+//	per fragment:
+//	  u16+bytes node id
+//	  u64  trace id
+//	  u64  remote parent span id (0 = root fragment)
+//	  u16+bytes root operation name
+//	  i64  duration, ns
+//	  u8   done (0/1)
+//	  f64  energy, pJ (IEEE-754 bits)
+//	  u32  span count
+//	  per span:
+//	    u64  span id
+//	    u64  parent span id (0 = child of the fragment root)
+//	    u16+bytes name
+//	    i64  start offset from fragment start, ns
+//	    i64  duration, ns
+//	    u8   done (0/1)
+//	    u16  attr count
+//	    per attr: u16+bytes key, u16+bytes value
+//	u64  FNV-64a checksum over everything above
+//
+// Decoding trusts nothing: the checksum gates all parsing, every count is
+// bounded by the remaining byte budget before allocation, boolean bytes
+// must be exactly 0 or 1, and trailing bytes are rejected. The encoding is
+// a canonical function of the Fragment values, so any accepted byte string
+// re-encodes byte-identically (FuzzTraceFragmentWire pins this, mirroring
+// FuzzSessionCheckpointWire).
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"strconv"
+	"time"
+)
+
+// ErrFragmentCorrupt marks a span-fragment byte string that failed
+// structural validation: bad magic, unknown version, checksum mismatch,
+// truncation, non-canonical content, or trailing bytes.
+var ErrFragmentCorrupt = errors.New("tracing: span fragment wire corrupt")
+
+const (
+	fragmentWireMagic   = "BVTF"
+	fragmentWireVersion = 1
+
+	// maxWireString caps every length-prefixed string (node ids, span
+	// names, attribute keys/values) at the u16 prefix range; Encode
+	// truncates longer values rather than failing.
+	maxWireString = 1<<16 - 1
+)
+
+// FragmentAttr is one stringified span attribute. Values are rendered by
+// the snapshot (strconv for the typed setters), preserving recording
+// order so the wire form is deterministic.
+type FragmentAttr struct {
+	Key   string `json:"key"`
+	Value string `json:"value"`
+}
+
+// FragmentSpan is one span of a fragment, with its start expressed as an
+// offset from the fragment's own start (node-local monotonic time — never
+// comparable across nodes).
+type FragmentSpan struct {
+	ID      SpanID         `json:"span_id"`
+	Parent  SpanID         `json:"parent_id"`
+	Name    string         `json:"name"`
+	StartNS int64          `json:"start_ns"`
+	DurNS   int64          `json:"dur_ns"`
+	Done    bool           `json:"done"`
+	Attrs   []FragmentAttr `json:"attrs,omitempty"`
+}
+
+// Fragment is one node's share of a distributed trace: the span tree of a
+// single adopted trace, rooted at the hop that node served. Parent is the
+// remote caller's span id (carried by X-Bvap-Span-Id); the stitcher grafts
+// the fragment under that span.
+type Fragment struct {
+	Node     string         `json:"node"`
+	TraceID  TraceID        `json:"trace_id"`
+	Parent   SpanID         `json:"parent_id"`
+	Name     string         `json:"name"`
+	DurNS    int64          `json:"dur_ns"`
+	Done     bool           `json:"done"`
+	EnergyPJ float64        `json:"energy_pj,omitempty"`
+	Spans    []FragmentSpan `json:"spans"`
+}
+
+// Fragment snapshots the trace as a wire-transportable fragment attributed
+// to node. Open spans report elapsed time so far with Done=false, same as
+// View. A nil trace yields the zero fragment.
+func (t *Trace) Fragment(node string) Fragment {
+	if t == nil {
+		return Fragment{}
+	}
+	now := time.Now()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	f := Fragment{
+		Node:     node,
+		TraceID:  t.id,
+		Parent:   t.parent,
+		Name:     t.name,
+		Done:     t.done,
+		EnergyPJ: t.energyLocked(),
+		Spans:    make([]FragmentSpan, 0, len(t.spans)),
+	}
+	if t.done {
+		f.DurNS = t.durNS
+	} else {
+		f.DurNS = int64(now.Sub(t.start))
+	}
+	for _, sp := range t.spans {
+		fs := FragmentSpan{
+			ID:      sp.id,
+			Parent:  sp.parent,
+			Name:    sp.name,
+			StartNS: int64(sp.start.Sub(t.start)),
+			Done:    sp.done,
+			Attrs:   fragmentAttrs(sp.attrs),
+		}
+		if sp.done {
+			fs.DurNS = sp.durNS
+		} else {
+			fs.DurNS = int64(now.Sub(sp.start))
+		}
+		f.Spans = append(f.Spans, fs)
+	}
+	return f
+}
+
+func fragmentAttrs(attrs []Attr) []FragmentAttr {
+	if len(attrs) == 0 {
+		return nil
+	}
+	out := make([]FragmentAttr, 0, len(attrs))
+	for _, a := range attrs {
+		out = append(out, FragmentAttr{Key: a.Key, Value: formatAttrValue(a.Value)})
+	}
+	return out
+}
+
+func formatAttrValue(v any) string {
+	switch x := v.(type) {
+	case string:
+		return x
+	case int:
+		return strconv.Itoa(x)
+	case float64:
+		return strconv.FormatFloat(x, 'g', -1, 64)
+	case bool:
+		return strconv.FormatBool(x)
+	default:
+		return fmt.Sprintf("%v", x)
+	}
+}
+
+// Fragments snapshots every retained trace recorded under id as fragments
+// attributed to node — the payload of GET /cluster/trace/{id}. Nil or
+// empty when the recorder retains nothing under the id.
+func (r *Recorder) Fragments(id TraceID, node string) []Fragment {
+	traces := r.LookupAll(id)
+	if len(traces) == 0 {
+		return nil
+	}
+	out := make([]Fragment, 0, len(traces))
+	for _, t := range traces {
+		out = append(out, t.Fragment(node))
+	}
+	return out
+}
+
+// EncodeFragments serializes fragments into the self-validating BVTF wire
+// form. Strings longer than 64 KiB are truncated; fragment and span counts
+// beyond the u16/u32 ranges are clipped (neither happens in practice — a
+// trace holds at most a few hundred spans).
+func EncodeFragments(frags []Fragment) []byte {
+	if len(frags) > maxWireString {
+		frags = frags[:maxWireString]
+	}
+	buf := make([]byte, 0, 256)
+	buf = append(buf, fragmentWireMagic...)
+	buf = append(buf, fragmentWireVersion)
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(frags)))
+	for _, f := range frags {
+		buf = appendWireString(buf, f.Node)
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(f.TraceID))
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(f.Parent))
+		buf = appendWireString(buf, f.Name)
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(f.DurNS))
+		buf = appendWireBool(buf, f.Done)
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(f.EnergyPJ))
+		spans := f.Spans
+		if len(spans) > math.MaxUint32 {
+			spans = spans[:math.MaxUint32]
+		}
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(spans)))
+		for _, sp := range spans {
+			buf = binary.LittleEndian.AppendUint64(buf, uint64(sp.ID))
+			buf = binary.LittleEndian.AppendUint64(buf, uint64(sp.Parent))
+			buf = appendWireString(buf, sp.Name)
+			buf = binary.LittleEndian.AppendUint64(buf, uint64(sp.StartNS))
+			buf = binary.LittleEndian.AppendUint64(buf, uint64(sp.DurNS))
+			buf = appendWireBool(buf, sp.Done)
+			attrs := sp.Attrs
+			if len(attrs) > maxWireString {
+				attrs = attrs[:maxWireString]
+			}
+			buf = binary.LittleEndian.AppendUint16(buf, uint16(len(attrs)))
+			for _, a := range attrs {
+				buf = appendWireString(buf, a.Key)
+				buf = appendWireString(buf, a.Value)
+			}
+		}
+	}
+	h := fnv.New64a()
+	h.Write(buf)
+	return binary.LittleEndian.AppendUint64(buf, h.Sum64())
+}
+
+func appendWireString(buf []byte, s string) []byte {
+	if len(s) > maxWireString {
+		s = s[:maxWireString]
+	}
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(s)))
+	return append(buf, s...)
+}
+
+func appendWireBool(buf []byte, b bool) []byte {
+	if b {
+		return append(buf, 1)
+	}
+	return append(buf, 0)
+}
+
+// fragmentReader walks the checksummed body with bounds checks; any
+// overrun flips err and every subsequent read returns zeros.
+type fragmentReader struct {
+	data []byte
+	off  int
+	err  error
+}
+
+func (r *fragmentReader) fail() {
+	if r.err == nil {
+		r.err = ErrFragmentCorrupt
+	}
+}
+
+func (r *fragmentReader) remaining() int { return len(r.data) - r.off }
+
+func (r *fragmentReader) u8() byte {
+	if r.err != nil || r.remaining() < 1 {
+		r.fail()
+		return 0
+	}
+	v := r.data[r.off]
+	r.off++
+	return v
+}
+
+func (r *fragmentReader) u16() uint16 {
+	if r.err != nil || r.remaining() < 2 {
+		r.fail()
+		return 0
+	}
+	v := binary.LittleEndian.Uint16(r.data[r.off:])
+	r.off += 2
+	return v
+}
+
+func (r *fragmentReader) u32() uint32 {
+	if r.err != nil || r.remaining() < 4 {
+		r.fail()
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(r.data[r.off:])
+	r.off += 4
+	return v
+}
+
+func (r *fragmentReader) u64() uint64 {
+	if r.err != nil || r.remaining() < 8 {
+		r.fail()
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(r.data[r.off:])
+	r.off += 8
+	return v
+}
+
+func (r *fragmentReader) str() string {
+	n := int(r.u16())
+	if r.err != nil || r.remaining() < n {
+		r.fail()
+		return ""
+	}
+	s := string(r.data[r.off : r.off+n])
+	r.off += n
+	return s
+}
+
+func (r *fragmentReader) boolean() bool {
+	switch r.u8() {
+	case 0:
+		return false
+	case 1:
+		return true
+	default:
+		r.fail()
+		return false
+	}
+}
+
+// DecodeFragments parses the BVTF wire form. Any structural defect —
+// checksum mismatch, truncation, oversized counts, non-canonical boolean
+// bytes, trailing bytes — fails with an error wrapping ErrFragmentCorrupt.
+func DecodeFragments(data []byte) ([]Fragment, error) {
+	headerLen := len(fragmentWireMagic) + 1 + 2
+	if len(data) < headerLen+8 {
+		return nil, fmt.Errorf("%w: truncated (%d bytes)", ErrFragmentCorrupt, len(data))
+	}
+	body, sumBytes := data[:len(data)-8], data[len(data)-8:]
+	h := fnv.New64a()
+	h.Write(body)
+	if got, want := binary.LittleEndian.Uint64(sumBytes), h.Sum64(); got != want {
+		return nil, fmt.Errorf("%w: checksum mismatch", ErrFragmentCorrupt)
+	}
+	if string(body[:4]) != fragmentWireMagic {
+		return nil, fmt.Errorf("%w: bad magic", ErrFragmentCorrupt)
+	}
+	if body[4] != fragmentWireVersion {
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrFragmentCorrupt, body[4])
+	}
+	r := &fragmentReader{data: body, off: len(fragmentWireMagic) + 1}
+	nFrags := int(r.u16())
+	// Each fragment needs ≥ 2+8+8+2+8+1+8+4 bytes even when empty.
+	if nFrags > r.remaining()/41+1 {
+		return nil, fmt.Errorf("%w: fragment count %d exceeds payload", ErrFragmentCorrupt, nFrags)
+	}
+	frags := make([]Fragment, 0, nFrags)
+	for i := 0; i < nFrags && r.err == nil; i++ {
+		f := Fragment{
+			Node:    r.str(),
+			TraceID: TraceID(r.u64()),
+			Parent:  SpanID(r.u64()),
+			Name:    r.str(),
+			DurNS:   int64(r.u64()),
+			Done:    r.boolean(),
+		}
+		f.EnergyPJ = math.Float64frombits(r.u64())
+		nSpans := int(r.u32())
+		// Each span needs ≥ 8+8+2+8+8+1+2 = 37 bytes.
+		if r.err == nil && nSpans > r.remaining()/37+1 {
+			return nil, fmt.Errorf("%w: span count %d exceeds payload", ErrFragmentCorrupt, nSpans)
+		}
+		if nSpans > 0 {
+			f.Spans = make([]FragmentSpan, 0, nSpans)
+		}
+		for j := 0; j < nSpans && r.err == nil; j++ {
+			sp := FragmentSpan{
+				ID:      SpanID(r.u64()),
+				Parent:  SpanID(r.u64()),
+				Name:    r.str(),
+				StartNS: int64(r.u64()),
+				DurNS:   int64(r.u64()),
+				Done:    r.boolean(),
+			}
+			nAttrs := int(r.u16())
+			// Each attr needs ≥ 2+2 bytes.
+			if r.err == nil && nAttrs > r.remaining()/4+1 {
+				return nil, fmt.Errorf("%w: attr count %d exceeds payload", ErrFragmentCorrupt, nAttrs)
+			}
+			if nAttrs > 0 {
+				sp.Attrs = make([]FragmentAttr, 0, nAttrs)
+			}
+			for k := 0; k < nAttrs && r.err == nil; k++ {
+				sp.Attrs = append(sp.Attrs, FragmentAttr{Key: r.str(), Value: r.str()})
+			}
+			f.Spans = append(f.Spans, sp)
+		}
+		frags = append(frags, f)
+	}
+	if r.err != nil {
+		return nil, fmt.Errorf("%w: truncated content", ErrFragmentCorrupt)
+	}
+	if r.remaining() != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrFragmentCorrupt, r.remaining())
+	}
+	return frags, nil
+}

@@ -1,0 +1,176 @@
+package tracing
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"testing"
+)
+
+// sampleFragments builds a realistic two-node fragment set by actually
+// running the tracing layer, so the wire tests exercise the same shapes
+// the cluster exports.
+func sampleFragments(t testing.TB) []Fragment {
+	t.Helper()
+	rec := NewRecorder(Config{Capacity: 8})
+
+	// Coordinator hop: a root trace with one client span.
+	ctx, root := rec.StartTrace(context.Background(), "fleet.publish")
+	ctx1, client := StartSpan(ctx, "cluster.client /cluster/prepare")
+	client.SetStr("peer", "http://node-b")
+	client.SetInt("attempt", 1)
+	_, inner := StartSpan(ctx1, "encode")
+	inner.End()
+	client.End()
+	root.SetEnergyEstimate(12.5)
+	rec.Record(root)
+
+	// Server hop on another node, parented under the client span.
+	_, remote := rec.StartTraceRemoteSpan(context.Background(), "cluster.prepare", root.ID(), client.ID())
+	sp := remote.StartSpan("compile")
+	sp.SetFloat("pj", 3.25)
+	sp.End()
+	remote.finish()
+
+	frags := root.Fragment("node-a")
+	return append([]Fragment{frags}, remote.Fragment("node-b"))
+}
+
+func TestFragmentWireRoundTrip(t *testing.T) {
+	frags := sampleFragments(t)
+	wire := EncodeFragments(frags)
+	back, err := DecodeFragments(wire)
+	if err != nil {
+		t.Fatalf("DecodeFragments: %v", err)
+	}
+	if len(back) != len(frags) {
+		t.Fatalf("got %d fragments, want %d", len(back), len(frags))
+	}
+	for i := range frags {
+		a, b := frags[i], back[i]
+		if a.Node != b.Node || a.TraceID != b.TraceID || a.Parent != b.Parent ||
+			a.Name != b.Name || a.DurNS != b.DurNS || a.Done != b.Done || a.EnergyPJ != b.EnergyPJ {
+			t.Fatalf("fragment %d header mismatch:\n  sent %+v\n  got  %+v", i, a, b)
+		}
+		if len(a.Spans) != len(b.Spans) {
+			t.Fatalf("fragment %d: %d spans decoded, want %d", i, len(b.Spans), len(a.Spans))
+		}
+		for j := range a.Spans {
+			as, bs := a.Spans[j], b.Spans[j]
+			if as.ID != bs.ID || as.Parent != bs.Parent || as.Name != bs.Name ||
+				as.StartNS != bs.StartNS || as.DurNS != bs.DurNS || as.Done != bs.Done {
+				t.Fatalf("fragment %d span %d mismatch:\n  sent %+v\n  got  %+v", i, j, as, bs)
+			}
+			if len(as.Attrs) != len(bs.Attrs) {
+				t.Fatalf("fragment %d span %d attrs: %v vs %v", i, j, as.Attrs, bs.Attrs)
+			}
+			for k := range as.Attrs {
+				if as.Attrs[k] != bs.Attrs[k] {
+					t.Fatalf("fragment %d span %d attr %d: %v vs %v", i, j, k, as.Attrs[k], bs.Attrs[k])
+				}
+			}
+		}
+	}
+	// Canonical form: re-encoding the decoded value is byte-identical.
+	if again := EncodeFragments(back); !bytes.Equal(again, wire) {
+		t.Fatal("re-encode of decoded fragments is not byte-identical")
+	}
+}
+
+func TestFragmentWireEmptySet(t *testing.T) {
+	wire := EncodeFragments(nil)
+	back, err := DecodeFragments(wire)
+	if err != nil || len(back) != 0 {
+		t.Fatalf("empty set round-trip: %v, %v", back, err)
+	}
+}
+
+func TestFragmentWireRejectsCorruption(t *testing.T) {
+	wire := EncodeFragments(sampleFragments(t))
+
+	cases := map[string][]byte{
+		"empty":     {},
+		"short":     wire[:10],
+		"magic":     append([]byte("XXXX"), wire[4:]...),
+		"truncated": wire[:len(wire)-3],
+		"trailing":  append(append([]byte{}, wire...), 0),
+	}
+	// Flip one byte anywhere: the checksum must catch it.
+	flipped := append([]byte{}, wire...)
+	flipped[len(flipped)/2] ^= 0x40
+	cases["bitflip"] = flipped
+
+	for name, data := range cases {
+		if _, err := DecodeFragments(data); !errors.Is(err, ErrFragmentCorrupt) {
+			t.Errorf("%s: error = %v, want ErrFragmentCorrupt", name, err)
+		}
+	}
+}
+
+func TestFragmentCarriesNoWallClock(t *testing.T) {
+	// The wire form must transport only durations and intra-fragment
+	// offsets: two encodes of equal fragment values are byte-identical
+	// regardless of when they happen, which could not hold if absolute
+	// timestamps leaked in.
+	frag := Fragment{
+		Node: "n1", TraceID: 7, Name: "hop", DurNS: 1000, Done: true,
+		Spans: []FragmentSpan{{ID: 9, Name: "s", StartNS: 10, DurNS: 20, Done: true}},
+	}
+	if !bytes.Equal(EncodeFragments([]Fragment{frag}), EncodeFragments([]Fragment{frag})) {
+		t.Fatal("encoding is not a pure function of the fragment value")
+	}
+}
+
+func TestRecorderFragments(t *testing.T) {
+	rec := NewRecorder(Config{Capacity: 8})
+	_, tr1 := rec.StartTrace(context.Background(), "hop1")
+	rec.Record(tr1)
+	// A second hop of the same distributed trace on this node.
+	_, tr2 := rec.StartTraceRemoteSpan(context.Background(), "hop2", tr1.ID(), 42)
+	rec.Record(tr2)
+
+	frags := rec.Fragments(tr1.ID(), "node-x")
+	if len(frags) != 2 {
+		t.Fatalf("got %d fragments, want 2 (both hops retained)", len(frags))
+	}
+	for _, f := range frags {
+		if f.Node != "node-x" || f.TraceID != tr1.ID() {
+			t.Fatalf("fragment misattributed: %+v", f)
+		}
+	}
+	if got := rec.Fragments(TraceID(0xdead), "node-x"); got != nil {
+		t.Fatalf("unknown id yielded fragments: %v", got)
+	}
+}
+
+// FuzzTraceFragmentWire throws arbitrary bytes at the fragment decoder.
+// Any input must either be rejected with ErrFragmentCorrupt or decode into
+// fragments that re-encode byte-identically — the canonical-form contract
+// the federator relies on, mirroring FuzzSessionCheckpointWire.
+func FuzzTraceFragmentWire(f *testing.F) {
+	f.Add(EncodeFragments(nil))
+	f.Add(EncodeFragments([]Fragment{{
+		Node: "n1", TraceID: 1, Parent: 2, Name: "hop", DurNS: 5, Done: true, EnergyPJ: 1.5,
+		Spans: []FragmentSpan{{ID: 3, Parent: 0, Name: "s", StartNS: 1, DurNS: 2, Done: true,
+			Attrs: []FragmentAttr{{Key: "k", Value: "v"}}}},
+	}}))
+	f.Add([]byte{})
+	f.Add([]byte("BVTF"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 1<<16 {
+			data = data[:1<<16]
+		}
+		frags, err := DecodeFragments(data)
+		if err != nil {
+			if !errors.Is(err, ErrFragmentCorrupt) {
+				t.Fatalf("decode error is untyped: %v", err)
+			}
+			return
+		}
+		again := EncodeFragments(frags)
+		if !bytes.Equal(again, data) {
+			t.Fatalf("accepted wire does not re-encode byte-identically:\n in  %x\n out %x", data, again)
+		}
+	})
+}

@@ -405,6 +405,11 @@ func (s *Service) Generation() uint64 { return s.gen.Seq() }
 // circuit breaker, sorted.
 func (s *Service) Quarantined() []string { return s.brk.Quarantined() }
 
+// QuotaSaturation reports per-tenant quota consumption (0 = idle, 1 =
+// exhausted; see serve.Quotas.Saturation), or nil when quotas are
+// disabled. Surfaced by the fleet health plane.
+func (s *Service) QuotaSaturation() map[string]float64 { return s.quo.Saturation() }
+
 // inputKey digests an input for quarantine bookkeeping: cheap, stable, and
 // collision-tolerant (a collision only couples two inputs' failure
 // budgets).
