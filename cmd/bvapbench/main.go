@@ -82,6 +82,7 @@ func registry() []experiment {
 		{"obs", "tracing overhead: disabled-path allocs, live throughput cost, energy-partition exactness → BENCH_<n>.json (+ -baseline compare)", false, (*app).runObs},
 		{"cluster", "fleet soak: node kills, session migration, coordinated reloads, tenant quotas → BENCH_<n>.json (+ -baseline compare)", false, (*app).runCluster},
 		{"fleetobs", "fleet observability gate: cross-node trace stitching, exact metrics federation, SLO burn-rate alerting, disabled-path allocs → BENCH_<n>.json (+ -baseline compare)", false, (*app).runFleetObs},
+		{"rebar", "curated competitive conformance suite: verified per-engine match counts + BVAP-vs-regexp position → BENCH_<n>.json (+ -baseline compare)", false, (*app).runRebar},
 	}
 }
 
@@ -129,6 +130,10 @@ type app struct {
 	fleetobsDataset  string
 	fleetobsNodes    int
 	fleetobsScans    int
+	rebarDir         string
+	rebarFilter      string
+	rebarEngines     string
+	rebarReps        int
 	datasets         []string
 	archs            []string
 	baselinePath     string
@@ -178,6 +183,10 @@ func main() {
 	flag.StringVar(&a.fleetobsDataset, "fleetobs-dataset", "Snort", "dataset for the -exp fleetobs gate")
 	flag.IntVar(&a.fleetobsNodes, "fleetobs-nodes", 3, "in-process nodes in the -exp fleetobs fleet")
 	flag.IntVar(&a.fleetobsScans, "fleetobs-scans", 24, "forced-forward ring-routed scans in -exp fleetobs")
+	flag.StringVar(&a.rebarDir, "rebar-dir", "testdata/rebar", "case-file directory for -exp rebar")
+	flag.StringVar(&a.rebarFilter, "rebar-filter", "", "regexp selecting case names for -exp rebar")
+	flag.StringVar(&a.rebarEngines, "rebar-engines", "", "comma-separated engine subset for -exp rebar (default: all registered engines)")
+	flag.IntVar(&a.rebarReps, "rebar-reps", 2, "timed runs per (case, engine) cell in -exp rebar")
 	datasetList := flag.String("datasets", "", "comma-separated dataset subset")
 	archList := flag.String("archs", "", "comma-separated architecture subset for -exp perf (BVAP, BVAP-S, CAMA, CA, eAP, CNT)")
 	jsonPath := flag.String("json", "", "also write the structured results as JSON to this file")
@@ -684,6 +693,59 @@ func (a *app) runCluster() error {
 	return nil
 }
 
+// runRebar runs the curated competitive conformance suite: every case's
+// declared per-engine match count is asserted before any timing is
+// trusted, the cells go into a BENCH-schema report, and any count
+// mismatch fails the run after the report is rendered and written.
+func (a *app) runRebar() error {
+	var engines []string
+	if strings.TrimSpace(a.rebarEngines) != "" {
+		for _, e := range strings.Split(a.rebarEngines, ",") {
+			engines = append(engines, strings.TrimSpace(e))
+		}
+	}
+	res, rep, err := experiments.Rebar(experiments.RebarOptions{
+		Dir:     a.rebarDir,
+		Filter:  a.rebarFilter,
+		Engines: engines,
+		Reps:    a.rebarReps,
+	})
+	if err != nil && res == nil {
+		return err // load/config error: nothing to render
+	}
+	a.dump.Rebar = res
+	experiments.RenderRebar(os.Stdout, res)
+
+	out := a.benchOut
+	if out == "" {
+		var perr error
+		out, perr = experiments.NextBenchPath(".")
+		if perr != nil {
+			return perr
+		}
+	}
+	if werr := experiments.WriteBenchReport(out, rep); werr != nil {
+		return werr
+	}
+	fmt.Printf("wrote %s\n", out)
+	if err != nil {
+		return err // count mismatches: non-zero exit after archiving the run
+	}
+
+	if a.baselinePath != "" {
+		base, err := experiments.ReadBenchReport(a.baselinePath)
+		if err != nil {
+			return err
+		}
+		regs := experiments.CompareBench(rep, base, experiments.Thresholds{})
+		experiments.RenderRegressions(os.Stdout, regs)
+		if len(regs) > 0 {
+			return fmt.Errorf("%d counted metric(s) regressed vs %s", len(regs), a.baselinePath)
+		}
+	}
+	return nil
+}
+
 // parseIntList parses a comma-separated list of positive ints; an empty
 // string selects the experiment's defaults (nil).
 func parseIntList(s string) ([]int, error) {
@@ -764,6 +826,7 @@ type jsonResults struct {
 	Obs        *experiments.ObsResult         `json:"obs,omitempty"`
 	Cluster    *experiments.ClusterSoakResult `json:"cluster,omitempty"`
 	FleetObs   *experiments.FleetObsResult    `json:"fleetobs,omitempty"`
+	Rebar      *experiments.RebarResult       `json:"rebar,omitempty"`
 }
 
 // parseRates parses the -fault-rates list; an empty string selects the

@@ -1,0 +1,71 @@
+package bvap
+
+import (
+	"testing"
+
+	"bvap/internal/swmatch"
+)
+
+// TestDatasetsDifferentialMatchSets pushes every dataset profile through
+// the engine's FindAll and asserts the exact (pattern, end) match SET —
+// not just the count — against the independent swmatch reference, pattern
+// by pattern. This is stricter than the count conformance the rebar suite
+// checks: two engines can agree on totals while disagreeing on which
+// pattern matched where. Small enough to run in -short mode; the
+// long-form cross-architecture sweep lives in TestIntegrationAllDatasets.
+func TestDatasetsDifferentialMatchSets(t *testing.T) {
+	sample, inputLen := 24, 2048
+	if testing.Short() {
+		sample, inputLen = 12, 1024
+	}
+	for _, ds := range Datasets() {
+		ds := ds
+		t.Run(ds.Name(), func(t *testing.T) {
+			patterns := ds.Patterns(sample)
+			input := ds.Input(inputLen, patterns)
+
+			engine, err := Compile(patterns)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rep := engine.Report()
+
+			got := map[Match]bool{}
+			for _, m := range engine.FindAll(input) {
+				got[m] = true
+			}
+
+			want := map[Match]bool{}
+			refMatches := 0
+			for i, pr := range rep.Patterns {
+				if !pr.Supported {
+					continue
+				}
+				ref, err := swmatch.New(patterns[i])
+				if err != nil {
+					t.Fatalf("swmatch rejects supported pattern %q: %v", patterns[i], err)
+				}
+				for _, end := range ref.MatchEnds(input) {
+					want[Match{Pattern: i, End: end}] = true
+					refMatches++
+				}
+			}
+
+			for m := range want {
+				if !got[m] {
+					t.Errorf("FindAll missed pattern %d (%q) ending at %d",
+						m.Pattern, patterns[m.Pattern], m.End)
+				}
+			}
+			for m := range got {
+				if !want[m] {
+					t.Errorf("FindAll reported pattern %d (%q) ending at %d; reference does not",
+						m.Pattern, patterns[m.Pattern], m.End)
+				}
+			}
+			if len(want) == 0 {
+				t.Fatalf("reference found no matches in %s corpus — workload degenerate", ds.Name())
+			}
+		})
+	}
+}

@@ -1,0 +1,271 @@
+package experiments
+
+// The rebar experiment runs the curated competitive suite under
+// testdata/rebar: declarative TOML cases (regex, generated haystack,
+// verified per-engine match counts) executed head-to-head on every
+// registered engine — the BVAP software scanners, the cycle-accurate
+// simulator on all six architectures, the independent swmatch reference
+// and the standard library's regexp. Counts are conformance assertions:
+// a cell's timing is only reported when its count matched the declaration,
+// and any mismatch fails the experiment. The BVAP-vs-go/regexp throughput
+// ratios are informational competitive positioning, never compared.
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	"bvap/internal/rebar"
+)
+
+// RebarOptions parameterizes the rebar suite run.
+type RebarOptions struct {
+	Dir     string   // case-file directory (default "testdata/rebar")
+	Filter  string   // regexp over case names
+	Engines []string // engine subset (default: every registered engine)
+	Reps    int      // timed runs per cell (default 2)
+}
+
+func (o *RebarOptions) fill() {
+	if o.Dir == "" {
+		o.Dir = "testdata/rebar"
+	}
+	if o.Reps == 0 {
+		o.Reps = 2
+	}
+}
+
+// RebarCell is one (case, engine) conformance-and-timing cell.
+type RebarCell struct {
+	Case      string `json:"case"`
+	Group     string `json:"group,omitempty"`
+	Engine    string `json:"engine"`
+	Semantics string `json:"semantics,omitempty"`
+	Regex     string `json:"regex"`
+
+	Expected uint64 `json:"expected"`
+	Got      uint64 `json:"got"`
+	OK       bool   `json:"ok"`
+	Err      string `json:"err,omitempty"`
+
+	HaystackLen int `json:"haystack_len"`
+
+	// Informational timing (fastest verified run; zero when !OK).
+	WallMs float64 `json:"wall_ms"`
+	MBps   float64 `json:"mb_s"`
+}
+
+// RebarRatio is the informational competitive position of the BVAP
+// software scanner against go/regexp on one case (>1 means BVAP scanned
+// faster).
+type RebarRatio struct {
+	Case     string  `json:"case"`
+	BVAPMBps float64 `json:"bvap_mb_s"`
+	GoMBps   float64 `json:"go_mb_s"`
+	Ratio    float64 `json:"bvap_vs_go"`
+}
+
+// RebarResult is the experiment's structured output.
+type RebarResult struct {
+	Dir        string       `json:"dir"`
+	Cases      int          `json:"cases"`
+	Engines    []string     `json:"engines"`
+	Cells      []RebarCell  `json:"cells"`
+	Ratios     []RebarRatio `json:"ratios,omitempty"`
+	Mismatches int          `json:"mismatches"`
+}
+
+// Rebar loads and runs the curated suite. On count mismatches the result
+// and report are still returned — fully populated, so the failing run can
+// be rendered and archived — alongside the *rebar.MismatchError.
+func Rebar(opt RebarOptions) (*RebarResult, *BenchReport, error) {
+	opt.fill()
+	suite, err := rebar.LoadDir(opt.Dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	cells, runErr := rebar.Run(suite, &rebar.RunOptions{
+		Filter:  opt.Filter,
+		Engines: opt.Engines,
+		Reps:    opt.Reps,
+	})
+	if runErr != nil {
+		if _, ok := runErr.(*rebar.MismatchError); !ok {
+			return nil, nil, runErr
+		}
+	}
+
+	engines := opt.Engines
+	if len(engines) == 0 {
+		engines = rebar.EngineNames()
+	}
+	res := &RebarResult{Dir: opt.Dir, Engines: engines}
+	seenCases := map[string]bool{}
+	perCaseMBps := map[string]map[string]float64{}
+	for _, c := range cells {
+		if !seenCases[c.Case] {
+			seenCases[c.Case] = true
+			res.Cases++
+		}
+		cell := RebarCell{
+			Case: c.Case, Group: c.Group, Engine: c.Engine,
+			Semantics: c.Semantics, Regex: c.Regex,
+			Expected: c.Expected, Got: c.Got, OK: c.OK, Err: c.Err,
+			HaystackLen: c.HaystackLen,
+			WallMs:      float64(c.Elapsed) / float64(time.Millisecond),
+			MBps:        c.MBps,
+		}
+		res.Cells = append(res.Cells, cell)
+		if !c.OK {
+			res.Mismatches++
+		}
+		if c.OK && c.MBps > 0 {
+			if perCaseMBps[c.Case] == nil {
+				perCaseMBps[c.Case] = map[string]float64{}
+			}
+			perCaseMBps[c.Case][c.Engine] = c.MBps
+		}
+	}
+	for _, c := range res.Cells {
+		m := perCaseMBps[c.Case]
+		if m == nil || c.Engine != "bvap/findall" {
+			continue
+		}
+		bv, goMB := m["bvap/findall"], m["go/regexp"]
+		if bv > 0 && goMB > 0 {
+			res.Ratios = append(res.Ratios, RebarRatio{
+				Case: c.Case, BVAPMBps: bv, GoMBps: goMB, Ratio: bv / goMB,
+			})
+		}
+	}
+	return res, rebarBench(opt, res), runErr
+}
+
+// rebarBench shapes a suite run as a BENCH-schema report: one cell per
+// (case, engine) keyed case × engine, with the observed count as the exact
+// counted `matches` metric and the haystack length as `symbols`. The
+// competitive ratios ride along as informational cells (arch
+// "ratio/bvap-vs-go", the ratio in the derived FoM column); their counted
+// columns are zero so CompareBench treats them as always-equal.
+func rebarBench(opt RebarOptions, res *RebarResult) *BenchReport {
+	rep := &BenchReport{
+		SchemaVersion: BenchSchemaVersion,
+		Created:       time.Now().UTC().Format(time.RFC3339),
+		Environment: BenchEnvironment{
+			GoVersion: runtime.Version(),
+			GOOS:      runtime.GOOS,
+			GOARCH:    runtime.GOARCH,
+			NumCPU:    runtime.NumCPU(),
+		},
+		Params: BenchParams{
+			BVSize: perfBVSize, UnfoldTh: perfUnfoldTh,
+			Sample: res.Cases,
+			Archs:  res.Engines,
+		},
+	}
+	// InputLen pins each case's haystack once (not once per engine), so
+	// two runs over the same suite stay comparable.
+	seen := map[string]bool{}
+	for _, c := range res.Cells {
+		if !seen[c.Case] {
+			seen[c.Case] = true
+			rep.Params.InputLen += c.HaystackLen
+		}
+		rep.Cells = append(rep.Cells, BenchCell{
+			Dataset:         c.Case,
+			Arch:            c.Engine,
+			Patterns:        1,
+			Symbols:         uint64(c.HaystackLen),
+			Matches:         c.Got,
+			RunMs:           c.WallMs,
+			SimThroughputMB: c.MBps,
+		})
+	}
+	for _, r := range res.Ratios {
+		rep.Cells = append(rep.Cells, BenchCell{
+			Dataset: r.Case,
+			Arch:    "ratio/bvap-vs-go",
+			FoM:     r.Ratio,
+		})
+	}
+	rep.PeakRSSBytes = peakRSSBytes()
+	return rep
+}
+
+// RenderRebar prints the per-case conformance summary and the competitive
+// ratios. Mismatching cells are listed in full.
+func RenderRebar(w io.Writer, res *RebarResult) {
+	fmt.Fprintf(w, "Rebar competitive conformance — %d cases × %d engines (%d cells, %d mismatches)\n",
+		res.Cases, len(res.Engines), len(res.Cells), res.Mismatches)
+	fmt.Fprintf(w, "  %-18s %-26s %6s %9s %9s %10s %10s %8s\n",
+		"case", "regex", "bytes", "ends", "go", "bvap MB/s", "go MB/s", "bvap/go")
+
+	type caseLine struct {
+		regex                string
+		bytes                int
+		ends, goCount        uint64
+		haveEnds, haveGo     bool
+		bvapMBps, goMBps     float64
+		cells, verifiedCells int
+	}
+	lines := map[string]*caseLine{}
+	var order []string
+	for _, c := range res.Cells {
+		l := lines[c.Case]
+		if l == nil {
+			l = &caseLine{regex: c.Regex, bytes: c.HaystackLen}
+			lines[c.Case] = l
+			order = append(order, c.Case)
+		}
+		l.cells++
+		if c.OK {
+			l.verifiedCells++
+		}
+		switch {
+		case c.Engine == "go/regexp":
+			l.goCount, l.haveGo = c.Got, true
+			l.goMBps = c.MBps
+		case c.Semantics == "ends" && !l.haveEnds:
+			l.ends, l.haveEnds = c.Got, true
+		}
+		if c.Engine == "bvap/findall" {
+			l.bvapMBps = c.MBps
+		}
+	}
+	fmtCount := func(have bool, n uint64) string {
+		if !have {
+			return "-"
+		}
+		return fmt.Sprintf("%d", n)
+	}
+	for _, name := range order {
+		l := lines[name]
+		ratio := "-"
+		if l.bvapMBps > 0 && l.goMBps > 0 {
+			ratio = fmt.Sprintf("%.2fx", l.bvapMBps/l.goMBps)
+		}
+		status := ""
+		if l.verifiedCells != l.cells {
+			status = fmt.Sprintf("  [%d/%d FAILED]", l.cells-l.verifiedCells, l.cells)
+		}
+		fmt.Fprintf(w, "  %-18s %-26s %6d %9s %9s %10.1f %10.1f %8s%s\n",
+			name, l.regex, l.bytes,
+			fmtCount(l.haveEnds, l.ends), fmtCount(l.haveGo, l.goCount),
+			l.bvapMBps, l.goMBps, ratio, status)
+	}
+	if res.Mismatches > 0 {
+		fmt.Fprintf(w, "\n  mismatching cells:\n")
+		for _, c := range res.Cells {
+			if c.OK {
+				continue
+			}
+			detail := c.Err
+			if detail == "" {
+				detail = fmt.Sprintf("got %d, want %d", c.Got, c.Expected)
+			}
+			fmt.Fprintf(w, "    %s/%s: %s\n", c.Case, c.Engine, detail)
+		}
+	}
+	fmt.Fprintln(w)
+}

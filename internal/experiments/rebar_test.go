@@ -1,0 +1,125 @@
+package experiments
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"bvap/internal/rebar"
+)
+
+const rebarTestDir = "../../testdata/rebar"
+
+func TestRebarExperiment(t *testing.T) {
+	opt := RebarOptions{
+		Dir:     rebarTestDir,
+		Engines: []string{"bvap/findall", "bvap/parallel", "swmatch", "go/regexp"},
+		Reps:    1,
+	}
+	res, rep, err := Rebar(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cases < 20 {
+		t.Errorf("cases = %d, want >= 20", res.Cases)
+	}
+	if res.Mismatches != 0 {
+		t.Errorf("mismatches = %d", res.Mismatches)
+	}
+	if want := res.Cases * len(opt.Engines); len(res.Cells) != want {
+		t.Errorf("cells = %d, want %d", len(res.Cells), want)
+	}
+	if len(res.Ratios) != res.Cases {
+		t.Errorf("ratios = %d, want one per case (%d)", len(res.Ratios), res.Cases)
+	}
+	for _, r := range res.Ratios {
+		if r.Ratio <= 0 {
+			t.Errorf("%s: non-positive ratio %g", r.Case, r.Ratio)
+		}
+	}
+
+	// BENCH shape: one cell per (case, engine) plus one informational
+	// ratio cell per case, pinned schema and params.
+	if rep.SchemaVersion != BenchSchemaVersion {
+		t.Errorf("schema = %d", rep.SchemaVersion)
+	}
+	if want := len(res.Cells) + len(res.Ratios); len(rep.Cells) != want {
+		t.Errorf("report cells = %d, want %d", len(rep.Cells), want)
+	}
+	if rep.Params.Sample != res.Cases || rep.Params.InputLen == 0 {
+		t.Errorf("params = %+v", rep.Params)
+	}
+	for _, c := range rep.Cells {
+		if c.Arch == "ratio/bvap-vs-go" {
+			if c.Symbols != 0 || c.Matches != 0 {
+				t.Errorf("ratio cell %s carries counted metrics", c.Dataset)
+			}
+			continue
+		}
+		if c.Symbols == 0 {
+			t.Errorf("cell %s/%s has no symbols", c.Dataset, c.Arch)
+		}
+	}
+
+	// A second run over the same suite must be CompareBench-clean: counts
+	// are deterministic, timing is informational.
+	res2, rep2, err := Rebar(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = res2
+	if regs := CompareBench(rep2, rep, Thresholds{AllocsFrac: 10}); len(regs) != 0 {
+		t.Errorf("self-compare regressions: %v", regs)
+	}
+}
+
+func TestRebarExperimentDetectsMismatch(t *testing.T) {
+	dir := t.TempDir()
+	bad := `
+[[bench]]
+name = 'wrong-count'
+model = 'count'
+regex = 'abc'
+haystack = { generator = 'literal', literal = 'abc', repeat = 4 }
+count = [{ engine = '.*', count = 3 }]
+engines = ['swmatch', 'go/regexp']
+`
+	if err := os.WriteFile(filepath.Join(dir, "bad.toml"), []byte(bad), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	res, rep, err := Rebar(RebarOptions{Dir: dir, Reps: 1})
+	if err == nil {
+		t.Fatal("mismatched count passed")
+	}
+	if _, ok := err.(*rebar.MismatchError); !ok {
+		t.Fatalf("error type %T (%v), want *rebar.MismatchError", err, err)
+	}
+	// The failing run still produces a renderable result and report.
+	if res == nil || rep == nil {
+		t.Fatal("mismatch run returned no result/report")
+	}
+	if res.Mismatches != 2 {
+		t.Errorf("mismatches = %d, want 2", res.Mismatches)
+	}
+	var sb strings.Builder
+	RenderRebar(&sb, res)
+	if !strings.Contains(sb.String(), "wrong-count/swmatch") {
+		t.Errorf("render does not list the mismatching cell:\n%s", sb.String())
+	}
+}
+
+func TestRebarExperimentFilter(t *testing.T) {
+	res, _, err := Rebar(RebarOptions{
+		Dir:     rebarTestDir,
+		Filter:  "^literal-abc$",
+		Engines: []string{"swmatch"},
+		Reps:    1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cases != 1 || len(res.Cells) != 1 {
+		t.Errorf("filtered run: %d cases, %d cells", res.Cases, len(res.Cells))
+	}
+}

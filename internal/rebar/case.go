@@ -1,0 +1,285 @@
+package rebar
+
+import (
+	"fmt"
+	"regexp"
+	"strings"
+
+	"bvap/internal/regex"
+	"bvap/internal/workload"
+)
+
+// Suite is a parsed set of benchmark/conformance cases, typically one TOML
+// file (or a directory of them, merged in sorted file order).
+type Suite struct {
+	// Analysis is the free-text commentary of the file (the rebar
+	// convention: why this group exists and what it stresses).
+	Analysis string
+	Cases    []Case
+}
+
+// Case is one declarative benchmark definition: a regex, a generated
+// haystack, and the verified expected match count per engine. A case is a
+// conformance assertion first and a benchmark second — the runner refuses
+// to report timings for an engine whose count diverges from the
+// declaration.
+type Case struct {
+	// Name identifies the case (unique within a suite; [a-z0-9-]+).
+	Name string
+	// Group optionally clusters related cases ("bounded-repeat", ...).
+	Group string
+	// Model is the measurement model. Only "count" is implemented: every
+	// engine reports its match count over the haystack. Engines differ in
+	// what they count — the BVAP family, the simulator and swmatch count
+	// match-end events (streaming partial-match semantics, overlapping
+	// matches included), go/regexp counts leftmost non-overlapping
+	// matches — which is exactly why expectations are declared per engine.
+	Model string
+	// Regex is the pattern, in the engine's PCRE subset.
+	Regex string
+	// Haystack describes the generated input.
+	Haystack Haystack
+	// Counts are the declared expectations, matched first-entry-wins
+	// against the engine name (Engine is an anchored regexp, rebar-style:
+	// '.*' is the catch-all).
+	Counts []CountExpect
+	// Engines selects which registered engines run this case, by exact
+	// name. The schema check resolves every entry at load time.
+	Engines []string
+}
+
+// CountExpect declares the expected match count for the engines whose name
+// matches the (fully anchored) Engine pattern.
+type CountExpect struct {
+	Engine string
+	Count  uint64
+
+	re *regexp.Regexp // compiled by Validate
+}
+
+// Haystack describes a deterministic generated input stream.
+//
+// Generators and their parameters:
+//
+//	natural  Zipfian natural-language text; seed, len, vocab (optional)
+//	code     source-code-like stream; seed, len
+//	logs     machine-log lines; seed, len
+//	text     uniform stream over alphabet; seed, len, alphabet
+//	alpha    Fig. 11 trigger/filler stream; seed, len, alpha, trigger, filler
+//	literal  literal (repeated); literal, repeat (optional, default 1)
+type Haystack struct {
+	Generator string
+	Seed      int64
+	Len       int
+	Vocab     int     // natural
+	Alphabet  string  // text
+	Alpha     float64 // alpha
+	Trigger   string  // alpha: single byte
+	Filler    string  // alpha: single byte
+	Literal   string  // literal
+	Repeat    int     // literal
+}
+
+// MaxHaystackLen caps generated haystacks so a typo'd case cannot OOM the
+// loader (16 MiB is far beyond any curated case).
+const MaxHaystackLen = 1 << 24
+
+// SchemaError reports a case definition that parsed as TOML but violates
+// the case schema.
+type SchemaError struct {
+	File  string // empty when loading from memory
+	Case  string // case name, or "" for suite-level errors
+	Field string
+	Msg   string
+}
+
+func (e *SchemaError) Error() string {
+	parts := []string{"rebar"}
+	if e.File != "" {
+		parts = append(parts, e.File)
+	}
+	if e.Case != "" {
+		parts = append(parts, fmt.Sprintf("case %q", e.Case))
+	}
+	if e.Field != "" {
+		parts = append(parts, e.Field)
+	}
+	return strings.Join(parts, ": ") + ": " + e.Msg
+}
+
+var caseNameRE = regexp.MustCompile(`^[a-z0-9][a-z0-9-]*$`)
+
+// Validate checks the suite against the case schema and compiles the
+// per-entry engine selectors. It returns the first violation as a typed
+// *SchemaError.
+func (s *Suite) Validate() error {
+	seen := map[string]bool{}
+	for i := range s.Cases {
+		c := &s.Cases[i]
+		if err := c.validate(); err != nil {
+			return err
+		}
+		if seen[c.Name] {
+			return &SchemaError{Case: c.Name, Field: "name", Msg: "duplicate case name"}
+		}
+		seen[c.Name] = true
+	}
+	return nil
+}
+
+func (c *Case) validate() error {
+	fail := func(field, format string, args ...interface{}) error {
+		return &SchemaError{Case: c.Name, Field: field, Msg: fmt.Sprintf(format, args...)}
+	}
+	if !caseNameRE.MatchString(c.Name) {
+		return fail("name", "must match %s", caseNameRE)
+	}
+	if c.Model != "count" {
+		return fail("model", "unsupported model %q (only \"count\")", c.Model)
+	}
+	if c.Regex == "" {
+		return fail("regex", "missing")
+	}
+	if _, err := regex.Parse(c.Regex); err != nil {
+		return fail("regex", "%v", err)
+	}
+	if err := c.Haystack.validate(); err != nil {
+		return &SchemaError{Case: c.Name, Field: "haystack", Msg: err.Error()}
+	}
+	if len(c.Counts) == 0 {
+		return fail("count", "at least one expected-count entry is required")
+	}
+	for i := range c.Counts {
+		e := &c.Counts[i]
+		if e.Engine == "" {
+			return fail("count", "entry %d: empty engine selector", i)
+		}
+		re, err := regexp.Compile("^(?:" + e.Engine + ")$")
+		if err != nil {
+			return fail("count", "entry %d: bad engine selector %q: %v", i, e.Engine, err)
+		}
+		e.re = re
+	}
+	if len(c.Engines) == 0 {
+		return fail("engines", "at least one engine is required")
+	}
+	for _, name := range c.Engines {
+		if _, err := EngineByName(name); err != nil {
+			return fail("engines", "%v", err)
+		}
+		if _, ok := c.ExpectedCount(name); !ok {
+			return fail("count", "no expected-count entry matches engine %q", name)
+		}
+	}
+	return nil
+}
+
+// ExpectedCount resolves the declared expectation for an engine,
+// first-entry-wins. Validate must have run (it compiles the selectors).
+func (c *Case) ExpectedCount(engine string) (uint64, bool) {
+	for i := range c.Counts {
+		e := &c.Counts[i]
+		if e.re == nil {
+			re, err := regexp.Compile("^(?:" + e.Engine + ")$")
+			if err != nil {
+				continue
+			}
+			e.re = re
+		}
+		if e.re.MatchString(engine) {
+			return e.Count, true
+		}
+	}
+	return 0, false
+}
+
+var haystackGenerators = map[string]bool{
+	"natural": true, "code": true, "logs": true,
+	"text": true, "alpha": true, "literal": true,
+}
+
+func (h *Haystack) validate() error {
+	if !haystackGenerators[h.Generator] {
+		return fmt.Errorf("unknown generator %q", h.Generator)
+	}
+	if h.Generator == "literal" {
+		if h.Literal == "" {
+			return fmt.Errorf("literal generator needs a non-empty literal")
+		}
+		if h.Repeat < 0 {
+			return fmt.Errorf("negative repeat %d", h.Repeat)
+		}
+		rep := h.Repeat
+		if rep == 0 {
+			rep = 1
+		}
+		if len(h.Literal)*rep > MaxHaystackLen {
+			return fmt.Errorf("literal haystack exceeds %d bytes", MaxHaystackLen)
+		}
+		if h.Len != 0 {
+			return fmt.Errorf("len is implied by literal × repeat")
+		}
+		return nil
+	}
+	if h.Len <= 0 || h.Len > MaxHaystackLen {
+		return fmt.Errorf("len %d out of range (0, %d]", h.Len, MaxHaystackLen)
+	}
+	switch h.Generator {
+	case "alpha":
+		if h.Alpha < 0 || h.Alpha > 1 {
+			return fmt.Errorf("alpha %g out of [0, 1]", h.Alpha)
+		}
+		if len(h.Trigger) != 1 || len(h.Filler) != 1 {
+			return fmt.Errorf("alpha generator needs single-byte trigger and filler")
+		}
+	case "text":
+		if h.Alphabet == "" {
+			return fmt.Errorf("text generator needs an alphabet")
+		}
+	case "natural":
+		if h.Vocab < 0 || h.Vocab > 1<<20 {
+			return fmt.Errorf("vocab %d out of range", h.Vocab)
+		}
+	}
+	return nil
+}
+
+// Build generates the haystack bytes. The result is deterministic in the
+// spec: two Builds of an identical Haystack are byte-equal.
+func (h *Haystack) Build() ([]byte, error) {
+	if err := h.validate(); err != nil {
+		return nil, err
+	}
+	switch h.Generator {
+	case "natural":
+		return workload.NaturalText(h.Seed, h.Len, h.Vocab), nil
+	case "code":
+		return workload.SourceCode(h.Seed, h.Len), nil
+	case "logs":
+		return workload.LogLines(h.Seed, h.Len), nil
+	case "text":
+		return workload.Text(h.Seed, h.Len, h.Alphabet), nil
+	case "alpha":
+		return workload.AlphaStream(h.Seed, h.Len, h.Alpha, h.Trigger[0], h.Filler[0]), nil
+	case "literal":
+		rep := h.Repeat
+		if rep == 0 {
+			rep = 1
+		}
+		return []byte(strings.Repeat(h.Literal, rep)), nil
+	default:
+		return nil, fmt.Errorf("unknown generator %q", h.Generator)
+	}
+}
+
+// Size returns the haystack length in bytes without building it.
+func (h *Haystack) Size() int {
+	if h.Generator == "literal" {
+		rep := h.Repeat
+		if rep == 0 {
+			rep = 1
+		}
+		return len(h.Literal) * rep
+	}
+	return h.Len
+}

@@ -1,0 +1,150 @@
+package rebar
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+const validCase = `
+[[bench]]
+name = 'word-band'
+group = 'bounded-repeat'
+model = 'count'
+regex = '[A-Za-z]{8,13}'
+haystack = { generator = 'natural', seed = 1, len = 4096 }
+count = [
+  { engine = 'go/regexp', count = 10 },
+  { engine = '.*', count = 20 },
+]
+engines = ['swmatch', 'go/regexp']
+`
+
+func TestParseSuiteValid(t *testing.T) {
+	s, err := ParseSuite(validCase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Cases) != 1 {
+		t.Fatalf("cases = %d", len(s.Cases))
+	}
+	c := &s.Cases[0]
+	if c.Name != "word-band" || c.Regex != "[A-Za-z]{8,13}" {
+		t.Errorf("case = %+v", c)
+	}
+	if n, ok := c.ExpectedCount("go/regexp"); !ok || n != 10 {
+		t.Errorf("go/regexp expectation = %d, %v", n, ok)
+	}
+	if n, ok := c.ExpectedCount("swmatch"); !ok || n != 20 {
+		t.Errorf("swmatch catch-all expectation = %d, %v", n, ok)
+	}
+}
+
+func TestParseSuiteDefaultsToAllEngines(t *testing.T) {
+	src := strings.Replace(validCase, "engines = ['swmatch', 'go/regexp']\n", "", 1)
+	s, err := ParseSuite(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := len(s.Cases[0].Engines), len(EngineNames()); got != want {
+		t.Errorf("default engines = %d, want all %d", got, want)
+	}
+}
+
+func TestParseSuiteSchemaErrors(t *testing.T) {
+	sub := func(old, new string) string { return strings.Replace(validCase, old, new, 1) }
+	cases := []struct {
+		name, src, want string
+	}{
+		{"bad-name", sub("'word-band'", "'Word_Band'"), "name"},
+		{"dup-name", validCase + validCase, "duplicate case name"},
+		{"bad-model", sub("'count'", "'grep'"), "model"},
+		{"missing-regex", sub("regex = '[A-Za-z]{8,13}'\n", ""), "regex"},
+		{"bad-regex", sub("'[A-Za-z]{8,13}'", "'[unclosed'"), "regex"},
+		{"bad-generator", sub("'natural'", "'random'"), "unknown generator"},
+		{"zero-len", sub("len = 4096", "len = 0"), "out of range"},
+		{"huge-len", sub("len = 4096", "len = 99999999"), "out of range"},
+		{"no-counts", sub("count = [\n  { engine = 'go/regexp', count = 10 },\n  { engine = '.*', count = 20 },\n]\n", ""), "count"},
+		{"bad-selector", sub("engine = '.*'", "engine = '('"), "bad engine selector"},
+		{"negative-count", sub("count = 10", "count = -1"), "non-negative"},
+		{"unknown-engine", sub("'swmatch'", "'hyperscan'"), "unknown engine"},
+		{"uncovered-engine", sub("{ engine = '.*', count = 20 },\n", ""), "no expected-count entry"},
+		{"unknown-key", sub("group = 'bounded-repeat'", "grp = 'x'"), "unknown key"},
+		{"unknown-haystack-key", sub("seed = 1", "sede = 1"), "unknown key"},
+		{"unknown-array", sub("[[bench]]", "[[case]]"), "unknown table array"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ParseSuite(tc.src)
+			if err == nil {
+				t.Fatal("parse succeeded")
+			}
+			se, ok := err.(*SchemaError)
+			if !ok {
+				t.Fatalf("error type %T (%v), want *SchemaError", err, err)
+			}
+			if !strings.Contains(se.Error(), tc.want) {
+				t.Errorf("error %q does not mention %q", se, tc.want)
+			}
+		})
+	}
+}
+
+func TestHaystackBuildDeterministic(t *testing.T) {
+	specs := []Haystack{
+		{Generator: "natural", Seed: 3, Len: 4096, Vocab: 256},
+		{Generator: "code", Seed: 3, Len: 4096},
+		{Generator: "logs", Seed: 3, Len: 4096},
+		{Generator: "text", Seed: 3, Len: 4096, Alphabet: "ab"},
+		{Generator: "alpha", Seed: 3, Len: 4096, Alpha: 0.1, Trigger: "a", Filler: "z"},
+		{Generator: "literal", Literal: "abc", Repeat: 5},
+	}
+	for _, h := range specs {
+		a, err := h.Build()
+		if err != nil {
+			t.Fatalf("%s: %v", h.Generator, err)
+		}
+		b, _ := h.Build()
+		if !bytes.Equal(a, b) {
+			t.Errorf("%s: not deterministic", h.Generator)
+		}
+		if len(a) != h.Size() {
+			t.Errorf("%s: len %d != Size %d", h.Generator, len(a), h.Size())
+		}
+	}
+}
+
+func TestSuiteMarshalRoundTrip(t *testing.T) {
+	s, err := ParseSuite(validCase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b1 := Marshal(s)
+	s2, err := ParseSuite(string(b1))
+	if err != nil {
+		t.Fatalf("canonical form does not parse: %v\n%s", err, b1)
+	}
+	b2 := Marshal(s2)
+	if !bytes.Equal(b1, b2) {
+		t.Errorf("Marshal not a fixpoint:\n--- first\n%s\n--- second\n%s", b1, b2)
+	}
+}
+
+func TestEngineRegistry(t *testing.T) {
+	names := EngineNames()
+	if len(names) != 10 {
+		t.Fatalf("registered engines = %v", names)
+	}
+	for _, want := range []string{
+		"bvap/findall", "bvap/parallel", "swmatch", "go/regexp",
+		"bvap/sim/bvap", "bvap/sim/bvap-s", "bvap/sim/cama",
+		"bvap/sim/ca", "bvap/sim/eap", "bvap/sim/cnt",
+	} {
+		if _, err := EngineByName(want); err != nil {
+			t.Errorf("EngineByName(%q): %v", want, err)
+		}
+	}
+	if _, err := EngineByName("hyperscan"); err == nil {
+		t.Error("unknown engine resolved")
+	}
+}

@@ -1,0 +1,58 @@
+package rebar
+
+import (
+	"testing"
+)
+
+const curatedDir = "../../testdata/rebar"
+
+func TestCuratedSuiteLoads(t *testing.T) {
+	s, err := LoadDir(curatedDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Cases) < 20 {
+		t.Fatalf("curated suite has %d cases, want >= 20", len(s.Cases))
+	}
+	groups := map[string]int{}
+	for i := range s.Cases {
+		groups[s.Cases[i].Group]++
+	}
+	for _, g := range []string{"bounded-repeat", "corpus-code", "corpus-logs", "micro"} {
+		if groups[g] == 0 {
+			t.Errorf("curated suite has no %q cases", g)
+		}
+	}
+}
+
+// TestCuratedSuiteConformance runs every curated case on every registered
+// engine and asserts the declared counts — the same check `bvapbench -exp
+// rebar` enforces. In -short mode the six simulator engines are skipped to
+// keep the smoke run fast; the software engines and both references still
+// verify every case.
+func TestCuratedSuiteConformance(t *testing.T) {
+	s, err := LoadDir(curatedDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := &RunOptions{}
+	if testing.Short() {
+		opts.Engines = []string{"bvap/findall", "bvap/parallel", "swmatch", "go/regexp"}
+	}
+	results, err := Run(s, opts)
+	if err != nil {
+		if me, ok := err.(*MismatchError); ok {
+			for _, m := range me.Mismatches {
+				t.Errorf("%s/%s: got %d, want %d (%s)", m.Case, m.Engine, m.Got, m.Expected, m.Err)
+			}
+		}
+		t.Fatal(err)
+	}
+	wantEngines := len(EngineNames())
+	if testing.Short() {
+		wantEngines = len(opts.Engines)
+	}
+	if want := len(s.Cases) * wantEngines; len(results) != want {
+		t.Errorf("cells = %d, want %d", len(results), want)
+	}
+}

@@ -1,0 +1,203 @@
+package rebar
+
+import (
+	"context"
+	"fmt"
+	"regexp"
+
+	"bvap"
+	"bvap/internal/swmatch"
+)
+
+// CountFunc counts matches of a compiled pattern over a haystack. A
+// CountFunc is owned by one goroutine at a time (the runner is sequential
+// per engine).
+type CountFunc func(haystack []byte) (uint64, error)
+
+// EngineSpec is one registered engine: a name, the count semantics it
+// implements, and a compiler from pattern to CountFunc.
+type EngineSpec struct {
+	Name string
+	// Semantics documents what the engine counts: "ends" (every position
+	// where some match ends — streaming partial-match semantics, shared by
+	// the BVAP family, the simulator and swmatch) or "leftmost" (leftmost
+	// non-overlapping matches, the go/regexp convention).
+	Semantics string
+	// Compile builds the per-case counter. Compilation errors are typed
+	// (*UnsupportedError for patterns outside the engine's capability).
+	Compile func(pattern string) (CountFunc, error)
+}
+
+// UnsupportedError reports a pattern an engine cannot execute.
+type UnsupportedError struct {
+	Engine  string
+	Pattern string
+	Reason  string
+}
+
+func (e *UnsupportedError) Error() string {
+	return fmt.Sprintf("rebar: engine %s does not support %q: %s", e.Engine, e.Pattern, e.Reason)
+}
+
+// simArchs are the six modeled architectures, by their ParseArchitecture
+// names.
+var simArchs = []string{"bvap", "bvap-s", "cama", "ca", "eap", "cnt"}
+
+// Engines returns every registered engine, in canonical order: the BVAP
+// software scanners first, then the cycle-accurate simulator on all six
+// architectures, then the independent references.
+func Engines() []EngineSpec {
+	specs := []EngineSpec{
+		{Name: "bvap/findall", Semantics: "ends", Compile: compileFindAll},
+		{Name: "bvap/parallel", Semantics: "ends", Compile: compileParallel},
+	}
+	for _, arch := range simArchs {
+		arch := arch
+		specs = append(specs, EngineSpec{
+			Name:      "bvap/sim/" + arch,
+			Semantics: "ends",
+			Compile:   func(pattern string) (CountFunc, error) { return compileSim(arch, pattern) },
+		})
+	}
+	specs = append(specs,
+		EngineSpec{Name: "swmatch", Semantics: "ends", Compile: compileSwmatch},
+		EngineSpec{Name: "go/regexp", Semantics: "leftmost", Compile: compileGoRegexp},
+	)
+	return specs
+}
+
+// EngineByName resolves an engine by exact name.
+func EngineByName(name string) (EngineSpec, error) {
+	for _, s := range Engines() {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return EngineSpec{}, fmt.Errorf("rebar: unknown engine %q", name)
+}
+
+// EngineNames lists the registered engine names in canonical order.
+func EngineNames() []string {
+	var names []string
+	for _, s := range Engines() {
+		names = append(names, s.Name)
+	}
+	return names
+}
+
+// compileBVAP compiles a single pattern for the BVAP software engine,
+// converting an unsupported-pattern report into a typed error (a silent
+// zero-match engine would corrupt the conformance table).
+func compileBVAP(engineName, pattern string) (*bvap.Engine, error) {
+	eng, err := bvap.Compile([]string{pattern})
+	if err != nil {
+		return nil, err
+	}
+	rep := eng.Report()
+	if rep.Unsupported > 0 {
+		return nil, &UnsupportedError{Engine: engineName, Pattern: pattern, Reason: rep.Patterns[0].Reason}
+	}
+	return eng, nil
+}
+
+func compileFindAll(pattern string) (CountFunc, error) {
+	eng, err := compileBVAP("bvap/findall", pattern)
+	if err != nil {
+		return nil, err
+	}
+	return func(h []byte) (uint64, error) {
+		return uint64(len(eng.FindAll(h))), nil
+	}, nil
+}
+
+// parallelWorkers and parallelChunk pin the FindAllParallel shape so rebar
+// counts and timings are comparable across runs. The chunk is small enough
+// that curated haystacks actually split; patterns with unbounded reach fall
+// back to the sequential path inside FindAllParallel (still correct — the
+// fallback is part of what the suite measures).
+const (
+	parallelWorkers = 4
+	parallelChunk   = 4096
+)
+
+func compileParallel(pattern string) (CountFunc, error) {
+	eng, err := compileBVAP("bvap/parallel", pattern)
+	if err != nil {
+		return nil, err
+	}
+	return func(h []byte) (uint64, error) {
+		ms, err := eng.FindAllParallel(context.Background(), h, &bvap.ParallelOptions{
+			Workers: parallelWorkers, ChunkSize: parallelChunk,
+		})
+		if err != nil {
+			return 0, err
+		}
+		return uint64(len(ms)), nil
+	}, nil
+}
+
+// compileSim builds a counter that replays the haystack on the
+// cycle-accurate simulator for one architecture. A fresh simulator is built
+// per run (a Simulator is single-use once finished). Baseline architectures
+// skip patterns beyond their unfolding capacity and report zero matches for
+// them — the per-engine expected counts are exactly where such divergence
+// is declared.
+func compileSim(arch, pattern string) (CountFunc, error) {
+	a, err := bvap.ParseArchitecture(arch)
+	if err != nil {
+		return nil, err
+	}
+	switch a {
+	case bvap.ArchBVAP, bvap.ArchBVAPStreaming:
+		eng, err := compileBVAP("bvap/sim/"+arch, pattern)
+		if err != nil {
+			return nil, err
+		}
+		return func(h []byte) (uint64, error) {
+			sim, err := eng.NewSimulator(a)
+			if err != nil {
+				return 0, err
+			}
+			sim.Run(h)
+			return sim.Result().Matches, nil
+		}, nil
+	default:
+		// Validate once up front so schema checking surfaces baseline
+		// compile problems at load time, not mid-run.
+		if _, err := bvap.NewBaselineSimulator(a, []string{pattern}); err != nil {
+			return nil, err
+		}
+		return func(h []byte) (uint64, error) {
+			sim, err := bvap.NewBaselineSimulator(a, []string{pattern})
+			if err != nil {
+				return 0, err
+			}
+			sim.Run(h)
+			return sim.Result().Matches, nil
+		}, nil
+	}
+}
+
+func compileSwmatch(pattern string) (CountFunc, error) {
+	m, err := swmatch.New(pattern)
+	if err != nil {
+		return nil, err
+	}
+	return func(h []byte) (uint64, error) {
+		return uint64(m.Count(h)), nil
+	}, nil
+}
+
+// compileGoRegexp adapts the pattern to the standard library. The engine's
+// dialect makes `.` match every byte (hardware Σ), so the translation
+// enables (?s); the curated corpora are ASCII, keeping byte semantics and
+// go/regexp's UTF-8 rune semantics aligned.
+func compileGoRegexp(pattern string) (CountFunc, error) {
+	re, err := regexp.Compile("(?s)" + pattern)
+	if err != nil {
+		return nil, &UnsupportedError{Engine: "go/regexp", Pattern: pattern, Reason: err.Error()}
+	}
+	return func(h []byte) (uint64, error) {
+		return uint64(len(re.FindAllIndex(h, -1))), nil
+	}, nil
+}

@@ -1,0 +1,50 @@
+package rebar
+
+import (
+	"testing"
+)
+
+// FuzzRebarCase pins two properties of the case-definition front end:
+//
+//  1. Robustness: arbitrary input never panics; failures are the typed
+//     *ParseError / *SchemaError.
+//  2. Canonical round trip: any document that parses marshals to a form
+//     that reparses, and marshalling is a fixpoint from then on
+//     (parse → marshal → parse → marshal is byte-identical).
+func FuzzRebarCase(f *testing.F) {
+	f.Add(validCase)
+	f.Add(runSuite)
+	f.Add("analysis = '''\nmulti\nline'''\n")
+	f.Add("[[bench]]\nname = 'a'\ncount = [{ engine = '.*', count = 1 }]\n")
+	f.Add(`k = "escA\n\t"` + "\nn = -12_3\nf = 1.5e-3\nb = [true, false, [1], {}]\n")
+	f.Add("[bench]\n")
+	f.Add("key = [1,\n# comment\n2]\n")
+	f.Fuzz(func(t *testing.T, src string) {
+		doc, err := parseTOML(src)
+		if err != nil {
+			if _, ok := err.(*ParseError); !ok {
+				t.Fatalf("parse error type %T (%v), want *ParseError", err, err)
+			}
+			return
+		}
+		m1 := marshalDocument(doc)
+		doc2, err := parseTOML(m1)
+		if err != nil {
+			t.Fatalf("canonical form does not reparse: %v\ninput: %q\ncanonical: %q", err, src, m1)
+		}
+		m2 := marshalDocument(doc2)
+		if m1 != m2 {
+			t.Fatalf("canonical form is not a fixpoint:\ninput: %q\nfirst: %q\nsecond: %q", src, m1, m2)
+		}
+
+		// The schema layer must also fail typed, never panic. (Most random
+		// documents are schema-invalid; that is fine.)
+		if _, err := ParseSuite(src); err != nil {
+			switch err.(type) {
+			case *ParseError, *SchemaError:
+			default:
+				t.Fatalf("ParseSuite error type %T (%v)", err, err)
+			}
+		}
+	})
+}

@@ -1,0 +1,370 @@
+package rebar
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// ParseSuite parses one case-definition document and validates it against
+// the case schema. Errors are typed: *ParseError for syntax, *SchemaError
+// for schema violations.
+func ParseSuite(src string) (*Suite, error) {
+	doc, err := parseTOML(src)
+	if err != nil {
+		return nil, err
+	}
+	s, err := docToSuite(doc)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// LoadFile loads one case file, tagging errors with the file path.
+func LoadFile(path string) (*Suite, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	s, err := ParseSuite(string(b))
+	if err != nil {
+		switch e := err.(type) {
+		case *ParseError:
+			e.File = path
+		case *SchemaError:
+			e.File = path
+		}
+		return nil, err
+	}
+	return s, nil
+}
+
+// LoadDir loads every *.toml file in dir (sorted by name) into one merged
+// suite. Case names must be unique across the whole directory.
+func LoadDir(dir string) (*Suite, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".toml") {
+			names = append(names, e.Name())
+		}
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("rebar: no *.toml case files in %s", dir)
+	}
+	sort.Strings(names)
+	merged := &Suite{}
+	var analyses []string
+	for _, name := range names {
+		s, err := LoadFile(filepath.Join(dir, name))
+		if err != nil {
+			return nil, err
+		}
+		if s.Analysis != "" {
+			analyses = append(analyses, s.Analysis)
+		}
+		merged.Cases = append(merged.Cases, s.Cases...)
+	}
+	merged.Analysis = strings.Join(analyses, "\n")
+	if err := merged.Validate(); err != nil {
+		return nil, err
+	}
+	return merged, nil
+}
+
+// docToSuite maps a parsed document onto the typed schema, rejecting
+// unknown keys so typos fail loudly instead of silently defaulting.
+func docToSuite(doc *document) (*Suite, error) {
+	s := &Suite{}
+	for _, k := range doc.top.keys {
+		switch k {
+		case "analysis":
+			v, ok := doc.top.vals[k].(string)
+			if !ok {
+				return nil, &SchemaError{Field: "analysis", Msg: "must be a string"}
+			}
+			s.Analysis = v
+		default:
+			return nil, &SchemaError{Field: k, Msg: "unknown top-level key"}
+		}
+	}
+	for _, nt := range doc.arrays {
+		if nt.name != "bench" {
+			return nil, &SchemaError{Field: nt.name, Msg: `unknown table array (only [[bench]])`}
+		}
+		c, err := caseFromTable(nt.tab)
+		if err != nil {
+			return nil, err
+		}
+		s.Cases = append(s.Cases, c)
+	}
+	return s, nil
+}
+
+func caseFromTable(t *table) (Case, error) {
+	var c Case
+	// Name first, so later field errors can cite the case.
+	if v, ok := t.get("name"); ok {
+		if sv, ok := v.(string); ok {
+			c.Name = sv
+		}
+	}
+	fail := func(field, format string, args ...interface{}) error {
+		return &SchemaError{Case: c.Name, Field: field, Msg: fmt.Sprintf(format, args...)}
+	}
+	for _, k := range t.keys {
+		v := t.vals[k]
+		switch k {
+		case "name", "group", "model", "regex":
+			sv, ok := v.(string)
+			if !ok {
+				return c, fail(k, "must be a string")
+			}
+			switch k {
+			case "name":
+				c.Name = sv
+			case "group":
+				c.Group = sv
+			case "model":
+				c.Model = sv
+			case "regex":
+				c.Regex = sv
+			}
+		case "haystack":
+			ht, ok := v.(*table)
+			if !ok {
+				return c, fail(k, "must be an inline table")
+			}
+			h, err := haystackFromTable(c.Name, ht)
+			if err != nil {
+				return c, err
+			}
+			c.Haystack = h
+		case "count":
+			arr, ok := v.([]value)
+			if !ok {
+				return c, fail(k, "must be an array of { engine, count } tables")
+			}
+			for i, e := range arr {
+				et, ok := e.(*table)
+				if !ok {
+					return c, fail(k, "entry %d: must be an inline table", i)
+				}
+				ce, err := countFromTable(c.Name, i, et)
+				if err != nil {
+					return c, err
+				}
+				c.Counts = append(c.Counts, ce)
+			}
+		case "engines":
+			arr, ok := v.([]value)
+			if !ok {
+				return c, fail(k, "must be an array of engine names")
+			}
+			for i, e := range arr {
+				sv, ok := e.(string)
+				if !ok {
+					return c, fail(k, "entry %d: must be a string", i)
+				}
+				c.Engines = append(c.Engines, sv)
+			}
+		default:
+			return c, fail(k, "unknown key")
+		}
+	}
+	if len(c.Engines) == 0 {
+		// Default: head-to-head on every registered engine.
+		c.Engines = EngineNames()
+	}
+	return c, nil
+}
+
+func haystackFromTable(caseName string, t *table) (Haystack, error) {
+	var h Haystack
+	fail := func(field, msg string) error {
+		return &SchemaError{Case: caseName, Field: "haystack." + field, Msg: msg}
+	}
+	for _, k := range t.keys {
+		v := t.vals[k]
+		switch k {
+		case "generator", "alphabet", "trigger", "filler", "literal":
+			sv, ok := v.(string)
+			if !ok {
+				return h, fail(k, "must be a string")
+			}
+			switch k {
+			case "generator":
+				h.Generator = sv
+			case "alphabet":
+				h.Alphabet = sv
+			case "trigger":
+				h.Trigger = sv
+			case "filler":
+				h.Filler = sv
+			case "literal":
+				h.Literal = sv
+			}
+		case "seed", "len", "vocab", "repeat":
+			iv, ok := v.(int64)
+			if !ok {
+				return h, fail(k, "must be an integer")
+			}
+			switch k {
+			case "seed":
+				h.Seed = iv
+			case "len":
+				h.Len = int(iv)
+			case "vocab":
+				h.Vocab = int(iv)
+			case "repeat":
+				h.Repeat = int(iv)
+			}
+		case "alpha":
+			switch fv := v.(type) {
+			case float64:
+				h.Alpha = fv
+			case int64:
+				h.Alpha = float64(fv)
+			default:
+				return h, fail(k, "must be a number")
+			}
+		default:
+			return h, fail(k, "unknown key")
+		}
+	}
+	return h, nil
+}
+
+func countFromTable(caseName string, idx int, t *table) (CountExpect, error) {
+	var ce CountExpect
+	fail := func(msg string) error {
+		return &SchemaError{Case: caseName, Field: fmt.Sprintf("count[%d]", idx), Msg: msg}
+	}
+	for _, k := range t.keys {
+		v := t.vals[k]
+		switch k {
+		case "engine":
+			sv, ok := v.(string)
+			if !ok {
+				return ce, fail("engine must be a string")
+			}
+			ce.Engine = sv
+		case "count":
+			iv, ok := v.(int64)
+			if !ok {
+				return ce, fail("count must be an integer")
+			}
+			if iv < 0 {
+				return ce, fail("count must be non-negative")
+			}
+			ce.Count = uint64(iv)
+		default:
+			return ce, fail("unknown key " + k)
+		}
+	}
+	if ce.Engine == "" {
+		return ce, fail("missing engine selector")
+	}
+	return ce, nil
+}
+
+// Marshal renders the suite in the canonical form ParseSuite accepts.
+// parse → Marshal → parse is a fixpoint (FuzzRebarCase pins the underlying
+// document round trip).
+func Marshal(s *Suite) []byte {
+	return []byte(marshalDocument(suiteToDocument(s)))
+}
+
+func suiteToDocument(s *Suite) *document {
+	doc := &document{top: newTable()}
+	if s.Analysis != "" {
+		doc.top.set("analysis", s.Analysis)
+	}
+	for i := range s.Cases {
+		c := &s.Cases[i]
+		t := newTable()
+		t.set("name", c.Name)
+		if c.Group != "" {
+			t.set("group", c.Group)
+		}
+		t.set("model", c.Model)
+		t.set("regex", c.Regex)
+		t.set("haystack", haystackToTable(&c.Haystack))
+		var counts []value
+		for _, e := range c.Counts {
+			et := newTable()
+			et.set("engine", e.Engine)
+			et.set("count", int64(e.Count))
+			counts = append(counts, et)
+		}
+		t.set("count", counts)
+		var engines []value
+		for _, e := range c.Engines {
+			engines = append(engines, e)
+		}
+		t.set("engines", engines)
+		doc.arrays = append(doc.arrays, namedTable{name: "bench", tab: t})
+	}
+	return doc
+}
+
+func haystackToTable(h *Haystack) *table {
+	t := newTable()
+	t.set("generator", h.Generator)
+	if h.Generator != "literal" {
+		t.set("seed", h.Seed)
+		t.set("len", int64(h.Len))
+	}
+	if h.Vocab != 0 {
+		t.set("vocab", int64(h.Vocab))
+	}
+	if h.Alphabet != "" {
+		t.set("alphabet", h.Alphabet)
+	}
+	if h.Generator == "alpha" {
+		t.set("alpha", h.Alpha)
+		t.set("trigger", h.Trigger)
+		t.set("filler", h.Filler)
+	}
+	if h.Literal != "" {
+		t.set("literal", h.Literal)
+	}
+	if h.Repeat != 0 {
+		t.set("repeat", int64(h.Repeat))
+	}
+	return t
+}
+
+// marshalDocument renders a raw document in canonical form. Top-level keys
+// first, then each [[name]] table separated by a blank line.
+func marshalDocument(d *document) string {
+	var sb strings.Builder
+	for _, k := range d.top.keys {
+		sb.WriteString(k)
+		sb.WriteString(" = ")
+		marshalValue(&sb, d.top.vals[k])
+		sb.WriteByte('\n')
+	}
+	for _, nt := range d.arrays {
+		if sb.Len() > 0 {
+			sb.WriteByte('\n')
+		}
+		fmt.Fprintf(&sb, "[[%s]]\n", nt.name)
+		for _, k := range nt.tab.keys {
+			sb.WriteString(k)
+			sb.WriteString(" = ")
+			marshalValue(&sb, nt.tab.vals[k])
+			sb.WriteByte('\n')
+		}
+	}
+	return sb.String()
+}

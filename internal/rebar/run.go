@@ -1,0 +1,180 @@
+package rebar
+
+import (
+	"fmt"
+	"regexp"
+	"time"
+)
+
+// RunOptions parameterizes a suite run.
+type RunOptions struct {
+	// Filter, when non-empty, is a regexp selecting case names.
+	Filter string
+	// Engines, when non-empty, intersects each case's engine list (exact
+	// names). Names that match no registered engine are an error.
+	Engines []string
+	// Reps is the number of timed runs per (case, engine); the first run
+	// doubles as the count-verification run. Default 1. Timing is only
+	// reported for cells whose count matched — a wrong engine must never
+	// look fast.
+	Reps int
+}
+
+func (o *RunOptions) fill() (*regexp.Regexp, error) {
+	if o.Reps <= 0 {
+		o.Reps = 1
+	}
+	for _, name := range o.Engines {
+		if _, err := EngineByName(name); err != nil {
+			return nil, err
+		}
+	}
+	if o.Filter == "" {
+		return nil, nil
+	}
+	re, err := regexp.Compile(o.Filter)
+	if err != nil {
+		return nil, fmt.Errorf("rebar: bad case filter %q: %v", o.Filter, err)
+	}
+	return re, nil
+}
+
+// CaseResult is one (case, engine) conformance-and-timing cell.
+type CaseResult struct {
+	Case      string
+	Group     string
+	Engine    string
+	Semantics string
+	Regex     string
+
+	Expected uint64
+	Got      uint64
+	// OK reports that the engine compiled the pattern and its count matched
+	// the declared expectation.
+	OK bool
+	// Err carries the compile or run error for failed cells.
+	Err string
+
+	HaystackLen int
+	Reps        int
+	// Elapsed is the fastest single verified run; zero when !OK.
+	Elapsed time.Duration
+	// MBps is the throughput of the fastest verified run.
+	MBps float64
+}
+
+// MismatchError reports every cell whose observed count diverged from its
+// declared expectation (or which failed to compile/run). The successful
+// cells are still returned alongside it.
+type MismatchError struct {
+	Mismatches []CaseResult
+}
+
+func (e *MismatchError) Error() string {
+	first := e.Mismatches[0]
+	detail := first.Err
+	if detail == "" {
+		detail = fmt.Sprintf("got %d, want %d", first.Got, first.Expected)
+	}
+	return fmt.Sprintf("rebar: %d count mismatches (first: case %s engine %s: %s)",
+		len(e.Mismatches), first.Case, first.Engine, detail)
+}
+
+// Run executes every selected case on every selected engine. The returned
+// results cover all executed cells in suite order; if any cell failed its
+// count assertion the error is a *MismatchError listing them.
+func Run(s *Suite, opts *RunOptions) ([]CaseResult, error) {
+	if opts == nil {
+		opts = &RunOptions{}
+	}
+	filter, err := opts.fill()
+	if err != nil {
+		return nil, err
+	}
+	engineSet := map[string]bool{}
+	for _, name := range opts.Engines {
+		engineSet[name] = true
+	}
+
+	var results []CaseResult
+	var bad []CaseResult
+	for i := range s.Cases {
+		c := &s.Cases[i]
+		if filter != nil && !filter.MatchString(c.Name) {
+			continue
+		}
+		haystack, err := c.Haystack.Build()
+		if err != nil {
+			return nil, fmt.Errorf("rebar: case %s: %v", c.Name, err)
+		}
+		for _, name := range c.Engines {
+			if len(engineSet) > 0 && !engineSet[name] {
+				continue
+			}
+			res := runCell(c, name, haystack, opts.Reps)
+			results = append(results, res)
+			if !res.OK {
+				bad = append(bad, res)
+			}
+		}
+	}
+	if len(bad) > 0 {
+		return results, &MismatchError{Mismatches: bad}
+	}
+	return results, nil
+}
+
+// runCell measures one (case, engine) cell: compile, verify the count on
+// every rep, and keep the fastest verified run's timing.
+func runCell(c *Case, engine string, haystack []byte, reps int) CaseResult {
+	res := CaseResult{
+		Case: c.Name, Group: c.Group, Engine: engine, Regex: c.Regex,
+		HaystackLen: len(haystack), Reps: reps,
+	}
+	want, ok := c.ExpectedCount(engine)
+	if !ok {
+		// Validate guarantees coverage for declared engines; this guards
+		// direct Run calls on hand-built suites.
+		res.Err = "no expected-count entry matches engine"
+		return res
+	}
+	res.Expected = want
+
+	spec, err := EngineByName(engine)
+	if err != nil {
+		res.Err = err.Error()
+		return res
+	}
+	res.Semantics = spec.Semantics
+	count, err := spec.Compile(c.Regex)
+	if err != nil {
+		res.Err = err.Error()
+		return res
+	}
+
+	best := time.Duration(0)
+	for rep := 0; rep < reps; rep++ {
+		t0 := time.Now()
+		got, err := count(haystack)
+		elapsed := time.Since(t0)
+		if err != nil {
+			res.Err = err.Error()
+			return res
+		}
+		res.Got = got
+		if got != want {
+			// Conformance failure: timing from a miscounting engine is
+			// meaningless, so none is reported.
+			return res
+		}
+		if best == 0 || elapsed < best {
+			best = elapsed
+		}
+	}
+	res.OK = true
+	res.Elapsed = best
+	if s := best.Seconds(); s > 0 {
+		res.MBps = float64(len(haystack)) / s / 1e6
+	}
+	return res
+}

@@ -1,0 +1,568 @@
+// Package rebar is a declarative benchmark/conformance subsystem modeled on
+// the rebar regex-barometer's curated suites: benchmark cases are defined in
+// TOML files (regex, haystack source, count model, per-engine expected match
+// counts), loaded with schema validation, and executed head-to-head on every
+// registered engine — the BVAP software scanner, the parallel scanner, the
+// cycle-accurate simulator on all six modeled architectures, the independent
+// swmatch reference, and the standard library's regexp. Every engine's match
+// count is asserted against the declared expectation before any timing
+// number is trusted, so the throughput table is simultaneously a
+// conformance table.
+//
+// Only the TOML subset the suite needs is implemented (the standard library
+// has no TOML support, and the case format is deliberately narrow): bare
+// keys, basic and literal strings (including multi-line literals), integers,
+// floats, booleans, arrays, inline tables, comments, and [[name]]
+// array-of-table headers. Marshal emits a canonical form that Parse accepts,
+// and parse→marshal→parse is a fixpoint — the FuzzRebarCase target pins
+// that round trip.
+package rebar
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// ParseError is a syntax error in a case-definition document.
+type ParseError struct {
+	File string // empty when parsing from memory
+	Line int    // 1-based
+	Msg  string
+}
+
+func (e *ParseError) Error() string {
+	if e.File != "" {
+		return fmt.Sprintf("rebar: %s:%d: %s", e.File, e.Line, e.Msg)
+	}
+	return fmt.Sprintf("rebar: line %d: %s", e.Line, e.Msg)
+}
+
+// value is one parsed TOML value: string, int64, float64, bool,
+// []value (array), or *table (inline table).
+type value interface{}
+
+// table is an ordered key→value map; order is preserved so canonical
+// marshalling and error messages are stable.
+type table struct {
+	keys []string
+	vals map[string]value
+}
+
+func newTable() *table { return &table{vals: map[string]value{}} }
+
+func (t *table) set(key string, v value) bool {
+	if _, dup := t.vals[key]; dup {
+		return false
+	}
+	t.keys = append(t.keys, key)
+	t.vals[key] = v
+	return true
+}
+
+func (t *table) get(key string) (value, bool) {
+	v, ok := t.vals[key]
+	return v, ok
+}
+
+// document is a parsed case file: top-level keys plus the ordered [[name]]
+// table arrays.
+type document struct {
+	top    *table
+	arrays []namedTable
+}
+
+type namedTable struct {
+	name string
+	tab  *table
+}
+
+// tomlParser is a line-oriented scanner with a recursive-descent value
+// parser that may consume continuation lines (for multi-line arrays and
+// multi-line literal strings).
+type tomlParser struct {
+	lines []string
+	ln    int // current line index
+	pos   int // byte offset within lines[ln]
+}
+
+func parseTOML(src string) (*document, error) {
+	p := &tomlParser{lines: strings.Split(src, "\n")}
+	doc := &document{top: newTable()}
+	current := doc.top
+	for !p.atEOF() {
+		p.skipBlank()
+		if p.atEOF() {
+			break
+		}
+		line := p.rest()
+		switch {
+		case strings.HasPrefix(line, "[["):
+			name, err := p.parseArrayHeader()
+			if err != nil {
+				return nil, err
+			}
+			current = newTable()
+			doc.arrays = append(doc.arrays, namedTable{name: name, tab: current})
+		case strings.HasPrefix(line, "["):
+			return nil, p.errf("plain [table] headers are not part of the case format (use [[bench]])")
+		default:
+			key, err := p.parseKey()
+			if err != nil {
+				return nil, err
+			}
+			v, err := p.parseValue(0)
+			if err != nil {
+				return nil, err
+			}
+			p.skipInlineComment()
+			if !p.lineDone() {
+				return nil, p.errf("trailing characters %q after value", p.rest())
+			}
+			if !current.set(key, v) {
+				return nil, p.errf("duplicate key %q", key)
+			}
+			p.nextLine()
+		}
+	}
+	return doc, nil
+}
+
+func (p *tomlParser) atEOF() bool { return p.ln >= len(p.lines) }
+
+func (p *tomlParser) rest() string {
+	if p.atEOF() {
+		return ""
+	}
+	return p.lines[p.ln][p.pos:]
+}
+
+func (p *tomlParser) nextLine() {
+	p.ln++
+	p.pos = 0
+}
+
+func (p *tomlParser) errf(format string, args ...interface{}) error {
+	return &ParseError{Line: p.ln + 1, Msg: fmt.Sprintf(format, args...)}
+}
+
+// skipBlank advances over whitespace, comment lines and empty lines.
+func (p *tomlParser) skipBlank() {
+	for !p.atEOF() {
+		p.skipSpace()
+		r := p.rest()
+		if r == "" || strings.HasPrefix(r, "#") {
+			p.nextLine()
+			continue
+		}
+		return
+	}
+}
+
+// skipSpace advances over spaces and tabs on the current line.
+func (p *tomlParser) skipSpace() {
+	for !p.atEOF() && p.pos < len(p.lines[p.ln]) {
+		c := p.lines[p.ln][p.pos]
+		if c != ' ' && c != '\t' {
+			return
+		}
+		p.pos++
+	}
+}
+
+func (p *tomlParser) skipInlineComment() {
+	p.skipSpace()
+	if strings.HasPrefix(p.rest(), "#") {
+		p.pos = len(p.lines[p.ln])
+	}
+}
+
+// lineDone reports whether only whitespace remains on the current line.
+func (p *tomlParser) lineDone() bool {
+	p.skipSpace()
+	return p.rest() == ""
+}
+
+// parseArrayHeader parses `[[name]]` and advances to the next line.
+func (p *tomlParser) parseArrayHeader() (string, error) {
+	line := strings.TrimSpace(p.rest())
+	if !strings.HasPrefix(line, "[[") || !strings.HasSuffix(line, "]]") {
+		return "", p.errf("malformed table-array header %q", line)
+	}
+	name := strings.TrimSpace(line[2 : len(line)-2])
+	if !isBareKey(name) {
+		return "", p.errf("bad table-array name %q", name)
+	}
+	p.nextLine()
+	return name, nil
+}
+
+// parseKey parses `key =` leaving the parser at the value.
+func (p *tomlParser) parseKey() (string, error) {
+	p.skipSpace()
+	start := p.pos
+	line := p.lines[p.ln]
+	for p.pos < len(line) && isBareKeyByte(line[p.pos]) {
+		p.pos++
+	}
+	key := line[start:p.pos]
+	if key == "" {
+		return "", p.errf("expected a key, found %q", p.rest())
+	}
+	p.skipSpace()
+	if !strings.HasPrefix(p.rest(), "=") {
+		return "", p.errf("expected '=' after key %q", key)
+	}
+	p.pos++
+	p.skipSpace()
+	return key, nil
+}
+
+func isBareKey(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		if !isBareKeyByte(s[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func isBareKeyByte(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' ||
+		c >= '0' && c <= '9' || c == '_' || c == '-'
+}
+
+// maxValueDepth bounds nesting so adversarial inputs cannot overflow the
+// recursive value parser.
+const maxValueDepth = 32
+
+// parseValue parses one value starting at the current position. Arrays may
+// span lines; every other value is single-line except triple-quoted
+// multi-line literal strings.
+func (p *tomlParser) parseValue(depth int) (value, error) {
+	if depth > maxValueDepth {
+		return nil, p.errf("value nesting exceeds %d", maxValueDepth)
+	}
+	p.skipSpace()
+	r := p.rest()
+	switch {
+	case r == "":
+		return nil, p.errf("missing value")
+	case strings.HasPrefix(r, "'''"):
+		return p.parseMultilineLiteral()
+	case strings.HasPrefix(r, "'"):
+		return p.parseLiteralString()
+	case strings.HasPrefix(r, `"`):
+		return p.parseBasicString()
+	case strings.HasPrefix(r, "["):
+		return p.parseArray(depth)
+	case strings.HasPrefix(r, "{"):
+		return p.parseInlineTable(depth)
+	case strings.HasPrefix(r, "true"):
+		p.pos += 4
+		return true, nil
+	case strings.HasPrefix(r, "false"):
+		p.pos += 5
+		return false, nil
+	default:
+		return p.parseNumber()
+	}
+}
+
+func (p *tomlParser) parseLiteralString() (value, error) {
+	line := p.lines[p.ln]
+	p.pos++ // consume opening quote
+	end := strings.IndexByte(line[p.pos:], '\'')
+	if end < 0 {
+		return nil, p.errf("unterminated literal string")
+	}
+	s := line[p.pos : p.pos+end]
+	p.pos += end + 1
+	return s, nil
+}
+
+func (p *tomlParser) parseMultilineLiteral() (value, error) {
+	p.pos += 3 // consume '''
+	var parts []string
+	// Content on the delimiter line. A newline immediately after the
+	// opening delimiter is trimmed (TOML semantics), which in this
+	// line-based scanner means an empty remainder contributes nothing.
+	line := p.rest()
+	if end := strings.Index(line, "'''"); end >= 0 {
+		p.pos += end + 3
+		return line[:end], nil
+	}
+	if line != "" {
+		parts = append(parts, line)
+	}
+	p.nextLine()
+	for {
+		if p.atEOF() {
+			return nil, p.errf("unterminated multi-line literal string")
+		}
+		line = p.lines[p.ln]
+		if end := strings.Index(line, "'''"); end >= 0 {
+			parts = append(parts, line[:end])
+			p.pos = end + 3
+			return strings.Join(parts, "\n"), nil
+		}
+		parts = append(parts, line)
+		p.nextLine()
+	}
+}
+
+func (p *tomlParser) parseBasicString() (value, error) {
+	line := p.lines[p.ln]
+	p.pos++ // consume opening quote
+	var sb strings.Builder
+	for {
+		if p.pos >= len(line) {
+			return nil, p.errf("unterminated string")
+		}
+		c := line[p.pos]
+		switch c {
+		case '"':
+			p.pos++
+			return sb.String(), nil
+		case '\\':
+			p.pos++
+			if p.pos >= len(line) {
+				return nil, p.errf("trailing backslash in string")
+			}
+			e := line[p.pos]
+			p.pos++
+			switch e {
+			case '"', '\\':
+				sb.WriteByte(e)
+			case 'n':
+				sb.WriteByte('\n')
+			case 't':
+				sb.WriteByte('\t')
+			case 'r':
+				sb.WriteByte('\r')
+			case 'u':
+				if p.pos+4 > len(line) {
+					return nil, p.errf(`\u needs four hex digits`)
+				}
+				v, err := strconv.ParseUint(line[p.pos:p.pos+4], 16, 32)
+				if err != nil {
+					return nil, p.errf(`bad \u escape %q`, line[p.pos:p.pos+4])
+				}
+				sb.WriteRune(rune(v))
+				p.pos += 4
+			default:
+				return nil, p.errf(`unsupported escape \%c`, e)
+			}
+		default:
+			sb.WriteByte(c)
+			p.pos++
+		}
+	}
+}
+
+func (p *tomlParser) parseArray(depth int) (value, error) {
+	p.pos++ // consume '['
+	arr := []value{}
+	for {
+		// Arrays may span lines; skip whitespace, newlines and comments.
+		p.skipSpace()
+		if p.rest() == "" || strings.HasPrefix(p.rest(), "#") {
+			p.nextLine()
+			if p.atEOF() {
+				return nil, p.errf("unterminated array")
+			}
+			continue
+		}
+		if strings.HasPrefix(p.rest(), "]") {
+			p.pos++
+			return arr, nil
+		}
+		v, err := p.parseValue(depth + 1)
+		if err != nil {
+			return nil, err
+		}
+		arr = append(arr, v)
+		p.skipSpace()
+		for p.rest() == "" || strings.HasPrefix(p.rest(), "#") {
+			p.nextLine()
+			if p.atEOF() {
+				return nil, p.errf("unterminated array")
+			}
+			p.skipSpace()
+		}
+		switch {
+		case strings.HasPrefix(p.rest(), ","):
+			p.pos++
+		case strings.HasPrefix(p.rest(), "]"):
+			// closing bracket handled on the next loop turn
+		default:
+			return nil, p.errf("expected ',' or ']' in array, found %q", p.rest())
+		}
+	}
+}
+
+func (p *tomlParser) parseInlineTable(depth int) (value, error) {
+	p.pos++ // consume '{'
+	t := newTable()
+	p.skipSpace()
+	if strings.HasPrefix(p.rest(), "}") {
+		p.pos++
+		return t, nil
+	}
+	for {
+		key, err := p.parseKey()
+		if err != nil {
+			return nil, err
+		}
+		v, err := p.parseValue(depth + 1)
+		if err != nil {
+			return nil, err
+		}
+		if !t.set(key, v) {
+			return nil, p.errf("duplicate key %q in inline table", key)
+		}
+		p.skipSpace()
+		switch {
+		case strings.HasPrefix(p.rest(), ","):
+			p.pos++
+			p.skipSpace()
+		case strings.HasPrefix(p.rest(), "}"):
+			p.pos++
+			return t, nil
+		default:
+			return nil, p.errf("expected ',' or '}' in inline table, found %q", p.rest())
+		}
+	}
+}
+
+func (p *tomlParser) parseNumber() (value, error) {
+	line := p.lines[p.ln]
+	start := p.pos
+	for p.pos < len(line) {
+		c := line[p.pos]
+		if c >= '0' && c <= '9' || c == '_' || c == '+' || c == '-' ||
+			c == '.' || c == 'e' || c == 'E' {
+			p.pos++
+			continue
+		}
+		break
+	}
+	tok := line[start:p.pos]
+	if tok == "" {
+		return nil, p.errf("expected a value, found %q", line[start:])
+	}
+	clean := strings.ReplaceAll(tok, "_", "")
+	if strings.ContainsAny(clean, ".eE") {
+		f, err := strconv.ParseFloat(clean, 64)
+		if err != nil {
+			return nil, p.errf("bad float %q", tok)
+		}
+		return f, nil
+	}
+	n, err := strconv.ParseInt(clean, 10, 64)
+	if err != nil {
+		return nil, p.errf("bad integer %q", tok)
+	}
+	return n, nil
+}
+
+// --- canonical marshalling -------------------------------------------------
+
+// marshalValue renders a value in the canonical form Parse accepts.
+// Strings are emitted as literal strings when possible (no quote, no
+// control bytes), falling back to escaped basic strings.
+func marshalValue(sb *strings.Builder, v value) {
+	switch v := v.(type) {
+	case string:
+		marshalString(sb, v)
+	case int64:
+		fmt.Fprintf(sb, "%d", v)
+	case float64:
+		fmt.Fprintf(sb, "%g", v)
+		if !strings.ContainsAny(fmt.Sprintf("%g", v), ".eE") {
+			sb.WriteString(".0")
+		}
+	case bool:
+		fmt.Fprintf(sb, "%t", v)
+	case []value:
+		sb.WriteByte('[')
+		for i, e := range v {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			marshalValue(sb, e)
+		}
+		sb.WriteByte(']')
+	case *table:
+		sb.WriteString("{ ")
+		for i, k := range v.keys {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			sb.WriteString(k)
+			sb.WriteString(" = ")
+			marshalValue(sb, v.vals[k])
+		}
+		sb.WriteString(" }")
+	default:
+		panic(fmt.Sprintf("rebar: cannot marshal %T", v))
+	}
+}
+
+func marshalString(sb *strings.Builder, s string) {
+	if canLiteral(s) {
+		sb.WriteByte('\'')
+		sb.WriteString(s)
+		sb.WriteByte('\'')
+		return
+	}
+	sb.WriteByte('"')
+	for i := 0; i < len(s); i++ {
+		switch c := s[i]; c {
+		case '"':
+			sb.WriteString(`\"`)
+		case '\\':
+			sb.WriteString(`\\`)
+		case '\n':
+			sb.WriteString(`\n`)
+		case '\t':
+			sb.WriteString(`\t`)
+		case '\r':
+			sb.WriteString(`\r`)
+		default:
+			if c < 0x20 || c == 0x7f {
+				fmt.Fprintf(sb, `\u%04x`, c)
+			} else {
+				sb.WriteByte(c)
+			}
+		}
+	}
+	sb.WriteByte('"')
+}
+
+// canLiteral reports whether s can be emitted as a single-line literal
+// string: no single quote, no control characters, ASCII only (so the
+// canonical byte form is unambiguous).
+func canLiteral(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c == '\'' || c < 0x20 || c >= 0x7f {
+			return false
+		}
+	}
+	return true
+}
+
+// sortedKeys is a helper for deterministic error reporting over plain maps.
+func sortedKeys(m map[string]value) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,122 @@
+package rebar
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseTOMLBasics(t *testing.T) {
+	doc, err := parseTOML(`
+# comment
+analysis = '''
+Two lines
+of analysis.'''
+
+[[bench]]
+name = 'alpha'          # inline comment
+count = [
+  { engine = 'go/regexp', count = 1_000 },
+  { engine = '.*', count = 2000 },  # catch-all
+]
+ratio = 0.25
+ok = true
+msg = "tab\there A"
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := doc.top.get("analysis"); got != "Two lines\nof analysis." {
+		t.Errorf("analysis = %q", got)
+	}
+	if len(doc.arrays) != 1 || doc.arrays[0].name != "bench" {
+		t.Fatalf("arrays = %+v", doc.arrays)
+	}
+	b := doc.arrays[0].tab
+	if v, _ := b.get("name"); v != "alpha" {
+		t.Errorf("name = %q", v)
+	}
+	counts, _ := b.get("count")
+	arr, ok := counts.([]value)
+	if !ok || len(arr) != 2 {
+		t.Fatalf("count = %#v", counts)
+	}
+	first, ok := arr[0].(*table)
+	if !ok {
+		t.Fatalf("count[0] = %#v", arr[0])
+	}
+	if v, _ := first.get("count"); v != int64(1000) {
+		t.Errorf("count[0].count = %v", v)
+	}
+	if v, _ := b.get("ratio"); v != 0.25 {
+		t.Errorf("ratio = %v", v)
+	}
+	if v, _ := b.get("ok"); v != true {
+		t.Errorf("ok = %v", v)
+	}
+	if v, _ := b.get("msg"); v != "tab\there A" {
+		t.Errorf("msg = %q", v)
+	}
+}
+
+func TestParseTOMLErrors(t *testing.T) {
+	cases := []struct {
+		name, src, want string
+	}{
+		{"plain-table", "[bench]\n", "plain [table]"},
+		{"dup-key", "a = 1\na = 2\n", "duplicate key"},
+		{"bad-header", "[[a b]]\n", "bad table-array name"},
+		{"no-equals", "key 1\n", "expected '='"},
+		{"missing-value", "key =\n", "missing value"},
+		{"unterminated-string", `key = "abc` + "\n", "unterminated string"},
+		{"unterminated-literal", "key = 'abc\n", "unterminated literal"},
+		{"unterminated-multiline", "key = '''abc\ndef\n", "unterminated multi-line"},
+		{"unterminated-array", "key = [1, 2\n", "unterminated array"},
+		{"bad-escape", `key = "\x41"` + "\n", `unsupported escape`},
+		{"bad-int", "key = 12ab\n", "trailing characters"},
+		{"bad-float", "key = 1.2.3\n", "bad float"},
+		{"trailing", "key = 1 junk\n", "trailing characters"},
+		{"deep-nesting", "key = " + strings.Repeat("[", 40) + strings.Repeat("]", 40) + "\n", "nesting exceeds"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := parseTOML(tc.src)
+			if err == nil {
+				t.Fatalf("parse of %q succeeded", tc.src)
+			}
+			pe, ok := err.(*ParseError)
+			if !ok {
+				t.Fatalf("error type %T, want *ParseError", err)
+			}
+			if !strings.Contains(pe.Error(), tc.want) {
+				t.Errorf("error %q does not mention %q", pe, tc.want)
+			}
+		})
+	}
+}
+
+func TestMarshalDocumentFixpoint(t *testing.T) {
+	src := `analysis = 'short'
+
+[[bench]]
+name = 'case-a'
+regex = '[A-Za-z]{8,13}'
+haystack = { generator = 'natural', seed = 42, len = 16384 }
+count = [{ engine = 'go/regexp', count = 7 }, { engine = '.*', count = 9 }]
+engines = ['swmatch', 'go/regexp']
+flag = true
+ratio = 1.0
+`
+	doc, err := parseTOML(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m1 := marshalDocument(doc)
+	doc2, err := parseTOML(m1)
+	if err != nil {
+		t.Fatalf("reparse of canonical form failed: %v\n%s", err, m1)
+	}
+	m2 := marshalDocument(doc2)
+	if m1 != m2 {
+		t.Errorf("canonical form is not a fixpoint:\n--- first\n%s\n--- second\n%s", m1, m2)
+	}
+}

@@ -24,6 +24,26 @@ func TestMaxMatchLen(t *testing.T) {
 		{"ab*c", 0, false},
 		{"(a|b*)c", 0, false},
 		{"(a{40000}){40000}", 0, false}, // product above reachCap → unbounded
+
+		// Nested bounded repeats: the outer bound multiplies the inner
+		// body's maximum, not its minimum.
+		{"(a{2,3}){2,4}", 12, true},
+		{"((a{2,3}){2}){3}", 18, true},
+		{"(b(a{2,3}){2,4}c){2}", 28, true},
+		// Alternation of repeats under a bound: max picks the widest branch
+		// before the outer multiplication.
+		{"(a{2,3}|b{5,7}){2,3}", 21, true},
+		{"(a{2,3}|b{5,7}){2,3}x{0,2}", 23, true},
+		// Zero-min bounds still contribute their maximum.
+		{"(a{0,3}){0,2}", 6, true},
+		{"(a?){5}", 5, true},
+		// Unboundedness propagates through either nesting level.
+		{"(a*){3}", 0, false},
+		{"(a{2,}){2,4}", 0, false},
+		// reachCap boundary: a product of exactly 2^30 is still bounded,
+		// one more repetition tips it to unbounded.
+		{"(a{32768}){32768}", 1 << 30, true},
+		{"(a{32768}){32769}", 0, false},
 	}
 	for _, c := range cases {
 		ast, err := Parse(c.pattern)

@@ -1,0 +1,204 @@
+package workload
+
+// Real-corpus generators for the rebar-style competitive suite. The
+// benchmark class the paper targets — bounded repetitions like
+// [A-Za-z]{8,13} — behaves very differently on natural-language text,
+// source code and machine logs than on the α-controlled micro-benchmark
+// streams above: word-length distributions, indentation runs and fixed-width
+// fields decide how often a counter arms and how long it survives. These
+// generators produce deterministic, seeded streams with those shapes, so a
+// benchmark case can pin an exact expected match count against them.
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// zipfVocabulary builds nWords deterministic pseudo-words, rank 0 being the
+// most frequent. Word lengths follow the short-head/long-tail shape of
+// English: the frequent ranks are short function-word-like tokens, the tail
+// grows toward content-word lengths.
+func zipfVocabulary(r *rand.Rand, nWords int) []string {
+	const letters = "etaoinshrdlcumwfgypbvkjxqz"
+	vocab := make([]string, nWords)
+	for i := range vocab {
+		// Short words at the head of the distribution, longer in the tail.
+		minLen := 2 + i*6/nWords
+		wordLen := minLen + r.Intn(6)
+		w := make([]byte, wordLen)
+		for j := range w {
+			// Skew letter choice toward the frequent end of the alphabet.
+			w[j] = letters[r.Intn(len(letters))/2+r.Intn(len(letters))/2]
+		}
+		vocab[i] = string(w)
+	}
+	return vocab
+}
+
+// NaturalText generates n bytes of natural-language-like ASCII text: words
+// drawn from a vocabulary of vocab pseudo-words with a Zipfian rank
+// distribution (s ≈ 1.1, matching English token frequency), sentence
+// capitalization, comma/period punctuation and line breaks every ~70
+// columns. vocab ≤ 0 selects the default 4096-word vocabulary. The output
+// is deterministic in (seed, n, vocab).
+func NaturalText(seed int64, n, vocab int) []byte {
+	if vocab <= 0 {
+		vocab = 4096
+	}
+	r := rand.New(rand.NewSource(seed))
+	words := zipfVocabulary(r, vocab)
+	z := rand.NewZipf(r, 1.1, 1, uint64(vocab-1))
+
+	out := make([]byte, 0, n+16)
+	col := 0
+	sentenceLen := 0
+	capitalize := true
+	for len(out) < n {
+		w := words[z.Uint64()]
+		if capitalize && w[0] >= 'a' && w[0] <= 'z' {
+			w = string(w[0]-'a'+'A') + w[1:]
+			capitalize = false
+		}
+		out = append(out, w...)
+		col += len(w)
+		sentenceLen++
+		switch {
+		case sentenceLen >= 8+r.Intn(10):
+			out = append(out, '.')
+			sentenceLen = 0
+			capitalize = true
+		case r.Intn(12) == 0:
+			out = append(out, ',')
+		}
+		if col >= 70 {
+			out = append(out, '\n')
+			col = 0
+		} else {
+			out = append(out, ' ')
+			col++
+		}
+	}
+	return out[:n]
+}
+
+// SourceCode generates n bytes of source-code-like ASCII: indented lines
+// mixing identifiers, calls, numeric and hex literals, operators, string
+// literals and occasional comment lines. Indentation runs and long
+// identifiers are what drive bounded-repeat counters on code corpora. The
+// output is deterministic in (seed, n).
+func SourceCode(seed int64, n int) []byte {
+	r := rand.New(rand.NewSource(seed))
+	idents := make([]string, 96)
+	for i := range idents {
+		idents[i] = codeIdent(r)
+	}
+	out := make([]byte, 0, n+64)
+	depth := 0
+	for len(out) < n {
+		for i := 0; i < depth; i++ {
+			out = append(out, '\t')
+		}
+		switch r.Intn(10) {
+		case 0: // comment line
+			out = append(out, "// "...)
+			for k := 2 + r.Intn(5); k > 0; k-- {
+				out = append(out, idents[r.Intn(len(idents))]...)
+				out = append(out, ' ')
+			}
+		case 1: // block open
+			out = append(out, "func "...)
+			out = append(out, idents[r.Intn(len(idents))]...)
+			out = append(out, "() {"...)
+			if depth < 3 {
+				depth++
+			}
+		case 2: // block close
+			out = append(out, '}')
+			if depth > 0 {
+				depth--
+			}
+		case 3: // string literal assignment
+			out = append(out, idents[r.Intn(len(idents))]...)
+			out = append(out, ` := "`...)
+			for k := 3 + r.Intn(12); k > 0; k-- {
+				out = append(out, byte('a'+r.Intn(26)))
+			}
+			out = append(out, '"')
+		case 4: // hex constant
+			out = append(out, idents[r.Intn(len(idents))]...)
+			out = append(out, " = 0x"...)
+			for k := 4 + r.Intn(8); k > 0; k-- {
+				out = append(out, "0123456789abcdef"[r.Intn(16)])
+			}
+		default: // call with arguments
+			out = append(out, idents[r.Intn(len(idents))]...)
+			out = append(out, '.')
+			out = append(out, idents[r.Intn(len(idents))]...)
+			out = append(out, '(')
+			for k := r.Intn(3); k > 0; k-- {
+				out = append(out, idents[r.Intn(len(idents))]...)
+				out = append(out, ", "...)
+			}
+			out = append(out, fmt.Sprintf("%d)", r.Intn(1000))...)
+		}
+		out = append(out, '\n')
+	}
+	return out[:n]
+}
+
+// codeIdent draws one camelCase-ish identifier.
+func codeIdent(r *rand.Rand) string {
+	const syllables = "er in re on at or an en ar st te le se ne me de co ma"
+	parts := 1 + r.Intn(3)
+	w := make([]byte, 0, parts*4)
+	for i := 0; i < parts; i++ {
+		s := 3 * r.Intn(18)
+		syl := syllables[s : s+2]
+		if i > 0 {
+			w = append(w, syl[0]-'a'+'A')
+			w = append(w, syl[1:]...)
+		} else {
+			w = append(w, syl...)
+		}
+	}
+	return string(w)
+}
+
+// LogLines generates n bytes of machine-log-like ASCII: fixed-width
+// timestamp fields, a severity, key=value pairs with hex request ids,
+// numeric status/latency fields and a short quoted message. Fixed-width
+// digit and hex runs make these streams dense in exactly the
+// bounded-repetition spans the suite measures. The output is deterministic
+// in (seed, n).
+func LogLines(seed int64, n int) []byte {
+	r := rand.New(rand.NewSource(seed))
+	levels := []string{"DEBUG", "INFO", "WARN", "ERROR"}
+	services := []string{"api", "ingest", "scan", "store", "edge"}
+	out := make([]byte, 0, n+128)
+	// Synthetic wall clock: seconds advance by a seeded jitter per line.
+	clock := int64(1700000000) + r.Int63n(1<<20)
+	for len(out) < n {
+		clock += r.Int63n(30)
+		day := clock / 86400 % 28
+		sec := clock % 86400
+		out = append(out, fmt.Sprintf("2024-01-%02dT%02d:%02d:%02dZ %-5s svc=%s req=",
+			day+1, sec/3600, sec/60%60, sec%60,
+			levels[r.Intn(len(levels))], services[r.Intn(len(services))])...)
+		for k := 0; k < 16; k++ {
+			out = append(out, "0123456789abcdef"[r.Intn(16)])
+		}
+		out = append(out, fmt.Sprintf(" status=%d dur=%dms bytes=%d msg=\"",
+			[]int{200, 200, 200, 204, 400, 404, 500}[r.Intn(7)],
+			r.Intn(2000), r.Intn(1<<20))...)
+		for k := 2 + r.Intn(4); k > 0; k-- {
+			for l := 3 + r.Intn(8); l > 0; l-- {
+				out = append(out, byte('a'+r.Intn(26)))
+			}
+			if k > 1 {
+				out = append(out, ' ')
+			}
+		}
+		out = append(out, '"', '\n')
+	}
+	return out[:n]
+}

@@ -1,0 +1,109 @@
+package workload
+
+import (
+	"bytes"
+	"regexp"
+	"testing"
+)
+
+// corpusGenerators enumerates the real-corpus generators at a fixed size so
+// the shared property tests (determinism, exact length, ASCII cleanliness)
+// cover each one.
+func corpusGenerators(n int) map[string]func(seed int64) []byte {
+	return map[string]func(seed int64) []byte{
+		"natural": func(seed int64) []byte { return NaturalText(seed, n, 512) },
+		"code":    func(seed int64) []byte { return SourceCode(seed, n) },
+		"logs":    func(seed int64) []byte { return LogLines(seed, n) },
+	}
+}
+
+func TestCorpusGeneratorsDeterministicExactLength(t *testing.T) {
+	const n = 20000
+	for name, gen := range corpusGenerators(n) {
+		a, b := gen(7), gen(7)
+		if len(a) != n {
+			t.Errorf("%s: length %d, want %d", name, len(a), n)
+		}
+		if !bytes.Equal(a, b) {
+			t.Errorf("%s: same seed produced different streams", name)
+		}
+		if bytes.Equal(a, gen(8)) {
+			t.Errorf("%s: different seeds produced identical streams", name)
+		}
+	}
+}
+
+func TestCorpusGeneratorsPrintableASCII(t *testing.T) {
+	for name, gen := range corpusGenerators(8192) {
+		for i, c := range gen(3) {
+			if c != '\n' && c != '\t' && (c < 0x20 || c > 0x7e) {
+				t.Fatalf("%s: non-printable byte %#x at %d", name, c, i)
+			}
+		}
+	}
+}
+
+// TestNaturalTextZipfShape checks the defining property of the vocabulary
+// distribution: the most frequent word dominates, and frequency decays with
+// rank (the Zipf head is far heavier than the tail).
+func TestNaturalTextZipfShape(t *testing.T) {
+	text := NaturalText(11, 200000, 512)
+	words := regexp.MustCompile(`[A-Za-z]+`).FindAll(text, -1)
+	freq := map[string]int{}
+	for _, w := range words {
+		freq[string(bytes.ToLower(w))]++
+	}
+	if len(freq) < 50 {
+		t.Fatalf("vocabulary too small: %d distinct words", len(freq))
+	}
+	top, second := 0, 0
+	for _, n := range freq {
+		if n > top {
+			top, second = n, top
+		} else if n > second {
+			second = n
+		}
+	}
+	mean := len(words) / len(freq)
+	if top < 4*mean {
+		t.Errorf("head word frequency %d vs mean %d: distribution not Zipf-like", top, mean)
+	}
+	if second == 0 {
+		t.Error("only one word ever drawn")
+	}
+}
+
+// TestNaturalTextHasBoundedRepeatTargets pins that the corpus actually
+// exercises the paper's workload class: words in the [A-Za-z]{8,13} band
+// occur, but are a minority against shorter Zipf-head tokens.
+func TestNaturalTextHasBoundedRepeatTargets(t *testing.T) {
+	text := NaturalText(5, 100000, 1024)
+	long := regexp.MustCompile(`[A-Za-z]{8,13}`).FindAll(text, -1)
+	all := regexp.MustCompile(`[A-Za-z]+`).FindAll(text, -1)
+	if len(long) == 0 {
+		t.Fatal("no 8..13-letter words generated")
+	}
+	if len(long) >= len(all)/2 {
+		t.Errorf("long words dominate (%d of %d): head of distribution should be short", len(long), len(all))
+	}
+}
+
+func TestSourceCodeShape(t *testing.T) {
+	src := SourceCode(9, 60000)
+	for _, want := range []string{` := "`, " = 0x", "// ", "func "} {
+		if !bytes.Contains(src, []byte(want)) {
+			t.Errorf("source stream lacks %q", want)
+		}
+	}
+	if n := regexp.MustCompile(`0x[0-9a-f]{4,12}`).FindAll(src, -1); len(n) == 0 {
+		t.Error("no hex literals generated")
+	}
+}
+
+func TestLogLinesShape(t *testing.T) {
+	logs := LogLines(13, 60000)
+	line := regexp.MustCompile(`2024-01-\d{2}T\d{2}:\d{2}:\d{2}Z (DEBUG|INFO|WARN|ERROR) +svc=\w+ req=[0-9a-f]{16} status=\d{3}`)
+	if got := line.FindAll(logs, -1); len(got) < 10 {
+		t.Fatalf("only %d well-formed log lines in 60000 bytes", len(got))
+	}
+}
