@@ -82,6 +82,7 @@ func registry() []experiment {
 		{"obs", "tracing overhead: disabled-path allocs, live throughput cost, energy-partition exactness → BENCH_<n>.json (+ -baseline compare)", false, (*app).runObs},
 		{"cluster", "fleet soak: node kills, session migration, coordinated reloads, tenant quotas → BENCH_<n>.json (+ -baseline compare)", false, (*app).runCluster},
 		{"fleetobs", "fleet observability gate: cross-node trace stitching, exact metrics federation, SLO burn-rate alerting, disabled-path allocs → BENCH_<n>.json (+ -baseline compare)", false, (*app).runFleetObs},
+		{"heal", "self-healing soak: gossip membership, replicated checkpoints, kill/join re-placement with NO driver-side migration → BENCH_<n>.json (+ -baseline compare)", false, (*app).runHeal},
 		{"rebar", "curated competitive conformance suite: verified per-engine match counts + BVAP-vs-regexp position → BENCH_<n>.json (+ -baseline compare)", false, (*app).runRebar},
 	}
 }
@@ -130,6 +131,13 @@ type app struct {
 	fleetobsDataset  string
 	fleetobsNodes    int
 	fleetobsScans    int
+	healDataset      string
+	healNodes        int
+	healStreams      int
+	healKills        int
+	healJoins        int
+	healReplicas     int
+	healInjectLoss   bool
 	rebarDir         string
 	rebarFilter      string
 	rebarEngines     string
@@ -183,6 +191,13 @@ func main() {
 	flag.StringVar(&a.fleetobsDataset, "fleetobs-dataset", "Snort", "dataset for the -exp fleetobs gate")
 	flag.IntVar(&a.fleetobsNodes, "fleetobs-nodes", 3, "in-process nodes in the -exp fleetobs fleet")
 	flag.IntVar(&a.fleetobsScans, "fleetobs-scans", 24, "forced-forward ring-routed scans in -exp fleetobs")
+	flag.StringVar(&a.healDataset, "heal-dataset", "Snort", "dataset for the -exp heal self-healing soak")
+	flag.IntVar(&a.healNodes, "heal-nodes", 3, "initial in-process nodes in the -exp heal fleet")
+	flag.IntVar(&a.healStreams, "heal-streams", 6, "concurrent sessions in -exp heal")
+	flag.IntVar(&a.healKills, "heal-kills", 1, "forced node kills during -exp heal (capped at nodes-1)")
+	flag.IntVar(&a.healJoins, "heal-joins", 1, "standby nodes joining mid-stream during -exp heal")
+	flag.IntVar(&a.healReplicas, "heal-replicas", 2, "checkpoint replication factor R in -exp heal")
+	flag.BoolVar(&a.healInjectLoss, "heal-inject-loss", false, "force R=1 so a kill loses checkpoints; the soak must then fail (negative control)")
 	flag.StringVar(&a.rebarDir, "rebar-dir", "testdata/rebar", "case-file directory for -exp rebar")
 	flag.StringVar(&a.rebarFilter, "rebar-filter", "", "regexp selecting case names for -exp rebar")
 	flag.StringVar(&a.rebarEngines, "rebar-engines", "", "comma-separated engine subset for -exp rebar (default: all registered engines)")
@@ -693,6 +708,56 @@ func (a *app) runCluster() error {
 	return nil
 }
 
+// runHeal runs the self-healing soak: gossip membership with a standby
+// joining and a node force-killed mid-stream, exactly-once delivery
+// recovered purely through replicated checkpoints and session sync (no
+// driver-side migration). With -heal-inject-loss the run MUST fail — CI
+// pins the non-zero exit as the negative control.
+func (a *app) runHeal() error {
+	opt := experiments.HealSoakOptions{
+		Dataset:    a.healDataset,
+		Nodes:      a.healNodes,
+		Streams:    a.healStreams,
+		Kills:      a.healKills,
+		Joins:      a.healJoins,
+		Replicas:   a.healReplicas,
+		InjectLoss: a.healInjectLoss,
+		Sample:     a.sample,
+		InputLen:   a.inputLen,
+	}
+	res, rep, err := experiments.HealSoak(opt)
+	if err != nil {
+		return err
+	}
+	a.dump.Heal = res
+	experiments.RenderHealSoak(os.Stdout, res)
+
+	out := a.benchOut
+	if out == "" {
+		out, err = experiments.NextBenchPath(".")
+		if err != nil {
+			return err
+		}
+	}
+	if err := experiments.WriteBenchReport(out, rep); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", out)
+
+	if a.baselinePath != "" {
+		base, err := experiments.ReadBenchReport(a.baselinePath)
+		if err != nil {
+			return err
+		}
+		regs := experiments.CompareBench(rep, base, experiments.Thresholds{})
+		experiments.RenderRegressions(os.Stdout, regs)
+		if len(regs) > 0 {
+			return fmt.Errorf("%d counted metric(s) regressed vs %s", len(regs), a.baselinePath)
+		}
+	}
+	return nil
+}
+
 // runRebar runs the curated competitive conformance suite: every case's
 // declared per-engine match count is asserted before any timing is
 // trusted, the cells go into a BENCH-schema report, and any count
@@ -826,6 +891,7 @@ type jsonResults struct {
 	Obs        *experiments.ObsResult         `json:"obs,omitempty"`
 	Cluster    *experiments.ClusterSoakResult `json:"cluster,omitempty"`
 	FleetObs   *experiments.FleetObsResult    `json:"fleetobs,omitempty"`
+	Heal       *experiments.HealSoakResult    `json:"heal,omitempty"`
 	Rebar      *experiments.RebarResult       `json:"rebar,omitempty"`
 }
 

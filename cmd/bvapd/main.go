@@ -21,6 +21,11 @@
 //	POST /cluster/*        fleet surface (-node-id): two-phase reload
 //	                       prepare/commit/abort, session migration, scans,
 //	                       span-fragment export, metric snapshots, health
+//	POST /cluster/join     gossip membership (-advertise/-join): a new node
+//	                       announces itself here; the SWIM probe loop and
+//	                       piggybacked gossip spread the table fleet-wide
+//	GET  /cluster/ring     live ring view: epoch, members with states, and
+//	                       (?key=) the owner + failover chain of one key
 //	POST /cluster/publish  coordinated fleet-wide reload (-peers): body =
 //	                       newline-separated patterns, ?ticket= optional
 //	GET  /debug/fleet/trace/{id}  (-peers) cross-node stitched trace: every
@@ -46,6 +51,19 @@
 // validates the candidate, fingerprints are compared, and only a unanimous
 // fleet commits — one failing node rolls the round back everywhere by
 // non-publication. Trace ids propagate across node hops via X-Bvap-Trace-Id.
+//
+// Self-healing fleet: -advertise (or -join) upgrades the static ring to
+// gossip membership. The node probes peers on -probe-interval, piggybacks
+// its member table on every inter-node hop, and rebuilds the consistent-
+// hash ring live as members join, die or leave — each change bumps a
+// monotonic epoch. Session checkpoints replicate synchronously to
+// -replicas distinct owners of the ring's failover chain before they ack
+// (quorum shortfall → 503, the driver retries), and a background
+// rebalancer re-places sessions on every epoch change: hand-off when a
+// join moved ownership, adoption from replicated checkpoints when the
+// owner died. -join names seed URLs to announce through at startup
+// (retried with backoff); on drain the node gossips a graceful leave and
+// hands its sessions to their new owners before shutting down.
 //
 // Service errors map onto HTTP statuses: overload and draining → 503
 // (with Retry-After), quarantine and tenant quota → 429 (quota with
@@ -97,6 +115,10 @@ type config struct {
 	logLevel      string
 	nodeID        string
 	peers         string
+	join          string
+	advertise     string
+	replicas      int
+	probeInterval time.Duration
 	quotaRate     float64
 	quotaBurst    float64
 
@@ -132,6 +154,10 @@ func main() {
 	flag.StringVar(&cfg.logLevel, "log-level", "info", "minimum log level: debug, info, warn or error")
 	flag.StringVar(&cfg.nodeID, "node-id", "", "cluster node identity; mounts the /cluster/* fleet surface when set")
 	flag.StringVar(&cfg.peers, "peers", "", "comma-separated peer base URLs; enables POST /cluster/publish coordinated reloads")
+	flag.StringVar(&cfg.join, "join", "", "comma-separated seed URLs to announce this node to at startup; enables gossip membership (requires -node-id)")
+	flag.StringVar(&cfg.advertise, "advertise", "", "this node's base URL as peers reach it; enables gossip membership even without -join seeds (default http://<-listen> when -join is set)")
+	flag.IntVar(&cfg.replicas, "replicas", 2, "checkpoint replication factor R: distinct failover-chain owners that must hold a session checkpoint before it acks")
+	flag.DurationVar(&cfg.probeInterval, "probe-interval", time.Second, "gossip failure-detector probe cadence")
 	flag.Float64Var(&cfg.quotaRate, "quota-rate", 0, "default per-tenant admission tokens per second (0 = unlimited)")
 	flag.Float64Var(&cfg.quotaBurst, "quota-burst", 0, "default per-tenant admission burst (0 = rate-derived)")
 	flag.IntVar(&cfg.flightCapacity, "flight-capacity", 256, "completed traces retained by the flight recorder")
@@ -226,25 +252,66 @@ func run(cfg config, logger *slog.Logger) error {
 	mux.HandleFunc("GET /metrics", d.handleMetrics)
 	mux.HandleFunc("GET /debug/flight", d.handleFlight)
 	mux.HandleFunc("GET /debug/trace/{id}", d.handleTrace)
+	gossip := cfg.advertise != "" || cfg.join != ""
+	if gossip && cfg.nodeID == "" {
+		return errors.New("-join/-advertise require -node-id: gossip rides the /cluster/* surface")
+	}
+	var mem *cluster.Membership
+	var seeds []string
 	if cfg.nodeID != "" {
 		// Fleet surface: two-phase reload participation and live session
 		// migration. The node shares this daemon's service, so cluster
 		// scans and sessions see the same generations, quotas and metrics,
 		// and shares the registry + recorder, so /cluster/metrics and
 		// /cluster/trace/{id} export what this process observed.
-		d.node = cluster.NewNode(svc, cluster.NodeConfig{ID: cfg.nodeID, Recorder: rec, Metrics: reg})
+		nodeCfg := cluster.NodeConfig{ID: cfg.nodeID, Recorder: rec, Metrics: reg, Logger: logger}
+		if gossip {
+			advertise := cfg.advertise
+			if advertise == "" {
+				advertise = "http://" + cfg.listen
+			}
+			seeds = splitList(cfg.join)
+			// Construction order matters: the membership probes through
+			// the client, and the client piggybacks the membership's
+			// table — NewClient → NewMembership → SetMembership breaks
+			// the cycle.
+			nodeClient := cluster.NewClient(cluster.ClientConfig{})
+			mem = cluster.NewMembership(cluster.MembershipConfig{
+				Self:          advertise,
+				ProbeInterval: cfg.probeInterval,
+				Client:        nodeClient,
+				Logger:        logger,
+				Metrics:       reg,
+			})
+			nodeClient.SetMembership(mem)
+			nodeCfg.Self = advertise
+			nodeCfg.Client = nodeClient
+			nodeCfg.Membership = mem
+			nodeCfg.Replicas = cfg.replicas
+		}
+		d.node = cluster.NewNode(svc, nodeCfg)
+		if mem != nil {
+			// Every ring-set change wakes the rebalancer, so hand-off and
+			// adoption begin within one scheduling hop of the epoch bump.
+			mem.SetOnChange(d.node.WakeRebalance)
+		}
 		mux.Handle("/cluster/", d.node.Handler())
-		logger.Info("cluster surface mounted", "node", cfg.nodeID)
+		if gossip {
+			logger.Info("cluster surface mounted", "node", cfg.nodeID,
+				"advertise", mem.Self(), "seeds", len(seeds),
+				"replicas", cfg.replicas, "probe_interval", cfg.probeInterval)
+		} else {
+			logger.Info("cluster surface mounted", "node", cfg.nodeID)
+		}
 	}
 	background, stopBackground := context.WithCancel(context.Background())
 	defer stopBackground()
+	if mem != nil {
+		go mem.Run(background)
+		go d.node.RunRebalancer(background)
+	}
 	if cfg.peers != "" {
-		var peers []string
-		for _, p := range strings.Split(cfg.peers, ",") {
-			if p = strings.TrimSpace(p); p != "" {
-				peers = append(peers, p)
-			}
-		}
+		peers := splitList(cfg.peers)
 		client := cluster.NewClient(cluster.ClientConfig{})
 		d.coord = cluster.NewCoordinator(client, peers)
 		localID := cfg.nodeID
@@ -257,6 +324,11 @@ func run(cfg config, logger *slog.Logger) error {
 			Local:         reg,
 			LocalID:       localID,
 			LocalRecorder: rec,
+			// With gossip enabled the federator skips peers the
+			// membership knows to be dead or left instead of burning
+			// breaker budget on hosts that are never coming back.
+			Membership: mem,
+			Metrics:    reg,
 		})
 		mux.HandleFunc("POST /cluster/publish", d.handlePublish)
 		mux.HandleFunc("GET /debug/fleet/trace/{id}", d.handleFleetTrace)
@@ -303,6 +375,33 @@ func run(cfg config, logger *slog.Logger) error {
 	go func() { done <- srv.ListenAndServe() }()
 	logger.Info("serving", "patterns", len(patterns), "generation", svc.Generation(), "addr", cfg.listen)
 
+	if mem != nil && len(seeds) > 0 {
+		// Announce to the fleet once the listener is up (so seeds can
+		// immediately probe back), retrying with backoff: a node booting
+		// before its seeds converges as soon as one answers.
+		go func() {
+			backoff := time.Second
+			for attempt := 1; ; attempt++ {
+				ctx, cancel := context.WithTimeout(background, 5*time.Second)
+				err := mem.Join(ctx, seeds)
+				cancel()
+				if err == nil {
+					logger.Info("joined fleet", "seeds", len(seeds), "attempt", attempt, "epoch", mem.Epoch())
+					return
+				}
+				logger.Warn("fleet join failed; retrying", "attempt", attempt, "backoff", backoff, "err", err)
+				select {
+				case <-background.Done():
+					return
+				case <-time.After(backoff):
+				}
+				if backoff < 10*time.Second {
+					backoff *= 2
+				}
+			}
+		}()
+	}
+
 	for {
 		select {
 		case err := <-done:
@@ -331,6 +430,16 @@ func run(cfg config, logger *slog.Logger) error {
 			}
 			logger.Info("draining", "signal", sig.String(), "bound", cfg.drainTimeout)
 			ctx, cancel := context.WithTimeout(context.Background(), cfg.drainTimeout)
+			if mem != nil {
+				// Graceful leave first: gossip the departure (peers drop
+				// this node from the ring without a suspect timeout), then
+				// hand every live session to its new ring owner while the
+				// listener still answers the custody transfers.
+				mem.Leave(ctx)
+				if h, a := d.node.Rebalance(ctx); h+a > 0 {
+					logger.Info("sessions re-placed on leave", "handoffs", h, "adoptions", a)
+				}
+			}
 			if err := svc.Drain(ctx); err != nil {
 				logger.Warn("drain incomplete", "err", err)
 			}
@@ -354,6 +463,18 @@ func run(cfg config, logger *slog.Logger) error {
 			return nil
 		}
 	}
+}
+
+// splitList parses a comma-separated flag value into its non-empty,
+// whitespace-trimmed elements.
+func splitList(raw string) []string {
+	var out []string
+	for _, p := range strings.Split(raw, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
 }
 
 // loadPatterns reads the pattern file (one regex per line, blank lines and

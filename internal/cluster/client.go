@@ -3,11 +3,13 @@ package cluster
 import (
 	"bytes"
 	"context"
+	"encoding/base64"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
 	"net/http"
+	"sync/atomic"
 	"time"
 
 	"bvap/internal/serve"
@@ -32,6 +34,14 @@ const SpanHeader = "X-Bvap-Span-Id"
 // quotas meter the originating tenant rather than the forwarding node.
 const TenantHeader = "X-Bvap-Tenant"
 
+// GossipHeader piggybacks a base64 BVGS membership table on ordinary
+// inter-node traffic: a gossip-enabled client stamps its snapshot on every
+// request, the receiving node merges it and echoes its own table on the
+// response, and the client merges that — so membership spreads at the
+// speed of whatever the fleet is already doing, with the probe loop as
+// the idle-time floor.
+const GossipHeader = "X-Bvap-Gossip"
+
 // ClientConfig tunes the inter-node client. The zero value selects 3
 // attempts, a 2-second per-attempt timeout, the serve.Backoff defaults
 // (50 ms base, jittered doubling) between attempts, and the serve.Breaker
@@ -52,6 +62,13 @@ type ClientConfig struct {
 	// HTTPClient, when non-nil, replaces http.DefaultClient (tests inject
 	// httptest clients).
 	HTTPClient *http.Client
+	// Membership, when non-nil, piggybacks this node's gossip table on
+	// every request (GossipHeader) and merges the peer's echoed table from
+	// every response. Set on node-owned clients; driver/coordinator
+	// clients leave it nil. The membership itself probes through a Client,
+	// so the usual construction order is NewClient → NewMembership →
+	// Client.SetMembership.
+	Membership *Membership
 }
 
 // Client is the fleet's inter-node HTTP transport: JSON-over-POST with
@@ -62,6 +79,7 @@ type Client struct {
 	cfg ClientConfig
 	hc  *http.Client
 	brk *serve.Breaker
+	mem atomic.Pointer[Membership]
 }
 
 // NewClient builds a client.
@@ -76,8 +94,17 @@ func NewClient(cfg ClientConfig) *Client {
 	if hc == nil {
 		hc = http.DefaultClient
 	}
-	return &Client{cfg: cfg, hc: hc, brk: serve.NewBreaker(cfg.Breaker, nil)}
+	c := &Client{cfg: cfg, hc: hc, brk: serve.NewBreaker(cfg.Breaker, nil)}
+	if cfg.Membership != nil {
+		c.mem.Store(cfg.Membership)
+	}
+	return c
 }
+
+// SetMembership enables gossip piggybacking after construction — the
+// membership probes through this very client, so it cannot exist before
+// the client does.
+func (c *Client) SetMembership(m *Membership) { c.mem.Store(m) }
 
 // PeerError is a failed inter-node call: the peer, the path, how many
 // attempts were spent, the final HTTP status (0 when the failure was
@@ -156,6 +183,33 @@ func (c *Client) PostJSON(ctx context.Context, peer, path string, req, resp any)
 	return &PeerError{Peer: peer, Path: path, Attempts: attempt, Status: lastStatus, Err: last}
 }
 
+// stampGossip attaches this node's membership snapshot to an outgoing
+// request; mergeGossip folds in the peer's echoed table. Both are no-ops
+// on membership-less (driver/coordinator) clients.
+func (c *Client) stampGossip(hreq *http.Request) {
+	if m := c.mem.Load(); m != nil {
+		hreq.Header.Set(GossipHeader, base64.StdEncoding.EncodeToString(m.Snapshot()))
+	}
+}
+
+func (c *Client) mergeGossip(hres *http.Response) {
+	m := c.mem.Load()
+	if m == nil {
+		return
+	}
+	raw := hres.Header.Get(GossipHeader)
+	if raw == "" {
+		return
+	}
+	payload, err := base64.StdEncoding.DecodeString(raw)
+	if err != nil {
+		return
+	}
+	if g, err := DecodeGossip(payload); err == nil {
+		m.Merge(g)
+	}
+}
+
 // post runs one attempt under its own timeout.
 func (c *Client) post(ctx context.Context, peer, path string, body []byte, resp any) (int, error) {
 	actx, cancel := context.WithTimeout(ctx, c.cfg.AttemptTimeout)
@@ -171,10 +225,12 @@ func (c *Client) post(ctx context.Context, peer, path string, body []byte, resp 
 	if id := tracing.SpanFromContext(ctx).IDString(); id != "" {
 		hreq.Header.Set(SpanHeader, id)
 	}
+	c.stampGossip(hreq)
 	hres, err := c.hc.Do(hreq)
 	if err != nil {
 		return 0, err
 	}
+	c.mergeGossip(hres)
 	defer func() {
 		io.Copy(io.Discard, io.LimitReader(hres.Body, 1<<16))
 		hres.Body.Close()
@@ -266,10 +322,12 @@ func (c *Client) get(ctx context.Context, peer, path string) (int, []byte, error
 	if id := tracing.SpanFromContext(ctx).IDString(); id != "" {
 		hreq.Header.Set(SpanHeader, id)
 	}
+	c.stampGossip(hreq)
 	hres, err := c.hc.Do(hreq)
 	if err != nil {
 		return 0, nil, err
 	}
+	c.mergeGossip(hres)
 	defer func() {
 		io.Copy(io.Discard, io.LimitReader(hres.Body, 1<<16))
 		hres.Body.Close()

@@ -35,7 +35,18 @@ type FederatorConfig struct {
 	// retained trace fragments to FleetTrace — the driver's half of a
 	// distributed request (its client spans) lives here.
 	LocalRecorder *tracing.Recorder
+	// Membership, when non-nil, is consulted before every scrape/probe:
+	// peers it knows to be dead or left are skipped (and counted under
+	// bvap_fleet_scrape_skipped_total) instead of burning client breaker
+	// budget forever on a host that is never coming back.
+	Membership *Membership
+	// Metrics, when non-nil, receives the federator's own counters.
+	Metrics *telemetry.Registry
 }
+
+// ErrPeerSkipped marks a peer that was not scraped because membership
+// knows it to be dead or left.
+var ErrPeerSkipped = errors.New("cluster: peer skipped (membership reports it dead or left)")
 
 // NodeSamples is one node's decoded snapshot within a FleetSnapshot.
 type NodeSamples struct {
@@ -64,6 +75,8 @@ type Federator struct {
 	peers  []string
 	cfg    FederatorConfig
 
+	cSkipped *telemetry.CounterVec
+
 	mu   sync.Mutex
 	last *FleetSnapshot
 }
@@ -73,7 +86,30 @@ func NewFederator(client *Client, peers []string, cfg FederatorConfig) *Federato
 	if cfg.Interval <= 0 {
 		cfg.Interval = 10 * time.Second
 	}
-	return &Federator{client: client, peers: append([]string(nil), peers...), cfg: cfg}
+	f := &Federator{client: client, peers: append([]string(nil), peers...), cfg: cfg}
+	if cfg.Metrics != nil {
+		f.cSkipped = cfg.Metrics.CounterVec("bvap_fleet_scrape_skipped_total",
+			"Fleet scrapes/probes skipped because membership reports the peer dead or left.", "reason")
+	}
+	return f
+}
+
+// skipPeer reports whether membership says peer is gone for good; reason
+// is its state name ("dead"/"left"). Unknown peers are never skipped — a
+// static peer list may legitimately name nodes the gossip layer hasn't
+// met yet.
+func (f *Federator) skipPeer(peer string) (string, bool) {
+	if f.cfg.Membership == nil {
+		return "", false
+	}
+	st, known := f.cfg.Membership.State(peer)
+	if !known || (st != StateDead && st != StateLeft) {
+		return "", false
+	}
+	if f.cSkipped != nil {
+		f.cSkipped.With(st.String()).Inc()
+	}
+	return st.String(), true
 }
 
 // Scrape runs one federation round now, remembers it as the latest, and
@@ -85,6 +121,10 @@ func (f *Federator) Scrape(ctx context.Context) *FleetSnapshot {
 	results := make([]NodeSamples, len(f.peers))
 	var wg sync.WaitGroup
 	for i, peer := range f.peers {
+		if _, skip := f.skipPeer(peer); skip {
+			results[i] = NodeSamples{Node: peer, Err: ErrPeerSkipped}
+			continue
+		}
 		wg.Add(1)
 		go func(i int, peer string) {
 			defer wg.Done()
@@ -123,7 +163,7 @@ func (f *Federator) Scrape(ctx context.Context) *FleetSnapshot {
 	for _, n := range results {
 		if n.Err == nil {
 			sets = append(sets, n.Samples)
-		} else if f.cfg.Logger != nil {
+		} else if f.cfg.Logger != nil && !errors.Is(n.Err, ErrPeerSkipped) {
 			f.cfg.Logger.Warn("fleet metrics scrape failed", "peer", n.Node, "err", n.Err)
 		}
 	}
@@ -190,6 +230,9 @@ func (f *Federator) FleetTrace(ctx context.Context, id tracing.TraceID) (*tracin
 	frags := make([][]tracing.Fragment, len(f.peers))
 	var wg sync.WaitGroup
 	for i, peer := range f.peers {
+		if _, skip := f.skipPeer(peer); skip {
+			continue
+		}
 		wg.Add(1)
 		go func(i int, peer string) {
 			defer wg.Done()
@@ -241,6 +284,12 @@ type FleetNodeHealth struct {
 	RingIndex int        `json:"ring_index"`
 	Err       string     `json:"error,omitempty"`
 	Health    NodeHealth `json:"health"`
+	// Skipped marks a peer that was not probed because membership reports
+	// it dead or left; Err then carries the state name.
+	Skipped bool `json:"skipped,omitempty"`
+	// Ring is the node's own ring view (GET /cluster/ring), present on
+	// gossip-enabled fleets so operators can diff views across nodes.
+	Ring *RingView `json:"ring,omitempty"`
 }
 
 // FleetHealth is the fleet-wide health report served at
@@ -253,11 +302,17 @@ type FleetHealth struct {
 	// more than one key means a torn fleet (a reload round died between
 	// prepare and commit, or a node missed a publish).
 	Generations map[string][]string `json:"generations,omitempty"`
+	// Epochs maps membership epochs to the peers reporting them — more
+	// than one key means membership hasn't converged (a partition in
+	// progress, or gossip still spreading a change).
+	Epochs map[uint64][]string `json:"epochs,omitempty"`
 }
 
-// Health probes every node's /cluster/health in parallel.
+// Health probes every node's /cluster/health (and, on gossip-enabled
+// fleets, /cluster/ring) in parallel. Peers membership knows to be dead
+// or left are skipped, not probed.
 func (f *Federator) Health(ctx context.Context) FleetHealth {
-	report := FleetHealth{Taken: time.Now(), Generations: map[string][]string{}}
+	report := FleetHealth{Taken: time.Now(), Generations: map[string][]string{}, Epochs: map[uint64][]string{}}
 	results := make([]FleetNodeHealth, len(f.peers))
 	ringIndex := map[string]int{}
 	for i, p := range sortedPeers(f.peers) {
@@ -265,6 +320,10 @@ func (f *Federator) Health(ctx context.Context) FleetHealth {
 	}
 	var wg sync.WaitGroup
 	for i, peer := range f.peers {
+		if reason, skip := f.skipPeer(peer); skip {
+			results[i] = FleetNodeHealth{Peer: peer, RingIndex: ringIndex[peer], Err: reason, Skipped: true}
+			continue
+		}
 		wg.Add(1)
 		go func(i int, peer string) {
 			defer wg.Done()
@@ -274,6 +333,10 @@ func (f *Federator) Health(ctx context.Context) FleetHealth {
 				h.Err = err.Error()
 			} else {
 				h.Health = nh
+				var rv RingView
+				if err := f.client.GetJSON(ctx, peer, "/cluster/ring", &rv); err == nil {
+					h.Ring = &rv
+				}
 			}
 			results[i] = h
 		}(i, peer)
@@ -282,9 +345,15 @@ func (f *Federator) Health(ctx context.Context) FleetHealth {
 	for _, h := range results {
 		if h.Err == "" {
 			report.Generations[h.Health.Fingerprint] = append(report.Generations[h.Health.Fingerprint], h.Peer)
+			if h.Ring != nil {
+				report.Epochs[h.Ring.Epoch] = append(report.Epochs[h.Ring.Epoch], h.Peer)
+			}
 		}
 	}
 	for _, peers := range report.Generations {
+		sort.Strings(peers)
+	}
+	for _, peers := range report.Epochs {
 		sort.Strings(peers)
 	}
 	report.Nodes = results

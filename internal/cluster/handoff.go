@@ -1,0 +1,284 @@
+package cluster
+
+import (
+	"context"
+	"sort"
+	"time"
+
+	"bvap"
+)
+
+// Automatic session re-placement. Two movements keep every session on its
+// ring owner as membership changes:
+//
+//   - Hand-off (both nodes alive — a join changed ownership): the current
+//     holder checkpoints the session, replicates the record to the new
+//     failover chain at quorum, transfers custody to the new owner (which
+//     resumes immediately), and closes its local copy. The driver's next
+//     call here answers 404 and its uniform sync recovery lands it on the
+//     new owner; exactly-once holds because the driver truncates to its
+//     durable position and the record's delta re-delivers the rest.
+//
+//   - Adoption (owner dead or left): the new owner finds a replicated
+//     record whose origin is gone and resumes the session from the durable
+//     bytes, so the stream is already live when the driver's recovery
+//     sync arrives.
+//
+// Both run from RunRebalancer — woken by membership epoch changes
+// (WakeRebalance wired as the membership's OnChange) and by a periodic
+// belt-and-braces tick that also retries moves that failed transiently.
+
+// WakeRebalance schedules a re-placement scan; it never blocks, collapsing
+// bursts of epoch changes into one pending scan. Wire it (wrapped to drop
+// the epoch argument) as MembershipConfig.OnChange.
+func (n *Node) WakeRebalance(uint64) {
+	select {
+	case n.rebalanceCh <- struct{}{}:
+	default:
+	}
+}
+
+// RunRebalancer drives re-placement until ctx is done.
+func (n *Node) RunRebalancer(ctx context.Context) {
+	t := time.NewTicker(n.cfg.RebalanceInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-n.rebalanceCh:
+		case <-t.C:
+		}
+		n.Rebalance(ctx)
+	}
+}
+
+// Rebalance runs one re-placement scan now, returning how many sessions
+// were handed off and how many were adopted. Failures are left for the
+// next scan — every step (replicate, transfer, repair, adopt) is
+// idempotent.
+func (n *Node) Rebalance(ctx context.Context) (handoffs, adoptions int) {
+	if n.cfg.Membership == nil || n.rep == nil {
+		return 0, 0
+	}
+	handoffs = n.handoffCycle(ctx)
+	n.repairCycle(ctx)
+	adoptions = n.adoptCycle(ctx)
+	return handoffs, adoptions
+}
+
+// repairCycle re-pushes the checkpoint record of every session still
+// live on this node to its CURRENT failover chain. A join can change a
+// chain's tail without moving the session: the holder keeps owning it,
+// but the newest record was replicated to the old chain, so until the
+// next checkpoint one kill could destroy the only copy reachable
+// through the new ring. Pushes are best-effort and version-gated
+// (newer-Pos wins) on the receiver, so the cycle is idempotent and
+// never rolls durability backwards. Scope and ordering both guard
+// against resurrection: only live sessions are repaired (a straggler
+// record for a session living elsewhere is never re-spread), and the
+// whole cycle runs under placeMu so a concurrent replicated close
+// either lands first (session gone here, nothing pushed) or waits and
+// fans its chain deletes out after these pushes. Holding placeMu
+// across the pushes is safe: the receiving put handler only touches
+// its record shelf, never its own placeMu.
+func (n *Node) repairCycle(ctx context.Context) {
+	self := n.cfg.Self
+	n.placeMu.Lock()
+	defer n.placeMu.Unlock()
+	n.mu.Lock()
+	ids := make([]string, 0, len(n.sessions))
+	for id, ns := range n.sessions {
+		if ns != nil {
+			ids = append(ids, id)
+		}
+	}
+	n.mu.Unlock()
+	sort.Strings(ids)
+	for _, id := range ids {
+		rec, ok := n.store.get(id)
+		if !ok {
+			continue
+		}
+		owners := n.rep.owners(id)
+		inChain := false
+		for _, o := range owners {
+			if o == self {
+				inChain = true
+				break
+			}
+		}
+		if !inChain {
+			continue
+		}
+		for _, owner := range owners {
+			if owner == self {
+				continue
+			}
+			if err := n.cfg.Client.PostJSON(ctx, owner, "/cluster/checkpoint/put", rec, nil); err != nil {
+				n.logRebalance("chain repair push failed", "session", id, "peer", owner, "err", err)
+			}
+		}
+	}
+}
+
+// handoffCycle moves every live session this node no longer owns to its
+// new ring owner.
+func (n *Node) handoffCycle(ctx context.Context) int {
+	ring, self := n.ring(), n.cfg.Self
+	n.mu.Lock()
+	ids := make([]string, 0, len(n.sessions))
+	for id := range n.sessions {
+		ids = append(ids, id)
+	}
+	n.mu.Unlock()
+	sort.Strings(ids)
+	moved := 0
+	for _, id := range ids {
+		owner := ring.Owner(id)
+		if owner == "" || owner == self {
+			continue
+		}
+		n.mu.Lock()
+		ns := n.sessions[id]
+		n.mu.Unlock()
+		if ns == nil {
+			continue
+		}
+		ns.mu.Lock()
+		if ns.gone {
+			ns.mu.Unlock()
+			continue
+		}
+		// Checkpoint commits everything up to the current position; the
+		// delta then covers (lastDurable, Pos] in full — including matches
+		// a driver has only seen provisionally, which it will re-learn
+		// through sync after truncating to its durable length.
+		ck := ns.ss.Checkpoint()
+		wire, err := ck.MarshalBinary()
+		if err != nil {
+			ns.mu.Unlock()
+			n.logRebalance("handoff checkpoint failed", "session", id, "err", err)
+			continue
+		}
+		rec := CheckpointRecord{
+			SessionID:  id,
+			Pos:        ck.Pos(),
+			PrevPos:    ns.lastDurable,
+			Origin:     owner, // custody moves with the record
+			Checkpoint: wire,
+			Matches:    append([]Match(nil), ns.delta...),
+			Interval:   ns.interval,
+		}
+		// Durability first: the record must survive this node AND the new
+		// owner dying right after the transfer, so it goes to the chain at
+		// quorum before the local session is released.
+		if err := n.rep.replicate(ctx, rec); err != nil {
+			ns.mu.Unlock()
+			n.logRebalance("handoff replication failed", "session", id, "owner", owner, "err", err)
+			continue
+		}
+		ns.delta = nil
+		ns.lastDurable = rec.Pos
+		if err := n.cfg.Client.PostJSON(ctx, owner, "/cluster/session/transfer", TransferRequest{Record: rec, Interval: ns.interval}, nil); err != nil {
+			// The bytes are durable; the owner will adopt from its replica
+			// on its own scan. Keep the local session until then so the
+			// driver isn't left with no live endpoint.
+			ns.mu.Unlock()
+			n.logRebalance("handoff transfer failed; owner will adopt", "session", id, "owner", owner, "err", err)
+			continue
+		}
+		ns.gone = true
+		ns.ss.Close()
+		ns.mu.Unlock()
+		n.mu.Lock()
+		if n.sessions[id] == ns {
+			delete(n.sessions, id)
+		}
+		n.mu.Unlock()
+		moved++
+		n.handoffs.Add(1)
+		if n.cHandoff != nil {
+			n.cHandoff.Inc()
+		}
+		n.logRebalance("session handed off", "session", id, "owner", owner, "pos", rec.Pos)
+	}
+	return moved
+}
+
+// adoptCycle resumes orphaned sessions this node now owns from their
+// replicated checkpoints.
+func (n *Node) adoptCycle(ctx context.Context) int {
+	ring, self := n.ring(), n.cfg.Self
+	adopted := 0
+	for _, id := range n.store.ids() {
+		if ring.Owner(id) != self {
+			continue
+		}
+		n.placeMu.Lock()
+		rec, ok := n.store.get(id)
+		if !ok {
+			n.placeMu.Unlock()
+			continue
+		}
+		n.mu.Lock()
+		_, live := n.sessions[id]
+		n.mu.Unlock()
+		if live {
+			n.placeMu.Unlock()
+			continue
+		}
+		// Only adopt when no other node can still hold the session live:
+		// custody was explicitly transferred here, or the recorded origin
+		// is dead, left, or unknown. An alive/suspect origin keeps custody
+		// — it will hand off on its own scan.
+		if rec.Origin != self {
+			if st, known := n.cfg.Membership.State(rec.Origin); known && (st == StateAlive || st == StateSuspect) {
+				n.placeMu.Unlock()
+				continue
+			}
+		}
+		err := n.adoptLocked(rec, rec.Interval)
+		n.placeMu.Unlock()
+		if err != nil {
+			n.logRebalance("adoption failed", "session", id, "origin", rec.Origin, "err", err)
+			continue
+		}
+		adopted++
+		n.logRebalance("session adopted", "session", id, "origin", rec.Origin, "pos", rec.Pos)
+		// Re-replicate under this node's custody: the chain likely changed
+		// with the epoch, and the record's origin must now point here so
+		// a further failure is attributed correctly.
+		rec.Origin = self
+		if err := n.rep.replicate(ctx, rec); err != nil {
+			n.logRebalance("post-adoption replication short of quorum", "session", id, "err", err)
+		}
+	}
+	return adopted
+}
+
+// adoptLocked resumes one session from its durable record. Callers hold
+// placeMu and have verified no live session exists.
+func (n *Node) adoptLocked(rec CheckpointRecord, interval int) error {
+	ns, err := n.installSession(rec.SessionID, interval, func(cfg *bvap.SessionConfig) (*bvap.StreamSession, error) {
+		return n.svc.ResumeSessionBytes(rec.Checkpoint, cfg)
+	})
+	if err != nil {
+		return err
+	}
+	ns.mu.Lock()
+	ns.lastDurable = rec.Pos
+	ns.buf, ns.delta = nil, nil
+	ns.mu.Unlock()
+	n.adoptions.Add(1)
+	if n.cAdopt != nil {
+		n.cAdopt.Inc()
+	}
+	return nil
+}
+
+func (n *Node) logRebalance(msg string, args ...any) {
+	if n.cfg.Logger != nil {
+		n.cfg.Logger.Info(msg, append([]any{"node", n.cfg.ID}, args...)...)
+	}
+}

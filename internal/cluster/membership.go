@@ -1,0 +1,511 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log/slog"
+	"sort"
+	"sync"
+	"time"
+
+	"bvap/internal/telemetry"
+)
+
+// MembershipConfig tunes the gossip membership layer.
+type MembershipConfig struct {
+	// Self is this node's own base URL — its identity in the ring and in
+	// gossip. Required.
+	Self string
+	// ProbeInterval is the period of the direct-probe loop; values <= 0
+	// select 1 second.
+	ProbeInterval time.Duration
+	// SuspectTimeout is how long a suspect member has to refute before
+	// being declared dead; values <= 0 select 3×ProbeInterval.
+	SuspectTimeout time.Duration
+	// VirtualNodes is the ring's virtual-node count; values < 1 select the
+	// NewRing default.
+	VirtualNodes int
+	// Client carries probes and the join/leave exchanges. Required for
+	// Run/Join/Leave; a probe-less membership (tests) may omit it.
+	Client *Client
+	// Logger, when non-nil, receives state-transition and probe logs.
+	Logger *slog.Logger
+	// Metrics, when non-nil, exports the bvap_cluster_member_* gauges, the
+	// epoch gauge and the probe counter.
+	Metrics *telemetry.Registry
+	// OnChange, when non-nil, is called (without internal locks held) after
+	// every ring-set change with the new epoch. Callbacks may be invoked
+	// concurrently from probe and handler goroutines; keep them cheap —
+	// typically a non-blocking channel send that wakes a rebalancer.
+	OnChange func(epoch uint64)
+}
+
+// Membership is a SWIM-style gossip membership table: every member carries
+// a state (alive → suspect → dead, or left) and an incarnation number, a
+// periodic probe loop detects failures first-hand, and full tables ride
+// the BVGS wire form on probes, joins and piggybacked inter-node traffic.
+// Merging is a per-member join (higher incarnation wins; at equal
+// incarnation the higher state wins), so any gossip exchange pattern
+// converges; a member clears its own suspicion by re-announcing itself at
+// a higher incarnation (refutation).
+//
+// The alive+suspect subset forms the live consistent-hash ring, rebuilt on
+// every set change under a monotonically increasing epoch: merges that
+// change the set adopt max(local, remote)+1, merges that don't adopt
+// max(local, remote) — so converged tables agree on both the set and the
+// epoch. Safe for concurrent use.
+type Membership struct {
+	cfg MembershipConfig
+
+	mu       sync.Mutex
+	members  map[string]*memberEntry
+	selfInc  uint64
+	left     bool
+	epoch    uint64
+	ring     *Ring
+	probeIdx int
+
+	gAlive, gSuspect, gDead, gEpoch *telemetry.Gauge
+	cProbe                          *telemetry.CounterVec
+}
+
+type memberEntry struct {
+	state       MemberState
+	incarnation uint64
+	suspectedAt time.Time
+}
+
+// NewMembership builds a membership containing only self, alive, at epoch 1.
+func NewMembership(cfg MembershipConfig) *Membership {
+	if cfg.Self == "" {
+		panic("cluster: MembershipConfig.Self is required")
+	}
+	if cfg.ProbeInterval <= 0 {
+		cfg.ProbeInterval = time.Second
+	}
+	if cfg.SuspectTimeout <= 0 {
+		cfg.SuspectTimeout = 3 * cfg.ProbeInterval
+	}
+	m := &Membership{
+		cfg:     cfg,
+		members: map[string]*memberEntry{cfg.Self: {state: StateAlive}},
+		epoch:   1,
+	}
+	if r := cfg.Metrics; r != nil {
+		m.gAlive = r.Gauge("bvap_cluster_member_alive", "Members this node sees as alive.")
+		m.gSuspect = r.Gauge("bvap_cluster_member_suspect", "Members this node sees as suspect.")
+		m.gDead = r.Gauge("bvap_cluster_member_dead", "Members this node sees as dead or left.")
+		m.gEpoch = r.Gauge("bvap_cluster_epoch", "This node's membership epoch.")
+		m.cProbe = r.CounterVec("bvap_cluster_probe_total", "Direct membership probes by outcome.", "outcome")
+	}
+	m.mu.Lock()
+	m.rebuildLocked()
+	m.mu.Unlock()
+	return m
+}
+
+// Self returns this node's ring identity.
+func (m *Membership) Self() string { return m.cfg.Self }
+
+// SetOnChange installs (or replaces) the ring-change callback — the
+// membership is typically built before the Node whose rebalancer it must
+// wake, so the wiring happens after construction.
+func (m *Membership) SetOnChange(f func(epoch uint64)) {
+	m.mu.Lock()
+	m.cfg.OnChange = f
+	m.mu.Unlock()
+}
+
+// Epoch returns the current membership epoch.
+func (m *Membership) Epoch() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.epoch
+}
+
+// Ring returns the current live ring (alive + suspect members). The
+// returned ring is immutable from the membership's side — every set change
+// installs a fresh one — so callers may hold it across calls.
+func (m *Membership) Ring() *Ring {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.ring
+}
+
+// Members returns the full table, sorted by URL.
+func (m *Membership) Members() []MemberRecord {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.membersLocked()
+}
+
+func (m *Membership) membersLocked() []MemberRecord {
+	out := make([]MemberRecord, 0, len(m.members))
+	for url, e := range m.members {
+		out = append(out, MemberRecord{URL: url, State: e.state, Incarnation: e.incarnation})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].URL < out[j].URL })
+	return out
+}
+
+// Snapshot returns this node's gossip payload: its full table and epoch.
+func (m *Membership) Snapshot() []byte {
+	m.mu.Lock()
+	g := Gossip{From: m.cfg.Self, Epoch: m.epoch, Members: m.membersLocked()}
+	m.mu.Unlock()
+	return EncodeGossip(g)
+}
+
+// statePriority orders states for equal-incarnation ties: a claim of death
+// outranks suspicion outranks life, so bad news sticks until refuted.
+func statePriority(s MemberState) int {
+	switch s {
+	case StateAlive:
+		return 0
+	case StateSuspect:
+		return 1
+	case StateDead:
+		return 2
+	default: // StateLeft
+		return 3
+	}
+}
+
+func supersedes(rec MemberRecord, cur *memberEntry) bool {
+	if rec.Incarnation != cur.incarnation {
+		return rec.Incarnation > cur.incarnation
+	}
+	return statePriority(rec.State) > statePriority(cur.state)
+}
+
+// Merge folds a decoded gossip payload into the table, returning the epoch
+// after the merge. Remote claims about self never stick: a non-alive claim
+// at incarnation ≥ ours triggers refutation (self re-announced alive at a
+// higher incarnation), which the next gossip exchange propagates.
+func (m *Membership) Merge(g Gossip) uint64 {
+	m.mu.Lock()
+	oldSet := m.ringSetLocked()
+	for _, rec := range g.Members {
+		if rec.URL == m.cfg.Self {
+			if rec.State != StateAlive && rec.Incarnation >= m.selfInc && !m.left {
+				m.selfInc = rec.Incarnation + 1
+				m.members[m.cfg.Self] = &memberEntry{state: StateAlive, incarnation: m.selfInc}
+				m.logLocked("membership refuted remote claim", "claimed", rec.State.String(), "incarnation", m.selfInc)
+			}
+			continue
+		}
+		cur, ok := m.members[rec.URL]
+		if !ok {
+			m.members[rec.URL] = &memberEntry{state: rec.State, incarnation: rec.Incarnation, suspectedAt: time.Now()}
+			m.logLocked("membership learned member", "member", rec.URL, "state", rec.State.String())
+			continue
+		}
+		if supersedes(rec, cur) {
+			if rec.State == StateSuspect && cur.state != StateSuspect {
+				cur.suspectedAt = time.Now()
+			}
+			cur.state, cur.incarnation = rec.State, rec.Incarnation
+		}
+	}
+	epoch := m.settleLocked(oldSet, g.Epoch)
+	m.mu.Unlock()
+	return epoch
+}
+
+// ringSetLocked returns the sorted alive+suspect member URLs.
+func (m *Membership) ringSetLocked() []string {
+	set := make([]string, 0, len(m.members))
+	for url, e := range m.members {
+		if e.state == StateAlive || e.state == StateSuspect {
+			set = append(set, url)
+		}
+	}
+	sort.Strings(set)
+	return set
+}
+
+// settleLocked advances the epoch after a mutation — max(local, remote)
+// when the ring set is unchanged, max+1 when it changed — rebuilds the
+// ring and updates gauges; it returns the new epoch and arranges the
+// OnChange callback (fired after the caller releases m.mu via the
+// returned-to pattern: settleLocked temporarily drops the lock around the
+// callback to keep callbacks lock-free).
+func (m *Membership) settleLocked(oldSet []string, remoteEpoch uint64) uint64 {
+	if remoteEpoch > m.epoch {
+		m.epoch = remoteEpoch
+	}
+	newSet := m.ringSetLocked()
+	changed := !equalStrings(oldSet, newSet)
+	if changed {
+		m.epoch++
+		m.rebuildLocked()
+		m.logLocked("membership ring changed", "members", len(newSet), "epoch", m.epoch)
+	}
+	m.updateGaugesLocked()
+	epoch := m.epoch
+	if changed && m.cfg.OnChange != nil {
+		cb := m.cfg.OnChange
+		m.mu.Unlock()
+		cb(epoch)
+		m.mu.Lock()
+	}
+	return epoch
+}
+
+func (m *Membership) rebuildLocked() {
+	r := NewRing(m.cfg.VirtualNodes)
+	for _, url := range m.ringSetLocked() {
+		r.Add(url)
+	}
+	m.ring = r
+	m.updateGaugesLocked()
+}
+
+func (m *Membership) updateGaugesLocked() {
+	if m.gAlive == nil {
+		return
+	}
+	var alive, suspect, dead int
+	for _, e := range m.members {
+		switch e.state {
+		case StateAlive:
+			alive++
+		case StateSuspect:
+			suspect++
+		default:
+			dead++
+		}
+	}
+	m.gAlive.Set(float64(alive))
+	m.gSuspect.Set(float64(suspect))
+	m.gDead.Set(float64(dead))
+	m.gEpoch.Set(float64(m.epoch))
+}
+
+func (m *Membership) logLocked(msg string, args ...any) {
+	if m.cfg.Logger != nil {
+		m.cfg.Logger.Info(msg, append([]any{"self", m.cfg.Self}, args...)...)
+	}
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// HandleGossip merges a raw BVGS payload and returns this node's snapshot
+// — the request/response halves of one gossip exchange (the body of the
+// /cluster/gossip and /cluster/join handlers and of the piggyback headers).
+func (m *Membership) HandleGossip(payload []byte) ([]byte, error) {
+	g, err := DecodeGossip(payload)
+	if err != nil {
+		return nil, err
+	}
+	m.Merge(g)
+	return m.Snapshot(), nil
+}
+
+// markSuspect records a first-hand probe failure: an alive member becomes
+// suspect at its current incarnation and the timeout clock starts.
+func (m *Membership) markSuspect(url string) {
+	m.mu.Lock()
+	e, ok := m.members[url]
+	if !ok || e.state != StateAlive {
+		m.mu.Unlock()
+		return
+	}
+	oldSet := m.ringSetLocked()
+	e.state = StateSuspect
+	e.suspectedAt = time.Now()
+	m.logLocked("membership suspects member", "member", url, "incarnation", e.incarnation)
+	m.settleLocked(oldSet, 0) // suspect stays in the ring; no set change
+	m.mu.Unlock()
+}
+
+// expireSuspects declares members dead whose suspicion outlived
+// SuspectTimeout. Called from the probe loop; exported to tests via Tick.
+func (m *Membership) expireSuspects(now time.Time) {
+	m.mu.Lock()
+	oldSet := m.ringSetLocked()
+	expired := false
+	for url, e := range m.members {
+		if e.state == StateSuspect && now.Sub(e.suspectedAt) >= m.cfg.SuspectTimeout {
+			e.state = StateDead
+			expired = true
+			m.logLocked("membership declares member dead", "member", url, "incarnation", e.incarnation)
+		}
+	}
+	if expired {
+		m.settleLocked(oldSet, 0)
+	}
+	m.mu.Unlock()
+}
+
+// probeTarget picks the next round-robin probe target among members that
+// are alive or suspect (suspects are re-probed so a transient blip clears
+// on the next exchange instead of waiting for refutation).
+func (m *Membership) probeTarget() string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var eligible []string
+	for url, e := range m.members {
+		if url != m.cfg.Self && (e.state == StateAlive || e.state == StateSuspect) {
+			eligible = append(eligible, url)
+		}
+	}
+	if len(eligible) == 0 {
+		return ""
+	}
+	sort.Strings(eligible)
+	m.probeIdx = (m.probeIdx + 1) % len(eligible)
+	return eligible[m.probeIdx]
+}
+
+// GossipRequest carries one BVGS payload in a JSON body (POST
+// /cluster/gossip, /cluster/join, /cluster/leave); GossipResponse returns
+// the receiver's snapshot.
+type (
+	GossipRequest struct {
+		Payload []byte `json:"payload"`
+	}
+	GossipResponse struct {
+		Payload []byte `json:"payload"`
+	}
+)
+
+// Tick runs one probe round: direct-probe the next target, merge its
+// response (or mark it suspect on failure), then expire overdue suspects.
+// Run calls this on ProbeInterval; tests call it directly for determinism.
+func (m *Membership) Tick(ctx context.Context) {
+	if target := m.probeTarget(); target != "" && m.cfg.Client != nil {
+		var resp GossipResponse
+		err := m.cfg.Client.PostJSON(ctx, target, "/cluster/gossip", GossipRequest{Payload: m.Snapshot()}, &resp)
+		if err == nil {
+			if g, derr := DecodeGossip(resp.Payload); derr == nil {
+				m.Merge(g)
+			} else {
+				err = derr
+			}
+		}
+		if err != nil {
+			m.markSuspect(target)
+			if m.cProbe != nil {
+				m.cProbe.With("fail").Inc()
+			}
+			if m.cfg.Logger != nil {
+				m.cfg.Logger.Debug("membership probe failed", "self", m.cfg.Self, "target", target, "err", err)
+			}
+		} else if m.cProbe != nil {
+			m.cProbe.With("ok").Inc()
+		}
+	}
+	m.expireSuspects(time.Now())
+}
+
+// Run drives the probe loop until ctx is canceled.
+func (m *Membership) Run(ctx context.Context) {
+	t := time.NewTicker(m.cfg.ProbeInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			m.Tick(ctx)
+		}
+	}
+}
+
+// Join announces this node to the fleet through any of the seed URLs,
+// merging the first successful response (the seed's full table, which the
+// next probe rounds spread everywhere else). If this node was previously
+// declared dead under an older incarnation, the merge triggers refutation
+// automatically.
+func (m *Membership) Join(ctx context.Context, seeds []string) error {
+	if m.cfg.Client == nil {
+		return errors.New("cluster: membership has no client")
+	}
+	var errs []error
+	for _, seed := range seeds {
+		if seed == "" || seed == m.cfg.Self {
+			continue
+		}
+		var resp GossipResponse
+		if err := m.cfg.Client.PostJSON(ctx, seed, "/cluster/join", GossipRequest{Payload: m.Snapshot()}, &resp); err != nil {
+			errs = append(errs, err)
+			continue
+		}
+		g, err := DecodeGossip(resp.Payload)
+		if err != nil {
+			errs = append(errs, err)
+			continue
+		}
+		m.Merge(g)
+		return nil
+	}
+	if len(errs) == 0 {
+		return errors.New("cluster: no usable join seeds")
+	}
+	return fmt.Errorf("cluster: join failed against all %d seed(s): %w", len(errs), errors.Join(errs...))
+}
+
+// Leave performs the graceful half of shutdown: self transitions to left
+// at a bumped incarnation (so the announcement supersedes any concurrent
+// alive/suspect record) and the final table is pushed best-effort to every
+// live member. After Leave the node stops refuting.
+func (m *Membership) Leave(ctx context.Context) {
+	m.mu.Lock()
+	oldSet := m.ringSetLocked()
+	m.left = true
+	m.selfInc++
+	m.members[m.cfg.Self] = &memberEntry{state: StateLeft, incarnation: m.selfInc}
+	m.logLocked("membership leaving", "incarnation", m.selfInc)
+	m.settleLocked(oldSet, 0)
+	var peers []string
+	for url, e := range m.members {
+		if url != m.cfg.Self && (e.state == StateAlive || e.state == StateSuspect) {
+			peers = append(peers, url)
+		}
+	}
+	m.mu.Unlock()
+	if m.cfg.Client == nil {
+		return
+	}
+	payload := m.Snapshot()
+	var wg sync.WaitGroup
+	for _, peer := range peers {
+		wg.Add(1)
+		go func(peer string) {
+			defer wg.Done()
+			m.cfg.Client.PostJSON(ctx, peer, "/cluster/leave", GossipRequest{Payload: payload}, nil)
+		}(peer)
+	}
+	wg.Wait()
+}
+
+// State returns the table's view of one member (StateDead, false when
+// unknown — an unknown peer is treated like a dead one by adoption and
+// scrape-skip logic).
+func (m *Membership) State(url string) (MemberState, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if url == m.cfg.Self {
+		if m.left {
+			return StateLeft, true
+		}
+		return StateAlive, true
+	}
+	e, ok := m.members[url]
+	if !ok {
+		return StateDead, false
+	}
+	return e.state, true
+}

@@ -1,0 +1,277 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"bvap"
+	"bvap/internal/serve"
+)
+
+func TestGossipWireRoundTrip(t *testing.T) {
+	g := Gossip{
+		From:  "http://b:1",
+		Epoch: 42,
+		Members: []MemberRecord{
+			{URL: "http://c:1", State: StateDead, Incarnation: 7},
+			{URL: "http://a:1", State: StateAlive, Incarnation: 0},
+			{URL: "http://b:1", State: StateSuspect, Incarnation: 3},
+		},
+	}
+	wire := EncodeGossip(g)
+	got, err := DecodeGossip(wire)
+	if err != nil {
+		t.Fatalf("DecodeGossip: %v", err)
+	}
+	if got.From != g.From || got.Epoch != g.Epoch || len(got.Members) != 3 {
+		t.Fatalf("round trip mismatch: %+v", got)
+	}
+	// Canonical order: sorted ascending by URL.
+	for i := 1; i < len(got.Members); i++ {
+		if got.Members[i-1].URL >= got.Members[i].URL {
+			t.Fatalf("members not canonical: %+v", got.Members)
+		}
+	}
+	if re := EncodeGossip(got); !bytes.Equal(re, wire) {
+		t.Fatal("decode∘encode is not the identity")
+	}
+}
+
+func TestGossipWireRejectsCorruption(t *testing.T) {
+	wire := EncodeGossip(Gossip{From: "http://a:1", Epoch: 1,
+		Members: []MemberRecord{{URL: "http://a:1", State: StateAlive}}})
+	cases := map[string][]byte{
+		"empty":     {},
+		"short":     wire[:8],
+		"truncated": wire[:len(wire)-3],
+		"trailing":  append(append([]byte{}, wire...), 0),
+	}
+	flipped := append([]byte{}, wire...)
+	flipped[9] ^= 0x40
+	cases["bitflip"] = flipped
+	badsum := append([]byte{}, wire...)
+	badsum[len(badsum)-1] ^= 1
+	cases["badsum"] = badsum
+	for name, data := range cases {
+		if _, err := DecodeGossip(data); !errors.Is(err, ErrGossipCorrupt) {
+			t.Errorf("%s: want ErrGossipCorrupt, got %v", name, err)
+		}
+	}
+}
+
+// FuzzMembershipWire pins the BVGS contract: decoding never panics, every
+// accepted payload re-encodes byte-identically (canonical form), and
+// corrupting the checksum of an accepted payload is always caught.
+func FuzzMembershipWire(f *testing.F) {
+	f.Add(EncodeGossip(Gossip{From: "http://a:1", Epoch: 3, Members: []MemberRecord{
+		{URL: "http://a:1", State: StateAlive, Incarnation: 1},
+		{URL: "http://b:1", State: StateDead, Incarnation: 7},
+	}}))
+	f.Add(EncodeGossip(Gossip{From: "x", Epoch: 0, Members: nil}))
+	f.Add([]byte("BVGS"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, err := DecodeGossip(data)
+		if err != nil {
+			if !errors.Is(err, ErrGossipCorrupt) {
+				t.Fatalf("non-typed decode error: %v", err)
+			}
+			return
+		}
+		re := EncodeGossip(g)
+		if !bytes.Equal(re, data) {
+			t.Fatalf("re-encode not byte-equal:\n in: %x\nout: %x", data, re)
+		}
+		bad := append([]byte{}, data...)
+		bad[len(bad)-1] ^= 0x01
+		if _, err := DecodeGossip(bad); err == nil {
+			t.Fatal("corrupted checksum accepted")
+		}
+	})
+}
+
+// exchange runs one bidirectional gossip round between a and b.
+func exchange(a, b *Membership) {
+	ga, _ := DecodeGossip(a.Snapshot())
+	b.Merge(ga)
+	gb, _ := DecodeGossip(b.Snapshot())
+	a.Merge(gb)
+}
+
+func ringSet(m *Membership) []string { return m.Ring().Nodes() }
+
+func TestMembershipMergeConvergence(t *testing.T) {
+	ms := make([]*Membership, 4)
+	for i := range ms {
+		ms[i] = NewMembership(MembershipConfig{Self: fmt.Sprintf("http://n%d", i)})
+	}
+	// Arbitrary pairwise exchanges must converge every table to the same
+	// member set and the same epoch.
+	for round := 0; round < 3; round++ {
+		for i := range ms {
+			for j := range ms {
+				if i != j {
+					exchange(ms[i], ms[j])
+				}
+			}
+		}
+	}
+	want := ringSet(ms[0])
+	if len(want) != 4 {
+		t.Fatalf("ring set = %v, want 4 members", want)
+	}
+	epoch := ms[0].Epoch()
+	for i, m := range ms[1:] {
+		if got := ringSet(m); !equalStrings(got, want) {
+			t.Fatalf("node %d ring set %v != %v", i+1, got, want)
+		}
+		if e := m.Epoch(); e != epoch {
+			t.Fatalf("node %d epoch %d != %d", i+1, e, epoch)
+		}
+	}
+}
+
+func TestMembershipSuspectDeadAndRefute(t *testing.T) {
+	a := NewMembership(MembershipConfig{Self: "http://a", SuspectTimeout: time.Millisecond})
+	b := NewMembership(MembershipConfig{Self: "http://b"})
+	exchange(a, b)
+	if got := ringSet(a); len(got) != 2 {
+		t.Fatalf("ring = %v", got)
+	}
+	epochBefore := a.Epoch()
+
+	a.markSuspect("http://b")
+	if got := ringSet(a); len(got) != 2 {
+		t.Fatalf("suspect must stay in the ring, got %v", got)
+	}
+	time.Sleep(2 * time.Millisecond)
+	a.expireSuspects(time.Now())
+	if got := ringSet(a); len(got) != 1 || got[0] != "http://a" {
+		t.Fatalf("dead member still in ring: %v", got)
+	}
+	if a.Epoch() <= epochBefore {
+		t.Fatalf("epoch did not advance on death: %d <= %d", a.Epoch(), epochBefore)
+	}
+
+	// b learns it has been declared dead and refutes with a higher
+	// incarnation; a must take it back.
+	exchange(a, b)
+	if st, _ := b.State("http://b"); st != StateAlive {
+		t.Fatalf("b's own state = %v", st)
+	}
+	exchange(a, b)
+	if st, _ := a.State("http://b"); st != StateAlive {
+		t.Fatalf("a still sees b as %v after refutation", st)
+	}
+	if got := ringSet(a); len(got) != 2 {
+		t.Fatalf("refuted member not back in ring: %v", got)
+	}
+	if a.Epoch() != b.Epoch() {
+		t.Fatalf("epochs diverged after refutation: %d vs %d", a.Epoch(), b.Epoch())
+	}
+}
+
+func TestMembershipOnChangeAndLeave(t *testing.T) {
+	var epochs []uint64
+	a := NewMembership(MembershipConfig{Self: "http://a", OnChange: func(e uint64) { epochs = append(epochs, e) }})
+	b := NewMembership(MembershipConfig{Self: "http://b"})
+	exchange(a, b)
+	if len(epochs) != 1 {
+		t.Fatalf("OnChange fired %d times after join, want 1", len(epochs))
+	}
+
+	b.Leave(context.Background()) // clientless: local transition only
+	exchange(a, b)
+	if st, _ := a.State("http://b"); st != StateLeft {
+		t.Fatalf("a sees b as %v, want left", st)
+	}
+	if got := ringSet(a); len(got) != 1 {
+		t.Fatalf("left member still in ring: %v", got)
+	}
+	if len(epochs) != 2 {
+		t.Fatalf("OnChange fired %d times, want 2", len(epochs))
+	}
+}
+
+// TestMembershipProbeLoop exercises the HTTP half: two live nodes probe
+// each other into one ring; killing one drives suspect→dead on the
+// survivor within the timeout bound; the epochs of survivors agree.
+func TestMembershipProbeLoop(t *testing.T) {
+	mkNode := func(id string) (*Membership, *Node, *httptest.Server) {
+		svc, err := bvap.NewService([]string{"ab{2}c"}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { svc.Close() })
+		var n *Node
+		srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			n.Handler().ServeHTTP(w, r)
+		}))
+		mem := NewMembership(MembershipConfig{
+			Self:           srv.URL,
+			ProbeInterval:  5 * time.Millisecond,
+			SuspectTimeout: 20 * time.Millisecond,
+			Client: NewClient(ClientConfig{MaxAttempts: 1, AttemptTimeout: time.Second,
+				Backoff: serve.Backoff{Base: time.Millisecond, Jitter: -1},
+				Breaker: serve.BreakerConfig{Threshold: 1 << 30}}),
+		})
+		n = NewNode(svc, NodeConfig{ID: id, Membership: mem})
+		t.Cleanup(func() { srv.Close(); n.Close() })
+		return mem, n, srv
+	}
+	memA, _, _ := mkNode("a")
+	memB, _, srvB := mkNode("b")
+	memC, _, _ := mkNode("c")
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	if err := memB.Join(ctx, []string{memA.Self()}); err != nil {
+		t.Fatalf("join b: %v", err)
+	}
+	if err := memC.Join(ctx, []string{memA.Self()}); err != nil {
+		t.Fatalf("join c: %v", err)
+	}
+	deadline := time.After(5 * time.Second)
+	for {
+		memA.Tick(ctx)
+		memB.Tick(ctx)
+		memC.Tick(ctx)
+		if len(ringSet(memA)) == 3 && equalStrings(ringSet(memA), ringSet(memB)) &&
+			equalStrings(ringSet(memB), ringSet(memC)) &&
+			memA.Epoch() == memB.Epoch() && memB.Epoch() == memC.Epoch() {
+			break
+		}
+		select {
+		case <-deadline:
+			t.Fatalf("no convergence: a=%v b=%v c=%v", ringSet(memA), ringSet(memB), ringSet(memC))
+		case <-time.After(time.Millisecond):
+		}
+	}
+
+	// Kill b without ceremony: a and c must converge on a 2-member ring
+	// with equal epochs.
+	srvB.CloseClientConnections()
+	srvB.Close()
+	deadline = time.After(5 * time.Second)
+	for {
+		memA.Tick(ctx)
+		memC.Tick(ctx)
+		sa, sc := ringSet(memA), ringSet(memC)
+		if len(sa) == 2 && equalStrings(sa, sc) && memA.Epoch() == memC.Epoch() {
+			break
+		}
+		select {
+		case <-deadline:
+			t.Fatalf("survivors did not converge: a=%v(%d) c=%v(%d)", sa, memA.Epoch(), sc, memC.Epoch())
+		case <-time.After(time.Millisecond):
+		}
+	}
+	if st, _ := memA.State(memB.Self()); st != StateDead {
+		t.Fatalf("a sees killed b as %v", st)
+	}
+}

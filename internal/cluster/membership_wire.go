@@ -1,0 +1,194 @@
+package cluster
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// The gossip wire form ("BVGS") is the unit of membership exchange: one
+// node's full member table plus its epoch, length-prefixed and closed by an
+// FNV-64a checksum so a truncated or bit-flipped payload is refused rather
+// than merged. The member list is canonical — strictly ascending by URL —
+// which makes every valid payload the unique encoding of its table:
+// decode∘encode is the identity, the property FuzzMembershipWire pins.
+//
+// Layout (all integers little-endian):
+//
+//	[4]  magic "BVGS"
+//	u8   version (1)
+//	u8   flags (reserved, must be 0)
+//	u64  epoch
+//	u16  len(from) | from bytes (sender URL)
+//	u32  member count
+//	per member, strictly ascending by URL:
+//	  u16 len(url) | url bytes
+//	  u8  state
+//	  u64 incarnation
+//	u64  FNV-64a of everything above
+const (
+	gossipMagic   = "BVGS"
+	gossipVersion = 1
+
+	maxGossipURL     = 1024
+	maxGossipMembers = 4096
+)
+
+// ErrGossipCorrupt reports a gossip payload that failed structural or
+// checksum validation and was not merged.
+var ErrGossipCorrupt = errors.New("cluster: corrupt gossip payload")
+
+// MemberState is one member's position in the SWIM-style failure-detection
+// state machine. Higher states win ties at equal incarnation, so a node
+// observed dead stays dead until the member itself refutes with a higher
+// incarnation.
+type MemberState uint8
+
+const (
+	// StateAlive is a member answering probes.
+	StateAlive MemberState = iota
+	// StateSuspect is a member that failed a direct probe and has
+	// SuspectTimeout to refute before being declared dead.
+	StateSuspect
+	// StateDead is a member that stayed suspect past the timeout; it is
+	// out of the ring and its sessions are adoptable.
+	StateDead
+	// StateLeft is a member that announced a graceful leave (bvapd drain);
+	// like dead it is out of the ring, but operators can tell the two
+	// apart.
+	StateLeft
+)
+
+func (s MemberState) String() string {
+	switch s {
+	case StateAlive:
+		return "alive"
+	case StateSuspect:
+		return "suspect"
+	case StateDead:
+		return "dead"
+	case StateLeft:
+		return "left"
+	}
+	return fmt.Sprintf("state(%d)", uint8(s))
+}
+
+// MemberRecord is one member's gossiped state.
+type MemberRecord struct {
+	URL         string      `json:"url"`
+	State       MemberState `json:"state"`
+	Incarnation uint64      `json:"incarnation"`
+}
+
+// Gossip is one decoded membership exchange: the sender, its epoch, and
+// its full member table.
+type Gossip struct {
+	From    string
+	Epoch   uint64
+	Members []MemberRecord
+}
+
+// EncodeGossip serializes g into the BVGS wire form. Members are sorted
+// into the canonical order; the caller's slice is not modified.
+func EncodeGossip(g Gossip) []byte {
+	members := make([]MemberRecord, len(g.Members))
+	copy(members, g.Members)
+	sort.Slice(members, func(i, j int) bool { return members[i].URL < members[j].URL })
+	size := 4 + 1 + 1 + 8 + 2 + len(g.From) + 4
+	for _, m := range members {
+		size += 2 + len(m.URL) + 1 + 8
+	}
+	size += 8
+	buf := make([]byte, 0, size)
+	buf = append(buf, gossipMagic...)
+	buf = append(buf, gossipVersion, 0)
+	buf = binary.LittleEndian.AppendUint64(buf, g.Epoch)
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(g.From)))
+	buf = append(buf, g.From...)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(members)))
+	for _, m := range members {
+		buf = binary.LittleEndian.AppendUint16(buf, uint16(len(m.URL)))
+		buf = append(buf, m.URL...)
+		buf = append(buf, byte(m.State))
+		buf = binary.LittleEndian.AppendUint64(buf, m.Incarnation)
+	}
+	h := fnv.New64a()
+	h.Write(buf)
+	return binary.LittleEndian.AppendUint64(buf, h.Sum64())
+}
+
+// DecodeGossip parses and validates a BVGS payload. Any structural damage
+// — bad magic or version, nonzero reserved flags, over-limit lengths, an
+// unknown state, out-of-order or duplicate member URLs, trailing bytes, or
+// a checksum mismatch — returns ErrGossipCorrupt.
+func DecodeGossip(data []byte) (Gossip, error) {
+	fail := func(what string) (Gossip, error) {
+		return Gossip{}, fmt.Errorf("%w: %s", ErrGossipCorrupt, what)
+	}
+	if len(data) < 4+1+1+8+2+4+8 {
+		return fail("short payload")
+	}
+	body, sum := data[:len(data)-8], binary.LittleEndian.Uint64(data[len(data)-8:])
+	h := fnv.New64a()
+	h.Write(body)
+	if h.Sum64() != sum {
+		return fail("checksum mismatch")
+	}
+	if string(body[:4]) != gossipMagic {
+		return fail("bad magic")
+	}
+	if body[4] != gossipVersion {
+		return fail(fmt.Sprintf("unsupported version %d", body[4]))
+	}
+	if body[5] != 0 {
+		return fail("nonzero reserved flags")
+	}
+	off := 6
+	var g Gossip
+	g.Epoch = binary.LittleEndian.Uint64(body[off:])
+	off += 8
+	fromLen := int(binary.LittleEndian.Uint16(body[off:]))
+	off += 2
+	if fromLen == 0 || fromLen > maxGossipURL || off+fromLen+4 > len(body) {
+		return fail("bad sender length")
+	}
+	g.From = string(body[off : off+fromLen])
+	off += fromLen
+	count := int(binary.LittleEndian.Uint32(body[off:]))
+	off += 4
+	if count > maxGossipMembers {
+		return fail("member count over limit")
+	}
+	g.Members = make([]MemberRecord, 0, count)
+	prev := ""
+	for i := 0; i < count; i++ {
+		if off+2 > len(body) {
+			return fail("truncated member")
+		}
+		urlLen := int(binary.LittleEndian.Uint16(body[off:]))
+		off += 2
+		if urlLen == 0 || urlLen > maxGossipURL || off+urlLen+1+8 > len(body) {
+			return fail("bad member length")
+		}
+		url := string(body[off : off+urlLen])
+		off += urlLen
+		if url <= prev {
+			return fail("member order not canonical")
+		}
+		prev = url
+		state := MemberState(body[off])
+		off++
+		if state > StateLeft {
+			return fail("unknown member state")
+		}
+		inc := binary.LittleEndian.Uint64(body[off:])
+		off += 8
+		g.Members = append(g.Members, MemberRecord{URL: url, State: state, Incarnation: inc})
+	}
+	if off != len(body) {
+		return fail("trailing bytes")
+	}
+	return g, nil
+}

@@ -1,12 +1,16 @@
 package cluster
 
 import (
+	"encoding/base64"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"sort"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"bvap"
 	"bvap/internal/serve"
@@ -39,6 +43,22 @@ type NodeConfig struct {
 	Self   string
 	Ring   *Ring
 	Client *Client
+	// Membership, when non-nil, replaces the static Ring with the gossip
+	// membership's live ring and enables the self-healing surface: the
+	// gossip/join/leave endpoints, /cluster/ring, checkpoint replication,
+	// session sync and automatic re-placement. Wire the membership's
+	// OnChange to WakeRebalance so epoch changes trigger a hand-off scan.
+	Membership *Membership
+	// Replicas is the checkpoint replication factor R when Membership is
+	// set: every session checkpoint must be held by min(R, ring size)
+	// distinct chain owners before it acks. Values < 1 select 1 (local
+	// only — no remote durability).
+	Replicas int
+	// RebalanceInterval is the background hand-off/adoption scan cadence
+	// (a belt under the epoch-change trigger); values <= 0 select 2s.
+	RebalanceInterval time.Duration
+	// Logger, when non-nil, receives hand-off/adoption/replication logs.
+	Logger *slog.Logger
 }
 
 // Node is the cluster-facing surface of one bvapd process: HTTP handlers
@@ -53,6 +73,21 @@ type Node struct {
 	mu       sync.Mutex
 	staged   map[string]*stagedTicket
 	sessions map[string]*nodeSession
+
+	// Self-healing state (nil/inert without cfg.Membership).
+	store       *replicaStore
+	rep         *replicator
+	rebalanceCh chan struct{}
+	// placeMu serializes session placement transitions (sync rebuilds,
+	// transfers, adoptions, replicated closes) so two recovery paths never
+	// race to install the same session. Ordering: placeMu > ns.mu > n.mu.
+	placeMu sync.Mutex
+
+	handoffs  atomic.Uint64
+	adoptions atomic.Uint64
+
+	cHandoff, cAdopt, cDegraded *telemetry.Counter
+	cSync                       *telemetry.CounterVec
 }
 
 // stagedTicket is one prepare round's node-local state, kept so prepare
@@ -86,16 +121,61 @@ type nodeSession struct {
 	mu  sync.Mutex
 	ss  *bvap.StreamSession
 	buf []Match
+	// delta accumulates every match committed since the last durable
+	// (replicated) checkpoint record, independent of buf's collection
+	// cycle — it becomes the next CheckpointRecord's match delta, the
+	// range a recovering driver re-learns when a checkpoint ack was lost.
+	delta []Match
+	// lastDurable is the position of the session's last replicated record
+	// (the next record's PrevPos).
+	lastDurable int64
+	// interval is the session's checkpoint interval, carried into records
+	// so re-placement resumes with the same cadence.
+	interval int
+	// gone marks a session that was closed or handed off while a handler
+	// still held its pointer; such handlers answer 404 so the driver
+	// re-resolves ownership instead of feeding a corpse.
+	gone bool
 }
 
 // NewNode wraps svc with the cluster surface.
 func NewNode(svc *bvap.Service, cfg NodeConfig) *Node {
-	return &Node{
-		cfg:      cfg,
-		svc:      svc,
-		staged:   map[string]*stagedTicket{},
-		sessions: map[string]*nodeSession{},
+	if cfg.Replicas < 1 {
+		cfg.Replicas = 1
 	}
+	if cfg.RebalanceInterval <= 0 {
+		cfg.RebalanceInterval = 2 * time.Second
+	}
+	if cfg.Membership != nil && cfg.Self == "" {
+		cfg.Self = cfg.Membership.Self()
+	}
+	n := &Node{
+		cfg:         cfg,
+		svc:         svc,
+		staged:      map[string]*stagedTicket{},
+		sessions:    map[string]*nodeSession{},
+		store:       newReplicaStore(),
+		rebalanceCh: make(chan struct{}, 1),
+	}
+	if cfg.Membership != nil && cfg.Client != nil {
+		n.rep = newReplicator(cfg.Self, cfg.Replicas, cfg.Client, n.ring, n.store, cfg.Metrics)
+	}
+	if r := cfg.Metrics; r != nil {
+		n.cHandoff = r.Counter("bvap_cluster_handoff_total", "Sessions proactively handed off to their new ring owner.")
+		n.cAdopt = r.Counter("bvap_cluster_adopt_total", "Orphaned sessions adopted from replicated checkpoints.")
+		n.cDegraded = r.Counter("bvap_cluster_scan_degraded_total", "Keyed scans served locally because the ring owner was unreachable.")
+		n.cSync = r.CounterVec("bvap_cluster_sync_total", "Session sync requests by outcome.", "outcome")
+	}
+	return n
+}
+
+// ring returns the live routing ring: the membership's when gossip is
+// enabled, else the statically configured one (possibly nil).
+func (n *Node) ring() *Ring {
+	if n.cfg.Membership != nil {
+		return n.cfg.Membership.Ring()
+	}
+	return n.cfg.Ring
 }
 
 // Match is the wire form of one committed match report.
@@ -139,6 +219,41 @@ type (
 		Checkpoint []byte `json:"checkpoint"`
 		Interval   int    `json:"interval,omitempty"`
 	}
+	// SessionSyncRequest is the uniform driver recovery call: "my last
+	// durable position is Have — land the session at its newest durable
+	// checkpoint and hand me whatever I'm missing." The node read-repairs
+	// the record across the failover chain, rebuilds the session from the
+	// durable bytes, and answers with the durable position plus the match
+	// delta covering (Have, Pos]. 404 means no chain member holds a record
+	// at or past Have: with Have 0 the node instead opens a fresh session,
+	// with Have > 0 it is a checkpoint-loss report.
+	SessionSyncRequest struct {
+		SessionID string `json:"session_id"`
+		Have      int64  `json:"have"`
+		Interval  int    `json:"interval,omitempty"`
+	}
+	// TransferRequest hands a session's custody to its new ring owner
+	// during a re-placement: the durable record plus the session's
+	// checkpoint cadence. The receiver stores the record and, when it is
+	// the designated origin, resumes the session immediately.
+	TransferRequest struct {
+		Record   CheckpointRecord `json:"record"`
+		Interval int              `json:"interval,omitempty"`
+	}
+	// RingView is one node's current view of the fleet (GET
+	// /cluster/ring): the full member table, the membership epoch, and —
+	// when the request carries ?key= — the key's owner under that view.
+	// Operators diff views across nodes; drivers use Owner for placement.
+	RingView struct {
+		Node         string         `json:"node"`
+		Self         string         `json:"self"`
+		Epoch        uint64         `json:"epoch"`
+		VirtualNodes int            `json:"virtual_nodes"`
+		Replicas     int            `json:"replicas"`
+		Members      []MemberRecord `json:"members"`
+		Key          string         `json:"key,omitempty"`
+		Owner        string         `json:"owner,omitempty"`
+	}
 	SessionResponse struct {
 		// Pos is the committed stream position (the offset feeding resumes
 		// from after a failure).
@@ -166,6 +281,11 @@ type (
 		// request was forwarded).
 		Node    string  `json:"node,omitempty"`
 		Matches []Match `json:"matches,omitempty"`
+		// Degraded marks a keyed scan that was served locally because the
+		// ring owner was unreachable — the partition degrade policy: a scan
+		// from the local generation beats an error while membership
+		// converges on the failure.
+		Degraded bool `json:"degraded,omitempty"`
 	}
 	// MetricsResponse is one node's serialized registry snapshot
 	// (GET /cluster/metrics). Metrics is the telemetry.MarshalSamples
@@ -193,6 +313,12 @@ type (
 		// budgets.
 		FlightRecorded uint64 `json:"flight_recorded"`
 		FlightPinned   uint64 `json:"flight_pinned"`
+		// Epoch is the node's membership epoch (0 when gossip membership is
+		// disabled); survivors of a failure agree on it once converged.
+		Epoch uint64 `json:"epoch,omitempty"`
+		// Handoffs / Adoptions are lifetime re-placement totals.
+		Handoffs  uint64 `json:"handoffs,omitempty"`
+		Adoptions uint64 `json:"adoptions,omitempty"`
 	}
 	InfoResponse struct {
 		Node        string   `json:"node"`
@@ -215,6 +341,15 @@ func (n *Node) Handler() http.Handler {
 	mux.HandleFunc("/cluster/session/close", n.withTrace("cluster.session.close", n.handleSessionClose))
 	mux.HandleFunc("/cluster/scan", n.withTrace("cluster.scan", n.handleScan))
 	mux.HandleFunc("/cluster/info", n.withTrace("cluster.info", n.handleInfo))
+	mux.HandleFunc("/cluster/join", n.withTrace("cluster.join", n.handleGossipExchange))
+	mux.HandleFunc("/cluster/gossip", n.withTrace("cluster.gossip", n.handleGossipExchange))
+	mux.HandleFunc("/cluster/leave", n.withTrace("cluster.leave", n.handleGossipExchange))
+	mux.HandleFunc("/cluster/checkpoint/put", n.withTrace("cluster.checkpoint.put", n.handleCheckpointPut))
+	mux.HandleFunc("/cluster/checkpoint/get", n.withTrace("cluster.checkpoint.get", n.handleCheckpointGet))
+	mux.HandleFunc("/cluster/checkpoint/delete", n.withTrace("cluster.checkpoint.delete", n.handleCheckpointDelete))
+	mux.HandleFunc("/cluster/session/sync", n.withTrace("cluster.session.sync", n.handleSessionSync))
+	mux.HandleFunc("/cluster/session/transfer", n.withTrace("cluster.session.transfer", n.handleSessionTransfer))
+	mux.HandleFunc("GET /cluster/ring", n.handleRing)
 	mux.HandleFunc("GET /cluster/trace/{id}", n.handleTraceExport)
 	mux.HandleFunc("GET /cluster/metrics", n.handleMetrics)
 	mux.HandleFunc("GET /cluster/health", n.handleHealth)
@@ -228,6 +363,19 @@ func (n *Node) Handler() http.Handler {
 // client span that caused the request.
 func (n *Node) withTrace(name string, h func(http.ResponseWriter, *http.Request)) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
+		// Gossip piggyback: membership tables ride ordinary inter-node
+		// traffic, so every cross-node call doubles as a gossip exchange and
+		// the dedicated probe loop is only the floor on dissemination rate.
+		if m := n.cfg.Membership; m != nil {
+			if raw := r.Header.Get(GossipHeader); raw != "" {
+				if payload, err := base64.StdEncoding.DecodeString(raw); err == nil {
+					if g, err := DecodeGossip(payload); err == nil {
+						m.Merge(g)
+					}
+				}
+			}
+			w.Header().Set(GossipHeader, base64.StdEncoding.EncodeToString(m.Snapshot()))
+		}
 		if n.cfg.Recorder != nil {
 			var remote tracing.TraceID
 			var parent tracing.SpanID
@@ -275,6 +423,9 @@ func writeError(w http.ResponseWriter, err error) {
 	case errors.Is(err, bvap.ErrDraining), errors.Is(err, bvap.ErrQuarantined):
 		status = http.StatusServiceUnavailable
 		w.Header().Set("Retry-After", "5")
+	case errors.Is(err, ErrReplicationQuorum):
+		status = http.StatusServiceUnavailable
+		w.Header().Set("Retry-After", "1")
 	case errors.Is(err, serve.ErrStaleGeneration), errors.Is(err, bvap.ErrCheckpointStale):
 		status = http.StatusConflict
 	case errors.Is(err, bvap.ErrCheckpointCorrupt):
@@ -446,8 +597,8 @@ func (n *Node) session(w http.ResponseWriter, id string) *nodeSession {
 }
 
 // installSession registers a new session under id, wiring its OnMatch into
-// the collection buffer. It fails when id is taken.
-func (n *Node) installSession(id string, open func(cfg *bvap.SessionConfig) (*bvap.StreamSession, error)) (*nodeSession, error) {
+// the collection buffer and the durable delta. It fails when id is taken.
+func (n *Node) installSession(id string, interval int, open func(cfg *bvap.SessionConfig) (*bvap.StreamSession, error)) (*nodeSession, error) {
 	ns := &nodeSession{}
 	cfg := &bvap.SessionConfig{
 		CheckpointInterval: n.cfg.SessionInterval,
@@ -457,13 +608,18 @@ func (n *Node) installSession(id string, open func(cfg *bvap.SessionConfig) (*bv
 			// only if sessions were shared; they are handler-serialized via
 			// ns.mu, so buffering here is ordered with collection.
 			ns.buf = append(ns.buf, Match{Pattern: m.Pattern, End: m.End})
+			ns.delta = append(ns.delta, Match{Pattern: m.Pattern, End: m.End})
 		},
+	}
+	if interval > 0 {
+		cfg.CheckpointInterval = interval
 	}
 	ss, err := open(cfg)
 	if err != nil {
 		return nil, err
 	}
 	ns.ss = ss
+	ns.interval = cfg.CheckpointInterval
 	n.mu.Lock()
 	if _, taken := n.sessions[id]; taken {
 		n.mu.Unlock()
@@ -477,16 +633,29 @@ func (n *Node) installSession(id string, open func(cfg *bvap.SessionConfig) (*bv
 	return ns, nil
 }
 
+// evictSession removes id and closes its session (marking the nodeSession
+// gone so handlers that captured its pointer answer 404). Callers hold
+// placeMu when the eviction is part of a placement transition.
+func (n *Node) evictSession(id string) {
+	n.mu.Lock()
+	ns := n.sessions[id]
+	delete(n.sessions, id)
+	n.mu.Unlock()
+	if ns == nil {
+		return
+	}
+	ns.mu.Lock()
+	ns.gone = true
+	ns.ss.Close()
+	ns.mu.Unlock()
+}
+
 func (n *Node) handleSessionOpen(w http.ResponseWriter, r *http.Request) {
 	var req SessionOpenRequest
 	if !decodeBody(w, r, &req) {
 		return
 	}
-	interval := req.Interval
-	ns, err := n.installSession(req.SessionID, func(cfg *bvap.SessionConfig) (*bvap.StreamSession, error) {
-		if interval > 0 {
-			cfg.CheckpointInterval = interval
-		}
+	ns, err := n.installSession(req.SessionID, req.Interval, func(cfg *bvap.SessionConfig) (*bvap.StreamSession, error) {
 		return n.svc.NewSession(cfg)
 	})
 	if err != nil {
@@ -501,11 +670,7 @@ func (n *Node) handleSessionResume(w http.ResponseWriter, r *http.Request) {
 	if !decodeBody(w, r, &req) {
 		return
 	}
-	interval := req.Interval
-	ns, err := n.installSession(req.SessionID, func(cfg *bvap.SessionConfig) (*bvap.StreamSession, error) {
-		if interval > 0 {
-			cfg.CheckpointInterval = interval
-		}
+	ns, err := n.installSession(req.SessionID, req.Interval, func(cfg *bvap.SessionConfig) (*bvap.StreamSession, error) {
 		return n.svc.ResumeSessionBytes(req.Checkpoint, cfg)
 	})
 	if err != nil {
@@ -526,6 +691,10 @@ func (n *Node) handleSessionFeed(w http.ResponseWriter, r *http.Request) {
 	}
 	ns.mu.Lock()
 	defer ns.mu.Unlock()
+	if ns.gone {
+		writeJSON(w, http.StatusNotFound, map[string]string{"error": "session " + req.SessionID + " was re-placed"})
+		return
+	}
 	if err := ns.ss.Feed(r.Context(), req.Chunk); err != nil {
 		writeError(w, err)
 		return
@@ -544,11 +713,36 @@ func (n *Node) handleSessionCheckpoint(w http.ResponseWriter, r *http.Request) {
 	}
 	ns.mu.Lock()
 	defer ns.mu.Unlock()
+	if ns.gone {
+		writeJSON(w, http.StatusNotFound, map[string]string{"error": "session " + req.SessionID + " was re-placed"})
+		return
+	}
 	ck := ns.ss.Checkpoint()
 	wire, err := ck.MarshalBinary()
 	if err != nil {
 		writeError(w, err)
 		return
+	}
+	// Replication: the checkpoint only acks once min(R, ring) distinct
+	// chain owners hold the record. The delta is NOT reset on a failed
+	// round — it keeps accumulating from the last durable record, so the
+	// next successful record still covers the whole (PrevPos, Pos] range.
+	if n.rep != nil {
+		rec := CheckpointRecord{
+			SessionID:  req.SessionID,
+			Pos:        ck.Pos(),
+			PrevPos:    ns.lastDurable,
+			Origin:     n.cfg.Self,
+			Checkpoint: wire,
+			Matches:    append([]Match(nil), ns.delta...),
+			Interval:   ns.interval,
+		}
+		if err := n.rep.replicate(r.Context(), rec); err != nil {
+			writeError(w, err)
+			return
+		}
+		ns.delta = nil
+		ns.lastDurable = rec.Pos
 	}
 	writeJSON(w, http.StatusOK, SessionResponse{Pos: ck.Pos(), Checkpoint: wire, Matches: ns.collectLocked()})
 }
@@ -558,16 +752,34 @@ func (n *Node) handleSessionClose(w http.ResponseWriter, r *http.Request) {
 	if !decodeBody(w, r, &req) {
 		return
 	}
+	// A replicated close must also retire the session's records, or a later
+	// epoch change would "adopt" the finished stream back to life. placeMu
+	// orders the record delete against any concurrent adoption scan.
+	n.placeMu.Lock()
 	n.mu.Lock()
 	ns := n.sessions[req.SessionID]
 	delete(n.sessions, req.SessionID)
 	n.mu.Unlock()
 	if ns == nil {
+		n.placeMu.Unlock()
 		writeJSON(w, http.StatusNotFound, map[string]string{"error": "unknown session " + req.SessionID})
 		return
 	}
+	n.store.delete(req.SessionID)
+	n.placeMu.Unlock()
+	if n.rep != nil {
+		// Best-effort fan-out: a chain member that misses the delete keeps
+		// stale bytes but never resurrects the session here (the local
+		// record is gone before the session is).
+		for _, owner := range n.rep.owners(req.SessionID) {
+			if owner != n.cfg.Self {
+				n.cfg.Client.PostJSON(r.Context(), owner, "/cluster/checkpoint/delete", SessionRequest{SessionID: req.SessionID}, nil)
+			}
+		}
+	}
 	ns.mu.Lock()
 	defer ns.mu.Unlock()
+	ns.gone = true
 	ns.ss.Close()
 	writeJSON(w, http.StatusOK, SessionResponse{Pos: ns.ss.Pos(), Matches: ns.collectLocked()})
 }
@@ -592,6 +804,7 @@ func (n *Node) handleScan(w http.ResponseWriter, r *http.Request) {
 	// Ring routing: a keyed scan landing on a non-owner takes exactly one
 	// hop to the owner. The hop is a traced client call, so the stitched
 	// fleet trace shows driver → this node → owner as one causal chain.
+	degraded := false
 	if owner, ok := n.routeScan(&req); ok {
 		fwd := req
 		fwd.Tenant, fwd.Forwarded = tenant, true
@@ -601,12 +814,27 @@ func (n *Node) handleScan(w http.ResponseWriter, r *http.Request) {
 		var resp ScanResponse
 		err := n.cfg.Client.PostJSON(ctx, owner, "/cluster/scan", fwd, &resp)
 		sp.End()
-		if err != nil {
+		if err == nil {
+			writeJSON(w, http.StatusOK, resp)
+			return
+		}
+		// Partition degrade policy: when the owner is unreachable (or its
+		// breaker is open), serve the scan from the local generation rather
+		// than failing it — affinity is an optimization, correctness is not
+		// at stake, and the response is marked so callers can tell. Refusals
+		// from an owner that answered (quota, quarantine) still propagate.
+		var pe *PeerError
+		if errors.As(err, &pe) && pe.Status != 0 && !errors.Is(err, serve.ErrQuarantined) {
 			writeError(w, err)
 			return
 		}
-		writeJSON(w, http.StatusOK, resp)
-		return
+		degraded = true
+		if n.cDegraded != nil {
+			n.cDegraded.Inc()
+		}
+		if n.cfg.Logger != nil {
+			n.cfg.Logger.Warn("scan owner unreachable; serving locally", "owner", owner, "key", req.Key, "err", err)
+		}
 	}
 	if tenant != "" {
 		ctx = bvap.WithTenant(ctx, tenant)
@@ -616,7 +844,7 @@ func (n *Node) handleScan(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
-	resp := ScanResponse{Node: n.cfg.ID}
+	resp := ScanResponse{Node: n.cfg.ID, Degraded: degraded}
 	for _, m := range ms {
 		resp.Matches = append(resp.Matches, Match{Pattern: m.Pattern, End: m.End})
 	}
@@ -628,14 +856,222 @@ func (n *Node) handleScan(w http.ResponseWriter, r *http.Request) {
 // nodes without ring configuration, and keys this node owns all stay
 // local.
 func (n *Node) routeScan(req *ScanRequest) (string, bool) {
-	if req.Forwarded || req.Key == "" || n.cfg.Ring == nil || n.cfg.Client == nil || n.cfg.Self == "" {
+	ring := n.ring()
+	if req.Forwarded || req.Key == "" || ring == nil || n.cfg.Client == nil || n.cfg.Self == "" {
 		return "", false
 	}
-	owner := n.cfg.Ring.Owner(req.Key)
+	owner := ring.Owner(req.Key)
 	if owner == "" || owner == n.cfg.Self {
 		return "", false
 	}
 	return owner, true
+}
+
+// handleGossipExchange is one half of a gossip round, shared by
+// /cluster/join, /cluster/gossip and /cluster/leave (the three differ only
+// in who initiates and why): merge the sender's table, answer with ours.
+func (n *Node) handleGossipExchange(w http.ResponseWriter, r *http.Request) {
+	var req GossipRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	m := n.cfg.Membership
+	if m == nil {
+		writeJSON(w, http.StatusNotFound, map[string]string{"error": "gossip membership disabled on node " + n.cfg.ID})
+		return
+	}
+	snap, err := m.HandleGossip(req.Payload)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, GossipResponse{Payload: snap})
+}
+
+// handleRing serves this node's ring view; ?key= additionally resolves the
+// key's owner under that view (the driver's placement oracle).
+func (n *Node) handleRing(w http.ResponseWriter, r *http.Request) {
+	m := n.cfg.Membership
+	if m == nil {
+		writeJSON(w, http.StatusNotFound, map[string]string{"error": "gossip membership disabled on node " + n.cfg.ID})
+		return
+	}
+	view := RingView{
+		Node:         n.cfg.ID,
+		Self:         n.cfg.Self,
+		Epoch:        m.Epoch(),
+		VirtualNodes: m.Ring().VirtualNodes(),
+		Replicas:     n.cfg.Replicas,
+		Members:      m.Members(),
+	}
+	if key := r.URL.Query().Get("key"); key != "" {
+		view.Key, view.Owner = key, m.Ring().Owner(key)
+	}
+	writeJSON(w, http.StatusOK, view)
+}
+
+func (n *Node) handleCheckpointPut(w http.ResponseWriter, r *http.Request) {
+	var rec CheckpointRecord
+	if !decodeBody(w, r, &rec) {
+		return
+	}
+	if rec.SessionID == "" || len(rec.Checkpoint) == 0 {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "incomplete checkpoint record"})
+		return
+	}
+	stored := n.store.put(rec)
+	writeJSON(w, http.StatusOK, map[string]bool{"stored": stored})
+}
+
+func (n *Node) handleCheckpointGet(w http.ResponseWriter, r *http.Request) {
+	var req SessionRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	rec, ok := n.store.get(req.SessionID)
+	if !ok {
+		writeJSON(w, http.StatusNotFound, map[string]string{"error": "no checkpoint record for session " + req.SessionID})
+		return
+	}
+	writeJSON(w, http.StatusOK, rec)
+}
+
+func (n *Node) handleCheckpointDelete(w http.ResponseWriter, r *http.Request) {
+	var req SessionRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	n.store.delete(req.SessionID)
+	writeJSON(w, http.StatusOK, map[string]bool{"deleted": true})
+}
+
+// handleSessionSync lands a session at its newest durable checkpoint and
+// tells the driver what it missed — the single recovery call that covers
+// node death, hand-off and a lost checkpoint ack uniformly. The session is
+// always rebuilt from the durable bytes: a live session may sit past its
+// last record (interval commits between wire checkpoints), and the driver
+// is about to replay from the durable position, so only that exact state
+// is admissible.
+func (n *Node) handleSessionSync(w http.ResponseWriter, r *http.Request) {
+	var req SessionSyncRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if n.rep == nil {
+		writeJSON(w, http.StatusNotFound, map[string]string{"error": "checkpoint replication disabled on node " + n.cfg.ID})
+		return
+	}
+	syncOutcome := func(outcome string) {
+		if n.cSync != nil {
+			n.cSync.With(outcome).Inc()
+		}
+	}
+	if owner := n.ring().Owner(req.SessionID); owner != "" && owner != n.cfg.Self {
+		syncOutcome("not_owner")
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"error": "session " + req.SessionID + " is owned by " + owner})
+		return
+	}
+	n.placeMu.Lock()
+	defer n.placeMu.Unlock()
+	rec, ok := n.rep.repair(r.Context(), req.SessionID)
+	if !ok {
+		if req.Have > 0 {
+			// The driver persisted an ack for a record no surviving chain
+			// member holds: genuine checkpoint loss (replication factor too
+			// low for the failures suffered). 404 is terminal for the driver.
+			syncOutcome("lost")
+			writeJSON(w, http.StatusNotFound, map[string]string{
+				"error": fmt.Sprintf("checkpoint lost: no durable record for session %s at or past %d", req.SessionID, req.Have)})
+			return
+		}
+		// Never checkpointed: restart the stream from zero.
+		n.evictSession(req.SessionID)
+		_, err := n.installSession(req.SessionID, req.Interval, func(cfg *bvap.SessionConfig) (*bvap.StreamSession, error) {
+			return n.svc.NewSession(cfg)
+		})
+		if err != nil {
+			syncOutcome("error")
+			writeError(w, err)
+			return
+		}
+		syncOutcome("fresh")
+		writeJSON(w, http.StatusOK, SessionResponse{Pos: 0})
+		return
+	}
+	if rec.Pos < req.Have {
+		syncOutcome("behind")
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{
+			"error": fmt.Sprintf("replica behind driver for session %s: have %d, durable %d", req.SessionID, rec.Pos, req.Have)})
+		return
+	}
+	if req.Have != rec.Pos && req.Have != rec.PrevPos {
+		// The driver is more than one checkpoint behind the chain — its
+		// delta cannot be reconstructed from one record. Unreachable while
+		// at most one ack is lost per failure; 409 makes the violation loud
+		// rather than silently dropping matches.
+		syncOutcome("gap")
+		writeJSON(w, http.StatusConflict, map[string]string{
+			"error": fmt.Sprintf("delivery gap for session %s: driver at %d, record spans (%d,%d]", req.SessionID, req.Have, rec.PrevPos, rec.Pos)})
+		return
+	}
+	interval := req.Interval
+	if interval <= 0 {
+		interval = rec.Interval
+	}
+	n.evictSession(req.SessionID)
+	ns, err := n.installSession(req.SessionID, interval, func(cfg *bvap.SessionConfig) (*bvap.StreamSession, error) {
+		return n.svc.ResumeSessionBytes(rec.Checkpoint, cfg)
+	})
+	if err != nil {
+		syncOutcome("error")
+		writeError(w, err)
+		return
+	}
+	ns.mu.Lock()
+	ns.lastDurable = rec.Pos
+	ns.buf, ns.delta = nil, nil
+	ns.mu.Unlock()
+	var delta []Match
+	if rec.Pos > req.Have {
+		delta = rec.Matches
+	}
+	syncOutcome("ok")
+	writeJSON(w, http.StatusOK, SessionResponse{Pos: rec.Pos, Matches: delta})
+}
+
+// handleSessionTransfer receives a session's custody during a hand-off:
+// the record is stored, and when this node is the record's designated
+// origin and doesn't already hold the session live, it resumes it
+// immediately (adoption-by-transfer).
+func (n *Node) handleSessionTransfer(w http.ResponseWriter, r *http.Request) {
+	var req TransferRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if req.Record.SessionID == "" || len(req.Record.Checkpoint) == 0 {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "incomplete transfer record"})
+		return
+	}
+	n.placeMu.Lock()
+	defer n.placeMu.Unlock()
+	n.store.put(req.Record)
+	id := req.Record.SessionID
+	if req.Record.Origin != n.cfg.Self {
+		writeJSON(w, http.StatusOK, SessionResponse{Pos: req.Record.Pos})
+		return
+	}
+	n.mu.Lock()
+	_, live := n.sessions[id]
+	n.mu.Unlock()
+	if !live {
+		if err := n.adoptLocked(req.Record, req.Interval); err != nil {
+			writeError(w, err)
+			return
+		}
+	}
+	writeJSON(w, http.StatusOK, SessionResponse{Pos: req.Record.Pos})
 }
 
 // handleTraceExport serves this node's span fragments for one trace id in
@@ -678,7 +1114,7 @@ func (n *Node) Health() NodeHealth {
 	n.mu.Lock()
 	sessions, staged := len(n.sessions), len(n.staged)
 	n.mu.Unlock()
-	return NodeHealth{
+	h := NodeHealth{
 		Node:            n.cfg.ID,
 		Generation:      n.svc.Generation(),
 		Fingerprint:     fmt.Sprintf("%016x", n.svc.Engine().Fingerprint()),
@@ -688,7 +1124,13 @@ func (n *Node) Health() NodeHealth {
 		QuotaSaturation: n.svc.QuotaSaturation(),
 		FlightRecorded:  n.cfg.Recorder.Recorded(),
 		FlightPinned:    n.cfg.Recorder.PinnedTotal(),
+		Handoffs:        n.handoffs.Load(),
+		Adoptions:       n.adoptions.Load(),
 	}
+	if n.cfg.Membership != nil {
+		h.Epoch = n.cfg.Membership.Epoch()
+	}
+	return h
 }
 
 func (n *Node) handleHealth(w http.ResponseWriter, r *http.Request) {
@@ -721,6 +1163,7 @@ func (n *Node) Close() {
 	n.mu.Unlock()
 	for _, ns := range sessions {
 		ns.mu.Lock()
+		ns.gone = true
 		ns.ss.Close()
 		ns.mu.Unlock()
 	}

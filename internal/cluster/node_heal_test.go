@@ -1,0 +1,481 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"testing"
+	"time"
+
+	"bvap"
+	"bvap/internal/serve"
+)
+
+// healNode is one self-healing fleet member: service + membership + node,
+// with the node handler served over HTTP and the client piggybacking
+// gossip both ways.
+type healNode struct {
+	node *Node
+	mem  *Membership
+	svc  *bvap.Service
+	srv  *httptest.Server
+	dead bool
+}
+
+func (h *healNode) kill() {
+	h.dead = true
+	h.srv.CloseClientConnections()
+	h.srv.Close()
+}
+
+// newHealFleet builds n nodes with replication factor r, joins them into
+// one gossip fleet and ticks memberships until every ring view and epoch
+// agree.
+func newHealFleet(t *testing.T, n, r int) []*healNode {
+	t.Helper()
+	fleet := make([]*healNode, n)
+	for i := range fleet {
+		svc, err := bvap.NewService([]string{"ab{2}c"}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { svc.Close() })
+		var node *Node
+		srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, rq *http.Request) {
+			node.Handler().ServeHTTP(w, rq)
+		}))
+		client := NewClient(ClientConfig{
+			MaxAttempts:    1,
+			AttemptTimeout: 2 * time.Second,
+			Backoff:        serve.Backoff{Base: time.Millisecond, Jitter: -1},
+			Breaker:        serve.BreakerConfig{Threshold: 1 << 30},
+		})
+		mem := NewMembership(MembershipConfig{
+			Self:           srv.URL,
+			ProbeInterval:  5 * time.Millisecond,
+			SuspectTimeout: 20 * time.Millisecond,
+			Client:         client,
+		})
+		client.SetMembership(mem)
+		node = NewNode(svc, NodeConfig{ID: fmt.Sprintf("n%d", i), Membership: mem, Client: client, Replicas: r})
+		mem.SetOnChange(node.WakeRebalance)
+		h := &healNode{node: node, mem: mem, svc: svc, srv: srv}
+		t.Cleanup(func() {
+			if !h.dead {
+				srv.Close()
+			}
+			node.Close()
+		})
+		fleet[i] = h
+	}
+	ctx := context.Background()
+	for _, h := range fleet[1:] {
+		if err := h.mem.Join(ctx, []string{fleet[0].mem.Self()}); err != nil {
+			t.Fatalf("join %s: %v", h.mem.Self(), err)
+		}
+	}
+	convergeFleet(t, fleet)
+	return fleet
+}
+
+// convergeFleet ticks every live member until all live ring views hold
+// exactly the live set with equal epochs.
+func convergeFleet(t *testing.T, fleet []*healNode) {
+	t.Helper()
+	ctx := context.Background()
+	var want []string
+	for _, h := range fleet {
+		if !h.dead {
+			want = append(want, h.srv.URL)
+		}
+	}
+	deadline := time.After(10 * time.Second)
+	for {
+		ok := true
+		var epoch uint64
+		for _, h := range fleet {
+			if h.dead {
+				continue
+			}
+			h.mem.Tick(ctx)
+			set := h.mem.Ring().Nodes()
+			if len(set) != len(want) {
+				ok = false
+				break
+			}
+			for _, u := range want {
+				if st, known := h.mem.State(u); !known || st != StateAlive {
+					ok = false
+				}
+			}
+			if epoch == 0 {
+				epoch = h.mem.Epoch()
+			} else if h.mem.Epoch() != epoch {
+				ok = false
+			}
+			if !ok {
+				break
+			}
+		}
+		if ok {
+			return
+		}
+		select {
+		case <-deadline:
+			for _, h := range fleet {
+				if !h.dead {
+					t.Logf("%s: ring=%v epoch=%d", h.srv.URL, h.mem.Ring().Nodes(), h.mem.Epoch())
+				}
+			}
+			t.Fatal("fleet did not converge")
+		case <-time.After(time.Millisecond):
+		}
+	}
+}
+
+// Driver-side wire helpers. The heal driver deliberately uses a
+// no-retry client: every failure routes through the sync recovery path.
+func healClient() *Client {
+	return NewClient(ClientConfig{
+		MaxAttempts:    1,
+		AttemptTimeout: 2 * time.Second,
+		Backoff:        serve.Backoff{Base: time.Millisecond, Jitter: -1},
+		Breaker:        serve.BreakerConfig{Threshold: 1 << 30},
+	})
+}
+
+func healFeed(cl *Client, base, id string, chunk []byte) (SessionResponse, error) {
+	var resp SessionResponse
+	err := cl.PostJSON(context.Background(), base, "/cluster/session/feed", SessionFeedRequest{SessionID: id, Chunk: chunk}, &resp)
+	return resp, err
+}
+
+func healCheckpoint(cl *Client, base, id string) (SessionResponse, error) {
+	var resp SessionResponse
+	err := cl.PostJSON(context.Background(), base, "/cluster/session/checkpoint", SessionRequest{SessionID: id}, &resp)
+	return resp, err
+}
+
+// healOwner resolves id's owner through any live node's ring view.
+func healOwner(t *testing.T, cl *Client, base, id string) string {
+	t.Helper()
+	var view RingView
+	if err := cl.GetJSON(context.Background(), base, "/cluster/ring?key="+url.QueryEscape(id), &view); err != nil {
+		t.Fatalf("ring view from %s: %v", base, err)
+	}
+	if view.Owner == "" {
+		t.Fatalf("no owner for %s in ring view of %s", id, base)
+	}
+	return view.Owner
+}
+
+// oracleMatches runs the full input through a fresh single engine — the
+// ground truth any recovered delivery must equal byte-for-byte.
+func oracleMatches(t *testing.T, input []byte) []Match {
+	t.Helper()
+	svc, err := bvap.NewService([]string{"ab{2}c"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	ms, err := svc.Scan(context.Background(), input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]Match, 0, len(ms))
+	for _, m := range ms {
+		out = append(out, Match{Pattern: m.Pattern, End: m.End})
+	}
+	return out
+}
+
+func matchesEqual(a, b []Match) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestHealHandoffOnJoin: a join moves a key's ownership; the old owner's
+// rebalance scan hands the live session off (replicate → transfer →
+// close), the driver's next call 404s, and its sync recovery on the new
+// owner re-delivers exactly the matches past its durable position.
+func TestHealHandoffOnJoin(t *testing.T) {
+	fleet := newHealFleet(t, 3, 2)
+	a, b, c := fleet[0], fleet[1], fleet[2]
+	_ = b
+
+	// c participates in gossip from birth; carve it back out so we can
+	// rehearse its join moving ownership. Simpler: pick the key with the
+	// fleet's own rings — owned by a among {a,b}, by c among {a,b,c}.
+	ring2 := NewRing(0)
+	ring2.Add(a.srv.URL)
+	ring2.Add(b.srv.URL)
+	ring3 := a.mem.Ring()
+	id := ""
+	for i := 0; i < 10000; i++ {
+		cand := fmt.Sprintf("handoff-%d", i)
+		if ring2.Owner(cand) == a.srv.URL && ring3.Owner(cand) == c.srv.URL {
+			id = cand
+			break
+		}
+	}
+	if id == "" {
+		t.Fatal("no key moves a→c; vnode layout degenerate")
+	}
+
+	// The session lives on a (as it would before c joined); feed one
+	// block durably, one provisionally.
+	cl := healClient()
+	var opened SessionResponse
+	if err := cl.PostJSON(context.Background(), a.srv.URL, "/cluster/session/open", SessionOpenRequest{SessionID: id, Interval: 4}, &opened); err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	input := []byte("xabbcxabbcxabbc")
+	durable := struct {
+		pos     int64
+		matches []Match
+	}{}
+	r1, err := healFeed(cl, a.srv.URL, id, input[:5])
+	if err != nil {
+		t.Fatalf("feed: %v", err)
+	}
+	prov := append([]Match(nil), r1.Matches...)
+	ck, err := healCheckpoint(cl, a.srv.URL, id)
+	if err != nil {
+		t.Fatalf("checkpoint: %v", err)
+	}
+	prov = append(prov, ck.Matches...)
+	durable.pos, durable.matches = ck.Pos, append([]Match(nil), prov...)
+	r2, err := healFeed(cl, a.srv.URL, id, input[5:10])
+	if err != nil {
+		t.Fatalf("feed: %v", err)
+	}
+	prov = append(prov, r2.Matches...) // provisional: no checkpoint after
+
+	// Ownership is already c's in the joined ring; a's rebalance scan
+	// must move the session.
+	handoffs, _ := a.node.Rebalance(context.Background())
+	if handoffs != 1 {
+		t.Fatalf("Rebalance moved %d sessions, want 1", handoffs)
+	}
+	if h := a.node.Health(); h.Handoffs != 1 {
+		t.Fatalf("handoff counter = %d, want 1", h.Handoffs)
+	}
+
+	// Old owner answers 404 now — the driver's signal to recover.
+	if _, err := healFeed(cl, a.srv.URL, id, input[10:]); err == nil {
+		t.Fatal("feed on old owner succeeded after handoff")
+	} else {
+		var pe *PeerError
+		if !errors.As(err, &pe) || pe.Status != http.StatusNotFound {
+			t.Fatalf("feed on old owner: %v, want 404", err)
+		}
+	}
+
+	// Uniform recovery: truncate to durable, resolve owner, sync.
+	log := append([]Match(nil), durable.matches...)
+	owner := healOwner(t, cl, b.srv.URL, id)
+	if owner != c.srv.URL {
+		t.Fatalf("owner = %s, want %s", owner, c.srv.URL)
+	}
+	var sy SessionResponse
+	if err := cl.PostJSON(context.Background(), owner, "/cluster/session/sync", SessionSyncRequest{SessionID: id, Have: durable.pos, Interval: 4}, &sy); err != nil {
+		t.Fatalf("sync: %v", err)
+	}
+	log = append(log, sy.Matches...)
+	// The handoff checkpointed at the session's full position, so the
+	// sync lands past the driver's durable point and re-delivers the
+	// provisional matches.
+	if sy.Pos != 10 {
+		t.Fatalf("sync pos = %d, want 10", sy.Pos)
+	}
+	r3, err := healFeed(cl, owner, id, input[sy.Pos:])
+	if err != nil {
+		t.Fatalf("feed after sync: %v", err)
+	}
+	log = append(log, r3.Matches...)
+	var closed SessionResponse
+	if err := cl.PostJSON(context.Background(), owner, "/cluster/session/close", SessionRequest{SessionID: id}, &closed); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	log = append(log, closed.Matches...)
+
+	if want := oracleMatches(t, input); !matchesEqual(log, want) {
+		t.Fatalf("delivery diverged:\n got %v\nwant %v", log, want)
+	}
+
+	// The replicated close retired the records: no node may adopt the
+	// finished stream back to life.
+	for _, h := range fleet {
+		if _, adoptions := h.node.Rebalance(context.Background()); adoptions != 0 {
+			t.Fatalf("node %s resurrected a closed session", h.srv.URL)
+		}
+	}
+}
+
+// TestHealAdoptionAfterKill: the owner dies without ceremony mid-stream;
+// survivors converge, the new ring owner adopts the session from its
+// replicated checkpoint, and the driver — whose last checkpoint ack was
+// lost — recovers the missing delta through sync. Exactly-once delivery
+// is asserted against the single-engine oracle.
+func TestHealAdoptionAfterKill(t *testing.T) {
+	fleet := newHealFleet(t, 3, 2)
+	cl := healClient()
+
+	// Any key works; use the fleet's ring to find its owner.
+	id := "adopt-0"
+	owner := healOwner(t, cl, fleet[0].srv.URL, id)
+	var victim *healNode
+	for _, h := range fleet {
+		if h.srv.URL == owner {
+			victim = h
+		}
+	}
+	input := []byte("xabbcxabbcxabbcxabbc")
+
+	var opened SessionResponse
+	if err := cl.PostJSON(context.Background(), owner, "/cluster/session/open", SessionOpenRequest{SessionID: id, Interval: 4}, &opened); err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	var log []Match
+	var durablePos int64
+	var durableLen int
+	feedCk := func(lo, hi int, ackLost bool) {
+		t.Helper()
+		r, err := healFeed(cl, owner, id, input[lo:hi])
+		if err != nil {
+			t.Fatalf("feed[%d:%d]: %v", lo, hi, err)
+		}
+		log = append(log, r.Matches...)
+		ck, err := healCheckpoint(cl, owner, id)
+		if err != nil {
+			t.Fatalf("checkpoint@%d: %v", hi, err)
+		}
+		log = append(log, ck.Matches...)
+		if !ackLost {
+			durablePos, durableLen = ck.Pos, len(log)
+		}
+	}
+	feedCk(0, 5, false)
+	// Second checkpoint replicates but its ack is "lost" — the driver's
+	// durable state stays at the first checkpoint, so recovery must
+	// re-deliver (5, 10] from the record's delta.
+	feedCk(5, 10, true)
+
+	victim.kill()
+	convergeFleet(t, fleet)
+
+	// Survivors' rebalance scans: the new owner adopts from its replica.
+	adoptions := 0
+	for _, h := range fleet {
+		if h.dead {
+			continue
+		}
+		_, a := h.node.Rebalance(context.Background())
+		adoptions += a
+	}
+	if adoptions != 1 {
+		t.Fatalf("adoptions = %d, want 1", adoptions)
+	}
+
+	// Driver recovery: truncate to durable state, re-resolve, sync.
+	log = log[:durableLen]
+	liveBase := ""
+	for _, h := range fleet {
+		if !h.dead {
+			liveBase = h.srv.URL
+			break
+		}
+	}
+	newOwner := healOwner(t, cl, liveBase, id)
+	if newOwner == owner {
+		t.Fatal("ring still routes to the dead owner")
+	}
+	var sy SessionResponse
+	if err := cl.PostJSON(context.Background(), newOwner, "/cluster/session/sync", SessionSyncRequest{SessionID: id, Have: durablePos, Interval: 4}, &sy); err != nil {
+		t.Fatalf("sync: %v", err)
+	}
+	if sy.Pos != 10 {
+		t.Fatalf("sync pos = %d, want 10 (the lost-ack record)", sy.Pos)
+	}
+	log = append(log, sy.Matches...)
+	r, err := healFeed(cl, newOwner, id, input[sy.Pos:])
+	if err != nil {
+		t.Fatalf("feed after sync: %v", err)
+	}
+	log = append(log, r.Matches...)
+	var closed SessionResponse
+	if err := cl.PostJSON(context.Background(), newOwner, "/cluster/session/close", SessionRequest{SessionID: id}, &closed); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	log = append(log, closed.Matches...)
+
+	if want := oracleMatches(t, input); !matchesEqual(log, want) {
+		t.Fatalf("delivery diverged:\n got %v\nwant %v", log, want)
+	}
+}
+
+// TestHealQuorumDegradeAndRecover: with R=2 on a two-node fleet, a
+// checkpoint taken while the replica peer is unreachable-but-not-yet-dead
+// fails loudly with 503 (quorum), and succeeds again once membership
+// declares the peer dead and the chain shrinks to the survivor.
+func TestHealQuorumDegradeAndRecover(t *testing.T) {
+	fleet := newHealFleet(t, 2, 2)
+	cl := healClient()
+	id := "quorum-0"
+	owner := healOwner(t, cl, fleet[0].srv.URL, id)
+	var holder, peer *healNode
+	for _, h := range fleet {
+		if h.srv.URL == owner {
+			holder = h
+		} else {
+			peer = h
+		}
+	}
+	if err := cl.PostJSON(context.Background(), owner, "/cluster/session/open", SessionOpenRequest{SessionID: id, Interval: 4}, nil); err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	if _, err := healFeed(cl, owner, id, []byte("xabbc")); err != nil {
+		t.Fatalf("feed: %v", err)
+	}
+	if _, err := healCheckpoint(cl, owner, id); err != nil {
+		t.Fatalf("checkpoint with both replicas up: %v", err)
+	}
+
+	// Peer down but still alive in the ring: R=2 is unsatisfiable and the
+	// checkpoint must refuse rather than silently under-replicate.
+	peer.kill()
+	if _, err := healFeed(cl, owner, id, []byte("xabbc")); err != nil {
+		t.Fatalf("feed: %v", err)
+	}
+	_, err := healCheckpoint(cl, owner, id)
+	var pe *PeerError
+	if err == nil || !errors.As(err, &pe) || pe.Status != http.StatusServiceUnavailable {
+		t.Fatalf("checkpoint during partition: %v, want 503 quorum refusal", err)
+	}
+
+	// Once the peer is declared dead the chain is just the survivor and
+	// min(R, chain) = 1: durability degrades explicitly with the fleet.
+	convergeFleet(t, fleet)
+	ck, err := healCheckpoint(cl, owner, id)
+	if err != nil {
+		t.Fatalf("checkpoint after convergence: %v", err)
+	}
+	// The refused round kept accumulating: the eventual record must span
+	// the whole range and carry both blocks' matches.
+	if ck.Pos != 10 {
+		t.Fatalf("checkpoint pos = %d, want 10", ck.Pos)
+	}
+	if h := holder.node.Health(); h.Epoch == 1 {
+		t.Fatal("epoch did not advance across the failure")
+	}
+}

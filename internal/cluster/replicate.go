@@ -1,0 +1,230 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"bvap/internal/telemetry"
+)
+
+// ErrReplicationQuorum is the sentinel under every QuorumError: a session
+// checkpoint could not be acknowledged by the required number of distinct
+// replicas. The driver sees it as a 503 and retries the checkpoint; the
+// session's durable position simply does not advance until quorum returns.
+var ErrReplicationQuorum = errors.New("cluster: replication quorum not reached")
+
+// QuorumError reports a failed replication round: how many distinct
+// replica acks were required, how many arrived, and the per-peer causes.
+type QuorumError struct {
+	Session string
+	Need    int
+	Acks    int
+	Errs    map[string]error
+}
+
+func (e *QuorumError) Error() string {
+	return fmt.Sprintf("cluster: session %s checkpoint replicated to %d/%d replicas", e.Session, e.Acks, e.Need)
+}
+
+func (e *QuorumError) Unwrap() error { return ErrReplicationQuorum }
+
+// CheckpointRecord is one replicated durable unit of a streaming session:
+// the BVCK checkpoint bytes at Pos, plus every match the session committed
+// in (PrevPos, Pos] — the delta a recovering driver needs when its last
+// checkpoint ack was lost. Origin is the node holding the live session
+// when the record was written (or, during a handoff, the node custody is
+// being transferred to), which is what makes adoption safe: a record is
+// only adopted when its origin is self, dead, left, or unknown.
+type CheckpointRecord struct {
+	SessionID  string  `json:"session_id"`
+	Pos        int64   `json:"pos"`
+	PrevPos    int64   `json:"prev_pos"`
+	Origin     string  `json:"origin"`
+	Checkpoint []byte  `json:"checkpoint"`
+	Matches    []Match `json:"matches,omitempty"`
+	// Interval is the session's checkpoint cadence, so an adopting node
+	// resumes with the same commit boundaries.
+	Interval int `json:"interval,omitempty"`
+}
+
+// replicaStore is a node's local shelf of checkpoint records, version-gated
+// by position: a put at a position older than what's held is a no-op, so
+// redeliveries and read-repair pushes are idempotent and never roll a
+// session's durable state backwards.
+type replicaStore struct {
+	mu   sync.Mutex
+	recs map[string]CheckpointRecord
+}
+
+func newReplicaStore() *replicaStore {
+	return &replicaStore{recs: map[string]CheckpointRecord{}}
+}
+
+// put installs rec unless a same-session record at a newer position is
+// already held; it reports whether rec is now (or already was) current.
+func (s *replicaStore) put(rec CheckpointRecord) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if cur, ok := s.recs[rec.SessionID]; ok && cur.Pos > rec.Pos {
+		return false
+	}
+	s.recs[rec.SessionID] = rec
+	return true
+}
+
+func (s *replicaStore) get(id string) (CheckpointRecord, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rec, ok := s.recs[id]
+	return rec, ok
+}
+
+func (s *replicaStore) delete(id string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.recs, id)
+}
+
+// ids returns the held session ids, sorted.
+func (s *replicaStore) ids() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.recs))
+	for id := range s.recs {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// replicator pushes checkpoint records to the ring's failover chain and
+// pulls them back (read-repair) on resume.
+type replicator struct {
+	self     string
+	replicas int
+	client   *Client
+	ring     func() *Ring
+	store    *replicaStore
+	cRep     *telemetry.CounterVec
+}
+
+func newReplicator(self string, replicas int, client *Client, ring func() *Ring, store *replicaStore, metrics *telemetry.Registry) *replicator {
+	r := &replicator{self: self, replicas: replicas, client: client, ring: ring, store: store}
+	if metrics != nil {
+		r.cRep = metrics.CounterVec("bvap_cluster_replicate_total", "Checkpoint replication rounds by outcome.", "outcome")
+	}
+	return r
+}
+
+// owners returns the record's current failover chain — the first
+// min(replicas, ring size) distinct owners of its session key.
+func (r *replicator) owners(id string) []string {
+	ring := r.ring()
+	if ring == nil {
+		return nil
+	}
+	return ring.Owners(id, r.replicas)
+}
+
+// replicate stores rec locally and pushes it synchronously to every other
+// owner in the failover chain, requiring min(replicas, ring size) distinct
+// chain members to hold the bytes. Self only counts toward quorum when it
+// is in the chain (a session can briefly live on a non-owner around an
+// epoch change; its local copy is then a bonus, not a vote).
+func (r *replicator) replicate(ctx context.Context, rec CheckpointRecord) error {
+	r.store.put(rec)
+	owners := r.owners(rec.SessionID)
+	need := r.replicas
+	if len(owners) < need {
+		need = len(owners)
+	}
+	if need == 0 {
+		return nil
+	}
+	acks := 0
+	for _, owner := range owners {
+		if owner == r.self {
+			acks++ // before any goroutine: the self vote must not race theirs
+		}
+	}
+	var mu sync.Mutex
+	errs := map[string]error{}
+	var wg sync.WaitGroup
+	for _, owner := range owners {
+		if owner == r.self {
+			continue
+		}
+		wg.Add(1)
+		go func(owner string) {
+			defer wg.Done()
+			err := r.client.PostJSON(ctx, owner, "/cluster/checkpoint/put", rec, nil)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				errs[owner] = err
+			} else {
+				acks++
+			}
+		}(owner)
+	}
+	wg.Wait()
+	if acks < need {
+		if r.cRep != nil {
+			r.cRep.With("quorum_fail").Inc()
+		}
+		return &QuorumError{Session: rec.SessionID, Need: need, Acks: acks, Errs: errs}
+	}
+	if r.cRep != nil {
+		r.cRep.With("ok").Inc()
+	}
+	return nil
+}
+
+// repair runs read-repair for one session: fetch the record from every
+// chain member, keep the newest, install it locally, and push it back to
+// any member that was behind (best-effort — a dead peer just stays
+// behind). It returns the newest record found anywhere, or false when no
+// chain member holds one.
+func (r *replicator) repair(ctx context.Context, id string) (CheckpointRecord, bool) {
+	best, ok := r.store.get(id)
+	type fetched struct {
+		owner string
+		rec   CheckpointRecord
+		ok    bool
+	}
+	owners := r.owners(id)
+	results := make([]fetched, len(owners))
+	var wg sync.WaitGroup
+	for i, owner := range owners {
+		if owner == r.self {
+			continue
+		}
+		wg.Add(1)
+		go func(i int, owner string) {
+			defer wg.Done()
+			var rec CheckpointRecord
+			if err := r.client.PostJSON(ctx, owner, "/cluster/checkpoint/get", SessionRequest{SessionID: id}, &rec); err == nil {
+				results[i] = fetched{owner: owner, rec: rec, ok: true}
+			}
+		}(i, owner)
+	}
+	wg.Wait()
+	for _, f := range results {
+		if f.ok && (!ok || f.rec.Pos > best.Pos) {
+			best, ok = f.rec, true
+		}
+	}
+	if !ok {
+		return CheckpointRecord{}, false
+	}
+	r.store.put(best)
+	for _, f := range results {
+		if f.owner != "" && (!f.ok || f.rec.Pos < best.Pos) {
+			r.client.PostJSON(ctx, f.owner, "/cluster/checkpoint/put", best, nil)
+		}
+	}
+	return best, true
+}

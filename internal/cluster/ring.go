@@ -117,6 +117,9 @@ func (r *Ring) Remove(node string) {
 	r.points = kept
 }
 
+// VirtualNodes returns the per-node vnode count.
+func (r *Ring) VirtualNodes() int { return r.vnodes }
+
 // Nodes returns the member node names, sorted.
 func (r *Ring) Nodes() []string {
 	r.mu.RLock()

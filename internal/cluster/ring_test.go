@@ -117,3 +117,85 @@ func TestRingOwnersDistinctPreferenceChain(t *testing.T) {
 		}
 	}
 }
+
+// TestRingMinimalDisruption is the property behind automatic
+// re-placement cost: on any single join or leave, only keys whose owner
+// actually changed move, and the moved fraction is ≈ 1/N — so an epoch
+// change re-places ~1/N of the fleet's sessions, not all of them. Checked
+// across seeded insertion-order permutations, since ownership must not
+// depend on construction order.
+func TestRingMinimalDisruption(t *testing.T) {
+	const keys = 4000
+	for _, n := range []int{3, 5, 8} {
+		for seed := 0; seed < 6; seed++ {
+			nodes := make([]string, n)
+			for i := range nodes {
+				nodes[i] = fmt.Sprintf("http://node-%d", i)
+			}
+			// Seeded permutation of insertion order (splitmix-driven
+			// Fisher-Yates — no global rand, fully deterministic).
+			state := uint64(seed)*0x9e3779b9 + 1
+			for i := n - 1; i > 0; i-- {
+				state = mix64(state)
+				j := int(state % uint64(i+1))
+				nodes[i], nodes[j] = nodes[j], nodes[i]
+			}
+			r := NewRing(0)
+			for _, node := range nodes {
+				r.Add(node)
+			}
+			before := make(map[string]string, keys)
+			for k := 0; k < keys; k++ {
+				key := fmt.Sprintf("stream-%d-%d", seed, k)
+				before[key] = r.Owner(key)
+			}
+
+			// Join: every moved key must land on the new node.
+			joined := "http://node-new"
+			r.Add(joined)
+			moved := 0
+			for key, owner := range before {
+				now := r.Owner(key)
+				if now != owner {
+					moved++
+					if now != joined {
+						t.Fatalf("n=%d seed=%d: key %s moved %s→%s, not to the joined node", n, seed, key, owner, now)
+					}
+				}
+			}
+			assertMovedFraction(t, "join", n, seed, moved, keys, n+1)
+
+			// Leave: every moved key must have belonged to the leaver.
+			r.Remove(joined)
+			for key, owner := range before {
+				if got := r.Owner(key); got != owner {
+					t.Fatalf("n=%d seed=%d: remove did not restore key %s (%s→%s)", n, seed, key, owner, got)
+				}
+			}
+			victim := nodes[0]
+			r.Remove(victim)
+			moved = 0
+			for key, owner := range before {
+				if r.Owner(key) != owner {
+					moved++
+					if owner != victim {
+						t.Fatalf("n=%d seed=%d: key %s moved but was owned by %s, not the removed %s", n, seed, key, owner, victim)
+					}
+				}
+			}
+			assertMovedFraction(t, "leave", n, seed, moved, keys, n)
+		}
+	}
+}
+
+// assertMovedFraction checks moved/total ≈ 1/parts within generous vnode
+// variance bounds (64 vnodes per node ⇒ per-node share concentrates
+// within a small factor of the mean).
+func assertMovedFraction(t *testing.T, op string, n, seed, moved, total, parts int) {
+	t.Helper()
+	frac := float64(moved) / float64(total)
+	want := 1 / float64(parts)
+	if frac < 0.3*want || frac > 2.5*want {
+		t.Fatalf("%s n=%d seed=%d: moved fraction %.4f outside [0.3,2.5]×%.4f", op, n, seed, frac, want)
+	}
+}
